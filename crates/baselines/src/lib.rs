@@ -1,0 +1,25 @@
+//! Baseline capacity planners the paper argues against (§I, §IV).
+//!
+//! - [`queueing`] — the *modeling approach*: an M/M/c Erlang-C planner.
+//!   Accurate when its service-rate parameter is right, but "models based on
+//!   simplified assumptions are either inaccurate, or are quickly
+//!   invalidated as the system evolves"; the ablation experiments quantify
+//!   its sensitivity to calibration drift.
+//! - [`autoscaler`] — the *dynamic approach*: a reactive autoscaler with
+//!   realistic provisioning lag and service start-up time. The paper's
+//!   critique: diurnal swings need thousands of servers on timescales the
+//!   provisioning loop cannot meet, so the autoscaler either violates QoS or
+//!   carries permanent headroom anyway.
+//! - [`static_peak`] — status quo: provision for peak times a fixed
+//!   headroom factor.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod autoscaler;
+pub mod queueing;
+pub mod static_peak;
+
+pub use autoscaler::{AutoscalerOutcome, ReactiveAutoscaler};
+pub use queueing::{ErlangC, QueueingPlanner};
+pub use static_peak::StaticPeakPlanner;

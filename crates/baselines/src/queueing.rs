@@ -1,0 +1,295 @@
+//! M/M/c queueing-model capacity planning (the paper's "modeling approach").
+//!
+//! Given arrival rate λ, per-server service rate μ and c servers, Erlang C
+//! gives the probability an arriving request queues, and the waiting-time
+//! distribution tail `P(W > t) = P_wait · e^{-(cμ−λ)t}`. Inverting the tail
+//! yields the smallest `c` whose p95 sojourn time meets the SLO.
+//!
+//! The planner is exact for a textbook M/M/c system — and wrong in
+//! production whenever μ drifts (new code, new request mix, background
+//! work). The ablation benches measure exactly that fragility.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by queueing computations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QueueingError {
+    /// Offered load requires more servers than the search bound.
+    Unstable {
+        /// The λ/μ offered load in Erlangs.
+        offered_load: f64,
+    },
+    /// A parameter was non-positive or non-finite.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for QueueingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueingError::Unstable { offered_load } => {
+                write!(f, "system unstable at offered load {offered_load:.1} erlangs")
+            }
+            QueueingError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl Error for QueueingError {}
+
+/// An M/M/c system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErlangC {
+    /// Request arrival rate λ (per second).
+    pub arrival_rate: f64,
+    /// Per-server service rate μ (requests per second).
+    pub service_rate: f64,
+}
+
+impl ErlangC {
+    /// Creates a system description.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueingError::InvalidParameter`] for non-positive rates.
+    pub fn new(arrival_rate: f64, service_rate: f64) -> Result<Self, QueueingError> {
+        if !(arrival_rate > 0.0) || !arrival_rate.is_finite() {
+            return Err(QueueingError::InvalidParameter("arrival rate must be positive"));
+        }
+        if !(service_rate > 0.0) || !service_rate.is_finite() {
+            return Err(QueueingError::InvalidParameter("service rate must be positive"));
+        }
+        Ok(ErlangC { arrival_rate, service_rate })
+    }
+
+    /// Offered load `a = λ/μ` in Erlangs.
+    pub fn offered_load(&self) -> f64 {
+        self.arrival_rate / self.service_rate
+    }
+
+    /// Utilisation `ρ = λ/(cμ)` with `c` servers.
+    pub fn utilization(&self, servers: usize) -> f64 {
+        self.offered_load() / servers as f64
+    }
+
+    /// Erlang-C probability that an arriving request waits, with `c`
+    /// servers. Returns `1.0` for an unstable system (ρ ≥ 1).
+    pub fn wait_probability(&self, servers: usize) -> f64 {
+        let c = servers as f64;
+        let a = self.offered_load();
+        if a >= c {
+            return 1.0;
+        }
+        // Numerically stable iterative Erlang-B, then convert to Erlang-C.
+        let mut inv_b = 1.0f64;
+        for k in 1..=servers {
+            inv_b = 1.0 + inv_b * k as f64 / a;
+        }
+        let b = 1.0 / inv_b;
+        let rho = a / c;
+        b / (1.0 - rho + rho * b)
+    }
+
+    /// Mean waiting time in queue (seconds) with `c` servers.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueingError::Unstable`] when ρ ≥ 1.
+    pub fn mean_wait(&self, servers: usize) -> Result<f64, QueueingError> {
+        let a = self.offered_load();
+        let c = servers as f64;
+        if a >= c {
+            return Err(QueueingError::Unstable { offered_load: a });
+        }
+        Ok(self.wait_probability(servers) / (c * self.service_rate - self.arrival_rate))
+    }
+
+    /// The `q`-quantile of the *sojourn* time (wait + service) in seconds,
+    /// using the exponential tail of the M/M/c waiting time plus the mean
+    /// service time.
+    ///
+    /// # Errors
+    ///
+    /// - [`QueueingError::Unstable`] when ρ ≥ 1.
+    /// - [`QueueingError::InvalidParameter`] when `q` outside (0, 1).
+    pub fn sojourn_quantile(&self, servers: usize, q: f64) -> Result<f64, QueueingError> {
+        if !(0.0 < q && q < 1.0) {
+            return Err(QueueingError::InvalidParameter("quantile must be within (0, 1)"));
+        }
+        let a = self.offered_load();
+        let c = servers as f64;
+        if a >= c {
+            return Err(QueueingError::Unstable { offered_load: a });
+        }
+        let p_wait = self.wait_probability(servers);
+        let drain = c * self.service_rate - self.arrival_rate;
+        // P(W > t) = p_wait * exp(-drain * t); invert for the q-quantile.
+        let wait_q = if p_wait <= 1.0 - q {
+            0.0
+        } else {
+            (p_wait / (1.0 - q)).ln() / drain
+        };
+        Ok(wait_q + 1.0 / self.service_rate)
+    }
+}
+
+/// Capacity planner built on the M/M/c model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueingPlanner {
+    /// The per-server service rate μ the planner *believes* (requests/sec).
+    pub assumed_service_rate: f64,
+    /// The latency quantile planned for (e.g. `0.95`).
+    pub quantile: f64,
+}
+
+impl QueueingPlanner {
+    /// Creates a planner for p95 latency.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueingError::InvalidParameter`] for a non-positive rate.
+    pub fn new(assumed_service_rate: f64) -> Result<Self, QueueingError> {
+        if !(assumed_service_rate > 0.0) || !assumed_service_rate.is_finite() {
+            return Err(QueueingError::InvalidParameter("service rate must be positive"));
+        }
+        Ok(QueueingPlanner { assumed_service_rate, quantile: 0.95 })
+    }
+
+    /// Smallest server count whose modelled p-quantile sojourn time meets
+    /// `slo_ms` at arrival rate `peak_rps`.
+    ///
+    /// # Errors
+    ///
+    /// - [`QueueingError::Unstable`] when no count up to 1,000,000 works.
+    /// - [`QueueingError::InvalidParameter`] for bad inputs.
+    pub fn required_servers(&self, peak_rps: f64, slo_ms: f64) -> Result<usize, QueueingError> {
+        if !(slo_ms > 0.0) || !slo_ms.is_finite() {
+            return Err(QueueingError::InvalidParameter("slo must be positive"));
+        }
+        let system = ErlangC::new(peak_rps, self.assumed_service_rate)?;
+        let slo_secs = slo_ms / 1000.0;
+        if 1.0 / self.assumed_service_rate > slo_secs {
+            // Service time alone exceeds the SLO: no count helps.
+            return Err(QueueingError::InvalidParameter("slo below mean service time"));
+        }
+        let min_c = system.offered_load().ceil() as usize;
+        for c in min_c.max(1)..1_000_000 {
+            match system.sojourn_quantile(c, self.quantile) {
+                Ok(t) if t <= slo_secs => return Ok(c),
+                Ok(_) => continue,
+                Err(QueueingError::Unstable { .. }) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(QueueingError::Unstable { offered_load: system.offered_load() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_server_wait_probability_is_rho() {
+        // For M/M/1, Erlang C reduces to ρ.
+        let s = ErlangC::new(5.0, 10.0).unwrap();
+        assert!((s.wait_probability(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_erlang_c_value() {
+        // Classic check: a = 2 erlangs, c = 3 ⇒ P_wait ≈ 0.4444.
+        let s = ErlangC::new(2.0, 1.0).unwrap();
+        assert!((s.wait_probability(3) - 4.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wait_probability_decreases_with_servers() {
+        let s = ErlangC::new(100.0, 10.0).unwrap();
+        let p11 = s.wait_probability(11);
+        let p15 = s.wait_probability(15);
+        let p25 = s.wait_probability(25);
+        assert!(p11 > p15 && p15 > p25);
+        assert!(p25 < 0.01);
+    }
+
+    #[test]
+    fn unstable_system_detected() {
+        let s = ErlangC::new(100.0, 10.0).unwrap();
+        assert_eq!(s.wait_probability(9), 1.0);
+        assert!(matches!(s.mean_wait(10), Err(QueueingError::Unstable { .. })));
+    }
+
+    #[test]
+    fn mean_wait_matches_formula() {
+        let s = ErlangC::new(2.0, 1.0).unwrap();
+        // W_q = C(c,a) / (cμ - λ) = (4/9) / (3 - 2).
+        assert!((s.mean_wait(3).unwrap() - 4.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sojourn_quantile_sane() {
+        let s = ErlangC::new(50.0, 10.0).unwrap();
+        let p50 = s.sojourn_quantile(8, 0.5).unwrap();
+        let p95 = s.sojourn_quantile(8, 0.95).unwrap();
+        let p99 = s.sojourn_quantile(8, 0.99).unwrap();
+        assert!(p50 <= p95 && p95 <= p99);
+        // At minimum, the service time itself.
+        assert!(p50 >= 0.1 - 1e-12);
+    }
+
+    #[test]
+    fn quantile_zero_wait_regime() {
+        // Massively overprovisioned: p95 wait is zero, sojourn = service time.
+        let s = ErlangC::new(1.0, 10.0).unwrap();
+        let p95 = s.sojourn_quantile(50, 0.95).unwrap();
+        assert!((p95 - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn planner_meets_slo() {
+        let planner = QueueingPlanner::new(20.0).unwrap(); // 50 ms service time
+        let c = planner.required_servers(1000.0, 80.0).unwrap();
+        let system = ErlangC::new(1000.0, 20.0).unwrap();
+        assert!(system.sojourn_quantile(c, 0.95).unwrap() <= 0.080);
+        if c > 1 {
+            // One fewer server must violate (minimality).
+            let t = system.sojourn_quantile(c - 1, 0.95);
+            assert!(t.is_err() || t.unwrap() > 0.080);
+        }
+    }
+
+    #[test]
+    fn planner_with_wrong_mu_misprovisions() {
+        // Truth: μ = 20/s. Planner believes μ = 30/s (stale calibration).
+        let truth = QueueingPlanner::new(20.0).unwrap();
+        let stale = QueueingPlanner::new(30.0).unwrap();
+        let honest = truth.required_servers(2000.0, 80.0).unwrap();
+        let optimistic = stale.required_servers(2000.0, 80.0).unwrap();
+        assert!(
+            optimistic < honest,
+            "optimistic model underprovisions: {optimistic} vs {honest}"
+        );
+        // And the optimistic allocation really does violate the SLO.
+        let real = ErlangC::new(2000.0, 20.0).unwrap();
+        let at_optimistic = real.sojourn_quantile(optimistic, 0.95);
+        assert!(at_optimistic.is_err() || at_optimistic.unwrap() > 0.080);
+    }
+
+    #[test]
+    fn impossible_slo_rejected() {
+        let planner = QueueingPlanner::new(10.0).unwrap(); // 100 ms service
+        assert!(matches!(
+            planner.required_servers(100.0, 50.0),
+            Err(QueueingError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_rates_rejected() {
+        assert!(ErlangC::new(0.0, 1.0).is_err());
+        assert!(ErlangC::new(1.0, f64::NAN).is_err());
+        assert!(QueueingPlanner::new(-5.0).is_err());
+    }
+}

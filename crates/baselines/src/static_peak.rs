@@ -1,0 +1,120 @@
+//! Static peak provisioning (the status quo the paper quantifies).
+//!
+//! Service owners "over allocate capacity to absorb unexpected increases in
+//! traffic and unplanned capacity outages" (§III-B1): size for peak demand,
+//! then multiply by a safety factor. Simple, robust, and the source of the
+//! 2–4× idle capacity the paper measures.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error from static planning.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StaticPlanError {
+    /// A parameter was out of domain.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for StaticPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaticPlanError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl Error for StaticPlanError {}
+
+/// Peak-times-factor provisioning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaticPeakPlanner {
+    /// Multiplicative headroom on top of peak (e.g. `1.5` = 50% spare).
+    pub headroom_factor: f64,
+    /// RPS one server can carry at the QoS limit.
+    pub rps_per_server_at_slo: f64,
+}
+
+impl StaticPeakPlanner {
+    /// Creates a planner.
+    ///
+    /// # Errors
+    ///
+    /// [`StaticPlanError::InvalidParameter`] when the factor is below 1 or
+    /// the per-server capacity is non-positive.
+    pub fn new(headroom_factor: f64, rps_per_server_at_slo: f64) -> Result<Self, StaticPlanError> {
+        if !(headroom_factor >= 1.0) || !headroom_factor.is_finite() {
+            return Err(StaticPlanError::InvalidParameter("headroom factor must be >= 1"));
+        }
+        if !(rps_per_server_at_slo > 0.0) || !rps_per_server_at_slo.is_finite() {
+            return Err(StaticPlanError::InvalidParameter(
+                "per-server capacity must be positive",
+            ));
+        }
+        Ok(StaticPeakPlanner { headroom_factor, rps_per_server_at_slo })
+    }
+
+    /// Servers allocated for a demand series (sizes to the series peak).
+    pub fn required_servers(&self, demand: &[f64]) -> usize {
+        let peak = demand.iter().copied().fold(0.0f64, f64::max);
+        ((peak * self.headroom_factor / self.rps_per_server_at_slo).ceil() as usize).max(1)
+    }
+
+    /// Mean utilisation of that allocation over the series (the headline
+    /// "23% global CPU" inefficiency in planner terms).
+    pub fn mean_utilization(&self, demand: &[f64]) -> f64 {
+        if demand.is_empty() {
+            return 0.0;
+        }
+        let servers = self.required_servers(demand) as f64;
+        let capacity = servers * self.rps_per_server_at_slo;
+        demand.iter().map(|d| d / capacity).sum::<f64>() / demand.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_to_peak_times_factor() {
+        let planner = StaticPeakPlanner::new(1.5, 100.0).unwrap();
+        let demand = vec![1000.0, 5000.0, 3000.0];
+        // peak 5000 × 1.5 / 100 = 75.
+        assert_eq!(planner.required_servers(&demand), 75);
+    }
+
+    #[test]
+    fn utilization_reflects_diurnal_idle() {
+        let planner = StaticPeakPlanner::new(1.5, 100.0).unwrap();
+        let demand: Vec<f64> = (0..720)
+            .map(|w| {
+                let phase = (w as f64 / 720.0) * std::f64::consts::TAU;
+                5000.0 * (0.55 + 0.45 * phase.cos())
+            })
+            .collect();
+        let util = planner.mean_utilization(&demand);
+        // Mean demand ≈ 55% of peak; headroom 1.5 ⇒ ~37% utilisation.
+        assert!((util - 0.366).abs() < 0.02, "util {util}");
+    }
+
+    #[test]
+    fn no_headroom_factor_one() {
+        let planner = StaticPeakPlanner::new(1.0, 50.0).unwrap();
+        assert_eq!(planner.required_servers(&[100.0]), 2);
+    }
+
+    #[test]
+    fn empty_demand_minimal() {
+        let planner = StaticPeakPlanner::new(2.0, 10.0).unwrap();
+        assert_eq!(planner.required_servers(&[]), 1);
+        assert_eq!(planner.mean_utilization(&[]), 0.0);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        assert!(StaticPeakPlanner::new(0.9, 10.0).is_err());
+        assert!(StaticPeakPlanner::new(1.5, 0.0).is_err());
+        assert!(StaticPeakPlanner::new(f64::INFINITY, 1.0).is_err());
+    }
+}

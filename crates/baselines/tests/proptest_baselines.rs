@@ -1,0 +1,107 @@
+//! Property tests for the baseline planners.
+
+use headroom_baselines::queueing::{ErlangC, QueueingPlanner};
+use headroom_baselines::static_peak::StaticPeakPlanner;
+use headroom_baselines::ReactiveAutoscaler;
+use proptest::prelude::*;
+
+proptest! {
+    /// Erlang-C wait probability decreases monotonically with servers and
+    /// stays a probability.
+    #[test]
+    fn erlang_c_monotone(lambda in 1.0f64..500.0, mu in 1.0f64..50.0) {
+        let system = ErlangC::new(lambda, mu).unwrap();
+        let min_c = (lambda / mu).ceil() as usize + 1;
+        let mut prev = 1.0f64;
+        for c in min_c..min_c + 10 {
+            let p = system.wait_probability(c);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p <= prev + 1e-12, "c {c}: {p} > {prev}");
+            prev = p;
+        }
+    }
+
+    /// Sojourn quantiles are monotone in the quantile and in load.
+    #[test]
+    fn sojourn_monotone(lambda in 10.0f64..200.0, mu in 5.0f64..20.0) {
+        let system = ErlangC::new(lambda, mu).unwrap();
+        let c = (lambda / mu).ceil() as usize + 2;
+        let p50 = system.sojourn_quantile(c, 0.5).unwrap();
+        let p95 = system.sojourn_quantile(c, 0.95).unwrap();
+        prop_assert!(p95 >= p50);
+        // More servers, faster p95.
+        let p95_more = system.sojourn_quantile(c + 3, 0.95).unwrap();
+        prop_assert!(p95_more <= p95 + 1e-12);
+    }
+
+    /// The queueing planner's answer is minimal: one fewer server violates.
+    #[test]
+    fn queueing_planner_minimal(peak in 100.0f64..20_000.0, mu in 50.0f64..500.0) {
+        let planner = QueueingPlanner::new(mu).unwrap();
+        let slo_ms = 1000.0 * 3.0 / mu; // comfortably above service time
+        if let Ok(c) = planner.required_servers(peak, slo_ms) {
+            let system = ErlangC::new(peak, mu).unwrap();
+            prop_assert!(system.sojourn_quantile(c, 0.95).unwrap() <= slo_ms / 1000.0 + 1e-12);
+            if c > 1 {
+                let worse = system.sojourn_quantile(c - 1, 0.95);
+                prop_assert!(
+                    worse.is_err() || worse.unwrap() > slo_ms / 1000.0 - 1e-12,
+                    "c-1 should violate"
+                );
+            }
+        }
+    }
+
+    /// Static peak provisioning never underprovisions relative to its own
+    /// capacity assumption, and a larger factor is never cheaper.
+    #[test]
+    fn static_peak_monotone(
+        demand in prop::collection::vec(0.0f64..10_000.0, 1..100),
+        capacity in 10.0f64..1_000.0,
+    ) {
+        let lean = StaticPeakPlanner::new(1.0, capacity).unwrap();
+        let fat = StaticPeakPlanner::new(1.8, capacity).unwrap();
+        let n_lean = lean.required_servers(&demand);
+        let n_fat = fat.required_servers(&demand);
+        prop_assert!(n_fat >= n_lean);
+        let peak = demand.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(n_lean as f64 * capacity >= peak - 1e-9);
+        // Utilisation never exceeds 1 for factor >= 1.
+        prop_assert!(lean.mean_utilization(&demand) <= 1.0 + 1e-9);
+    }
+
+    /// The autoscaler respects its bounds and capacity stays positive.
+    #[test]
+    fn autoscaler_bounds(
+        demand in prop::collection::vec(0.0f64..50_000.0, 1..300),
+        lag in 0usize..40,
+        min in 1usize..5,
+    ) {
+        let max = min + 200;
+        let scaler = ReactiveAutoscaler::new(100.0, 140.0)
+            .unwrap()
+            .with_lag(lag, 2)
+            .with_bounds(min, max);
+        let outcome = scaler.simulate(&demand);
+        prop_assert_eq!(outcome.capacity.len(), demand.len());
+        for &c in &outcome.capacity {
+            prop_assert!((min..=max).contains(&c));
+        }
+        prop_assert!(outcome.qos_violation_windows <= demand.len());
+    }
+
+    /// With zero lag, generous bounds and a sub-QoS target, the autoscaler
+    /// only violates on instantaneous jumps larger than its target margin.
+    #[test]
+    fn autoscaler_zero_lag_tracks_smooth_demand(peak in 1_000.0f64..100_000.0) {
+        let demand: Vec<f64> = (0..720)
+            .map(|w| {
+                let phase = (w as f64 / 720.0) * std::f64::consts::TAU;
+                peak * (0.55 + 0.45 * phase.cos())
+            })
+            .collect();
+        let scaler = ReactiveAutoscaler::new(100.0, 150.0).unwrap().with_lag(0, 0);
+        let outcome = scaler.simulate(&demand);
+        prop_assert_eq!(outcome.qos_violation_windows, 0);
+    }
+}

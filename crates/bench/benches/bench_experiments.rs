@@ -1,0 +1,29 @@
+//! Wall-clock benchmarks of representative paper experiments at quick scale
+//! — one per experiment family, so regressions in end-to-end cost surface.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use headroom_bench::experiments;
+use headroom_bench::Scale;
+
+fn bench_experiments(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let mut group = c.benchmark_group("experiments_quick");
+    group.sample_size(10);
+
+    group.bench_function("fig16_offline_ab", |b| {
+        b.iter(|| experiments::fig16::run(&scale).expect("fig16 runs"))
+    });
+
+    group.bench_function("fig07_rsm", |b| {
+        b.iter(|| experiments::fig07::run(&scale).expect("fig7 runs"))
+    });
+
+    group.bench_function("fig03_grouping", |b| {
+        b.iter(|| experiments::fig03::run(&scale).expect("fig3 runs"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! End-to-end planner benchmarks: observation collection, curve fitting,
+//! grouping and pool optimization over a pre-simulated store.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use headroom_cluster::scenario::{FleetScenario, ScenarioOutcome};
+use headroom_core::curves::{CpuModel, LatencyModel, PoolObservations};
+use headroom_core::grouping::split_pool_groups;
+use headroom_core::optimizer::optimize_pool;
+use headroom_core::pipeline::CapacityPlanner;
+use headroom_core::slo::QosRequirement;
+use std::hint::black_box;
+
+fn outcome() -> ScenarioOutcome {
+    FleetScenario::small(5).run_days(2.0).expect("scenario runs")
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let outcome = outcome();
+    let pool = outcome.pools()[0];
+    let obs = PoolObservations::collect(outcome.store(), pool, outcome.range()).unwrap();
+
+    c.bench_function("collect_pool_observations_2d", |b| {
+        b.iter(|| {
+            PoolObservations::collect(
+                black_box(outcome.store()),
+                black_box(pool),
+                outcome.range(),
+            )
+            .unwrap()
+        })
+    });
+
+    c.bench_function("cpu_model_fit_2d", |b| {
+        b.iter(|| CpuModel::fit(black_box(&obs)).unwrap())
+    });
+
+    c.bench_function("latency_model_fit_2d", |b| {
+        b.iter(|| LatencyModel::fit(black_box(&obs)).unwrap())
+    });
+
+    c.bench_function("split_pool_groups_2d", |b| {
+        b.iter(|| split_pool_groups(black_box(outcome.store()), pool, outcome.range()).unwrap())
+    });
+
+    let qos = QosRequirement::latency(32.5).with_cpu_ceiling(90.0);
+    c.bench_function("optimize_pool_2d", |b| {
+        b.iter(|| {
+            optimize_pool(
+                black_box(outcome.store()),
+                outcome.availability(),
+                pool,
+                outcome.range(),
+                &qos,
+                2,
+            )
+            .unwrap()
+        })
+    });
+
+    let planner = CapacityPlanner { availability_days: 2, ..CapacityPlanner::new() };
+    let mut group = c.benchmark_group("full_pipeline");
+    group.sample_size(10);
+    group.bench_function("plan_six_pools_2d", |b| {
+        b.iter(|| {
+            planner.plan(
+                black_box(outcome.store()),
+                outcome.availability(),
+                outcome.range(),
+                |pool| {
+                    if pool.0 < 3 {
+                        QosRequirement::latency(32.5).with_cpu_ceiling(90.0)
+                    } else {
+                        QosRequirement::latency(58.0).with_cpu_ceiling(90.0)
+                    }
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_planner);
+criterion_main!(benches);

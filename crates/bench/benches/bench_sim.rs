@@ -1,0 +1,61 @@
+//! Simulator throughput benchmarks: windows simulated per second for
+//! representative fleets and recording policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use headroom_cluster::catalog::MicroserviceKind;
+use headroom_cluster::sim::{RecordingPolicy, SimConfig, Simulation};
+use headroom_cluster::topology::{Fleet, FleetBuilder};
+use std::hint::black_box;
+
+fn fleet(pool_servers: usize) -> Fleet {
+    FleetBuilder::new(7)
+        .datacenters(3)
+        .deploy_service(MicroserviceKind::B, pool_servers)
+        .expect("dcs added")
+        .deploy_service(MicroserviceKind::D, pool_servers)
+        .expect("dcs added")
+        .build()
+}
+
+fn bench_sim_day(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_one_hour");
+    group.sample_size(20);
+    for (name, policy) in [
+        ("workload", RecordingPolicy::Workload),
+        ("full", RecordingPolicy::Full),
+        ("availability_only", RecordingPolicy::AvailabilityOnly),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            b.iter(|| {
+                let mut sim = Simulation::new(fleet(50), Default::default(), SimConfig {
+                    seed: 3,
+                    recording: policy,
+                    track_availability: true,
+                });
+                sim.run_windows(black_box(30));
+                sim.store().sample_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_store_queries(c: &mut Criterion) {
+    let mut sim = Simulation::new(fleet(50), Default::default(), SimConfig::default());
+    sim.run_days(1.0);
+    let pool = sim.fleet().pools()[0].id;
+    let range = headroom_telemetry::time::WindowRange::days(1.0);
+    c.bench_function("pool_paired_observations_day", |b| {
+        b.iter(|| {
+            sim.store().pool_paired_observations(
+                black_box(pool),
+                headroom_telemetry::counter::CounterKind::RequestsPerSec,
+                headroom_telemetry::counter::CounterKind::CpuPercent,
+                range,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_sim_day, bench_store_queries);
+criterion_main!(benches);

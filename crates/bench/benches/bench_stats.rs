@@ -1,0 +1,82 @@
+//! Micro-benchmarks of the statistics substrate — the planner's hot paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use headroom_stats::dtree::{DecisionTree, TreeConfig};
+use headroom_stats::percentile::PercentileProfile;
+use headroom_stats::ransac::{ransac_polyfit, RansacConfig};
+use headroom_stats::{LinearFit, Polynomial};
+use std::hint::black_box;
+
+fn series(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let xs: Vec<f64> = (0..n).map(|i| 100.0 + (i % 500) as f64).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .enumerate()
+        .map(|(i, x)| 0.028 * x + 1.37 + ((i * 31) % 17) as f64 * 0.02)
+        .collect();
+    (xs, ys)
+}
+
+fn bench_linreg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linreg_fit");
+    for n in [720usize, 5_040] {
+        let (xs, ys) = series(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| LinearFit::fit(black_box(&xs), black_box(&ys)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_polyfit(c: &mut Criterion) {
+    let (xs, ys) = series(1_440);
+    c.bench_function("polyfit_quadratic_1440", |b| {
+        b.iter(|| Polynomial::fit(black_box(&xs), black_box(&ys), 2).unwrap())
+    });
+}
+
+fn bench_ransac(c: &mut Criterion) {
+    let (xs, mut ys) = series(1_440);
+    for i in (100..160).chain(700..760) {
+        ys[i] += 30.0;
+    }
+    let config = RansacConfig { iterations: 300, inlier_threshold: 1.0, ..Default::default() };
+    c.bench_function("ransac_quadratic_1440", |b| {
+        b.iter(|| ransac_polyfit(black_box(&xs), black_box(&ys), 2, &config).unwrap())
+    });
+}
+
+fn bench_percentiles(c: &mut Criterion) {
+    let values: Vec<f64> = (0..10_080).map(|i| ((i * 7919) % 1000) as f64 / 10.0).collect();
+    c.bench_function("percentile_profile_10080", |b| {
+        b.iter(|| PercentileProfile::from_values(black_box(&values)).unwrap())
+    });
+}
+
+fn bench_decision_tree(c: &mut Criterion) {
+    let features: Vec<Vec<f64>> = (0..500)
+        .map(|i| {
+            vec![
+                (i % 29) as f64,
+                ((i * 7) % 31) as f64,
+                ((i * 13) % 17) as f64,
+                ((i * 5) % 11) as f64,
+            ]
+        })
+        .collect();
+    let labels: Vec<bool> = features.iter().map(|f| f[0] > 14.0 || f[1] > 22.0).collect();
+    let config = TreeConfig { min_leaf_size: 4, ..TreeConfig::default() };
+    c.bench_function("decision_tree_train_500x4", |b| {
+        b.iter(|| DecisionTree::train(black_box(&features), black_box(&labels), &config).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_linreg,
+    bench_polyfit,
+    bench_ransac,
+    bench_percentiles,
+    bench_decision_tree
+);
+criterion_main!(benches);

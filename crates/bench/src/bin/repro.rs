@@ -1,0 +1,97 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro list                 list experiments
+//! repro all                  run everything at paper scale
+//! repro fig9 table4          run selected experiments
+//! repro all --quick          reduced scale (fast smoke run)
+//! repro all --out results/   also write CSV series
+//! repro all --seed 7         change the master seed
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use headroom_bench::experiments::{self, ALL};
+use headroom_bench::Scale;
+
+fn print_usage() {
+    eprintln!("usage: repro <list|all|EXPERIMENT...> [--quick] [--seed N] [--out DIR]");
+    eprintln!("experiments:");
+    for e in ALL {
+        eprintln!("  {:<8} {} ({})", e.id, e.title, e.paper_ref);
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+
+    let mut scale = Scale::paper();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale { seed: scale.seed, ..Scale::quick() },
+            "--seed" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(seed) => scale.seed = seed,
+                None => {
+                    eprintln!("--seed requires an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match iter.next() {
+                Some(dir) => out_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "list" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+
+    if targets.iter().any(|t| t == "all") {
+        targets = ALL.iter().map(|e| e.id.to_string()).collect();
+    }
+    if targets.is_empty() {
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    for (i, id) in targets.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        println!("=== {id} ===");
+        let start = std::time::Instant::now();
+        match experiments::run_by_id(id, &scale, out_dir.as_deref()) {
+            Ok(report) => {
+                print!("{report}");
+                println!("[{id} done in {:.1?}]", start.elapsed());
+            }
+            Err(e) => {
+                eprintln!("{id} FAILED: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

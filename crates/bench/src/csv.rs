@@ -1,0 +1,93 @@
+//! CSV output for experiment series.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// One CSV-exportable table of experiment data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvTable {
+    /// File stem (e.g. `"fig09_latency"`).
+    pub name: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// Builds a table from `(x, y)` series.
+    pub fn from_xy(name: &str, x: &str, y: &str, points: &[(f64, f64)]) -> Self {
+        CsvTable {
+            name: name.to_string(),
+            headers: vec![x.to_string(), y.to_string()],
+            rows: points.iter().map(|(a, b)| vec![format!("{a}"), format!("{b}")]).collect(),
+        }
+    }
+
+    /// Serialises to CSV text (quotes cells containing commas).
+    pub fn to_csv_string(&self) -> String {
+        let mut out = String::new();
+        let quote = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        out.push_str(
+            &self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes `<dir>/<name>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut f = fs::File::create(dir.join(format!("{}.csv", self.name)))?;
+        f.write_all(self.to_csv_string().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xy_roundtrip() {
+        let t = CsvTable::from_xy("t", "rps", "cpu", &[(1.0, 2.0), (3.0, 4.0)]);
+        let s = t.to_csv_string();
+        assert_eq!(s, "rps,cpu\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn quoting() {
+        let t = CsvTable {
+            name: "q".into(),
+            headers: vec!["a,b".into()],
+            rows: vec![vec!["x\"y".into()]],
+        };
+        let s = t.to_csv_string();
+        assert!(s.contains("\"a,b\""));
+        assert!(s.contains("\"x\"\"y\""));
+    }
+
+    #[test]
+    fn writes_file() {
+        let dir = std::env::temp_dir().join("headroom_csv_test");
+        let t = CsvTable::from_xy("unit", "x", "y", &[(1.0, 1.0)]);
+        t.write_to(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("unit.csv")).unwrap();
+        assert!(content.starts_with("x,y"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,160 @@
+//! Fig. 2 — six resource counters versus workload for micro-service D
+//! across six datacenters.
+//!
+//! Expected shape (paper §II-A1): processor utilisation and the network
+//! counters are linear in RPS with low variance; disk read bytes and memory
+//! pages show "vertical patterns" (paging noise uncorrelated with load);
+//! the disk queue is static.
+
+use std::error::Error;
+use std::fmt;
+
+use headroom_cluster::catalog::MicroserviceKind;
+use headroom_cluster::scenario::FleetScenario;
+use headroom_cluster::sim::RecordingPolicy;
+use headroom_core::metric_validation::{screen_xy, CounterScreen};
+#[cfg(test)]
+use headroom_core::metric_validation::MetricVerdict;
+use headroom_core::report::render_table;
+use headroom_telemetry::counter::CounterKind;
+
+use crate::csv::CsvTable;
+use crate::Scale;
+
+/// One Fig. 2 panel: a counter's screen plus its scatter series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Panel {
+    /// The counter.
+    pub counter: CounterKind,
+    /// Validation screen (fit, R², verdict).
+    pub screen: CounterScreen,
+    /// `(datacenter index, rps, value)` scatter points.
+    pub points: Vec<(usize, f64, f64)>,
+}
+
+/// The Fig. 2 report: six panels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Report {
+    /// One panel per Fig. 2 counter.
+    pub panels: Vec<Panel>,
+}
+
+/// Runs the Fig. 2 experiment.
+///
+/// # Errors
+///
+/// Propagates simulation and screening failures.
+pub fn run(scale: &Scale) -> Result<Fig2Report, Box<dyn Error>> {
+    let servers = (scale.pool_servers / 2).max(5);
+    let outcome = FleetScenario::single_service(MicroserviceKind::D, 6, servers, scale.seed)
+        .with_recording(RecordingPolicy::Full)
+        .run_days(1.0)?;
+
+    let mut panels = Vec::new();
+    for counter in CounterKind::FIG2_RESOURCES {
+        let mut points = Vec::new();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (dc, pool) in outcome.pools().into_iter().enumerate() {
+            for (rps, value) in outcome.store().pool_paired_observations(
+                pool,
+                CounterKind::RequestsPerSec,
+                counter,
+                outcome.range(),
+            ) {
+                points.push((dc, rps, value));
+                xs.push(rps);
+                ys.push(value);
+            }
+        }
+        let screen = screen_xy(counter, &xs, &ys);
+        panels.push(Panel { counter, screen, points });
+    }
+    Ok(Fig2Report { panels })
+}
+
+impl Fig2Report {
+    /// The screen for a counter, if present.
+    pub fn screen_for(&self, counter: CounterKind) -> Option<&CounterScreen> {
+        self.panels.iter().find(|p| p.counter == counter).map(|p| &p.screen)
+    }
+
+    /// CSV export: one scatter per panel.
+    pub fn tables(&self) -> Vec<CsvTable> {
+        self.panels
+            .iter()
+            .map(|p| CsvTable {
+                name: format!(
+                    "fig02_{}",
+                    p.counter.label().to_lowercase().replace([' ', '/'], "_")
+                ),
+                headers: vec!["datacenter".into(), "rps".into(), "value".into()],
+                rows: p
+                    .points
+                    .iter()
+                    .map(|(dc, x, y)| vec![format!("DC{}", dc + 1), format!("{x:.2}"), format!("{y:.2}")])
+                    .collect(),
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Fig2Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 2: resource counters vs workload (service D, 6 DCs, 1 day)")?;
+        writeln!(f, "paper shape: CPU/network linear; disk+paging vertical; queue static")?;
+        let rows: Vec<Vec<String>> = self
+            .panels
+            .iter()
+            .map(|p| {
+                vec![
+                    p.counter.label().to_string(),
+                    format!("{:.3}", p.screen.r_squared),
+                    format!("{:?}", p.screen.verdict),
+                    p.screen
+                        .fit
+                        .map(|fit| format!("{:.4}x+{:.2}", fit.slope, fit.intercept))
+                        .unwrap_or_else(|| "-".to_string()),
+                    p.points.len().to_string(),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            render_table(&["Counter", "R^2", "Verdict", "Fit", "Points"], &rows)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_paper() {
+        let r = run(&Scale::quick()).unwrap();
+        assert_eq!(r.panels.len(), 6);
+        // CPU tight linear.
+        let cpu = r.screen_for(CounterKind::CpuPercent).unwrap();
+        assert_eq!(cpu.verdict, MetricVerdict::Linear, "cpu r2 {}", cpu.r_squared);
+        // Network linear (possibly a bit wider across DCs).
+        let net = r.screen_for(CounterKind::NetworkBytesPerSec).unwrap();
+        assert!(net.r_squared > 0.5, "net r2 {}", net.r_squared);
+        // Paging and disk reads are not linear in workload.
+        let paging = r.screen_for(CounterKind::MemoryPagesPerSec).unwrap();
+        assert_ne!(paging.verdict, MetricVerdict::Linear);
+        let disk = r.screen_for(CounterKind::DiskReadBytesPerSec).unwrap();
+        assert_ne!(disk.verdict, MetricVerdict::Linear);
+        // Queue static/uncorrelated.
+        let queue = r.screen_for(CounterKind::DiskQueueLength).unwrap();
+        assert_ne!(queue.verdict, MetricVerdict::Linear);
+    }
+
+    #[test]
+    fn export_has_six_tables() {
+        let r = run(&Scale::quick()).unwrap();
+        assert_eq!(r.tables().len(), 6);
+        assert!(r.to_string().contains("Processor Utilization"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Fig. 3 — scatter of 5th vs 95th percentile CPU per server for pool I.
+//!
+//! The paper's pool I shows "tight clusters of servers in each datacenter"
+//! with one pool splitting into *two* clusters — newer, faster hardware
+//! running cooler. The grouping step must detect the split.
+
+use std::error::Error;
+use std::fmt;
+
+use headroom_cluster::catalog::MicroserviceKind;
+use headroom_cluster::scenario::FleetScenario;
+use headroom_core::grouping::split_pool_groups;
+use headroom_core::report::render_table;
+
+use crate::csv::CsvTable;
+use crate::Scale;
+
+/// One pool's scatter and split result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolScatter {
+    /// Datacenter index.
+    pub datacenter: usize,
+    /// `(p5, p95, group)` per server.
+    pub points: Vec<(f64, f64, usize)>,
+    /// Number of groups found.
+    pub groups: usize,
+    /// Silhouette of the candidate 2-way split.
+    pub silhouette: f64,
+}
+
+/// The Fig. 3 report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Report {
+    /// One scatter per datacenter's pool-I deployment.
+    pub pools: Vec<PoolScatter>,
+}
+
+/// Runs the Fig. 3 experiment: pool I (mixed hardware) in 3 datacenters.
+///
+/// # Errors
+///
+/// Propagates simulation and grouping failures.
+pub fn run(scale: &Scale) -> Result<Fig3Report, Box<dyn Error>> {
+    let outcome =
+        FleetScenario::single_service(MicroserviceKind::I, 3, scale.pool_servers, scale.seed)
+            .run_days(scale.observe_days.min(2.0))?;
+    let mut pools = Vec::new();
+    for (dc, pool) in outcome.pools().into_iter().enumerate() {
+        let split = split_pool_groups(outcome.store(), pool, outcome.range())?;
+        let group_of = |server: headroom_telemetry::ids::ServerId| {
+            split
+                .groups
+                .iter()
+                .position(|g| g.contains(&server))
+                .unwrap_or(0)
+        };
+        let points = split
+            .scatter
+            .iter()
+            .map(|&(server, p5, p95)| (p5, p95, group_of(server)))
+            .collect();
+        pools.push(PoolScatter {
+            datacenter: dc,
+            points,
+            groups: split.groups.len(),
+            silhouette: split.silhouette,
+        });
+    }
+    Ok(Fig3Report { pools })
+}
+
+impl Fig3Report {
+    /// CSV export of the scatter.
+    pub fn tables(&self) -> Vec<CsvTable> {
+        vec![CsvTable {
+            name: "fig03_scatter".into(),
+            headers: vec!["datacenter".into(), "p5_cpu".into(), "p95_cpu".into(), "group".into()],
+            rows: self
+                .pools
+                .iter()
+                .flat_map(|p| {
+                    p.points.iter().map(move |(p5, p95, g)| {
+                        vec![
+                            format!("DC{}", p.datacenter + 1),
+                            format!("{p5:.2}"),
+                            format!("{p95:.2}"),
+                            g.to_string(),
+                        ]
+                    })
+                })
+                .collect(),
+        }]
+    }
+}
+
+impl fmt::Display for Fig3Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 3: 5th vs 95th percentile CPU per server (pool I, mixed hardware)")?;
+        writeln!(f, "paper shape: one pool forms two clusters (newer hardware runs cooler)")?;
+        let rows: Vec<Vec<String>> = self
+            .pools
+            .iter()
+            .map(|p| {
+                let (lo, hi) = p
+                    .points
+                    .iter()
+                    .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, p95, _)| {
+                        (lo.min(p95), hi.max(p95))
+                    });
+                vec![
+                    format!("DC{}", p.datacenter + 1),
+                    p.points.len().to_string(),
+                    p.groups.to_string(),
+                    format!("{:.2}", p.silhouette),
+                    format!("{lo:.1}..{hi:.1}"),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            render_table(&["Pool", "Servers", "Groups", "Silhouette", "p95 CPU range"], &rows)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_two_hardware_clusters() {
+        let r = run(&Scale::quick()).unwrap();
+        assert_eq!(r.pools.len(), 3);
+        for p in &r.pools {
+            assert_eq!(p.groups, 2, "DC{} silhouette {}", p.datacenter + 1, p.silhouette);
+            // Both groups are populated.
+            let g0 = p.points.iter().filter(|(_, _, g)| *g == 0).count();
+            assert!(g0 > 0 && g0 < p.points.len());
+        }
+    }
+
+    #[test]
+    fn export_shape() {
+        let r = run(&Scale::quick()).unwrap();
+        let tables = r.tables();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].headers.len(), 4);
+        assert!(r.to_string().contains("Fig. 3"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Fig. 7 — RSM experiment iterations.
+//!
+//! Paper: "RSM experiment iterations, showing latency increases from
+//! successive server reductions until 14ms QoS limit is reached."
+
+use std::error::Error;
+use std::fmt;
+
+use headroom_cluster::catalog::MicroserviceKind;
+use headroom_cluster::scenario::FleetScenario;
+use headroom_core::report::render_table;
+use headroom_core::rsm::{run_reduction_experiment, RsmConfig, RsmOutcome};
+use headroom_core::slo::QosRequirement;
+
+use crate::csv::CsvTable;
+use crate::Scale;
+
+/// The paper's Fig. 7 QoS limit.
+pub const QOS_LIMIT_MS: f64 = 14.0;
+
+/// The Fig. 7 report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Report {
+    /// The full RSM outcome.
+    pub outcome: RsmOutcome,
+}
+
+/// Runs the RSM iteration experiment on a pool of the metrics service (G),
+/// whose latency curve crosses 14 ms within a few 10% reductions.
+///
+/// # Errors
+///
+/// Propagates simulation and RSM failures.
+pub fn run(scale: &Scale) -> Result<Fig7Report, Box<dyn Error>> {
+    let scenario =
+        FleetScenario::single_service(MicroserviceKind::G, 1, scale.pool_servers, scale.seed);
+    let mut sim = scenario.into_simulation();
+    let pool = sim.fleet().pools()[0].id;
+    let config = RsmConfig {
+        windows_per_iteration: (scale.observe_windows() / 3).max(240),
+        max_iterations: 10,
+        step_fraction: 0.10,
+        ..RsmConfig::new(QosRequirement::latency(QOS_LIMIT_MS).with_cpu_ceiling(80.0))
+    };
+    let outcome = run_reduction_experiment(&mut sim, pool, &config)?;
+    Ok(Fig7Report { outcome })
+}
+
+impl Fig7Report {
+    /// CSV export of the iteration staircase.
+    pub fn tables(&self) -> Vec<CsvTable> {
+        vec![CsvTable {
+            name: "fig07_rsm_iterations".into(),
+            headers: vec![
+                "iteration".into(),
+                "active_servers".into(),
+                "peak_latency_ms".into(),
+                "forecast_next_ms".into(),
+                "within_qos".into(),
+            ],
+            rows: self
+                .outcome
+                .iterations
+                .iter()
+                .map(|it| {
+                    vec![
+                        it.iteration.to_string(),
+                        it.active_servers.to_string(),
+                        format!("{:.2}", it.peak_latency_ms),
+                        it.forecast_next_ms.map(|v| format!("{v:.2}")).unwrap_or_default(),
+                        it.within_qos.to_string(),
+                    ]
+                })
+                .collect(),
+        }]
+    }
+}
+
+impl fmt::Display for Fig7Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 7: RSM iterations until the {:.0} ms QoS limit (service G)",
+            self.outcome.qos_limit_ms
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .outcome
+            .iterations
+            .iter()
+            .map(|it| {
+                vec![
+                    it.iteration.to_string(),
+                    it.active_servers.to_string(),
+                    format!("{:.2}", it.peak_latency_ms),
+                    it.forecast_next_ms.map(|v| format!("{v:.2}")).unwrap_or_else(|| "-".into()),
+                    if it.within_qos { "ok" } else { "over" }.to_string(),
+                ]
+            })
+            .collect();
+        writeln!(
+            f,
+            "{}",
+            render_table(
+                &["Iter", "Servers", "Peak p95 (ms)", "Forecast next (ms)", "QoS"],
+                &rows
+            )
+        )?;
+        writeln!(
+            f,
+            "right-sized {} -> {} servers ({:.0}% saved)",
+            self.outcome.initial_servers,
+            self.outcome.final_servers,
+            self.outcome.savings_fraction() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staircase_rises_to_the_limit() {
+        let r = run(&Scale::quick()).unwrap();
+        let iters = &r.outcome.iterations;
+        assert!(iters.len() >= 2);
+        // Latency increases from successive reductions.
+        assert!(iters.last().unwrap().peak_latency_ms > iters[0].peak_latency_ms);
+        // Every in-QoS iteration is under the limit; the experiment found
+        // real savings.
+        assert!(r.outcome.savings_fraction() > 0.05);
+        assert!(r.outcome.final_servers < r.outcome.initial_servers);
+    }
+}

@@ -1,0 +1,219 @@
+//! Figs. 12–13 — fleet-wide CPU distributions.
+//!
+//! Paper: "60% of all servers exhibit a 95th CPU utilization of 15%", ~80%
+//! of servers use less than 30% CPU at p95, a small population (≈20%)
+//! spreads between 30% and 100% (Fig. 12); and over individual 120-second
+//! samples "only 1% of samples were greater than 25% and fewer than 0.1% of
+//! samples were above 40%" with "fewer than 15% of machines" showing >40%
+//! spikes (Fig. 13).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use headroom_cluster::catalog::MicroserviceKind;
+use headroom_cluster::sim::{RecordingPolicy, SimConfig, Simulation};
+use headroom_cluster::topology::{Fleet, FleetBuilder};
+use headroom_core::report::render_table;
+use headroom_stats::histogram::{Ecdf, Histogram};
+use headroom_stats::percentile::percentile;
+use headroom_telemetry::ids::ServerId;
+
+use crate::csv::CsvTable;
+use crate::Scale;
+
+/// Builds the fleet used by the fleet-wide utilisation studies: the
+/// paper-shaped fleet plus a minority of *hot* under-provisioned pools that
+/// produce the 30–100% tail of Fig. 12.
+pub fn utilization_fleet(seed: u64, fraction: f64) -> Result<Fleet, Box<dyn Error>> {
+    let mut builder = FleetBuilder::new(seed).datacenters(9);
+    for kind in MicroserviceKind::ALL {
+        let spec = kind.spec();
+        let n = ((spec.servers_per_pool as f64 * fraction).round() as usize).max(4);
+        builder = builder.deploy_service(kind, n)?;
+    }
+    // Hot pools: the same services run by teams that sized for cost, not
+    // comfort. A sizeable population lands in the paper's 30-100% band
+    // (mostly just above 30), plus a small overloaded sliver at the top.
+    let spec = MicroserviceKind::C.spec();
+    let hot = spec.clone().with_peak_rps_per_server(spec.peak_rps_per_server * 2.6);
+    let n_hot = ((spec.servers_per_pool as f64 * fraction * 0.6).round() as usize).max(4);
+    builder = builder.deploy_with_spec(&hot, n_hot, hot.peak_rps_per_server)?;
+    let overloaded = spec.clone().with_peak_rps_per_server(spec.peak_rps_per_server * 4.0);
+    let n_over = ((spec.servers_per_pool as f64 * fraction * 0.15).round() as usize).max(2);
+    builder = builder.deploy_with_spec(&overloaded, n_over, overloaded.peak_rps_per_server)?;
+    Ok(builder.build())
+}
+
+/// The Figs. 12–13 report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1213Report {
+    /// Servers observed.
+    pub servers: usize,
+    /// 120-second samples observed.
+    pub samples: u64,
+    /// Fig. 12 CDF series `(p95 cpu, fraction of servers)`.
+    pub cdf: Vec<(f64, f64)>,
+    /// Fraction of servers with p95 CPU ≤ 15% (paper ~60%).
+    pub servers_p95_at_most_15: f64,
+    /// Fraction of servers with p95 CPU < 30% (paper ~80%).
+    pub servers_p95_below_30: f64,
+    /// Fraction of servers with any sample > 40% (paper <15%).
+    pub servers_spiking_above_40: f64,
+    /// Fig. 13 histogram series `(cpu bin center, fraction of samples)`.
+    pub histogram: Vec<(f64, f64)>,
+    /// Fraction of samples above 25% CPU (paper ~1%).
+    pub samples_above_25: f64,
+    /// Fraction of samples above 40% CPU (paper <0.1%).
+    pub samples_above_40: f64,
+}
+
+/// Runs the fleet CPU-distribution study over one simulated day.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run(scale: &Scale) -> Result<Fig1213Report, Box<dyn Error>> {
+    let fleet = utilization_fleet(scale.seed, scale.fleet_fraction)?;
+    let mut sim = Simulation::new(fleet, Default::default(), SimConfig {
+        seed: scale.seed,
+        recording: RecordingPolicy::SnapshotOnly,
+        track_availability: false,
+    });
+
+    let mut per_server: HashMap<ServerId, Vec<f64>> = HashMap::new();
+    let mut histogram = Histogram::new(0.0, 100.0, 50)?;
+    let mut above_25 = 0u64;
+    let mut above_40 = 0u64;
+    let mut samples = 0u64;
+    sim.run_windows_observed(720, |snap| {
+        for row in snap.rows {
+            if !row.online {
+                continue;
+            }
+            per_server.entry(row.server).or_default().push(row.cpu_pct);
+            histogram.add(row.cpu_pct);
+            samples += 1;
+            if row.cpu_pct > 25.0 {
+                above_25 += 1;
+            }
+            if row.cpu_pct > 40.0 {
+                above_40 += 1;
+            }
+        }
+    });
+
+    let mut p95s = Vec::with_capacity(per_server.len());
+    let mut spikers = 0usize;
+    for values in per_server.values() {
+        p95s.push(percentile(values, 95.0)?);
+        if values.iter().any(|&v| v > 40.0) {
+            spikers += 1;
+        }
+    }
+    let servers = per_server.len();
+    let cdf = Ecdf::from_values(&p95s)?;
+
+    Ok(Fig1213Report {
+        servers,
+        samples,
+        cdf: cdf.series(60),
+        servers_p95_at_most_15: cdf.fraction_at_or_below(15.0),
+        servers_p95_below_30: cdf.fraction_at_or_below(30.0),
+        servers_spiking_above_40: spikers as f64 / servers.max(1) as f64,
+        histogram: histogram.series(),
+        samples_above_25: above_25 as f64 / samples.max(1) as f64,
+        samples_above_40: above_40 as f64 / samples.max(1) as f64,
+    })
+}
+
+impl Fig1213Report {
+    /// CSV export.
+    pub fn tables(&self) -> Vec<CsvTable> {
+        vec![
+            CsvTable::from_xy(
+                "fig12_p95_cpu_cdf",
+                "p95_cpu_pct",
+                "fraction_of_servers",
+                &self.cdf,
+            ),
+            CsvTable::from_xy(
+                "fig13_sample_distribution",
+                "cpu_pct_bin",
+                "fraction_of_samples",
+                &self.histogram,
+            ),
+        ]
+    }
+}
+
+impl fmt::Display for Fig1213Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figs. 12-13: fleet CPU distributions ({} servers, {} samples, 1 day)",
+            self.servers, self.samples
+        )?;
+        let rows = vec![
+            vec![
+                "servers p95 CPU <= 15%".into(),
+                format!("{:.0}%", self.servers_p95_at_most_15 * 100.0),
+                "~60%".into(),
+            ],
+            vec![
+                "servers p95 CPU < 30%".into(),
+                format!("{:.0}%", self.servers_p95_below_30 * 100.0),
+                "~80%".into(),
+            ],
+            vec![
+                "servers with >40% spikes".into(),
+                format!("{:.0}%", self.servers_spiking_above_40 * 100.0),
+                "<15%".into(),
+            ],
+            vec![
+                "samples > 25% CPU".into(),
+                format!("{:.2}%", self.samples_above_25 * 100.0),
+                "~1%".into(),
+            ],
+            vec![
+                "samples > 40% CPU".into(),
+                format!("{:.3}%", self.samples_above_40 * 100.0),
+                "<0.1%".into(),
+            ],
+        ];
+        write!(f, "{}", render_table(&["Quantity", "Measured", "Paper"], &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_shape_matches_paper() {
+        let r = run(&Scale::quick()).unwrap();
+        assert!(r.servers > 100);
+        // The majority of servers are cold at p95.
+        assert!(
+            r.servers_p95_at_most_15 > 0.45,
+            "p95<=15 fraction {:.2}",
+            r.servers_p95_at_most_15
+        );
+        assert!(
+            r.servers_p95_below_30 > 0.70,
+            "p95<30 fraction {:.2}",
+            r.servers_p95_below_30
+        );
+        // A hot tail exists but is a minority.
+        assert!(r.servers_p95_below_30 < 1.0, "a 30-100% tail must exist");
+        assert!(r.servers_spiking_above_40 < 0.25, "{:.2}", r.servers_spiking_above_40);
+        // Samples above 25% are rare; above 40% rarer.
+        assert!(r.samples_above_25 < 0.12, "{:.3}", r.samples_above_25);
+        assert!(r.samples_above_40 < r.samples_above_25);
+        // CDF is monotone and ends at 1.
+        for w in r.cdf.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!((r.cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+}

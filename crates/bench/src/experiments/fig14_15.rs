@@ -1,0 +1,180 @@
+//! Figs. 14–15 — server and pool availability distributions.
+//!
+//! Paper: mean daily availability 83%, "most servers are online at least 80%
+//! of the time, with a large population at 85% and 98%"; pool availability
+//! is consistent within a pool (D and H at 98%, C at 90%) with occasional
+//! major-unavailability days (Fig. 15).
+
+use std::error::Error;
+use std::fmt;
+
+use headroom_cluster::catalog::MicroserviceKind;
+use headroom_cluster::scenario::FleetScenario;
+use headroom_cluster::sim::RecordingPolicy;
+use headroom_core::report::render_table;
+use headroom_stats::histogram::Histogram;
+use headroom_telemetry::availability::AvailabilityBreakdown;
+
+use crate::csv::CsvTable;
+use crate::Scale;
+
+/// The Figs. 14–15 report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1415Report {
+    /// Fleet-mean daily availability (paper: 83%).
+    pub fleet_mean: f64,
+    /// Availability of the well-managed population (paper: 98%).
+    pub well_managed: f64,
+    /// Capacity reclaimable by fixing maintenance practice (paper: ~15%).
+    pub improvable: f64,
+    /// Fig. 14 histogram `(availability bin center, fraction of server-days)`.
+    pub histogram: Vec<(f64, f64)>,
+    /// Fig. 15 series: `(pool letter, day, availability)` for pools C, D, H.
+    pub pool_series: Vec<(char, u64, f64)>,
+}
+
+/// Runs the availability study.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run(scale: &Scale) -> Result<Fig1415Report, Box<dyn Error>> {
+    let outcome = FleetScenario::paper_scale(scale.seed, scale.fleet_fraction)
+        .with_recording(RecordingPolicy::AvailabilityOnly)
+        .run_days(scale.availability_days)?;
+    let log = outcome.availability();
+
+    let mut histogram = Histogram::new(0.0, 1.0, 40)?;
+    for (_, _, a) in log.daily_records() {
+        histogram.add(a);
+    }
+    let breakdown =
+        AvailabilityBreakdown::from_log(log).ok_or("empty availability log")?;
+
+    let mut pool_series = Vec::new();
+    let days = scale.availability_days.min(14.0) as u64;
+    for (letter, kind) in
+        [('C', MicroserviceKind::C), ('D', MicroserviceKind::D), ('H', MicroserviceKind::H)]
+    {
+        // The paper plots one representative pool per service.
+        if let Some(&pool) = outcome.fleet().pools_of_service(kind).first() {
+            let members = outcome.store().servers_in_pool(pool).to_vec();
+            // AvailabilityOnly stores no counters, so membership comes from
+            // the fleet itself when the store is empty.
+            let members = if members.is_empty() {
+                outcome
+                    .fleet()
+                    .pool(pool)
+                    .map(|p| p.server_ids())
+                    .unwrap_or_default()
+            } else {
+                members
+            };
+            for (day, a) in log.pool_daily_series(&members, days) {
+                pool_series.push((letter, day, a));
+            }
+        }
+    }
+
+    Ok(Fig1415Report {
+        fleet_mean: breakdown.mean,
+        well_managed: breakdown.well_managed,
+        improvable: breakdown.improvable,
+        histogram: histogram.series(),
+        pool_series,
+    })
+}
+
+impl Fig1415Report {
+    /// CSV export.
+    pub fn tables(&self) -> Vec<CsvTable> {
+        vec![
+            CsvTable::from_xy(
+                "fig14_availability_distribution",
+                "daily_availability",
+                "fraction_of_server_days",
+                &self.histogram,
+            ),
+            CsvTable {
+                name: "fig15_pool_availability".into(),
+                headers: vec!["pool".into(), "day".into(), "availability".into()],
+                rows: self
+                    .pool_series
+                    .iter()
+                    .map(|(p, d, a)| vec![p.to_string(), d.to_string(), format!("{a:.4}")])
+                    .collect(),
+            },
+        ]
+    }
+
+    /// Mean availability of one plotted pool.
+    pub fn pool_mean(&self, letter: char) -> Option<f64> {
+        let values: Vec<f64> = self
+            .pool_series
+            .iter()
+            .filter(|(p, _, _)| *p == letter)
+            .map(|(_, _, a)| *a)
+            .collect();
+        if values.is_empty() {
+            None
+        } else {
+            Some(values.iter().sum::<f64>() / values.len() as f64)
+        }
+    }
+}
+
+impl fmt::Display for Fig1415Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figs. 14-15: availability study")?;
+        let fmt_pool = |l: char| {
+            self.pool_mean(l)
+                .map(|a| format!("{:.1}%", a * 100.0))
+                .unwrap_or_else(|| "-".into())
+        };
+        let rows = vec![
+            vec![
+                "fleet mean availability".into(),
+                format!("{:.1}%", self.fleet_mean * 100.0),
+                "83%".into(),
+            ],
+            vec![
+                "well-managed level".into(),
+                format!("{:.1}%", self.well_managed * 100.0),
+                "98%".into(),
+            ],
+            vec![
+                "improvable capacity".into(),
+                format!("{:.1}%", self.improvable * 100.0),
+                "~15%".into(),
+            ],
+            vec!["pool C mean".into(), fmt_pool('C'), "90%".into()],
+            vec!["pool D mean".into(), fmt_pool('D'), "98%".into()],
+            vec!["pool H mean".into(), fmt_pool('H'), "98%".into()],
+        ];
+        write!(f, "{}", render_table(&["Quantity", "Measured", "Paper"], &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn availability_populations_match_paper() {
+        let r = run(&Scale::quick()).unwrap();
+        // Fleet mean well below the well-managed level.
+        assert!(r.fleet_mean < r.well_managed);
+        assert!(r.fleet_mean > 0.75 && r.fleet_mean < 0.97, "mean {:.3}", r.fleet_mean);
+        assert!((r.well_managed - 0.98).abs() < 0.015, "wm {:.3}", r.well_managed);
+        // Pool-level means: C ≈ 90%, D and H ≈ 98%.
+        let c = r.pool_mean('C').unwrap();
+        let d = r.pool_mean('D').unwrap();
+        let h = r.pool_mean('H').unwrap();
+        assert!((c - 0.905).abs() < 0.04, "C {:.3}", c);
+        assert!((d - 0.98).abs() < 0.03, "D {:.3}", d);
+        assert!((h - 0.98).abs() < 0.03, "H {:.3}", h);
+        // Histogram is a distribution.
+        let total: f64 = r.histogram.iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,153 @@
+//! Fig. 16 + §III-C — offline regression analysis catching a hidden defect.
+//!
+//! Paper: a change that fixed a memory leak was validated offline; the
+//! system "confirmed the change fixed the memory leak, though found it
+//! introduced a new defect causing a significant increase in latency of the
+//! server pool under higher workloads". Fig. 16 shows the per-workload
+//! latency box plots for baseline vs change.
+
+use std::error::Error;
+use std::fmt;
+
+use headroom_cluster::regression_lab::RegressionLab;
+use headroom_cluster::ServiceModel;
+use headroom_core::offline::{analyze_ab, AbReport};
+use headroom_core::report::render_table;
+use headroom_workload::stepped::SteppedLoad;
+
+use crate::csv::CsvTable;
+use crate::Scale;
+
+/// Latency SLO used for the capacity-change computation.
+pub const LATENCY_SLO_MS: f64 = 40.0;
+
+/// The Fig. 16 report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig16Report {
+    /// Box-plot rows: `(rps, which, min, q1, median, q3, max)`.
+    pub boxes: Vec<(f64, &'static str, f64, f64, f64, f64, f64)>,
+    /// The regression analysis verdict.
+    pub analysis: AbReport,
+}
+
+/// Runs the offline A/B validation of the leak fix with the hidden
+/// high-load latency defect.
+///
+/// # Errors
+///
+/// Propagates lab and analysis failures.
+pub fn run(scale: &Scale) -> Result<Fig16Report, Box<dyn Error>> {
+    let baseline = ServiceModel::paper_pool_b().with_leak(2.5);
+    let candidate = ServiceModel::paper_pool_b().with_latency_quadratic_scaled(8.0);
+    let ramp = SteppedLoad::new(60.0, 70.0, 9, (scale.observe_windows() / 36).max(8) as usize);
+    let lab = RegressionLab {
+        pool_size: (scale.pool_servers / 5).max(4),
+        ..RegressionLab::new(baseline, candidate, ramp, scale.seed)
+    };
+    let result = lab.run();
+    let analysis = analyze_ab(&result, LATENCY_SLO_MS)?;
+
+    let mut boxes = Vec::new();
+    for (which, steps) in [("baseline", &result.baseline), ("change", &result.candidate)] {
+        for step in steps {
+            let (min, q1, med, q3, max) = step.latency_box();
+            boxes.push((step.rps_per_server, which, min, q1, med, q3, max));
+        }
+    }
+    Ok(Fig16Report { boxes, analysis })
+}
+
+impl Fig16Report {
+    /// CSV export of the box plots.
+    pub fn tables(&self) -> Vec<CsvTable> {
+        vec![CsvTable {
+            name: "fig16_latency_boxes".into(),
+            headers: vec![
+                "rps_per_server".into(),
+                "pool".into(),
+                "min".into(),
+                "q1".into(),
+                "median".into(),
+                "q3".into(),
+                "max".into(),
+            ],
+            rows: self
+                .boxes
+                .iter()
+                .map(|(rps, which, min, q1, med, q3, max)| {
+                    vec![
+                        format!("{rps:.0}"),
+                        which.to_string(),
+                        format!("{min:.2}"),
+                        format!("{q1:.2}"),
+                        format!("{med:.2}"),
+                        format!("{q3:.2}"),
+                        format!("{max:.2}"),
+                    ]
+                })
+                .collect(),
+        }]
+    }
+}
+
+impl fmt::Display for Fig16Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 16: offline A/B regression test (leak fix with hidden defect)")?;
+        let rows: Vec<Vec<String>> = self
+            .analysis
+            .steps
+            .iter()
+            .map(|s| {
+                vec![
+                    format!("{:.0}", s.rps_per_server),
+                    format!("{:.2}", s.baseline_ms),
+                    format!("{:.2}", s.candidate_ms),
+                    format!("{:+.2}", s.delta_ms),
+                    if s.significant { "yes" } else { "no" }.to_string(),
+                ]
+            })
+            .collect();
+        writeln!(
+            f,
+            "{}",
+            render_table(
+                &["RPS/server", "Baseline ms", "Change ms", "Delta", "Significant"],
+                &rows
+            )
+        )?;
+        writeln!(
+            f,
+            "leak: baseline {:+.1} MB/step, change {:+.1} MB/step -> fixed: {}",
+            self.analysis.baseline_leak_mb_per_step,
+            self.analysis.candidate_leak_mb_per_step,
+            self.analysis.leak_fixed()
+        )?;
+        writeln!(
+            f,
+            "latency regression detected: {} | capacity change: {:+.1}% | verdict: {}",
+            self.analysis.latency_regression,
+            self.analysis.capacity_change * 100.0,
+            if self.analysis.should_block() { "BLOCK DEPLOYMENT" } else { "pass" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catches_the_papers_defect() {
+        let r = run(&Scale::quick()).unwrap();
+        assert!(r.analysis.leak_fixed(), "the change really fixes the leak");
+        assert!(r.analysis.latency_regression, "and hides a latency defect");
+        assert!(r.analysis.should_block());
+        assert!(r.analysis.capacity_change < 0.0);
+        // Boxes exist for both pools at every step.
+        assert_eq!(r.boxes.len(), 2 * 9);
+        // Divergence grows with load.
+        let first = &r.analysis.steps[0];
+        let last = r.analysis.steps.last().unwrap();
+        assert!(last.delta_ms > first.delta_ms + 3.0);
+    }
+}

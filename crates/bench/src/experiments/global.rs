@@ -1,0 +1,134 @@
+//! §III-B headline numbers — global utilisation and downtime.
+//!
+//! Paper: "we found the global utilization to be 23%. This indicates we have
+//! the upper bound for nearly 4x potential for CPU efficiency improvement";
+//! "Well-managed servers use only 2% downtime, yet 17% was the observed
+//! average."
+
+use std::error::Error;
+use std::fmt;
+
+use headroom_cluster::sim::{RecordingPolicy, SimConfig, Simulation};
+use headroom_core::report::render_table;
+use headroom_stats::Summary;
+use headroom_telemetry::availability::AvailabilityBreakdown;
+
+use crate::csv::CsvTable;
+use crate::experiments::fig12_13::utilization_fleet;
+use crate::Scale;
+
+/// The §III-B headline report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalReport {
+    /// Mean CPU across all online server-windows (paper: 23%).
+    pub global_cpu_utilization: f64,
+    /// Implied upper bound on CPU efficiency improvement (paper: ~4x).
+    pub efficiency_upper_bound: f64,
+    /// Mean downtime across server-days (paper: 17%).
+    pub mean_downtime: f64,
+    /// Downtime of the best-managed population (paper: 2%).
+    pub well_managed_downtime: f64,
+    /// Server-windows observed.
+    pub samples: u64,
+}
+
+/// Runs the headline study over the utilisation fleet.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run(scale: &Scale) -> Result<GlobalReport, Box<dyn Error>> {
+    let fleet = utilization_fleet(scale.seed, scale.fleet_fraction)?;
+    let mut sim = Simulation::new(fleet, Default::default(), SimConfig {
+        seed: scale.seed,
+        recording: RecordingPolicy::SnapshotOnly,
+        track_availability: true,
+    });
+    let mut cpu = Summary::new();
+    // The downtime statistics need the longer availability horizon to
+    // converge; CPU statistics ride along.
+    let days = scale.availability_days.max(2.0);
+    sim.run_windows_observed((days * 720.0) as u64, |snap| {
+        for row in snap.rows {
+            if row.online {
+                cpu.add(row.cpu_pct);
+            }
+        }
+    });
+    let breakdown =
+        AvailabilityBreakdown::from_log(sim.availability()).ok_or("no availability data")?;
+
+    let util = cpu.mean() / 100.0;
+    Ok(GlobalReport {
+        global_cpu_utilization: util,
+        efficiency_upper_bound: if util > 0.0 { 1.0 / util } else { 0.0 },
+        mean_downtime: 1.0 - breakdown.mean,
+        well_managed_downtime: breakdown.infrastructure_overhead,
+        samples: cpu.count(),
+    })
+}
+
+impl GlobalReport {
+    /// CSV export.
+    pub fn tables(&self) -> Vec<CsvTable> {
+        vec![CsvTable {
+            name: "global_headlines".into(),
+            headers: vec!["metric".into(), "measured".into(), "paper".into()],
+            rows: vec![
+                vec![
+                    "global cpu utilization".into(),
+                    format!("{:.1}%", self.global_cpu_utilization * 100.0),
+                    "23%".into(),
+                ],
+                vec![
+                    "efficiency upper bound".into(),
+                    format!("{:.1}x", self.efficiency_upper_bound),
+                    "~4x".into(),
+                ],
+                vec![
+                    "mean downtime".into(),
+                    format!("{:.1}%", self.mean_downtime * 100.0),
+                    "17%".into(),
+                ],
+                vec![
+                    "well-managed downtime".into(),
+                    format!("{:.1}%", self.well_managed_downtime * 100.0),
+                    "2%".into(),
+                ],
+            ],
+        }]
+    }
+}
+
+impl fmt::Display for GlobalReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Sec. III-B headlines ({} server-windows)", self.samples)?;
+        let t = &self.tables()[0];
+        write!(f, "{}", render_table(&["Metric", "Measured", "Paper"], &t.rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_is_heavily_underutilised() {
+        let r = run(&Scale::quick()).unwrap();
+        // The shape: global utilisation far below 50%, several-x headroom.
+        assert!(
+            r.global_cpu_utilization > 0.03 && r.global_cpu_utilization < 0.35,
+            "util {:.3}",
+            r.global_cpu_utilization
+        );
+        assert!(r.efficiency_upper_bound > 2.5, "bound {:.1}", r.efficiency_upper_bound);
+        // Downtime: average far above the well-managed 2%.
+        assert!(r.mean_downtime > 0.04, "downtime {:.3}", r.mean_downtime);
+        assert!(
+            (r.well_managed_downtime - 0.02).abs() < 0.015,
+            "wm downtime {:.3}",
+            r.well_managed_downtime
+        );
+        assert!(r.samples > 10_000);
+    }
+}

@@ -1,0 +1,172 @@
+//! One module per paper artifact.
+//!
+//! | Module | Regenerates |
+//! |---|---|
+//! | [`table1`] | Table I — micro-service catalog |
+//! | [`fig02`] | Fig. 2 — six resource counters vs workload (service D, 6 DCs) |
+//! | [`fig03`] | Fig. 3 — (p5, p95) CPU scatter, mixed-hardware pool I |
+//! | [`tree`] | §II-A2 — decision-tree pool classifier (splits, R², AUC) |
+//! | [`fig04_05`] | Figs. 4–5 — datacenter-loss natural experiment |
+//! | [`fig06`] | Fig. 6 — 4× surge latency-vs-workload trend |
+//! | [`fig07`] | Fig. 7 — RSM iterations to the 14 ms QoS limit |
+//! | [`pool_b`] | Table II + Figs. 8–9 — 30% reduction of pool B |
+//! | [`pool_d`] | Table III + Figs. 10–11 — 10% reduction of pool D |
+//! | [`table4`] | Table IV — per-service savings summary |
+//! | [`fig12_13`] | Figs. 12–13 — fleet CPU distributions |
+//! | [`fig14_15`] | Figs. 14–15 — availability distributions |
+//! | [`fig16`] | Fig. 16 — offline A/B regression boxes |
+//! | [`global`] | §III-B headline utilisation numbers |
+//! | [`ablate`] | design-choice ablations + baseline planner comparison |
+
+pub mod ablate;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04_05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig12_13;
+pub mod fig14_15;
+pub mod fig16;
+pub mod global;
+pub mod pool_b;
+pub mod pool_d;
+pub mod table1;
+pub mod table4;
+pub mod tree;
+
+use std::error::Error;
+use std::path::Path;
+
+use crate::csv::CsvTable;
+use crate::Scale;
+
+/// Metadata for one runnable experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentInfo {
+    /// CLI identifier.
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Paper artifact reproduced.
+    pub paper_ref: &'static str,
+}
+
+/// Every experiment, in paper order.
+pub const ALL: [ExperimentInfo; 15] = [
+    ExperimentInfo { id: "table1", title: "Micro-service catalog", paper_ref: "Table I" },
+    ExperimentInfo { id: "fig2", title: "Resource counters vs workload", paper_ref: "Fig. 2" },
+    ExperimentInfo { id: "fig3", title: "Per-server CPU scatter (pool I)", paper_ref: "Fig. 3" },
+    ExperimentInfo { id: "tree", title: "Decision-tree pool classifier", paper_ref: "Sec. II-A2" },
+    ExperimentInfo { id: "fig4", title: "DC-loss natural experiment", paper_ref: "Figs. 4-5" },
+    ExperimentInfo { id: "fig6", title: "4x surge latency trend", paper_ref: "Fig. 6" },
+    ExperimentInfo { id: "fig7", title: "RSM iterations to QoS limit", paper_ref: "Fig. 7" },
+    ExperimentInfo { id: "table2", title: "Pool B 30% reduction", paper_ref: "Table II, Figs. 8-9" },
+    ExperimentInfo { id: "table3", title: "Pool D 10% reduction", paper_ref: "Table III, Figs. 10-11" },
+    ExperimentInfo { id: "table4", title: "Fleet savings summary", paper_ref: "Table IV" },
+    ExperimentInfo { id: "fig12", title: "Fleet CPU distributions", paper_ref: "Figs. 12-13" },
+    ExperimentInfo { id: "fig14", title: "Availability distributions", paper_ref: "Figs. 14-15" },
+    ExperimentInfo { id: "fig16", title: "Offline A/B regression", paper_ref: "Fig. 16, Sec. III-C" },
+    ExperimentInfo { id: "global", title: "Global utilisation headlines", paper_ref: "Sec. III-B" },
+    ExperimentInfo { id: "ablate", title: "Ablations & baseline planners", paper_ref: "Secs. I, IV" },
+];
+
+/// Runs one experiment by id, printing its report and writing CSVs when
+/// `out_dir` is given. Returns the rendered report.
+///
+/// # Errors
+///
+/// Unknown ids and experiment failures are returned as boxed errors.
+pub fn run_by_id(
+    id: &str,
+    scale: &Scale,
+    out_dir: Option<&Path>,
+) -> Result<String, Box<dyn Error>> {
+    let (report, tables): (String, Vec<CsvTable>) = match id {
+        "table1" => {
+            let r = table1::run();
+            (r.to_string(), r.tables())
+        }
+        "fig2" => {
+            let r = fig02::run(scale)?;
+            (r.to_string(), r.tables())
+        }
+        "fig3" => {
+            let r = fig03::run(scale)?;
+            (r.to_string(), r.tables())
+        }
+        "tree" => {
+            let r = tree::run(scale)?;
+            (r.to_string(), r.tables())
+        }
+        "fig4" | "fig5" => {
+            let r = fig04_05::run(scale)?;
+            (r.to_string(), r.tables())
+        }
+        "fig6" => {
+            let r = fig06::run(scale)?;
+            (r.to_string(), r.tables())
+        }
+        "fig7" => {
+            let r = fig07::run(scale)?;
+            (r.to_string(), r.tables())
+        }
+        "table2" | "fig8" | "fig9" => {
+            let r = pool_b::run(scale)?;
+            (r.to_string(), r.tables())
+        }
+        "table3" | "fig10" | "fig11" => {
+            let r = pool_d::run(scale)?;
+            (r.to_string(), r.tables())
+        }
+        "table4" => {
+            let r = table4::run(scale)?;
+            (r.to_string(), r.tables())
+        }
+        "fig12" | "fig13" => {
+            let r = fig12_13::run(scale)?;
+            (r.to_string(), r.tables())
+        }
+        "fig14" | "fig15" => {
+            let r = fig14_15::run(scale)?;
+            (r.to_string(), r.tables())
+        }
+        "fig16" => {
+            let r = fig16::run(scale)?;
+            (r.to_string(), r.tables())
+        }
+        "global" => {
+            let r = global::run(scale)?;
+            (r.to_string(), r.tables())
+        }
+        "ablate" => {
+            let r = ablate::run(scale)?;
+            (r.to_string(), r.tables())
+        }
+        other => return Err(format!("unknown experiment id: {other}").into()),
+    };
+    if let Some(dir) = out_dir {
+        for t in &tables {
+            t.write_to(dir)?;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ids_are_unique() {
+        let mut ids: Vec<&str> = ALL.iter().map(|e| e.id).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+
+    #[test]
+    fn unknown_id_errors() {
+        assert!(run_by_id("nope", &Scale::quick(), None).is_err());
+    }
+}

@@ -1,0 +1,253 @@
+//! Table II + Figs. 8–9 — the pool B 30% server-reduction experiment
+//! (§III-A1).
+//!
+//! Paper numbers being reproduced:
+//!
+//! - Table II: RPS/server percentiles 249.5/309.3/376.8 before, and
+//!   390.4/461.1/540.3 after the 30% reduction;
+//! - Fig. 8: stage-1 CPU line `y = 0.028x + 1.37 (R² = 0.984)` forecasting
+//!   16.5% CPU at 540 RPS/server, measured 17.4%;
+//! - Fig. 9: stage-1 latency quadratic `y = 4.028e-5x² − 0.031x + 36.68`
+//!   forecasting 31.5 ms, measured 30.9 ms.
+
+use std::error::Error;
+use std::fmt;
+
+use headroom_cluster::catalog::MicroserviceKind;
+use headroom_cluster::scenario::FleetScenario;
+use headroom_core::curves::{CpuModel, LatencyModel, PoolObservations};
+use headroom_core::report::render_table;
+use headroom_telemetry::time::{WindowIndex, WindowRange};
+
+use crate::csv::CsvTable;
+use crate::Scale;
+
+/// A reduction-experiment stage's workload percentiles (a Table II row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StagePercentiles {
+    /// Median RPS/server.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+/// The full pool-B experiment report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolBReport {
+    /// Stage-1 percentiles (paper: 249.5 / 309.3 / 376.8).
+    pub stage1: StagePercentiles,
+    /// Stage-2 percentiles (paper: 390.4 / 461.1 / 540.3).
+    pub stage2: StagePercentiles,
+    /// Stage-1 CPU fit (paper slope 0.028, intercept 1.37, R² 0.984).
+    pub cpu_fit: CpuModel,
+    /// Stage-2 CPU fit (the paper's measured line).
+    pub cpu_fit_stage2: CpuModel,
+    /// CPU forecast at the stage-2 p95 workload (paper: 16.5%).
+    pub cpu_predicted: f64,
+    /// Measured CPU at that workload from the stage-2 fit (paper: 17.4%).
+    pub cpu_measured: f64,
+    /// Stage-1 latency quadratic coefficients.
+    pub latency_coeffs: Vec<f64>,
+    /// Latency forecast at the stage-2 p95 workload (paper: 31.5 ms).
+    pub latency_predicted: f64,
+    /// Measured latency near that workload in stage 2 (paper: 30.9 ms).
+    pub latency_measured: f64,
+    /// Scatter `(stage, rps, cpu, latency)` for Figs. 8–9.
+    pub scatter: Vec<(u8, f64, f64, f64)>,
+}
+
+fn percentiles(obs: &PoolObservations) -> Result<StagePercentiles, Box<dyn Error>> {
+    Ok(StagePercentiles {
+        p50: obs.rps_percentile(50.0)?,
+        p75: obs.rps_percentile(75.0)?,
+        p95: obs.rps_percentile(95.0)?,
+    })
+}
+
+/// Runs the pool-B experiment: 5 weekdays at full size, then 5 weekdays at
+/// 70% (the weekend between the stages is excluded from analysis, as the
+/// paper's weekday observation windows were).
+///
+/// # Errors
+///
+/// Propagates simulation and fitting failures.
+pub fn run(scale: &Scale) -> Result<PoolBReport, Box<dyn Error>> {
+    let servers = scale.pool_servers;
+    let scenario = FleetScenario::single_service(MicroserviceKind::B, 1, servers, scale.seed);
+    let mut sim = scenario.into_simulation();
+    let pool = sim.fleet().pools()[0].id;
+
+    // Stage 1: days 0-4 (Mon-Fri). Weekend: days 5-6. Stage 2: days 7-11.
+    let reduced = (servers as f64 * 0.7).round() as usize;
+    sim.schedule_resize(pool, WindowIndex(7 * 720), reduced)?;
+    sim.run_days(12.0);
+
+    let stage1_range = WindowRange::new(WindowIndex(0), WindowIndex(5 * 720));
+    let stage2_range = WindowRange::new(WindowIndex(7 * 720), WindowIndex(12 * 720));
+    let obs1 = PoolObservations::collect(sim.store(), pool, stage1_range)?;
+    let obs2 = PoolObservations::collect(sim.store(), pool, stage2_range)?;
+
+    let stage1 = percentiles(&obs1)?;
+    let stage2 = percentiles(&obs2)?;
+
+    let cpu_fit = CpuModel::fit(&obs1)?;
+    let cpu_fit_stage2 = CpuModel::fit(&obs2)?;
+    let cpu_predicted = cpu_fit.predict(stage2.p95);
+    let cpu_measured = cpu_fit_stage2.predict(stage2.p95);
+
+    let latency_model = LatencyModel::fit(&obs1)?;
+    let latency_predicted = latency_model.predict(stage2.p95);
+    // Measured: mean stage-2 latency in windows near the p95 workload.
+    let near: Vec<f64> = (0..obs2.len())
+        .filter(|&i| (obs2.rps_per_server[i] - stage2.p95).abs() / stage2.p95 < 0.03)
+        .map(|i| obs2.latency_p95_ms[i])
+        .collect();
+    let latency_measured = if near.is_empty() {
+        LatencyModel::fit(&obs2)?.predict(stage2.p95)
+    } else {
+        near.iter().sum::<f64>() / near.len() as f64
+    };
+
+    let mut scatter = Vec::new();
+    for (stage, obs) in [(1u8, &obs1), (2u8, &obs2)] {
+        for i in 0..obs.len() {
+            if obs.windows[i].0 % 3 == 0 {
+                scatter.push((stage, obs.rps_per_server[i], obs.cpu_pct[i], obs.latency_p95_ms[i]));
+            }
+        }
+    }
+
+    Ok(PoolBReport {
+        stage1,
+        stage2,
+        cpu_fit,
+        cpu_fit_stage2,
+        cpu_predicted,
+        cpu_measured,
+        latency_coeffs: latency_model.poly.coeffs().to_vec(),
+        latency_predicted,
+        latency_measured,
+        scatter,
+    })
+}
+
+impl PoolBReport {
+    /// CSV export: Table II plus the Fig. 8/9 scatters.
+    pub fn tables(&self) -> Vec<CsvTable> {
+        vec![
+            CsvTable {
+                name: "table2_rps_percentiles".into(),
+                headers: vec!["stage".into(), "p50".into(), "p75".into(), "p95".into()],
+                rows: vec![
+                    vec![
+                        "original".into(),
+                        format!("{:.1}", self.stage1.p50),
+                        format!("{:.1}", self.stage1.p75),
+                        format!("{:.1}", self.stage1.p95),
+                    ],
+                    vec![
+                        "30pct_reduction".into(),
+                        format!("{:.1}", self.stage2.p50),
+                        format!("{:.1}", self.stage2.p75),
+                        format!("{:.1}", self.stage2.p95),
+                    ],
+                ],
+            },
+            CsvTable {
+                name: "fig08_09_scatter".into(),
+                headers: vec![
+                    "stage".into(),
+                    "rps_per_server".into(),
+                    "cpu_pct".into(),
+                    "latency_ms".into(),
+                ],
+                rows: self
+                    .scatter
+                    .iter()
+                    .map(|(s, r, c, l)| {
+                        vec![s.to_string(), format!("{r:.1}"), format!("{c:.2}"), format!("{l:.2}")]
+                    })
+                    .collect(),
+            },
+        ]
+    }
+}
+
+impl fmt::Display for PoolBReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table II + Figs. 8-9: pool B 30% reduction experiment")?;
+        let pct_rows = vec![
+            vec![
+                "Original".into(),
+                format!("{:.1}", self.stage1.p50),
+                format!("{:.1}", self.stage1.p75),
+                format!("{:.1}", self.stage1.p95),
+                "249.5/309.3/376.8".into(),
+            ],
+            vec![
+                "30% reduction".into(),
+                format!("{:.1}", self.stage2.p50),
+                format!("{:.1}", self.stage2.p75),
+                format!("{:.1}", self.stage2.p95),
+                "390.4/461.1/540.3".into(),
+            ],
+            vec![
+                "% change".into(),
+                format!("{:.0}%", (self.stage2.p50 / self.stage1.p50 - 1.0) * 100.0),
+                format!("{:.0}%", (self.stage2.p75 / self.stage1.p75 - 1.0) * 100.0),
+                format!("{:.0}%", (self.stage2.p95 / self.stage1.p95 - 1.0) * 100.0),
+                "56%/49%/43%".into(),
+            ],
+        ];
+        writeln!(
+            f,
+            "{}",
+            render_table(&["Stage", "p50", "p75", "p95", "Paper"], &pct_rows)
+        )?;
+        writeln!(f, "Fig. 8 (CPU):")?;
+        writeln!(f, "  stage-1 fit : {}   (paper: y=0.028x+1.37, R2=0.984)", self.cpu_fit.fit)?;
+        writeln!(f, "  stage-2 fit : {}   (paper: y=0.029x+1.7,  R2=0.99)", self.cpu_fit_stage2.fit)?;
+        writeln!(
+            f,
+            "  @p95 stage2 : predicted {:.1}% vs measured {:.1}%  (paper 16.5 vs 17.4)",
+            self.cpu_predicted, self.cpu_measured
+        )?;
+        writeln!(f, "Fig. 9 (latency):")?;
+        writeln!(
+            f,
+            "  stage-1 quad: [{:.2}, {:.4}, {:.3e}]  (paper 36.68, -0.031, 4.028e-5)",
+            self.latency_coeffs[0], self.latency_coeffs[1], self.latency_coeffs[2]
+        )?;
+        writeln!(
+            f,
+            "  @p95 stage2 : predicted {:.1} ms vs measured {:.1} ms  (paper 31.5 vs 30.9)",
+            self.latency_predicted, self.latency_measured
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_pool_b_experiment_shape() {
+        let r = run(&Scale::quick()).unwrap();
+        // Table II shape: ~+43% per-server workload at every percentile.
+        let change_p95 = r.stage2.p95 / r.stage1.p95 - 1.0;
+        assert!((change_p95 - 0.43).abs() < 0.06, "p95 change {change_p95:.2}");
+        // Fig. 8: the stage-1 line matches the service's true response.
+        assert!((r.cpu_fit.fit.slope - 0.028).abs() < 0.003, "slope {}", r.cpu_fit.fit.slope);
+        assert!(r.cpu_fit.fit.r_squared > 0.95);
+        // Forecast accuracy within ~6% like the paper's 16.5-vs-17.4.
+        let cpu_err = (r.cpu_predicted - r.cpu_measured).abs() / r.cpu_measured;
+        assert!(cpu_err < 0.06, "cpu err {cpu_err:.3}");
+        // Fig. 9: latency forecast within ~5%.
+        let lat_err = (r.latency_predicted - r.latency_measured).abs() / r.latency_measured;
+        assert!(lat_err < 0.05, "lat err {lat_err:.3}");
+        // And the absolute values sit in the paper's range.
+        assert!((r.latency_predicted - 31.5).abs() < 3.0, "{}", r.latency_predicted);
+    }
+}

@@ -1,0 +1,74 @@
+//! Table I — the micro-service catalog.
+
+use std::fmt;
+
+use headroom_cluster::catalog::MicroserviceKind;
+use headroom_core::report::render_table;
+
+use crate::csv::CsvTable;
+
+/// The catalog rendered as Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Report {
+    /// (service letter, description, servers/pool at paper scale).
+    pub rows: Vec<(String, String, usize)>,
+}
+
+/// Renders Table I from the catalog.
+pub fn run() -> Table1Report {
+    Table1Report {
+        rows: MicroserviceKind::TABLE1
+            .iter()
+            .map(|k| (k.to_string(), k.description().to_string(), k.spec().servers_per_pool))
+            .collect(),
+    }
+}
+
+impl Table1Report {
+    /// CSV export.
+    pub fn tables(&self) -> Vec<CsvTable> {
+        vec![CsvTable {
+            name: "table1_services".into(),
+            headers: vec!["service".into(), "description".into(), "servers_per_pool".into()],
+            rows: self
+                .rows
+                .iter()
+                .map(|(s, d, n)| vec![s.clone(), d.clone(), n.to_string()])
+                .collect(),
+        }]
+    }
+}
+
+impl fmt::Display for Table1Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table I: Description of micro-services running in server pools")?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(s, d, n)| vec![s.clone(), d.clone(), n.to_string()])
+            .collect();
+        write!(f, "{}", render_table(&["Micro Service", "Description", "Servers/pool"], &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_seven_services() {
+        let r = run();
+        assert_eq!(r.rows.len(), 7);
+        assert_eq!(r.rows[0].0, "A");
+        assert!(r.rows[0].1.contains("MemCached"));
+    }
+
+    #[test]
+    fn renders_and_exports() {
+        let r = run();
+        let text = r.to_string();
+        assert!(text.contains("Table I"));
+        assert!(text.contains("spelling"));
+        assert_eq!(r.tables().len(), 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! Experiment harness regenerating every table and figure of the ICDCS'18
+//! headroom paper.
+//!
+//! Each experiment in [`experiments`] rebuilds one published artifact —
+//! workload generation, parameter sweep, analysis and paper-style output —
+//! against the fleet simulator. The `repro` binary runs them:
+//!
+//! ```text
+//! repro list              # what is available
+//! repro all               # everything, paper scale
+//! repro fig9 --quick      # one experiment, reduced scale
+//! repro table4 --out results/
+//! ```
+//!
+//! Absolute numbers depend on the simulator, not the authors' production
+//! fleet; the *shapes* — who wins, by what factor, where curves cross — are
+//! the reproduction targets, and each experiment prints the paper's value
+//! next to the measured one. `EXPERIMENTS.md` records the comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod experiments;
+pub mod scale;
+
+pub use scale::Scale;

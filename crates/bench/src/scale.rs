@@ -1,0 +1,76 @@
+//! Experiment scaling.
+//!
+//! The paper's fleet is 100K+ servers over 90 days; the simulator reproduces
+//! the *relationships* at a laptop-friendly scale. [`Scale`] centralises the
+//! knobs so `repro --quick` (tests, CI) and `repro` (paper scale) share one
+//! code path.
+
+/// Global experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Fraction of catalog pool sizes deployed in fleet-wide experiments.
+    pub fleet_fraction: f64,
+    /// Servers per pool for single-pool experiments.
+    pub pool_servers: usize,
+    /// Days of telemetry for curve-fitting stages.
+    pub observe_days: f64,
+    /// Days of the availability study.
+    pub availability_days: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The default reproduction scale (a few thousand simulated servers).
+    pub fn paper() -> Self {
+        Scale {
+            fleet_fraction: 0.30,
+            pool_servers: 100,
+            observe_days: 3.0,
+            availability_days: 30.0,
+            seed: 42,
+        }
+    }
+
+    /// A fast scale for tests and smoke runs.
+    pub fn quick() -> Self {
+        Scale {
+            fleet_fraction: 0.05,
+            pool_servers: 20,
+            observe_days: 1.0,
+            availability_days: 7.0,
+            seed: 42,
+        }
+    }
+
+    /// Windows in the observation stage.
+    pub fn observe_windows(&self) -> u64 {
+        (self.observe_days * 720.0).round() as u64
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller_than_paper() {
+        let q = Scale::quick();
+        let p = Scale::paper();
+        assert!(q.fleet_fraction < p.fleet_fraction);
+        assert!(q.pool_servers < p.pool_servers);
+        assert!(q.observe_days <= p.observe_days);
+    }
+
+    #[test]
+    fn observe_windows_rounds() {
+        let s = Scale { observe_days: 0.5, ..Scale::quick() };
+        assert_eq!(s.observe_windows(), 360);
+    }
+}

@@ -1,0 +1,353 @@
+//! The micro-service catalog.
+//!
+//! Table I of the paper describes seven micro-services (A–G); Fig. 15 adds
+//! pool H and Fig. 3 pool I. Each service here carries a tuned black-box
+//! [`ServiceModel`], a deployment shape (servers per pool, peak load), a
+//! maintenance practice, and a latency SLO — everything the simulator needs
+//! to reproduce the per-pool behaviours the evaluation reports (Table IV's
+//! savings spread, pool C's 90% availability, pool I's hardware bimodality).
+
+use std::fmt;
+
+use crate::hardware::HardwareGeneration;
+use crate::maintenance::AvailabilityPractice;
+use crate::service_model::{LogUploadSpec, ServiceModel, TableWorkload};
+
+/// The micro-services of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum MicroserviceKind {
+    /// In-memory storage, similar to MemCached (two tables).
+    A,
+    /// Modifies incoming requests, e.g. spelling corrections.
+    B,
+    /// Orchestrates a workflow of stateless processing modules.
+    C,
+    /// Converts responses from data to formatted web pages.
+    D,
+    /// Split-TCP proxy, CDN, load balancer and authentication service.
+    E,
+    /// In-memory storage with custom processing logic.
+    F,
+    /// High-volume, low-latency metrics collection system.
+    G,
+    /// Auxiliary storage replication service (well-managed rollouts;
+    /// the pool H of Fig. 15).
+    H,
+    /// Legacy in-memory index spanning two hardware generations (the
+    /// pool I of Fig. 3).
+    I,
+}
+
+impl MicroserviceKind {
+    /// The seven Table I services.
+    pub const TABLE1: [MicroserviceKind; 7] = [
+        MicroserviceKind::A,
+        MicroserviceKind::B,
+        MicroserviceKind::C,
+        MicroserviceKind::D,
+        MicroserviceKind::E,
+        MicroserviceKind::F,
+        MicroserviceKind::G,
+    ];
+
+    /// Every catalogued service.
+    pub const ALL: [MicroserviceKind; 9] = [
+        MicroserviceKind::A,
+        MicroserviceKind::B,
+        MicroserviceKind::C,
+        MicroserviceKind::D,
+        MicroserviceKind::E,
+        MicroserviceKind::F,
+        MicroserviceKind::G,
+        MicroserviceKind::H,
+        MicroserviceKind::I,
+    ];
+
+    /// Table I description.
+    pub fn description(&self) -> &'static str {
+        match self {
+            MicroserviceKind::A => "In-Memory Storage (similar to MemCached)",
+            MicroserviceKind::B => "Modifies incoming requests such as spelling corrections",
+            MicroserviceKind::C => "Orchestrates a workflow of stateless processing modules",
+            MicroserviceKind::D => "Converts responses from data to formatted web pages",
+            MicroserviceKind::E => {
+                "Split-TCP proxy, CDN, load balancer, and authentication service"
+            }
+            MicroserviceKind::G => {
+                "High volume, low latency, metrics collection system for automated decisions"
+            }
+            MicroserviceKind::F => "In-Memory storage with custom processing logic",
+            MicroserviceKind::H => "Auxiliary storage replication service",
+            MicroserviceKind::I => "Legacy in-memory index on mixed hardware generations",
+        }
+    }
+
+    /// The deployment/tuning spec for this service.
+    pub fn spec(&self) -> ServiceSpec {
+        match self {
+            MicroserviceKind::A => ServiceSpec {
+                kind: *self,
+                model: ServiceModel::new(0.05, 1.5, [12.0, -0.02, 6.0e-4])
+                    .with_queue_capacity(1_700.0)
+                    .with_tables(vec![
+                        TableWorkload { share: 0.65, cpu_per_rps: 0.025, share_jitter: 0.35 },
+                        TableWorkload { share: 0.35, cpu_per_rps: 0.110, share_jitter: 0.35 },
+                    ]),
+                servers_per_pool: 120,
+                peak_rps_per_server: 200.0,
+                practice: AvailabilityPractice::Standard,
+                latency_slo_ms: 27.0,
+                hardware_mix: vec![(HardwareGeneration::Gen2, 1.0)],
+            },
+            MicroserviceKind::B => ServiceSpec {
+                kind: *self,
+                model: ServiceModel::paper_pool_b(),
+                servers_per_pool: 80,
+                peak_rps_per_server: 380.0,
+                practice: AvailabilityPractice::Repurposed,
+                latency_slo_ms: 32.5,
+                hardware_mix: vec![(HardwareGeneration::Gen1, 1.0)],
+            },
+            MicroserviceKind::C => ServiceSpec {
+                kind: *self,
+                model: ServiceModel::new(0.09, 2.0, [30.0, 0.0, 3.9e-3])
+                    .with_queue_capacity(950.0)
+                    .with_log_upload(LogUploadSpec {
+                        period_windows: 60,
+                        duration_windows: 5,
+                        cpu_pct: 22.0,
+                        disk_write_bytes_per_sec: 4.0e8,
+                    }),
+                servers_per_pool: 100,
+                peak_rps_per_server: 150.0,
+                practice: AvailabilityPractice::Heavy,
+                latency_slo_ms: 125.6,
+                hardware_mix: vec![(HardwareGeneration::Gen1, 1.0)],
+            },
+            MicroserviceKind::D => ServiceSpec {
+                kind: *self,
+                model: ServiceModel::paper_pool_d(),
+                servers_per_pool: 90,
+                peak_rps_per_server: 80.0,
+                practice: AvailabilityPractice::WellManaged,
+                latency_slo_ms: 58.0,
+                hardware_mix: vec![(HardwareGeneration::Gen1, 1.0)],
+            },
+            MicroserviceKind::E => ServiceSpec {
+                kind: *self,
+                model: ServiceModel::new(0.03, 1.2, [14.0, -0.02, 5.0e-5])
+                    .with_queue_capacity(2_900.0),
+                servers_per_pool: 60,
+                peak_rps_per_server: 300.0,
+                practice: AvailabilityPractice::Moderate,
+                latency_slo_ms: 13.1,
+                hardware_mix: vec![(HardwareGeneration::Gen2, 1.0)],
+            },
+            MicroserviceKind::F => ServiceSpec {
+                kind: *self,
+                model: ServiceModel::new(0.045, 1.5, [20.0, -0.03, 1.0e-4])
+                    .with_queue_capacity(1_900.0),
+                servers_per_pool: 70,
+                peak_rps_per_server: 250.0,
+                practice: AvailabilityPractice::WellManaged,
+                latency_slo_ms: 19.7,
+                hardware_mix: vec![(HardwareGeneration::Gen2, 1.0)],
+            },
+            MicroserviceKind::G => ServiceSpec {
+                kind: *self,
+                model: ServiceModel::new(0.02, 1.0, [6.0, 0.0, 2.2e-5])
+                    .with_queue_capacity(4_400.0),
+                servers_per_pool: 50,
+                peak_rps_per_server: 500.0,
+                practice: AvailabilityPractice::WellManaged,
+                latency_slo_ms: 8.0,
+                hardware_mix: vec![(HardwareGeneration::Gen3, 1.0)],
+            },
+            MicroserviceKind::H => ServiceSpec {
+                kind: *self,
+                model: ServiceModel::new(0.06, 1.8, [18.0, -0.01, 2.0e-4])
+                    .with_queue_capacity(1_450.0),
+                servers_per_pool: 40,
+                peak_rps_per_server: 160.0,
+                practice: AvailabilityPractice::WellManaged,
+                latency_slo_ms: 26.0,
+                hardware_mix: vec![(HardwareGeneration::Gen1, 1.0)],
+            },
+            MicroserviceKind::I => ServiceSpec {
+                kind: *self,
+                model: ServiceModel::new(0.055, 1.6, [16.0, -0.015, 1.5e-4])
+                    .with_queue_capacity(1_600.0),
+                servers_per_pool: 60,
+                peak_rps_per_server: 180.0,
+                practice: AvailabilityPractice::Relaxed,
+                latency_slo_ms: 24.0,
+                hardware_mix: vec![
+                    (HardwareGeneration::Gen1, 0.6),
+                    (HardwareGeneration::Gen3, 0.4),
+                ],
+            },
+        }
+    }
+}
+
+impl fmt::Display for MicroserviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let letter = match self {
+            MicroserviceKind::A => "A",
+            MicroserviceKind::B => "B",
+            MicroserviceKind::C => "C",
+            MicroserviceKind::D => "D",
+            MicroserviceKind::E => "E",
+            MicroserviceKind::F => "F",
+            MicroserviceKind::G => "G",
+            MicroserviceKind::H => "H",
+            MicroserviceKind::I => "I",
+        };
+        f.write_str(letter)
+    }
+}
+
+/// Deployment and tuning parameters for one micro-service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSpec {
+    /// Which service this is.
+    pub kind: MicroserviceKind,
+    /// Black-box response model.
+    pub model: ServiceModel,
+    /// Servers per pool (per datacenter) at paper scale.
+    pub servers_per_pool: usize,
+    /// Peak-hour RPS per server at the current allocation — the amount of
+    /// headroom baked in by the service owners.
+    pub peak_rps_per_server: f64,
+    /// Maintenance practice (drives pool availability).
+    pub practice: AvailabilityPractice,
+    /// The business latency SLO (p95, ms) for this service.
+    pub latency_slo_ms: f64,
+    /// Hardware generations and their fractions (must sum to ~1).
+    pub hardware_mix: Vec<(HardwareGeneration, f64)>,
+}
+
+impl ServiceSpec {
+    /// Overrides the maintenance practice (e.g. clean pools for controlled
+    /// experiments).
+    pub fn with_practice(mut self, practice: AvailabilityPractice) -> Self {
+        self.practice = practice;
+        self
+    }
+
+    /// Overrides the peak workload per server (headroom level).
+    pub fn with_peak_rps_per_server(mut self, rps: f64) -> Self {
+        assert!(rps > 0.0 && rps.is_finite(), "peak rps must be positive");
+        self.peak_rps_per_server = rps;
+        self
+    }
+
+    /// Assigns a hardware generation to server `index` of `pool_size`,
+    /// deterministically honouring the mix fractions (first fraction of the
+    /// index range gets the first generation, and so on).
+    pub fn generation_for(&self, index: usize, pool_size: usize) -> HardwareGeneration {
+        if pool_size == 0 || self.hardware_mix.is_empty() {
+            return HardwareGeneration::Gen1;
+        }
+        let frac = index as f64 / pool_size as f64;
+        let mut cum = 0.0;
+        for &(gen, share) in &self.hardware_mix {
+            cum += share;
+            if frac < cum {
+                return gen;
+            }
+        }
+        self.hardware_mix.last().map(|&(g, _)| g).unwrap_or(HardwareGeneration::Gen1)
+    }
+
+    /// Peak total demand of one pool (RPS).
+    pub fn peak_pool_demand(&self) -> f64 {
+        self.peak_rps_per_server * self.servers_per_pool as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_seven_services() {
+        assert_eq!(MicroserviceKind::TABLE1.len(), 7);
+        for k in MicroserviceKind::TABLE1 {
+            assert!(!k.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn display_letters() {
+        assert_eq!(MicroserviceKind::A.to_string(), "A");
+        assert_eq!(MicroserviceKind::I.to_string(), "I");
+    }
+
+    #[test]
+    fn specs_are_self_consistent() {
+        for kind in MicroserviceKind::ALL {
+            let spec = kind.spec();
+            assert_eq!(spec.kind, kind);
+            assert!(spec.servers_per_pool > 0);
+            assert!(spec.peak_rps_per_server > 0.0);
+            assert!(spec.latency_slo_ms > 0.0);
+            let mix_sum: f64 = spec.hardware_mix.iter().map(|(_, f)| f).sum();
+            assert!((mix_sum - 1.0).abs() < 1e-9, "mix of {kind} sums to {mix_sum}");
+            // The SLO must be reachable: latency at peak must be below it.
+            let gen = spec.hardware_mix[0].0;
+            let at_peak = spec.model.latency_p95_mean(spec.peak_rps_per_server, gen);
+            assert!(
+                at_peak < spec.latency_slo_ms,
+                "{kind}: latency at peak {at_peak} exceeds SLO {}",
+                spec.latency_slo_ms
+            );
+        }
+    }
+
+    #[test]
+    fn b_and_d_use_paper_models() {
+        let b = MicroserviceKind::B.spec();
+        assert_eq!(b.model.cpu_per_rps, 0.028);
+        let d = MicroserviceKind::D.spec();
+        assert_eq!(d.model.cpu_per_rps, 0.0916);
+    }
+
+    #[test]
+    fn pool_i_has_mixed_hardware() {
+        let spec = MicroserviceKind::I.spec();
+        assert_eq!(spec.hardware_mix.len(), 2);
+        assert_eq!(spec.generation_for(0, 100), HardwareGeneration::Gen1);
+        assert_eq!(spec.generation_for(99, 100), HardwareGeneration::Gen3);
+        // 60/40 split.
+        let gen3 = (0..100).filter(|&i| spec.generation_for(i, 100) == HardwareGeneration::Gen3).count();
+        assert_eq!(gen3, 40);
+    }
+
+    #[test]
+    fn service_a_has_two_tables() {
+        let spec = MicroserviceKind::A.spec();
+        assert_eq!(spec.model.tables.len(), 2);
+    }
+
+    #[test]
+    fn pool_c_runs_background_uploads() {
+        let spec = MicroserviceKind::C.spec();
+        assert!(spec.model.log_upload.is_some());
+    }
+
+    #[test]
+    fn peak_pool_demand() {
+        let spec = MicroserviceKind::B.spec();
+        assert_eq!(spec.peak_pool_demand(), 380.0 * 80.0);
+    }
+
+    #[test]
+    fn availability_practices_match_paper_pools() {
+        assert_eq!(MicroserviceKind::C.spec().practice, AvailabilityPractice::Heavy);
+        assert_eq!(MicroserviceKind::D.spec().practice, AvailabilityPractice::WellManaged);
+        assert_eq!(MicroserviceKind::H.spec().practice, AvailabilityPractice::WellManaged);
+        assert_eq!(MicroserviceKind::B.spec().practice, AvailabilityPractice::Repurposed);
+    }
+}

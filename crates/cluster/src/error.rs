@@ -1,0 +1,60 @@
+//! Error type for fleet construction and simulation.
+
+use std::error::Error;
+use std::fmt;
+
+use headroom_telemetry::ids::PoolId;
+
+/// Error produced by fleet construction or simulation control.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// Referenced a pool that does not exist in the fleet.
+    UnknownPool(PoolId),
+    /// A configuration value was out of its valid domain.
+    InvalidConfig(&'static str),
+    /// An intervention asked for more capacity change than the pool has.
+    InvalidResize {
+        /// The pool being resized.
+        pool: PoolId,
+        /// Requested active server count.
+        requested: usize,
+        /// Servers physically in the pool.
+        available: usize,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::UnknownPool(p) => write!(f, "unknown pool {p}"),
+            ClusterError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+            ClusterError::InvalidResize { pool, requested, available } => write!(
+                f,
+                "cannot resize {pool} to {requested} active servers, only {available} exist"
+            ),
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(ClusterError::UnknownPool(PoolId(3)).to_string(), "unknown pool pool-3");
+        assert!(ClusterError::InvalidConfig("bad").to_string().contains("bad"));
+        let e = ClusterError::InvalidResize { pool: PoolId(1), requested: 10, available: 5 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ClusterError>();
+    }
+}

@@ -1,0 +1,105 @@
+//! Unplanned server failures.
+//!
+//! Individual servers fail at random and take a while to repair. The paper's
+//! availability analysis attributes most unavailability to *planned*
+//! maintenance, so the default failure rate is low — but it exists, because
+//! pool sizing must tolerate it (that is part of what headroom is for).
+
+use headroom_telemetry::time::WindowIndex;
+
+use crate::maintenance::hash2;
+
+/// A memoryless failure process with deterministic, hash-derived draws.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureModel {
+    /// Mean windows between failures per server (e.g. `43_200` ≈ 60 days).
+    pub mtbf_windows: f64,
+    /// Windows a failed server stays down (e.g. `90` = 3 hours).
+    pub repair_windows: u64,
+    /// Seed decorrelating failure draws from everything else.
+    pub seed: u64,
+}
+
+impl FailureModel {
+    /// A representative default: 60-day MTBF, 3-hour repair.
+    pub fn typical(seed: u64) -> Self {
+        FailureModel { mtbf_windows: 43_200.0, repair_windows: 90, seed }
+    }
+
+    /// Whether a failure *event* starts for `server_key` at `window`.
+    pub fn fails_at(&self, server_key: u64, window: WindowIndex) -> bool {
+        if self.mtbf_windows <= 0.0 {
+            return false;
+        }
+        let p = 1.0 / self.mtbf_windows;
+        let h = hash2(self.seed ^ server_key.wrapping_mul(0xA24B_AED4_963E_E407), window.0);
+        (h as f64 / u64::MAX as f64) < p
+    }
+
+    /// Whether the server is down at `window` (a failure event occurred
+    /// within the preceding repair interval).
+    pub fn is_failed(&self, server_key: u64, window: WindowIndex) -> bool {
+        let lookback = self.repair_windows.min(window.0 + 1);
+        (0..lookback).any(|back| self.fails_at(server_key, WindowIndex(window.0 - back)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_rate_matches_mtbf() {
+        let model = FailureModel { mtbf_windows: 100.0, repair_windows: 1, seed: 4 };
+        let mut events = 0usize;
+        let trials = 200_000;
+        for w in 0..trials {
+            if model.fails_at(1, WindowIndex(w as u64)) {
+                events += 1;
+            }
+        }
+        let rate = events as f64 / trials as f64;
+        assert!((rate - 0.01).abs() < 0.002, "rate {rate}");
+    }
+
+    #[test]
+    fn repair_extends_downtime() {
+        let model = FailureModel { mtbf_windows: 50.0, repair_windows: 10, seed: 9 };
+        // Find a failure event and check persistence.
+        let event = (0..10_000u64)
+            .find(|&w| model.fails_at(3, WindowIndex(w)))
+            .expect("an event must occur");
+        for off in 0..10 {
+            assert!(model.is_failed(3, WindowIndex(event + off)));
+        }
+    }
+
+    #[test]
+    fn different_servers_fail_independently() {
+        let model = FailureModel { mtbf_windows: 100.0, repair_windows: 1, seed: 7 };
+        let a: Vec<u64> = (0..50_000).filter(|&w| model.fails_at(1, WindowIndex(w))).collect();
+        let b: Vec<u64> = (0..50_000).filter(|&w| model.fails_at(2, WindowIndex(w))).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_mtbf_never_fails() {
+        let model = FailureModel { mtbf_windows: 0.0, repair_windows: 10, seed: 0 };
+        assert!(!model.is_failed(1, WindowIndex(100)));
+    }
+
+    #[test]
+    fn early_windows_do_not_underflow() {
+        let model = FailureModel { mtbf_windows: 2.0, repair_windows: 90, seed: 0 };
+        // Must not panic on window < repair_windows.
+        let _ = model.is_failed(1, WindowIndex(0));
+        let _ = model.is_failed(1, WindowIndex(5));
+    }
+
+    #[test]
+    fn typical_is_rare() {
+        let model = FailureModel::typical(1);
+        let down = (0..720u64).filter(|&w| model.is_failed(42, WindowIndex(w))).count();
+        assert!(down < 200, "one server-day should rarely include failures: {down}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Server hardware generations.
+//!
+//! Fig. 3 of the paper shows a pool whose servers form two CPU-utilisation
+//! clusters; investigation found "all servers in the less utilized range are
+//! newer and more powerful than the other". A [`HardwareGeneration`] scales
+//! the per-request CPU cost so mixed-generation pools reproduce exactly that
+//! bimodality.
+
+use std::fmt;
+
+/// A server hardware generation with a relative CPU speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[non_exhaustive]
+pub enum HardwareGeneration {
+    /// Baseline generation (speed 1.0).
+    #[default]
+    Gen1,
+    /// Mid refresh, ~35% faster per core-second.
+    Gen2,
+    /// Latest refresh, ~80% faster.
+    Gen3,
+}
+
+impl HardwareGeneration {
+    /// All generations, oldest first.
+    pub const ALL: [HardwareGeneration; 3] =
+        [HardwareGeneration::Gen1, HardwareGeneration::Gen2, HardwareGeneration::Gen3];
+
+    /// Relative CPU speed; per-request CPU cost divides by this.
+    pub fn speed_factor(&self) -> f64 {
+        match self {
+            HardwareGeneration::Gen1 => 1.0,
+            HardwareGeneration::Gen2 => 1.35,
+            HardwareGeneration::Gen3 => 1.8,
+        }
+    }
+}
+
+impl fmt::Display for HardwareGeneration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HardwareGeneration::Gen1 => write!(f, "gen1"),
+            HardwareGeneration::Gen2 => write!(f, "gen2"),
+            HardwareGeneration::Gen3 => write!(f, "gen3"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newer_is_faster() {
+        assert!(HardwareGeneration::Gen2.speed_factor() > HardwareGeneration::Gen1.speed_factor());
+        assert!(HardwareGeneration::Gen3.speed_factor() > HardwareGeneration::Gen2.speed_factor());
+    }
+
+    #[test]
+    fn default_is_gen1() {
+        assert_eq!(HardwareGeneration::default(), HardwareGeneration::Gen1);
+        assert_eq!(HardwareGeneration::Gen1.speed_factor(), 1.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(HardwareGeneration::Gen3.to_string(), "gen3");
+    }
+}

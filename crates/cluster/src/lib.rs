@@ -1,0 +1,64 @@
+//! Deterministic fleet simulator for the `headroom` capacity planner.
+//!
+//! The ICDCS'18 paper evaluates its methodology on a production service of
+//! 100K+ servers across 9 datacenters. This crate is the substitute
+//! substrate: a seeded, window-stepped simulation of that fleet which emits
+//! the identical telemetry schema (120-second counter windows, request logs,
+//! availability) through [`headroom_telemetry`].
+//!
+//! The simulator is deliberately a *black box* to the planner: the planner
+//! only ever sees the counters, exactly as the paper's planner only saw
+//! production traces.
+//!
+//! Modules:
+//!
+//! - [`hardware`] — server hardware generations (the Fig. 3 bimodality);
+//! - [`service_model`] — per-micro-service black-box response models
+//!   (CPU linear in RPS, latency quadratic-with-knee, paging-dominated IO);
+//! - [`catalog`] — the seven micro-services of Table I with tuned models;
+//! - [`server`], [`pool`] — servers, states, pools, and load balancing;
+//! - [`topology`] — datacenters and fleet assembly;
+//! - [`routing`] — geo demand routing with failover;
+//! - [`maintenance`] — planned-maintenance practices (the availability
+//!   populations of Figs. 14–15);
+//! - [`failure`] — unplanned server failures;
+//! - [`sim`] — the window-stepped engine;
+//! - [`scenario`] — canned fleets for experiments and examples;
+//! - [`regression_lab`] — the twin-pool A/B harness of methodology step 4.
+//!
+//! # Example
+//!
+//! ```
+//! use headroom_cluster::scenario::FleetScenario;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let outcome = FleetScenario::small(7).run_days(0.25)?;
+//! assert!(!outcome.pools().is_empty());
+//! assert!(outcome.store().sample_count() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod error;
+pub mod failure;
+pub mod hardware;
+pub mod maintenance;
+pub mod pool;
+pub mod regression_lab;
+pub mod routing;
+pub mod scenario;
+pub mod server;
+pub mod service_model;
+pub mod sim;
+pub mod topology;
+
+pub use catalog::MicroserviceKind;
+pub use error::ClusterError;
+pub use hardware::HardwareGeneration;
+pub use scenario::FleetScenario;
+pub use service_model::ServiceModel;
+pub use sim::Simulation;

@@ -1,0 +1,301 @@
+//! Planned-maintenance practices.
+//!
+//! §III-B2: server availability clusters by *pool*, not by server — "the
+//! availability of servers within a pool is quite constant" (Fig. 15) —
+//! because unavailability is dominated by the pool's rollout practice:
+//! software/configuration deployments drain a batch of servers at a time.
+//! Well-managed pools lose only ~2%; the fleet average was 17%; pools
+//! "re-purposed during non-peak hours to run offline validation" fall below
+//! 80%.
+//!
+//! A [`MaintenancePlan`] deterministically decides which servers of a pool
+//! are offline in each window, rotating batches so every server shares the
+//! downtime equally (which is what produces the tight per-pool availability
+//! bands).
+
+use headroom_telemetry::time::WindowIndex;
+
+/// Windows per maintenance rotation batch (1 hour).
+const ROTATION_WINDOWS: u64 = 30;
+
+/// A pool's planned-maintenance/repurposing practice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum AvailabilityPractice {
+    /// Rolling deployments touching ~2% of the pool — the paper's
+    /// best-managed population (≈98% available).
+    #[default]
+    WellManaged,
+    /// ~4% of the pool under maintenance (≈96%).
+    Moderate,
+    /// ~6% (≈94%).
+    Standard,
+    /// ~9.5% (≈90.5%) — long deployment drains (the paper's pool C).
+    Heavy,
+    /// ~15% (≈85%) — the paper's mid-availability population.
+    Relaxed,
+    /// Pool repurposed for offline validation during local off-peak hours
+    /// (≈72% available — the paper's sub-80% population).
+    Repurposed,
+}
+
+impl AvailabilityPractice {
+    /// Fraction of the pool offline at a given local hour.
+    pub fn offline_fraction(&self, local_hour: f64) -> f64 {
+        match self {
+            AvailabilityPractice::WellManaged => 0.02,
+            AvailabilityPractice::Moderate => 0.04,
+            AvailabilityPractice::Standard => 0.06,
+            AvailabilityPractice::Heavy => 0.095,
+            AvailabilityPractice::Relaxed => 0.15,
+            AvailabilityPractice::Repurposed => {
+                // Two thirds of the pool runs offline validation during the
+                // local night; the remainder comfortably covers the trough
+                // demand without violating the latency SLO.
+                if (0.0..8.0).contains(&local_hour) {
+                    0.65
+                } else {
+                    0.015
+                }
+            }
+        }
+    }
+
+    /// Long-run expected availability of a pool under this practice
+    /// (averaged over the day, before incident days).
+    pub fn expected_availability(&self) -> f64 {
+        let mean_offline = (0..24)
+            .map(|h| self.offline_fraction(h as f64 + 0.5))
+            .sum::<f64>()
+            / 24.0;
+        1.0 - mean_offline
+    }
+}
+
+/// Deterministic per-pool maintenance schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaintenancePlan {
+    /// The pool's practice.
+    pub practice: AvailabilityPractice,
+    /// Per-pool seed decorrelating rotation phases across pools.
+    pub seed: u64,
+    /// Probability that a whole day is an "incident day" with an extra 25%
+    /// of the pool offline (the occasional major-unavailability days of
+    /// Fig. 15). Set to 0 to disable.
+    pub incident_day_probability: f64,
+}
+
+impl MaintenancePlan {
+    /// Creates a plan with the default 3% incident-day rate.
+    pub fn new(practice: AvailabilityPractice, seed: u64) -> Self {
+        MaintenancePlan { practice, seed, incident_day_probability: 0.03 }
+    }
+
+    /// Disables incident days (for experiments that need clean pools).
+    pub fn without_incidents(mut self) -> Self {
+        self.incident_day_probability = 0.0;
+        self
+    }
+
+    /// Whether `day` is an incident day for this pool.
+    pub fn is_incident_day(&self, day: u64) -> bool {
+        if self.incident_day_probability <= 0.0 {
+            return false;
+        }
+        let h = hash2(self.seed, day);
+        (h as f64 / u64::MAX as f64) < self.incident_day_probability
+    }
+
+    /// Fraction of the pool offline in `window` given the pool's local hour.
+    pub fn offline_fraction(&self, window: WindowIndex, local_hour: f64) -> f64 {
+        let mut f = self.practice.offline_fraction(local_hour);
+        if self.is_incident_day(window.day()) {
+            f = (f + 0.25).min(1.0);
+        }
+        f
+    }
+
+    /// Whether server `index` (of `pool_size`) is down for maintenance in
+    /// `window`.
+    ///
+    /// The offline batch rotates hourly so downtime is spread evenly.
+    pub fn is_offline(
+        &self,
+        index: usize,
+        pool_size: usize,
+        window: WindowIndex,
+        local_hour: f64,
+    ) -> bool {
+        if pool_size == 0 {
+            return false;
+        }
+        let fraction = self.offline_fraction(window, local_hour);
+        let rotation = window.0 / ROTATION_WINDOWS;
+        // Dither the fractional part per rotation so small pools still see
+        // their long-run offline fraction (round() would pin a 5-server
+        // pool's 2% practice at permanent zero).
+        let exact = fraction * pool_size as f64;
+        let mut count = exact.floor() as usize;
+        let frac_part = exact - count as f64;
+        if frac_part > 0.0 {
+            let draw = hash2(self.seed ^ 0x0D17_4E12, rotation) as f64 / u64::MAX as f64;
+            if draw < frac_part {
+                count += 1;
+            }
+        }
+        if count == 0 {
+            return false;
+        }
+        if count >= pool_size {
+            return true;
+        }
+        // Hash the rotation index so the batch start cycles through every
+        // server (a linear stride aliases with small pool sizes and leaves
+        // some servers permanently online).
+        let start = (hash2(self.seed ^ 0xBA7C, rotation) % pool_size as u64) as usize;
+        let end = start + count;
+        if end <= pool_size {
+            index >= start && index < end
+        } else {
+            index >= start || index < end - pool_size
+        }
+    }
+}
+
+/// Cheap deterministic 64-bit mix of two values (splitmix-style).
+pub(crate) fn hash2(a: u64, b: u64) -> u64 {
+    let mut x = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use headroom_telemetry::time::WINDOWS_PER_DAY;
+
+    #[test]
+    fn expected_availability_matches_paper_populations() {
+        assert!((AvailabilityPractice::WellManaged.expected_availability() - 0.98).abs() < 0.001);
+        assert!((AvailabilityPractice::Relaxed.expected_availability() - 0.85).abs() < 0.001);
+        assert!((AvailabilityPractice::Heavy.expected_availability() - 0.905).abs() < 0.001);
+        let rep = AvailabilityPractice::Repurposed.expected_availability();
+        assert!(rep < 0.78, "repurposed pools sit below 80%: {rep}");
+        assert!(rep > 0.68, "but not absurdly low: {rep}");
+    }
+
+    #[test]
+    fn repurposed_offline_window_is_offpeak() {
+        let p = AvailabilityPractice::Repurposed;
+        assert!(p.offline_fraction(3.0) > 0.5);
+        assert!(p.offline_fraction(14.0) < 0.05);
+    }
+
+    #[test]
+    fn offline_count_matches_fraction() {
+        let plan = MaintenancePlan::new(AvailabilityPractice::Heavy, 1).without_incidents();
+        let n = 200;
+        let offline = (0..n)
+            .filter(|&i| plan.is_offline(i, n, WindowIndex(100), 12.0))
+            .count();
+        assert_eq!(offline, (0.095f64 * n as f64).round() as usize);
+    }
+
+    #[test]
+    fn rotation_spreads_downtime_evenly() {
+        let plan = MaintenancePlan::new(AvailabilityPractice::Heavy, 7).without_incidents();
+        let n = 50;
+        let mut downtime = vec![0u32; n];
+        for w in 0..(14 * WINDOWS_PER_DAY) {
+            for (i, d) in downtime.iter_mut().enumerate() {
+                if plan.is_offline(i, n, WindowIndex(w), 12.0) {
+                    *d += 1;
+                }
+            }
+        }
+        let min = *downtime.iter().min().unwrap() as f64;
+        let max = *downtime.iter().max().unwrap() as f64;
+        assert!(max > 0.0);
+        assert!(min / max > 0.5, "rotation should spread downtime: min {min} max {max}");
+    }
+
+    #[test]
+    fn incident_days_are_rare_and_deterministic() {
+        let plan = MaintenancePlan::new(AvailabilityPractice::WellManaged, 3);
+        let incidents: Vec<u64> = (0..1000).filter(|&d| plan.is_incident_day(d)).collect();
+        let rate = incidents.len() as f64 / 1000.0;
+        assert!(rate > 0.005 && rate < 0.08, "rate {rate}");
+        let plan2 = MaintenancePlan::new(AvailabilityPractice::WellManaged, 3);
+        let incidents2: Vec<u64> = (0..1000).filter(|&d| plan2.is_incident_day(d)).collect();
+        assert_eq!(incidents, incidents2);
+    }
+
+    #[test]
+    fn incident_day_raises_offline_fraction() {
+        let plan = MaintenancePlan {
+            practice: AvailabilityPractice::WellManaged,
+            seed: 0,
+            incident_day_probability: 1.0,
+        };
+        let f = plan.offline_fraction(WindowIndex(0), 12.0);
+        assert!((f - 0.27).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_pool_never_offline() {
+        let plan = MaintenancePlan::new(AvailabilityPractice::Heavy, 0);
+        assert!(!plan.is_offline(0, 0, WindowIndex(0), 12.0));
+    }
+
+    #[test]
+    fn small_pools_still_take_downtime() {
+        // round(0.02 * 5) == 0, but dithering must preserve the long-run
+        // 2% offline fraction even for a 5-server pool.
+        let plan = MaintenancePlan::new(AvailabilityPractice::WellManaged, 5).without_incidents();
+        let n = 5;
+        let mut offline = 0u64;
+        let mut total = 0u64;
+        for w in 0..(30 * WINDOWS_PER_DAY) {
+            for i in 0..n {
+                total += 1;
+                if plan.is_offline(i, n, WindowIndex(w), 12.0) {
+                    offline += 1;
+                }
+            }
+        }
+        let fraction = offline as f64 / total as f64;
+        assert!((fraction - 0.02).abs() < 0.008, "long-run fraction {fraction:.4}");
+    }
+
+    #[test]
+    fn incident_stacks_on_repurposing() {
+        let plan = MaintenancePlan {
+            practice: AvailabilityPractice::Repurposed,
+            seed: 0,
+            incident_day_probability: 1.0,
+        };
+        // Repurposed off-peak 0.65 + incident 0.25 = 0.90 ⇒ 9 of 10 offline.
+        let offline = (0..10)
+            .filter(|&i| plan.is_offline(i, 10, WindowIndex(60), 3.0))
+            .count();
+        assert_eq!(offline, 9);
+        // A fraction driven to 1.0 takes the whole pool down.
+        let full = MaintenancePlan {
+            practice: AvailabilityPractice::Relaxed,
+            seed: 0,
+            incident_day_probability: 1.0,
+        };
+        let f = full.offline_fraction(WindowIndex(60), 3.0);
+        assert!((f - 0.40).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hash2_differs_across_inputs() {
+        assert_ne!(hash2(1, 2), hash2(2, 1));
+        assert_ne!(hash2(0, 0), hash2(0, 1));
+        assert_eq!(hash2(5, 9), hash2(5, 9));
+    }
+}

@@ -1,0 +1,231 @@
+//! Server pools and load balancing.
+//!
+//! "A server pool is a set of servers with a network load-balancer
+//! distributing incoming requests evenly across them. All servers have the
+//! same software and hardware" (paper, footnote 1). Capacity is managed at
+//! pool granularity: interventions drain or restore servers.
+
+use headroom_telemetry::ids::{DatacenterId, PoolId, ServerId};
+use headroom_workload::DiurnalCurve;
+use rand::rngs::StdRng;
+
+use crate::catalog::MicroserviceKind;
+use crate::error::ClusterError;
+use crate::failure::FailureModel;
+use crate::maintenance::MaintenancePlan;
+use crate::server::{Server, ServerState};
+use crate::service_model::ServiceModel;
+
+/// A pool of identical servers running one micro-service in one datacenter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pool {
+    /// Pool identity.
+    pub id: PoolId,
+    /// Hosting datacenter.
+    pub datacenter: DatacenterId,
+    /// The micro-service this pool runs.
+    pub service: MicroserviceKind,
+    /// Black-box response model of the service on this pool's servers.
+    pub model: ServiceModel,
+    /// The servers (index order is stable; interventions drain the tail).
+    pub servers: Vec<Server>,
+    /// Total-demand curve for this pool (already datacenter-local).
+    pub demand: DiurnalCurve,
+    /// Planned-maintenance schedule.
+    pub maintenance: MaintenancePlan,
+    /// Unplanned-failure process (`None` disables failures).
+    pub failures: Option<FailureModel>,
+    /// Per-datacenter network shape factor (Fig. 2's cross-DC variation in
+    /// network bytes/packets per request).
+    pub net_scale: f64,
+    /// Local-time offset: hour-of-day in this pool's region when UTC hour
+    /// is zero (derived from the datacenter's peak hour).
+    pub local_hour_offset: f64,
+}
+
+impl Pool {
+    /// Number of servers administratively in rotation.
+    pub fn active_count(&self) -> usize {
+        self.servers.iter().filter(|s| s.is_active()).count()
+    }
+
+    /// Total servers owned by the pool (active + drained).
+    pub fn size(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Server ids in index order.
+    pub fn server_ids(&self) -> Vec<ServerId> {
+        self.servers.iter().map(|s| s.id).collect()
+    }
+
+    /// Sets the number of active servers to `n` by draining from the tail
+    /// (or restoring drained servers when growing).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::InvalidResize`] when `n` exceeds the pool size or is
+    /// zero.
+    pub fn resize_active(&mut self, n: usize) -> Result<(), ClusterError> {
+        if n == 0 || n > self.servers.len() {
+            return Err(ClusterError::InvalidResize {
+                pool: self.id,
+                requested: n,
+                available: self.servers.len(),
+            });
+        }
+        for (i, server) in self.servers.iter_mut().enumerate() {
+            server.state = if i < n { ServerState::Active } else { ServerState::Drained };
+        }
+        Ok(())
+    }
+
+    /// Converts a UTC hour-of-day to this pool's local hour.
+    pub fn local_hour(&self, utc_hour: f64) -> f64 {
+        (utc_hour + self.local_hour_offset).rem_euclid(24.0)
+    }
+}
+
+/// Even load distribution with a small, realistic imbalance.
+///
+/// Production load balancers are *approximately* even; the paper's per-window
+/// scatter reflects a little per-server spread. Shares are jittered by
+/// `imbalance` (relative std) and renormalised so the total is preserved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadBalancer {
+    /// Relative standard deviation of per-server shares (e.g. `0.02`).
+    pub imbalance: f64,
+}
+
+impl Default for LoadBalancer {
+    fn default() -> Self {
+        LoadBalancer { imbalance: 0.02 }
+    }
+}
+
+impl LoadBalancer {
+    /// Splits `total_rps` across `n` servers.
+    ///
+    /// Returns an empty vector when `n == 0` (nobody to serve — callers
+    /// treat this as an outage).
+    pub fn distribute(&self, total_rps: f64, n: usize, rng: &mut StdRng) -> Vec<f64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let even = total_rps / n as f64;
+        if self.imbalance <= 0.0 {
+            return vec![even; n];
+        }
+        let mut shares: Vec<f64> = (0..n)
+            .map(|_| (1.0 + gaussian(rng) * self.imbalance).max(0.0))
+            .collect();
+        let sum: f64 = shares.iter().sum();
+        if sum <= 0.0 {
+            return vec![even; n];
+        }
+        for s in &mut shares {
+            *s = *s / sum * total_rps;
+        }
+        shares
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    use rand::RngExt;
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::HardwareGeneration;
+    use crate::maintenance::AvailabilityPractice;
+    use rand::SeedableRng;
+
+    fn test_pool(n: usize) -> Pool {
+        Pool {
+            id: PoolId(0),
+            datacenter: DatacenterId(0),
+            service: MicroserviceKind::B,
+            model: ServiceModel::paper_pool_b(),
+            servers: (0..n as u32)
+                .map(|i| Server::new(ServerId(i), HardwareGeneration::Gen1))
+                .collect(),
+            demand: DiurnalCurve::new(1000.0),
+            maintenance: MaintenancePlan::new(AvailabilityPractice::WellManaged, 0),
+            failures: None,
+            net_scale: 1.0,
+            local_hour_offset: 0.0,
+        }
+    }
+
+    #[test]
+    fn resize_drains_tail() {
+        let mut pool = test_pool(10);
+        pool.resize_active(7).unwrap();
+        assert_eq!(pool.active_count(), 7);
+        assert_eq!(pool.size(), 10);
+        assert!(pool.servers[9].state == ServerState::Drained);
+        assert!(pool.servers[0].is_active());
+        // Restore.
+        pool.resize_active(10).unwrap();
+        assert_eq!(pool.active_count(), 10);
+    }
+
+    #[test]
+    fn resize_validates() {
+        let mut pool = test_pool(5);
+        assert!(matches!(
+            pool.resize_active(0),
+            Err(ClusterError::InvalidResize { requested: 0, .. })
+        ));
+        assert!(matches!(
+            pool.resize_active(6),
+            Err(ClusterError::InvalidResize { requested: 6, available: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn lb_preserves_total() {
+        let lb = LoadBalancer::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let shares = lb.distribute(1000.0, 7, &mut rng);
+        assert_eq!(shares.len(), 7);
+        let total: f64 = shares.iter().sum();
+        assert!((total - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lb_shares_are_near_even() {
+        let lb = LoadBalancer { imbalance: 0.02 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let shares = lb.distribute(900.0, 9, &mut rng);
+        for s in shares {
+            assert!((s - 100.0).abs() < 15.0, "share {s} too far from even");
+        }
+    }
+
+    #[test]
+    fn lb_zero_imbalance_exactly_even() {
+        let lb = LoadBalancer { imbalance: 0.0 };
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(lb.distribute(100.0, 4, &mut rng), vec![25.0; 4]);
+    }
+
+    #[test]
+    fn lb_empty_pool() {
+        let lb = LoadBalancer::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(lb.distribute(100.0, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn local_hour_wraps() {
+        let mut pool = test_pool(1);
+        pool.local_hour_offset = 8.0;
+        assert!((pool.local_hour(20.0) - 4.0).abs() < 1e-9);
+        assert!((pool.local_hour(2.0) - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,228 @@
+//! Twin-pool A/B harness for offline regression analysis (steps 3–4).
+//!
+//! §II-D: "Our system uses two server pools of the same size and hardware,
+//! one running with the change and the other without. We precisely generate
+//! identical workloads to each pool enabling us to detect changes with high
+//! confidence and precision. We make small workload increments over time…"
+//!
+//! The lab drives two offline pools with a [`SteppedLoad`] ramp and returns
+//! per-step measurements for both; [`headroom_core`]'s offline analysis then
+//! decides whether the change regressed capacity or QoS (Fig. 16).
+//!
+//! [`headroom_core`]: https://docs.rs/headroom-core
+
+use headroom_workload::stepped::SteppedLoad;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::hardware::HardwareGeneration;
+use crate::pool::LoadBalancer;
+use crate::service_model::ServiceModel;
+use headroom_telemetry::time::WindowIndex;
+
+/// Measurements for one load step on one pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepMeasurement {
+    /// Offered RPS per server at this step.
+    pub rps_per_server: f64,
+    /// Per-window pool-average p95 latency samples (one per window held).
+    pub latency_p95_ms: Vec<f64>,
+    /// Per-window pool-average CPU percent samples.
+    pub cpu_pct: Vec<f64>,
+    /// Pool-average resident memory at the end of the step (MB).
+    pub memory_mb: f64,
+}
+
+impl StepMeasurement {
+    /// Mean of the latency samples.
+    pub fn mean_latency(&self) -> f64 {
+        mean(&self.latency_p95_ms)
+    }
+
+    /// Mean of the CPU samples.
+    pub fn mean_cpu(&self) -> f64 {
+        mean(&self.cpu_pct)
+    }
+
+    /// Five-number summary of the latency samples `(min, q1, median, q3,
+    /// max)` — the Fig. 16 box-plot format.
+    pub fn latency_box(&self) -> (f64, f64, f64, f64, f64) {
+        let mut sorted = self.latency_p95_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latency is finite"));
+        let p = |q: f64| headroom_stats::percentile::percentile_of_sorted(&sorted, q);
+        (p(0.0), p(25.0), p(50.0), p(75.0), p(100.0))
+    }
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Result of an A/B run: per-step measurements for both pools.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbRunResult {
+    /// The unchanged pool.
+    pub baseline: Vec<StepMeasurement>,
+    /// The pool running the change.
+    pub candidate: Vec<StepMeasurement>,
+    /// The ramp that was applied (identical for both pools).
+    pub ramp: SteppedLoad,
+}
+
+/// Twin-pool offline experiment configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionLab {
+    /// Model of the current production build.
+    pub baseline: ServiceModel,
+    /// Model of the proposed change.
+    pub candidate: ServiceModel,
+    /// Servers in each offline pool.
+    pub pool_size: usize,
+    /// Hardware of both pools (identical, per the methodology).
+    pub generation: HardwareGeneration,
+    /// The stepped load applied to both pools.
+    pub ramp: SteppedLoad,
+    /// Seed for the (identical) workload generation.
+    pub seed: u64,
+}
+
+impl RegressionLab {
+    /// Creates a lab with a 10-server pool on Gen1 hardware.
+    pub fn new(baseline: ServiceModel, candidate: ServiceModel, ramp: SteppedLoad, seed: u64) -> Self {
+        RegressionLab {
+            baseline,
+            candidate,
+            pool_size: 10,
+            generation: HardwareGeneration::Gen1,
+            ramp,
+            seed,
+        }
+    }
+
+    /// Runs both pools under the identical ramp.
+    ///
+    /// Both pools see the same per-window total workload and the same
+    /// load-balancer jitter sequence; only the service model differs.
+    pub fn run(&self) -> AbRunResult {
+        let baseline = self.run_pool(&self.baseline);
+        let candidate = self.run_pool(&self.candidate);
+        AbRunResult { baseline, candidate, ramp: self.ramp }
+    }
+
+    fn run_pool(&self, model: &ServiceModel) -> Vec<StepMeasurement> {
+        let lb = LoadBalancer::default();
+        // Fresh RNG per pool: identical workload/jitter streams for both.
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut windows_online = vec![0u64; self.pool_size];
+        let mut results = Vec::with_capacity(self.ramp.steps);
+        let mut window = 0u64;
+        for step in 0..self.ramp.steps {
+            let rps_per_server = self.ramp.rps_at_step(step);
+            let total = rps_per_server * self.pool_size as f64;
+            let mut latencies = Vec::with_capacity(self.ramp.windows_per_step);
+            let mut cpus = Vec::with_capacity(self.ramp.windows_per_step);
+            let mut memory = 0.0;
+            for _ in 0..self.ramp.windows_per_step {
+                let shares = lb.distribute(total, self.pool_size, &mut rng);
+                let mut lat_sum = 0.0;
+                let mut cpu_sum = 0.0;
+                let mut mem_sum = 0.0;
+                for (i, &share) in shares.iter().enumerate() {
+                    let m = model.window_metrics(
+                        share,
+                        self.generation,
+                        WindowIndex(window),
+                        windows_online[i],
+                        i as u64,
+                        1.0,
+                        &mut rng,
+                    );
+                    lat_sum += m.latency_p95_ms;
+                    cpu_sum += m.cpu_pct;
+                    mem_sum += m.memory_resident_mb;
+                    windows_online[i] += 1;
+                }
+                latencies.push(lat_sum / self.pool_size as f64);
+                cpus.push(cpu_sum / self.pool_size as f64);
+                memory = mem_sum / self.pool_size as f64;
+                window += 1;
+            }
+            results.push(StepMeasurement {
+                rps_per_server,
+                latency_p95_ms: latencies,
+                cpu_pct: cpus,
+                memory_mb: memory,
+            });
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> SteppedLoad {
+        SteppedLoad::new(50.0, 50.0, 6, 8)
+    }
+
+    #[test]
+    fn identical_models_identical_results() {
+        let m = ServiceModel::paper_pool_b();
+        let lab = RegressionLab::new(m.clone(), m, ramp(), 5);
+        let result = lab.run();
+        assert_eq!(result.baseline, result.candidate);
+    }
+
+    #[test]
+    fn leak_fix_shows_in_memory() {
+        let leaky = ServiceModel::paper_pool_b().with_leak(3.0);
+        let fixed = ServiceModel::paper_pool_b();
+        let lab = RegressionLab::new(leaky, fixed, ramp(), 5);
+        let result = lab.run();
+        let base_mem = result.baseline.last().unwrap().memory_mb;
+        let cand_mem = result.candidate.last().unwrap().memory_mb;
+        assert!(base_mem > cand_mem + 100.0, "leak visible: {base_mem} vs {cand_mem}");
+    }
+
+    #[test]
+    fn latency_regression_shows_at_high_load_only() {
+        // The Fig. 16 defect: fine at low load, much worse at high load.
+        let baseline = ServiceModel::paper_pool_b();
+        let regressed = ServiceModel::paper_pool_b().with_latency_quadratic_scaled(6.0);
+        let lab = RegressionLab::new(baseline, regressed, ramp(), 7);
+        let result = lab.run();
+        let low_delta =
+            result.candidate[0].mean_latency() - result.baseline[0].mean_latency();
+        let high_delta = result.candidate.last().unwrap().mean_latency()
+            - result.baseline.last().unwrap().mean_latency();
+        assert!(low_delta < 2.0, "low-load delta {low_delta}");
+        assert!(high_delta > 5.0, "high-load delta {high_delta}");
+    }
+
+    #[test]
+    fn latency_box_is_ordered() {
+        let m = ServiceModel::paper_pool_d();
+        let lab = RegressionLab::new(m.clone(), m, ramp(), 2);
+        let result = lab.run();
+        for step in &result.baseline {
+            let (min, q1, med, q3, max) = step.latency_box();
+            assert!(min <= q1 && q1 <= med && med <= q3 && q3 <= max);
+        }
+    }
+
+    #[test]
+    fn steps_match_ramp() {
+        let m = ServiceModel::paper_pool_d();
+        let lab = RegressionLab::new(m.clone(), m, ramp(), 2);
+        let result = lab.run();
+        assert_eq!(result.baseline.len(), 6);
+        assert_eq!(result.baseline[0].rps_per_server, 50.0);
+        assert_eq!(result.baseline[5].rps_per_server, 300.0);
+        assert_eq!(result.baseline[0].latency_p95_ms.len(), 8);
+    }
+}

@@ -1,0 +1,239 @@
+//! Canned fleet scenarios for experiments, examples and tests.
+
+use headroom_telemetry::availability::AvailabilityLog;
+use headroom_telemetry::ids::PoolId;
+use headroom_telemetry::store::MetricStore;
+use headroom_telemetry::time::WindowRange;
+use headroom_workload::events::EventScript;
+
+use crate::catalog::MicroserviceKind;
+use crate::error::ClusterError;
+use crate::sim::{RecordingPolicy, SimConfig, Simulation};
+use crate::topology::{Fleet, FleetBuilder};
+
+/// A ready-to-run fleet + event script + simulation configuration.
+///
+/// # Example
+///
+/// ```
+/// use headroom_cluster::scenario::FleetScenario;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let outcome = FleetScenario::small(1).run_days(0.1)?;
+/// assert_eq!(outcome.pools().len(), 6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FleetScenario {
+    fleet: Fleet,
+    events: EventScript,
+    config: SimConfig,
+    name: &'static str,
+}
+
+impl FleetScenario {
+    /// A laptop-friendly fleet: 3 datacenters, services B and D, 20 servers
+    /// per pool (120 servers). Failures and incident days disabled so
+    /// forecasting examples see clean curves.
+    pub fn small(seed: u64) -> Self {
+        let spec_b = MicroserviceKind::B
+            .spec()
+            .with_practice(crate::maintenance::AvailabilityPractice::WellManaged);
+        let spec_d = MicroserviceKind::D.spec();
+        let fleet = FleetBuilder::new(seed)
+            .datacenters(3)
+            .without_failures()
+            .without_incidents()
+            .deploy_with_spec(&spec_b, 20, spec_b.peak_rps_per_server)
+            .expect("datacenters added")
+            .deploy_with_spec(&spec_d, 20, spec_d.peak_rps_per_server)
+            .expect("datacenters added")
+            .build();
+        FleetScenario {
+            fleet,
+            events: EventScript::empty(),
+            config: SimConfig { seed, ..SimConfig::default() },
+            name: "small",
+        }
+    }
+
+    /// The full paper-shaped fleet: 9 datacenters × 9 services at
+    /// catalog sizes (≈6k servers). Use `scale` < 1.0 to shrink pools
+    /// proportionally (minimum 4 servers per pool).
+    pub fn paper_scale(seed: u64, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
+        let mut builder = FleetBuilder::new(seed).datacenters(9);
+        for kind in MicroserviceKind::ALL {
+            let spec = kind.spec();
+            let n = ((spec.servers_per_pool as f64 * scale).round() as usize).max(4);
+            builder = builder.deploy_service(kind, n).expect("datacenters added");
+        }
+        FleetScenario {
+            fleet: builder.build(),
+            events: EventScript::empty(),
+            config: SimConfig { seed, ..SimConfig::default() },
+            name: "paper-scale",
+        }
+    }
+
+    /// One service deployed across `datacenters` DCs with `servers_per_pool`
+    /// servers — the shape of the paper's pool-reduction experiments.
+    /// Failures and incidents are disabled for clean experiment curves.
+    pub fn single_service(
+        kind: MicroserviceKind,
+        datacenters: usize,
+        servers_per_pool: usize,
+        seed: u64,
+    ) -> Self {
+        let spec = kind
+            .spec()
+            .with_practice(crate::maintenance::AvailabilityPractice::WellManaged);
+        let fleet = FleetBuilder::new(seed)
+            .datacenters(datacenters)
+            .without_failures()
+            .without_incidents()
+            .deploy_with_spec(&spec, servers_per_pool, spec.peak_rps_per_server)
+            .expect("datacenters added")
+            .build();
+        FleetScenario {
+            fleet,
+            events: EventScript::empty(),
+            config: SimConfig { seed, ..SimConfig::default() },
+            name: "single-service",
+        }
+    }
+
+    /// Attaches an event script (surges, datacenter losses).
+    pub fn with_events(mut self, events: EventScript) -> Self {
+        self.events = events;
+        self
+    }
+
+    /// Overrides the recording policy.
+    pub fn with_recording(mut self, recording: RecordingPolicy) -> Self {
+        self.config.recording = recording;
+        self
+    }
+
+    /// Scenario name (for reports).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The fleet (before simulation).
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// Converts into a [`Simulation`] for custom driving (interventions,
+    /// observers).
+    pub fn into_simulation(self) -> Simulation {
+        Simulation::new(self.fleet, self.events, self.config)
+    }
+
+    /// Runs for `days` simulated days and returns the outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::InvalidConfig`] when `days` is not positive.
+    pub fn run_days(self, days: f64) -> Result<ScenarioOutcome, ClusterError> {
+        if !(days > 0.0) {
+            return Err(ClusterError::InvalidConfig("days must be positive"));
+        }
+        let mut sim = self.into_simulation();
+        sim.run_days(days);
+        let range = WindowRange::new(
+            headroom_telemetry::time::WindowIndex(0),
+            sim.current_window(),
+        );
+        let (fleet, store, availability) = sim.into_parts();
+        Ok(ScenarioOutcome { fleet, store, availability, range })
+    }
+}
+
+/// The artifacts of a completed scenario run.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    fleet: Fleet,
+    store: MetricStore,
+    availability: AvailabilityLog,
+    range: WindowRange,
+}
+
+impl ScenarioOutcome {
+    /// All pool ids, sorted.
+    pub fn pools(&self) -> Vec<PoolId> {
+        self.store.pools()
+    }
+
+    /// The recorded metrics.
+    pub fn store(&self) -> &MetricStore {
+        &self.store
+    }
+
+    /// The availability log.
+    pub fn availability(&self) -> &AvailabilityLog {
+        &self.availability
+    }
+
+    /// The fleet as it ended the run.
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// The simulated window range.
+    pub fn range(&self) -> WindowRange {
+        self.range
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use headroom_telemetry::counter::CounterKind;
+
+    #[test]
+    fn small_scenario_runs() {
+        let outcome = FleetScenario::small(1).run_days(0.1).unwrap();
+        assert_eq!(outcome.pools().len(), 6);
+        assert_eq!(outcome.range().len(), 72);
+        assert!(outcome.store().sample_count() > 0);
+    }
+
+    #[test]
+    fn paper_scale_has_all_services() {
+        let scenario = FleetScenario::paper_scale(1, 0.05);
+        let fleet = scenario.fleet();
+        assert_eq!(fleet.datacenters().len(), 9);
+        assert_eq!(fleet.pools().len(), 81);
+        for kind in MicroserviceKind::ALL {
+            assert_eq!(fleet.pools_of_service(kind).len(), 9);
+        }
+    }
+
+    #[test]
+    fn scale_shrinks_pools_with_floor() {
+        let scenario = FleetScenario::paper_scale(1, 0.01);
+        for pool in scenario.fleet().pools() {
+            assert!(pool.size() >= 2);
+        }
+    }
+
+    #[test]
+    fn zero_days_rejected() {
+        assert!(FleetScenario::small(1).run_days(0.0).is_err());
+    }
+
+    #[test]
+    fn single_service_shape() {
+        let outcome = FleetScenario::single_service(MicroserviceKind::D, 4, 8, 2)
+            .run_days(0.05)
+            .unwrap();
+        assert_eq!(outcome.pools().len(), 4);
+        let pool = outcome.pools()[0];
+        let series =
+            outcome.store().pool_mean_series(pool, CounterKind::LatencyP95Ms, outcome.range());
+        assert!(!series.is_empty());
+    }
+}

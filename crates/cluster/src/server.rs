@@ -1,0 +1,82 @@
+//! Individual servers and their lifecycle state.
+
+use headroom_telemetry::ids::ServerId;
+
+use crate::hardware::HardwareGeneration;
+
+/// Administrative state of a server within its pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ServerState {
+    /// In the load-balancer rotation (when not down for maintenance or
+    /// failed).
+    #[default]
+    Active,
+    /// Removed from rotation by a capacity intervention (reduction
+    /// experiment); still owned by the pool and can be restored.
+    Drained,
+}
+
+/// One server: identity, hardware, state, and process age.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Server {
+    /// Fleet-unique identifier.
+    pub id: ServerId,
+    /// Hardware generation (affects per-request CPU cost).
+    pub generation: HardwareGeneration,
+    /// Administrative state.
+    pub state: ServerState,
+    /// Consecutive windows the service process has been up; resets when the
+    /// server goes offline (restart). Drives leak accumulation.
+    pub windows_online: u64,
+}
+
+impl Server {
+    /// Creates an active server.
+    pub fn new(id: ServerId, generation: HardwareGeneration) -> Self {
+        Server { id, generation, state: ServerState::Active, windows_online: 0 }
+    }
+
+    /// Whether the server is administratively in rotation.
+    pub fn is_active(&self) -> bool {
+        self.state == ServerState::Active
+    }
+
+    /// Marks one window online (age grows).
+    pub fn tick_online(&mut self) {
+        self.windows_online += 1;
+    }
+
+    /// Marks one window offline (process restarts; age resets).
+    pub fn tick_offline(&mut self) {
+        self.windows_online = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_server_is_active() {
+        let s = Server::new(ServerId(1), HardwareGeneration::Gen2);
+        assert!(s.is_active());
+        assert_eq!(s.windows_online, 0);
+    }
+
+    #[test]
+    fn age_grows_and_resets() {
+        let mut s = Server::new(ServerId(0), HardwareGeneration::Gen1);
+        s.tick_online();
+        s.tick_online();
+        assert_eq!(s.windows_online, 2);
+        s.tick_offline();
+        assert_eq!(s.windows_online, 0);
+    }
+
+    #[test]
+    fn drained_is_not_active() {
+        let mut s = Server::new(ServerId(0), HardwareGeneration::Gen1);
+        s.state = ServerState::Drained;
+        assert!(!s.is_active());
+    }
+}

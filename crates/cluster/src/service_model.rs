@@ -1,0 +1,570 @@
+//! Black-box micro-service response models.
+//!
+//! Each micro-service is modelled only by its externally observable response
+//! to per-server workload — exactly the quantities the paper's planner
+//! measures:
+//!
+//! - **CPU** is linear in RPS (§II-A1, Fig. 2): `cpu = α·r + β`, scaled by
+//!   hardware generation, with small multiplicative noise.
+//! - **Latency** (p95, ms) follows the paper's published quadratics
+//!   (Figs. 9/11) plus an M/M/1-style queueing knee as the server approaches
+//!   its capacity, so the planner's extrapolations eventually meet a real
+//!   saturation wall.
+//! - **Disk/memory** activity is paging-dominated and mostly independent of
+//!   workload (the "vertical patterns" of Fig. 2).
+//! - **Network** bytes/packets are linear in RPS with per-datacenter
+//!   variation supplied by the caller.
+//!
+//! Models for the paper's pools B and D use the exact coefficients the paper
+//! reports, so forecast experiments regenerate the published numbers.
+
+use headroom_telemetry::time::WindowIndex;
+use rand::rngs::StdRng;
+
+use crate::hardware::HardwareGeneration;
+
+/// Gaussian helper shared with the workload crate's convention.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    use rand::RngExt;
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// One logical table/sub-workload within a service (§II-A1's memcached-like
+/// service whose single "requests" metric mixed two tables with different
+/// costs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableWorkload {
+    /// Long-run fraction of requests hitting this table.
+    pub share: f64,
+    /// CPU percent per RPS for this table's requests (Gen1 hardware).
+    pub cpu_per_rps: f64,
+    /// Window-to-window jitter of the share (what makes the *combined*
+    /// metric noisy).
+    pub share_jitter: f64,
+}
+
+/// Periodic background log upload (§II-A1's "periodic resource spikes
+/// correlated with log uploads of many GB / hour").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogUploadSpec {
+    /// Period between uploads, in windows.
+    pub period_windows: u64,
+    /// Upload duration, in windows.
+    pub duration_windows: u64,
+    /// Extra CPU percent while uploading.
+    pub cpu_pct: f64,
+    /// Disk write bytes/sec while uploading.
+    pub disk_write_bytes_per_sec: f64,
+}
+
+impl LogUploadSpec {
+    /// Whether the upload is active in `window` (per-server phase offset
+    /// spreads uploads across a pool).
+    pub fn active(&self, window: WindowIndex, phase: u64) -> bool {
+        if self.period_windows == 0 {
+            return false;
+        }
+        (window.0 + phase) % self.period_windows < self.duration_windows
+    }
+}
+
+/// The black-box response model of one micro-service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceModel {
+    /// CPU percent per RPS on Gen1 hardware (the paper's fitted slope).
+    pub cpu_per_rps: f64,
+    /// Baseline CPU percent (system processes; the fitted intercept).
+    pub cpu_base: f64,
+    /// Relative noise on the CPU reading.
+    pub cpu_noise_rel: f64,
+    /// Latency quadratic `[c0, c1, c2]` (p95 ms as a function of RPS/server).
+    pub latency_coeffs: [f64; 3],
+    /// Latency never reported below this floor (ms).
+    pub latency_floor_ms: f64,
+    /// Additive noise on reported latency (ms, std dev).
+    pub latency_noise_ms: f64,
+    /// Per-server RPS at which queueing saturates on Gen1 hardware.
+    pub queue_capacity_rps: f64,
+    /// Scale of the queueing-delay term (ms at ρ = 0.5).
+    pub queue_scale_ms: f64,
+    /// Mean paging rate (pages/sec), workload-independent.
+    pub paging_base: f64,
+    /// Relative noise of paging (large ⇒ Fig. 2's vertical patterns).
+    pub paging_noise_rel: f64,
+    /// Disk bytes read per page fault.
+    pub page_bytes: f64,
+    /// Baseline disk queue length.
+    pub disk_queue_base: f64,
+    /// Network bytes per request (both directions).
+    pub net_bytes_per_req: f64,
+    /// Network packets per request.
+    pub net_pkts_per_req: f64,
+    /// Request failure fraction at nominal load.
+    pub error_rate: f64,
+    /// Resident memory (MB) at start.
+    pub memory_resident_mb: f64,
+    /// Memory growth per window (MB) — non-zero models a leak for the
+    /// regression lab.
+    pub leak_mb_per_window: f64,
+    /// Optional per-table sub-workloads (empty = single homogeneous workload).
+    pub tables: Vec<TableWorkload>,
+    /// Optional periodic background upload.
+    pub log_upload: Option<LogUploadSpec>,
+}
+
+impl ServiceModel {
+    /// Creates a minimal model from the three response essentials; all other
+    /// parameters take representative defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cpu_per_rps` or `queue capacity` would be non-positive.
+    pub fn new(cpu_per_rps: f64, cpu_base: f64, latency_coeffs: [f64; 3]) -> Self {
+        assert!(cpu_per_rps > 0.0 && cpu_per_rps.is_finite(), "cpu_per_rps must be positive");
+        ServiceModel {
+            cpu_per_rps,
+            cpu_base,
+            cpu_noise_rel: 0.03,
+            latency_coeffs,
+            latency_floor_ms: 1.0,
+            latency_noise_ms: 0.4,
+            queue_capacity_rps: 90.0 / cpu_per_rps, // CPU would hit ~90% there
+            queue_scale_ms: 2.0,
+            paging_base: 4_000.0,
+            paging_noise_rel: 0.8,
+            page_bytes: 4096.0,
+            disk_queue_base: 1.0,
+            net_bytes_per_req: 40_000.0,
+            net_pkts_per_req: 40.0,
+            error_rate: 1e-5,
+            memory_resident_mb: 8_000.0,
+            leak_mb_per_window: 0.0,
+            tables: Vec::new(),
+            log_upload: None,
+        }
+    }
+
+    /// Sets the queueing knee (per-server RPS at saturation, Gen1).
+    pub fn with_queue_capacity(mut self, rps: f64) -> Self {
+        assert!(rps > 0.0, "queue capacity must be positive");
+        self.queue_capacity_rps = rps;
+        self
+    }
+
+    /// Sets CPU reading noise (relative).
+    pub fn with_cpu_noise(mut self, rel: f64) -> Self {
+        self.cpu_noise_rel = rel.max(0.0);
+        self
+    }
+
+    /// Sets latency noise (ms).
+    pub fn with_latency_noise(mut self, ms: f64) -> Self {
+        self.latency_noise_ms = ms.max(0.0);
+        self
+    }
+
+    /// Adds per-table sub-workloads (shares are normalised).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tables` is empty or shares are all zero.
+    pub fn with_tables(mut self, mut tables: Vec<TableWorkload>) -> Self {
+        assert!(!tables.is_empty(), "tables must be non-empty");
+        let total: f64 = tables.iter().map(|t| t.share).sum();
+        assert!(total > 0.0, "table shares must not all be zero");
+        for t in &mut tables {
+            t.share /= total;
+        }
+        self.tables = tables;
+        self
+    }
+
+    /// Adds a periodic background log upload.
+    pub fn with_log_upload(mut self, spec: LogUploadSpec) -> Self {
+        self.log_upload = Some(spec);
+        self
+    }
+
+    /// Introduces a memory leak (MB per window) — regression-lab fodder.
+    pub fn with_leak(mut self, mb_per_window: f64) -> Self {
+        self.leak_mb_per_window = mb_per_window.max(0.0);
+        self
+    }
+
+    /// Scales the quadratic latency term — models a change that degrades
+    /// latency at high load (the Fig. 16 defect).
+    pub fn with_latency_quadratic_scaled(mut self, factor: f64) -> Self {
+        self.latency_coeffs[2] *= factor;
+        self
+    }
+
+    /// Noise-free mean CPU percent at `rps` per server on `hw`.
+    pub fn cpu_mean(&self, rps: f64, hw: HardwareGeneration) -> f64 {
+        let work = if self.tables.is_empty() {
+            self.cpu_per_rps * rps
+        } else {
+            self.tables.iter().map(|t| t.share * rps * t.cpu_per_rps).sum()
+        };
+        ((self.cpu_base + work) / hw.speed_factor()).clamp(0.0, 100.0)
+    }
+
+    /// Noise-free mean p95 latency (ms) at `rps` per server on `hw`.
+    pub fn latency_p95_mean(&self, rps: f64, hw: HardwareGeneration) -> f64 {
+        let speed = hw.speed_factor();
+        let r = rps / speed;
+        let [c0, c1, c2] = self.latency_coeffs;
+        let quad = c0 + c1 * r + c2 * r * r;
+        let rho = (rps / (self.queue_capacity_rps * speed)).clamp(0.0, 0.999);
+        let queue = self.queue_scale_ms * rho / (1.0 - rho);
+        (quad + queue).max(self.latency_floor_ms)
+    }
+
+    /// Per-server RPS at which mean CPU reaches `cpu_limit_pct` on `hw`.
+    pub fn rps_at_cpu(&self, cpu_limit_pct: f64, hw: HardwareGeneration) -> f64 {
+        let slope = if self.tables.is_empty() {
+            self.cpu_per_rps
+        } else {
+            self.tables.iter().map(|t| t.share * t.cpu_per_rps).sum()
+        };
+        ((cpu_limit_pct * hw.speed_factor() - self.cpu_base) / slope).max(0.0)
+    }
+
+    /// Simulates only the workload-facing signals (CPU, latency) for one
+    /// window — the cheap path used when the recording policy does not need
+    /// disk/memory/network counters.
+    pub fn window_metrics_lite(
+        &self,
+        rps: f64,
+        hw: HardwareGeneration,
+        rng: &mut StdRng,
+    ) -> (f64, f64, f64) {
+        let cpu_clean = self.cpu_mean(rps, hw);
+        let cpu = (cpu_clean * (1.0 + gaussian(rng) * self.cpu_noise_rel)).clamp(0.0, 100.0);
+        let latency_p95 = (self.latency_p95_mean(rps, hw)
+            + gaussian(rng) * self.latency_noise_ms)
+            .max(self.latency_floor_ms);
+        let latency_avg = (latency_p95 * 0.62 + gaussian(rng) * self.latency_noise_ms * 0.3)
+            .max(self.latency_floor_ms * 0.5);
+        (cpu, latency_avg, latency_p95)
+    }
+
+    /// Simulates one 120-second window for one server.
+    ///
+    /// `windows_online` is the server's age since its last restart (drives
+    /// leak growth); `phase` staggers background tasks across servers;
+    /// `net_scale` carries per-datacenter network-shape variation.
+    pub fn window_metrics(
+        &self,
+        rps: f64,
+        hw: HardwareGeneration,
+        window: WindowIndex,
+        windows_online: u64,
+        phase: u64,
+        net_scale: f64,
+        rng: &mut StdRng,
+    ) -> ServerWindowMetrics {
+        let speed = hw.speed_factor();
+
+        // Per-table split with jittered shares.
+        let mut table_rps: Vec<f64> = Vec::with_capacity(self.tables.len());
+        let mut table_cpu: Vec<f64> = Vec::with_capacity(self.tables.len());
+        let workload_cpu = if self.tables.is_empty() {
+            self.cpu_per_rps * rps
+        } else {
+            let mut shares: Vec<f64> = self
+                .tables
+                .iter()
+                .map(|t| (t.share * (1.0 + gaussian(rng) * t.share_jitter)).max(0.0))
+                .collect();
+            let total: f64 = shares.iter().sum();
+            if total > 0.0 {
+                for s in &mut shares {
+                    *s /= total;
+                }
+            }
+            let mut sum = 0.0;
+            for (t, &s) in self.tables.iter().zip(&shares) {
+                let t_rps = s * rps;
+                let t_cpu = t_rps * t.cpu_per_rps / speed;
+                table_rps.push(t_rps);
+                table_cpu.push(t_cpu);
+                sum += t_rps * t.cpu_per_rps;
+            }
+            sum
+        };
+
+        let active_upload = self.log_upload.filter(|u| u.active(window, phase));
+        let upload_active = active_upload.is_some();
+        let upload_cpu = active_upload.map(|u| u.cpu_pct).unwrap_or(0.0);
+
+        let cpu_clean = (self.cpu_base + workload_cpu) / speed + upload_cpu;
+        let cpu = (cpu_clean * (1.0 + gaussian(rng) * self.cpu_noise_rel)).clamp(0.0, 100.0);
+
+        let latency_p95 = (self.latency_p95_mean(rps, hw)
+            + gaussian(rng) * self.latency_noise_ms)
+            .max(self.latency_floor_ms);
+        let latency_avg = (latency_p95 * 0.62 + gaussian(rng) * self.latency_noise_ms * 0.3)
+            .max(self.latency_floor_ms * 0.5);
+
+        // Paging-dominated disk activity: loosely coupled to workload.
+        let paging = (self.paging_base * (1.0 + gaussian(rng) * self.paging_noise_rel)).max(0.0);
+        let disk_read = paging * self.page_bytes;
+        let disk_write = match active_upload {
+            Some(u) => u.disk_write_bytes_per_sec,
+            None => disk_read * 0.1,
+        };
+        let disk_queue = (self.disk_queue_base + gaussian(rng).abs() * 1.5).max(0.0);
+
+        let net_bytes = (rps * self.net_bytes_per_req * net_scale
+            * (1.0 + gaussian(rng) * 0.05))
+            .max(0.0);
+        let net_pkts =
+            (rps * self.net_pkts_per_req * net_scale * (1.0 + gaussian(rng) * 0.05)).max(0.0);
+
+        let errors = (rps * self.error_rate * (1.0 + gaussian(rng).abs())).max(0.0);
+        let memory_mb = self.memory_resident_mb + self.leak_mb_per_window * windows_online as f64;
+
+        ServerWindowMetrics {
+            cpu_pct: cpu,
+            latency_avg_ms: latency_avg,
+            latency_p95_ms: latency_p95,
+            disk_read_bytes: disk_read,
+            disk_write_bytes: disk_write,
+            disk_queue,
+            memory_pages_per_sec: paging,
+            network_bytes: net_bytes,
+            network_pkts: net_pkts,
+            errors_per_sec: errors,
+            memory_resident_mb: memory_mb,
+            table_rps,
+            table_cpu,
+        }
+    }
+
+    /// The paper's pool-B service (query modification, §III-A1): CPU
+    /// `y = 0.028x + 1.37`, latency `y = 4.028e-5x² − 0.031x + 36.68`.
+    pub fn paper_pool_b() -> Self {
+        ServiceModel::new(0.028, 1.37, [36.68, -0.031, 4.028e-5])
+            .with_queue_capacity(2_800.0)
+            .with_cpu_noise(0.025)
+            .with_latency_noise(0.5)
+    }
+
+    /// The paper's pool-D service (datacenter traffic routing, §III-A2):
+    /// CPU `y = 0.0916x + 5.006`, latency `y = 4.66e-3x² − 0.80x + 86.50`.
+    pub fn paper_pool_d() -> Self {
+        ServiceModel::new(0.0916, 5.006, [86.50, -0.80, 4.66e-3])
+            .with_queue_capacity(800.0)
+            .with_cpu_noise(0.03)
+            .with_latency_noise(0.8)
+    }
+}
+
+/// The counters produced by one server for one window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerWindowMetrics {
+    /// CPU percent.
+    pub cpu_pct: f64,
+    /// Mean latency (ms).
+    pub latency_avg_ms: f64,
+    /// p95 latency (ms).
+    pub latency_p95_ms: f64,
+    /// Disk read bytes/sec.
+    pub disk_read_bytes: f64,
+    /// Disk write bytes/sec.
+    pub disk_write_bytes: f64,
+    /// Disk queue length.
+    pub disk_queue: f64,
+    /// Paging rate.
+    pub memory_pages_per_sec: f64,
+    /// Network bytes/sec.
+    pub network_bytes: f64,
+    /// Network packets/sec.
+    pub network_pkts: f64,
+    /// Errors/sec.
+    pub errors_per_sec: f64,
+    /// Resident memory (MB).
+    pub memory_resident_mb: f64,
+    /// Per-table RPS (empty when the model has no tables).
+    pub table_rps: Vec<f64>,
+    /// Per-table CPU percent.
+    pub table_cpu: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cpu_linear_in_rps() {
+        let m = ServiceModel::paper_pool_b();
+        let hw = HardwareGeneration::Gen1;
+        let c100 = m.cpu_mean(100.0, hw);
+        let c200 = m.cpu_mean(200.0, hw);
+        let c300 = m.cpu_mean(300.0, hw);
+        assert!(((c200 - c100) - (c300 - c200)).abs() < 1e-12, "equal increments");
+        assert!((c100 - (0.028 * 100.0 + 1.37)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_pool_b_forecast_points() {
+        let m = ServiceModel::paper_pool_b();
+        let hw = HardwareGeneration::Gen1;
+        // Paper: 16.5% CPU at 540 RPS/server.
+        assert!((m.cpu_mean(540.0, hw) - 16.49).abs() < 0.1);
+        // Paper: ~12% CPU and 30.5 ms at 377 RPS/server.
+        assert!((m.cpu_mean(377.0, hw) - 11.9).abs() < 0.3);
+        let lat = m.latency_p95_mean(377.0, hw);
+        assert!((lat - 30.8).abs() < 1.0, "got {lat}");
+    }
+
+    #[test]
+    fn paper_pool_d_forecast_points() {
+        let m = ServiceModel::paper_pool_d();
+        let hw = HardwareGeneration::Gen1;
+        // Paper: 13.7% CPU at 94.9 RPS/server, ~52.x ms latency.
+        assert!((m.cpu_mean(94.9, hw) - 13.7).abs() < 0.2);
+        let lat = m.latency_p95_mean(94.9, hw);
+        assert!((lat - 52.8).abs() < 1.5, "got {lat}");
+    }
+
+    #[test]
+    fn faster_hardware_runs_cooler() {
+        let m = ServiceModel::paper_pool_d();
+        let slow = m.cpu_mean(80.0, HardwareGeneration::Gen1);
+        let fast = m.cpu_mean(80.0, HardwareGeneration::Gen3);
+        assert!(fast < slow * 0.6);
+    }
+
+    #[test]
+    fn latency_has_queueing_knee() {
+        let m = ServiceModel::paper_pool_d();
+        let hw = HardwareGeneration::Gen1;
+        let mid = m.latency_p95_mean(400.0, hw);
+        let near_sat = m.latency_p95_mean(780.0, hw);
+        assert!(near_sat > mid * 1.5, "knee should dominate near capacity: {mid} vs {near_sat}");
+    }
+
+    #[test]
+    fn latency_elevated_at_low_load() {
+        // The paper's quadratics have negative linear terms: latency at very
+        // low RPS exceeds the minimum (cache priming / JIT effects).
+        let m = ServiceModel::paper_pool_d();
+        let hw = HardwareGeneration::Gen1;
+        let low = m.latency_p95_mean(5.0, hw);
+        let optimal = m.latency_p95_mean(85.0, hw);
+        assert!(low > optimal + 20.0, "low {low} vs optimal {optimal}");
+    }
+
+    #[test]
+    fn rps_at_cpu_inverts_cpu_mean() {
+        let m = ServiceModel::paper_pool_b();
+        let hw = HardwareGeneration::Gen2;
+        let rps = m.rps_at_cpu(20.0, hw);
+        assert!((m.cpu_mean(rps, hw) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_metrics_deterministic_per_seed() {
+        let m = ServiceModel::paper_pool_b();
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(1);
+        let a = m.window_metrics(200.0, HardwareGeneration::Gen1, WindowIndex(5), 10, 0, 1.0, &mut r1);
+        let b = m.window_metrics(200.0, HardwareGeneration::Gen1, WindowIndex(5), 10, 0, 1.0, &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tables_split_preserves_total_rps() {
+        let m = ServiceModel::new(0.05, 1.0, [10.0, 0.0, 1e-5]).with_tables(vec![
+            TableWorkload { share: 0.7, cpu_per_rps: 0.03, share_jitter: 0.1 },
+            TableWorkload { share: 0.3, cpu_per_rps: 0.12, share_jitter: 0.1 },
+        ]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = m.window_metrics(100.0, HardwareGeneration::Gen1, WindowIndex(0), 0, 0, 1.0, &mut rng);
+        assert_eq!(w.table_rps.len(), 2);
+        let total: f64 = w.table_rps.iter().sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn combined_metric_noisier_than_split() {
+        // The §II-A1 story: mixing two tables with very different costs makes
+        // whole-server CPU noisy against total RPS; per-table CPU stays tight.
+        let m = ServiceModel::new(0.05, 1.0, [10.0, 0.0, 1e-5])
+            .with_cpu_noise(0.0)
+            .with_tables(vec![
+                TableWorkload { share: 0.5, cpu_per_rps: 0.02, share_jitter: 0.25 },
+                TableWorkload { share: 0.5, cpu_per_rps: 0.20, share_jitter: 0.25 },
+            ]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut combined = Vec::new();
+        let mut per_table_ratio = Vec::new();
+        for w in 0..200u64 {
+            let m0 = m.window_metrics(
+                100.0,
+                HardwareGeneration::Gen1,
+                WindowIndex(w),
+                0,
+                0,
+                1.0,
+                &mut rng,
+            );
+            combined.push(m0.table_cpu.iter().sum::<f64>());
+            per_table_ratio.push(m0.table_cpu[1] / m0.table_rps[1].max(1e-9));
+        }
+        let cv = |v: &[f64]| {
+            let mean = v.iter().sum::<f64>() / v.len() as f64;
+            let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / v.len() as f64;
+            var.sqrt() / mean
+        };
+        assert!(cv(&combined) > 10.0 * cv(&per_table_ratio), "combined should be much noisier");
+    }
+
+    #[test]
+    fn log_upload_spikes_cpu() {
+        let spec = LogUploadSpec {
+            period_windows: 30,
+            duration_windows: 2,
+            cpu_pct: 25.0,
+            disk_write_bytes_per_sec: 3e8,
+        };
+        let m = ServiceModel::paper_pool_b().with_log_upload(spec).with_cpu_noise(0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let quiet = m.window_metrics(100.0, HardwareGeneration::Gen1, WindowIndex(5), 0, 0, 1.0, &mut rng);
+        let loud = m.window_metrics(100.0, HardwareGeneration::Gen1, WindowIndex(30), 0, 0, 1.0, &mut rng);
+        assert!(loud.cpu_pct > quiet.cpu_pct + 20.0);
+        assert!(loud.disk_write_bytes > 1e8);
+    }
+
+    #[test]
+    fn leak_grows_memory() {
+        let m = ServiceModel::paper_pool_b().with_leak(2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let young = m.window_metrics(10.0, HardwareGeneration::Gen1, WindowIndex(0), 0, 0, 1.0, &mut rng);
+        let old = m.window_metrics(10.0, HardwareGeneration::Gen1, WindowIndex(0), 500, 0, 1.0, &mut rng);
+        assert!((old.memory_resident_mb - young.memory_resident_mb - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upload_phase_staggers_servers() {
+        let spec = LogUploadSpec {
+            period_windows: 10,
+            duration_windows: 1,
+            cpu_pct: 10.0,
+            disk_write_bytes_per_sec: 1e8,
+        };
+        assert!(spec.active(WindowIndex(0), 0));
+        assert!(!spec.active(WindowIndex(0), 5));
+        assert!(spec.active(WindowIndex(5), 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "cpu_per_rps must be positive")]
+    fn invalid_slope_panics() {
+        let _ = ServiceModel::new(0.0, 1.0, [0.0; 3]);
+    }
+}

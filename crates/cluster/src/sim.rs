@@ -1,0 +1,675 @@
+//! The window-stepped simulation engine.
+//!
+//! One `step` simulates one 120-second measurement window for the whole
+//! fleet:
+//!
+//! 1. sample each pool's regional demand (diurnal curve × event factors);
+//! 2. reroute demand away from lost datacenters ([`crate::routing`]);
+//! 3. decide which servers are online (interventions ∩ maintenance ∩
+//!    failures ∩ datacenter loss);
+//! 4. split each pool's demand across its online servers
+//!    ([`crate::pool::LoadBalancer`]);
+//! 5. evaluate each server's black-box [`crate::service_model::ServiceModel`]
+//!    and record the counters into a [`MetricStore`] plus the
+//!    [`AvailabilityLog`].
+//!
+//! Capacity interventions (the paper's server-reduction experiments) are
+//! scheduled with [`Simulation::schedule_resize`] and applied at window
+//! granularity.
+
+use std::collections::HashMap;
+
+use headroom_telemetry::availability::AvailabilityLog;
+use headroom_telemetry::counter::{CounterKind, WorkloadTag};
+use headroom_telemetry::ids::{DatacenterId, PoolId, ServerId};
+use headroom_telemetry::store::MetricStore;
+use headroom_telemetry::time::{WindowIndex, WINDOWS_PER_DAY};
+use headroom_workload::events::EventScript;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::catalog::MicroserviceKind;
+use crate::error::ClusterError;
+use crate::pool::LoadBalancer;
+use crate::routing::redistribute;
+use crate::topology::Fleet;
+
+/// Which counters the simulation stores.
+///
+/// Full fleet runs over many days generate far too much data to keep every
+/// counter; the paper's own pipeline discarded raw 100 ns samples for the
+/// same reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecordingPolicy {
+    /// Everything: the six Fig. 2 resource panels, workload, QoS, memory,
+    /// and per-table tagged series.
+    Full,
+    /// Workload and QoS only (RPS, CPU, latency) — the planner's diet.
+    #[default]
+    Workload,
+    /// Nothing is stored, but per-window snapshots still carry CPU/latency —
+    /// for streaming observers at fleet scale (Figs. 12–13).
+    SnapshotOnly,
+    /// Nothing but the availability log (for 90-day availability studies);
+    /// snapshot rows carry zeros for CPU/latency.
+    AvailabilityOnly,
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Master seed; every run with the same fleet/config/seed is identical.
+    pub seed: u64,
+    /// Which counters to store.
+    pub recording: RecordingPolicy,
+    /// Whether to fill the availability log.
+    pub track_availability: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { seed: 0, recording: RecordingPolicy::Workload, track_availability: true }
+    }
+}
+
+/// Per-server state visible to observers for one window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnapshotRow {
+    /// Server identity.
+    pub server: ServerId,
+    /// Owning pool.
+    pub pool: PoolId,
+    /// Hosting datacenter.
+    pub datacenter: DatacenterId,
+    /// Whether the server served traffic this window.
+    pub online: bool,
+    /// Requests per second routed to it (0 when offline).
+    pub rps: f64,
+    /// CPU percent (0 when offline).
+    pub cpu_pct: f64,
+    /// p95 latency in ms (0 when offline).
+    pub latency_p95_ms: f64,
+}
+
+/// One window's fleet-wide observation, passed to observers.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowSnapshot<'a> {
+    /// The window just simulated.
+    pub window: WindowIndex,
+    /// One row per server in the fleet.
+    pub rows: &'a [SnapshotRow],
+}
+
+/// The fleet simulator.
+///
+/// # Example
+///
+/// ```
+/// use headroom_cluster::catalog::MicroserviceKind;
+/// use headroom_cluster::sim::{SimConfig, Simulation};
+/// use headroom_cluster::topology::FleetBuilder;
+/// use headroom_telemetry::counter::CounterKind;
+/// use headroom_telemetry::time::WindowRange;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let fleet = FleetBuilder::new(1)
+///     .datacenters(2)
+///     .deploy_service(MicroserviceKind::B, 10)?
+///     .build();
+/// let mut sim = Simulation::new(fleet, Default::default(), SimConfig::default());
+/// sim.run_windows(60);
+/// let pool = sim.fleet().pools()[0].id;
+/// let obs = sim.store().pool_paired_observations(
+///     pool,
+///     CounterKind::RequestsPerSec,
+///     CounterKind::CpuPercent,
+///     WindowRange::days(1.0),
+/// );
+/// assert!(!obs.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Simulation {
+    fleet: Fleet,
+    events: EventScript,
+    config: SimConfig,
+    store: MetricStore,
+    availability: AvailabilityLog,
+    rng: StdRng,
+    next_window: WindowIndex,
+    interventions: HashMap<u64, Vec<(PoolId, usize)>>,
+    lb: LoadBalancer,
+    /// Pool indices grouped by service, each sorted by datacenter index.
+    service_groups: Vec<(MicroserviceKind, Vec<usize>)>,
+    snapshot: Vec<SnapshotRow>,
+    /// Stateful failure tracking: server id → first window it is repaired.
+    failed_until: HashMap<u32, u64>,
+}
+
+impl Simulation {
+    /// Creates a simulation over `fleet` with scripted `events`.
+    pub fn new(fleet: Fleet, events: EventScript, config: SimConfig) -> Self {
+        let mut store = MetricStore::new();
+        for pool in fleet.pools() {
+            for server in &pool.servers {
+                store.register_server(server.id, pool.id, pool.datacenter);
+            }
+        }
+        let mut by_service: HashMap<MicroserviceKind, Vec<usize>> = HashMap::new();
+        for (i, pool) in fleet.pools().iter().enumerate() {
+            by_service.entry(pool.service).or_default().push(i);
+        }
+        let mut service_groups: Vec<(MicroserviceKind, Vec<usize>)> =
+            by_service.into_iter().collect();
+        service_groups.sort_by_key(|(k, _)| *k);
+        for (_, idxs) in &mut service_groups {
+            idxs.sort_by_key(|&i| fleet.pools()[i].datacenter);
+        }
+        Simulation {
+            fleet,
+            events,
+            config,
+            store,
+            availability: AvailabilityLog::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+            next_window: WindowIndex(0),
+            interventions: HashMap::new(),
+            lb: LoadBalancer::default(),
+            service_groups,
+            snapshot: Vec::new(),
+            failed_until: HashMap::new(),
+        }
+    }
+
+    /// The fleet being simulated.
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// The recorded metrics.
+    pub fn store(&self) -> &MetricStore {
+        &self.store
+    }
+
+    /// The availability log.
+    pub fn availability(&self) -> &AvailabilityLog {
+        &self.availability
+    }
+
+    /// The next window to be simulated.
+    pub fn current_window(&self) -> WindowIndex {
+        self.next_window
+    }
+
+    /// Schedules a pool resize: from `window` on, only `active` servers
+    /// serve traffic. This is the paper's server-reduction experiment lever.
+    ///
+    /// # Errors
+    ///
+    /// - [`ClusterError::UnknownPool`] for a pool not in the fleet.
+    /// - [`ClusterError::InvalidResize`] when `active` is zero or exceeds
+    ///   the pool size.
+    pub fn schedule_resize(
+        &mut self,
+        pool: PoolId,
+        window: WindowIndex,
+        active: usize,
+    ) -> Result<(), ClusterError> {
+        let p = self.fleet.pool(pool).ok_or(ClusterError::UnknownPool(pool))?;
+        if active == 0 || active > p.size() {
+            return Err(ClusterError::InvalidResize {
+                pool,
+                requested: active,
+                available: p.size(),
+            });
+        }
+        self.interventions.entry(window.0).or_default().push((pool, active));
+        Ok(())
+    }
+
+    /// Runs `n` windows.
+    pub fn run_windows(&mut self, n: u64) {
+        self.run_windows_observed(n, |_| {});
+    }
+
+    /// Runs `days` simulated days.
+    pub fn run_days(&mut self, days: f64) {
+        self.run_windows((days * WINDOWS_PER_DAY as f64).round() as u64);
+    }
+
+    /// Runs `n` windows, invoking `observer` after each with the full
+    /// per-server snapshot (for streaming aggregation at fleet scale).
+    pub fn run_windows_observed<F: FnMut(&WindowSnapshot<'_>)>(&mut self, n: u64, mut observer: F) {
+        for _ in 0..n {
+            self.step();
+            let snap = WindowSnapshot { window: WindowIndex(self.next_window.0 - 1), rows: &self.snapshot };
+            observer(&snap);
+        }
+    }
+
+    /// Consumes the simulation, returning the fleet, metric store and
+    /// availability log.
+    pub fn into_parts(self) -> (Fleet, MetricStore, AvailabilityLog) {
+        (self.fleet, self.store, self.availability)
+    }
+
+    fn step(&mut self) {
+        let w = self.next_window;
+        self.next_window = WindowIndex(w.0 + 1);
+        let t = w.midpoint();
+        let utc_hour = t.hour_of_day();
+        self.snapshot.clear();
+
+        // Apply interventions scheduled for this window.
+        if let Some(resizes) = self.interventions.remove(&w.0) {
+            for (pool_id, active) in resizes {
+                if let Some(pool) = self.fleet.pool_mut(pool_id) {
+                    // Validated at scheduling time; ignore failure defensively.
+                    let _ = pool.resize_active(active);
+                }
+            }
+        }
+
+        // Demand per pool, grouped by service for failover rerouting.
+        let mut pool_demand: HashMap<usize, f64> = HashMap::new();
+        let dcs = self.fleet.datacenters().to_vec();
+        let groups = self.service_groups.clone();
+        for (_, pool_indices) in &groups {
+            let mut demands: Vec<f64> = Vec::with_capacity(pool_indices.len());
+            let mut lost: Vec<bool> = Vec::with_capacity(pool_indices.len());
+            let mut weights: Vec<f64> = Vec::with_capacity(pool_indices.len());
+            for &pi in pool_indices {
+                let pool = &self.fleet.pools()[pi];
+                let base = pool.demand.demand(t, &mut self.rng);
+                let factor = self.events.demand_factor(pool.datacenter, t);
+                demands.push(base * factor);
+                lost.push(self.events.datacenter_lost(pool.datacenter, t));
+                weights.push(
+                    dcs.iter()
+                        .find(|d| d.id == pool.datacenter)
+                        .map(|d| d.weight)
+                        .unwrap_or(1.0),
+                );
+            }
+            redistribute(&mut demands, &lost, &weights);
+            for (&pi, demand) in pool_indices.iter().zip(demands) {
+                pool_demand.insert(pi, demand);
+            }
+        }
+
+        // Simulate each pool.
+        let track_availability = self.config.track_availability;
+        let recording = self.config.recording;
+        for pi in 0..self.fleet.pools().len() {
+            let demand = pool_demand.get(&pi).copied().unwrap_or(0.0);
+            let (pool_id, dc, local_hour, pool_size, dc_lost) = {
+                let pool = &self.fleet.pools()[pi];
+                (
+                    pool.id,
+                    pool.datacenter,
+                    pool.local_hour(utc_hour),
+                    pool.size(),
+                    self.events.datacenter_lost(pool.datacenter, t),
+                )
+            };
+
+            // Decide online status per server. Failures are tracked
+            // statefully: one hash draw per server-window, with the repair
+            // interval carried in `failed_until`.
+            let mut online_flags: Vec<bool> = Vec::with_capacity(pool_size);
+            {
+                let pool = &self.fleet.pools()[pi];
+                for (idx, server) in pool.servers.iter().enumerate() {
+                    let maint = pool.maintenance.is_offline(idx, pool_size, w, local_hour);
+                    let failed = match pool.failures {
+                        Some(f) => {
+                            let key = server.id.0;
+                            let down = self
+                                .failed_until
+                                .get(&key)
+                                .map(|&until| w.0 < until)
+                                .unwrap_or(false);
+                            if down {
+                                true
+                            } else if f.fails_at(key as u64, w) {
+                                self.failed_until.insert(key, w.0 + f.repair_windows);
+                                true
+                            } else {
+                                false
+                            }
+                        }
+                        None => false,
+                    };
+                    online_flags.push(server.is_active() && !maint && !failed && !dc_lost);
+                }
+            }
+            let online_count = online_flags.iter().filter(|&&o| o).count();
+            let shares = self.lb.distribute(demand, online_count, &mut self.rng);
+
+            // Evaluate servers.
+            let mut share_iter = shares.into_iter();
+            for idx in 0..pool_size {
+                let online = online_flags[idx];
+                let (server_id, generation, windows_online, model, net_scale) = {
+                    let pool = &self.fleet.pools()[pi];
+                    let s = &pool.servers[idx];
+                    (s.id, s.generation, s.windows_online, pool.model.clone(), pool.net_scale)
+                };
+
+                if track_availability {
+                    self.availability.record(server_id, w, online);
+                }
+
+                if !online {
+                    if let Some(pool) = self.fleet.pools_mut().get_mut(pi) {
+                        pool.servers[idx].tick_offline();
+                    }
+                    self.snapshot.push(SnapshotRow {
+                        server: server_id,
+                        pool: pool_id,
+                        datacenter: dc,
+                        online: false,
+                        rps: 0.0,
+                        cpu_pct: 0.0,
+                        latency_p95_ms: 0.0,
+                    });
+                    continue;
+                }
+
+                let rps = share_iter.next().unwrap_or(0.0);
+                let (cpu, lat_avg, lat_p95) = match recording {
+                    RecordingPolicy::Full => {
+                        let m = model.window_metrics(
+                            rps,
+                            generation,
+                            w,
+                            windows_online,
+                            server_id.0 as u64 % 97,
+                            net_scale,
+                            &mut self.rng,
+                        );
+                        self.store.record(server_id, CounterKind::CpuPercent, w, m.cpu_pct);
+                        self.store.record(server_id, CounterKind::RequestsPerSec, w, rps);
+                        self.store.record(server_id, CounterKind::LatencyAvgMs, w, m.latency_avg_ms);
+                        self.store.record(server_id, CounterKind::LatencyP95Ms, w, m.latency_p95_ms);
+                        self.store.record(
+                            server_id,
+                            CounterKind::DiskReadBytesPerSec,
+                            w,
+                            m.disk_read_bytes,
+                        );
+                        self.store.record(
+                            server_id,
+                            CounterKind::DiskWriteBytesPerSec,
+                            w,
+                            m.disk_write_bytes,
+                        );
+                        self.store.record(server_id, CounterKind::DiskQueueLength, w, m.disk_queue);
+                        self.store.record(
+                            server_id,
+                            CounterKind::MemoryPagesPerSec,
+                            w,
+                            m.memory_pages_per_sec,
+                        );
+                        self.store.record(server_id, CounterKind::NetworkBytesPerSec, w, m.network_bytes);
+                        self.store.record(
+                            server_id,
+                            CounterKind::NetworkPacketsPerSec,
+                            w,
+                            m.network_pkts,
+                        );
+                        self.store.record(server_id, CounterKind::ErrorsPerSec, w, m.errors_per_sec);
+                        self.store.record(
+                            server_id,
+                            CounterKind::MemoryResidentMb,
+                            w,
+                            m.memory_resident_mb,
+                        );
+                        for (ti, (&t_rps, &t_cpu)) in
+                            m.table_rps.iter().zip(&m.table_cpu).enumerate()
+                        {
+                            let tag = WorkloadTag::Workload(ti as u8);
+                            self.store.record_tagged(
+                                server_id,
+                                CounterKind::RequestsPerSec,
+                                tag,
+                                w,
+                                t_rps,
+                            );
+                            self.store.record_tagged(server_id, CounterKind::CpuPercent, tag, w, t_cpu);
+                        }
+                        (m.cpu_pct, m.latency_avg_ms, m.latency_p95_ms)
+                    }
+                    RecordingPolicy::Workload => {
+                        let (cpu, lat_avg, lat_p95) =
+                            model.window_metrics_lite(rps, generation, &mut self.rng);
+                        self.store.record(server_id, CounterKind::CpuPercent, w, cpu);
+                        self.store.record(server_id, CounterKind::RequestsPerSec, w, rps);
+                        self.store.record(server_id, CounterKind::LatencyAvgMs, w, lat_avg);
+                        self.store.record(server_id, CounterKind::LatencyP95Ms, w, lat_p95);
+                        (cpu, lat_avg, lat_p95)
+                    }
+                    RecordingPolicy::SnapshotOnly => {
+                        model.window_metrics_lite(rps, generation, &mut self.rng)
+                    }
+                    RecordingPolicy::AvailabilityOnly => (0.0, 0.0, 0.0),
+                };
+                let _ = lat_avg;
+
+                if let Some(pool) = self.fleet.pools_mut().get_mut(pi) {
+                    pool.servers[idx].tick_online();
+                }
+                self.snapshot.push(SnapshotRow {
+                    server: server_id,
+                    pool: pool_id,
+                    datacenter: dc,
+                    online: true,
+                    rps,
+                    cpu_pct: cpu,
+                    latency_p95_ms: lat_p95,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::FleetBuilder;
+    use headroom_telemetry::time::WindowRange;
+    use headroom_workload::events;
+
+    fn small_fleet(seed: u64) -> Fleet {
+        let spec = MicroserviceKind::B
+            .spec()
+            .with_practice(crate::maintenance::AvailabilityPractice::WellManaged);
+        FleetBuilder::new(seed)
+            .datacenters(3)
+            .without_failures()
+            .without_incidents()
+            .deploy_with_spec(&spec, 10, spec.peak_rps_per_server)
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mk = || {
+            let mut sim =
+                Simulation::new(small_fleet(3), EventScript::empty(), SimConfig::default());
+            sim.run_windows(50);
+            sim
+        };
+        let a = mk();
+        let b = mk();
+        let pool = a.fleet().pools()[0].id;
+        let range = WindowRange::new(WindowIndex(0), WindowIndex(50));
+        assert_eq!(
+            a.store().pool_mean_series(pool, CounterKind::CpuPercent, range),
+            b.store().pool_mean_series(pool, CounterKind::CpuPercent, range)
+        );
+    }
+
+    #[test]
+    fn cpu_tracks_workload_linearly() {
+        let mut sim = Simulation::new(small_fleet(1), EventScript::empty(), SimConfig::default());
+        sim.run_days(1.0);
+        let pool = sim.fleet().pools()[0].id;
+        let obs = sim.store().pool_paired_observations(
+            pool,
+            CounterKind::RequestsPerSec,
+            CounterKind::CpuPercent,
+            WindowRange::days(1.0),
+        );
+        assert!(obs.len() > 700);
+        let xs: Vec<f64> = obs.iter().map(|(x, _)| *x).collect();
+        let ys: Vec<f64> = obs.iter().map(|(_, y)| *y).collect();
+        let fit = headroom_stats::LinearFit::fit(&xs, &ys).unwrap();
+        assert!(fit.r_squared > 0.95, "r2 {}", fit.r_squared);
+        assert!((fit.slope - 0.028).abs() < 0.004, "slope {}", fit.slope);
+    }
+
+    #[test]
+    fn resize_increases_per_server_load() {
+        let mut sim = Simulation::new(small_fleet(2), EventScript::empty(), SimConfig::default());
+        let pool = sim.fleet().pools()[0].id;
+        sim.schedule_resize(pool, WindowIndex(720), 7).unwrap();
+        sim.run_days(2.0);
+        let store = sim.store();
+        let day1: Vec<f64> = store
+            .pool_mean_series(pool, CounterKind::RequestsPerSec, WindowRange::day(0))
+            .iter()
+            .map(|(_, v)| *v)
+            .collect();
+        let day2: Vec<f64> = store
+            .pool_mean_series(pool, CounterKind::RequestsPerSec, WindowRange::day(1))
+            .iter()
+            .map(|(_, v)| *v)
+            .collect();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let ratio = mean(&day2) / mean(&day1);
+        assert!((ratio - 10.0 / 7.0).abs() < 0.12, "per-server load ratio {ratio}");
+        // Active-server count drops in the store too.
+        assert_eq!(store.pool_active_servers(pool, WindowIndex(800)), 7);
+    }
+
+    #[test]
+    fn resize_validation() {
+        let mut sim = Simulation::new(small_fleet(2), EventScript::empty(), SimConfig::default());
+        let pool = sim.fleet().pools()[0].id;
+        assert!(matches!(
+            sim.schedule_resize(PoolId(999), WindowIndex(0), 5),
+            Err(ClusterError::UnknownPool(_))
+        ));
+        assert!(matches!(
+            sim.schedule_resize(pool, WindowIndex(0), 0),
+            Err(ClusterError::InvalidResize { .. })
+        ));
+        assert!(matches!(
+            sim.schedule_resize(pool, WindowIndex(0), 11),
+            Err(ClusterError::InvalidResize { .. })
+        ));
+    }
+
+    #[test]
+    fn dc_loss_reroutes_demand() {
+        let fleet = small_fleet(4);
+        let dc0 = fleet.datacenters()[0].id;
+        let survivor_pool = fleet.pools()[1].id;
+        let lost_pool = fleet.pools()[0].id;
+        // Event in the middle of day 0, lasting 2 hours.
+        let script = events::two_hour_dc_loss(dc0, headroom_telemetry::time::SimTime::from_hours(12.0));
+        let mut sim = Simulation::new(fleet, script, SimConfig::default());
+        sim.run_days(1.0);
+        let store = sim.store();
+        // During the event the lost pool has no active servers.
+        let event_window = WindowIndex(13 * 30); // 13:00
+        assert_eq!(store.pool_active_servers(lost_pool, event_window), 0);
+        // The survivor sees elevated RPS/server vs the same hour next...
+        // compare event hour to one hour before event start.
+        let before = store
+            .pool_window_mean(survivor_pool, CounterKind::RequestsPerSec, WindowIndex(11 * 30))
+            .unwrap();
+        let during = store
+            .pool_window_mean(survivor_pool, CounterKind::RequestsPerSec, event_window)
+            .unwrap();
+        assert!(during > before * 1.2, "before {before}, during {during}");
+    }
+
+    #[test]
+    fn availability_tracks_maintenance_practice() {
+        let fleet = FleetBuilder::new(9)
+            .datacenters(1)
+            .without_failures()
+            .deploy_service(MicroserviceKind::C, 40) // Heavy ⇒ ~90.5%
+            .unwrap()
+            .build();
+        let mut sim = Simulation::new(fleet, EventScript::empty(), SimConfig {
+            recording: RecordingPolicy::AvailabilityOnly,
+            ..SimConfig::default()
+        });
+        sim.run_days(7.0);
+        let mean = sim.availability().fleet_mean_availability().unwrap();
+        assert!((mean - 0.905).abs() < 0.04, "availability {mean}");
+        // AvailabilityOnly stores no counters.
+        assert_eq!(sim.store().sample_count(), 0);
+    }
+
+    #[test]
+    fn observer_sees_every_server() {
+        let fleet = small_fleet(5);
+        let total_servers = fleet.server_count();
+        let mut sim = Simulation::new(fleet, EventScript::empty(), SimConfig::default());
+        let mut rows_seen = 0usize;
+        let mut windows = Vec::new();
+        sim.run_windows_observed(3, |snap| {
+            rows_seen += snap.rows.len();
+            windows.push(snap.window);
+        });
+        assert_eq!(rows_seen, 3 * total_servers);
+        assert_eq!(windows, vec![WindowIndex(0), WindowIndex(1), WindowIndex(2)]);
+    }
+
+    #[test]
+    fn full_recording_includes_fig2_counters() {
+        let mut sim = Simulation::new(small_fleet(6), EventScript::empty(), SimConfig {
+            recording: RecordingPolicy::Full,
+            ..SimConfig::default()
+        });
+        sim.run_windows(10);
+        let server = sim.fleet().pools()[0].servers[0].id;
+        for counter in CounterKind::FIG2_RESOURCES {
+            assert!(
+                sim.store().series(server, counter).is_some(),
+                "missing counter {counter}"
+            );
+        }
+    }
+
+    #[test]
+    fn table_service_records_tagged_series() {
+        let fleet = FleetBuilder::new(7)
+            .datacenters(1)
+            .without_failures()
+            .without_incidents()
+            .deploy_service(MicroserviceKind::A, 5)
+            .unwrap()
+            .build();
+        let mut sim = Simulation::new(fleet, EventScript::empty(), SimConfig {
+            recording: RecordingPolicy::Full,
+            ..SimConfig::default()
+        });
+        sim.run_windows(5);
+        let server = sim.fleet().pools()[0].servers[0].id;
+        assert!(sim
+            .store()
+            .series_tagged(server, CounterKind::RequestsPerSec, WorkloadTag::Workload(0))
+            .is_some());
+        assert!(sim
+            .store()
+            .series_tagged(server, CounterKind::CpuPercent, WorkloadTag::Workload(1))
+            .is_some());
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for simulator invariants: maintenance practices hit their
+//! long-run fractions, failures match their MTBF, service models stay in
+//! their physical ranges, and reduction experiments conserve demand.
+
+use headroom_cluster::catalog::MicroserviceKind;
+use headroom_cluster::failure::FailureModel;
+use headroom_cluster::hardware::HardwareGeneration;
+use headroom_cluster::maintenance::{AvailabilityPractice, MaintenancePlan};
+use headroom_cluster::service_model::ServiceModel;
+use headroom_cluster::sim::{SimConfig, Simulation};
+use headroom_cluster::topology::FleetBuilder;
+use headroom_telemetry::counter::CounterKind;
+use headroom_telemetry::time::{WindowIndex, WindowRange, WINDOWS_PER_DAY};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every practice converges to its advertised availability for any pool
+    /// size and seed (the dithering property).
+    #[test]
+    fn maintenance_hits_long_run_fraction(
+        n in 3usize..40,
+        seed in 0u64..500,
+        practice_idx in 0usize..4,
+    ) {
+        let practice = [
+            AvailabilityPractice::WellManaged,
+            AvailabilityPractice::Moderate,
+            AvailabilityPractice::Heavy,
+            AvailabilityPractice::Relaxed,
+        ][practice_idx];
+        let plan = MaintenancePlan::new(practice, seed).without_incidents();
+        let mut offline = 0u64;
+        let mut total = 0u64;
+        for w in 0..(20 * WINDOWS_PER_DAY) {
+            for i in 0..n {
+                total += 1;
+                if plan.is_offline(i, n, WindowIndex(w), 12.0) {
+                    offline += 1;
+                }
+            }
+        }
+        let measured = offline as f64 / total as f64;
+        let expected = 1.0 - practice.expected_availability();
+        prop_assert!(
+            (measured - expected).abs() < 0.03,
+            "practice {practice:?} n {n}: measured {measured:.3} expected {expected:.3}"
+        );
+    }
+
+    /// The failure process produces events at ~1/MTBF for any server key.
+    #[test]
+    fn failure_rate_tracks_mtbf(key in 0u64..1000, mtbf in 50.0f64..400.0) {
+        let model = FailureModel { mtbf_windows: mtbf, repair_windows: 1, seed: 11 };
+        let trials = 80_000u64;
+        let events = (0..trials).filter(|&w| model.fails_at(key, WindowIndex(w))).count();
+        let rate = events as f64 / trials as f64;
+        prop_assert!(
+            (rate - 1.0 / mtbf).abs() < 0.5 / mtbf + 0.001,
+            "rate {rate:.5} vs 1/mtbf {:.5}",
+            1.0 / mtbf
+        );
+    }
+
+    /// Service models produce physical values for any load and hardware.
+    #[test]
+    fn model_outputs_physical(
+        rps in 0.0f64..3000.0,
+        hw_idx in 0usize..3,
+        seed in 0u64..100,
+    ) {
+        let hw = HardwareGeneration::ALL[hw_idx];
+        for model in [ServiceModel::paper_pool_b(), ServiceModel::paper_pool_d()] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = model.window_metrics(rps, hw, WindowIndex(0), 5, 1, 1.0, &mut rng);
+            prop_assert!((0.0..=100.0).contains(&m.cpu_pct));
+            prop_assert!(m.latency_p95_ms >= model.latency_floor_ms);
+            prop_assert!(m.latency_avg_ms <= m.latency_p95_ms + 1.0);
+            prop_assert!(m.disk_read_bytes >= 0.0);
+            prop_assert!(m.network_bytes >= 0.0);
+            prop_assert!(m.memory_resident_mb > 0.0);
+        }
+    }
+
+    /// A reduction keeps total pool workload unchanged: per-server load
+    /// scales inversely with the active count.
+    #[test]
+    fn reduction_conserves_total_demand(keep in 4usize..10) {
+        let spec = MicroserviceKind::B
+            .spec()
+            .with_practice(AvailabilityPractice::WellManaged);
+        let fleet = FleetBuilder::new(5)
+            .datacenters(1)
+            .without_failures()
+            .without_incidents()
+            .deploy_with_spec(&spec, 10, spec.peak_rps_per_server)
+            .unwrap()
+            .build();
+        let mut sim = Simulation::new(fleet, Default::default(), SimConfig::default());
+        let pool = sim.fleet().pools()[0].id;
+        sim.schedule_resize(pool, WindowIndex(WINDOWS_PER_DAY), keep).unwrap();
+        sim.run_days(2.0);
+        let store = sim.store();
+        let total_at = |w: u64| {
+            store
+                .pool_window_mean(pool, CounterKind::RequestsPerSec, WindowIndex(w))
+                .unwrap()
+                * store.pool_active_servers(pool, WindowIndex(w)) as f64
+        };
+        // Compare the same window of day 1 and day 2 (both weekdays).
+        let before = total_at(400);
+        let after = total_at(400 + WINDOWS_PER_DAY);
+        prop_assert!(
+            (after / before - 1.0).abs() < 0.15,
+            "total demand moved: {before:.0} -> {after:.0}"
+        );
+    }
+
+    /// Simulated pool observations always carry matched vector lengths.
+    #[test]
+    fn observations_are_rectangular(seed in 0u64..50) {
+        let fleet = FleetBuilder::new(seed)
+            .datacenters(1)
+            .deploy_service(MicroserviceKind::E, 8)
+            .unwrap()
+            .build();
+        let mut sim = Simulation::new(fleet, Default::default(), SimConfig {
+            seed,
+            ..SimConfig::default()
+        });
+        sim.run_windows(100);
+        let pool = sim.fleet().pools()[0].id;
+        let range = WindowRange::new(WindowIndex(0), WindowIndex(100));
+        let rps = sim.store().pool_mean_series(pool, CounterKind::RequestsPerSec, range);
+        let cpu = sim.store().pool_mean_series(pool, CounterKind::CpuPercent, range);
+        prop_assert_eq!(rps.len(), cpu.len());
+        for ((w1, _), (w2, _)) in rps.iter().zip(&cpu) {
+            prop_assert_eq!(w1, w2);
+        }
+    }
+}

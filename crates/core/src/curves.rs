@@ -1,0 +1,393 @@
+//! Pool observations and the two fitted response curves.
+//!
+//! Everything the planner learns about a pool comes from per-window pool
+//! averages of three counters: requests/sec per server (workload), CPU
+//! percent (resource), and p95 latency (QoS). The CPU response is fit with
+//! plain OLS (§II-A1's "tight linear correlation"); the latency response is
+//! fit with a RANSAC quadratic (§II-B2, Eq. 1) so deployment outliers do not
+//! bend the curve.
+
+use headroom_stats::ransac::{ransac_polyfit, RansacConfig};
+use headroom_stats::{LinearFit, Polynomial, StatsError, Summary};
+use headroom_telemetry::counter::CounterKind;
+use headroom_telemetry::ids::PoolId;
+use headroom_telemetry::store::MetricStore;
+use headroom_telemetry::time::{WindowIndex, WindowRange};
+
+use crate::error::PlanError;
+
+/// Per-window pool-average observations for one pool.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PoolObservations {
+    /// The pool observed.
+    pub pool: PoolId,
+    /// Observation windows.
+    pub windows: Vec<WindowIndex>,
+    /// Mean RPS per serving server, per window.
+    pub rps_per_server: Vec<f64>,
+    /// Mean CPU percent, per window.
+    pub cpu_pct: Vec<f64>,
+    /// Mean p95 latency (ms), per window.
+    pub latency_p95_ms: Vec<f64>,
+    /// Serving (active) server count, per window.
+    pub active_servers: Vec<f64>,
+}
+
+impl PoolObservations {
+    /// Collects observations from the metric store over `range`.
+    ///
+    /// Only windows with all three signals (RPS, CPU, latency) are kept.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::InsufficientData`] when fewer than 2 complete windows
+    /// exist.
+    pub fn collect(
+        store: &MetricStore,
+        pool: PoolId,
+        range: WindowRange,
+    ) -> Result<Self, PlanError> {
+        let mut obs = PoolObservations { pool, ..PoolObservations::default() };
+        for w in range.iter() {
+            let rps = store.pool_window_mean(pool, CounterKind::RequestsPerSec, w);
+            let cpu = store.pool_window_mean(pool, CounterKind::CpuPercent, w);
+            let lat = store.pool_window_mean(pool, CounterKind::LatencyP95Ms, w);
+            if let (Some(rps), Some(cpu), Some(lat)) = (rps, cpu, lat) {
+                obs.windows.push(w);
+                obs.rps_per_server.push(rps);
+                obs.cpu_pct.push(cpu);
+                obs.latency_p95_ms.push(lat);
+                obs.active_servers.push(store.pool_active_servers(pool, w) as f64);
+            }
+        }
+        if obs.len() < 2 {
+            return Err(PlanError::InsufficientData {
+                what: "pool observations",
+                needed: 2,
+                got: obs.len(),
+            });
+        }
+        Ok(obs)
+    }
+
+    /// Number of observation windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// True when no windows were collected.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Total pool workload per window (RPS/server × servers).
+    pub fn total_rps(&self) -> Vec<f64> {
+        self.rps_per_server
+            .iter()
+            .zip(&self.active_servers)
+            .map(|(r, n)| r * n)
+            .collect()
+    }
+
+    /// Keeps only windows satisfying `pred` (by index).
+    pub fn filter_by<F: Fn(usize) -> bool>(&self, pred: F) -> PoolObservations {
+        let keep: Vec<usize> = (0..self.len()).filter(|&i| pred(i)).collect();
+        PoolObservations {
+            pool: self.pool,
+            windows: keep.iter().map(|&i| self.windows[i]).collect(),
+            rps_per_server: keep.iter().map(|&i| self.rps_per_server[i]).collect(),
+            cpu_pct: keep.iter().map(|&i| self.cpu_pct[i]).collect(),
+            latency_p95_ms: keep.iter().map(|&i| self.latency_p95_ms[i]).collect(),
+            active_servers: keep.iter().map(|&i| self.active_servers[i]).collect(),
+        }
+    }
+
+    /// Summary of per-server workload (for percentile reporting à la
+    /// Tables II/III).
+    pub fn rps_summary(&self) -> Result<Summary, StatsError> {
+        Summary::from_slice(&self.rps_per_server)
+    }
+
+    /// The `p`-th percentile of per-server workload.
+    pub fn rps_percentile(&self, p: f64) -> Result<f64, StatsError> {
+        headroom_stats::percentile::percentile(&self.rps_per_server, p)
+    }
+}
+
+/// The linear workload→CPU model.
+///
+/// # Example
+///
+/// ```
+/// use headroom_core::curves::{CpuModel, PoolObservations};
+/// use headroom_telemetry::ids::PoolId;
+/// use headroom_telemetry::time::WindowIndex;
+///
+/// # fn main() -> Result<(), headroom_core::PlanError> {
+/// let obs = PoolObservations {
+///     pool: PoolId(0),
+///     windows: (0..4).map(WindowIndex).collect(),
+///     rps_per_server: vec![100.0, 200.0, 300.0, 400.0],
+///     cpu_pct: vec![4.17, 6.97, 9.77, 12.57],
+///     latency_p95_ms: vec![30.0; 4],
+///     active_servers: vec![10.0; 4],
+/// };
+/// let model = CpuModel::fit(&obs)?;
+/// assert!((model.fit.slope - 0.028).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// The underlying OLS fit.
+    pub fit: LinearFit,
+}
+
+impl CpuModel {
+    /// Fits CPU against RPS/server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StatsError`] from the fit.
+    pub fn fit(obs: &PoolObservations) -> Result<Self, PlanError> {
+        let fit = LinearFit::fit(&obs.rps_per_server, &obs.cpu_pct)?;
+        Ok(CpuModel { fit })
+    }
+
+    /// Expected CPU percent at `rps` per server.
+    pub fn predict(&self, rps: f64) -> f64 {
+        self.fit.predict(rps)
+    }
+
+    /// RPS/server at which CPU reaches `cpu_pct`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::Singular`] (wrapped) for a flat fit.
+    pub fn rps_at_cpu(&self, cpu_pct: f64) -> Result<f64, PlanError> {
+        Ok(self.fit.solve_for_x(cpu_pct)?)
+    }
+}
+
+/// The quadratic workload→latency model (RANSAC-fit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyModel {
+    /// Fitted quadratic (ascending coefficients).
+    pub poly: Polynomial,
+    /// R² on the inlier set.
+    pub r_squared: f64,
+    /// Observations used.
+    pub n: usize,
+    /// Fraction of observations kept as inliers.
+    pub inlier_fraction: f64,
+}
+
+impl LatencyModel {
+    /// Fits p95 latency against RPS/server with RANSAC.
+    ///
+    /// The inlier threshold adapts to the data: 3× the residual standard
+    /// deviation of a preliminary OLS quadratic (floored at 0.5 ms).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StatsError`] from fitting.
+    pub fn fit(obs: &PoolObservations) -> Result<Self, PlanError> {
+        Self::fit_xy(&obs.rps_per_server, &obs.latency_p95_ms, 23)
+    }
+
+    /// Fits from explicit x/y pairs (used by the RSM per-partition fits
+    /// where x is the server count rather than RPS).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StatsError`] from fitting.
+    pub fn fit_xy(xs: &[f64], ys: &[f64], seed: u64) -> Result<Self, PlanError> {
+        // Preliminary OLS to scale the inlier threshold. The threshold is
+        // twice the 60th-percentile absolute residual: it must cover a
+        // healthy majority of points (the consensus requirement is 60%)
+        // while staying well below the residuals a contaminating deployment
+        // glitch leaves even after it has bent the preliminary fit.
+        let prelim = Polynomial::fit(xs, ys, 2)?;
+        let threshold = {
+            let mut abs_resid: Vec<f64> =
+                xs.iter().zip(ys).map(|(x, y)| (y - prelim.poly.eval(*x)).abs()).collect();
+            abs_resid.sort_by(|a, b| a.partial_cmp(b).expect("finite residuals"));
+            2.0 * headroom_stats::percentile::percentile_of_sorted(&abs_resid, 60.0)
+        };
+        let config = RansacConfig {
+            iterations: 300,
+            inlier_threshold: threshold.max(0.5),
+            min_inlier_fraction: 0.6,
+            seed,
+        };
+        match ransac_polyfit(xs, ys, 2, &config) {
+            Ok(fit) => Ok(LatencyModel {
+                poly: fit.poly,
+                r_squared: fit.r_squared,
+                n: xs.len(),
+                inlier_fraction: fit.inlier_fraction,
+            }),
+            // Degenerate consensus (e.g. extreme noise): fall back to OLS.
+            Err(StatsError::Singular) => Ok(LatencyModel {
+                poly: prelim.poly,
+                r_squared: prelim.r_squared,
+                n: xs.len(),
+                inlier_fraction: 1.0,
+            }),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Expected p95 latency at `rps` per server.
+    pub fn predict(&self, rps: f64) -> f64 {
+        self.poly.eval(rps)
+    }
+
+    /// RPS/server at which latency reaches `latency_ms` (increasing branch).
+    ///
+    /// # Errors
+    ///
+    /// Wrapped [`StatsError::InvalidParameter`] when the quadratic never
+    /// reaches the target.
+    pub fn rps_at_latency(&self, latency_ms: f64) -> Result<f64, PlanError> {
+        Ok(self.poly.solve_quadratic(latency_ms)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use headroom_telemetry::counter::CounterKind;
+    use headroom_telemetry::ids::{DatacenterId, ServerId};
+
+    fn synthetic_store(windows: u64) -> (MetricStore, PoolId) {
+        let mut store = MetricStore::new();
+        let pool = PoolId(0);
+        for s in 0..4u32 {
+            store.register_server(ServerId(s), pool, DatacenterId(0));
+        }
+        for w in 0..windows {
+            // Diurnal-ish RPS sweep.
+            let rps = 100.0 + 300.0 * ((w as f64 / windows as f64) * std::f64::consts::PI).sin();
+            for s in 0..4u32 {
+                let sid = ServerId(s);
+                store.record(sid, CounterKind::RequestsPerSec, WindowIndex(w), rps);
+                store.record(sid, CounterKind::CpuPercent, WindowIndex(w), 0.028 * rps + 1.37);
+                store.record(
+                    sid,
+                    CounterKind::LatencyP95Ms,
+                    WindowIndex(w),
+                    4.028e-5 * rps * rps - 0.031 * rps + 36.68,
+                );
+            }
+        }
+        (store, pool)
+    }
+
+    #[test]
+    fn collect_gathers_complete_windows() {
+        let (store, pool) = synthetic_store(100);
+        let obs =
+            PoolObservations::collect(&store, pool, WindowRange::new(WindowIndex(0), WindowIndex(100)))
+                .unwrap();
+        assert_eq!(obs.len(), 100);
+        assert_eq!(obs.active_servers[0], 4.0);
+        assert!(!obs.is_empty());
+    }
+
+    #[test]
+    fn collect_skips_incomplete_windows() {
+        let (mut store, pool) = synthetic_store(10);
+        // A window with RPS but no CPU/latency.
+        store.record(ServerId(0), CounterKind::RequestsPerSec, WindowIndex(50), 10.0);
+        let obs =
+            PoolObservations::collect(&store, pool, WindowRange::new(WindowIndex(0), WindowIndex(60)))
+                .unwrap();
+        assert_eq!(obs.len(), 10);
+    }
+
+    #[test]
+    fn collect_empty_errors() {
+        let store = MetricStore::new();
+        let err = PoolObservations::collect(
+            &store,
+            PoolId(9),
+            WindowRange::new(WindowIndex(0), WindowIndex(10)),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlanError::InsufficientData { .. }));
+    }
+
+    #[test]
+    fn cpu_model_recovers_paper_fit() {
+        let (store, pool) = synthetic_store(200);
+        let obs =
+            PoolObservations::collect(&store, pool, WindowRange::new(WindowIndex(0), WindowIndex(200)))
+                .unwrap();
+        let cpu = CpuModel::fit(&obs).unwrap();
+        assert!((cpu.fit.slope - 0.028).abs() < 1e-9);
+        assert!((cpu.fit.intercept - 1.37).abs() < 1e-6);
+        assert!((cpu.predict(540.0) - 16.49).abs() < 0.05);
+        let rps = cpu.rps_at_cpu(16.49).unwrap();
+        assert!((rps - 540.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn latency_model_recovers_paper_quadratic() {
+        let (store, pool) = synthetic_store(200);
+        let obs =
+            PoolObservations::collect(&store, pool, WindowRange::new(WindowIndex(0), WindowIndex(200)))
+                .unwrap();
+        let lat = LatencyModel::fit(&obs).unwrap();
+        assert!((lat.predict(540.0) - 31.6).abs() < 0.5, "paper forecast ~31.5 ms");
+        assert!(lat.r_squared > 0.99);
+    }
+
+    #[test]
+    fn latency_model_survives_outliers() {
+        let (store, pool) = synthetic_store(200);
+        let mut obs =
+            PoolObservations::collect(&store, pool, WindowRange::new(WindowIndex(0), WindowIndex(200)))
+                .unwrap();
+        // A deployment glitch: a run of wildly elevated readings.
+        for i in 20..30 {
+            obs.latency_p95_ms[i] += 200.0;
+        }
+        let lat = LatencyModel::fit(&obs).unwrap();
+        assert!((lat.predict(540.0) - 31.6).abs() < 1.0, "RANSAC ignores the glitch");
+        assert!(lat.inlier_fraction < 1.0);
+    }
+
+    #[test]
+    fn filter_by_keeps_subset() {
+        let (store, pool) = synthetic_store(50);
+        let obs =
+            PoolObservations::collect(&store, pool, WindowRange::new(WindowIndex(0), WindowIndex(50)))
+                .unwrap();
+        let head = obs.filter_by(|i| i < 10);
+        assert_eq!(head.len(), 10);
+        assert_eq!(head.windows[9], WindowIndex(9));
+    }
+
+    #[test]
+    fn total_rps_multiplies_out() {
+        let (store, pool) = synthetic_store(5);
+        let obs =
+            PoolObservations::collect(&store, pool, WindowRange::new(WindowIndex(0), WindowIndex(5)))
+                .unwrap();
+        let totals = obs.total_rps();
+        assert!((totals[0] - obs.rps_per_server[0] * 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_accessors() {
+        let (store, pool) = synthetic_store(100);
+        let obs =
+            PoolObservations::collect(&store, pool, WindowRange::new(WindowIndex(0), WindowIndex(100)))
+                .unwrap();
+        let p50 = obs.rps_percentile(50.0).unwrap();
+        let p95 = obs.rps_percentile(95.0).unwrap();
+        assert!(p95 > p50);
+        assert!(obs.rps_summary().unwrap().count() == 100);
+    }
+}

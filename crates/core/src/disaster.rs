@@ -1,0 +1,207 @@
+//! Disaster-recovery sizing.
+//!
+//! The paper's abstract promises savings "with effectively no impact on …
+//! the capacity required for disaster recovery", verified with "data from
+//! real-world large scale unplanned failures". DR capacity for a
+//! geo-distributed service means: when any single datacenter is lost, its
+//! demand reroutes to the survivors (weight-proportionally, as in
+//! [`headroom_cluster::routing`]) — and every surviving pool must *still*
+//! meet the QoS requirement.
+//!
+//! [`dr_min_servers`] computes the per-datacenter minimum pool sizes under
+//! that constraint; comparing them against the non-DR minimum shows how much
+//! of the fleet's existing headroom was actually doing DR duty.
+
+use crate::error::PlanError;
+use crate::forecast::CapacityForecaster;
+use crate::slo::QosRequirement;
+
+/// Per-datacenter DR sizing for one service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrPlan {
+    /// Minimum servers per datacenter tolerating any single-DC loss.
+    pub servers: Vec<usize>,
+    /// Minimum servers per datacenter with no DR requirement.
+    pub servers_without_dr: Vec<usize>,
+    /// Peak per-server workload each DC would see in its worst failover.
+    pub worst_case_rps: Vec<f64>,
+}
+
+impl DrPlan {
+    /// Total DR-capable allocation.
+    pub fn total(&self) -> usize {
+        self.servers.iter().sum()
+    }
+
+    /// Total non-DR allocation.
+    pub fn total_without_dr(&self) -> usize {
+        self.servers_without_dr.iter().sum()
+    }
+
+    /// Fraction of the DR allocation that exists purely for failover.
+    pub fn dr_overhead(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - self.total_without_dr() as f64 / total as f64
+    }
+}
+
+/// Computes the smallest per-DC pool sizes such that the service meets
+/// `qos` both in normal operation and after the loss of any one datacenter.
+///
+/// `peak_demands[d]` is datacenter `d`'s own peak workload (RPS);
+/// `weights[d]` its routing weight. On the loss of DC `l`, survivors receive
+/// `peak_demands[l] · weights[d] / Σ_{s≠l} weights[s]` extra demand — the
+/// same rule the simulator's failover router applies.
+///
+/// # Errors
+///
+/// - [`PlanError::InvalidParameter`] for mismatched or empty inputs, or
+///   fewer than two datacenters (no DR is possible with one).
+/// - Propagated sizing errors from the forecaster.
+pub fn dr_min_servers(
+    forecaster: &CapacityForecaster,
+    peak_demands: &[f64],
+    weights: &[f64],
+    qos: &QosRequirement,
+) -> Result<DrPlan, PlanError> {
+    if peak_demands.len() != weights.len() {
+        return Err(PlanError::InvalidParameter("demands/weights length mismatch"));
+    }
+    if peak_demands.len() < 2 {
+        return Err(PlanError::InvalidParameter("DR sizing needs at least two datacenters"));
+    }
+    if peak_demands.iter().chain(weights.iter()).any(|v| !v.is_finite() || *v < 0.0) {
+        return Err(PlanError::InvalidParameter("demands/weights must be non-negative"));
+    }
+
+    let rps_at_slo = forecaster.max_rps_per_server(qos)?;
+    let n = peak_demands.len();
+    let mut servers = Vec::with_capacity(n);
+    let mut servers_without_dr = Vec::with_capacity(n);
+    let mut worst_case_rps = Vec::with_capacity(n);
+
+    for d in 0..n {
+        // Worst case for DC d: the loss of whichever other DC pushes the
+        // most displaced demand onto it.
+        let mut worst_demand = peak_demands[d];
+        for l in 0..n {
+            if l == d {
+                continue;
+            }
+            let surviving_weight: f64 =
+                (0..n).filter(|&s| s != l).map(|s| weights[s]).sum();
+            if surviving_weight <= 0.0 {
+                continue;
+            }
+            let with_failover =
+                peak_demands[d] + peak_demands[l] * weights[d] / surviving_weight;
+            worst_demand = worst_demand.max(with_failover);
+        }
+        let dr = ((worst_demand / rps_at_slo).ceil() as usize).max(1);
+        let plain = ((peak_demands[d] / rps_at_slo).ceil() as usize).max(1);
+        servers.push(dr);
+        servers_without_dr.push(plain);
+        worst_case_rps.push(worst_demand / dr as f64);
+    }
+
+    Ok(DrPlan { servers, servers_without_dr, worst_case_rps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curves::{CpuModel, LatencyModel};
+    use headroom_stats::{LinearFit, Polynomial};
+
+    fn forecaster() -> CapacityForecaster {
+        CapacityForecaster {
+            cpu: CpuModel {
+                fit: LinearFit { slope: 0.028, intercept: 1.37, r_squared: 0.98, n: 100 },
+            },
+            latency: LatencyModel {
+                poly: Polynomial::new(vec![36.68, -0.031, 4.028e-5]),
+                r_squared: 0.9,
+                n: 100,
+                inlier_fraction: 1.0,
+            },
+        }
+    }
+
+    fn qos() -> QosRequirement {
+        QosRequirement::latency(32.5).with_cpu_ceiling(90.0)
+    }
+
+    #[test]
+    fn dr_allocates_more_than_plain() {
+        let plan = dr_min_servers(
+            &forecaster(),
+            &[100_000.0, 90_000.0, 60_000.0],
+            &[1.0, 0.9, 0.6],
+            &qos(),
+        )
+        .unwrap();
+        assert_eq!(plan.servers.len(), 3);
+        for d in 0..3 {
+            assert!(plan.servers[d] >= plan.servers_without_dr[d]);
+        }
+        assert!(plan.dr_overhead() > 0.1, "overhead {:.2}", plan.dr_overhead());
+        assert!(plan.dr_overhead() < 0.5);
+    }
+
+    #[test]
+    fn worst_case_stays_within_slo() {
+        let f = forecaster();
+        let plan = dr_min_servers(
+            &f,
+            &[100_000.0, 90_000.0, 60_000.0],
+            &[1.0, 0.9, 0.6],
+            &qos(),
+        )
+        .unwrap();
+        let rps_at_slo = f.max_rps_per_server(&qos()).unwrap();
+        for &rps in &plan.worst_case_rps {
+            assert!(rps <= rps_at_slo + 1e-9, "worst case {rps:.0} exceeds {rps_at_slo:.0}");
+        }
+    }
+
+    #[test]
+    fn two_dcs_cover_each_other_fully() {
+        // With two DCs, each must absorb the other entirely.
+        let plan =
+            dr_min_servers(&forecaster(), &[50_000.0, 50_000.0], &[1.0, 1.0], &qos()).unwrap();
+        assert!(plan.servers[0] >= 2 * plan.servers_without_dr[0] - 1);
+    }
+
+    #[test]
+    fn more_dcs_cheaper_dr() {
+        // Spreading the same demand over more DCs shrinks DR overhead — the
+        // amortization argument for geo-distribution.
+        let f = forecaster();
+        let three = dr_min_servers(
+            &f,
+            &[60_000.0, 60_000.0, 60_000.0],
+            &[1.0, 1.0, 1.0],
+            &qos(),
+        )
+        .unwrap();
+        let six = dr_min_servers(
+            &f,
+            &[30_000.0; 6],
+            &[1.0; 6],
+            &qos(),
+        )
+        .unwrap();
+        assert!(six.dr_overhead() < three.dr_overhead());
+    }
+
+    #[test]
+    fn validation() {
+        let f = forecaster();
+        assert!(dr_min_servers(&f, &[1.0], &[1.0], &qos()).is_err());
+        assert!(dr_min_servers(&f, &[1.0, 2.0], &[1.0], &qos()).is_err());
+        assert!(dr_min_servers(&f, &[1.0, f64::NAN], &[1.0, 1.0], &qos()).is_err());
+    }
+}

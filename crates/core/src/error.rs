@@ -1,0 +1,110 @@
+//! Error type for the capacity planner.
+
+use std::error::Error;
+use std::fmt;
+
+use headroom_cluster::ClusterError;
+use headroom_stats::StatsError;
+use headroom_telemetry::ids::PoolId;
+
+/// Error produced by planning operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlanError {
+    /// A statistical routine failed (propagated).
+    Stats(StatsError),
+    /// The simulator rejected an experiment action (propagated).
+    Cluster(ClusterError),
+    /// Not enough telemetry for the requested analysis.
+    InsufficientData {
+        /// What the planner was trying to estimate.
+        what: &'static str,
+        /// Observations required.
+        needed: usize,
+        /// Observations available.
+        got: usize,
+    },
+    /// The workload metric did not correlate with the limiting resource —
+    /// the §II-A1 validation loop must iterate (split metrics, remove
+    /// background noise) before planning can proceed.
+    NoLinearCorrelation {
+        /// Best R² achieved.
+        r_squared: f64,
+        /// Minimum acceptable R².
+        required: f64,
+    },
+    /// No pool size satisfies the QoS requirement (the SLO is below the
+    /// service's floor latency).
+    SloUnreachable(PoolId),
+    /// A parameter was out of its valid domain.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Stats(e) => write!(f, "statistics error: {e}"),
+            PlanError::Cluster(e) => write!(f, "cluster error: {e}"),
+            PlanError::InsufficientData { what, needed, got } => {
+                write!(f, "insufficient data for {what}: need {needed}, got {got}")
+            }
+            PlanError::NoLinearCorrelation { r_squared, required } => write!(
+                f,
+                "workload metric fails linear validation (R² {r_squared:.3} < {required:.3})"
+            ),
+            PlanError::SloUnreachable(pool) => {
+                write!(f, "no server count satisfies the QoS requirement for {pool}")
+            }
+            PlanError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl Error for PlanError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PlanError::Stats(e) => Some(e),
+            PlanError::Cluster(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for PlanError {
+    fn from(e: StatsError) -> Self {
+        PlanError::Stats(e)
+    }
+}
+
+impl From<ClusterError> for PlanError {
+    fn from(e: ClusterError) -> Self {
+        PlanError::Cluster(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = PlanError::from(StatsError::EmptyInput);
+        assert!(e.to_string().contains("input is empty"));
+        assert!(Error::source(&e).is_some());
+        let e2 = PlanError::NoLinearCorrelation { r_squared: 0.4, required: 0.9 };
+        assert!(e2.to_string().contains("0.400"));
+        assert!(Error::source(&e2).is_none());
+    }
+
+    #[test]
+    fn from_cluster_error() {
+        let e = PlanError::from(ClusterError::UnknownPool(PoolId(1)));
+        assert!(e.to_string().contains("pool-1"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PlanError>();
+    }
+}

@@ -1,0 +1,249 @@
+//! Capacity forecasting (§III-A).
+//!
+//! A [`CapacityForecaster`] bundles the two fitted response curves and
+//! answers the paper's two questions:
+//!
+//! - *forward*: "what will CPU and latency be if we remove k% of servers?"
+//!   (the pool B/D experiments: predicted 16.5% CPU / 31.5 ms, measured
+//!   17.4% / 30.9 ms);
+//! - *inverse*: "how few servers can meet the QoS requirement at peak?"
+//!   (the Table IV optimizer).
+
+use crate::curves::{CpuModel, LatencyModel, PoolObservations};
+use crate::error::PlanError;
+use crate::slo::QosRequirement;
+
+/// Forecast of a pool's state after a capacity change.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReductionForecast {
+    /// Per-server workload after the change (RPS).
+    pub rps_per_server: f64,
+    /// Forecast mean CPU percent.
+    pub cpu_pct: f64,
+    /// Forecast p95 latency (ms).
+    pub latency_p95_ms: f64,
+}
+
+/// Forecast accuracy against a measured value (the Tables in §III-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForecastAccuracy {
+    /// What the model predicted.
+    pub predicted: f64,
+    /// What was measured after the change.
+    pub measured: f64,
+}
+
+impl ForecastAccuracy {
+    /// Relative error |predicted − measured| / |measured|.
+    pub fn relative_error(&self) -> f64 {
+        if self.measured == 0.0 {
+            return if self.predicted == 0.0 { 0.0 } else { f64::INFINITY };
+        }
+        (self.predicted - self.measured).abs() / self.measured.abs()
+    }
+}
+
+/// The fitted workload→CPU and workload→latency models for one pool (or
+/// server group).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityForecaster {
+    /// Linear CPU response.
+    pub cpu: CpuModel,
+    /// Quadratic latency response.
+    pub latency: LatencyModel,
+}
+
+impl CapacityForecaster {
+    /// Fits both models from pool observations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fitting errors.
+    pub fn fit(obs: &PoolObservations) -> Result<Self, PlanError> {
+        Ok(CapacityForecaster { cpu: CpuModel::fit(obs)?, latency: LatencyModel::fit(obs)? })
+    }
+
+    /// Forecast at an explicit per-server workload.
+    pub fn at_rps(&self, rps_per_server: f64) -> ReductionForecast {
+        ReductionForecast {
+            rps_per_server,
+            cpu_pct: self.cpu.predict(rps_per_server),
+            latency_p95_ms: self.latency.predict(rps_per_server),
+        }
+    }
+
+    /// Forecast after removing `fraction` of servers while total workload
+    /// stays constant: per-server workload scales by `1 / (1 - fraction)`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::InvalidParameter`] unless `0 <= fraction < 1`.
+    pub fn after_reduction(
+        &self,
+        current_rps_per_server: f64,
+        fraction: f64,
+    ) -> Result<ReductionForecast, PlanError> {
+        if !(0.0..1.0).contains(&fraction) {
+            return Err(PlanError::InvalidParameter("reduction fraction must be within [0, 1)"));
+        }
+        Ok(self.at_rps(current_rps_per_server / (1.0 - fraction)))
+    }
+
+    /// The highest per-server workload satisfying `qos` (both the latency
+    /// SLO and the CPU guardrail).
+    ///
+    /// # Errors
+    ///
+    /// - [`PlanError::InvalidParameter`] when the latency SLO is below the
+    ///   curve's floor (unreachable).
+    /// - Propagated singular-fit errors.
+    pub fn max_rps_per_server(&self, qos: &QosRequirement) -> Result<f64, PlanError> {
+        let rps_latency = self.latency.rps_at_latency(qos.latency_p95_ms)?;
+        let rps_cpu = self.cpu.rps_at_cpu(qos.cpu_ceiling_pct)?;
+        let max = rps_latency.min(rps_cpu);
+        if max <= 0.0 {
+            return Err(PlanError::InvalidParameter("QoS unreachable at any positive workload"));
+        }
+        Ok(max)
+    }
+
+    /// Minimum servers needed to process `peak_total_rps` within `qos`,
+    /// with `failure_headroom` extra fractional capacity (e.g. `0.0` for
+    /// the theoretical minimum, `0.05` to ride out unplanned failures).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CapacityForecaster::max_rps_per_server`] errors; also
+    /// rejects non-finite or negative peaks.
+    pub fn min_servers(
+        &self,
+        peak_total_rps: f64,
+        qos: &QosRequirement,
+        failure_headroom: f64,
+    ) -> Result<usize, PlanError> {
+        if !peak_total_rps.is_finite() || peak_total_rps < 0.0 {
+            return Err(PlanError::InvalidParameter("peak workload must be non-negative"));
+        }
+        if !(0.0..1.0).contains(&failure_headroom) {
+            return Err(PlanError::InvalidParameter("failure headroom must be within [0, 1)"));
+        }
+        let per_server = self.max_rps_per_server(qos)?;
+        let raw = peak_total_rps / per_server;
+        Ok(((raw / (1.0 - failure_headroom)).ceil() as usize).max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use headroom_stats::{LinearFit, Polynomial};
+
+    /// The paper's pool-B forecaster, constructed from published fits.
+    fn pool_b_forecaster() -> CapacityForecaster {
+        CapacityForecaster {
+            cpu: CpuModel {
+                fit: LinearFit { slope: 0.028, intercept: 1.37, r_squared: 0.984, n: 1221 },
+            },
+            latency: LatencyModel {
+                poly: Polynomial::new(vec![36.68, -0.031, 4.028e-5]),
+                r_squared: 0.79,
+                n: 1221,
+                inlier_fraction: 1.0,
+            },
+        }
+    }
+
+    /// The paper's pool-D forecaster.
+    fn pool_d_forecaster() -> CapacityForecaster {
+        CapacityForecaster {
+            cpu: CpuModel {
+                fit: LinearFit { slope: 0.0916, intercept: 5.006, r_squared: 0.94, n: 576 },
+            },
+            latency: LatencyModel {
+                poly: Polynomial::new(vec![86.50, -0.80, 4.66e-3]),
+                r_squared: 0.90,
+                n: 576,
+                inlier_fraction: 1.0,
+            },
+        }
+    }
+
+    #[test]
+    fn pool_b_30pct_reduction_forecast_matches_paper() {
+        let f = pool_b_forecaster();
+        // 377 RPS/server at p95; removing 30% → ~540.
+        let forecast = f.after_reduction(377.0, 0.30).unwrap();
+        assert!((forecast.rps_per_server - 538.6).abs() < 1.0);
+        // Paper: predicted 16.5% CPU (measured 17.4).
+        assert!((forecast.cpu_pct - 16.5).abs() < 0.15, "cpu {}", forecast.cpu_pct);
+        // Paper: predicted 31.5 ms (measured 30.9).
+        assert!((forecast.latency_p95_ms - 31.6).abs() < 0.4, "lat {}", forecast.latency_p95_ms);
+    }
+
+    #[test]
+    fn pool_d_10pct_reduction_forecast_matches_paper() {
+        let f = pool_d_forecaster();
+        // 77.7 → 94.9 RPS/server observed (+22%, demand also rose).
+        let forecast = f.at_rps(94.9);
+        assert!((forecast.cpu_pct - 13.7).abs() < 0.15, "cpu {}", forecast.cpu_pct);
+        assert!((forecast.latency_p95_ms - 52.6).abs() < 0.6, "lat {}", forecast.latency_p95_ms);
+    }
+
+    #[test]
+    fn forecast_accuracy_errors() {
+        let a = ForecastAccuracy { predicted: 31.5, measured: 30.9 };
+        assert!(a.relative_error() < 0.02);
+        let zero = ForecastAccuracy { predicted: 0.0, measured: 0.0 };
+        assert_eq!(zero.relative_error(), 0.0);
+    }
+
+    #[test]
+    fn invalid_reduction_fraction_rejected() {
+        let f = pool_b_forecaster();
+        assert!(f.after_reduction(100.0, 1.0).is_err());
+        assert!(f.after_reduction(100.0, -0.1).is_err());
+    }
+
+    #[test]
+    fn max_rps_respects_both_constraints() {
+        let f = pool_b_forecaster();
+        // Latency-bound: SLO 32.5 ms with a generous CPU ceiling.
+        let qos = QosRequirement::latency(32.5).with_cpu_ceiling(90.0);
+        let rps = f.max_rps_per_server(&qos).unwrap();
+        assert!((f.latency.predict(rps) - 32.5).abs() < 1e-6);
+        // CPU-bound: tight ceiling.
+        let qos_cpu = QosRequirement::latency(100.0).with_cpu_ceiling(10.0);
+        let rps_cpu = f.max_rps_per_server(&qos_cpu).unwrap();
+        assert!((f.cpu.predict(rps_cpu) - 10.0).abs() < 1e-6);
+        assert!(rps_cpu < rps * 2.0);
+    }
+
+    #[test]
+    fn min_servers_scales_with_peak() {
+        let f = pool_b_forecaster();
+        let qos = QosRequirement::latency(32.5).with_cpu_ceiling(90.0);
+        let n1 = f.min_servers(10_000.0, &qos, 0.0).unwrap();
+        let n2 = f.min_servers(20_000.0, &qos, 0.0).unwrap();
+        assert!(n2 >= 2 * n1 - 1);
+        // Failure headroom adds servers.
+        let with_headroom = f.min_servers(10_000.0, &qos, 0.10).unwrap();
+        assert!(with_headroom > n1);
+    }
+
+    #[test]
+    fn unreachable_slo_errors() {
+        let f = pool_b_forecaster();
+        // Below the curve's minimum (~30.7 ms around 385 rps): unreachable.
+        let qos = QosRequirement::latency(5.0);
+        assert!(f.max_rps_per_server(&qos).is_err());
+    }
+
+    #[test]
+    fn min_servers_validates_inputs() {
+        let f = pool_b_forecaster();
+        let qos = QosRequirement::latency(32.5);
+        assert!(f.min_servers(f64::NAN, &qos, 0.0).is_err());
+        assert!(f.min_servers(100.0, &qos, 1.0).is_err());
+        assert_eq!(f.min_servers(0.0, &qos, 0.0).unwrap(), 1);
+    }
+}

@@ -1,0 +1,374 @@
+//! Server-group identification (methodology step 1b, §II-A2).
+//!
+//! Capacity is planned per group of servers with the same workload→resource
+//! response. Pools are *usually* such groups, but hardware refreshes and
+//! role asymmetries create sub-populations (Fig. 3). This module:
+//!
+//! - builds the paper's feature vectors (per-server CPU percentiles plus the
+//!   pool-level percentile-regression features);
+//! - trains the paper's decision tree (pool → "tightly bound CPU range?")
+//!   with 5-fold cross-validation and AUC;
+//! - splits pools into server groups via (p5, p95) clustering;
+//! - implements the scatter-stability rule for choosing the observation
+//!   window ("expand the range of data considered until the resulting
+//!   scatter plot no longer changes").
+
+use headroom_stats::dtree::{cross_validate, CvReport, DecisionTree, TreeConfig};
+use headroom_stats::kmeans::{kmeans, silhouette_score, KMeansConfig};
+use headroom_stats::percentile::PercentileProfile;
+use headroom_stats::LinearFit;
+use headroom_telemetry::counter::CounterKind;
+use headroom_telemetry::ids::{PoolId, ServerId};
+use headroom_telemetry::store::MetricStore;
+use headroom_telemetry::time::WindowRange;
+
+use crate::error::PlanError;
+
+/// Per-server CPU percentile profile plus identity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerProfile {
+    /// The server.
+    pub server: ServerId,
+    /// Its CPU percentile profile over the observation range.
+    pub profile: PercentileProfile,
+}
+
+/// The paper's pool-level feature vector: the five CPU percentiles averaged
+/// across servers, plus slope/intercept/R² of a linear regression across
+/// `(percentile rank, CPU value)` pairs for every server in the pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolFeatures {
+    /// The pool.
+    pub pool: PoolId,
+    /// Mean p5/p25/p50/p75/p95 across servers.
+    pub mean_percentiles: [f64; 5],
+    /// Slope of the percentile-rank regression.
+    pub slope: f64,
+    /// Intercept of the percentile-rank regression.
+    pub intercept: f64,
+    /// R² of the percentile-rank regression.
+    pub r_squared: f64,
+    /// Per-server profiles (kept for group splitting).
+    pub servers: Vec<ServerProfile>,
+}
+
+impl PoolFeatures {
+    /// Collects features for a pool over `range`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::InsufficientData`] when no server has at least 8 CPU
+    /// samples in range.
+    pub fn collect(
+        store: &MetricStore,
+        pool: PoolId,
+        range: WindowRange,
+    ) -> Result<Self, PlanError> {
+        let mut servers = Vec::new();
+        let mut reg_x = Vec::new();
+        let mut reg_y = Vec::new();
+        for (server, values) in store.pool_server_values(pool, CounterKind::CpuPercent, range) {
+            if values.len() < 8 {
+                continue;
+            }
+            let profile = PercentileProfile::from_values(&values)?;
+            for (p, c) in headroom_stats::percentile::FEATURE_PERCENTILES
+                .iter()
+                .zip(profile.as_features())
+            {
+                reg_x.push(*p);
+                reg_y.push(c);
+            }
+            servers.push(ServerProfile { server, profile });
+        }
+        if servers.is_empty() {
+            return Err(PlanError::InsufficientData {
+                what: "server CPU profiles",
+                needed: 1,
+                got: 0,
+            });
+        }
+        let n = servers.len() as f64;
+        let mut mean = [0.0f64; 5];
+        for s in &servers {
+            for (m, v) in mean.iter_mut().zip(s.profile.as_features()) {
+                *m += v / n;
+            }
+        }
+        let fit = LinearFit::fit(&reg_x, &reg_y)?;
+        Ok(PoolFeatures {
+            pool,
+            mean_percentiles: mean,
+            slope: fit.slope,
+            intercept: fit.intercept,
+            r_squared: fit.r_squared,
+            servers,
+        })
+    }
+
+    /// The 8-dimensional feature vector fed to the decision tree.
+    pub fn as_vec(&self) -> Vec<f64> {
+        let mut v = self.mean_percentiles.to_vec();
+        v.push(self.slope);
+        v.push(self.intercept);
+        v.push(self.r_squared);
+        v
+    }
+
+    /// The paper's "tightly bound CPU utilisation range" heuristic: the mean
+    /// p95−p5 band relative to the mean p95.
+    pub fn relative_band(&self) -> f64 {
+        let p95 = self.mean_percentiles[4];
+        if p95 <= 0.0 {
+            return 0.0;
+        }
+        (p95 - self.mean_percentiles[0]) / p95
+    }
+}
+
+/// A trained pool classifier plus its cross-validation report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolClassifier {
+    /// The trained tree.
+    pub tree: DecisionTree,
+    /// 5-fold CV metrics (the paper reports R²=0.746, AUC=0.9804, 34 splits).
+    pub cv: CvReport,
+}
+
+/// Trains the §II-A2 decision tree on labelled pools.
+///
+/// `min_leaf` is the minimum machines per leaf — the paper used 2000 at
+/// production scale; scaled-down datasets pass proportionally smaller
+/// values.
+///
+/// # Errors
+///
+/// Propagates tree-training and cross-validation failures.
+pub fn train_pool_classifier(
+    rows: &[(PoolFeatures, bool)],
+    min_leaf: usize,
+    seed: u64,
+) -> Result<PoolClassifier, PlanError> {
+    let features: Vec<Vec<f64>> = rows.iter().map(|(f, _)| f.as_vec()).collect();
+    let labels: Vec<bool> = rows.iter().map(|(_, l)| *l).collect();
+    let config = TreeConfig { max_depth: 10, min_leaf_size: min_leaf.max(1), min_gain: 1e-6 };
+    let cv = cross_validate(&features, &labels, &config, 5, seed)?;
+    let tree = DecisionTree::train(&features, &labels, &config)?;
+    Ok(PoolClassifier { tree, cv })
+}
+
+/// The result of splitting one pool into server groups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSplit {
+    /// Server groups (1 = homogeneous pool, 2 = e.g. two hardware
+    /// generations).
+    pub groups: Vec<Vec<ServerId>>,
+    /// Silhouette score of the 2-way split (meaningful only when 2 groups
+    /// were considered).
+    pub silhouette: f64,
+    /// The (p5, p95) scatter used (one point per server) — the Fig. 3 data.
+    pub scatter: Vec<(ServerId, f64, f64)>,
+}
+
+/// Minimum silhouette at which a 2-way split is accepted.
+pub const SPLIT_SILHOUETTE_THRESHOLD: f64 = 0.60;
+
+/// Splits a pool into capacity-planning groups from its (p5, p95) CPU
+/// scatter (Fig. 3): k-means with k=2, accepted only when the silhouette
+/// shows genuinely separate populations.
+///
+/// # Errors
+///
+/// Propagates [`PoolFeatures::collect`] errors.
+pub fn split_pool_groups(
+    store: &MetricStore,
+    pool: PoolId,
+    range: WindowRange,
+) -> Result<GroupSplit, PlanError> {
+    let features = PoolFeatures::collect(store, pool, range)?;
+    let scatter: Vec<(ServerId, f64, f64)> = features
+        .servers
+        .iter()
+        .map(|s| (s.server, s.profile.p5, s.profile.p95))
+        .collect();
+    if scatter.len() < 4 {
+        return Ok(GroupSplit {
+            groups: vec![scatter.iter().map(|(s, _, _)| *s).collect()],
+            silhouette: 0.0,
+            scatter,
+        });
+    }
+    let points: Vec<Vec<f64>> = scatter.iter().map(|(_, p5, p95)| vec![*p5, *p95]).collect();
+    let clustering = kmeans(&points, &KMeansConfig::new(2))?;
+    let silhouette = silhouette_score(&points, &clustering.assignments).unwrap_or(0.0);
+    if silhouette >= SPLIT_SILHOUETTE_THRESHOLD {
+        let mut groups = vec![Vec::new(), Vec::new()];
+        for ((server, _, _), &cluster) in scatter.iter().zip(&clustering.assignments) {
+            groups[cluster].push(*server);
+        }
+        groups.retain(|g| !g.is_empty());
+        Ok(GroupSplit { groups, silhouette, scatter })
+    } else {
+        Ok(GroupSplit {
+            groups: vec![scatter.iter().map(|(s, _, _)| *s).collect()],
+            silhouette,
+            scatter,
+        })
+    }
+}
+
+/// Implements the scatter-stability rule: returns the smallest number of
+/// days whose (p5, p95) scatter differs from the next-larger window by less
+/// than `tolerance` (relative), or `max_days` if never stable.
+///
+/// # Errors
+///
+/// Propagates [`PoolFeatures::collect`] errors for the first window.
+pub fn stable_observation_days(
+    store: &MetricStore,
+    pool: PoolId,
+    max_days: u64,
+    tolerance: f64,
+) -> Result<u64, PlanError> {
+    let mut prev: Option<Vec<(f64, f64)>> = None;
+    for days in 1..=max_days {
+        let range = WindowRange::days(days as f64);
+        let features = PoolFeatures::collect(store, pool, range)?;
+        let scatter: Vec<(f64, f64)> =
+            features.servers.iter().map(|s| (s.profile.p5, s.profile.p95)).collect();
+        if let Some(prev_scatter) = &prev {
+            if prev_scatter.len() == scatter.len() {
+                let scale = scatter
+                    .iter()
+                    .map(|(_, p95)| p95.abs())
+                    .fold(f64::MIN_POSITIVE, f64::max);
+                let max_delta = prev_scatter
+                    .iter()
+                    .zip(&scatter)
+                    .map(|((a5, a95), (b5, b95))| (a5 - b5).abs().max((a95 - b95).abs()))
+                    .fold(0.0, f64::max);
+                if max_delta / scale <= tolerance {
+                    return Ok(days - 1);
+                }
+            }
+        }
+        prev = Some(scatter);
+    }
+    Ok(max_days)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use headroom_telemetry::ids::DatacenterId;
+    use headroom_telemetry::time::{WindowIndex, WINDOWS_PER_DAY};
+
+    /// Builds a store where a pool has `hot` slow servers and `cool` fast
+    /// ones (two hardware generations), each with a diurnal CPU cycle.
+    fn two_generation_store(hot: u32, cool: u32, windows: u64) -> (MetricStore, PoolId) {
+        let mut store = MetricStore::new();
+        let pool = PoolId(0);
+        for s in 0..(hot + cool) {
+            store.register_server(ServerId(s), pool, DatacenterId(0));
+        }
+        for w in 0..windows {
+            let phase = (w as f64 / WINDOWS_PER_DAY as f64) * std::f64::consts::TAU;
+            let load = 0.5 + 0.45 * phase.sin().max(-1.0);
+            for s in 0..(hot + cool) {
+                let scale = if s < hot { 20.0 } else { 8.0 };
+                let jitter = ((w.wrapping_mul(31).wrapping_add(s as u64 * 17)) % 13) as f64 * 0.05;
+                store.record(
+                    ServerId(s),
+                    CounterKind::CpuPercent,
+                    WindowIndex(w),
+                    scale * load + jitter + 2.0,
+                );
+            }
+        }
+        (store, pool)
+    }
+
+    fn homogeneous_store(n: u32, windows: u64) -> (MetricStore, PoolId) {
+        two_generation_store(n, 0, windows)
+    }
+
+    #[test]
+    fn features_have_eight_dims() {
+        let (store, pool) = homogeneous_store(6, 720);
+        let f = PoolFeatures::collect(&store, pool, WindowRange::days(1.0)).unwrap();
+        assert_eq!(f.as_vec().len(), 8);
+        assert_eq!(f.servers.len(), 6);
+        // Percentiles ascend.
+        for w in f.mean_percentiles.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(f.r_squared > 0.5, "percentile regression should be strong");
+    }
+
+    #[test]
+    fn split_detects_two_generations() {
+        let (store, pool) = two_generation_store(8, 8, 720);
+        let split = split_pool_groups(&store, pool, WindowRange::days(1.0)).unwrap();
+        assert_eq!(split.groups.len(), 2, "silhouette {}", split.silhouette);
+        assert_eq!(split.groups[0].len() + split.groups[1].len(), 16);
+        // Hot servers (ids 0..8) must end up together.
+        let g0_hot = split.groups[0].iter().filter(|s| s.0 < 8).count();
+        assert!(g0_hot == 0 || g0_hot == split.groups[0].len());
+    }
+
+    #[test]
+    fn homogeneous_pool_stays_whole() {
+        let (store, pool) = homogeneous_store(16, 720);
+        let split = split_pool_groups(&store, pool, WindowRange::days(1.0)).unwrap();
+        assert_eq!(split.groups.len(), 1, "silhouette {}", split.silhouette);
+    }
+
+    #[test]
+    fn tiny_pool_not_split() {
+        let (store, pool) = two_generation_store(1, 2, 100);
+        let split = split_pool_groups(&store, pool, WindowRange::days(0.2)).unwrap();
+        assert_eq!(split.groups.len(), 1);
+    }
+
+    #[test]
+    fn classifier_learns_tight_vs_noisy() {
+        // Tight pools: small band; noisy pools: wide band.
+        let mut rows = Vec::new();
+        for i in 0..60u32 {
+            let tight = i % 2 == 0;
+            let (hot, cool) = if tight { (6, 0) } else { (3, 3) };
+            let (store, pool) = two_generation_store(hot, cool, 360);
+            let mut f = PoolFeatures::collect(&store, pool, WindowRange::days(0.5)).unwrap();
+            // Decorate with mild per-pool variation so rows are not identical.
+            f.mean_percentiles[4] += (i % 7) as f64 * 0.1;
+            rows.push((f, tight));
+        }
+        let classifier = train_pool_classifier(&rows, 2, 5).unwrap();
+        assert!(classifier.cv.auc > 0.9, "auc {}", classifier.cv.auc);
+        assert!(classifier.cv.accuracy > 0.85, "accuracy {}", classifier.cv.accuracy);
+        assert!(classifier.tree.split_count() >= 1);
+    }
+
+    #[test]
+    fn empty_pool_rejected() {
+        let store = MetricStore::new();
+        assert!(matches!(
+            PoolFeatures::collect(&store, PoolId(4), WindowRange::days(1.0)),
+            Err(PlanError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn scatter_stabilises_for_periodic_load() {
+        let (store, pool) = homogeneous_store(5, 5 * WINDOWS_PER_DAY);
+        let days = stable_observation_days(&store, pool, 5, 0.05).unwrap();
+        assert!(days <= 3, "diurnal load stabilises within a few days, got {days}");
+    }
+
+    #[test]
+    fn relative_band_reflects_spread() {
+        let (store, pool) = homogeneous_store(4, 720);
+        let f = PoolFeatures::collect(&store, pool, WindowRange::days(1.0)).unwrap();
+        assert!(f.relative_band() > 0.3, "diurnal pools have a wide band");
+    }
+}

@@ -1,0 +1,214 @@
+//! Workload-growth forecasting.
+//!
+//! §II: "Capacity planners use this in conjunction with **workload trends**,
+//! expected failure rates, and QoS business requirements to determine how
+//! many servers are needed." The response curves answer "how many servers
+//! per unit of workload"; this module answers "how much workload, when" —
+//! a linear trend over daily peak demand, extrapolated to a planning
+//! horizon, with a guard against extrapolating far beyond the observed
+//! history (the same discipline the paper applies to its latency curves).
+
+use headroom_stats::LinearFit;
+
+use crate::curves::PoolObservations;
+use crate::error::PlanError;
+use crate::forecast::CapacityForecaster;
+use crate::slo::QosRequirement;
+
+/// A linear trend over daily peak workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrowthModel {
+    /// Fitted peak-demand trend (x = day index, y = peak total RPS).
+    pub trend: LinearFit,
+    /// Days of history the trend was fitted on.
+    pub history_days: usize,
+}
+
+impl GrowthModel {
+    /// Fits the trend from per-day peak totals.
+    ///
+    /// # Errors
+    ///
+    /// - [`PlanError::InsufficientData`] with fewer than 3 daily peaks.
+    /// - Propagated fit errors.
+    pub fn fit(daily_peaks: &[f64]) -> Result<Self, PlanError> {
+        if daily_peaks.len() < 3 {
+            return Err(PlanError::InsufficientData {
+                what: "growth trend",
+                needed: 3,
+                got: daily_peaks.len(),
+            });
+        }
+        let xs: Vec<f64> = (0..daily_peaks.len()).map(|i| i as f64).collect();
+        let trend = LinearFit::fit(&xs, daily_peaks)?;
+        Ok(GrowthModel { trend, history_days: daily_peaks.len() })
+    }
+
+    /// Extracts daily peak totals from pool observations and fits.
+    ///
+    /// # Errors
+    ///
+    /// As in [`GrowthModel::fit`].
+    pub fn fit_from_observations(obs: &PoolObservations) -> Result<Self, PlanError> {
+        let totals = obs.total_rps();
+        let mut daily: Vec<f64> = Vec::new();
+        let mut current_day = None;
+        let mut peak = 0.0f64;
+        for (i, w) in obs.windows.iter().enumerate() {
+            let day = w.day();
+            if current_day != Some(day) {
+                if current_day.is_some() {
+                    daily.push(peak);
+                }
+                current_day = Some(day);
+                peak = 0.0;
+            }
+            peak = peak.max(totals[i]);
+        }
+        if current_day.is_some() {
+            daily.push(peak);
+        }
+        GrowthModel::fit(&daily)
+    }
+
+    /// Forecast peak total workload `days_ahead` days past the history end.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::InvalidParameter`] when the horizon exceeds 4× the
+    /// observed history — the paper's own rule that extrapolations far past
+    /// the data cannot be trusted.
+    pub fn forecast_peak(&self, days_ahead: f64) -> Result<f64, PlanError> {
+        if !(days_ahead >= 0.0) || !days_ahead.is_finite() {
+            return Err(PlanError::InvalidParameter("horizon must be non-negative"));
+        }
+        if days_ahead > 4.0 * self.history_days as f64 {
+            return Err(PlanError::InvalidParameter(
+                "horizon exceeds 4x the observed history; collect more data",
+            ));
+        }
+        Ok(self.trend.predict(self.history_days as f64 - 1.0 + days_ahead).max(0.0))
+    }
+
+    /// Daily growth as a fraction of the current peak (e.g. `0.002` = 0.2%
+    /// per day).
+    pub fn daily_growth_rate(&self) -> f64 {
+        let current = self.trend.predict(self.history_days as f64 - 1.0);
+        if current <= 0.0 {
+            return 0.0;
+        }
+        self.trend.slope / current
+    }
+
+    /// Minimum servers needed `days_ahead` days out, combining the growth
+    /// trend with the pool's fitted response curves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forecast and sizing errors.
+    pub fn min_servers_at(
+        &self,
+        forecaster: &CapacityForecaster,
+        qos: &QosRequirement,
+        days_ahead: f64,
+        failure_headroom: f64,
+    ) -> Result<usize, PlanError> {
+        let peak = self.forecast_peak(days_ahead)?;
+        forecaster.min_servers(peak, qos, failure_headroom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use headroom_stats::Polynomial;
+
+    fn forecaster() -> CapacityForecaster {
+        CapacityForecaster {
+            cpu: crate::curves::CpuModel {
+                fit: LinearFit { slope: 0.028, intercept: 1.37, r_squared: 0.98, n: 100 },
+            },
+            latency: crate::curves::LatencyModel {
+                poly: Polynomial::new(vec![36.68, -0.031, 4.028e-5]),
+                r_squared: 0.9,
+                n: 100,
+                inlier_fraction: 1.0,
+            },
+        }
+    }
+
+    #[test]
+    fn fits_linear_growth() {
+        // 1% absolute growth per day on a 10k base.
+        let peaks: Vec<f64> = (0..30).map(|d| 10_000.0 + 100.0 * d as f64).collect();
+        let g = GrowthModel::fit(&peaks).unwrap();
+        assert!((g.trend.slope - 100.0).abs() < 1e-6);
+        let in_90 = g.forecast_peak(90.0).unwrap();
+        assert!((in_90 - (10_000.0 + 100.0 * 119.0)).abs() < 1e-6);
+        assert!((g.daily_growth_rate() - 100.0 / 12_900.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn horizon_guard() {
+        let peaks: Vec<f64> = (0..10).map(|d| 1000.0 + d as f64).collect();
+        let g = GrowthModel::fit(&peaks).unwrap();
+        assert!(g.forecast_peak(40.0).is_ok());
+        assert!(matches!(
+            g.forecast_peak(41.0),
+            Err(PlanError::InvalidParameter(_))
+        ));
+        assert!(g.forecast_peak(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn too_little_history_rejected() {
+        assert!(matches!(
+            GrowthModel::fit(&[1.0, 2.0]),
+            Err(PlanError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn shrinking_demand_clamps_at_zero() {
+        let peaks: Vec<f64> = (0..10).map(|d| 1000.0 - 150.0 * d as f64).collect();
+        let g = GrowthModel::fit(&peaks).unwrap();
+        assert_eq!(g.forecast_peak(20.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn growth_feeds_capacity_sizing() {
+        let peaks: Vec<f64> = (0..30).map(|d| 50_000.0 * (1.0 + 0.005 * d as f64)).collect();
+        let g = GrowthModel::fit(&peaks).unwrap();
+        let f = forecaster();
+        let qos = QosRequirement::latency(32.5).with_cpu_ceiling(90.0);
+        let now = g.min_servers_at(&f, &qos, 0.0, 0.05).unwrap();
+        let in_90 = g.min_servers_at(&f, &qos, 90.0, 0.05).unwrap();
+        assert!(in_90 > now, "growth demands more servers: {now} -> {in_90}");
+        // ~45% more demand in 90 days at 0.5%/day of the base.
+        let ratio = in_90 as f64 / now as f64;
+        assert!((ratio - 1.39).abs() < 0.1, "ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn fit_from_observations_extracts_daily_peaks() {
+        use headroom_telemetry::ids::PoolId;
+        use headroom_telemetry::time::WindowIndex;
+        // Three days, each with a midday peak that grows 10% per day.
+        let mut obs = PoolObservations { pool: PoolId(0), ..Default::default() };
+        for day in 0..4u64 {
+            for w in 0..720u64 {
+                let phase = (w as f64 / 720.0) * std::f64::consts::TAU;
+                let demand = 100.0 * (1.0 + 0.1 * day as f64) * (0.5 - 0.5 * phase.cos()).max(0.0);
+                obs.windows.push(WindowIndex(day * 720 + w));
+                obs.rps_per_server.push(demand);
+                obs.cpu_pct.push(1.0);
+                obs.latency_p95_ms.push(1.0);
+                obs.active_servers.push(10.0);
+            }
+        }
+        let g = GrowthModel::fit_from_observations(&obs).unwrap();
+        assert_eq!(g.history_days, 4);
+        // Peak totals: 1000, 1100, 1200, 1300 -> slope 100/day.
+        assert!((g.trend.slope - 100.0).abs() < 1.0, "slope {}", g.trend.slope);
+    }
+}

@@ -1,0 +1,62 @@
+//! Black-box capacity headroom planning — the primary contribution of
+//! *"Right-sizing Server Capacity Headroom for Global Online Services"*
+//! (Verbowski et al., ICDCS 2018).
+//!
+//! The methodology treats every micro-service pool as a black box described
+//! only by three externally measured signals — workload, resource usage, and
+//! QoS — and proceeds in four steps (paper Fig. 1):
+//!
+//! 1. **Measure** ([`metric_validation`], [`grouping`]) — confirm the
+//!    workload metric correlates linearly with the limiting resource, and
+//!    auto-group servers with the same response profile;
+//! 2. **Optimize** ([`partitions`], [`curves`], [`rsm`], [`natural`],
+//!    [`forecast`], [`optimizer`]) — fit the workload→CPU line and the
+//!    workload→latency quadratic, exploit natural experiments, run RSM
+//!    server-reduction experiments, and compute the minimum pool size
+//!    meeting the QoS requirement;
+//! 3. **Model** ([`offline`]) — validate a synthetic replayable workload
+//!    against production response curves;
+//! 4. **Validate** ([`offline`]) — A/B-test every change offline under
+//!    stepped load before deployment.
+//!
+//! [`pipeline::CapacityPlanner`] wires the steps together end to end.
+//!
+//! # Example
+//!
+//! ```
+//! use headroom_cluster::scenario::FleetScenario;
+//! use headroom_core::curves::{CpuModel, PoolObservations};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let outcome = FleetScenario::small(42).run_days(1.0)?;
+//! let pool = outcome.pools()[0];
+//! let obs = PoolObservations::collect(outcome.store(), pool, outcome.range())?;
+//! let cpu = CpuModel::fit(&obs)?;
+//! assert!(cpu.fit.r_squared > 0.9, "CPU is linear in workload");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod curves;
+pub mod disaster;
+pub mod error;
+pub mod forecast;
+pub mod grouping;
+pub mod growth;
+pub mod metric_validation;
+pub mod natural;
+pub mod offline;
+pub mod optimizer;
+pub mod partitions;
+pub mod pipeline;
+pub mod report;
+pub mod rsm;
+pub mod slo;
+
+pub use error::PlanError;
+pub use forecast::CapacityForecaster;
+pub use pipeline::CapacityPlanner;
+pub use slo::QosRequirement;

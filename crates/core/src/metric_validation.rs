@@ -1,0 +1,454 @@
+//! Workload-metric validation (methodology step 1, §II-A1).
+//!
+//! "We assume proper workload metrics have a tight linear correlation
+//! between units of work and increases in their primary limiting resource…
+//! If the metric does not correlate well with the limiting resource then we
+//! likely failed to accurately capture the resources used to process a
+//! request. We use this validation in a feedback loop, until an accurate
+//! result is obtained."
+//!
+//! Two production failure modes are reproduced and detected here:
+//!
+//! - a *mixed-table* metric (the memcached-like service): splitting the
+//!   workload per table restores linearity ([`validate_with_split`]);
+//! - *background spikes* (log uploads): flagged as anomalous windows whose
+//!   removal restores linearity ([`screen_counter`] reports outlier counts).
+
+use headroom_stats::{LinearFit, StatsError};
+use headroom_telemetry::counter::{CounterKind, WorkloadTag};
+use headroom_telemetry::ids::PoolId;
+use headroom_telemetry::store::MetricStore;
+use headroom_telemetry::time::WindowRange;
+
+use crate::error::PlanError;
+
+/// Default R² above which a workload metric is accepted as linear.
+pub const DEFAULT_R2_THRESHOLD: f64 = 0.90;
+
+/// Verdict for one workload-metric/resource pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricVerdict {
+    /// Tight linear relationship — the metric isolates the workload.
+    Linear,
+    /// Correlated but noisy — probably contaminated by another workload.
+    Noisy,
+    /// No meaningful correlation — wrong metric or non-limiting resource.
+    Uncorrelated,
+}
+
+/// Result of screening one counter against the workload metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterScreen {
+    /// The resource counter screened.
+    pub counter: CounterKind,
+    /// OLS fit of resource vs workload (when estimable).
+    pub fit: Option<LinearFit>,
+    /// R² of that fit (0 when not estimable).
+    pub r_squared: f64,
+    /// Verdict at the default thresholds.
+    pub verdict: MetricVerdict,
+    /// Number of windows flagged as anomalous (beyond 4σ of the fit) —
+    /// background-task spikes land here.
+    pub anomalous_windows: usize,
+}
+
+/// Screens a resource counter against the pool's workload metric.
+///
+/// # Errors
+///
+/// [`PlanError::InsufficientData`] when fewer than 8 paired windows exist.
+pub fn screen_counter(
+    store: &MetricStore,
+    pool: PoolId,
+    counter: CounterKind,
+    range: WindowRange,
+) -> Result<CounterScreen, PlanError> {
+    let pairs =
+        store.pool_paired_observations(pool, CounterKind::RequestsPerSec, counter, range);
+    if pairs.len() < 8 {
+        return Err(PlanError::InsufficientData {
+            what: "counter screening",
+            needed: 8,
+            got: pairs.len(),
+        });
+    }
+    let xs: Vec<f64> = pairs.iter().map(|(x, _)| *x).collect();
+    let ys: Vec<f64> = pairs.iter().map(|(_, y)| *y).collect();
+    Ok(screen_xy(counter, &xs, &ys))
+}
+
+/// Screens explicit x/y series (used for per-table screens).
+pub fn screen_xy(counter: CounterKind, xs: &[f64], ys: &[f64]) -> CounterScreen {
+    // A (nearly) constant counter carries no workload signal: static queues
+    // and error counters are "more suitable for anomaly detection" (§II-A1).
+    let y_mean = ys.iter().sum::<f64>() / ys.len().max(1) as f64;
+    let y_spread = ys
+        .iter()
+        .map(|y| (y - y_mean).abs())
+        .fold(0.0f64, f64::max);
+    if y_spread <= 1e-9 * (1.0 + y_mean.abs()) {
+        return CounterScreen {
+            counter,
+            fit: None,
+            r_squared: 0.0,
+            verdict: MetricVerdict::Uncorrelated,
+            anomalous_windows: 0,
+        };
+    }
+    match LinearFit::fit(xs, ys) {
+        Ok(fit) => {
+            let residuals = fit.residuals(xs, ys).unwrap_or_default();
+            let std = {
+                let n = residuals.len().max(1) as f64;
+                (residuals.iter().map(|r| r * r).sum::<f64>() / n).sqrt()
+            };
+            let anomalous = if std > 0.0 {
+                residuals.iter().filter(|r| r.abs() > 4.0 * std).count()
+            } else {
+                0
+            };
+            let verdict = if fit.r_squared >= DEFAULT_R2_THRESHOLD {
+                MetricVerdict::Linear
+            } else if fit.r_squared >= 0.3 {
+                MetricVerdict::Noisy
+            } else {
+                MetricVerdict::Uncorrelated
+            };
+            CounterScreen {
+                counter,
+                r_squared: fit.r_squared,
+                fit: Some(fit),
+                verdict,
+                anomalous_windows: anomalous,
+            }
+        }
+        Err(StatsError::Singular) | Err(StatsError::InsufficientData { .. }) => CounterScreen {
+            counter,
+            fit: None,
+            r_squared: 0.0,
+            verdict: MetricVerdict::Uncorrelated,
+            anomalous_windows: 0,
+        },
+        Err(_) => CounterScreen {
+            counter,
+            fit: None,
+            r_squared: 0.0,
+            verdict: MetricVerdict::Uncorrelated,
+            anomalous_windows: 0,
+        },
+    }
+}
+
+/// Screens every Fig. 2 resource counter of a pool — the "which resource is
+/// limiting, and is our workload metric sound?" sweep.
+///
+/// # Errors
+///
+/// Propagates [`screen_counter`] errors for the CPU counter; other counters
+/// missing data are reported as `Uncorrelated` rather than failing the sweep.
+pub fn screen_all_counters(
+    store: &MetricStore,
+    pool: PoolId,
+    range: WindowRange,
+) -> Result<Vec<CounterScreen>, PlanError> {
+    let mut screens = Vec::new();
+    for counter in CounterKind::FIG2_RESOURCES {
+        match screen_counter(store, pool, counter, range) {
+            Ok(s) => screens.push(s),
+            Err(PlanError::InsufficientData { .. }) if counter != CounterKind::CpuPercent => {
+                screens.push(CounterScreen {
+                    counter,
+                    fit: None,
+                    r_squared: 0.0,
+                    verdict: MetricVerdict::Uncorrelated,
+                    anomalous_windows: 0,
+                });
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(screens)
+}
+
+/// Outcome of the §II-A1 split-by-workload validation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitValidation {
+    /// Screen of the combined (whole-server) CPU against total RPS.
+    pub combined: CounterScreen,
+    /// Screens of each per-table CPU against that table's RPS.
+    pub per_table: Vec<CounterScreen>,
+}
+
+impl SplitValidation {
+    /// Whether splitting rescued an otherwise noisy metric: the combined
+    /// screen fails the linearity bar but every per-table screen passes.
+    pub fn split_fixes_metric(&self) -> bool {
+        self.combined.verdict != MetricVerdict::Linear
+            && !self.per_table.is_empty()
+            && self.per_table.iter().all(|s| s.verdict == MetricVerdict::Linear)
+    }
+}
+
+/// Validates a pool's CPU metric both combined and split per table.
+///
+/// # Errors
+///
+/// [`PlanError::InsufficientData`] when the pool has too few windows, or no
+/// tagged per-table series exist.
+pub fn validate_with_split(
+    store: &MetricStore,
+    pool: PoolId,
+    range: WindowRange,
+) -> Result<SplitValidation, PlanError> {
+    let combined = screen_counter(store, pool, CounterKind::CpuPercent, range)?;
+
+    let mut per_table = Vec::new();
+    for table in 0..8u8 {
+        let tag = WorkloadTag::Workload(table);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for w in range.iter() {
+            let rps = store.pool_window_mean_tagged(pool, CounterKind::RequestsPerSec, tag, w);
+            let cpu = store.pool_window_mean_tagged(pool, CounterKind::CpuPercent, tag, w);
+            if let (Some(r), Some(c)) = (rps, cpu) {
+                xs.push(r);
+                ys.push(c);
+            }
+        }
+        if xs.len() < 8 {
+            break;
+        }
+        per_table.push(screen_xy(CounterKind::CpuPercent, &xs, &ys));
+    }
+    if per_table.is_empty() {
+        return Err(PlanError::InsufficientData {
+            what: "per-table tagged series",
+            needed: 1,
+            got: 0,
+        });
+    }
+    Ok(SplitValidation { combined, per_table })
+}
+
+/// Runs the full validation loop on a pool: accept the whole-server metric
+/// if linear, otherwise try the per-table split, otherwise report failure.
+///
+/// Returns the screen that was finally accepted.
+///
+/// # Errors
+///
+/// [`PlanError::NoLinearCorrelation`] when no metric (combined or split)
+/// reaches `r2_threshold`.
+pub fn validation_loop(
+    store: &MetricStore,
+    pool: PoolId,
+    range: WindowRange,
+    r2_threshold: f64,
+) -> Result<CounterScreen, PlanError> {
+    let combined = screen_counter(store, pool, CounterKind::CpuPercent, range)?;
+    if combined.r_squared >= r2_threshold {
+        return Ok(combined);
+    }
+    // Iterate: try the per-table split.
+    if let Ok(split) = validate_with_split(store, pool, range) {
+        if let Some(best) = split
+            .per_table
+            .iter()
+            .max_by(|a, b| a.r_squared.partial_cmp(&b.r_squared).expect("finite r2"))
+        {
+            if best.r_squared >= r2_threshold && split.per_table.iter().all(|s| s.r_squared >= r2_threshold) {
+                return Ok(best.clone());
+            }
+        }
+    }
+    Err(PlanError::NoLinearCorrelation { r_squared: combined.r_squared, required: r2_threshold })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use headroom_telemetry::ids::{DatacenterId, ServerId};
+    use headroom_telemetry::time::WindowIndex;
+
+    fn range(n: u64) -> WindowRange {
+        WindowRange::new(WindowIndex(0), WindowIndex(n))
+    }
+
+    /// Store with a clean linear CPU counter and a noisy paging counter.
+    fn linear_store(n: u64) -> (MetricStore, PoolId) {
+        let mut store = MetricStore::new();
+        let pool = PoolId(0);
+        store.register_server(ServerId(0), pool, DatacenterId(0));
+        for w in 0..n {
+            let rps = 50.0 + (w as f64 * 13.0) % 400.0;
+            store.record(ServerId(0), CounterKind::RequestsPerSec, WindowIndex(w), rps);
+            store.record(ServerId(0), CounterKind::CpuPercent, WindowIndex(w), 0.03 * rps + 1.0);
+            // Paging unrelated to workload.
+            store.record(
+                ServerId(0),
+                CounterKind::MemoryPagesPerSec,
+                WindowIndex(w),
+                4000.0 + ((w * 7919) % 997) as f64 * 8.0,
+            );
+            // Disk queue static.
+            store.record(ServerId(0), CounterKind::DiskQueueLength, WindowIndex(w), 1.0);
+        }
+        (store, pool)
+    }
+
+    #[test]
+    fn cpu_screens_linear() {
+        let (store, pool) = linear_store(200);
+        let s = screen_counter(&store, pool, CounterKind::CpuPercent, range(200)).unwrap();
+        assert_eq!(s.verdict, MetricVerdict::Linear);
+        assert!(s.r_squared > 0.99);
+    }
+
+    #[test]
+    fn paging_screens_uncorrelated_or_noisy() {
+        let (store, pool) = linear_store(200);
+        let s = screen_counter(&store, pool, CounterKind::MemoryPagesPerSec, range(200)).unwrap();
+        assert_ne!(s.verdict, MetricVerdict::Linear);
+    }
+
+    #[test]
+    fn static_counter_is_uncorrelated() {
+        let (store, pool) = linear_store(100);
+        let s = screen_counter(&store, pool, CounterKind::DiskQueueLength, range(100)).unwrap();
+        assert_eq!(s.verdict, MetricVerdict::Uncorrelated);
+        assert!(s.fit.is_none());
+    }
+
+    #[test]
+    fn spike_windows_flagged_anomalous() {
+        let (mut store, pool) = linear_store(200);
+        // Log-upload spikes in a few windows.
+        for w in [20u64, 80, 140] {
+            let rps = 50.0 + (w as f64 * 13.0) % 400.0;
+            store.record(
+                ServerId(0),
+                CounterKind::CpuPercent,
+                WindowIndex(w),
+                0.03 * rps + 1.0 + 30.0,
+            );
+        }
+        let s = screen_counter(&store, pool, CounterKind::CpuPercent, range(200)).unwrap();
+        assert_eq!(s.anomalous_windows, 3);
+    }
+
+    #[test]
+    fn too_few_windows_rejected() {
+        let (store, pool) = linear_store(4);
+        assert!(matches!(
+            screen_counter(&store, pool, CounterKind::CpuPercent, range(4)),
+            Err(PlanError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn screen_all_covers_fig2() {
+        let (store, pool) = linear_store(100);
+        let screens = screen_all_counters(&store, pool, range(100)).unwrap();
+        assert_eq!(screens.len(), 6);
+        let cpu = screens.iter().find(|s| s.counter == CounterKind::CpuPercent).unwrap();
+        assert_eq!(cpu.verdict, MetricVerdict::Linear);
+    }
+
+    /// Store reproducing the two-table memcached case: combined CPU is
+    /// noisy because the mix shifts; per-table CPU is clean.
+    fn mixed_table_store(n: u64) -> (MetricStore, PoolId) {
+        let mut store = MetricStore::new();
+        let pool = PoolId(0);
+        store.register_server(ServerId(0), pool, DatacenterId(0));
+        for w in 0..n {
+            let total_rps = 200.0 + (w as f64 * 17.0) % 300.0;
+            // Mix oscillates between 30% and 70% table-0.
+            let mix = 0.5 + 0.2 * ((w as f64) * 0.7).sin();
+            let t0 = total_rps * mix;
+            let t1 = total_rps * (1.0 - mix);
+            let cpu0 = t0 * 0.02;
+            let cpu1 = t1 * 0.20;
+            store.record(ServerId(0), CounterKind::RequestsPerSec, WindowIndex(w), total_rps);
+            store.record(ServerId(0), CounterKind::CpuPercent, WindowIndex(w), cpu0 + cpu1 + 1.0);
+            store.record_tagged(
+                ServerId(0),
+                CounterKind::RequestsPerSec,
+                WorkloadTag::Workload(0),
+                WindowIndex(w),
+                t0,
+            );
+            store.record_tagged(
+                ServerId(0),
+                CounterKind::CpuPercent,
+                WorkloadTag::Workload(0),
+                WindowIndex(w),
+                cpu0,
+            );
+            store.record_tagged(
+                ServerId(0),
+                CounterKind::RequestsPerSec,
+                WorkloadTag::Workload(1),
+                WindowIndex(w),
+                t1,
+            );
+            store.record_tagged(
+                ServerId(0),
+                CounterKind::CpuPercent,
+                WorkloadTag::Workload(1),
+                WindowIndex(w),
+                cpu1,
+            );
+        }
+        (store, pool)
+    }
+
+    #[test]
+    fn split_fixes_mixed_table_metric() {
+        let (store, pool) = mixed_table_store(300);
+        let split = validate_with_split(&store, pool, range(300)).unwrap();
+        assert_ne!(split.combined.verdict, MetricVerdict::Linear, "combined must look noisy");
+        assert_eq!(split.per_table.len(), 2);
+        for t in &split.per_table {
+            assert_eq!(t.verdict, MetricVerdict::Linear);
+        }
+        assert!(split.split_fixes_metric());
+    }
+
+    #[test]
+    fn validation_loop_accepts_clean_metric() {
+        let (store, pool) = linear_store(100);
+        let screen = validation_loop(&store, pool, range(100), DEFAULT_R2_THRESHOLD).unwrap();
+        assert_eq!(screen.verdict, MetricVerdict::Linear);
+    }
+
+    #[test]
+    fn validation_loop_falls_back_to_split() {
+        let (store, pool) = mixed_table_store(300);
+        let screen = validation_loop(&store, pool, range(300), DEFAULT_R2_THRESHOLD).unwrap();
+        assert!(screen.r_squared >= DEFAULT_R2_THRESHOLD);
+    }
+
+    #[test]
+    fn validation_loop_reports_failure() {
+        // Pure noise CPU, no tagged series to fall back on.
+        let mut store = MetricStore::new();
+        let pool = PoolId(0);
+        store.register_server(ServerId(0), pool, DatacenterId(0));
+        for w in 0..100u64 {
+            store.record(
+                ServerId(0),
+                CounterKind::RequestsPerSec,
+                WindowIndex(w),
+                (w % 10) as f64 * 50.0,
+            );
+            store.record(
+                ServerId(0),
+                CounterKind::CpuPercent,
+                WindowIndex(w),
+                ((w * 7919) % 997) as f64 / 10.0,
+            );
+        }
+        let err = validation_loop(&store, pool, range(100), DEFAULT_R2_THRESHOLD).unwrap_err();
+        assert!(matches!(err, PlanError::NoLinearCorrelation { .. }));
+    }
+}

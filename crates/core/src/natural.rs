@@ -1,0 +1,240 @@
+//! Natural-experiment analysis (§II-B1).
+//!
+//! Unplanned capacity events — failovers, viral surges — push pools far
+//! beyond their normal workload envelope *for free*: "analyzing the effect
+//! of unplanned events is a useful way to learn more about the
+//! characteristics of the system, and if there is sufficient data from
+//! these there may be no need to experiment". This module detects such
+//! windows in historical telemetry and checks whether the fitted response
+//! models hold through them (Figs. 4–6).
+
+use crate::curves::{CpuModel, LatencyModel, PoolObservations};
+use crate::error::PlanError;
+
+/// A detected span of abnormally high workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaturalExperiment {
+    /// Indices into the observation vectors that belong to the event.
+    pub indices: Vec<usize>,
+    /// Baseline (envelope) per-server workload that was exceeded.
+    pub baseline_rps: f64,
+    /// Peak per-server workload during the event.
+    pub peak_rps: f64,
+}
+
+impl NaturalExperiment {
+    /// Workload increase factor at the event peak.
+    pub fn surge_factor(&self) -> f64 {
+        if self.baseline_rps <= 0.0 {
+            return 0.0;
+        }
+        self.peak_rps / self.baseline_rps
+    }
+}
+
+/// Finds natural experiments: windows whose per-server workload exceeds
+/// `threshold_factor` × the pool's normal envelope (95th percentile of
+/// RPS/server).
+///
+/// # Errors
+///
+/// Propagates percentile errors for empty observations.
+pub fn find_natural_experiments(
+    obs: &PoolObservations,
+    threshold_factor: f64,
+) -> Result<Vec<NaturalExperiment>, PlanError> {
+    let envelope = obs.rps_percentile(95.0)?;
+    let threshold = envelope * threshold_factor;
+    let mut events: Vec<NaturalExperiment> = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
+    for i in 0..obs.len() {
+        if obs.rps_per_server[i] > threshold {
+            current.push(i);
+        } else if !current.is_empty() {
+            events.push(close_event(obs, std::mem::take(&mut current), envelope));
+        }
+    }
+    if !current.is_empty() {
+        events.push(close_event(obs, current, envelope));
+    }
+    Ok(events)
+}
+
+fn close_event(obs: &PoolObservations, indices: Vec<usize>, envelope: f64) -> NaturalExperiment {
+    let peak = indices
+        .iter()
+        .map(|&i| obs.rps_per_server[i])
+        .fold(f64::NEG_INFINITY, f64::max);
+    NaturalExperiment { indices, baseline_rps: envelope, peak_rps: peak }
+}
+
+/// Whether a fitted model keeps predicting through an event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HoldReport {
+    /// Mean absolute prediction error over the event windows.
+    pub mean_abs_error: f64,
+    /// Worst absolute prediction error.
+    pub max_abs_error: f64,
+    /// Mean observed value during the event (for relative judgement).
+    pub mean_observed: f64,
+    /// Whether the mean error stays under the tolerance.
+    pub holds: bool,
+}
+
+/// Verifies the CPU line extrapolates through an event (Fig. 5).
+///
+/// `tolerance_rel` bounds the acceptable mean |error| relative to the mean
+/// observed CPU (e.g. `0.1` = 10%).
+pub fn verify_cpu_model_holds(
+    model: &CpuModel,
+    obs: &PoolObservations,
+    event: &NaturalExperiment,
+    tolerance_rel: f64,
+) -> HoldReport {
+    verify_holds(
+        event.indices.iter().map(|&i| (obs.rps_per_server[i], obs.cpu_pct[i])),
+        |rps| model.predict(rps),
+        tolerance_rel,
+    )
+}
+
+/// Verifies the latency quadratic extrapolates through an event (Fig. 6).
+pub fn verify_latency_model_holds(
+    model: &LatencyModel,
+    obs: &PoolObservations,
+    event: &NaturalExperiment,
+    tolerance_rel: f64,
+) -> HoldReport {
+    verify_holds(
+        event.indices.iter().map(|&i| (obs.rps_per_server[i], obs.latency_p95_ms[i])),
+        |rps| model.predict(rps),
+        tolerance_rel,
+    )
+}
+
+fn verify_holds<I, F>(pairs: I, predict: F, tolerance_rel: f64) -> HoldReport
+where
+    I: Iterator<Item = (f64, f64)>,
+    F: Fn(f64) -> f64,
+{
+    let mut n = 0usize;
+    let mut sum_abs = 0.0;
+    let mut max_abs_error = 0.0f64;
+    let mut sum_obs = 0.0;
+    for (x, y) in pairs {
+        let err = (y - predict(x)).abs();
+        sum_abs += err;
+        max_abs_error = max_abs_error.max(err);
+        sum_obs += y;
+        n += 1;
+    }
+    if n == 0 {
+        return HoldReport { mean_abs_error: 0.0, max_abs_error: 0.0, mean_observed: 0.0, holds: false };
+    }
+    let mean_abs_error = sum_abs / n as f64;
+    let mean_observed = sum_obs / n as f64;
+    let holds = mean_observed > 0.0 && mean_abs_error / mean_observed <= tolerance_rel;
+    HoldReport { mean_abs_error, max_abs_error: max_abs_error, mean_observed, holds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use headroom_telemetry::ids::PoolId;
+    use headroom_telemetry::time::WindowIndex;
+
+    /// Observations with a calm diurnal baseline and a scripted surge.
+    fn obs_with_surge(surge_at: std::ops::Range<usize>, surge_factor: f64) -> PoolObservations {
+        let n = 400;
+        let mut rps = Vec::with_capacity(n);
+        for i in 0..n {
+            let base =
+                200.0 + 80.0 * ((i as f64 / n as f64) * 2.0 * std::f64::consts::TAU).sin();
+            let factor = if surge_at.contains(&i) { surge_factor } else { 1.0 };
+            rps.push(base * factor);
+        }
+        let cpu: Vec<f64> = rps.iter().map(|r| 0.028 * r + 1.37).collect();
+        let lat: Vec<f64> = rps.iter().map(|r| 4.028e-5 * r * r - 0.031 * r + 36.68).collect();
+        PoolObservations {
+            pool: PoolId(0),
+            windows: (0..n as u64).map(WindowIndex).collect(),
+            rps_per_server: rps,
+            cpu_pct: cpu,
+            latency_p95_ms: lat,
+            active_servers: vec![10.0; n],
+        }
+    }
+
+    #[test]
+    fn detects_the_surge_span() {
+        // Keep the event rare (<5% of windows) so the p95 envelope reflects
+        // normal operations, as it would over months of history.
+        let obs = obs_with_surge(100..115, 2.0);
+        let events = find_natural_experiments(&obs, 1.3).unwrap();
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert!(e.indices.contains(&105));
+        assert!(e.surge_factor() > 1.3, "factor {}", e.surge_factor());
+    }
+
+    #[test]
+    fn no_event_in_calm_data() {
+        let obs = obs_with_surge(0..0, 1.0);
+        let events = find_natural_experiments(&obs, 1.3).unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn separate_surges_are_separate_events() {
+        let mut obs = obs_with_surge(50..60, 2.5);
+        // Add a second surge manually.
+        for i in 200..210 {
+            obs.rps_per_server[i] *= 2.5;
+            obs.cpu_pct[i] = 0.028 * obs.rps_per_server[i] + 1.37;
+        }
+        let events = find_natural_experiments(&obs, 1.5).unwrap();
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn cpu_model_holds_through_event() {
+        let obs = obs_with_surge(100..130, 2.0);
+        // Fit on calm windows only — the event is out-of-sample.
+        let calm = obs.filter_by(|i| !(100..130).contains(&i));
+        let model = CpuModel::fit(&calm).unwrap();
+        let events = find_natural_experiments(&obs, 1.3).unwrap();
+        let report = verify_cpu_model_holds(&model, &obs, &events[0], 0.05);
+        assert!(report.holds, "linear CPU extrapolates: {report:?}");
+    }
+
+    #[test]
+    fn latency_model_holds_through_4x_event() {
+        let obs = obs_with_surge(100..120, 4.0);
+        let calm = obs.filter_by(|i| !(100..120).contains(&i));
+        let model = LatencyModel::fit(&calm).unwrap();
+        let events = find_natural_experiments(&obs, 1.5).unwrap();
+        let report = verify_latency_model_holds(&model, &obs, &events[0], 0.10);
+        assert!(report.holds, "quadratic extrapolates through 4x: {report:?}");
+    }
+
+    #[test]
+    fn broken_model_detected() {
+        let obs = obs_with_surge(100..130, 2.0);
+        // A deliberately wrong model.
+        let wrong = CpuModel {
+            fit: headroom_stats::LinearFit { slope: 0.2, intercept: 50.0, r_squared: 1.0, n: 2 },
+        };
+        let events = find_natural_experiments(&obs, 1.3).unwrap();
+        let report = verify_cpu_model_holds(&wrong, &obs, &events[0], 0.10);
+        assert!(!report.holds);
+    }
+
+    #[test]
+    fn empty_event_does_not_hold() {
+        let obs = obs_with_surge(0..0, 1.0);
+        let model = CpuModel::fit(&obs).unwrap();
+        let fake = NaturalExperiment { indices: vec![], baseline_rps: 1.0, peak_rps: 1.0 };
+        let report = verify_cpu_model_holds(&model, &obs, &fake, 0.1);
+        assert!(!report.holds);
+    }
+}

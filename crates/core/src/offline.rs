@@ -1,0 +1,475 @@
+//! Offline synthetic-workload validation and A/B regression analysis
+//! (methodology steps 3–4, §II-C/D, §III-C).
+//!
+//! Two gates guard production:
+//!
+//! 1. [`validate_synthetic`] — does the offline pool, driven by the
+//!    synthetic workload, exhibit the *same* workload→CPU and
+//!    workload→latency response as production? Only then can offline
+//!    results be trusted to predict production magnitudes.
+//! 2. [`analyze_ab`] — given a twin-pool A/B run under stepped load, did
+//!    the change regress latency, capacity, or fix/introduce a leak?
+//!    (The paper's memory-leak fix that secretly added a high-load latency
+//!    regression, Fig. 16.)
+
+use headroom_cluster::hardware::HardwareGeneration;
+use headroom_cluster::pool::LoadBalancer;
+use headroom_cluster::regression_lab::AbRunResult;
+use headroom_cluster::ServiceModel;
+use headroom_stats::{LinearFit, Polynomial};
+use headroom_telemetry::counter::CounterKind;
+use headroom_telemetry::ids::PoolId;
+use headroom_telemetry::store::MetricStore;
+use headroom_telemetry::time::{WindowIndex, WindowRange};
+use headroom_workload::trace::{TraceWindow, WorkloadTrace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::curves::PoolObservations;
+use crate::error::PlanError;
+
+/// Outcome of comparing offline (synthetic-driven) response curves against
+/// production.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticValidation {
+    /// Relative difference of the CPU slope.
+    pub cpu_slope_error: f64,
+    /// Mean relative difference of latency predictions across the shared
+    /// workload range.
+    pub latency_curve_error: f64,
+    /// Whether both errors fall inside the tolerance.
+    pub equivalent: bool,
+}
+
+/// Compares production and offline observations (step 3's gate).
+///
+/// # Errors
+///
+/// Propagates fitting errors for either observation set.
+pub fn validate_synthetic(
+    production: &PoolObservations,
+    offline: &PoolObservations,
+    tolerance: f64,
+) -> Result<SyntheticValidation, PlanError> {
+    let prod_cpu = LinearFit::fit(&production.rps_per_server, &production.cpu_pct)?;
+    let off_cpu = LinearFit::fit(&offline.rps_per_server, &offline.cpu_pct)?;
+    let cpu_slope_error = if prod_cpu.slope.abs() > 1e-12 {
+        (off_cpu.slope - prod_cpu.slope).abs() / prod_cpu.slope.abs()
+    } else {
+        0.0
+    };
+
+    let prod_lat = Polynomial::fit(&production.rps_per_server, &production.latency_p95_ms, 2)?;
+    let off_lat = Polynomial::fit(&offline.rps_per_server, &offline.latency_p95_ms, 2)?;
+
+    // Compare predictions across the overlapping workload range.
+    let lo = production
+        .rps_per_server
+        .iter()
+        .chain(&offline.rps_per_server)
+        .fold(f64::INFINITY, |a, &b| a.min(b));
+    let hi = production
+        .rps_per_server
+        .iter()
+        .chain(&offline.rps_per_server)
+        .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    let mut err = 0.0;
+    let probes = 20;
+    for i in 0..probes {
+        let x = lo + (hi - lo) * i as f64 / (probes - 1) as f64;
+        let p = prod_lat.poly.eval(x);
+        let o = off_lat.poly.eval(x);
+        if p.abs() > 1e-9 {
+            err += (o - p).abs() / p.abs();
+        }
+    }
+    let latency_curve_error = err / probes as f64;
+    Ok(SyntheticValidation {
+        cpu_slope_error,
+        latency_curve_error,
+        equivalent: cpu_slope_error <= tolerance && latency_curve_error <= tolerance,
+    })
+}
+
+/// Captures a pool's *total* workload as a replayable trace — the
+/// "production workload" input to [`SyntheticWorkload::fit`].
+///
+/// # Errors
+///
+/// [`PlanError::InsufficientData`] when the pool has no complete windows.
+///
+/// [`SyntheticWorkload::fit`]: headroom_workload::synthetic::SyntheticWorkload::fit
+pub fn capture_trace(
+    store: &MetricStore,
+    pool: PoolId,
+    range: WindowRange,
+) -> Result<WorkloadTrace, PlanError> {
+    let mut trace = WorkloadTrace::new();
+    for w in range.iter() {
+        if let Some(rps) = store.pool_window_mean(pool, CounterKind::RequestsPerSec, w) {
+            let servers = store.pool_active_servers(pool, w) as f64;
+            trace.push(TraceWindow {
+                window: w,
+                rps: rps * servers,
+                class_fractions: Vec::new(),
+            });
+        }
+    }
+    if trace.is_empty() {
+        return Err(PlanError::InsufficientData { what: "trace capture", needed: 1, got: 0 });
+    }
+    Ok(trace)
+}
+
+/// Replays a workload trace against an *offline* pool — methodology step 3's
+/// test rig. The offline pool runs the given build (service model) on
+/// identical hardware; the trace drives its load balancer exactly as
+/// production traffic would.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OfflineReplay {
+    /// The build under test.
+    pub model: ServiceModel,
+    /// Offline pool size.
+    pub pool_size: usize,
+    /// Hardware of the offline pool.
+    pub generation: HardwareGeneration,
+    /// Noise seed (deterministic replays).
+    pub seed: u64,
+}
+
+impl OfflineReplay {
+    /// Creates a replay rig.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pool_size == 0`.
+    pub fn new(model: ServiceModel, pool_size: usize, seed: u64) -> Self {
+        assert!(pool_size > 0, "offline pool needs at least one server");
+        OfflineReplay { model, pool_size, generation: HardwareGeneration::Gen1, seed }
+    }
+
+    /// Runs the trace through the offline pool and returns pool-mean
+    /// observations directly comparable (via [`validate_synthetic`]) to the
+    /// production observations.
+    pub fn run(&self, trace: &WorkloadTrace) -> PoolObservations {
+        let lb = LoadBalancer::default();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut obs = PoolObservations {
+            pool: PoolId(u32::MAX), // offline rig, not a production pool
+            ..PoolObservations::default()
+        };
+        for (i, tw) in trace.windows().iter().enumerate() {
+            let shares = lb.distribute(tw.rps, self.pool_size, &mut rng);
+            let mut cpu = 0.0;
+            let mut lat = 0.0;
+            for &share in &shares {
+                let (c, _, l95) = self.model.window_metrics_lite(share, self.generation, &mut rng);
+                cpu += c;
+                lat += l95;
+            }
+            obs.windows.push(WindowIndex(i as u64));
+            obs.rps_per_server.push(tw.rps / self.pool_size as f64);
+            obs.cpu_pct.push(cpu / self.pool_size as f64);
+            obs.latency_p95_ms.push(lat / self.pool_size as f64);
+            obs.active_servers.push(self.pool_size as f64);
+        }
+        obs
+    }
+}
+
+/// Per-step comparison of the A/B pools.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepDelta {
+    /// Per-server workload at this step.
+    pub rps_per_server: f64,
+    /// Baseline mean p95 latency (ms).
+    pub baseline_ms: f64,
+    /// Candidate mean p95 latency (ms).
+    pub candidate_ms: f64,
+    /// Candidate − baseline (ms).
+    pub delta_ms: f64,
+    /// Whether the delta exceeds three standard errors (real, not noise).
+    pub significant: bool,
+}
+
+/// The offline regression verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbReport {
+    /// Per-step latency comparison (the Fig. 16 box-pair series).
+    pub steps: Vec<StepDelta>,
+    /// True when any high-load step shows a significant latency increase.
+    pub latency_regression: bool,
+    /// Baseline memory growth per step (MB) — positive slope = leak.
+    pub baseline_leak_mb_per_step: f64,
+    /// Candidate memory growth per step (MB).
+    pub candidate_leak_mb_per_step: f64,
+    /// Relative change in the workload the pool can carry at the latency
+    /// SLO (negative = capacity regression).
+    pub capacity_change: f64,
+}
+
+impl AbReport {
+    /// Whether the change fixed a leak that the baseline had.
+    pub fn leak_fixed(&self) -> bool {
+        self.baseline_leak_mb_per_step > 1.0
+            && self.candidate_leak_mb_per_step < 0.2 * self.baseline_leak_mb_per_step
+    }
+
+    /// Whether the change should be blocked from production.
+    pub fn should_block(&self) -> bool {
+        self.latency_regression || self.capacity_change < -0.05
+    }
+}
+
+/// Analyses a twin-pool A/B run (step 4's gate).
+///
+/// `latency_slo_ms` defines the capacity point: the workload at which the
+/// fitted latency curve crosses the SLO.
+///
+/// # Errors
+///
+/// [`PlanError::InsufficientData`] for runs with fewer than 3 steps.
+pub fn analyze_ab(result: &AbRunResult, latency_slo_ms: f64) -> Result<AbReport, PlanError> {
+    let n_steps = result.baseline.len().min(result.candidate.len());
+    if n_steps < 3 {
+        return Err(PlanError::InsufficientData {
+            what: "A/B regression analysis",
+            needed: 3,
+            got: n_steps,
+        });
+    }
+
+    let mut steps = Vec::with_capacity(n_steps);
+    for i in 0..n_steps {
+        let b = &result.baseline[i];
+        let c = &result.candidate[i];
+        let (bm, bs) = mean_std(&b.latency_p95_ms);
+        let (cm, cs) = mean_std(&c.latency_p95_ms);
+        let nb = b.latency_p95_ms.len().max(1) as f64;
+        let nc = c.latency_p95_ms.len().max(1) as f64;
+        let se = (bs * bs / nb + cs * cs / nc).sqrt();
+        let delta = cm - bm;
+        steps.push(StepDelta {
+            rps_per_server: b.rps_per_server,
+            baseline_ms: bm,
+            candidate_ms: cm,
+            delta_ms: delta,
+            significant: se > 0.0 && delta.abs() > 3.0 * se,
+        });
+    }
+
+    // A latency regression = significant positive delta in the top half of
+    // the load range (low-load deltas are startup noise).
+    let latency_regression = steps
+        .iter()
+        .skip(n_steps / 2)
+        .any(|s| s.significant && s.delta_ms > 0.0);
+
+    // Memory leak slopes (MB per step).
+    let xs: Vec<f64> = (0..n_steps).map(|i| i as f64).collect();
+    let base_mem: Vec<f64> = result.baseline[..n_steps].iter().map(|s| s.memory_mb).collect();
+    let cand_mem: Vec<f64> = result.candidate[..n_steps].iter().map(|s| s.memory_mb).collect();
+    let baseline_leak = LinearFit::fit(&xs, &base_mem).map(|f| f.slope).unwrap_or(0.0);
+    let candidate_leak = LinearFit::fit(&xs, &cand_mem).map(|f| f.slope).unwrap_or(0.0);
+
+    // Capacity at the SLO from fitted latency quadratics.
+    let rps: Vec<f64> = steps.iter().map(|s| s.rps_per_server).collect();
+    let base_lat: Vec<f64> = steps.iter().map(|s| s.baseline_ms).collect();
+    let cand_lat: Vec<f64> = steps.iter().map(|s| s.candidate_ms).collect();
+    let capacity_change = match (
+        capacity_at_slo(&rps, &base_lat, latency_slo_ms),
+        capacity_at_slo(&rps, &cand_lat, latency_slo_ms),
+    ) {
+        (Some(b), Some(c)) if b > 0.0 => (c - b) / b,
+        _ => 0.0,
+    };
+
+    Ok(AbReport {
+        steps,
+        latency_regression,
+        baseline_leak_mb_per_step: baseline_leak,
+        candidate_leak_mb_per_step: candidate_leak,
+        capacity_change,
+    })
+}
+
+fn mean_std(v: &[f64]) -> (f64, f64) {
+    if v.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = v.len() as f64;
+    let mean = v.iter().sum::<f64>() / n;
+    let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+fn capacity_at_slo(rps: &[f64], latency: &[f64], slo: f64) -> Option<f64> {
+    let fit = Polynomial::fit(rps, latency, 2).ok()?;
+    fit.poly.solve_quadratic(slo).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use headroom_cluster::regression_lab::RegressionLab;
+    use headroom_cluster::ServiceModel;
+    use headroom_telemetry::ids::PoolId;
+    use headroom_telemetry::time::WindowIndex;
+    use headroom_workload::stepped::SteppedLoad;
+
+    fn obs_from_curve(
+        slope: f64,
+        lat: [f64; 3],
+        lo: f64,
+        hi: f64,
+        n: usize,
+    ) -> PoolObservations {
+        let rps: Vec<f64> = (0..n).map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64).collect();
+        PoolObservations {
+            pool: PoolId(0),
+            windows: (0..n as u64).map(WindowIndex).collect(),
+            cpu_pct: rps.iter().map(|r| slope * r + 1.0).collect(),
+            latency_p95_ms: rps.iter().map(|r| lat[0] + lat[1] * r + lat[2] * r * r).collect(),
+            active_servers: vec![10.0; n],
+            rps_per_server: rps,
+        }
+    }
+
+    #[test]
+    fn matching_curves_validate() {
+        let prod = obs_from_curve(0.028, [36.68, -0.031, 4.028e-5], 100.0, 500.0, 50);
+        let off = obs_from_curve(0.028, [36.68, -0.031, 4.028e-5], 80.0, 550.0, 60);
+        let v = validate_synthetic(&prod, &off, 0.05).unwrap();
+        assert!(v.equivalent, "{v:?}");
+    }
+
+    #[test]
+    fn wrong_mix_breaks_validation() {
+        let prod = obs_from_curve(0.028, [36.68, -0.031, 4.028e-5], 100.0, 500.0, 50);
+        // Offline workload with a heavier mix: steeper CPU and latency.
+        let off = obs_from_curve(0.045, [40.0, -0.031, 9.0e-5], 100.0, 500.0, 50);
+        let v = validate_synthetic(&prod, &off, 0.05).unwrap();
+        assert!(!v.equivalent);
+        assert!(v.cpu_slope_error > 0.3);
+    }
+
+    fn lab_result(candidate: ServiceModel) -> AbRunResult {
+        let baseline = ServiceModel::paper_pool_b().with_leak(2.5);
+        let ramp = SteppedLoad::new(50.0, 75.0, 8, 10);
+        RegressionLab::new(baseline, candidate, ramp, 11).run()
+    }
+
+    #[test]
+    fn clean_fix_passes() {
+        // The leak is fixed with no other change.
+        let report = analyze_ab(&lab_result(ServiceModel::paper_pool_b()), 40.0).unwrap();
+        assert!(report.leak_fixed(), "{report:?}");
+        assert!(!report.latency_regression);
+        assert!(!report.should_block());
+        assert!(report.capacity_change.abs() < 0.05);
+    }
+
+    #[test]
+    fn hidden_latency_regression_detected() {
+        // The paper's Fig. 16 case: leak fixed but a high-load latency
+        // defect introduced.
+        let candidate = ServiceModel::paper_pool_b().with_latency_quadratic_scaled(8.0);
+        let report = analyze_ab(&lab_result(candidate), 40.0).unwrap();
+        assert!(report.leak_fixed());
+        assert!(report.latency_regression, "{report:?}");
+        assert!(report.should_block());
+        assert!(report.capacity_change < -0.05, "capacity {}", report.capacity_change);
+        // Low-load steps look fine; high-load steps diverge.
+        assert!(report.steps[0].delta_ms.abs() < 1.5);
+        assert!(report.steps.last().unwrap().delta_ms > 5.0);
+    }
+
+    #[test]
+    fn too_few_steps_rejected() {
+        let baseline = ServiceModel::paper_pool_b();
+        let ramp = SteppedLoad::new(50.0, 75.0, 2, 5);
+        let result = RegressionLab::new(baseline.clone(), baseline, ramp, 1).run();
+        assert!(matches!(
+            analyze_ab(&result, 40.0),
+            Err(PlanError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn step3_loop_closes_end_to_end() {
+        // Production run -> capture trace -> fit synthetic -> generate ->
+        // replay offline -> the offline response curves match production.
+        use headroom_cluster::scenario::FleetScenario;
+        use headroom_workload::synthetic::SyntheticWorkload;
+
+        let production = FleetScenario::small(23).run_days(2.0).unwrap();
+        let pool = production.pools()[0];
+        let prod_obs =
+            PoolObservations::collect(production.store(), pool, production.range()).unwrap();
+        let servers = production
+            .fleet()
+            .pool(pool)
+            .map(|p| p.size())
+            .expect("pool exists");
+
+        let trace = capture_trace(production.store(), pool, production.range()).unwrap();
+        let synth = SyntheticWorkload::fit(&trace).unwrap();
+        let generated = synth.generate(WindowRange::days(1.0), 77);
+        // The generated trace matches production statistically.
+        assert!(synth.equivalence(&generated).is_equivalent());
+
+        // Replay it against an offline pool running the same build.
+        let replay =
+            OfflineReplay::new(headroom_cluster::ServiceModel::paper_pool_b(), servers, 3);
+        let offline_obs = replay.run(&generated);
+        let validation = validate_synthetic(&prod_obs, &offline_obs, 0.08).unwrap();
+        assert!(validation.equivalent, "{validation:?}");
+    }
+
+    #[test]
+    fn capture_trace_totals_workload() {
+        use headroom_cluster::scenario::FleetScenario;
+        let outcome = FleetScenario::small(29).run_days(0.5).unwrap();
+        let pool = outcome.pools()[0];
+        let trace = capture_trace(outcome.store(), pool, outcome.range()).unwrap();
+        assert_eq!(trace.len(), 360);
+        let obs = PoolObservations::collect(outcome.store(), pool, outcome.range()).unwrap();
+        // Total trace workload equals rps/server x active servers.
+        let expected = obs.rps_per_server[0] * obs.active_servers[0];
+        assert!((trace.windows()[0].rps - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capture_trace_empty_pool_errors() {
+        let store = MetricStore::new();
+        assert!(matches!(
+            capture_trace(&store, PoolId(7), WindowRange::days(1.0)),
+            Err(PlanError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn offline_replay_is_deterministic() {
+        let trace: WorkloadTrace = (0..50u64)
+            .map(|w| TraceWindow {
+                window: WindowIndex(w),
+                rps: 2000.0 + w as f64 * 10.0,
+                class_fractions: Vec::new(),
+            })
+            .collect();
+        let rig = OfflineReplay::new(headroom_cluster::ServiceModel::paper_pool_d(), 8, 5);
+        assert_eq!(rig.run(&trace), rig.run(&trace));
+    }
+
+    #[test]
+    fn identical_models_produce_no_significant_deltas() {
+        let report = analyze_ab(&lab_result(ServiceModel::paper_pool_b().with_leak(2.5)), 40.0)
+            .unwrap();
+        // Identical models (both leaky): deltas are exactly zero.
+        for s in &report.steps {
+            assert_eq!(s.delta_ms, 0.0);
+            assert!(!s.significant);
+        }
+        assert!(!report.leak_fixed());
+    }
+}

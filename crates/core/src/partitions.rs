@@ -1,0 +1,204 @@
+//! Total-load partitioning (§II-B2).
+//!
+//! The RSM analysis "controls for total pool workload since we are modeling
+//! how pool QoS changes as a function of the number of servers processing a
+//! given total workload". Observations are partitioned into bands of total
+//! workload r_idj; within each band, the time points t_idj contribute
+//! `(server count n_idjk, latency l_idjk)` pairs to a per-partition
+//! quadratic fit (Eq. 1).
+
+use headroom_telemetry::time::WindowIndex;
+
+use crate::curves::{LatencyModel, PoolObservations};
+use crate::error::PlanError;
+
+/// One observation inside a load partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionObservation {
+    /// The time point (the `k` in t_idjk).
+    pub window: WindowIndex,
+    /// Servers processing traffic at that time (n_idjk).
+    pub servers: f64,
+    /// Observed pool latency (l_idjk).
+    pub latency_ms: f64,
+}
+
+/// A band of total pool workload with its observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadPartition {
+    /// Partition index `j`.
+    pub index: usize,
+    /// Inclusive lower bound of total workload (RPS).
+    pub lo: f64,
+    /// Exclusive upper bound of total workload (RPS).
+    pub hi: f64,
+    /// The member observations.
+    pub observations: Vec<PartitionObservation>,
+}
+
+impl LoadPartition {
+    /// Fits the Eq. 1 quadratic `latency ≈ a₂n² + a₁n + a₀` over this
+    /// partition's `(servers, latency)` pairs with robust regression.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fitting errors (e.g. too few observations).
+    pub fn fit_latency_vs_servers(&self, seed: u64) -> Result<LatencyModel, PlanError> {
+        let xs: Vec<f64> = self.observations.iter().map(|o| o.servers).collect();
+        let ys: Vec<f64> = self.observations.iter().map(|o| o.latency_ms).collect();
+        LatencyModel::fit_xy(&xs, &ys, seed)
+    }
+
+    /// Mean observed latency in this partition.
+    pub fn mean_latency(&self) -> f64 {
+        if self.observations.is_empty() {
+            return 0.0;
+        }
+        self.observations.iter().map(|o| o.latency_ms).sum::<f64>()
+            / self.observations.len() as f64
+    }
+}
+
+/// Partitions observations into `j` equal-count bands of total workload.
+///
+/// Quantile (equal-count) banding is what lets "the first order fit values
+/// not be overwhelmed by noise": each band holds the same number of
+/// observations regardless of how demand is distributed.
+///
+/// # Errors
+///
+/// - [`PlanError::InvalidParameter`] when `j == 0`.
+/// - [`PlanError::InsufficientData`] when fewer than `2·j` observations.
+pub fn partition_by_total_load(
+    obs: &PoolObservations,
+    j: usize,
+) -> Result<Vec<LoadPartition>, PlanError> {
+    if j == 0 {
+        return Err(PlanError::InvalidParameter("partition count must be positive"));
+    }
+    let n = obs.len();
+    if n < 2 * j {
+        return Err(PlanError::InsufficientData {
+            what: "load partitioning",
+            needed: 2 * j,
+            got: n,
+        });
+    }
+    let totals = obs.total_rps();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| totals[a].partial_cmp(&totals[b]).expect("totals are finite"));
+
+    let mut partitions = Vec::with_capacity(j);
+    for p in 0..j {
+        let lo_idx = p * n / j;
+        let hi_idx = ((p + 1) * n / j).min(n);
+        let members = &order[lo_idx..hi_idx];
+        if members.is_empty() {
+            continue;
+        }
+        let observations: Vec<PartitionObservation> = members
+            .iter()
+            .map(|&i| PartitionObservation {
+                window: obs.windows[i],
+                servers: obs.active_servers[i],
+                latency_ms: obs.latency_p95_ms[i],
+            })
+            .collect();
+        let lo = totals[members[0]];
+        let hi = totals[*members.last().expect("non-empty")];
+        partitions.push(LoadPartition { index: p, lo, hi, observations });
+    }
+    Ok(partitions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use headroom_telemetry::ids::PoolId;
+
+    fn obs_with(totals: &[f64], servers: &[f64], latencies: &[f64]) -> PoolObservations {
+        let n = totals.len();
+        PoolObservations {
+            pool: PoolId(0),
+            windows: (0..n as u64).map(WindowIndex).collect(),
+            rps_per_server: totals
+                .iter()
+                .zip(servers)
+                .map(|(t, s)| t / s.max(1.0))
+                .collect(),
+            cpu_pct: vec![10.0; n],
+            latency_p95_ms: latencies.to_vec(),
+            active_servers: servers.to_vec(),
+        }
+    }
+
+    #[test]
+    fn partitions_have_equal_counts() {
+        let totals: Vec<f64> = (0..90).map(|i| 1000.0 + i as f64 * 10.0).collect();
+        let servers = vec![10.0; 90];
+        let lat = vec![20.0; 90];
+        let obs = obs_with(&totals, &servers, &lat);
+        let parts = partition_by_total_load(&obs, 3).unwrap();
+        assert_eq!(parts.len(), 3);
+        for p in &parts {
+            assert_eq!(p.observations.len(), 30);
+        }
+        // Boundaries ascend.
+        assert!(parts[0].hi <= parts[1].lo + 1e-9);
+        assert!(parts[1].hi <= parts[2].lo + 1e-9);
+    }
+
+    #[test]
+    fn bands_are_by_total_not_order() {
+        // Interleaved totals: partitioning must sort them.
+        let totals = vec![900.0, 100.0, 800.0, 200.0, 700.0, 300.0, 600.0, 400.0];
+        let servers = vec![10.0; 8];
+        let lat = vec![20.0; 8];
+        let obs = obs_with(&totals, &servers, &lat);
+        let parts = partition_by_total_load(&obs, 2).unwrap();
+        assert!(parts[0].observations.iter().all(|o| {
+            let i = o.window.0 as usize;
+            totals[i] <= 400.0
+        }));
+    }
+
+    #[test]
+    fn fit_recovers_quadratic_in_servers() {
+        // Latency falls as 1/n-ish; generate from a quadratic in n directly.
+        let servers: Vec<f64> = (0..60).map(|i| 10.0 + (i % 20) as f64).collect();
+        let totals = vec![5000.0; 60];
+        let lat: Vec<f64> =
+            servers.iter().map(|n| 0.05 * n * n - 3.0 * n + 80.0).collect();
+        let obs = obs_with(&totals, &servers, &lat);
+        let parts = partition_by_total_load(&obs, 1).unwrap();
+        let fit = parts[0].fit_latency_vs_servers(7).unwrap();
+        assert!((fit.poly.coeffs()[2] - 0.05).abs() < 1e-6);
+        assert!((fit.poly.coeffs()[1] + 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn zero_partitions_rejected() {
+        let obs = obs_with(&[1.0, 2.0], &[1.0, 1.0], &[1.0, 1.0]);
+        assert!(matches!(
+            partition_by_total_load(&obs, 0),
+            Err(PlanError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn too_few_observations_rejected() {
+        let obs = obs_with(&[1.0, 2.0, 3.0], &[1.0; 3], &[1.0; 3]);
+        assert!(matches!(
+            partition_by_total_load(&obs, 2),
+            Err(PlanError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn mean_latency() {
+        let obs = obs_with(&[1.0, 2.0, 3.0, 4.0], &[1.0; 4], &[10.0, 20.0, 30.0, 40.0]);
+        let parts = partition_by_total_load(&obs, 2).unwrap();
+        assert_eq!(parts[0].mean_latency(), 15.0);
+        assert_eq!(parts[1].mean_latency(), 35.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! The end-to-end planning pipeline (paper Fig. 1).
+//!
+//! [`CapacityPlanner`] runs the online half of the methodology over recorded
+//! telemetry, pool by pool:
+//!
+//! 1. **Measure** — validate the workload metric (iterating to per-table
+//!    splits when the combined metric is noisy) and split the pool into
+//!    server groups when the (p5, p95) scatter shows distinct populations;
+//! 2. **Optimize** — fit the response curves and compute the savings row.
+//!
+//! Pools whose metrics never validate are reported in `skipped` with the
+//! error — mirroring the paper's finding that 45% of pools needed their
+//! background workloads modelled out before planning could proceed.
+
+use headroom_telemetry::availability::AvailabilityLog;
+use headroom_telemetry::ids::PoolId;
+use headroom_telemetry::store::MetricStore;
+use headroom_telemetry::time::WindowRange;
+
+use crate::error::PlanError;
+use crate::grouping::{split_pool_groups, GroupSplit};
+use crate::metric_validation::{validation_loop, CounterScreen, DEFAULT_R2_THRESHOLD};
+use crate::optimizer::{optimize_pool, PoolSavings, SavingsReport};
+use crate::slo::QosRequirement;
+
+/// One pool's plan: validation evidence, grouping and savings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolPlan {
+    /// The pool.
+    pub pool: PoolId,
+    /// The accepted workload-metric screen.
+    pub metric: CounterScreen,
+    /// The server-group split.
+    pub groups: GroupSplit,
+    /// The savings row.
+    pub savings: PoolSavings,
+}
+
+/// The full planning report.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PlanReport {
+    /// Pools successfully planned.
+    pub pools: Vec<PoolPlan>,
+    /// Pools that could not be planned, with the reason.
+    pub skipped: Vec<(PoolId, PlanError)>,
+}
+
+impl PlanReport {
+    /// The savings rows as an aggregate report.
+    pub fn savings(&self) -> SavingsReport {
+        SavingsReport { rows: self.pools.iter().map(|p| p.savings.clone()).collect() }
+    }
+}
+
+/// End-to-end planner configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityPlanner {
+    /// Minimum R² for metric acceptance.
+    pub r2_threshold: f64,
+    /// Days of availability history to average.
+    pub availability_days: u64,
+}
+
+impl Default for CapacityPlanner {
+    fn default() -> Self {
+        CapacityPlanner { r2_threshold: DEFAULT_R2_THRESHOLD, availability_days: 14 }
+    }
+}
+
+impl CapacityPlanner {
+    /// A planner with default thresholds.
+    pub fn new() -> Self {
+        CapacityPlanner::default()
+    }
+
+    /// Plans one pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates metric-validation, grouping and optimization failures.
+    pub fn plan_pool(
+        &self,
+        store: &MetricStore,
+        availability: &AvailabilityLog,
+        pool: PoolId,
+        range: WindowRange,
+        qos: &QosRequirement,
+    ) -> Result<PoolPlan, PlanError> {
+        let metric = validation_loop(store, pool, range, self.r2_threshold)?;
+        let groups = split_pool_groups(store, pool, range)?;
+        let savings =
+            optimize_pool(store, availability, pool, range, qos, self.availability_days)?;
+        Ok(PoolPlan { pool, metric, groups, savings })
+    }
+
+    /// Plans every pool in the store, resolving each pool's QoS requirement
+    /// through `qos_for`.
+    pub fn plan<F>(
+        &self,
+        store: &MetricStore,
+        availability: &AvailabilityLog,
+        range: WindowRange,
+        qos_for: F,
+    ) -> PlanReport
+    where
+        F: Fn(PoolId) -> QosRequirement,
+    {
+        let mut report = PlanReport::default();
+        for pool in store.pools() {
+            match self.plan_pool(store, availability, pool, range, &qos_for(pool)) {
+                Ok(plan) => report.pools.push(plan),
+                Err(e) => report.skipped.push((pool, e)),
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use headroom_cluster::catalog::MicroserviceKind;
+    use headroom_cluster::scenario::FleetScenario;
+
+    #[test]
+    fn plans_clean_scenario_end_to_end() {
+        let outcome = FleetScenario::small(11).run_days(2.0).unwrap();
+        let planner = CapacityPlanner { availability_days: 2, ..CapacityPlanner::new() };
+        let report = planner.plan(
+            outcome.store(),
+            outcome.availability(),
+            outcome.range(),
+            |pool| {
+                // Pools 0..3 run service B (SLO 32.5), 3..6 service D (58).
+                if pool.0 < 3 {
+                    QosRequirement::latency(32.5).with_cpu_ceiling(90.0)
+                } else {
+                    QosRequirement::latency(58.0).with_cpu_ceiling(90.0)
+                }
+            },
+        );
+        assert!(
+            report.pools.len() >= 4,
+            "most pools should plan cleanly; skipped: {:?}",
+            report.skipped
+        );
+        let savings = report.savings();
+        assert!(savings.total_savings() > 0.05, "fleet has headroom to find");
+        for plan in &report.pools {
+            assert!(plan.metric.r_squared >= 0.9);
+            assert_eq!(plan.groups.groups.len(), 1, "homogeneous pools stay whole");
+        }
+    }
+
+    #[test]
+    fn mixed_hardware_pool_is_split() {
+        let outcome =
+            FleetScenario::single_service(MicroserviceKind::I, 1, 30, 13).run_days(1.0).unwrap();
+        let planner = CapacityPlanner { availability_days: 1, ..CapacityPlanner::new() };
+        let pool = outcome.pools()[0];
+        let plan = planner
+            .plan_pool(
+                outcome.store(),
+                outcome.availability(),
+                pool,
+                outcome.range(),
+                &QosRequirement::latency(24.0).with_cpu_ceiling(90.0),
+            )
+            .unwrap();
+        assert_eq!(plan.groups.groups.len(), 2, "two hardware generations detected");
+    }
+
+    #[test]
+    fn unplannable_pool_lands_in_skipped() {
+        let outcome = FleetScenario::small(17).run_days(0.5).unwrap();
+        let planner = CapacityPlanner { r2_threshold: 1.1, availability_days: 1 };
+        // Impossible R² bar: everything is skipped, nothing panics.
+        let report = planner.plan(outcome.store(), outcome.availability(), outcome.range(), |_| {
+            QosRequirement::latency(30.0)
+        });
+        assert!(report.pools.is_empty());
+        assert_eq!(report.skipped.len(), 6);
+    }
+}

@@ -1,0 +1,101 @@
+//! Plain-text table rendering for planner reports.
+//!
+//! The bench harness prints paper-style tables; this keeps the formatting in
+//! one place.
+
+/// Renders a fixed-width text table: a header row, a separator, then rows.
+///
+/// Column widths adapt to the widest cell. Ragged rows are padded with
+/// empty cells.
+///
+/// # Example
+///
+/// ```
+/// use headroom_core::report::render_table;
+///
+/// let t = render_table(
+///     &["Pool", "Savings"],
+///     &[vec!["B".to_string(), "33%".to_string()]],
+/// );
+/// assert!(t.contains("Pool"));
+/// assert!(t.contains("33%"));
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len().max(rows.iter().map(Vec::len).max().unwrap_or(0));
+    let mut widths = vec![0usize; cols];
+    for (i, h) in headers.iter().enumerate() {
+        widths[i] = widths[i].max(h.len());
+    }
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, w) in widths.iter().enumerate() {
+            let cell = cells.get(i).copied().unwrap_or("");
+            line.push_str(&format!("{cell:<w$}"));
+            if i + 1 < widths.len() {
+                line.push_str("  ");
+            }
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&render_row(headers.to_vec(), &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row.iter().map(String::as_str).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with no decimals (Table IV style).
+pub fn pct(fraction: f64) -> String {
+    format!("{:.0}%", fraction * 100.0)
+}
+
+/// Formats milliseconds with one decimal.
+pub fn ms(value: f64) -> String {
+    format!("{value:.1}ms")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["Pool", "Efficiency"],
+            &[
+                vec!["A".into(), "15%".into()],
+                vec!["LongName".into(), "4%".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Header and rows start columns at the same offsets.
+        let col = lines[0].find("Efficiency").unwrap();
+        assert_eq!(lines[2].find("15%").unwrap(), col);
+        assert_eq!(lines[3].find("4%").unwrap(), col);
+    }
+
+    #[test]
+    fn ragged_rows_padded() {
+        let t = render_table(&["A", "B", "C"], &[vec!["1".into()]]);
+        assert!(t.lines().count() >= 3);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.33), "33%");
+        assert_eq!(pct(0.047), "5%");
+        assert_eq!(ms(4.96), "5.0ms");
+    }
+}

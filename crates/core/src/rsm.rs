@@ -1,0 +1,312 @@
+//! Response-surface-methodology (RSM) reduction experiments (§II-B2).
+//!
+//! "An iterative RSM approach is used to experimentally change the number of
+//! servers used by a pool while measuring the corresponding QoS, and then
+//! using this result to forecast the QoS impact of further reductions."
+//!
+//! Each iteration observes the pool at its current size, refits the response
+//! curves on all data so far, forecasts the next (smaller) size, and stops
+//! before the forecast crosses the QoS limit (Fig. 7's staircase of rising
+//! latencies until the 14 ms line). Experiments run against the fleet
+//! simulator exactly as the paper's ran against production: by draining
+//! servers and watching.
+
+use headroom_cluster::sim::Simulation;
+use headroom_telemetry::ids::PoolId;
+use headroom_telemetry::time::WindowRange;
+
+use crate::curves::PoolObservations;
+use crate::error::PlanError;
+use crate::forecast::CapacityForecaster;
+use crate::partitions::partition_by_total_load;
+use crate::slo::QosRequirement;
+
+/// Configuration of an RSM reduction experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RsmConfig {
+    /// The QoS requirement guarding the experiment.
+    pub qos: QosRequirement,
+    /// Fraction of current servers removed per iteration (paper: ~10%).
+    pub step_fraction: f64,
+    /// Observation windows per iteration (paper: roughly one week; the
+    /// default here is one simulated day).
+    pub windows_per_iteration: u64,
+    /// Maximum iterations (operator patience).
+    pub max_iterations: usize,
+    /// Total-load partitions J for the per-partition latency fits.
+    pub partitions: usize,
+    /// Forecast safety margin: stop when the *forecast* latency for the next
+    /// step exceeds `qos.latency_p95_ms - safety_margin_ms`.
+    pub safety_margin_ms: f64,
+}
+
+impl RsmConfig {
+    /// A standard configuration for the given QoS requirement.
+    pub fn new(qos: QosRequirement) -> Self {
+        RsmConfig {
+            qos,
+            step_fraction: 0.10,
+            windows_per_iteration: 720,
+            max_iterations: 10,
+            partitions: 4,
+            safety_margin_ms: 0.5,
+        }
+    }
+}
+
+/// One RSM iteration's record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RsmIteration {
+    /// Iteration number (0 = baseline observation).
+    pub iteration: usize,
+    /// Active servers during this iteration.
+    pub active_servers: usize,
+    /// Mean p95 latency in the *top* load partition (peak hours) — the
+    /// quantity that crosses the SLO first.
+    pub peak_latency_ms: f64,
+    /// Mean p95 latency across all windows of the iteration.
+    pub mean_latency_ms: f64,
+    /// 95th percentile of RPS/server during the iteration.
+    pub p95_rps_per_server: f64,
+    /// The forecast latency for the *next* (smaller) configuration, if one
+    /// was evaluated.
+    pub forecast_next_ms: Option<f64>,
+    /// Whether this iteration stayed within the QoS requirement.
+    pub within_qos: bool,
+}
+
+/// Outcome of a full RSM reduction experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RsmOutcome {
+    /// Per-iteration records (Fig. 7 series).
+    pub iterations: Vec<RsmIteration>,
+    /// Servers active before the experiment.
+    pub initial_servers: usize,
+    /// Servers active at the end (the right-sized pool).
+    pub final_servers: usize,
+    /// The latency SLO that bounded the experiment.
+    pub qos_limit_ms: f64,
+}
+
+impl RsmOutcome {
+    /// Capacity saved by the experiment, as a fraction of the initial pool.
+    pub fn savings_fraction(&self) -> f64 {
+        if self.initial_servers == 0 {
+            return 0.0;
+        }
+        1.0 - self.final_servers as f64 / self.initial_servers as f64
+    }
+}
+
+/// Runs an iterative RSM reduction experiment against the simulator.
+///
+/// The simulation is advanced `windows_per_iteration` windows per iteration;
+/// all telemetry accumulates in the simulation's store.
+///
+/// # Errors
+///
+/// - [`PlanError::Cluster`] when the pool is unknown.
+/// - Fitting errors when the pool produces unusable telemetry.
+pub fn run_reduction_experiment(
+    sim: &mut Simulation,
+    pool: PoolId,
+    config: &RsmConfig,
+) -> Result<RsmOutcome, PlanError> {
+    if !(0.0 < config.step_fraction && config.step_fraction < 0.5) {
+        return Err(PlanError::InvalidParameter("step_fraction must be within (0, 0.5)"));
+    }
+    let initial_servers = sim
+        .fleet()
+        .pool(pool)
+        .ok_or(headroom_cluster::ClusterError::UnknownPool(pool))?
+        .active_count();
+
+    let mut iterations: Vec<RsmIteration> = Vec::new();
+    let mut active = initial_servers;
+    let mut best_within_qos = initial_servers;
+    let experiment_start = sim.current_window();
+
+    for iter_no in 0..config.max_iterations {
+        // Observe the current configuration.
+        let obs_start = sim.current_window();
+        sim.run_windows(config.windows_per_iteration);
+        let obs_range = WindowRange::new(obs_start, sim.current_window());
+        let iter_obs = PoolObservations::collect(sim.store(), pool, obs_range)?;
+
+        let peak_latency = top_partition_latency(&iter_obs, config.partitions)?;
+        let mean_latency = iter_obs.latency_p95_ms.iter().sum::<f64>() / iter_obs.len() as f64;
+        let p95_rps = iter_obs.rps_percentile(95.0)?;
+        let within = peak_latency <= config.qos.latency_p95_ms;
+        if within {
+            best_within_qos = active;
+        }
+
+        // Refit on everything observed so far (history + experiments).
+        let all_range = WindowRange::new(experiment_start, sim.current_window());
+        let all_obs = PoolObservations::collect(sim.store(), pool, all_range)?;
+        let forecaster = CapacityForecaster::fit(&all_obs)?;
+
+        // Model + extrapolate: the gradient step is a further reduction.
+        let candidate = ((active as f64) * (1.0 - config.step_fraction)).floor() as usize;
+        let mut forecast_next = None;
+        let mut stop = false;
+        if !within {
+            // Crossed the SLO: restore the last good size and stop.
+            stop = true;
+        } else if candidate < 1 || candidate == active {
+            stop = true;
+        } else {
+            let peak_total = all_obs
+                .total_rps()
+                .iter()
+                .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+            let predicted = forecaster.at_rps(peak_total / candidate as f64).latency_p95_ms;
+            forecast_next = Some(predicted);
+            if predicted > config.qos.latency_p95_ms - config.safety_margin_ms {
+                stop = true;
+            }
+        }
+
+        iterations.push(RsmIteration {
+            iteration: iter_no,
+            active_servers: active,
+            peak_latency_ms: peak_latency,
+            mean_latency_ms: mean_latency,
+            p95_rps_per_server: p95_rps,
+            forecast_next_ms: forecast_next,
+            within_qos: within,
+        });
+
+        if stop {
+            break;
+        }
+        sim.schedule_resize(pool, sim.current_window(), candidate)?;
+        active = candidate;
+    }
+
+    // Restore the smallest size that stayed within QoS.
+    sim.schedule_resize(pool, sim.current_window(), best_within_qos)?;
+    Ok(RsmOutcome {
+        iterations,
+        initial_servers,
+        final_servers: best_within_qos,
+        qos_limit_ms: config.qos.latency_p95_ms,
+    })
+}
+
+/// Mean latency of the top total-load partition; falls back to the overall
+/// p95 of latency when partitioning is impossible (few windows).
+fn top_partition_latency(obs: &PoolObservations, partitions: usize) -> Result<f64, PlanError> {
+    match partition_by_total_load(obs, partitions) {
+        Ok(parts) => Ok(parts.last().map(|p| p.mean_latency()).unwrap_or(0.0)),
+        Err(PlanError::InsufficientData { .. }) => {
+            Ok(headroom_stats::percentile::percentile(&obs.latency_p95_ms, 95.0)?)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use headroom_cluster::catalog::MicroserviceKind;
+    use headroom_cluster::scenario::FleetScenario;
+
+    fn experiment_sim(kind: MicroserviceKind, servers: usize, seed: u64) -> (Simulation, PoolId) {
+        let scenario = FleetScenario::single_service(kind, 1, servers, seed);
+        let sim = scenario.into_simulation();
+        let pool = sim.fleet().pools()[0].id;
+        (sim, pool)
+    }
+
+    #[test]
+    fn reduction_stops_at_qos_limit() {
+        // Service G: latency 6 + 2.2e-5 r²; SLO 12.1 ms from the catalog.
+        let (mut sim, pool) = experiment_sim(MicroserviceKind::G, 40, 3);
+        let qos = QosRequirement::latency(12.1).with_cpu_ceiling(80.0);
+        let config = RsmConfig {
+            windows_per_iteration: 360,
+            max_iterations: 12,
+            ..RsmConfig::new(qos)
+        };
+        let outcome = run_reduction_experiment(&mut sim, pool, &config).unwrap();
+        assert!(outcome.iterations.len() >= 2, "should iterate at least twice");
+        assert!(outcome.final_servers < outcome.initial_servers, "some savings found");
+        assert!(outcome.savings_fraction() > 0.0);
+        // Latency rises monotonically-ish across iterations.
+        let first = outcome.iterations.first().unwrap().peak_latency_ms;
+        let last = outcome.iterations.last().unwrap().peak_latency_ms;
+        assert!(last > first, "latency should rise as servers are removed");
+        // The final configuration's forecast stayed under the SLO.
+        for it in &outcome.iterations {
+            if it.within_qos {
+                assert!(it.peak_latency_ms <= config.qos.latency_p95_ms + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn tight_slo_yields_no_savings() {
+        let (mut sim, pool) = experiment_sim(MicroserviceKind::G, 20, 5);
+        // Run a day first so the baseline has data, then demand an SLO just
+        // above the current peak latency: no reduction possible.
+        sim.run_windows(360);
+        let obs = PoolObservations::collect(
+            sim.store(),
+            pool,
+            WindowRange::new(headroom_telemetry::time::WindowIndex(0), sim.current_window()),
+        )
+        .unwrap();
+        let peak = obs.latency_p95_ms.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        let qos = QosRequirement::latency(peak + 0.2).with_cpu_ceiling(80.0);
+        let config = RsmConfig {
+            windows_per_iteration: 360,
+            max_iterations: 4,
+            ..RsmConfig::new(qos)
+        };
+        let outcome = run_reduction_experiment(&mut sim, pool, &config).unwrap();
+        assert!(
+            outcome.final_servers >= outcome.initial_servers * 8 / 10,
+            "little to no reduction expected, got {} -> {}",
+            outcome.initial_servers,
+            outcome.final_servers
+        );
+    }
+
+    #[test]
+    fn invalid_step_rejected() {
+        let (mut sim, pool) = experiment_sim(MicroserviceKind::G, 10, 1);
+        let mut config = RsmConfig::new(QosRequirement::latency(12.0));
+        config.step_fraction = 0.9;
+        assert!(matches!(
+            run_reduction_experiment(&mut sim, pool, &config),
+            Err(PlanError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_pool_rejected() {
+        let (mut sim, _) = experiment_sim(MicroserviceKind::G, 10, 1);
+        let config = RsmConfig::new(QosRequirement::latency(12.0));
+        assert!(matches!(
+            run_reduction_experiment(&mut sim, PoolId(999), &config),
+            Err(PlanError::Cluster(_))
+        ));
+    }
+
+    #[test]
+    fn iterations_record_forecasts() {
+        let (mut sim, pool) = experiment_sim(MicroserviceKind::G, 30, 7);
+        let qos = QosRequirement::latency(12.1).with_cpu_ceiling(80.0);
+        let config = RsmConfig {
+            windows_per_iteration: 240,
+            max_iterations: 6,
+            ..RsmConfig::new(qos)
+        };
+        let outcome = run_reduction_experiment(&mut sim, pool, &config).unwrap();
+        // Every non-final iteration carries a forecast for the next step.
+        for it in &outcome.iterations[..outcome.iterations.len() - 1] {
+            assert!(it.forecast_next_ms.is_some());
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Service-level objectives and QoS requirements.
+//!
+//! §II: "The QoS requirement for each micro-service is defined as a set of
+//! Service Level Objectives (SLOs). Each SLO is a specific metric and the
+//! minimum threshold of their values. For example, response latency must be
+//! less than 500 ms, and reliability must be 99.999%."
+
+use std::fmt;
+
+/// One service-level objective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Slo {
+    /// p95 request latency must stay at or below this many milliseconds.
+    LatencyP95Ms(f64),
+    /// Fraction of requests that must succeed (e.g. `0.99999`).
+    Availability(f64),
+    /// Sustained CPU must stay at or below this percentage (operational
+    /// guardrail that keeps short spikes from queueing requests).
+    CpuCeilingPct(f64),
+}
+
+impl fmt::Display for Slo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Slo::LatencyP95Ms(ms) => write!(f, "p95 latency <= {ms} ms"),
+            Slo::Availability(a) => write!(f, "availability >= {:.3}%", a * 100.0),
+            Slo::CpuCeilingPct(c) => write!(f, "cpu <= {c}%"),
+        }
+    }
+}
+
+/// The QoS requirement the optimizer plans against.
+///
+/// # Example
+///
+/// ```
+/// use headroom_core::slo::QosRequirement;
+///
+/// let qos = QosRequirement::latency(32.5);
+/// assert_eq!(qos.latency_p95_ms, 32.5);
+/// assert!(qos.cpu_ceiling_pct > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosRequirement {
+    /// Maximum acceptable p95 latency in milliseconds.
+    pub latency_p95_ms: f64,
+    /// Maximum sustained CPU percent (defaults to 60%, a common production
+    /// guardrail leaving room for 120-second spikes).
+    pub cpu_ceiling_pct: f64,
+    /// Required request availability (defaults to 99.95%, the paper's lower
+    /// bound for typical services).
+    pub min_availability: f64,
+}
+
+impl QosRequirement {
+    /// A requirement dominated by a latency SLO, with default guardrails.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `latency_p95_ms` is not positive.
+    pub fn latency(latency_p95_ms: f64) -> Self {
+        assert!(
+            latency_p95_ms > 0.0 && latency_p95_ms.is_finite(),
+            "latency SLO must be positive"
+        );
+        QosRequirement { latency_p95_ms, cpu_ceiling_pct: 60.0, min_availability: 0.9995 }
+    }
+
+    /// Adjusts the CPU guardrail.
+    pub fn with_cpu_ceiling(mut self, pct: f64) -> Self {
+        assert!(pct > 0.0 && pct <= 100.0, "cpu ceiling must be within (0, 100]");
+        self.cpu_ceiling_pct = pct;
+        self
+    }
+
+    /// Adjusts the availability requirement.
+    pub fn with_min_availability(mut self, availability: f64) -> Self {
+        assert!((0.0..=1.0).contains(&availability), "availability must be within 0..=1");
+        self.min_availability = availability;
+        self
+    }
+
+    /// The requirement as a list of SLOs (for reports).
+    pub fn slos(&self) -> Vec<Slo> {
+        vec![
+            Slo::LatencyP95Ms(self.latency_p95_ms),
+            Slo::CpuCeilingPct(self.cpu_ceiling_pct),
+            Slo::Availability(self.min_availability),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_constructor_defaults() {
+        let q = QosRequirement::latency(50.0);
+        assert_eq!(q.latency_p95_ms, 50.0);
+        assert_eq!(q.cpu_ceiling_pct, 60.0);
+        assert_eq!(q.min_availability, 0.9995);
+    }
+
+    #[test]
+    fn builders_adjust() {
+        let q = QosRequirement::latency(10.0).with_cpu_ceiling(45.0).with_min_availability(0.999);
+        assert_eq!(q.cpu_ceiling_pct, 45.0);
+        assert_eq!(q.min_availability, 0.999);
+    }
+
+    #[test]
+    fn slos_list_all_three() {
+        let q = QosRequirement::latency(10.0);
+        assert_eq!(q.slos().len(), 3);
+    }
+
+    #[test]
+    fn slo_display() {
+        assert_eq!(Slo::LatencyP95Ms(500.0).to_string(), "p95 latency <= 500 ms");
+        assert_eq!(Slo::Availability(0.99999).to_string(), "availability >= 99.999%");
+        assert_eq!(Slo::CpuCeilingPct(60.0).to_string(), "cpu <= 60%");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn negative_latency_panics() {
+        let _ = QosRequirement::latency(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "within (0, 100]")]
+    fn bad_ceiling_panics() {
+        let _ = QosRequirement::latency(1.0).with_cpu_ceiling(0.0);
+    }
+}

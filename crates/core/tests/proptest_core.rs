@@ -1,0 +1,105 @@
+//! Property tests for planner invariants.
+
+use headroom_core::curves::{CpuModel, LatencyModel, PoolObservations};
+use headroom_core::forecast::CapacityForecaster;
+use headroom_core::partitions::partition_by_total_load;
+use headroom_core::slo::QosRequirement;
+use headroom_stats::{LinearFit, Polynomial};
+use headroom_telemetry::ids::PoolId;
+use headroom_telemetry::time::WindowIndex;
+use proptest::prelude::*;
+
+fn pool_b_forecaster() -> CapacityForecaster {
+    CapacityForecaster {
+        cpu: CpuModel {
+            fit: LinearFit { slope: 0.028, intercept: 1.37, r_squared: 0.98, n: 100 },
+        },
+        latency: LatencyModel {
+            poly: Polynomial::new(vec![36.68, -0.031, 4.028e-5]),
+            r_squared: 0.9,
+            n: 100,
+            inlier_fraction: 1.0,
+        },
+    }
+}
+
+fn synthetic_obs(n: usize, servers: f64) -> PoolObservations {
+    let rps: Vec<f64> = (0..n).map(|i| 100.0 + (i % 67) as f64 * 6.0).collect();
+    PoolObservations {
+        pool: PoolId(0),
+        windows: (0..n as u64).map(WindowIndex).collect(),
+        cpu_pct: rps.iter().map(|r| 0.028 * r + 1.37).collect(),
+        latency_p95_ms: rps.iter().map(|r| 4.028e-5 * r * r - 0.031 * r + 36.68).collect(),
+        active_servers: vec![servers; n],
+        rps_per_server: rps,
+    }
+}
+
+proptest! {
+    /// min_servers is monotone in peak workload and in failure headroom.
+    #[test]
+    fn min_servers_monotone(
+        peak_a in 1_000.0f64..200_000.0,
+        delta in 1_000.0f64..100_000.0,
+        headroom in 0.0f64..0.3,
+    ) {
+        let f = pool_b_forecaster();
+        let qos = QosRequirement::latency(32.5).with_cpu_ceiling(90.0);
+        let small = f.min_servers(peak_a, &qos, headroom).unwrap();
+        let large = f.min_servers(peak_a + delta, &qos, headroom).unwrap();
+        prop_assert!(large >= small);
+        let more_headroom = f.min_servers(peak_a, &qos, (headroom + 0.2).min(0.9)).unwrap();
+        prop_assert!(more_headroom >= small);
+    }
+
+    /// A tighter latency SLO never needs fewer servers.
+    #[test]
+    fn tighter_slo_needs_more(peak in 10_000.0f64..100_000.0) {
+        let f = pool_b_forecaster();
+        let loose = QosRequirement::latency(34.0).with_cpu_ceiling(90.0);
+        let tight = QosRequirement::latency(31.5).with_cpu_ceiling(90.0);
+        let n_loose = f.min_servers(peak, &loose, 0.0).unwrap();
+        let n_tight = f.min_servers(peak, &tight, 0.0).unwrap();
+        prop_assert!(n_tight >= n_loose);
+    }
+
+    /// Partitions cover every observation exactly once, with ascending
+    /// workload bounds.
+    #[test]
+    fn partitions_cover_exactly(n in 16usize..200, j in 1usize..8) {
+        prop_assume!(n >= 2 * j);
+        let obs = synthetic_obs(n, 10.0);
+        let parts = partition_by_total_load(&obs, j).unwrap();
+        let total: usize = parts.iter().map(|p| p.observations.len()).sum();
+        prop_assert_eq!(total, n);
+        let mut seen: Vec<u64> =
+            parts.iter().flat_map(|p| p.observations.iter().map(|o| o.window.0)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), n, "no observation may appear twice");
+        for w in parts.windows(2) {
+            prop_assert!(w[0].hi <= w[1].lo + 1e-9);
+        }
+    }
+
+    /// CPU and latency model fits on clean synthetic pools are accurate at
+    /// any pool size.
+    #[test]
+    fn fits_insensitive_to_pool_size(servers in 1.0f64..500.0) {
+        let obs = synthetic_obs(120, servers);
+        let cpu = CpuModel::fit(&obs).unwrap();
+        prop_assert!((cpu.fit.slope - 0.028).abs() < 1e-9);
+        let lat = LatencyModel::fit(&obs).unwrap();
+        prop_assert!((lat.predict(540.0) - 31.69).abs() < 0.5);
+    }
+
+    /// after_reduction degrades gracefully: reduction 0 is the identity.
+    #[test]
+    fn zero_reduction_is_identity(rps in 50.0f64..600.0) {
+        let f = pool_b_forecaster();
+        let same = f.after_reduction(rps, 0.0).unwrap();
+        prop_assert!((same.rps_per_server - rps).abs() < 1e-12);
+        let direct = f.at_rps(rps);
+        prop_assert_eq!(same, direct);
+    }
+}

@@ -1,0 +1,141 @@
+//! Pearson correlation.
+//!
+//! Used in two places by the planner: (1) the metric-validation loop checks
+//! that a candidate workload metric correlates tightly with the limiting
+//! resource (§II-A1), and (2) the RSM pre-screening identifies "where
+//! negative correlation exists between the number of servers processing
+//! traffic and the CPU utilization after controlling for total datacenter
+//! load" (§II-B2).
+
+use crate::error::check_paired;
+use crate::StatsError;
+
+/// Pearson correlation coefficient `r ∈ [-1, 1]`.
+///
+/// # Errors
+///
+/// - Input validation errors (mismatched lengths, empty, non-finite).
+/// - [`StatsError::InsufficientData`] when fewer than 2 points.
+/// - [`StatsError::Singular`] when either series is constant.
+///
+/// # Example
+///
+/// ```
+/// use headroom_stats::correlation::pearson;
+///
+/// # fn main() -> Result<(), headroom_stats::StatsError> {
+/// let r = pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0])?;
+/// assert!((r - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, StatsError> {
+    check_paired(xs, ys)?;
+    let n = xs.len();
+    if n < 2 {
+        return Err(StatsError::InsufficientData { needed: 2, got: n });
+    }
+    let nf = n as f64;
+    let mean_x = xs.iter().sum::<f64>() / nf;
+    let mean_y = ys.iter().sum::<f64>() / nf;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mean_x;
+        let dy = ys[i] - mean_y;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx < 1e-12 || syy < 1e-12 {
+        return Err(StatsError::Singular);
+    }
+    Ok((sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0))
+}
+
+/// Partial correlation of `x` and `y` controlling for `z`.
+///
+/// Implements the first-order partial correlation formula
+/// `r_xy.z = (r_xy - r_xz·r_yz) / sqrt((1-r_xz²)(1-r_yz²))`.
+///
+/// The RSM pre-screen needs the server-count ↔ CPU relationship *after
+/// controlling for total datacenter load* — workload is the confounder.
+///
+/// # Errors
+///
+/// Propagates [`pearson`] errors; returns [`StatsError::Singular`] when
+/// either control correlation is ±1.
+pub fn partial_correlation(xs: &[f64], ys: &[f64], zs: &[f64]) -> Result<f64, StatsError> {
+    let r_xy = pearson(xs, ys)?;
+    let r_xz = pearson(xs, zs)?;
+    let r_yz = pearson(ys, zs)?;
+    let denom = ((1.0 - r_xz * r_xz) * (1.0 - r_yz * r_yz)).sqrt();
+    if denom < 1e-9 {
+        return Err(StatsError::Singular);
+    }
+    Ok(((r_xy - r_xz * r_yz) / denom).clamp(-1.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive() {
+        let r = pearson(&[1.0, 2.0, 3.0, 4.0], &[10.0, 20.0, 30.0, 40.0]).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_negative() {
+        let r = pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]).unwrap();
+        assert!((r + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_near_zero() {
+        // Symmetric V-shape: zero linear correlation.
+        let xs = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        let ys = [4.0, 1.0, 0.0, 1.0, 4.0];
+        let r = pearson(&xs, &ys).unwrap();
+        assert!(r.abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_singular() {
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]).unwrap_err(), StatsError::Singular);
+        assert_eq!(pearson(&[2.0, 3.0], &[1.0, 1.0]).unwrap_err(), StatsError::Singular);
+    }
+
+    #[test]
+    fn partial_removes_confounder() {
+        // x and y are both driven by z; after controlling for z the
+        // residual correlation should be much weaker than the raw one.
+        let zs: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let xs: Vec<f64> = zs.iter().enumerate().map(|(i, z)| z + ((i * 13) % 7) as f64).collect();
+        let ys: Vec<f64> = zs.iter().enumerate().map(|(i, z)| z + ((i * 29) % 11) as f64).collect();
+        let raw = pearson(&xs, &ys).unwrap();
+        let partial = partial_correlation(&xs, &ys, &zs).unwrap();
+        assert!(raw > 0.99, "confounded correlation should look strong: {raw}");
+        assert!(partial.abs() < 0.35, "partial correlation should collapse: {partial}");
+    }
+
+    #[test]
+    fn partial_detects_negative_control_effect() {
+        // CPU rises with load z, falls with server count x (the RSM screen).
+        let zs: Vec<f64> = (0..100).map(|i| 100.0 + (i % 17) as f64 * 10.0).collect();
+        let xs: Vec<f64> = (0..100).map(|i| 20.0 + (i % 5) as f64).collect();
+        let ys: Vec<f64> = zs.iter().zip(&xs).map(|(&z, &x)| z / x).collect();
+        let partial = partial_correlation(&xs, &ys, &zs).unwrap();
+        assert!(partial < -0.8, "expected strong negative partial corr, got {partial}");
+    }
+
+    #[test]
+    fn mismatched_input_rejected() {
+        assert!(matches!(
+            pearson(&[1.0], &[1.0, 2.0]),
+            Err(StatsError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,539 @@
+//! CART decision tree for binary classification, with k-fold cross-validation
+//! and ROC AUC.
+//!
+//! §II-A2 of the paper: "we trained a decision tree with 5 fold cross
+//! validation with manually labeled pools using a minimum leaf size of 2000
+//! machines. The tree contained 34 splits, achieving an R² = 0.746. The area
+//! under curve (AUC) for the Yes and No prediction probability is 0.9804."
+//! The tree decides, per pool, whether servers exhibit the tightly-bound
+//! workload→CPU response required for black-box capacity planning.
+
+use crate::StatsError;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Training configuration for [`DecisionTree::train`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum observations in each child of a split. The paper uses 2000
+    /// machines; scaled datasets pass smaller values.
+    pub min_leaf_size: usize,
+    /// Minimum Gini impurity decrease for a split to be kept.
+    pub min_gain: f64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { max_depth: 12, min_leaf_size: 8, min_gain: 1e-7 }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        probability: f64,
+        n: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A trained CART binary classifier.
+///
+/// # Example
+///
+/// ```
+/// use headroom_stats::dtree::{DecisionTree, TreeConfig};
+///
+/// # fn main() -> Result<(), headroom_stats::StatsError> {
+/// // Label is true when the first feature exceeds 10.
+/// let features: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 * 0.2]).collect();
+/// let labels: Vec<bool> = features.iter().map(|f| f[0] > 10.0).collect();
+/// let cfg = TreeConfig { min_leaf_size: 2, ..TreeConfig::default() };
+/// let tree = DecisionTree::train(&features, &labels, &cfg)?;
+/// assert!(tree.predict(&[15.0]));
+/// assert!(!tree.predict(&[2.0]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    root: Node,
+    n_features: usize,
+}
+
+fn gini(pos: usize, total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let p = pos as f64 / total as f64;
+    2.0 * p * (1.0 - p)
+}
+
+impl DecisionTree {
+    /// Trains a tree on `features` (n rows × d columns) and boolean `labels`.
+    ///
+    /// # Errors
+    ///
+    /// - [`StatsError::EmptyInput`] for no rows.
+    /// - [`StatsError::DimensionMismatch`] for ragged rows or label mismatch.
+    /// - [`StatsError::NonFinite`] for NaN/inf feature values.
+    pub fn train(
+        features: &[Vec<f64>],
+        labels: &[bool],
+        config: &TreeConfig,
+    ) -> Result<Self, StatsError> {
+        if features.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        if features.len() != labels.len() {
+            return Err(StatsError::DimensionMismatch {
+                left: features.len(),
+                right: labels.len(),
+            });
+        }
+        let d = features[0].len();
+        if d == 0 {
+            return Err(StatsError::InvalidParameter("features must have at least one column"));
+        }
+        for row in features {
+            if row.len() != d {
+                return Err(StatsError::DimensionMismatch { left: row.len(), right: d });
+            }
+            if row.iter().any(|v| !v.is_finite()) {
+                return Err(StatsError::NonFinite);
+            }
+        }
+        let indices: Vec<usize> = (0..features.len()).collect();
+        let root = build_node(features, labels, &indices, config, 0);
+        Ok(DecisionTree { root, n_features: d })
+    }
+
+    /// Probability that the label is `true` for the given feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training dimensionality.
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n_features, "feature dimensionality mismatch");
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { probability, .. } => return *probability,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Hard classification at the 0.5 threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training dimensionality.
+    pub fn predict(&self, x: &[f64]) -> bool {
+        self.predict_proba(x) >= 0.5
+    }
+
+    /// Number of internal split nodes (the paper's tree has 34).
+    pub fn split_count(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Maximum depth of the tree (a single leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn depth(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + depth(left).max(depth(right)),
+            }
+        }
+        depth(&self.root)
+    }
+
+    /// Number of feature columns the tree was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+}
+
+fn build_node(
+    features: &[Vec<f64>],
+    labels: &[bool],
+    indices: &[usize],
+    config: &TreeConfig,
+    depth: usize,
+) -> Node {
+    let n = indices.len();
+    let pos = indices.iter().filter(|&&i| labels[i]).count();
+    let probability = if n == 0 { 0.5 } else { pos as f64 / n as f64 };
+    let leaf = Node::Leaf { probability, n };
+
+    if depth >= config.max_depth || pos == 0 || pos == n || n < 2 * config.min_leaf_size {
+        return leaf;
+    }
+
+    let parent_impurity = gini(pos, n);
+    let d = features[0].len();
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+
+    // Scratch: (value, label) pairs sorted per feature.
+    let mut pairs: Vec<(f64, bool)> = Vec::with_capacity(n);
+    for feat in 0..d {
+        pairs.clear();
+        pairs.extend(indices.iter().map(|&i| (features[i][feat], labels[i])));
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("features checked finite"));
+
+        let mut left_n = 0usize;
+        let mut left_pos = 0usize;
+        for w in 0..(n - 1) {
+            left_n += 1;
+            if pairs[w].1 {
+                left_pos += 1;
+            }
+            // Only split between distinct feature values.
+            if pairs[w].0 == pairs[w + 1].0 {
+                continue;
+            }
+            let right_n = n - left_n;
+            if left_n < config.min_leaf_size || right_n < config.min_leaf_size {
+                continue;
+            }
+            let right_pos = pos - left_pos;
+            let weighted = (left_n as f64 * gini(left_pos, left_n)
+                + right_n as f64 * gini(right_pos, right_n))
+                / n as f64;
+            let gain = parent_impurity - weighted;
+            if gain > config.min_gain && best.map(|(_, _, g)| gain > g).unwrap_or(true) {
+                let threshold = (pairs[w].0 + pairs[w + 1].0) / 2.0;
+                best = Some((feat, threshold, gain));
+            }
+        }
+    }
+
+    match best {
+        None => leaf,
+        Some((feature, threshold, _)) => {
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                indices.iter().partition(|&&i| features[i][feature] <= threshold);
+            let left = build_node(features, labels, &left_idx, config, depth + 1);
+            let right = build_node(features, labels, &right_idx, config, depth + 1);
+            Node::Split { feature, threshold, left: Box::new(left), right: Box::new(right) }
+        }
+    }
+}
+
+/// Area under the ROC curve for probabilistic scores against boolean labels.
+///
+/// Computed with the rank-based Mann–Whitney formulation, handling ties by
+/// midrank. Returns a value in `[0, 1]`; 0.5 is chance.
+///
+/// # Errors
+///
+/// - [`StatsError::DimensionMismatch`] when lengths differ.
+/// - [`StatsError::InsufficientData`] unless both classes are present.
+pub fn roc_auc(scores: &[f64], labels: &[bool]) -> Result<f64, StatsError> {
+    if scores.len() != labels.len() {
+        return Err(StatsError::DimensionMismatch { left: scores.len(), right: labels.len() });
+    }
+    let pos = labels.iter().filter(|&&l| l).count();
+    let neg = labels.len() - pos;
+    if pos == 0 || neg == 0 {
+        return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+    }
+    // Midrank assignment.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = midrank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 =
+        ranks.iter().zip(labels).filter(|(_, &l)| l).map(|(&r, _)| r).sum();
+    let u = rank_sum_pos - (pos as f64 * (pos as f64 + 1.0)) / 2.0;
+    Ok(u / (pos as f64 * neg as f64))
+}
+
+/// Cross-validation report for a decision-tree configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CvReport {
+    /// Mean held-out accuracy at the 0.5 threshold.
+    pub accuracy: f64,
+    /// R² of the held-out predicted probabilities against the 0/1 labels —
+    /// the metric the paper reports as "R² = 0.746".
+    pub r_squared: f64,
+    /// Mean held-out ROC AUC (paper: 0.9804).
+    pub auc: f64,
+    /// Mean split count across fold models (paper: 34 splits).
+    pub mean_splits: f64,
+    /// Number of folds evaluated.
+    pub folds: usize,
+}
+
+/// Runs stratified-free k-fold cross-validation of a decision tree.
+///
+/// Rows are shuffled deterministically by `seed`, divided into `folds`
+/// contiguous parts; each part is held out once.
+///
+/// # Errors
+///
+/// - Training errors from [`DecisionTree::train`].
+/// - [`StatsError::InvalidParameter`] when `folds < 2` or `folds > n`.
+/// - [`StatsError::InsufficientData`] when a fold assembly fails to contain
+///   both classes in training data.
+pub fn cross_validate(
+    features: &[Vec<f64>],
+    labels: &[bool],
+    config: &TreeConfig,
+    folds: usize,
+    seed: u64,
+) -> Result<CvReport, StatsError> {
+    if features.len() != labels.len() {
+        return Err(StatsError::DimensionMismatch { left: features.len(), right: labels.len() });
+    }
+    let n = features.len();
+    if folds < 2 || folds > n {
+        return Err(StatsError::InvalidParameter("folds must satisfy 2 <= folds <= n"));
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+
+    let mut all_scores = Vec::with_capacity(n);
+    let mut all_labels = Vec::with_capacity(n);
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    let mut splits_sum = 0.0;
+
+    for fold in 0..folds {
+        let lo = fold * n / folds;
+        let hi = (fold + 1) * n / folds;
+        let test: &[usize] = &order[lo..hi];
+        if test.is_empty() {
+            continue;
+        }
+        let train: Vec<usize> =
+            order[..lo].iter().chain(order[hi..].iter()).copied().collect();
+        let train_x: Vec<Vec<f64>> = train.iter().map(|&i| features[i].clone()).collect();
+        let train_y: Vec<bool> = train.iter().map(|&i| labels[i]).collect();
+        let tree = DecisionTree::train(&train_x, &train_y, config)?;
+        splits_sum += tree.split_count() as f64;
+        for &i in test {
+            let p = tree.predict_proba(&features[i]);
+            all_scores.push(p);
+            all_labels.push(labels[i]);
+            if (p >= 0.5) == labels[i] {
+                correct += 1;
+            }
+            total += 1;
+        }
+    }
+
+    let accuracy = correct as f64 / total as f64;
+    let auc = roc_auc(&all_scores, &all_labels)?;
+
+    // R² of probabilities vs 0/1 labels.
+    let ys: Vec<f64> = all_labels.iter().map(|&l| if l { 1.0 } else { 0.0 }).collect();
+    let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean_y) * (y - mean_y)).sum();
+    let ss_res: f64 =
+        ys.iter().zip(&all_scores).map(|(y, p)| (y - p) * (y - p)).sum();
+    let r_squared = if ss_tot > 0.0 { (1.0 - ss_res / ss_tot).max(0.0) } else { 0.0 };
+
+    Ok(CvReport {
+        accuracy,
+        r_squared,
+        auc,
+        mean_splits: splits_sum / folds as f64,
+        folds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn threshold_dataset(n: usize) -> (Vec<Vec<f64>>, Vec<bool>) {
+        // Two informative features, one noise feature.
+        let features: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let a = (i % 29) as f64;
+                let b = ((i * 7) % 31) as f64;
+                let noise = ((i * 13) % 17) as f64;
+                vec![a, b, noise]
+            })
+            .collect();
+        let labels: Vec<bool> = features.iter().map(|f| f[0] > 14.0 || f[1] > 22.0).collect();
+        (features, labels)
+    }
+
+    #[test]
+    fn learns_axis_aligned_rule() {
+        let (x, y) = threshold_dataset(400);
+        let cfg = TreeConfig { min_leaf_size: 4, ..TreeConfig::default() };
+        let tree = DecisionTree::train(&x, &y, &cfg).unwrap();
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| tree.predict(xi) == yi)
+            .count();
+        assert!(correct as f64 / x.len() as f64 > 0.97);
+        assert!(tree.split_count() >= 2);
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn pure_node_is_leaf() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![true, true, true];
+        let tree =
+            DecisionTree::train(&x, &y, &TreeConfig { min_leaf_size: 1, ..TreeConfig::default() })
+                .unwrap();
+        assert_eq!(tree.split_count(), 0);
+        assert_eq!(tree.predict_proba(&[9.0]), 1.0);
+    }
+
+    #[test]
+    fn min_leaf_size_enforced() {
+        let (x, y) = threshold_dataset(100);
+        let big_leaf = TreeConfig { min_leaf_size: 60, ..TreeConfig::default() };
+        let tree = DecisionTree::train(&x, &y, &big_leaf).unwrap();
+        // No split can produce two children of ≥ 60 from 100 rows.
+        assert_eq!(tree.split_count(), 0);
+    }
+
+    #[test]
+    fn max_depth_zero_is_single_leaf() {
+        let (x, y) = threshold_dataset(50);
+        let cfg = TreeConfig { max_depth: 0, min_leaf_size: 1, min_gain: 0.0 };
+        let tree = DecisionTree::train(&x, &y, &cfg).unwrap();
+        assert_eq!(tree.split_count(), 0);
+        let base_rate = y.iter().filter(|&&l| l).count() as f64 / y.len() as f64;
+        assert!((tree.predict_proba(&[0.0, 0.0, 0.0]) - base_rate).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(
+            DecisionTree::train(&[], &[], &TreeConfig::default()),
+            Err(StatsError::EmptyInput)
+        ));
+        let x = vec![vec![1.0], vec![2.0]];
+        assert!(matches!(
+            DecisionTree::train(&x, &[true], &TreeConfig::default()),
+            Err(StatsError::DimensionMismatch { .. })
+        ));
+        let ragged = vec![vec![1.0], vec![1.0, 2.0]];
+        assert!(matches!(
+            DecisionTree::train(&ragged, &[true, false], &TreeConfig::default()),
+            Err(StatsError::DimensionMismatch { .. })
+        ));
+        let nan = vec![vec![f64::NAN], vec![1.0]];
+        assert!(matches!(
+            DecisionTree::train(&nan, &[true, false], &TreeConfig::default()),
+            Err(StatsError::NonFinite)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn predict_wrong_dims_panics() {
+        let x = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let tree = DecisionTree::train(
+            &x,
+            &[true, false],
+            &TreeConfig { min_leaf_size: 1, ..TreeConfig::default() },
+        )
+        .unwrap();
+        let _ = tree.predict(&[1.0]);
+    }
+
+    #[test]
+    fn auc_perfect_separation() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [false, false, true, true];
+        assert_eq!(roc_auc(&scores, &labels).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        assert!((roc_auc(&scores, &labels).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_inverted_is_zero() {
+        let scores = [0.9, 0.8, 0.1, 0.2];
+        let labels = [false, false, true, true];
+        assert_eq!(roc_auc(&scores, &labels).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn auc_requires_both_classes() {
+        assert!(matches!(
+            roc_auc(&[0.1, 0.9], &[true, true]),
+            Err(StatsError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn cross_validation_on_learnable_problem() {
+        let (x, y) = threshold_dataset(600);
+        let cfg = TreeConfig { min_leaf_size: 6, ..TreeConfig::default() };
+        let report = cross_validate(&x, &y, &cfg, 5, 42).unwrap();
+        assert_eq!(report.folds, 5);
+        assert!(report.accuracy > 0.9, "accuracy {}", report.accuracy);
+        assert!(report.auc > 0.95, "auc {}", report.auc);
+        assert!(report.r_squared > 0.5, "r2 {}", report.r_squared);
+        assert!(report.mean_splits >= 1.0);
+    }
+
+    #[test]
+    fn cross_validation_rejects_bad_folds() {
+        let (x, y) = threshold_dataset(20);
+        assert!(matches!(
+            cross_validate(&x, &y, &TreeConfig::default(), 1, 0),
+            Err(StatsError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            cross_validate(&x, &y, &TreeConfig::default(), 21, 0),
+            Err(StatsError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn cross_validation_deterministic() {
+        let (x, y) = threshold_dataset(200);
+        let cfg = TreeConfig { min_leaf_size: 4, ..TreeConfig::default() };
+        let a = cross_validate(&x, &y, &cfg, 4, 9).unwrap();
+        let b = cross_validate(&x, &y, &cfg, 4, 9).unwrap();
+        assert_eq!(a, b);
+    }
+}

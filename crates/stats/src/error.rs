@@ -1,0 +1,121 @@
+//! Error type shared by all statistical routines in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by statistical routines.
+///
+/// Every fallible function in this crate returns `Result<_, StatsError>`.
+/// The variants are deliberately coarse: callers in the planner react to
+/// *whether* an estimate exists, not to the precise numerical failure mode.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// The input slice was empty where at least one observation is required.
+    EmptyInput,
+    /// Paired inputs (e.g. `xs` and `ys`) had different lengths.
+    DimensionMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// Fewer observations than the routine needs to produce an estimate.
+    InsufficientData {
+        /// Minimum number of observations required.
+        needed: usize,
+        /// Number of observations supplied.
+        got: usize,
+    },
+    /// The design matrix was singular (e.g. all x values identical).
+    Singular,
+    /// A parameter was outside its valid domain (e.g. percentile not in 0..=100).
+    InvalidParameter(&'static str),
+    /// Input contained a NaN or infinite value.
+    NonFinite,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyInput => write!(f, "input is empty"),
+            StatsError::DimensionMismatch { left, right } => {
+                write!(f, "paired inputs have mismatched lengths {left} and {right}")
+            }
+            StatsError::InsufficientData { needed, got } => {
+                write!(f, "need at least {needed} observations, got {got}")
+            }
+            StatsError::Singular => write!(f, "design matrix is singular"),
+            StatsError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            StatsError::NonFinite => write!(f, "input contains non-finite values"),
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+/// Validates that two paired slices have equal, non-zero length and finite values.
+pub(crate) fn check_paired(xs: &[f64], ys: &[f64]) -> Result<(), StatsError> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::DimensionMismatch { left: xs.len(), right: ys.len() });
+    }
+    if xs.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+        return Err(StatsError::NonFinite);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let cases: Vec<(StatsError, &str)> = vec![
+            (StatsError::EmptyInput, "input is empty"),
+            (
+                StatsError::DimensionMismatch { left: 2, right: 3 },
+                "paired inputs have mismatched lengths 2 and 3",
+            ),
+            (
+                StatsError::InsufficientData { needed: 4, got: 1 },
+                "need at least 4 observations, got 1",
+            ),
+            (StatsError::Singular, "design matrix is singular"),
+            (StatsError::NonFinite, "input contains non-finite values"),
+        ];
+        for (err, msg) in cases {
+            assert_eq!(err.to_string(), msg);
+        }
+    }
+
+    #[test]
+    fn check_paired_rejects_mismatch() {
+        let err = check_paired(&[1.0], &[1.0, 2.0]).unwrap_err();
+        assert_eq!(err, StatsError::DimensionMismatch { left: 1, right: 2 });
+    }
+
+    #[test]
+    fn check_paired_rejects_empty() {
+        assert_eq!(check_paired(&[], &[]).unwrap_err(), StatsError::EmptyInput);
+    }
+
+    #[test]
+    fn check_paired_rejects_nan() {
+        assert_eq!(check_paired(&[f64::NAN], &[1.0]).unwrap_err(), StatsError::NonFinite);
+    }
+
+    #[test]
+    fn check_paired_accepts_valid() {
+        assert!(check_paired(&[1.0, 2.0], &[3.0, 4.0]).is_ok());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

@@ -1,0 +1,316 @@
+//! Fixed-bin histograms and empirical CDFs.
+//!
+//! The paper's fleet-wide utilisation study is reported as distributions:
+//! Fig. 12 (CDF of per-server 95th-percentile CPU), Fig. 13 (distribution of
+//! 120-second CPU samples), and Fig. 14 (distribution of daily server
+//! availability). These types regenerate those series.
+
+use crate::StatsError;
+
+/// An equal-width histogram over a fixed `[lo, hi]` range.
+///
+/// Values below `lo` land in the first bin; values above `hi` in the last.
+///
+/// # Example
+///
+/// ```
+/// use headroom_stats::histogram::Histogram;
+///
+/// # fn main() -> Result<(), headroom_stats::StatsError> {
+/// let mut h = Histogram::new(0.0, 100.0, 10)?;
+/// for v in [5.0, 15.0, 15.5, 97.0] {
+///     h.add(v);
+/// }
+/// assert_eq!(h.counts()[0], 1);
+/// assert_eq!(h.counts()[1], 2);
+/// assert_eq!(h.counts()[9], 1);
+/// assert_eq!(h.total(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins spanning `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] when `bins == 0`, `lo >= hi`, or the
+    /// bounds are non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, StatsError> {
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter("histogram needs at least one bin"));
+        }
+        if !lo.is_finite() || !hi.is_finite() {
+            return Err(StatsError::NonFinite);
+        }
+        if lo >= hi {
+            return Err(StatsError::InvalidParameter("histogram range must have lo < hi"));
+        }
+        Ok(Histogram { lo, hi, counts: vec![0; bins], total: 0 })
+    }
+
+    /// Adds one observation (non-finite values are ignored).
+    pub fn add(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let bins = self.counts.len();
+        let frac = (value - self.lo) / (self.hi - self.lo);
+        let idx = ((frac * bins as f64).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Adds every value in the slice.
+    pub fn add_all(&mut self, values: &[f64]) {
+        for &v in values {
+            self.add(v);
+        }
+    }
+
+    /// Raw per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Midpoint of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + width * (i as f64 + 0.5)
+    }
+
+    /// Per-bin fraction of all observations (sums to 1 when non-empty).
+    pub fn fractions(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+    }
+
+    /// Fraction of observations strictly greater than `value`.
+    ///
+    /// Bin granularity applies: the result is computed from whole bins whose
+    /// lower edge is ≥ `value`.
+    pub fn fraction_above(&self, value: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let mut count = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let lower_edge = self.lo + width * i as f64;
+            if lower_edge >= value {
+                count += c;
+            }
+        }
+        count as f64 / self.total as f64
+    }
+
+    /// `(bin_center, fraction)` series for plotting.
+    pub fn series(&self) -> Vec<(f64, f64)> {
+        self.fractions()
+            .into_iter()
+            .enumerate()
+            .map(|(i, frac)| (self.bin_center(i), frac))
+            .collect()
+    }
+}
+
+/// Empirical cumulative distribution function over a sample.
+///
+/// # Example
+///
+/// ```
+/// use headroom_stats::histogram::Ecdf;
+///
+/// # fn main() -> Result<(), headroom_stats::StatsError> {
+/// let cdf = Ecdf::from_values(&[1.0, 2.0, 3.0, 4.0])?;
+/// assert_eq!(cdf.fraction_at_or_below(2.0), 0.5);
+/// assert_eq!(cdf.fraction_at_or_below(0.5), 0.0);
+/// assert_eq!(cdf.fraction_at_or_below(4.0), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF from unsorted samples.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::EmptyInput`] / [`StatsError::NonFinite`] on bad input.
+    pub fn from_values(values: &[f64]) -> Result<Self, StatsError> {
+        if values.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(StatsError::NonFinite);
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("checked finite"));
+        Ok(Ecdf { sorted })
+    }
+
+    /// Fraction of samples `<= x`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF: smallest sample value at cumulative fraction `q ∈ [0,1]`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] when `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Result<f64, StatsError> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(StatsError::InvalidParameter("quantile must be within 0..=1"));
+        }
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).saturating_sub(1);
+        Ok(self.sorted[idx.min(self.sorted.len() - 1)])
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false: construction requires at least one sample.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `(x, cumulative fraction)` series evaluated at `points` evenly spaced
+    /// x positions across the sample range — the Fig. 12 plotting format.
+    pub fn series(&self, points: usize) -> Vec<(f64, f64)> {
+        let lo = self.sorted[0];
+        let hi = self.sorted[self.sorted.len() - 1];
+        if points <= 1 || hi <= lo {
+            return vec![(hi, 1.0)];
+        }
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.fraction_at_or_below(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_boundaries() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.add(0.0); // first bin
+        h.add(9.9999); // last bin
+        h.add(10.0); // clamped into last bin
+        h.add(-5.0); // clamped into first bin
+        h.add(15.0); // clamped into last bin
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[9], 3);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn histogram_rejects_bad_config() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn histogram_fractions_sum_to_one() {
+        let mut h = Histogram::new(0.0, 100.0, 7).unwrap();
+        h.add_all(&(0..1000).map(|i| (i % 100) as f64).collect::<Vec<_>>());
+        let sum: f64 = h.fractions().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_ignores_nan() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.add(f64::NAN);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn fraction_above_threshold() {
+        let mut h = Histogram::new(0.0, 100.0, 100).unwrap();
+        // 90 values at 10, 10 values at 50.
+        for _ in 0..90 {
+            h.add(10.0);
+        }
+        for _ in 0..10 {
+            h.add(50.0);
+        }
+        assert!((h.fraction_above(40.0) - 0.1).abs() < 1e-12);
+        assert!((h.fraction_above(60.0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bin_center_positions() {
+        let h = Histogram::new(0.0, 10.0, 10).unwrap();
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
+        assert!((h.bin_center(9) - 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_step_behaviour() {
+        let cdf = Ecdf::from_values(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(cdf.fraction_at_or_below(0.9), 0.0);
+        assert!((cdf.fraction_at_or_below(1.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((cdf.fraction_at_or_below(2.5) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cdf.fraction_at_or_below(3.0), 1.0);
+    }
+
+    #[test]
+    fn ecdf_quantile_inverse() {
+        let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let cdf = Ecdf::from_values(&values).unwrap();
+        assert_eq!(cdf.quantile(0.5).unwrap(), 50.0);
+        assert_eq!(cdf.quantile(1.0).unwrap(), 100.0);
+        assert_eq!(cdf.quantile(0.0).unwrap(), 1.0);
+        assert!(cdf.quantile(1.5).is_err());
+    }
+
+    #[test]
+    fn ecdf_series_monotone() {
+        let values: Vec<f64> = (0..500).map(|i| ((i * 31) % 97) as f64).collect();
+        let cdf = Ecdf::from_values(&values).unwrap();
+        let series = cdf.series(50);
+        assert_eq!(series.len(), 50);
+        for w in series.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF must be monotone");
+        }
+        assert_eq!(series.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn ecdf_rejects_empty() {
+        assert_eq!(Ecdf::from_values(&[]).unwrap_err(), StatsError::EmptyInput);
+    }
+}

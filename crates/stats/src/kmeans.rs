@@ -1,0 +1,380 @@
+//! K-means clustering with k-means++ seeding.
+//!
+//! Fig. 3 of the paper shows a pool whose (5th, 95th)-percentile CPU scatter
+//! forms *two* distinct clusters — newer, faster hardware running cooler than
+//! the older generation. The grouping step uses clustering to split such
+//! pools into separately-planned server groups.
+
+use crate::StatsError;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on total centroid movement.
+    pub tolerance: f64,
+    /// Seed for k-means++ initialisation.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// Creates a config for `k` clusters with standard defaults.
+    pub fn new(k: usize) -> Self {
+        KMeansConfig { k, max_iterations: 100, tolerance: 1e-9, seed: 11 }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Final centroids, `k` rows of the input dimensionality.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster index for each input point.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances of points to their assigned centroid.
+    pub inertia: f64,
+    /// Number of Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Number of points in each cluster.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.centroids.len()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+}
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Runs k-means with k-means++ initialisation.
+///
+/// # Errors
+///
+/// - [`StatsError::EmptyInput`] for no points.
+/// - [`StatsError::InvalidParameter`] when `k == 0` or `k > n`.
+/// - [`StatsError::DimensionMismatch`] for ragged point dimensions.
+/// - [`StatsError::NonFinite`] for NaN/inf coordinates.
+///
+/// # Example
+///
+/// ```
+/// use headroom_stats::kmeans::{kmeans, KMeansConfig};
+///
+/// # fn main() -> Result<(), headroom_stats::StatsError> {
+/// // Two obvious blobs: old hot servers vs new cool servers.
+/// let points = vec![
+///     vec![10.0, 22.0], vec![11.0, 23.0], vec![9.5, 21.0],
+///     vec![3.0, 8.0], vec![2.5, 7.5], vec![3.5, 9.0],
+/// ];
+/// let result = kmeans(&points, &KMeansConfig::new(2))?;
+/// assert_eq!(result.assignments[0], result.assignments[1]);
+/// assert_ne!(result.assignments[0], result.assignments[3]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> Result<KMeansResult, StatsError> {
+    if points.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if config.k == 0 || config.k > points.len() {
+        return Err(StatsError::InvalidParameter("k must satisfy 1 <= k <= n"));
+    }
+    let dim = points[0].len();
+    for p in points {
+        if p.len() != dim {
+            return Err(StatsError::DimensionMismatch { left: p.len(), right: dim });
+        }
+        if p.iter().any(|v| !v.is_finite()) {
+            return Err(StatsError::NonFinite);
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut centroids = kmeanspp_init(points, config.k, &mut rng);
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+
+    for iter in 0..config.max_iterations.max(1) {
+        iterations = iter + 1;
+        // Assignment step.
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = squared_distance(p, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            assignments[i] = best;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dim]; config.k];
+        let mut counts = vec![0usize; config.k];
+        for (i, p) in points.iter().enumerate() {
+            counts[assignments[i]] += 1;
+            for (d, &v) in p.iter().enumerate() {
+                sums[assignments[i]][d] += v;
+            }
+        }
+        let mut movement = 0.0;
+        for c in 0..config.k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at the point farthest from its centroid.
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        squared_distance(a, &centroids[assignments[0]])
+                            .partial_cmp(&squared_distance(b, &centroids[assignments[0]]))
+                            .expect("finite")
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                centroids[c] = points[far].clone();
+                continue;
+            }
+            let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
+            movement += squared_distance(&centroids[c], &new).sqrt();
+            centroids[c] = new;
+        }
+        if movement < config.tolerance {
+            break;
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| squared_distance(p, &centroids[a]))
+        .sum();
+    Ok(KMeansResult { centroids, assignments, inertia, iterations })
+}
+
+fn kmeanspp_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let dists: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| squared_distance(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = dists.iter().sum();
+        if total <= 0.0 {
+            // All points identical to some centroid: duplicate one.
+            centroids.push(points[0].clone());
+            continue;
+        }
+        let mut target = rng.random_range(0.0..total);
+        let mut chosen = points.len() - 1;
+        for (i, &d) in dists.iter().enumerate() {
+            if target < d {
+                chosen = i;
+                break;
+            }
+            target -= d;
+        }
+        centroids.push(points[chosen].clone());
+    }
+    centroids
+}
+
+/// Mean silhouette coefficient of a clustering, in `[-1, 1]`.
+///
+/// Higher is better; ≳0.5 indicates well-separated clusters. The grouping
+/// step uses this to decide whether a pool genuinely contains multiple
+/// server populations (accept split) or not (keep whole).
+///
+/// # Errors
+///
+/// - [`StatsError::DimensionMismatch`] when lengths differ.
+/// - [`StatsError::InsufficientData`] when fewer than 2 points or all points
+///   share one cluster.
+pub fn silhouette_score(points: &[Vec<f64>], assignments: &[usize]) -> Result<f64, StatsError> {
+    if points.len() != assignments.len() {
+        return Err(StatsError::DimensionMismatch { left: points.len(), right: assignments.len() });
+    }
+    if points.len() < 2 {
+        return Err(StatsError::InsufficientData { needed: 2, got: points.len() });
+    }
+    let k = assignments.iter().max().map(|m| m + 1).unwrap_or(0);
+    let cluster_count = {
+        let mut seen = vec![false; k];
+        for &a in assignments {
+            seen[a] = true;
+        }
+        seen.iter().filter(|&&s| s).count()
+    };
+    if cluster_count < 2 {
+        return Err(StatsError::InsufficientData { needed: 2, got: cluster_count });
+    }
+
+    let n = points.len();
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for i in 0..n {
+        let own = assignments[i];
+        let mut intra_sum = 0.0;
+        let mut intra_n = 0usize;
+        let mut inter: Vec<(f64, usize)> = vec![(0.0, 0); k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let d = squared_distance(&points[i], &points[j]).sqrt();
+            if assignments[j] == own {
+                intra_sum += d;
+                intra_n += 1;
+            } else {
+                inter[assignments[j]].0 += d;
+                inter[assignments[j]].1 += 1;
+            }
+        }
+        if intra_n == 0 {
+            continue; // singleton cluster contributes 0 by convention; skip
+        }
+        let a = intra_sum / intra_n as f64;
+        let b = inter
+            .iter()
+            .filter(|(_, c)| *c > 0)
+            .map(|(s, c)| s / *c as f64)
+            .fold(f64::INFINITY, f64::min);
+        let s = if a.max(b) > 0.0 { (b - a) / a.max(b) } else { 0.0 };
+        total += s;
+        counted += 1;
+    }
+    if counted == 0 {
+        return Err(StatsError::InsufficientData { needed: 2, got: 0 });
+    }
+    Ok(total / counted as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            let jitter = (i as f64) * 0.01;
+            pts.push(vec![2.0 + jitter, 5.0 - jitter]);
+            pts.push(vec![10.0 - jitter, 20.0 + jitter]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = two_blobs();
+        let r = kmeans(&pts, &KMeansConfig::new(2)).unwrap();
+        // Even indices are blob 1, odd are blob 2.
+        let c0 = r.assignments[0];
+        for (i, &a) in r.assignments.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(a, c0);
+            } else {
+                assert_ne!(a, c0);
+            }
+        }
+        assert_eq!(r.cluster_sizes(), vec![20, 20]);
+    }
+
+    #[test]
+    fn k_equals_one() {
+        let pts = two_blobs();
+        let r = kmeans(&pts, &KMeansConfig::new(1)).unwrap();
+        assert!(r.assignments.iter().all(|&a| a == 0));
+        assert!(r.inertia > 0.0);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let pts = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let r = kmeans(&pts, &KMeansConfig::new(3)).unwrap();
+        assert!(r.inertia < 1e-18);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let pts = two_blobs();
+        let cfg = KMeansConfig { seed: 5, ..KMeansConfig::new(2) };
+        let a = kmeans(&pts, &cfg).unwrap();
+        let b = kmeans(&pts, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(matches!(
+            kmeans(&[], &KMeansConfig::new(1)),
+            Err(StatsError::EmptyInput)
+        ));
+        let pts = vec![vec![1.0]];
+        assert!(matches!(
+            kmeans(&pts, &KMeansConfig::new(0)),
+            Err(StatsError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            kmeans(&pts, &KMeansConfig::new(2)),
+            Err(StatsError::InvalidParameter(_))
+        ));
+        let ragged = vec![vec![1.0], vec![1.0, 2.0]];
+        assert!(matches!(
+            kmeans(&ragged, &KMeansConfig::new(1)),
+            Err(StatsError::DimensionMismatch { .. })
+        ));
+        let nan = vec![vec![f64::NAN]];
+        assert!(matches!(kmeans(&nan, &KMeansConfig::new(1)), Err(StatsError::NonFinite)));
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_blobs() {
+        let pts = two_blobs();
+        let r = kmeans(&pts, &KMeansConfig::new(2)).unwrap();
+        let s = silhouette_score(&pts, &r.assignments).unwrap();
+        assert!(s > 0.8, "well-separated blobs should score high, got {s}");
+    }
+
+    #[test]
+    fn silhouette_low_for_overcut_blob() {
+        // One uniform blob split into 2 clusters scores poorly.
+        let pts: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 * 0.01]).collect();
+        let r = kmeans(&pts, &KMeansConfig::new(2)).unwrap();
+        let s = silhouette_score(&pts, &r.assignments).unwrap();
+        assert!(s < 0.7, "overcut blob should score lower, got {s}");
+    }
+
+    #[test]
+    fn silhouette_requires_two_clusters() {
+        let pts = vec![vec![1.0], vec![2.0]];
+        assert!(matches!(
+            silhouette_score(&pts, &[0, 0]),
+            Err(StatsError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn identical_points_do_not_crash() {
+        let pts = vec![vec![5.0, 5.0]; 10];
+        let r = kmeans(&pts, &KMeansConfig::new(2)).unwrap();
+        assert_eq!(r.assignments.len(), 10);
+        assert!(r.inertia < 1e-18);
+    }
+}

@@ -1,0 +1,57 @@
+//! Statistics substrate for the `headroom` capacity planner.
+//!
+//! The ICDCS'18 headroom methodology is deliberately *black-box*: it never
+//! models the service internals, only the externally observable relationship
+//! between workload, resource usage, and quality of service. That relationship
+//! is recovered with a small set of classical statistical tools, all of which
+//! are implemented here from scratch:
+//!
+//! - [`linreg`] — ordinary least-squares simple linear regression (workload →
+//!   limiting-resource validation, §II-A1 of the paper);
+//! - [`polyfit`] — least-squares polynomial fitting (the quadratic latency
+//!   models of §II-B);
+//! - [`ransac`] — RANSAC robust regression (the paper fits latency curves with
+//!   RANSAC to survive deployment-induced outliers, §II-B2);
+//! - [`dtree`] — a CART decision tree with k-fold cross-validation and ROC
+//!   AUC, used to auto-group servers within pools (§II-A2);
+//! - [`kmeans`] — k-means clustering for hardware-generation discovery
+//!   (Fig. 3);
+//! - [`percentile`], [`histogram`], [`quantile_stream`], [`summary`],
+//!   [`correlation`] — descriptive statistics used throughout the evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use headroom_stats::linreg::LinearFit;
+//!
+//! # fn main() -> Result<(), headroom_stats::StatsError> {
+//! // CPU utilisation responds linearly to requests per second.
+//! let rps = [100.0, 200.0, 300.0, 400.0];
+//! let cpu = [4.2, 7.0, 9.8, 12.6];
+//! let fit = LinearFit::fit(&rps, &cpu)?;
+//! assert!((fit.slope - 0.028).abs() < 1e-9);
+//! assert!(fit.r_squared > 0.999);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod correlation;
+pub mod dtree;
+pub mod error;
+pub mod histogram;
+pub mod kmeans;
+pub mod linreg;
+pub mod matrix;
+pub mod percentile;
+pub mod polyfit;
+pub mod quantile_stream;
+pub mod ransac;
+pub mod summary;
+
+pub use error::StatsError;
+pub use linreg::LinearFit;
+pub use polyfit::Polynomial;
+pub use summary::Summary;

@@ -1,0 +1,218 @@
+//! Ordinary least-squares simple linear regression.
+//!
+//! The paper's metric-validation step (§II-A1) asserts that a *correct*
+//! per-workload metric shows a tight linear correlation between workload
+//! units and the limiting resource: "CPU increasing linearly with request
+//! volume". Every linear fit reported in the paper (e.g. Fig. 8's
+//! `y = 0.028·RPS + 1.37, R² = 0.984`) is a plain OLS fit like this one.
+
+use crate::error::check_paired;
+use crate::StatsError;
+
+/// The result of fitting `y ≈ slope · x + intercept` by least squares.
+///
+/// # Example
+///
+/// ```
+/// use headroom_stats::LinearFit;
+///
+/// # fn main() -> Result<(), headroom_stats::StatsError> {
+/// let fit = LinearFit::fit(&[0.0, 1.0, 2.0], &[1.0, 3.0, 5.0])?;
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert!((fit.r_squared - 1.0).abs() < 1e-12);
+/// assert_eq!(fit.predict(10.0), 21.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination R² in `[0, 1]` (clamped at 0 for
+    /// pathological fits).
+    pub r_squared: f64,
+    /// Number of observations used.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Fits a line to paired observations.
+    ///
+    /// # Errors
+    ///
+    /// - [`StatsError::DimensionMismatch`] / [`StatsError::EmptyInput`] /
+    ///   [`StatsError::NonFinite`] for malformed inputs.
+    /// - [`StatsError::InsufficientData`] when fewer than 2 points.
+    /// - [`StatsError::Singular`] when all x values are identical.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self, StatsError> {
+        check_paired(xs, ys)?;
+        let n = xs.len();
+        if n < 2 {
+            return Err(StatsError::InsufficientData { needed: 2, got: n });
+        }
+        let nf = n as f64;
+        let mean_x = xs.iter().sum::<f64>() / nf;
+        let mean_y = ys.iter().sum::<f64>() / nf;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        let mut syy = 0.0;
+        for i in 0..n {
+            let dx = xs[i] - mean_x;
+            let dy = ys[i] - mean_y;
+            sxx += dx * dx;
+            sxy += dx * dy;
+            syy += dy * dy;
+        }
+        if sxx < 1e-12 {
+            return Err(StatsError::Singular);
+        }
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        // R² = 1 - SS_res / SS_tot. A constant y (syy == 0) is perfectly
+        // explained by the fitted (flat) line.
+        let r_squared = if syy < 1e-12 {
+            1.0
+        } else {
+            let mut ss_res = 0.0;
+            for i in 0..n {
+                let resid = ys[i] - (slope * xs[i] + intercept);
+                ss_res += resid * resid;
+            }
+            (1.0 - ss_res / syy).max(0.0)
+        };
+        Ok(LinearFit { slope, intercept, r_squared, n })
+    }
+
+    /// Evaluates the fitted line at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+
+    /// Inverts the line: the `x` at which the fit reaches `y`.
+    ///
+    /// Used to answer "at what RPS does CPU hit the ceiling?".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Singular`] when the slope is (near) zero.
+    pub fn solve_for_x(&self, y: f64) -> Result<f64, StatsError> {
+        if self.slope.abs() < 1e-12 {
+            return Err(StatsError::Singular);
+        }
+        Ok((y - self.intercept) / self.slope)
+    }
+
+    /// Residuals `y_i - ŷ_i` for the given data.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same input validation errors as [`LinearFit::fit`].
+    pub fn residuals(&self, xs: &[f64], ys: &[f64]) -> Result<Vec<f64>, StatsError> {
+        check_paired(xs, ys)?;
+        Ok(xs.iter().zip(ys).map(|(&x, &y)| y - self.predict(x)).collect())
+    }
+}
+
+impl std::fmt::Display for LinearFit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "y = {:.4}*x + {:.3}  (R^2 = {:.3}, N = {})",
+            self.slope, self.intercept, self.r_squared, self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 2.0).collect();
+        let fit = LinearFit::fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 2.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_r2_below_one() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> =
+            xs.iter().enumerate().map(|(i, x)| 2.0 * x + if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let fit = LinearFit::fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 2.0).abs() < 0.01);
+        assert!(fit.r_squared > 0.99 && fit.r_squared < 1.0);
+    }
+
+    #[test]
+    fn constant_x_is_singular() {
+        assert_eq!(
+            LinearFit::fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).unwrap_err(),
+            StatsError::Singular
+        );
+    }
+
+    #[test]
+    fn constant_y_r2_is_one() {
+        let fit = LinearFit::fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn one_point_insufficient() {
+        assert_eq!(
+            LinearFit::fit(&[1.0], &[1.0]).unwrap_err(),
+            StatsError::InsufficientData { needed: 2, got: 1 }
+        );
+    }
+
+    #[test]
+    fn solve_for_x_inverts_predict() {
+        let fit = LinearFit::fit(&[0.0, 100.0], &[1.37, 4.17]).unwrap();
+        let x = fit.solve_for_x(fit.predict(540.0)).unwrap();
+        assert!((x - 540.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_for_x_flat_line_errors() {
+        let fit = LinearFit { slope: 0.0, intercept: 5.0, r_squared: 1.0, n: 2 };
+        assert_eq!(fit.solve_for_x(7.0).unwrap_err(), StatsError::Singular);
+    }
+
+    #[test]
+    fn residuals_sum_near_zero() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.5 * x + 3.0 + (x * 0.7).sin()).collect();
+        let fit = LinearFit::fit(&xs, &ys).unwrap();
+        let r = fit.residuals(&xs, &ys).unwrap();
+        let sum: f64 = r.iter().sum();
+        assert!(sum.abs() < 1e-9, "OLS residuals must sum to ~0, got {sum}");
+    }
+
+    #[test]
+    fn paper_pool_b_shape() {
+        // Synthesise points from the paper's pool-B fit and recover it.
+        let xs: Vec<f64> = (50..700).step_by(10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.028 * x + 1.37).collect();
+        let fit = LinearFit::fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 0.028).abs() < 1e-9);
+        assert!((fit.intercept - 1.37).abs() < 1e-9);
+        // Paper: predicted 16.5% CPU at 540 RPS/server.
+        assert!((fit.predict(540.0) - 16.49).abs() < 0.1);
+    }
+
+    #[test]
+    fn display_format() {
+        let fit = LinearFit { slope: 0.028, intercept: 1.37, r_squared: 0.984, n: 1221 };
+        let s = fit.to_string();
+        assert!(s.contains("0.0280"));
+        assert!(s.contains("N = 1221"));
+    }
+}

@@ -1,0 +1,252 @@
+//! Minimal dense-matrix support: just enough linear algebra to solve the
+//! normal equations behind [`crate::polyfit`] and [`crate::linreg`].
+
+use crate::StatsError;
+
+/// A small, row-major dense matrix of `f64`.
+///
+/// This is not a general linear-algebra library; it supports exactly the
+/// operations the regression code needs (construction, transpose-products,
+/// and solving square systems by Gaussian elimination with partial pivoting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] when `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, StatsError> {
+        if data.len() != rows * cols {
+            return Err(StatsError::DimensionMismatch { left: data.len(), right: rows * cols });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Computes `Aᵀ · A` (the Gram matrix of the design matrix).
+    pub fn transpose_times_self(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.cols);
+        for i in 0..self.cols {
+            for j in i..self.cols {
+                let mut sum = 0.0;
+                for r in 0..self.rows {
+                    sum += self.get(r, i) * self.get(r, j);
+                }
+                out.set(i, j, sum);
+                out.set(j, i, sum);
+            }
+        }
+        out
+    }
+
+    /// Computes `Aᵀ · y` for a column vector `y`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] when `y.len() != rows`.
+    pub fn transpose_times_vec(&self, y: &[f64]) -> Result<Vec<f64>, StatsError> {
+        if y.len() != self.rows {
+            return Err(StatsError::DimensionMismatch { left: y.len(), right: self.rows });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (c, item) in out.iter_mut().enumerate() {
+            let mut sum = 0.0;
+            for r in 0..self.rows {
+                sum += self.get(r, c) * y[r];
+            }
+            *item = sum;
+        }
+        Ok(out)
+    }
+
+    /// Solves the square system `self · x = b` by Gaussian elimination with
+    /// partial pivoting. `self` is consumed conceptually (copied internally).
+    ///
+    /// # Errors
+    ///
+    /// - [`StatsError::DimensionMismatch`] if the matrix is not square or `b`
+    ///   has the wrong length.
+    /// - [`StatsError::Singular`] if a pivot is (numerically) zero.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, StatsError> {
+        if self.rows != self.cols {
+            return Err(StatsError::DimensionMismatch { left: self.rows, right: self.cols });
+        }
+        if b.len() != self.rows {
+            return Err(StatsError::DimensionMismatch { left: b.len(), right: self.rows });
+        }
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+
+        for col in 0..n {
+            // Partial pivot: find the largest |value| in this column at/below the diagonal.
+            let mut pivot_row = col;
+            let mut pivot_val = a[col * n + col].abs();
+            for r in (col + 1)..n {
+                let v = a[r * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-12 {
+                return Err(StatsError::Singular);
+            }
+            if pivot_row != col {
+                for c in 0..n {
+                    a.swap(col * n + c, pivot_row * n + c);
+                }
+                x.swap(col, pivot_row);
+            }
+            let pivot = a[col * n + col];
+            for r in (col + 1)..n {
+                let factor = a[r * n + col] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in col..n {
+                    a[r * n + c] -= factor * a[col * n + c];
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut sum = x[col];
+            for c in (col + 1)..n {
+                sum -= a[col * n + c] * x[c];
+            }
+            x[col] = sum / a[col * n + col];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let mut m = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            m.set(i, i, 1.0);
+        }
+        let x = m.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5 ; x + 3y = 10  →  x = 1, y = 3
+        let m = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 3.0]).unwrap();
+        let x = m.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let m = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let x = m.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let m = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert_eq!(m.solve(&[1.0, 2.0]).unwrap_err(), StatsError::Singular);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let m = Matrix::zeros(2, 3);
+        assert!(matches!(m.solve(&[1.0, 2.0]), Err(StatsError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn wrong_rhs_len_rejected() {
+        let m = Matrix::zeros(2, 2);
+        assert!(matches!(m.solve(&[1.0]), Err(StatsError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn gram_matrix_symmetric() {
+        let a = Matrix::from_rows(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let g = a.transpose_times_self();
+        assert_eq!(g.rows(), 2);
+        assert_eq!(g.get(0, 1), g.get(1, 0));
+        // Column 0 · Column 0 = 1 + 9 + 25 = 35
+        assert_eq!(g.get(0, 0), 35.0);
+        // Column 0 · Column 1 = 2 + 12 + 30 = 44
+        assert_eq!(g.get(0, 1), 44.0);
+    }
+
+    #[test]
+    fn transpose_times_vec_checks_len() {
+        let a = Matrix::zeros(3, 2);
+        assert!(a.transpose_times_vec(&[1.0, 2.0]).is_err());
+        assert_eq!(a.transpose_times_vec(&[1.0, 2.0, 3.0]).unwrap(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn from_rows_validates_len() {
+        assert!(Matrix::from_rows(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be non-zero")]
+    fn zero_dims_panic() {
+        let _ = Matrix::zeros(0, 1);
+    }
+}

@@ -1,0 +1,319 @@
+//! Least-squares polynomial fitting via the normal equations.
+//!
+//! The paper models latency as a *second-order quadratic polynomial* of
+//! per-server workload (Eq. 1, Figs. 9 and 11): the authors "started by
+//! trying the simplest techniques first and found that quadratic polynomials
+//! worked in this case and for 10s of other server pools".
+
+use crate::matrix::Matrix;
+use crate::StatsError;
+
+/// A polynomial with coefficients in **ascending** power order:
+/// `coeffs[0] + coeffs[1]·x + coeffs[2]·x² + …`.
+///
+/// # Example
+///
+/// ```
+/// use headroom_stats::Polynomial;
+///
+/// // The paper's pool-B latency curve: y = 4.028e-5 x^2 - 0.031 x + 36.68
+/// let p = Polynomial::new(vec![36.68, -0.031, 4.028e-5]);
+/// // Paper: forecast 31.5 ms at 540 RPS/server.
+/// assert!((p.eval(540.0) - 31.6).abs() < 0.2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from ascending-power coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs` is empty.
+    pub fn new(coeffs: Vec<f64>) -> Self {
+        assert!(!coeffs.is_empty(), "polynomial needs at least one coefficient");
+        Polynomial { coeffs }
+    }
+
+    /// Ascending-power coefficients.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Polynomial degree (length of coefficients minus one).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Evaluates by Horner's rule.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// First derivative as a new polynomial.
+    pub fn derivative(&self) -> Polynomial {
+        if self.coeffs.len() == 1 {
+            return Polynomial::new(vec![0.0]);
+        }
+        let coeffs =
+            self.coeffs.iter().enumerate().skip(1).map(|(i, &c)| c * i as f64).collect::<Vec<_>>();
+        Polynomial::new(coeffs)
+    }
+
+    /// Fits a degree-`degree` polynomial to paired data by least squares.
+    ///
+    /// # Errors
+    ///
+    /// - Input validation errors as in [`crate::linreg::LinearFit::fit`].
+    /// - [`StatsError::InsufficientData`] when `n < degree + 1`.
+    /// - [`StatsError::Singular`] for degenerate designs (e.g. constant x).
+    pub fn fit(xs: &[f64], ys: &[f64], degree: usize) -> Result<PolyFit, StatsError> {
+        crate::error::check_paired(xs, ys)?;
+        let n = xs.len();
+        let terms = degree + 1;
+        if n < terms {
+            return Err(StatsError::InsufficientData { needed: terms, got: n });
+        }
+        // Build the Vandermonde design matrix.
+        let mut design = Matrix::zeros(n, terms);
+        for (r, &x) in xs.iter().enumerate() {
+            let mut pow = 1.0;
+            for c in 0..terms {
+                design.set(r, c, pow);
+                pow *= x;
+            }
+        }
+        let gram = design.transpose_times_self();
+        let rhs = design.transpose_times_vec(ys)?;
+        let coeffs = gram.solve(&rhs)?;
+        let poly = Polynomial::new(coeffs);
+        let r_squared = r_squared_of(&poly, xs, ys);
+        Ok(PolyFit { poly, r_squared, n })
+    }
+
+    /// Solves `eval(x) = y` for a **quadratic** on the increasing branch,
+    /// i.e. returns the largest real root of `a·x² + b·x + (c - y) = 0`.
+    ///
+    /// Capacity planning inverts the latency curve to ask "at what
+    /// RPS/server does latency cross the SLO?".
+    ///
+    /// # Errors
+    ///
+    /// - [`StatsError::InvalidParameter`] when the polynomial is not
+    ///   degree 2 or the target is unreachable (negative discriminant).
+    pub fn solve_quadratic(&self, y: f64) -> Result<f64, StatsError> {
+        if self.degree() != 2 {
+            return Err(StatsError::InvalidParameter("solve_quadratic requires degree 2"));
+        }
+        let a = self.coeffs[2];
+        let b = self.coeffs[1];
+        let c = self.coeffs[0] - y;
+        if a.abs() < 1e-18 {
+            if b.abs() < 1e-18 {
+                return Err(StatsError::Singular);
+            }
+            return Ok(-c / b);
+        }
+        let disc = b * b - 4.0 * a * c;
+        if disc < 0.0 {
+            return Err(StatsError::InvalidParameter("target not reachable by quadratic"));
+        }
+        let sqrt_disc = disc.sqrt();
+        let r1 = (-b + sqrt_disc) / (2.0 * a);
+        let r2 = (-b - sqrt_disc) / (2.0 * a);
+        Ok(r1.max(r2))
+    }
+}
+
+impl std::fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for (i, &c) in self.coeffs.iter().enumerate().rev() {
+            if c == 0.0 && self.coeffs.len() > 1 {
+                continue;
+            }
+            if !first {
+                write!(f, " {} ", if c < 0.0 { "-" } else { "+" })?;
+            } else if c < 0.0 {
+                write!(f, "-")?;
+            }
+            let mag = c.abs();
+            match i {
+                0 => write!(f, "{mag:.4}")?,
+                1 => write!(f, "{mag:.4}*x")?,
+                _ => write!(f, "{mag:.4e}*x^{i}")?,
+            }
+            first = false;
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of a polynomial least-squares fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolyFit {
+    /// The fitted polynomial.
+    pub poly: Polynomial,
+    /// Coefficient of determination in `[0, 1]`.
+    pub r_squared: f64,
+    /// Number of observations used.
+    pub n: usize,
+}
+
+impl PolyFit {
+    /// Evaluates the fitted polynomial at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.poly.eval(x)
+    }
+}
+
+/// R² of a polynomial against data (clamped at 0).
+pub fn r_squared_of(poly: &Polynomial, xs: &[f64], ys: &[f64]) -> f64 {
+    let n = ys.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean_y = ys.iter().sum::<f64>() / n as f64;
+    let mut ss_tot = 0.0;
+    let mut ss_res = 0.0;
+    for i in 0..n {
+        let dy = ys[i] - mean_y;
+        ss_tot += dy * dy;
+        let resid = ys[i] - poly.eval(xs[i]);
+        ss_res += resid * resid;
+    }
+    if ss_tot < 1e-12 {
+        if ss_res < 1e-9 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        (1.0 - ss_res / ss_tot).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn fit_exact_quadratic() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x * x - 3.0 * x + 1.0).collect();
+        let fit = Polynomial::fit(&xs, &ys, 2).unwrap();
+        let c = fit.poly.coeffs();
+        assert!(close(c[0], 1.0, 1e-6));
+        assert!(close(c[1], -3.0, 1e-6));
+        assert!(close(c[2], 2.0, 1e-6));
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn fit_degree_one_matches_linreg() {
+        let xs: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.5 * x + 2.0).collect();
+        let pf = Polynomial::fit(&xs, &ys, 1).unwrap();
+        let lf = crate::LinearFit::fit(&xs, &ys).unwrap();
+        assert!(close(pf.poly.coeffs()[1], lf.slope, 1e-9));
+        assert!(close(pf.poly.coeffs()[0], lf.intercept, 1e-9));
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        assert!(matches!(
+            Polynomial::fit(&[1.0, 2.0], &[1.0, 2.0], 2),
+            Err(StatsError::InsufficientData { needed: 3, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn constant_x_singular() {
+        let xs = [3.0; 5];
+        let ys = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!(matches!(Polynomial::fit(&xs, &ys, 2), Err(StatsError::Singular)));
+    }
+
+    #[test]
+    fn horner_eval() {
+        let p = Polynomial::new(vec![1.0, 2.0, 3.0]); // 1 + 2x + 3x²
+        assert_eq!(p.eval(0.0), 1.0);
+        assert_eq!(p.eval(1.0), 6.0);
+        assert_eq!(p.eval(2.0), 17.0);
+    }
+
+    #[test]
+    fn derivative_of_quadratic() {
+        let p = Polynomial::new(vec![1.0, 2.0, 3.0]);
+        let d = p.derivative();
+        assert_eq!(d.coeffs(), &[2.0, 6.0]);
+        let dd = d.derivative();
+        assert_eq!(dd.coeffs(), &[6.0]);
+        let ddd = dd.derivative();
+        assert_eq!(ddd.coeffs(), &[0.0]);
+    }
+
+    #[test]
+    fn solve_quadratic_increasing_branch() {
+        // Paper's pool-D latency curve: y = 4.66e-3 x² - 0.80 x + 86.50.
+        let p = Polynomial::new(vec![86.50, -0.80, 4.66e-3]);
+        // Find the RPS at which latency reaches 60 ms — must be the upper root.
+        let x = p.solve_quadratic(60.0).unwrap();
+        assert!(x > 85.0, "upper root expected, got {x}");
+        assert!(close(p.eval(x), 60.0, 1e-9));
+    }
+
+    #[test]
+    fn solve_quadratic_unreachable() {
+        // Upward parabola with minimum 10 at x=0: y=5 unreachable.
+        let p = Polynomial::new(vec![10.0, 0.0, 1.0]);
+        assert!(matches!(p.solve_quadratic(5.0), Err(StatsError::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn solve_quadratic_wrong_degree() {
+        let p = Polynomial::new(vec![1.0, 1.0]);
+        assert!(matches!(p.solve_quadratic(5.0), Err(StatsError::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn paper_pool_b_latency_forecast() {
+        // Synthesize from the published pool-B curve then check the forecast at 540 RPS.
+        let curve = Polynomial::new(vec![36.68, -0.031, 4.028e-5]);
+        let xs: Vec<f64> = (100..620).step_by(5).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| curve.eval(x)).collect();
+        let fit = Polynomial::fit(&xs, &ys, 2).unwrap();
+        assert!(close(fit.predict(540.0), 31.6, 0.2), "paper forecast ~31.5 ms");
+    }
+
+    #[test]
+    fn r_squared_constant_target() {
+        let p = Polynomial::new(vec![5.0]);
+        assert_eq!(r_squared_of(&p, &[1.0, 2.0], &[5.0, 5.0]), 1.0);
+        let q = Polynomial::new(vec![4.0]);
+        assert_eq!(r_squared_of(&q, &[1.0, 2.0], &[5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn display_roundtrip_sanity() {
+        let p = Polynomial::new(vec![36.68, -0.031, 4.028e-5]);
+        let s = p.to_string();
+        assert!(s.contains("x^2"), "{s}");
+        assert!(s.contains("36.68"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one coefficient")]
+    fn empty_coeffs_panic() {
+        let _ = Polynomial::new(vec![]);
+    }
+}

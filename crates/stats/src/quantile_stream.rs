@@ -1,0 +1,259 @@
+//! Streaming quantile estimation (the P² algorithm).
+//!
+//! The paper's trace set is 30 PB over 90 days — percentiles of such streams
+//! cannot be computed by sorting. The P² algorithm (Jain & Chlamtac, 1985)
+//! maintains a five-marker parabolic approximation of a single quantile in
+//! O(1) space, which is how the fleet-scale experiments (Figs. 12–13)
+//! summarise billions of 120-second windows.
+
+use crate::StatsError;
+
+/// Streaming estimator for a single quantile using the P² algorithm.
+///
+/// # Example
+///
+/// ```
+/// use headroom_stats::quantile_stream::P2Quantile;
+///
+/// # fn main() -> Result<(), headroom_stats::StatsError> {
+/// let mut q = P2Quantile::new(0.95)?;
+/// for i in 0..10_000 {
+///     q.observe((i % 100) as f64);
+/// }
+/// let est = q.estimate().unwrap();
+/// assert!((est - 94.0).abs() < 2.0, "p95 of 0..100 ≈ 94-95, got {est}");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights (estimates).
+    heights: [f64; 5],
+    /// Marker positions (1-based ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    count: usize,
+    /// First five observations (before the markers initialise).
+    warmup: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `p` (e.g. `0.95`).
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] unless `0 < p < 1`.
+    pub fn new(p: f64) -> Result<Self, StatsError> {
+        if !(p > 0.0 && p < 1.0) {
+            return Err(StatsError::InvalidParameter("quantile must be strictly within 0..1"));
+        }
+        Ok(P2Quantile {
+            p,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            increments: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            warmup: Vec::with_capacity(5),
+        })
+    }
+
+    /// Quantile being estimated.
+    pub fn quantile(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of observations seen.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feeds one observation (non-finite values are ignored).
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.count += 1;
+        if self.warmup.len() < 5 {
+            self.warmup.push(value);
+            if self.warmup.len() == 5 {
+                self.warmup.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                for i in 0..5 {
+                    self.heights[i] = self.warmup[i];
+                }
+            }
+            return;
+        }
+
+        // Find the cell k containing the new observation; update extremes.
+        let k = if value < self.heights[0] {
+            self.heights[0] = value;
+            0
+        } else if value >= self.heights[4] {
+            self.heights[4] = value;
+            3
+        } else {
+            let mut cell = 0;
+            for i in 0..4 {
+                if value >= self.heights[i] && value < self.heights[i + 1] {
+                    cell = i;
+                    break;
+                }
+            }
+            cell
+        };
+
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // Adjust interior markers.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let d_sign = d.signum();
+                let candidate = self.parabolic(i, d_sign);
+                self.heights[i] = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, d_sign)
+                };
+                self.positions[i] += d_sign;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.heights;
+        let n = &self.positions;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let q = &self.heights;
+        let n = &self.positions;
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+    }
+
+    /// Current estimate, or `None` before any observation.
+    ///
+    /// For fewer than 5 observations the exact sample quantile is returned.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.warmup.len() < 5 {
+            let mut sorted = self.warmup.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            return Some(crate::percentile::percentile_of_sorted(&sorted, self.p * 100.0));
+        }
+        Some(self.heights[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn rejects_invalid_quantile() {
+        assert!(P2Quantile::new(0.0).is_err());
+        assert!(P2Quantile::new(1.0).is_err());
+        assert!(P2Quantile::new(-0.5).is_err());
+        assert!(P2Quantile::new(0.5).is_ok());
+    }
+
+    #[test]
+    fn empty_has_no_estimate() {
+        let q = P2Quantile::new(0.5).unwrap();
+        assert_eq!(q.estimate(), None);
+    }
+
+    #[test]
+    fn small_sample_exact() {
+        let mut q = P2Quantile::new(0.5).unwrap();
+        q.observe(1.0);
+        q.observe(3.0);
+        q.observe(2.0);
+        assert_eq!(q.estimate().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn median_of_uniform() {
+        let mut q = P2Quantile::new(0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100_000 {
+            q.observe(rng.random_range(0.0..100.0));
+        }
+        let est = q.estimate().unwrap();
+        assert!((est - 50.0).abs() < 1.5, "median of U(0,100) ≈ 50, got {est}");
+    }
+
+    #[test]
+    fn p95_of_uniform() {
+        let mut q = P2Quantile::new(0.95).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100_000 {
+            q.observe(rng.random_range(0.0..100.0));
+        }
+        let est = q.estimate().unwrap();
+        assert!((est - 95.0).abs() < 1.5, "p95 of U(0,100) ≈ 95, got {est}");
+    }
+
+    #[test]
+    fn p99_of_exponential_like() {
+        // Deterministic heavy-tail-ish stream.
+        let mut q = P2Quantile::new(0.99).unwrap();
+        let exact: Vec<f64> =
+            (0..50_000).map(|i| -((1.0 - (i as f64 + 0.5) / 50_000.0).ln())).collect();
+        // Shuffle deterministically so arrival order is not sorted.
+        let mut shuffled = exact.clone();
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.random_range(0..=i);
+            shuffled.swap(i, j);
+        }
+        for v in &shuffled {
+            q.observe(*v);
+        }
+        let mut sorted = exact;
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let truth = crate::percentile::percentile_of_sorted(&sorted, 99.0);
+        let est = q.estimate().unwrap();
+        assert!((est - truth).abs() / truth < 0.08, "p99 {est} vs true {truth}");
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut q = P2Quantile::new(0.5).unwrap();
+        q.observe(f64::NAN);
+        q.observe(f64::INFINITY);
+        assert_eq!(q.count(), 0);
+        assert_eq!(q.estimate(), None);
+    }
+
+    #[test]
+    fn count_tracks_observations() {
+        let mut q = P2Quantile::new(0.9).unwrap();
+        for i in 0..42 {
+            q.observe(i as f64);
+        }
+        assert_eq!(q.count(), 42);
+        assert_eq!(q.quantile(), 0.9);
+    }
+}

@@ -1,0 +1,232 @@
+//! RANSAC robust regression.
+//!
+//! The paper estimates its per-partition latency quadratics "using robust
+//! regressions (RANSAC)" (§II-B2) because production observations contain
+//! outliers from deployments, traffic shifts, and other operational noise
+//! that plain least squares would absorb into the curve.
+
+use crate::polyfit::{r_squared_of, Polynomial};
+use crate::StatsError;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration for a RANSAC polynomial fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RansacConfig {
+    /// Number of random minimal-sample iterations.
+    pub iterations: usize,
+    /// A point is an inlier when `|y - ŷ| <= inlier_threshold`.
+    pub inlier_threshold: f64,
+    /// Minimum fraction of points that must be inliers for a model to be
+    /// considered valid (e.g. `0.5`).
+    pub min_inlier_fraction: f64,
+    /// Seed for the deterministic sampler.
+    pub seed: u64,
+}
+
+impl Default for RansacConfig {
+    fn default() -> Self {
+        RansacConfig { iterations: 200, inlier_threshold: 1.0, min_inlier_fraction: 0.5, seed: 7 }
+    }
+}
+
+/// Result of a RANSAC fit: the consensus model refit on all inliers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RansacFit {
+    /// Polynomial refit by least squares on the inlier set.
+    pub poly: Polynomial,
+    /// Indices of inlier observations in the input slices.
+    pub inliers: Vec<usize>,
+    /// R² of the refit model measured on the inlier set.
+    pub r_squared: f64,
+    /// Fraction of all observations classified as inliers.
+    pub inlier_fraction: f64,
+}
+
+/// Fits a degree-`degree` polynomial robustly with RANSAC.
+///
+/// Repeatedly samples `degree + 1` points, fits an exact polynomial through
+/// them, counts inliers within [`RansacConfig::inlier_threshold`], keeps the
+/// largest consensus set, then refits on that set by least squares.
+///
+/// # Errors
+///
+/// - Input validation errors as in [`Polynomial::fit`].
+/// - [`StatsError::InsufficientData`] when `n < degree + 1`.
+/// - [`StatsError::Singular`] when no iteration produced a valid consensus
+///   set of at least `min_inlier_fraction` of the data.
+///
+/// # Example
+///
+/// ```
+/// use headroom_stats::ransac::{ransac_polyfit, RansacConfig};
+///
+/// # fn main() -> Result<(), headroom_stats::StatsError> {
+/// // A clean line with two gross outliers.
+/// let mut xs: Vec<f64> = (0..40).map(|i| i as f64).collect();
+/// let mut ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+/// ys[5] = 500.0;
+/// ys[20] = -300.0;
+/// let fit = ransac_polyfit(&xs, &ys, 1, &RansacConfig::default())?;
+/// assert!((fit.poly.coeffs()[1] - 2.0).abs() < 1e-6);
+/// assert_eq!(fit.inliers.len(), 38);
+/// # Ok(())
+/// # }
+/// ```
+pub fn ransac_polyfit(
+    xs: &[f64],
+    ys: &[f64],
+    degree: usize,
+    config: &RansacConfig,
+) -> Result<RansacFit, StatsError> {
+    crate::error::check_paired(xs, ys)?;
+    let n = xs.len();
+    let sample_size = degree + 1;
+    if n < sample_size {
+        return Err(StatsError::InsufficientData { needed: sample_size, got: n });
+    }
+    if !(0.0..=1.0).contains(&config.min_inlier_fraction) {
+        return Err(StatsError::InvalidParameter("min_inlier_fraction must be within 0..=1"));
+    }
+    if config.inlier_threshold <= 0.0 {
+        return Err(StatsError::InvalidParameter("inlier_threshold must be positive"));
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut best_inliers: Vec<usize> = Vec::new();
+
+    // Sample more points than the minimum and fit them by least squares:
+    // exact minimal-sample fits are hopelessly noise-sensitive for the
+    // low-curvature latency quadratics this crate exists for.
+    let draw = sample_size.max(8).min(n);
+    let mut sample: Vec<usize> = Vec::with_capacity(draw);
+    for _ in 0..config.iterations.max(1) {
+        sample.clear();
+        let mut attempts = 0usize;
+        while sample.len() < draw && attempts < draw * 20 {
+            let candidate = rng.random_range(0..n);
+            if !sample.contains(&candidate) {
+                sample.push(candidate);
+            }
+            attempts += 1;
+        }
+        if sample.len() < draw {
+            continue;
+        }
+        let sx: Vec<f64> = sample.iter().map(|&i| xs[i]).collect();
+        let sy: Vec<f64> = sample.iter().map(|&i| ys[i]).collect();
+        let candidate = match Polynomial::fit(&sx, &sy, degree) {
+            Ok(f) => f.poly,
+            Err(_) => continue, // degenerate sample (duplicate x), try again
+        };
+        let inliers: Vec<usize> = (0..n)
+            .filter(|&i| (ys[i] - candidate.eval(xs[i])).abs() <= config.inlier_threshold)
+            .collect();
+        if inliers.len() > best_inliers.len() {
+            best_inliers = inliers;
+        }
+    }
+
+    let min_inliers = ((n as f64) * config.min_inlier_fraction).ceil() as usize;
+    if best_inliers.len() < min_inliers.max(sample_size) {
+        return Err(StatsError::Singular);
+    }
+
+    let ix: Vec<f64> = best_inliers.iter().map(|&i| xs[i]).collect();
+    let iy: Vec<f64> = best_inliers.iter().map(|&i| ys[i]).collect();
+    let refit = Polynomial::fit(&ix, &iy, degree)?;
+    let r_squared = r_squared_of(&refit.poly, &ix, &iy);
+    let inlier_fraction = best_inliers.len() as f64 / n as f64;
+    Ok(RansacFit { poly: refit.poly, inliers: best_inliers, r_squared, inlier_fraction })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_with_outliers(n: usize, outliers: &[usize]) -> (Vec<f64>, Vec<f64>) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut ys: Vec<f64> = xs.iter().map(|x| 0.5 * x + 3.0).collect();
+        for &i in outliers {
+            ys[i] += 1000.0;
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn recovers_line_under_outliers() {
+        let (xs, ys) = line_with_outliers(100, &[3, 17, 42, 88]);
+        let fit = ransac_polyfit(&xs, &ys, 1, &RansacConfig::default()).unwrap();
+        assert!((fit.poly.coeffs()[1] - 0.5).abs() < 1e-9);
+        assert!((fit.poly.coeffs()[0] - 3.0).abs() < 1e-9);
+        assert_eq!(fit.inliers.len(), 96);
+        assert!((fit.inlier_fraction - 0.96).abs() < 1e-12);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn recovers_quadratic_under_outliers() {
+        let xs: Vec<f64> = (0..120).map(|i| i as f64 * 5.0).collect();
+        let mut ys: Vec<f64> = xs.iter().map(|&x| 4.0e-5 * x * x - 0.03 * x + 36.0).collect();
+        for i in [10, 30, 77] {
+            ys[i] += 400.0;
+        }
+        let cfg = RansacConfig { inlier_threshold: 0.5, ..RansacConfig::default() };
+        let fit = ransac_polyfit(&xs, &ys, 2, &cfg).unwrap();
+        assert!((fit.poly.coeffs()[2] - 4.0e-5).abs() < 1e-8);
+        assert_eq!(fit.inliers.len(), 117);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let (xs, ys) = line_with_outliers(60, &[5, 10]);
+        let cfg = RansacConfig { seed: 99, ..RansacConfig::default() };
+        let a = ransac_polyfit(&xs, &ys, 1, &cfg).unwrap();
+        let b = ransac_polyfit(&xs, &ys, 1, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_outliers_fails() {
+        // Pure noise spread too wide for any consensus with a tight threshold.
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..50).map(|i| ((i * 7919) % 997) as f64 * 10.0).collect();
+        let cfg = RansacConfig {
+            inlier_threshold: 1e-6,
+            min_inlier_fraction: 0.5,
+            ..RansacConfig::default()
+        };
+        assert!(matches!(ransac_polyfit(&xs, &ys, 1, &cfg), Err(StatsError::Singular)));
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        assert!(matches!(
+            ransac_polyfit(&[1.0], &[1.0], 1, &RansacConfig::default()),
+            Err(StatsError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let (xs, ys) = line_with_outliers(10, &[]);
+        let bad_frac = RansacConfig { min_inlier_fraction: 1.5, ..RansacConfig::default() };
+        assert!(matches!(
+            ransac_polyfit(&xs, &ys, 1, &bad_frac),
+            Err(StatsError::InvalidParameter(_))
+        ));
+        let bad_thresh = RansacConfig { inlier_threshold: 0.0, ..RansacConfig::default() };
+        assert!(matches!(
+            ransac_polyfit(&xs, &ys, 1, &bad_thresh),
+            Err(StatsError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn clean_data_keeps_everything() {
+        let (xs, ys) = line_with_outliers(40, &[]);
+        let fit = ransac_polyfit(&xs, &ys, 1, &RansacConfig::default()).unwrap();
+        assert_eq!(fit.inliers.len(), 40);
+        assert_eq!(fit.inlier_fraction, 1.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Running summary statistics (Welford's online algorithm).
+
+use crate::StatsError;
+
+/// Accumulates count, mean, variance, min and max in a single pass.
+///
+/// Uses Welford's numerically stable online update, so it is safe to feed
+/// millions of 120-second counter windows without catastrophic cancellation.
+///
+/// # Example
+///
+/// ```
+/// use headroom_stats::Summary;
+///
+/// let mut s = Summary::new();
+/// for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.add(v);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Builds a summary from a slice in one call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] if `values` is empty and
+    /// [`StatsError::NonFinite`] if any value is NaN or infinite.
+    pub fn from_slice(values: &[f64]) -> Result<Self, StatsError> {
+        if values.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(StatsError::NonFinite);
+        }
+        let mut s = Summary::new();
+        for &v in values {
+            s.add(v);
+        }
+        Ok(s)
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = value - self.mean;
+        self.m2 += delta * delta2;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Merges another summary into this one (parallel-combinable).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divides by `n`); `0.0` when fewer than 1 value.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divides by `n - 1`); `0.0` when fewer than 2 values.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Coefficient of variation (stddev / mean); `0.0` when the mean is zero.
+    ///
+    /// The metric-validation step uses this to decide whether a counter is
+    /// "low variance" for a given workload level (§II-A1).
+    pub fn coefficient_of_variation(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev() / self.mean.abs()
+        }
+    }
+
+    /// Smallest observation; `+inf` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `-inf` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean * self.count as f64
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for v in iter {
+            s.add(v);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_defaults() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut s = Summary::new();
+        s.add(42.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.min(), 42.0);
+        assert_eq!(s.max(), 42.0);
+        assert_eq!(s.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn known_variance() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s.population_variance() - 4.0).abs() < 1e-12);
+        assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let all: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 5.0).collect();
+        let seq = Summary::from_slice(&all).unwrap();
+        let mut a = Summary::from_slice(&all[..37]).unwrap();
+        let b = Summary::from_slice(&all[37..]).unwrap();
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean() - seq.mean()).abs() < 1e-9);
+        assert!((a.sample_variance() - seq.sample_variance()).abs() < 1e-9);
+        assert_eq!(a.min(), seq.min());
+        assert_eq!(a.max(), seq.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = Summary::from_slice(&[1.0, 2.0, 3.0]).unwrap();
+        let before = s;
+        s.merge(&Summary::new());
+        assert_eq!(s, before);
+
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn from_slice_rejects_empty_and_nan() {
+        assert_eq!(Summary::from_slice(&[]).unwrap_err(), StatsError::EmptyInput);
+        assert_eq!(Summary::from_slice(&[1.0, f64::NAN]).unwrap_err(), StatsError::NonFinite);
+    }
+
+    #[test]
+    fn coefficient_of_variation() {
+        let s = Summary::from_slice(&[10.0, 10.0, 10.0]).unwrap();
+        assert_eq!(s.coefficient_of_variation(), 0.0);
+        let s = Summary::from_slice(&[5.0, 10.0, 15.0]).unwrap();
+        assert!(s.coefficient_of_variation() > 0.0);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let s: Summary = (1..=5).map(|i| i as f64).collect();
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.sum(), 15.0);
+    }
+
+    #[test]
+    fn extend_adds_values() {
+        let mut s = Summary::new();
+        s.extend([1.0, 2.0]);
+        s.extend([3.0]);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 2.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the statistics substrate invariants.
+
+use headroom_stats::histogram::{Ecdf, Histogram};
+use headroom_stats::kmeans::{kmeans, KMeansConfig};
+use headroom_stats::percentile::{percentile, PercentileProfile};
+use headroom_stats::polyfit::Polynomial;
+use headroom_stats::quantile_stream::P2Quantile;
+use headroom_stats::{LinearFit, Summary};
+use proptest::prelude::*;
+
+fn finite_vec(min_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6f64, min_len..200)
+}
+
+proptest! {
+    #[test]
+    fn summary_mean_within_min_max(values in finite_vec(1)) {
+        let s = Summary::from_slice(&values).unwrap();
+        prop_assert!(s.mean() >= s.min() - 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+        prop_assert!(s.sample_variance() >= 0.0);
+    }
+
+    #[test]
+    fn summary_merge_matches_sequential(
+        a in finite_vec(1),
+        b in finite_vec(1),
+    ) {
+        let mut merged = Summary::from_slice(&a).unwrap();
+        merged.merge(&Summary::from_slice(&b).unwrap());
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        let seq = Summary::from_slice(&all).unwrap();
+        prop_assert_eq!(merged.count(), seq.count());
+        prop_assert!((merged.mean() - seq.mean()).abs() < 1e-6 * (1.0 + seq.mean().abs()));
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_p(values in finite_vec(1), p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let a = percentile(&values, lo).unwrap();
+        let b = percentile(&values, hi).unwrap();
+        prop_assert!(a <= b + 1e-9);
+    }
+
+    #[test]
+    fn percentile_within_range(values in finite_vec(1), p in 0.0f64..100.0) {
+        let v = percentile(&values, p).unwrap();
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+    }
+
+    #[test]
+    fn profile_features_sorted(values in finite_vec(2)) {
+        let p = PercentileProfile::from_values(&values).unwrap();
+        let f = p.as_features();
+        for w in f.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn linreg_recovers_exact_lines(
+        slope in -100.0f64..100.0,
+        intercept in -100.0f64..100.0,
+        n in 3usize..50,
+    ) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let fit = LinearFit::fit(&xs, &ys).unwrap();
+        prop_assert!((fit.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!((fit.intercept - intercept).abs() < 1e-5 * (1.0 + intercept.abs()));
+    }
+
+    #[test]
+    fn linreg_r2_in_unit_interval(xs in finite_vec(3), noise in finite_vec(3)) {
+        let n = xs.len().min(noise.len());
+        let xs = &xs[..n];
+        let ys: Vec<f64> = xs.iter().zip(&noise[..n]).map(|(x, e)| x + e * 0.001).collect();
+        if let Ok(fit) = LinearFit::fit(xs, &ys) {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&fit.r_squared));
+        }
+    }
+
+    #[test]
+    fn polyfit_r2_in_unit_interval(values in finite_vec(4)) {
+        let xs: Vec<f64> = (0..values.len()).map(|i| i as f64).collect();
+        if let Ok(fit) = Polynomial::fit(&xs, &values, 2) {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&fit.r_squared));
+        }
+    }
+
+    #[test]
+    fn polyfit_interpolates_three_points(
+        y0 in -100.0f64..100.0,
+        y1 in -100.0f64..100.0,
+        y2 in -100.0f64..100.0,
+    ) {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [y0, y1, y2];
+        let fit = Polynomial::fit(&xs, &ys, 2).unwrap();
+        for i in 0..3 {
+            prop_assert!((fit.predict(xs[i]) - ys[i]).abs() < 1e-5 * (1.0 + ys[i].abs()));
+        }
+    }
+
+    #[test]
+    fn histogram_total_matches_adds(values in finite_vec(1)) {
+        let mut h = Histogram::new(-1e6, 1e6, 32).unwrap();
+        h.add_all(&values);
+        prop_assert_eq!(h.total(), values.len() as u64);
+        let s: f64 = h.fractions().iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ecdf_bounds(values in finite_vec(1), probe in -1e6f64..1e6) {
+        let cdf = Ecdf::from_values(&values).unwrap();
+        let f = cdf.fraction_at_or_below(probe);
+        prop_assert!((0.0..=1.0).contains(&f));
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(cdf.fraction_at_or_below(max), 1.0);
+    }
+
+    #[test]
+    fn p2_estimate_within_observed_range(values in finite_vec(1), q in 0.01f64..0.99) {
+        let mut est = P2Quantile::new(q).unwrap();
+        for &v in &values {
+            est.observe(v);
+        }
+        let e = est.estimate().unwrap();
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(e >= min - 1e-9 && e <= max + 1e-9);
+    }
+
+    #[test]
+    fn kmeans_assignments_valid(
+        raw in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 4..40),
+        k in 1usize..4,
+    ) {
+        let points: Vec<Vec<f64>> = raw.iter().map(|&(a, b)| vec![a, b]).collect();
+        prop_assume!(k <= points.len());
+        let r = kmeans(&points, &KMeansConfig::new(k)).unwrap();
+        prop_assert_eq!(r.assignments.len(), points.len());
+        for &a in &r.assignments {
+            prop_assert!(a < k);
+        }
+        prop_assert!(r.inertia >= 0.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! The performance-counter vocabulary.
+//!
+//! Fig. 2 of the paper plots six per-server counters against workload:
+//! processor utilisation, disk read bytes/s, disk queue length, memory
+//! pages/s, network bytes and packets. The workload itself (requests per
+//! second) and the QoS signals (latency percentiles) are recorded through
+//! the same machinery so every analysis draws from one store.
+//!
+//! §II-A1's central observation is that counters must be *partitioned by
+//! workload*: a server runs its primary micro-service plus background tasks
+//! (log uploads, system processes), and only the primary workload's share
+//! correlates linearly with request volume. [`WorkloadTag`] carries that
+//! partition.
+
+use std::fmt;
+
+/// One performance counter or derived per-window metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum CounterKind {
+    /// Processor utilisation, percent of one server's capacity (0–100).
+    CpuPercent,
+    /// Disk read bytes per second.
+    DiskReadBytesPerSec,
+    /// Disk write bytes per second.
+    DiskWriteBytesPerSec,
+    /// Instantaneous disk queue length.
+    DiskQueueLength,
+    /// Memory pages per second (paging activity).
+    MemoryPagesPerSec,
+    /// Total network bytes per second (in + out).
+    NetworkBytesPerSec,
+    /// Network packets per second.
+    NetworkPacketsPerSec,
+    /// Requests processed per second by the server (the workload metric).
+    RequestsPerSec,
+    /// Mean request latency in milliseconds over the window.
+    LatencyAvgMs,
+    /// 95th-percentile request latency in milliseconds over the window.
+    LatencyP95Ms,
+    /// Request failures per second.
+    ErrorsPerSec,
+    /// Resident memory in megabytes.
+    MemoryResidentMb,
+}
+
+impl CounterKind {
+    /// All counters, in a stable display order (the Fig. 2 panel order
+    /// followed by workload/QoS metrics).
+    pub const ALL: [CounterKind; 12] = [
+        CounterKind::CpuPercent,
+        CounterKind::DiskReadBytesPerSec,
+        CounterKind::DiskWriteBytesPerSec,
+        CounterKind::DiskQueueLength,
+        CounterKind::MemoryPagesPerSec,
+        CounterKind::NetworkBytesPerSec,
+        CounterKind::NetworkPacketsPerSec,
+        CounterKind::RequestsPerSec,
+        CounterKind::LatencyAvgMs,
+        CounterKind::LatencyP95Ms,
+        CounterKind::ErrorsPerSec,
+        CounterKind::MemoryResidentMb,
+    ];
+
+    /// The six resource panels of Fig. 2 (everything except workload/QoS).
+    pub const FIG2_RESOURCES: [CounterKind; 6] = [
+        CounterKind::CpuPercent,
+        CounterKind::DiskReadBytesPerSec,
+        CounterKind::DiskQueueLength,
+        CounterKind::MemoryPagesPerSec,
+        CounterKind::NetworkBytesPerSec,
+        CounterKind::NetworkPacketsPerSec,
+    ];
+
+    /// Human-readable counter name as used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CounterKind::CpuPercent => "Processor Utilization",
+            CounterKind::DiskReadBytesPerSec => "Disk Read Bytes/sec",
+            CounterKind::DiskWriteBytesPerSec => "Disk Write Bytes/sec",
+            CounterKind::DiskQueueLength => "Disk Queue Length",
+            CounterKind::MemoryPagesPerSec => "Memory Pages/sec",
+            CounterKind::NetworkBytesPerSec => "Network Bytes Total",
+            CounterKind::NetworkPacketsPerSec => "Network Packets/sec",
+            CounterKind::RequestsPerSec => "Requests/sec",
+            CounterKind::LatencyAvgMs => "Latency (avg ms)",
+            CounterKind::LatencyP95Ms => "Latency (p95 ms)",
+            CounterKind::ErrorsPerSec => "Errors/sec",
+            CounterKind::MemoryResidentMb => "Memory Resident (MB)",
+        }
+    }
+
+    /// Whether this counter measures a *resource* (true) as opposed to
+    /// workload volume or QoS (false).
+    pub fn is_resource(&self) -> bool {
+        !matches!(
+            self,
+            CounterKind::RequestsPerSec
+                | CounterKind::LatencyAvgMs
+                | CounterKind::LatencyP95Ms
+                | CounterKind::ErrorsPerSec
+        )
+    }
+}
+
+impl fmt::Display for CounterKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Identifies the workload a counter sample is attributed to.
+///
+/// `Total` is the raw whole-server counter the operating system exposes.
+/// `Workload(i)` is the share attributed to workload `i` on that server —
+/// index 0 is conventionally the primary micro-service; higher indices are
+/// secondary workloads such as the per-table split of the memcached-like
+/// service or background log uploads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum WorkloadTag {
+    /// Whole-server counter, all workloads mixed (the noisy default).
+    #[default]
+    Total,
+    /// Counter partitioned to one instrumented workload.
+    Workload(u8),
+}
+
+impl WorkloadTag {
+    /// The primary micro-service workload on a server.
+    pub const PRIMARY: WorkloadTag = WorkloadTag::Workload(0);
+}
+
+impl fmt::Display for WorkloadTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadTag::Total => write!(f, "total"),
+            WorkloadTag::Workload(i) => write!(f, "workload-{i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_fig2_titles() {
+        assert_eq!(CounterKind::CpuPercent.label(), "Processor Utilization");
+        assert_eq!(CounterKind::NetworkBytesPerSec.label(), "Network Bytes Total");
+        assert_eq!(CounterKind::MemoryPagesPerSec.label(), "Memory Pages/sec");
+    }
+
+    #[test]
+    fn fig2_panels_are_resources() {
+        for c in CounterKind::FIG2_RESOURCES {
+            assert!(c.is_resource(), "{c} should be a resource counter");
+        }
+        assert!(!CounterKind::RequestsPerSec.is_resource());
+        assert!(!CounterKind::LatencyP95Ms.is_resource());
+    }
+
+    #[test]
+    fn all_contains_every_fig2_panel() {
+        for c in CounterKind::FIG2_RESOURCES {
+            assert!(CounterKind::ALL.contains(&c));
+        }
+    }
+
+    #[test]
+    fn workload_tag_default_is_total() {
+        assert_eq!(WorkloadTag::default(), WorkloadTag::Total);
+        assert_eq!(WorkloadTag::PRIMARY, WorkloadTag::Workload(0));
+        assert_eq!(WorkloadTag::PRIMARY.to_string(), "workload-0");
+        assert_eq!(WorkloadTag::Total.to_string(), "total");
+    }
+
+    #[test]
+    fn counters_usable_as_keys() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(CounterKind::CpuPercent, 1);
+        m.insert(CounterKind::CpuPercent, 2);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Typed identifiers for fleet entities.
+//!
+//! Newtypes keep datacenter, pool and server identifiers from being mixed up
+//! in the planner's bookkeeping (the classic "passed the pool id where the
+//! server id goes" bug class).
+
+use std::fmt;
+
+/// Identifier of a datacenter (the paper's service spans 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DatacenterId(pub u16);
+
+/// Identifier of a server pool (one pool per micro-service per datacenter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PoolId(pub u32);
+
+/// Identifier of an individual server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ServerId(pub u32);
+
+impl fmt::Display for DatacenterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DC{}", self.0 + 1)
+    }
+}
+
+impl fmt::Display for PoolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pool-{}", self.0)
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "srv-{}", self.0)
+    }
+}
+
+impl From<u16> for DatacenterId {
+    fn from(v: u16) -> Self {
+        DatacenterId(v)
+    }
+}
+
+impl From<u32> for PoolId {
+    fn from(v: u32) -> Self {
+        PoolId(v)
+    }
+}
+
+impl From<u32> for ServerId {
+    fn from(v: u32) -> Self {
+        ServerId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_matches_paper_convention() {
+        // The paper labels datacenters DC 1..DC 9 (one-based).
+        assert_eq!(DatacenterId(0).to_string(), "DC1");
+        assert_eq!(DatacenterId(4).to_string(), "DC5");
+        assert_eq!(PoolId(3).to_string(), "pool-3");
+        assert_eq!(ServerId(17).to_string(), "srv-17");
+    }
+
+    #[test]
+    fn usable_as_map_keys() {
+        let mut set = HashSet::new();
+        set.insert(ServerId(1));
+        set.insert(ServerId(1));
+        set.insert(ServerId(2));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn ordering_follows_numeric() {
+        assert!(ServerId(2) < ServerId(10));
+        assert!(DatacenterId(0) < DatacenterId(1));
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(DatacenterId::from(3u16), DatacenterId(3));
+        assert_eq!(PoolId::from(9u32), PoolId(9));
+        assert_eq!(ServerId::from(8u32), ServerId(8));
+    }
+}

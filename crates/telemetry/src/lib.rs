@@ -1,0 +1,47 @@
+//! Measurement substrate for the `headroom` capacity planner.
+//!
+//! The ICDCS'18 paper's dataset is 30 PB of performance counters "sampled
+//! every 100 ns and averaged over a 120 s window" from hundreds of thousands
+//! of production servers. This crate reproduces that measurement layer for
+//! the simulated fleet:
+//!
+//! - [`time`] — simulated time and the canonical 120-second windows;
+//! - [`ids`] — typed identifiers for datacenters, pools and servers;
+//! - [`counter`] — the performance-counter vocabulary of Fig. 2, including
+//!   *per-workload* metric partitioning (§II-A1's key lesson: blind
+//!   whole-server counters are too noisy for capacity planning);
+//! - [`series`] — dense window-aligned time series;
+//! - [`store`] — the queryable metric store fed by the fleet simulator;
+//! - [`availability`] — per-server online/offline accounting behind the
+//!   paper's availability study (Figs. 14–15).
+//!
+//! # Example
+//!
+//! ```
+//! use headroom_telemetry::counter::CounterKind;
+//! use headroom_telemetry::ids::{DatacenterId, PoolId, ServerId};
+//! use headroom_telemetry::store::MetricStore;
+//! use headroom_telemetry::time::WindowIndex;
+//!
+//! let mut store = MetricStore::new();
+//! let server = ServerId(0);
+//! store.register_server(server, PoolId(0), DatacenterId(0));
+//! store.record(server, CounterKind::CpuPercent, WindowIndex(0), 12.5);
+//! let series = store.series(server, CounterKind::CpuPercent).unwrap();
+//! assert_eq!(series.value_at(WindowIndex(0)), Some(12.5));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod availability;
+pub mod counter;
+pub mod ids;
+pub mod series;
+pub mod store;
+pub mod time;
+
+pub use counter::CounterKind;
+pub use ids::{DatacenterId, PoolId, ServerId};
+pub use store::MetricStore;
+pub use time::{SimTime, WindowIndex, WINDOW_SECONDS};

@@ -1,0 +1,226 @@
+//! Dense, window-aligned time series.
+//!
+//! Counter values are recorded once per 120-second window. A series stores a
+//! contiguous run of windows; gaps (server offline) are explicit `None`s so
+//! downstream statistics never silently treat missing windows as zeros.
+
+use crate::time::{WindowIndex, WindowRange};
+
+/// A dense time series of per-window values starting at a fixed window.
+///
+/// # Example
+///
+/// ```
+/// use headroom_telemetry::series::TimeSeries;
+/// use headroom_telemetry::time::WindowIndex;
+///
+/// let mut s = TimeSeries::new(WindowIndex(10));
+/// s.push(WindowIndex(10), 1.0);
+/// s.push(WindowIndex(12), 3.0); // window 11 becomes an explicit gap
+/// assert_eq!(s.value_at(WindowIndex(10)), Some(1.0));
+/// assert_eq!(s.value_at(WindowIndex(11)), None);
+/// assert_eq!(s.value_at(WindowIndex(12)), Some(3.0));
+/// assert_eq!(s.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TimeSeries {
+    start: WindowIndex,
+    /// Dense storage; gaps are NaN (half the memory of `Option<f64>`, which
+    /// matters at fleet scale). NaN never enters via `push`: recorded values
+    /// are sanitised.
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series anchored at `start`.
+    pub fn new(start: WindowIndex) -> Self {
+        TimeSeries { start, values: Vec::new() }
+    }
+
+    /// First window of the series.
+    pub fn start(&self) -> WindowIndex {
+        self.start
+    }
+
+    /// One past the last window with storage (equals `start` when empty).
+    pub fn end(&self) -> WindowIndex {
+        WindowIndex(self.start.0 + self.values.len() as u64)
+    }
+
+    /// Number of window slots (present or gap).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no windows have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Appends a value at `window`.
+    ///
+    /// Windows between the current end and `window` become explicit gaps.
+    /// Recording into a window before `start` or overwriting an existing
+    /// window replaces the stored value.
+    pub fn push(&mut self, window: WindowIndex, value: f64) {
+        let value = if value.is_nan() { 0.0 } else { value };
+        if window < self.start {
+            // Re-anchor: prepend gap slots.
+            let shift = (self.start.0 - window.0) as usize;
+            let mut new_values = vec![f64::NAN; shift];
+            new_values.append(&mut self.values);
+            self.values = new_values;
+            self.start = window;
+        }
+        let idx = (window.0 - self.start.0) as usize;
+        if idx >= self.values.len() {
+            self.values.resize(idx + 1, f64::NAN);
+        }
+        self.values[idx] = value;
+    }
+
+    /// Value recorded at `window`, if any.
+    pub fn value_at(&self, window: WindowIndex) -> Option<f64> {
+        if window < self.start {
+            return None;
+        }
+        let idx = (window.0 - self.start.0) as usize;
+        self.values.get(idx).copied().filter(|v| !v.is_nan())
+    }
+
+    /// Iterates `(window, value)` over recorded (non-gap) windows.
+    pub fn iter(&self) -> impl Iterator<Item = (WindowIndex, f64)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_nan())
+            .map(move |(i, v)| (WindowIndex(self.start.0 + i as u64), *v))
+    }
+
+    /// Recorded values (gaps skipped) within `range`.
+    pub fn values_in(&self, range: WindowRange) -> Vec<f64> {
+        self.iter().filter(|(w, _)| range.contains(*w)).map(|(_, v)| v).collect()
+    }
+
+    /// `(window, value)` pairs within `range`.
+    pub fn samples_in(&self, range: WindowRange) -> Vec<(WindowIndex, f64)> {
+        self.iter().filter(|(w, _)| range.contains(*w)).collect()
+    }
+
+    /// Mean of recorded values in `range`, or `None` when no data.
+    pub fn mean_in(&self, range: WindowRange) -> Option<f64> {
+        let vals = self.values_in(range);
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Number of recorded (non-gap) windows.
+    pub fn recorded_count(&self) -> usize {
+        self.values.iter().filter(|v| !v.is_nan()).count()
+    }
+}
+
+impl FromIterator<(WindowIndex, f64)> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = (WindowIndex, f64)>>(iter: I) -> Self {
+        let mut items: Vec<(WindowIndex, f64)> = iter.into_iter().collect();
+        items.sort_by_key(|(w, _)| *w);
+        let mut s = TimeSeries::new(items.first().map(|(w, _)| *w).unwrap_or_default());
+        for (w, v) in items {
+            s.push(w, v);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut s = TimeSeries::new(WindowIndex(0));
+        s.push(WindowIndex(0), 1.0);
+        s.push(WindowIndex(1), 2.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.recorded_count(), 2);
+        assert_eq!(s.value_at(WindowIndex(1)), Some(2.0));
+        assert_eq!(s.value_at(WindowIndex(5)), None);
+    }
+
+    #[test]
+    fn gaps_are_explicit() {
+        let mut s = TimeSeries::new(WindowIndex(0));
+        s.push(WindowIndex(0), 1.0);
+        s.push(WindowIndex(3), 4.0);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.recorded_count(), 2);
+        assert_eq!(s.value_at(WindowIndex(1)), None);
+        assert_eq!(s.value_at(WindowIndex(2)), None);
+    }
+
+    #[test]
+    fn overwrite_same_window() {
+        let mut s = TimeSeries::new(WindowIndex(0));
+        s.push(WindowIndex(0), 1.0);
+        s.push(WindowIndex(0), 9.0);
+        assert_eq!(s.value_at(WindowIndex(0)), Some(9.0));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn push_before_start_reanchors() {
+        let mut s = TimeSeries::new(WindowIndex(10));
+        s.push(WindowIndex(10), 1.0);
+        s.push(WindowIndex(8), 0.5);
+        assert_eq!(s.start(), WindowIndex(8));
+        assert_eq!(s.value_at(WindowIndex(8)), Some(0.5));
+        assert_eq!(s.value_at(WindowIndex(9)), None);
+        assert_eq!(s.value_at(WindowIndex(10)), Some(1.0));
+    }
+
+    #[test]
+    fn before_start_query_is_none() {
+        let s = TimeSeries::new(WindowIndex(10));
+        assert_eq!(s.value_at(WindowIndex(3)), None);
+    }
+
+    #[test]
+    fn mean_in_range() {
+        let mut s = TimeSeries::new(WindowIndex(0));
+        for i in 0..10 {
+            s.push(WindowIndex(i), i as f64);
+        }
+        let r = WindowRange::new(WindowIndex(2), WindowIndex(5));
+        assert_eq!(s.mean_in(r), Some(3.0));
+        let empty = WindowRange::new(WindowIndex(100), WindowIndex(110));
+        assert_eq!(s.mean_in(empty), None);
+    }
+
+    #[test]
+    fn iter_skips_gaps() {
+        let mut s = TimeSeries::new(WindowIndex(0));
+        s.push(WindowIndex(0), 1.0);
+        s.push(WindowIndex(2), 3.0);
+        let collected: Vec<(u64, f64)> = s.iter().map(|(w, v)| (w.0, v)).collect();
+        assert_eq!(collected, vec![(0, 1.0), (2, 3.0)]);
+    }
+
+    #[test]
+    fn from_iterator_sorts() {
+        let s: TimeSeries =
+            vec![(WindowIndex(5), 5.0), (WindowIndex(2), 2.0)].into_iter().collect();
+        assert_eq!(s.start(), WindowIndex(2));
+        assert_eq!(s.value_at(WindowIndex(5)), Some(5.0));
+        assert_eq!(s.recorded_count(), 2);
+    }
+
+    #[test]
+    fn end_and_empty() {
+        let s = TimeSeries::new(WindowIndex(4));
+        assert!(s.is_empty());
+        assert_eq!(s.end(), WindowIndex(4));
+    }
+}

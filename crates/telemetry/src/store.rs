@@ -1,0 +1,415 @@
+//! The queryable metric store fed by the fleet simulator.
+//!
+//! Stores one [`TimeSeries`] per `(server, counter, workload)` triple plus a
+//! registry mapping servers into pools and datacenters, and answers the
+//! aggregate queries the planner asks: per-pool per-window means, paired
+//! workload/resource observations, and per-server sample sets.
+
+use std::collections::HashMap;
+
+use crate::counter::{CounterKind, WorkloadTag};
+use crate::ids::{DatacenterId, PoolId, ServerId};
+use crate::series::TimeSeries;
+use crate::time::{WindowIndex, WindowRange};
+
+/// Pool/datacenter membership of a server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerMeta {
+    /// Pool the server belongs to.
+    pub pool: PoolId,
+    /// Datacenter hosting the server.
+    pub datacenter: DatacenterId,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SeriesKey {
+    server: ServerId,
+    counter: CounterKind,
+    workload: WorkloadTag,
+}
+
+/// In-memory store of windowed counter series for a fleet.
+///
+/// # Example
+///
+/// ```
+/// use headroom_telemetry::counter::CounterKind;
+/// use headroom_telemetry::ids::{DatacenterId, PoolId, ServerId};
+/// use headroom_telemetry::store::MetricStore;
+/// use headroom_telemetry::time::{WindowIndex, WindowRange};
+///
+/// let mut store = MetricStore::new();
+/// for i in 0..3 {
+///     let s = ServerId(i);
+///     store.register_server(s, PoolId(0), DatacenterId(0));
+///     store.record(s, CounterKind::CpuPercent, WindowIndex(0), 10.0 + i as f64);
+/// }
+/// let mean = store
+///     .pool_window_mean(PoolId(0), CounterKind::CpuPercent, WindowIndex(0))
+///     .unwrap();
+/// assert_eq!(mean, 11.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricStore {
+    servers: HashMap<ServerId, ServerMeta>,
+    pool_members: HashMap<PoolId, Vec<ServerId>>,
+    pool_datacenters: HashMap<PoolId, DatacenterId>,
+    series: HashMap<SeriesKey, TimeSeries>,
+}
+
+impl MetricStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        MetricStore::default()
+    }
+
+    /// Registers a server's pool/datacenter membership.
+    ///
+    /// Registering the same server twice is idempotent; re-registering with
+    /// a *different* pool moves the server (its series are kept).
+    pub fn register_server(&mut self, server: ServerId, pool: PoolId, datacenter: DatacenterId) {
+        if let Some(prev) = self.servers.insert(server, ServerMeta { pool, datacenter }) {
+            if prev.pool != pool {
+                if let Some(members) = self.pool_members.get_mut(&prev.pool) {
+                    members.retain(|&s| s != server);
+                }
+            } else {
+                self.pool_datacenters.insert(pool, datacenter);
+                return;
+            }
+        }
+        let members = self.pool_members.entry(pool).or_default();
+        if !members.contains(&server) {
+            members.push(server);
+        }
+        self.pool_datacenters.insert(pool, datacenter);
+    }
+
+    /// Metadata for a server, if registered.
+    pub fn server_meta(&self, server: ServerId) -> Option<ServerMeta> {
+        self.servers.get(&server).copied()
+    }
+
+    /// Records a whole-server ([`WorkloadTag::Total`]) counter value.
+    pub fn record(&mut self, server: ServerId, counter: CounterKind, window: WindowIndex, value: f64) {
+        self.record_tagged(server, counter, WorkloadTag::Total, window, value);
+    }
+
+    /// Records a counter value attributed to a specific workload.
+    pub fn record_tagged(
+        &mut self,
+        server: ServerId,
+        counter: CounterKind,
+        workload: WorkloadTag,
+        window: WindowIndex,
+        value: f64,
+    ) {
+        let key = SeriesKey { server, counter, workload };
+        self.series.entry(key).or_insert_with(|| TimeSeries::new(window)).push(window, value);
+    }
+
+    /// The whole-server series for a counter.
+    pub fn series(&self, server: ServerId, counter: CounterKind) -> Option<&TimeSeries> {
+        self.series_tagged(server, counter, WorkloadTag::Total)
+    }
+
+    /// The per-workload series for a counter.
+    pub fn series_tagged(
+        &self,
+        server: ServerId,
+        counter: CounterKind,
+        workload: WorkloadTag,
+    ) -> Option<&TimeSeries> {
+        self.series.get(&SeriesKey { server, counter, workload })
+    }
+
+    /// Every pool with at least one registered server, sorted.
+    pub fn pools(&self) -> Vec<PoolId> {
+        let mut pools: Vec<PoolId> = self.pool_members.keys().copied().collect();
+        pools.sort();
+        pools
+    }
+
+    /// Datacenter of a pool (pools never span datacenters).
+    pub fn pool_datacenter(&self, pool: PoolId) -> Option<DatacenterId> {
+        self.pool_datacenters.get(&pool).copied()
+    }
+
+    /// Servers registered to a pool (empty slice when unknown).
+    pub fn servers_in_pool(&self, pool: PoolId) -> &[ServerId] {
+        self.pool_members.get(&pool).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Mean of a whole-server counter across pool members with data at `window`.
+    pub fn pool_window_mean(
+        &self,
+        pool: PoolId,
+        counter: CounterKind,
+        window: WindowIndex,
+    ) -> Option<f64> {
+        self.pool_window_mean_tagged(pool, counter, WorkloadTag::Total, window)
+    }
+
+    /// Mean of a tagged counter across pool members with data at `window`.
+    ///
+    /// Servers without a recorded value in that window (offline, drained)
+    /// are excluded rather than treated as zero — this is what makes pool
+    /// averages correct through reduction experiments.
+    pub fn pool_window_mean_tagged(
+        &self,
+        pool: PoolId,
+        counter: CounterKind,
+        workload: WorkloadTag,
+        window: WindowIndex,
+    ) -> Option<f64> {
+        let members = self.pool_members.get(&pool)?;
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for &server in members {
+            if let Some(v) = self
+                .series_tagged(server, counter, workload)
+                .and_then(|s| s.value_at(window))
+            {
+                sum += v;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+
+    /// Number of pool members with a recorded [`CounterKind::RequestsPerSec`]
+    /// value at `window` — i.e. servers actively serving traffic.
+    pub fn pool_active_servers(&self, pool: PoolId, window: WindowIndex) -> usize {
+        self.pool_members
+            .get(&pool)
+            .map(|members| {
+                members
+                    .iter()
+                    .filter(|&&s| {
+                        self.series(s, CounterKind::RequestsPerSec)
+                            .and_then(|ts| ts.value_at(window))
+                            .is_some()
+                    })
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Per-window pool means of a counter over `range`, skipping windows
+    /// with no data.
+    pub fn pool_mean_series(
+        &self,
+        pool: PoolId,
+        counter: CounterKind,
+        range: WindowRange,
+    ) -> Vec<(WindowIndex, f64)> {
+        range
+            .iter()
+            .filter_map(|w| self.pool_window_mean(pool, counter, w).map(|v| (w, v)))
+            .collect()
+    }
+
+    /// Paired per-window pool means `(x̄, ȳ)` of two counters over `range`.
+    ///
+    /// This is the paper's scatter-plot primitive: each Fig. 2/8/9 point is
+    /// "the 1-minute average across servers in the pool" of workload on x
+    /// and a resource or QoS metric on y.
+    pub fn pool_paired_observations(
+        &self,
+        pool: PoolId,
+        x: CounterKind,
+        y: CounterKind,
+        range: WindowRange,
+    ) -> Vec<(f64, f64)> {
+        range
+            .iter()
+            .filter_map(|w| {
+                let xv = self.pool_window_mean(pool, x, w)?;
+                let yv = self.pool_window_mean(pool, y, w)?;
+                Some((xv, yv))
+            })
+            .collect()
+    }
+
+    /// All recorded values of a counter for one server within `range`.
+    pub fn server_values(
+        &self,
+        server: ServerId,
+        counter: CounterKind,
+        range: WindowRange,
+    ) -> Vec<f64> {
+        self.series(server, counter).map(|s| s.values_in(range)).unwrap_or_default()
+    }
+
+    /// Per-server value vectors for every member of a pool within `range`.
+    ///
+    /// Servers with no data in range map to empty vectors.
+    pub fn pool_server_values(
+        &self,
+        pool: PoolId,
+        counter: CounterKind,
+        range: WindowRange,
+    ) -> Vec<(ServerId, Vec<f64>)> {
+        self.servers_in_pool(pool)
+            .iter()
+            .map(|&s| (s, self.server_values(s, counter, range)))
+            .collect()
+    }
+
+    /// Total number of recorded samples across all series (diagnostics).
+    pub fn sample_count(&self) -> usize {
+        self.series.values().map(|s| s.recorded_count()).sum()
+    }
+
+    /// All registered servers, sorted.
+    pub fn servers(&self) -> Vec<ServerId> {
+        let mut servers: Vec<ServerId> = self.servers.keys().copied().collect();
+        servers.sort();
+        servers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with_pool(n: u32) -> MetricStore {
+        let mut store = MetricStore::new();
+        for i in 0..n {
+            store.register_server(ServerId(i), PoolId(0), DatacenterId(0));
+        }
+        store
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut store = store_with_pool(1);
+        store.register_server(ServerId(0), PoolId(0), DatacenterId(0));
+        assert_eq!(store.servers_in_pool(PoolId(0)).len(), 1);
+    }
+
+    #[test]
+    fn reregister_moves_pool() {
+        let mut store = store_with_pool(2);
+        store.register_server(ServerId(0), PoolId(1), DatacenterId(1));
+        assert_eq!(store.servers_in_pool(PoolId(0)), &[ServerId(1)]);
+        assert_eq!(store.servers_in_pool(PoolId(1)), &[ServerId(0)]);
+        assert_eq!(
+            store.server_meta(ServerId(0)).unwrap().datacenter,
+            DatacenterId(1)
+        );
+    }
+
+    #[test]
+    fn pool_mean_skips_missing_servers() {
+        let mut store = store_with_pool(3);
+        store.record(ServerId(0), CounterKind::CpuPercent, WindowIndex(0), 10.0);
+        store.record(ServerId(1), CounterKind::CpuPercent, WindowIndex(0), 20.0);
+        // Server 2 offline: no sample.
+        let mean = store.pool_window_mean(PoolId(0), CounterKind::CpuPercent, WindowIndex(0));
+        assert_eq!(mean, Some(15.0));
+    }
+
+    #[test]
+    fn pool_mean_none_when_no_data() {
+        let store = store_with_pool(3);
+        assert_eq!(
+            store.pool_window_mean(PoolId(0), CounterKind::CpuPercent, WindowIndex(0)),
+            None
+        );
+        assert_eq!(
+            store.pool_window_mean(PoolId(9), CounterKind::CpuPercent, WindowIndex(0)),
+            None
+        );
+    }
+
+    #[test]
+    fn active_servers_counts_rps_reporters() {
+        let mut store = store_with_pool(4);
+        for i in 0..3 {
+            store.record(ServerId(i), CounterKind::RequestsPerSec, WindowIndex(5), 100.0);
+        }
+        assert_eq!(store.pool_active_servers(PoolId(0), WindowIndex(5)), 3);
+        assert_eq!(store.pool_active_servers(PoolId(0), WindowIndex(6)), 0);
+    }
+
+    #[test]
+    fn paired_observations_require_both_counters() {
+        let mut store = store_with_pool(1);
+        let s = ServerId(0);
+        store.record(s, CounterKind::RequestsPerSec, WindowIndex(0), 100.0);
+        store.record(s, CounterKind::CpuPercent, WindowIndex(0), 4.0);
+        store.record(s, CounterKind::RequestsPerSec, WindowIndex(1), 200.0);
+        // window 1 has no CPU → excluded.
+        let obs = store.pool_paired_observations(
+            PoolId(0),
+            CounterKind::RequestsPerSec,
+            CounterKind::CpuPercent,
+            WindowRange::new(WindowIndex(0), WindowIndex(10)),
+        );
+        assert_eq!(obs, vec![(100.0, 4.0)]);
+    }
+
+    #[test]
+    fn tagged_series_are_separate() {
+        let mut store = store_with_pool(1);
+        let s = ServerId(0);
+        store.record_tagged(s, CounterKind::CpuPercent, WorkloadTag::Workload(0), WindowIndex(0), 8.0);
+        store.record_tagged(s, CounterKind::CpuPercent, WorkloadTag::Workload(1), WindowIndex(0), 2.0);
+        store.record(s, CounterKind::CpuPercent, WindowIndex(0), 10.5);
+        assert_eq!(
+            store
+                .series_tagged(s, CounterKind::CpuPercent, WorkloadTag::Workload(0))
+                .unwrap()
+                .value_at(WindowIndex(0)),
+            Some(8.0)
+        );
+        assert_eq!(
+            store.series(s, CounterKind::CpuPercent).unwrap().value_at(WindowIndex(0)),
+            Some(10.5)
+        );
+    }
+
+    #[test]
+    fn pool_mean_series_over_range() {
+        let mut store = store_with_pool(2);
+        for w in 0..5u64 {
+            store.record(ServerId(0), CounterKind::CpuPercent, WindowIndex(w), w as f64);
+            store.record(ServerId(1), CounterKind::CpuPercent, WindowIndex(w), w as f64 + 2.0);
+        }
+        let series = store.pool_mean_series(
+            PoolId(0),
+            CounterKind::CpuPercent,
+            WindowRange::new(WindowIndex(1), WindowIndex(4)),
+        );
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[0], (WindowIndex(1), 2.0));
+    }
+
+    #[test]
+    fn server_values_and_pool_server_values() {
+        let mut store = store_with_pool(2);
+        store.record(ServerId(0), CounterKind::CpuPercent, WindowIndex(0), 5.0);
+        store.record(ServerId(0), CounterKind::CpuPercent, WindowIndex(1), 7.0);
+        let r = WindowRange::new(WindowIndex(0), WindowIndex(10));
+        assert_eq!(store.server_values(ServerId(0), CounterKind::CpuPercent, r), vec![5.0, 7.0]);
+        let per_server = store.pool_server_values(PoolId(0), CounterKind::CpuPercent, r);
+        assert_eq!(per_server.len(), 2);
+        assert!(per_server.iter().any(|(s, v)| *s == ServerId(1) && v.is_empty()));
+    }
+
+    #[test]
+    fn sample_count_and_listings() {
+        let mut store = store_with_pool(2);
+        store.record(ServerId(0), CounterKind::CpuPercent, WindowIndex(0), 1.0);
+        store.record(ServerId(1), CounterKind::RequestsPerSec, WindowIndex(0), 2.0);
+        assert_eq!(store.sample_count(), 2);
+        assert_eq!(store.pools(), vec![PoolId(0)]);
+        assert_eq!(store.servers(), vec![ServerId(0), ServerId(1)]);
+        assert_eq!(store.pool_datacenter(PoolId(0)), Some(DatacenterId(0)));
+    }
+}

@@ -1,0 +1,289 @@
+//! Simulated time and the canonical 120-second measurement window.
+//!
+//! The paper's counters are "averaged over a 120 s window. The window size
+//! was selected to be as large as possible to minimize the cost of storage"
+//! (§III). All telemetry in this workspace is aligned to those windows.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Seconds per measurement window (matches the paper's 120 s).
+pub const WINDOW_SECONDS: u64 = 120;
+
+/// Windows per simulated day.
+pub const WINDOWS_PER_DAY: u64 = 86_400 / WINDOW_SECONDS; // 720
+
+/// A point in simulated time, in whole seconds since the simulation epoch.
+///
+/// # Example
+///
+/// ```
+/// use headroom_telemetry::time::{SimTime, WindowIndex};
+///
+/// let t = SimTime::from_hours(25.0);
+/// assert_eq!(t.day(), 1);
+/// assert_eq!(t.window(), WindowIndex(750));
+/// assert!((t.hour_of_day() - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from fractional hours since the epoch.
+    pub fn from_hours(hours: f64) -> Self {
+        SimTime((hours * 3600.0).round().max(0.0) as u64)
+    }
+
+    /// Creates a time from fractional days since the epoch.
+    pub fn from_days(days: f64) -> Self {
+        SimTime::from_hours(days * 24.0)
+    }
+
+    /// Seconds since epoch.
+    pub fn seconds(&self) -> u64 {
+        self.0
+    }
+
+    /// Zero-based simulated day index.
+    pub fn day(&self) -> u64 {
+        self.0 / 86_400
+    }
+
+    /// Fractional hour within the current day, `[0, 24)`.
+    pub fn hour_of_day(&self) -> f64 {
+        (self.0 % 86_400) as f64 / 3600.0
+    }
+
+    /// Zero-based day-of-week (day 0 is a Monday by convention).
+    pub fn day_of_week(&self) -> u64 {
+        self.day() % 7
+    }
+
+    /// The measurement window containing this instant.
+    pub fn window(&self) -> WindowIndex {
+        WindowIndex(self.0 / WINDOW_SECONDS)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, seconds: u64) -> SimTime {
+        SimTime(self.0 + seconds)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+    fn sub(self, other: SimTime) -> u64 {
+        self.0.saturating_sub(other.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let day = self.day();
+        let h = (self.0 % 86_400) / 3600;
+        let m = (self.0 % 3600) / 60;
+        let s = self.0 % 60;
+        write!(f, "d{day} {h:02}:{m:02}:{s:02}")
+    }
+}
+
+/// Index of a 120-second measurement window since the simulation epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct WindowIndex(pub u64);
+
+impl WindowIndex {
+    /// Start time of this window.
+    pub fn start(&self) -> SimTime {
+        SimTime(self.0 * WINDOW_SECONDS)
+    }
+
+    /// Midpoint time of this window (used when mapping windows to diurnal
+    /// demand).
+    pub fn midpoint(&self) -> SimTime {
+        SimTime(self.0 * WINDOW_SECONDS + WINDOW_SECONDS / 2)
+    }
+
+    /// Zero-based day this window belongs to.
+    pub fn day(&self) -> u64 {
+        self.0 / WINDOWS_PER_DAY
+    }
+
+    /// The next window.
+    pub fn next(&self) -> WindowIndex {
+        WindowIndex(self.0 + 1)
+    }
+}
+
+impl Add<u64> for WindowIndex {
+    type Output = WindowIndex;
+    fn add(self, windows: u64) -> WindowIndex {
+        WindowIndex(self.0 + windows)
+    }
+}
+
+impl Sub<WindowIndex> for WindowIndex {
+    type Output = u64;
+    fn sub(self, other: WindowIndex) -> u64 {
+        self.0.saturating_sub(other.0)
+    }
+}
+
+impl fmt::Display for WindowIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// Half-open range of windows `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct WindowRange {
+    /// First window in the range.
+    pub start: WindowIndex,
+    /// One past the last window.
+    pub end: WindowIndex,
+}
+
+impl WindowRange {
+    /// Creates a range; `end` is clamped to at least `start`.
+    pub fn new(start: WindowIndex, end: WindowIndex) -> Self {
+        WindowRange { start, end: WindowIndex(end.0.max(start.0)) }
+    }
+
+    /// All windows of zero-based day `day`.
+    pub fn day(day: u64) -> Self {
+        WindowRange {
+            start: WindowIndex(day * WINDOWS_PER_DAY),
+            end: WindowIndex((day + 1) * WINDOWS_PER_DAY),
+        }
+    }
+
+    /// The first `days` simulated days.
+    pub fn days(days: f64) -> Self {
+        WindowRange {
+            start: WindowIndex(0),
+            end: WindowIndex((days * WINDOWS_PER_DAY as f64).round() as u64),
+        }
+    }
+
+    /// Number of windows in the range.
+    pub fn len(&self) -> u64 {
+        self.end.0 - self.start.0
+    }
+
+    /// True when the range contains no windows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `w` falls inside the range.
+    pub fn contains(&self, w: WindowIndex) -> bool {
+        w >= self.start && w < self.end
+    }
+
+    /// Iterator over every window in the range.
+    pub fn iter(&self) -> impl Iterator<Item = WindowIndex> + '_ {
+        (self.start.0..self.end.0).map(WindowIndex)
+    }
+}
+
+impl IntoIterator for WindowRange {
+    type Item = WindowIndex;
+    type IntoIter = std::iter::Map<std::ops::Range<u64>, fn(u64) -> WindowIndex>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        (self.start.0..self.end.0).map(WindowIndex)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_per_day_is_720() {
+        assert_eq!(WINDOWS_PER_DAY, 720);
+    }
+
+    #[test]
+    fn window_of_time() {
+        assert_eq!(SimTime(0).window(), WindowIndex(0));
+        assert_eq!(SimTime(119).window(), WindowIndex(0));
+        assert_eq!(SimTime(120).window(), WindowIndex(1));
+        assert_eq!(SimTime(86_400).window(), WindowIndex(720));
+    }
+
+    #[test]
+    fn hour_and_day_arithmetic() {
+        let t = SimTime::from_days(2.5);
+        assert_eq!(t.day(), 2);
+        assert!((t.hour_of_day() - 12.0).abs() < 1e-9);
+        assert_eq!(t.day_of_week(), 2);
+        let t2 = SimTime::from_days(9.0);
+        assert_eq!(t2.day_of_week(), 2);
+    }
+
+    #[test]
+    fn window_start_and_midpoint() {
+        let w = WindowIndex(10);
+        assert_eq!(w.start(), SimTime(1200));
+        assert_eq!(w.midpoint(), SimTime(1260));
+        assert_eq!(w.day(), 0);
+        assert_eq!(WindowIndex(720).day(), 1);
+    }
+
+    #[test]
+    fn time_add_sub() {
+        let t = SimTime(100) + 50;
+        assert_eq!(t, SimTime(150));
+        assert_eq!(t - SimTime(100), 50);
+        assert_eq!(SimTime(10) - SimTime(100), 0, "saturating");
+    }
+
+    #[test]
+    fn range_day_covers_full_day() {
+        let r = WindowRange::day(1);
+        assert_eq!(r.len(), 720);
+        assert!(r.contains(WindowIndex(720)));
+        assert!(r.contains(WindowIndex(1439)));
+        assert!(!r.contains(WindowIndex(1440)));
+        assert!(!r.contains(WindowIndex(719)));
+    }
+
+    #[test]
+    fn range_days_fractional() {
+        let r = WindowRange::days(0.5);
+        assert_eq!(r.len(), 360);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn range_iteration() {
+        let r = WindowRange::new(WindowIndex(5), WindowIndex(8));
+        let ws: Vec<u64> = r.into_iter().map(|w| w.0).collect();
+        assert_eq!(ws, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn range_end_clamped() {
+        let r = WindowRange::new(WindowIndex(9), WindowIndex(3));
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime(90_061).to_string(), "d1 01:01:01");
+        assert_eq!(WindowIndex(7).to_string(), "w7");
+    }
+
+    #[test]
+    fn from_hours_rounds() {
+        assert_eq!(SimTime::from_hours(1.0), SimTime(3600));
+        assert_eq!(SimTime::from_hours(0.0), SimTime(0));
+    }
+}

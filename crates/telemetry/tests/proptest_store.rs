@@ -1,0 +1,93 @@
+//! Property tests for the metric store and availability log.
+
+use headroom_telemetry::availability::AvailabilityLog;
+use headroom_telemetry::counter::CounterKind;
+use headroom_telemetry::ids::{DatacenterId, PoolId, ServerId};
+use headroom_telemetry::series::TimeSeries;
+use headroom_telemetry::store::MetricStore;
+use headroom_telemetry::time::{WindowIndex, WindowRange};
+use proptest::prelude::*;
+
+proptest! {
+    /// A pool-window mean always lies within the recorded values' range and
+    /// only covers servers that actually recorded.
+    #[test]
+    fn pool_mean_is_bounded(values in prop::collection::vec(0.0f64..100.0, 1..20)) {
+        let mut store = MetricStore::new();
+        for (i, &v) in values.iter().enumerate() {
+            let s = ServerId(i as u32);
+            store.register_server(s, PoolId(0), DatacenterId(0));
+            store.record(s, CounterKind::CpuPercent, WindowIndex(0), v);
+        }
+        let mean = store
+            .pool_window_mean(PoolId(0), CounterKind::CpuPercent, WindowIndex(0))
+            .unwrap();
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+    }
+
+    /// Every value pushed into a series is read back exactly; gaps stay gaps.
+    #[test]
+    fn series_round_trip(
+        entries in prop::collection::btree_map(0u64..500, -1e6f64..1e6, 1..60)
+    ) {
+        let mut series = TimeSeries::new(WindowIndex(*entries.keys().next().unwrap()));
+        for (&w, &v) in &entries {
+            series.push(WindowIndex(w), v);
+        }
+        for (&w, &v) in &entries {
+            prop_assert_eq!(series.value_at(WindowIndex(w)), Some(v));
+        }
+        prop_assert_eq!(series.recorded_count(), entries.len());
+        // Windows not in the map are gaps.
+        for w in 0..500u64 {
+            if !entries.contains_key(&w) {
+                prop_assert_eq!(series.value_at(WindowIndex(w)), None);
+            }
+        }
+    }
+
+    /// values_in over the full range returns values in window order.
+    #[test]
+    fn values_in_ordered(
+        entries in prop::collection::btree_map(0u64..200, -1e3f64..1e3, 1..40)
+    ) {
+        let series: TimeSeries =
+            entries.iter().map(|(&w, &v)| (WindowIndex(w), v)).collect();
+        let all = series.values_in(WindowRange::new(WindowIndex(0), WindowIndex(200)));
+        let expected: Vec<f64> = entries.values().copied().collect();
+        prop_assert_eq!(all, expected);
+    }
+
+    /// Daily availability is the exact fraction of online windows.
+    #[test]
+    fn availability_fraction_exact(flags in prop::collection::vec(any::<bool>(), 1..200)) {
+        let mut log = AvailabilityLog::new();
+        for (i, &online) in flags.iter().enumerate() {
+            log.record(ServerId(0), WindowIndex(i as u64), online);
+        }
+        let expected = flags.iter().filter(|&&o| o).count() as f64 / flags.len() as f64;
+        let got = log.daily_availability(ServerId(0), 0).unwrap();
+        prop_assert!((got - expected).abs() < 1e-12);
+    }
+
+    /// Fleet mean availability is an average of per-server-day records, so
+    /// it stays within [min, max] of them.
+    #[test]
+    fn fleet_mean_bounded(
+        rows in prop::collection::vec((0u32..8, prop::collection::vec(any::<bool>(), 1..50)), 1..8)
+    ) {
+        let mut log = AvailabilityLog::new();
+        for (server, flags) in &rows {
+            for (i, &online) in flags.iter().enumerate() {
+                log.record(ServerId(*server), WindowIndex(i as u64), online);
+            }
+        }
+        let records = log.daily_records();
+        let mean = log.fleet_mean_availability().unwrap();
+        let lo = records.iter().map(|(_, _, a)| *a).fold(f64::INFINITY, f64::min);
+        let hi = records.iter().map(|(_, _, a)| *a).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(mean >= lo - 1e-12 && mean <= hi + 1e-12);
+    }
+}

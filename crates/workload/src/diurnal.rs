@@ -1,0 +1,271 @@
+//! Diurnal demand curves.
+//!
+//! Demand is modelled as a smooth daily cycle (fundamental + second
+//! harmonic), a weekday/weekend modulation, and multiplicative noise:
+//!
+//! ```text
+//! demand(t) = base
+//!           · (1 + a₁·cos(2π(h - peak)/24) + a₂·cos(4π(h - peak)/24))
+//!           · weekend_factor(t)
+//!           · (1 + ε),   ε ~ N(0, noise)
+//! ```
+//!
+//! Regions on opposite sides of the planet are expressed with different
+//! `peak_hour` values, which is what creates the paper's observation that
+//! global capacity is idle while individual datacenters saturate.
+
+use headroom_telemetry::time::SimTime;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A deterministic-plus-noise diurnal demand curve, in requests per second.
+///
+/// # Example
+///
+/// ```
+/// use headroom_telemetry::time::SimTime;
+/// use headroom_workload::DiurnalCurve;
+///
+/// let curve = DiurnalCurve::new(1000.0).with_peak_hour(14.0).with_amplitude(0.5);
+/// let peak = curve.mean_demand(SimTime::from_hours(14.0));
+/// let trough = curve.mean_demand(SimTime::from_hours(2.0));
+/// assert!(peak > 1.4 * trough);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiurnalCurve {
+    base: f64,
+    amplitude: f64,
+    second_harmonic: f64,
+    peak_hour: f64,
+    weekend_factor: f64,
+    noise: f64,
+}
+
+impl DiurnalCurve {
+    /// Creates a flat curve with the given mean demand (RPS) and the
+    /// default daily shape (45% fundamental, 10% second harmonic, 2 pm
+    /// peak, 80% weekend demand, 3% noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is negative or non-finite.
+    pub fn new(base: f64) -> Self {
+        assert!(base.is_finite() && base >= 0.0, "base demand must be non-negative");
+        DiurnalCurve {
+            base,
+            amplitude: 0.45,
+            second_harmonic: 0.10,
+            peak_hour: 14.0,
+            weekend_factor: 0.8,
+            noise: 0.03,
+        }
+    }
+
+    /// Sets the fundamental daily amplitude (fraction of base, `0..=1`).
+    pub fn with_amplitude(mut self, amplitude: f64) -> Self {
+        self.amplitude = amplitude.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the second-harmonic amplitude (fraction of base).
+    pub fn with_second_harmonic(mut self, amplitude: f64) -> Self {
+        self.second_harmonic = amplitude.clamp(0.0, 0.5);
+        self
+    }
+
+    /// Sets the local hour of peak demand (wrapped into `[0, 24)`).
+    ///
+    /// Shifting the peak hour is how the nine regions are staggered around
+    /// the globe.
+    pub fn with_peak_hour(mut self, hour: f64) -> Self {
+        self.peak_hour = hour.rem_euclid(24.0);
+        self
+    }
+
+    /// Sets the weekend demand multiplier (e.g. `0.8` = 20% lower).
+    pub fn with_weekend_factor(mut self, factor: f64) -> Self {
+        self.weekend_factor = factor.max(0.0);
+        self
+    }
+
+    /// Sets the relative noise standard deviation.
+    pub fn with_noise(mut self, noise: f64) -> Self {
+        self.noise = noise.max(0.0);
+        self
+    }
+
+    /// Mean demand (RPS).
+    pub fn base(&self) -> f64 {
+        self.base
+    }
+
+    /// Hour of peak demand.
+    pub fn peak_hour(&self) -> f64 {
+        self.peak_hour
+    }
+
+    /// Noise-free demand at `time`.
+    pub fn mean_demand(&self, time: SimTime) -> f64 {
+        let h = time.hour_of_day();
+        let phase = (h - self.peak_hour) / 24.0 * std::f64::consts::TAU;
+        let daily = 1.0 + self.amplitude * phase.cos() + self.second_harmonic * (2.0 * phase).cos();
+        let weekly = if time.day_of_week() >= 5 { self.weekend_factor } else { 1.0 };
+        (self.base * daily * weekly).max(0.0)
+    }
+
+    /// Noisy demand sample at `time` (multiplicative Gaussian noise drawn
+    /// from `rng`; clamped non-negative).
+    pub fn demand(&self, time: SimTime, rng: &mut StdRng) -> f64 {
+        let mean = self.mean_demand(time);
+        if self.noise == 0.0 {
+            return mean;
+        }
+        let eps = gaussian(rng) * self.noise;
+        (mean * (1.0 + eps)).max(0.0)
+    }
+
+    /// Rescales the curve so that its weekday peak equals `target` RPS.
+    ///
+    /// Used to size pool demand: "this pool should see X RPS/server at peak
+    /// with N servers" translates to a peak total of `X · N`.
+    pub fn with_peak_demand(mut self, target: f64) -> Self {
+        assert!(target.is_finite() && target >= 0.0, "peak target must be non-negative");
+        let peak = self.peak_demand();
+        if peak > 0.0 {
+            self.base *= target / peak;
+        } else {
+            // Zero-demand curve: rescale from a unit base so the daily
+            // shape still peaks exactly at the target.
+            self.base = 1.0;
+            let unit_peak = self.peak_demand();
+            self.base = target / unit_peak;
+        }
+        self
+    }
+
+    /// Noise-free peak demand over a weekday.
+    pub fn peak_demand(&self) -> f64 {
+        // Sample the curve finely; the two-harmonic family has no closed-form max.
+        (0..288)
+            .map(|i| self.mean_demand(SimTime::from_hours(i as f64 / 12.0)))
+            .fold(0.0, f64::max)
+    }
+
+    /// Noise-free trough demand over a weekday.
+    pub fn trough_demand(&self) -> f64 {
+        (0..288)
+            .map(|i| self.mean_demand(SimTime::from_hours(i as f64 / 12.0)))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Standard normal sample via Box–Muller (two uniforms; deterministic given
+/// the RNG state).
+pub(crate) fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn peak_is_at_peak_hour() {
+        let curve = DiurnalCurve::new(100.0).with_peak_hour(14.0).with_second_harmonic(0.0);
+        let at_peak = curve.mean_demand(SimTime::from_hours(14.0));
+        for h in 0..24 {
+            let v = curve.mean_demand(SimTime::from_hours(h as f64));
+            assert!(v <= at_peak + 1e-9, "hour {h} exceeds peak");
+        }
+    }
+
+    #[test]
+    fn amplitude_controls_swing() {
+        let flat = DiurnalCurve::new(100.0).with_amplitude(0.0).with_second_harmonic(0.0);
+        assert!((flat.peak_demand() - flat.trough_demand()).abs() < 1e-9);
+        let wavy = DiurnalCurve::new(100.0).with_amplitude(0.5).with_second_harmonic(0.0);
+        assert!(wavy.peak_demand() > 1.8 * wavy.trough_demand());
+    }
+
+    #[test]
+    fn weekend_reduces_demand() {
+        let curve = DiurnalCurve::new(100.0).with_weekend_factor(0.5);
+        // Day 0 is Monday; day 5 is Saturday.
+        let weekday = curve.mean_demand(SimTime::from_days(0.5));
+        let weekend = curve.mean_demand(SimTime::from_days(5.5));
+        assert!((weekend - 0.5 * weekday).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_shift_staggers_regions() {
+        let east = DiurnalCurve::new(100.0).with_peak_hour(6.0).with_second_harmonic(0.0);
+        let west = DiurnalCurve::new(100.0).with_peak_hour(18.0).with_second_harmonic(0.0);
+        let t = SimTime::from_hours(6.0);
+        assert!(east.mean_demand(t) > west.mean_demand(t));
+        let t2 = SimTime::from_hours(18.0);
+        assert!(west.mean_demand(t2) > east.mean_demand(t2));
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let curve = DiurnalCurve::new(100.0).with_noise(0.1);
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        let t = SimTime::from_hours(3.0);
+        assert_eq!(curve.demand(t, &mut r1), curve.demand(t, &mut r2));
+    }
+
+    #[test]
+    fn zero_noise_equals_mean() {
+        let curve = DiurnalCurve::new(100.0).with_noise(0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = SimTime::from_hours(9.0);
+        assert_eq!(curve.demand(t, &mut rng), curve.mean_demand(t));
+    }
+
+    #[test]
+    fn demand_never_negative() {
+        let curve = DiurnalCurve::new(10.0).with_amplitude(1.0).with_noise(1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..2000 {
+            let v = curve.demand(SimTime::from_hours(i as f64 * 0.1), &mut rng);
+            assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn peak_hour_wraps() {
+        let curve = DiurnalCurve::new(1.0).with_peak_hour(26.0);
+        assert!((curve.peak_hour() - 2.0).abs() < 1e-12);
+        let neg = DiurnalCurve::new(1.0).with_peak_hour(-2.0);
+        assert!((neg.peak_hour() - 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_base_panics() {
+        let _ = DiurnalCurve::new(-1.0);
+    }
+
+    #[test]
+    fn with_peak_demand_rescales() {
+        let curve = DiurnalCurve::new(100.0).with_peak_demand(1550.0);
+        assert!((curve.peak_demand() - 1550.0).abs() < 1e-6);
+        let flat = DiurnalCurve::new(0.0).with_peak_demand(10.0);
+        assert!((flat.peak_demand() - 10.0).abs() < 1e-9);
+    }
+}

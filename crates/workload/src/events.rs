@@ -1,0 +1,245 @@
+//! Scripted unplanned events — the paper's *natural experiments*.
+//!
+//! §II-B1 analyses two real unplanned events: one where pools "receive a
+//! median 56% increase in workload volume … with one datacenter receiving an
+//! increase of 127%", and one where a pool saw "4 times the normal traffic
+//! volume". Those events happen when a datacenter (or region) fails and its
+//! traffic is rerouted to surviving datacenters.
+//!
+//! An [`EventScript`] reproduces such incidents deterministically: the
+//! simulator consults it each window for demand multipliers and datacenter
+//! losses.
+
+use headroom_telemetry::ids::DatacenterId;
+use headroom_telemetry::time::SimTime;
+
+/// What an event does while active.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum EventEffect {
+    /// Multiply the demand routed to one datacenter by `factor`.
+    DemandMultiplier {
+        /// Affected datacenter.
+        datacenter: DatacenterId,
+        /// Multiplier applied to that datacenter's incoming demand.
+        factor: f64,
+    },
+    /// Multiply global (all-region) demand by `factor` — e.g. a viral
+    /// traffic spike.
+    GlobalDemandMultiplier {
+        /// Multiplier applied to every region's demand.
+        factor: f64,
+    },
+    /// Take a whole datacenter offline; the router redistributes its demand
+    /// over the survivors.
+    DatacenterLoss {
+        /// The failed datacenter.
+        datacenter: DatacenterId,
+    },
+}
+
+/// An effect active during `[start, start + duration)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledEvent {
+    /// When the event begins.
+    pub start: SimTime,
+    /// Duration in seconds.
+    pub duration_secs: u64,
+    /// What happens.
+    pub effect: EventEffect,
+}
+
+impl ScheduledEvent {
+    /// Creates an event.
+    pub fn new(start: SimTime, duration_secs: u64, effect: EventEffect) -> Self {
+        ScheduledEvent { start, duration_secs, effect }
+    }
+
+    /// Whether the event is active at `time`.
+    pub fn active_at(&self, time: SimTime) -> bool {
+        time >= self.start && time.seconds() < self.start.seconds() + self.duration_secs
+    }
+}
+
+/// An ordered collection of scheduled events.
+///
+/// # Example
+///
+/// ```
+/// use headroom_telemetry::ids::DatacenterId;
+/// use headroom_telemetry::time::SimTime;
+/// use headroom_workload::events::{EventEffect, EventScript, ScheduledEvent};
+///
+/// // A two-hour loss of DC 3 starting at noon of day 2 (the Fig. 4 shape).
+/// let script = EventScript::new(vec![ScheduledEvent::new(
+///     SimTime::from_days(2.5),
+///     2 * 3600,
+///     EventEffect::DatacenterLoss { datacenter: DatacenterId(2) },
+/// )]);
+/// assert!(script.datacenter_lost(DatacenterId(2), SimTime::from_days(2.51)));
+/// assert!(!script.datacenter_lost(DatacenterId(2), SimTime::from_days(2.7)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EventScript {
+    events: Vec<ScheduledEvent>,
+}
+
+impl EventScript {
+    /// Creates a script from a list of events.
+    pub fn new(events: Vec<ScheduledEvent>) -> Self {
+        EventScript { events }
+    }
+
+    /// A script with no events.
+    pub fn empty() -> Self {
+        EventScript::default()
+    }
+
+    /// Adds an event.
+    pub fn push(&mut self, event: ScheduledEvent) {
+        self.events.push(event);
+    }
+
+    /// The scheduled events.
+    pub fn events(&self) -> &[ScheduledEvent] {
+        &self.events
+    }
+
+    /// Product of all demand multipliers affecting `datacenter` at `time`
+    /// (global multipliers included). `1.0` when nothing is active.
+    pub fn demand_factor(&self, datacenter: DatacenterId, time: SimTime) -> f64 {
+        let mut factor = 1.0;
+        for e in &self.events {
+            if !e.active_at(time) {
+                continue;
+            }
+            match e.effect {
+                EventEffect::DemandMultiplier { datacenter: dc, factor: f } if dc == datacenter => {
+                    factor *= f;
+                }
+                EventEffect::GlobalDemandMultiplier { factor: f } => factor *= f,
+                _ => {}
+            }
+        }
+        factor
+    }
+
+    /// Whether `datacenter` is scripted as lost at `time`.
+    pub fn datacenter_lost(&self, datacenter: DatacenterId, time: SimTime) -> bool {
+        self.events.iter().any(|e| {
+            e.active_at(time)
+                && matches!(e.effect, EventEffect::DatacenterLoss { datacenter: dc } if dc == datacenter)
+        })
+    }
+
+    /// Whether *any* event is active at `time` — used to label windows as
+    /// natural-experiment candidates.
+    pub fn any_active(&self, time: SimTime) -> bool {
+        self.events.iter().any(|e| e.active_at(time))
+    }
+}
+
+impl FromIterator<ScheduledEvent> for EventScript {
+    fn from_iter<I: IntoIterator<Item = ScheduledEvent>>(iter: I) -> Self {
+        EventScript { events: iter.into_iter().collect() }
+    }
+}
+
+/// Builds the paper's first natural experiment: a two-hour datacenter loss
+/// that pushes a median +56% surge onto the survivors (Figs. 4–5).
+pub fn two_hour_dc_loss(datacenter: DatacenterId, start: SimTime) -> EventScript {
+    EventScript::new(vec![ScheduledEvent::new(
+        start,
+        2 * 3600,
+        EventEffect::DatacenterLoss { datacenter },
+    )])
+}
+
+/// Builds the paper's second natural experiment: one datacenter receiving
+/// roughly 4× its normal traffic for `duration_secs` (Fig. 6).
+pub fn surge_4x(datacenter: DatacenterId, start: SimTime, duration_secs: u64) -> EventScript {
+    EventScript::new(vec![ScheduledEvent::new(
+        start,
+        duration_secs,
+        EventEffect::DemandMultiplier { datacenter, factor: 4.0 },
+    )])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_window_is_half_open() {
+        let e = ScheduledEvent::new(SimTime(100), 50, EventEffect::GlobalDemandMultiplier {
+            factor: 2.0,
+        });
+        assert!(!e.active_at(SimTime(99)));
+        assert!(e.active_at(SimTime(100)));
+        assert!(e.active_at(SimTime(149)));
+        assert!(!e.active_at(SimTime(150)));
+    }
+
+    #[test]
+    fn demand_factor_stacks_multiplicatively() {
+        let dc = DatacenterId(1);
+        let script = EventScript::new(vec![
+            ScheduledEvent::new(SimTime(0), 100, EventEffect::DemandMultiplier {
+                datacenter: dc,
+                factor: 2.0,
+            }),
+            ScheduledEvent::new(SimTime(0), 100, EventEffect::GlobalDemandMultiplier {
+                factor: 1.5,
+            }),
+        ]);
+        assert!((script.demand_factor(dc, SimTime(10)) - 3.0).abs() < 1e-12);
+        // Other DCs only see the global factor.
+        assert!((script.demand_factor(DatacenterId(0), SimTime(10)) - 1.5).abs() < 1e-12);
+        // After expiry, back to 1.
+        assert_eq!(script.demand_factor(dc, SimTime(200)), 1.0);
+    }
+
+    #[test]
+    fn dc_loss_only_affects_named_dc() {
+        let script = two_hour_dc_loss(DatacenterId(3), SimTime::from_hours(12.0));
+        let mid = SimTime::from_hours(13.0);
+        assert!(script.datacenter_lost(DatacenterId(3), mid));
+        assert!(!script.datacenter_lost(DatacenterId(4), mid));
+        assert!(!script.datacenter_lost(DatacenterId(3), SimTime::from_hours(15.0)));
+    }
+
+    #[test]
+    fn surge_4x_factor() {
+        let script = surge_4x(DatacenterId(0), SimTime(0), 3600);
+        assert_eq!(script.demand_factor(DatacenterId(0), SimTime(1800)), 4.0);
+        assert_eq!(script.demand_factor(DatacenterId(1), SimTime(1800)), 1.0);
+    }
+
+    #[test]
+    fn any_active_flags_experiment_windows() {
+        let script = surge_4x(DatacenterId(0), SimTime(1000), 500);
+        assert!(!script.any_active(SimTime(999)));
+        assert!(script.any_active(SimTime(1200)));
+        assert!(!script.any_active(SimTime(1500)));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let script: EventScript = (0..3)
+            .map(|i| {
+                ScheduledEvent::new(SimTime(i * 100), 10, EventEffect::GlobalDemandMultiplier {
+                    factor: 1.1,
+                })
+            })
+            .collect();
+        assert_eq!(script.events().len(), 3);
+    }
+
+    #[test]
+    fn empty_script_is_neutral() {
+        let script = EventScript::empty();
+        assert_eq!(script.demand_factor(DatacenterId(0), SimTime(0)), 1.0);
+        assert!(!script.datacenter_lost(DatacenterId(0), SimTime(0)));
+        assert!(!script.any_active(SimTime(0)));
+    }
+}

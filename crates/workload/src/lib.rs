@@ -1,0 +1,34 @@
+//! Demand substrate for the `headroom` fleet simulator.
+//!
+//! The paper's service handles a *diurnal global workload* (§I): each
+//! datacenter's demand follows its region's day/night cycle, so datacenters
+//! "periodically run out of capacity while datacenters on the opposite side
+//! of the world are underutilized". This crate generates that demand and the
+//! perturbations the evaluation studies:
+//!
+//! - [`diurnal`] — per-region day/night demand curves with weekly structure;
+//! - [`mix`] — request-class mixes (the diversity that synthetic workloads
+//!   must reproduce, §II-C);
+//! - [`events`] — scripted unplanned events: the regional surges and
+//!   datacenter losses behind the paper's *natural experiments* (Figs. 4–6);
+//! - [`trace`] — recorded workload traces;
+//! - [`synthetic`] — replayable synthetic workloads fit to a production
+//!   trace, with an equivalence check (methodology step 3);
+//! - [`stepped`] — the stepped load ramps used by offline regression
+//!   analysis (methodology step 4, Fig. 16).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diurnal;
+pub mod events;
+pub mod mix;
+pub mod stepped;
+pub mod synthetic;
+pub mod trace;
+
+pub use diurnal::DiurnalCurve;
+pub use events::{EventEffect, EventScript, ScheduledEvent};
+pub use mix::RequestMix;
+pub use synthetic::SyntheticWorkload;
+pub use trace::WorkloadTrace;

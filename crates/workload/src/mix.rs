@@ -1,0 +1,227 @@
+//! Request-class mixes.
+//!
+//! §II-C: a synthetic workload must match production "with a diversity of
+//! requests and responses matching those observed in production" because
+//! "QoS and resource usage is proportional to the diversity of incoming
+//! requests". A [`RequestMix`] captures that diversity as weighted request
+//! classes with per-class cost multipliers.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// One class of requests: a share of traffic with a relative processing cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestClass {
+    /// Class label (e.g. `"lookup"`, `"write"`, `"table-b"`).
+    pub name: String,
+    /// Fraction of requests in this class (weights are normalised).
+    pub weight: f64,
+    /// CPU cost relative to the service's average request (1.0 = average).
+    pub cost_multiplier: f64,
+}
+
+impl RequestClass {
+    /// Creates a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weight` or `cost_multiplier` is negative or non-finite.
+    pub fn new(name: impl Into<String>, weight: f64, cost_multiplier: f64) -> Self {
+        assert!(weight.is_finite() && weight >= 0.0, "weight must be non-negative");
+        assert!(
+            cost_multiplier.is_finite() && cost_multiplier >= 0.0,
+            "cost multiplier must be non-negative"
+        );
+        RequestClass { name: name.into(), weight, cost_multiplier }
+    }
+}
+
+/// A weighted set of request classes.
+///
+/// # Example
+///
+/// ```
+/// use headroom_workload::mix::{RequestClass, RequestMix};
+///
+/// let mix = RequestMix::new(vec![
+///     RequestClass::new("read", 0.9, 0.8),
+///     RequestClass::new("write", 0.1, 2.8),
+/// ]);
+/// // Mean cost: 0.9*0.8 + 0.1*2.8 = 1.0
+/// assert!((mix.mean_cost() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestMix {
+    classes: Vec<RequestClass>,
+}
+
+impl RequestMix {
+    /// Creates a mix, normalising weights to sum to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `classes` is empty or all weights are zero.
+    pub fn new(mut classes: Vec<RequestClass>) -> Self {
+        assert!(!classes.is_empty(), "request mix needs at least one class");
+        let total: f64 = classes.iter().map(|c| c.weight).sum();
+        assert!(total > 0.0, "request mix weights must not all be zero");
+        for c in &mut classes {
+            c.weight /= total;
+        }
+        RequestMix { classes }
+    }
+
+    /// A single-class mix with unit cost.
+    pub fn uniform() -> Self {
+        RequestMix::new(vec![RequestClass::new("request", 1.0, 1.0)])
+    }
+
+    /// A typical consumer-web mix: cheap cached reads, mid-cost renders,
+    /// expensive writes.
+    pub fn web_default() -> Self {
+        RequestMix::new(vec![
+            RequestClass::new("cached-read", 0.55, 0.4),
+            RequestClass::new("render", 0.35, 1.5),
+            RequestClass::new("write", 0.10, 2.55),
+        ])
+    }
+
+    /// The classes (weights normalised).
+    pub fn classes(&self) -> &[RequestClass] {
+        &self.classes
+    }
+
+    /// Weighted mean cost multiplier.
+    pub fn mean_cost(&self) -> f64 {
+        self.classes.iter().map(|c| c.weight * c.cost_multiplier).sum()
+    }
+
+    /// Samples a class index according to the weights.
+    pub fn sample_class(&self, rng: &mut StdRng) -> usize {
+        let mut target: f64 = rng.random_range(0.0..1.0);
+        for (i, c) in self.classes.iter().enumerate() {
+            if target < c.weight {
+                return i;
+            }
+            target -= c.weight;
+        }
+        self.classes.len() - 1
+    }
+
+    /// Splits `total_rps` across classes by weight, returning per-class RPS.
+    pub fn split_rps(&self, total_rps: f64) -> Vec<f64> {
+        self.classes.iter().map(|c| c.weight * total_rps).collect()
+    }
+
+    /// The normalised weight vector.
+    pub fn weights(&self) -> Vec<f64> {
+        self.classes.iter().map(|c| c.weight).collect()
+    }
+
+    /// Largest absolute difference between this mix's weights and another's.
+    ///
+    /// Used by the synthetic-workload equivalence check: mixes "match" when
+    /// the divergence is below a tolerance. Mixes with different class
+    /// counts are maximally divergent (`1.0`).
+    pub fn weight_divergence(&self, other: &RequestMix) -> f64 {
+        if self.classes.len() != other.classes.len() {
+            return 1.0;
+        }
+        self.classes
+            .iter()
+            .zip(&other.classes)
+            .map(|(a, b)| (a.weight - b.weight).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Default for RequestMix {
+    fn default() -> Self {
+        RequestMix::uniform()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_normalised() {
+        let mix = RequestMix::new(vec![
+            RequestClass::new("a", 2.0, 1.0),
+            RequestClass::new("b", 6.0, 1.0),
+        ]);
+        let w = mix.weights();
+        assert!((w[0] - 0.25).abs() < 1e-12);
+        assert!((w[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn web_default_mean_cost_near_one() {
+        let mix = RequestMix::web_default();
+        assert!((mix.mean_cost() - 1.0).abs() < 0.02, "got {}", mix.mean_cost());
+    }
+
+    #[test]
+    fn sampling_matches_weights() {
+        let mix = RequestMix::new(vec![
+            RequestClass::new("a", 0.8, 1.0),
+            RequestClass::new("b", 0.2, 1.0),
+        ]);
+        let mut rng = StdRng::seed_from_u64(10);
+        let n = 20_000;
+        let mut counts = [0usize; 2];
+        for _ in 0..n {
+            counts[mix.sample_class(&mut rng)] += 1;
+        }
+        let frac_a = counts[0] as f64 / n as f64;
+        assert!((frac_a - 0.8).abs() < 0.02, "got {frac_a}");
+    }
+
+    #[test]
+    fn split_rps_sums_to_total() {
+        let mix = RequestMix::web_default();
+        let parts = mix.split_rps(1000.0);
+        let sum: f64 = parts.iter().sum();
+        assert!((sum - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn divergence_zero_for_self() {
+        let mix = RequestMix::web_default();
+        assert_eq!(mix.weight_divergence(&mix.clone()), 0.0);
+    }
+
+    #[test]
+    fn divergence_detects_shifted_mix() {
+        let a = RequestMix::new(vec![
+            RequestClass::new("x", 0.9, 1.0),
+            RequestClass::new("y", 0.1, 1.0),
+        ]);
+        let b = RequestMix::new(vec![
+            RequestClass::new("x", 0.6, 1.0),
+            RequestClass::new("y", 0.4, 1.0),
+        ]);
+        assert!((a.weight_divergence(&b) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn divergence_max_for_different_shapes() {
+        let a = RequestMix::uniform();
+        let b = RequestMix::web_default();
+        assert_eq!(a.weight_divergence(&b), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn empty_mix_panics() {
+        let _ = RequestMix::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn zero_weights_panic() {
+        let _ = RequestMix::new(vec![RequestClass::new("a", 0.0, 1.0)]);
+    }
+}

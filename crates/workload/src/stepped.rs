@@ -1,0 +1,147 @@
+//! Stepped load ramps for offline regression analysis (methodology step 4).
+//!
+//! §II-D: "We make small workload increments over time to obtain a broad set
+//! of data for latency and resource utilization" — two identical pools (one
+//! with the change, one without) receive *precisely identical* workloads so
+//! curve differences are attributable to the change alone (Fig. 16).
+
+use headroom_telemetry::time::{WindowIndex, WindowRange};
+
+use crate::trace::{TraceWindow, WorkloadTrace};
+
+/// A deterministic staircase of workload levels.
+///
+/// # Example
+///
+/// ```
+/// use headroom_workload::stepped::SteppedLoad;
+///
+/// let ramp = SteppedLoad::new(100.0, 50.0, 5, 30);
+/// assert_eq!(ramp.rps_at_step(0), 100.0);
+/// assert_eq!(ramp.rps_at_step(4), 300.0);
+/// assert_eq!(ramp.total_windows(), 150);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SteppedLoad {
+    /// RPS of the first step.
+    pub base_rps: f64,
+    /// RPS increment per step.
+    pub step_rps: f64,
+    /// Number of steps.
+    pub steps: usize,
+    /// Windows held at each step.
+    pub windows_per_step: usize,
+}
+
+impl SteppedLoad {
+    /// Creates a ramp.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `steps == 0`, `windows_per_step == 0`, or any parameter
+    /// is negative/non-finite.
+    pub fn new(base_rps: f64, step_rps: f64, steps: usize, windows_per_step: usize) -> Self {
+        assert!(base_rps.is_finite() && base_rps >= 0.0, "base_rps must be non-negative");
+        assert!(step_rps.is_finite() && step_rps >= 0.0, "step_rps must be non-negative");
+        assert!(steps > 0, "at least one step required");
+        assert!(windows_per_step > 0, "at least one window per step required");
+        SteppedLoad { base_rps, step_rps, steps, windows_per_step }
+    }
+
+    /// RPS at step `i` (clamped to the final step).
+    pub fn rps_at_step(&self, i: usize) -> f64 {
+        let i = i.min(self.steps - 1);
+        self.base_rps + self.step_rps * i as f64
+    }
+
+    /// Which step a zero-based window offset belongs to.
+    pub fn step_of_window(&self, window_offset: usize) -> usize {
+        (window_offset / self.windows_per_step).min(self.steps - 1)
+    }
+
+    /// Total windows in the ramp.
+    pub fn total_windows(&self) -> usize {
+        self.steps * self.windows_per_step
+    }
+
+    /// Highest RPS level.
+    pub fn max_rps(&self) -> f64 {
+        self.rps_at_step(self.steps - 1)
+    }
+
+    /// All step RPS levels in order.
+    pub fn levels(&self) -> Vec<f64> {
+        (0..self.steps).map(|i| self.rps_at_step(i)).collect()
+    }
+
+    /// Materialises the ramp as a trace starting at `start`.
+    pub fn to_trace(&self, start: WindowIndex) -> WorkloadTrace {
+        (0..self.total_windows())
+            .map(|off| TraceWindow {
+                window: WindowIndex(start.0 + off as u64),
+                rps: self.rps_at_step(self.step_of_window(off)),
+                class_fractions: Vec::new(),
+            })
+            .collect()
+    }
+
+    /// The window range occupied by the ramp when started at `start`.
+    pub fn range(&self, start: WindowIndex) -> WindowRange {
+        WindowRange::new(start, WindowIndex(start.0 + self.total_windows() as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staircase_levels() {
+        let ramp = SteppedLoad::new(50.0, 25.0, 4, 10);
+        assert_eq!(ramp.levels(), vec![50.0, 75.0, 100.0, 125.0]);
+        assert_eq!(ramp.max_rps(), 125.0);
+    }
+
+    #[test]
+    fn window_to_step_mapping() {
+        let ramp = SteppedLoad::new(0.0, 1.0, 3, 5);
+        assert_eq!(ramp.step_of_window(0), 0);
+        assert_eq!(ramp.step_of_window(4), 0);
+        assert_eq!(ramp.step_of_window(5), 1);
+        assert_eq!(ramp.step_of_window(14), 2);
+        // Past the end clamps to the last step.
+        assert_eq!(ramp.step_of_window(99), 2);
+    }
+
+    #[test]
+    fn trace_materialisation() {
+        let ramp = SteppedLoad::new(10.0, 10.0, 2, 3);
+        let trace = ramp.to_trace(WindowIndex(100));
+        assert_eq!(trace.len(), 6);
+        assert_eq!(trace.windows()[0].window, WindowIndex(100));
+        assert_eq!(trace.windows()[0].rps, 10.0);
+        assert_eq!(trace.windows()[3].rps, 20.0);
+        let range = ramp.range(WindowIndex(100));
+        assert_eq!(range.len(), 6);
+        assert!(range.contains(WindowIndex(105)));
+        assert!(!range.contains(WindowIndex(106)));
+    }
+
+    #[test]
+    fn step_rps_clamps() {
+        let ramp = SteppedLoad::new(5.0, 5.0, 3, 1);
+        assert_eq!(ramp.rps_at_step(10), 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_steps_panics() {
+        let _ = SteppedLoad::new(1.0, 1.0, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window per step")]
+    fn zero_windows_panics() {
+        let _ = SteppedLoad::new(1.0, 1.0, 1, 0);
+    }
+}

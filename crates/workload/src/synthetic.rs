@@ -1,0 +1,369 @@
+//! Synthetic replayable workloads (methodology step 3).
+//!
+//! §II-C: "we first verify our synthetically produced workload causes the
+//! same QoS and resource usage relationship we observe in our measurements
+//! of production server pools. … Without matching the synthetic workloads to
+//! the production workload, it would only be possible to detect that a
+//! change in capacity or latency had happened, but not its magnitude."
+//!
+//! A [`SyntheticWorkload`] is *fit* from a recorded production trace — the
+//! hour-of-day volume envelope, the residual noise level, and the request
+//! mix — and can then be replayed deterministically against an offline pool.
+//! [`SyntheticWorkload::equivalence`] quantifies how well a generated trace
+//! matches production.
+
+use std::error::Error;
+use std::fmt;
+
+use headroom_telemetry::time::{WindowIndex, WindowRange};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::diurnal::gaussian;
+use crate::trace::{TraceWindow, WorkloadTrace};
+
+/// Error produced when fitting or validating synthetic workloads.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SyntheticError {
+    /// The production trace was empty.
+    EmptyTrace,
+    /// The trace was too short to estimate an envelope.
+    InsufficientData {
+        /// Windows required.
+        needed: usize,
+        /// Windows available.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SyntheticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyntheticError::EmptyTrace => write!(f, "production trace is empty"),
+            SyntheticError::InsufficientData { needed, got } => {
+                write!(f, "need at least {needed} trace windows, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for SyntheticError {}
+
+/// Number of hour-of-day buckets in the volume envelope.
+const ENVELOPE_BUCKETS: usize = 24;
+
+/// A replayable synthetic workload fit from a production trace.
+///
+/// # Example
+///
+/// ```
+/// use headroom_telemetry::time::{WindowIndex, WindowRange};
+/// use headroom_workload::synthetic::SyntheticWorkload;
+/// use headroom_workload::trace::{TraceWindow, WorkloadTrace};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A production day: sinusoidal demand.
+/// let trace: WorkloadTrace = (0..720u64)
+///     .map(|w| TraceWindow {
+///         window: WindowIndex(w),
+///         rps: 100.0 + 50.0 * (w as f64 / 720.0 * std::f64::consts::TAU).sin(),
+///         class_fractions: vec![0.8, 0.2],
+///     })
+///     .collect();
+/// let synth = SyntheticWorkload::fit(&trace)?;
+/// let replay = synth.generate(WindowRange::days(1.0), 7);
+/// let report = synth.equivalence(&replay);
+/// assert!(report.is_equivalent());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticWorkload {
+    /// Mean RPS per hour-of-day bucket.
+    envelope: [f64; ENVELOPE_BUCKETS],
+    /// Relative residual noise (std of residual / mean).
+    noise: f64,
+    /// Mean request-class fractions (empty when the trace had none).
+    class_fractions: Vec<f64>,
+}
+
+impl SyntheticWorkload {
+    /// Fits the synthetic model from a production trace.
+    ///
+    /// # Errors
+    ///
+    /// - [`SyntheticError::EmptyTrace`] when `production` is empty.
+    /// - [`SyntheticError::InsufficientData`] when fewer than 24 windows
+    ///   (the envelope needs at least one sample per hour on average).
+    pub fn fit(production: &WorkloadTrace) -> Result<Self, SyntheticError> {
+        if production.is_empty() {
+            return Err(SyntheticError::EmptyTrace);
+        }
+        if production.len() < ENVELOPE_BUCKETS {
+            return Err(SyntheticError::InsufficientData {
+                needed: ENVELOPE_BUCKETS,
+                got: production.len(),
+            });
+        }
+        let mut sums = [0.0f64; ENVELOPE_BUCKETS];
+        let mut counts = [0usize; ENVELOPE_BUCKETS];
+        for w in production.windows() {
+            let hour = w.window.midpoint().hour_of_day() as usize % ENVELOPE_BUCKETS;
+            sums[hour] += w.rps;
+            counts[hour] += 1;
+        }
+        let overall_mean = production.mean_rps().max(f64::MIN_POSITIVE);
+        let mut envelope = [0.0f64; ENVELOPE_BUCKETS];
+        for h in 0..ENVELOPE_BUCKETS {
+            envelope[h] = if counts[h] > 0 { sums[h] / counts[h] as f64 } else { overall_mean };
+        }
+        // Residual noise relative to the envelope.
+        let mut ss = 0.0;
+        for w in production.windows() {
+            let hour = w.window.midpoint().hour_of_day() as usize % ENVELOPE_BUCKETS;
+            let resid = (w.rps - envelope[hour]) / overall_mean;
+            ss += resid * resid;
+        }
+        let noise = (ss / production.len() as f64).sqrt();
+        Ok(SyntheticWorkload {
+            envelope,
+            noise,
+            class_fractions: production.mean_class_fractions(),
+        })
+    }
+
+    /// The fitted hour-of-day envelope (mean RPS per hour bucket).
+    pub fn envelope(&self) -> &[f64] {
+        &self.envelope
+    }
+
+    /// Fitted relative noise level.
+    pub fn noise(&self) -> f64 {
+        self.noise
+    }
+
+    /// Fitted mean request-class fractions.
+    pub fn class_fractions(&self) -> &[f64] {
+        &self.class_fractions
+    }
+
+    /// Expected (noise-free) RPS for a window, by hour-of-day with linear
+    /// interpolation between hourly buckets.
+    pub fn expected_rps(&self, window: WindowIndex) -> f64 {
+        let h = window.midpoint().hour_of_day();
+        let lo = h.floor() as usize % ENVELOPE_BUCKETS;
+        let hi = (lo + 1) % ENVELOPE_BUCKETS;
+        let frac = h - h.floor();
+        self.envelope[lo] * (1.0 - frac) + self.envelope[hi] * frac
+    }
+
+    /// Generates a replayable trace over `range` with deterministic noise.
+    pub fn generate(&self, range: WindowRange, seed: u64) -> WorkloadTrace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mean = self.envelope.iter().sum::<f64>() / ENVELOPE_BUCKETS as f64;
+        range
+            .iter()
+            .map(|w| {
+                let base = self.expected_rps(w);
+                let rps = (base + gaussian(&mut rng) * self.noise * mean).max(0.0);
+                TraceWindow { window: w, rps, class_fractions: self.class_fractions.clone() }
+            })
+            .collect()
+    }
+
+    /// Compares a trace against this model — methodology step 3's
+    /// "equivalent QoS and resource usage compared to production?" gate,
+    /// applied at the workload level.
+    pub fn equivalence(&self, trace: &WorkloadTrace) -> EquivalenceReport {
+        if trace.is_empty() {
+            return EquivalenceReport {
+                volume_error: 1.0,
+                envelope_error: 1.0,
+                mix_divergence: 1.0,
+            };
+        }
+        let model_mean = self.envelope.iter().sum::<f64>() / ENVELOPE_BUCKETS as f64;
+        let volume_error = if model_mean > 0.0 {
+            (trace.mean_rps() - model_mean).abs() / model_mean
+        } else {
+            0.0
+        };
+
+        // Per-hour envelope comparison.
+        let mut sums = [0.0f64; ENVELOPE_BUCKETS];
+        let mut counts = [0usize; ENVELOPE_BUCKETS];
+        for w in trace.windows() {
+            let hour = w.window.midpoint().hour_of_day() as usize % ENVELOPE_BUCKETS;
+            sums[hour] += w.rps;
+            counts[hour] += 1;
+        }
+        let mut err = 0.0;
+        let mut measured = 0usize;
+        for h in 0..ENVELOPE_BUCKETS {
+            if counts[h] == 0 {
+                continue;
+            }
+            let obs = sums[h] / counts[h] as f64;
+            if model_mean > 0.0 {
+                err += (obs - self.envelope[h]).abs() / model_mean;
+            }
+            measured += 1;
+        }
+        let envelope_error = if measured > 0 { err / measured as f64 } else { 1.0 };
+
+        let observed_mix = trace.mean_class_fractions();
+        let mix_divergence = if self.class_fractions.is_empty() && observed_mix.is_empty() {
+            0.0
+        } else if self.class_fractions.len() != observed_mix.len() {
+            1.0
+        } else {
+            self.class_fractions
+                .iter()
+                .zip(&observed_mix)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max)
+        };
+
+        EquivalenceReport { volume_error, envelope_error, mix_divergence }
+    }
+}
+
+/// How closely a trace matches a fitted synthetic model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EquivalenceReport {
+    /// Relative error of overall mean volume.
+    pub volume_error: f64,
+    /// Mean relative error of the hour-of-day envelope.
+    pub envelope_error: f64,
+    /// Max absolute difference in request-class fractions.
+    pub mix_divergence: f64,
+}
+
+impl EquivalenceReport {
+    /// Default acceptance: volume within 5%, envelope within 10%, mix
+    /// within 0.05 — loose enough for noise, tight enough to catch a wrong
+    /// distribution.
+    pub fn is_equivalent(&self) -> bool {
+        self.within(0.05, 0.10, 0.05)
+    }
+
+    /// Acceptance at caller-chosen tolerances.
+    pub fn within(&self, volume_tol: f64, envelope_tol: f64, mix_tol: f64) -> bool {
+        self.volume_error <= volume_tol
+            && self.envelope_error <= envelope_tol
+            && self.mix_divergence <= mix_tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diurnal_trace(days: u64, base: f64) -> WorkloadTrace {
+        (0..days * 720)
+            .map(|w| {
+                let hour = WindowIndex(w).midpoint().hour_of_day();
+                let rps = base * (1.0 + 0.4 * ((hour - 14.0) / 24.0 * std::f64::consts::TAU).cos());
+                TraceWindow { window: WindowIndex(w), rps, class_fractions: vec![0.75, 0.25] }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fit_recovers_envelope() {
+        let trace = diurnal_trace(2, 200.0);
+        let synth = SyntheticWorkload::fit(&trace).unwrap();
+        // Peak bucket (14h) should be near 200*(1.4) = 280.
+        assert!((synth.envelope()[14] - 280.0).abs() < 8.0, "got {}", synth.envelope()[14]);
+        // Trough bucket (2h) near 200*0.6 = 120.
+        assert!((synth.envelope()[2] - 120.0).abs() < 8.0, "got {}", synth.envelope()[2]);
+        assert!(synth.noise() < 0.05, "noise-free trace: {}", synth.noise());
+        assert_eq!(synth.class_fractions(), &[0.75, 0.25]);
+    }
+
+    #[test]
+    fn generated_trace_is_equivalent() {
+        let trace = diurnal_trace(3, 150.0);
+        let synth = SyntheticWorkload::fit(&trace).unwrap();
+        let replay = synth.generate(WindowRange::days(1.0), 99);
+        let report = synth.equivalence(&replay);
+        assert!(report.is_equivalent(), "{report:?}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let trace = diurnal_trace(1, 100.0);
+        let synth = SyntheticWorkload::fit(&trace).unwrap();
+        let a = synth.generate(WindowRange::days(0.5), 1);
+        let b = synth.generate(WindowRange::days(0.5), 1);
+        assert_eq!(a, b);
+        let c = synth.generate(WindowRange::days(0.5), 2);
+        assert_ne!(a, c, "different seed should differ");
+    }
+
+    #[test]
+    fn wrong_volume_fails_equivalence() {
+        let trace = diurnal_trace(1, 100.0);
+        let synth = SyntheticWorkload::fit(&trace).unwrap();
+        let double = diurnal_trace(1, 200.0);
+        let report = synth.equivalence(&double);
+        assert!(!report.is_equivalent());
+        assert!(report.volume_error > 0.5);
+    }
+
+    #[test]
+    fn wrong_mix_fails_equivalence() {
+        let trace = diurnal_trace(1, 100.0);
+        let synth = SyntheticWorkload::fit(&trace).unwrap();
+        // Rebuild the same trace with a shifted mix.
+        let shifted: WorkloadTrace = diurnal_trace(1, 100.0)
+            .windows()
+            .iter()
+            .map(|w| TraceWindow {
+                window: w.window,
+                rps: w.rps,
+                class_fractions: vec![0.25, 0.75],
+            })
+            .collect();
+        let report = synth.equivalence(&shifted);
+        assert!(report.mix_divergence > 0.4);
+        assert!(!report.is_equivalent());
+    }
+
+    #[test]
+    fn empty_trace_rejected() {
+        assert_eq!(
+            SyntheticWorkload::fit(&WorkloadTrace::new()).unwrap_err(),
+            SyntheticError::EmptyTrace
+        );
+    }
+
+    #[test]
+    fn short_trace_rejected() {
+        let short: WorkloadTrace = (0..10u64)
+            .map(|w| TraceWindow { window: WindowIndex(w), rps: 1.0, class_fractions: vec![] })
+            .collect();
+        assert!(matches!(
+            SyntheticWorkload::fit(&short),
+            Err(SyntheticError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn equivalence_of_empty_trace_is_failure() {
+        let trace = diurnal_trace(1, 100.0);
+        let synth = SyntheticWorkload::fit(&trace).unwrap();
+        let report = synth.equivalence(&WorkloadTrace::new());
+        assert!(!report.is_equivalent());
+    }
+
+    #[test]
+    fn expected_rps_interpolates() {
+        let trace = diurnal_trace(1, 100.0);
+        let synth = SyntheticWorkload::fit(&trace).unwrap();
+        // Window 420 is 14:00; value should be near the peak bucket.
+        let v = synth.expected_rps(WindowIndex(420));
+        assert!((v - synth.envelope()[14]).abs() < 10.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Recorded workload traces.
+//!
+//! A trace is the per-window demand a pool actually received, together with
+//! the request-class composition. Traces are recorded from simulation runs
+//! ("production") and consumed by [`crate::synthetic`] to fit replayable
+//! synthetic workloads.
+
+use headroom_telemetry::time::WindowIndex;
+
+/// One window of recorded workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceWindow {
+    /// The measurement window.
+    pub window: WindowIndex,
+    /// Total requests per second during the window.
+    pub rps: f64,
+    /// Per-class request fractions (sums to ~1 when non-empty).
+    pub class_fractions: Vec<f64>,
+}
+
+/// A sequence of recorded workload windows.
+///
+/// # Example
+///
+/// ```
+/// use headroom_telemetry::time::WindowIndex;
+/// use headroom_workload::trace::{TraceWindow, WorkloadTrace};
+///
+/// let mut trace = WorkloadTrace::new();
+/// trace.push(TraceWindow { window: WindowIndex(0), rps: 100.0, class_fractions: vec![1.0] });
+/// trace.push(TraceWindow { window: WindowIndex(1), rps: 140.0, class_fractions: vec![1.0] });
+/// assert_eq!(trace.len(), 2);
+/// assert!((trace.mean_rps() - 120.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorkloadTrace {
+    windows: Vec<TraceWindow>,
+}
+
+impl WorkloadTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        WorkloadTrace::default()
+    }
+
+    /// Appends a window record.
+    pub fn push(&mut self, window: TraceWindow) {
+        self.windows.push(window);
+    }
+
+    /// The recorded windows in arrival order.
+    pub fn windows(&self) -> &[TraceWindow] {
+        &self.windows
+    }
+
+    /// Number of recorded windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Mean RPS across windows (`0.0` when empty).
+    pub fn mean_rps(&self) -> f64 {
+        if self.windows.is_empty() {
+            return 0.0;
+        }
+        self.windows.iter().map(|w| w.rps).sum::<f64>() / self.windows.len() as f64
+    }
+
+    /// Minimum and maximum RPS, or `None` when empty.
+    pub fn rps_range(&self) -> Option<(f64, f64)> {
+        if self.windows.is_empty() {
+            return None;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for w in &self.windows {
+            lo = lo.min(w.rps);
+            hi = hi.max(w.rps);
+        }
+        Some((lo, hi))
+    }
+
+    /// The RPS series in window order.
+    pub fn rps_series(&self) -> Vec<f64> {
+        self.windows.iter().map(|w| w.rps).collect()
+    }
+
+    /// Mean per-class fractions over the whole trace (empty when the trace
+    /// records no class data or is ragged).
+    pub fn mean_class_fractions(&self) -> Vec<f64> {
+        let Some(first) = self.windows.first() else {
+            return Vec::new();
+        };
+        let k = first.class_fractions.len();
+        if k == 0 || self.windows.iter().any(|w| w.class_fractions.len() != k) {
+            return Vec::new();
+        }
+        let mut sums = vec![0.0; k];
+        for w in &self.windows {
+            for (s, &f) in sums.iter_mut().zip(&w.class_fractions) {
+                *s += f;
+            }
+        }
+        sums.iter().map(|s| s / self.windows.len() as f64).collect()
+    }
+}
+
+impl FromIterator<TraceWindow> for WorkloadTrace {
+    fn from_iter<I: IntoIterator<Item = TraceWindow>>(iter: I) -> Self {
+        WorkloadTrace { windows: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<TraceWindow> for WorkloadTrace {
+    fn extend<I: IntoIterator<Item = TraceWindow>>(&mut self, iter: I) {
+        self.windows.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tw(w: u64, rps: f64) -> TraceWindow {
+        TraceWindow { window: WindowIndex(w), rps, class_fractions: vec![0.7, 0.3] }
+    }
+
+    #[test]
+    fn empty_trace_defaults() {
+        let t = WorkloadTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.mean_rps(), 0.0);
+        assert_eq!(t.rps_range(), None);
+        assert!(t.mean_class_fractions().is_empty());
+    }
+
+    #[test]
+    fn mean_and_range() {
+        let t: WorkloadTrace = vec![tw(0, 100.0), tw(1, 300.0)].into_iter().collect();
+        assert_eq!(t.mean_rps(), 200.0);
+        assert_eq!(t.rps_range(), Some((100.0, 300.0)));
+        assert_eq!(t.rps_series(), vec![100.0, 300.0]);
+    }
+
+    #[test]
+    fn mean_class_fractions() {
+        let mut t = WorkloadTrace::new();
+        t.push(TraceWindow { window: WindowIndex(0), rps: 1.0, class_fractions: vec![0.6, 0.4] });
+        t.push(TraceWindow { window: WindowIndex(1), rps: 1.0, class_fractions: vec![0.8, 0.2] });
+        let m = t.mean_class_fractions();
+        assert!((m[0] - 0.7).abs() < 1e-12);
+        assert!((m[1] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ragged_class_data_yields_empty() {
+        let mut t = WorkloadTrace::new();
+        t.push(TraceWindow { window: WindowIndex(0), rps: 1.0, class_fractions: vec![1.0] });
+        t.push(TraceWindow { window: WindowIndex(1), rps: 1.0, class_fractions: vec![0.5, 0.5] });
+        assert!(t.mean_class_fractions().is_empty());
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut t = WorkloadTrace::new();
+        t.extend(vec![tw(0, 1.0)]);
+        t.extend(vec![tw(1, 2.0)]);
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for workload-generation invariants.
+
+use headroom_telemetry::ids::DatacenterId;
+use headroom_telemetry::time::{SimTime, WindowIndex, WindowRange};
+use headroom_workload::events::{EventEffect, EventScript, ScheduledEvent};
+use headroom_workload::stepped::SteppedLoad;
+use headroom_workload::synthetic::SyntheticWorkload;
+use headroom_workload::trace::{TraceWindow, WorkloadTrace};
+use headroom_workload::DiurnalCurve;
+use proptest::prelude::*;
+
+proptest! {
+    /// The diurnal curve is non-negative everywhere and periodic over a week.
+    #[test]
+    fn diurnal_nonnegative_and_periodic(
+        base in 0.0f64..1e5,
+        amplitude in 0.0f64..1.0,
+        peak_hour in 0.0f64..24.0,
+        probe_hours in 0.0f64..24.0,
+    ) {
+        let curve = DiurnalCurve::new(base)
+            .with_amplitude(amplitude)
+            .with_peak_hour(peak_hour)
+            .with_noise(0.0);
+        let t1 = SimTime::from_hours(probe_hours);
+        let t2 = SimTime::from_hours(probe_hours + 7.0 * 24.0);
+        prop_assert!(curve.mean_demand(t1) >= 0.0);
+        prop_assert!((curve.mean_demand(t1) - curve.mean_demand(t2)).abs() < 1e-9);
+    }
+
+    /// with_peak_demand always hits its target regardless of curve shape.
+    #[test]
+    fn peak_rescaling_exact(
+        base in 0.1f64..1e4,
+        amplitude in 0.0f64..1.0,
+        target in 0.1f64..1e6,
+    ) {
+        let curve = DiurnalCurve::new(base)
+            .with_amplitude(amplitude)
+            .with_peak_demand(target);
+        prop_assert!((curve.peak_demand() - target).abs() < 1e-6 * target);
+    }
+
+    /// Stacked demand multipliers compose multiplicatively and expire.
+    #[test]
+    fn event_factors_compose(
+        f1 in 0.1f64..5.0,
+        f2 in 0.1f64..5.0,
+        start in 0u64..10_000,
+        duration in 1u64..5_000,
+    ) {
+        let dc = DatacenterId(0);
+        let script = EventScript::new(vec![
+            ScheduledEvent::new(SimTime(start), duration, EventEffect::DemandMultiplier {
+                datacenter: dc,
+                factor: f1,
+            }),
+            ScheduledEvent::new(SimTime(start), duration, EventEffect::GlobalDemandMultiplier {
+                factor: f2,
+            }),
+        ]);
+        let mid = SimTime(start + duration / 2);
+        prop_assert!((script.demand_factor(dc, mid) - f1 * f2).abs() < 1e-12);
+        let after = SimTime(start + duration + 1);
+        prop_assert_eq!(script.demand_factor(dc, after), 1.0);
+    }
+
+    /// A stepped ramp is monotone non-decreasing and covers its windows.
+    #[test]
+    fn ramp_monotone(base in 0.0f64..1e4, step in 0.0f64..1e3, steps in 1usize..20, hold in 1usize..30) {
+        let ramp = SteppedLoad::new(base, step, steps, hold);
+        let levels = ramp.levels();
+        for w in levels.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+        prop_assert_eq!(ramp.total_windows(), steps * hold);
+        let trace = ramp.to_trace(WindowIndex(0));
+        prop_assert_eq!(trace.len(), steps * hold);
+        prop_assert_eq!(trace.windows()[0].rps, base);
+    }
+
+    /// A synthetic model fit from its own generated output stays equivalent
+    /// (fixed-point property of step 3).
+    #[test]
+    fn synthetic_fixed_point(base in 10.0f64..5_000.0, amp in 0.0f64..0.6, seed in 0u64..50) {
+        let production: WorkloadTrace = (0..1440u64)
+            .map(|w| {
+                let hour = WindowIndex(w).midpoint().hour_of_day();
+                let rps = base
+                    * (1.0 + amp * ((hour - 14.0) / 24.0 * std::f64::consts::TAU).cos());
+                TraceWindow { window: WindowIndex(w), rps, class_fractions: vec![0.6, 0.4] }
+            })
+            .collect();
+        let model = SyntheticWorkload::fit(&production).unwrap();
+        let generated = model.generate(WindowRange::days(1.0), seed);
+        let refit = SyntheticWorkload::fit(&generated).unwrap();
+        let report = refit.equivalence(&model.generate(WindowRange::days(1.0), seed + 1));
+        prop_assert!(report.is_equivalent(), "{report:?}");
+    }
+}

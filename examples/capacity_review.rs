@@ -1,0 +1,69 @@
+//! Quarterly capacity review: run the full measure→optimize pipeline over a
+//! paper-shaped fleet and print the Table IV-style savings report.
+//!
+//! ```text
+//! cargo run --release --example capacity_review
+//! ```
+
+use headroom::cluster::catalog::MicroserviceKind;
+use headroom::cluster::scenario::FleetScenario;
+use headroom::core::report::{ms, pct, render_table};
+use headroom::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two weeks of telemetry from a scaled-down 9-DC fleet.
+    println!("simulating the fleet (this takes a moment)...");
+    let outcome = FleetScenario::paper_scale(7, 0.10).run_days(2.0)?;
+
+    // Per-service QoS requirements come from the business (here: catalog).
+    let fleet = outcome.fleet();
+    let qos_for = |pool: headroom::telemetry::ids::PoolId| {
+        let kind = fleet
+            .pool(pool)
+            .map(|p| p.service)
+            .unwrap_or(MicroserviceKind::B);
+        QosRequirement::latency(kind.spec().latency_slo_ms).with_cpu_ceiling(60.0)
+    };
+
+    let planner = CapacityPlanner { availability_days: 2, ..CapacityPlanner::new() };
+    let report = planner.plan(outcome.store(), outcome.availability(), outcome.range(), qos_for);
+
+    let mut rows = Vec::new();
+    for plan in &report.pools {
+        let service = fleet.pool(plan.pool).map(|p| p.service.to_string()).unwrap_or_default();
+        rows.push(vec![
+            plan.pool.to_string(),
+            service,
+            plan.savings.current_servers.to_string(),
+            plan.savings.min_servers.to_string(),
+            pct(plan.savings.efficiency_savings),
+            ms(plan.savings.latency_impact_ms),
+            pct(plan.savings.online_savings),
+            pct(plan.savings.total_savings),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Pool", "Svc", "Now", "Min", "Efficiency", "Latency", "Online", "Total"],
+            &rows
+        )
+    );
+
+    let savings = report.savings();
+    println!(
+        "fleet: {} servers, {:.0} removable ({} efficiency + {} online = {} total)",
+        savings.total_servers(),
+        savings.removable_servers(),
+        pct(savings.efficiency_savings()),
+        pct(savings.online_savings()),
+        pct(savings.total_savings()),
+    );
+    if !report.skipped.is_empty() {
+        println!("skipped pools (metric validation failed):");
+        for (pool, err) in &report.skipped {
+            println!("  {pool}: {err}");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Forward planning: workload-growth trends and disaster-recovery sizing.
+//!
+//! The optimizer answers "how few servers today?"; capacity planners also
+//! need "how many in a quarter?" (workload trends, §II) and "how many to
+//! survive a datacenter loss?" (the DR capacity the paper's savings must
+//! not eat into).
+//!
+//! ```text
+//! cargo run --example growth_and_dr
+//! ```
+
+use headroom::cluster::catalog::MicroserviceKind;
+use headroom::core::disaster::dr_min_servers;
+use headroom::core::growth::GrowthModel;
+use headroom::prelude::*;
+use headroom::workload::events::{EventEffect, EventScript, ScheduledEvent};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A business week of traffic with ~1%/day organic growth, scripted as
+    // daily demand multipliers on top of the diurnal cycle. (Fitting across
+    // a weekend would confound the trend with the weekly dip — trend
+    // windows are weekday-aligned, as a production planner's would be.)
+    let growth_script: EventScript = (0..5u64)
+        .map(|day| {
+            ScheduledEvent::new(
+                SimTime::from_days(day as f64),
+                86_400,
+                EventEffect::GlobalDemandMultiplier { factor: 1.0 + 0.01 * day as f64 },
+            )
+        })
+        .collect();
+    let outcome = FleetScenario::single_service(MicroserviceKind::B, 3, 60, 4242)
+        .with_events(growth_script)
+        .run_days(5.0)?;
+
+    // Fit response curves + growth trend on the pool in the largest DC.
+    let pool = outcome.pools()[0];
+    let obs = PoolObservations::collect(outcome.store(), pool, outcome.range())?;
+    let forecaster = CapacityForecaster::fit(&obs)?;
+    let growth = GrowthModel::fit_from_observations(&obs)?;
+    println!(
+        "growth trend: {:+.0} rps/day ({:.2}%/day) over {} days of history",
+        growth.trend.slope,
+        growth.daily_growth_rate() * 100.0,
+        growth.history_days
+    );
+
+    let qos = QosRequirement::latency(32.5).with_cpu_ceiling(60.0);
+    for horizon in [0.0, 10.0, 20.0] {
+        let n = growth.min_servers_at(&forecaster, &qos, horizon, 0.05)?;
+        println!("  servers needed {horizon:>4.0} days out: {n}");
+    }
+    // The model refuses to extrapolate far past its history:
+    if let Err(e) = growth.min_servers_at(&forecaster, &qos, 90.0, 0.05) {
+        println!("  servers needed   90 days out: refused ({e})");
+    }
+
+    // DR sizing: per-DC peaks + weights, tolerate any single-DC loss.
+    let mut peaks = Vec::new();
+    let mut weights = Vec::new();
+    for pool in outcome.pools() {
+        let obs = PoolObservations::collect(outcome.store(), pool, outcome.range())?;
+        peaks.push(obs.total_rps().into_iter().fold(0.0f64, f64::max));
+        let dc = outcome.store().pool_datacenter(pool).expect("registered");
+        weights.push(outcome.fleet().datacenter(dc).map(|d| d.weight).unwrap_or(1.0));
+    }
+    let plan = dr_min_servers(&forecaster, &peaks, &weights, &qos)?;
+    println!("\ndisaster-recovery sizing (survive any single-DC loss):");
+    for (i, (&with_dr, &without)) in
+        plan.servers.iter().zip(&plan.servers_without_dr).enumerate()
+    {
+        println!(
+            "  DC{}: {with_dr} servers (vs {without} without DR), worst-case {:.0} rps/server",
+            i + 1,
+            plan.worst_case_rps[i]
+        );
+    }
+    println!(
+        "DR overhead: {:.0}% of the allocation exists purely for failover",
+        plan.dr_overhead() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Quickstart: simulate a small fleet, learn a pool's response curves, and
+//! forecast a server reduction — the paper's §III-A experiment in ~40 lines.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use headroom::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small fleet: services B and D in three datacenters, two diurnal days.
+    let scenario = FleetScenario::small(42);
+    let outcome = scenario.run_days(2.0)?;
+
+    let pool = outcome.pools()[0];
+    let obs = PoolObservations::collect(outcome.store(), pool, outcome.range())?;
+    println!("pool {pool}: {} observation windows", obs.len());
+
+    // Step 1-2: the two black-box response curves.
+    let forecaster = CapacityForecaster::fit(&obs)?;
+    println!("cpu fit     : {}", forecaster.cpu.fit);
+    println!(
+        "latency fit : {} (R^2 {:.3})",
+        forecaster.latency.poly, forecaster.latency.r_squared
+    );
+
+    // Forecast the paper's experiment: remove 30% of servers.
+    let p95 = obs.rps_percentile(95.0)?;
+    let forecast = forecaster.after_reduction(p95, 0.30)?;
+    println!(
+        "at p95 load ({p95:.0} rps/server), removing 30% of servers gives:\n  \
+         -> {:.0} rps/server, {:.1}% CPU, {:.1} ms p95 latency",
+        forecast.rps_per_server, forecast.cpu_pct, forecast.latency_p95_ms
+    );
+
+    // Invert: the smallest pool meeting a 32.5 ms SLO at peak.
+    let qos = QosRequirement::latency(32.5).with_cpu_ceiling(60.0);
+    let peak_total = obs
+        .total_rps()
+        .into_iter()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let min_servers = forecaster.min_servers(peak_total, &qos, 0.05)?;
+    let current = obs.active_servers.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    println!(
+        "minimum servers for '{qos:?}' at peak ({peak_total:.0} rps total): \
+         {min_servers} (currently {current:.0})"
+    );
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! # headroom
+//!
+//! A reproduction of *"Right-sizing Server Capacity Headroom for Global
+//! Online Services"* (Verbowski et al., ICDCS 2018) as a production-quality
+//! Rust workspace: a black-box capacity planner, the fleet simulator it is
+//! evaluated on, baseline planners, and the full experiment harness.
+//!
+//! This facade crate re-exports every workspace crate under one roof so
+//! applications can depend on a single crate:
+//!
+//! - [`stats`] — regression, RANSAC, decision trees, clustering, percentiles.
+//! - [`telemetry`] — 120-second windowed counters, metric store, availability.
+//! - [`workload`] — diurnal demand, unplanned events, synthetic workloads.
+//! - [`cluster`] — the deterministic fleet simulator (datacenters, pools,
+//!   micro-services A–G, maintenance, failures).
+//! - [`core`] — the paper's methodology: measure → optimize → model → validate.
+//! - [`baselines`] — Erlang-C, reactive autoscaler and static-peak planners.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use headroom::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Simulate one diurnal day of a small fleet, then fit the
+//! // workload -> CPU relationship for one pool.
+//! let scenario = FleetScenario::small(42);
+//! let outcome = scenario.run_days(1.0)?;
+//! let pool = outcome.pools()[0];
+//! let obs = PoolObservations::collect(outcome.store(), pool, outcome.range())?;
+//! let cpu = CpuModel::fit(&obs)?;
+//! assert!(cpu.fit.r_squared > 0.9);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use headroom_baselines as baselines;
+pub use headroom_cluster as cluster;
+pub use headroom_core as core;
+pub use headroom_stats as stats;
+pub use headroom_telemetry as telemetry;
+pub use headroom_workload as workload;
+
+/// Convenient re-exports of the types used by almost every application.
+pub mod prelude {
+    pub use headroom_cluster::catalog::MicroserviceKind;
+    pub use headroom_cluster::scenario::{FleetScenario, ScenarioOutcome};
+    pub use headroom_cluster::sim::Simulation;
+    pub use headroom_core::curves::{CpuModel, LatencyModel, PoolObservations};
+    pub use headroom_core::forecast::CapacityForecaster;
+    pub use headroom_core::pipeline::CapacityPlanner;
+    pub use headroom_core::slo::{QosRequirement, Slo};
+    pub use headroom_stats::{LinearFit, Polynomial, Summary};
+    pub use headroom_telemetry::time::{SimTime, WindowRange};
+}

@@ -1,0 +1,132 @@
+//! Cross-crate integration tests: the full measure→optimize pipeline over
+//! the public facade API.
+
+use headroom::cluster::catalog::MicroserviceKind;
+use headroom::core::pipeline::CapacityPlanner;
+use headroom::prelude::*;
+
+fn qos_for_small(pool: headroom::telemetry::ids::PoolId) -> QosRequirement {
+    if pool.0 < 3 {
+        QosRequirement::latency(32.5).with_cpu_ceiling(90.0)
+    } else {
+        QosRequirement::latency(58.0).with_cpu_ceiling(90.0)
+    }
+}
+
+#[test]
+fn pipeline_finds_headroom_in_small_fleet() {
+    let outcome = FleetScenario::small(1).run_days(2.0).unwrap();
+    let planner = CapacityPlanner { availability_days: 2, ..CapacityPlanner::new() };
+    let report =
+        planner.plan(outcome.store(), outcome.availability(), outcome.range(), qos_for_small);
+    assert!(report.pools.len() >= 5, "skipped: {:?}", report.skipped);
+    let savings = report.savings();
+    // The small fleet is built with ~1/3 headroom on B and D.
+    assert!(
+        savings.efficiency_savings() > 0.15,
+        "efficiency {:.2}",
+        savings.efficiency_savings()
+    );
+    assert!(savings.total_savings() < 0.6);
+}
+
+#[test]
+fn planning_is_deterministic() {
+    let run = || {
+        let outcome = FleetScenario::small(9).run_days(1.0).unwrap();
+        let planner = CapacityPlanner { availability_days: 1, ..CapacityPlanner::new() };
+        planner
+            .plan(outcome.store(), outcome.availability(), outcome.range(), qos_for_small)
+            .savings()
+            .rows
+            .iter()
+            .map(|r| (r.pool, r.min_servers, r.efficiency_savings))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_produce_different_telemetry_same_conclusions() {
+    let savings_for = |seed| {
+        let outcome = FleetScenario::small(seed).run_days(1.0).unwrap();
+        let planner = CapacityPlanner { availability_days: 1, ..CapacityPlanner::new() };
+        let report = planner.plan(
+            outcome.store(),
+            outcome.availability(),
+            outcome.range(),
+            qos_for_small,
+        );
+        report.savings().efficiency_savings()
+    };
+    let a = savings_for(100);
+    let b = savings_for(200);
+    assert_ne!(a, b, "different seeds should differ in detail");
+    assert!((a - b).abs() < 0.08, "but agree on the conclusion: {a:.3} vs {b:.3}");
+}
+
+#[test]
+fn forecaster_round_trip_on_simulated_pool() {
+    // Fit on days 0-1, verify on day 2 (out of sample).
+    let scenario = FleetScenario::single_service(MicroserviceKind::D, 1, 40, 17);
+    let outcome = scenario.run_days(3.0).unwrap();
+    let pool = outcome.pools()[0];
+    let fit_range = WindowRange::days(2.0);
+    let all = PoolObservations::collect(outcome.store(), pool, outcome.range()).unwrap();
+    let train = PoolObservations::collect(outcome.store(), pool, fit_range).unwrap();
+    let forecaster = CapacityForecaster::fit(&train).unwrap();
+    // Every day-3 observation within 10% of the forecast.
+    let mut checked = 0;
+    for i in 0..all.len() {
+        if all.windows[i].0 < 1440 {
+            continue;
+        }
+        let predicted = forecaster.at_rps(all.rps_per_server[i]);
+        let cpu_err = (predicted.cpu_pct - all.cpu_pct[i]).abs() / all.cpu_pct[i].max(1.0);
+        assert!(cpu_err < 0.10, "cpu err {cpu_err:.3} at window {i}");
+        checked += 1;
+    }
+    assert!(checked > 600);
+}
+
+#[test]
+fn grouping_splits_only_heterogeneous_pools() {
+    use headroom::core::grouping::split_pool_groups;
+    // Homogeneous pool: one group.
+    let homogeneous = FleetScenario::single_service(MicroserviceKind::B, 1, 30, 3)
+        .run_days(1.0)
+        .unwrap();
+    let split = split_pool_groups(
+        homogeneous.store(),
+        homogeneous.pools()[0],
+        homogeneous.range(),
+    )
+    .unwrap();
+    assert_eq!(split.groups.len(), 1);
+
+    // Mixed-hardware pool: two groups.
+    let mixed = FleetScenario::single_service(MicroserviceKind::I, 1, 30, 3)
+        .run_days(1.0)
+        .unwrap();
+    let split =
+        split_pool_groups(mixed.store(), mixed.pools()[0], mixed.range()).unwrap();
+    assert_eq!(split.groups.len(), 2);
+}
+
+#[test]
+fn availability_flows_into_online_savings() {
+    use headroom::core::optimizer::optimize_pool;
+    // Service C runs Heavy maintenance (~90.5%): online savings ≈ 7-8%.
+    let spec = MicroserviceKind::C.spec();
+    let outcome = FleetScenario::paper_scale(31, 0.1).run_days(2.0).unwrap();
+    let pool = outcome.fleet().pools_of_service(MicroserviceKind::C)[0];
+    let qos = QosRequirement::latency(spec.latency_slo_ms).with_cpu_ceiling(60.0);
+    let savings =
+        optimize_pool(outcome.store(), outcome.availability(), pool, outcome.range(), &qos, 2)
+            .unwrap();
+    assert!(
+        (savings.online_savings - 0.076).abs() < 0.05,
+        "online {:.3}",
+        savings.online_savings
+    );
+}

@@ -1,0 +1,93 @@
+//! Property-based tests of system-level invariants across crates.
+
+use headroom::cluster::catalog::MicroserviceKind;
+use headroom::cluster::pool::LoadBalancer;
+use headroom::cluster::sim::{SimConfig, Simulation};
+use headroom::cluster::topology::FleetBuilder;
+use headroom::prelude::*;
+use headroom::telemetry::counter::CounterKind;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The load balancer conserves total workload for any demand and size.
+    #[test]
+    fn lb_conserves_demand(total in 0.0f64..1e6, n in 1usize..500, seed in 0u64..1000) {
+        let lb = LoadBalancer::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shares = lb.distribute(total, n, &mut rng);
+        prop_assert_eq!(shares.len(), n);
+        let sum: f64 = shares.iter().sum();
+        prop_assert!((sum - total).abs() < 1e-6 * (1.0 + total));
+        prop_assert!(shares.iter().all(|&s| s >= 0.0));
+    }
+
+    /// Simulation is bit-reproducible for any seed.
+    #[test]
+    fn simulation_deterministic(seed in 0u64..100) {
+        let run = || {
+            let fleet = FleetBuilder::new(seed)
+                .datacenters(2)
+                .deploy_service(MicroserviceKind::G, 6)
+                .expect("dcs")
+                .build();
+            let mut sim = Simulation::new(fleet, Default::default(), SimConfig {
+                seed,
+                ..SimConfig::default()
+            });
+            sim.run_windows(40);
+            let pool = sim.fleet().pools()[0].id;
+            sim.store().pool_mean_series(
+                pool,
+                CounterKind::CpuPercent,
+                WindowRange::new(
+                    headroom::telemetry::time::WindowIndex(0),
+                    headroom::telemetry::time::WindowIndex(40),
+                ),
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Removing more servers never lowers forecast CPU or (on the rising
+    /// branch) latency.
+    #[test]
+    fn reduction_forecasts_are_monotone(frac_a in 0.0f64..0.4, frac_b in 0.4f64..0.8) {
+        let obs = PoolObservations {
+            pool: headroom::telemetry::ids::PoolId(0),
+            windows: (0..100).map(headroom::telemetry::time::WindowIndex).collect(),
+            rps_per_server: (0..100).map(|i| 380.0 + i as f64).collect(),
+            cpu_pct: (0..100).map(|i| 0.028 * (380.0 + i as f64) + 1.37).collect(),
+            latency_p95_ms: (0..100)
+                .map(|i| {
+                    let r = 380.0 + i as f64;
+                    4.028e-5 * r * r - 0.031 * r + 36.68
+                })
+                .collect(),
+            active_servers: vec![10.0; 100],
+        };
+        let f = CapacityForecaster::fit(&obs).unwrap();
+        let small = f.after_reduction(400.0, frac_a).unwrap();
+        let large = f.after_reduction(400.0, frac_b).unwrap();
+        prop_assert!(large.cpu_pct >= small.cpu_pct);
+        prop_assert!(large.rps_per_server > small.rps_per_server);
+    }
+
+    /// Pool availability always lands in [0, 1] and pools never gain
+    /// servers spontaneously.
+    #[test]
+    fn availability_bounded(seed in 0u64..30, days in 1u64..3) {
+        let outcome = FleetScenario::paper_scale(seed, 0.02)
+            .run_days(days as f64)
+            .unwrap();
+        for (_, _, a) in outcome.availability().daily_records() {
+            prop_assert!((0.0..=1.0).contains(&a));
+        }
+        for pool in outcome.fleet().pools() {
+            prop_assert!(pool.active_count() <= pool.size());
+        }
+    }
+}
