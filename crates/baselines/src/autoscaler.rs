@@ -68,7 +68,7 @@ impl ReactiveAutoscaler {
         target_rps_per_server: f64,
         qos_rps_per_server: f64,
     ) -> Result<Self, AutoscalerError> {
-        if !(target_rps_per_server > 0.0) {
+        if target_rps_per_server <= 0.0 || target_rps_per_server.is_nan() {
             return Err(AutoscalerError::InvalidParameter("target must be positive"));
         }
         if qos_rps_per_server < target_rps_per_server {
@@ -109,8 +109,7 @@ impl ReactiveAutoscaler {
     ///
     /// The scaler starts at the capacity matching the first window's demand.
     pub fn simulate(&self, demand: &[f64]) -> AutoscalerOutcome {
-        let mut serving = ((demand.first().copied().unwrap_or(0.0)
-            / self.target_rps_per_server)
+        let mut serving = ((demand.first().copied().unwrap_or(0.0) / self.target_rps_per_server)
             .ceil() as usize)
             .clamp(self.min_servers, self.max_servers);
         // Queue of (ready_window, count) for capacity in flight.

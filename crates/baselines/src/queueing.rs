@@ -54,10 +54,10 @@ impl ErlangC {
     ///
     /// [`QueueingError::InvalidParameter`] for non-positive rates.
     pub fn new(arrival_rate: f64, service_rate: f64) -> Result<Self, QueueingError> {
-        if !(arrival_rate > 0.0) || !arrival_rate.is_finite() {
+        if arrival_rate <= 0.0 || !arrival_rate.is_finite() {
             return Err(QueueingError::InvalidParameter("arrival rate must be positive"));
         }
-        if !(service_rate > 0.0) || !service_rate.is_finite() {
+        if service_rate <= 0.0 || !service_rate.is_finite() {
             return Err(QueueingError::InvalidParameter("service rate must be positive"));
         }
         Ok(ErlangC { arrival_rate, service_rate })
@@ -125,11 +125,7 @@ impl ErlangC {
         let p_wait = self.wait_probability(servers);
         let drain = c * self.service_rate - self.arrival_rate;
         // P(W > t) = p_wait * exp(-drain * t); invert for the q-quantile.
-        let wait_q = if p_wait <= 1.0 - q {
-            0.0
-        } else {
-            (p_wait / (1.0 - q)).ln() / drain
-        };
+        let wait_q = if p_wait <= 1.0 - q { 0.0 } else { (p_wait / (1.0 - q)).ln() / drain };
         Ok(wait_q + 1.0 / self.service_rate)
     }
 }
@@ -150,7 +146,7 @@ impl QueueingPlanner {
     ///
     /// [`QueueingError::InvalidParameter`] for a non-positive rate.
     pub fn new(assumed_service_rate: f64) -> Result<Self, QueueingError> {
-        if !(assumed_service_rate > 0.0) || !assumed_service_rate.is_finite() {
+        if assumed_service_rate <= 0.0 || !assumed_service_rate.is_finite() {
             return Err(QueueingError::InvalidParameter("service rate must be positive"));
         }
         Ok(QueueingPlanner { assumed_service_rate, quantile: 0.95 })
@@ -164,7 +160,7 @@ impl QueueingPlanner {
     /// - [`QueueingError::Unstable`] when no count up to 1,000,000 works.
     /// - [`QueueingError::InvalidParameter`] for bad inputs.
     pub fn required_servers(&self, peak_rps: f64, slo_ms: f64) -> Result<usize, QueueingError> {
-        if !(slo_ms > 0.0) || !slo_ms.is_finite() {
+        if slo_ms <= 0.0 || !slo_ms.is_finite() {
             return Err(QueueingError::InvalidParameter("slo must be positive"));
         }
         let system = ErlangC::new(peak_rps, self.assumed_service_rate)?;
@@ -267,10 +263,7 @@ mod tests {
         let stale = QueueingPlanner::new(30.0).unwrap();
         let honest = truth.required_servers(2000.0, 80.0).unwrap();
         let optimistic = stale.required_servers(2000.0, 80.0).unwrap();
-        assert!(
-            optimistic < honest,
-            "optimistic model underprovisions: {optimistic} vs {honest}"
-        );
+        assert!(optimistic < honest, "optimistic model underprovisions: {optimistic} vs {honest}");
         // And the optimistic allocation really does violate the SLO.
         let real = ErlangC::new(2000.0, 20.0).unwrap();
         let at_optimistic = real.sojourn_quantile(optimistic, 0.95);

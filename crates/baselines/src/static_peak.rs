@@ -43,13 +43,11 @@ impl StaticPeakPlanner {
     /// [`StaticPlanError::InvalidParameter`] when the factor is below 1 or
     /// the per-server capacity is non-positive.
     pub fn new(headroom_factor: f64, rps_per_server_at_slo: f64) -> Result<Self, StaticPlanError> {
-        if !(headroom_factor >= 1.0) || !headroom_factor.is_finite() {
+        if headroom_factor < 1.0 || !headroom_factor.is_finite() {
             return Err(StaticPlanError::InvalidParameter("headroom factor must be >= 1"));
         }
-        if !(rps_per_server_at_slo > 0.0) || !rps_per_server_at_slo.is_finite() {
-            return Err(StaticPlanError::InvalidParameter(
-                "per-server capacity must be positive",
-            ));
+        if rps_per_server_at_slo <= 0.0 || !rps_per_server_at_slo.is_finite() {
+            return Err(StaticPlanError::InvalidParameter("per-server capacity must be positive"));
         }
         Ok(StaticPeakPlanner { headroom_factor, rps_per_server_at_slo })
     }

@@ -1,0 +1,105 @@
+//! Streaming vs batch re-planning cost.
+//!
+//! The streaming planner's pitch is that staying current costs O(1) per
+//! window, while a batch planner that wants the same freshness must refit
+//! from the full store every window. These benchmarks measure both sides on
+//! identical telemetry: a two-day, six-pool small fleet.
+//!
+//! `online_replan/observe_one_window` processes one full fleet snapshot
+//! (aggregation + estimator updates + sizing re-derivation for all six
+//! pools); the `batch_refit/*` benchmarks are what a batch planner would
+//! re-run to refresh the same decisions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use headroom_cluster::scenario::FleetScenario;
+use headroom_cluster::sim::{SnapshotRow, WindowSnapshot};
+use headroom_core::optimizer::optimize_pool;
+use headroom_core::pipeline::CapacityPlanner;
+use headroom_core::slo::QosRequirement;
+use headroom_online::planner::{OnlinePlanner, OnlinePlannerConfig};
+use headroom_telemetry::ids::PoolId;
+use headroom_telemetry::time::WindowIndex;
+use std::hint::black_box;
+
+const DAYS: f64 = 2.0;
+const WINDOWS: u64 = (DAYS * 720.0) as u64;
+
+fn qos_for(pool: PoolId) -> QosRequirement {
+    QosRequirement::small_fleet(pool)
+}
+
+fn planner_for_small_fleet(window_capacity: usize) -> OnlinePlanner {
+    let config = OnlinePlannerConfig {
+        window_capacity,
+        min_fit_windows: 180,
+        ..OnlinePlannerConfig::default()
+    };
+    let mut planner = OnlinePlanner::new(config, qos_for(PoolId(0)));
+    for pool in 3..6 {
+        planner.set_qos(PoolId(pool), qos_for(PoolId(pool)));
+    }
+    planner
+}
+
+/// Re-records the scenario's snapshots so the bench can replay identical
+/// windows without re-simulating inside the timing loop.
+fn recorded_snapshots(seed: u64) -> Vec<Vec<SnapshotRow>> {
+    let mut sim = FleetScenario::small(seed).into_simulation();
+    let mut rows = Vec::with_capacity(WINDOWS as usize);
+    sim.run_windows_observed(WINDOWS, |snap| rows.push(snap.rows.to_vec()));
+    rows
+}
+
+fn bench_online_vs_batch(c: &mut Criterion) {
+    let snapshots = recorded_snapshots(5);
+
+    // ---- online side: one window of streaming work, steady state ----
+    let mut planner = planner_for_small_fleet(WINDOWS as usize);
+    for (i, rows) in snapshots.iter().enumerate() {
+        planner.observe(&WindowSnapshot { window: WindowIndex(i as u64), rows });
+    }
+    let mut group = c.benchmark_group("online_replan");
+    let mut next = WINDOWS;
+    let mut cursor = 0usize;
+    group.bench_function("observe_one_window", |b| {
+        b.iter(|| {
+            let snap = WindowSnapshot { window: WindowIndex(next), rows: &snapshots[cursor] };
+            planner.observe(black_box(&snap));
+            next += 1;
+            cursor = (cursor + 1) % snapshots.len();
+            planner.assessments().len()
+        })
+    });
+    group.finish();
+
+    // ---- batch side: the refit a non-streaming planner needs per window ----
+    let outcome = FleetScenario::small(5).run_days(DAYS).expect("scenario runs");
+    let qos = qos_for(PoolId(0));
+    let pool = outcome.pools()[0];
+
+    let mut group = c.benchmark_group("batch_refit");
+    group.sample_size(20);
+    group.bench_function("optimize_one_pool", |b| {
+        b.iter(|| {
+            optimize_pool(
+                black_box(outcome.store()),
+                outcome.availability(),
+                pool,
+                outcome.range(),
+                &qos,
+                DAYS as u64,
+            )
+            .unwrap()
+        })
+    });
+    let batch = CapacityPlanner { availability_days: DAYS as u64, ..CapacityPlanner::new() };
+    group.bench_function("plan_all_pools", |b| {
+        b.iter(|| {
+            batch.plan(black_box(outcome.store()), outcome.availability(), outcome.range(), qos_for)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_online_vs_batch);
+criterion_main!(benches);

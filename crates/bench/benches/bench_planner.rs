@@ -21,18 +21,12 @@ fn bench_planner(c: &mut Criterion) {
 
     c.bench_function("collect_pool_observations_2d", |b| {
         b.iter(|| {
-            PoolObservations::collect(
-                black_box(outcome.store()),
-                black_box(pool),
-                outcome.range(),
-            )
-            .unwrap()
+            PoolObservations::collect(black_box(outcome.store()), black_box(pool), outcome.range())
+                .unwrap()
         })
     });
 
-    c.bench_function("cpu_model_fit_2d", |b| {
-        b.iter(|| CpuModel::fit(black_box(&obs)).unwrap())
-    });
+    c.bench_function("cpu_model_fit_2d", |b| b.iter(|| CpuModel::fit(black_box(&obs)).unwrap()));
 
     c.bench_function("latency_model_fit_2d", |b| {
         b.iter(|| LatencyModel::fit(black_box(&obs)).unwrap())

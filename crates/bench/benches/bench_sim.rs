@@ -27,11 +27,11 @@ fn bench_sim_day(c: &mut Criterion) {
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
             b.iter(|| {
-                let mut sim = Simulation::new(fleet(50), Default::default(), SimConfig {
-                    seed: 3,
-                    recording: policy,
-                    track_availability: true,
-                });
+                let mut sim = Simulation::new(
+                    fleet(50),
+                    Default::default(),
+                    SimConfig { seed: 3, recording: policy, track_availability: true },
+                );
                 sim.run_windows(black_box(30));
                 sim.store().sample_count()
             })

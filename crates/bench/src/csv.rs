@@ -35,9 +35,7 @@ impl CsvTable {
                 cell.to_string()
             }
         };
-        out.push_str(
-            &self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","),
-        );
+        out.push_str(&self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));

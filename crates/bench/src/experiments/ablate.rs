@@ -69,7 +69,14 @@ pub fn run(scale: &Scale) -> Result<AblateReport, Box<dyn Error>> {
     let partition_r2 = partition_ablation(scale)?;
     let (whole_pool_r2, group_r2) = grouping_ablation(scale)?;
     let planners = planner_comparison(scale)?;
-    Ok(AblateReport { ransac_error_ms, ols_error_ms, partition_r2, whole_pool_r2, group_r2, planners })
+    Ok(AblateReport {
+        ransac_error_ms,
+        ols_error_ms,
+        partition_r2,
+        whole_pool_r2,
+        group_r2,
+        planners,
+    })
 }
 
 /// Ablation 1: latency fit robustness under a deployment glitch.
@@ -93,9 +100,8 @@ fn ransac_vs_ols(scale: &Scale) -> (f64, f64) {
     let ransac_err = LatencyModel::fit_xy(&xs, &ys, scale.seed)
         .map(|m| (m.predict(540.0) - target).abs())
         .unwrap_or(f64::NAN);
-    let ols_err = Polynomial::fit(&xs, &ys, 2)
-        .map(|m| (m.predict(540.0) - target).abs())
-        .unwrap_or(f64::NAN);
+    let ols_err =
+        Polynomial::fit(&xs, &ys, 2).map(|m| (m.predict(540.0) - target).abs()).unwrap_or(f64::NAN);
     (ransac_err, ols_err)
 }
 
@@ -212,8 +218,7 @@ fn planner_comparison(scale: &Scale) -> Result<Vec<PlannerRow>, Box<dyn Error>> 
     rows.push(PlannerRow {
         name: "black-box right-sized".into(),
         mean_servers: right_sized,
-        violation_fraction: demand.iter().filter(|&&d| qos_violated(right_sized, d)).count()
-            as f64
+        violation_fraction: demand.iter().filter(|&&d| qos_violated(right_sized, d)).count() as f64
             / demand.len() as f64,
     });
 
@@ -223,10 +228,8 @@ fn planner_comparison(scale: &Scale) -> Result<Vec<PlannerRow>, Box<dyn Error>> 
     rows.push(PlannerRow {
         name: "static peak x1.5".into(),
         mean_servers: static_servers,
-        violation_fraction: demand
-            .iter()
-            .filter(|&&d| qos_violated(static_servers, d))
-            .count() as f64
+        violation_fraction: demand.iter().filter(|&&d| qos_violated(static_servers, d)).count()
+            as f64
             / demand.len() as f64,
     });
 
@@ -235,24 +238,21 @@ fn planner_comparison(scale: &Scale) -> Result<Vec<PlannerRow>, Box<dyn Error>> 
     // the measured per-server capacity; the drifted variant believes a
     // stale, 30%-optimistic mu — the §I "quickly invalidated as the system
     // evolves" failure.
-    for (name, mu) in [
-        ("erlang-c calibrated", rps_at_slo),
-        ("erlang-c drifted (+30% mu)", rps_at_slo * 1.3),
-    ] {
+    for (name, mu) in
+        [("erlang-c calibrated", rps_at_slo), ("erlang-c drifted (+30% mu)", rps_at_slo * 1.3)]
+    {
         let planner = QueueingPlanner::new(mu)?;
         let servers = planner.required_servers(peak, 32.5).map(|c| c as f64)?;
         rows.push(PlannerRow {
             name: name.into(),
             mean_servers: servers,
-            violation_fraction: demand.iter().filter(|&&d| qos_violated(servers, d)).count()
-                as f64
+            violation_fraction: demand.iter().filter(|&&d| qos_violated(servers, d)).count() as f64
                 / demand.len() as f64,
         });
     }
 
     // Reactive autoscaler with realistic lag.
-    let scaler = ReactiveAutoscaler::new(rps_at_slo * 0.75, rps_at_slo)?
-        .with_lag(30, 5);
+    let scaler = ReactiveAutoscaler::new(rps_at_slo * 0.75, rps_at_slo)?.with_lag(30, 5);
     let outcome = scaler.simulate(&demand);
     rows.push(PlannerRow {
         name: "reactive autoscaler (1h lag)".into(),
@@ -288,14 +288,17 @@ impl AblateReport {
             CsvTable {
                 name: "ablate_grouping".into(),
                 headers: vec!["fit".into(), "r2".into()],
-                rows: std::iter::once(vec!["whole_pool".into(), format!("{:.3}", self.whole_pool_r2)])
-                    .chain(
-                        self.group_r2
-                            .iter()
-                            .enumerate()
-                            .map(|(i, r2)| vec![format!("group_{i}"), format!("{r2:.3}")]),
-                    )
-                    .collect(),
+                rows: std::iter::once(vec![
+                    "whole_pool".into(),
+                    format!("{:.3}", self.whole_pool_r2),
+                ])
+                .chain(
+                    self.group_r2
+                        .iter()
+                        .enumerate()
+                        .map(|(i, r2)| vec![format!("group_{i}"), format!("{r2:.3}")]),
+                )
+                .collect(),
             },
             CsvTable {
                 name: "ablate_planners".into(),

@@ -12,9 +12,9 @@ use std::fmt;
 use headroom_cluster::catalog::MicroserviceKind;
 use headroom_cluster::scenario::FleetScenario;
 use headroom_cluster::sim::RecordingPolicy;
-use headroom_core::metric_validation::{screen_xy, CounterScreen};
 #[cfg(test)]
 use headroom_core::metric_validation::MetricVerdict;
+use headroom_core::metric_validation::{screen_xy, CounterScreen};
 use headroom_core::report::render_table;
 use headroom_telemetry::counter::CounterKind;
 
@@ -92,7 +92,9 @@ impl Fig2Report {
                 rows: p
                     .points
                     .iter()
-                    .map(|(dc, x, y)| vec![format!("DC{}", dc + 1), format!("{x:.2}"), format!("{y:.2}")])
+                    .map(|(dc, x, y)| {
+                        vec![format!("DC{}", dc + 1), format!("{x:.2}"), format!("{y:.2}")]
+                    })
                     .collect(),
             })
             .collect()
@@ -119,11 +121,7 @@ impl fmt::Display for Fig2Report {
                 ]
             })
             .collect();
-        write!(
-            f,
-            "{}",
-            render_table(&["Counter", "R^2", "Verdict", "Fit", "Points"], &rows)
-        )
+        write!(f, "{}", render_table(&["Counter", "R^2", "Verdict", "Fit", "Points"], &rows))
     }
 }
 

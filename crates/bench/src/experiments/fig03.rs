@@ -48,17 +48,10 @@ pub fn run(scale: &Scale) -> Result<Fig3Report, Box<dyn Error>> {
     for (dc, pool) in outcome.pools().into_iter().enumerate() {
         let split = split_pool_groups(outcome.store(), pool, outcome.range())?;
         let group_of = |server: headroom_telemetry::ids::ServerId| {
-            split
-                .groups
-                .iter()
-                .position(|g| g.contains(&server))
-                .unwrap_or(0)
+            split.groups.iter().position(|g| g.contains(&server)).unwrap_or(0)
         };
-        let points = split
-            .scatter
-            .iter()
-            .map(|&(server, p5, p95)| (p5, p95, group_of(server)))
-            .collect();
+        let points =
+            split.scatter.iter().map(|&(server, p5, p95)| (p5, p95, group_of(server))).collect();
         pools.push(PoolScatter {
             datacenter: dc,
             points,

@@ -87,8 +87,7 @@ pub fn run(scale: &Scale) -> Result<Fig45Report, Box<dyn Error>> {
         }
         let in_event = |w: u64| w >= event_lo && w < event_hi;
         let event_obs = obs.filter_by(|i| in_event(obs.windows[i].0));
-        let baseline_obs =
-            obs.filter_by(|i| in_event(obs.windows[i].0 + day_windows));
+        let baseline_obs = obs.filter_by(|i| in_event(obs.windows[i].0 + day_windows));
         if event_obs.is_empty() || baseline_obs.is_empty() {
             continue;
         }
@@ -121,11 +120,7 @@ pub fn run(scale: &Scale) -> Result<Fig45Report, Box<dyn Error>> {
 
     let mut surges: Vec<f64> = survivors.iter().map(|s| s.surge).collect();
     surges.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let median_surge = if surges.is_empty() {
-        0.0
-    } else {
-        surges[surges.len() / 2]
-    };
+    let median_surge = if surges.is_empty() { 0.0 } else { surges[surges.len() / 2] };
     let max_surge = surges.last().copied().unwrap_or(0.0);
     Ok(Fig45Report { survivors, median_surge, max_surge, series })
 }
@@ -215,15 +210,10 @@ mod tests {
         let r = run(&Scale::quick()).unwrap();
         assert_eq!(r.survivors.len(), 3);
         // Median surge in the paper's ballpark (tens of percent).
-        assert!(
-            r.median_surge > 0.30 && r.median_surge < 1.2,
-            "median {:.2}",
-            r.median_surge
-        );
+        assert!(r.median_surge > 0.30 && r.median_surge < 1.2, "median {:.2}", r.median_surge);
         // Surges spread widely across survivors (the paper's 56% median vs
         // 127% outlier shape): max well above min.
-        let min_surge =
-            r.survivors.iter().map(|s| s.surge).fold(f64::INFINITY, f64::min);
+        let min_surge = r.survivors.iter().map(|s| s.surge).fold(f64::INFINITY, f64::min);
         assert!(r.max_surge > 1.45 * min_surge, "max {:.2} min {min_surge:.2}", r.max_surge);
         // Fig. 5: the CPU line holds through the event everywhere.
         for s in &r.survivors {

@@ -124,17 +124,10 @@ impl fmt::Display for Fig6Report {
             ],
             vec![
                 "trend".to_string(),
-                format!(
-                    "{:.3} {:+.3}r {:+.2e}r^2",
-                    self.trend[0], self.trend[1], self.trend[2]
-                ),
+                format!("{:.3} {:+.3}r {:+.2e}r^2", self.trend[0], self.trend[1], self.trend[2]),
                 "quadratic".to_string(),
             ],
-            vec![
-                "trend holds".to_string(),
-                self.trend_holds.to_string(),
-                "yes".to_string(),
-            ],
+            vec!["trend holds".to_string(), self.trend_holds.to_string(), "yes".to_string()],
             vec![
                 "event |err|".to_string(),
                 format!("{:.2} ms", self.event_error_ms),

@@ -100,10 +100,7 @@ impl fmt::Display for Fig7Report {
         writeln!(
             f,
             "{}",
-            render_table(
-                &["Iter", "Servers", "Peak p95 (ms)", "Forecast next (ms)", "QoS"],
-                &rows
-            )
+            render_table(&["Iter", "Servers", "Peak p95 (ms)", "Forecast next (ms)", "QoS"], &rows)
         )?;
         writeln!(
             f,

@@ -75,11 +75,15 @@ pub struct Fig1213Report {
 /// Propagates simulation failures.
 pub fn run(scale: &Scale) -> Result<Fig1213Report, Box<dyn Error>> {
     let fleet = utilization_fleet(scale.seed, scale.fleet_fraction)?;
-    let mut sim = Simulation::new(fleet, Default::default(), SimConfig {
-        seed: scale.seed,
-        recording: RecordingPolicy::SnapshotOnly,
-        track_availability: false,
-    });
+    let mut sim = Simulation::new(
+        fleet,
+        Default::default(),
+        SimConfig {
+            seed: scale.seed,
+            recording: RecordingPolicy::SnapshotOnly,
+            track_availability: false,
+        },
+    );
 
     let mut per_server: HashMap<ServerId, Vec<f64>> = HashMap::new();
     let mut histogram = Histogram::new(0.0, 100.0, 50)?;
@@ -131,12 +135,7 @@ impl Fig1213Report {
     /// CSV export.
     pub fn tables(&self) -> Vec<CsvTable> {
         vec![
-            CsvTable::from_xy(
-                "fig12_p95_cpu_cdf",
-                "p95_cpu_pct",
-                "fraction_of_servers",
-                &self.cdf,
-            ),
+            CsvTable::from_xy("fig12_p95_cpu_cdf", "p95_cpu_pct", "fraction_of_servers", &self.cdf),
             CsvTable::from_xy(
                 "fig13_sample_distribution",
                 "cpu_pct_bin",
@@ -199,11 +198,7 @@ mod tests {
             "p95<=15 fraction {:.2}",
             r.servers_p95_at_most_15
         );
-        assert!(
-            r.servers_p95_below_30 > 0.70,
-            "p95<30 fraction {:.2}",
-            r.servers_p95_below_30
-        );
+        assert!(r.servers_p95_below_30 > 0.70, "p95<30 fraction {:.2}", r.servers_p95_below_30);
         // A hot tail exists but is a minority.
         assert!(r.servers_p95_below_30 < 1.0, "a 30-100% tail must exist");
         assert!(r.servers_spiking_above_40 < 0.25, "{:.2}", r.servers_spiking_above_40);

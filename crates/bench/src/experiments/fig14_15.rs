@@ -48,8 +48,7 @@ pub fn run(scale: &Scale) -> Result<Fig1415Report, Box<dyn Error>> {
     for (_, _, a) in log.daily_records() {
         histogram.add(a);
     }
-    let breakdown =
-        AvailabilityBreakdown::from_log(log).ok_or("empty availability log")?;
+    let breakdown = AvailabilityBreakdown::from_log(log).ok_or("empty availability log")?;
 
     let mut pool_series = Vec::new();
     let days = scale.availability_days.min(14.0) as u64;
@@ -62,11 +61,7 @@ pub fn run(scale: &Scale) -> Result<Fig1415Report, Box<dyn Error>> {
             // AvailabilityOnly stores no counters, so membership comes from
             // the fleet itself when the store is empty.
             let members = if members.is_empty() {
-                outcome
-                    .fleet()
-                    .pool(pool)
-                    .map(|p| p.server_ids())
-                    .unwrap_or_default()
+                outcome.fleet().pool(pool).map(|p| p.server_ids()).unwrap_or_default()
             } else {
                 members
             };
@@ -109,12 +104,8 @@ impl Fig1415Report {
 
     /// Mean availability of one plotted pool.
     pub fn pool_mean(&self, letter: char) -> Option<f64> {
-        let values: Vec<f64> = self
-            .pool_series
-            .iter()
-            .filter(|(p, _, _)| *p == letter)
-            .map(|(_, _, a)| *a)
-            .collect();
+        let values: Vec<f64> =
+            self.pool_series.iter().filter(|(p, _, _)| *p == letter).map(|(_, _, a)| *a).collect();
         if values.is_empty() {
             None
         } else {
@@ -127,9 +118,7 @@ impl fmt::Display for Fig1415Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Figs. 14-15: availability study")?;
         let fmt_pool = |l: char| {
-            self.pool_mean(l)
-                .map(|a| format!("{:.1}%", a * 100.0))
-                .unwrap_or_else(|| "-".into())
+            self.pool_mean(l).map(|a| format!("{:.1}%", a * 100.0)).unwrap_or_else(|| "-".into())
         };
         let rows = vec![
             vec![

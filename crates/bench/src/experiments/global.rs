@@ -39,11 +39,15 @@ pub struct GlobalReport {
 /// Propagates simulation failures.
 pub fn run(scale: &Scale) -> Result<GlobalReport, Box<dyn Error>> {
     let fleet = utilization_fleet(scale.seed, scale.fleet_fraction)?;
-    let mut sim = Simulation::new(fleet, Default::default(), SimConfig {
-        seed: scale.seed,
-        recording: RecordingPolicy::SnapshotOnly,
-        track_availability: true,
-    });
+    let mut sim = Simulation::new(
+        fleet,
+        Default::default(),
+        SimConfig {
+            seed: scale.seed,
+            recording: RecordingPolicy::SnapshotOnly,
+            track_availability: true,
+        },
+    );
     let mut cpu = Summary::new();
     // The downtime statistics need the longer availability horizon to
     // converge; CPU statistics ride along.

@@ -17,6 +17,7 @@
 //! | [`fig16`] | Fig. 16 — offline A/B regression boxes |
 //! | [`global`] | §III-B headline utilisation numbers |
 //! | [`ablate`] | design-choice ablations + baseline planner comparison |
+//! | [`online`] | streaming planner vs batch pipeline (headroom-online) |
 
 pub mod ablate;
 pub mod fig02;
@@ -28,6 +29,7 @@ pub mod fig12_13;
 pub mod fig14_15;
 pub mod fig16;
 pub mod global;
+pub mod online;
 pub mod pool_b;
 pub mod pool_d;
 pub mod table1;
@@ -52,7 +54,7 @@ pub struct ExperimentInfo {
 }
 
 /// Every experiment, in paper order.
-pub const ALL: [ExperimentInfo; 15] = [
+pub const ALL: [ExperimentInfo; 16] = [
     ExperimentInfo { id: "table1", title: "Micro-service catalog", paper_ref: "Table I" },
     ExperimentInfo { id: "fig2", title: "Resource counters vs workload", paper_ref: "Fig. 2" },
     ExperimentInfo { id: "fig3", title: "Per-server CPU scatter (pool I)", paper_ref: "Fig. 3" },
@@ -60,14 +62,35 @@ pub const ALL: [ExperimentInfo; 15] = [
     ExperimentInfo { id: "fig4", title: "DC-loss natural experiment", paper_ref: "Figs. 4-5" },
     ExperimentInfo { id: "fig6", title: "4x surge latency trend", paper_ref: "Fig. 6" },
     ExperimentInfo { id: "fig7", title: "RSM iterations to QoS limit", paper_ref: "Fig. 7" },
-    ExperimentInfo { id: "table2", title: "Pool B 30% reduction", paper_ref: "Table II, Figs. 8-9" },
-    ExperimentInfo { id: "table3", title: "Pool D 10% reduction", paper_ref: "Table III, Figs. 10-11" },
+    ExperimentInfo {
+        id: "table2",
+        title: "Pool B 30% reduction",
+        paper_ref: "Table II, Figs. 8-9",
+    },
+    ExperimentInfo {
+        id: "table3",
+        title: "Pool D 10% reduction",
+        paper_ref: "Table III, Figs. 10-11",
+    },
     ExperimentInfo { id: "table4", title: "Fleet savings summary", paper_ref: "Table IV" },
     ExperimentInfo { id: "fig12", title: "Fleet CPU distributions", paper_ref: "Figs. 12-13" },
     ExperimentInfo { id: "fig14", title: "Availability distributions", paper_ref: "Figs. 14-15" },
-    ExperimentInfo { id: "fig16", title: "Offline A/B regression", paper_ref: "Fig. 16, Sec. III-C" },
+    ExperimentInfo {
+        id: "fig16",
+        title: "Offline A/B regression",
+        paper_ref: "Fig. 16, Sec. III-C",
+    },
     ExperimentInfo { id: "global", title: "Global utilisation headlines", paper_ref: "Sec. III-B" },
-    ExperimentInfo { id: "ablate", title: "Ablations & baseline planners", paper_ref: "Secs. I, IV" },
+    ExperimentInfo {
+        id: "ablate",
+        title: "Ablations & baseline planners",
+        paper_ref: "Secs. I, IV",
+    },
+    ExperimentInfo {
+        id: "online",
+        title: "Streaming planner vs batch pipeline",
+        paper_ref: "headroom-online",
+    },
 ];
 
 /// Runs one experiment by id, printing its report and writing CSVs when
@@ -140,6 +163,10 @@ pub fn run_by_id(
         }
         "ablate" => {
             let r = ablate::run(scale)?;
+            (r.to_string(), r.tables())
+        }
+        "online" => {
+            let r = online::run(scale)?;
             (r.to_string(), r.tables())
         }
         other => return Err(format!("unknown experiment id: {other}").into()),

@@ -1,0 +1,264 @@
+//! Streaming planner over a multi-day growing fleet.
+//!
+//! Not a paper artifact: this experiment exercises the `headroom-online`
+//! subsystem end to end and quantifies its two claims against the batch
+//! pipeline on identical telemetry —
+//!
+//! 1. **agreement**: driven window-by-window, the streaming planner lands
+//!    within ±1 server of the batch optimizer's minimum pool size;
+//! 2. **cost**: its per-window update is orders of magnitude cheaper than
+//!    the full batch refit a non-streaming planner would need to stay
+//!    equally current.
+//!
+//! Demand grows a compounding 3%/day, so the exhaustion projector has a
+//! real trend to extrapolate: the report shows each pool's headroom band
+//! and projected days to exhaustion.
+
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use headroom_cluster::scenario::FleetScenario;
+use headroom_core::optimizer::optimize_pool;
+use headroom_core::pipeline::CapacityPlanner;
+use headroom_core::report::render_table;
+use headroom_core::sizing::{PoolSizing, SizingPlanner};
+use headroom_core::slo::QosRequirement;
+use headroom_online::exhaustion::HeadroomBand;
+use headroom_online::planner::{OnlinePlanner, OnlinePlannerConfig};
+use headroom_telemetry::ids::PoolId;
+use headroom_telemetry::time::{WindowIndex, WindowRange};
+use headroom_workload::events::daily_growth;
+
+use crate::csv::CsvTable;
+use crate::Scale;
+
+/// Compounding demand growth per simulated day.
+pub const GROWTH_PER_DAY: f64 = 0.03;
+
+/// One pool's row in the comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlinePoolRow {
+    /// The pool.
+    pub pool: PoolId,
+    /// Online sizing at end of run.
+    pub online: PoolSizing,
+    /// Batch minimum over the same telemetry.
+    pub batch_min_servers: usize,
+    /// Headroom band at end of run.
+    pub band: HeadroomBand,
+    /// Projected days to exhaustion, when trustworthy.
+    pub days_to_exhaustion: Option<f64>,
+    /// Drift resets the pool saw.
+    pub drift_events: usize,
+}
+
+/// The experiment report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineReport {
+    /// Simulated days.
+    pub days: f64,
+    /// Per-pool comparison rows.
+    pub rows: Vec<OnlinePoolRow>,
+    /// Mean per-window cost of the streaming update (all pools).
+    pub online_per_window: Duration,
+    /// Cost of one full batch plan over the final store (all pools).
+    pub batch_full_refit: Duration,
+}
+
+impl OnlineReport {
+    /// batch refit time / per-window streaming time.
+    pub fn speedup(&self) -> f64 {
+        let online = self.online_per_window.as_secs_f64();
+        if online <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.batch_full_refit.as_secs_f64() / online
+    }
+
+    /// Largest |online − batch| minimum-size disagreement across pools.
+    pub fn max_disagreement(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| r.online.min_servers.abs_diff(r.batch_min_servers))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+fn qos_for(pool: PoolId) -> QosRequirement {
+    QosRequirement::small_fleet(pool)
+}
+
+/// Runs the streaming planner over a growing multi-day small fleet and
+/// compares it with the batch pipeline.
+///
+/// # Errors
+///
+/// Propagates simulation and planning failures.
+pub fn run(scale: &Scale) -> Result<OnlineReport, Box<dyn Error>> {
+    let days = (scale.observe_days * 2.0).max(4.0);
+    let windows = (days * 720.0).round() as u64;
+
+    let scenario = FleetScenario::small(scale.seed)
+        .with_events(daily_growth(GROWTH_PER_DAY, days.ceil() as u64));
+    let mut sim = scenario.into_simulation();
+
+    let config = OnlinePlannerConfig {
+        window_capacity: windows as usize,
+        min_fit_windows: 180,
+        ..OnlinePlannerConfig::default()
+    };
+    let mut planner = OnlinePlanner::new(config, qos_for(PoolId(0)));
+    for pool in 3..6 {
+        planner.set_qos(PoolId(pool), qos_for(PoolId(pool)));
+    }
+
+    // Drive window by window, timing only the planner's share.
+    let mut online_spent = Duration::ZERO;
+    for _ in 0..windows {
+        let snap = sim.step_snapshot();
+        let t = Instant::now();
+        planner.observe(&snap);
+        online_spent += t.elapsed();
+    }
+    let online_per_window = online_spent / windows as u32;
+
+    // The batch pipeline over the identical telemetry.
+    let range = WindowRange::new(WindowIndex(0), sim.current_window());
+    let batch_planner =
+        CapacityPlanner { availability_days: days.ceil() as u64, ..CapacityPlanner::new() };
+    let t = Instant::now();
+    let _ = batch_planner.plan(sim.store(), sim.availability(), range, qos_for);
+    let batch_full_refit = t.elapsed();
+
+    let mut rows = Vec::new();
+    for sizing in planner.sizings() {
+        let batch = optimize_pool(
+            sim.store(),
+            sim.availability(),
+            sizing.pool,
+            range,
+            &qos_for(sizing.pool),
+            days.ceil() as u64,
+        )?;
+        let assessment = &planner.assessments()[&sizing.pool];
+        rows.push(OnlinePoolRow {
+            pool: sizing.pool,
+            online: sizing,
+            batch_min_servers: batch.min_servers,
+            band: assessment.band,
+            days_to_exhaustion: assessment.projection.days_to_exhaustion,
+            drift_events: assessment.drift_events,
+        });
+    }
+
+    Ok(OnlineReport { days, rows, online_per_window, batch_full_refit })
+}
+
+impl OnlineReport {
+    /// CSV export of the comparison.
+    pub fn tables(&self) -> Vec<CsvTable> {
+        vec![CsvTable {
+            name: "online_planner".into(),
+            headers: vec![
+                "pool".into(),
+                "current_servers".into(),
+                "online_min".into(),
+                "batch_min".into(),
+                "headroom_band".into(),
+                "days_to_exhaustion".into(),
+                "drift_events".into(),
+            ],
+            rows: self
+                .rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.pool.0.to_string(),
+                        r.online.current_servers.to_string(),
+                        r.online.min_servers.to_string(),
+                        r.batch_min_servers.to_string(),
+                        r.band.to_string(),
+                        r.days_to_exhaustion.map(|d| format!("{d:.1}")).unwrap_or_default(),
+                        r.drift_events.to_string(),
+                    ]
+                })
+                .collect(),
+        }]
+    }
+}
+
+impl fmt::Display for OnlineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Streaming planner vs batch pipeline over {:.0} days at +{:.0}%/day demand",
+            self.days,
+            GROWTH_PER_DAY * 100.0
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.pool.0.to_string(),
+                    r.online.current_servers.to_string(),
+                    r.online.min_servers.to_string(),
+                    r.batch_min_servers.to_string(),
+                    r.band.to_string(),
+                    r.days_to_exhaustion.map(|d| format!("{d:.1}")).unwrap_or_else(|| "-".into()),
+                    r.drift_events.to_string(),
+                ]
+            })
+            .collect();
+        writeln!(
+            f,
+            "{}",
+            render_table(
+                &[
+                    "Pool",
+                    "Current",
+                    "Online min",
+                    "Batch min",
+                    "Band",
+                    "Days to exhaustion",
+                    "Drift"
+                ],
+                &rows
+            )
+        )?;
+        writeln!(
+            f,
+            "per-window streaming update: {:?}; full batch refit: {:?} ({:.0}x)",
+            self.online_per_window,
+            self.batch_full_refit,
+            self.speedup()
+        )?;
+        writeln!(f, "max online/batch disagreement: {} server(s)", self.max_disagreement())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_agrees_with_batch_and_is_faster() {
+        let r = run(&Scale::quick()).unwrap();
+        assert_eq!(r.rows.len(), 6, "all six pools planned");
+        assert!(r.max_disagreement() <= 1, "{}", r);
+        assert!(r.speedup() >= 10.0, "speedup {:.1}x", r.speedup());
+        // Growth plus finite supportable capacity: every pool projects a
+        // finite exhaustion horizon by end of run.
+        assert!(
+            r.rows.iter().any(|row| row.days_to_exhaustion.is_some()),
+            "growth trend produced projections: {}",
+            r
+        );
+        for row in &r.rows {
+            assert!(row.online.min_servers >= 1);
+            assert!(row.online.min_servers <= row.online.current_servers);
+        }
+    }
+}

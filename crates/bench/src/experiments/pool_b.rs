@@ -201,14 +201,14 @@ impl fmt::Display for PoolBReport {
                 "56%/49%/43%".into(),
             ],
         ];
-        writeln!(
-            f,
-            "{}",
-            render_table(&["Stage", "p50", "p75", "p95", "Paper"], &pct_rows)
-        )?;
+        writeln!(f, "{}", render_table(&["Stage", "p50", "p75", "p95", "Paper"], &pct_rows))?;
         writeln!(f, "Fig. 8 (CPU):")?;
         writeln!(f, "  stage-1 fit : {}   (paper: y=0.028x+1.37, R2=0.984)", self.cpu_fit.fit)?;
-        writeln!(f, "  stage-2 fit : {}   (paper: y=0.029x+1.7,  R2=0.99)", self.cpu_fit_stage2.fit)?;
+        writeln!(
+            f,
+            "  stage-2 fit : {}   (paper: y=0.029x+1.7,  R2=0.99)",
+            self.cpu_fit_stage2.fit
+        )?;
         writeln!(
             f,
             "  @p95 stage2 : predicted {:.1}% vs measured {:.1}%  (paper 16.5 vs 17.4)",

@@ -226,11 +226,7 @@ impl fmt::Display for PoolDReport {
                 ],
             ];
             writeln!(f, "{}", render_table(&["Stage", "p50", "p75", "p95", "Paper DC1"], &rows))?;
-            writeln!(
-                f,
-                "  CPU fit     : {}   (paper: y=0.0916x+5.006, R2=0.940)",
-                d.cpu_fit.fit
-            )?;
+            writeln!(f, "  CPU fit     : {}   (paper: y=0.0916x+5.006, R2=0.940)", d.cpu_fit.fit)?;
             writeln!(
                 f,
                 "  CPU @p95    : predicted {:.1}% vs measured {:.1}%  (paper 13.7 vs 13.3)",

@@ -42,11 +42,8 @@ impl Table1Report {
 impl fmt::Display for Table1Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Table I: Description of micro-services running in server pools")?;
-        let rows: Vec<Vec<String>> = self
-            .rows
-            .iter()
-            .map(|(s, d, n)| vec![s.clone(), d.clone(), n.to_string()])
-            .collect();
+        let rows: Vec<Vec<String>> =
+            self.rows.iter().map(|(s, d, n)| vec![s.clone(), d.clone(), n.to_string()]).collect();
         write!(f, "{}", render_table(&["Micro Service", "Description", "Servers/pool"], &rows))
     }
 }

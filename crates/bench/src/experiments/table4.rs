@@ -104,9 +104,7 @@ pub fn run(scale: &Scale) -> Result<Table4Report, Box<dyn Error>> {
             pool_rows.push(savings);
         }
         let n = pool_rows.len().max(1) as f64;
-        let mean = |f: &dyn Fn(&PoolSavings) -> f64| {
-            pool_rows.iter().map(|r| f(r)).sum::<f64>() / n
-        };
+        let mean = |f: &dyn Fn(&PoolSavings) -> f64| pool_rows.iter().map(f).sum::<f64>() / n;
         rows.push(ServiceRow {
             service: kind,
             efficiency: mean(&|r| r.efficiency_savings),
@@ -195,14 +193,11 @@ mod tests {
         let by_service = |k: MicroserviceKind| r.rows.iter().find(|x| x.service == k).unwrap();
 
         // High-headroom pools (B, D, E, F) find ~1/3 savings.
-        for k in [MicroserviceKind::B, MicroserviceKind::D, MicroserviceKind::E, MicroserviceKind::F]
+        for k in
+            [MicroserviceKind::B, MicroserviceKind::D, MicroserviceKind::E, MicroserviceKind::F]
         {
             let row = by_service(k);
-            assert!(
-                (row.efficiency - 0.33).abs() < 0.12,
-                "{k}: efficiency {:.2}",
-                row.efficiency
-            );
+            assert!((row.efficiency - 0.33).abs() < 0.12, "{k}: efficiency {:.2}", row.efficiency);
         }
         // Tight pools (C, G) find little.
         for k in [MicroserviceKind::C, MicroserviceKind::G] {

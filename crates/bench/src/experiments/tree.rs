@@ -54,20 +54,14 @@ pub fn run(scale: &Scale) -> Result<TreeReport, Box<dyn Error>> {
             .run_days(1.0)?;
         for pool in outcome.pools() {
             let features = PoolFeatures::collect(outcome.store(), pool, outcome.range())?;
-            let service = outcome
-                .fleet()
-                .pool(pool)
-                .map(|p| p.service)
-                .ok_or("pool missing from fleet")?;
+            let service =
+                outcome.fleet().pool(pool).map(|p| p.service).ok_or("pool missing from fleet")?;
             let tight = !NOISY_SERVICES.contains(&service);
             rows.push((features, tight));
         }
     }
     let classifier = train_pool_classifier(&rows, 4, scale.seed)?;
-    let tight_predicted = rows
-        .iter()
-        .filter(|(f, _)| classifier.tree.predict(&f.as_vec()))
-        .count();
+    let tight_predicted = rows.iter().filter(|(f, _)| classifier.tree.predict(&f.as_vec())).count();
     Ok(TreeReport {
         pools: rows.len(),
         splits: classifier.tree.split_count(),
@@ -90,11 +84,7 @@ impl TreeReport {
                 vec!["r_squared".into(), format!("{:.3}", self.r_squared), "0.746".into()],
                 vec!["auc".into(), format!("{:.4}", self.auc), "0.9804".into()],
                 vec!["accuracy".into(), format!("{:.3}", self.accuracy), "-".into()],
-                vec![
-                    "tight_fraction".into(),
-                    format!("{:.2}", self.tight_fraction),
-                    "0.55".into(),
-                ],
+                vec!["tight_fraction".into(), format!("{:.2}", self.tight_fraction), "0.55".into()],
             ],
         }]
     }

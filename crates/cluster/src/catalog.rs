@@ -321,7 +321,8 @@ mod tests {
         assert_eq!(spec.generation_for(0, 100), HardwareGeneration::Gen1);
         assert_eq!(spec.generation_for(99, 100), HardwareGeneration::Gen3);
         // 60/40 split.
-        let gen3 = (0..100).filter(|&i| spec.generation_for(i, 100) == HardwareGeneration::Gen3).count();
+        let gen3 =
+            (0..100).filter(|&i| spec.generation_for(i, 100) == HardwareGeneration::Gen3).count();
         assert_eq!(gen3, 40);
     }
 

@@ -64,10 +64,8 @@ impl AvailabilityPractice {
     /// Long-run expected availability of a pool under this practice
     /// (averaged over the day, before incident days).
     pub fn expected_availability(&self) -> f64 {
-        let mean_offline = (0..24)
-            .map(|h| self.offline_fraction(h as f64 + 0.5))
-            .sum::<f64>()
-            / 24.0;
+        let mean_offline =
+            (0..24).map(|h| self.offline_fraction(h as f64 + 0.5)).sum::<f64>() / 24.0;
         1.0 - mean_offline
     }
 }
@@ -198,9 +196,7 @@ mod tests {
     fn offline_count_matches_fraction() {
         let plan = MaintenancePlan::new(AvailabilityPractice::Heavy, 1).without_incidents();
         let n = 200;
-        let offline = (0..n)
-            .filter(|&i| plan.is_offline(i, n, WindowIndex(100), 12.0))
-            .count();
+        let offline = (0..n).filter(|&i| plan.is_offline(i, n, WindowIndex(100), 12.0)).count();
         assert_eq!(offline, (0.095f64 * n as f64).round() as usize);
     }
 
@@ -278,9 +274,7 @@ mod tests {
             incident_day_probability: 1.0,
         };
         // Repurposed off-peak 0.65 + incident 0.25 = 0.90 ⇒ 9 of 10 offline.
-        let offline = (0..10)
-            .filter(|&i| plan.is_offline(i, 10, WindowIndex(60), 3.0))
-            .count();
+        let offline = (0..10).filter(|&i| plan.is_offline(i, 10, WindowIndex(60), 3.0)).count();
         assert_eq!(offline, 9);
         // A fraction driven to 1.0 takes the whole pool down.
         let full = MaintenancePlan {

@@ -116,9 +116,8 @@ impl LoadBalancer {
         if self.imbalance <= 0.0 {
             return vec![even; n];
         }
-        let mut shares: Vec<f64> = (0..n)
-            .map(|_| (1.0 + gaussian(rng) * self.imbalance).max(0.0))
-            .collect();
+        let mut shares: Vec<f64> =
+            (0..n).map(|_| (1.0 + gaussian(rng) * self.imbalance).max(0.0)).collect();
         let sum: f64 = shares.iter().sum();
         if sum <= 0.0 {
             return vec![even; n];

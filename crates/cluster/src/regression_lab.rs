@@ -92,7 +92,12 @@ pub struct RegressionLab {
 
 impl RegressionLab {
     /// Creates a lab with a 10-server pool on Gen1 hardware.
-    pub fn new(baseline: ServiceModel, candidate: ServiceModel, ramp: SteppedLoad, seed: u64) -> Self {
+    pub fn new(
+        baseline: ServiceModel,
+        candidate: ServiceModel,
+        ramp: SteppedLoad,
+        seed: u64,
+    ) -> Self {
         RegressionLab {
             baseline,
             candidate,
@@ -196,8 +201,7 @@ mod tests {
         let regressed = ServiceModel::paper_pool_b().with_latency_quadratic_scaled(6.0);
         let lab = RegressionLab::new(baseline, regressed, ramp(), 7);
         let result = lab.run();
-        let low_delta =
-            result.candidate[0].mean_latency() - result.baseline[0].mean_latency();
+        let low_delta = result.candidate[0].mean_latency() - result.baseline[0].mean_latency();
         let high_delta = result.candidate.last().unwrap().mean_latency()
             - result.baseline.last().unwrap().mean_latency();
         assert!(low_delta < 2.0, "low-load delta {low_delta}");

@@ -28,8 +28,7 @@ use headroom_telemetry::ids::DatacenterId;
 pub fn redistribute(demands: &mut [f64], lost: &[bool], weights: &[f64]) {
     assert_eq!(demands.len(), lost.len(), "demands/lost length mismatch");
     assert_eq!(demands.len(), weights.len(), "demands/weights length mismatch");
-    let displaced: f64 =
-        demands.iter().zip(lost).filter(|(_, &l)| l).map(|(d, _)| *d).sum();
+    let displaced: f64 = demands.iter().zip(lost).filter(|(_, &l)| l).map(|(d, _)| *d).sum();
     if displaced == 0.0 && !lost.iter().any(|&l| l) {
         return;
     }

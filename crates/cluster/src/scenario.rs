@@ -86,9 +86,7 @@ impl FleetScenario {
         servers_per_pool: usize,
         seed: u64,
     ) -> Self {
-        let spec = kind
-            .spec()
-            .with_practice(crate::maintenance::AvailabilityPractice::WellManaged);
+        let spec = kind.spec().with_practice(crate::maintenance::AvailabilityPractice::WellManaged);
         let fleet = FleetBuilder::new(seed)
             .datacenters(datacenters)
             .without_failures()
@@ -138,15 +136,13 @@ impl FleetScenario {
     ///
     /// [`ClusterError::InvalidConfig`] when `days` is not positive.
     pub fn run_days(self, days: f64) -> Result<ScenarioOutcome, ClusterError> {
-        if !(days > 0.0) {
+        if days <= 0.0 || days.is_nan() {
             return Err(ClusterError::InvalidConfig("days must be positive"));
         }
         let mut sim = self.into_simulation();
         sim.run_days(days);
-        let range = WindowRange::new(
-            headroom_telemetry::time::WindowIndex(0),
-            sim.current_window(),
-        );
+        let range =
+            WindowRange::new(headroom_telemetry::time::WindowIndex(0), sim.current_window());
         let (fleet, store, availability) = sim.into_parts();
         Ok(ScenarioOutcome { fleet, store, availability, range })
     }
@@ -227,9 +223,8 @@ mod tests {
 
     #[test]
     fn single_service_shape() {
-        let outcome = FleetScenario::single_service(MicroserviceKind::D, 4, 8, 2)
-            .run_days(0.05)
-            .unwrap();
+        let outcome =
+            FleetScenario::single_service(MicroserviceKind::D, 4, 8, 2).run_days(0.05).unwrap();
         assert_eq!(outcome.pools().len(), 4);
         let pool = outcome.pools()[0];
         let series =

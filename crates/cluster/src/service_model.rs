@@ -242,8 +242,7 @@ impl ServiceModel {
     ) -> (f64, f64, f64) {
         let cpu_clean = self.cpu_mean(rps, hw);
         let cpu = (cpu_clean * (1.0 + gaussian(rng) * self.cpu_noise_rel)).clamp(0.0, 100.0);
-        let latency_p95 = (self.latency_p95_mean(rps, hw)
-            + gaussian(rng) * self.latency_noise_ms)
+        let latency_p95 = (self.latency_p95_mean(rps, hw) + gaussian(rng) * self.latency_noise_ms)
             .max(self.latency_floor_ms);
         let latency_avg = (latency_p95 * 0.62 + gaussian(rng) * self.latency_noise_ms * 0.3)
             .max(self.latency_floor_ms * 0.5);
@@ -255,6 +254,7 @@ impl ServiceModel {
     /// `windows_online` is the server's age since its last restart (drives
     /// leak growth); `phase` staggers background tasks across servers;
     /// `net_scale` carries per-datacenter network-shape variation.
+    #[allow(clippy::too_many_arguments)] // mirrors the counter row the store records
     pub fn window_metrics(
         &self,
         rps: f64,
@@ -296,14 +296,12 @@ impl ServiceModel {
         };
 
         let active_upload = self.log_upload.filter(|u| u.active(window, phase));
-        let upload_active = active_upload.is_some();
         let upload_cpu = active_upload.map(|u| u.cpu_pct).unwrap_or(0.0);
 
         let cpu_clean = (self.cpu_base + workload_cpu) / speed + upload_cpu;
         let cpu = (cpu_clean * (1.0 + gaussian(rng) * self.cpu_noise_rel)).clamp(0.0, 100.0);
 
-        let latency_p95 = (self.latency_p95_mean(rps, hw)
-            + gaussian(rng) * self.latency_noise_ms)
+        let latency_p95 = (self.latency_p95_mean(rps, hw) + gaussian(rng) * self.latency_noise_ms)
             .max(self.latency_floor_ms);
         let latency_avg = (latency_p95 * 0.62 + gaussian(rng) * self.latency_noise_ms * 0.3)
             .max(self.latency_floor_ms * 0.5);
@@ -317,9 +315,8 @@ impl ServiceModel {
         };
         let disk_queue = (self.disk_queue_base + gaussian(rng).abs() * 1.5).max(0.0);
 
-        let net_bytes = (rps * self.net_bytes_per_req * net_scale
-            * (1.0 + gaussian(rng) * 0.05))
-            .max(0.0);
+        let net_bytes =
+            (rps * self.net_bytes_per_req * net_scale * (1.0 + gaussian(rng) * 0.05)).max(0.0);
         let net_pkts =
             (rps * self.net_pkts_per_req * net_scale * (1.0 + gaussian(rng) * 0.05)).max(0.0);
 
@@ -472,8 +469,10 @@ mod tests {
         let m = ServiceModel::paper_pool_b();
         let mut r1 = StdRng::seed_from_u64(1);
         let mut r2 = StdRng::seed_from_u64(1);
-        let a = m.window_metrics(200.0, HardwareGeneration::Gen1, WindowIndex(5), 10, 0, 1.0, &mut r1);
-        let b = m.window_metrics(200.0, HardwareGeneration::Gen1, WindowIndex(5), 10, 0, 1.0, &mut r2);
+        let a =
+            m.window_metrics(200.0, HardwareGeneration::Gen1, WindowIndex(5), 10, 0, 1.0, &mut r1);
+        let b =
+            m.window_metrics(200.0, HardwareGeneration::Gen1, WindowIndex(5), 10, 0, 1.0, &mut r2);
         assert_eq!(a, b);
     }
 
@@ -484,7 +483,8 @@ mod tests {
             TableWorkload { share: 0.3, cpu_per_rps: 0.12, share_jitter: 0.1 },
         ]);
         let mut rng = StdRng::seed_from_u64(3);
-        let w = m.window_metrics(100.0, HardwareGeneration::Gen1, WindowIndex(0), 0, 0, 1.0, &mut rng);
+        let w =
+            m.window_metrics(100.0, HardwareGeneration::Gen1, WindowIndex(0), 0, 0, 1.0, &mut rng);
         assert_eq!(w.table_rps.len(), 2);
         let total: f64 = w.table_rps.iter().sum();
         assert!((total - 100.0).abs() < 1e-9);
@@ -494,9 +494,8 @@ mod tests {
     fn combined_metric_noisier_than_split() {
         // The §II-A1 story: mixing two tables with very different costs makes
         // whole-server CPU noisy against total RPS; per-table CPU stays tight.
-        let m = ServiceModel::new(0.05, 1.0, [10.0, 0.0, 1e-5])
-            .with_cpu_noise(0.0)
-            .with_tables(vec![
+        let m =
+            ServiceModel::new(0.05, 1.0, [10.0, 0.0, 1e-5]).with_cpu_noise(0.0).with_tables(vec![
                 TableWorkload { share: 0.5, cpu_per_rps: 0.02, share_jitter: 0.25 },
                 TableWorkload { share: 0.5, cpu_per_rps: 0.20, share_jitter: 0.25 },
             ]);
@@ -534,8 +533,10 @@ mod tests {
         };
         let m = ServiceModel::paper_pool_b().with_log_upload(spec).with_cpu_noise(0.0);
         let mut rng = StdRng::seed_from_u64(2);
-        let quiet = m.window_metrics(100.0, HardwareGeneration::Gen1, WindowIndex(5), 0, 0, 1.0, &mut rng);
-        let loud = m.window_metrics(100.0, HardwareGeneration::Gen1, WindowIndex(30), 0, 0, 1.0, &mut rng);
+        let quiet =
+            m.window_metrics(100.0, HardwareGeneration::Gen1, WindowIndex(5), 0, 0, 1.0, &mut rng);
+        let loud =
+            m.window_metrics(100.0, HardwareGeneration::Gen1, WindowIndex(30), 0, 0, 1.0, &mut rng);
         assert!(loud.cpu_pct > quiet.cpu_pct + 20.0);
         assert!(loud.disk_write_bytes > 1e8);
     }
@@ -544,8 +545,10 @@ mod tests {
     fn leak_grows_memory() {
         let m = ServiceModel::paper_pool_b().with_leak(2.0);
         let mut rng = StdRng::seed_from_u64(1);
-        let young = m.window_metrics(10.0, HardwareGeneration::Gen1, WindowIndex(0), 0, 0, 1.0, &mut rng);
-        let old = m.window_metrics(10.0, HardwareGeneration::Gen1, WindowIndex(0), 500, 0, 1.0, &mut rng);
+        let young =
+            m.window_metrics(10.0, HardwareGeneration::Gen1, WindowIndex(0), 0, 0, 1.0, &mut rng);
+        let old =
+            m.window_metrics(10.0, HardwareGeneration::Gen1, WindowIndex(0), 500, 0, 1.0, &mut rng);
         assert!((old.memory_resident_mb - young.memory_resident_mb - 1000.0).abs() < 1e-9);
     }
 

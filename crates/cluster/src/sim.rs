@@ -242,10 +242,21 @@ impl Simulation {
     /// per-server snapshot (for streaming aggregation at fleet scale).
     pub fn run_windows_observed<F: FnMut(&WindowSnapshot<'_>)>(&mut self, n: u64, mut observer: F) {
         for _ in 0..n {
-            self.step();
-            let snap = WindowSnapshot { window: WindowIndex(self.next_window.0 - 1), rows: &self.snapshot };
+            let snap = self.step_snapshot();
             observer(&snap);
         }
+    }
+
+    /// Simulates exactly one window and returns its snapshot.
+    ///
+    /// This is the single-step form of [`Simulation::run_windows_observed`]:
+    /// because it returns control between windows, a caller can feed the
+    /// snapshot to a streaming planner *and* act on the planner's output
+    /// (e.g. [`Simulation::schedule_resize`]) before the next window runs —
+    /// the closed control loop that a callback observer cannot express.
+    pub fn step_snapshot(&mut self) -> WindowSnapshot<'_> {
+        self.step();
+        WindowSnapshot { window: WindowIndex(self.next_window.0 - 1), rows: &self.snapshot }
     }
 
     /// Consumes the simulation, returning the fleet, metric store and
@@ -286,10 +297,7 @@ impl Simulation {
                 demands.push(base * factor);
                 lost.push(self.events.datacenter_lost(pool.datacenter, t));
                 weights.push(
-                    dcs.iter()
-                        .find(|d| d.id == pool.datacenter)
-                        .map(|d| d.weight)
-                        .unwrap_or(1.0),
+                    dcs.iter().find(|d| d.id == pool.datacenter).map(|d| d.weight).unwrap_or(1.0),
                 );
             }
             redistribute(&mut demands, &lost, &weights);
@@ -349,8 +357,7 @@ impl Simulation {
 
             // Evaluate servers.
             let mut share_iter = shares.into_iter();
-            for idx in 0..pool_size {
-                let online = online_flags[idx];
+            for (idx, online) in online_flags.iter().copied().enumerate() {
                 let (server_id, generation, windows_online, model, net_scale) = {
                     let pool = &self.fleet.pools()[pi];
                     let s = &pool.servers[idx];
@@ -391,8 +398,18 @@ impl Simulation {
                         );
                         self.store.record(server_id, CounterKind::CpuPercent, w, m.cpu_pct);
                         self.store.record(server_id, CounterKind::RequestsPerSec, w, rps);
-                        self.store.record(server_id, CounterKind::LatencyAvgMs, w, m.latency_avg_ms);
-                        self.store.record(server_id, CounterKind::LatencyP95Ms, w, m.latency_p95_ms);
+                        self.store.record(
+                            server_id,
+                            CounterKind::LatencyAvgMs,
+                            w,
+                            m.latency_avg_ms,
+                        );
+                        self.store.record(
+                            server_id,
+                            CounterKind::LatencyP95Ms,
+                            w,
+                            m.latency_p95_ms,
+                        );
                         self.store.record(
                             server_id,
                             CounterKind::DiskReadBytesPerSec,
@@ -412,14 +429,24 @@ impl Simulation {
                             w,
                             m.memory_pages_per_sec,
                         );
-                        self.store.record(server_id, CounterKind::NetworkBytesPerSec, w, m.network_bytes);
+                        self.store.record(
+                            server_id,
+                            CounterKind::NetworkBytesPerSec,
+                            w,
+                            m.network_bytes,
+                        );
                         self.store.record(
                             server_id,
                             CounterKind::NetworkPacketsPerSec,
                             w,
                             m.network_pkts,
                         );
-                        self.store.record(server_id, CounterKind::ErrorsPerSec, w, m.errors_per_sec);
+                        self.store.record(
+                            server_id,
+                            CounterKind::ErrorsPerSec,
+                            w,
+                            m.errors_per_sec,
+                        );
                         self.store.record(
                             server_id,
                             CounterKind::MemoryResidentMb,
@@ -437,7 +464,13 @@ impl Simulation {
                                 w,
                                 t_rps,
                             );
-                            self.store.record_tagged(server_id, CounterKind::CpuPercent, tag, w, t_cpu);
+                            self.store.record_tagged(
+                                server_id,
+                                CounterKind::CpuPercent,
+                                tag,
+                                w,
+                                t_cpu,
+                            );
                         }
                         (m.cpu_pct, m.latency_avg_ms, m.latency_p95_ms)
                     }
@@ -580,7 +613,8 @@ mod tests {
         let survivor_pool = fleet.pools()[1].id;
         let lost_pool = fleet.pools()[0].id;
         // Event in the middle of day 0, lasting 2 hours.
-        let script = events::two_hour_dc_loss(dc0, headroom_telemetry::time::SimTime::from_hours(12.0));
+        let script =
+            events::two_hour_dc_loss(dc0, headroom_telemetry::time::SimTime::from_hours(12.0));
         let mut sim = Simulation::new(fleet, script, SimConfig::default());
         sim.run_days(1.0);
         let store = sim.store();
@@ -606,10 +640,11 @@ mod tests {
             .deploy_service(MicroserviceKind::C, 40) // Heavy ⇒ ~90.5%
             .unwrap()
             .build();
-        let mut sim = Simulation::new(fleet, EventScript::empty(), SimConfig {
-            recording: RecordingPolicy::AvailabilityOnly,
-            ..SimConfig::default()
-        });
+        let mut sim = Simulation::new(
+            fleet,
+            EventScript::empty(),
+            SimConfig { recording: RecordingPolicy::AvailabilityOnly, ..SimConfig::default() },
+        );
         sim.run_days(7.0);
         let mean = sim.availability().fleet_mean_availability().unwrap();
         assert!((mean - 0.905).abs() < 0.04, "availability {mean}");
@@ -634,17 +669,15 @@ mod tests {
 
     #[test]
     fn full_recording_includes_fig2_counters() {
-        let mut sim = Simulation::new(small_fleet(6), EventScript::empty(), SimConfig {
-            recording: RecordingPolicy::Full,
-            ..SimConfig::default()
-        });
+        let mut sim = Simulation::new(
+            small_fleet(6),
+            EventScript::empty(),
+            SimConfig { recording: RecordingPolicy::Full, ..SimConfig::default() },
+        );
         sim.run_windows(10);
         let server = sim.fleet().pools()[0].servers[0].id;
         for counter in CounterKind::FIG2_RESOURCES {
-            assert!(
-                sim.store().series(server, counter).is_some(),
-                "missing counter {counter}"
-            );
+            assert!(sim.store().series(server, counter).is_some(), "missing counter {counter}");
         }
     }
 
@@ -657,10 +690,11 @@ mod tests {
             .deploy_service(MicroserviceKind::A, 5)
             .unwrap()
             .build();
-        let mut sim = Simulation::new(fleet, EventScript::empty(), SimConfig {
-            recording: RecordingPolicy::Full,
-            ..SimConfig::default()
-        });
+        let mut sim = Simulation::new(
+            fleet,
+            EventScript::empty(),
+            SimConfig { recording: RecordingPolicy::Full, ..SimConfig::default() },
+        );
         sim.run_windows(5);
         let server = sim.fleet().pools()[0].servers[0].id;
         assert!(sim

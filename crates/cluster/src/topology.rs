@@ -269,12 +269,8 @@ mod tests {
             .unwrap()
             .build();
         assert_eq!(fleet.pools().len(), 6);
-        let mut server_ids: Vec<u32> = fleet
-            .pools()
-            .iter()
-            .flat_map(|p| p.server_ids())
-            .map(|s| s.0)
-            .collect();
+        let mut server_ids: Vec<u32> =
+            fleet.pools().iter().flat_map(|p| p.server_ids()).map(|s| s.0).collect();
         let before = server_ids.len();
         server_ids.sort_unstable();
         server_ids.dedup();
@@ -291,10 +287,8 @@ mod tests {
 
     #[test]
     fn zero_servers_rejected() {
-        let err = FleetBuilder::new(0)
-            .datacenters(1)
-            .deploy_service(MicroserviceKind::A, 0)
-            .unwrap_err();
+        let err =
+            FleetBuilder::new(0).datacenters(1).deploy_service(MicroserviceKind::A, 0).unwrap_err();
         assert!(matches!(err, ClusterError::InvalidConfig(_)));
     }
 
@@ -315,10 +309,12 @@ mod tests {
 
     #[test]
     fn regional_peaks_are_staggered() {
-        let fleet =
-            FleetBuilder::new(1).datacenters(9).deploy_service(MicroserviceKind::E, 2).unwrap().build();
-        let mut hours: Vec<f64> =
-            fleet.datacenters().iter().map(|d| d.peak_hour_utc).collect();
+        let fleet = FleetBuilder::new(1)
+            .datacenters(9)
+            .deploy_service(MicroserviceKind::E, 2)
+            .unwrap()
+            .build();
+        let mut hours: Vec<f64> = fleet.datacenters().iter().map(|d| d.peak_hour_utc).collect();
         hours.sort_by(|a, b| a.partial_cmp(b).unwrap());
         hours.dedup();
         assert_eq!(hours.len(), 9, "all nine regions peak at distinct hours");

@@ -82,11 +82,7 @@ impl PoolObservations {
 
     /// Total pool workload per window (RPS/server × servers).
     pub fn total_rps(&self) -> Vec<f64> {
-        self.rps_per_server
-            .iter()
-            .zip(&self.active_servers)
-            .map(|(r, n)| r * n)
-            .collect()
+        self.rps_per_server.iter().zip(&self.active_servers).map(|(r, n)| r * n).collect()
     }
 
     /// Keeps only windows satisfying `pred` (by index).
@@ -287,9 +283,12 @@ mod tests {
     #[test]
     fn collect_gathers_complete_windows() {
         let (store, pool) = synthetic_store(100);
-        let obs =
-            PoolObservations::collect(&store, pool, WindowRange::new(WindowIndex(0), WindowIndex(100)))
-                .unwrap();
+        let obs = PoolObservations::collect(
+            &store,
+            pool,
+            WindowRange::new(WindowIndex(0), WindowIndex(100)),
+        )
+        .unwrap();
         assert_eq!(obs.len(), 100);
         assert_eq!(obs.active_servers[0], 4.0);
         assert!(!obs.is_empty());
@@ -300,9 +299,12 @@ mod tests {
         let (mut store, pool) = synthetic_store(10);
         // A window with RPS but no CPU/latency.
         store.record(ServerId(0), CounterKind::RequestsPerSec, WindowIndex(50), 10.0);
-        let obs =
-            PoolObservations::collect(&store, pool, WindowRange::new(WindowIndex(0), WindowIndex(60)))
-                .unwrap();
+        let obs = PoolObservations::collect(
+            &store,
+            pool,
+            WindowRange::new(WindowIndex(0), WindowIndex(60)),
+        )
+        .unwrap();
         assert_eq!(obs.len(), 10);
     }
 
@@ -321,9 +323,12 @@ mod tests {
     #[test]
     fn cpu_model_recovers_paper_fit() {
         let (store, pool) = synthetic_store(200);
-        let obs =
-            PoolObservations::collect(&store, pool, WindowRange::new(WindowIndex(0), WindowIndex(200)))
-                .unwrap();
+        let obs = PoolObservations::collect(
+            &store,
+            pool,
+            WindowRange::new(WindowIndex(0), WindowIndex(200)),
+        )
+        .unwrap();
         let cpu = CpuModel::fit(&obs).unwrap();
         assert!((cpu.fit.slope - 0.028).abs() < 1e-9);
         assert!((cpu.fit.intercept - 1.37).abs() < 1e-6);
@@ -335,9 +340,12 @@ mod tests {
     #[test]
     fn latency_model_recovers_paper_quadratic() {
         let (store, pool) = synthetic_store(200);
-        let obs =
-            PoolObservations::collect(&store, pool, WindowRange::new(WindowIndex(0), WindowIndex(200)))
-                .unwrap();
+        let obs = PoolObservations::collect(
+            &store,
+            pool,
+            WindowRange::new(WindowIndex(0), WindowIndex(200)),
+        )
+        .unwrap();
         let lat = LatencyModel::fit(&obs).unwrap();
         assert!((lat.predict(540.0) - 31.6).abs() < 0.5, "paper forecast ~31.5 ms");
         assert!(lat.r_squared > 0.99);
@@ -346,9 +354,12 @@ mod tests {
     #[test]
     fn latency_model_survives_outliers() {
         let (store, pool) = synthetic_store(200);
-        let mut obs =
-            PoolObservations::collect(&store, pool, WindowRange::new(WindowIndex(0), WindowIndex(200)))
-                .unwrap();
+        let mut obs = PoolObservations::collect(
+            &store,
+            pool,
+            WindowRange::new(WindowIndex(0), WindowIndex(200)),
+        )
+        .unwrap();
         // A deployment glitch: a run of wildly elevated readings.
         for i in 20..30 {
             obs.latency_p95_ms[i] += 200.0;
@@ -361,9 +372,12 @@ mod tests {
     #[test]
     fn filter_by_keeps_subset() {
         let (store, pool) = synthetic_store(50);
-        let obs =
-            PoolObservations::collect(&store, pool, WindowRange::new(WindowIndex(0), WindowIndex(50)))
-                .unwrap();
+        let obs = PoolObservations::collect(
+            &store,
+            pool,
+            WindowRange::new(WindowIndex(0), WindowIndex(50)),
+        )
+        .unwrap();
         let head = obs.filter_by(|i| i < 10);
         assert_eq!(head.len(), 10);
         assert_eq!(head.windows[9], WindowIndex(9));
@@ -372,9 +386,12 @@ mod tests {
     #[test]
     fn total_rps_multiplies_out() {
         let (store, pool) = synthetic_store(5);
-        let obs =
-            PoolObservations::collect(&store, pool, WindowRange::new(WindowIndex(0), WindowIndex(5)))
-                .unwrap();
+        let obs = PoolObservations::collect(
+            &store,
+            pool,
+            WindowRange::new(WindowIndex(0), WindowIndex(5)),
+        )
+        .unwrap();
         let totals = obs.total_rps();
         assert!((totals[0] - obs.rps_per_server[0] * 4.0).abs() < 1e-9);
     }
@@ -382,9 +399,12 @@ mod tests {
     #[test]
     fn percentile_accessors() {
         let (store, pool) = synthetic_store(100);
-        let obs =
-            PoolObservations::collect(&store, pool, WindowRange::new(WindowIndex(0), WindowIndex(100)))
-                .unwrap();
+        let obs = PoolObservations::collect(
+            &store,
+            pool,
+            WindowRange::new(WindowIndex(0), WindowIndex(100)),
+        )
+        .unwrap();
         let p50 = obs.rps_percentile(50.0).unwrap();
         let p95 = obs.rps_percentile(95.0).unwrap();
         assert!(p95 > p50);

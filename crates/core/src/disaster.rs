@@ -91,13 +91,11 @@ pub fn dr_min_servers(
             if l == d {
                 continue;
             }
-            let surviving_weight: f64 =
-                (0..n).filter(|&s| s != l).map(|s| weights[s]).sum();
+            let surviving_weight: f64 = (0..n).filter(|&s| s != l).map(|s| weights[s]).sum();
             if surviving_weight <= 0.0 {
                 continue;
             }
-            let with_failover =
-                peak_demands[d] + peak_demands[l] * weights[d] / surviving_weight;
+            let with_failover = peak_demands[d] + peak_demands[l] * weights[d] / surviving_weight;
             worst_demand = worst_demand.max(with_failover);
         }
         let dr = ((worst_demand / rps_at_slo).ceil() as usize).max(1);
@@ -154,13 +152,8 @@ mod tests {
     #[test]
     fn worst_case_stays_within_slo() {
         let f = forecaster();
-        let plan = dr_min_servers(
-            &f,
-            &[100_000.0, 90_000.0, 60_000.0],
-            &[1.0, 0.9, 0.6],
-            &qos(),
-        )
-        .unwrap();
+        let plan =
+            dr_min_servers(&f, &[100_000.0, 90_000.0, 60_000.0], &[1.0, 0.9, 0.6], &qos()).unwrap();
         let rps_at_slo = f.max_rps_per_server(&qos()).unwrap();
         for &rps in &plan.worst_case_rps {
             assert!(rps <= rps_at_slo + 1e-9, "worst case {rps:.0} exceeds {rps_at_slo:.0}");
@@ -180,20 +173,9 @@ mod tests {
         // Spreading the same demand over more DCs shrinks DR overhead — the
         // amortization argument for geo-distribution.
         let f = forecaster();
-        let three = dr_min_servers(
-            &f,
-            &[60_000.0, 60_000.0, 60_000.0],
-            &[1.0, 1.0, 1.0],
-            &qos(),
-        )
-        .unwrap();
-        let six = dr_min_servers(
-            &f,
-            &[30_000.0; 6],
-            &[1.0; 6],
-            &qos(),
-        )
-        .unwrap();
+        let three =
+            dr_min_servers(&f, &[60_000.0, 60_000.0, 60_000.0], &[1.0, 1.0, 1.0], &qos()).unwrap();
+        let six = dr_min_servers(&f, &[30_000.0; 6], &[1.0; 6], &qos()).unwrap();
         assert!(six.dr_overhead() < three.dr_overhead());
     }
 

@@ -79,7 +79,7 @@ impl GrowthModel {
     /// observed history — the paper's own rule that extrapolations far past
     /// the data cannot be trusted.
     pub fn forecast_peak(&self, days_ahead: f64) -> Result<f64, PlanError> {
-        if !(days_ahead >= 0.0) || !days_ahead.is_finite() {
+        if days_ahead < 0.0 || !days_ahead.is_finite() {
             return Err(PlanError::InvalidParameter("horizon must be non-negative"));
         }
         if days_ahead > 4.0 * self.history_days as f64 {
@@ -153,19 +153,13 @@ mod tests {
         let peaks: Vec<f64> = (0..10).map(|d| 1000.0 + d as f64).collect();
         let g = GrowthModel::fit(&peaks).unwrap();
         assert!(g.forecast_peak(40.0).is_ok());
-        assert!(matches!(
-            g.forecast_peak(41.0),
-            Err(PlanError::InvalidParameter(_))
-        ));
+        assert!(matches!(g.forecast_peak(41.0), Err(PlanError::InvalidParameter(_))));
         assert!(g.forecast_peak(f64::NAN).is_err());
     }
 
     #[test]
     fn too_little_history_rejected() {
-        assert!(matches!(
-            GrowthModel::fit(&[1.0, 2.0]),
-            Err(PlanError::InsufficientData { .. })
-        ));
+        assert!(matches!(GrowthModel::fit(&[1.0, 2.0]), Err(PlanError::InsufficientData { .. })));
     }
 
     #[test]

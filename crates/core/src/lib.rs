@@ -54,9 +54,11 @@ pub mod partitions;
 pub mod pipeline;
 pub mod report;
 pub mod rsm;
+pub mod sizing;
 pub mod slo;
 
 pub use error::PlanError;
 pub use forecast::CapacityForecaster;
 pub use pipeline::CapacityPlanner;
+pub use sizing::{PoolSizing, SizingPlanner};
 pub use slo::QosRequirement;

@@ -63,8 +63,7 @@ pub fn screen_counter(
     counter: CounterKind,
     range: WindowRange,
 ) -> Result<CounterScreen, PlanError> {
-    let pairs =
-        store.pool_paired_observations(pool, CounterKind::RequestsPerSec, counter, range);
+    let pairs = store.pool_paired_observations(pool, CounterKind::RequestsPerSec, counter, range);
     if pairs.len() < 8 {
         return Err(PlanError::InsufficientData {
             what: "counter screening",
@@ -82,10 +81,7 @@ pub fn screen_xy(counter: CounterKind, xs: &[f64], ys: &[f64]) -> CounterScreen 
     // A (nearly) constant counter carries no workload signal: static queues
     // and error counters are "more suitable for anomaly detection" (§II-A1).
     let y_mean = ys.iter().sum::<f64>() / ys.len().max(1) as f64;
-    let y_spread = ys
-        .iter()
-        .map(|y| (y - y_mean).abs())
-        .fold(0.0f64, f64::max);
+    let y_spread = ys.iter().map(|y| (y - y_mean).abs()).fold(0.0f64, f64::max);
     if y_spread <= 1e-9 * (1.0 + y_mean.abs()) {
         return CounterScreen {
             counter,
@@ -256,7 +252,9 @@ pub fn validation_loop(
             .iter()
             .max_by(|a, b| a.r_squared.partial_cmp(&b.r_squared).expect("finite r2"))
         {
-            if best.r_squared >= r2_threshold && split.per_table.iter().all(|s| s.r_squared >= r2_threshold) {
+            if best.r_squared >= r2_threshold
+                && split.per_table.iter().all(|s| s.r_squared >= r2_threshold)
+            {
                 return Ok(best.clone());
             }
         }

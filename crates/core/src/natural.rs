@@ -61,10 +61,7 @@ pub fn find_natural_experiments(
 }
 
 fn close_event(obs: &PoolObservations, indices: Vec<usize>, envelope: f64) -> NaturalExperiment {
-    let peak = indices
-        .iter()
-        .map(|&i| obs.rps_per_server[i])
-        .fold(f64::NEG_INFINITY, f64::max);
+    let peak = indices.iter().map(|&i| obs.rps_per_server[i]).fold(f64::NEG_INFINITY, f64::max);
     NaturalExperiment { indices, baseline_rps: envelope, peak_rps: peak }
 }
 
@@ -129,12 +126,17 @@ where
         n += 1;
     }
     if n == 0 {
-        return HoldReport { mean_abs_error: 0.0, max_abs_error: 0.0, mean_observed: 0.0, holds: false };
+        return HoldReport {
+            mean_abs_error: 0.0,
+            max_abs_error: 0.0,
+            mean_observed: 0.0,
+            holds: false,
+        };
     }
     let mean_abs_error = sum_abs / n as f64;
     let mean_observed = sum_obs / n as f64;
     let holds = mean_observed > 0.0 && mean_abs_error / mean_observed <= tolerance_rel;
-    HoldReport { mean_abs_error, max_abs_error: max_abs_error, mean_observed, holds }
+    HoldReport { mean_abs_error, max_abs_error, mean_observed, holds }
 }
 
 #[cfg(test)]
@@ -148,8 +150,7 @@ mod tests {
         let n = 400;
         let mut rps = Vec::with_capacity(n);
         for i in 0..n {
-            let base =
-                200.0 + 80.0 * ((i as f64 / n as f64) * 2.0 * std::f64::consts::TAU).sin();
+            let base = 200.0 + 80.0 * ((i as f64 / n as f64) * 2.0 * std::f64::consts::TAU).sin();
             let factor = if surge_at.contains(&i) { surge_factor } else { 1.0 };
             rps.push(base * factor);
         }

@@ -108,11 +108,7 @@ pub fn capture_trace(
     for w in range.iter() {
         if let Some(rps) = store.pool_window_mean(pool, CounterKind::RequestsPerSec, w) {
             let servers = store.pool_active_servers(pool, w) as f64;
-            trace.push(TraceWindow {
-                window: w,
-                rps: rps * servers,
-                class_fractions: Vec::new(),
-            });
+            trace.push(TraceWindow { window: w, rps: rps * servers, class_fractions: Vec::new() });
         }
     }
     if trace.is_empty() {
@@ -260,10 +256,8 @@ pub fn analyze_ab(result: &AbRunResult, latency_slo_ms: f64) -> Result<AbReport,
 
     // A latency regression = significant positive delta in the top half of
     // the load range (low-load deltas are startup noise).
-    let latency_regression = steps
-        .iter()
-        .skip(n_steps / 2)
-        .any(|s| s.significant && s.delta_ms > 0.0);
+    let latency_regression =
+        steps.iter().skip(n_steps / 2).any(|s| s.significant && s.delta_ms > 0.0);
 
     // Memory leak slopes (MB per step).
     let xs: Vec<f64> = (0..n_steps).map(|i| i as f64).collect();
@@ -317,13 +311,7 @@ mod tests {
     use headroom_telemetry::time::WindowIndex;
     use headroom_workload::stepped::SteppedLoad;
 
-    fn obs_from_curve(
-        slope: f64,
-        lat: [f64; 3],
-        lo: f64,
-        hi: f64,
-        n: usize,
-    ) -> PoolObservations {
+    fn obs_from_curve(slope: f64, lat: [f64; 3], lo: f64, hi: f64, n: usize) -> PoolObservations {
         let rps: Vec<f64> = (0..n).map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64).collect();
         PoolObservations {
             pool: PoolId(0),
@@ -389,10 +377,7 @@ mod tests {
         let baseline = ServiceModel::paper_pool_b();
         let ramp = SteppedLoad::new(50.0, 75.0, 2, 5);
         let result = RegressionLab::new(baseline.clone(), baseline, ramp, 1).run();
-        assert!(matches!(
-            analyze_ab(&result, 40.0),
-            Err(PlanError::InsufficientData { .. })
-        ));
+        assert!(matches!(analyze_ab(&result, 40.0), Err(PlanError::InsufficientData { .. })));
     }
 
     #[test]
@@ -406,11 +391,7 @@ mod tests {
         let pool = production.pools()[0];
         let prod_obs =
             PoolObservations::collect(production.store(), pool, production.range()).unwrap();
-        let servers = production
-            .fleet()
-            .pool(pool)
-            .map(|p| p.size())
-            .expect("pool exists");
+        let servers = production.fleet().pool(pool).map(|p| p.size()).expect("pool exists");
 
         let trace = capture_trace(production.store(), pool, production.range()).unwrap();
         let synth = SyntheticWorkload::fit(&trace).unwrap();
@@ -419,8 +400,7 @@ mod tests {
         assert!(synth.equivalence(&generated).is_equivalent());
 
         // Replay it against an offline pool running the same build.
-        let replay =
-            OfflineReplay::new(headroom_cluster::ServiceModel::paper_pool_b(), servers, 3);
+        let replay = OfflineReplay::new(headroom_cluster::ServiceModel::paper_pool_b(), servers, 3);
         let offline_obs = replay.run(&generated);
         let validation = validate_synthetic(&prod_obs, &offline_obs, 0.08).unwrap();
         assert!(validation.equivalent, "{validation:?}");
@@ -463,8 +443,8 @@ mod tests {
 
     #[test]
     fn identical_models_produce_no_significant_deltas() {
-        let report = analyze_ab(&lab_result(ServiceModel::paper_pool_b().with_leak(2.5)), 40.0)
-            .unwrap();
+        let report =
+            analyze_ab(&lab_result(ServiceModel::paper_pool_b().with_leak(2.5)), 40.0).unwrap();
         // Identical models (both leaky): deltas are exactly zero.
         for s in &report.steps {
             assert_eq!(s.delta_ms, 0.0);

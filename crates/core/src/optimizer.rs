@@ -66,12 +66,9 @@ pub fn optimize_pool(
     let obs = PoolObservations::collect(store, pool, range)?;
     let forecaster = CapacityForecaster::fit(&obs)?;
 
-    let current_servers = obs
-        .active_servers
-        .iter()
-        .fold(f64::NEG_INFINITY, |a, &b| a.max(b))
-        .round()
-        .max(1.0) as usize;
+    let current_servers =
+        obs.active_servers.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b)).round().max(1.0)
+            as usize;
 
     // Plan against the 99th percentile of total workload: effectively the
     // peak, robust to a stray noisy window.
@@ -83,23 +80,22 @@ pub fn optimize_pool(
     // requirement: Table IV aggregates across datacenters, and integer
     // rounding on small pools would otherwise swamp the signal. The
     // `min_servers` column stays a whole allocation.
-    let (min_servers, efficiency_savings, latency_impact) =
-        match forecaster.max_rps_per_server(qos) {
-            Ok(rps_at_slo) => {
-                let fractional =
-                    (peak_total / rps_at_slo).clamp(1e-9, current_servers as f64);
-                let n = (fractional.ceil() as usize).min(current_servers).max(1);
-                let before = forecaster.at_rps(current_peak_rps_per_server).latency_p95_ms;
-                let after = forecaster.at_rps(peak_total / fractional).latency_p95_ms;
-                let savings = (1.0 - fractional / current_servers as f64).max(0.0);
-                (n, savings, (after - before).max(0.0))
-            }
-            // SLO unreachable by the fitted curve: keep current allocation.
-            Err(PlanError::InvalidParameter(_)) | Err(PlanError::Stats(_)) => {
-                (current_servers, 0.0, 0.0)
-            }
-            Err(e) => return Err(e),
-        };
+    let (min_servers, efficiency_savings, latency_impact) = match forecaster.max_rps_per_server(qos)
+    {
+        Ok(rps_at_slo) => {
+            let fractional = (peak_total / rps_at_slo).clamp(1e-9, current_servers as f64);
+            let n = (fractional.ceil() as usize).min(current_servers).max(1);
+            let before = forecaster.at_rps(current_peak_rps_per_server).latency_p95_ms;
+            let after = forecaster.at_rps(peak_total / fractional).latency_p95_ms;
+            let savings = (1.0 - fractional / current_servers as f64).max(0.0);
+            (n, savings, (after - before).max(0.0))
+        }
+        // SLO unreachable by the fitted curve: keep current allocation.
+        Err(PlanError::InvalidParameter(_)) | Err(PlanError::Stats(_)) => {
+            (current_servers, 0.0, 0.0)
+        }
+        Err(e) => return Err(e),
+    };
 
     let members: Vec<ServerId> = store.servers_in_pool(pool).to_vec();
     let series = availability.pool_daily_series(&members, availability_days);
@@ -162,10 +158,7 @@ impl SavingsReport {
 
     /// Servers removable in total.
     pub fn removable_servers(&self) -> f64 {
-        self.rows
-            .iter()
-            .map(|r| r.current_servers as f64 * r.total_savings)
-            .sum()
+        self.rows.iter().map(|r| r.current_servers as f64 * r.total_savings).sum()
     }
 
     fn weighted<F: Fn(&PoolSavings) -> f64>(&self, f: F) -> f64 {
@@ -173,11 +166,7 @@ impl SavingsReport {
         if total == 0 {
             return 0.0;
         }
-        self.rows
-            .iter()
-            .map(|r| f(r) * r.current_servers as f64)
-            .sum::<f64>()
-            / total as f64
+        self.rows.iter().map(|r| f(r) * r.current_servers as f64).sum::<f64>() / total as f64
     }
 }
 
@@ -222,17 +211,15 @@ mod tests {
     fn finds_headroom_in_overprovisioned_pool() {
         let (store, avail, pool) = overprovisioned_store(30, 380.0);
         let qos = QosRequirement::latency(32.5).with_cpu_ceiling(90.0);
-        let s =
-            optimize_pool(&store, &avail, pool, WindowRange::days(1.0), &qos, 1).unwrap();
+        let s = optimize_pool(&store, &avail, pool, WindowRange::days(1.0), &qos, 1).unwrap();
         assert_eq!(s.current_servers, 30);
         // Pool B shape: roughly a third of servers removable at +2 ms.
+        assert!((s.efficiency_savings - 0.33).abs() < 0.08, "efficiency {}", s.efficiency_savings);
         assert!(
-            (s.efficiency_savings - 0.33).abs() < 0.08,
-            "efficiency {}",
-            s.efficiency_savings
+            s.latency_impact_ms > 0.3 && s.latency_impact_ms < 5.0,
+            "impact {}",
+            s.latency_impact_ms
         );
-        assert!(s.latency_impact_ms > 0.3 && s.latency_impact_ms < 5.0,
-            "impact {}", s.latency_impact_ms);
         // Fully available pool ⇒ no online savings.
         assert!(s.online_savings < 0.001);
         assert!((s.total_savings - s.efficiency_savings).abs() < 1e-9);
@@ -244,8 +231,7 @@ mod tests {
         // SLO exactly at the observed peak latency: nothing to remove.
         let peak_lat = 4.028e-5 * 380.0f64.powi(2) - 0.031 * 380.0 + 36.68;
         let qos = QosRequirement::latency(peak_lat + 0.01).with_cpu_ceiling(90.0);
-        let s =
-            optimize_pool(&store, &avail, pool, WindowRange::days(1.0), &qos, 1).unwrap();
+        let s = optimize_pool(&store, &avail, pool, WindowRange::days(1.0), &qos, 1).unwrap();
         // Planning against the p99 of total workload leaves a sliver of
         // fractional savings even at a just-met SLO; it stays marginal.
         assert!(s.efficiency_savings < 0.08, "savings {}", s.efficiency_savings);
@@ -255,8 +241,7 @@ mod tests {
     fn unreachable_slo_keeps_current_size() {
         let (store, avail, pool) = overprovisioned_store(10, 380.0);
         let qos = QosRequirement::latency(1.0); // below the latency floor
-        let s =
-            optimize_pool(&store, &avail, pool, WindowRange::days(1.0), &qos, 1).unwrap();
+        let s = optimize_pool(&store, &avail, pool, WindowRange::days(1.0), &qos, 1).unwrap();
         assert_eq!(s.min_servers, s.current_servers);
         assert_eq!(s.efficiency_savings, 0.0);
     }

@@ -54,8 +54,7 @@ impl LoadPartition {
         if self.observations.is_empty() {
             return 0.0;
         }
-        self.observations.iter().map(|o| o.latency_ms).sum::<f64>()
-            / self.observations.len() as f64
+        self.observations.iter().map(|o| o.latency_ms).sum::<f64>() / self.observations.len() as f64
     }
 }
 
@@ -121,11 +120,7 @@ mod tests {
         PoolObservations {
             pool: PoolId(0),
             windows: (0..n as u64).map(WindowIndex).collect(),
-            rps_per_server: totals
-                .iter()
-                .zip(servers)
-                .map(|(t, s)| t / s.max(1.0))
-                .collect(),
+            rps_per_server: totals.iter().zip(servers).map(|(t, s)| t / s.max(1.0)).collect(),
             cpu_pct: vec![10.0; n],
             latency_p95_ms: latencies.to_vec(),
             active_servers: servers.to_vec(),
@@ -167,8 +162,7 @@ mod tests {
         // Latency falls as 1/n-ish; generate from a quadratic in n directly.
         let servers: Vec<f64> = (0..60).map(|i| 10.0 + (i % 20) as f64).collect();
         let totals = vec![5000.0; 60];
-        let lat: Vec<f64> =
-            servers.iter().map(|n| 0.05 * n * n - 3.0 * n + 80.0).collect();
+        let lat: Vec<f64> = servers.iter().map(|n| 0.05 * n * n - 3.0 * n + 80.0).collect();
         let obs = obs_with(&totals, &servers, &lat);
         let parts = partition_by_total_load(&obs, 1).unwrap();
         let fit = parts[0].fit_latency_vs_servers(7).unwrap();
@@ -179,10 +173,7 @@ mod tests {
     #[test]
     fn zero_partitions_rejected() {
         let obs = obs_with(&[1.0, 2.0], &[1.0, 1.0], &[1.0, 1.0]);
-        assert!(matches!(
-            partition_by_total_load(&obs, 0),
-            Err(PlanError::InvalidParameter(_))
-        ));
+        assert!(matches!(partition_by_total_load(&obs, 0), Err(PlanError::InvalidParameter(_))));
     }
 
     #[test]

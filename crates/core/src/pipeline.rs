@@ -88,8 +88,7 @@ impl CapacityPlanner {
     ) -> Result<PoolPlan, PlanError> {
         let metric = validation_loop(store, pool, range, self.r2_threshold)?;
         let groups = split_pool_groups(store, pool, range)?;
-        let savings =
-            optimize_pool(store, availability, pool, range, qos, self.availability_days)?;
+        let savings = optimize_pool(store, availability, pool, range, qos, self.availability_days)?;
         Ok(PoolPlan { pool, metric, groups, savings })
     }
 
@@ -126,19 +125,15 @@ mod tests {
     fn plans_clean_scenario_end_to_end() {
         let outcome = FleetScenario::small(11).run_days(2.0).unwrap();
         let planner = CapacityPlanner { availability_days: 2, ..CapacityPlanner::new() };
-        let report = planner.plan(
-            outcome.store(),
-            outcome.availability(),
-            outcome.range(),
-            |pool| {
+        let report =
+            planner.plan(outcome.store(), outcome.availability(), outcome.range(), |pool| {
                 // Pools 0..3 run service B (SLO 32.5), 3..6 service D (58).
                 if pool.0 < 3 {
                     QosRequirement::latency(32.5).with_cpu_ceiling(90.0)
                 } else {
                     QosRequirement::latency(58.0).with_cpu_ceiling(90.0)
                 }
-            },
-        );
+            });
         assert!(
             report.pools.len() >= 4,
             "most pools should plan cleanly; skipped: {:?}",

@@ -73,10 +73,7 @@ mod tests {
     fn table_aligns_columns() {
         let t = render_table(
             &["Pool", "Efficiency"],
-            &[
-                vec!["A".into(), "15%".into()],
-                vec!["LongName".into(), "4%".into()],
-            ],
+            &[vec!["A".into(), "15%".into()], vec!["LongName".into(), "4%".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

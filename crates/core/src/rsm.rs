@@ -156,10 +156,7 @@ pub fn run_reduction_experiment(
         } else if candidate < 1 || candidate == active {
             stop = true;
         } else {
-            let peak_total = all_obs
-                .total_rps()
-                .iter()
-                .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+            let peak_total = all_obs.total_rps().iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
             let predicted = forecaster.at_rps(peak_total / candidate as f64).latency_p95_ms;
             forecast_next = Some(predicted);
             if predicted > config.qos.latency_p95_ms - config.safety_margin_ms {
@@ -224,11 +221,8 @@ mod tests {
         // Service G: latency 6 + 2.2e-5 r²; SLO 12.1 ms from the catalog.
         let (mut sim, pool) = experiment_sim(MicroserviceKind::G, 40, 3);
         let qos = QosRequirement::latency(12.1).with_cpu_ceiling(80.0);
-        let config = RsmConfig {
-            windows_per_iteration: 360,
-            max_iterations: 12,
-            ..RsmConfig::new(qos)
-        };
+        let config =
+            RsmConfig { windows_per_iteration: 360, max_iterations: 12, ..RsmConfig::new(qos) };
         let outcome = run_reduction_experiment(&mut sim, pool, &config).unwrap();
         assert!(outcome.iterations.len() >= 2, "should iterate at least twice");
         assert!(outcome.final_servers < outcome.initial_servers, "some savings found");
@@ -259,11 +253,8 @@ mod tests {
         .unwrap();
         let peak = obs.latency_p95_ms.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
         let qos = QosRequirement::latency(peak + 0.2).with_cpu_ceiling(80.0);
-        let config = RsmConfig {
-            windows_per_iteration: 360,
-            max_iterations: 4,
-            ..RsmConfig::new(qos)
-        };
+        let config =
+            RsmConfig { windows_per_iteration: 360, max_iterations: 4, ..RsmConfig::new(qos) };
         let outcome = run_reduction_experiment(&mut sim, pool, &config).unwrap();
         assert!(
             outcome.final_servers >= outcome.initial_servers * 8 / 10,
@@ -298,11 +289,8 @@ mod tests {
     fn iterations_record_forecasts() {
         let (mut sim, pool) = experiment_sim(MicroserviceKind::G, 30, 7);
         let qos = QosRequirement::latency(12.1).with_cpu_ceiling(80.0);
-        let config = RsmConfig {
-            windows_per_iteration: 240,
-            max_iterations: 6,
-            ..RsmConfig::new(qos)
-        };
+        let config =
+            RsmConfig { windows_per_iteration: 240, max_iterations: 6, ..RsmConfig::new(qos) };
         let outcome = run_reduction_experiment(&mut sim, pool, &config).unwrap();
         // Every non-final iteration carries a forecast for the next step.
         for it in &outcome.iterations[..outcome.iterations.len() - 1] {

@@ -1,0 +1,156 @@
+//! The sizing interface shared by batch and streaming planners.
+//!
+//! The paper's pipeline produces one number per pool that everything else
+//! (reports, resize automation, exhaustion projection) consumes: the minimum
+//! server count meeting the QoS requirement at peak. [`PoolSizing`] is that
+//! decision, and [`SizingPlanner`] is the interface any planner — the batch
+//! [`crate::pipeline::CapacityPlanner`] or a streaming re-planner — exposes,
+//! so downstream consumers do not care how the decision was derived.
+
+use headroom_telemetry::ids::PoolId;
+
+/// One pool's sizing decision, however it was computed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolSizing {
+    /// The pool.
+    pub pool: PoolId,
+    /// Servers currently allocated.
+    pub current_servers: usize,
+    /// Minimum servers meeting the QoS requirement at peak workload.
+    pub min_servers: usize,
+    /// The peak total workload (RPS) the sizing was computed against.
+    pub peak_total_rps: f64,
+}
+
+impl PoolSizing {
+    /// Fraction of the current allocation that is headroom above the
+    /// minimum: `(current − min) / current`, clamped at 0.
+    pub fn headroom_fraction(&self) -> f64 {
+        if self.current_servers == 0 {
+            return 0.0;
+        }
+        let spare = self.current_servers.saturating_sub(self.min_servers);
+        spare as f64 / self.current_servers as f64
+    }
+
+    /// Servers removable without violating QoS.
+    pub fn removable_servers(&self) -> usize {
+        self.current_servers.saturating_sub(self.min_servers)
+    }
+}
+
+/// A planner able to report its current per-pool sizing decisions.
+pub trait SizingPlanner {
+    /// Short identifier for reports (e.g. `"batch"`, `"online"`).
+    fn planner_name(&self) -> &'static str;
+
+    /// Current sizing decisions, one per plannable pool, sorted by pool id.
+    fn sizings(&self) -> Vec<PoolSizing>;
+
+    /// The sizing for one pool, when it was plannable.
+    fn sizing_for(&self, pool: PoolId) -> Option<PoolSizing> {
+        self.sizings().into_iter().find(|s| s.pool == pool)
+    }
+}
+
+impl SizingPlanner for crate::pipeline::PlanReport {
+    fn planner_name(&self) -> &'static str {
+        "batch"
+    }
+
+    fn sizings(&self) -> Vec<PoolSizing> {
+        let mut rows: Vec<PoolSizing> = self
+            .pools
+            .iter()
+            .map(|p| PoolSizing {
+                pool: p.pool,
+                current_servers: p.savings.current_servers,
+                min_servers: p.savings.min_servers,
+                peak_total_rps: p.savings.peak_total_rps,
+            })
+            .collect();
+        rows.sort_by_key(|s| s.pool);
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::PoolSavings;
+    use crate::pipeline::{PlanReport, PoolPlan};
+
+    #[test]
+    fn headroom_fraction_basics() {
+        let s = PoolSizing {
+            pool: PoolId(0),
+            current_servers: 20,
+            min_servers: 14,
+            peak_total_rps: 5_000.0,
+        };
+        assert!((s.headroom_fraction() - 0.3).abs() < 1e-12);
+        assert_eq!(s.removable_servers(), 6);
+    }
+
+    #[test]
+    fn oversubscribed_pool_clamps_at_zero() {
+        let s = PoolSizing {
+            pool: PoolId(1),
+            current_servers: 10,
+            min_servers: 15,
+            peak_total_rps: 9_000.0,
+        };
+        assert_eq!(s.headroom_fraction(), 0.0);
+        assert_eq!(s.removable_servers(), 0);
+        let empty =
+            PoolSizing { pool: PoolId(2), current_servers: 0, min_servers: 0, peak_total_rps: 0.0 };
+        assert_eq!(empty.headroom_fraction(), 0.0);
+    }
+
+    fn report_with(rows: &[(u32, usize, usize)]) -> PlanReport {
+        let mut report = PlanReport::default();
+        for &(pool, current, min) in rows {
+            let savings = PoolSavings {
+                pool: PoolId(pool),
+                current_servers: current,
+                min_servers: min,
+                efficiency_savings: 0.0,
+                latency_impact_ms: 0.0,
+                online_savings: 0.0,
+                total_savings: 0.0,
+                peak_total_rps: 1_000.0,
+                availability: 0.98,
+            };
+            report.pools.push(PoolPlan {
+                pool: PoolId(pool),
+                metric: crate::metric_validation::CounterScreen {
+                    counter: headroom_telemetry::counter::CounterKind::RequestsPerSec,
+                    fit: None,
+                    r_squared: 0.99,
+                    verdict: crate::metric_validation::MetricVerdict::Linear,
+                    anomalous_windows: 0,
+                },
+                groups: crate::grouping::GroupSplit {
+                    groups: vec![],
+                    silhouette: 0.0,
+                    scatter: vec![],
+                },
+                savings,
+            });
+        }
+        report
+    }
+
+    #[test]
+    fn plan_report_exposes_sizings_sorted() {
+        let report = report_with(&[(2, 10, 8), (0, 30, 21)]);
+        let sizings = report.sizings();
+        assert_eq!(report.planner_name(), "batch");
+        assert_eq!(sizings.len(), 2);
+        assert_eq!(sizings[0].pool, PoolId(0));
+        assert_eq!(sizings[0].min_servers, 21);
+        assert_eq!(sizings[1].pool, PoolId(2));
+        assert!(report.sizing_for(PoolId(2)).is_some());
+        assert!(report.sizing_for(PoolId(9)).is_none());
+    }
+}

@@ -60,10 +60,7 @@ impl QosRequirement {
     ///
     /// Panics when `latency_p95_ms` is not positive.
     pub fn latency(latency_p95_ms: f64) -> Self {
-        assert!(
-            latency_p95_ms > 0.0 && latency_p95_ms.is_finite(),
-            "latency SLO must be positive"
-        );
+        assert!(latency_p95_ms > 0.0 && latency_p95_ms.is_finite(), "latency SLO must be positive");
         QosRequirement { latency_p95_ms, cpu_ceiling_pct: 60.0, min_availability: 0.9995 }
     }
 
@@ -88,6 +85,22 @@ impl QosRequirement {
             Slo::CpuCeilingPct(self.cpu_ceiling_pct),
             Slo::Availability(self.min_availability),
         ]
+    }
+
+    /// The per-pool QoS requirements of the six-pool small fleet
+    /// (`headroom_cluster::scenario::FleetScenario::small`, which deploys
+    /// service B on pools 0–2 and service D on pools 3–5, one pool per
+    /// datacenter). The latency SLOs come from the Table I catalog specs,
+    /// so only the pool→service layout is encoded here; it is shared by the
+    /// tests, benches, experiments and examples that compare planners on
+    /// that fleet so the mapping cannot drift between them.
+    pub fn small_fleet(pool: headroom_telemetry::ids::PoolId) -> Self {
+        let kind = if pool.0 < 3 {
+            headroom_cluster::catalog::MicroserviceKind::B
+        } else {
+            headroom_cluster::catalog::MicroserviceKind::D
+        };
+        QosRequirement::latency(kind.spec().latency_slo_ms).with_cpu_ceiling(90.0)
     }
 }
 
@@ -121,6 +134,18 @@ mod tests {
         assert_eq!(Slo::LatencyP95Ms(500.0).to_string(), "p95 latency <= 500 ms");
         assert_eq!(Slo::Availability(0.99999).to_string(), "availability >= 99.999%");
         assert_eq!(Slo::CpuCeilingPct(60.0).to_string(), "cpu <= 60%");
+    }
+
+    #[test]
+    fn small_fleet_mapping_follows_catalog() {
+        use headroom_cluster::catalog::MicroserviceKind;
+        use headroom_telemetry::ids::PoolId;
+        let b = QosRequirement::small_fleet(PoolId(0));
+        let d = QosRequirement::small_fleet(PoolId(3));
+        assert_eq!(b.latency_p95_ms, MicroserviceKind::B.spec().latency_slo_ms);
+        assert_eq!(d.latency_p95_ms, MicroserviceKind::D.spec().latency_slo_ms);
+        assert!(d.latency_p95_ms > b.latency_p95_ms);
+        assert_eq!(b.cpu_ceiling_pct, 90.0);
     }
 
     #[test]

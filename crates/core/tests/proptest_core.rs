@@ -11,9 +11,7 @@ use proptest::prelude::*;
 
 fn pool_b_forecaster() -> CapacityForecaster {
     CapacityForecaster {
-        cpu: CpuModel {
-            fit: LinearFit { slope: 0.028, intercept: 1.37, r_squared: 0.98, n: 100 },
-        },
+        cpu: CpuModel { fit: LinearFit { slope: 0.028, intercept: 1.37, r_squared: 0.98, n: 100 } },
         latency: LatencyModel {
             poly: Polynomial::new(vec![36.68, -0.031, 4.028e-5]),
             r_squared: 0.9,

@@ -1,0 +1,225 @@
+//! Response-profile drift detection.
+//!
+//! A streaming planner's fitted curves embody an assumption: the pool's
+//! workload→resource response is stationary. A release that changes CPU per
+//! request, or a hardware swap, silently invalidates every window observed
+//! before the change — averaging across the change-point produces a fit
+//! describing *neither* regime. [`DriftDetector`] watches a short recent
+//! sub-window and fires when its response disagrees with the established
+//! long-window fit, so the planner can discard the stale history.
+//!
+//! Two signals are checked:
+//!
+//! - **level**: mean response in the short window vs the long fit's
+//!   prediction at the short window's mean workload — catches shifts even
+//!   when the short window spans little workload range (e.g. overnight);
+//! - **slope**: the short window's own fitted slope vs the long fit's —
+//!   checked only when the short window has enough workload spread for its
+//!   slope to be trustworthy, so flat overnight traffic cannot false-fire.
+
+use headroom_stats::LinearFit;
+
+use crate::estimators::WindowedLinReg;
+
+/// Drift-detector tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// Windows in the recent sub-window (default 90 ≈ 3 hours).
+    pub short_window: usize,
+    /// Minimum observations the *reference* fit must rest on before drift
+    /// is evaluated (default 240 ≈ 8 hours).
+    pub min_reference: usize,
+    /// Relative slope disagreement that fires (default 0.35).
+    pub slope_tolerance: f64,
+    /// Relative level disagreement that fires (default 0.20).
+    pub level_tolerance: f64,
+    /// stddev(x)/|mean(x)| in the short window must reach this fraction
+    /// before its fitted slope is trusted (default 0.15) — flat overnight
+    /// traffic stays well below it, a diurnal sweep well above.
+    pub min_spread_fraction: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            short_window: 90,
+            min_reference: 240,
+            slope_tolerance: 0.35,
+            level_tolerance: 0.20,
+            min_spread_fraction: 0.15,
+        }
+    }
+}
+
+/// Which signal disagreed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftKind {
+    /// Mean response shifted away from the reference prediction.
+    Level,
+    /// The response slope itself changed.
+    Slope,
+}
+
+/// A detected change-point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftEvent {
+    /// Which signal fired.
+    pub kind: DriftKind,
+    /// Value observed in the recent sub-window.
+    pub observed: f64,
+    /// Value the reference fit expected.
+    pub expected: f64,
+}
+
+impl DriftEvent {
+    /// |observed − expected| / |expected|.
+    pub fn relative_deviation(&self) -> f64 {
+        if self.expected == 0.0 {
+            return if self.observed == 0.0 { 0.0 } else { f64::INFINITY };
+        }
+        (self.observed - self.expected).abs() / self.expected.abs()
+    }
+}
+
+/// Streaming change-point detector over an (x, y) response relationship.
+///
+/// Feed every observation with [`observe`]; compare against the established
+/// fit with [`check`]. The detector holds only the short sub-window — the
+/// long-window reference is whatever fit the caller maintains (typically a
+/// [`headroom_stats::StreamingLinReg`] over the full sliding window).
+///
+/// [`observe`]: DriftDetector::observe
+/// [`check`]: DriftDetector::check
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftDetector {
+    config: DriftConfig,
+    short: WindowedLinReg,
+}
+
+impl DriftDetector {
+    /// A detector with the given tuning.
+    pub fn new(config: DriftConfig) -> Self {
+        DriftDetector { short: WindowedLinReg::new(config.short_window.max(2)), config }
+    }
+
+    /// The tuning in effect.
+    pub fn config(&self) -> &DriftConfig {
+        &self.config
+    }
+
+    /// Feeds one observation into the recent sub-window.
+    pub fn observe(&mut self, x: f64, y: f64) {
+        self.short.push(x, y);
+    }
+
+    /// Evaluates the recent sub-window against `reference` (a fit over
+    /// `reference_n` observations). Returns the drift event, if any.
+    ///
+    /// The short window must be full and the reference seasoned
+    /// (`min_reference`); otherwise no verdict is reached.
+    pub fn check(&self, reference: &LinearFit, reference_n: usize) -> Option<DriftEvent> {
+        if !self.short.is_full() || reference_n < self.config.min_reference {
+            return None;
+        }
+        let acc = self.short.accumulator();
+        // Level: mean observed response vs the reference's prediction at the
+        // same mean workload.
+        let expected = reference.predict(acc.mean_x());
+        let observed = acc.mean_y();
+        if expected.abs() > 1e-9 {
+            let dev = (observed - expected).abs() / expected.abs();
+            if dev > self.config.level_tolerance {
+                return Some(DriftEvent { kind: DriftKind::Level, observed, expected });
+            }
+        }
+        // Slope: only with enough workload spread to estimate one. Flat
+        // overnight traffic has stddev(x) ≪ mean(x): its fitted slope is
+        // noise amplified, so it is not compared.
+        if let Ok(short_fit) = self.short.fit() {
+            let spread_floor = self.config.min_spread_fraction * acc.mean_x().abs();
+            let spread_ok = acc.variance_x().sqrt() >= spread_floor;
+            if spread_ok && reference.slope.abs() > 1e-9 {
+                let dev = (short_fit.slope - reference.slope).abs() / reference.slope.abs();
+                if dev > self.config.slope_tolerance {
+                    return Some(DriftEvent {
+                        kind: DriftKind::Slope,
+                        observed: short_fit.slope,
+                        expected: reference.slope,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Resets the recent sub-window (after the caller handled a drift).
+    pub fn reset(&mut self) {
+        self.short.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference() -> LinearFit {
+        LinearFit { slope: 0.028, intercept: 1.37, r_squared: 0.98, n: 720 }
+    }
+
+    fn feed(det: &mut DriftDetector, slope: f64, intercept: f64, jitter: f64, n: usize) {
+        for i in 0..n {
+            let x = 200.0 + (i % 60) as f64 * 5.0;
+            let noise = (((i * 31) % 13) as f64 - 6.0) * jitter;
+            det.observe(x, slope * x + intercept + noise);
+        }
+    }
+
+    #[test]
+    fn stationary_noise_does_not_fire() {
+        let mut det = DriftDetector::new(DriftConfig::default());
+        feed(&mut det, 0.028, 1.37, 0.02, 400);
+        assert_eq!(det.check(&reference(), 720), None);
+    }
+
+    #[test]
+    fn level_shift_fires() {
+        let mut det = DriftDetector::new(DriftConfig::default());
+        // A release doubles per-request CPU: the level jumps well past 20%.
+        feed(&mut det, 0.056, 1.37, 0.02, 120);
+        let event = det.check(&reference(), 720).expect("drift detected");
+        assert_eq!(event.kind, DriftKind::Level);
+        assert!(event.relative_deviation() > 0.2);
+    }
+
+    #[test]
+    fn slope_change_with_compensating_intercept_fires() {
+        let mut det = DriftDetector::new(DriftConfig::default());
+        // Slope rises 60% but the intercept drops so the *mean* level stays
+        // put — only the slope check can catch this.
+        let slope = 0.028 * 1.6;
+        let mean_x = 200.0 + 29.5 * 5.0; // matches feed()'s x pattern
+        let intercept = (0.028 * mean_x + 1.37) - slope * mean_x;
+        feed(&mut det, slope, intercept, 0.02, 120);
+        let event = det.check(&reference(), 720).expect("drift detected");
+        assert_eq!(event.kind, DriftKind::Slope);
+    }
+
+    #[test]
+    fn no_verdict_before_windows_fill() {
+        let mut det = DriftDetector::new(DriftConfig::default());
+        feed(&mut det, 0.1, 0.0, 0.0, 30); // far off, but window not full
+        assert_eq!(det.check(&reference(), 720), None);
+        // Full window but unseasoned reference.
+        feed(&mut det, 0.1, 0.0, 0.0, 90);
+        assert_eq!(det.check(&reference(), 10), None);
+    }
+
+    #[test]
+    fn reset_clears_the_window() {
+        let mut det = DriftDetector::new(DriftConfig::default());
+        feed(&mut det, 0.056, 1.37, 0.0, 120);
+        assert!(det.check(&reference(), 720).is_some());
+        det.reset();
+        assert_eq!(det.check(&reference(), 720), None);
+    }
+}

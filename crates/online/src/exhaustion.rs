@@ -1,0 +1,310 @@
+//! Headroom classification and days-to-exhaustion projection.
+//!
+//! The paper's planners answer "how many servers do we need *now*"; the
+//! operational question that follows is "how long until the current
+//! allocation is not enough". This module answers it incrementally, in the
+//! spirit of `headroom_core::growth` but without batch refits: daily peak
+//! workloads accumulate into a streaming trend
+//! ([`headroom_stats::StreamingLinReg`] over day index), and the projection
+//! intersects that trend with the pool's supportable peak.
+
+use headroom_stats::StreamingLinReg;
+use headroom_telemetry::time::WindowIndex;
+
+/// Qualitative headroom state of a pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HeadroomBand {
+    /// Peak demand exceeds what the allocation supports within QoS.
+    Exhausted,
+    /// Less than 10% headroom above observed peak.
+    Critical,
+    /// Less than 20% headroom.
+    Tight,
+    /// Less than 35% headroom.
+    Adequate,
+    /// At least 35% headroom.
+    Ample,
+}
+
+impl HeadroomBand {
+    /// Classifies `headroom_fraction = 1 − peak/supportable`.
+    pub fn classify(headroom_fraction: f64) -> Self {
+        if headroom_fraction <= 0.0 {
+            HeadroomBand::Exhausted
+        } else if headroom_fraction < 0.10 {
+            HeadroomBand::Critical
+        } else if headroom_fraction < 0.20 {
+            HeadroomBand::Tight
+        } else if headroom_fraction < 0.35 {
+            HeadroomBand::Adequate
+        } else {
+            HeadroomBand::Ample
+        }
+    }
+
+    /// Whether this band warrants growing the pool.
+    pub fn needs_capacity(&self) -> bool {
+        matches!(self, HeadroomBand::Exhausted | HeadroomBand::Critical)
+    }
+}
+
+impl std::fmt::Display for HeadroomBand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            HeadroomBand::Exhausted => "exhausted",
+            HeadroomBand::Critical => "critical",
+            HeadroomBand::Tight => "tight",
+            HeadroomBand::Adequate => "adequate",
+            HeadroomBand::Ample => "ample",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The projector's verdict for one pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExhaustionProjection {
+    /// Band of the current headroom.
+    pub band: HeadroomBand,
+    /// Peak workload the classification used (RPS).
+    pub peak_rps: f64,
+    /// Workload the allocation supports within QoS (RPS).
+    pub supportable_rps: f64,
+    /// Daily growth of peak demand (RPS/day) from the streaming trend, when
+    /// at least 3 completed days exist.
+    pub daily_growth_rps: Option<f64>,
+    /// Days until the trend crosses the supportable peak. `None` when the
+    /// trend is flat/shrinking, not yet estimable, or the crossing lies
+    /// beyond 4× the observed history (the `core::growth` extrapolation
+    /// discipline).
+    pub days_to_exhaustion: Option<f64>,
+}
+
+/// Streaming days-to-exhaustion projector for one pool.
+///
+/// Feed every window's total pool workload with [`observe`]; read the
+/// verdict with [`project`]. O(1) memory: only the running day peak and the
+/// trend accumulator are kept.
+///
+/// [`observe`]: ExhaustionProjector::observe
+/// [`project`]: ExhaustionProjector::project
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExhaustionProjector {
+    current_day: Option<u64>,
+    running_peak: f64,
+    /// x = completed day index, y = that day's peak total RPS.
+    trend: StreamingLinReg,
+    completed_days: usize,
+    /// Actual day index of the most recently committed peak (observation
+    /// may start mid-history, and a fully offline day leaves a gap, so this
+    /// is not `completed_days − 1`).
+    last_committed_day: Option<u64>,
+    last_day_peak: f64,
+}
+
+impl ExhaustionProjector {
+    /// A fresh projector.
+    pub fn new() -> Self {
+        ExhaustionProjector::default()
+    }
+
+    /// Completed days feeding the trend.
+    pub fn completed_days(&self) -> usize {
+        self.completed_days
+    }
+
+    /// Feeds one window's total pool workload.
+    pub fn observe(&mut self, window: WindowIndex, total_rps: f64) {
+        if !total_rps.is_finite() {
+            return;
+        }
+        let day = window.day();
+        match self.current_day {
+            Some(d) if d == day => {
+                self.running_peak = self.running_peak.max(total_rps);
+            }
+            Some(d) => {
+                // Day rollover: commit the completed day's peak.
+                self.trend.push(d as f64, self.running_peak);
+                self.completed_days += 1;
+                self.last_committed_day = Some(d);
+                self.last_day_peak = self.running_peak;
+                self.current_day = Some(day);
+                self.running_peak = total_rps;
+            }
+            None => {
+                self.current_day = Some(day);
+                self.running_peak = total_rps;
+            }
+        }
+    }
+
+    /// The best current estimate of daily peak demand: the larger of the
+    /// last completed day's peak and today's running peak.
+    pub fn current_peak(&self) -> f64 {
+        self.last_day_peak.max(self.running_peak)
+    }
+
+    /// Projects exhaustion against the workload `supportable_rps` the pool's
+    /// current allocation can serve within QoS.
+    pub fn project(&self, supportable_rps: f64) -> ExhaustionProjection {
+        let peak = self.current_peak();
+        let headroom = if supportable_rps > 0.0 { 1.0 - peak / supportable_rps } else { 0.0 };
+        let band = HeadroomBand::classify(headroom);
+
+        let (daily_growth_rps, days_to_exhaustion) = match self.trend.fit() {
+            Ok(fit) if self.completed_days >= 3 => {
+                let growth = fit.slope;
+                let days = if growth <= 1e-9 || supportable_rps <= peak {
+                    // Flat/shrinking demand never exhausts by trend; an
+                    // already-exhausted pool is band-reported, not projected.
+                    if supportable_rps <= peak {
+                        Some(0.0)
+                    } else {
+                        None
+                    }
+                } else {
+                    // Evaluate the trend at the last *committed* day index —
+                    // the trend's x axis is real day numbers, which need not
+                    // start at 0 or be contiguous.
+                    let latest_day = self.last_committed_day.unwrap_or(0) as f64;
+                    let current_trend = fit.predict(latest_day);
+                    let days = (supportable_rps - current_trend).max(0.0) / growth;
+                    // Extrapolation guard: beyond 4× history is noise.
+                    if days > 4.0 * self.completed_days as f64 {
+                        None
+                    } else {
+                        Some(days)
+                    }
+                };
+                (Some(growth), days)
+            }
+            _ => (None, if supportable_rps <= peak { Some(0.0) } else { None }),
+        };
+
+        ExhaustionProjection {
+            band,
+            peak_rps: peak,
+            supportable_rps,
+            daily_growth_rps,
+            days_to_exhaustion,
+        }
+    }
+
+    /// Forgets all demand history (e.g. after a scenario-level reset; *not*
+    /// after response-profile drift, which changes the curves but not the
+    /// demand).
+    pub fn reset(&mut self) {
+        *self = ExhaustionProjector::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use headroom_telemetry::time::WINDOWS_PER_DAY;
+
+    fn feed_days_from(p: &mut ExhaustionProjector, first_day: u64, daily_peaks: &[f64]) {
+        for (i, &peak) in daily_peaks.iter().enumerate() {
+            let day = first_day + i as u64;
+            for w in 0..WINDOWS_PER_DAY {
+                let window = WindowIndex(day * WINDOWS_PER_DAY + w);
+                // A crude diurnal shape peaking mid-day.
+                let phase = (w as f64 / WINDOWS_PER_DAY as f64) * std::f64::consts::TAU;
+                let demand = peak * (0.55 - 0.45 * phase.cos());
+                p.observe(window, demand);
+            }
+        }
+        // One more window so the final day commits.
+        p.observe(WindowIndex((first_day + daily_peaks.len() as u64) * WINDOWS_PER_DAY), 0.0);
+    }
+
+    fn feed_days(p: &mut ExhaustionProjector, daily_peaks: &[f64]) {
+        feed_days_from(p, 0, daily_peaks);
+    }
+
+    #[test]
+    fn projection_invariant_to_observation_start_day() {
+        // The same growth pattern must project the same crossing whether the
+        // projector started watching at day 0 or mid-history at day 10.
+        let peaks: Vec<f64> = (0..6).map(|d| 10_000.0 + 200.0 * d as f64).collect();
+        let mut from_zero = ExhaustionProjector::new();
+        feed_days_from(&mut from_zero, 0, &peaks);
+        let mut from_ten = ExhaustionProjector::new();
+        feed_days_from(&mut from_ten, 10, &peaks);
+        let d0 = from_zero.project(12_600.0).days_to_exhaustion.expect("crossing");
+        let d10 = from_ten.project(12_600.0).days_to_exhaustion.expect("crossing");
+        assert!((d0 - d10).abs() < 1e-6, "{d0} vs {d10}");
+    }
+
+    #[test]
+    fn bands_cover_the_scale() {
+        assert_eq!(HeadroomBand::classify(-0.2), HeadroomBand::Exhausted);
+        assert_eq!(HeadroomBand::classify(0.0), HeadroomBand::Exhausted);
+        assert_eq!(HeadroomBand::classify(0.05), HeadroomBand::Critical);
+        assert_eq!(HeadroomBand::classify(0.15), HeadroomBand::Tight);
+        assert_eq!(HeadroomBand::classify(0.30), HeadroomBand::Adequate);
+        assert_eq!(HeadroomBand::classify(0.50), HeadroomBand::Ample);
+        assert!(HeadroomBand::Critical.needs_capacity());
+        assert!(!HeadroomBand::Adequate.needs_capacity());
+        assert_eq!(HeadroomBand::Ample.to_string(), "ample");
+    }
+
+    #[test]
+    fn growing_demand_projects_crossing() {
+        let mut p = ExhaustionProjector::new();
+        // 2% absolute growth per day on a 10k base over 6 days.
+        let peaks: Vec<f64> = (0..6).map(|d| 10_000.0 + 200.0 * d as f64).collect();
+        feed_days(&mut p, &peaks);
+        assert_eq!(p.completed_days(), 6);
+        // Supportable 12.6k: trend hits it ~8 days past day 5.
+        let proj = p.project(12_600.0);
+        let growth = proj.daily_growth_rps.expect("trend fitted");
+        assert!((growth - 200.0).abs() < 1.0, "growth {growth}");
+        let days = proj.days_to_exhaustion.expect("finite crossing");
+        assert!((days - 8.0).abs() < 1.5, "days {days}");
+        // Headroom 1 − 11000/12600 ≈ 0.127.
+        assert_eq!(proj.band, HeadroomBand::Tight);
+    }
+
+    #[test]
+    fn flat_demand_never_exhausts() {
+        let mut p = ExhaustionProjector::new();
+        feed_days(&mut p, &[5_000.0; 5]);
+        let proj = p.project(8_000.0);
+        assert_eq!(proj.days_to_exhaustion, None);
+        assert_eq!(proj.band, HeadroomBand::Ample);
+    }
+
+    #[test]
+    fn already_exhausted_reports_zero_days() {
+        let mut p = ExhaustionProjector::new();
+        feed_days(&mut p, &[5_000.0, 5_100.0, 5_200.0, 5_300.0]);
+        let proj = p.project(4_000.0);
+        assert_eq!(proj.band, HeadroomBand::Exhausted);
+        assert_eq!(proj.days_to_exhaustion, Some(0.0));
+    }
+
+    #[test]
+    fn distant_crossing_is_untrusted() {
+        let mut p = ExhaustionProjector::new();
+        // Tiny growth: crossing centuries away — guarded off.
+        feed_days(&mut p, &[10_000.0, 10_001.0, 10_002.0, 10_003.0]);
+        let proj = p.project(20_000.0);
+        assert!(proj.daily_growth_rps.is_some());
+        assert_eq!(proj.days_to_exhaustion, None);
+        assert_eq!(proj.band, HeadroomBand::Ample);
+    }
+
+    #[test]
+    fn too_little_history_gives_band_only() {
+        let mut p = ExhaustionProjector::new();
+        feed_days(&mut p, &[9_000.0, 9_500.0]);
+        let proj = p.project(10_000.0);
+        assert_eq!(proj.daily_growth_rps, None);
+        assert_eq!(proj.days_to_exhaustion, None);
+        assert_eq!(proj.band, HeadroomBand::Critical);
+        p.reset();
+        assert_eq!(p.completed_days(), 0);
+    }
+}

@@ -1,0 +1,570 @@
+//! The streaming capacity planner and its simulation control loop.
+//!
+//! [`OnlinePlanner`] consumes one [`WindowSnapshot`] per 120-second window
+//! and maintains, per pool:
+//!
+//! - a sliding window of pool-aggregate observations (ring-buffered);
+//! - the workload→CPU line ([`headroom_stats::StreamingLinReg`], O(1));
+//! - the workload→latency quadratic ([`crate::estimators::StreamingQuadFit`],
+//!   O(1));
+//! - a whole-stream P² tracker of the pool's p95 latency;
+//! - a [`crate::drift::DriftDetector`] that discards stale history when the
+//!   response profile shifts;
+//! - an [`crate::exhaustion::ExhaustionProjector`] for days-to-exhaustion.
+//!
+//! Each window it re-derives the pool's minimum server count with exactly
+//! the batch optimizer's formula — p99 of windowed total workload divided by
+//! the per-server workload at the QoS limit — so a window covering the same
+//! observations reproduces `headroom_core::optimizer::optimize_pool` while
+//! updating orders of magnitude faster than a batch refit.
+
+use std::collections::BTreeMap;
+
+use headroom_cluster::sim::{Simulation, WindowSnapshot};
+use headroom_core::sizing::{PoolSizing, SizingPlanner};
+use headroom_core::slo::QosRequirement;
+use headroom_stats::quantile_stream::P2Quantile;
+use headroom_stats::StreamingLinReg;
+use headroom_telemetry::ids::PoolId;
+use headroom_telemetry::time::WindowIndex;
+
+use crate::drift::{DriftConfig, DriftDetector};
+use crate::estimators::StreamingQuadFit;
+use crate::exhaustion::{ExhaustionProjection, ExhaustionProjector, HeadroomBand};
+use crate::ring::RingWindow;
+
+/// Streaming-planner tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlinePlannerConfig {
+    /// Sliding-window length in 120-second windows (default 1440 = 2 days).
+    pub window_capacity: usize,
+    /// Windows required before a pool is first planned (default 180 = 6 h).
+    pub min_fit_windows: usize,
+    /// Re-derive sizings every this many windows (default 1 = every window).
+    pub replan_every: u64,
+    /// A recommendation is emitted only when the target differs from the
+    /// current allocation by at least this many servers (default 1).
+    pub deadband_servers: usize,
+    /// Drift-detector tuning.
+    pub drift: DriftConfig,
+}
+
+impl Default for OnlinePlannerConfig {
+    fn default() -> Self {
+        OnlinePlannerConfig {
+            window_capacity: 1440,
+            min_fit_windows: 180,
+            replan_every: 1,
+            deadband_servers: 1,
+            drift: DriftConfig::default(),
+        }
+    }
+}
+
+/// One pool's aggregate observation for one window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolWindowAggregate {
+    /// The window observed.
+    pub window: WindowIndex,
+    /// Mean RPS per serving server.
+    pub rps_per_server: f64,
+    /// Mean CPU percent across serving servers.
+    pub cpu_pct: f64,
+    /// Mean p95 latency across serving servers (ms).
+    pub latency_p95_ms: f64,
+    /// Serving server count.
+    pub active_servers: usize,
+}
+
+impl PoolWindowAggregate {
+    /// Total pool workload this window (RPS).
+    pub fn total_rps(&self) -> f64 {
+        self.rps_per_server * self.active_servers as f64
+    }
+
+    /// Aggregates a fleet snapshot into per-pool rows (pools with no
+    /// serving server this window are omitted, matching the batch
+    /// collector's treatment of empty windows).
+    pub fn from_snapshot(snap: &WindowSnapshot<'_>) -> Vec<(PoolId, PoolWindowAggregate)> {
+        let mut acc: BTreeMap<PoolId, (f64, f64, f64, usize)> = BTreeMap::new();
+        for row in snap.rows {
+            if !row.online {
+                continue;
+            }
+            let e = acc.entry(row.pool).or_insert((0.0, 0.0, 0.0, 0));
+            e.0 += row.rps;
+            e.1 += row.cpu_pct;
+            e.2 += row.latency_p95_ms;
+            e.3 += 1;
+        }
+        acc.into_iter()
+            .map(|(pool, (rps, cpu, lat, n))| {
+                let nf = n as f64;
+                (
+                    pool,
+                    PoolWindowAggregate {
+                        window: snap.window,
+                        rps_per_server: rps / nf,
+                        cpu_pct: cpu / nf,
+                        latency_p95_ms: lat / nf,
+                        active_servers: n,
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+/// Why a resize was recommended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResizeAction {
+    /// The pool carries removable headroom.
+    Shrink,
+    /// The pool is critically low on headroom.
+    Grow,
+}
+
+/// A sizing change the planner wants applied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResizeRecommendation {
+    /// The pool.
+    pub pool: PoolId,
+    /// Window the recommendation was derived in.
+    pub window: WindowIndex,
+    /// Current serving allocation.
+    pub from_servers: usize,
+    /// Recommended allocation.
+    pub to_servers: usize,
+    /// Direction.
+    pub action: ResizeAction,
+    /// Headroom band that motivated it.
+    pub band: HeadroomBand,
+}
+
+/// The planner's current view of one pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolAssessment {
+    /// The sizing decision, in the shared batch/online vocabulary.
+    pub sizing: PoolSizing,
+    /// Window the assessment was derived in.
+    pub window: WindowIndex,
+    /// Headroom band.
+    pub band: HeadroomBand,
+    /// Exhaustion projection.
+    pub projection: ExhaustionProjection,
+    /// R² of the streaming CPU fit.
+    pub cpu_r_squared: f64,
+    /// R² of the streaming latency fit.
+    pub latency_r_squared: f64,
+    /// P² estimate of the p95 of per-window pool latency (ms).
+    pub latency_p95_stream_ms: Option<f64>,
+    /// Drift resets this pool has experienced.
+    pub drift_events: usize,
+    /// Whether the latency SLO was reachable on the fitted curve.
+    pub slo_reachable: bool,
+}
+
+#[derive(Debug, Clone)]
+struct PoolTracker {
+    window: RingWindow<PoolWindowAggregate>,
+    cpu: StreamingLinReg,
+    latency: StreamingQuadFit,
+    latency_stream: P2Quantile,
+    drift: DriftDetector,
+    projector: ExhaustionProjector,
+    drift_events: usize,
+}
+
+impl PoolTracker {
+    fn new(config: &OnlinePlannerConfig) -> Self {
+        PoolTracker {
+            window: RingWindow::new(config.window_capacity),
+            cpu: StreamingLinReg::new(),
+            latency: StreamingQuadFit::new(),
+            latency_stream: P2Quantile::new(0.95).expect("0.95 is a valid quantile"),
+            drift: DriftDetector::new(config.drift),
+            projector: ExhaustionProjector::new(),
+            drift_events: 0,
+        }
+    }
+
+    fn update(&mut self, agg: PoolWindowAggregate) {
+        if let Some(evicted) = self.window.push(agg) {
+            self.cpu.remove(evicted.rps_per_server, evicted.cpu_pct);
+            self.latency.remove(evicted.rps_per_server, evicted.latency_p95_ms);
+        }
+        self.cpu.push(agg.rps_per_server, agg.cpu_pct);
+        self.latency.push(agg.rps_per_server, agg.latency_p95_ms);
+        self.latency_stream.observe(agg.latency_p95_ms);
+        self.projector.observe(agg.window, agg.total_rps());
+
+        // Change-point handling: the drift detector compares its short
+        // sub-window against the established long fit and, on a hit,
+        // invalidates everything the fits learned before the shift.
+        self.drift.observe(agg.rps_per_server, agg.cpu_pct);
+        if let Ok(reference) = self.cpu.fit() {
+            if self.drift.check(&reference, self.cpu.len()).is_some() {
+                self.window.clear();
+                self.cpu.clear();
+                self.latency.clear();
+                self.latency_stream = P2Quantile::new(0.95).expect("valid quantile");
+                self.drift.reset();
+                self.drift_events += 1;
+                // Demand history survives: a release changes the response
+                // profile, not how much traffic users send.
+            }
+        }
+    }
+
+    /// The batch optimizer's sizing formula over the current window
+    /// (except that the answer is not clamped to the current allocation —
+    /// see the Grow comment below).
+    fn assess(&self, window: WindowIndex, qos: &QosRequirement) -> Option<PoolAssessment> {
+        let cpu_fit = self.cpu.fit().ok()?;
+        let (lat_poly, lat_r2) = self.latency.fit().ok()?;
+
+        let current_servers = self.window.iter().map(|a| a.active_servers).max()?.max(1);
+
+        let totals: Vec<f64> = self.window.iter().map(|a| a.total_rps()).collect();
+        let peak_total = headroom_stats::percentile::percentile(&totals, 99.0).ok()?;
+
+        // Per-server workload at the QoS limit: the binding constraint of
+        // the latency SLO and the CPU guardrail. As in the batch
+        // CapacityForecaster::max_rps_per_server, *both* constraints must be
+        // invertible — an unreachable latency SLO keeps the current
+        // allocation rather than silently sizing from CPU alone.
+        let rps_latency = lat_poly.solve_quadratic(qos.latency_p95_ms).ok();
+        let rps_cpu = cpu_fit.solve_for_x(qos.cpu_ceiling_pct).ok();
+        let rps_at_slo = match (rps_latency, rps_cpu) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            _ => None,
+        }
+        .filter(|r| *r > 0.0);
+
+        let (min_servers, supportable, slo_reachable) = match rps_at_slo {
+            Some(rps) => {
+                // The batch optimizer clamps its answer to the current
+                // allocation because it reports *savings*; a live planner
+                // must also be able to ask for more capacity than exists,
+                // so an undersized pool yields min_servers > current and a
+                // Grow recommendation.
+                let fractional = (peak_total / rps).max(1e-9);
+                let n = (fractional.ceil() as usize).max(1);
+                (n, current_servers as f64 * rps, true)
+            }
+            // SLO unreachable on the fitted curves: keep the allocation and
+            // report the pool as out of headroom — it cannot meet QoS.
+            None => (current_servers, peak_total, false),
+        };
+
+        let projection = self.projector.project(supportable);
+        Some(PoolAssessment {
+            sizing: PoolSizing {
+                pool: PoolId(0), // stamped by the caller
+                current_servers,
+                min_servers,
+                peak_total_rps: peak_total,
+            },
+            window,
+            band: projection.band,
+            projection,
+            cpu_r_squared: cpu_fit.r_squared,
+            latency_r_squared: lat_r2,
+            latency_p95_stream_ms: self.latency_stream.estimate(),
+            drift_events: self.drift_events,
+            slo_reachable,
+        })
+    }
+}
+
+/// The streaming incremental capacity planner.
+///
+/// Feed it snapshots with [`observe`], or let it drive a simulation with
+/// [`run`] / [`run_closed_loop`]. Read decisions through
+/// [`assessments`], [`drain_recommendations`], or the shared
+/// [`SizingPlanner`] interface.
+///
+/// [`observe`]: OnlinePlanner::observe
+/// [`run`]: OnlinePlanner::run
+/// [`run_closed_loop`]: OnlinePlanner::run_closed_loop
+/// [`assessments`]: OnlinePlanner::assessments
+/// [`drain_recommendations`]: OnlinePlanner::drain_recommendations
+#[derive(Debug, Clone)]
+pub struct OnlinePlanner {
+    config: OnlinePlannerConfig,
+    default_qos: QosRequirement,
+    qos: BTreeMap<PoolId, QosRequirement>,
+    trackers: BTreeMap<PoolId, PoolTracker>,
+    assessments: BTreeMap<PoolId, PoolAssessment>,
+    pending: Vec<ResizeRecommendation>,
+    last_target: BTreeMap<PoolId, usize>,
+    windows_seen: u64,
+}
+
+impl OnlinePlanner {
+    /// A planner applying `default_qos` to every pool not overridden with
+    /// [`set_qos`].
+    ///
+    /// [`set_qos`]: OnlinePlanner::set_qos
+    pub fn new(config: OnlinePlannerConfig, default_qos: QosRequirement) -> Self {
+        OnlinePlanner {
+            config,
+            default_qos,
+            qos: BTreeMap::new(),
+            trackers: BTreeMap::new(),
+            assessments: BTreeMap::new(),
+            pending: Vec::new(),
+            last_target: BTreeMap::new(),
+            windows_seen: 0,
+        }
+    }
+
+    /// Overrides the QoS requirement for one pool.
+    pub fn set_qos(&mut self, pool: PoolId, qos: QosRequirement) -> &mut Self {
+        self.qos.insert(pool, qos);
+        self
+    }
+
+    /// Builder form of [`OnlinePlanner::set_qos`].
+    pub fn with_qos(mut self, pool: PoolId, qos: QosRequirement) -> Self {
+        self.qos.insert(pool, qos);
+        self
+    }
+
+    /// The tuning in effect.
+    pub fn config(&self) -> &OnlinePlannerConfig {
+        &self.config
+    }
+
+    /// Windows observed so far.
+    pub fn windows_seen(&self) -> u64 {
+        self.windows_seen
+    }
+
+    /// The QoS requirement used for `pool`.
+    pub fn qos_for(&self, pool: PoolId) -> QosRequirement {
+        self.qos.get(&pool).copied().unwrap_or(self.default_qos)
+    }
+
+    /// Consumes one fleet snapshot: O(servers) aggregation plus O(1)
+    /// estimator updates per pool, and (on replan windows) the sizing
+    /// re-derivation — itself O(window) per pool for the peak-percentile
+    /// and max-allocation scans.
+    pub fn observe(&mut self, snap: &WindowSnapshot<'_>) {
+        self.windows_seen += 1;
+        for (pool, agg) in PoolWindowAggregate::from_snapshot(snap) {
+            let tracker =
+                self.trackers.entry(pool).or_insert_with(|| PoolTracker::new(&self.config));
+            tracker.update(agg);
+        }
+        if self.windows_seen.is_multiple_of(self.config.replan_every) {
+            self.replan(snap.window);
+        }
+    }
+
+    /// Re-derives every pool's assessment and queues recommendations.
+    fn replan(&mut self, window: WindowIndex) {
+        for (&pool, tracker) in &self.trackers {
+            if tracker.window.len() < self.config.min_fit_windows {
+                continue;
+            }
+            let qos = self.qos.get(&pool).copied().unwrap_or(self.default_qos);
+            if let Some(mut assessment) = tracker.assess(window, &qos) {
+                assessment.sizing.pool = pool;
+                let current = assessment.sizing.current_servers;
+                let target = assessment.sizing.min_servers;
+                let diff = current.abs_diff(target);
+                let changed = self.last_target.get(&pool) != Some(&target);
+                if changed && diff >= self.config.deadband_servers.max(1) {
+                    self.pending.push(ResizeRecommendation {
+                        pool,
+                        window,
+                        from_servers: current,
+                        to_servers: target,
+                        action: if target < current {
+                            ResizeAction::Shrink
+                        } else {
+                            ResizeAction::Grow
+                        },
+                        band: assessment.band,
+                    });
+                    self.last_target.insert(pool, target);
+                }
+                self.assessments.insert(pool, assessment);
+            }
+        }
+    }
+
+    /// The latest per-pool assessments.
+    pub fn assessments(&self) -> &BTreeMap<PoolId, PoolAssessment> {
+        &self.assessments
+    }
+
+    /// Takes the recommendations queued since the last drain.
+    pub fn drain_recommendations(&mut self) -> Vec<ResizeRecommendation> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Drives `sim` for `windows` windows, observing every snapshot
+    /// (open loop: recommendations accumulate but are not applied).
+    pub fn run(&mut self, sim: &mut Simulation, windows: u64) -> Vec<ResizeRecommendation> {
+        let mut all = Vec::new();
+        for _ in 0..windows {
+            let snap = sim.step_snapshot();
+            self.observe(&snap);
+            all.extend(self.drain_recommendations());
+        }
+        all
+    }
+
+    /// Drives `sim` for `windows` windows and *applies* each shrink
+    /// recommendation via [`Simulation::schedule_resize`] for the following
+    /// window — the paper's server-reduction lever under streaming control.
+    /// Grow recommendations are clamped to the pool's physical size.
+    /// Returns every recommendation applied.
+    pub fn run_closed_loop(
+        &mut self,
+        sim: &mut Simulation,
+        windows: u64,
+    ) -> Vec<ResizeRecommendation> {
+        let mut applied = Vec::new();
+        for _ in 0..windows {
+            let snap = sim.step_snapshot();
+            self.observe(&snap);
+            let next = sim.current_window();
+            for mut rec in self.drain_recommendations() {
+                let physical = sim.fleet().pool(rec.pool).map(|p| p.size()).unwrap_or(0);
+                if physical == 0 {
+                    continue;
+                }
+                // Record what is actually scheduled, not the raw ask.
+                rec.to_servers = rec.to_servers.clamp(1, physical);
+                if sim.schedule_resize(rec.pool, next, rec.to_servers).is_ok() {
+                    applied.push(rec);
+                }
+            }
+        }
+        applied
+    }
+}
+
+impl SizingPlanner for OnlinePlanner {
+    fn planner_name(&self) -> &'static str {
+        "online"
+    }
+
+    fn sizings(&self) -> Vec<PoolSizing> {
+        // BTreeMap iteration keeps pools sorted.
+        self.assessments.values().map(|a| a.sizing).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use headroom_cluster::sim::SnapshotRow;
+    use headroom_telemetry::ids::{DatacenterId, ServerId};
+
+    /// Synthetic snapshot rows for one pool on the paper's pool-B response
+    /// curves at the given per-server workload.
+    fn rows_at(rps: f64, servers: u32) -> Vec<SnapshotRow> {
+        (0..servers)
+            .map(|s| SnapshotRow {
+                server: ServerId(s),
+                pool: PoolId(0),
+                datacenter: DatacenterId(0),
+                online: true,
+                rps,
+                cpu_pct: 0.028 * rps + 1.37,
+                latency_p95_ms: 4.028e-5 * rps * rps - 0.031 * rps + 36.68,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn undersized_pool_gets_grow_recommendation() {
+        // Four servers whose workload ramps far past what they can serve
+        // within a 32.5 ms SLO (~595 RPS/server on the pool-B curve): the
+        // planner must ask for *more* capacity than exists.
+        let config = OnlinePlannerConfig {
+            window_capacity: 300,
+            min_fit_windows: 30,
+            ..OnlinePlannerConfig::default()
+        };
+        let mut planner =
+            OnlinePlanner::new(config, QosRequirement::latency(32.5).with_cpu_ceiling(90.0));
+        let mut recs = Vec::new();
+        for i in 0..200u64 {
+            let rps = 100.0 + 3.5 * i as f64; // ramps to 800 RPS/server
+            let rows = rows_at(rps, 4);
+            planner.observe(&WindowSnapshot { window: WindowIndex(i), rows: &rows });
+            recs.extend(planner.drain_recommendations());
+        }
+        let assessment = &planner.assessments()[&PoolId(0)];
+        assert!(
+            assessment.sizing.min_servers > assessment.sizing.current_servers,
+            "undersized: needs {} > has {}",
+            assessment.sizing.min_servers,
+            assessment.sizing.current_servers
+        );
+        assert!(assessment.band.needs_capacity(), "band {}", assessment.band);
+        let grow = recs
+            .iter()
+            .find(|r| r.action == ResizeAction::Grow)
+            .expect("a grow recommendation was emitted");
+        assert!(grow.to_servers > grow.from_servers);
+        // Peak total ≈ 800×4 = 3200 RPS; ~595 RPS/server at the SLO ⇒ 6.
+        assert_eq!(grow.from_servers, 4);
+        assert!(grow.to_servers >= 5 && grow.to_servers <= 7, "to {}", grow.to_servers);
+    }
+
+    #[test]
+    fn unreachable_latency_slo_keeps_current_allocation() {
+        // The pool-B latency curve bottoms out around 30.7 ms: a 5 ms SLO
+        // is unreachable at any workload. Like the batch optimizer, the
+        // planner must keep the current allocation and must not size (or
+        // shrink) from the CPU constraint alone.
+        let config = OnlinePlannerConfig {
+            window_capacity: 300,
+            min_fit_windows: 30,
+            ..OnlinePlannerConfig::default()
+        };
+        let mut planner =
+            OnlinePlanner::new(config, QosRequirement::latency(5.0).with_cpu_ceiling(90.0));
+        let mut recs = Vec::new();
+        for i in 0..120u64 {
+            let rps = 150.0 + 2.0 * i as f64;
+            let rows = rows_at(rps, 10);
+            planner.observe(&WindowSnapshot { window: WindowIndex(i), rows: &rows });
+            recs.extend(planner.drain_recommendations());
+        }
+        let assessment = &planner.assessments()[&PoolId(0)];
+        assert!(!assessment.slo_reachable);
+        assert_eq!(assessment.sizing.min_servers, assessment.sizing.current_servers);
+        assert_eq!(assessment.band, HeadroomBand::Exhausted, "cannot meet QoS");
+        assert!(recs.is_empty(), "no recommendation from an unreachable SLO: {recs:?}");
+    }
+
+    #[test]
+    fn overprovisioned_pool_still_clamps_nothing_but_recommends_shrink() {
+        let config = OnlinePlannerConfig {
+            window_capacity: 300,
+            min_fit_windows: 30,
+            ..OnlinePlannerConfig::default()
+        };
+        let mut planner =
+            OnlinePlanner::new(config, QosRequirement::latency(32.5).with_cpu_ceiling(90.0));
+        let mut recs = Vec::new();
+        for i in 0..120u64 {
+            // Gentle diurnal sweep well under the SLO workload.
+            let rps = 150.0 + 100.0 * ((i as f64 / 60.0) * std::f64::consts::PI).sin().abs();
+            let rows = rows_at(rps, 10);
+            planner.observe(&WindowSnapshot { window: WindowIndex(i), rows: &rows });
+            recs.extend(planner.drain_recommendations());
+        }
+        let shrink =
+            recs.iter().find(|r| r.action == ResizeAction::Shrink).expect("shrink recommended");
+        assert!(shrink.to_servers < 10);
+        assert!(shrink.to_servers >= 1);
+    }
+}

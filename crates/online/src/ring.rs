@@ -1,0 +1,122 @@
+//! Fixed-capacity ring buffer backing the sliding observation window.
+//!
+//! The streaming estimators need to know *which* observation leaves the
+//! window when a new one arrives, so their O(1) downdates remove exactly the
+//! evicted value. [`RingWindow::push`] returns that evicted element.
+
+use std::collections::VecDeque;
+
+/// A FIFO window holding at most `capacity` elements.
+///
+/// # Example
+///
+/// ```
+/// use headroom_online::ring::RingWindow;
+///
+/// let mut w = RingWindow::new(3);
+/// assert_eq!(w.push(1), None);
+/// assert_eq!(w.push(2), None);
+/// assert_eq!(w.push(3), None);
+/// assert_eq!(w.push(4), Some(1)); // oldest element evicted
+/// assert_eq!(w.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingWindow<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> RingWindow<T> {
+    /// An empty window holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring window capacity must be positive");
+        RingWindow { items: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Maximum number of elements held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of elements held.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no elements are held.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when the window holds `capacity` elements.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Appends `item`, returning the evicted oldest element when full.
+    pub fn push(&mut self, item: T) -> Option<T> {
+        let evicted = if self.items.len() == self.capacity { self.items.pop_front() } else { None };
+        self.items.push_back(item);
+        evicted
+    }
+
+    /// The oldest element.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// The newest element.
+    pub fn back(&self) -> Option<&T> {
+        self.items.back()
+    }
+
+    /// Iterates oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Drops all elements, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_evicts_fifo() {
+        let mut w = RingWindow::new(2);
+        assert!(w.is_empty());
+        assert_eq!(w.push("a"), None);
+        assert_eq!(w.push("b"), None);
+        assert!(w.is_full());
+        assert_eq!(w.push("c"), Some("a"));
+        assert_eq!(w.push("d"), Some("b"));
+        assert_eq!(w.iter().copied().collect::<Vec<_>>(), vec!["c", "d"]);
+        assert_eq!(w.front(), Some(&"c"));
+        assert_eq!(w.back(), Some(&"d"));
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut w = RingWindow::new(4);
+        w.push(1);
+        w.push(2);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.capacity(), 4);
+        assert_eq!(w.push(9), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = RingWindow::<u32>::new(0);
+    }
+}

@@ -1,0 +1,156 @@
+//! The acceptance property of the streaming planner: driven window-by-window
+//! over a fleet scenario, it reproduces the batch optimizer's minimum pool
+//! size within ±1 server at end of run — while never holding more than a
+//! sliding window of aggregates.
+
+use headroom_cluster::scenario::FleetScenario;
+use headroom_core::optimizer::optimize_pool;
+use headroom_core::sizing::SizingPlanner;
+use headroom_core::slo::QosRequirement;
+use headroom_online::planner::{OnlinePlanner, OnlinePlannerConfig};
+use headroom_telemetry::ids::PoolId;
+use headroom_telemetry::time::{WindowIndex, WindowRange};
+
+fn qos_for(pool: PoolId) -> QosRequirement {
+    QosRequirement::small_fleet(pool)
+}
+
+fn run_comparison(seed: u64, days: f64) {
+    let windows = (days * 720.0) as u64;
+    let mut sim = FleetScenario::small(seed).into_simulation();
+
+    // The online planner sees every window exactly once, as a stream.
+    let config = OnlinePlannerConfig {
+        window_capacity: windows as usize,
+        min_fit_windows: 180,
+        ..OnlinePlannerConfig::default()
+    };
+    let mut planner = OnlinePlanner::new(config, qos_for(PoolId(0)));
+    for pool in 3..6 {
+        planner.set_qos(PoolId(pool), qos_for(PoolId(pool)));
+    }
+    planner.run(&mut sim, windows);
+
+    // The batch optimizer sees the identical telemetry, all at once.
+    let range = WindowRange::new(WindowIndex(0), sim.current_window());
+    let store = sim.store();
+    let availability = sim.availability();
+
+    let sizings = planner.sizings();
+    assert_eq!(sizings.len(), 6, "all six pools planned online");
+    for sizing in sizings {
+        let batch = optimize_pool(
+            store,
+            availability,
+            sizing.pool,
+            range,
+            &qos_for(sizing.pool),
+            days.ceil() as u64,
+        )
+        .expect("batch plan");
+        assert_eq!(
+            batch.current_servers, sizing.current_servers,
+            "pool {:?}: same view of current allocation",
+            sizing.pool
+        );
+        let diff = batch.min_servers.abs_diff(sizing.min_servers);
+        assert!(
+            diff <= 1,
+            "pool {:?}: online min {} vs batch min {} (peak online {:.0}, batch {:.0})",
+            sizing.pool,
+            sizing.min_servers,
+            batch.min_servers,
+            sizing.peak_total_rps,
+            batch.peak_total_rps,
+        );
+        // Both planners must actually find the built-in ~1/3 headroom.
+        assert!(
+            sizing.min_servers < sizing.current_servers,
+            "pool {:?}: headroom exists and is found",
+            sizing.pool
+        );
+    }
+}
+
+#[test]
+fn online_matches_batch_small_fleet_two_days() {
+    run_comparison(21, 2.0);
+}
+
+#[test]
+fn online_matches_batch_other_seed() {
+    run_comparison(77, 2.0);
+}
+
+#[test]
+fn online_planner_emits_shrink_recommendations() {
+    let mut sim = FleetScenario::small(5).into_simulation();
+    let config = OnlinePlannerConfig { min_fit_windows: 180, ..OnlinePlannerConfig::default() };
+    let mut planner =
+        OnlinePlanner::new(config, QosRequirement::latency(32.5).with_cpu_ceiling(90.0));
+    for pool in 3..6 {
+        planner.set_qos(PoolId(pool), QosRequirement::latency(58.0).with_cpu_ceiling(90.0));
+    }
+    let recs = planner.run(&mut sim, 720);
+    assert!(!recs.is_empty(), "overprovisioned fleet yields recommendations");
+    assert!(recs
+        .iter()
+        .all(|r| r.to_servers >= 1 && r.from_servers >= r.to_servers.min(r.from_servers)));
+    // Assessments carry exhaustion context.
+    for assessment in planner.assessments().values() {
+        assert!(assessment.cpu_r_squared > 0.9, "clean linear response");
+        assert!(assessment.slo_reachable);
+        assert!(assessment.latency_p95_stream_ms.is_some());
+    }
+}
+
+#[test]
+fn closed_loop_resizes_converge_within_qos() {
+    // Let the planner actually apply its shrink decisions, then verify the
+    // pool still meets its SLO at the reduced size.
+    let mut sim = FleetScenario::small(33).into_simulation();
+    let qos = QosRequirement::latency(32.5).with_cpu_ceiling(90.0);
+    let config = OnlinePlannerConfig {
+        min_fit_windows: 360,
+        deadband_servers: 2,
+        ..OnlinePlannerConfig::default()
+    };
+    let mut planner = OnlinePlanner::new(config, qos);
+    for pool in 3..6 {
+        planner.set_qos(PoolId(pool), QosRequirement::latency(58.0).with_cpu_ceiling(90.0));
+    }
+    let applied = planner.run_closed_loop(&mut sim, 1440);
+    assert!(!applied.is_empty(), "closed loop applied resizes");
+    assert!(
+        applied.iter().any(|r| r.to_servers < r.from_servers),
+        "at least one shrink was applied"
+    );
+
+    // Post-convergence telemetry: over the final half day, every pool's
+    // per-window mean p95 latency stays within its SLO (with a small
+    // allowance for windows straddling a resize).
+    let end = sim.current_window();
+    let recent = WindowRange::new(WindowIndex(end.0 - 360), end);
+    for pool in sim.store().pools() {
+        let slo = if pool.0 < 3 { 32.5 } else { 58.0 };
+        let series = sim.store().pool_mean_series(
+            pool,
+            headroom_telemetry::counter::CounterKind::LatencyP95Ms,
+            recent,
+        );
+        let values: Vec<f64> = series.iter().map(|(_, v)| *v).collect();
+        let p95 = headroom_stats::percentile::percentile(&values, 95.0).unwrap();
+        assert!(
+            p95 <= slo * 1.10,
+            "pool {pool:?}: recent p95-of-windows {p95:.1} ms within SLO {slo}"
+        );
+    }
+    // The fleet genuinely shrank: at least one pool serves with fewer
+    // active servers than it was built with.
+    let shrunk = sim
+        .store()
+        .pools()
+        .iter()
+        .any(|&p| sim.store().pool_active_servers(p, WindowIndex(end.0 - 1)) < 20);
+    assert!(shrunk, "resize took effect in the simulator");
+}

@@ -1,0 +1,135 @@
+//! Property tests for the streaming estimators and the drift detector.
+
+use headroom_online::drift::{DriftConfig, DriftDetector};
+use headroom_online::estimators::StreamingQuadFit;
+use headroom_stats::{LinearFit, Polynomial, StreamingLinReg};
+use proptest::prelude::*;
+
+/// Absolute-plus-relative agreement at 1e-9.
+fn agrees(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * (1.0 + b.abs())
+}
+
+proptest! {
+    /// A StreamingLinReg fed a full window agrees with the batch OLS fit
+    /// to 1e-9 in slope, intercept and R².
+    fn streaming_linreg_matches_batch(
+        pairs in prop::collection::vec((0.0f64..2_000.0, -500.0f64..500.0), 2..300)
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|(x, _)| *x).collect();
+        let ys: Vec<f64> = pairs.iter().map(|(_, y)| *y).collect();
+        let mut reg = StreamingLinReg::new();
+        for (&x, &y) in xs.iter().zip(&ys) {
+            reg.push(x, y);
+        }
+        match (reg.fit(), LinearFit::fit(&xs, &ys)) {
+            (Ok(s), Ok(b)) => {
+                prop_assert!(agrees(s.slope, b.slope), "slope {} vs {}", s.slope, b.slope);
+                prop_assert!(agrees(s.intercept, b.intercept),
+                    "intercept {} vs {}", s.intercept, b.intercept);
+                prop_assert!(agrees(s.r_squared, b.r_squared),
+                    "r2 {} vs {}", s.r_squared, b.r_squared);
+                prop_assert_eq!(s.n, b.n);
+            }
+            // Degenerate inputs (constant x) must be degenerate for both.
+            (Err(_), Err(_)) => {}
+            (s, b) => prop_assert!(false, "verdicts differ: {:?} vs {:?}", s, b),
+        }
+    }
+
+    /// Sliding-window eviction keeps the incremental fit equal to a batch
+    /// fit over exactly the window contents.
+    fn sliding_window_matches_batch(
+        pairs in prop::collection::vec((0.0f64..1_000.0, -100.0f64..100.0), 40..250),
+        window in 8usize..40,
+    ) {
+        let mut reg = StreamingLinReg::new();
+        for i in 0..pairs.len() {
+            reg.push(pairs[i].0, pairs[i].1);
+            if i >= window {
+                reg.remove(pairs[i - window].0, pairs[i - window].1);
+            }
+        }
+        let start = pairs.len() - window;
+        let xs: Vec<f64> = pairs[start..].iter().map(|(x, _)| *x).collect();
+        let ys: Vec<f64> = pairs[start..].iter().map(|(_, y)| *y).collect();
+        prop_assert_eq!(reg.len(), window);
+        if let (Ok(s), Ok(b)) = (reg.fit(), LinearFit::fit(&xs, &ys)) {
+            // Downdates round a little more than one-shot accumulation:
+            // hold the window result to 1e-7 relative.
+            prop_assert!((s.slope - b.slope).abs() <= 1e-7 * (1.0 + b.slope.abs()),
+                "slope {} vs {}", s.slope, b.slope);
+            prop_assert!((s.intercept - b.intercept).abs() <= 1e-6 * (1.0 + b.intercept.abs()),
+                "intercept {} vs {}", s.intercept, b.intercept);
+        }
+    }
+
+    /// The streaming quadratic agrees with batch polyfit on clean data.
+    fn streaming_quad_matches_batch(
+        a0 in -50.0f64..50.0,
+        a1 in -1.0f64..1.0,
+        a2 in 1e-6f64..1e-3,
+        n in 20usize..200,
+    ) {
+        let xs: Vec<f64> = (0..n).map(|i| 10.0 + (i % 61) as f64 * 9.7).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| a2 * x * x + a1 * x + a0).collect();
+        let mut q = StreamingQuadFit::new();
+        for (&x, &y) in xs.iter().zip(&ys) {
+            q.push(x, y);
+        }
+        let (poly, _) = q.fit().unwrap();
+        let batch = Polynomial::fit(&xs, &ys, 2).unwrap();
+        for (s, b) in poly.coeffs().iter().zip(batch.poly.coeffs()) {
+            prop_assert!((s - b).abs() <= 1e-6 * (1.0 + b.abs()), "{} vs {}", s, b);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Stationary noisy data never fires the drift detector…
+    fn drift_quiet_on_stationary_noise(
+        slope in 0.01f64..0.1,
+        intercept in 0.0f64..5.0,
+        noise_scale in 0.0f64..0.05,
+        seed in 0u64..1_000,
+    ) {
+        let mut det = DriftDetector::new(DriftConfig::default());
+        let reference_n = 720;
+        let reference = LinearFit { slope, intercept, r_squared: 0.98, n: reference_n };
+        for i in 0..400usize {
+            let x = 150.0 + ((i as u64).wrapping_mul(seed + 7) % 90) as f64 * 4.0;
+            let noise = ((((i as u64) * 2_654_435_761 + seed) % 1_000) as f64 / 500.0 - 1.0)
+                * noise_scale * (slope * x + intercept);
+            det.observe(x, slope * x + intercept + noise);
+            prop_assert!(
+                det.check(&reference, reference_n).is_none(),
+                "false drift at window {} (noise scale {})", i, noise_scale
+            );
+        }
+    }
+
+    /// …but an injected response-profile change fires it promptly.
+    fn drift_fires_on_slope_change(
+        slope in 0.01f64..0.1,
+        factor in 1.8f64..3.0,
+        seed in 0u64..1_000,
+    ) {
+        let config = DriftConfig::default();
+        let mut det = DriftDetector::new(config);
+        let reference_n = 720;
+        let reference = LinearFit { slope, intercept: 1.0, r_squared: 0.98, n: reference_n };
+        // Fill the short window entirely with post-change observations.
+        let mut fired = false;
+        for i in 0..(config.short_window * 2) {
+            let x = 150.0 + ((i as u64).wrapping_mul(seed + 13) % 90) as f64 * 4.0;
+            det.observe(x, slope * factor * x + 1.0);
+            if det.check(&reference, reference_n).is_some() {
+                fired = true;
+                break;
+            }
+        }
+        prop_assert!(fired, "slope change ×{factor:.2} went undetected");
+    }
+}

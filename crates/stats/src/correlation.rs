@@ -133,9 +133,6 @@ mod tests {
 
     #[test]
     fn mismatched_input_rejected() {
-        assert!(matches!(
-            pearson(&[1.0], &[1.0, 2.0]),
-            Err(StatsError::DimensionMismatch { .. })
-        ));
+        assert!(matches!(pearson(&[1.0], &[1.0, 2.0]), Err(StatsError::DimensionMismatch { .. })));
     }
 }

@@ -32,16 +32,8 @@ impl Default for TreeConfig {
 
 #[derive(Debug, Clone, PartialEq)]
 enum Node {
-    Leaf {
-        probability: f64,
-        n: usize,
-    },
-    Split {
-        feature: usize,
-        threshold: f64,
-        left: Box<Node>,
-        right: Box<Node>,
-    },
+    Leaf { probability: f64, n: usize },
+    Split { feature: usize, threshold: f64, left: Box<Node>, right: Box<Node> },
 }
 
 /// A trained CART binary classifier.
@@ -192,6 +184,7 @@ fn build_node(
 
     // Scratch: (value, label) pairs sorted per feature.
     let mut pairs: Vec<(f64, bool)> = Vec::with_capacity(n);
+    #[allow(clippy::needless_range_loop)] // `feat` indexes the inner axis of `features[i][feat]`
     for feat in 0..d {
         pairs.clear();
         pairs.extend(indices.iter().map(|&i| (features[i][feat], labels[i])));
@@ -270,8 +263,7 @@ pub fn roc_auc(scores: &[f64], labels: &[bool]) -> Result<f64, StatsError> {
         }
         i = j + 1;
     }
-    let rank_sum_pos: f64 =
-        ranks.iter().zip(labels).filter(|(_, &l)| l).map(|(&r, _)| r).sum();
+    let rank_sum_pos: f64 = ranks.iter().zip(labels).filter(|(_, &l)| l).map(|(&r, _)| r).sum();
     let u = rank_sum_pos - (pos as f64 * (pos as f64 + 1.0)) / 2.0;
     Ok(u / (pos as f64 * neg as f64))
 }
@@ -338,8 +330,7 @@ pub fn cross_validate(
         if test.is_empty() {
             continue;
         }
-        let train: Vec<usize> =
-            order[..lo].iter().chain(order[hi..].iter()).copied().collect();
+        let train: Vec<usize> = order[..lo].iter().chain(order[hi..].iter()).copied().collect();
         let train_x: Vec<Vec<f64>> = train.iter().map(|&i| features[i].clone()).collect();
         let train_y: Vec<bool> = train.iter().map(|&i| labels[i]).collect();
         let tree = DecisionTree::train(&train_x, &train_y, config)?;
@@ -362,17 +353,10 @@ pub fn cross_validate(
     let ys: Vec<f64> = all_labels.iter().map(|&l| if l { 1.0 } else { 0.0 }).collect();
     let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
     let ss_tot: f64 = ys.iter().map(|y| (y - mean_y) * (y - mean_y)).sum();
-    let ss_res: f64 =
-        ys.iter().zip(&all_scores).map(|(y, p)| (y - p) * (y - p)).sum();
+    let ss_res: f64 = ys.iter().zip(&all_scores).map(|(y, p)| (y - p) * (y - p)).sum();
     let r_squared = if ss_tot > 0.0 { (1.0 - ss_res / ss_tot).max(0.0) } else { 0.0 };
 
-    Ok(CvReport {
-        accuracy,
-        r_squared,
-        auc,
-        mean_splits: splits_sum / folds as f64,
-        folds,
-    })
+    Ok(CvReport { accuracy, r_squared, auc, mean_splits: splits_sum / folds as f64, folds })
 }
 
 #[cfg(test)]
@@ -398,11 +382,7 @@ mod tests {
         let (x, y) = threshold_dataset(400);
         let cfg = TreeConfig { min_leaf_size: 4, ..TreeConfig::default() };
         let tree = DecisionTree::train(&x, &y, &cfg).unwrap();
-        let correct = x
-            .iter()
-            .zip(&y)
-            .filter(|(xi, &yi)| tree.predict(xi) == yi)
-            .count();
+        let correct = x.iter().zip(&y).filter(|(xi, &yi)| tree.predict(xi) == yi).count();
         assert!(correct as f64 / x.len() as f64 > 0.97);
         assert!(tree.split_count() >= 2);
         assert!(tree.depth() >= 2);

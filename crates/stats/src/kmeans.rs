@@ -155,11 +155,8 @@ pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> Result<KMeansResult
         }
     }
 
-    let inertia = points
-        .iter()
-        .zip(&assignments)
-        .map(|(p, &a)| squared_distance(p, &centroids[a]))
-        .sum();
+    let inertia =
+        points.iter().zip(&assignments).map(|(p, &a)| squared_distance(p, &centroids[a])).sum();
     Ok(KMeansResult { centroids, assignments, inertia, iterations })
 }
 
@@ -169,12 +166,7 @@ fn kmeanspp_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64
     while centroids.len() < k {
         let dists: Vec<f64> = points
             .iter()
-            .map(|p| {
-                centroids
-                    .iter()
-                    .map(|c| squared_distance(p, c))
-                    .fold(f64::INFINITY, f64::min)
-            })
+            .map(|p| centroids.iter().map(|c| squared_distance(p, c)).fold(f64::INFINITY, f64::min))
             .collect();
         let total: f64 = dists.iter().sum();
         if total <= 0.0 {
@@ -322,10 +314,7 @@ mod tests {
 
     #[test]
     fn rejects_invalid_inputs() {
-        assert!(matches!(
-            kmeans(&[], &KMeansConfig::new(1)),
-            Err(StatsError::EmptyInput)
-        ));
+        assert!(matches!(kmeans(&[], &KMeansConfig::new(1)), Err(StatsError::EmptyInput)));
         let pts = vec![vec![1.0]];
         assert!(matches!(
             kmeans(&pts, &KMeansConfig::new(0)),

@@ -8,6 +8,8 @@
 //!
 //! - [`linreg`] — ordinary least-squares simple linear regression (workload →
 //!   limiting-resource validation, §II-A1 of the paper);
+//! - [`streaming`] — the same fit with O(1) insert/evict updates, for
+//!   planners revising their model every measurement window;
 //! - [`polyfit`] — least-squares polynomial fitting (the quadratic latency
 //!   models of §II-B);
 //! - [`ransac`] — RANSAC robust regression (the paper fits latency curves with
@@ -49,9 +51,11 @@ pub mod percentile;
 pub mod polyfit;
 pub mod quantile_stream;
 pub mod ransac;
+pub mod streaming;
 pub mod summary;
 
 pub use error::StatsError;
 pub use linreg::LinearFit;
 pub use polyfit::Polynomial;
+pub use streaming::StreamingLinReg;
 pub use summary::Summary;

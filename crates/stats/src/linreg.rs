@@ -143,8 +143,11 @@ mod tests {
     #[test]
     fn noisy_line_r2_below_one() {
         let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
-        let ys: Vec<f64> =
-            xs.iter().enumerate().map(|(i, x)| 2.0 * x + if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 2.0 * x + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let fit = LinearFit::fit(&xs, &ys).unwrap();
         assert!((fit.slope - 2.0).abs() < 0.01);
         assert!(fit.r_squared > 0.99 && fit.r_squared < 1.0);

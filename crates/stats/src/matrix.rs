@@ -98,8 +98,8 @@ impl Matrix {
         let mut out = vec![0.0; self.cols];
         for (c, item) in out.iter_mut().enumerate() {
             let mut sum = 0.0;
-            for r in 0..self.rows {
-                sum += self.get(r, c) * y[r];
+            for (r, &yv) in y.iter().enumerate() {
+                sum += self.get(r, c) * yv;
             }
             *item = sum;
         }

@@ -154,10 +154,7 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         assert_eq!(percentile(&[], 50.0).unwrap_err(), StatsError::EmptyInput);
-        assert!(matches!(
-            percentile(&[1.0], 101.0).unwrap_err(),
-            StatsError::InvalidParameter(_)
-        ));
+        assert!(matches!(percentile(&[1.0], 101.0).unwrap_err(), StatsError::InvalidParameter(_)));
         assert_eq!(percentile(&[f64::NAN], 50.0).unwrap_err(), StatsError::NonFinite);
     }
 

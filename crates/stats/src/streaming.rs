@@ -1,0 +1,357 @@
+//! Incremental (streaming) simple linear regression.
+//!
+//! The batch planner refits [`crate::linreg::LinearFit`] from scratch over a
+//! full observation range — O(n) per refit. A live planner revising its fit
+//! every 120-second window cannot afford that: [`StreamingLinReg`] maintains
+//! the same fit with O(1) `push`/`remove` updates, using Welford-style
+//! centered moments so the result matches the batch fit to floating-point
+//! accuracy even when the data is far from the origin.
+//!
+//! `remove` exists so a caller holding a ring buffer can maintain a sliding
+//! window: push the incoming pair, remove the evicted one, and the fit now
+//! covers exactly the window contents.
+//!
+//! # Example
+//!
+//! ```
+//! use headroom_stats::streaming::StreamingLinReg;
+//! use headroom_stats::LinearFit;
+//!
+//! # fn main() -> Result<(), headroom_stats::StatsError> {
+//! let xs = [100.0, 200.0, 300.0, 400.0];
+//! let ys = [4.2, 7.0, 9.8, 12.6];
+//! let mut reg = StreamingLinReg::new();
+//! for (&x, &y) in xs.iter().zip(&ys) {
+//!     reg.push(x, y);
+//! }
+//! let streaming = reg.fit()?;
+//! let batch = LinearFit::fit(&xs, &ys)?;
+//! assert!((streaming.slope - batch.slope).abs() < 1e-12);
+//! assert!((streaming.intercept - batch.intercept).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::linreg::LinearFit;
+use crate::StatsError;
+
+/// Running simple linear regression with O(1) insert and remove.
+///
+/// Maintains centered second moments (`Σ(x−x̄)²`, `Σ(x−x̄)(y−ȳ)`,
+/// `Σ(y−ȳ)²`) via Welford update/downdate formulas, so [`fit`] is O(1) and
+/// numerically agrees with the two-pass batch [`LinearFit::fit`].
+///
+/// Non-finite observations are ignored on `push` (mirroring the telemetry
+/// pipeline's treatment of corrupt windows); `remove` must only be called
+/// with pairs previously pushed — removing arbitrary values silently
+/// corrupts the moments.
+///
+/// [`fit`]: StreamingLinReg::fit
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StreamingLinReg {
+    n: usize,
+    mean_x: f64,
+    mean_y: f64,
+    sxx: f64,
+    sxy: f64,
+    syy: f64,
+}
+
+impl StreamingLinReg {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        StreamingLinReg::default()
+    }
+
+    /// Number of pairs currently accumulated.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when no pairs are accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Mean of the accumulated x values (0 when empty).
+    pub fn mean_x(&self) -> f64 {
+        self.mean_x
+    }
+
+    /// Mean of the accumulated y values (0 when empty).
+    pub fn mean_y(&self) -> f64 {
+        self.mean_y
+    }
+
+    /// Population variance of the accumulated x values (0 when empty).
+    pub fn variance_x(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.sxx / self.n as f64).max(0.0)
+        }
+    }
+
+    /// Population variance of the accumulated y values (0 when empty).
+    pub fn variance_y(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.syy / self.n as f64).max(0.0)
+        }
+    }
+
+    /// Adds one observation. Non-finite pairs are ignored.
+    pub fn push(&mut self, x: f64, y: f64) {
+        if !x.is_finite() || !y.is_finite() {
+            return;
+        }
+        self.n += 1;
+        let nf = self.n as f64;
+        let dx = x - self.mean_x;
+        let dy = y - self.mean_y;
+        self.mean_x += dx / nf;
+        self.mean_y += dy / nf;
+        // Note: uses the *old* delta on one side and the new mean on the
+        // other — the standard Welford cross-moment update.
+        self.sxx += dx * (x - self.mean_x);
+        self.syy += dy * (y - self.mean_y);
+        self.sxy += dx * (y - self.mean_y);
+    }
+
+    /// Removes one previously pushed observation (sliding-window eviction).
+    ///
+    /// Non-finite pairs are ignored, matching their treatment in [`push`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the accumulator is empty.
+    ///
+    /// [`push`]: StreamingLinReg::push
+    pub fn remove(&mut self, x: f64, y: f64) {
+        if !x.is_finite() || !y.is_finite() {
+            return;
+        }
+        assert!(self.n > 0, "remove from empty StreamingLinReg");
+        if self.n == 1 {
+            *self = StreamingLinReg::new();
+            return;
+        }
+        let nf = (self.n - 1) as f64;
+        // Inverse of the Welford update: recover the means the accumulator
+        // had before this pair was pushed, then subtract its contribution.
+        let mean_x_prev = (self.mean_x * self.n as f64 - x) / nf;
+        let mean_y_prev = (self.mean_y * self.n as f64 - y) / nf;
+        let dx = x - mean_x_prev;
+        let dy = y - mean_y_prev;
+        self.sxx = (self.sxx - dx * (x - self.mean_x)).max(0.0);
+        self.syy = (self.syy - dy * (y - self.mean_y)).max(0.0);
+        self.sxy -= dx * (y - self.mean_y);
+        self.mean_x = mean_x_prev;
+        self.mean_y = mean_y_prev;
+        self.n -= 1;
+    }
+
+    /// Folds another accumulator into this one (parallel merge, Chan et
+    /// al.'s pairwise formula).
+    pub fn merge(&mut self, other: &StreamingLinReg) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let n = n1 + n2;
+        let dx = other.mean_x - self.mean_x;
+        let dy = other.mean_y - self.mean_y;
+        self.sxx += other.sxx + dx * dx * n1 * n2 / n;
+        self.syy += other.syy + dy * dy * n1 * n2 / n;
+        self.sxy += other.sxy + dx * dy * n1 * n2 / n;
+        self.mean_x += dx * n2 / n;
+        self.mean_y += dy * n2 / n;
+        self.n += other.n;
+    }
+
+    /// Discards all accumulated observations.
+    pub fn clear(&mut self) {
+        *self = StreamingLinReg::new();
+    }
+
+    /// The current OLS fit, identical in contract to [`LinearFit::fit`].
+    ///
+    /// # Errors
+    ///
+    /// - [`StatsError::InsufficientData`] with fewer than 2 pairs.
+    /// - [`StatsError::Singular`] when all x values are identical.
+    pub fn fit(&self) -> Result<LinearFit, StatsError> {
+        if self.n < 2 {
+            return Err(StatsError::InsufficientData { needed: 2, got: self.n });
+        }
+        if self.sxx < 1e-12 {
+            return Err(StatsError::Singular);
+        }
+        let slope = self.sxy / self.sxx;
+        let intercept = self.mean_y - slope * self.mean_x;
+        let r_squared = if self.syy < 1e-12 {
+            1.0
+        } else {
+            // SS_res = Syy − Sxy²/Sxx, the closed form of the batch loop.
+            let ss_res = (self.syy - self.sxy * self.sxy / self.sxx).max(0.0);
+            (1.0 - ss_res / self.syy).max(0.0)
+        };
+        Ok(LinearFit { slope, intercept, r_squared, n: self.n })
+    }
+
+    /// The slope of the current fit, when defined.
+    pub fn slope(&self) -> Option<f64> {
+        self.fit().ok().map(|f| f.slope)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let xs: Vec<f64> = (0..n).map(|i| 100.0 + (i % 37) as f64 * 13.7).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 0.028 * x + 1.37 + ((i * 31) % 17) as f64 * 0.05)
+            .collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn matches_batch_fit() {
+        let (xs, ys) = series(500);
+        let mut reg = StreamingLinReg::new();
+        for (&x, &y) in xs.iter().zip(&ys) {
+            reg.push(x, y);
+        }
+        let s = reg.fit().unwrap();
+        let b = LinearFit::fit(&xs, &ys).unwrap();
+        assert!((s.slope - b.slope).abs() < 1e-12, "{} vs {}", s.slope, b.slope);
+        assert!((s.intercept - b.intercept).abs() < 1e-10);
+        assert!((s.r_squared - b.r_squared).abs() < 1e-10);
+        assert_eq!(s.n, b.n);
+    }
+
+    #[test]
+    fn sliding_window_matches_batch_over_window() {
+        let (xs, ys) = series(600);
+        let window = 128;
+        let mut reg = StreamingLinReg::new();
+        for i in 0..xs.len() {
+            reg.push(xs[i], ys[i]);
+            if i >= window {
+                reg.remove(xs[i - window], ys[i - window]);
+            }
+        }
+        let start = xs.len() - window;
+        let s = reg.fit().unwrap();
+        let b = LinearFit::fit(&xs[start..], &ys[start..]).unwrap();
+        assert_eq!(reg.len(), window);
+        assert!((s.slope - b.slope).abs() < 1e-9, "{} vs {}", s.slope, b.slope);
+        assert!((s.intercept - b.intercept).abs() < 1e-7);
+    }
+
+    #[test]
+    fn remove_everything_resets() {
+        let mut reg = StreamingLinReg::new();
+        reg.push(1.0, 2.0);
+        reg.push(3.0, 4.0);
+        reg.remove(1.0, 2.0);
+        reg.remove(3.0, 4.0);
+        assert!(reg.is_empty());
+        assert_eq!(reg, StreamingLinReg::new());
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let (xs, ys) = series(300);
+        let mut left = StreamingLinReg::new();
+        let mut right = StreamingLinReg::new();
+        for i in 0..150 {
+            left.push(xs[i], ys[i]);
+        }
+        for i in 150..300 {
+            right.push(xs[i], ys[i]);
+        }
+        left.merge(&right);
+        let merged = left.fit().unwrap();
+        let batch = LinearFit::fit(&xs, &ys).unwrap();
+        assert!((merged.slope - batch.slope).abs() < 1e-10);
+        assert!((merged.intercept - batch.intercept).abs() < 1e-8);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut reg = StreamingLinReg::new();
+        reg.push(1.0, 1.0);
+        reg.push(2.0, 3.0);
+        let snapshot = reg;
+        reg.merge(&StreamingLinReg::new());
+        assert_eq!(reg, snapshot);
+        let mut empty = StreamingLinReg::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+    }
+
+    #[test]
+    fn insufficient_and_singular() {
+        let mut reg = StreamingLinReg::new();
+        assert!(matches!(reg.fit(), Err(StatsError::InsufficientData { .. })));
+        reg.push(2.0, 1.0);
+        assert!(matches!(reg.fit(), Err(StatsError::InsufficientData { .. })));
+        reg.push(2.0, 5.0);
+        assert_eq!(reg.fit().unwrap_err(), StatsError::Singular);
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut reg = StreamingLinReg::new();
+        reg.push(f64::NAN, 1.0);
+        reg.push(1.0, f64::INFINITY);
+        assert!(reg.is_empty());
+        reg.push(0.0, 1.0);
+        reg.push(1.0, 3.0);
+        reg.remove(f64::NAN, 0.0);
+        let fit = reg.fit().unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "remove from empty")]
+    fn remove_from_empty_panics() {
+        StreamingLinReg::new().remove(1.0, 1.0);
+    }
+
+    #[test]
+    fn constant_y_r2_is_one() {
+        let mut reg = StreamingLinReg::new();
+        for i in 0..10 {
+            reg.push(i as f64, 5.0);
+        }
+        let fit = reg.fit().unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn far_from_origin_stays_accurate() {
+        // Large common offset: naive raw-moment accumulation would lose
+        // most significant digits here; centered moments must not.
+        let xs: Vec<f64> = (0..200).map(|i| 1.0e9 + i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * (x - 1.0e9) + 7.0).collect();
+        let mut reg = StreamingLinReg::new();
+        for (&x, &y) in xs.iter().zip(&ys) {
+            reg.push(x, y);
+        }
+        let fit = reg.fit().unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-6, "slope {}", fit.slope);
+    }
+}

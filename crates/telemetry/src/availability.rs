@@ -124,9 +124,7 @@ impl AvailabilityLog {
 
     /// Per-day pool availability over `days` days.
     pub fn pool_daily_series(&self, members: &[ServerId], days: u64) -> Vec<(u64, f64)> {
-        (0..days)
-            .filter_map(|d| self.pool_daily_availability(members, d).map(|a| (d, a)))
-            .collect()
+        (0..days).filter_map(|d| self.pool_daily_availability(members, d).map(|a| (d, a))).collect()
     }
 
     /// Fleet-wide mean of all per-server-day availabilities (the paper's
@@ -181,8 +179,7 @@ impl AvailabilityBreakdown {
             return None;
         }
         per_server.sort_by(|a, b| a.partial_cmp(b).expect("availability is finite"));
-        let well_managed =
-            headroom_stats::percentile::percentile_of_sorted(&per_server, 90.0);
+        let well_managed = headroom_stats::percentile::percentile_of_sorted(&per_server, 90.0);
         let mean = log.fleet_mean_availability()?;
         Some(AvailabilityBreakdown {
             mean,

@@ -91,7 +91,13 @@ impl MetricStore {
     }
 
     /// Records a whole-server ([`WorkloadTag::Total`]) counter value.
-    pub fn record(&mut self, server: ServerId, counter: CounterKind, window: WindowIndex, value: f64) {
+    pub fn record(
+        &mut self,
+        server: ServerId,
+        counter: CounterKind,
+        window: WindowIndex,
+        value: f64,
+    ) {
         self.record_tagged(server, counter, WorkloadTag::Total, window, value);
     }
 
@@ -166,9 +172,8 @@ impl MetricStore {
         let mut sum = 0.0;
         let mut n = 0usize;
         for &server in members {
-            if let Some(v) = self
-                .series_tagged(server, counter, workload)
-                .and_then(|s| s.value_at(window))
+            if let Some(v) =
+                self.series_tagged(server, counter, workload).and_then(|s| s.value_at(window))
             {
                 sum += v;
                 n += 1;
@@ -298,10 +303,7 @@ mod tests {
         store.register_server(ServerId(0), PoolId(1), DatacenterId(1));
         assert_eq!(store.servers_in_pool(PoolId(0)), &[ServerId(1)]);
         assert_eq!(store.servers_in_pool(PoolId(1)), &[ServerId(0)]);
-        assert_eq!(
-            store.server_meta(ServerId(0)).unwrap().datacenter,
-            DatacenterId(1)
-        );
+        assert_eq!(store.server_meta(ServerId(0)).unwrap().datacenter, DatacenterId(1));
     }
 
     #[test]
@@ -358,8 +360,20 @@ mod tests {
     fn tagged_series_are_separate() {
         let mut store = store_with_pool(1);
         let s = ServerId(0);
-        store.record_tagged(s, CounterKind::CpuPercent, WorkloadTag::Workload(0), WindowIndex(0), 8.0);
-        store.record_tagged(s, CounterKind::CpuPercent, WorkloadTag::Workload(1), WindowIndex(0), 2.0);
+        store.record_tagged(
+            s,
+            CounterKind::CpuPercent,
+            WorkloadTag::Workload(0),
+            WindowIndex(0),
+            8.0,
+        );
+        store.record_tagged(
+            s,
+            CounterKind::CpuPercent,
+            WorkloadTag::Workload(1),
+            WindowIndex(0),
+            2.0,
+        );
         store.record(s, CounterKind::CpuPercent, WindowIndex(0), 10.5);
         assert_eq!(
             store

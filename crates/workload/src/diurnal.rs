@@ -146,9 +146,7 @@ impl DiurnalCurve {
     /// Noise-free peak demand over a weekday.
     pub fn peak_demand(&self) -> f64 {
         // Sample the curve finely; the two-harmonic family has no closed-form max.
-        (0..288)
-            .map(|i| self.mean_demand(SimTime::from_hours(i as f64 / 12.0)))
-            .fold(0.0, f64::max)
+        (0..288).map(|i| self.mean_demand(SimTime::from_hours(i as f64 / 12.0))).fold(0.0, f64::max)
     }
 
     /// Noise-free trough demand over a weekday.

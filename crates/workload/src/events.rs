@@ -165,15 +165,34 @@ pub fn surge_4x(datacenter: DatacenterId, start: SimTime, duration_secs: u64) ->
     )])
 }
 
+/// Compound global demand growth of `rate_per_day` (e.g. `0.03` = 3%/day)
+/// over `days` days, as one whole-day multiplier step per day — the
+/// workload-trend setting of capacity exhaustion studies. Day 0 is
+/// unscaled; day `d` runs at `(1 + rate)^d`.
+pub fn daily_growth(rate_per_day: f64, days: u64) -> EventScript {
+    assert!(rate_per_day > -1.0 && rate_per_day.is_finite(), "growth must keep demand positive");
+    (1..days)
+        .map(|d| {
+            ScheduledEvent::new(
+                SimTime(d * 86_400),
+                86_400,
+                EventEffect::GlobalDemandMultiplier { factor: (1.0 + rate_per_day).powi(d as i32) },
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn event_window_is_half_open() {
-        let e = ScheduledEvent::new(SimTime(100), 50, EventEffect::GlobalDemandMultiplier {
-            factor: 2.0,
-        });
+        let e = ScheduledEvent::new(
+            SimTime(100),
+            50,
+            EventEffect::GlobalDemandMultiplier { factor: 2.0 },
+        );
         assert!(!e.active_at(SimTime(99)));
         assert!(e.active_at(SimTime(100)));
         assert!(e.active_at(SimTime(149)));
@@ -181,16 +200,32 @@ mod tests {
     }
 
     #[test]
+    fn daily_growth_compounds() {
+        let script = daily_growth(0.10, 4);
+        let dc = DatacenterId(0);
+        // Day 0 unscaled, then 1.1, 1.21, 1.331.
+        assert_eq!(script.demand_factor(dc, SimTime::from_days(0.5)), 1.0);
+        assert!((script.demand_factor(dc, SimTime::from_days(1.5)) - 1.1).abs() < 1e-12);
+        assert!((script.demand_factor(dc, SimTime::from_days(2.5)) - 1.21).abs() < 1e-12);
+        assert!((script.demand_factor(dc, SimTime::from_days(3.5)) - 1.331).abs() < 1e-12);
+        // Beyond the scripted horizon demand returns to base.
+        assert_eq!(script.demand_factor(dc, SimTime::from_days(4.5)), 1.0);
+    }
+
+    #[test]
     fn demand_factor_stacks_multiplicatively() {
         let dc = DatacenterId(1);
         let script = EventScript::new(vec![
-            ScheduledEvent::new(SimTime(0), 100, EventEffect::DemandMultiplier {
-                datacenter: dc,
-                factor: 2.0,
-            }),
-            ScheduledEvent::new(SimTime(0), 100, EventEffect::GlobalDemandMultiplier {
-                factor: 1.5,
-            }),
+            ScheduledEvent::new(
+                SimTime(0),
+                100,
+                EventEffect::DemandMultiplier { datacenter: dc, factor: 2.0 },
+            ),
+            ScheduledEvent::new(
+                SimTime(0),
+                100,
+                EventEffect::GlobalDemandMultiplier { factor: 1.5 },
+            ),
         ]);
         assert!((script.demand_factor(dc, SimTime(10)) - 3.0).abs() < 1e-12);
         // Other DCs only see the global factor.
@@ -227,9 +262,11 @@ mod tests {
     fn collect_from_iterator() {
         let script: EventScript = (0..3)
             .map(|i| {
-                ScheduledEvent::new(SimTime(i * 100), 10, EventEffect::GlobalDemandMultiplier {
-                    factor: 1.1,
-                })
+                ScheduledEvent::new(
+                    SimTime(i * 100),
+                    10,
+                    EventEffect::GlobalDemandMultiplier { factor: 1.1 },
+                )
             })
             .collect();
         assert_eq!(script.events().len(), 3);

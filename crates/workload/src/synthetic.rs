@@ -184,11 +184,8 @@ impl SyntheticWorkload {
             };
         }
         let model_mean = self.envelope.iter().sum::<f64>() / ENVELOPE_BUCKETS as f64;
-        let volume_error = if model_mean > 0.0 {
-            (trace.mean_rps() - model_mean).abs() / model_mean
-        } else {
-            0.0
-        };
+        let volume_error =
+            if model_mean > 0.0 { (trace.mean_rps() - model_mean).abs() / model_mean } else { 0.0 };
 
         // Per-hour envelope comparison.
         let mut sums = [0.0f64; ENVELOPE_BUCKETS];

@@ -18,10 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Per-service QoS requirements come from the business (here: catalog).
     let fleet = outcome.fleet();
     let qos_for = |pool: headroom::telemetry::ids::PoolId| {
-        let kind = fleet
-            .pool(pool)
-            .map(|p| p.service)
-            .unwrap_or(MicroserviceKind::B);
+        let kind = fleet.pool(pool).map(|p| p.service).unwrap_or(MicroserviceKind::B);
         QosRequirement::latency(kind.spec().latency_slo_ms).with_cpu_ceiling(60.0)
     };
 

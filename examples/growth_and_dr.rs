@@ -66,9 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let plan = dr_min_servers(&forecaster, &peaks, &weights, &qos)?;
     println!("\ndisaster-recovery sizing (survive any single-DC loss):");
-    for (i, (&with_dr, &without)) in
-        plan.servers.iter().zip(&plan.servers_without_dr).enumerate()
-    {
+    for (i, (&with_dr, &without)) in plan.servers.iter().zip(&plan.servers_without_dr).enumerate() {
         println!(
             "  DC{}: {with_dr} servers (vs {without} without DR), worst-case {:.0} rps/server",
             i + 1,

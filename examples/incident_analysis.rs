@@ -30,9 +30,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (dc, pool) in outcome.pools().into_iter().enumerate().skip(1) {
         let obs = PoolObservations::collect(outcome.store(), pool, outcome.range())?;
         let experiments = find_natural_experiments(&obs, 1.25)?;
-        let Some(event) = experiments
-            .iter()
-            .max_by(|a, b| a.peak_rps.partial_cmp(&b.peak_rps).expect("finite"))
+        let Some(event) =
+            experiments.iter().max_by(|a, b| a.peak_rps.partial_cmp(&b.peak_rps).expect("finite"))
         else {
             println!("DC{}: no abnormal windows", dc + 1);
             continue;

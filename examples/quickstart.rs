@@ -19,10 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Step 1-2: the two black-box response curves.
     let forecaster = CapacityForecaster::fit(&obs)?;
     println!("cpu fit     : {}", forecaster.cpu.fit);
-    println!(
-        "latency fit : {} (R^2 {:.3})",
-        forecaster.latency.poly, forecaster.latency.r_squared
-    );
+    println!("latency fit : {} (R^2 {:.3})", forecaster.latency.poly, forecaster.latency.r_squared);
 
     // Forecast the paper's experiment: remove 30% of servers.
     let p95 = obs.rps_percentile(95.0)?;
@@ -35,10 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Invert: the smallest pool meeting a 32.5 ms SLO at peak.
     let qos = QosRequirement::latency(32.5).with_cpu_ceiling(60.0);
-    let peak_total = obs
-        .total_rps()
-        .into_iter()
-        .fold(f64::NEG_INFINITY, f64::max);
+    let peak_total = obs.total_rps().into_iter().fold(f64::NEG_INFINITY, f64::max);
     let min_servers = forecaster.min_servers(peak_total, &qos, 0.05)?;
     let current = obs.active_servers.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
     println!(

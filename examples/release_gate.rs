@@ -12,8 +12,8 @@
 
 use headroom::cluster::regression_lab::RegressionLab;
 use headroom::cluster::ServiceModel;
-use headroom::core::offline::{analyze_ab, validate_synthetic};
 use headroom::core::curves::PoolObservations;
+use headroom::core::offline::{analyze_ab, validate_synthetic};
 use headroom::prelude::*;
 use headroom::workload::stepped::SteppedLoad;
 
@@ -32,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "synthetic workload: cpu slope err {:.1}%, latency curve err {:.1}% -> {}",
         validation.cpu_slope_error * 100.0,
         validation.latency_curve_error * 100.0,
-        if validation.equivalent { "EQUIVALENT, offline results are trustworthy" } else { "NOT equivalent" }
+        if validation.equivalent {
+            "EQUIVALENT, offline results are trustworthy"
+        } else {
+            "NOT equivalent"
+        }
     );
 
     // ---- Step 4: A/B the change under stepped load. ----
@@ -59,10 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.candidate_leak_mb_per_step,
         report.leak_fixed()
     );
-    println!(
-        "capacity at the 40 ms SLO: {:+.1}%",
-        report.capacity_change * 100.0
-    );
+    println!("capacity at the 40 ms SLO: {:+.1}%", report.capacity_change * 100.0);
     println!(
         "verdict: {}",
         if report.should_block() {

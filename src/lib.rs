@@ -14,6 +14,9 @@
 //! - [`cluster`] — the deterministic fleet simulator (datacenters, pools,
 //!   micro-services A–G, maintenance, failures).
 //! - [`core`] — the paper's methodology: measure → optimize → model → validate.
+//! - [`online`] — the streaming half: incremental estimators, drift
+//!   detection, exhaustion projection, and the window-by-window
+//!   [`online::planner::OnlinePlanner`] control loop.
 //! - [`baselines`] — Erlang-C, reactive autoscaler and static-peak planners.
 //!
 //! # Quickstart
@@ -37,6 +40,7 @@
 pub use headroom_baselines as baselines;
 pub use headroom_cluster as cluster;
 pub use headroom_core as core;
+pub use headroom_online as online;
 pub use headroom_stats as stats;
 pub use headroom_telemetry as telemetry;
 pub use headroom_workload as workload;
@@ -49,7 +53,10 @@ pub mod prelude {
     pub use headroom_core::curves::{CpuModel, LatencyModel, PoolObservations};
     pub use headroom_core::forecast::CapacityForecaster;
     pub use headroom_core::pipeline::CapacityPlanner;
+    pub use headroom_core::sizing::{PoolSizing, SizingPlanner};
     pub use headroom_core::slo::{QosRequirement, Slo};
-    pub use headroom_stats::{LinearFit, Polynomial, Summary};
+    pub use headroom_online::exhaustion::HeadroomBand;
+    pub use headroom_online::planner::{OnlinePlanner, OnlinePlannerConfig};
+    pub use headroom_stats::{LinearFit, Polynomial, StreamingLinReg, Summary};
     pub use headroom_telemetry::time::{SimTime, WindowRange};
 }

@@ -6,11 +6,7 @@ use headroom::core::pipeline::CapacityPlanner;
 use headroom::prelude::*;
 
 fn qos_for_small(pool: headroom::telemetry::ids::PoolId) -> QosRequirement {
-    if pool.0 < 3 {
-        QosRequirement::latency(32.5).with_cpu_ceiling(90.0)
-    } else {
-        QosRequirement::latency(58.0).with_cpu_ceiling(90.0)
-    }
+    QosRequirement::small_fleet(pool)
 }
 
 #[test]
@@ -22,11 +18,7 @@ fn pipeline_finds_headroom_in_small_fleet() {
     assert!(report.pools.len() >= 5, "skipped: {:?}", report.skipped);
     let savings = report.savings();
     // The small fleet is built with ~1/3 headroom on B and D.
-    assert!(
-        savings.efficiency_savings() > 0.15,
-        "efficiency {:.2}",
-        savings.efficiency_savings()
-    );
+    assert!(savings.efficiency_savings() > 0.15, "efficiency {:.2}", savings.efficiency_savings());
     assert!(savings.total_savings() < 0.6);
 }
 
@@ -51,12 +43,8 @@ fn different_seeds_produce_different_telemetry_same_conclusions() {
     let savings_for = |seed| {
         let outcome = FleetScenario::small(seed).run_days(1.0).unwrap();
         let planner = CapacityPlanner { availability_days: 1, ..CapacityPlanner::new() };
-        let report = planner.plan(
-            outcome.store(),
-            outcome.availability(),
-            outcome.range(),
-            qos_for_small,
-        );
+        let report =
+            planner.plan(outcome.store(), outcome.availability(), outcome.range(), qos_for_small);
         report.savings().efficiency_savings()
     };
     let a = savings_for(100);
@@ -93,23 +81,15 @@ fn forecaster_round_trip_on_simulated_pool() {
 fn grouping_splits_only_heterogeneous_pools() {
     use headroom::core::grouping::split_pool_groups;
     // Homogeneous pool: one group.
-    let homogeneous = FleetScenario::single_service(MicroserviceKind::B, 1, 30, 3)
-        .run_days(1.0)
+    let homogeneous =
+        FleetScenario::single_service(MicroserviceKind::B, 1, 30, 3).run_days(1.0).unwrap();
+    let split = split_pool_groups(homogeneous.store(), homogeneous.pools()[0], homogeneous.range())
         .unwrap();
-    let split = split_pool_groups(
-        homogeneous.store(),
-        homogeneous.pools()[0],
-        homogeneous.range(),
-    )
-    .unwrap();
     assert_eq!(split.groups.len(), 1);
 
     // Mixed-hardware pool: two groups.
-    let mixed = FleetScenario::single_service(MicroserviceKind::I, 1, 30, 3)
-        .run_days(1.0)
-        .unwrap();
-    let split =
-        split_pool_groups(mixed.store(), mixed.pools()[0], mixed.range()).unwrap();
+    let mixed = FleetScenario::single_service(MicroserviceKind::I, 1, 30, 3).run_days(1.0).unwrap();
+    let split = split_pool_groups(mixed.store(), mixed.pools()[0], mixed.range()).unwrap();
     assert_eq!(split.groups.len(), 2);
 }
 
@@ -124,9 +104,5 @@ fn availability_flows_into_online_savings() {
     let savings =
         optimize_pool(outcome.store(), outcome.availability(), pool, outcome.range(), &qos, 2)
             .unwrap();
-    assert!(
-        (savings.online_savings - 0.076).abs() < 0.05,
-        "online {:.3}",
-        savings.online_savings
-    );
+    assert!((savings.online_savings - 0.076).abs() < 0.05, "online {:.3}", savings.online_savings);
 }

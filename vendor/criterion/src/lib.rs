@@ -1,0 +1,349 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The workspace is built in hermetic environments with no access to
+//! crates.io, so this vendored crate implements the `criterion_group!` /
+//! `criterion_main!` API surface the benches use, backed by a plain
+//! wall-clock harness:
+//!
+//! - every benchmark is warmed up, then timed over a fixed number of
+//!   samples (bounded by a per-benchmark time budget);
+//! - the mean, minimum, and maximum per-iteration times are printed in a
+//!   `name  time: [min mean max]` line, similar to criterion's output;
+//! - passing `--test` on the command line (as `cargo test --benches` does)
+//!   runs each benchmark exactly once, as a smoke test.
+//!
+//! Statistical analysis, HTML reports and baseline comparisons are out of
+//! scope; the numbers are honest wall-clock measurements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` works as in the real crate.
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{parameter}", name.into()) }
+    }
+
+    /// An id carrying only a parameter (the group name provides context).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Drives the timing loop for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<Duration>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// Warmup + measured samples within a time budget.
+    Measure { sample_count: usize, budget: Duration },
+    /// One iteration only (`--test`).
+    Smoke,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, recording one sample per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine());
+                self.samples.push(Duration::ZERO);
+            }
+            Mode::Measure { sample_count, budget } => {
+                // Warmup: a few unrecorded iterations, capped at 20% of the
+                // budget, so caches and branch predictors settle.
+                let warm_start = Instant::now();
+                for _ in 0..3 {
+                    black_box(routine());
+                    if warm_start.elapsed() > budget / 5 {
+                        break;
+                    }
+                }
+                let run_start = Instant::now();
+                for _ in 0..sample_count {
+                    let t = Instant::now();
+                    black_box(routine());
+                    self.samples.push(t.elapsed());
+                    if run_start.elapsed() > budget {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn print_report(name: &str, samples: &[Duration], smoke: bool) {
+    if smoke {
+        println!("{name:<50} ok (smoke)");
+        return;
+    }
+    if samples.is_empty() {
+        println!("{name:<50} no samples");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "{name:<50} time: [{} {} {}]  ({} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark manager handed to every `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion { sample_size: 30, measurement_time: Duration::from_secs(2), smoke }
+    }
+}
+
+impl Criterion {
+    /// Overrides the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the per-benchmark time budget.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, name: &str, mut f: F) {
+        let mode = if self.smoke {
+            Mode::Smoke
+        } else {
+            Mode::Measure { sample_count: self.sample_size, budget: self.measurement_time }
+        };
+        let mut b = Bencher { mode, samples: Vec::new() };
+        f(&mut b);
+        print_report(name, &b.samples, self.smoke);
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_one(&id.name, f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+}
+
+/// A named collection of related benchmarks (`group/benchmark` naming).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Overrides the time budget for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = Some(t);
+        self
+    }
+
+    fn effective(&self) -> Criterion {
+        Criterion {
+            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+            measurement_time: self.measurement_time.unwrap_or(self.criterion.measurement_time),
+            smoke: self.criterion.smoke,
+        }
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        self.effective().run_one(&full, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `group/id`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.effective().run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, as in the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, as in the real crate.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_records() {
+        let mut c =
+            Criterion { sample_size: 5, measurement_time: Duration::from_millis(50), smoke: false };
+        let mut calls = 0u32;
+        c.bench_function("tiny", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls >= 5, "warmup + samples ran: {calls}");
+    }
+
+    #[test]
+    fn group_overrides_apply() {
+        let mut c = Criterion {
+            sample_size: 50,
+            measurement_time: Duration::from_millis(50),
+            smoke: false,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut calls = 0u32;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &_n| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        assert!(calls >= 2);
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c =
+            Criterion { sample_size: 100, measurement_time: Duration::from_secs(10), smoke: true };
+        let mut calls = 0u32;
+        c.bench_function("once", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("fit", 720).to_string(), "fit/720");
+        assert_eq!(BenchmarkId::from_parameter(99).to_string(), "99");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(fmt_duration(Duration::from_micros(1500)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).contains(" s"));
+    }
+}

@@ -1,0 +1,490 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The workspace is built in hermetic environments with no access to
+//! crates.io, so this vendored crate reimplements the subset of proptest the
+//! test suites use: value [`strategy::Strategy`]s over ranges, tuples and
+//! collections, the [`proptest!`] harness macro, and the `prop_assert*`
+//! family. Cases are generated deterministically (seeded per test name), so
+//! failures are reproducible; shrinking is not implemented — the failing
+//! arguments are printed as generated.
+//!
+//! # Example
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! // Inside a #[cfg(test)] module this expands to a deterministic #[test]:
+//! proptest! {
+//!     #[allow(dead_code)]
+//!     fn addition_commutes(a in 0i64..1000, b in 0i64..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//!
+//! // Strategies can also be sampled directly:
+//! use proptest::strategy::Strategy;
+//! let mut rng = proptest::test_runner::rng_for("demo");
+//! let v = prop::collection::vec(0.0f64..1.0, 2..5).sample(&mut rng);
+//! assert!(v.len() >= 2 && v.len() < 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Test-harness plumbing: configuration, case errors, deterministic RNGs.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Harness configuration (the subset of proptest's knobs we honour).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 48 keeps simulator-heavy
+            // properties fast while still exercising the input space.
+            ProptestConfig { cases: 48 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// An assumption (`prop_assume!`) was not met; the case is skipped.
+        Reject,
+        /// A property assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    /// Deterministic per-property generator: the seed is an FNV-1a hash of
+    /// the property name, so every run generates the same cases.
+    pub fn rng_for(name: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Generates one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// A strategy applying `f` to every generated value.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Always generates a clone of the same value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.start..self.end)
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(*self.start()..=*self.end())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// `any::<T>()` support for types with a canonical strategy.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy type.
+        type Strategy: Strategy<Value = Self>;
+
+        /// The canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Strategy for `any::<bool>()`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.random_range(0u64..2) == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                type Strategy = std::ops::RangeInclusive<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    <$t>::MIN..=<$t>::MAX
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, i8, i16, i32, i64, usize, isize);
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: arbitrary::Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+    use std::collections::BTreeMap;
+
+    /// Strategy generating `Vec`s with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// A `Vec` whose length is uniform in `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "vec size range must be non-empty");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.size.start..self.size.end);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy generating `BTreeMap`s.
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: std::ops::Range<usize>,
+    }
+
+    /// A `BTreeMap` with up to `size` entries (duplicate keys collapse, as
+    /// in real proptest the size is a target, not a guarantee).
+    pub fn btree_map<K, V>(key: K, value: V, size: std::ops::Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        assert!(size.start < size.end, "map size range must be non-empty");
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.random_range(self.size.start..self.size.end);
+            (0..n).map(|_| (self.key.sample(rng), self.value.sample(rng))).collect()
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop::` alias used for `prop::collection::vec` et al.
+    pub use crate as prop;
+}
+
+/// Defines deterministic property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item becomes a `#[test]`
+/// that samples its arguments `cases` times and runs the body. An optional
+/// leading `#![proptest_config(...)]` overrides the configuration.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        #[test]
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::rng_for(stringify!($name));
+            for case in 0..cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                let rendered_args = format!(
+                    concat!($(stringify!($arg), " = {:?}, ",)+),
+                    $(&$arg),+
+                );
+                let run = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                };
+                match run() {
+                    Ok(()) => {}
+                    Err($crate::test_runner::TestCaseError::Reject) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property `{}` failed at case {case}: {msg}\n  with {}",
+                            stringify!($name),
+                            rendered_args,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {} == {}: {:?} != {:?}",
+                    stringify!($left), stringify!($right), l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {} == {}: {:?} != {:?}: {}",
+                    stringify!($left), stringify!($right), l, r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {}: both {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Skips the current case unless the assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        fn ranges_stay_in_bounds(x in 10.0f64..20.0, n in 3usize..7) {
+            prop_assert!((10.0..20.0).contains(&x));
+            prop_assert!((3..7).contains(&n));
+        }
+
+        fn vec_respects_size(v in prop::collection::vec(0.0f64..1.0, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            for e in &v {
+                prop_assert!((0.0..1.0).contains(e));
+            }
+        }
+
+        fn maps_generate(m in prop::collection::btree_map(0u64..100, 0.0f64..1.0, 1..10)) {
+            prop_assert!(m.len() < 10);
+        }
+
+        fn assume_skips(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+
+        fn tuples_and_any(pair in (0u32..4, prop::collection::vec(any::<bool>(), 1..4))) {
+            prop_assert!(pair.0 < 4);
+            prop_assert!(!pair.1.is_empty());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        fn config_override_runs(x in 0i64..5) {
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::rng_for("seed");
+        let mut b = crate::test_runner::rng_for("seed");
+        let s = 0.0f64..1.0;
+        for _ in 0..50 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::rng_for("map");
+        let doubled = (0u32..10).prop_map(|v| v * 2);
+        for _ in 0..20 {
+            assert_eq!(doubled.sample(&mut rng) % 2, 0);
+        }
+    }
+}

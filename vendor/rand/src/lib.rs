@@ -1,0 +1,260 @@
+//! Minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! The workspace is built in hermetic environments with no access to
+//! crates.io, so this vendored crate provides exactly the surface the
+//! simulator and statistics code use:
+//!
+//! - [`rngs::StdRng`] — a seedable xoshiro256++ generator;
+//! - [`SeedableRng::seed_from_u64`] — deterministic construction;
+//! - [`RngExt::random_range`] — uniform sampling from half-open and
+//!   inclusive ranges of floats and integers.
+//!
+//! Determinism is part of the contract: the same seed always yields the
+//! same stream, across platforms, so simulations are reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{RngExt, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let x = rng.random_range(0.0..1.0);
+//! assert!((0.0..1.0).contains(&x));
+//! let i = rng.random_range(0..10usize);
+//! assert!(i < 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns a uniform draw from `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        // 53 high bits scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Deterministic construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range sampling on top of [`RngCore`] (the subset of the real crate's
+/// `Rng` extension trait this workspace uses).
+pub trait RngExt: RngCore {
+    /// Uniform draw from `range`.
+    ///
+    /// Supported ranges: `Range`/`RangeInclusive` over `f64`, `f32`, and
+    /// the common integer types.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_in(self)
+    }
+}
+
+impl<T: RngCore> RngExt for T {}
+
+/// A range that knows how to draw a uniform sample from itself.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+
+    /// Draws one uniform sample.
+    fn sample_in<R: RngCore>(self, rng: &mut R) -> Self::Output;
+}
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    fn sample_in<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = rng.next_f64();
+        let v = self.start + (self.end - self.start) * u;
+        // Floating rounding can land exactly on `end`; clamp back inside.
+        if v >= self.end {
+            self.start.max(f64::from_bits(self.end.to_bits() - 1))
+        } else {
+            v.max(self.start)
+        }
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<f64> {
+    type Output = f64;
+    fn sample_in<R: RngCore>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        (start + (end - start) * rng.next_f64()).clamp(start, end)
+    }
+}
+
+impl SampleRange for std::ops::Range<f32> {
+    type Output = f32;
+    fn sample_in<R: RngCore>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let v = self.start + (self.end - self.start) * rng.next_f64() as f32;
+        if v >= self.end {
+            self.start
+        } else {
+            v.max(self.start)
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample_in<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (u128::from(rng.next_u64()) * span) >> 64;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_in<R: RngCore>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let draw = (u128::from(rng.next_u64()) * span) >> 64;
+                (start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    ///
+    /// Small, fast, and statistically strong enough for simulation and
+    /// property-testing workloads. Not cryptographically secure.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut sm);
+            }
+            // All-zero state is invalid for xoshiro; splitmix cannot emit
+            // four zeros from any seed, but guard anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngCore, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn float_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.random_range(2.5..7.5);
+            assert!((2.5..7.5).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn float_mean_is_central() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.random_range(0.0..1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn int_ranges_cover_all_values() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+        // Inclusive ranges reach the upper bound.
+        let mut top = false;
+        for _ in 0..200 {
+            if rng.random_range(0..=3u64) == 3 {
+                top = true;
+            }
+        }
+        assert!(top);
+    }
+
+    #[test]
+    fn signed_ranges() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..1_000 {
+            let v = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+}
