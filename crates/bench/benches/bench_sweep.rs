@@ -1,0 +1,137 @@
+//! Sweep-engine scaling: per-window cost vs thread count and window size.
+//!
+//! Two claims of the shard-and-merge refactor are measured here:
+//!
+//! 1. **thread scaling** — `sweep_observe/threads=N` processes one full
+//!    81-pool fleet snapshot (per-shard aggregation + estimator updates +
+//!    sizing re-derivation) with the pools fanned out over N scoped
+//!    threads. On a multi-core host the 4-thread row should beat the
+//!    1-thread row by >2x; on a single core it honestly will not.
+//! 2. **sublinear replan cost** — `p99_peak/*` isolates the windowed-peak
+//!    query the refactor changed: the order-statistics multiset pays
+//!    O(log W) per window (insert + evict + two rank selections) where the
+//!    old sort-based path paid O(W log W). Growing W by 16x should barely
+//!    move the incremental rows while the sort rows grow superlinearly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use headroom_cluster::scenario::FleetScenario;
+use headroom_cluster::sim::{PartitionedSnapshot, PoolSlice, RecordingPolicy, SnapshotRow};
+use headroom_core::slo::QosRequirement;
+use headroom_online::planner::OnlinePlannerConfig;
+use headroom_online::sweep::SweepEngine;
+use headroom_stats::percentile::percentile;
+use headroom_stats::OrderStatsMultiset;
+use headroom_telemetry::time::WindowIndex;
+use std::hint::black_box;
+
+/// Recorded windows: enough to warm a 120-window sliding window planner.
+const RECORDED: u64 = 150;
+const WINDOW_CAPACITY: usize = 120;
+const MIN_FIT: usize = 60;
+
+/// One recorded window: the owned rows plus their pool partition.
+type RecordedWindow = (Vec<SnapshotRow>, Vec<PoolSlice>);
+
+/// Records partitioned snapshots of the paper-shaped fleet (81 pools; the
+/// full ≈6k-server catalog at fraction 1.0 would dominate bench setup, so
+/// half-scale ≈3k servers keeps the fan-out realistic and setup fast).
+fn recorded_snapshots(seed: u64) -> (Vec<RecordedWindow>, usize) {
+    let scenario =
+        FleetScenario::paper_scale(seed, 0.5).with_recording(RecordingPolicy::SnapshotOnly);
+    let mut sim = scenario.into_simulation();
+    let servers = sim.fleet().server_count();
+    let mut out = Vec::with_capacity(RECORDED as usize);
+    for _ in 0..RECORDED {
+        let snap = sim.step_snapshot_partitioned();
+        out.push((snap.rows.to_vec(), snap.pools.to_vec()));
+    }
+    (out, servers)
+}
+
+fn warmed_engine(snapshots: &[RecordedWindow], threads: usize) -> SweepEngine {
+    let config = OnlinePlannerConfig {
+        window_capacity: WINDOW_CAPACITY,
+        min_fit_windows: MIN_FIT,
+        threads,
+        ..OnlinePlannerConfig::default()
+    };
+    let mut engine = SweepEngine::new(config, QosRequirement::latency(50.0).with_cpu_ceiling(90.0));
+    for (i, (rows, pools)) in snapshots.iter().enumerate() {
+        engine.observe_partitioned(&PartitionedSnapshot {
+            window: WindowIndex(i as u64),
+            rows,
+            pools,
+        });
+    }
+    engine.drain_recommendations();
+    engine
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let (snapshots, servers) = recorded_snapshots(7);
+    println!("sweep_observe: 81 pools, {servers} servers per window");
+
+    let mut group = c.benchmark_group("sweep_observe");
+    for threads in [1usize, 2, 4] {
+        let mut engine = warmed_engine(&snapshots, threads);
+        let mut next = RECORDED;
+        let mut cursor = 0usize;
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| {
+                let (rows, pools) = &snapshots[cursor];
+                let snap = PartitionedSnapshot { window: WindowIndex(next), rows, pools };
+                engine.observe_partitioned(black_box(&snap));
+                next += 1;
+                cursor = (cursor + 1) % snapshots.len();
+                engine.drain_recommendations().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// One synthetic total-workload stream, long enough for the largest window.
+fn workload_stream(n: usize) -> Vec<f64> {
+    let mut x = 9u64;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+            5_000.0 + (x >> 11) as f64 / (1u64 << 53) as f64 * 2_000.0
+        })
+        .collect()
+}
+
+fn bench_order_statistics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p99_peak");
+    for window in [360usize, 1440, 5760] {
+        let stream = workload_stream(window + 256);
+
+        // Incremental: one window's worth of work — insert the incoming
+        // value, evict the outgoing one, query the p99.
+        let mut set = OrderStatsMultiset::new();
+        for &v in &stream[..window] {
+            set.insert(v);
+        }
+        let mut head = window;
+        let mut tail = 0usize;
+        group.bench_function(BenchmarkId::new("incremental", window), |b| {
+            b.iter(|| {
+                set.insert(stream[head % stream.len()]);
+                set.remove(stream[tail % stream.len()]);
+                head += 1;
+                tail += 1;
+                black_box(set.percentile(99.0).unwrap())
+            })
+        });
+
+        // Sort-based: what the pre-refactor assess path paid per window.
+        let values = &stream[..window];
+        group.bench_function(BenchmarkId::new("sort", window), |b| {
+            b.iter(|| black_box(percentile(black_box(values), 99.0).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling, bench_order_statistics);
+criterion_main!(benches);

@@ -18,6 +18,7 @@
 //! | [`global`] | §III-B headline utilisation numbers |
 //! | [`ablate`] | design-choice ablations + baseline planner comparison |
 //! | [`online`] | streaming planner vs batch pipeline (headroom-online) |
+//! | [`sweep`] | sharded sweep engine vs sequential planner at 81-pool scale |
 
 pub mod ablate;
 pub mod fig02;
@@ -32,6 +33,7 @@ pub mod global;
 pub mod online;
 pub mod pool_b;
 pub mod pool_d;
+pub mod sweep;
 pub mod table1;
 pub mod table4;
 pub mod tree;
@@ -54,7 +56,7 @@ pub struct ExperimentInfo {
 }
 
 /// Every experiment, in paper order.
-pub const ALL: [ExperimentInfo; 16] = [
+pub const ALL: [ExperimentInfo; 17] = [
     ExperimentInfo { id: "table1", title: "Micro-service catalog", paper_ref: "Table I" },
     ExperimentInfo { id: "fig2", title: "Resource counters vs workload", paper_ref: "Fig. 2" },
     ExperimentInfo { id: "fig3", title: "Per-server CPU scatter (pool I)", paper_ref: "Fig. 3" },
@@ -89,6 +91,11 @@ pub const ALL: [ExperimentInfo; 16] = [
     ExperimentInfo {
         id: "online",
         title: "Streaming planner vs batch pipeline",
+        paper_ref: "headroom-online",
+    },
+    ExperimentInfo {
+        id: "sweep",
+        title: "Sharded sweep engine at 81-pool scale",
         paper_ref: "headroom-online",
     },
 ];
@@ -167,6 +174,10 @@ pub fn run_by_id(
         }
         "online" => {
             let r = online::run(scale)?;
+            (r.to_string(), r.tables())
+        }
+        "sweep" => {
+            let r = sweep::run(scale)?;
             (r.to_string(), r.tables())
         }
         other => return Err(format!("unknown experiment id: {other}").into()),

@@ -114,12 +114,14 @@ pub fn run(scale: &Scale) -> Result<OnlineReport, Box<dyn Error>> {
         planner.set_qos(PoolId(pool), qos_for(PoolId(pool)));
     }
 
-    // Drive window by window, timing only the planner's share.
+    // Drive window by window through the partitioned ingestion path (each
+    // shard aggregates its own pool's rows), timing only the planner's
+    // share.
     let mut online_spent = Duration::ZERO;
     for _ in 0..windows {
-        let snap = sim.step_snapshot();
+        let snap = sim.step_snapshot_partitioned();
         let t = Instant::now();
-        planner.observe(&snap);
+        planner.observe_partitioned(&snap);
         online_spent += t.elapsed();
     }
     let online_per_window = online_spent / windows as u32;

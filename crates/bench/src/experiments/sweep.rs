@@ -1,0 +1,261 @@
+//! The shard-and-merge sweep engine at paper fleet scale.
+//!
+//! Not a paper artifact: this experiment validates the two contracts of
+//! `headroom_online::sweep::SweepEngine` on the paper-shaped fleet (9
+//! datacenters × 9 services = 81 pools):
+//!
+//! 1. **determinism** — the sharded sweep produces recommendations and
+//!    assessments *identical* to the sequential planner, across seeds;
+//! 2. **throughput** — per-window planning cost, measured separately for
+//!    the sequential and the fanned-out engine (the ratio is reported; on a
+//!    single-core host it is honestly ≤ 1, thread spawn overhead included).
+//!
+//! Seeds are swept in parallel — each seed owns two simulations and two
+//! engines on its own worker thread, so the harness itself exercises the
+//! scenario-level parallelism the ROADMAP asked of the experiment suite.
+
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use headroom_cluster::scenario::FleetScenario;
+use headroom_cluster::sim::RecordingPolicy;
+use headroom_core::report::render_table;
+use headroom_core::slo::QosRequirement;
+use headroom_online::planner::OnlinePlannerConfig;
+use headroom_online::sweep::SweepEngine;
+
+use crate::csv::CsvTable;
+use crate::Scale;
+
+/// Fan-out width of the sharded engine under test.
+pub const SHARDED_THREADS: usize = 4;
+
+/// One seed's sequential-vs-sharded comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSeedRow {
+    /// Seed driving both simulations.
+    pub seed: u64,
+    /// Whether assessments *and* recommendations matched exactly.
+    pub identical: bool,
+    /// Recommendations both engines emitted.
+    pub recommendations: usize,
+    /// Pools the engines planned.
+    pub pools_planned: usize,
+    /// Mean per-window planning cost, sequential engine.
+    pub per_window_seq: Duration,
+    /// Mean per-window planning cost, sharded engine.
+    pub per_window_sharded: Duration,
+}
+
+/// The experiment report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Pools in the fleet.
+    pub pools: usize,
+    /// Servers in the fleet.
+    pub servers: usize,
+    /// Windows driven per seed.
+    pub windows: u64,
+    /// Fan-out width of the sharded engine.
+    pub threads: usize,
+    /// Per-seed rows.
+    pub rows: Vec<SweepSeedRow>,
+}
+
+impl SweepReport {
+    /// Whether every seed matched bit-for-bit.
+    pub fn all_identical(&self) -> bool {
+        self.rows.iter().all(|r| r.identical)
+    }
+
+    /// Mean sequential-over-sharded per-window cost ratio (> 1 means the
+    /// fan-out won).
+    pub fn speedup(&self) -> f64 {
+        let (mut seq, mut sharded) = (0.0, 0.0);
+        for r in &self.rows {
+            seq += r.per_window_seq.as_secs_f64();
+            sharded += r.per_window_sharded.as_secs_f64();
+        }
+        if sharded <= 0.0 {
+            f64::INFINITY
+        } else {
+            seq / sharded
+        }
+    }
+}
+
+fn engine_for(
+    fleet: &headroom_cluster::topology::Fleet,
+    config: OnlinePlannerConfig,
+) -> SweepEngine {
+    // Per-pool QoS from the service catalog, as the batch fleet experiments
+    // derive it.
+    let mut engine = SweepEngine::new(config, QosRequirement::latency(50.0).with_cpu_ceiling(90.0));
+    for pool in fleet.pools() {
+        engine.set_qos(
+            pool.id,
+            QosRequirement::latency(pool.service.spec().latency_slo_ms).with_cpu_ceiling(90.0),
+        );
+    }
+    engine
+}
+
+fn run_seed(seed: u64, fraction: f64, windows: u64) -> SweepSeedRow {
+    let drive = |threads: usize| {
+        let scenario = FleetScenario::paper_scale(seed, fraction)
+            .with_recording(RecordingPolicy::SnapshotOnly);
+        let config = OnlinePlannerConfig {
+            window_capacity: windows as usize,
+            min_fit_windows: 180.min(windows as usize / 2),
+            threads,
+            ..OnlinePlannerConfig::default()
+        };
+        let mut sim = scenario.into_simulation();
+        let mut engine = engine_for(sim.fleet(), config);
+        let mut recs = Vec::new();
+        let mut spent = Duration::ZERO;
+        for _ in 0..windows {
+            let snap = sim.step_snapshot_partitioned();
+            let t = Instant::now();
+            engine.observe_partitioned(&snap);
+            spent += t.elapsed();
+            recs.extend(engine.drain_recommendations());
+        }
+        (engine, recs, spent / windows.max(1) as u32)
+    };
+    let (seq_engine, seq_recs, per_window_seq) = drive(1);
+    let (sharded_engine, sharded_recs, per_window_sharded) = drive(SHARDED_THREADS);
+    let identical =
+        seq_engine.assessments() == sharded_engine.assessments() && seq_recs == sharded_recs;
+    SweepSeedRow {
+        seed,
+        identical,
+        recommendations: seq_recs.len(),
+        pools_planned: seq_engine.assessments().len(),
+        per_window_seq,
+        per_window_sharded,
+    }
+}
+
+/// Runs the sequential-vs-sharded comparison over three seeds in parallel.
+///
+/// # Errors
+///
+/// Propagates worker panics, and fails outright when any seed's sharded run
+/// diverges from the sequential one — byte-identity is the acceptance
+/// criterion, so a CI smoke run of this experiment must go red, not print a
+/// sad table and exit 0.
+pub fn run(scale: &Scale) -> Result<SweepReport, Box<dyn Error>> {
+    let windows = scale.observe_windows();
+    let fraction = scale.fleet_fraction;
+    let probe = FleetScenario::paper_scale(scale.seed, fraction);
+    let pools = probe.fleet().pools().len();
+    let servers = probe.fleet().server_count();
+    drop(probe);
+
+    let seeds: Vec<u64> = (0..3).map(|i| scale.seed + i).collect();
+    let rows: Vec<SweepSeedRow> = std::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| scope.spawn(move || run_seed(seed, fraction, windows)))
+            .collect();
+        handles.into_iter().map(|h| h.join()).collect::<Result<Vec<_>, _>>()
+    })
+    .map_err(|_| "sweep seed worker panicked")?;
+
+    let report = SweepReport { pools, servers, windows, threads: SHARDED_THREADS, rows };
+    if !report.all_identical() {
+        return Err(format!("sharded sweep diverged from the sequential planner:\n{report}").into());
+    }
+    Ok(report)
+}
+
+impl SweepReport {
+    /// CSV export of the comparison.
+    pub fn tables(&self) -> Vec<CsvTable> {
+        vec![CsvTable {
+            name: "sweep_engine".into(),
+            headers: vec![
+                "seed".into(),
+                "identical".into(),
+                "pools_planned".into(),
+                "recommendations".into(),
+                "per_window_seq_us".into(),
+                "per_window_sharded_us".into(),
+            ],
+            rows: self
+                .rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.seed.to_string(),
+                        r.identical.to_string(),
+                        r.pools_planned.to_string(),
+                        r.recommendations.to_string(),
+                        format!("{:.1}", r.per_window_seq.as_secs_f64() * 1e6),
+                        format!("{:.1}", r.per_window_sharded.as_secs_f64() * 1e6),
+                    ]
+                })
+                .collect(),
+        }]
+    }
+}
+
+impl fmt::Display for SweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Shard-and-merge sweep engine: {} pools / {} servers, {} windows, {} threads sharded",
+            self.pools, self.servers, self.windows, self.threads
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.seed.to_string(),
+                    if r.identical { "yes".into() } else { "NO".into() },
+                    r.pools_planned.to_string(),
+                    r.recommendations.to_string(),
+                    format!("{:?}", r.per_window_seq),
+                    format!("{:?}", r.per_window_sharded),
+                ]
+            })
+            .collect();
+        writeln!(
+            f,
+            "{}",
+            render_table(
+                &["Seed", "Identical", "Pools", "Recs", "Seq/window", "Sharded/window"],
+                &rows
+            )
+        )?;
+        writeln!(
+            f,
+            "sequential/sharded per-window ratio: {:.2}x; byte-identical: {}",
+            self.speedup(),
+            if self.all_identical() { "yes (all seeds)" } else { "NO" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_sweep_is_identical_across_seeds() {
+        // A reduced fleet keeps the test fast; the 81-pool shape is intact.
+        let scale = Scale { observe_days: 0.5, ..Scale::quick() };
+        let r = run(&scale).unwrap();
+        assert_eq!(r.pools, 81, "paper-shaped fleet");
+        assert_eq!(r.rows.len(), 3, "three seeds swept");
+        assert!(r.all_identical(), "sharded != sequential: {r}");
+        assert!(r.rows.iter().all(|row| row.pools_planned == 81), "every pool planned: {r}");
+        assert!(
+            r.rows.iter().any(|row| row.recommendations > 0),
+            "the overprovisioned fleet yields recommendations: {r}"
+        );
+    }
+}

@@ -193,6 +193,27 @@ impl ServiceModel {
         self
     }
 
+    /// Scales the per-request CPU cost — models a release that makes every
+    /// request cheaper or dearer (the canonical response-profile drift a
+    /// streaming planner must detect when scheduled via
+    /// `Simulation::schedule_model_swap`). The queueing knee moves with it:
+    /// costlier requests saturate a server at proportionally less workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is not positive and finite.
+    pub fn with_cpu_per_rps_scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor.is_finite(), "cpu scale must be positive");
+        self.cpu_per_rps *= factor;
+        // Table-mixed services derive CPU from the per-table costs, not the
+        // headline slope — scale them too or the release would be invisible.
+        for table in &mut self.tables {
+            table.cpu_per_rps *= factor;
+        }
+        self.queue_capacity_rps /= factor;
+        self
+    }
+
     /// Scales the quadratic latency term — models a change that degrades
     /// latency at high load (the Fig. 16 defect).
     pub fn with_latency_quadratic_scaled(mut self, factor: f64) -> Self {
@@ -394,6 +415,22 @@ pub struct ServerWindowMetrics {
 mod tests {
     use super::*;
     use rand::SeedableRng;
+
+    #[test]
+    fn cpu_scale_reaches_table_mixed_models() {
+        // Table-mixed services derive CPU from per-table costs; the release
+        // helper must scale the observable curve for them too.
+        let m = ServiceModel::new(0.02, 1.0, [0.0, 0.0, 30.0]).with_tables(vec![
+            TableWorkload { share: 0.7, cpu_per_rps: 0.01, share_jitter: 0.0 },
+            TableWorkload { share: 0.3, cpu_per_rps: 0.05, share_jitter: 0.0 },
+        ]);
+        let hw = HardwareGeneration::Gen1;
+        let before = m.cpu_mean(300.0, hw) - 1.0;
+        let scaled = m.clone().with_cpu_per_rps_scaled(2.0);
+        let after = scaled.cpu_mean(300.0, hw) - 1.0;
+        assert!((after / before - 2.0).abs() < 1e-12, "workload CPU doubled: {before} -> {after}");
+        assert!((scaled.queue_capacity_rps - m.queue_capacity_rps / 2.0).abs() < 1e-12);
+    }
 
     #[test]
     fn cpu_linear_in_rps() {

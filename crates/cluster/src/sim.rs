@@ -32,6 +32,7 @@ use crate::catalog::MicroserviceKind;
 use crate::error::ClusterError;
 use crate::pool::LoadBalancer;
 use crate::routing::redistribute;
+use crate::service_model::ServiceModel;
 use crate::topology::Fleet;
 
 /// Which counters the simulation stores.
@@ -100,6 +101,49 @@ pub struct WindowSnapshot<'a> {
     pub rows: &'a [SnapshotRow],
 }
 
+/// The contiguous run of snapshot rows belonging to one pool.
+///
+/// The simulator evaluates pools one after another, so each pool's rows are
+/// naturally contiguous; recording the boundaries costs nothing and lets a
+/// parallel observer hand each worker its pools' rows as plain sub-slices —
+/// no per-row re-grouping serialization point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolSlice {
+    /// The pool owning the rows.
+    pub pool: PoolId,
+    /// Index of the pool's first row in the snapshot.
+    pub start: usize,
+    /// Number of rows (the pool's physical size this window).
+    pub len: usize,
+}
+
+/// A [`WindowSnapshot`] plus its pool partition, for sharded ingestion.
+///
+/// Produced by [`Simulation::step_snapshot_partitioned`]. Slices appear in
+/// fleet deployment order (ascending pool id for built fleets) and cover
+/// `rows` exactly, each pool once.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionedSnapshot<'a> {
+    /// The window just simulated.
+    pub window: WindowIndex,
+    /// One row per server in the fleet, grouped by pool.
+    pub rows: &'a [SnapshotRow],
+    /// One entry per pool, delimiting its rows.
+    pub pools: &'a [PoolSlice],
+}
+
+impl<'a> PartitionedSnapshot<'a> {
+    /// The rows of one pool.
+    pub fn pool_rows(&self, slice: &PoolSlice) -> &'a [SnapshotRow] {
+        &self.rows[slice.start..slice.start + slice.len]
+    }
+
+    /// The flat, partition-less view of the same window.
+    pub fn as_snapshot(&self) -> WindowSnapshot<'a> {
+        WindowSnapshot { window: self.window, rows: self.rows }
+    }
+}
+
 /// The fleet simulator.
 ///
 /// # Example
@@ -139,10 +183,13 @@ pub struct Simulation {
     rng: StdRng,
     next_window: WindowIndex,
     interventions: HashMap<u64, Vec<(PoolId, usize)>>,
+    /// Scheduled response-profile changes (releases, hardware refreshes).
+    model_swaps: HashMap<u64, Vec<(PoolId, ServiceModel)>>,
     lb: LoadBalancer,
     /// Pool indices grouped by service, each sorted by datacenter index.
     service_groups: Vec<(MicroserviceKind, Vec<usize>)>,
     snapshot: Vec<SnapshotRow>,
+    pool_slices: Vec<PoolSlice>,
     /// Stateful failure tracking: server id → first window it is repaired.
     failed_until: HashMap<u32, u64>,
 }
@@ -175,9 +222,11 @@ impl Simulation {
             rng: StdRng::seed_from_u64(config.seed),
             next_window: WindowIndex(0),
             interventions: HashMap::new(),
+            model_swaps: HashMap::new(),
             lb: LoadBalancer::default(),
             service_groups,
             snapshot: Vec::new(),
+            pool_slices: Vec::new(),
             failed_until: HashMap::new(),
         }
     }
@@ -228,6 +277,28 @@ impl Simulation {
         Ok(())
     }
 
+    /// Schedules a response-profile change: from `window` on, `pool`'s
+    /// servers respond per `model` — the shape of a software release or
+    /// hardware refresh. Demand is untouched; only the workload→resource
+    /// curves move, which is exactly what a streaming planner's drift
+    /// detector must catch.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownPool`] for a pool not in the fleet.
+    pub fn schedule_model_swap(
+        &mut self,
+        pool: PoolId,
+        window: WindowIndex,
+        model: ServiceModel,
+    ) -> Result<(), ClusterError> {
+        if self.fleet.pool(pool).is_none() {
+            return Err(ClusterError::UnknownPool(pool));
+        }
+        self.model_swaps.entry(window.0).or_default().push((pool, model));
+        Ok(())
+    }
+
     /// Runs `n` windows.
     pub fn run_windows(&mut self, n: u64) {
         self.run_windows_observed(n, |_| {});
@@ -259,6 +330,19 @@ impl Simulation {
         WindowSnapshot { window: WindowIndex(self.next_window.0 - 1), rows: &self.snapshot }
     }
 
+    /// Simulates exactly one window and returns its snapshot with the pool
+    /// partition attached — [`Simulation::step_snapshot`] for sharded
+    /// observers (e.g. a parallel sweep engine) that want per-pool row
+    /// slices without re-grouping the flat row array.
+    pub fn step_snapshot_partitioned(&mut self) -> PartitionedSnapshot<'_> {
+        self.step();
+        PartitionedSnapshot {
+            window: WindowIndex(self.next_window.0 - 1),
+            rows: &self.snapshot,
+            pools: &self.pool_slices,
+        }
+    }
+
     /// Consumes the simulation, returning the fleet, metric store and
     /// availability log.
     pub fn into_parts(self) -> (Fleet, MetricStore, AvailabilityLog) {
@@ -271,6 +355,7 @@ impl Simulation {
         let t = w.midpoint();
         let utc_hour = t.hour_of_day();
         self.snapshot.clear();
+        self.pool_slices.clear();
 
         // Apply interventions scheduled for this window.
         if let Some(resizes) = self.interventions.remove(&w.0) {
@@ -278,6 +363,16 @@ impl Simulation {
                 if let Some(pool) = self.fleet.pool_mut(pool_id) {
                     // Validated at scheduling time; ignore failure defensively.
                     let _ = pool.resize_active(active);
+                }
+            }
+        }
+
+        // Apply scheduled response-profile changes (releases / hardware
+        // refreshes): the pool's black-box curves move, demand does not.
+        if let Some(swaps) = self.model_swaps.remove(&w.0) {
+            for (pool_id, model) in swaps {
+                if let Some(pool) = self.fleet.pool_mut(pool_id) {
+                    pool.model = model;
                 }
             }
         }
@@ -310,6 +405,7 @@ impl Simulation {
         let track_availability = self.config.track_availability;
         let recording = self.config.recording;
         for pi in 0..self.fleet.pools().len() {
+            let slice_start = self.snapshot.len();
             let demand = pool_demand.get(&pi).copied().unwrap_or(0.0);
             let (pool_id, dc, local_hour, pool_size, dc_lost) = {
                 let pool = &self.fleet.pools()[pi];
@@ -503,6 +599,11 @@ impl Simulation {
                     latency_p95_ms: lat_p95,
                 });
             }
+            self.pool_slices.push(PoolSlice {
+                pool: pool_id,
+                start: slice_start,
+                len: self.snapshot.len() - slice_start,
+            });
         }
     }
 }
@@ -679,6 +780,85 @@ mod tests {
         for counter in CounterKind::FIG2_RESOURCES {
             assert!(sim.store().series(server, counter).is_some(), "missing counter {counter}");
         }
+    }
+
+    #[test]
+    fn partitioned_snapshot_covers_rows_pool_by_pool() {
+        let fleet = small_fleet(8);
+        let pool_count = fleet.pools().len();
+        let total_servers = fleet.server_count();
+        let mut sim = Simulation::new(fleet, EventScript::empty(), SimConfig::default());
+        let snap = sim.step_snapshot_partitioned();
+        assert_eq!(snap.pools.len(), pool_count);
+        assert_eq!(snap.rows.len(), total_servers);
+        let mut cursor = 0usize;
+        for slice in snap.pools {
+            assert_eq!(slice.start, cursor, "slices tile the row array in order");
+            let rows = snap.pool_rows(slice);
+            assert!(!rows.is_empty());
+            assert!(rows.iter().all(|r| r.pool == slice.pool), "slice rows belong to its pool");
+            cursor += slice.len;
+        }
+        assert_eq!(cursor, snap.rows.len(), "every row is covered exactly once");
+        // The flat view is the same window.
+        assert_eq!(snap.as_snapshot().window, snap.window);
+        assert_eq!(snap.as_snapshot().rows.len(), total_servers);
+    }
+
+    #[test]
+    fn partitioned_and_flat_stepping_agree() {
+        let mk = |partitioned: bool| {
+            let mut sim =
+                Simulation::new(small_fleet(11), EventScript::empty(), SimConfig::default());
+            let mut rows = Vec::new();
+            for _ in 0..30 {
+                if partitioned {
+                    rows.extend(sim.step_snapshot_partitioned().rows.to_vec());
+                } else {
+                    rows.extend(sim.step_snapshot().rows.to_vec());
+                }
+            }
+            rows
+        };
+        assert_eq!(mk(true), mk(false), "partitioning changes nothing but the view");
+    }
+
+    #[test]
+    fn model_swap_changes_response_profile_at_window() {
+        let mut sim = Simulation::new(small_fleet(12), EventScript::empty(), SimConfig::default());
+        let pool = sim.fleet().pools()[0].id;
+        // A release that makes every request twice as dear, mid-run.
+        let release = sim.fleet().pools()[0].model.clone().with_cpu_per_rps_scaled(2.0);
+        sim.schedule_model_swap(pool, WindowIndex(360), release).unwrap();
+        sim.run_days(1.0);
+        let store = sim.store();
+        let fit_over = |lo: u64, hi: u64| {
+            let obs = store.pool_paired_observations(
+                pool,
+                CounterKind::RequestsPerSec,
+                CounterKind::CpuPercent,
+                WindowRange::new(WindowIndex(lo), WindowIndex(hi)),
+            );
+            let xs: Vec<f64> = obs.iter().map(|(x, _)| *x).collect();
+            let ys: Vec<f64> = obs.iter().map(|(_, y)| *y).collect();
+            headroom_stats::LinearFit::fit(&xs, &ys).unwrap().slope
+        };
+        let before = fit_over(0, 360);
+        let after = fit_over(360, 720);
+        assert!(
+            (after / before - 2.0).abs() < 0.25,
+            "cpu-per-rps slope doubled: before {before:.4}, after {after:.4}"
+        );
+    }
+
+    #[test]
+    fn model_swap_validates_pool() {
+        let mut sim = Simulation::new(small_fleet(12), EventScript::empty(), SimConfig::default());
+        let model = sim.fleet().pools()[0].model.clone();
+        assert!(matches!(
+            sim.schedule_model_swap(PoolId(999), WindowIndex(0), model),
+            Err(ClusterError::UnknownPool(_))
+        ));
     }
 
     #[test]

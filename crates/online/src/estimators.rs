@@ -7,13 +7,16 @@
 //!
 //! - [`WindowedLinReg`] — [`headroom_stats::StreamingLinReg`] plus the ring
 //!   that feeds its evictions: O(1) per window;
-//! - [`StreamingQuadFit`] — degree-2 least squares from running power sums
-//!   (shifted to the first observation for conditioning): O(1) per window,
-//!   with a 3×3 normal-equation solve only when a fit is requested.
+//! - [`StreamingQuadFit`] — degree-2 least squares from running power sums,
+//!   re-exported from [`headroom_stats::quadfit`] where it lives alongside
+//!   the other shard-combinable accumulators (see
+//!   [`headroom_stats::Combine`]).
 
-use headroom_stats::{LinearFit, Polynomial, StatsError, StreamingLinReg};
+use headroom_stats::{LinearFit, StatsError, StreamingLinReg};
 
 use crate::ring::RingWindow;
+
+pub use headroom_stats::quadfit::StreamingQuadFit;
 
 /// A linear fit over the last `capacity` observations.
 ///
@@ -87,201 +90,9 @@ impl WindowedLinReg {
     }
 }
 
-/// Incremental degree-2 least squares over a stream with removal support.
-///
-/// Maintains `Σuᵏ` for k ≤ 4 and `Σy`, `Σy²`, `Σuy`, `Σu²y`, with
-/// `u = x − shift` (the shift is pinned to the first observation so the
-/// normal equations stay well-conditioned far from the origin). The caller
-/// owns the sliding window and calls [`remove`] with evicted pairs.
-///
-/// [`remove`]: StreamingQuadFit::remove
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct StreamingQuadFit {
-    n: usize,
-    shift: f64,
-    shift_set: bool,
-    su: [f64; 4], // Σu, Σu², Σu³, Σu⁴
-    sy: f64,
-    sy2: f64,
-    suy: f64,
-    su2y: f64,
-}
-
-impl StreamingQuadFit {
-    /// An empty accumulator.
-    pub fn new() -> Self {
-        StreamingQuadFit::default()
-    }
-
-    /// Observations accumulated.
-    pub fn len(&self) -> usize {
-        self.n
-    }
-
-    /// True when nothing is accumulated.
-    pub fn is_empty(&self) -> bool {
-        self.n == 0
-    }
-
-    /// Adds one observation. Non-finite pairs are ignored.
-    pub fn push(&mut self, x: f64, y: f64) {
-        if !x.is_finite() || !y.is_finite() {
-            return;
-        }
-        if !self.shift_set {
-            self.shift = x;
-            self.shift_set = true;
-        }
-        let u = x - self.shift;
-        let u2 = u * u;
-        self.n += 1;
-        self.su[0] += u;
-        self.su[1] += u2;
-        self.su[2] += u2 * u;
-        self.su[3] += u2 * u2;
-        self.sy += y;
-        self.sy2 += y * y;
-        self.suy += u * y;
-        self.su2y += u2 * y;
-    }
-
-    /// Removes one previously pushed observation.
-    ///
-    /// Non-finite pairs are ignored, matching [`push`].
-    ///
-    /// # Panics
-    ///
-    /// Panics when the accumulator is empty.
-    ///
-    /// [`push`]: StreamingQuadFit::push
-    pub fn remove(&mut self, x: f64, y: f64) {
-        if !x.is_finite() || !y.is_finite() {
-            return;
-        }
-        assert!(self.n > 0, "remove from empty StreamingQuadFit");
-        let u = x - self.shift;
-        let u2 = u * u;
-        self.n -= 1;
-        self.su[0] -= u;
-        self.su[1] -= u2;
-        self.su[2] -= u2 * u;
-        self.su[3] -= u2 * u2;
-        self.sy -= y;
-        self.sy2 -= y * y;
-        self.suy -= u * y;
-        self.su2y -= u2 * y;
-        if self.n == 0 {
-            // Fresh start: the next push re-pins the shift.
-            *self = StreamingQuadFit::new();
-        }
-    }
-
-    /// Discards all accumulated observations.
-    pub fn clear(&mut self) {
-        *self = StreamingQuadFit::new();
-    }
-
-    /// The current quadratic fit (ascending coefficients, in original x),
-    /// plus its R².
-    ///
-    /// # Errors
-    ///
-    /// - [`StatsError::InsufficientData`] with fewer than 3 observations.
-    /// - [`StatsError::Singular`] when the x values do not span a quadratic
-    ///   (e.g. fewer than 3 distinct values).
-    pub fn fit(&self) -> Result<(Polynomial, f64), StatsError> {
-        if self.n < 3 {
-            return Err(StatsError::InsufficientData { needed: 3, got: self.n });
-        }
-        let n = self.n as f64;
-        // Normal equations (XᵀX)a = Xᵀy in the shifted basis.
-        let mut m = [
-            [n, self.su[0], self.su[1], self.sy],
-            [self.su[0], self.su[1], self.su[2], self.suy],
-            [self.su[1], self.su[2], self.su[3], self.su2y],
-        ];
-        // Gaussian elimination with partial pivoting.
-        for col in 0..3 {
-            let pivot = (col..3)
-                .max_by(|&a, &b| {
-                    m[a][col].abs().partial_cmp(&m[b][col].abs()).expect("finite sums")
-                })
-                .expect("non-empty");
-            m.swap(col, pivot);
-            let scale = m[col].iter().take(3).fold(0.0f64, |acc, v| acc.max(v.abs())).max(1.0);
-            if m[col][col].abs() < 1e-12 * scale {
-                return Err(StatsError::Singular);
-            }
-            for row in (col + 1)..3 {
-                let f = m[row][col] / m[col][col];
-                #[allow(clippy::needless_range_loop)] // rows `row` and `col` alias the same array
-                for k in col..4 {
-                    m[row][k] -= f * m[col][k];
-                }
-            }
-        }
-        let mut a = [0.0f64; 3];
-        for row in (0..3).rev() {
-            let mut acc = m[row][3];
-            for k in (row + 1)..3 {
-                acc -= m[row][k] * a[k];
-            }
-            a[row] = acc / m[row][row];
-        }
-        // Expand a0 + a1·(x−c) + a2·(x−c)² into ascending powers of x.
-        let c = self.shift;
-        let coeffs = vec![a[0] - a[1] * c + a[2] * c * c, a[1] - 2.0 * a[2] * c, a[2]];
-        let poly = Polynomial::new(coeffs);
-        // R² from the closed forms: SS_res = Σy² − aᵀXᵀy, SS_tot = Σy² − (Σy)²/n.
-        let ss_res = (self.sy2 - (a[0] * self.sy + a[1] * self.suy + a[2] * self.su2y)).max(0.0);
-        let ss_tot = self.sy2 - self.sy * self.sy / n;
-        let r_squared = if ss_tot < 1e-12 { 1.0 } else { (1.0 - ss_res / ss_tot).clamp(0.0, 1.0) };
-        Ok((poly, r_squared))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn recovers_paper_quadratic() {
-        // Pool B latency curve: 4.028e-5 x² − 0.031 x + 36.68.
-        let mut q = StreamingQuadFit::new();
-        for i in 0..400 {
-            let x = 100.0 + (i % 120) as f64 * 5.0;
-            q.push(x, 4.028e-5 * x * x - 0.031 * x + 36.68);
-        }
-        let (poly, r2) = q.fit().unwrap();
-        assert!((poly.coeffs()[2] - 4.028e-5).abs() < 1e-9, "{:?}", poly.coeffs());
-        assert!((poly.coeffs()[1] + 0.031).abs() < 1e-6);
-        assert!((poly.coeffs()[0] - 36.68).abs() < 1e-4);
-        assert!(r2 > 0.999999);
-    }
-
-    #[test]
-    fn matches_batch_polyfit_over_sliding_window() {
-        let xs: Vec<f64> = (0..600).map(|i| 50.0 + (i % 97) as f64 * 4.1).collect();
-        let ys: Vec<f64> = xs
-            .iter()
-            .enumerate()
-            .map(|(i, x)| 2e-4 * x * x - 0.05 * x + 20.0 + ((i * 13) % 7) as f64 * 0.1)
-            .collect();
-        let window = 240;
-        let mut q = StreamingQuadFit::new();
-        for i in 0..xs.len() {
-            q.push(xs[i], ys[i]);
-            if i >= window {
-                q.remove(xs[i - window], ys[i - window]);
-            }
-        }
-        let (poly, _) = q.fit().unwrap();
-        let start = xs.len() - window;
-        let batch = Polynomial::fit(&xs[start..], &ys[start..], 2).unwrap();
-        for (s, b) in poly.coeffs().iter().zip(batch.poly.coeffs()) {
-            assert!((s - b).abs() < 1e-6 * (1.0 + b.abs()), "{s} vs {b}");
-        }
-    }
 
     #[test]
     fn windowed_linreg_slides() {
@@ -306,38 +117,14 @@ mod tests {
     }
 
     #[test]
-    fn quad_insufficient_and_singular() {
-        let mut q = StreamingQuadFit::new();
-        assert!(matches!(q.fit(), Err(StatsError::InsufficientData { .. })));
+    fn quadfit_reexport_is_the_stats_type() {
+        // The re-export keeps old import paths alive; the type is the one
+        // in headroom_stats (with merge support).
+        let mut q: headroom_stats::StreamingQuadFit = StreamingQuadFit::new();
         q.push(1.0, 1.0);
-        q.push(1.0, 2.0);
-        q.push(1.0, 3.0);
-        assert_eq!(q.fit().unwrap_err(), StatsError::Singular);
-    }
-
-    #[test]
-    fn quad_remove_to_empty_resets_shift() {
-        let mut q = StreamingQuadFit::new();
-        q.push(500.0, 1.0);
-        q.remove(500.0, 1.0);
-        assert!(q.is_empty());
-        // The next stream re-pins the shift to its own first x.
-        for x in [10.0, 20.0, 30.0, 40.0] {
-            q.push(x, 2.0 * x * x);
-        }
-        let (poly, _) = q.fit().unwrap();
-        assert!((poly.coeffs()[2] - 2.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn quad_ignores_non_finite() {
-        let mut q = StreamingQuadFit::new();
-        q.push(f64::NAN, 1.0);
-        assert!(q.is_empty());
-        for x in [1.0, 2.0, 3.0, 4.0] {
-            q.push(x, x);
-        }
-        q.remove(f64::INFINITY, 1.0);
-        assert_eq!(q.len(), 4);
+        let mut other = StreamingQuadFit::new();
+        other.push(2.0, 4.0);
+        q.merge(&other);
+        assert_eq!(q.len(), 2);
     }
 }

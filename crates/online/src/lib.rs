@@ -16,10 +16,19 @@
 //!   release or hardware swap shifts the response profile;
 //! - [`exhaustion`] — headroom banding (ample → exhausted) and streaming
 //!   days-to-exhaustion projection;
-//! - [`planner`] — [`planner::OnlinePlanner`], the control loop: per-window
-//!   observation, re-derived minimum pool sizes (the batch optimizer's
-//!   formula, reproduced incrementally), resize recommendations, and a
-//!   closed-loop driver for `headroom_cluster::sim::Simulation`.
+//! - [`shard`] — [`shard::PoolShard`], one pool's complete planner state
+//!   machine, with the windowed p99 peak held in an order-statistics
+//!   multiset (O(log W) per window instead of an O(W log W) sort) and the
+//!   allocation maximum in a monotonic deque;
+//! - [`sweep`] — [`sweep::SweepEngine`], the shard-and-merge fleet core:
+//!   pools fan out across scoped worker threads and the per-chunk outputs
+//!   merge deterministically, so results are bit-identical for any thread
+//!   count;
+//! - [`planner`] — [`planner::OnlinePlanner`], the control-loop facade:
+//!   per-window observation, re-derived minimum pool sizes (the batch
+//!   optimizer's formula, reproduced incrementally), dwell-time
+//!   recommendation hysteresis, and a closed-loop driver for
+//!   `headroom_cluster::sim::Simulation`.
 //!
 //! Both planners expose the shared `headroom_core::sizing::SizingPlanner`
 //! interface, so downstream consumers cannot tell which one produced a
@@ -71,6 +80,8 @@ pub mod estimators;
 pub mod exhaustion;
 pub mod planner;
 pub mod ring;
+pub mod shard;
+pub mod sweep;
 
 pub use drift::{DriftConfig, DriftDetector, DriftEvent, DriftKind};
 pub use estimators::{StreamingQuadFit, WindowedLinReg};
@@ -79,3 +90,5 @@ pub use planner::{
     OnlinePlanner, OnlinePlannerConfig, PoolAssessment, PoolWindowAggregate, ResizeAction,
     ResizeRecommendation,
 };
+pub use shard::PoolShard;
+pub use sweep::SweepEngine;

@@ -1,37 +1,41 @@
 //! The streaming capacity planner and its simulation control loop.
 //!
-//! [`OnlinePlanner`] consumes one [`WindowSnapshot`] per 120-second window
-//! and maintains, per pool:
+//! [`OnlinePlanner`] consumes one fleet snapshot per 120-second window and
+//! maintains, per pool, a [`crate::shard::PoolShard`]:
 //!
 //! - a sliding window of pool-aggregate observations (ring-buffered);
 //! - the workload→CPU line ([`headroom_stats::StreamingLinReg`], O(1));
-//! - the workload→latency quadratic ([`crate::estimators::StreamingQuadFit`],
+//! - the workload→latency quadratic ([`headroom_stats::StreamingQuadFit`],
 //!   O(1));
+//! - an [`headroom_stats::OrderStatsMultiset`] of windowed total workload
+//!   (the p99 peak in O(log W)) and a
+//!   [`headroom_stats::MonotonicMaxDeque`] of the serving allocation;
 //! - a whole-stream P² tracker of the pool's p95 latency;
 //! - a [`crate::drift::DriftDetector`] that discards stale history when the
 //!   response profile shifts;
 //! - an [`crate::exhaustion::ExhaustionProjector`] for days-to-exhaustion.
 //!
-//! Each window it re-derives the pool's minimum server count with exactly
-//! the batch optimizer's formula — p99 of windowed total workload divided by
-//! the per-server workload at the QoS limit — so a window covering the same
-//! observations reproduces `headroom_core::optimizer::optimize_pool` while
-//! updating orders of magnitude faster than a batch refit.
+//! Each window the planner re-derives every pool's minimum server count
+//! with exactly the batch optimizer's formula — p99 of windowed total
+//! workload divided by the per-server workload at the QoS limit — so a
+//! window covering the same observations reproduces
+//! `headroom_core::optimizer::optimize_pool` while updating orders of
+//! magnitude faster than a batch refit. The fleet-level work is delegated
+//! to a [`crate::sweep::SweepEngine`], which fans the pools out across
+//! scoped threads and merges deterministically: results are bit-identical
+//! for any thread count.
 
 use std::collections::BTreeMap;
 
-use headroom_cluster::sim::{Simulation, WindowSnapshot};
+use headroom_cluster::sim::{PartitionedSnapshot, Simulation, SnapshotRow, WindowSnapshot};
 use headroom_core::sizing::{PoolSizing, SizingPlanner};
 use headroom_core::slo::QosRequirement;
-use headroom_stats::quantile_stream::P2Quantile;
-use headroom_stats::StreamingLinReg;
 use headroom_telemetry::ids::PoolId;
 use headroom_telemetry::time::WindowIndex;
 
-use crate::drift::{DriftConfig, DriftDetector};
-use crate::estimators::StreamingQuadFit;
-use crate::exhaustion::{ExhaustionProjection, ExhaustionProjector, HeadroomBand};
-use crate::ring::RingWindow;
+use crate::drift::DriftConfig;
+use crate::exhaustion::{ExhaustionProjection, HeadroomBand};
+use crate::sweep::SweepEngine;
 
 /// Streaming-planner tuning.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,6 +49,15 @@ pub struct OnlinePlannerConfig {
     /// A recommendation is emitted only when the target differs from the
     /// current allocation by at least this many servers (default 1).
     pub deadband_servers: usize,
+    /// Dwell-time hysteresis: a changed target must persist this many
+    /// consecutive replans before a recommendation is emitted (default 0 =
+    /// announce immediately). Growth out of an exhausted/critical band is
+    /// never delayed. With `replan_every = 1`, one unit is one window.
+    pub dwell_windows: u64,
+    /// Sweep fan-out width: number of worker threads the pools are sharded
+    /// across per window (default 1 = sequential; 0 = one per available
+    /// core). Results are bit-identical for every setting.
+    pub threads: usize,
     /// Drift-detector tuning.
     pub drift: DriftConfig,
 }
@@ -56,6 +69,8 @@ impl Default for OnlinePlannerConfig {
             min_fit_windows: 180,
             replan_every: 1,
             deadband_servers: 1,
+            dwell_windows: 0,
+            threads: 1,
             drift: DriftConfig::default(),
         }
     }
@@ -80,6 +95,36 @@ impl PoolWindowAggregate {
     /// Total pool workload this window (RPS).
     pub fn total_rps(&self) -> f64 {
         self.rps_per_server * self.active_servers as f64
+    }
+
+    /// Aggregates one pool's snapshot rows (offline rows skipped). `None`
+    /// when no server served this window, matching the batch collector's
+    /// treatment of empty windows.
+    ///
+    /// Accumulation runs in row order, so for pool-contiguous snapshots the
+    /// result is bit-identical to [`PoolWindowAggregate::from_snapshot`].
+    pub fn from_rows(window: WindowIndex, rows: &[SnapshotRow]) -> Option<PoolWindowAggregate> {
+        let (mut rps, mut cpu, mut lat, mut n) = (0.0f64, 0.0f64, 0.0f64, 0usize);
+        for row in rows {
+            if !row.online {
+                continue;
+            }
+            rps += row.rps;
+            cpu += row.cpu_pct;
+            lat += row.latency_p95_ms;
+            n += 1;
+        }
+        if n == 0 {
+            return None;
+        }
+        let nf = n as f64;
+        Some(PoolWindowAggregate {
+            window,
+            rps_per_server: rps / nf,
+            cpu_pct: cpu / nf,
+            latency_p95_ms: lat / nf,
+            active_servers: n,
+        })
     }
 
     /// Aggregates a fleet snapshot into per-pool rows (pools with no
@@ -164,141 +209,24 @@ pub struct PoolAssessment {
     pub slo_reachable: bool,
 }
 
-#[derive(Debug, Clone)]
-struct PoolTracker {
-    window: RingWindow<PoolWindowAggregate>,
-    cpu: StreamingLinReg,
-    latency: StreamingQuadFit,
-    latency_stream: P2Quantile,
-    drift: DriftDetector,
-    projector: ExhaustionProjector,
-    drift_events: usize,
-}
-
-impl PoolTracker {
-    fn new(config: &OnlinePlannerConfig) -> Self {
-        PoolTracker {
-            window: RingWindow::new(config.window_capacity),
-            cpu: StreamingLinReg::new(),
-            latency: StreamingQuadFit::new(),
-            latency_stream: P2Quantile::new(0.95).expect("0.95 is a valid quantile"),
-            drift: DriftDetector::new(config.drift),
-            projector: ExhaustionProjector::new(),
-            drift_events: 0,
-        }
-    }
-
-    fn update(&mut self, agg: PoolWindowAggregate) {
-        if let Some(evicted) = self.window.push(agg) {
-            self.cpu.remove(evicted.rps_per_server, evicted.cpu_pct);
-            self.latency.remove(evicted.rps_per_server, evicted.latency_p95_ms);
-        }
-        self.cpu.push(agg.rps_per_server, agg.cpu_pct);
-        self.latency.push(agg.rps_per_server, agg.latency_p95_ms);
-        self.latency_stream.observe(agg.latency_p95_ms);
-        self.projector.observe(agg.window, agg.total_rps());
-
-        // Change-point handling: the drift detector compares its short
-        // sub-window against the established long fit and, on a hit,
-        // invalidates everything the fits learned before the shift.
-        self.drift.observe(agg.rps_per_server, agg.cpu_pct);
-        if let Ok(reference) = self.cpu.fit() {
-            if self.drift.check(&reference, self.cpu.len()).is_some() {
-                self.window.clear();
-                self.cpu.clear();
-                self.latency.clear();
-                self.latency_stream = P2Quantile::new(0.95).expect("valid quantile");
-                self.drift.reset();
-                self.drift_events += 1;
-                // Demand history survives: a release changes the response
-                // profile, not how much traffic users send.
-            }
-        }
-    }
-
-    /// The batch optimizer's sizing formula over the current window
-    /// (except that the answer is not clamped to the current allocation —
-    /// see the Grow comment below).
-    fn assess(&self, window: WindowIndex, qos: &QosRequirement) -> Option<PoolAssessment> {
-        let cpu_fit = self.cpu.fit().ok()?;
-        let (lat_poly, lat_r2) = self.latency.fit().ok()?;
-
-        let current_servers = self.window.iter().map(|a| a.active_servers).max()?.max(1);
-
-        let totals: Vec<f64> = self.window.iter().map(|a| a.total_rps()).collect();
-        let peak_total = headroom_stats::percentile::percentile(&totals, 99.0).ok()?;
-
-        // Per-server workload at the QoS limit: the binding constraint of
-        // the latency SLO and the CPU guardrail. As in the batch
-        // CapacityForecaster::max_rps_per_server, *both* constraints must be
-        // invertible — an unreachable latency SLO keeps the current
-        // allocation rather than silently sizing from CPU alone.
-        let rps_latency = lat_poly.solve_quadratic(qos.latency_p95_ms).ok();
-        let rps_cpu = cpu_fit.solve_for_x(qos.cpu_ceiling_pct).ok();
-        let rps_at_slo = match (rps_latency, rps_cpu) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            _ => None,
-        }
-        .filter(|r| *r > 0.0);
-
-        let (min_servers, supportable, slo_reachable) = match rps_at_slo {
-            Some(rps) => {
-                // The batch optimizer clamps its answer to the current
-                // allocation because it reports *savings*; a live planner
-                // must also be able to ask for more capacity than exists,
-                // so an undersized pool yields min_servers > current and a
-                // Grow recommendation.
-                let fractional = (peak_total / rps).max(1e-9);
-                let n = (fractional.ceil() as usize).max(1);
-                (n, current_servers as f64 * rps, true)
-            }
-            // SLO unreachable on the fitted curves: keep the allocation and
-            // report the pool as out of headroom — it cannot meet QoS.
-            None => (current_servers, peak_total, false),
-        };
-
-        let projection = self.projector.project(supportable);
-        Some(PoolAssessment {
-            sizing: PoolSizing {
-                pool: PoolId(0), // stamped by the caller
-                current_servers,
-                min_servers,
-                peak_total_rps: peak_total,
-            },
-            window,
-            band: projection.band,
-            projection,
-            cpu_r_squared: cpu_fit.r_squared,
-            latency_r_squared: lat_r2,
-            latency_p95_stream_ms: self.latency_stream.estimate(),
-            drift_events: self.drift_events,
-            slo_reachable,
-        })
-    }
-}
-
 /// The streaming incremental capacity planner.
 ///
-/// Feed it snapshots with [`observe`], or let it drive a simulation with
-/// [`run`] / [`run_closed_loop`]. Read decisions through
-/// [`assessments`], [`drain_recommendations`], or the shared
-/// [`SizingPlanner`] interface.
+/// A facade over [`SweepEngine`]: per-pool state lives in
+/// [`crate::shard::PoolShard`]s and fleet sweeps fan out across threads
+/// per `config.threads`. Feed it snapshots with [`observe`] /
+/// [`observe_partitioned`], or let it drive a simulation with [`run`] /
+/// [`run_closed_loop`]. Read decisions through [`assessments`],
+/// [`drain_recommendations`], or the shared [`SizingPlanner`] interface.
 ///
 /// [`observe`]: OnlinePlanner::observe
+/// [`observe_partitioned`]: OnlinePlanner::observe_partitioned
 /// [`run`]: OnlinePlanner::run
 /// [`run_closed_loop`]: OnlinePlanner::run_closed_loop
 /// [`assessments`]: OnlinePlanner::assessments
 /// [`drain_recommendations`]: OnlinePlanner::drain_recommendations
 #[derive(Debug, Clone)]
 pub struct OnlinePlanner {
-    config: OnlinePlannerConfig,
-    default_qos: QosRequirement,
-    qos: BTreeMap<PoolId, QosRequirement>,
-    trackers: BTreeMap<PoolId, PoolTracker>,
-    assessments: BTreeMap<PoolId, PoolAssessment>,
-    pending: Vec<ResizeRecommendation>,
-    last_target: BTreeMap<PoolId, usize>,
-    windows_seen: u64,
+    engine: SweepEngine,
 }
 
 impl OnlinePlanner {
@@ -307,102 +235,62 @@ impl OnlinePlanner {
     ///
     /// [`set_qos`]: OnlinePlanner::set_qos
     pub fn new(config: OnlinePlannerConfig, default_qos: QosRequirement) -> Self {
-        OnlinePlanner {
-            config,
-            default_qos,
-            qos: BTreeMap::new(),
-            trackers: BTreeMap::new(),
-            assessments: BTreeMap::new(),
-            pending: Vec::new(),
-            last_target: BTreeMap::new(),
-            windows_seen: 0,
-        }
+        OnlinePlanner { engine: SweepEngine::new(config, default_qos) }
     }
 
     /// Overrides the QoS requirement for one pool.
     pub fn set_qos(&mut self, pool: PoolId, qos: QosRequirement) -> &mut Self {
-        self.qos.insert(pool, qos);
+        self.engine.set_qos(pool, qos);
         self
     }
 
     /// Builder form of [`OnlinePlanner::set_qos`].
     pub fn with_qos(mut self, pool: PoolId, qos: QosRequirement) -> Self {
-        self.qos.insert(pool, qos);
+        self.engine.set_qos(pool, qos);
         self
     }
 
     /// The tuning in effect.
     pub fn config(&self) -> &OnlinePlannerConfig {
-        &self.config
+        self.engine.config()
+    }
+
+    /// The underlying sweep engine.
+    pub fn engine(&self) -> &SweepEngine {
+        &self.engine
     }
 
     /// Windows observed so far.
     pub fn windows_seen(&self) -> u64 {
-        self.windows_seen
+        self.engine.windows_seen()
     }
 
     /// The QoS requirement used for `pool`.
     pub fn qos_for(&self, pool: PoolId) -> QosRequirement {
-        self.qos.get(&pool).copied().unwrap_or(self.default_qos)
+        self.engine.qos_for(pool)
     }
 
-    /// Consumes one fleet snapshot: O(servers) aggregation plus O(1)
-    /// estimator updates per pool, and (on replan windows) the sizing
-    /// re-derivation — itself O(window) per pool for the peak-percentile
-    /// and max-allocation scans.
+    /// Consumes one fleet snapshot: O(servers) aggregation plus O(log W)
+    /// shard updates per pool, and (on replan windows) the O(log W) sizing
+    /// re-derivation.
     pub fn observe(&mut self, snap: &WindowSnapshot<'_>) {
-        self.windows_seen += 1;
-        for (pool, agg) in PoolWindowAggregate::from_snapshot(snap) {
-            let tracker =
-                self.trackers.entry(pool).or_insert_with(|| PoolTracker::new(&self.config));
-            tracker.update(agg);
-        }
-        if self.windows_seen.is_multiple_of(self.config.replan_every) {
-            self.replan(snap.window);
-        }
+        self.engine.observe(snap);
     }
 
-    /// Re-derives every pool's assessment and queues recommendations.
-    fn replan(&mut self, window: WindowIndex) {
-        for (&pool, tracker) in &self.trackers {
-            if tracker.window.len() < self.config.min_fit_windows {
-                continue;
-            }
-            let qos = self.qos.get(&pool).copied().unwrap_or(self.default_qos);
-            if let Some(mut assessment) = tracker.assess(window, &qos) {
-                assessment.sizing.pool = pool;
-                let current = assessment.sizing.current_servers;
-                let target = assessment.sizing.min_servers;
-                let diff = current.abs_diff(target);
-                let changed = self.last_target.get(&pool) != Some(&target);
-                if changed && diff >= self.config.deadband_servers.max(1) {
-                    self.pending.push(ResizeRecommendation {
-                        pool,
-                        window,
-                        from_servers: current,
-                        to_servers: target,
-                        action: if target < current {
-                            ResizeAction::Shrink
-                        } else {
-                            ResizeAction::Grow
-                        },
-                        band: assessment.band,
-                    });
-                    self.last_target.insert(pool, target);
-                }
-                self.assessments.insert(pool, assessment);
-            }
-        }
+    /// Consumes one pool-partitioned snapshot — the fan-out-friendly path
+    /// where even row aggregation runs inside the worker threads.
+    pub fn observe_partitioned(&mut self, snap: &PartitionedSnapshot<'_>) {
+        self.engine.observe_partitioned(snap);
     }
 
     /// The latest per-pool assessments.
     pub fn assessments(&self) -> &BTreeMap<PoolId, PoolAssessment> {
-        &self.assessments
+        self.engine.assessments()
     }
 
     /// Takes the recommendations queued since the last drain.
     pub fn drain_recommendations(&mut self) -> Vec<ResizeRecommendation> {
-        std::mem::take(&mut self.pending)
+        self.engine.drain_recommendations()
     }
 
     /// Drives `sim` for `windows` windows, observing every snapshot
@@ -410,9 +298,9 @@ impl OnlinePlanner {
     pub fn run(&mut self, sim: &mut Simulation, windows: u64) -> Vec<ResizeRecommendation> {
         let mut all = Vec::new();
         for _ in 0..windows {
-            let snap = sim.step_snapshot();
-            self.observe(&snap);
-            all.extend(self.drain_recommendations());
+            let snap = sim.step_snapshot_partitioned();
+            self.engine.observe_partitioned(&snap);
+            all.extend(self.engine.drain_recommendations());
         }
         all
     }
@@ -429,10 +317,10 @@ impl OnlinePlanner {
     ) -> Vec<ResizeRecommendation> {
         let mut applied = Vec::new();
         for _ in 0..windows {
-            let snap = sim.step_snapshot();
-            self.observe(&snap);
+            let snap = sim.step_snapshot_partitioned();
+            self.engine.observe_partitioned(&snap);
             let next = sim.current_window();
-            for mut rec in self.drain_recommendations() {
+            for mut rec in self.engine.drain_recommendations() {
                 let physical = sim.fleet().pool(rec.pool).map(|p| p.size()).unwrap_or(0);
                 if physical == 0 {
                     continue;
@@ -455,14 +343,13 @@ impl SizingPlanner for OnlinePlanner {
 
     fn sizings(&self) -> Vec<PoolSizing> {
         // BTreeMap iteration keeps pools sorted.
-        self.assessments.values().map(|a| a.sizing).collect()
+        self.engine.assessments().values().map(|a| a.sizing).collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use headroom_cluster::sim::SnapshotRow;
     use headroom_telemetry::ids::{DatacenterId, ServerId};
 
     /// Synthetic snapshot rows for one pool on the paper's pool-B response
@@ -566,5 +453,81 @@ mod tests {
             recs.iter().find(|r| r.action == ResizeAction::Shrink).expect("shrink recommended");
         assert!(shrink.to_servers < 10);
         assert!(shrink.to_servers >= 1);
+    }
+
+    /// Drives a 20-server pool whose workload flaps across a one-server
+    /// sizing boundary every 15 windows, then settles. Without hysteresis
+    /// the planner announces every flip; with a dwell longer than the flap
+    /// period it stays silent until the target settles.
+    fn flapping_recommendations(dwell_windows: u64) -> Vec<ResizeRecommendation> {
+        let config = OnlinePlannerConfig {
+            window_capacity: 12,
+            min_fit_windows: 8,
+            dwell_windows,
+            ..OnlinePlannerConfig::default()
+        };
+        let mut planner =
+            OnlinePlanner::new(config, QosRequirement::latency(32.5).with_cpu_ceiling(90.0));
+        let mut recs = Vec::new();
+        let mut w = 0u64;
+        let mut feed = |planner: &mut OnlinePlanner, recs: &mut Vec<_>, rps: f64, n: u64| {
+            for _ in 0..n {
+                // Tiny deterministic ripple keeps the quadratic fit solvable.
+                let ripple = (w % 3) as f64 * 0.8;
+                let rows = rows_at(rps + ripple, 20);
+                planner.observe(&WindowSnapshot { window: WindowIndex(w), rows: &rows });
+                recs.extend(planner.drain_recommendations());
+                w += 1;
+            }
+        };
+        // Warm-up, then ~20 flaps across the 13⇄14-server boundary
+        // (~595 RPS/server at the SLO), then a decisive settle.
+        feed(&mut planner, &mut recs, 380.0, 30);
+        for _ in 0..10 {
+            feed(&mut planner, &mut recs, 392.0, 15);
+            feed(&mut planner, &mut recs, 380.0, 15);
+        }
+        feed(&mut planner, &mut recs, 392.0, 80);
+        recs
+    }
+
+    #[test]
+    fn dwell_policy_collapses_target_flaps() {
+        let noisy = flapping_recommendations(0);
+        let damped = flapping_recommendations(40);
+        assert!(
+            noisy.len() >= 8,
+            "without hysteresis the flapping trace floods: {} recs",
+            noisy.len()
+        );
+        assert!(damped.len() <= 2, "dwell collapses the flood to decisive calls: {:?}", damped);
+        // The settled regime is still announced, at the settled target.
+        let last = damped.last().expect("the settle phase emits");
+        assert_eq!(last.to_servers, 14, "settled target announced: {last:?}");
+    }
+
+    #[test]
+    fn exhausted_growth_bypasses_dwell() {
+        // Same undersized ramp as above, but with an hour-scale dwell: the
+        // grow recommendation must not wait out the dwell.
+        let config = OnlinePlannerConfig {
+            window_capacity: 300,
+            min_fit_windows: 30,
+            dwell_windows: 10_000,
+            ..OnlinePlannerConfig::default()
+        };
+        let mut planner =
+            OnlinePlanner::new(config, QosRequirement::latency(32.5).with_cpu_ceiling(90.0));
+        let mut recs = Vec::new();
+        for i in 0..200u64 {
+            let rps = 100.0 + 3.5 * i as f64;
+            let rows = rows_at(rps, 4);
+            planner.observe(&WindowSnapshot { window: WindowIndex(i), rows: &rows });
+            recs.extend(planner.drain_recommendations());
+        }
+        assert!(
+            recs.iter().any(|r| r.action == ResizeAction::Grow),
+            "urgent growth is never dwell-delayed: {recs:?}"
+        );
     }
 }

@@ -1,0 +1,261 @@
+//! The per-pool planner state machine.
+//!
+//! [`PoolShard`] is the unit of the shard-and-merge planner core: it owns
+//! *everything* the planner knows about one pool — the sliding aggregate
+//! window, both response fits, the streaming latency quantile, drift
+//! detection, exhaustion projection, and the recommendation hysteresis
+//! state. Because a shard never reads another pool's state, any number of
+//! shards can be driven concurrently and the fleet view is a deterministic
+//! merge of their outputs (see [`crate::sweep::SweepEngine`]).
+//!
+//! Relative to the original monolithic `OnlinePlanner` loop, the per-window
+//! sizing path here is O(log W) instead of O(W log W):
+//!
+//! - the windowed p99 total-workload peak comes from an
+//!   [`OrderStatsMultiset`] (O(log W) insert/evict/select, bit-identical to
+//!   the sort-based percentile it replaces);
+//! - the maximum serving allocation comes from a [`MonotonicMaxDeque`]
+//!   (O(1) amortized);
+//! - both fits and the P² quantile were already O(1).
+
+use headroom_core::sizing::PoolSizing;
+use headroom_core::slo::QosRequirement;
+use headroom_stats::quantile_stream::P2Quantile;
+use headroom_stats::{MonotonicMaxDeque, OrderStatsMultiset, StreamingLinReg, StreamingQuadFit};
+use headroom_telemetry::ids::PoolId;
+use headroom_telemetry::time::WindowIndex;
+
+use crate::drift::DriftDetector;
+use crate::exhaustion::ExhaustionProjector;
+use crate::planner::{
+    OnlinePlannerConfig, PoolAssessment, PoolWindowAggregate, ResizeAction, ResizeRecommendation,
+};
+use crate::ring::RingWindow;
+
+/// One pool's complete streaming-planner state.
+///
+/// Feed one [`PoolWindowAggregate`] per window with [`observe`]; derive the
+/// sizing decision (and any due recommendation) with [`replan`]. All state
+/// is pool-local, so shards compose across threads without locks.
+///
+/// [`observe`]: PoolShard::observe
+/// [`replan`]: PoolShard::replan
+#[derive(Debug, Clone)]
+pub struct PoolShard {
+    window: RingWindow<PoolWindowAggregate>,
+    cpu: StreamingLinReg,
+    latency: StreamingQuadFit,
+    latency_stream: P2Quantile,
+    drift: DriftDetector,
+    projector: ExhaustionProjector,
+    drift_events: usize,
+    /// Windowed total-RPS multiset: the p99 peak in O(log W).
+    totals: OrderStatsMultiset,
+    /// Windowed serving-allocation maximum in O(1).
+    alloc: MonotonicMaxDeque<usize>,
+    /// Target of the last *emitted* recommendation.
+    last_target: Option<usize>,
+    /// Dwell-time hysteresis: a changed target and how many consecutive
+    /// replans it has persisted.
+    dwell: Option<(usize, u64)>,
+}
+
+impl PoolShard {
+    /// A fresh shard tuned by `config`.
+    pub fn new(config: &OnlinePlannerConfig) -> Self {
+        PoolShard {
+            window: RingWindow::new(config.window_capacity),
+            cpu: StreamingLinReg::new(),
+            latency: StreamingQuadFit::new(),
+            latency_stream: P2Quantile::new(0.95).expect("0.95 is a valid quantile"),
+            drift: DriftDetector::new(config.drift),
+            projector: ExhaustionProjector::new(),
+            drift_events: 0,
+            totals: OrderStatsMultiset::new(),
+            alloc: MonotonicMaxDeque::new(),
+            last_target: None,
+            dwell: None,
+        }
+    }
+
+    /// Aggregate windows currently held.
+    pub fn observed_windows(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Drift resets this pool has experienced.
+    pub fn drift_events(&self) -> usize {
+        self.drift_events
+    }
+
+    /// Consumes one window's pool aggregate: O(log W) for the order
+    /// statistics, O(1) for everything else.
+    pub fn observe(&mut self, agg: PoolWindowAggregate) {
+        if let Some(evicted) = self.window.push(agg) {
+            self.cpu.remove(evicted.rps_per_server, evicted.cpu_pct);
+            self.latency.remove(evicted.rps_per_server, evicted.latency_p95_ms);
+            // total_rps() is a pure function of the evicted row, so the
+            // removal hits the exact value inserted when it arrived.
+            self.totals.remove(evicted.total_rps());
+            self.alloc.evict(evicted.active_servers);
+        }
+        self.cpu.push(agg.rps_per_server, agg.cpu_pct);
+        self.latency.push(agg.rps_per_server, agg.latency_p95_ms);
+        self.latency_stream.observe(agg.latency_p95_ms);
+        self.projector.observe(agg.window, agg.total_rps());
+        self.totals.insert(agg.total_rps());
+        self.alloc.push(agg.active_servers);
+
+        // Change-point handling: the drift detector compares its short
+        // sub-window against the established long fit and, on a hit,
+        // invalidates everything the fits learned before the shift.
+        self.drift.observe(agg.rps_per_server, agg.cpu_pct);
+        if let Ok(reference) = self.cpu.fit() {
+            if self.drift.check(&reference, self.cpu.len()).is_some() {
+                self.window.clear();
+                self.cpu.clear();
+                self.latency.clear();
+                self.latency_stream = P2Quantile::new(0.95).expect("valid quantile");
+                self.drift.reset();
+                self.totals.clear();
+                self.alloc.clear();
+                // A half-counted dwell from the old regime must not let the
+                // first post-drift target skip the hysteresis wait.
+                self.dwell = None;
+                self.drift_events += 1;
+                // Demand history survives: a release changes the response
+                // profile, not how much traffic users send.
+            }
+        }
+    }
+
+    /// The batch optimizer's sizing formula over the current window
+    /// (except that the answer is not clamped to the current allocation —
+    /// see the Grow comment below).
+    fn assess(&self, window: WindowIndex, qos: &QosRequirement) -> Option<PoolAssessment> {
+        let cpu_fit = self.cpu.fit().ok()?;
+        let (lat_poly, lat_r2) = self.latency.fit().ok()?;
+
+        let current_servers = self.alloc.max()?.max(1);
+        let peak_total = self.totals.percentile(99.0).ok()?;
+
+        // Per-server workload at the QoS limit: the binding constraint of
+        // the latency SLO and the CPU guardrail. As in the batch
+        // CapacityForecaster::max_rps_per_server, *both* constraints must be
+        // invertible — an unreachable latency SLO keeps the current
+        // allocation rather than silently sizing from CPU alone.
+        let rps_latency = lat_poly.solve_quadratic(qos.latency_p95_ms).ok();
+        let rps_cpu = cpu_fit.solve_for_x(qos.cpu_ceiling_pct).ok();
+        let rps_at_slo = match (rps_latency, rps_cpu) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            _ => None,
+        }
+        .filter(|r| *r > 0.0);
+
+        let (min_servers, supportable, slo_reachable) = match rps_at_slo {
+            Some(rps) => {
+                // The batch optimizer clamps its answer to the current
+                // allocation because it reports *savings*; a live planner
+                // must also be able to ask for more capacity than exists,
+                // so an undersized pool yields min_servers > current and a
+                // Grow recommendation.
+                let fractional = (peak_total / rps).max(1e-9);
+                let n = (fractional.ceil() as usize).max(1);
+                (n, current_servers as f64 * rps, true)
+            }
+            // SLO unreachable on the fitted curves: keep the allocation and
+            // report the pool as out of headroom — it cannot meet QoS.
+            None => (current_servers, peak_total, false),
+        };
+
+        let projection = self.projector.project(supportable);
+        Some(PoolAssessment {
+            sizing: PoolSizing {
+                pool: PoolId(0), // stamped by the caller
+                current_servers,
+                min_servers,
+                peak_total_rps: peak_total,
+            },
+            window,
+            band: projection.band,
+            projection,
+            cpu_r_squared: cpu_fit.r_squared,
+            latency_r_squared: lat_r2,
+            latency_p95_stream_ms: self.latency_stream.estimate(),
+            drift_events: self.drift_events,
+            slo_reachable,
+        })
+    }
+
+    /// Re-derives this pool's assessment and decides whether a resize
+    /// recommendation is due, applying the deadband and (when configured)
+    /// the dwell-time hysteresis policy.
+    ///
+    /// Returns `(None, None)` while the shard has fewer than
+    /// `min_fit_windows` observations or the fits are not yet solvable.
+    pub fn replan(
+        &mut self,
+        pool: PoolId,
+        window: WindowIndex,
+        qos: &QosRequirement,
+        config: &OnlinePlannerConfig,
+    ) -> (Option<PoolAssessment>, Option<ResizeRecommendation>) {
+        if self.window.len() < config.min_fit_windows {
+            return (None, None);
+        }
+        let Some(mut assessment) = self.assess(window, qos) else {
+            return (None, None);
+        };
+        assessment.sizing.pool = pool;
+
+        let current = assessment.sizing.current_servers;
+        let target = assessment.sizing.min_servers;
+        let diff = current.abs_diff(target);
+        let changed = self.last_target != Some(target);
+        let mut recommendation = None;
+        if changed && diff >= config.deadband_servers.max(1) {
+            // Dwell-time hysteresis: a *changed* target must persist this
+            // many consecutive replans before it is announced, so a target
+            // oscillating faster than the dwell produces no flood of
+            // single-server flip-flops. Exhausted/critical growth skips the
+            // wait — running out of capacity is not a flap.
+            let urgent = target > current && assessment.band.needs_capacity();
+            let due = if config.dwell_windows == 0 || urgent {
+                true
+            } else {
+                match self.dwell {
+                    Some((candidate, seen)) if candidate == target => {
+                        let seen = seen + 1;
+                        self.dwell = Some((candidate, seen));
+                        seen >= config.dwell_windows
+                    }
+                    _ => {
+                        self.dwell = Some((target, 1));
+                        config.dwell_windows <= 1
+                    }
+                }
+            };
+            if due {
+                recommendation = Some(ResizeRecommendation {
+                    pool,
+                    window,
+                    from_servers: current,
+                    to_servers: target,
+                    action: if target < current {
+                        ResizeAction::Shrink
+                    } else {
+                        ResizeAction::Grow
+                    },
+                    band: assessment.band,
+                });
+                self.last_target = Some(target);
+                self.dwell = None;
+            }
+        } else {
+            // The target returned to the last announced value (or moved
+            // within the deadband): the tentative change was a flap.
+            self.dwell = None;
+        }
+        (Some(assessment), recommendation)
+    }
+}

@@ -1,0 +1,349 @@
+//! The parallel sweep engine: shard fan-out, deterministic merge.
+//!
+//! [`SweepEngine`] is the fleet-level half of the shard-and-merge planner
+//! core. It owns one [`PoolShard`] per pool (kept sorted by pool id), and
+//! each window it *sweeps* the fleet: pools are partitioned into contiguous
+//! chunks, the chunks are fanned out across scoped worker threads, and each
+//! worker aggregates its pools' snapshot rows, updates its shards, and (on
+//! replan windows) re-derives sizing decisions. The per-chunk outputs are
+//! then merged in pool order.
+//!
+//! **Determinism is a hard invariant, not an aspiration.** A shard's update
+//! touches only its own state, every floating-point operation happens
+//! inside exactly one shard regardless of how pools are chunked, and the
+//! merge concatenates chunk outputs in pool order — so the engine's
+//! assessments and recommendations are *bit-identical* for any thread
+//! count, including fully sequential execution. Property tests pin this.
+//!
+//! Ingestion is partition-friendly: feed
+//! [`headroom_cluster::sim::PartitionedSnapshot`]s (from
+//! `Simulation::step_snapshot_partitioned`) and each worker reads its
+//! pools' rows as plain sub-slices — aggregation itself parallelizes and
+//! the engine has no serialization point beyond the final merge.
+
+use std::collections::BTreeMap;
+
+use headroom_cluster::sim::{PartitionedSnapshot, SnapshotRow, WindowSnapshot};
+use headroom_core::slo::QosRequirement;
+use headroom_telemetry::ids::PoolId;
+use headroom_telemetry::time::WindowIndex;
+
+use crate::planner::{
+    OnlinePlannerConfig, PoolAssessment, PoolWindowAggregate, ResizeRecommendation,
+};
+use crate::shard::PoolShard;
+
+/// Per-pool input of one sweep: either a pre-computed aggregate or the
+/// pool's raw snapshot rows (aggregated inside the owning worker).
+#[derive(Debug, Clone, Copy)]
+enum PoolInput<'a> {
+    Aggregate(PoolWindowAggregate),
+    Rows(&'a [SnapshotRow]),
+}
+
+/// The parallel shard-and-merge planner core.
+///
+/// Wraps the planning state of a whole fleet; [`crate::OnlinePlanner`] is a
+/// thin facade over this type. Use it directly when driving partitioned
+/// snapshots or tuning the fan-out width.
+#[derive(Debug, Clone)]
+pub struct SweepEngine {
+    config: OnlinePlannerConfig,
+    default_qos: QosRequirement,
+    qos: BTreeMap<PoolId, QosRequirement>,
+    /// One shard per pool, sorted by pool id — the chunked fan-out and the
+    /// in-order merge both lean on this ordering.
+    shards: Vec<(PoolId, PoolShard)>,
+    assessments: BTreeMap<PoolId, PoolAssessment>,
+    pending: Vec<ResizeRecommendation>,
+    windows_seen: u64,
+}
+
+impl SweepEngine {
+    /// An engine applying `default_qos` to every pool not overridden with
+    /// [`set_qos`].
+    ///
+    /// [`set_qos`]: SweepEngine::set_qos
+    pub fn new(config: OnlinePlannerConfig, default_qos: QosRequirement) -> Self {
+        SweepEngine {
+            config,
+            default_qos,
+            qos: BTreeMap::new(),
+            shards: Vec::new(),
+            assessments: BTreeMap::new(),
+            pending: Vec::new(),
+            windows_seen: 0,
+        }
+    }
+
+    /// Overrides the QoS requirement for one pool.
+    pub fn set_qos(&mut self, pool: PoolId, qos: QosRequirement) -> &mut Self {
+        self.qos.insert(pool, qos);
+        self
+    }
+
+    /// The tuning in effect.
+    pub fn config(&self) -> &OnlinePlannerConfig {
+        &self.config
+    }
+
+    /// Windows observed so far.
+    pub fn windows_seen(&self) -> u64 {
+        self.windows_seen
+    }
+
+    /// Pools currently tracked.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The QoS requirement used for `pool`.
+    pub fn qos_for(&self, pool: PoolId) -> QosRequirement {
+        self.qos.get(&pool).copied().unwrap_or(self.default_qos)
+    }
+
+    /// The fan-out width in effect: `config.threads`, with `0` resolving to
+    /// the machine's available parallelism.
+    pub fn effective_threads(&self) -> usize {
+        match self.config.threads {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            n => n,
+        }
+    }
+
+    /// The latest per-pool assessments.
+    pub fn assessments(&self) -> &BTreeMap<PoolId, PoolAssessment> {
+        &self.assessments
+    }
+
+    /// Takes the recommendations queued since the last drain.
+    pub fn drain_recommendations(&mut self) -> Vec<ResizeRecommendation> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Consumes one flat fleet snapshot (aggregation on the calling thread,
+    /// shard updates fanned out).
+    pub fn observe(&mut self, snap: &WindowSnapshot<'_>) {
+        let aggregates = PoolWindowAggregate::from_snapshot(snap);
+        let inputs: Vec<(PoolId, PoolInput<'_>)> =
+            aggregates.iter().map(|&(pool, agg)| (pool, PoolInput::Aggregate(agg))).collect();
+        self.sweep(snap.window, &inputs);
+    }
+
+    /// Consumes one pool-partitioned fleet snapshot: row aggregation happens
+    /// inside each worker, so ingestion has no serialization point.
+    pub fn observe_partitioned(&mut self, snap: &PartitionedSnapshot<'_>) {
+        let mut inputs: Vec<(PoolId, PoolInput<'_>)> = snap
+            .pools
+            .iter()
+            .map(|slice| (slice.pool, PoolInput::Rows(snap.pool_rows(slice))))
+            .collect();
+        // Built fleets emit pools in ascending-id order already; sorting is
+        // cheap insurance for hand-rolled snapshots.
+        inputs.sort_by_key(|&(pool, _)| pool);
+        self.sweep(snap.window, &inputs);
+    }
+
+    /// Feeds pre-aggregated per-pool rows (the shard-level unit test hook).
+    pub fn observe_aggregates(
+        &mut self,
+        window: WindowIndex,
+        aggregates: &[(PoolId, PoolWindowAggregate)],
+    ) {
+        let mut inputs: Vec<(PoolId, PoolInput<'_>)> =
+            aggregates.iter().map(|&(pool, agg)| (pool, PoolInput::Aggregate(agg))).collect();
+        inputs.sort_by_key(|&(pool, _)| pool);
+        self.sweep(window, &inputs);
+    }
+
+    /// One window of fleet work: fan shard chunks out, merge in pool order.
+    fn sweep(&mut self, window: WindowIndex, inputs: &[(PoolId, PoolInput<'_>)]) {
+        self.windows_seen += 1;
+        for &(pool, _) in inputs {
+            if let Err(at) = self.shards.binary_search_by_key(&pool, |&(p, _)| p) {
+                self.shards.insert(at, (pool, PoolShard::new(&self.config)));
+            }
+        }
+        let replan = self.windows_seen.is_multiple_of(self.config.replan_every);
+        let threads = self.effective_threads();
+
+        // Split the borrows: workers mutate shards, share the rest.
+        let config = &self.config;
+        let qos = &self.qos;
+        let default_qos = self.default_qos;
+        let shards = &mut self.shards;
+
+        let results = if threads <= 1 || shards.len() <= 1 {
+            sweep_chunk(shards, inputs, window, replan, config, qos, default_qos)
+        } else {
+            let chunk_len = shards.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .chunks_mut(chunk_len)
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            sweep_chunk(chunk, inputs, window, replan, config, qos, default_qos)
+                        })
+                    })
+                    .collect();
+                // Chunks are contiguous runs of the pool-sorted shard list,
+                // so in-order concatenation *is* the deterministic merge.
+                let mut merged = Vec::with_capacity(shards_len_hint(replan, inputs.len()));
+                for handle in handles {
+                    merged.extend(handle.join().expect("sweep worker panicked"));
+                }
+                merged
+            })
+        };
+
+        for (pool, assessment, recommendation) in results {
+            if let Some(a) = assessment {
+                self.assessments.insert(pool, a);
+            }
+            if let Some(r) = recommendation {
+                self.pending.push(r);
+            }
+        }
+    }
+}
+
+fn shards_len_hint(replan: bool, pools: usize) -> usize {
+    if replan {
+        pools
+    } else {
+        0
+    }
+}
+
+/// Processes one contiguous chunk of shards for one window. Pure function
+/// of the chunk's own state plus shared read-only context — the unit over
+/// which the engine parallelizes.
+#[allow(clippy::type_complexity)]
+fn sweep_chunk(
+    shards: &mut [(PoolId, PoolShard)],
+    inputs: &[(PoolId, PoolInput<'_>)],
+    window: WindowIndex,
+    replan: bool,
+    config: &OnlinePlannerConfig,
+    qos: &BTreeMap<PoolId, QosRequirement>,
+    default_qos: QosRequirement,
+) -> Vec<(PoolId, Option<PoolAssessment>, Option<ResizeRecommendation>)> {
+    let mut out = Vec::new();
+    for (pool, shard) in shards.iter_mut() {
+        let aggregate =
+            inputs.binary_search_by_key(pool, |&(p, _)| p).ok().and_then(|i| match inputs[i].1 {
+                PoolInput::Aggregate(agg) => Some(agg),
+                PoolInput::Rows(rows) => PoolWindowAggregate::from_rows(window, rows),
+            });
+        if let Some(agg) = aggregate {
+            shard.observe(agg);
+        }
+        if replan {
+            let pool_qos = qos.get(pool).copied().unwrap_or(default_qos);
+            let (assessment, recommendation) = shard.replan(*pool, window, &pool_qos, config);
+            if assessment.is_some() || recommendation.is_some() {
+                out.push((*pool, assessment, recommendation));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use headroom_telemetry::ids::{DatacenterId, ServerId};
+
+    fn rows_for(pool: u32, rps: f64, servers: u32) -> Vec<SnapshotRow> {
+        (0..servers)
+            .map(|s| SnapshotRow {
+                server: ServerId(pool * 1000 + s),
+                pool: PoolId(pool),
+                datacenter: DatacenterId(0),
+                online: true,
+                rps,
+                cpu_pct: 0.028 * rps + 1.37,
+                latency_p95_ms: 4.028e-5 * rps * rps - 0.031 * rps + 36.68,
+            })
+            .collect()
+    }
+
+    fn drive(threads: usize, pools: u32, windows: u64) -> SweepEngine {
+        let config = OnlinePlannerConfig {
+            window_capacity: 120,
+            min_fit_windows: 30,
+            threads,
+            ..OnlinePlannerConfig::default()
+        };
+        let mut engine =
+            SweepEngine::new(config, QosRequirement::latency(32.5).with_cpu_ceiling(90.0));
+        for w in 0..windows {
+            let mut rows = Vec::new();
+            let mut slices = Vec::new();
+            for p in 0..pools {
+                // Distinct diurnal-ish phase per pool.
+                let rps = 200.0
+                    + 150.0
+                        * (((w + 20 * p as u64) as f64 / 80.0) * std::f64::consts::PI).sin().abs();
+                let start = rows.len();
+                rows.extend(rows_for(p, rps, 8 + p % 3));
+                slices.push(headroom_cluster::sim::PoolSlice {
+                    pool: PoolId(p),
+                    start,
+                    len: rows.len() - start,
+                });
+            }
+            let snap = PartitionedSnapshot { window: WindowIndex(w), rows: &rows, pools: &slices };
+            engine.observe_partitioned(&snap);
+        }
+        engine
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let mut sequential = drive(1, 7, 90);
+        let expected_assessments = sequential.assessments().clone();
+        let expected_recs = sequential.drain_recommendations();
+        assert!(!expected_assessments.is_empty(), "the sweep planned pools");
+        for threads in [2, 3, 5, 8] {
+            let mut sharded = drive(threads, 7, 90);
+            assert_eq!(
+                &expected_assessments,
+                sharded.assessments(),
+                "assessments differ at {threads} threads"
+            );
+            assert_eq!(
+                expected_recs,
+                sharded.drain_recommendations(),
+                "recommendations differ at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_and_flat_ingestion_agree() {
+        let config = OnlinePlannerConfig {
+            window_capacity: 120,
+            min_fit_windows: 30,
+            threads: 2,
+            ..OnlinePlannerConfig::default()
+        };
+        let qos = QosRequirement::latency(32.5).with_cpu_ceiling(90.0);
+        let mut part = SweepEngine::new(config, qos);
+        let mut flat = SweepEngine::new(config, qos);
+        for w in 0..90u64 {
+            let rps = 250.0 + 2.0 * w as f64;
+            let mut rows = rows_for(0, rps, 6);
+            rows.extend(rows_for(1, rps * 0.8, 9));
+            let slices = vec![
+                headroom_cluster::sim::PoolSlice { pool: PoolId(0), start: 0, len: 6 },
+                headroom_cluster::sim::PoolSlice { pool: PoolId(1), start: 6, len: 9 },
+            ];
+            let snap = PartitionedSnapshot { window: WindowIndex(w), rows: &rows, pools: &slices };
+            part.observe_partitioned(&snap);
+            flat.observe(&snap.as_snapshot());
+        }
+        assert_eq!(part.assessments(), flat.assessments());
+        assert_eq!(part.drain_recommendations(), flat.drain_recommendations());
+    }
+}

@@ -1,0 +1,58 @@
+//! End-to-end drift detection: a *scheduled* response-profile change in the
+//! simulator (a release that makes every request dearer) must be caught by
+//! the streaming planner's drift detector — previously this path was only
+//! exercised with synthetic hand-fed regressions.
+
+use headroom_cluster::scenario::FleetScenario;
+use headroom_cluster::sim::Simulation;
+use headroom_core::slo::QosRequirement;
+use headroom_online::planner::{OnlinePlanner, OnlinePlannerConfig};
+use headroom_telemetry::time::WindowIndex;
+
+fn planner() -> OnlinePlanner {
+    let config = OnlinePlannerConfig {
+        window_capacity: 300,
+        min_fit_windows: 60,
+        ..OnlinePlannerConfig::default()
+    };
+    OnlinePlanner::new(config, QosRequirement::latency(32.5).with_cpu_ceiling(90.0))
+}
+
+fn sim_with_release_at(window: Option<u64>) -> Simulation {
+    let mut sim =
+        FleetScenario::single_service(headroom_cluster::catalog::MicroserviceKind::B, 1, 8, 17)
+            .into_simulation();
+    if let Some(w) = window {
+        let pool = sim.fleet().pools()[0].id;
+        // A release that raises per-request CPU cost by 60%: a 60% level
+        // shift in the workload→CPU response, well past the detector's 20%
+        // tolerance but invisible in the demand stream.
+        let release = sim.fleet().pools()[0].model.clone().with_cpu_per_rps_scaled(1.6);
+        sim.schedule_model_swap(pool, WindowIndex(w), release).expect("pool exists");
+    }
+    sim
+}
+
+#[test]
+fn scheduled_model_swap_triggers_drift_reset() {
+    let mut sim = sim_with_release_at(Some(300));
+    let mut p = planner();
+    p.run(&mut sim, 520);
+    let pool = sim.fleet().pools()[0].id;
+    let assessment = &p.assessments()[&pool];
+    assert!(assessment.drift_events >= 1, "the release was detected as drift: {assessment:?}");
+    // The planner re-learned the post-release curve: its CPU fit is clean
+    // again and the pool is still being sized.
+    assert!(assessment.cpu_r_squared > 0.9, "re-learned fit, r2 {}", assessment.cpu_r_squared);
+    assert!(assessment.slo_reachable);
+}
+
+#[test]
+fn no_release_no_drift() {
+    let mut sim = sim_with_release_at(None);
+    let mut p = planner();
+    p.run(&mut sim, 520);
+    let pool = sim.fleet().pools()[0].id;
+    let assessment = &p.assessments()[&pool];
+    assert_eq!(assessment.drift_events, 0, "stationary profile must not false-fire");
+}

@@ -133,3 +133,69 @@ proptest! {
         prop_assert!(fired, "slope change ×{factor:.2} went undetected");
     }
 }
+
+mod sharding {
+    use headroom_cluster::sim::{SnapshotRow, WindowSnapshot};
+    use headroom_core::slo::QosRequirement;
+    use headroom_online::planner::OnlinePlannerConfig;
+    use headroom_online::sweep::SweepEngine;
+    use headroom_telemetry::ids::{DatacenterId, PoolId, ServerId};
+    use headroom_telemetry::time::WindowIndex;
+    use proptest::prelude::*;
+
+    /// Drives one engine over a synthetic multi-pool stream.
+    fn drive(threads: usize, pool_sizes: &[usize], windows: u64, phase: u64) -> SweepEngine {
+        let config = OnlinePlannerConfig {
+            window_capacity: 48,
+            min_fit_windows: 12,
+            threads,
+            ..OnlinePlannerConfig::default()
+        };
+        let mut engine =
+            SweepEngine::new(config, QosRequirement::latency(32.5).with_cpu_ceiling(90.0));
+        for w in 0..windows {
+            let mut rows: Vec<SnapshotRow> = Vec::new();
+            for (p, &servers) in pool_sizes.iter().enumerate() {
+                let base = 150.0 + 40.0 * p as f64;
+                let swing = ((w * (3 + p as u64) + phase) % 60) as f64 * 6.0;
+                let rps = base + swing;
+                for s in 0..servers {
+                    rows.push(SnapshotRow {
+                        server: ServerId((p * 1000 + s) as u32),
+                        pool: PoolId(p as u32),
+                        datacenter: DatacenterId(0),
+                        online: true,
+                        rps,
+                        cpu_pct: 0.028 * rps + 1.37,
+                        latency_p95_ms: 4.028e-5 * rps * rps - 0.031 * rps + 36.68,
+                    });
+                }
+            }
+            engine.observe(&WindowSnapshot { window: WindowIndex(w), rows: &rows });
+        }
+        engine
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The tentpole invariant: for any fleet shape and any shard count,
+        /// the sharded sweep produces results *identical* (full structural
+        /// equality, f64s included) to the single-shard run.
+        #[test]
+        fn sharded_merge_equals_single_shard(
+            pool_sizes in prop::collection::vec(3usize..12, 1..9),
+            threads in 2usize..7,
+            phase in 0u64..50,
+        ) {
+            let mut sequential = drive(1, &pool_sizes, 70, phase);
+            let mut sharded = drive(threads, &pool_sizes, 70, phase);
+            prop_assert!(!sequential.assessments().is_empty(), "pools were planned");
+            prop_assert_eq!(sequential.assessments(), sharded.assessments());
+            prop_assert_eq!(
+                sequential.drain_recommendations(),
+                sharded.drain_recommendations()
+            );
+        }
+    }
+}

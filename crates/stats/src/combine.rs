@@ -1,0 +1,109 @@
+//! The canonical shard-and-combine API.
+//!
+//! The parallel sweep engine partitions a fleet's pools across worker
+//! shards; fleet-level statistics are then assembled by *combining* the
+//! shards' accumulators. Every estimator that participates implements
+//! [`Combine`], with one semantic contract: `a.combine(&b)` leaves `a`
+//! equivalent to an accumulator that observed `a`'s stream followed by
+//! `b`'s stream. Combining must be exact (not an approximation), so
+//! sharded and sequential runs agree to floating-point identity of the
+//! underlying sums.
+//!
+//! Implementations:
+//!
+//! - [`StreamingLinReg`] — Chan et al.'s pairwise moment merge;
+//! - [`StreamingQuadFit`] — power sums re-based across conditioning shifts;
+//! - [`OrderStatsMultiset`] — element-wise re-insertion (O(m log n), exact
+//!   by construction since the multiset is value-based).
+
+use crate::order_stats::OrderStatsMultiset;
+use crate::quadfit::StreamingQuadFit;
+use crate::streaming::StreamingLinReg;
+
+/// Fold another accumulator of the same kind into this one.
+///
+/// See the module docs for the exactness contract.
+pub trait Combine {
+    /// Absorbs `other`'s accumulated observations into `self`.
+    fn combine(&mut self, other: &Self);
+}
+
+impl Combine for StreamingLinReg {
+    fn combine(&mut self, other: &Self) {
+        self.merge(other);
+    }
+}
+
+impl Combine for StreamingQuadFit {
+    fn combine(&mut self, other: &Self) {
+        self.merge(other);
+    }
+}
+
+impl Combine for OrderStatsMultiset {
+    fn combine(&mut self, other: &Self) {
+        for (value, count) in other.entries() {
+            for _ in 0..count {
+                self.insert(value);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linreg_combine_is_merge() {
+        let mut a = StreamingLinReg::new();
+        let mut b = StreamingLinReg::new();
+        let mut whole = StreamingLinReg::new();
+        for i in 0..50 {
+            let (x, y) = (i as f64, 2.0 * i as f64 + 1.0);
+            whole.push(x, y);
+            if i < 25 {
+                a.push(x, y)
+            } else {
+                b.push(x, y)
+            }
+        }
+        a.combine(&b);
+        assert_eq!(a.len(), whole.len());
+        let (fa, fw) = (a.fit().unwrap(), whole.fit().unwrap());
+        assert!((fa.slope - fw.slope).abs() < 1e-10);
+    }
+
+    #[test]
+    fn multiset_combine_re_inserts() {
+        let mut a = OrderStatsMultiset::new();
+        let mut b = OrderStatsMultiset::new();
+        for v in [1.0, 2.0, 2.0] {
+            a.insert(v);
+        }
+        for v in [2.0, 0.5] {
+            b.insert(v);
+        }
+        a.combine(&b);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.entries(), vec![(0.5, 1), (1.0, 1), (2.0, 3)]);
+    }
+
+    #[test]
+    fn quadfit_combine_is_merge() {
+        let mut a = StreamingQuadFit::new();
+        let mut b = StreamingQuadFit::new();
+        for i in 0..30 {
+            let x = 10.0 + i as f64;
+            if i < 15 {
+                a.push(x, x * x)
+            } else {
+                b.push(x, x * x)
+            }
+        }
+        a.combine(&b);
+        assert_eq!(a.len(), 30);
+        let (poly, _) = a.fit().unwrap();
+        assert!((poly.coeffs()[2] - 1.0).abs() < 1e-8);
+    }
+}

@@ -10,6 +10,13 @@
 //!   limiting-resource validation, §II-A1 of the paper);
 //! - [`streaming`] — the same fit with O(1) insert/evict updates, for
 //!   planners revising their model every measurement window;
+//! - [`quadfit`] — the quadratic counterpart with O(1) insert/evict and
+//!   shard merge;
+//! - [`order_stats`], [`monotonic`] — O(log n) incremental order statistics
+//!   and O(1) sliding-window maxima, the structures behind the streaming
+//!   planner's per-window sizing path;
+//! - [`combine`] — the canonical shard-and-combine trait those streaming
+//!   accumulators implement;
 //! - [`polyfit`] — least-squares polynomial fitting (the quadratic latency
 //!   models of §II-B);
 //! - [`ransac`] — RANSAC robust regression (the paper fits latency curves with
@@ -40,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod combine;
 pub mod correlation;
 pub mod dtree;
 pub mod error;
@@ -47,15 +55,22 @@ pub mod histogram;
 pub mod kmeans;
 pub mod linreg;
 pub mod matrix;
+pub mod monotonic;
+pub mod order_stats;
 pub mod percentile;
 pub mod polyfit;
+pub mod quadfit;
 pub mod quantile_stream;
 pub mod ransac;
 pub mod streaming;
 pub mod summary;
 
+pub use combine::Combine;
 pub use error::StatsError;
 pub use linreg::LinearFit;
+pub use monotonic::MonotonicMaxDeque;
+pub use order_stats::OrderStatsMultiset;
 pub use polyfit::Polynomial;
+pub use quadfit::StreamingQuadFit;
 pub use streaming::StreamingLinReg;
 pub use summary::Summary;

@@ -1,0 +1,153 @@
+//! Sliding-window maximum in O(1) amortized per window.
+//!
+//! The streaming planner's sizing formula needs the maximum serving
+//! allocation over the observation window; rescanning the window is O(W)
+//! per replan. [`MonotonicMaxDeque`] is the classic monotonic-queue
+//! companion to a FIFO window: push the incoming value, report the evicted
+//! one, and the front of the deque is always the window maximum.
+//!
+//! # Example
+//!
+//! ```
+//! use headroom_stats::monotonic::MonotonicMaxDeque;
+//!
+//! let mut m = MonotonicMaxDeque::new();
+//! for v in [3, 1, 4, 1, 5] {
+//!     m.push(v);
+//! }
+//! assert_eq!(m.max(), Some(5));
+//! // FIFO eviction of the original stream keeps the max current.
+//! for v in [3, 1, 4, 1, 5] {
+//!     m.evict(v);
+//! }
+//! assert_eq!(m.max(), None);
+//! ```
+
+use std::collections::VecDeque;
+
+/// Monotonic (non-increasing) deque reporting the maximum of a FIFO window.
+///
+/// The caller owns the window and drives this structure alongside it:
+/// [`push`] every value entering the window, [`evict`] every value leaving
+/// it, *in the same FIFO order*. Values dominated by a later arrival are
+/// dropped eagerly, so the deque holds at most the "descending skyline" of
+/// the window and [`max`] is O(1).
+///
+/// [`push`]: MonotonicMaxDeque::push
+/// [`evict`]: MonotonicMaxDeque::evict
+/// [`max`]: MonotonicMaxDeque::max
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonotonicMaxDeque<T> {
+    deque: VecDeque<T>,
+}
+
+impl<T> Default for MonotonicMaxDeque<T> {
+    fn default() -> Self {
+        MonotonicMaxDeque { deque: VecDeque::new() }
+    }
+}
+
+impl<T: PartialOrd + Copy> MonotonicMaxDeque<T> {
+    /// An empty deque.
+    pub fn new() -> Self {
+        MonotonicMaxDeque::default()
+    }
+
+    /// Values currently retained (≤ the window length, often far fewer).
+    pub fn len(&self) -> usize {
+        self.deque.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.deque.is_empty()
+    }
+
+    /// Feeds the value entering the window. Amortized O(1).
+    ///
+    /// Strictly smaller tail entries are discarded; equal values are kept so
+    /// duplicate maxima survive the eviction of one of them.
+    pub fn push(&mut self, v: T) {
+        while matches!(self.deque.back(), Some(b) if *b < v) {
+            self.deque.pop_back();
+        }
+        self.deque.push_back(v);
+    }
+
+    /// Feeds the value leaving the window (the one [`push`]ed window-length
+    /// calls ago). O(1).
+    ///
+    /// [`push`]: MonotonicMaxDeque::push
+    pub fn evict(&mut self, v: T) {
+        if matches!(self.deque.front(), Some(f) if *f == v) {
+            self.deque.pop_front();
+        }
+    }
+
+    /// The maximum of the current window. O(1).
+    pub fn max(&self) -> Option<T> {
+        self.deque.front().copied()
+    }
+
+    /// Drops all retained values.
+    pub fn clear(&mut self) {
+        self.deque.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    #[test]
+    fn tracks_scan_max_over_sliding_window() {
+        let stream: Vec<u32> = (0..500).map(|i| (i * 37 + 11) % 97).collect();
+        let window = 23;
+        let mut m = MonotonicMaxDeque::new();
+        let mut w: VecDeque<u32> = VecDeque::new();
+        for &v in &stream {
+            m.push(v);
+            w.push_back(v);
+            if w.len() > window {
+                let evicted = w.pop_front().unwrap();
+                m.evict(evicted);
+            }
+            assert_eq!(m.max(), w.iter().copied().max());
+        }
+    }
+
+    #[test]
+    fn duplicate_maxima_survive_single_eviction() {
+        let mut m = MonotonicMaxDeque::new();
+        m.push(9);
+        m.push(9);
+        m.push(3);
+        m.evict(9);
+        assert_eq!(m.max(), Some(9), "the second 9 is still in the window");
+        m.evict(9);
+        assert_eq!(m.max(), Some(3));
+    }
+
+    #[test]
+    fn retains_only_the_skyline() {
+        let mut m = MonotonicMaxDeque::new();
+        for v in [1, 2, 3, 4, 5] {
+            m.push(v);
+        }
+        assert_eq!(m.len(), 1, "ascending stream keeps only its last value");
+        assert_eq!(m.max(), Some(5));
+        // Evicting dominated values is a no-op: they were already dropped.
+        m.evict(1);
+        assert_eq!(m.max(), Some(5));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut m = MonotonicMaxDeque::new();
+        m.push(1.5f64);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.max(), None);
+    }
+}

@@ -1,0 +1,478 @@
+//! Incremental order statistics: an indexable multiset with O(log n)
+//! insert, remove, and rank selection.
+//!
+//! The streaming planner re-derives each pool's p99 windowed peak every
+//! replan. Collecting the window into a `Vec` and sorting is
+//! O(W log W) per pool per window — the dominant cost of
+//! `OnlinePlanner::assess` at paper scale. [`OrderStatsMultiset`] keeps the
+//! window's values in a treap ordered by value and indexed by subtree
+//! count, so the sliding window maintains itself with one O(log W) insert
+//! and one O(log W) remove per window, and any percentile is two O(log W)
+//! rank selections.
+//!
+//! The percentile definition is exactly [`crate::percentile::percentile`]'s
+//! (NIST R-7, linear interpolation), computed with the same arithmetic, so
+//! replacing a sort-based percentile with this structure is bit-identical —
+//! not merely close. Property tests pin the agreement under random
+//! insert/evict sequences.
+//!
+//! # Example
+//!
+//! ```
+//! use headroom_stats::order_stats::OrderStatsMultiset;
+//! use headroom_stats::percentile::percentile;
+//!
+//! let mut set = OrderStatsMultiset::new();
+//! let window: Vec<f64> = (0..500).map(|i| ((i * 37) % 101) as f64).collect();
+//! for &v in &window {
+//!     set.insert(v);
+//! }
+//! assert_eq!(set.percentile(99.0).unwrap(), percentile(&window, 99.0).unwrap());
+//! ```
+
+use crate::StatsError;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Node {
+    value: f64,
+    /// Multiplicity of `value`.
+    count: usize,
+    /// Total multiplicity of the subtree rooted here.
+    size: usize,
+    /// Heap priority (deterministic pseudo-random).
+    prio: u64,
+    left: usize,
+    right: usize,
+}
+
+/// An order-statistics multiset over finite `f64` values.
+///
+/// Backed by an arena-allocated treap keyed by value, with duplicate values
+/// collapsed into per-node multiplicities and subtree sizes maintained for
+/// rank queries. Priorities come from a deterministic SplitMix64 stream, so
+/// two multisets fed the same insert/remove sequence have identical shape —
+/// structure never depends on wall clock, addresses, or thread schedule.
+///
+/// Non-finite values are ignored on [`insert`] (mirroring
+/// [`crate::streaming::StreamingLinReg`]'s treatment of corrupt telemetry)
+/// and never present, so [`remove`] of a non-finite value is a no-op.
+///
+/// [`insert`]: OrderStatsMultiset::insert
+/// [`remove`]: OrderStatsMultiset::remove
+#[derive(Debug, Clone)]
+pub struct OrderStatsMultiset {
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    root: usize,
+    prio_state: u64,
+    /// Reusable root-to-node search path, so the hot-path insert/remove pair
+    /// a sliding window performs every step does not allocate.
+    scratch: Vec<usize>,
+}
+
+impl Default for OrderStatsMultiset {
+    fn default() -> Self {
+        OrderStatsMultiset::new()
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl OrderStatsMultiset {
+    /// An empty multiset.
+    pub fn new() -> Self {
+        OrderStatsMultiset {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            prio_state: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// An empty multiset with room for `capacity` distinct values.
+    pub fn with_capacity(capacity: usize) -> Self {
+        OrderStatsMultiset { nodes: Vec::with_capacity(capacity), ..OrderStatsMultiset::new() }
+    }
+
+    /// Total number of values held, counting multiplicity.
+    pub fn len(&self) -> usize {
+        self.size(self.root)
+    }
+
+    /// True when nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.root == NIL
+    }
+
+    /// Number of *distinct* values held.
+    pub fn distinct(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    fn size(&self, t: usize) -> usize {
+        if t == NIL {
+            0
+        } else {
+            self.nodes[t].size
+        }
+    }
+
+    fn pull(&mut self, t: usize) {
+        let (l, r) = (self.nodes[t].left, self.nodes[t].right);
+        self.nodes[t].size = self.nodes[t].count + self.size(l) + self.size(r);
+    }
+
+    fn alloc(&mut self, value: f64) -> usize {
+        let prio = splitmix64(&mut self.prio_state);
+        let node = Node { value, count: 1, size: 1, prio, left: NIL, right: NIL };
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    /// Splits `t` into (values `< v`, values `>= v`).
+    fn split_lt(&mut self, t: usize, v: f64) -> (usize, usize) {
+        if t == NIL {
+            return (NIL, NIL);
+        }
+        if self.nodes[t].value < v {
+            let (a, b) = self.split_lt(self.nodes[t].right, v);
+            self.nodes[t].right = a;
+            self.pull(t);
+            (t, b)
+        } else {
+            let (a, b) = self.split_lt(self.nodes[t].left, v);
+            self.nodes[t].left = b;
+            self.pull(t);
+            (a, t)
+        }
+    }
+
+    /// Merges two treaps where every value in `a` is `<=` every value in `b`.
+    fn merge_treaps(&mut self, a: usize, b: usize) -> usize {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        if self.nodes[a].prio >= self.nodes[b].prio {
+            let r = self.merge_treaps(self.nodes[a].right, b);
+            self.nodes[a].right = r;
+            self.pull(a);
+            a
+        } else {
+            let l = self.merge_treaps(a, self.nodes[b].left);
+            self.nodes[b].left = l;
+            self.pull(b);
+            b
+        }
+    }
+
+    /// Walks from the root to the node holding `v`, pushing every visited
+    /// index (including the match) onto `path`. Returns whether `v` exists.
+    fn find_path(&self, v: f64, path: &mut Vec<usize>) -> bool {
+        let mut t = self.root;
+        while t != NIL {
+            path.push(t);
+            let tv = self.nodes[t].value;
+            if v == tv {
+                return true;
+            }
+            t = if v < tv { self.nodes[t].left } else { self.nodes[t].right };
+        }
+        false
+    }
+
+    /// Adds one value in O(log n) expected. Non-finite values are ignored.
+    pub fn insert(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let mut path = std::mem::take(&mut self.scratch);
+        path.clear();
+        let found = self.find_path(v, &mut path);
+        if found {
+            // Existing value: bump its multiplicity and every ancestor size.
+            for &i in &path {
+                self.nodes[i].size += 1;
+            }
+            let leaf = *path.last().expect("found implies non-empty path");
+            self.nodes[leaf].count += 1;
+            self.scratch = path;
+            return;
+        }
+        self.scratch = path;
+        let (lt, ge) = self.split_lt(self.root, v);
+        let node = self.alloc(v);
+        let left = self.merge_treaps(lt, node);
+        self.root = self.merge_treaps(left, ge);
+    }
+
+    /// Removes one occurrence of `v` in O(log n) expected. Returns whether a
+    /// value was removed (false when `v` is absent or non-finite).
+    pub fn remove(&mut self, v: f64) -> bool {
+        if !v.is_finite() {
+            return false;
+        }
+        let mut path = std::mem::take(&mut self.scratch);
+        path.clear();
+        if !self.find_path(v, &mut path) {
+            self.scratch = path;
+            return false;
+        }
+        let target = *path.last().expect("found implies non-empty path");
+        if self.nodes[target].count > 1 {
+            self.nodes[target].count -= 1;
+            for &i in &path {
+                self.nodes[i].size -= 1;
+            }
+            self.scratch = path;
+            return true;
+        }
+        // Last occurrence: splice the node out and fix ancestors bottom-up.
+        let replacement = self.merge_treaps(self.nodes[target].left, self.nodes[target].right);
+        path.pop();
+        match path.last() {
+            None => self.root = replacement,
+            Some(&parent) => {
+                if self.nodes[parent].left == target {
+                    self.nodes[parent].left = replacement;
+                } else {
+                    self.nodes[parent].right = replacement;
+                }
+            }
+        }
+        for &i in path.iter().rev() {
+            self.pull(i);
+        }
+        self.free.push(target);
+        self.scratch = path;
+        true
+    }
+
+    /// The `k`-th smallest value (0-based, counting multiplicity), in
+    /// O(log n) expected. `None` when `k >= len()`.
+    pub fn select(&self, mut k: usize) -> Option<f64> {
+        if k >= self.len() {
+            return None;
+        }
+        let mut t = self.root;
+        loop {
+            let node = &self.nodes[t];
+            let left_size = self.size(node.left);
+            if k < left_size {
+                t = node.left;
+            } else if k < left_size + node.count {
+                return Some(node.value);
+            } else {
+                k -= left_size + node.count;
+                t = node.right;
+            }
+        }
+    }
+
+    /// The smallest value held.
+    pub fn min(&self) -> Option<f64> {
+        self.select(0)
+    }
+
+    /// The largest value held.
+    pub fn max(&self) -> Option<f64> {
+        self.len().checked_sub(1).and_then(|k| self.select(k))
+    }
+
+    /// The `p`-th percentile (0..=100) of the held values, using exactly the
+    /// linear-interpolation definition (and arithmetic) of
+    /// [`crate::percentile::percentile`] — the results are bit-identical to
+    /// sorting the values and interpolating.
+    ///
+    /// # Errors
+    ///
+    /// - [`StatsError::EmptyInput`] when the multiset is empty.
+    /// - [`StatsError::InvalidParameter`] when `p` is outside `0..=100`.
+    pub fn percentile(&self, p: f64) -> Result<f64, StatsError> {
+        if self.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        if !(0.0..=100.0).contains(&p) {
+            return Err(StatsError::InvalidParameter("percentile must be within 0..=100"));
+        }
+        let n = self.len();
+        if n == 1 {
+            return Ok(self.select(0).expect("non-empty"));
+        }
+        let rank = p / 100.0 * (n - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let lo_v = self.select(lo).expect("rank within len");
+        if lo == hi {
+            Ok(lo_v)
+        } else {
+            let hi_v = self.select(hi).expect("rank within len");
+            let frac = rank - lo as f64;
+            Ok(lo_v * (1.0 - frac) + hi_v * frac)
+        }
+    }
+
+    /// In-order `(value, multiplicity)` pairs, ascending by value.
+    pub fn entries(&self) -> Vec<(f64, usize)> {
+        let mut out = Vec::with_capacity(self.distinct());
+        // Explicit stack: entries() may walk deeper than assess-path calls
+        // and must not rely on recursion.
+        let mut stack = Vec::new();
+        let mut t = self.root;
+        while t != NIL || !stack.is_empty() {
+            while t != NIL {
+                stack.push(t);
+                t = self.nodes[t].left;
+            }
+            let i = stack.pop().expect("loop invariant");
+            out.push((self.nodes[i].value, self.nodes[i].count));
+            t = self.nodes[i].right;
+        }
+        out
+    }
+
+    /// Drops every value, keeping allocated capacity.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.root = NIL;
+        // prio_state is deliberately left running: clearing is a planner
+        // drift reset, and structure determinism only requires the priority
+        // stream to be a pure function of the operation history.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::percentile::percentile;
+
+    #[test]
+    fn insert_select_ordering() {
+        let mut s = OrderStatsMultiset::new();
+        for v in [5.0, 1.0, 3.0, 3.0, 2.0] {
+            s.insert(v);
+        }
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.distinct(), 4);
+        let picked: Vec<f64> = (0..5).map(|k| s.select(k).unwrap()).collect();
+        assert_eq!(picked, vec![1.0, 2.0, 3.0, 3.0, 5.0]);
+        assert_eq!(s.select(5), None);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(5.0));
+    }
+
+    #[test]
+    fn remove_handles_multiplicity() {
+        let mut s = OrderStatsMultiset::new();
+        for v in [2.0, 2.0, 2.0, 7.0] {
+            s.insert(v);
+        }
+        assert!(s.remove(2.0));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.entries(), vec![(2.0, 2), (7.0, 1)]);
+        assert!(s.remove(2.0));
+        assert!(s.remove(2.0));
+        assert!(!s.remove(2.0), "exhausted value is absent");
+        assert!(s.remove(7.0));
+        assert!(s.is_empty());
+        assert_eq!(s.select(0), None);
+    }
+
+    #[test]
+    fn percentile_matches_sort_based_bitwise() {
+        let mut s = OrderStatsMultiset::new();
+        let mut window: Vec<f64> = Vec::new();
+        // Sliding window of 257 over a pseudo-random stream, checked at
+        // several percentile ranks every step.
+        let mut x = 1u64;
+        for i in 0..1200usize {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+            let v = (x >> 11) as f64 / (1u64 << 53) as f64 * 1e4;
+            s.insert(v);
+            window.push(v);
+            if window.len() > 257 {
+                let evicted = window.remove(0);
+                assert!(s.remove(evicted));
+            }
+            if i % 97 == 0 {
+                for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+                    let expect = percentile(&window, p).unwrap();
+                    let got = s.percentile(p).unwrap();
+                    assert!(
+                        got == expect,
+                        "p{p} mismatch at step {i}: {got} vs {expect} (bit-identity required)"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_ignored() {
+        let mut s = OrderStatsMultiset::new();
+        s.insert(f64::NAN);
+        s.insert(f64::INFINITY);
+        assert!(s.is_empty());
+        s.insert(1.0);
+        assert!(!s.remove(f64::NAN));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn percentile_errors() {
+        let s = OrderStatsMultiset::new();
+        assert_eq!(s.percentile(50.0).unwrap_err(), StatsError::EmptyInput);
+        let mut s = OrderStatsMultiset::new();
+        s.insert(1.0);
+        assert!(matches!(s.percentile(101.0).unwrap_err(), StatsError::InvalidParameter(_)));
+        assert_eq!(s.percentile(50.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = OrderStatsMultiset::new();
+        for i in 0..100 {
+            s.insert(i as f64);
+        }
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        s.insert(4.0);
+        assert_eq!(s.percentile(100.0).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn deterministic_shape_across_instances() {
+        // Two multisets fed the same operation history must agree exactly —
+        // including internal shape, which the entries order exposes.
+        let ops: Vec<f64> = (0..300).map(|i| ((i * 53) % 89) as f64).collect();
+        let mut a = OrderStatsMultiset::new();
+        let mut b = OrderStatsMultiset::new();
+        for &v in &ops {
+            a.insert(v);
+            b.insert(v);
+        }
+        assert_eq!(a.entries(), b.entries());
+        assert_eq!(a.percentile(99.0).unwrap(), b.percentile(99.0).unwrap());
+    }
+}

@@ -5,7 +5,7 @@ use headroom_stats::kmeans::{kmeans, KMeansConfig};
 use headroom_stats::percentile::{percentile, PercentileProfile};
 use headroom_stats::polyfit::Polynomial;
 use headroom_stats::quantile_stream::P2Quantile;
-use headroom_stats::{LinearFit, Summary};
+use headroom_stats::{LinearFit, MonotonicMaxDeque, OrderStatsMultiset, StreamingQuadFit, Summary};
 use proptest::prelude::*;
 
 fn finite_vec(min_len: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -148,5 +148,93 @@ proptest! {
             prop_assert!(a < k);
         }
         prop_assert!(r.inertia >= 0.0);
+    }
+}
+
+proptest! {
+    /// Under any random insert/evict sequence, the order-statistics multiset
+    /// reproduces the sort-based percentile to 1e-12 (it is in fact
+    /// bit-identical; the tolerance is the satellite acceptance bound).
+    #[test]
+    fn order_stats_matches_sort_based_percentile(
+        values in prop::collection::vec(0.0f64..1e5, 2..250),
+        window in 2usize..60,
+        p in 0.0f64..100.0,
+    ) {
+        let mut set = OrderStatsMultiset::new();
+        let mut live: Vec<f64> = Vec::new();
+        for (i, &v) in values.iter().enumerate() {
+            set.insert(v);
+            live.push(v);
+            if live.len() > window {
+                let evicted = live.remove(0);
+                prop_assert!(set.remove(evicted));
+            }
+            if i % 7 == 0 {
+                let expect = percentile(&live, p).unwrap();
+                let got = set.percentile(p).unwrap();
+                prop_assert!(
+                    (got - expect).abs() <= 1e-12 * (1.0 + expect.abs()),
+                    "p{} after {} ops: {} vs {}", p, i, got, expect
+                );
+                // p99 specifically is the planner's peak query.
+                let p99 = set.percentile(99.0).unwrap();
+                let p99_sorted = percentile(&live, 99.0).unwrap();
+                prop_assert!(p99 == p99_sorted, "p99 {} vs {}", p99, p99_sorted);
+            }
+        }
+        prop_assert_eq!(set.len(), live.len());
+    }
+
+    /// The monotonic deque agrees with a full scan max at every step of a
+    /// sliding window.
+    #[test]
+    fn monotonic_deque_matches_scan_max(
+        values in prop::collection::vec(0usize..1000, 2..200),
+        window in 1usize..40,
+    ) {
+        let mut deque = MonotonicMaxDeque::new();
+        let mut live: Vec<usize> = Vec::new();
+        for &v in &values {
+            deque.push(v);
+            live.push(v);
+            if live.len() > window {
+                let evicted = live.remove(0);
+                deque.evict(evicted);
+            }
+            prop_assert_eq!(deque.max(), live.iter().copied().max());
+        }
+    }
+
+    /// Splitting a stream at any point and merging the two quadratic
+    /// accumulators reproduces the single-stream sums (within rounding).
+    #[test]
+    fn quadfit_merge_matches_single_stream(
+        pairs in prop::collection::vec((10.0f64..2_000.0, -100.0f64..100.0), 6..150),
+        split_at in 1usize..100,
+    ) {
+        let split = split_at.min(pairs.len() - 1);
+        let mut whole = StreamingQuadFit::new();
+        let mut left = StreamingQuadFit::new();
+        let mut right = StreamingQuadFit::new();
+        for (i, &(x, y)) in pairs.iter().enumerate() {
+            whole.push(x, y);
+            if i < split { left.push(x, y) } else { right.push(x, y) }
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.len(), whole.len());
+        match (left.fit(), whole.fit()) {
+            (Ok((pm, rm)), Ok((ps, rs))) => {
+                for (m, s) in pm.coeffs().iter().zip(ps.coeffs()) {
+                    prop_assert!(
+                        (m - s).abs() <= 1e-5 * (1.0 + s.abs()),
+                        "coeff {} vs {}", m, s
+                    );
+                }
+                prop_assert!((rm - rs).abs() <= 1e-5);
+            }
+            (Err(_), Err(_)) => {}
+            (m, s) => prop_assert!(false, "verdicts differ: {:?} vs {:?}", m, s),
+        }
     }
 }
