@@ -1,24 +1,30 @@
-//! Sweep-engine scaling: per-window cost vs thread count and window size.
+//! Sweep-engine scaling: per-window cost vs thread count, fleet size, and
+//! window size.
 //!
-//! Two claims of the shard-and-merge refactor are measured here:
+//! Three claims of the shard-and-merge planner core are measured here:
 //!
 //! 1. **thread scaling** — `sweep_observe/threads=N` processes one full
 //!    81-pool fleet snapshot (per-shard aggregation + estimator updates +
-//!    sizing re-derivation) with the pools fanned out over N scoped
-//!    threads. On a multi-core host the 4-thread row should beat the
-//!    1-thread row by >2x; on a single core it honestly will not.
-//! 2. **sublinear replan cost** — `p99_peak/*` isolates the windowed-peak
-//!    query the refactor changed: the order-statistics multiset pays
-//!    O(log W) per window (insert + evict + two rank selections) where the
-//!    old sort-based path paid O(W log W). Growing W by 16x should barely
-//!    move the incremental rows while the sort rows grow superlinearly.
+//!    sizing re-derivation) with the pools fanned out over the persistent
+//!    worker pool. On a multi-core host the 4-thread row should beat the
+//!    1-thread row; on a single core it honestly will not.
+//! 2. **spawn amortization** — `fleet_scaling/pools=P/…` sweeps synthetic
+//!    fleets of 8/81/512/4096 pools at 1/2/4 threads, with
+//!    `exec=scoped/…` rows measuring the legacy spawn-per-window shape at
+//!    81 pools for contrast. The persistent pool's hand-off is ~µs, so the
+//!    `threads > 1` crossover moves down to small fleets where the scoped
+//!    shape lost outright.
+//! 3. **sublinear replan cost** — `p99_peak/*` isolates the windowed-peak
+//!    query: the order-statistics multiset pays O(log W) per window
+//!    (insert + evict + two rank selections) where the old sort-based path
+//!    paid O(W log W). Growing W by 16x should barely move the incremental
+//!    rows while the sort rows grow superlinearly.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use headroom_bench::synthetic::{synthetic_snapshots, warmed_engine, RecordedWindow};
 use headroom_cluster::scenario::FleetScenario;
-use headroom_cluster::sim::{PartitionedSnapshot, PoolSlice, RecordingPolicy, SnapshotRow};
-use headroom_core::slo::QosRequirement;
-use headroom_online::planner::OnlinePlannerConfig;
-use headroom_online::sweep::SweepEngine;
+use headroom_cluster::sim::{PartitionedSnapshot, RecordingPolicy};
+use headroom_online::planner::{OnlinePlannerConfig, SweepExec};
 use headroom_stats::percentile::percentile;
 use headroom_stats::OrderStatsMultiset;
 use headroom_telemetry::time::WindowIndex;
@@ -28,9 +34,6 @@ use std::hint::black_box;
 const RECORDED: u64 = 150;
 const WINDOW_CAPACITY: usize = 120;
 const MIN_FIT: usize = 60;
-
-/// One recorded window: the owned rows plus their pool partition.
-type RecordedWindow = (Vec<SnapshotRow>, Vec<PoolSlice>);
 
 /// Records partitioned snapshots of the paper-shaped fleet (81 pools; the
 /// full ≈6k-server catalog at fraction 1.0 would dominate bench setup, so
@@ -48,32 +51,19 @@ fn recorded_snapshots(seed: u64) -> (Vec<RecordedWindow>, usize) {
     (out, servers)
 }
 
-fn warmed_engine(snapshots: &[RecordedWindow], threads: usize) -> SweepEngine {
-    let config = OnlinePlannerConfig {
-        window_capacity: WINDOW_CAPACITY,
-        min_fit_windows: MIN_FIT,
-        threads,
-        ..OnlinePlannerConfig::default()
-    };
-    let mut engine = SweepEngine::new(config, QosRequirement::latency(50.0).with_cpu_ceiling(90.0));
-    for (i, (rows, pools)) in snapshots.iter().enumerate() {
-        engine.observe_partitioned(&PartitionedSnapshot {
-            window: WindowIndex(i as u64),
-            rows,
-            pools,
-        });
-    }
-    engine.drain_recommendations();
-    engine
-}
-
 fn bench_thread_scaling(c: &mut Criterion) {
     let (snapshots, servers) = recorded_snapshots(7);
     println!("sweep_observe: 81 pools, {servers} servers per window");
 
     let mut group = c.benchmark_group("sweep_observe");
     for threads in [1usize, 2, 4] {
-        let mut engine = warmed_engine(&snapshots, threads);
+        let config = OnlinePlannerConfig {
+            window_capacity: WINDOW_CAPACITY,
+            min_fit_windows: MIN_FIT,
+            threads,
+            ..OnlinePlannerConfig::default()
+        };
+        let mut engine = warmed_engine(&snapshots, config);
         let mut next = RECORDED;
         let mut cursor = 0usize;
         group.bench_function(BenchmarkId::new("threads", threads), |b| {
@@ -86,6 +76,63 @@ fn bench_thread_scaling(c: &mut Criterion) {
                 engine.drain_recommendations().len()
             })
         });
+    }
+    group.finish();
+}
+
+/// Spawn-amortized thread scaling across fleet sizes: the persistent pool
+/// at 8/81/512/4096 pools, plus the legacy scoped shape at 81 pools so the
+/// removed spawn overhead stays visible in the report.
+fn bench_fleet_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_scaling");
+    let bench_cell = |group: &mut criterion::BenchmarkGroup<'_>,
+                      snapshots: &[RecordedWindow],
+                      name: String,
+                      threads: usize,
+                      exec: SweepExec| {
+        let config = OnlinePlannerConfig {
+            window_capacity: 48,
+            min_fit_windows: 24,
+            threads,
+            exec,
+            ..OnlinePlannerConfig::default()
+        };
+        let mut engine = warmed_engine(snapshots, config);
+        let mut next = snapshots.len() as u64;
+        let mut cursor = 0usize;
+        group.bench_function(BenchmarkId::new(name, threads), |b| {
+            b.iter(|| {
+                let (rows, pools) = &snapshots[cursor];
+                let snap = PartitionedSnapshot { window: WindowIndex(next), rows, pools };
+                engine.observe_partitioned(black_box(&snap));
+                next += 1;
+                cursor = (cursor + 1) % snapshots.len();
+                engine.drain_recommendations().len()
+            })
+        });
+    };
+    for pools in [8u32, 81, 512, 4096] {
+        let snapshots = synthetic_snapshots(pools, 3, 72);
+        for threads in [1usize, 2, 4] {
+            bench_cell(
+                &mut group,
+                &snapshots,
+                format!("pools={pools}"),
+                threads,
+                SweepExec::Persistent,
+            );
+        }
+    }
+    // The pre-pool shape, for the amortization headline.
+    let snapshots = synthetic_snapshots(81, 3, 72);
+    for threads in [2usize, 4] {
+        bench_cell(
+            &mut group,
+            &snapshots,
+            "exec=scoped/pools=81".to_string(),
+            threads,
+            SweepExec::Scoped,
+        );
     }
     group.finish();
 }
@@ -133,5 +180,5 @@ fn bench_order_statistics(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_thread_scaling, bench_order_statistics);
+criterion_group!(benches, bench_thread_scaling, bench_fleet_scaling, bench_order_statistics);
 criterion_main!(benches);

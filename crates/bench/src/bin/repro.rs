@@ -15,6 +15,13 @@ use std::process::ExitCode;
 use headroom_bench::experiments::{self, ALL};
 use headroom_bench::Scale;
 
+/// Counting allocator: lets `repro sweep` measure (and gate on) the
+/// zero-allocation contract of the steady-state window path. The counter
+/// is a relaxed atomic increment — noise for every other experiment.
+#[global_allocator]
+static ALLOC: headroom_exec::alloc_track::CountingAllocator =
+    headroom_exec::alloc_track::CountingAllocator;
+
 fn print_usage() {
     eprintln!("usage: repro <list|all|EXPERIMENT...> [--quick] [--seed N] [--out DIR]");
     eprintln!("experiments:");

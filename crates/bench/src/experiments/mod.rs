@@ -178,7 +178,13 @@ pub fn run_by_id(
         }
         "sweep" => {
             let r = sweep::run(scale)?;
-            (r.to_string(), r.tables())
+            // The perf-trajectory artifact, checked in per PR: scaling grid
+            // + steady-state allocation count, machine-readable.
+            let json_path = out_dir
+                .map(|d| d.join("BENCH_sweep.json"))
+                .unwrap_or_else(|| Path::new("BENCH_sweep.json").to_path_buf());
+            std::fs::write(&json_path, r.to_json())?;
+            (format!("{r}[wrote {}]\n", json_path.display()), r.tables())
         }
         other => return Err(format!("unknown experiment id: {other}").into()),
     };

@@ -1,14 +1,26 @@
 //! The shard-and-merge sweep engine at paper fleet scale.
 //!
-//! Not a paper artifact: this experiment validates the two contracts of
-//! `headroom_online::sweep::SweepEngine` on the paper-shaped fleet (9
-//! datacenters × 9 services = 81 pools):
+//! Not a paper artifact: this experiment validates the three contracts of
+//! `headroom_online::sweep::SweepEngine`:
 //!
-//! 1. **determinism** — the sharded sweep produces recommendations and
+//! 1. **determinism** — on the paper-shaped fleet (9 datacenters × 9
+//!    services = 81 pools), the sharded sweep produces recommendations and
 //!    assessments *identical* to the sequential planner, across seeds;
-//! 2. **throughput** — per-window planning cost, measured separately for
-//!    the sequential and the fanned-out engine (the ratio is reported; on a
-//!    single-core host it is honestly ≤ 1, thread spawn overhead included).
+//! 2. **spawn-amortized scaling** — a synthetic-fleet grid (8/81/512/4096
+//!    pools × 1/2/4 threads, persistent worker pool) measures per-window
+//!    cost and shows where `threads > 1` crosses below sequential now that
+//!    the per-window hand-off is a parked-worker mailbox write instead of
+//!    a thread spawn;
+//! 3. **zero steady-state allocation** — a warmed, non-replan window
+//!    through `step_snapshot_partitioned` → `SweepEngine::sweep` must not
+//!    touch the heap. When the `repro` binary's counting allocator is
+//!    installed, a nonzero count **fails the experiment** (and therefore
+//!    CI); under plain `cargo test` the counter is inert and only the
+//!    determinism/scaling contracts are exercised.
+//!
+//! `repro sweep` also emits the machine-readable `BENCH_sweep.json`
+//! (per-window ns by fleet size × thread count, plus the allocation
+//! count), checked in per PR so the perf trajectory is tracked.
 //!
 //! Seeds are swept in parallel — each seed owns two simulations and two
 //! engines on its own worker thread, so the harness itself exercises the
@@ -18,14 +30,20 @@ use std::error::Error;
 use std::fmt;
 use std::time::{Duration, Instant};
 
+use headroom_cluster::catalog::MicroserviceKind;
 use headroom_cluster::scenario::FleetScenario;
-use headroom_cluster::sim::RecordingPolicy;
+use headroom_cluster::sim::{PartitionedSnapshot, RecordingPolicy, SimConfig, Simulation};
+use headroom_cluster::topology::FleetBuilder;
 use headroom_core::report::render_table;
 use headroom_core::slo::QosRequirement;
-use headroom_online::planner::OnlinePlannerConfig;
+use headroom_exec::alloc_track;
+use headroom_online::planner::{OnlinePlannerConfig, SweepExec};
 use headroom_online::sweep::SweepEngine;
+use headroom_telemetry::time::WindowIndex;
+use headroom_workload::events::EventScript;
 
 use crate::csv::CsvTable;
+use crate::synthetic::{synthetic_snapshots, warmed_engine, RecordedWindow};
 use crate::Scale;
 
 /// Fan-out width of the sharded engine under test.
@@ -48,6 +66,21 @@ pub struct SweepSeedRow {
     pub per_window_sharded: Duration,
 }
 
+/// One cell of the spawn-amortization grid: per-window planning cost for
+/// one synthetic fleet size at one fan-out width and execution mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScalingCell {
+    /// Pools in the synthetic fleet.
+    pub pools: u32,
+    /// Fan-out width.
+    pub threads: usize,
+    /// Execution mode: `"persistent"` (worker pool) or `"scoped"` (legacy
+    /// spawn-per-window, measured for the amortization headline).
+    pub exec: &'static str,
+    /// Mean per-window cost, nanoseconds.
+    pub per_window_ns: u64,
+}
+
 /// The experiment report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport {
@@ -61,6 +94,14 @@ pub struct SweepReport {
     pub threads: usize,
     /// Per-seed rows.
     pub rows: Vec<SweepSeedRow>,
+    /// Spawn-amortization grid: fleet size × thread count.
+    pub scaling: Vec<ScalingCell>,
+    /// Heap allocations counted over the steady-state measurement windows
+    /// (must be 0 when `alloc_tracking`).
+    pub steady_state_allocs: u64,
+    /// Whether the counting allocator was installed (true under `repro`,
+    /// false under plain `cargo test`, where the count is meaningless).
+    pub alloc_tracking: bool,
 }
 
 impl SweepReport {
@@ -138,14 +179,131 @@ fn run_seed(seed: u64, fraction: f64, windows: u64) -> SweepSeedRow {
     }
 }
 
-/// Runs the sequential-vs-sharded comparison over three seeds in parallel.
+/// Fleet sizes of the spawn-amortization grid.
+pub const SCALING_POOLS: [u32; 4] = [8, 81, 512, 4096];
+/// Fan-out widths of the spawn-amortization grid.
+pub const SCALING_THREADS: [usize; 3] = [1, 2, 4];
+
+const GRID_WARM_WINDOWS: u64 = 72;
+const GRID_MEASURE_WINDOWS: u64 = 24;
+
+/// Measures one grid cell: mean warmed per-window cost.
+fn measure_cell(
+    snapshots: &[RecordedWindow],
+    pools: u32,
+    threads: usize,
+    exec: SweepExec,
+) -> ScalingCell {
+    let config = OnlinePlannerConfig {
+        window_capacity: 48,
+        min_fit_windows: 24,
+        threads,
+        exec,
+        ..OnlinePlannerConfig::default()
+    };
+    let mut engine = warmed_engine(snapshots, config);
+    let t = Instant::now();
+    for i in 0..GRID_MEASURE_WINDOWS {
+        let (rows, slices) = &snapshots[(i % GRID_WARM_WINDOWS) as usize];
+        engine.observe_partitioned(&PartitionedSnapshot {
+            window: WindowIndex(GRID_WARM_WINDOWS + i),
+            rows,
+            pools: slices,
+        });
+        engine.drain_recommendations();
+    }
+    let per_window_ns = (t.elapsed().as_nanos() / GRID_MEASURE_WINDOWS as u128) as u64;
+    let exec = match exec {
+        SweepExec::Persistent => "persistent",
+        SweepExec::Scoped => "scoped",
+    };
+    ScalingCell { pools, threads, exec, per_window_ns }
+}
+
+/// Measures the spawn-amortization grid: persistent workers at every fleet
+/// size × thread count, plus the legacy scoped shape at `threads > 1` so
+/// the removed spawn cost stays visible (and tracked) per PR.
+///
+/// Deliberately *not* scaled by `--quick`: the grid is the checked-in
+/// `BENCH_sweep.json` artifact, and cross-PR comparability requires every
+/// run to measure the same fleet sizes. It is sized to stay in low seconds
+/// (72 warm + 24 measured windows per cell) even at 4096 pools.
+fn measure_scaling() -> Vec<ScalingCell> {
+    let mut cells = Vec::new();
+    for &pools in &SCALING_POOLS {
+        let snapshots = synthetic_snapshots(pools, 3, GRID_WARM_WINDOWS);
+        for &threads in &SCALING_THREADS {
+            cells.push(measure_cell(&snapshots, pools, threads, SweepExec::Persistent));
+            if threads > 1 {
+                cells.push(measure_cell(&snapshots, pools, threads, SweepExec::Scoped));
+            }
+        }
+    }
+    cells
+}
+
+/// Counts heap allocations over warmed, non-replan windows of the full
+/// `step_snapshot_partitioned` → `SweepEngine::sweep` path. Meaningful only
+/// when [`alloc_track::is_tracking`] — always 0 otherwise.
+fn measure_steady_state_allocs() -> u64 {
+    const REPLAN_EVERY: u64 = 16;
+    let fleet = FleetBuilder::new(11)
+        .datacenters(3)
+        .without_failures()
+        .without_incidents()
+        .deploy_service(MicroserviceKind::B, 12)
+        .expect("catalog service deploys")
+        .build();
+    let sim_config =
+        SimConfig { seed: 11, recording: RecordingPolicy::SnapshotOnly, track_availability: false };
+    let mut sim = Simulation::new(fleet, EventScript::empty(), sim_config);
+    let config = OnlinePlannerConfig {
+        window_capacity: 64,
+        min_fit_windows: 32,
+        replan_every: REPLAN_EVERY,
+        threads: 2,
+        ..OnlinePlannerConfig::default()
+    };
+    let mut engine = SweepEngine::new(config, QosRequirement::latency(50.0).with_cpu_ceiling(90.0));
+    // Warm-up ends on a replan tick so every measured window is non-replan.
+    for _ in 0..25 * REPLAN_EVERY {
+        let snap = sim.step_snapshot_partitioned();
+        engine.observe_partitioned(&snap);
+    }
+    engine.drain_recommendations();
+    // Fixture guards, not contract checks: a measured window that replans
+    // (cadence misalignment) or an urgent pool (which legitimately replans
+    // and may emit every window) would make a nonzero count a *fixture*
+    // bug — fail loudly as such rather than blaming the allocation
+    // contract.
+    assert!(
+        engine.windows_seen().is_multiple_of(REPLAN_EVERY),
+        "alloc fixture: warm-up must end on a replan tick"
+    );
+    assert!(
+        !engine.assessments().is_empty()
+            && engine.assessments().values().all(|a| !a.band.needs_capacity()),
+        "alloc fixture: the measured fleet must be planned and non-urgent"
+    );
+    let before = alloc_track::allocations();
+    for _ in 0..10 {
+        let snap = sim.step_snapshot_partitioned();
+        engine.observe_partitioned(&snap);
+    }
+    alloc_track::allocations() - before
+}
+
+/// Runs the sequential-vs-sharded identity comparison over three seeds in
+/// parallel, then the spawn-amortization grid and the steady-state
+/// allocation count.
 ///
 /// # Errors
 ///
-/// Propagates worker panics, and fails outright when any seed's sharded run
-/// diverges from the sequential one — byte-identity is the acceptance
-/// criterion, so a CI smoke run of this experiment must go red, not print a
-/// sad table and exit 0.
+/// Propagates worker panics, fails outright when any seed's sharded run
+/// diverges from the sequential one, and — when the counting allocator is
+/// installed (the `repro` binary) — fails when a warmed non-replan window
+/// allocated. These are acceptance criteria, so a CI smoke run must go
+/// red, not print a sad table and exit 0.
 pub fn run(scale: &Scale) -> Result<SweepReport, Box<dyn Error>> {
     let windows = scale.observe_windows();
     let fraction = scale.fleet_fraction;
@@ -164,41 +322,110 @@ pub fn run(scale: &Scale) -> Result<SweepReport, Box<dyn Error>> {
     })
     .map_err(|_| "sweep seed worker panicked")?;
 
-    let report = SweepReport { pools, servers, windows, threads: SHARDED_THREADS, rows };
+    let scaling = measure_scaling();
+    let alloc_tracking = alloc_track::is_tracking();
+    let steady_state_allocs = measure_steady_state_allocs();
+    let report = SweepReport {
+        pools,
+        servers,
+        windows,
+        threads: SHARDED_THREADS,
+        rows,
+        scaling,
+        steady_state_allocs,
+        alloc_tracking,
+    };
     if !report.all_identical() {
         return Err(format!("sharded sweep diverged from the sequential planner:\n{report}").into());
+    }
+    if alloc_tracking && steady_state_allocs > 0 {
+        return Err(format!(
+            "steady-state window path allocated {steady_state_allocs} times — \
+             the zero-allocation contract is broken:\n{report}"
+        )
+        .into());
     }
     Ok(report)
 }
 
 impl SweepReport {
-    /// CSV export of the comparison.
+    /// CSV export of the comparison and the scaling grid.
     pub fn tables(&self) -> Vec<CsvTable> {
-        vec![CsvTable {
-            name: "sweep_engine".into(),
-            headers: vec![
-                "seed".into(),
-                "identical".into(),
-                "pools_planned".into(),
-                "recommendations".into(),
-                "per_window_seq_us".into(),
-                "per_window_sharded_us".into(),
-            ],
-            rows: self
-                .rows
-                .iter()
-                .map(|r| {
-                    vec![
-                        r.seed.to_string(),
-                        r.identical.to_string(),
-                        r.pools_planned.to_string(),
-                        r.recommendations.to_string(),
-                        format!("{:.1}", r.per_window_seq.as_secs_f64() * 1e6),
-                        format!("{:.1}", r.per_window_sharded.as_secs_f64() * 1e6),
-                    ]
-                })
-                .collect(),
-        }]
+        vec![
+            CsvTable {
+                name: "sweep_engine".into(),
+                headers: vec![
+                    "seed".into(),
+                    "identical".into(),
+                    "pools_planned".into(),
+                    "recommendations".into(),
+                    "per_window_seq_us".into(),
+                    "per_window_sharded_us".into(),
+                ],
+                rows: self
+                    .rows
+                    .iter()
+                    .map(|r| {
+                        vec![
+                            r.seed.to_string(),
+                            r.identical.to_string(),
+                            r.pools_planned.to_string(),
+                            r.recommendations.to_string(),
+                            format!("{:.1}", r.per_window_seq.as_secs_f64() * 1e6),
+                            format!("{:.1}", r.per_window_sharded.as_secs_f64() * 1e6),
+                        ]
+                    })
+                    .collect(),
+            },
+            CsvTable {
+                name: "sweep_scaling".into(),
+                headers: vec![
+                    "pools".into(),
+                    "threads".into(),
+                    "exec".into(),
+                    "per_window_ns".into(),
+                ],
+                rows: self
+                    .scaling
+                    .iter()
+                    .map(|c| {
+                        vec![
+                            c.pools.to_string(),
+                            c.threads.to_string(),
+                            c.exec.to_string(),
+                            c.per_window_ns.to_string(),
+                        ]
+                    })
+                    .collect(),
+            },
+        ]
+    }
+
+    /// The machine-readable `BENCH_sweep.json` payload: the scaling grid
+    /// plus the steady-state allocation count, checked in per PR so the
+    /// perf trajectory is diffable. All values are numbers/booleans, so the
+    /// formatting needs no escaping.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"experiment\": \"sweep\",\n");
+        s.push_str(&format!("  \"identity_pools\": {},\n", self.pools));
+        s.push_str(&format!("  \"identity_threads\": {},\n", self.threads));
+        s.push_str(&format!("  \"identical\": {},\n", self.all_identical()));
+        s.push_str(&format!("  \"alloc_tracking\": {},\n", self.alloc_tracking));
+        s.push_str(&format!("  \"steady_state_allocations\": {},\n", self.steady_state_allocs));
+        s.push_str("  \"per_window_ns\": [\n");
+        for (i, c) in self.scaling.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"pools\": {}, \"threads\": {}, \"exec\": \"{}\", \"per_window_ns\": {}}}{}\n",
+                c.pools,
+                c.threads,
+                c.exec,
+                c.per_window_ns,
+                if i + 1 < self.scaling.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
     }
 }
 
@@ -236,6 +463,58 @@ impl fmt::Display for SweepReport {
             "sequential/sharded per-window ratio: {:.2}x; byte-identical: {}",
             self.speedup(),
             if self.all_identical() { "yes (all seeds)" } else { "NO" }
+        )?;
+
+        writeln!(
+            f,
+            "\nSpawn-amortized scaling, per-window (vs = persistent-over-scoped speedup at the \
+             same width — the amortized spawn cost):"
+        )?;
+        let cell = |pools: u32, threads: usize, exec: &str| {
+            self.scaling
+                .iter()
+                .find(|c| c.pools == pools && c.threads == threads && c.exec == exec)
+                .map(|c| c.per_window_ns)
+        };
+        let mut grid_rows: Vec<Vec<String>> = Vec::new();
+        for &pools in &SCALING_POOLS {
+            let mut row = vec![pools.to_string()];
+            for &threads in &SCALING_THREADS {
+                match cell(pools, threads, "persistent") {
+                    Some(p) if p > 0 => {
+                        let vs = match cell(pools, threads, "scoped") {
+                            Some(s) => format!(" (vs {:.2}x)", s as f64 / p as f64),
+                            None => String::new(),
+                        };
+                        row.push(format!("{:.1}µs{vs}", p as f64 / 1e3));
+                    }
+                    _ => row.push("-".into()),
+                }
+            }
+            grid_rows.push(row);
+        }
+        // Headers derive from the same constant as the cells, so retuning
+        // SCALING_THREADS cannot mislabel a column.
+        let headers: Vec<String> = std::iter::once("Pools".to_string())
+            .chain(SCALING_THREADS.iter().map(|t| {
+                if *t == 1 {
+                    "1 thread".to_string()
+                } else {
+                    format!("{t} threads")
+                }
+            }))
+            .collect();
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        writeln!(f, "{}", render_table(&header_refs, &grid_rows))?;
+        writeln!(
+            f,
+            "steady-state allocations/10 windows: {}{}",
+            self.steady_state_allocs,
+            if self.alloc_tracking {
+                " (counted — must be 0)"
+            } else {
+                " (allocator not installed; run via `repro` to count)"
+            }
         )
     }
 }
@@ -257,5 +536,17 @@ mod tests {
             r.rows.iter().any(|row| row.recommendations > 0),
             "the overprovisioned fleet yields recommendations: {r}"
         );
+        // Persistent cells at every (pools, threads), scoped contrast cells
+        // at every (pools, threads > 1).
+        assert_eq!(
+            r.scaling.len(),
+            SCALING_POOLS.len() * (2 * SCALING_THREADS.len() - 1),
+            "full fleet-size × thread × exec grid measured: {r}"
+        );
+        assert!(r.scaling.iter().all(|c| c.per_window_ns > 0), "grid cells are real timings");
+        assert!(!r.alloc_tracking, "plain cargo test has no counting allocator");
+        let json = r.to_json();
+        assert!(json.contains("\"pools\": 4096"), "grid serialized: {json}");
+        assert!(json.contains("\"steady_state_allocations\": 0"), "alloc count serialized");
     }
 }

@@ -23,5 +23,6 @@
 pub mod csv;
 pub mod experiments;
 pub mod scale;
+pub mod synthetic;
 
 pub use scale::Scale;

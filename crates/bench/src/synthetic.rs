@@ -1,0 +1,102 @@
+//! Synthetic partitioned snapshots for sweep-engine scale measurements.
+//!
+//! The spawn-amortization grids (the `sweep` experiment and the
+//! `bench_sweep` Criterion bench) sweep fleets up to 4096 pools; driving
+//! the full simulator at that size would dominate the measurement, and the
+//! sweep engine only ever sees snapshot rows anyway. One generator serves
+//! both harnesses so they always measure the *same* workload — a drift in
+//! the synthetic response curves cannot silently desynchronize the
+//! checked-in `BENCH_sweep.json` from the Criterion numbers.
+
+use headroom_cluster::sim::{PartitionedSnapshot, PoolSlice, SnapshotRow};
+use headroom_core::slo::QosRequirement;
+use headroom_online::planner::OnlinePlannerConfig;
+use headroom_online::sweep::SweepEngine;
+use headroom_telemetry::ids::{DatacenterId, PoolId, ServerId};
+use headroom_telemetry::time::WindowIndex;
+
+/// One recorded window: the owned rows plus their pool partition.
+pub type RecordedWindow = (Vec<SnapshotRow>, Vec<PoolSlice>);
+
+/// Generates `windows` pool-contiguous snapshots of a synthetic fleet on
+/// the paper's pool-B response curves, each pool on its own diurnal-ish
+/// phase. Deterministic: same arguments, same rows.
+pub fn synthetic_snapshots(pools: u32, servers_per_pool: u32, windows: u64) -> Vec<RecordedWindow> {
+    (0..windows)
+        .map(|w| {
+            let mut rows = Vec::with_capacity((pools * servers_per_pool) as usize);
+            let mut slices = Vec::with_capacity(pools as usize);
+            for p in 0..pools {
+                let rps = 200.0
+                    + 150.0
+                        * (((w + 17 * p as u64) as f64 / 96.0) * std::f64::consts::PI).sin().abs();
+                let start = rows.len();
+                for s in 0..servers_per_pool {
+                    rows.push(SnapshotRow {
+                        server: ServerId(p * 10_000 + s),
+                        pool: PoolId(p),
+                        datacenter: DatacenterId((p % 9) as u16),
+                        online: true,
+                        rps,
+                        cpu_pct: 0.028 * rps + 1.37,
+                        latency_p95_ms: 4.028e-5 * rps * rps - 0.031 * rps + 36.68,
+                    });
+                }
+                slices.push(PoolSlice { pool: PoolId(p), start, len: rows.len() - start });
+            }
+            (rows, slices)
+        })
+        .collect()
+}
+
+/// A sweep engine warmed over every recorded snapshot (windows `0..len`),
+/// recommendations drained — ready for steady-state measurement.
+pub fn warmed_engine(snapshots: &[RecordedWindow], config: OnlinePlannerConfig) -> SweepEngine {
+    let mut engine = SweepEngine::new(config, QosRequirement::latency(50.0).with_cpu_ceiling(90.0));
+    for (i, (rows, pools)) in snapshots.iter().enumerate() {
+        engine.observe_partitioned(&PartitionedSnapshot {
+            window: WindowIndex(i as u64),
+            rows,
+            pools,
+        });
+    }
+    engine.drain_recommendations();
+    engine
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_are_pool_contiguous_and_deterministic() {
+        let a = synthetic_snapshots(5, 3, 4);
+        let b = synthetic_snapshots(5, 3, 4);
+        assert_eq!(a, b, "same arguments, same rows");
+        let (rows, slices) = &a[0];
+        assert_eq!(rows.len(), 15);
+        assert_eq!(slices.len(), 5);
+        let mut cursor = 0;
+        for slice in slices {
+            assert_eq!(slice.start, cursor);
+            assert!(rows[slice.start..slice.start + slice.len]
+                .iter()
+                .all(|r| r.pool == slice.pool));
+            cursor += slice.len;
+        }
+        assert_eq!(cursor, rows.len());
+    }
+
+    #[test]
+    fn warmed_engine_has_planned_every_pool() {
+        let snapshots = synthetic_snapshots(4, 3, 40);
+        let config = OnlinePlannerConfig {
+            window_capacity: 32,
+            min_fit_windows: 16,
+            ..OnlinePlannerConfig::default()
+        };
+        let engine = warmed_engine(&snapshots, config);
+        assert_eq!(engine.windows_seen(), 40);
+        assert_eq!(engine.assessments().len(), 4);
+    }
+}

@@ -109,23 +109,41 @@ impl LoadBalancer {
     /// Returns an empty vector when `n == 0` (nobody to serve — callers
     /// treat this as an outage).
     pub fn distribute(&self, total_rps: f64, n: usize, rng: &mut StdRng) -> Vec<f64> {
+        let mut shares = Vec::new();
+        self.distribute_into(&mut shares, total_rps, n, rng);
+        shares
+    }
+
+    /// [`distribute`] into a caller-owned buffer (cleared first), so the
+    /// per-window hot path reuses one allocation for the whole run. Draw
+    /// order and arithmetic are identical to [`distribute`].
+    ///
+    /// [`distribute`]: LoadBalancer::distribute
+    pub fn distribute_into(
+        &self,
+        shares: &mut Vec<f64>,
+        total_rps: f64,
+        n: usize,
+        rng: &mut StdRng,
+    ) {
+        shares.clear();
         if n == 0 {
-            return Vec::new();
+            return;
         }
         let even = total_rps / n as f64;
         if self.imbalance <= 0.0 {
-            return vec![even; n];
+            shares.extend((0..n).map(|_| even));
+            return;
         }
-        let mut shares: Vec<f64> =
-            (0..n).map(|_| (1.0 + gaussian(rng) * self.imbalance).max(0.0)).collect();
+        shares.extend((0..n).map(|_| (1.0 + gaussian(rng) * self.imbalance).max(0.0)));
         let sum: f64 = shares.iter().sum();
         if sum <= 0.0 {
-            return vec![even; n];
+            shares.iter_mut().for_each(|s| *s = even);
+            return;
         }
-        for s in &mut shares {
+        for s in shares.iter_mut() {
             *s = *s / sum * total_rps;
         }
-        shares
     }
 }
 

@@ -192,6 +192,18 @@ pub struct Simulation {
     pool_slices: Vec<PoolSlice>,
     /// Stateful failure tracking: server id → first window it is repaired.
     failed_until: HashMap<u32, u64>,
+    /// Per-pool datacenter routing weight, precomputed at construction
+    /// (topology never changes mid-run).
+    pool_weight: Vec<f64>,
+    /// Reusable per-window scratch, cleared and refilled every step — the
+    /// warmed window path performs no heap allocation (asserted by a
+    /// counting-allocator test in `crates/bench`).
+    pool_demand: Vec<f64>,
+    group_demands: Vec<f64>,
+    group_lost: Vec<bool>,
+    group_weights: Vec<f64>,
+    online_flags: Vec<bool>,
+    shares: Vec<f64>,
 }
 
 impl Simulation {
@@ -213,6 +225,18 @@ impl Simulation {
         for (_, idxs) in &mut service_groups {
             idxs.sort_by_key(|&i| fleet.pools()[i].datacenter);
         }
+        let pool_weight: Vec<f64> = fleet
+            .pools()
+            .iter()
+            .map(|p| {
+                fleet
+                    .datacenters()
+                    .iter()
+                    .find(|d| d.id == p.datacenter)
+                    .map(|d| d.weight)
+                    .unwrap_or(1.0)
+            })
+            .collect();
         Simulation {
             fleet,
             events,
@@ -228,6 +252,13 @@ impl Simulation {
             snapshot: Vec::new(),
             pool_slices: Vec::new(),
             failed_until: HashMap::new(),
+            pool_weight,
+            pool_demand: Vec::new(),
+            group_demands: Vec::new(),
+            group_lost: Vec::new(),
+            group_weights: Vec::new(),
+            online_flags: Vec::new(),
+            shares: Vec::new(),
         }
     }
 
@@ -378,26 +409,27 @@ impl Simulation {
         }
 
         // Demand per pool, grouped by service for failover rerouting.
-        let mut pool_demand: HashMap<usize, f64> = HashMap::new();
-        let dcs = self.fleet.datacenters().to_vec();
-        let groups = self.service_groups.clone();
-        for (_, pool_indices) in &groups {
-            let mut demands: Vec<f64> = Vec::with_capacity(pool_indices.len());
-            let mut lost: Vec<bool> = Vec::with_capacity(pool_indices.len());
-            let mut weights: Vec<f64> = Vec::with_capacity(pool_indices.len());
-            for &pi in pool_indices {
+        // Everything below runs on reusable field buffers: a warmed window
+        // touches no allocator.
+        self.pool_demand.clear();
+        self.pool_demand.resize(self.fleet.pools().len(), 0.0);
+        for gi in 0..self.service_groups.len() {
+            self.group_demands.clear();
+            self.group_lost.clear();
+            self.group_weights.clear();
+            for k in 0..self.service_groups[gi].1.len() {
+                let pi = self.service_groups[gi].1[k];
                 let pool = &self.fleet.pools()[pi];
                 let base = pool.demand.demand(t, &mut self.rng);
                 let factor = self.events.demand_factor(pool.datacenter, t);
-                demands.push(base * factor);
-                lost.push(self.events.datacenter_lost(pool.datacenter, t));
-                weights.push(
-                    dcs.iter().find(|d| d.id == pool.datacenter).map(|d| d.weight).unwrap_or(1.0),
-                );
+                self.group_demands.push(base * factor);
+                self.group_lost.push(self.events.datacenter_lost(pool.datacenter, t));
+                self.group_weights.push(self.pool_weight[pi]);
             }
-            redistribute(&mut demands, &lost, &weights);
-            for (&pi, demand) in pool_indices.iter().zip(demands) {
-                pool_demand.insert(pi, demand);
+            redistribute(&mut self.group_demands, &self.group_lost, &self.group_weights);
+            for k in 0..self.service_groups[gi].1.len() {
+                let pi = self.service_groups[gi].1[k];
+                self.pool_demand[pi] = self.group_demands[k];
             }
         }
 
@@ -406,7 +438,7 @@ impl Simulation {
         let recording = self.config.recording;
         for pi in 0..self.fleet.pools().len() {
             let slice_start = self.snapshot.len();
-            let demand = pool_demand.get(&pi).copied().unwrap_or(0.0);
+            let demand = self.pool_demand[pi];
             let (pool_id, dc, local_hour, pool_size, dc_lost) = {
                 let pool = &self.fleet.pools()[pi];
                 (
@@ -421,7 +453,7 @@ impl Simulation {
             // Decide online status per server. Failures are tracked
             // statefully: one hash draw per server-window, with the repair
             // interval carried in `failed_until`.
-            let mut online_flags: Vec<bool> = Vec::with_capacity(pool_size);
+            self.online_flags.clear();
             {
                 let pool = &self.fleet.pools()[pi];
                 for (idx, server) in pool.servers.iter().enumerate() {
@@ -445,19 +477,20 @@ impl Simulation {
                         }
                         None => false,
                     };
-                    online_flags.push(server.is_active() && !maint && !failed && !dc_lost);
+                    self.online_flags.push(server.is_active() && !maint && !failed && !dc_lost);
                 }
             }
-            let online_count = online_flags.iter().filter(|&&o| o).count();
-            let shares = self.lb.distribute(demand, online_count, &mut self.rng);
+            let online_count = self.online_flags.iter().filter(|&&o| o).count();
+            let lb = self.lb;
+            lb.distribute_into(&mut self.shares, demand, online_count, &mut self.rng);
 
             // Evaluate servers.
-            let mut share_iter = shares.into_iter();
-            for (idx, online) in online_flags.iter().copied().enumerate() {
-                let (server_id, generation, windows_online, model, net_scale) = {
-                    let pool = &self.fleet.pools()[pi];
-                    let s = &pool.servers[idx];
-                    (s.id, s.generation, s.windows_online, pool.model.clone(), pool.net_scale)
+            let mut next_share = 0usize;
+            for idx in 0..pool_size {
+                let online = self.online_flags[idx];
+                let (server_id, generation, windows_online) = {
+                    let s = &self.fleet.pools()[pi].servers[idx];
+                    (s.id, s.generation, s.windows_online)
                 };
 
                 if track_availability {
@@ -480,18 +513,22 @@ impl Simulation {
                     continue;
                 }
 
-                let rps = share_iter.next().unwrap_or(0.0);
+                let rps = self.shares.get(next_share).copied().unwrap_or(0.0);
+                next_share += 1;
                 let (cpu, lat_avg, lat_p95) = match recording {
                     RecordingPolicy::Full => {
-                        let m = model.window_metrics(
-                            rps,
-                            generation,
-                            w,
-                            windows_online,
-                            server_id.0 as u64 % 97,
-                            net_scale,
-                            &mut self.rng,
-                        );
+                        let m = {
+                            let pool = &self.fleet.pools()[pi];
+                            pool.model.window_metrics(
+                                rps,
+                                generation,
+                                w,
+                                windows_online,
+                                server_id.0 as u64 % 97,
+                                pool.net_scale,
+                                &mut self.rng,
+                            )
+                        };
                         self.store.record(server_id, CounterKind::CpuPercent, w, m.cpu_pct);
                         self.store.record(server_id, CounterKind::RequestsPerSec, w, rps);
                         self.store.record(
@@ -571,8 +608,10 @@ impl Simulation {
                         (m.cpu_pct, m.latency_avg_ms, m.latency_p95_ms)
                     }
                     RecordingPolicy::Workload => {
-                        let (cpu, lat_avg, lat_p95) =
-                            model.window_metrics_lite(rps, generation, &mut self.rng);
+                        let (cpu, lat_avg, lat_p95) = {
+                            let model = &self.fleet.pools()[pi].model;
+                            model.window_metrics_lite(rps, generation, &mut self.rng)
+                        };
                         self.store.record(server_id, CounterKind::CpuPercent, w, cpu);
                         self.store.record(server_id, CounterKind::RequestsPerSec, w, rps);
                         self.store.record(server_id, CounterKind::LatencyAvgMs, w, lat_avg);
@@ -580,6 +619,7 @@ impl Simulation {
                         (cpu, lat_avg, lat_p95)
                     }
                     RecordingPolicy::SnapshotOnly => {
+                        let model = &self.fleet.pools()[pi].model;
                         model.window_metrics_lite(rps, generation, &mut self.rng)
                     }
                     RecordingPolicy::AvailabilityOnly => (0.0, 0.0, 0.0),
@@ -658,9 +698,7 @@ mod tests {
             WindowRange::days(1.0),
         );
         assert!(obs.len() > 700);
-        let xs: Vec<f64> = obs.iter().map(|(x, _)| *x).collect();
-        let ys: Vec<f64> = obs.iter().map(|(_, y)| *y).collect();
-        let fit = headroom_stats::LinearFit::fit(&xs, &ys).unwrap();
+        let fit = headroom_stats::LinearFit::fit_paired(&obs).unwrap();
         assert!(fit.r_squared > 0.95, "r2 {}", fit.r_squared);
         assert!((fit.slope - 0.028).abs() < 0.004, "slope {}", fit.slope);
     }
@@ -839,9 +877,7 @@ mod tests {
                 CounterKind::CpuPercent,
                 WindowRange::new(WindowIndex(lo), WindowIndex(hi)),
             );
-            let xs: Vec<f64> = obs.iter().map(|(x, _)| *x).collect();
-            let ys: Vec<f64> = obs.iter().map(|(_, y)| *y).collect();
-            headroom_stats::LinearFit::fit(&xs, &ys).unwrap().slope
+            headroom_stats::LinearFit::fit_paired(&obs).unwrap().slope
         };
         let before = fit_over(0, 360);
         let after = fit_over(360, 720);

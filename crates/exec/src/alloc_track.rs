@@ -1,0 +1,68 @@
+//! Allocation counting for zero-allocation regression tests.
+//!
+//! The steady-state window path (simulator step → sweep) is contractually
+//! allocation-free once warmed. That contract is only worth anything if it
+//! is *measured*: [`CountingAllocator`] wraps the system allocator and
+//! counts every `alloc`/`realloc` call, so a test (or the `repro sweep`
+//! experiment) can snapshot the counter around a window and assert the
+//! delta is zero.
+//!
+//! Install it as the global allocator in the *binary* under test:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: headroom_exec::alloc_track::CountingAllocator =
+//!     headroom_exec::alloc_track::CountingAllocator;
+//! ```
+//!
+//! When it is not installed, [`allocations`] stays at zero forever; use
+//! [`is_tracking`] to tell "zero because clean" from "zero because
+//! unmeasured" (any running Rust program has allocated long before user
+//! code runs, so a zero counter at measurement time means not installed).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator counting every allocation from any thread.
+///
+/// Deallocations are not counted: the zero-allocation contract is about
+/// steady-state churn, and every steady-state `dealloc` is paired with an
+/// earlier counted `alloc` anyway.
+pub struct CountingAllocator;
+
+// SAFETY: defers every operation to `System`, which upholds the
+// `GlobalAlloc` contract; the counter has no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Heap allocations observed so far (0 when the allocator is not installed).
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Whether [`CountingAllocator`] is actually installed as the global
+/// allocator — a program cannot reach user code without allocating, so a
+/// non-zero counter is the installation proof.
+pub fn is_tracking() -> bool {
+    allocations() > 0
+}

@@ -1,0 +1,549 @@
+//! # headroom-exec — persistent deterministic fan-out
+//!
+//! The sweep engine's unit of parallelism is "run this function over
+//! disjoint contiguous chunks of one slice, one chunk per worker, and be
+//! done before returning". `std::thread::scope` expresses that exactly but
+//! pays a thread spawn + join per call — ~100µs per window at the 81-pool
+//! paper shape, an order of magnitude more than the planning work itself.
+//!
+//! [`WorkerPool`] keeps the workers alive instead: they are spawned once
+//! (lazily, on first use), parked on a per-worker mailbox between windows,
+//! and handed the next window's chunk through that mailbox. The steady-state
+//! hand-off allocates nothing — the job is a fat pointer written into a
+//! pre-existing slot, the completion signal is an atomic countdown — so a
+//! pool-driven sweep can run allocation-free window after window.
+//!
+//! **Determinism contract.** The pool only decides *where* a chunk runs,
+//! never *what* it computes: chunk boundaries are a pure function of
+//! `(len, chunk_len)`, every chunk is handed to the worker with the same
+//! index each call, and [`WorkerPool::run_chunks`] does not return until all
+//! chunks completed. Callers that keep their per-chunk outputs in
+//! index-addressed buffers (as the sweep engine does) therefore observe
+//! results identical to a sequential loop — regardless of thread count,
+//! scheduling, or how often the pool is resized. [`scoped_chunks`] is the
+//! legacy spawn-per-call shape with the same chunk geometry, kept so
+//! equivalence of the two executors (and of both against sequential) stays
+//! property-testable.
+//!
+//! The [`alloc_track`] module carries the counting allocator used by the
+//! zero-allocation regression tests and the `repro sweep` experiment.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+pub mod alloc_track;
+
+/// One parked worker's hand-off slot.
+#[derive(Default)]
+struct Slot {
+    /// Bumped once per dispatched job; the worker sleeps until it moves.
+    epoch: u64,
+    job: Option<Job>,
+    quit: bool,
+}
+
+/// A dispatched job: the parallel region's closure plus this worker's chunk
+/// index. Plain pointers so writing one into a mailbox never allocates.
+#[derive(Clone, Copy)]
+struct Job {
+    /// Borrowed from the `run_raw` caller's stack; guaranteed to outlive the
+    /// job because `run_raw` blocks on the completion latch before returning.
+    f: *const (dyn Fn(usize) + Sync),
+    index: usize,
+}
+
+// SAFETY: the pointee is `Sync` (bound enforced at construction in
+// `run_raw`) and outlives the job (the dispatching call blocks until every
+// worker finished running it).
+unsafe impl Send for Job {}
+
+struct Mailbox {
+    slot: Mutex<Slot>,
+    signal: Condvar,
+}
+
+/// Completion countdown shared by one pool's workers.
+struct Latch {
+    remaining: AtomicUsize,
+    lock: Mutex<()>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+struct Worker {
+    mailbox: Arc<Mailbox>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Blocks until the latch reaches zero — in `drop`, so it runs on both the
+/// normal path and the unwind path of a dispatching call. Must never panic
+/// (it may run during an unwind), hence the poison-tolerant locking.
+struct WaitIdle<'a> {
+    latch: &'a Latch,
+}
+
+impl Drop for WaitIdle<'_> {
+    fn drop(&mut self) {
+        while self.latch.remaining.load(Ordering::Acquire) != 0 {
+            match self.latch.lock.lock() {
+                Ok(mut guard) => {
+                    while self.latch.remaining.load(Ordering::Acquire) != 0 {
+                        guard = match self.latch.done.wait(guard) {
+                            Ok(g) => g,
+                            Err(poisoned) => poisoned.into_inner(),
+                        };
+                    }
+                }
+                // A poisoned latch lock cannot be waited on; fall back to
+                // polling the atomic — correctness over elegance here.
+                Err(_) => std::hint::spin_loop(),
+            }
+        }
+    }
+}
+
+/// A long-lived worker pool for deterministic chunked fan-out.
+///
+/// Workers are spawned lazily (the pool starts empty and grows to the
+/// largest width ever requested) and parked between calls; dropping the
+/// pool shuts them down. See the crate docs for the determinism contract.
+///
+/// # Example
+///
+/// ```
+/// use headroom_exec::WorkerPool;
+///
+/// let mut pool = WorkerPool::new();
+/// let mut data = vec![0u64; 10];
+/// let mut outs = vec![0u64; 4];
+/// // 10 items at chunk_len 3 → chunks [0..3], [3..6], [6..9], [9..10].
+/// pool.run_chunks(&mut data, 3, &mut outs, |i, chunk, out| {
+///     for v in chunk.iter_mut() {
+///         *v = i as u64;
+///     }
+///     *out = chunk.len() as u64;
+/// });
+/// assert_eq!(data, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+/// assert_eq!(outs, [3, 3, 3, 1]);
+/// ```
+#[derive(Default)]
+pub struct WorkerPool {
+    workers: Vec<Worker>,
+    latch: Option<Arc<Latch>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("workers", &self.workers.len()).finish()
+    }
+}
+
+/// Raw mutable slice base that may cross into worker threads.
+///
+/// Each worker derives a *disjoint* sub-slice from it (chunk geometry is
+/// checked by the dispatching call), so aliasing never occurs.
+struct SendPtr<T>(*mut T);
+// SAFETY: only disjoint regions are dereferenced, and only for the duration
+// of a parallel region that the owning call outlives.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `Send + Sync` wrapper, not the bare pointer inside it.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+impl WorkerPool {
+    /// An empty pool; workers are spawned on first use.
+    pub fn new() -> Self {
+        WorkerPool::default()
+    }
+
+    /// Workers currently alive (grows to the widest fan-out requested).
+    pub fn spawned_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn latch(&mut self) -> Arc<Latch> {
+        self.latch
+            .get_or_insert_with(|| {
+                Arc::new(Latch {
+                    remaining: AtomicUsize::new(0),
+                    lock: Mutex::new(()),
+                    done: Condvar::new(),
+                    panicked: AtomicBool::new(false),
+                })
+            })
+            .clone()
+    }
+
+    fn ensure_workers(&mut self, n: usize) {
+        while self.workers.len() < n {
+            let mailbox =
+                Arc::new(Mailbox { slot: Mutex::new(Slot::default()), signal: Condvar::new() });
+            let latch = self.latch();
+            let worker_mailbox = mailbox.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("sweep-worker-{}", self.workers.len()))
+                .spawn(move || worker_loop(&worker_mailbox, &latch))
+                .expect("spawning a sweep worker");
+            self.workers.push(Worker { mailbox, handle: Some(handle) });
+        }
+    }
+
+    /// Runs `f(0)..f(tasks-1)` concurrently: task 0 on the calling thread,
+    /// the rest on pool workers. Blocks until every task returned. The
+    /// steady-state hand-off performs no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises (as a panic on the calling thread) when any task panicked.
+    fn run_raw(&mut self, tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if tasks <= 1 {
+            if tasks == 1 {
+                f(0);
+            }
+            return;
+        }
+        self.ensure_workers(tasks - 1);
+        let latch = self.latch.as_ref().expect("ensure_workers installed the latch").clone();
+        // SAFETY: workers dereference this pointer only inside the parallel
+        // region below, which this call outlives (it blocks on the latch).
+        let job_f: *const (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+        };
+        latch.panicked.store(false, Ordering::Relaxed);
+        // From the first dispatch until every dispatched worker reports
+        // done, the closure and the borrows behind it are shared with the
+        // workers — this frame must not unwind past them. The guard waits
+        // on the latch in `drop`, so even a panic below (the calling
+        // thread's own chunk, or mid-dispatch) keeps the frame alive until
+        // the workers are idle, mirroring `thread::scope`. Jobs are counted
+        // into the latch *as they are dispatched* (not up front), so an
+        // unwind after a partial dispatch waits for exactly the workers
+        // that actually hold the closure.
+        let wait = WaitIdle { latch: &latch };
+        for (i, worker) in self.workers[..tasks - 1].iter().enumerate() {
+            latch.remaining.fetch_add(1, Ordering::AcqRel);
+            // Poison-tolerant: the slot holds plain data and the dispatch
+            // path must not panic while other workers share the closure.
+            let mut slot = match worker.mailbox.slot.lock() {
+                Ok(slot) => slot,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            slot.epoch += 1;
+            slot.job = Some(Job { f: job_f, index: i + 1 });
+            drop(slot);
+            worker.mailbox.signal.notify_one();
+        }
+        // The dispatching thread is a full participant: it takes chunk 0, so
+        // `threads = n` means n computing threads, not n+1.
+        f(0);
+        drop(wait);
+        if latch.panicked.load(Ordering::Relaxed) {
+            panic!("sweep worker panicked");
+        }
+    }
+
+    /// Splits `items` into contiguous chunks of `chunk_len` and runs
+    /// `f(chunk_index, chunk, &mut outs[chunk_index])` for every chunk, one
+    /// per thread (chunk 0 on the calling thread). Blocks until all chunks
+    /// completed; chunk geometry is identical to
+    /// `items.chunks_mut(chunk_len)`, so results are position-deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `chunk_len == 0`, when `outs` is shorter than the number
+    /// of chunks, or when any chunk's `f` panicked.
+    pub fn run_chunks<T, U, F>(&mut self, items: &mut [T], chunk_len: usize, outs: &mut [U], f: F)
+    where
+        T: Send,
+        U: Send,
+        F: Fn(usize, &mut [T], &mut U) + Sync,
+    {
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        let len = items.len();
+        let tasks = len.div_ceil(chunk_len);
+        if tasks == 0 {
+            return;
+        }
+        assert!(outs.len() >= tasks, "need one output slot per chunk: {} < {tasks}", outs.len());
+        if tasks == 1 {
+            f(0, items, &mut outs[0]);
+            return;
+        }
+        let items_base = SendPtr(items.as_mut_ptr());
+        let outs_base = SendPtr(outs.as_mut_ptr());
+        let f = &f;
+        let task = move |i: usize| {
+            let start = i * chunk_len;
+            let end = (start + chunk_len).min(len);
+            // SAFETY: tasks are indexed 0..tasks exactly once each, so the
+            // [start, end) ranges (and the out slots) are pairwise disjoint
+            // and in bounds; the underlying borrows outlive `run_raw`.
+            let chunk =
+                unsafe { std::slice::from_raw_parts_mut(items_base.get().add(start), end - start) };
+            let out = unsafe { &mut *outs_base.get().add(i) };
+            f(i, chunk, out);
+        };
+        self.run_raw(tasks, &task);
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for worker in &self.workers {
+            let mut slot = worker.mailbox.slot.lock().expect("worker mailbox poisoned");
+            slot.quit = true;
+            drop(slot);
+            worker.mailbox.signal.notify_one();
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+fn worker_loop(mailbox: &Mailbox, latch: &Latch) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut slot = mailbox.slot.lock().expect("worker mailbox poisoned");
+            loop {
+                if slot.quit {
+                    return;
+                }
+                if slot.epoch != seen {
+                    seen = slot.epoch;
+                    if let Some(job) = slot.job.take() {
+                        break job;
+                    }
+                }
+                slot = mailbox.signal.wait(slot).expect("worker mailbox poisoned");
+            }
+        };
+        // SAFETY: the dispatcher blocks on the latch until this worker
+        // decrements it, so the closure outlives this call.
+        let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let f = unsafe { &*job.f };
+            f(job.index);
+        }));
+        if run.is_err() {
+            latch.panicked.store(true, Ordering::Relaxed);
+        }
+        if latch.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Publish under the latch lock so the dispatcher cannot check
+            // the count and sleep between our decrement and our notify.
+            let _guard = latch.lock.lock().expect("latch poisoned");
+            latch.done.notify_one();
+        }
+    }
+}
+
+/// The legacy spawn-per-call fan-out: identical chunk geometry and output
+/// placement to [`WorkerPool::run_chunks`], but with scoped threads created
+/// (and joined) inside the call — the shape the sweep engine used before
+/// workers became persistent. Kept for A/B property tests and as a
+/// dependency-free fallback.
+///
+/// # Panics
+///
+/// Panics when `chunk_len == 0`, when `outs` is shorter than the number of
+/// chunks, or when any chunk's `f` panicked.
+pub fn scoped_chunks<T, U, F>(items: &mut [T], chunk_len: usize, outs: &mut [U], f: &F)
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut [T], &mut U) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let tasks = items.len().div_ceil(chunk_len);
+    if tasks == 0 {
+        return;
+    }
+    assert!(outs.len() >= tasks, "need one output slot per chunk: {} < {tasks}", outs.len());
+    if tasks == 1 {
+        f(0, items, &mut outs[0]);
+        return;
+    }
+    std::thread::scope(|scope| {
+        for (i, (chunk, out)) in items.chunks_mut(chunk_len).zip(outs.iter_mut()).enumerate() {
+            scope.spawn(move || f(i, chunk, out));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_chunk_exactly_once() {
+        let mut pool = WorkerPool::new();
+        let mut items: Vec<u32> = (0..97).collect();
+        let mut outs = vec![0u32; 25];
+        pool.run_chunks(&mut items, 4, &mut outs, |_, chunk, out| {
+            for v in chunk.iter_mut() {
+                *v += 1;
+            }
+            *out = chunk.iter().sum();
+        });
+        let expect: Vec<u32> = (1..98).collect();
+        assert_eq!(items, expect);
+        assert_eq!(outs.iter().map(|&s| s as u64).sum::<u64>(), (1..98u64).sum::<u64>());
+        // Chunk geometry: 97 items at 4 → 24 full chunks + one of 1.
+        assert_eq!(outs[24], 97);
+    }
+
+    #[test]
+    fn matches_scoped_and_sequential() {
+        let run = |mode: u8| {
+            let mut items: Vec<u64> = (0..53).map(|i| i * 7 % 13).collect();
+            let mut outs = vec![0u64; 11];
+            let f = |i: usize, chunk: &mut [u64], out: &mut u64| {
+                for v in chunk.iter_mut() {
+                    *v = v.wrapping_mul(31).wrapping_add(i as u64);
+                }
+                *out = chunk.iter().sum();
+            };
+            match mode {
+                0 => {
+                    // Sequential reference: same geometry, one thread.
+                    for (i, (chunk, out)) in items.chunks_mut(5).zip(outs.iter_mut()).enumerate() {
+                        f(i, chunk, out);
+                    }
+                }
+                1 => scoped_chunks(&mut items, 5, &mut outs, &f),
+                _ => WorkerPool::new().run_chunks(&mut items, 5, &mut outs, f),
+            }
+            (items, outs)
+        };
+        let sequential = run(0);
+        assert_eq!(sequential, run(1), "scoped == sequential");
+        assert_eq!(sequential, run(2), "persistent == sequential");
+    }
+
+    #[test]
+    fn workers_are_reused_across_calls() {
+        let mut pool = WorkerPool::new();
+        let mut items = vec![0u64; 64];
+        let mut outs = vec![0u64; 4];
+        for round in 0..2_000u64 {
+            pool.run_chunks(&mut items, 16, &mut outs, |_, chunk, out| {
+                for v in chunk.iter_mut() {
+                    *v += 1;
+                }
+                *out = round;
+            });
+        }
+        assert_eq!(pool.spawned_workers(), 3, "three workers serve chunks 1..4 forever");
+        assert!(items.iter().all(|&v| v == 2_000));
+        assert!(outs.iter().all(|&o| o == 1_999));
+    }
+
+    #[test]
+    fn width_changes_grow_the_pool_lazily() {
+        let mut pool = WorkerPool::new();
+        let mut items = vec![1u8; 32];
+        let mut outs = vec![0u8; 8];
+        pool.run_chunks(&mut items, 16, &mut outs, |_, _, _| {});
+        assert_eq!(pool.spawned_workers(), 1);
+        pool.run_chunks(&mut items, 4, &mut outs, |_, _, _| {});
+        assert_eq!(pool.spawned_workers(), 7);
+        // Narrowing again leaves the extra workers parked, not dead.
+        pool.run_chunks(&mut items, 16, &mut outs, |_, _, _| {});
+        assert_eq!(pool.spawned_workers(), 7);
+    }
+
+    #[test]
+    fn empty_input_is_a_no_op() {
+        let mut pool = WorkerPool::new();
+        let mut items: Vec<u8> = Vec::new();
+        let mut outs: Vec<u8> = Vec::new();
+        pool.run_chunks(&mut items, 3, &mut outs, |_, _, _| panic!("no chunks to run"));
+        assert_eq!(pool.spawned_workers(), 0);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        static CALLS: AtomicU64 = AtomicU64::new(0);
+        let mut pool = WorkerPool::new();
+        let mut items = vec![0u8; 8];
+        let mut outs = vec![0u8; 4];
+        let boom = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_chunks(&mut items, 2, &mut outs, |i, _, _| {
+                CALLS.fetch_add(1, Ordering::Relaxed);
+                if i == 3 {
+                    panic!("chunk 3 exploded");
+                }
+            });
+        }));
+        assert!(boom.is_err(), "the panic reached the caller");
+        // The pool still works after a task panicked.
+        pool.run_chunks(&mut items, 2, &mut outs, |_, chunk, _| {
+            for v in chunk.iter_mut() {
+                *v = 9;
+            }
+        });
+        assert!(items.iter().all(|&v| v == 9));
+    }
+
+    #[test]
+    fn caller_chunk_panic_still_waits_for_workers() {
+        // Chunk 0 runs on the dispatching thread; if it panics, the unwind
+        // must not escape run_chunks until every worker finished with the
+        // shared borrows (otherwise they would write freed stack memory).
+        let mut pool = WorkerPool::new();
+        let mut items = vec![0u64; 8];
+        let mut outs = vec![0u64; 4];
+        let boom = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_chunks(&mut items, 2, &mut outs, |i, chunk, _| {
+                if i == 0 {
+                    panic!("chunk 0 exploded");
+                }
+                // Keep the workers demonstrably still running while the
+                // caller's chunk is already unwinding.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                for v in chunk.iter_mut() {
+                    *v = 7;
+                }
+            });
+        }));
+        assert!(boom.is_err(), "the caller-side panic surfaced");
+        assert!(
+            items[2..].iter().all(|&v| v == 7),
+            "every worker chunk completed before the unwind escaped: {items:?}"
+        );
+        assert_eq!(&items[..2], &[0, 0], "the panicked chunk wrote nothing");
+        // And the pool remains serviceable.
+        pool.run_chunks(&mut items, 2, &mut outs, |_, chunk, _| {
+            for v in chunk.iter_mut() {
+                *v = 1;
+            }
+        });
+        assert!(items.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len must be positive")]
+    fn zero_chunk_len_rejected() {
+        WorkerPool::new().run_chunks(&mut [0u8; 4], 0, &mut [0u8; 4], |_, _, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "one output slot per chunk")]
+    fn short_outs_rejected() {
+        WorkerPool::new().run_chunks(&mut [0u8; 9], 2, &mut [0u8; 2], |_, _, _| {});
+    }
+}

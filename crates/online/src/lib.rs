@@ -21,9 +21,13 @@
 //!   multiset (O(log W) per window instead of an O(W log W) sort) and the
 //!   allocation maximum in a monotonic deque;
 //! - [`sweep`] — [`sweep::SweepEngine`], the shard-and-merge fleet core:
-//!   pools fan out across scoped worker threads and the per-chunk outputs
-//!   merge deterministically, so results are bit-identical for any thread
-//!   count;
+//!   pools fan out across a *persistent* worker pool (`headroom_exec`,
+//!   workers spawned once and parked between windows; per-window scoped
+//!   threads remain available as [`planner::SweepExec::Scoped`]) and the
+//!   per-chunk outputs merge deterministically, so results are
+//!   bit-identical for any thread count and either execution mode. The
+//!   hand-off is a mailbox write and the whole warmed window path reuses
+//!   its buffers — steady-state windows allocate nothing;
 //! - [`planner`] — [`planner::OnlinePlanner`], the control-loop facade:
 //!   per-window observation, re-derived minimum pool sizes (the batch
 //!   optimizer's formula, reproduced incrementally), dwell-time
@@ -88,7 +92,7 @@ pub use estimators::{StreamingQuadFit, WindowedLinReg};
 pub use exhaustion::{ExhaustionProjection, ExhaustionProjector, HeadroomBand};
 pub use planner::{
     OnlinePlanner, OnlinePlannerConfig, PoolAssessment, PoolWindowAggregate, ResizeAction,
-    ResizeRecommendation,
+    ResizeRecommendation, SweepExec,
 };
 pub use shard::PoolShard;
 pub use sweep::SweepEngine;

@@ -37,6 +37,24 @@ use crate::drift::DriftConfig;
 use crate::exhaustion::{ExhaustionProjection, HeadroomBand};
 use crate::sweep::SweepEngine;
 
+/// How the sweep engine executes its per-window fan-out.
+///
+/// Both modes share one chunk geometry and one merge order, so they are
+/// *bit-identical* in output for any fleet and any thread count (property
+/// tested); the choice is purely an execution-cost knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepExec {
+    /// Long-lived workers, spawned once and parked between windows; the
+    /// per-window hand-off is allocation-free. The default: fan-out costs
+    /// ~µs, so `threads > 1` pays off even on small fleets.
+    #[default]
+    Persistent,
+    /// Scoped threads spawned (and joined) every window — the pre-pool
+    /// legacy shape, ~100µs/window of spawn overhead. Kept for A/B
+    /// regression tests and for callers that must not hold threads.
+    Scoped,
+}
+
 /// Streaming-planner tuning.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OnlinePlannerConfig {
@@ -58,6 +76,9 @@ pub struct OnlinePlannerConfig {
     /// across per window (default 1 = sequential; 0 = one per available
     /// core). Results are bit-identical for every setting.
     pub threads: usize,
+    /// How the fan-out executes (persistent worker pool vs per-window
+    /// scoped threads). Results are bit-identical for every setting.
+    pub exec: SweepExec,
     /// Drift-detector tuning.
     pub drift: DriftConfig,
 }
@@ -71,6 +92,7 @@ impl Default for OnlinePlannerConfig {
             deadband_servers: 1,
             dwell_windows: 0,
             threads: 1,
+            exec: SweepExec::default(),
             drift: DriftConfig::default(),
         }
     }
@@ -258,6 +280,14 @@ impl OnlinePlanner {
     /// The underlying sweep engine.
     pub fn engine(&self) -> &SweepEngine {
         &self.engine
+    }
+
+    /// Changes the fan-out width mid-run. Purely an execution knob: the
+    /// planner's outputs are bit-identical before, across, and after the
+    /// change (property tested).
+    pub fn set_threads(&mut self, threads: usize) -> &mut Self {
+        self.engine.set_threads(threads);
+        self
     }
 
     /// Windows observed so far.

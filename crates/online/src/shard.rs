@@ -58,6 +58,11 @@ pub struct PoolShard {
     /// Dwell-time hysteresis: a changed target and how many consecutive
     /// replans it has persisted.
     dwell: Option<(usize, u64)>,
+    /// Whether the last assessment put this pool in a band that needs
+    /// capacity. Urgent pools re-derive their sizing *every* window, not
+    /// just on the `replan_every` cadence — running out of capacity must
+    /// not wait out a coarse replan interval.
+    urgent: bool,
 }
 
 impl PoolShard {
@@ -75,6 +80,7 @@ impl PoolShard {
             alloc: MonotonicMaxDeque::new(),
             last_target: None,
             dwell: None,
+            urgent: false,
         }
     }
 
@@ -86,6 +92,13 @@ impl PoolShard {
     /// Drift resets this pool has experienced.
     pub fn drift_events(&self) -> usize {
         self.drift_events
+    }
+
+    /// Whether the last assessment left this pool urgently short of
+    /// capacity (exhausted/critical band). The sweep engine replans urgent
+    /// pools every window, bypassing the `replan_every` cadence.
+    pub fn urgent(&self) -> bool {
+        self.urgent
     }
 
     /// Consumes one window's pool aggregate: O(log W) for the order
@@ -122,6 +135,9 @@ impl PoolShard {
                 // A half-counted dwell from the old regime must not let the
                 // first post-drift target skip the hysteresis wait.
                 self.dwell = None;
+                // Urgency was judged on the old response profile; the next
+                // full assessment re-derives it from post-drift data.
+                self.urgent = false;
                 self.drift_events += 1;
                 // Demand history survives: a release changes the response
                 // profile, not how much traffic users send.
@@ -207,6 +223,7 @@ impl PoolShard {
             return (None, None);
         };
         assessment.sizing.pool = pool;
+        self.urgent = assessment.band.needs_capacity();
 
         let current = assessment.sizing.current_servers;
         let target = assessment.sizing.min_servers;

@@ -3,17 +3,27 @@
 //! [`SweepEngine`] is the fleet-level half of the shard-and-merge planner
 //! core. It owns one [`PoolShard`] per pool (kept sorted by pool id), and
 //! each window it *sweeps* the fleet: pools are partitioned into contiguous
-//! chunks, the chunks are fanned out across scoped worker threads, and each
-//! worker aggregates its pools' snapshot rows, updates its shards, and (on
-//! replan windows) re-derives sizing decisions. The per-chunk outputs are
-//! then merged in pool order.
+//! chunks, the chunks are fanned out across a long-lived
+//! [`headroom_exec::WorkerPool`], and each worker aggregates its pools'
+//! snapshot rows, updates its shards, and (on replan windows, or every
+//! window for pools urgently short of capacity) re-derives sizing
+//! decisions. The per-chunk outputs are then merged in pool order.
 //!
 //! **Determinism is a hard invariant, not an aspiration.** A shard's update
 //! touches only its own state, every floating-point operation happens
-//! inside exactly one shard regardless of how pools are chunked, and the
-//! merge concatenates chunk outputs in pool order — so the engine's
+//! inside exactly one shard regardless of how pools are chunked, chunk
+//! boundaries are a pure function of `(pool count, threads)`, and the merge
+//! reads the per-chunk output buffers in chunk order — so the engine's
 //! assessments and recommendations are *bit-identical* for any thread
-//! count, including fully sequential execution. Property tests pin this.
+//! count, any [`SweepExec`] mode, and any scheduling, including thread
+//! counts changed mid-run via [`SweepEngine::set_threads`]. Property tests
+//! pin this.
+//!
+//! **The steady-state window path is allocation-free.** The input index,
+//! the per-worker output buffers, and the worker hand-off (see
+//! `headroom_exec`) all reuse their storage window over window; a warmed
+//! engine consuming partitioned snapshots allocates nothing on non-replan
+//! windows (asserted by a counting-allocator test in `crates/bench`).
 //!
 //! Ingestion is partition-friendly: feed
 //! [`headroom_cluster::sim::PartitionedSnapshot`]s (from
@@ -25,28 +35,35 @@ use std::collections::BTreeMap;
 
 use headroom_cluster::sim::{PartitionedSnapshot, SnapshotRow, WindowSnapshot};
 use headroom_core::slo::QosRequirement;
+use headroom_exec::WorkerPool;
 use headroom_telemetry::ids::PoolId;
 use headroom_telemetry::time::WindowIndex;
 
 use crate::planner::{
-    OnlinePlannerConfig, PoolAssessment, PoolWindowAggregate, ResizeRecommendation,
+    OnlinePlannerConfig, PoolAssessment, PoolWindowAggregate, ResizeRecommendation, SweepExec,
 };
 use crate::shard::PoolShard;
 
-/// Per-pool input of one sweep: either a pre-computed aggregate or the
-/// pool's raw snapshot rows (aggregated inside the owning worker).
+/// Per-pool input of one sweep: either a pre-computed aggregate or a
+/// `(start, len)` range of the window's snapshot rows (aggregated inside
+/// the owning worker). Range-based rather than slice-based so the engine's
+/// reusable input buffer carries no borrow of the snapshot.
 #[derive(Debug, Clone, Copy)]
-enum PoolInput<'a> {
+enum PoolInput {
     Aggregate(PoolWindowAggregate),
-    Rows(&'a [SnapshotRow]),
+    Rows { start: usize, len: usize },
 }
+
+/// One chunk's per-pool output: the pool, its fresh assessment (if any),
+/// and its due recommendation (if any).
+type ChunkItem = (PoolId, Option<PoolAssessment>, Option<ResizeRecommendation>);
 
 /// The parallel shard-and-merge planner core.
 ///
 /// Wraps the planning state of a whole fleet; [`crate::OnlinePlanner`] is a
 /// thin facade over this type. Use it directly when driving partitioned
 /// snapshots or tuning the fan-out width.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SweepEngine {
     config: OnlinePlannerConfig,
     default_qos: QosRequirement,
@@ -57,6 +74,34 @@ pub struct SweepEngine {
     assessments: BTreeMap<PoolId, PoolAssessment>,
     pending: Vec<ResizeRecommendation>,
     windows_seen: u64,
+    /// Reusable per-window input index (cleared, never dropped).
+    input_buf: Vec<(PoolId, PoolInput)>,
+    /// Reusable per-chunk output buffers, indexed by chunk; reading them in
+    /// index order *is* the deterministic merge.
+    chunk_outs: Vec<Vec<ChunkItem>>,
+    /// Long-lived workers (persistent mode). Execution state only — never
+    /// part of the planner's logical state.
+    workers: WorkerPool,
+}
+
+impl Clone for SweepEngine {
+    /// Clones the planner state. The clone starts with an empty worker
+    /// pool and scratch buffers — threads and caches are execution detail,
+    /// rebuilt lazily on the clone's first sweep.
+    fn clone(&self) -> Self {
+        SweepEngine {
+            config: self.config,
+            default_qos: self.default_qos,
+            qos: self.qos.clone(),
+            shards: self.shards.clone(),
+            assessments: self.assessments.clone(),
+            pending: self.pending.clone(),
+            windows_seen: self.windows_seen,
+            input_buf: Vec::new(),
+            chunk_outs: Vec::new(),
+            workers: WorkerPool::new(),
+        }
+    }
 }
 
 impl SweepEngine {
@@ -73,12 +118,23 @@ impl SweepEngine {
             assessments: BTreeMap::new(),
             pending: Vec::new(),
             windows_seen: 0,
+            input_buf: Vec::new(),
+            chunk_outs: Vec::new(),
+            workers: WorkerPool::new(),
         }
     }
 
     /// Overrides the QoS requirement for one pool.
     pub fn set_qos(&mut self, pool: PoolId, qos: QosRequirement) -> &mut Self {
         self.qos.insert(pool, qos);
+        self
+    }
+
+    /// Changes the fan-out width mid-run. Purely an execution knob: the
+    /// worker pool grows (or idles surplus workers) lazily, and outputs are
+    /// bit-identical before, across, and after the change.
+    pub fn set_threads(&mut self, threads: usize) -> &mut Self {
+        self.config.threads = threads;
         self
     }
 
@@ -111,6 +167,12 @@ impl SweepEngine {
         }
     }
 
+    /// Worker threads currently alive in the persistent pool (0 before the
+    /// first parallel sweep, and always 0 in [`SweepExec::Scoped`] mode).
+    pub fn live_workers(&self) -> usize {
+        self.workers.spawned_workers()
+    }
+
     /// The latest per-pool assessments.
     pub fn assessments(&self) -> &BTreeMap<PoolId, PoolAssessment> {
         &self.assessments
@@ -125,23 +187,31 @@ impl SweepEngine {
     /// shard updates fanned out).
     pub fn observe(&mut self, snap: &WindowSnapshot<'_>) {
         let aggregates = PoolWindowAggregate::from_snapshot(snap);
-        let inputs: Vec<(PoolId, PoolInput<'_>)> =
-            aggregates.iter().map(|&(pool, agg)| (pool, PoolInput::Aggregate(agg))).collect();
-        self.sweep(snap.window, &inputs);
+        let mut inputs = std::mem::take(&mut self.input_buf);
+        inputs.clear();
+        inputs.extend(aggregates.iter().map(|&(pool, agg)| (pool, PoolInput::Aggregate(agg))));
+        self.sweep(snap.window, &[], &inputs);
+        self.input_buf = inputs;
     }
 
     /// Consumes one pool-partitioned fleet snapshot: row aggregation happens
-    /// inside each worker, so ingestion has no serialization point.
+    /// inside each worker, so ingestion has no serialization point. This is
+    /// the allocation-free steady-state path.
     pub fn observe_partitioned(&mut self, snap: &PartitionedSnapshot<'_>) {
-        let mut inputs: Vec<(PoolId, PoolInput<'_>)> = snap
-            .pools
-            .iter()
-            .map(|slice| (slice.pool, PoolInput::Rows(snap.pool_rows(slice))))
-            .collect();
+        let mut inputs = std::mem::take(&mut self.input_buf);
+        inputs.clear();
+        inputs.extend(
+            snap.pools
+                .iter()
+                .map(|slice| (slice.pool, PoolInput::Rows { start: slice.start, len: slice.len })),
+        );
         // Built fleets emit pools in ascending-id order already; sorting is
-        // cheap insurance for hand-rolled snapshots.
-        inputs.sort_by_key(|&(pool, _)| pool);
-        self.sweep(snap.window, &inputs);
+        // cheap insurance for hand-rolled snapshots. Unstable sort: keys are
+        // unique (one slice per pool), so the result is deterministic and no
+        // merge buffer is allocated.
+        inputs.sort_unstable_by_key(|&(pool, _)| pool);
+        self.sweep(snap.window, snap.rows, &inputs);
+        self.input_buf = inputs;
     }
 
     /// Feeds pre-aggregated per-pool rows (the shard-level unit test hook).
@@ -150,95 +220,111 @@ impl SweepEngine {
         window: WindowIndex,
         aggregates: &[(PoolId, PoolWindowAggregate)],
     ) {
-        let mut inputs: Vec<(PoolId, PoolInput<'_>)> =
-            aggregates.iter().map(|&(pool, agg)| (pool, PoolInput::Aggregate(agg))).collect();
-        inputs.sort_by_key(|&(pool, _)| pool);
-        self.sweep(window, &inputs);
+        let mut inputs = std::mem::take(&mut self.input_buf);
+        inputs.clear();
+        inputs.extend(aggregates.iter().map(|&(pool, agg)| (pool, PoolInput::Aggregate(agg))));
+        inputs.sort_unstable_by_key(|&(pool, _)| pool);
+        self.sweep(window, &[], &inputs);
+        self.input_buf = inputs;
     }
 
     /// One window of fleet work: fan shard chunks out, merge in pool order.
-    fn sweep(&mut self, window: WindowIndex, inputs: &[(PoolId, PoolInput<'_>)]) {
+    fn sweep(&mut self, window: WindowIndex, rows: &[SnapshotRow], inputs: &[(PoolId, PoolInput)]) {
         self.windows_seen += 1;
         for &(pool, _) in inputs {
             if let Err(at) = self.shards.binary_search_by_key(&pool, |&(p, _)| p) {
                 self.shards.insert(at, (pool, PoolShard::new(&self.config)));
             }
         }
+        if self.shards.is_empty() {
+            return;
+        }
         let replan = self.windows_seen.is_multiple_of(self.config.replan_every);
-        let threads = self.effective_threads();
+        let threads = self.effective_threads().max(1);
+        let chunk_len = self.shards.len().div_ceil(threads);
+        let chunks = self.shards.len().div_ceil(chunk_len);
+        if self.chunk_outs.len() < chunks {
+            self.chunk_outs.resize_with(chunks, Vec::new);
+        }
 
-        // Split the borrows: workers mutate shards, share the rest.
+        // Split the borrows: workers mutate shards and their own output
+        // buffer, share the rest.
         let config = &self.config;
         let qos = &self.qos;
         let default_qos = self.default_qos;
-        let shards = &mut self.shards;
-
-        let results = if threads <= 1 || shards.len() <= 1 {
-            sweep_chunk(shards, inputs, window, replan, config, qos, default_qos)
-        } else {
-            let chunk_len = shards.len().div_ceil(threads);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = shards
-                    .chunks_mut(chunk_len)
-                    .map(|chunk| {
-                        scope.spawn(move || {
-                            sweep_chunk(chunk, inputs, window, replan, config, qos, default_qos)
-                        })
-                    })
-                    .collect();
-                // Chunks are contiguous runs of the pool-sorted shard list,
-                // so in-order concatenation *is* the deterministic merge.
-                let mut merged = Vec::with_capacity(shards_len_hint(replan, inputs.len()));
-                for handle in handles {
-                    merged.extend(handle.join().expect("sweep worker panicked"));
-                }
-                merged
-            })
+        let run = |_chunk: usize, shards: &mut [(PoolId, PoolShard)], out: &mut Vec<ChunkItem>| {
+            out.clear();
+            // Every pool can emit on *any* window — replan windows re-derive
+            // every sizing, and urgent pools bypass the cadence — so the
+            // buffer must hold the whole chunk even on non-replan windows
+            // (a replan-gated hint of 0 under-sized it exactly when an
+            // urgent recommendation arrived between ticks).
+            out.reserve(shards.len());
+            sweep_chunk(shards, inputs, rows, window, replan, config, qos, default_qos, out);
         };
-
-        for (pool, assessment, recommendation) in results {
-            if let Some(a) = assessment {
-                self.assessments.insert(pool, a);
+        if chunks <= 1 {
+            run(0, &mut self.shards, &mut self.chunk_outs[0]);
+        } else {
+            match self.config.exec {
+                SweepExec::Persistent => self.workers.run_chunks(
+                    &mut self.shards,
+                    chunk_len,
+                    &mut self.chunk_outs[..chunks],
+                    run,
+                ),
+                SweepExec::Scoped => headroom_exec::scoped_chunks(
+                    &mut self.shards,
+                    chunk_len,
+                    &mut self.chunk_outs[..chunks],
+                    &run,
+                ),
             }
-            if let Some(r) = recommendation {
-                self.pending.push(r);
+        }
+
+        // Chunks are contiguous runs of the pool-sorted shard list, so
+        // draining the chunk buffers in index order *is* the deterministic
+        // merge (and keeps their capacity for the next window).
+        for out in &mut self.chunk_outs[..chunks] {
+            for (pool, assessment, recommendation) in out.drain(..) {
+                if let Some(a) = assessment {
+                    self.assessments.insert(pool, a);
+                }
+                if let Some(r) = recommendation {
+                    self.pending.push(r);
+                }
             }
         }
     }
 }
 
-fn shards_len_hint(replan: bool, pools: usize) -> usize {
-    if replan {
-        pools
-    } else {
-        0
-    }
-}
-
-/// Processes one contiguous chunk of shards for one window. Pure function
-/// of the chunk's own state plus shared read-only context — the unit over
-/// which the engine parallelizes.
-#[allow(clippy::type_complexity)]
+/// Processes one contiguous chunk of shards for one window, appending
+/// outputs to `out` in pool order. Pure function of the chunk's own state
+/// plus shared read-only context — the unit over which the engine
+/// parallelizes. Allocation-free once `out` has capacity.
+#[allow(clippy::too_many_arguments)]
 fn sweep_chunk(
     shards: &mut [(PoolId, PoolShard)],
-    inputs: &[(PoolId, PoolInput<'_>)],
+    inputs: &[(PoolId, PoolInput)],
+    rows: &[SnapshotRow],
     window: WindowIndex,
     replan: bool,
     config: &OnlinePlannerConfig,
     qos: &BTreeMap<PoolId, QosRequirement>,
     default_qos: QosRequirement,
-) -> Vec<(PoolId, Option<PoolAssessment>, Option<ResizeRecommendation>)> {
-    let mut out = Vec::new();
+    out: &mut Vec<ChunkItem>,
+) {
     for (pool, shard) in shards.iter_mut() {
         let aggregate =
             inputs.binary_search_by_key(pool, |&(p, _)| p).ok().and_then(|i| match inputs[i].1 {
                 PoolInput::Aggregate(agg) => Some(agg),
-                PoolInput::Rows(rows) => PoolWindowAggregate::from_rows(window, rows),
+                PoolInput::Rows { start, len } => {
+                    PoolWindowAggregate::from_rows(window, &rows[start..start + len])
+                }
             });
         if let Some(agg) = aggregate {
             shard.observe(agg);
         }
-        if replan {
+        if replan || shard.urgent() {
             let pool_qos = qos.get(pool).copied().unwrap_or(default_qos);
             let (assessment, recommendation) = shard.replan(*pool, window, &pool_qos, config);
             if assessment.is_some() || recommendation.is_some() {
@@ -246,12 +332,12 @@ fn sweep_chunk(
             }
         }
     }
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::planner::ResizeAction;
     use headroom_telemetry::ids::{DatacenterId, ServerId};
 
     fn rows_for(pool: u32, rps: f64, servers: u32) -> Vec<SnapshotRow> {
@@ -268,16 +354,15 @@ mod tests {
             .collect()
     }
 
-    fn drive(threads: usize, pools: u32, windows: u64) -> SweepEngine {
-        let config = OnlinePlannerConfig {
-            window_capacity: 120,
-            min_fit_windows: 30,
-            threads,
-            ..OnlinePlannerConfig::default()
-        };
+    fn drive_with(config: OnlinePlannerConfig, pools: u32, windows: u64) -> SweepEngine {
         let mut engine =
             SweepEngine::new(config, QosRequirement::latency(32.5).with_cpu_ceiling(90.0));
-        for w in 0..windows {
+        drive_more(&mut engine, pools, 0, windows);
+        engine
+    }
+
+    fn drive_more(engine: &mut SweepEngine, pools: u32, from: u64, to: u64) {
+        for w in from..to {
             let mut rows = Vec::new();
             let mut slices = Vec::new();
             for p in 0..pools {
@@ -296,7 +381,16 @@ mod tests {
             let snap = PartitionedSnapshot { window: WindowIndex(w), rows: &rows, pools: &slices };
             engine.observe_partitioned(&snap);
         }
-        engine
+    }
+
+    fn drive(threads: usize, pools: u32, windows: u64) -> SweepEngine {
+        let config = OnlinePlannerConfig {
+            window_capacity: 120,
+            min_fit_windows: 30,
+            threads,
+            ..OnlinePlannerConfig::default()
+        };
+        drive_with(config, pools, windows)
     }
 
     #[test]
@@ -318,6 +412,75 @@ mod tests {
                 "recommendations differ at {threads} threads"
             );
         }
+    }
+
+    #[test]
+    fn exec_mode_does_not_change_results() {
+        let mut persistent = drive_with(
+            OnlinePlannerConfig {
+                window_capacity: 120,
+                min_fit_windows: 30,
+                threads: 3,
+                exec: SweepExec::Persistent,
+                ..OnlinePlannerConfig::default()
+            },
+            7,
+            90,
+        );
+        let mut scoped = drive_with(
+            OnlinePlannerConfig {
+                window_capacity: 120,
+                min_fit_windows: 30,
+                threads: 3,
+                exec: SweepExec::Scoped,
+                ..OnlinePlannerConfig::default()
+            },
+            7,
+            90,
+        );
+        assert!(persistent.live_workers() > 0, "persistent mode spawned workers");
+        assert_eq!(scoped.live_workers(), 0, "scoped mode holds no threads");
+        assert_eq!(persistent.assessments(), scoped.assessments());
+        assert_eq!(persistent.drain_recommendations(), scoped.drain_recommendations());
+    }
+
+    #[test]
+    fn workers_persist_across_windows_and_thread_changes() {
+        let mut engine = drive(4, 6, 60);
+        let spawned = engine.live_workers();
+        // 6 pools at threads=4 → chunk_len 2 → 3 chunks: the caller takes
+        // one, two live on workers.
+        assert_eq!(spawned, 2, "chunks minus the calling thread");
+        // Thousands more windows reuse those exact workers.
+        drive_more(&mut engine, 6, 60, 2_060);
+        assert_eq!(engine.live_workers(), spawned, "no churn across 2000 windows");
+        // Narrowing parks workers; widening grows the pool lazily.
+        engine.set_threads(2);
+        drive_more(&mut engine, 6, 2_060, 2_070);
+        assert_eq!(engine.live_workers(), spawned, "surplus workers stay parked");
+        engine.set_threads(6);
+        drive_more(&mut engine, 6, 2_070, 2_080);
+        assert_eq!(engine.live_workers(), 5, "pool grew to the new width");
+    }
+
+    #[test]
+    fn mid_run_thread_change_does_not_change_results() {
+        let mut fixed = drive(1, 7, 90);
+        let config = OnlinePlannerConfig {
+            window_capacity: 120,
+            min_fit_windows: 30,
+            threads: 3,
+            ..OnlinePlannerConfig::default()
+        };
+        let mut changed =
+            SweepEngine::new(config, QosRequirement::latency(32.5).with_cpu_ceiling(90.0));
+        drive_more(&mut changed, 7, 0, 30);
+        changed.set_threads(5);
+        drive_more(&mut changed, 7, 30, 60);
+        changed.set_threads(2);
+        drive_more(&mut changed, 7, 60, 90);
+        assert_eq!(fixed.assessments(), changed.assessments());
+        assert_eq!(fixed.drain_recommendations(), changed.drain_recommendations());
     }
 
     #[test]
@@ -345,5 +508,37 @@ mod tests {
         }
         assert_eq!(part.assessments(), flat.assessments());
         assert_eq!(part.drain_recommendations(), flat.drain_recommendations());
+    }
+
+    /// An undersized pool under a ramping load, planned on a coarse replan
+    /// cadence: the urgent-band bypass must emit grow recommendations on
+    /// windows *between* the cadence ticks.
+    #[test]
+    fn urgent_growth_bypasses_replan_cadence() {
+        let config = OnlinePlannerConfig {
+            window_capacity: 300,
+            min_fit_windows: 30,
+            replan_every: 50,
+            ..OnlinePlannerConfig::default()
+        };
+        let mut engine =
+            SweepEngine::new(config, QosRequirement::latency(32.5).with_cpu_ceiling(90.0));
+        let mut recs = Vec::new();
+        for w in 0..300u64 {
+            // Ramps far past what 4 servers can serve within the SLO.
+            let rps = 100.0 + 3.0 * w as f64;
+            let rows = rows_for(0, rps, 4);
+            let slices =
+                vec![headroom_cluster::sim::PoolSlice { pool: PoolId(0), start: 0, len: 4 }];
+            let snap = PartitionedSnapshot { window: WindowIndex(w), rows: &rows, pools: &slices };
+            engine.observe_partitioned(&snap);
+            recs.extend(engine.drain_recommendations());
+        }
+        let grow: Vec<_> = recs.iter().filter(|r| r.action == ResizeAction::Grow).collect();
+        assert!(!grow.is_empty(), "the ramp forced growth: {recs:?}");
+        assert!(
+            grow.iter().any(|r| !(r.window.0 + 1).is_multiple_of(50)),
+            "growth was emitted between replan ticks, not only on them: {grow:?}"
+        );
     }
 }

@@ -137,23 +137,26 @@ proptest! {
 mod sharding {
     use headroom_cluster::sim::{SnapshotRow, WindowSnapshot};
     use headroom_core::slo::QosRequirement;
-    use headroom_online::planner::OnlinePlannerConfig;
+    use headroom_online::planner::{OnlinePlannerConfig, SweepExec};
     use headroom_online::sweep::SweepEngine;
     use headroom_telemetry::ids::{DatacenterId, PoolId, ServerId};
     use headroom_telemetry::time::WindowIndex;
     use proptest::prelude::*;
 
-    /// Drives one engine over a synthetic multi-pool stream.
-    fn drive(threads: usize, pool_sizes: &[usize], windows: u64, phase: u64) -> SweepEngine {
+    fn engine_with(threads: usize, exec: SweepExec) -> SweepEngine {
         let config = OnlinePlannerConfig {
             window_capacity: 48,
             min_fit_windows: 12,
             threads,
+            exec,
             ..OnlinePlannerConfig::default()
         };
-        let mut engine =
-            SweepEngine::new(config, QosRequirement::latency(32.5).with_cpu_ceiling(90.0));
-        for w in 0..windows {
+        SweepEngine::new(config, QosRequirement::latency(32.5).with_cpu_ceiling(90.0))
+    }
+
+    /// Feeds `engine` windows `[from, to)` of a synthetic multi-pool stream.
+    fn feed(engine: &mut SweepEngine, pool_sizes: &[usize], from: u64, to: u64, phase: u64) {
+        for w in from..to {
             let mut rows: Vec<SnapshotRow> = Vec::new();
             for (p, &servers) in pool_sizes.iter().enumerate() {
                 let base = 150.0 + 40.0 * p as f64;
@@ -173,6 +176,12 @@ mod sharding {
             }
             engine.observe(&WindowSnapshot { window: WindowIndex(w), rows: &rows });
         }
+    }
+
+    /// Drives one engine over a synthetic multi-pool stream.
+    fn drive(threads: usize, pool_sizes: &[usize], windows: u64, phase: u64) -> SweepEngine {
+        let mut engine = engine_with(threads, SweepExec::default());
+        feed(&mut engine, pool_sizes, 0, windows, phase);
         engine
     }
 
@@ -196,6 +205,47 @@ mod sharding {
                 sequential.drain_recommendations(),
                 sharded.drain_recommendations()
             );
+        }
+
+        /// Sequential, legacy scoped-spawn, and persistent-pool execution
+        /// are byte-identical for any fleet shape and thread count 1–8 —
+        /// worker reuse across windows changes nothing.
+        #[test]
+        fn exec_modes_are_byte_identical(
+            pool_sizes in prop::collection::vec(3usize..12, 1..9),
+            threads in 1usize..9,
+            phase in 0u64..50,
+        ) {
+            let mut sequential = drive(1, &pool_sizes, 70, phase);
+            let mut scoped = engine_with(threads, SweepExec::Scoped);
+            feed(&mut scoped, &pool_sizes, 0, 70, phase);
+            let mut persistent = engine_with(threads, SweepExec::Persistent);
+            feed(&mut persistent, &pool_sizes, 0, 70, phase);
+            prop_assert!(!sequential.assessments().is_empty(), "pools were planned");
+            prop_assert_eq!(sequential.assessments(), scoped.assessments());
+            prop_assert_eq!(sequential.assessments(), persistent.assessments());
+            let recs = sequential.drain_recommendations();
+            prop_assert_eq!(recs.clone(), scoped.drain_recommendations());
+            prop_assert_eq!(recs, persistent.drain_recommendations());
+        }
+
+        /// Changing the fan-out width mid-run (pool growing or parking
+        /// workers) never changes the results.
+        #[test]
+        fn mid_run_thread_change_is_invisible(
+            pool_sizes in prop::collection::vec(3usize..12, 1..9),
+            first in 1usize..7,
+            second in 1usize..7,
+            switch_at in 10u64..60,
+            phase in 0u64..50,
+        ) {
+            let mut fixed = drive(1, &pool_sizes, 70, phase);
+            let mut changed = engine_with(first, SweepExec::Persistent);
+            feed(&mut changed, &pool_sizes, 0, switch_at, phase);
+            changed.set_threads(second);
+            feed(&mut changed, &pool_sizes, switch_at, 70, phase);
+            prop_assert_eq!(fixed.assessments(), changed.assessments());
+            prop_assert_eq!(fixed.drain_recommendations(), changed.drain_recommendations());
         }
     }
 }

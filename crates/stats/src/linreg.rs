@@ -49,19 +49,53 @@ impl LinearFit {
     /// - [`StatsError::Singular`] when all x values are identical.
     pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self, StatsError> {
         check_paired(xs, ys)?;
-        let n = xs.len();
+        LinearFit::fit_core(xs.iter().copied().zip(ys.iter().copied()), xs.len())
+    }
+
+    /// Fits a line directly to a `(x, y)` pair slice — the shape
+    /// `MetricStore::pool_paired_observations` returns — without the two
+    /// intermediate `collect()`s that splitting into parallel `xs`/`ys`
+    /// vectors costs. Both entry points run the same accumulation core over
+    /// the same value sequence, so the results are bit-identical by
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// - [`StatsError::EmptyInput`] / [`StatsError::NonFinite`] for
+    ///   malformed inputs.
+    /// - [`StatsError::InsufficientData`] when fewer than 2 points.
+    /// - [`StatsError::Singular`] when all x values are identical.
+    pub fn fit_paired(pairs: &[(f64, f64)]) -> Result<Self, StatsError> {
+        if pairs.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        if pairs.iter().any(|&(x, y)| !x.is_finite() || !y.is_finite()) {
+            return Err(StatsError::NonFinite);
+        }
+        LinearFit::fit_core(pairs.iter().copied(), pairs.len())
+    }
+
+    /// The shared OLS core: both [`fit`] and [`fit_paired`] feed it the
+    /// same `(x, y)` sequence, differing only in validation shape.
+    ///
+    /// [`fit`]: LinearFit::fit
+    /// [`fit_paired`]: LinearFit::fit_paired
+    fn fit_core<I>(pairs: I, n: usize) -> Result<Self, StatsError>
+    where
+        I: Iterator<Item = (f64, f64)> + Clone,
+    {
         if n < 2 {
             return Err(StatsError::InsufficientData { needed: 2, got: n });
         }
         let nf = n as f64;
-        let mean_x = xs.iter().sum::<f64>() / nf;
-        let mean_y = ys.iter().sum::<f64>() / nf;
+        let mean_x = pairs.clone().map(|(x, _)| x).sum::<f64>() / nf;
+        let mean_y = pairs.clone().map(|(_, y)| y).sum::<f64>() / nf;
         let mut sxx = 0.0;
         let mut sxy = 0.0;
         let mut syy = 0.0;
-        for i in 0..n {
-            let dx = xs[i] - mean_x;
-            let dy = ys[i] - mean_y;
+        for (x, y) in pairs.clone() {
+            let dx = x - mean_x;
+            let dy = y - mean_y;
             sxx += dx * dx;
             sxy += dx * dy;
             syy += dy * dy;
@@ -77,8 +111,8 @@ impl LinearFit {
             1.0
         } else {
             let mut ss_res = 0.0;
-            for i in 0..n {
-                let resid = ys[i] - (slope * xs[i] + intercept);
+            for (x, y) in pairs {
+                let resid = y - (slope * x + intercept);
                 ss_res += resid * resid;
             }
             (1.0 - ss_res / syy).max(0.0)
@@ -151,6 +185,38 @@ mod tests {
         let fit = LinearFit::fit(&xs, &ys).unwrap();
         assert!((fit.slope - 2.0).abs() < 0.01);
         assert!(fit.r_squared > 0.99 && fit.r_squared < 1.0);
+    }
+
+    #[test]
+    fn fit_paired_is_bit_identical_to_fit() {
+        let pairs: Vec<(f64, f64)> = (0..200)
+            .map(|i| {
+                let x = 100.0 + ((i * 37) % 61) as f64 * 3.7;
+                (x, 0.028 * x + 1.37 + ((i * 13) % 7) as f64 * 0.09)
+            })
+            .collect();
+        let xs: Vec<f64> = pairs.iter().map(|&(x, _)| x).collect();
+        let ys: Vec<f64> = pairs.iter().map(|&(_, y)| y).collect();
+        let split = LinearFit::fit(&xs, &ys).unwrap();
+        let paired = LinearFit::fit_paired(&pairs).unwrap();
+        assert_eq!(split, paired, "same accumulation order ⇒ same bits");
+    }
+
+    #[test]
+    fn fit_paired_validates_like_fit() {
+        assert_eq!(LinearFit::fit_paired(&[]).unwrap_err(), StatsError::EmptyInput);
+        assert_eq!(
+            LinearFit::fit_paired(&[(1.0, 1.0)]).unwrap_err(),
+            StatsError::InsufficientData { needed: 2, got: 1 }
+        );
+        assert_eq!(
+            LinearFit::fit_paired(&[(f64::NAN, 1.0), (1.0, 2.0)]).unwrap_err(),
+            StatsError::NonFinite
+        );
+        assert_eq!(
+            LinearFit::fit_paired(&[(2.0, 1.0), (2.0, 3.0)]).unwrap_err(),
+            StatsError::Singular
+        );
     }
 
     #[test]
