@@ -12,6 +12,24 @@
 //!   carries permanent headroom anyway.
 //! - [`static_peak`] — status quo: provision for peak times a fixed
 //!   headroom factor.
+//!
+//! # Example
+//!
+//! The status-quo planner sizes for peak × headroom and pays for it in
+//! mean utilization:
+//!
+//! ```
+//! use headroom_baselines::StaticPeakPlanner;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1.5× headroom over peak, 500 RPS/server at the SLO.
+//! let planner = StaticPeakPlanner::new(1.5, 500.0)?;
+//! let demand = [40_000.0, 90_000.0, 100_000.0, 60_000.0];
+//! assert_eq!(planner.required_servers(&demand), 300); // 100k × 1.5 / 500
+//! assert!(planner.mean_utilization(&demand) < 0.5, "headroom sits idle");
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

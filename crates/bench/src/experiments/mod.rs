@@ -19,6 +19,7 @@
 //! | [`ablate`] | design-choice ablations + baseline planner comparison |
 //! | [`online`] | streaming planner vs batch pipeline (headroom-online) |
 //! | [`sweep`] | sharded sweep engine vs sequential planner at 81-pool scale |
+//! | [`multi_resource`] | binding-constraint discovery on a mixed-resource fleet |
 
 pub mod ablate;
 pub mod fig02;
@@ -30,6 +31,7 @@ pub mod fig12_13;
 pub mod fig14_15;
 pub mod fig16;
 pub mod global;
+pub mod multi_resource;
 pub mod online;
 pub mod pool_b;
 pub mod pool_d;
@@ -56,7 +58,7 @@ pub struct ExperimentInfo {
 }
 
 /// Every experiment, in paper order.
-pub const ALL: [ExperimentInfo; 17] = [
+pub const ALL: [ExperimentInfo; 18] = [
     ExperimentInfo { id: "table1", title: "Micro-service catalog", paper_ref: "Table I" },
     ExperimentInfo { id: "fig2", title: "Resource counters vs workload", paper_ref: "Fig. 2" },
     ExperimentInfo { id: "fig3", title: "Per-server CPU scatter (pool I)", paper_ref: "Fig. 3" },
@@ -97,6 +99,11 @@ pub const ALL: [ExperimentInfo; 17] = [
         id: "sweep",
         title: "Sharded sweep engine at 81-pool scale",
         paper_ref: "headroom-online",
+    },
+    ExperimentInfo {
+        id: "multi_resource",
+        title: "Binding-constraint discovery, mixed fleet",
+        paper_ref: "Sec. II-A1",
     },
 ];
 
@@ -185,6 +192,10 @@ pub fn run_by_id(
                 .unwrap_or_else(|| Path::new("BENCH_sweep.json").to_path_buf());
             std::fs::write(&json_path, r.to_json())?;
             (format!("{r}[wrote {}]\n", json_path.display()), r.tables())
+        }
+        "multi_resource" => {
+            let r = multi_resource::run(scale)?;
+            (r.to_string(), r.tables())
         }
         other => return Err(format!("unknown experiment id: {other}").into()),
     };

@@ -16,6 +16,26 @@
 //! fleet; the *shapes* — who wins, by what factor, where curves cross — are
 //! the reproduction targets, and each experiment prints the paper's value
 //! next to the measured one. `EXPERIMENTS.md` records the comparison.
+//!
+//! # Example
+//!
+//! The [`synthetic`] generator feeds the sweep-engine scale harnesses
+//! without paying for a full simulation:
+//!
+//! ```
+//! use headroom_bench::synthetic::{synthetic_snapshots, warmed_engine};
+//! use headroom_online::planner::OnlinePlannerConfig;
+//!
+//! let snapshots = synthetic_snapshots(8, 3, 40); // 8 pools × 3 servers
+//! let config = OnlinePlannerConfig {
+//!     window_capacity: 32,
+//!     min_fit_windows: 16,
+//!     ..OnlinePlannerConfig::default()
+//! };
+//! let engine = warmed_engine(&snapshots, config);
+//! assert_eq!(engine.windows_seen(), 40);
+//! assert_eq!(engine.assessments().len(), 8, "every pool planned");
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -40,6 +40,9 @@ pub fn synthetic_snapshots(pools: u32, servers_per_pool: u32, windows: u64) -> V
                         rps,
                         cpu_pct: 0.028 * rps + 1.37,
                         latency_p95_ms: 4.028e-5 * rps * rps - 0.031 * rps + 36.68,
+                        disk_queue: 1.0,
+                        memory_pages_per_sec: 4_000.0,
+                        network_mbps: 0.32 * rps,
                     });
                 }
                 slices.push(PoolSlice { pool: PoolId(p), start, len: rows.len() - start });

@@ -18,7 +18,9 @@
 //! Models for the paper's pools B and D use the exact coefficients the paper
 //! reports, so forecast experiments regenerate the published numbers.
 
+use headroom_telemetry::counter::Resource;
 use headroom_telemetry::time::WindowIndex;
+use headroom_workload::resource_profile::ResourceProfile;
 use rand::rngs::StdRng;
 
 use crate::hardware::HardwareGeneration;
@@ -89,14 +91,20 @@ pub struct ServiceModel {
     pub queue_capacity_rps: f64,
     /// Scale of the queueing-delay term (ms at ρ = 0.5).
     pub queue_scale_ms: f64,
-    /// Mean paging rate (pages/sec), workload-independent.
+    /// Mean baseline paging rate (pages/sec), workload-independent.
     pub paging_base: f64,
     /// Relative noise of paging (large ⇒ Fig. 2's vertical patterns).
     pub paging_noise_rel: f64,
+    /// Paging added per RPS (pages/sec) — non-zero models cache-miss-heavy
+    /// workloads whose memory activity tracks request volume.
+    pub paging_per_rps: f64,
     /// Disk bytes read per page fault.
     pub page_bytes: f64,
     /// Baseline disk queue length.
     pub disk_queue_base: f64,
+    /// Disk queue length added per RPS — non-zero models write-/IO-heavy
+    /// workloads whose disk queue grows with request volume.
+    pub disk_queue_per_rps: f64,
     /// Network bytes per request (both directions).
     pub net_bytes_per_req: f64,
     /// Network packets per request.
@@ -134,8 +142,10 @@ impl ServiceModel {
             queue_scale_ms: 2.0,
             paging_base: 4_000.0,
             paging_noise_rel: 0.8,
+            paging_per_rps: 0.0,
             page_bytes: 4096.0,
             disk_queue_base: 1.0,
+            disk_queue_per_rps: 0.0,
             net_bytes_per_req: 40_000.0,
             net_pkts_per_req: 40.0,
             error_rate: 1e-5,
@@ -193,6 +203,17 @@ impl ServiceModel {
         self
     }
 
+    /// Shapes the workload-coupled resource response from a demand-side
+    /// [`ResourceProfile`]: per-request disk queueing, paging, and network
+    /// payload. This is how scenarios where disk or network binds before
+    /// CPU are built (§II-A1's limiting-resource loop).
+    pub fn with_resource_profile(mut self, profile: &ResourceProfile) -> Self {
+        self.disk_queue_per_rps = profile.disk_queue_per_rps.max(0.0);
+        self.paging_per_rps = profile.pages_per_rps.max(0.0);
+        self.net_bytes_per_req = profile.net_bytes_per_req.max(0.0);
+        self
+    }
+
     /// Scales the per-request CPU cost — models a release that makes every
     /// request cheaper or dearer (the canonical response-profile drift a
     /// streaming planner must detect when scheduled via
@@ -240,6 +261,42 @@ impl ServiceModel {
         let rho = (rps / (self.queue_capacity_rps * speed)).clamp(0.0, 0.999);
         let queue = self.queue_scale_ms * rho / (1.0 - rho);
         (quad + queue).max(self.latency_floor_ms)
+    }
+
+    /// Noise-free mean disk queue length at `rps` per server.
+    ///
+    /// Unlike CPU, disk throughput does not scale with the CPU hardware
+    /// generation, so the response is generation-independent.
+    pub fn disk_queue_mean(&self, rps: f64) -> f64 {
+        self.disk_queue_base + self.disk_queue_per_rps * rps
+    }
+
+    /// Noise-free mean paging rate (pages/sec) at `rps` per server.
+    pub fn paging_mean(&self, rps: f64) -> f64 {
+        self.paging_base + self.paging_per_rps * rps
+    }
+
+    /// Noise-free mean network throughput (Mbps, both directions) at `rps`
+    /// per server; `net_scale` carries the per-datacenter payload variation.
+    pub fn network_mbps_mean(&self, rps: f64, net_scale: f64) -> f64 {
+        rps * self.net_bytes_per_req * net_scale * 8.0 / 1e6
+    }
+
+    /// The noise-free mean utilization of every [`Resource`] at `rps` per
+    /// server, indexed by [`Resource::index`] — the counter vector a
+    /// snapshot row carries on the cheap (non-`Full`) recording paths.
+    pub fn resource_means(
+        &self,
+        rps: f64,
+        hw: HardwareGeneration,
+        net_scale: f64,
+    ) -> [f64; Resource::COUNT] {
+        let mut out = [0.0; Resource::COUNT];
+        out[Resource::Cpu.index()] = self.cpu_mean(rps, hw);
+        out[Resource::DiskQueue.index()] = self.disk_queue_mean(rps);
+        out[Resource::MemoryPages.index()] = self.paging_mean(rps);
+        out[Resource::Network.index()] = self.network_mbps_mean(rps, net_scale);
+        out
     }
 
     /// Per-server RPS at which mean CPU reaches `cpu_limit_pct` on `hw`.
@@ -327,14 +384,16 @@ impl ServiceModel {
         let latency_avg = (latency_p95 * 0.62 + gaussian(rng) * self.latency_noise_ms * 0.3)
             .max(self.latency_floor_ms * 0.5);
 
-        // Paging-dominated disk activity: loosely coupled to workload.
-        let paging = (self.paging_base * (1.0 + gaussian(rng) * self.paging_noise_rel)).max(0.0);
+        // Paging-dominated disk activity, plus any workload-coupled term
+        // (zero by default — Fig. 2's vertical patterns).
+        let paging =
+            (self.paging_mean(rps) * (1.0 + gaussian(rng) * self.paging_noise_rel)).max(0.0);
         let disk_read = paging * self.page_bytes;
         let disk_write = match active_upload {
             Some(u) => u.disk_write_bytes_per_sec,
             None => disk_read * 0.1,
         };
-        let disk_queue = (self.disk_queue_base + gaussian(rng).abs() * 1.5).max(0.0);
+        let disk_queue = (self.disk_queue_mean(rps) + gaussian(rng).abs() * 1.5).max(0.0);
 
         let net_bytes =
             (rps * self.net_bytes_per_req * net_scale * (1.0 + gaussian(rng) * 0.05)).max(0.0);
@@ -430,6 +489,31 @@ mod tests {
         let after = scaled.cpu_mean(300.0, hw) - 1.0;
         assert!((after / before - 2.0).abs() < 1e-12, "workload CPU doubled: {before} -> {after}");
         assert!((scaled.queue_capacity_rps - m.queue_capacity_rps / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resource_profile_shapes_response_curves() {
+        let m =
+            ServiceModel::paper_pool_b().with_resource_profile(&ResourceProfile::network_heavy());
+        // The namesake resource responds to workload…
+        let means_lo = m.resource_means(100.0, HardwareGeneration::Gen1, 1.0);
+        let means_hi = m.resource_means(400.0, HardwareGeneration::Gen1, 1.0);
+        let net = Resource::Network.index();
+        assert!((means_hi[net] / means_lo[net] - 4.0).abs() < 1e-9, "network linear in RPS");
+        assert!((means_lo[net] - 100.0 * 450_000.0 * 8.0 / 1e6).abs() < 1e-9);
+        // …and the index mapping matches the enum.
+        assert_eq!(means_lo[Resource::Cpu.index()], m.cpu_mean(100.0, HardwareGeneration::Gen1));
+        assert_eq!(means_lo[Resource::DiskQueue.index()], m.disk_queue_mean(100.0));
+        assert_eq!(means_lo[Resource::MemoryPages.index()], m.paging_mean(100.0));
+    }
+
+    #[test]
+    fn default_disk_and_paging_are_workload_flat() {
+        // Fig. 2's "vertical patterns": without a profile, only CPU and
+        // network respond to workload.
+        let m = ServiceModel::paper_pool_b();
+        assert_eq!(m.disk_queue_mean(0.0), m.disk_queue_mean(1_000.0));
+        assert_eq!(m.paging_mean(0.0), m.paging_mean(1_000.0));
     }
 
     #[test]

@@ -90,6 +90,13 @@ pub struct SnapshotRow {
     pub cpu_pct: f64,
     /// p95 latency in ms (0 when offline).
     pub latency_p95_ms: f64,
+    /// Disk queue length (0 when offline or under
+    /// [`RecordingPolicy::AvailabilityOnly`]).
+    pub disk_queue: f64,
+    /// Memory paging rate, pages/sec (0 when offline).
+    pub memory_pages_per_sec: f64,
+    /// Network throughput, Mbps both directions (0 when offline).
+    pub network_mbps: f64,
 }
 
 /// One window's fleet-wide observation, passed to observers.
@@ -439,7 +446,7 @@ impl Simulation {
         for pi in 0..self.fleet.pools().len() {
             let slice_start = self.snapshot.len();
             let demand = self.pool_demand[pi];
-            let (pool_id, dc, local_hour, pool_size, dc_lost) = {
+            let (pool_id, dc, local_hour, pool_size, dc_lost, net_scale) = {
                 let pool = &self.fleet.pools()[pi];
                 (
                     pool.id,
@@ -447,6 +454,7 @@ impl Simulation {
                     pool.local_hour(utc_hour),
                     pool.size(),
                     self.events.datacenter_lost(pool.datacenter, t),
+                    pool.net_scale,
                 )
             };
 
@@ -509,13 +517,16 @@ impl Simulation {
                         rps: 0.0,
                         cpu_pct: 0.0,
                         latency_p95_ms: 0.0,
+                        disk_queue: 0.0,
+                        memory_pages_per_sec: 0.0,
+                        network_mbps: 0.0,
                     });
                     continue;
                 }
 
                 let rps = self.shares.get(next_share).copied().unwrap_or(0.0);
                 next_share += 1;
-                let (cpu, lat_avg, lat_p95) = match recording {
+                let (cpu, lat_avg, lat_p95, disk_queue, mem_pages, net_mbps) = match recording {
                     RecordingPolicy::Full => {
                         let m = {
                             let pool = &self.fleet.pools()[pi];
@@ -605,24 +616,52 @@ impl Simulation {
                                 t_cpu,
                             );
                         }
-                        (m.cpu_pct, m.latency_avg_ms, m.latency_p95_ms)
+                        (
+                            m.cpu_pct,
+                            m.latency_avg_ms,
+                            m.latency_p95_ms,
+                            m.disk_queue,
+                            m.memory_pages_per_sec,
+                            m.network_bytes * 8.0 / 1e6,
+                        )
                     }
                     RecordingPolicy::Workload => {
-                        let (cpu, lat_avg, lat_p95) = {
+                        let (cpu, lat_avg, lat_p95, dq, pg, nm) = {
                             let model = &self.fleet.pools()[pi].model;
-                            model.window_metrics_lite(rps, generation, &mut self.rng)
+                            let (cpu, lat_avg, lat_p95) =
+                                model.window_metrics_lite(rps, generation, &mut self.rng);
+                            // Noise-free resource means: no extra RNG draws,
+                            // so the recorded CPU/latency stream is identical
+                            // to the pre-multi-resource simulator.
+                            (
+                                cpu,
+                                lat_avg,
+                                lat_p95,
+                                model.disk_queue_mean(rps),
+                                model.paging_mean(rps),
+                                model.network_mbps_mean(rps, net_scale),
+                            )
                         };
                         self.store.record(server_id, CounterKind::CpuPercent, w, cpu);
                         self.store.record(server_id, CounterKind::RequestsPerSec, w, rps);
                         self.store.record(server_id, CounterKind::LatencyAvgMs, w, lat_avg);
                         self.store.record(server_id, CounterKind::LatencyP95Ms, w, lat_p95);
-                        (cpu, lat_avg, lat_p95)
+                        (cpu, lat_avg, lat_p95, dq, pg, nm)
                     }
                     RecordingPolicy::SnapshotOnly => {
                         let model = &self.fleet.pools()[pi].model;
-                        model.window_metrics_lite(rps, generation, &mut self.rng)
+                        let (cpu, lat_avg, lat_p95) =
+                            model.window_metrics_lite(rps, generation, &mut self.rng);
+                        (
+                            cpu,
+                            lat_avg,
+                            lat_p95,
+                            model.disk_queue_mean(rps),
+                            model.paging_mean(rps),
+                            model.network_mbps_mean(rps, net_scale),
+                        )
                     }
-                    RecordingPolicy::AvailabilityOnly => (0.0, 0.0, 0.0),
+                    RecordingPolicy::AvailabilityOnly => (0.0, 0.0, 0.0, 0.0, 0.0, 0.0),
                 };
                 let _ = lat_avg;
 
@@ -637,6 +676,9 @@ impl Simulation {
                     rps,
                     cpu_pct: cpu,
                     latency_p95_ms: lat_p95,
+                    disk_queue,
+                    memory_pages_per_sec: mem_pages,
+                    network_mbps: net_mbps,
                 });
             }
             self.pool_slices.push(PoolSlice {
@@ -841,6 +883,46 @@ mod tests {
         // The flat view is the same window.
         assert_eq!(snap.as_snapshot().window, snap.window);
         assert_eq!(snap.as_snapshot().rows.len(), total_servers);
+    }
+
+    #[test]
+    fn snapshot_rows_carry_resource_counters() {
+        use headroom_workload::resource_profile::ResourceProfile;
+        let mut fleet = small_fleet(13);
+        // Make pool 0 disk-coupled so its counters respond to workload.
+        fleet.pools_mut()[0].model =
+            fleet.pools()[0].model.clone().with_resource_profile(&ResourceProfile::disk_heavy());
+        let mut sim = Simulation::new(fleet, EventScript::empty(), SimConfig::default());
+        let snap = sim.step_snapshot();
+        let online: Vec<&SnapshotRow> = snap.rows.iter().filter(|r| r.online).collect();
+        assert!(!online.is_empty());
+        for row in &online {
+            assert!(row.network_mbps > 0.0, "network tracks workload: {row:?}");
+            assert!(row.memory_pages_per_sec > 0.0);
+            assert!(row.disk_queue > 0.0);
+        }
+        // Disk-coupled pool: queue depth grows with per-server RPS.
+        let p0: Vec<&&SnapshotRow> =
+            online.iter().filter(|r| r.pool == snap.rows[0].pool).collect();
+        let expected = 1.0 + 0.02 * p0[0].rps;
+        assert!(
+            (p0[0].disk_queue - expected).abs() < 1e-9,
+            "disk queue follows the profile: {} vs {expected}",
+            p0[0].disk_queue
+        );
+    }
+
+    #[test]
+    fn availability_only_snapshot_resources_are_zero() {
+        let mut sim = Simulation::new(
+            small_fleet(14),
+            EventScript::empty(),
+            SimConfig { recording: RecordingPolicy::AvailabilityOnly, ..SimConfig::default() },
+        );
+        let snap = sim.step_snapshot();
+        assert!(snap.rows.iter().all(|r| r.disk_queue == 0.0
+            && r.memory_pages_per_sec == 0.0
+            && r.network_mbps == 0.0));
     }
 
     #[test]

@@ -7,6 +7,8 @@
 
 use std::fmt;
 
+use headroom_telemetry::counter::Resource;
+
 /// One service-level objective.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
@@ -18,6 +20,12 @@ pub enum Slo {
     /// Sustained CPU must stay at or below this percentage (operational
     /// guardrail that keeps short spikes from queueing requests).
     CpuCeilingPct(f64),
+    /// Sustained disk queue length must stay at or below this depth.
+    DiskQueueLimit(f64),
+    /// Sustained paging must stay at or below this many pages/sec.
+    MemoryPagesLimit(f64),
+    /// Sustained network throughput must stay at or below this many Mbps.
+    NetworkMbpsLimit(f64),
 }
 
 impl fmt::Display for Slo {
@@ -26,6 +34,9 @@ impl fmt::Display for Slo {
             Slo::LatencyP95Ms(ms) => write!(f, "p95 latency <= {ms} ms"),
             Slo::Availability(a) => write!(f, "availability >= {:.3}%", a * 100.0),
             Slo::CpuCeilingPct(c) => write!(f, "cpu <= {c}%"),
+            Slo::DiskQueueLimit(d) => write!(f, "disk queue <= {d}"),
+            Slo::MemoryPagesLimit(p) => write!(f, "paging <= {p} pages/s"),
+            Slo::NetworkMbpsLimit(n) => write!(f, "network <= {n} Mbps"),
         }
     }
 }
@@ -51,17 +62,39 @@ pub struct QosRequirement {
     /// Required request availability (defaults to 99.95%, the paper's lower
     /// bound for typical services).
     pub min_availability: f64,
+    /// Maximum sustained disk queue length (default 24 — a queue a dozen
+    /// deep per spindle pair keeps I/O latency off the request path).
+    pub disk_queue_limit: f64,
+    /// Maximum sustained paging rate, pages/sec (default 60 000 — beyond
+    /// this the page cache is thrashing and request latency follows).
+    pub memory_pages_limit: f64,
+    /// Maximum sustained network throughput, Mbps (default 9 000 — a 10 GbE
+    /// NIC with a safety margin).
+    pub network_mbps_limit: f64,
 }
 
 impl QosRequirement {
     /// A requirement dominated by a latency SLO, with default guardrails.
+    ///
+    /// The default resource limits are deliberately generous: on a
+    /// CPU-dominated service they never bind, so sizing matches the
+    /// CPU-and-latency-only planner exactly. Tighten them (or deploy an
+    /// IO-heavy workload) and the planner's discovered binding constraint
+    /// moves off CPU.
     ///
     /// # Panics
     ///
     /// Panics when `latency_p95_ms` is not positive.
     pub fn latency(latency_p95_ms: f64) -> Self {
         assert!(latency_p95_ms > 0.0 && latency_p95_ms.is_finite(), "latency SLO must be positive");
-        QosRequirement { latency_p95_ms, cpu_ceiling_pct: 60.0, min_availability: 0.9995 }
+        QosRequirement {
+            latency_p95_ms,
+            cpu_ceiling_pct: 60.0,
+            min_availability: 0.9995,
+            disk_queue_limit: 24.0,
+            memory_pages_limit: 60_000.0,
+            network_mbps_limit: 9_000.0,
+        }
     }
 
     /// Adjusts the CPU guardrail.
@@ -78,12 +111,61 @@ impl QosRequirement {
         self
     }
 
-    /// The requirement as a list of SLOs (for reports).
+    /// Adjusts the disk queue safety limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `limit` is not positive and finite.
+    pub fn with_disk_queue_limit(mut self, limit: f64) -> Self {
+        assert!(limit > 0.0 && limit.is_finite(), "disk queue limit must be positive");
+        self.disk_queue_limit = limit;
+        self
+    }
+
+    /// Adjusts the paging-rate safety limit (pages/sec).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `limit` is not positive and finite.
+    pub fn with_memory_pages_limit(mut self, limit: f64) -> Self {
+        assert!(limit > 0.0 && limit.is_finite(), "paging limit must be positive");
+        self.memory_pages_limit = limit;
+        self
+    }
+
+    /// Adjusts the network throughput safety limit (Mbps).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `limit` is not positive and finite.
+    pub fn with_network_mbps_limit(mut self, limit: f64) -> Self {
+        assert!(limit > 0.0 && limit.is_finite(), "network limit must be positive");
+        self.network_mbps_limit = limit;
+        self
+    }
+
+    /// The safety threshold for one [`Resource`], in that resource's
+    /// utilization units (percent for CPU, queue depth, pages/sec, Mbps).
+    pub fn resource_limit(&self, resource: Resource) -> f64 {
+        match resource {
+            Resource::Cpu => self.cpu_ceiling_pct,
+            Resource::DiskQueue => self.disk_queue_limit,
+            Resource::MemoryPages => self.memory_pages_limit,
+            Resource::Network => self.network_mbps_limit,
+        }
+    }
+
+    /// The requirement as a list of SLOs (for reports), resource safety
+    /// limits included — the constraint that actually binds a sizing must
+    /// be visible in the requirement a report prints.
     pub fn slos(&self) -> Vec<Slo> {
         vec![
             Slo::LatencyP95Ms(self.latency_p95_ms),
             Slo::CpuCeilingPct(self.cpu_ceiling_pct),
             Slo::Availability(self.min_availability),
+            Slo::DiskQueueLimit(self.disk_queue_limit),
+            Slo::MemoryPagesLimit(self.memory_pages_limit),
+            Slo::NetworkMbpsLimit(self.network_mbps_limit),
         ]
     }
 
@@ -114,6 +196,27 @@ mod tests {
         assert_eq!(q.latency_p95_ms, 50.0);
         assert_eq!(q.cpu_ceiling_pct, 60.0);
         assert_eq!(q.min_availability, 0.9995);
+        assert_eq!(q.resource_limit(Resource::Cpu), 60.0);
+        assert_eq!(q.resource_limit(Resource::DiskQueue), 24.0);
+        assert_eq!(q.resource_limit(Resource::MemoryPages), 60_000.0);
+        assert_eq!(q.resource_limit(Resource::Network), 9_000.0);
+    }
+
+    #[test]
+    fn resource_limit_builders() {
+        let q = QosRequirement::latency(50.0)
+            .with_disk_queue_limit(8.0)
+            .with_memory_pages_limit(20_000.0)
+            .with_network_mbps_limit(1_000.0);
+        assert_eq!(q.resource_limit(Resource::DiskQueue), 8.0);
+        assert_eq!(q.resource_limit(Resource::MemoryPages), 20_000.0);
+        assert_eq!(q.resource_limit(Resource::Network), 1_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "disk queue limit must be positive")]
+    fn bad_disk_queue_limit_panics() {
+        let _ = QosRequirement::latency(1.0).with_disk_queue_limit(0.0);
     }
 
     #[test]
@@ -124,9 +227,10 @@ mod tests {
     }
 
     #[test]
-    fn slos_list_all_three() {
+    fn slos_list_every_constraint() {
         let q = QosRequirement::latency(10.0);
-        assert_eq!(q.slos().len(), 3);
+        assert_eq!(q.slos().len(), 6);
+        assert!(q.slos().contains(&Slo::DiskQueueLimit(24.0)));
     }
 
     #[test]
@@ -134,6 +238,9 @@ mod tests {
         assert_eq!(Slo::LatencyP95Ms(500.0).to_string(), "p95 latency <= 500 ms");
         assert_eq!(Slo::Availability(0.99999).to_string(), "availability >= 99.999%");
         assert_eq!(Slo::CpuCeilingPct(60.0).to_string(), "cpu <= 60%");
+        assert_eq!(Slo::DiskQueueLimit(24.0).to_string(), "disk queue <= 24");
+        assert_eq!(Slo::MemoryPagesLimit(6e4).to_string(), "paging <= 60000 pages/s");
+        assert_eq!(Slo::NetworkMbpsLimit(9e3).to_string(), "network <= 9000 Mbps");
     }
 
     #[test]

@@ -27,6 +27,31 @@
 //!
 //! The [`alloc_track`] module carries the counting allocator used by the
 //! zero-allocation regression tests and the `repro sweep` experiment.
+//!
+//! # Example
+//!
+//! Sum disjoint chunks of a slice across parked workers — chunk geometry,
+//! and therefore every result, is identical to a sequential loop:
+//!
+//! ```
+//! use headroom_exec::WorkerPool;
+//!
+//! let mut pool = WorkerPool::new();
+//! let mut items: Vec<u64> = (0..100).collect();
+//! let mut sums = [0u64; 4];
+//! // 4 chunks of 25: chunk 0 runs on the calling thread, 3 on workers.
+//! pool.run_chunks(&mut items, 25, &mut sums, |_chunk, items, out| {
+//!     *out = items.iter().sum();
+//! });
+//! assert_eq!(sums.iter().sum::<u64>(), (0..100).sum());
+//! assert_eq!(pool.spawned_workers(), 3);
+//! // The same pool serves every subsequent window without respawning.
+//! pool.run_chunks(&mut items, 25, &mut sums, |_c, items, out| {
+//!     *out = items.len() as u64;
+//! });
+//! assert_eq!(sums, [25; 4]);
+//! assert_eq!(pool.spawned_workers(), 3);
+//! ```
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]

@@ -17,9 +17,12 @@
 //! - [`exhaustion`] — headroom banding (ample → exhausted) and streaming
 //!   days-to-exhaustion projection;
 //! - [`shard`] — [`shard::PoolShard`], one pool's complete planner state
-//!   machine, with the windowed p99 peak held in an order-statistics
+//!   machine: one workload→utilization fit per resource (CPU, disk queue,
+//!   paging, network — the multi-resource fit vector) plus the latency
+//!   quadratic, with the windowed p99 peak held in an order-statistics
 //!   multiset (O(log W) per window instead of an O(W log W) sort) and the
-//!   allocation maximum in a monotonic deque;
+//!   allocation maximum in a monotonic deque; each assessment reports the
+//!   discovered [`planner::BindingConstraint`];
 //! - [`sweep`] — [`sweep::SweepEngine`], the shard-and-merge fleet core:
 //!   pools fan out across a *persistent* worker pool (`headroom_exec`,
 //!   workers spawned once and parked between windows; per-window scoped
@@ -91,8 +94,8 @@ pub use drift::{DriftConfig, DriftDetector, DriftEvent, DriftKind};
 pub use estimators::{StreamingQuadFit, WindowedLinReg};
 pub use exhaustion::{ExhaustionProjection, ExhaustionProjector, HeadroomBand};
 pub use planner::{
-    OnlinePlanner, OnlinePlannerConfig, PoolAssessment, PoolWindowAggregate, ResizeAction,
-    ResizeRecommendation, SweepExec,
+    BindingConstraint, OnlinePlanner, OnlinePlannerConfig, PoolAssessment, PoolWindowAggregate,
+    ResizeAction, ResizeRecommendation, SweepExec,
 };
 pub use shard::PoolShard;
 pub use sweep::SweepEngine;

@@ -4,7 +4,10 @@
 //! maintains, per pool, a [`crate::shard::PoolShard`]:
 //!
 //! - a sliding window of pool-aggregate observations (ring-buffered);
-//! - the workload→CPU line ([`headroom_stats::StreamingLinReg`], O(1));
+//! - one workload→utilization line per resource — CPU, disk queue, memory
+//!   paging, network ([`headroom_stats::FitArray`] of
+//!   [`headroom_stats::StreamingLinReg`], O(1) each) — so the *binding*
+//!   constraint is discovered, not assumed;
 //! - the workload→latency quadratic ([`headroom_stats::StreamingQuadFit`],
 //!   O(1));
 //! - an [`headroom_stats::OrderStatsMultiset`] of windowed total workload
@@ -30,6 +33,7 @@ use std::collections::BTreeMap;
 use headroom_cluster::sim::{PartitionedSnapshot, Simulation, SnapshotRow, WindowSnapshot};
 use headroom_core::sizing::{PoolSizing, SizingPlanner};
 use headroom_core::slo::QosRequirement;
+use headroom_telemetry::counter::Resource;
 use headroom_telemetry::ids::PoolId;
 use headroom_telemetry::time::WindowIndex;
 
@@ -98,7 +102,8 @@ impl Default for OnlinePlannerConfig {
     }
 }
 
-/// One pool's aggregate observation for one window.
+/// One pool's aggregate observation for one window: the workload, the QoS
+/// signal, and the full Fig. 2 resource counter vector.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PoolWindowAggregate {
     /// The window observed.
@@ -109,6 +114,12 @@ pub struct PoolWindowAggregate {
     pub cpu_pct: f64,
     /// Mean p95 latency across serving servers (ms).
     pub latency_p95_ms: f64,
+    /// Mean disk queue length across serving servers.
+    pub disk_queue: f64,
+    /// Mean paging rate across serving servers (pages/sec).
+    pub memory_pages_per_sec: f64,
+    /// Mean network throughput across serving servers (Mbps).
+    pub network_mbps: f64,
     /// Serving server count.
     pub active_servers: usize,
 }
@@ -119,6 +130,17 @@ impl PoolWindowAggregate {
         self.rps_per_server * self.active_servers as f64
     }
 
+    /// This window's mean utilization of one [`Resource`], in that
+    /// resource's units.
+    pub fn utilization(&self, resource: Resource) -> f64 {
+        match resource {
+            Resource::Cpu => self.cpu_pct,
+            Resource::DiskQueue => self.disk_queue,
+            Resource::MemoryPages => self.memory_pages_per_sec,
+            Resource::Network => self.network_mbps,
+        }
+    }
+
     /// Aggregates one pool's snapshot rows (offline rows skipped). `None`
     /// when no server served this window, matching the batch collector's
     /// treatment of empty windows.
@@ -127,6 +149,7 @@ impl PoolWindowAggregate {
     /// result is bit-identical to [`PoolWindowAggregate::from_snapshot`].
     pub fn from_rows(window: WindowIndex, rows: &[SnapshotRow]) -> Option<PoolWindowAggregate> {
         let (mut rps, mut cpu, mut lat, mut n) = (0.0f64, 0.0f64, 0.0f64, 0usize);
+        let (mut dq, mut pg, mut nm) = (0.0f64, 0.0f64, 0.0f64);
         for row in rows {
             if !row.online {
                 continue;
@@ -134,6 +157,9 @@ impl PoolWindowAggregate {
             rps += row.rps;
             cpu += row.cpu_pct;
             lat += row.latency_p95_ms;
+            dq += row.disk_queue;
+            pg += row.memory_pages_per_sec;
+            nm += row.network_mbps;
             n += 1;
         }
         if n == 0 {
@@ -145,6 +171,9 @@ impl PoolWindowAggregate {
             rps_per_server: rps / nf,
             cpu_pct: cpu / nf,
             latency_p95_ms: lat / nf,
+            disk_queue: dq / nf,
+            memory_pages_per_sec: pg / nf,
+            network_mbps: nm / nf,
             active_servers: n,
         })
     }
@@ -153,19 +182,24 @@ impl PoolWindowAggregate {
     /// serving server this window are omitted, matching the batch
     /// collector's treatment of empty windows).
     pub fn from_snapshot(snap: &WindowSnapshot<'_>) -> Vec<(PoolId, PoolWindowAggregate)> {
-        let mut acc: BTreeMap<PoolId, (f64, f64, f64, usize)> = BTreeMap::new();
+        // Σrps, Σcpu, Σlatency, Σdisk-queue, Σpages/s, ΣMbps, serving count.
+        type PoolSums = (f64, f64, f64, f64, f64, f64, usize);
+        let mut acc: BTreeMap<PoolId, PoolSums> = BTreeMap::new();
         for row in snap.rows {
             if !row.online {
                 continue;
             }
-            let e = acc.entry(row.pool).or_insert((0.0, 0.0, 0.0, 0));
+            let e = acc.entry(row.pool).or_insert((0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0));
             e.0 += row.rps;
             e.1 += row.cpu_pct;
             e.2 += row.latency_p95_ms;
-            e.3 += 1;
+            e.3 += row.disk_queue;
+            e.4 += row.memory_pages_per_sec;
+            e.5 += row.network_mbps;
+            e.6 += 1;
         }
         acc.into_iter()
-            .map(|(pool, (rps, cpu, lat, n))| {
+            .map(|(pool, (rps, cpu, lat, dq, pg, nm, n))| {
                 let nf = n as f64;
                 (
                     pool,
@@ -174,11 +208,49 @@ impl PoolWindowAggregate {
                         rps_per_server: rps / nf,
                         cpu_pct: cpu / nf,
                         latency_p95_ms: lat / nf,
+                        disk_queue: dq / nf,
+                        memory_pages_per_sec: pg / nf,
+                        network_mbps: nm / nf,
                         active_servers: n,
                     },
                 )
             })
             .collect()
+    }
+}
+
+/// The constraint that limited a pool's sizing — discovered live, per pool,
+/// per window, from the fitted response curves (§II-A1's "limiting
+/// resource" loop, done online).
+///
+/// The planner fits one workload→utilization line per [`Resource`] plus the
+/// workload→latency quadratic, inverts each at its safety threshold, and
+/// the constraint reached at the *lowest* per-server workload binds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindingConstraint {
+    /// The latency SLO binds before any resource threshold.
+    Latency,
+    /// A resource safety threshold binds first.
+    Resource(Resource),
+}
+
+impl BindingConstraint {
+    /// The binding resource, when a resource (rather than the latency SLO)
+    /// binds.
+    pub fn resource(&self) -> Option<Resource> {
+        match self {
+            BindingConstraint::Latency => None,
+            BindingConstraint::Resource(r) => Some(*r),
+        }
+    }
+}
+
+impl std::fmt::Display for BindingConstraint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BindingConstraint::Latency => f.write_str("latency"),
+            BindingConstraint::Resource(r) => write!(f, "{r}"),
+        }
     }
 }
 
@@ -217,6 +289,10 @@ pub struct PoolAssessment {
     pub window: WindowIndex,
     /// Headroom band.
     pub band: HeadroomBand,
+    /// The constraint that limited this sizing: the resource whose fitted
+    /// utilization curve first crosses its safety threshold, or the latency
+    /// SLO when it binds before any resource.
+    pub binding: BindingConstraint,
     /// Exhaustion projection.
     pub projection: ExhaustionProjection,
     /// R² of the streaming CPU fit.
@@ -394,8 +470,114 @@ mod tests {
                 rps,
                 cpu_pct: 0.028 * rps + 1.37,
                 latency_p95_ms: 4.028e-5 * rps * rps - 0.031 * rps + 36.68,
+                // Workload-flat disk/paging (never bind) and a network line
+                // far below its default limit: CPU/latency decide sizing.
+                disk_queue: 1.0,
+                memory_pages_per_sec: 4_000.0,
+                network_mbps: 0.32 * rps,
             })
             .collect()
+    }
+
+    /// Pool-B-curve rows with an explicit resource shape.
+    fn rows_shaped(
+        pool: u32,
+        rps: f64,
+        servers: u32,
+        disk: impl Fn(f64) -> f64,
+        pages: impl Fn(f64) -> f64,
+        net: impl Fn(f64) -> f64,
+    ) -> Vec<SnapshotRow> {
+        (0..servers)
+            .map(|s| SnapshotRow {
+                server: ServerId(pool * 1000 + s),
+                pool: PoolId(pool),
+                datacenter: DatacenterId(0),
+                online: true,
+                rps,
+                cpu_pct: 0.028 * rps + 1.37,
+                latency_p95_ms: 4.028e-5 * rps * rps - 0.031 * rps + 36.68,
+                disk_queue: disk(rps),
+                memory_pages_per_sec: pages(rps),
+                network_mbps: net(rps),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn binding_constraint_discovered_per_pool() {
+        // Four pools on identical CPU/latency curves (latency would bind at
+        // ~595 RPS/server under a 32.5 ms SLO) but different resource
+        // shapes; the planner must discover, per pool, which constraint
+        // actually binds — at a lower per-server workload than latency.
+        let config = OnlinePlannerConfig {
+            window_capacity: 300,
+            min_fit_windows: 30,
+            ..OnlinePlannerConfig::default()
+        };
+        let qos = QosRequirement::latency(32.5).with_cpu_ceiling(90.0);
+        let mut planner = OnlinePlanner::new(config, qos);
+        for i in 0..120u64 {
+            let rps = 200.0 + 150.0 * ((i as f64 / 60.0) * std::f64::consts::PI).sin().abs();
+            let mut rows = Vec::new();
+            // Pool 0: workload-flat disk/paging, light network — latency binds.
+            rows.extend(rows_shaped(0, rps, 8, |_| 1.0, |_| 4_000.0, |r| 0.32 * r));
+            // Pool 1: disk queue grows with RPS, crossing 24 at 470 RPS/server.
+            rows.extend(rows_shaped(1, rps, 8, |r| 0.5 + 0.05 * r, |_| 4_000.0, |r| 0.32 * r));
+            // Pool 2: paging tracks RPS, crossing 60k pages/s at ~387.
+            rows.extend(rows_shaped(2, rps, 8, |_| 1.0, |r| 2_000.0 + 150.0 * r, |r| 0.32 * r));
+            // Pool 3: 20 Mbps per RPS crosses the 9 Gbps limit at 450.
+            rows.extend(rows_shaped(3, rps, 8, |_| 1.0, |_| 4_000.0, |r| 20.0 * r));
+            planner.observe(&WindowSnapshot { window: WindowIndex(i), rows: &rows });
+        }
+        let a = planner.assessments();
+        assert_eq!(a[&PoolId(0)].binding, BindingConstraint::Latency);
+        assert_eq!(a[&PoolId(1)].binding, BindingConstraint::Resource(Resource::DiskQueue));
+        assert_eq!(a[&PoolId(2)].binding, BindingConstraint::Resource(Resource::MemoryPages));
+        assert_eq!(a[&PoolId(3)].binding, BindingConstraint::Resource(Resource::Network));
+        // A tighter constraint means more servers for the same demand: the
+        // disk-bound pool sizes off 470 RPS/server, the latency pool off ~595.
+        assert!(
+            a[&PoolId(1)].sizing.min_servers > a[&PoolId(0)].sizing.min_servers,
+            "disk-bound pool needs more capacity: {} vs {}",
+            a[&PoolId(1)].sizing.min_servers,
+            a[&PoolId(0)].sizing.min_servers
+        );
+        assert_eq!(BindingConstraint::Latency.resource(), None);
+        assert_eq!(
+            a[&PoolId(1)].binding.resource(),
+            Some(Resource::DiskQueue),
+            "accessor agrees with the variant"
+        );
+    }
+
+    #[test]
+    fn baseline_saturated_resource_reports_unreachable() {
+        // Disk queue sits above its limit even at zero workload (intercept
+        // 30 > limit 24) while still workload-coupled: no allocation can
+        // satisfy the disk SLO, so — exactly like an unreachable latency
+        // SLO — the planner must keep the allocation, flag the pool, and
+        // name the resource, not silently size from CPU/latency.
+        let config = OnlinePlannerConfig {
+            window_capacity: 300,
+            min_fit_windows: 30,
+            ..OnlinePlannerConfig::default()
+        };
+        let mut planner =
+            OnlinePlanner::new(config, QosRequirement::latency(32.5).with_cpu_ceiling(90.0));
+        let mut recs = Vec::new();
+        for i in 0..120u64 {
+            let rps = 200.0 + 150.0 * ((i as f64 / 60.0) * std::f64::consts::PI).sin().abs();
+            let rows = rows_shaped(0, rps, 8, |r| 30.0 + 0.01 * r, |_| 4_000.0, |r| 0.32 * r);
+            planner.observe(&WindowSnapshot { window: WindowIndex(i), rows: &rows });
+            recs.extend(planner.drain_recommendations());
+        }
+        let a = &planner.assessments()[&PoolId(0)];
+        assert!(!a.slo_reachable, "disk SLO is unreachable at any size");
+        assert_eq!(a.binding, BindingConstraint::Resource(Resource::DiskQueue));
+        assert_eq!(a.sizing.min_servers, a.sizing.current_servers);
+        assert_eq!(a.band, HeadroomBand::Exhausted);
+        assert!(recs.is_empty(), "no recommendation from an unreachable SLO: {recs:?}");
     }
 
     #[test]

@@ -2,9 +2,9 @@
 //!
 //! [`PoolShard`] is the unit of the shard-and-merge planner core: it owns
 //! *everything* the planner knows about one pool — the sliding aggregate
-//! window, both response fits, the streaming latency quantile, drift
-//! detection, exhaustion projection, and the recommendation hysteresis
-//! state. Because a shard never reads another pool's state, any number of
+//! window, one response fit per resource plus the latency quadratic, the
+//! streaming latency quantile, drift detection, exhaustion projection, and
+//! the recommendation hysteresis state. Because a shard never reads another pool's state, any number of
 //! shards can be driven concurrently and the fleet view is a deterministic
 //! merge of their outputs (see [`crate::sweep::SweepEngine`]).
 //!
@@ -21,14 +21,18 @@
 use headroom_core::sizing::PoolSizing;
 use headroom_core::slo::QosRequirement;
 use headroom_stats::quantile_stream::P2Quantile;
-use headroom_stats::{MonotonicMaxDeque, OrderStatsMultiset, StreamingLinReg, StreamingQuadFit};
+use headroom_stats::{
+    FitArray, MonotonicMaxDeque, OrderStatsMultiset, StreamingLinReg, StreamingQuadFit,
+};
+use headroom_telemetry::counter::Resource;
 use headroom_telemetry::ids::PoolId;
 use headroom_telemetry::time::WindowIndex;
 
 use crate::drift::DriftDetector;
 use crate::exhaustion::ExhaustionProjector;
 use crate::planner::{
-    OnlinePlannerConfig, PoolAssessment, PoolWindowAggregate, ResizeAction, ResizeRecommendation,
+    BindingConstraint, OnlinePlannerConfig, PoolAssessment, PoolWindowAggregate, ResizeAction,
+    ResizeRecommendation,
 };
 use crate::ring::RingWindow;
 
@@ -43,7 +47,10 @@ use crate::ring::RingWindow;
 #[derive(Debug, Clone)]
 pub struct PoolShard {
     window: RingWindow<PoolWindowAggregate>,
-    cpu: StreamingLinReg,
+    /// One workload→utilization line per [`Resource`] (CPU, disk queue,
+    /// paging, network), indexed by [`Resource::index`]. A fixed-size
+    /// inline array: updating every resource costs no allocation.
+    resources: FitArray<StreamingLinReg, { Resource::COUNT }>,
     latency: StreamingQuadFit,
     latency_stream: P2Quantile,
     drift: DriftDetector,
@@ -70,7 +77,7 @@ impl PoolShard {
     pub fn new(config: &OnlinePlannerConfig) -> Self {
         PoolShard {
             window: RingWindow::new(config.window_capacity),
-            cpu: StreamingLinReg::new(),
+            resources: FitArray::new(),
             latency: StreamingQuadFit::new(),
             latency_stream: P2Quantile::new(0.95).expect("0.95 is a valid quantile"),
             drift: DriftDetector::new(config.drift),
@@ -105,14 +112,18 @@ impl PoolShard {
     /// statistics, O(1) for everything else.
     pub fn observe(&mut self, agg: PoolWindowAggregate) {
         if let Some(evicted) = self.window.push(agg) {
-            self.cpu.remove(evicted.rps_per_server, evicted.cpu_pct);
+            for r in Resource::ALL {
+                self.resources[r.index()].remove(evicted.rps_per_server, evicted.utilization(r));
+            }
             self.latency.remove(evicted.rps_per_server, evicted.latency_p95_ms);
             // total_rps() is a pure function of the evicted row, so the
             // removal hits the exact value inserted when it arrived.
             self.totals.remove(evicted.total_rps());
             self.alloc.evict(evicted.active_servers);
         }
-        self.cpu.push(agg.rps_per_server, agg.cpu_pct);
+        for r in Resource::ALL {
+            self.resources[r.index()].push(agg.rps_per_server, agg.utilization(r));
+        }
         self.latency.push(agg.rps_per_server, agg.latency_p95_ms);
         self.latency_stream.observe(agg.latency_p95_ms);
         self.projector.observe(agg.window, agg.total_rps());
@@ -123,10 +134,11 @@ impl PoolShard {
         // sub-window against the established long fit and, on a hit,
         // invalidates everything the fits learned before the shift.
         self.drift.observe(agg.rps_per_server, agg.cpu_pct);
-        if let Ok(reference) = self.cpu.fit() {
-            if self.drift.check(&reference, self.cpu.len()).is_some() {
+        let cpu = &self.resources[Resource::Cpu.index()];
+        if let Ok(reference) = cpu.fit() {
+            if self.drift.check(&reference, cpu.len()).is_some() {
                 self.window.clear();
-                self.cpu.clear();
+                self.resources.clear();
                 self.latency.clear();
                 self.latency_stream = P2Quantile::new(0.95).expect("valid quantile");
                 self.drift.reset();
@@ -149,24 +161,58 @@ impl PoolShard {
     /// (except that the answer is not clamped to the current allocation —
     /// see the Grow comment below).
     fn assess(&self, window: WindowIndex, qos: &QosRequirement) -> Option<PoolAssessment> {
-        let cpu_fit = self.cpu.fit().ok()?;
+        let cpu_fit = self.resources[Resource::Cpu.index()].fit().ok()?;
         let (lat_poly, lat_r2) = self.latency.fit().ok()?;
 
         let current_servers = self.alloc.max()?.max(1);
         let peak_total = self.totals.percentile(99.0).ok()?;
 
-        // Per-server workload at the QoS limit: the binding constraint of
-        // the latency SLO and the CPU guardrail. As in the batch
-        // CapacityForecaster::max_rps_per_server, *both* constraints must be
-        // invertible — an unreachable latency SLO keeps the current
-        // allocation rather than silently sizing from CPU alone.
+        // Per-server workload at the QoS limit — and *which* constraint
+        // binds there. As in the batch CapacityForecaster::max_rps_per_server,
+        // the latency SLO and the CPU guardrail must both be invertible —
+        // an unreachable latency SLO keeps the current allocation rather
+        // than silently sizing from CPU alone. The secondary resources
+        // (disk queue, paging, network) participate only when their fitted
+        // response actually correlates with workload (positive slope): a
+        // workload-flat counter — Fig. 2's "vertical patterns" — can never
+        // be satisfied by adding servers, so it never binds.
         let rps_latency = lat_poly.solve_quadratic(qos.latency_p95_ms).ok();
         let rps_cpu = cpu_fit.solve_for_x(qos.cpu_ceiling_pct).ok();
-        let rps_at_slo = match (rps_latency, rps_cpu) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            _ => None,
-        }
-        .filter(|r| *r > 0.0);
+        let (rps_at_slo, binding) = match (rps_latency, rps_cpu) {
+            (Some(lat), Some(cpu)) => {
+                let (mut best, mut binding) = if cpu < lat {
+                    (cpu, BindingConstraint::Resource(Resource::Cpu))
+                } else {
+                    (lat, BindingConstraint::Latency)
+                };
+                // A workload-coupled resource already over its limit at
+                // zero workload (positive slope, crossing at rps <= 0) can
+                // never be satisfied by adding servers — that is the
+                // unreachable-SLO case, not a constraint to skip.
+                let mut unreachable = None;
+                for r in [Resource::DiskQueue, Resource::MemoryPages, Resource::Network] {
+                    let Ok(fit) = self.resources[r.index()].fit() else { continue };
+                    if fit.slope <= 0.0 {
+                        continue;
+                    }
+                    let Ok(rps) = fit.solve_for_x(qos.resource_limit(r)) else { continue };
+                    if rps <= 0.0 {
+                        unreachable.get_or_insert(r);
+                    } else if rps < best {
+                        best = rps;
+                        binding = BindingConstraint::Resource(r);
+                    }
+                }
+                match unreachable {
+                    Some(r) => (None, BindingConstraint::Resource(r)),
+                    None => (Some(best).filter(|r| *r > 0.0), binding),
+                }
+            }
+            // Whichever of the two mandatory constraints failed to invert
+            // is reported as binding on the unreachable path.
+            (None, _) => (None, BindingConstraint::Latency),
+            (_, None) => (None, BindingConstraint::Resource(Resource::Cpu)),
+        };
 
         let (min_servers, supportable, slo_reachable) = match rps_at_slo {
             Some(rps) => {
@@ -194,6 +240,7 @@ impl PoolShard {
             },
             window,
             band: projection.band,
+            binding,
             projection,
             cpu_r_squared: cpu_fit.r_squared,
             latency_r_squared: lat_r2,

@@ -63,6 +63,50 @@ type ChunkItem = (PoolId, Option<PoolAssessment>, Option<ResizeRecommendation>);
 /// Wraps the planning state of a whole fleet; [`crate::OnlinePlanner`] is a
 /// thin facade over this type. Use it directly when driving partitioned
 /// snapshots or tuning the fan-out width.
+///
+/// # Example
+///
+/// Two pools planned from hand-rolled snapshot rows; the fan-out width is
+/// purely an execution knob:
+///
+/// ```
+/// use headroom_cluster::sim::{SnapshotRow, WindowSnapshot};
+/// use headroom_core::slo::QosRequirement;
+/// use headroom_online::planner::OnlinePlannerConfig;
+/// use headroom_online::sweep::SweepEngine;
+/// use headroom_telemetry::ids::{DatacenterId, PoolId, ServerId};
+/// use headroom_telemetry::time::WindowIndex;
+///
+/// let config = OnlinePlannerConfig {
+///     window_capacity: 48,
+///     min_fit_windows: 12,
+///     threads: 2,
+///     ..OnlinePlannerConfig::default()
+/// };
+/// let qos = QosRequirement::latency(32.5).with_cpu_ceiling(90.0);
+/// let mut engine = SweepEngine::new(config, qos);
+/// for w in 0..40u64 {
+///     let mut rows = Vec::new();
+///     for pool in 0..2u32 {
+///         let rps = 250.0 + 40.0 * pool as f64 + (w % 13) as f64 * 9.0;
+///         rows.extend((0..6).map(|s| SnapshotRow {
+///             server: ServerId(pool * 100 + s),
+///             pool: PoolId(pool),
+///             datacenter: DatacenterId(0),
+///             online: true,
+///             rps,
+///             cpu_pct: 0.028 * rps + 1.37,
+///             latency_p95_ms: 4.028e-5 * rps * rps - 0.031 * rps + 36.68,
+///             disk_queue: 1.0,
+///             memory_pages_per_sec: 4_000.0,
+///             network_mbps: 0.32 * rps,
+///         }));
+///     }
+///     engine.observe(&WindowSnapshot { window: WindowIndex(w), rows: &rows });
+/// }
+/// assert_eq!(engine.assessments().len(), 2, "both pools planned");
+/// assert!(engine.live_workers() > 0, "persistent workers parked between windows");
+/// ```
 #[derive(Debug)]
 pub struct SweepEngine {
     config: OnlinePlannerConfig,
@@ -350,6 +394,9 @@ mod tests {
                 rps,
                 cpu_pct: 0.028 * rps + 1.37,
                 latency_p95_ms: 4.028e-5 * rps * rps - 0.031 * rps + 36.68,
+                disk_queue: 1.0,
+                memory_pages_per_sec: 4_000.0,
+                network_mbps: 0.32 * rps,
             })
             .collect()
     }

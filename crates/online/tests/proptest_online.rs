@@ -137,7 +137,7 @@ proptest! {
 mod sharding {
     use headroom_cluster::sim::{SnapshotRow, WindowSnapshot};
     use headroom_core::slo::QosRequirement;
-    use headroom_online::planner::{OnlinePlannerConfig, SweepExec};
+    use headroom_online::planner::{BindingConstraint, OnlinePlannerConfig, SweepExec};
     use headroom_online::sweep::SweepEngine;
     use headroom_telemetry::ids::{DatacenterId, PoolId, ServerId};
     use headroom_telemetry::time::WindowIndex;
@@ -171,6 +171,19 @@ mod sharding {
                         rps,
                         cpu_pct: 0.028 * rps + 1.37,
                         latency_p95_ms: 4.028e-5 * rps * rps - 0.031 * rps + 36.68,
+                        // Per-pool resource shape: pools where p % 3 == 1 are
+                        // disk-coupled, p % 3 == 2 network-heavy — so the
+                        // discovered binding constraint varies across the
+                        // fleet and its determinism is actually exercised.
+                        disk_queue: match p % 3 {
+                            1 => 0.5 + 0.04 * rps,
+                            _ => 1.0,
+                        },
+                        memory_pages_per_sec: 4_000.0,
+                        network_mbps: match p % 3 {
+                            2 => 16.0 * rps,
+                            _ => 0.32 * rps,
+                        },
                     });
                 }
             }
@@ -227,6 +240,44 @@ mod sharding {
             let recs = sequential.drain_recommendations();
             prop_assert_eq!(recs.clone(), scoped.drain_recommendations());
             prop_assert_eq!(recs, persistent.drain_recommendations());
+        }
+
+        /// The discovered binding constraint is part of every assessment
+        /// and must be *bit-identical* across sequential, scoped, and
+        /// persistent execution at any thread count — and the synthetic
+        /// fleet's per-pool resource shapes (CPU/latency-, disk-, and
+        /// network-bound) guarantee the property is exercised on a
+        /// non-trivial mix, not a fleet where one constraint always wins.
+        #[test]
+        fn binding_discovery_is_exec_invariant(
+            pool_sizes in prop::collection::vec(3usize..12, 3..9),
+            threads in 1usize..9,
+            phase in 0u64..50,
+        ) {
+            let sequential = drive(1, &pool_sizes, 70, phase);
+            let mut scoped = engine_with(threads, SweepExec::Scoped);
+            feed(&mut scoped, &pool_sizes, 0, 70, phase);
+            let mut persistent = engine_with(threads, SweepExec::Persistent);
+            feed(&mut persistent, &pool_sizes, 0, 70, phase);
+            let bindings = |e: &SweepEngine| -> Vec<(PoolId, BindingConstraint)> {
+                e.assessments().iter().map(|(p, a)| (*p, a.binding)).collect()
+            };
+            let expected = bindings(&sequential);
+            prop_assert!(!expected.is_empty(), "pools were planned");
+            prop_assert_eq!(&expected, &bindings(&scoped), "scoped diverged");
+            prop_assert_eq!(&expected, &bindings(&persistent), "persistent diverged");
+            // The three pool shapes (p % 3) bind on different constraints.
+            let mut seen: Vec<BindingConstraint> = Vec::new();
+            for &(_, b) in &expected {
+                if !seen.contains(&b) {
+                    seen.push(b);
+                }
+            }
+            prop_assert!(
+                seen.len() >= 2,
+                "a >=3-pool fleet must mix binding constraints, got {:?}",
+                seen
+            );
         }
 
         /// Changing the fan-out width mid-run (pool growing or parking

@@ -1,0 +1,145 @@
+//! Fixed-size arrays of streaming accumulators, indexed by resource.
+//!
+//! The multi-resource planner keeps one response fit *per resource* for
+//! every pool — a vector of accumulators that must shard and combine
+//! exactly like its elements do. [`FitArray`] is that vector: a plain
+//! `[F; N]` (no heap, `Copy` when the element is), where every bulk
+//! operation ([`Combine::combine`], [`clear`]) applies element-wise. Because
+//! the array is inline and fixed-size, adding it to per-pool shard state
+//! costs no allocation on the steady-state window path.
+//!
+//! # Example
+//!
+//! ```
+//! use headroom_stats::{Combine, FitArray, StreamingLinReg};
+//!
+//! // One workload→utilization fit per resource (here: 2 resources).
+//! let mut shard_a: FitArray<StreamingLinReg, 2> = FitArray::new();
+//! let mut shard_b: FitArray<StreamingLinReg, 2> = FitArray::new();
+//! for x in 0..50 {
+//!     let x = x as f64;
+//!     shard_a[0].push(x, 0.5 * x + 1.0);
+//!     shard_b[1].push(x, 2.0 * x - 3.0);
+//! }
+//! // Shard-and-combine: element-wise, exact.
+//! shard_a.combine(&shard_b);
+//! assert!((shard_a[0].fit().unwrap().slope - 0.5).abs() < 1e-12);
+//! assert!((shard_a[1].fit().unwrap().slope - 2.0).abs() < 1e-12);
+//! ```
+//!
+//! [`clear`]: FitArray::clear
+
+use std::ops::{Index, IndexMut};
+
+use crate::combine::Combine;
+
+/// A fixed-size array of `N` independent accumulators of type `F`.
+///
+/// Indexing is by `usize`; callers with a semantic axis (e.g. a resource
+/// enum) index with its stable integer mapping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitArray<F, const N: usize> {
+    fits: [F; N],
+}
+
+impl<F: Default, const N: usize> Default for FitArray<F, N> {
+    fn default() -> Self {
+        FitArray::new()
+    }
+}
+
+impl<F: Default, const N: usize> FitArray<F, N> {
+    /// An array of `N` empty accumulators.
+    pub fn new() -> Self {
+        FitArray { fits: std::array::from_fn(|_| F::default()) }
+    }
+
+    /// Resets every accumulator to its empty state.
+    pub fn clear(&mut self) {
+        for f in &mut self.fits {
+            *f = F::default();
+        }
+    }
+}
+
+impl<F, const N: usize> FitArray<F, N> {
+    /// The accumulators, in index order.
+    pub fn iter(&self) -> std::slice::Iter<'_, F> {
+        self.fits.iter()
+    }
+
+    /// Number of accumulators (always `N`).
+    pub fn len(&self) -> usize {
+        N
+    }
+
+    /// Whether the array holds no accumulators (`N == 0`).
+    pub fn is_empty(&self) -> bool {
+        N == 0
+    }
+}
+
+impl<F, const N: usize> Index<usize> for FitArray<F, N> {
+    type Output = F;
+
+    fn index(&self, i: usize) -> &F {
+        &self.fits[i]
+    }
+}
+
+impl<F, const N: usize> IndexMut<usize> for FitArray<F, N> {
+    fn index_mut(&mut self, i: usize) -> &mut F {
+        &mut self.fits[i]
+    }
+}
+
+impl<F: Combine, const N: usize> Combine for FitArray<F, N> {
+    /// Element-wise combine: index `i` absorbs the other array's index `i`.
+    fn combine(&mut self, other: &Self) {
+        for (a, b) in self.fits.iter_mut().zip(other.fits.iter()) {
+            a.combine(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::streaming::StreamingLinReg;
+
+    #[test]
+    fn combine_is_element_wise_merge() {
+        let mut whole: FitArray<StreamingLinReg, 3> = FitArray::new();
+        let mut left: FitArray<StreamingLinReg, 3> = FitArray::new();
+        let mut right: FitArray<StreamingLinReg, 3> = FitArray::new();
+        for i in 0..60 {
+            let x = 10.0 + i as f64 * 3.0;
+            for r in 0..3 {
+                let y = (r + 1) as f64 * x + r as f64;
+                whole[r].push(x, y);
+                if i < 30 {
+                    left[r].push(x, y);
+                } else {
+                    right[r].push(x, y);
+                }
+            }
+        }
+        left.combine(&right);
+        for r in 0..3 {
+            assert_eq!(left[r].len(), whole[r].len());
+            let (merged, single) = (left[r].fit().unwrap(), whole[r].fit().unwrap());
+            assert!((merged.slope - single.slope).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn clear_resets_every_element() {
+        let mut fits: FitArray<StreamingLinReg, 2> = FitArray::new();
+        fits[0].push(1.0, 2.0);
+        fits[1].push(3.0, 4.0);
+        fits.clear();
+        assert!(fits.iter().all(|f| f.is_empty()));
+        assert_eq!(fits.len(), 2);
+        assert!(!fits.is_empty());
+    }
+}

@@ -17,6 +17,8 @@
 //!   planner's per-window sizing path;
 //! - [`combine`] — the canonical shard-and-combine trait those streaming
 //!   accumulators implement;
+//! - [`fit_array`] — fixed-size per-resource arrays of accumulators (the
+//!   multi-resource fit vector), combining element-wise;
 //! - [`polyfit`] — least-squares polynomial fitting (the quadratic latency
 //!   models of §II-B);
 //! - [`ransac`] — RANSAC robust regression (the paper fits latency curves with
@@ -51,6 +53,7 @@ pub mod combine;
 pub mod correlation;
 pub mod dtree;
 pub mod error;
+pub mod fit_array;
 pub mod histogram;
 pub mod kmeans;
 pub mod linreg;
@@ -67,6 +70,7 @@ pub mod summary;
 
 pub use combine::Combine;
 pub use error::StatsError;
+pub use fit_array::FitArray;
 pub use linreg::LinearFit;
 pub use monotonic::MonotonicMaxDeque;
 pub use order_stats::OrderStatsMultiset;

@@ -109,6 +109,83 @@ impl fmt::Display for CounterKind {
     }
 }
 
+/// A sizeable server resource — one axis along which a pool can run out of
+/// capacity.
+///
+/// §II-A1 sizes each pool against its *limiting resource*: whichever of the
+/// Fig. 2 counters first crosses its safety threshold as workload grows.
+/// This enum is the fixed vocabulary the planner fits one response curve
+/// per entry for; the indices are stable, so per-resource state can live in
+/// plain `[T; Resource::COUNT]` arrays with no per-window allocation.
+///
+/// # Example
+///
+/// ```
+/// use headroom_telemetry::counter::{CounterKind, Resource};
+///
+/// let mut utilization = [0.0f64; Resource::COUNT];
+/// utilization[Resource::DiskQueue.index()] = 3.5;
+/// assert_eq!(Resource::ALL[Resource::DiskQueue.index()], Resource::DiskQueue);
+/// assert_eq!(Resource::Cpu.counter(), CounterKind::CpuPercent);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Resource {
+    /// Processor utilisation, percent (0–100).
+    Cpu,
+    /// Instantaneous disk queue length.
+    DiskQueue,
+    /// Memory paging activity, pages per second.
+    MemoryPages,
+    /// Network throughput, megabits per second (in + out).
+    Network,
+}
+
+impl Resource {
+    /// Number of resources — the length of every per-resource array.
+    pub const COUNT: usize = 4;
+
+    /// Every resource, in index order (`ALL[r.index()] == r`).
+    pub const ALL: [Resource; Resource::COUNT] =
+        [Resource::Cpu, Resource::DiskQueue, Resource::MemoryPages, Resource::Network];
+
+    /// The stable array index of this resource.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The raw counter this resource's utilization is *derived* from.
+    ///
+    /// For [`Resource::Network`] the planner-side utilization unit is
+    /// megabits per second, not the raw [`CounterKind::NetworkBytesPerSec`]
+    /// reading: convert with `mbps = bytes_per_sec * 8 / 1e6` before
+    /// feeding planner aggregates or comparing against a
+    /// network limit. The other resources use their counter's unit as-is.
+    pub fn counter(self) -> CounterKind {
+        match self {
+            Resource::Cpu => CounterKind::CpuPercent,
+            Resource::DiskQueue => CounterKind::DiskQueueLength,
+            Resource::MemoryPages => CounterKind::MemoryPagesPerSec,
+            Resource::Network => CounterKind::NetworkBytesPerSec,
+        }
+    }
+
+    /// Short name used in reports and experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Resource::Cpu => "cpu",
+            Resource::DiskQueue => "disk-queue",
+            Resource::MemoryPages => "memory-pages",
+            Resource::Network => "network",
+        }
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Identifies the workload a counter sample is attributed to.
 ///
 /// `Total` is the raw whole-server counter the operating system exposes.
@@ -172,6 +249,16 @@ mod tests {
         assert_eq!(WorkloadTag::PRIMARY, WorkloadTag::Workload(0));
         assert_eq!(WorkloadTag::PRIMARY.to_string(), "workload-0");
         assert_eq!(WorkloadTag::Total.to_string(), "total");
+    }
+
+    #[test]
+    fn resource_indices_are_stable() {
+        for (i, r) in Resource::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i, "{r} index drifted");
+            assert!(r.counter().is_resource(), "{r} maps to a resource counter");
+        }
+        assert_eq!(Resource::ALL.len(), Resource::COUNT);
+        assert_eq!(Resource::Network.to_string(), "network");
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod series;
 pub mod store;
 pub mod time;
 
-pub use counter::CounterKind;
+pub use counter::{CounterKind, Resource};
 pub use ids::{DatacenterId, PoolId, ServerId};
 pub use store::MetricStore;
 pub use time::{SimTime, WindowIndex, WINDOW_SECONDS};

@@ -11,11 +11,29 @@
 //!   must reproduce, §II-C);
 //! - [`events`] — scripted unplanned events: the regional surges and
 //!   datacenter losses behind the paper's *natural experiments* (Figs. 4–6);
+//! - [`resource_profile`] — per-request resource intensity shapes (disk-,
+//!   memory-, network-heavy) so scenarios exist where a resource other than
+//!   CPU binds first (§II-A1's limiting resource);
 //! - [`trace`] — recorded workload traces;
 //! - [`synthetic`] — replayable synthetic workloads fit to a production
 //!   trace, with an equivalence check (methodology step 3);
 //! - [`stepped`] — the stepped load ramps used by offline regression
 //!   analysis (methodology step 4, Fig. 16).
+//!
+//! # Example
+//!
+//! A diurnal demand curve peaking at 14:00 local, sampled noise-free:
+//!
+//! ```
+//! use headroom_telemetry::time::SimTime;
+//! use headroom_workload::DiurnalCurve;
+//!
+//! let curve = DiurnalCurve::new(1.0).with_peak_hour(14.0).with_peak_demand(10_000.0);
+//! let peak = curve.mean_demand(SimTime::from_hours(14.0));
+//! let night = curve.mean_demand(SimTime::from_hours(2.0));
+//! assert!((peak - 10_000.0).abs() < 100.0, "peak hits the target");
+//! assert!(night < peak * 0.6, "demand falls away overnight");
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +41,7 @@
 pub mod diurnal;
 pub mod events;
 pub mod mix;
+pub mod resource_profile;
 pub mod stepped;
 pub mod synthetic;
 pub mod trace;
@@ -30,5 +49,6 @@ pub mod trace;
 pub use diurnal::DiurnalCurve;
 pub use events::{EventEffect, EventScript, ScheduledEvent};
 pub use mix::RequestMix;
+pub use resource_profile::ResourceProfile;
 pub use synthetic::SyntheticWorkload;
 pub use trace::WorkloadTrace;

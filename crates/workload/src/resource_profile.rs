@@ -1,0 +1,133 @@
+//! Per-resource demand shaping.
+//!
+//! §II-A1 of the paper sizes each pool against its *limiting resource* —
+//! and which resource limits depends on what each request costs. A search
+//! front-end burns CPU per request; a log-ingest tier queues disk writes; a
+//! CDN edge moves bytes. [`ResourceProfile`] captures that per-request cost
+//! shape in service-model-agnostic units, so scenario builders can deploy
+//! fleets where disk or network — not CPU — binds first and a planner's
+//! binding-constraint discovery has something real to discover.
+//!
+//! The profile is plain demand-side data: the cluster crate's service
+//! models consume it to shape their response curves
+//! (`ServiceModel::with_resource_profile`), and the `repro multi_resource`
+//! experiment derives its synthetic ground truth from the same numbers.
+//!
+//! # Example
+//!
+//! ```
+//! use headroom_workload::resource_profile::ResourceProfile;
+//!
+//! let disk = ResourceProfile::disk_heavy();
+//! let cpu = ResourceProfile::cpu_only();
+//! // Disk-heavy requests queue far more disk I/O per request…
+//! assert!(disk.disk_queue_per_rps > 10.0 * cpu.disk_queue_per_rps);
+//! // …and a profile can be scaled to model heavier requests uniformly.
+//! let heavy = disk.scaled(2.0);
+//! assert_eq!(heavy.disk_queue_per_rps, disk.disk_queue_per_rps * 2.0);
+//! ```
+
+/// Per-request resource intensity of a workload.
+///
+/// All rates are *per request per second* at the server, on top of the
+/// workload-independent baselines carried by the service model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceProfile {
+    /// Disk queue length added per RPS (queued I/O operations).
+    pub disk_queue_per_rps: f64,
+    /// Memory paging added per RPS (pages/sec).
+    pub pages_per_rps: f64,
+    /// Network bytes moved per request (both directions).
+    pub net_bytes_per_req: f64,
+}
+
+impl ResourceProfile {
+    /// A CPU-dominated workload: negligible per-request disk queueing or
+    /// paging, modest payloads. Disk/memory/network stay workload-flat
+    /// ("the vertical patterns" of Fig. 2), so CPU or latency binds.
+    pub fn cpu_only() -> Self {
+        ResourceProfile { disk_queue_per_rps: 0.0, pages_per_rps: 0.0, net_bytes_per_req: 40_000.0 }
+    }
+
+    /// A disk-bound workload (log ingest, write-heavy storage): every
+    /// request queues I/O, so disk queue depth grows linearly with RPS and
+    /// crosses its safety threshold long before CPU warms up.
+    pub fn disk_heavy() -> Self {
+        ResourceProfile {
+            disk_queue_per_rps: 0.02,
+            pages_per_rps: 2.0,
+            net_bytes_per_req: 30_000.0,
+        }
+    }
+
+    /// A memory-bound workload (cache-miss-heavy storage): requests fault
+    /// pages in, so paging rate tracks RPS.
+    pub fn memory_heavy() -> Self {
+        ResourceProfile {
+            disk_queue_per_rps: 0.002,
+            pages_per_rps: 60.0,
+            net_bytes_per_req: 25_000.0,
+        }
+    }
+
+    /// A network-bound workload (CDN edge, media delivery): large payloads
+    /// per request saturate the NIC before anything else.
+    pub fn network_heavy() -> Self {
+        ResourceProfile {
+            disk_queue_per_rps: 0.001,
+            pages_per_rps: 1.0,
+            net_bytes_per_req: 450_000.0,
+        }
+    }
+
+    /// The same shape with every per-request cost multiplied by `factor`
+    /// (e.g. a release that doubles payload sizes).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is not positive and finite.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor.is_finite(), "scale factor must be positive");
+        ResourceProfile {
+            disk_queue_per_rps: self.disk_queue_per_rps * factor,
+            pages_per_rps: self.pages_per_rps * factor,
+            net_bytes_per_req: self.net_bytes_per_req * factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_bind_on_their_namesake() {
+        // Each preset's namesake intensity dominates the other presets'.
+        assert!(
+            ResourceProfile::disk_heavy().disk_queue_per_rps
+                > ResourceProfile::memory_heavy().disk_queue_per_rps
+        );
+        assert!(
+            ResourceProfile::memory_heavy().pages_per_rps
+                > ResourceProfile::disk_heavy().pages_per_rps
+        );
+        assert!(
+            ResourceProfile::network_heavy().net_bytes_per_req
+                > 10.0 * ResourceProfile::cpu_only().net_bytes_per_req
+        );
+    }
+
+    #[test]
+    fn scaling_is_uniform() {
+        let p = ResourceProfile::network_heavy();
+        let s = p.scaled(3.0);
+        assert_eq!(s.pages_per_rps, p.pages_per_rps * 3.0);
+        assert_eq!(s.net_bytes_per_req, p.net_bytes_per_req * 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_panics() {
+        let _ = ResourceProfile::cpu_only().scaled(0.0);
+    }
+}
