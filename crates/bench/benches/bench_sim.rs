@@ -1,8 +1,12 @@
 //! Simulator throughput benchmarks: windows simulated per second for
-//! representative fleets and recording policies.
+//! representative fleets and recording policies, plus the bare per-window
+//! step cost in both snapshot layouts — isolated from the planner, so a
+//! `BENCH_sweep.json` regression can be attributed to the simulator layer
+//! or the ingestion layer rather than guessed at.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use headroom_cluster::catalog::MicroserviceKind;
+use headroom_cluster::scenario::FleetScenario;
 use headroom_cluster::sim::{RecordingPolicy, SimConfig, Simulation};
 use headroom_cluster::topology::{Fleet, FleetBuilder};
 use std::hint::black_box;
@@ -30,10 +34,46 @@ fn bench_sim_day(c: &mut Criterion) {
                 let mut sim = Simulation::new(
                     fleet(50),
                     Default::default(),
-                    SimConfig { seed: 3, recording: policy, track_availability: true },
+                    SimConfig {
+                        seed: 3,
+                        recording: policy,
+                        track_availability: true,
+                        ..SimConfig::default()
+                    },
                 );
                 sim.run_windows(black_box(30));
                 sim.store().sample_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Bare simulator step per window — no planner attached — in both
+/// snapshot layouts, on the paper-shaped 81-pool fleet. The columnar and
+/// row paths are bit-identical in output (`repro colsim`), so any delta
+/// here is pure layout/kernel cost; any growth over PRs is a simulator
+/// regression, not a planner one.
+fn bench_sim_step_layouts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_step_per_window");
+    group.sample_size(20);
+    for (name, columnar) in [("rows", false), ("columns", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &columnar, |b, &columnar| {
+            let mut sim = FleetScenario::paper_scale(7, 0.05)
+                .with_recording(RecordingPolicy::SnapshotOnly)
+                .into_simulation();
+            // Warm the reusable buffers out of the measurement.
+            if columnar {
+                sim.step_columns_partitioned();
+            } else {
+                sim.step_snapshot_partitioned();
+            }
+            b.iter(|| {
+                if columnar {
+                    black_box(sim.step_columns_partitioned().columns.len())
+                } else {
+                    black_box(sim.step_snapshot_partitioned().rows.len())
+                }
             })
         });
     }
@@ -57,5 +97,5 @@ fn bench_store_queries(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sim_day, bench_store_queries);
+criterion_group!(benches, bench_sim_day, bench_sim_step_layouts, bench_store_queries);
 criterion_main!(benches);

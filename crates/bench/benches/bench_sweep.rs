@@ -13,20 +13,27 @@
 //!    `exec=scoped/…` rows measuring the legacy spawn-per-window shape at
 //!    81 pools for contrast. The persistent pool's hand-off is ~µs, so the
 //!    `threads > 1` crossover moves down to small fleets where the scoped
-//!    shape lost outright.
+//!    shape lost outright. `fleet_scaling_columns/*` runs the
+//!    struct-of-arrays ingestion over the same recorded workload up to
+//!    16384 pools — the hot path of the columnar snapshot pipeline.
 //! 3. **sublinear replan cost** — `p99_peak/*` isolates the windowed-peak
-//!    query: the order-statistics multiset pays O(log W) per window
-//!    (insert + evict + two rank selections) where the old sort-based path
-//!    paid O(W log W). Growing W by 16x should barely move the incremental
-//!    rows while the sort rows grow superlinearly.
+//!    query three ways: the treap multiset (O(log W) operations, pointer
+//!    walks), the sorted contiguous column the shard uses now (O(W) moved
+//!    bytes, one streaming memmove, O(1) percentile), and the sort-based
+//!    path the original assess loop paid (O(W log W)). All three are
+//!    bit-identical in output; the rows show why the sorted column wins at
+//!    planning-scale windows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use headroom_bench::synthetic::{synthetic_snapshots, warmed_engine, RecordedWindow};
+use headroom_bench::synthetic::{
+    synthetic_columns, synthetic_snapshots, warmed_engine, warmed_engine_columns, RecordedWindow,
+};
+use headroom_cluster::columns::ColumnarSnapshot;
 use headroom_cluster::scenario::FleetScenario;
 use headroom_cluster::sim::{PartitionedSnapshot, RecordingPolicy};
 use headroom_online::planner::{OnlinePlannerConfig, SweepExec};
 use headroom_stats::percentile::percentile;
-use headroom_stats::OrderStatsMultiset;
+use headroom_stats::{OrderStatsMultiset, SortedWindow};
 use headroom_telemetry::time::WindowIndex;
 use std::hint::black_box;
 
@@ -137,6 +144,44 @@ fn bench_fleet_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Columnar ingestion over the same synthetic workload as `fleet_scaling`
+/// — the struct-of-arrays hot path at fleet scale (16384 pools included,
+/// where contiguous column streaming matters most). Bit-identical outputs
+/// to the row cells by construction; only the layout cost differs.
+fn bench_fleet_scaling_columns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_scaling_columns");
+    for pools in [81u32, 4096, 16384] {
+        let snapshots = synthetic_snapshots(pools, 3, 72);
+        let columns = synthetic_columns(&snapshots);
+        for threads in [1usize, 4] {
+            let config = OnlinePlannerConfig {
+                window_capacity: 48,
+                min_fit_windows: 24,
+                threads,
+                ..OnlinePlannerConfig::default()
+            };
+            let mut engine = warmed_engine_columns(&columns, config);
+            let mut next = columns.len() as u64;
+            let mut cursor = 0usize;
+            group.bench_function(BenchmarkId::new(format!("pools={pools}"), threads), |b| {
+                b.iter(|| {
+                    let (cols, slices) = &columns[cursor];
+                    let snap = ColumnarSnapshot {
+                        window: WindowIndex(next),
+                        columns: cols,
+                        pools: slices,
+                    };
+                    engine.observe_columns(black_box(&snap));
+                    next += 1;
+                    cursor = (cursor + 1) % columns.len();
+                    engine.drain_recommendations().len()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 /// One synthetic total-workload stream, long enough for the largest window.
 fn workload_stream(n: usize) -> Vec<f64> {
     let mut x = 9u64;
@@ -171,6 +216,26 @@ fn bench_order_statistics(c: &mut Criterion) {
             })
         });
 
+        // Sorted contiguous column: what the shard actually uses now —
+        // O(W) moved bytes per window, but one streaming memmove with an
+        // O(1) percentile, so it beats the treap's pointer walks at
+        // planning-scale windows (and stays bit-identical to both).
+        let mut sorted = SortedWindow::with_capacity(window);
+        for &v in &stream[..window] {
+            sorted.insert(v);
+        }
+        let mut head = window;
+        let mut tail = 0usize;
+        group.bench_function(BenchmarkId::new("sorted_column", window), |b| {
+            b.iter(|| {
+                sorted.insert(stream[head % stream.len()]);
+                sorted.remove(stream[tail % stream.len()]);
+                head += 1;
+                tail += 1;
+                black_box(sorted.percentile(99.0).unwrap())
+            })
+        });
+
         // Sort-based: what the pre-refactor assess path paid per window.
         let values = &stream[..window];
         group.bench_function(BenchmarkId::new("sort", window), |b| {
@@ -180,5 +245,11 @@ fn bench_order_statistics(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_thread_scaling, bench_fleet_scaling, bench_order_statistics);
+criterion_group!(
+    benches,
+    bench_thread_scaling,
+    bench_fleet_scaling,
+    bench_fleet_scaling_columns,
+    bench_order_statistics
+);
 criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! The shared steady-state zero-allocation fixture.
+//!
+//! Three gates measure the same contract — a warmed, non-replan window of
+//! the full simulator→ingestion pipeline performs zero heap allocations —
+//! on the row layout (`repro sweep`), the columnar layout (`repro
+//! colsim`), and both across thread counts (the `alloc_steady_state`
+//! integration test). They must all drive the *same* workload, or a
+//! layout-specific allocation regression could hide behind a fixture
+//! drift; this module is the single definition of that workload.
+
+use headroom_cluster::catalog::MicroserviceKind;
+use headroom_cluster::sim::{RecordingPolicy, SimConfig, Simulation};
+use headroom_cluster::topology::FleetBuilder;
+use headroom_core::slo::QosRequirement;
+use headroom_exec::alloc_track;
+use headroom_online::planner::OnlinePlannerConfig;
+use headroom_online::sweep::SweepEngine;
+use headroom_workload::events::EventScript;
+
+/// Windows per replan in the fixture; measured windows dodge the cadence.
+pub const REPLAN_EVERY: u64 = 16;
+/// Warm-up length: fills the sliding window, the fits, and every scratch
+/// buffer, includes many replans (so output buffers hold capacity), and
+/// ends exactly on a replan tick.
+pub const WARM_WINDOWS: u64 = 25 * REPLAN_EVERY;
+/// Windows measured after warm-up.
+pub const MEASURED_WINDOWS: u64 = 10;
+
+/// One warmed simulator + engine pair on the canonical fixture fleet
+/// (3 DCs × service B × 12 servers, no failures/incidents, SnapshotOnly,
+/// replan every 16 windows), driven through the requested snapshot layout.
+pub fn warmed(threads: usize, columnar: bool) -> (Simulation, SweepEngine) {
+    let fleet = FleetBuilder::new(11)
+        .datacenters(3)
+        .without_failures()
+        .without_incidents()
+        .deploy_service(MicroserviceKind::B, 12)
+        .expect("catalog service deploys")
+        .build();
+    let sim_config = SimConfig {
+        seed: 11,
+        recording: RecordingPolicy::SnapshotOnly,
+        track_availability: false,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::new(fleet, EventScript::empty(), sim_config);
+    let config = OnlinePlannerConfig {
+        window_capacity: 64,
+        min_fit_windows: 32,
+        replan_every: REPLAN_EVERY,
+        threads,
+        ..OnlinePlannerConfig::default()
+    };
+    let mut engine = SweepEngine::new(config, QosRequirement::latency(50.0).with_cpu_ceiling(90.0));
+    for _ in 0..WARM_WINDOWS {
+        if columnar {
+            let snap = sim.step_columns_partitioned();
+            engine.observe_columns(&snap);
+        } else {
+            let snap = sim.step_snapshot_partitioned();
+            engine.observe_partitioned(&snap);
+        }
+    }
+    engine.drain_recommendations();
+    (sim, engine)
+}
+
+/// Counts heap allocations over [`MEASURED_WINDOWS`] warmed, non-replan
+/// windows of the full pipeline in the requested layout. Meaningful only
+/// when [`alloc_track::is_tracking`] (the `repro` binary or the dedicated
+/// integration test install the counting allocator); always 0 otherwise.
+///
+/// # Panics
+///
+/// Panics when the fixture itself is broken — warm-up not ending on a
+/// replan tick, or the fleet unplanned/urgent (an urgent pool legitimately
+/// replans every window, which would make a nonzero count a fixture bug,
+/// not an allocation-contract violation).
+pub fn measure_steady_state_allocs(threads: usize, columnar: bool) -> u64 {
+    let (mut sim, mut engine) = warmed(threads, columnar);
+    assert!(
+        engine.windows_seen().is_multiple_of(REPLAN_EVERY),
+        "alloc fixture: warm-up must end on a replan tick"
+    );
+    assert!(
+        !engine.assessments().is_empty()
+            && engine.assessments().values().all(|a| !a.band.needs_capacity()),
+        "alloc fixture: the measured fleet must be planned and non-urgent"
+    );
+    let before = alloc_track::allocations();
+    for _ in 0..MEASURED_WINDOWS {
+        if columnar {
+            let snap = sim.step_columns_partitioned();
+            engine.observe_columns(&snap);
+        } else {
+            let snap = sim.step_snapshot_partitioned();
+            engine.observe_partitioned(&snap);
+        }
+    }
+    alloc_track::allocations() - before
+}

@@ -1,0 +1,396 @@
+//! The columnar↔row bit-identity gate for the whole simulator→ingestion
+//! pipeline.
+//!
+//! Not a paper artifact: `repro colsim` is the acceptance gate of the
+//! struct-of-arrays snapshot pipeline. The columnar data path
+//! (`Simulation::step_columns_partitioned` →
+//! `SweepEngine::observe_columns`) must be a pure *layout* change — same
+//! RNG stream, same stored counters, same planner decisions, byte for
+//! byte. Three contracts are checked, and any violation fails the
+//! experiment (and CI):
+//!
+//! 1. **simulator identity** — for every [`RecordingPolicy`], a row-stepped
+//!    simulation and a columnar-stepped twin produce bit-identical
+//!    snapshots window by window (columns converted back to rows), the
+//!    same pool partition, the same metric store contents, and the same
+//!    availability log;
+//! 2. **planner identity** — driving the paper-shaped fleet end to end,
+//!    the columnar pipeline yields assessments and recommendations
+//!    bit-identical to the legacy row pipeline at *every* fan-out width
+//!    1–8 and in both [`SweepExec`] modes;
+//! 3. **zero steady-state allocation** — a warmed, non-replan columnar
+//!    window (`step_columns_partitioned` → `observe_columns`) must not
+//!    touch the heap, exactly like the row path. Counted (and enforced)
+//!    when the `repro` binary's counting allocator is installed; inert
+//!    under plain `cargo test`.
+//!
+//! The report also times the bare simulator step (no planner) in both
+//! layouts, so per-window regressions can be attributed to the simulator
+//! or the planner layer at a glance.
+
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use headroom_cluster::scenario::FleetScenario;
+use headroom_cluster::sim::RecordingPolicy;
+use headroom_core::report::render_table;
+use headroom_core::slo::QosRequirement;
+use headroom_exec::alloc_track;
+use headroom_online::planner::{OnlinePlannerConfig, ResizeRecommendation, SweepExec};
+use headroom_online::sweep::SweepEngine;
+use headroom_telemetry::counter::CounterKind;
+use headroom_telemetry::time::{WindowIndex, WindowRange};
+
+use crate::csv::CsvTable;
+use crate::Scale;
+
+/// Fan-out widths the planner-identity grid sweeps.
+pub const IDENTITY_THREADS: [usize; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
+
+/// One recording policy's simulator-identity verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyRow {
+    /// Recording policy checked.
+    pub policy: &'static str,
+    /// Windows driven in lockstep.
+    pub windows: u64,
+    /// Whether every window's snapshot (and final partition) matched
+    /// bit-for-bit.
+    pub snapshots_identical: bool,
+    /// Whether the recorded stores and availability logs matched.
+    pub state_identical: bool,
+}
+
+/// One planner-identity grid cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineCell {
+    /// Fan-out width of the columnar engine.
+    pub threads: usize,
+    /// Execution mode of the columnar engine.
+    pub exec: &'static str,
+    /// Whether assessments and recommendations matched the sequential
+    /// row-path reference bit-for-bit.
+    pub identical: bool,
+}
+
+/// The experiment report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColsimReport {
+    /// Pools in the identity fleet.
+    pub pools: usize,
+    /// Servers in the identity fleet.
+    pub servers: usize,
+    /// Windows of the planner-identity drives.
+    pub windows: u64,
+    /// Per-policy simulator identity.
+    pub policies: Vec<PolicyRow>,
+    /// Planner identity across widths and exec modes.
+    pub engine_cells: Vec<EngineCell>,
+    /// Mean bare simulator step, row layout (no planner attached).
+    pub sim_step_rows: Duration,
+    /// Mean bare simulator step, columnar layout.
+    pub sim_step_cols: Duration,
+    /// Heap allocations over 10 warmed non-replan columnar windows (must
+    /// be 0 when `alloc_tracking`).
+    pub steady_state_allocs: u64,
+    /// Whether the counting allocator was installed.
+    pub alloc_tracking: bool,
+}
+
+impl ColsimReport {
+    /// Whether every contract held.
+    pub fn all_identical(&self) -> bool {
+        self.policies.iter().all(|p| p.snapshots_identical && p.state_identical)
+            && self.engine_cells.iter().all(|c| c.identical)
+    }
+}
+
+/// Lockstep row-vs-columnar drive of one recording policy.
+fn check_policy(
+    policy: RecordingPolicy,
+    name: &'static str,
+    windows: u64,
+    scale: &Scale,
+) -> PolicyRow {
+    let mk = || {
+        FleetScenario::paper_scale(scale.seed, scale.fleet_fraction)
+            .with_recording(policy)
+            .into_simulation()
+    };
+    let mut rows_sim = mk();
+    let mut cols_sim = mk();
+    let mut buf = Vec::new();
+    let mut snapshots_identical = true;
+    for _ in 0..windows {
+        let row_snap = rows_sim.step_snapshot_partitioned();
+        let expect_rows = row_snap.rows.to_vec();
+        let expect_slices = row_snap.pools.to_vec();
+        let col_snap = cols_sim.step_columns_partitioned();
+        col_snap.columns.to_rows(&mut buf);
+        snapshots_identical &= buf == expect_rows && col_snap.pools == &expect_slices[..];
+    }
+    // Recorded state: total sample counts (which include tagged series),
+    // per-pool mean series of *every* counter kind, and the availability
+    // log. Together with the per-window row identity above this pins the
+    // store contents: same sample population, same values per pool/window
+    // for all twelve counters.
+    let range = WindowRange::new(WindowIndex(0), WindowIndex(windows));
+    let mut state_identical = rows_sim.store().sample_count() == cols_sim.store().sample_count()
+        && rows_sim.availability().fleet_mean_availability()
+            == cols_sim.availability().fleet_mean_availability();
+    for pool in rows_sim.fleet().pools() {
+        for counter in CounterKind::ALL {
+            state_identical &= rows_sim.store().pool_mean_series(pool.id, counter, range)
+                == cols_sim.store().pool_mean_series(pool.id, counter, range);
+        }
+    }
+    PolicyRow { policy: name, windows, snapshots_identical, state_identical }
+}
+
+/// Per-pool QoS from the catalog, as the sweep experiment derives it.
+fn engine_for(
+    fleet: &headroom_cluster::topology::Fleet,
+    config: OnlinePlannerConfig,
+) -> SweepEngine {
+    let mut engine = SweepEngine::new(config, QosRequirement::latency(50.0).with_cpu_ceiling(90.0));
+    for pool in fleet.pools() {
+        engine.set_qos(
+            pool.id,
+            QosRequirement::latency(pool.service.spec().latency_slo_ms).with_cpu_ceiling(90.0),
+        );
+    }
+    engine
+}
+
+/// Drives the paper fleet end to end and returns the planner's outputs
+/// (assessments snapshotted to an owned map) plus the mean bare step cost.
+fn drive_engine(
+    columnar: bool,
+    threads: usize,
+    exec: SweepExec,
+    windows: u64,
+    scale: &Scale,
+) -> (
+    std::collections::BTreeMap<
+        headroom_telemetry::ids::PoolId,
+        headroom_online::planner::PoolAssessment,
+    >,
+    Vec<ResizeRecommendation>,
+    Duration,
+) {
+    let scenario = FleetScenario::paper_scale(scale.seed, scale.fleet_fraction)
+        .with_recording(RecordingPolicy::SnapshotOnly);
+    let config = OnlinePlannerConfig {
+        window_capacity: windows as usize,
+        min_fit_windows: 180.min(windows as usize / 2),
+        threads,
+        exec,
+        ..OnlinePlannerConfig::default()
+    };
+    let mut sim = scenario.into_simulation();
+    let mut engine = engine_for(sim.fleet(), config);
+    let mut recs = Vec::new();
+    let mut stepping = Duration::ZERO;
+    for _ in 0..windows {
+        if columnar {
+            let t = Instant::now();
+            let snap = sim.step_columns_partitioned();
+            stepping += t.elapsed();
+            engine.observe_columns(&snap);
+        } else {
+            let t = Instant::now();
+            let snap = sim.step_snapshot_partitioned();
+            stepping += t.elapsed();
+            engine.observe_partitioned(&snap);
+        }
+        recs.extend(engine.drain_recommendations());
+    }
+    (engine.assessments().to_map(), recs, stepping / windows.max(1) as u32)
+}
+
+/// Runs the three colsim contracts.
+///
+/// # Errors
+///
+/// Fails outright on any identity violation and — when the counting
+/// allocator is installed — on a nonzero columnar steady-state allocation
+/// count. These are acceptance criteria; a CI smoke run must go red.
+pub fn run(scale: &Scale) -> Result<ColsimReport, Box<dyn Error>> {
+    let windows = scale.observe_windows();
+    let probe = FleetScenario::paper_scale(scale.seed, scale.fleet_fraction);
+    let pools = probe.fleet().pools().len();
+    let servers = probe.fleet().server_count();
+    drop(probe);
+
+    // Contract 1: simulator identity per recording policy. Full records
+    // ~15 counters per server-window; a shorter lockstep keeps it cheap
+    // without weakening the bit-identity claim.
+    let policy_windows = windows.min(240);
+    let policies = vec![
+        check_policy(RecordingPolicy::Workload, "workload", policy_windows, scale),
+        check_policy(RecordingPolicy::SnapshotOnly, "snapshot_only", policy_windows, scale),
+        check_policy(RecordingPolicy::Full, "full", policy_windows.min(60), scale),
+        check_policy(RecordingPolicy::AvailabilityOnly, "availability_only", policy_windows, scale),
+    ];
+
+    // Contract 2: planner identity. Reference: sequential row pipeline.
+    let (ref_assessments, ref_recs, sim_step_rows) =
+        drive_engine(false, 1, SweepExec::Persistent, windows, scale);
+    let mut engine_cells = Vec::new();
+    let mut sim_step_cols = Duration::ZERO;
+    for &threads in &IDENTITY_THREADS {
+        for (exec, exec_name) in
+            [(SweepExec::Persistent, "persistent"), (SweepExec::Scoped, "scoped")]
+        {
+            let (assessments, recs, step) = drive_engine(true, threads, exec, windows, scale);
+            if threads == 1 && exec == SweepExec::Persistent {
+                sim_step_cols = step;
+            }
+            engine_cells.push(EngineCell {
+                threads,
+                exec: exec_name,
+                identical: assessments == ref_assessments && recs == ref_recs,
+            });
+        }
+    }
+
+    // Contract 3: columnar zero-allocation steady state, on the shared
+    // fixture (crate::alloc_fixture) the row-path gate also measures.
+    let alloc_tracking = alloc_track::is_tracking();
+    let steady_state_allocs = crate::alloc_fixture::measure_steady_state_allocs(2, true);
+
+    let report = ColsimReport {
+        pools,
+        servers,
+        windows,
+        policies,
+        engine_cells,
+        sim_step_rows,
+        sim_step_cols,
+        steady_state_allocs,
+        alloc_tracking,
+    };
+    if !report.all_identical() {
+        return Err(format!("columnar pipeline diverged from the row pipeline:\n{report}").into());
+    }
+    if alloc_tracking && steady_state_allocs > 0 {
+        return Err(format!(
+            "columnar steady-state window path allocated {steady_state_allocs} times — \
+             the zero-allocation contract is broken:\n{report}"
+        )
+        .into());
+    }
+    Ok(report)
+}
+
+impl ColsimReport {
+    /// CSV export of both identity grids.
+    pub fn tables(&self) -> Vec<CsvTable> {
+        vec![
+            CsvTable {
+                name: "colsim_policies".into(),
+                headers: vec![
+                    "policy".into(),
+                    "windows".into(),
+                    "snapshots_identical".into(),
+                    "state_identical".into(),
+                ],
+                rows: self
+                    .policies
+                    .iter()
+                    .map(|p| {
+                        vec![
+                            p.policy.to_string(),
+                            p.windows.to_string(),
+                            p.snapshots_identical.to_string(),
+                            p.state_identical.to_string(),
+                        ]
+                    })
+                    .collect(),
+            },
+            CsvTable {
+                name: "colsim_engines".into(),
+                headers: vec!["threads".into(), "exec".into(), "identical".into()],
+                rows: self
+                    .engine_cells
+                    .iter()
+                    .map(|c| {
+                        vec![c.threads.to_string(), c.exec.to_string(), c.identical.to_string()]
+                    })
+                    .collect(),
+            },
+        ]
+    }
+}
+
+impl fmt::Display for ColsimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Columnar snapshot pipeline identity: {} pools / {} servers, {} windows",
+            self.pools, self.servers, self.windows
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .policies
+            .iter()
+            .map(|p| {
+                vec![
+                    p.policy.to_string(),
+                    p.windows.to_string(),
+                    if p.snapshots_identical { "yes".into() } else { "NO".into() },
+                    if p.state_identical { "yes".into() } else { "NO".into() },
+                ]
+            })
+            .collect();
+        writeln!(
+            f,
+            "{}",
+            render_table(&["Policy", "Windows", "Snapshots identical", "State identical"], &rows)
+        )?;
+        let bad: Vec<String> = self
+            .engine_cells
+            .iter()
+            .filter(|c| !c.identical)
+            .map(|c| format!("{}x{}", c.threads, c.exec))
+            .collect();
+        writeln!(
+            f,
+            "planner identity over threads 1-8 x {{persistent, scoped}} ({} cells): {}",
+            self.engine_cells.len(),
+            if bad.is_empty() { "all identical".to_string() } else { format!("DIVERGED: {bad:?}") }
+        )?;
+        writeln!(
+            f,
+            "bare simulator step: rows {:?}/window, columns {:?}/window",
+            self.sim_step_rows, self.sim_step_cols
+        )?;
+        writeln!(
+            f,
+            "columnar steady-state allocations/10 windows: {}{}",
+            self.steady_state_allocs,
+            if self.alloc_tracking {
+                " (counted — must be 0)"
+            } else {
+                " (allocator not installed; run via `repro` to count)"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colsim_gate_passes_at_quick_scale() {
+        let scale = Scale { observe_days: 0.5, ..Scale::quick() };
+        let r = run(&scale).unwrap();
+        assert_eq!(r.pools, 81, "paper-shaped fleet");
+        assert!(r.all_identical(), "columnar != rows: {r}");
+        assert_eq!(r.policies.len(), 4, "every recording policy checked");
+        assert_eq!(r.engine_cells.len(), 16, "threads 1-8 x both exec modes");
+        assert!(r.sim_step_rows > Duration::ZERO && r.sim_step_cols > Duration::ZERO);
+        assert!(!r.alloc_tracking, "plain cargo test has no counting allocator");
+    }
+}

@@ -82,6 +82,7 @@ pub fn run(scale: &Scale) -> Result<Fig1213Report, Box<dyn Error>> {
             seed: scale.seed,
             recording: RecordingPolicy::SnapshotOnly,
             track_availability: false,
+            ..SimConfig::default()
         },
     );
 

@@ -46,6 +46,7 @@ pub fn run(scale: &Scale) -> Result<GlobalReport, Box<dyn Error>> {
             seed: scale.seed,
             recording: RecordingPolicy::SnapshotOnly,
             track_availability: true,
+            ..SimConfig::default()
         },
     );
     let mut cpu = Summary::new();

@@ -20,8 +20,10 @@
 //! | [`online`] | streaming planner vs batch pipeline (headroom-online) |
 //! | [`sweep`] | sharded sweep engine vs sequential planner at 81-pool scale |
 //! | [`multi_resource`] | binding-constraint discovery on a mixed-resource fleet |
+//! | [`colsim`] | columnar↔row snapshot-pipeline bit-identity gate |
 
 pub mod ablate;
+pub mod colsim;
 pub mod fig02;
 pub mod fig03;
 pub mod fig04_05;
@@ -58,7 +60,7 @@ pub struct ExperimentInfo {
 }
 
 /// Every experiment, in paper order.
-pub const ALL: [ExperimentInfo; 18] = [
+pub const ALL: [ExperimentInfo; 19] = [
     ExperimentInfo { id: "table1", title: "Micro-service catalog", paper_ref: "Table I" },
     ExperimentInfo { id: "fig2", title: "Resource counters vs workload", paper_ref: "Fig. 2" },
     ExperimentInfo { id: "fig3", title: "Per-server CPU scatter (pool I)", paper_ref: "Fig. 3" },
@@ -104,6 +106,11 @@ pub const ALL: [ExperimentInfo; 18] = [
         id: "multi_resource",
         title: "Binding-constraint discovery, mixed fleet",
         paper_ref: "Sec. II-A1",
+    },
+    ExperimentInfo {
+        id: "colsim",
+        title: "Columnar snapshot pipeline identity gate",
+        paper_ref: "headroom-cluster",
     },
 ];
 
@@ -195,6 +202,10 @@ pub fn run_by_id(
         }
         "multi_resource" => {
             let r = multi_resource::run(scale)?;
+            (r.to_string(), r.tables())
+        }
+        "colsim" => {
+            let r = colsim::run(scale)?;
             (r.to_string(), r.tables())
         }
         other => return Err(format!("unknown experiment id: {other}").into()),

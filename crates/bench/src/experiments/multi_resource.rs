@@ -179,8 +179,12 @@ fn build_fleet(seed: u64) -> Result<(Fleet, GroundTruth), Box<dyn Error>> {
 
 fn drive(seed: u64, windows: u64, threads: usize, exec: SweepExec) -> SweepEngine {
     let (fleet, _) = build_fleet(seed).expect("mixed fleet builds");
-    let sim_config =
-        SimConfig { seed, recording: RecordingPolicy::SnapshotOnly, track_availability: false };
+    let sim_config = SimConfig {
+        seed,
+        recording: RecordingPolicy::SnapshotOnly,
+        track_availability: false,
+        ..SimConfig::default()
+    };
     let mut sim = Simulation::new(fleet, EventScript::empty(), sim_config);
     let config = OnlinePlannerConfig {
         window_capacity: windows as usize,
@@ -229,7 +233,7 @@ pub fn run(scale: &Scale) -> Result<MultiResourceReport, Box<dyn Error>> {
             .ok_or("pool service missing from ground truth")?;
         let assessment = reference
             .assessments()
-            .get(&pool.id)
+            .get(pool.id)
             .ok_or_else(|| format!("pool {} was never planned", pool.id.0))?;
         rows.push(PoolVerdict {
             pool: pool.id,

@@ -6,17 +6,31 @@
 //! 1. **determinism** — on the paper-shaped fleet (9 datacenters × 9
 //!    services = 81 pools), the sharded sweep produces recommendations and
 //!    assessments *identical* to the sequential planner, across seeds;
-//! 2. **spawn-amortized scaling** — a synthetic-fleet grid (8/81/512/4096
-//!    pools × 1/2/4 threads, persistent worker pool) measures per-window
-//!    cost and shows where `threads > 1` crosses below sequential now that
-//!    the per-window hand-off is a parked-worker mailbox write instead of
-//!    a thread spawn;
+//! 2. **scaling** — a synthetic-fleet grid (8/81/512/4096/16384 pools ×
+//!    1/2/4 threads × both snapshot layouts, persistent worker pool with
+//!    scoped contrast cells) measures per-window cost: the spawn
+//!    amortization, where `threads > 1` crosses below sequential, and the
+//!    columnar-vs-row trajectory at fleet scale;
 //! 3. **zero steady-state allocation** — a warmed, non-replan window
 //!    through `step_snapshot_partitioned` → `SweepEngine::sweep` must not
-//!    touch the heap. When the `repro` binary's counting allocator is
-//!    installed, a nonzero count **fails the experiment** (and therefore
-//!    CI); under plain `cargo test` the counter is inert and only the
-//!    determinism/scaling contracts are exercised.
+//!    touch the heap, and neither must the columnar twin
+//!    (`step_columns_partitioned` → `observe_columns`). When the `repro`
+//!    binary's counting allocator is installed, a nonzero count **fails
+//!    the experiment** (and therefore CI); under plain `cargo test` the
+//!    counter is inert and only the determinism/scaling contracts are
+//!    exercised.
+//!
+//! On the 4096-pool persistent-vs-scoped inversion PR 4's grid recorded
+//! (scoped 4.79 ms vs persistent 5.14 ms at 4 threads): profiling showed
+//! it was not chunk geometry — chunks already scale as `pools / threads`
+//! (now pinned by `headroom_exec::chunk_len`'s unit test) — but
+//! measurement noise on top of a window cost dominated by the planner's
+//! pointer-chasing treap, whose cache misses swamped the ~100 µs/window
+//! exec-mode delta. With the treap replaced by the sorted totals column
+//! and assessments written in place (PR 5), per-window cost at 4096 pools
+//! dropped ~2.5× and the persistent pool measures at or below the scoped
+//! shape again at every width; the grid keeps both cells so any
+//! re-inversion stays visible.
 //!
 //! `repro sweep` also emits the machine-readable `BENCH_sweep.json`
 //! (per-window ns by fleet size × thread count, plus the allocation
@@ -30,20 +44,20 @@ use std::error::Error;
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use headroom_cluster::catalog::MicroserviceKind;
 use headroom_cluster::scenario::FleetScenario;
-use headroom_cluster::sim::{PartitionedSnapshot, RecordingPolicy, SimConfig, Simulation};
-use headroom_cluster::topology::FleetBuilder;
+use headroom_cluster::sim::{PartitionedSnapshot, RecordingPolicy};
 use headroom_core::report::render_table;
 use headroom_core::slo::QosRequirement;
 use headroom_exec::alloc_track;
 use headroom_online::planner::{OnlinePlannerConfig, SweepExec};
 use headroom_online::sweep::SweepEngine;
 use headroom_telemetry::time::WindowIndex;
-use headroom_workload::events::EventScript;
 
 use crate::csv::CsvTable;
-use crate::synthetic::{synthetic_snapshots, warmed_engine, RecordedWindow};
+use crate::synthetic::{
+    synthetic_columns, synthetic_snapshots, warmed_engine, warmed_engine_columns, RecordedColumns,
+    RecordedWindow,
+};
 use crate::Scale;
 
 /// Fan-out width of the sharded engine under test.
@@ -66,8 +80,9 @@ pub struct SweepSeedRow {
     pub per_window_sharded: Duration,
 }
 
-/// One cell of the spawn-amortization grid: per-window planning cost for
-/// one synthetic fleet size at one fan-out width and execution mode.
+/// One cell of the scaling grid: per-window planning cost for one
+/// synthetic fleet size at one fan-out width, execution mode, and snapshot
+/// layout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScalingCell {
     /// Pools in the synthetic fleet.
@@ -77,7 +92,15 @@ pub struct ScalingCell {
     /// Execution mode: `"persistent"` (worker pool) or `"scoped"` (legacy
     /// spawn-per-window, measured for the amortization headline).
     pub exec: &'static str,
-    /// Mean per-window cost, nanoseconds.
+    /// Snapshot layout ingested: `"columns"` (the struct-of-arrays hot
+    /// path) or `"rows"` (the legacy layout, kept measured for the A/B
+    /// trajectory).
+    pub path: &'static str,
+    /// Per-window cost in nanoseconds: the fastest of `GRID_REPEATS`
+    /// repeats, each the mean over `GRID_MEASURE_WINDOWS` warmed windows
+    /// (minimum-of-N, *not* a grand mean — interference only ever slows a
+    /// run, so the minimum is the least-noisy estimator for a checked-in
+    /// artifact).
     pub per_window_ns: u64,
 }
 
@@ -97,12 +120,27 @@ pub struct SweepReport {
     /// Spawn-amortization grid: fleet size × thread count.
     pub scaling: Vec<ScalingCell>,
     /// Heap allocations counted over the steady-state measurement windows
-    /// (must be 0 when `alloc_tracking`).
+    /// of the row path (must be 0 when `alloc_tracking`).
     pub steady_state_allocs: u64,
+    /// Heap allocations over the steady-state windows of the columnar path
+    /// (must equally be 0 when `alloc_tracking`).
+    pub columnar_steady_state_allocs: u64,
     /// Whether the counting allocator was installed (true under `repro`,
     /// false under plain `cargo test`, where the count is meaningless).
     pub alloc_tracking: bool,
 }
+
+/// PR 4's checked-in per-window figure at 4096 pools, threads 1 (row
+/// layout) — the pre-columnar baseline the pipeline's ≥1.5× per-window
+/// acceptance bar is measured against.
+///
+/// Methodology caveat: PR 4 recorded a *single* 24-window mean, while the
+/// current grid records the fastest of five such means, which on this
+/// host's ±20% noise band can sit 10–20% below a comparable single
+/// sample. The derived speedup is therefore an upper-ish estimate; even
+/// the noisiest observed runs (single samples right after heavy load)
+/// still measured ≥2×, so the ≥1.5× bar clears under either methodology.
+pub const BASELINE_PR4_4096X1_NS: u64 = 5_252_105;
 
 impl SweepReport {
     /// Whether every seed matched bit-for-bit.
@@ -179,20 +217,35 @@ fn run_seed(seed: u64, fraction: f64, windows: u64) -> SweepSeedRow {
     }
 }
 
-/// Fleet sizes of the spawn-amortization grid.
-pub const SCALING_POOLS: [u32; 4] = [8, 81, 512, 4096];
-/// Fan-out widths of the spawn-amortization grid.
+/// Fleet sizes of the scaling grid. 16384 entered with the columnar
+/// pipeline: the ROADMAP's 100k-server shapes need per-pool cost to stay
+/// flat well past cache capacity, so the grid must keep measuring it.
+pub const SCALING_POOLS: [u32; 5] = [8, 81, 512, 4096, 16384];
+/// Fan-out widths of the scaling grid.
 pub const SCALING_THREADS: [usize; 3] = [1, 2, 4];
+/// Snapshot layouts of the scaling grid: the columnar hot path and the
+/// legacy row layout it is A/B'd against.
+pub const SCALING_PATHS: [&str; 2] = ["columns", "rows"];
 
 const GRID_WARM_WINDOWS: u64 = 72;
 const GRID_MEASURE_WINDOWS: u64 = 24;
+/// Timing repeats per cell; the cell records the fastest repeat. A single
+/// 24-window sample on a busy host carries ±20% scheduler/frequency noise
+/// — enough to invert adjacent cells spuriously (PR 4's 4096-pool
+/// "scoped beats persistent" inversion was exactly such an artifact).
+/// Minimum-of-N is the standard cure: interference only ever slows a run.
+const GRID_REPEATS: u32 = 5;
 
-/// Measures one grid cell: mean warmed per-window cost.
+/// Measures one grid cell: the fastest-of-[`GRID_REPEATS`] warmed
+/// per-window cost of one (fleet size, width, exec mode, layout)
+/// combination (each repeat averages [`GRID_MEASURE_WINDOWS`] windows).
 fn measure_cell(
     snapshots: &[RecordedWindow],
+    columns: &[RecordedColumns],
     pools: u32,
     threads: usize,
     exec: SweepExec,
+    path: &'static str,
 ) -> ScalingCell {
     let config = OnlinePlannerConfig {
         window_capacity: 48,
@@ -201,96 +254,87 @@ fn measure_cell(
         exec,
         ..OnlinePlannerConfig::default()
     };
-    let mut engine = warmed_engine(snapshots, config);
-    let t = Instant::now();
-    for i in 0..GRID_MEASURE_WINDOWS {
-        let (rows, slices) = &snapshots[(i % GRID_WARM_WINDOWS) as usize];
-        engine.observe_partitioned(&PartitionedSnapshot {
-            window: WindowIndex(GRID_WARM_WINDOWS + i),
-            rows,
-            pools: slices,
-        });
-        engine.drain_recommendations();
+    let columnar = path == "columns";
+    let mut engine = if columnar {
+        warmed_engine_columns(columns, config)
+    } else {
+        warmed_engine(snapshots, config)
+    };
+    let mut next_window = GRID_WARM_WINDOWS;
+    let mut per_window_ns = u64::MAX;
+    for _ in 0..GRID_REPEATS {
+        let t = Instant::now();
+        for _ in 0..GRID_MEASURE_WINDOWS {
+            let window = WindowIndex(next_window);
+            let recorded = (next_window % GRID_WARM_WINDOWS) as usize;
+            if columnar {
+                let (cols, slices) = &columns[recorded];
+                engine.observe_columns(&headroom_cluster::columns::ColumnarSnapshot {
+                    window,
+                    columns: cols,
+                    pools: slices,
+                });
+            } else {
+                let (rows, slices) = &snapshots[recorded];
+                engine.observe_partitioned(&PartitionedSnapshot { window, rows, pools: slices });
+            }
+            engine.drain_recommendations();
+            next_window += 1;
+        }
+        per_window_ns =
+            per_window_ns.min((t.elapsed().as_nanos() / GRID_MEASURE_WINDOWS as u128) as u64);
     }
-    let per_window_ns = (t.elapsed().as_nanos() / GRID_MEASURE_WINDOWS as u128) as u64;
     let exec = match exec {
         SweepExec::Persistent => "persistent",
         SweepExec::Scoped => "scoped",
     };
-    ScalingCell { pools, threads, exec, per_window_ns }
+    ScalingCell { pools, threads, exec, path, per_window_ns }
 }
 
-/// Measures the spawn-amortization grid: persistent workers at every fleet
-/// size × thread count, plus the legacy scoped shape at `threads > 1` so
-/// the removed spawn cost stays visible (and tracked) per PR.
+/// Measures the scaling grid: persistent workers at every fleet size ×
+/// thread count × snapshot layout, plus the legacy scoped shape at
+/// `threads > 1` so the removed spawn cost stays visible (and tracked) per
+/// PR.
 ///
 /// Deliberately *not* scaled by `--quick`: the grid is the checked-in
 /// `BENCH_sweep.json` artifact, and cross-PR comparability requires every
 /// run to measure the same fleet sizes. It is sized to stay in low seconds
-/// (72 warm + 24 measured windows per cell) even at 4096 pools.
+/// per cell even at 16384 pools.
 fn measure_scaling() -> Vec<ScalingCell> {
+    // Debug builds (the `cargo test` path) skip the 16384-pool row — it
+    // costs ~45 s unoptimized and proves nothing the 4096-pool row does
+    // not. The checked-in artifact is always produced by the release
+    // `repro` binary, which measures the full grid.
+    let measured: &[u32] =
+        if cfg!(debug_assertions) { &SCALING_POOLS[..4] } else { &SCALING_POOLS };
     let mut cells = Vec::new();
-    for &pools in &SCALING_POOLS {
+    for &pools in measured {
         let snapshots = synthetic_snapshots(pools, 3, GRID_WARM_WINDOWS);
-        for &threads in &SCALING_THREADS {
-            cells.push(measure_cell(&snapshots, pools, threads, SweepExec::Persistent));
-            if threads > 1 {
-                cells.push(measure_cell(&snapshots, pools, threads, SweepExec::Scoped));
+        let columns = synthetic_columns(&snapshots);
+        for &path in &SCALING_PATHS {
+            for &threads in &SCALING_THREADS {
+                cells.push(measure_cell(
+                    &snapshots,
+                    &columns,
+                    pools,
+                    threads,
+                    SweepExec::Persistent,
+                    path,
+                ));
+                if threads > 1 {
+                    cells.push(measure_cell(
+                        &snapshots,
+                        &columns,
+                        pools,
+                        threads,
+                        SweepExec::Scoped,
+                        path,
+                    ));
+                }
             }
         }
     }
     cells
-}
-
-/// Counts heap allocations over warmed, non-replan windows of the full
-/// `step_snapshot_partitioned` → `SweepEngine::sweep` path. Meaningful only
-/// when [`alloc_track::is_tracking`] — always 0 otherwise.
-fn measure_steady_state_allocs() -> u64 {
-    const REPLAN_EVERY: u64 = 16;
-    let fleet = FleetBuilder::new(11)
-        .datacenters(3)
-        .without_failures()
-        .without_incidents()
-        .deploy_service(MicroserviceKind::B, 12)
-        .expect("catalog service deploys")
-        .build();
-    let sim_config =
-        SimConfig { seed: 11, recording: RecordingPolicy::SnapshotOnly, track_availability: false };
-    let mut sim = Simulation::new(fleet, EventScript::empty(), sim_config);
-    let config = OnlinePlannerConfig {
-        window_capacity: 64,
-        min_fit_windows: 32,
-        replan_every: REPLAN_EVERY,
-        threads: 2,
-        ..OnlinePlannerConfig::default()
-    };
-    let mut engine = SweepEngine::new(config, QosRequirement::latency(50.0).with_cpu_ceiling(90.0));
-    // Warm-up ends on a replan tick so every measured window is non-replan.
-    for _ in 0..25 * REPLAN_EVERY {
-        let snap = sim.step_snapshot_partitioned();
-        engine.observe_partitioned(&snap);
-    }
-    engine.drain_recommendations();
-    // Fixture guards, not contract checks: a measured window that replans
-    // (cadence misalignment) or an urgent pool (which legitimately replans
-    // and may emit every window) would make a nonzero count a *fixture*
-    // bug — fail loudly as such rather than blaming the allocation
-    // contract.
-    assert!(
-        engine.windows_seen().is_multiple_of(REPLAN_EVERY),
-        "alloc fixture: warm-up must end on a replan tick"
-    );
-    assert!(
-        !engine.assessments().is_empty()
-            && engine.assessments().values().all(|a| !a.band.needs_capacity()),
-        "alloc fixture: the measured fleet must be planned and non-urgent"
-    );
-    let before = alloc_track::allocations();
-    for _ in 0..10 {
-        let snap = sim.step_snapshot_partitioned();
-        engine.observe_partitioned(&snap);
-    }
-    alloc_track::allocations() - before
 }
 
 /// Runs the sequential-vs-sharded identity comparison over three seeds in
@@ -324,7 +368,10 @@ pub fn run(scale: &Scale) -> Result<SweepReport, Box<dyn Error>> {
 
     let scaling = measure_scaling();
     let alloc_tracking = alloc_track::is_tracking();
-    let steady_state_allocs = measure_steady_state_allocs();
+    // Both layouts measured on the one shared fixture (crate::alloc_fixture)
+    // so the two counts always describe the same workload.
+    let steady_state_allocs = crate::alloc_fixture::measure_steady_state_allocs(2, false);
+    let columnar_steady_state_allocs = crate::alloc_fixture::measure_steady_state_allocs(2, true);
     let report = SweepReport {
         pools,
         servers,
@@ -333,15 +380,16 @@ pub fn run(scale: &Scale) -> Result<SweepReport, Box<dyn Error>> {
         rows,
         scaling,
         steady_state_allocs,
+        columnar_steady_state_allocs,
         alloc_tracking,
     };
     if !report.all_identical() {
         return Err(format!("sharded sweep diverged from the sequential planner:\n{report}").into());
     }
-    if alloc_tracking && steady_state_allocs > 0 {
+    if alloc_tracking && steady_state_allocs + columnar_steady_state_allocs > 0 {
         return Err(format!(
-            "steady-state window path allocated {steady_state_allocs} times — \
-             the zero-allocation contract is broken:\n{report}"
+            "steady-state window path allocated (rows {steady_state_allocs}, columns \
+             {columnar_steady_state_allocs}) — the zero-allocation contract is broken:\n{report}"
         )
         .into());
     }
@@ -383,6 +431,7 @@ impl SweepReport {
                     "pools".into(),
                     "threads".into(),
                     "exec".into(),
+                    "path".into(),
                     "per_window_ns".into(),
                 ],
                 rows: self
@@ -393,6 +442,7 @@ impl SweepReport {
                             c.pools.to_string(),
                             c.threads.to_string(),
                             c.exec.to_string(),
+                            c.path.to_string(),
                             c.per_window_ns.to_string(),
                         ]
                     })
@@ -401,9 +451,29 @@ impl SweepReport {
         ]
     }
 
+    /// The per-window cost of one grid cell, if measured.
+    pub fn cell(&self, pools: u32, threads: usize, exec: &str, path: &str) -> Option<u64> {
+        self.scaling
+            .iter()
+            .find(|c| c.pools == pools && c.threads == threads && c.exec == exec && c.path == path)
+            .map(|c| c.per_window_ns)
+    }
+
+    /// The measured per-window speedup of the columnar pipeline at the
+    /// 4096-pool, single-thread shape against PR 4's checked-in row-path
+    /// figure ([`BASELINE_PR4_4096X1_NS`]) — the headline acceptance
+    /// number.
+    pub fn speedup_vs_baseline_4096(&self) -> Option<f64> {
+        self.cell(4096, 1, "persistent", "columns")
+            .filter(|&ns| ns > 0)
+            .map(|ns| BASELINE_PR4_4096X1_NS as f64 / ns as f64)
+    }
+
     /// The machine-readable `BENCH_sweep.json` payload: the scaling grid
-    /// plus the steady-state allocation count, checked in per PR so the
-    /// perf trajectory is diffable. All values are numbers/booleans, so the
+    /// (fleet size × threads × exec × snapshot layout) plus the
+    /// steady-state allocation counts of both layouts and the colsim
+    /// headline fields, checked in per PR so the perf trajectory is
+    /// diffable. All values are numbers/booleans/fixed strings, so the
     /// formatting needs no escaping.
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n");
@@ -413,13 +483,28 @@ impl SweepReport {
         s.push_str(&format!("  \"identical\": {},\n", self.all_identical()));
         s.push_str(&format!("  \"alloc_tracking\": {},\n", self.alloc_tracking));
         s.push_str(&format!("  \"steady_state_allocations\": {},\n", self.steady_state_allocs));
+        s.push_str("  \"colsim\": {\n");
+        s.push_str(&format!(
+            "    \"columnar_steady_state_allocations\": {},\n",
+            self.columnar_steady_state_allocs
+        ));
+        s.push_str(&format!(
+            "    \"baseline_pr4_per_window_ns_4096x1\": {BASELINE_PR4_4096X1_NS},\n"
+        ));
+        s.push_str(&format!(
+            "    \"speedup_vs_baseline_4096x1\": {:.2}\n",
+            self.speedup_vs_baseline_4096().unwrap_or(0.0)
+        ));
+        s.push_str("  },\n");
         s.push_str("  \"per_window_ns\": [\n");
         for (i, c) in self.scaling.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"pools\": {}, \"threads\": {}, \"exec\": \"{}\", \"per_window_ns\": {}}}{}\n",
+                "    {{\"pools\": {}, \"threads\": {}, \"exec\": \"{}\", \"path\": \"{}\", \
+                 \"per_window_ns\": {}}}{}\n",
                 c.pools,
                 c.threads,
                 c.exec,
+                c.path,
                 c.per_window_ns,
                 if i + 1 < self.scaling.len() { "," } else { "" }
             ));
@@ -465,51 +550,55 @@ impl fmt::Display for SweepReport {
             if self.all_identical() { "yes (all seeds)" } else { "NO" }
         )?;
 
-        writeln!(
-            f,
-            "\nSpawn-amortized scaling, per-window (vs = persistent-over-scoped speedup at the \
-             same width — the amortized spawn cost):"
-        )?;
-        let cell = |pools: u32, threads: usize, exec: &str| {
-            self.scaling
-                .iter()
-                .find(|c| c.pools == pools && c.threads == threads && c.exec == exec)
-                .map(|c| c.per_window_ns)
-        };
-        let mut grid_rows: Vec<Vec<String>> = Vec::new();
-        for &pools in &SCALING_POOLS {
-            let mut row = vec![pools.to_string()];
-            for &threads in &SCALING_THREADS {
-                match cell(pools, threads, "persistent") {
-                    Some(p) if p > 0 => {
-                        let vs = match cell(pools, threads, "scoped") {
-                            Some(s) => format!(" (vs {:.2}x)", s as f64 / p as f64),
-                            None => String::new(),
-                        };
-                        row.push(format!("{:.1}µs{vs}", p as f64 / 1e3));
+        for &path in &SCALING_PATHS {
+            writeln!(
+                f,
+                "\nScaling grid, {path} layout, per-window (vs = persistent-over-scoped speedup \
+                 at the same width — the amortized spawn cost):"
+            )?;
+            let mut grid_rows: Vec<Vec<String>> = Vec::new();
+            for &pools in &SCALING_POOLS {
+                let mut row = vec![pools.to_string()];
+                for &threads in &SCALING_THREADS {
+                    match self.cell(pools, threads, "persistent", path) {
+                        Some(p) if p > 0 => {
+                            let vs = match self.cell(pools, threads, "scoped", path) {
+                                Some(s) => format!(" (vs {:.2}x)", s as f64 / p as f64),
+                                None => String::new(),
+                            };
+                            row.push(format!("{:.1}µs{vs}", p as f64 / 1e3));
+                        }
+                        _ => row.push("-".into()),
                     }
-                    _ => row.push("-".into()),
                 }
+                grid_rows.push(row);
             }
-            grid_rows.push(row);
+            // Headers derive from the same constant as the cells, so
+            // retuning SCALING_THREADS cannot mislabel a column.
+            let headers: Vec<String> = std::iter::once("Pools".to_string())
+                .chain(SCALING_THREADS.iter().map(|t| {
+                    if *t == 1 {
+                        "1 thread".to_string()
+                    } else {
+                        format!("{t} threads")
+                    }
+                }))
+                .collect();
+            let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+            writeln!(f, "{}", render_table(&header_refs, &grid_rows))?;
         }
-        // Headers derive from the same constant as the cells, so retuning
-        // SCALING_THREADS cannot mislabel a column.
-        let headers: Vec<String> = std::iter::once("Pools".to_string())
-            .chain(SCALING_THREADS.iter().map(|t| {
-                if *t == 1 {
-                    "1 thread".to_string()
-                } else {
-                    format!("{t} threads")
-                }
-            }))
-            .collect();
-        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-        writeln!(f, "{}", render_table(&header_refs, &grid_rows))?;
+        if let Some(speedup) = self.speedup_vs_baseline_4096() {
+            writeln!(
+                f,
+                "columnar per-window speedup at 4096x1 vs PR 4 baseline ({:.2}ms): {speedup:.2}x",
+                BASELINE_PR4_4096X1_NS as f64 / 1e6
+            )?;
+        }
         writeln!(
             f,
-            "steady-state allocations/10 windows: {}{}",
+            "steady-state allocations/10 windows: rows {}, columns {}{}",
             self.steady_state_allocs,
+            self.columnar_steady_state_allocs,
             if self.alloc_tracking {
                 " (counted — must be 0)"
             } else {
@@ -536,17 +625,27 @@ mod tests {
             r.rows.iter().any(|row| row.recommendations > 0),
             "the overprovisioned fleet yields recommendations: {r}"
         );
-        // Persistent cells at every (pools, threads), scoped contrast cells
-        // at every (pools, threads > 1).
+        // Per layout: persistent cells at every measured (pools, threads),
+        // scoped contrast cells at every (pools, threads > 1). Debug test
+        // builds measure the grid without the 16384 row (release `repro`
+        // always measures all of it).
+        let measured_pools =
+            if cfg!(debug_assertions) { SCALING_POOLS.len() - 1 } else { SCALING_POOLS.len() };
         assert_eq!(
             r.scaling.len(),
-            SCALING_POOLS.len() * (2 * SCALING_THREADS.len() - 1),
-            "full fleet-size × thread × exec grid measured: {r}"
+            SCALING_PATHS.len() * measured_pools * (2 * SCALING_THREADS.len() - 1),
+            "full fleet-size × thread × exec × layout grid measured: {r}"
         );
         assert!(r.scaling.iter().all(|c| c.per_window_ns > 0), "grid cells are real timings");
         assert!(!r.alloc_tracking, "plain cargo test has no counting allocator");
+        assert!(r.speedup_vs_baseline_4096().is_some(), "headline speedup derivable");
         let json = r.to_json();
+        if !cfg!(debug_assertions) {
+            assert!(json.contains("\"pools\": 16384"), "extended grid serialized: {json}");
+        }
         assert!(json.contains("\"pools\": 4096"), "grid serialized: {json}");
+        assert!(json.contains("\"path\": \"columns\""), "layout field serialized");
+        assert!(json.contains("\"columnar_steady_state_allocations\": 0"), "colsim fields");
         assert!(json.contains("\"steady_state_allocations\": 0"), "alloc count serialized");
     }
 }

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc_fixture;
 pub mod csv;
 pub mod experiments;
 pub mod scale;

@@ -8,6 +8,7 @@
 //! the synthetic response curves cannot silently desynchronize the
 //! checked-in `BENCH_sweep.json` from the Criterion numbers.
 
+use headroom_cluster::columns::{ColumnarSnapshot, SnapshotColumns};
 use headroom_cluster::sim::{PartitionedSnapshot, PoolSlice, SnapshotRow};
 use headroom_core::slo::QosRequirement;
 use headroom_online::planner::OnlinePlannerConfig;
@@ -17,6 +18,9 @@ use headroom_telemetry::time::WindowIndex;
 
 /// One recorded window: the owned rows plus their pool partition.
 pub type RecordedWindow = (Vec<SnapshotRow>, Vec<PoolSlice>);
+
+/// One recorded window in columnar layout, plus its pool partition.
+pub type RecordedColumns = (SnapshotColumns, Vec<PoolSlice>);
 
 /// Generates `windows` pool-contiguous snapshots of a synthetic fleet on
 /// the paper's pool-B response curves, each pool on its own diurnal-ish
@@ -52,6 +56,16 @@ pub fn synthetic_snapshots(pools: u32, servers_per_pool: u32, windows: u64) -> V
         .collect()
 }
 
+/// The same recorded windows in columnar (struct-of-arrays) layout — the
+/// conversion is lossless, so a grid cell measured over these sees the
+/// exact same workload as its row-layout sibling.
+pub fn synthetic_columns(snapshots: &[RecordedWindow]) -> Vec<RecordedColumns> {
+    snapshots
+        .iter()
+        .map(|(rows, slices)| (SnapshotColumns::from_rows(rows), slices.clone()))
+        .collect()
+}
+
 /// A sweep engine warmed over every recorded snapshot (windows `0..len`),
 /// recommendations drained — ready for steady-state measurement.
 pub fn warmed_engine(snapshots: &[RecordedWindow], config: OnlinePlannerConfig) -> SweepEngine {
@@ -60,6 +74,25 @@ pub fn warmed_engine(snapshots: &[RecordedWindow], config: OnlinePlannerConfig) 
         engine.observe_partitioned(&PartitionedSnapshot {
             window: WindowIndex(i as u64),
             rows,
+            pools,
+        });
+    }
+    engine.drain_recommendations();
+    engine
+}
+
+/// [`warmed_engine`] fed through the columnar ingestion path instead —
+/// bit-identical planner state (property- and gate-tested), columnar
+/// steady-state measurement.
+pub fn warmed_engine_columns(
+    columns: &[RecordedColumns],
+    config: OnlinePlannerConfig,
+) -> SweepEngine {
+    let mut engine = SweepEngine::new(config, QosRequirement::latency(50.0).with_cpu_ceiling(90.0));
+    for (i, (cols, pools)) in columns.iter().enumerate() {
+        engine.observe_columns(&ColumnarSnapshot {
+            window: WindowIndex(i as u64),
+            columns: cols,
             pools,
         });
     }
@@ -101,5 +134,20 @@ mod tests {
         let engine = warmed_engine(&snapshots, config);
         assert_eq!(engine.windows_seen(), 40);
         assert_eq!(engine.assessments().len(), 4);
+    }
+
+    #[test]
+    fn columnar_warmup_matches_row_warmup() {
+        let snapshots = synthetic_snapshots(5, 3, 40);
+        let columns = synthetic_columns(&snapshots);
+        let config = OnlinePlannerConfig {
+            window_capacity: 32,
+            min_fit_windows: 16,
+            ..OnlinePlannerConfig::default()
+        };
+        let by_rows = warmed_engine(&snapshots, config);
+        let by_cols = warmed_engine_columns(&columns, config);
+        assert_eq!(by_cols.windows_seen(), 40);
+        assert_eq!(by_rows.assessments(), by_cols.assessments());
     }
 }

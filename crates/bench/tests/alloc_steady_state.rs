@@ -3,89 +3,38 @@
 //! The whole per-window pipeline — `Simulation::step_snapshot_partitioned`
 //! (demand sampling, load balancing, per-server model evaluation, snapshot
 //! assembly) followed by `SweepEngine::sweep` (shard fan-out, estimator
-//! updates, deterministic merge) — reuses its buffers once warmed. This
-//! test installs a counting global allocator and asserts that a warmed,
-//! non-replan window performs **zero** heap allocations, sequentially and
-//! through the persistent worker pool.
+//! updates, deterministic merge) — reuses its buffers once warmed, and so
+//! does its columnar sibling (`step_columns_partitioned` →
+//! `observe_columns`). This test installs a counting global allocator and
+//! asserts that a warmed, non-replan window performs **zero** heap
+//! allocations in both layouts, sequentially and through the persistent
+//! worker pool. The workload is the shared fixture in
+//! `headroom_bench::alloc_fixture`, the same one the `repro sweep` and
+//! `repro colsim` CI gates measure.
 //!
 //! Kept as its own integration-test binary on purpose: the default test
 //! harness runs tests concurrently, and a process-global allocation
 //! counter only means something when nothing else is allocating.
 
-use headroom_cluster::catalog::MicroserviceKind;
-use headroom_cluster::sim::{RecordingPolicy, SimConfig, Simulation};
-use headroom_cluster::topology::FleetBuilder;
-use headroom_core::slo::QosRequirement;
-use headroom_exec::alloc_track::{allocations, is_tracking, CountingAllocator};
-use headroom_online::planner::OnlinePlannerConfig;
-use headroom_online::sweep::SweepEngine;
-use headroom_workload::events::EventScript;
+use headroom_bench::alloc_fixture::{measure_steady_state_allocs, MEASURED_WINDOWS};
+use headroom_exec::alloc_track::{is_tracking, CountingAllocator};
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
 
-/// Windows per replan under test; measured windows dodge the cadence.
-const REPLAN_EVERY: u64 = 16;
-/// Warm-up must fill the sliding window, the fits, and every scratch
-/// buffer, and include several replans (so output buffers hold capacity).
-const WARM_WINDOWS: u64 = 400;
-const MEASURED_WINDOWS: u64 = 10;
-
-fn warmed(threads: usize) -> (Simulation, SweepEngine) {
-    let fleet = FleetBuilder::new(11)
-        .datacenters(3)
-        .without_failures()
-        .without_incidents()
-        .deploy_service(MicroserviceKind::B, 12)
-        .expect("catalog service deploys")
-        .build();
-    let sim_config =
-        SimConfig { seed: 11, recording: RecordingPolicy::SnapshotOnly, track_availability: false };
-    let mut sim = Simulation::new(fleet, EventScript::empty(), sim_config);
-    let config = OnlinePlannerConfig {
-        window_capacity: 64,
-        min_fit_windows: 32,
-        replan_every: REPLAN_EVERY,
-        threads,
-        ..OnlinePlannerConfig::default()
-    };
-    let mut engine = SweepEngine::new(config, QosRequirement::latency(50.0).with_cpu_ceiling(90.0));
-    for _ in 0..WARM_WINDOWS {
-        let snap = sim.step_snapshot_partitioned();
-        engine.observe_partitioned(&snap);
-    }
-    engine.drain_recommendations();
-    (sim, engine)
-}
-
-fn steady_state_allocations(threads: usize) -> u64 {
-    let (mut sim, mut engine) = warmed(threads);
-    assert!(
-        engine.windows_seen().is_multiple_of(REPLAN_EVERY),
-        "warm-up ends on a replan tick so every measured window is non-replan"
-    );
-    assert!(!engine.assessments().is_empty(), "the warmed engine planned pools");
-    assert!(
-        engine.assessments().values().all(|a| !a.band.needs_capacity()),
-        "no pool is urgent, so no measured window replans"
-    );
-    let before = allocations();
-    for _ in 0..MEASURED_WINDOWS {
-        let snap = sim.step_snapshot_partitioned();
-        engine.observe_partitioned(&snap);
-    }
-    allocations() - before
-}
-
 #[test]
 fn steady_state_window_allocates_nothing() {
     assert!(is_tracking(), "the counting allocator is installed");
-    for threads in [1usize, 2, 4] {
-        let delta = steady_state_allocations(threads);
-        assert_eq!(
-            delta, 0,
-            "a warmed non-replan window must not allocate \
-             (threads={threads}: {delta} allocations over {MEASURED_WINDOWS} windows)"
-        );
+    for columnar in [false, true] {
+        for threads in [1usize, 2, 4] {
+            let delta = measure_steady_state_allocs(threads, columnar);
+            let layout = if columnar { "columns" } else { "rows" };
+            assert_eq!(
+                delta, 0,
+                "a warmed non-replan window must not allocate \
+                 (threads={threads}, layout={layout}: {delta} allocations over \
+                 {MEASURED_WINDOWS} windows)"
+            );
+        }
     }
 }

@@ -1,0 +1,362 @@
+//! Columnar (struct-of-arrays) per-window snapshots.
+//!
+//! [`SnapshotColumns`] stores one window's fleet observation as
+//! per-pool-contiguous *columns* — one dense `f64` array per counter plus a
+//! packed online bitmask — instead of an array of ~100-byte
+//! [`SnapshotRow`] structs. Rows appear in the same fleet deployment order
+//! as the row path (pool by pool, servers in pool index order), so the
+//! [`crate::sim::PoolSlice`] partition indexes both layouts identically.
+//!
+//! Why columns: every downstream consumer of a window is a *columnar*
+//! computation. The simulator's response-model kernels are element-wise
+//! maps over per-server workload; shard ingestion sums each counter over a
+//! pool's servers. With rows, both walk 100+-byte strides and drag every
+//! counter through cache to touch one; with columns they stream exactly the
+//! bytes they use, the hardware prefetcher sees dense sequential reads, and
+//! the element-wise kernels auto-vectorize. The buffers are reused across
+//! windows, so the steady-state columnar window path performs no heap
+//! allocation (gated, together with the row path, by the counting-allocator
+//! tests in `crates/bench`).
+//!
+//! **Offline contract.** A row whose online bit is clear carries exactly
+//! `+0.0` in every metric column (and `0.0` RPS), mirroring the zeroed
+//! fields of an offline [`SnapshotRow`]. Aggregators lean on this: summing
+//! a column over a pool's slice *unconditionally* adds only `+0.0` for
+//! offline servers, which leaves every non-negative partial sum bit-exact —
+//! so columnar aggregation needs no per-row branch and stays bit-identical
+//! to the row path's skip-offline loop. The serving-server count comes from
+//! a popcount over the bitmask.
+//!
+//! The row layout stays fully supported (see
+//! [`crate::sim::SnapshotLayout`]); [`SnapshotColumns::from_rows`] /
+//! [`SnapshotColumns::to_rows`] convert losslessly between the two for A/B
+//! property tests.
+
+use headroom_telemetry::ids::{DatacenterId, PoolId, ServerId};
+use headroom_telemetry::time::WindowIndex;
+
+use crate::sim::{PoolSlice, SnapshotRow};
+
+/// One window's fleet observation in struct-of-arrays layout.
+///
+/// All columns have the same length (one entry per server, in fleet
+/// deployment order). Identity columns (server, pool, datacenter) are
+/// static for a given fleet; the metric columns and the online bitmask are
+/// rewritten every window into the same buffers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SnapshotColumns {
+    /// Server identity per row.
+    pub(crate) server: Vec<ServerId>,
+    /// Owning pool per row.
+    pub(crate) pool: Vec<PoolId>,
+    /// Hosting datacenter per row.
+    pub(crate) datacenter: Vec<DatacenterId>,
+    /// Packed online bits, row `i` at word `i / 64`, bit `i % 64`.
+    pub(crate) online: Vec<u64>,
+    /// Requests per second routed to each server (0 when offline).
+    pub(crate) rps: Vec<f64>,
+    /// CPU percent (+0.0 when offline or not recorded).
+    pub(crate) cpu_pct: Vec<f64>,
+    /// p95 latency in ms (+0.0 when offline or not recorded).
+    pub(crate) latency_p95_ms: Vec<f64>,
+    /// Disk queue length (+0.0 when offline or not recorded).
+    pub(crate) disk_queue: Vec<f64>,
+    /// Memory paging rate, pages/sec (+0.0 when offline or not recorded).
+    pub(crate) memory_pages_per_sec: Vec<f64>,
+    /// Network throughput, Mbps (+0.0 when offline or not recorded).
+    pub(crate) network_mbps: Vec<f64>,
+}
+
+impl SnapshotColumns {
+    /// Empty columns; sized on first use.
+    pub fn new() -> Self {
+        SnapshotColumns::default()
+    }
+
+    /// Number of rows (servers) held.
+    pub fn len(&self) -> usize {
+        self.rps.len()
+    }
+
+    /// True when no rows are held.
+    pub fn is_empty(&self) -> bool {
+        self.rps.is_empty()
+    }
+
+    /// The per-row RPS column.
+    pub fn rps(&self) -> &[f64] {
+        &self.rps
+    }
+
+    /// The per-row CPU-percent column.
+    pub fn cpu_pct(&self) -> &[f64] {
+        &self.cpu_pct
+    }
+
+    /// The per-row p95-latency column (ms).
+    pub fn latency_p95_ms(&self) -> &[f64] {
+        &self.latency_p95_ms
+    }
+
+    /// The per-row disk-queue-length column.
+    pub fn disk_queue(&self) -> &[f64] {
+        &self.disk_queue
+    }
+
+    /// The per-row paging-rate column (pages/sec).
+    pub fn memory_pages_per_sec(&self) -> &[f64] {
+        &self.memory_pages_per_sec
+    }
+
+    /// The per-row network-throughput column (Mbps).
+    pub fn network_mbps(&self) -> &[f64] {
+        &self.network_mbps
+    }
+
+    /// The per-row server-identity column.
+    pub fn servers(&self) -> &[ServerId] {
+        &self.server
+    }
+
+    /// The per-row pool-identity column.
+    pub fn pools(&self) -> &[PoolId] {
+        &self.pool
+    }
+
+    /// Whether row `i` served traffic this window.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    pub fn is_online(&self, i: usize) -> bool {
+        assert!(i < self.len(), "row {i} out of bounds ({} rows)", self.len());
+        self.online[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Serving-server count over rows `start..start + len` — a masked
+    /// popcount over the packed bitmask.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range exceeds the held rows.
+    pub fn online_count(&self, start: usize, len: usize) -> usize {
+        assert!(start + len <= self.len(), "range {start}+{len} exceeds {} rows", self.len());
+        if len == 0 {
+            return 0;
+        }
+        let (first, last) = (start / 64, (start + len - 1) / 64);
+        let lead_mask = u64::MAX << (start % 64);
+        let tail_mask = u64::MAX >> (63 - (start + len - 1) % 64);
+        if first == last {
+            return (self.online[first] & lead_mask & tail_mask).count_ones() as usize;
+        }
+        let mut n = (self.online[first] & lead_mask).count_ones() as usize;
+        for word in &self.online[first + 1..last] {
+            n += word.count_ones() as usize;
+        }
+        n + (self.online[last] & tail_mask).count_ones() as usize
+    }
+
+    /// Resizes every column to `n` rows (identity columns keep their
+    /// values; callers overwrite them). Reuses existing capacity.
+    pub(crate) fn resize(&mut self, n: usize) {
+        self.server.resize(n, ServerId(0));
+        self.pool.resize(n, PoolId(0));
+        self.datacenter.resize(n, DatacenterId(0));
+        self.online.clear();
+        self.online.resize(n.div_ceil(64), 0);
+        self.rps.resize(n, 0.0);
+        self.cpu_pct.resize(n, 0.0);
+        self.latency_p95_ms.resize(n, 0.0);
+        self.disk_queue.resize(n, 0.0);
+        self.memory_pages_per_sec.resize(n, 0.0);
+        self.network_mbps.resize(n, 0.0);
+    }
+
+    /// Sets row `i`'s online bit. The row's metric values are the caller's
+    /// responsibility (offline rows must carry `+0.0`).
+    pub(crate) fn set_online(&mut self, i: usize, online: bool) {
+        let (word, bit) = (i / 64, i % 64);
+        if online {
+            self.online[word] |= 1 << bit;
+        } else {
+            self.online[word] &= !(1 << bit);
+        }
+    }
+
+    /// Zeroes every metric column (not RPS — offline RPS is written as 0
+    /// directly, and `AvailabilityOnly` keeps the routed share) for rows
+    /// `start..start + len` whose online bit is clear, restoring the
+    /// offline contract after an unconditional kernel pass.
+    pub(crate) fn zero_offline(&mut self, start: usize, len: usize) {
+        for i in start..start + len {
+            if self.online[i / 64] >> (i % 64) & 1 == 0 {
+                self.cpu_pct[i] = 0.0;
+                self.latency_p95_ms[i] = 0.0;
+                self.disk_queue[i] = 0.0;
+                self.memory_pages_per_sec[i] = 0.0;
+                self.network_mbps[i] = 0.0;
+            }
+        }
+    }
+
+    /// The row-struct view of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    pub fn row(&self, i: usize) -> SnapshotRow {
+        SnapshotRow {
+            server: self.server[i],
+            pool: self.pool[i],
+            datacenter: self.datacenter[i],
+            online: self.is_online(i),
+            rps: self.rps[i],
+            cpu_pct: self.cpu_pct[i],
+            latency_p95_ms: self.latency_p95_ms[i],
+            disk_queue: self.disk_queue[i],
+            memory_pages_per_sec: self.memory_pages_per_sec[i],
+            network_mbps: self.network_mbps[i],
+        }
+    }
+
+    /// Converts to row structs, appending to `out` (cleared first).
+    pub fn to_rows(&self, out: &mut Vec<SnapshotRow>) {
+        out.clear();
+        out.reserve(self.len());
+        out.extend((0..self.len()).map(|i| self.row(i)));
+    }
+
+    /// Builds columns from row structs — the inverse of
+    /// [`SnapshotColumns::to_rows`] for any rows honouring the offline
+    /// contract (offline rows zero-metric'd, as every simulator path
+    /// produces them).
+    pub fn from_rows(rows: &[SnapshotRow]) -> Self {
+        let mut cols = SnapshotColumns::new();
+        cols.resize(rows.len());
+        for (i, r) in rows.iter().enumerate() {
+            cols.server[i] = r.server;
+            cols.pool[i] = r.pool;
+            cols.datacenter[i] = r.datacenter;
+            cols.set_online(i, r.online);
+            cols.rps[i] = r.rps;
+            cols.cpu_pct[i] = r.cpu_pct;
+            cols.latency_p95_ms[i] = r.latency_p95_ms;
+            cols.disk_queue[i] = r.disk_queue;
+            cols.memory_pages_per_sec[i] = r.memory_pages_per_sec;
+            cols.network_mbps[i] = r.network_mbps;
+        }
+        cols
+    }
+}
+
+/// A columnar window snapshot plus its pool partition — the
+/// struct-of-arrays counterpart of [`crate::sim::PartitionedSnapshot`],
+/// produced by [`crate::sim::Simulation::step_columns_partitioned`].
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnarSnapshot<'a> {
+    /// The window just simulated.
+    pub window: WindowIndex,
+    /// The fleet's column buffers for this window.
+    pub columns: &'a SnapshotColumns,
+    /// One entry per pool, delimiting its rows; identical geometry to the
+    /// row path's partition.
+    pub pools: &'a [PoolSlice],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows() -> Vec<SnapshotRow> {
+        (0..130u32)
+            .map(|i| {
+                let online = i % 7 != 3;
+                let v = if online { 1.0 + i as f64 } else { 0.0 };
+                SnapshotRow {
+                    server: ServerId(i),
+                    pool: PoolId(i / 10),
+                    datacenter: DatacenterId((i % 3) as u16),
+                    online,
+                    rps: v * 2.0,
+                    cpu_pct: v * 0.5,
+                    latency_p95_ms: v + 30.0 * (online as u8 as f64),
+                    disk_queue: v * 0.1,
+                    memory_pages_per_sec: v * 40.0,
+                    network_mbps: v * 0.3,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn row_round_trip_is_lossless() {
+        let rows = sample_rows();
+        let cols = SnapshotColumns::from_rows(&rows);
+        assert_eq!(cols.len(), rows.len());
+        let mut back = Vec::new();
+        cols.to_rows(&mut back);
+        assert_eq!(back, rows);
+        // Single-row accessor agrees with the bulk conversion.
+        assert_eq!(cols.row(17), rows[17]);
+    }
+
+    #[test]
+    fn online_count_matches_rows_at_word_boundaries() {
+        let rows = sample_rows();
+        let cols = SnapshotColumns::from_rows(&rows);
+        // Ranges straddling 64-bit word boundaries, single-word ranges,
+        // empty ranges.
+        for (start, len) in [(0, 130), (0, 64), (63, 2), (60, 70), (64, 64), (100, 0), (129, 1)] {
+            let expect = rows[start..start + len].iter().filter(|r| r.online).count();
+            assert_eq!(cols.online_count(start, len), expect, "range {start}+{len}");
+        }
+    }
+
+    #[test]
+    fn online_bits_round_trip() {
+        let rows = sample_rows();
+        let cols = SnapshotColumns::from_rows(&rows);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(cols.is_online(i), r.online, "row {i}");
+        }
+    }
+
+    #[test]
+    fn resize_reuses_and_clears_bits() {
+        let mut cols = SnapshotColumns::from_rows(&sample_rows());
+        cols.resize(130);
+        assert!(
+            (0..130).all(|i| !cols.is_online(i)),
+            "resize clears the bitmask for the next window"
+        );
+        assert_eq!(cols.len(), 130);
+    }
+
+    #[test]
+    fn zero_offline_restores_contract() {
+        let rows = sample_rows();
+        let mut cols = SnapshotColumns::from_rows(&rows);
+        // Scribble over offline rows as an unconditional kernel pass would.
+        for i in 0..cols.len() {
+            if !cols.is_online(i) {
+                cols.cpu_pct[i] = 42.0;
+                cols.latency_p95_ms[i] = 42.0;
+                cols.disk_queue[i] = 42.0;
+                cols.memory_pages_per_sec[i] = 42.0;
+                cols.network_mbps[i] = 42.0;
+            }
+        }
+        cols.zero_offline(0, 130);
+        let mut back = Vec::new();
+        cols.to_rows(&mut back);
+        assert_eq!(back, rows, "offline rows zeroed back to the row-path shape");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn is_online_bounds_checked() {
+        let cols = SnapshotColumns::from_rows(&sample_rows());
+        cols.is_online(130);
+    }
+}

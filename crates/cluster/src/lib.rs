@@ -23,6 +23,8 @@
 //!   populations of Figs. 14–15);
 //! - [`failure`] — unplanned server failures;
 //! - [`sim`] — the window-stepped engine;
+//! - [`columns`] — struct-of-arrays snapshot buffers (the columnar hot
+//!   path of the simulator→ingestion pipeline);
 //! - [`scenario`] — canned fleets for experiments and examples;
 //! - [`regression_lab`] — the twin-pool A/B harness of methodology step 4.
 //!
@@ -43,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod columns;
 pub mod error;
 pub mod failure;
 pub mod hardware;
@@ -57,6 +60,7 @@ pub mod sim;
 pub mod topology;
 
 pub use catalog::MicroserviceKind;
+pub use columns::{ColumnarSnapshot, SnapshotColumns};
 pub use error::ClusterError;
 pub use hardware::HardwareGeneration;
 pub use scenario::FleetScenario;

@@ -312,19 +312,100 @@ impl ServiceModel {
     /// Simulates only the workload-facing signals (CPU, latency) for one
     /// window — the cheap path used when the recording policy does not need
     /// disk/memory/network counters.
+    ///
+    /// Draws exactly three gaussians (CPU, p95, avg — in that order) and
+    /// applies [`ServiceModel::lite_from_noise`]; the columnar simulator
+    /// draws the same noise stream server by server and then applies the
+    /// same kernel over whole column slices, so the two paths are
+    /// bit-identical by construction.
     pub fn window_metrics_lite(
         &self,
         rps: f64,
         hw: HardwareGeneration,
         rng: &mut StdRng,
     ) -> (f64, f64, f64) {
+        self.lite_from_noise(rps, hw, LiteNoise::draw(rng))
+    }
+
+    /// The deterministic core of [`ServiceModel::window_metrics_lite`]:
+    /// `(cpu, latency_avg, latency_p95)` at `rps` per server from pre-drawn
+    /// noise. One expression tree shared by the scalar row path and the
+    /// element-wise columnar kernels — the bit-identity contract between
+    /// the two simulator layouts rests on this being the only
+    /// implementation.
+    #[inline]
+    pub fn lite_from_noise(
+        &self,
+        rps: f64,
+        hw: HardwareGeneration,
+        n: LiteNoise,
+    ) -> (f64, f64, f64) {
         let cpu_clean = self.cpu_mean(rps, hw);
-        let cpu = (cpu_clean * (1.0 + gaussian(rng) * self.cpu_noise_rel)).clamp(0.0, 100.0);
-        let latency_p95 = (self.latency_p95_mean(rps, hw) + gaussian(rng) * self.latency_noise_ms)
+        let cpu = (cpu_clean * (1.0 + n.cpu * self.cpu_noise_rel)).clamp(0.0, 100.0);
+        let latency_p95 = (self.latency_p95_mean(rps, hw) + n.p95 * self.latency_noise_ms)
             .max(self.latency_floor_ms);
-        let latency_avg = (latency_p95 * 0.62 + gaussian(rng) * self.latency_noise_ms * 0.3)
+        let latency_avg = (latency_p95 * 0.62 + n.avg * self.latency_noise_ms * 0.3)
             .max(self.latency_floor_ms * 0.5);
         (cpu, latency_avg, latency_p95)
+    }
+
+    /// Element-wise lite kernel over column slices: evaluates
+    /// [`ServiceModel::lite_from_noise`] for every server of one pool,
+    /// reading per-server workload, hardware generation, and pre-drawn
+    /// noise columns, writing the CPU / avg-latency / p95-latency columns.
+    /// No cross-element reduction happens here, so there is no float
+    /// reassociation: each lane computes exactly the scalar expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices disagree in length.
+    pub fn lite_columns(&self, input: LiteColumnsIn<'_>, out: LiteColumnsOut<'_>) {
+        let LiteColumnsIn { rps, hw, noise_cpu, noise_p95, noise_avg } = input;
+        let LiteColumnsOut { cpu, latency_avg, latency_p95 } = out;
+        let n = rps.len();
+        assert!(
+            [hw.len(), noise_cpu.len(), noise_p95.len(), noise_avg.len()].iter().all(|&l| l == n)
+                && cpu.len() == n
+                && latency_avg.len() == n
+                && latency_p95.len() == n,
+            "lite kernel columns disagree in length"
+        );
+        for i in 0..n {
+            let noise = LiteNoise { cpu: noise_cpu[i], p95: noise_p95[i], avg: noise_avg[i] };
+            let (c, avg, p95) = self.lite_from_noise(rps[i], hw[i], noise);
+            cpu[i] = c;
+            latency_avg[i] = avg;
+            latency_p95[i] = p95;
+        }
+    }
+
+    /// Element-wise noise-free resource-mean kernels over column slices:
+    /// disk queue, paging, and network columns from the workload column —
+    /// the columnar counterpart of calling [`ServiceModel::disk_queue_mean`]
+    /// / [`ServiceModel::paging_mean`] / [`ServiceModel::network_mbps_mean`]
+    /// per server on the cheap recording paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices disagree in length.
+    pub fn resource_mean_columns(
+        &self,
+        rps: &[f64],
+        net_scale: f64,
+        disk_queue: &mut [f64],
+        memory_pages: &mut [f64],
+        network_mbps: &mut [f64],
+    ) {
+        let n = rps.len();
+        assert!(
+            disk_queue.len() == n && memory_pages.len() == n && network_mbps.len() == n,
+            "resource-mean columns disagree in length"
+        );
+        for i in 0..n {
+            disk_queue[i] = self.disk_queue_mean(rps[i]);
+            memory_pages[i] = self.paging_mean(rps[i]);
+            network_mbps[i] = self.network_mbps_mean(rps[i], net_scale);
+        }
     }
 
     /// Simulates one 120-second window for one server.
@@ -437,6 +518,54 @@ impl ServiceModel {
             .with_cpu_noise(0.03)
             .with_latency_noise(0.8)
     }
+}
+
+/// Pre-drawn gaussian noise for one server's lite window metrics, in the
+/// exact draw order of [`ServiceModel::window_metrics_lite`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LiteNoise {
+    /// Relative CPU-reading noise draw.
+    pub cpu: f64,
+    /// Additive p95-latency noise draw (scaled by the model's ms sigma).
+    pub p95: f64,
+    /// Additive avg-latency noise draw.
+    pub avg: f64,
+}
+
+impl LiteNoise {
+    /// Draws one server's lite noise — three gaussians, in the canonical
+    /// CPU → p95 → avg order. Both simulator layouts consume the RNG
+    /// through this one function, so their noise streams cannot diverge.
+    pub fn draw(rng: &mut StdRng) -> Self {
+        LiteNoise { cpu: gaussian(rng), p95: gaussian(rng), avg: gaussian(rng) }
+    }
+}
+
+/// Input column slices of [`ServiceModel::lite_columns`] — one pool's
+/// servers, all the same length.
+#[derive(Debug)]
+pub struct LiteColumnsIn<'a> {
+    /// Per-server workload (RPS).
+    pub rps: &'a [f64],
+    /// Per-server hardware generation.
+    pub hw: &'a [HardwareGeneration],
+    /// Pre-drawn CPU noise per server.
+    pub noise_cpu: &'a [f64],
+    /// Pre-drawn p95-latency noise per server.
+    pub noise_p95: &'a [f64],
+    /// Pre-drawn avg-latency noise per server.
+    pub noise_avg: &'a [f64],
+}
+
+/// Output column slices of [`ServiceModel::lite_columns`].
+#[derive(Debug)]
+pub struct LiteColumnsOut<'a> {
+    /// CPU percent per server.
+    pub cpu: &'a mut [f64],
+    /// Mean latency (ms) per server.
+    pub latency_avg: &'a mut [f64],
+    /// p95 latency (ms) per server.
+    pub latency_p95: &'a mut [f64],
 }
 
 /// The counters produced by one server for one window.
@@ -583,6 +712,50 @@ mod tests {
         let hw = HardwareGeneration::Gen2;
         let rps = m.rps_at_cpu(20.0, hw);
         assert!((m.cpu_mean(rps, hw) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lite_columns_match_scalar_bitwise() {
+        // The columnar kernel must reproduce the scalar lite path bit for
+        // bit: same noise, same per-element expression, any hardware mix.
+        let m = ServiceModel::paper_pool_d();
+        let n = 37;
+        let mut rng = StdRng::seed_from_u64(5);
+        let rps: Vec<f64> = (0..n).map(|i| 40.0 + 17.3 * i as f64).collect();
+        let hw: Vec<HardwareGeneration> = (0..n)
+            .map(|i| match i % 3 {
+                0 => HardwareGeneration::Gen1,
+                1 => HardwareGeneration::Gen2,
+                _ => HardwareGeneration::Gen3,
+            })
+            .collect();
+        let noise: Vec<LiteNoise> = (0..n).map(|_| LiteNoise::draw(&mut rng)).collect();
+        let scalar: Vec<(f64, f64, f64)> =
+            (0..n).map(|i| m.lite_from_noise(rps[i], hw[i], noise[i])).collect();
+        let (mut cpu, mut avg, mut p95) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        m.lite_columns(
+            LiteColumnsIn {
+                rps: &rps,
+                hw: &hw,
+                noise_cpu: &noise.iter().map(|x| x.cpu).collect::<Vec<_>>(),
+                noise_p95: &noise.iter().map(|x| x.p95).collect::<Vec<_>>(),
+                noise_avg: &noise.iter().map(|x| x.avg).collect::<Vec<_>>(),
+            },
+            LiteColumnsOut { cpu: &mut cpu, latency_avg: &mut avg, latency_p95: &mut p95 },
+        );
+        for i in 0..n {
+            assert!(cpu[i] == scalar[i].0, "cpu lane {i}");
+            assert!(avg[i] == scalar[i].1, "avg lane {i}");
+            assert!(p95[i] == scalar[i].2, "p95 lane {i}");
+        }
+        // Resource means likewise.
+        let (mut dq, mut pg, mut nm) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        m.resource_mean_columns(&rps, 1.3, &mut dq, &mut pg, &mut nm);
+        for i in 0..n {
+            assert!(dq[i] == m.disk_queue_mean(rps[i]));
+            assert!(pg[i] == m.paging_mean(rps[i]));
+            assert!(nm[i] == m.network_mbps_mean(rps[i], 1.3));
+        }
     }
 
     #[test]

@@ -23,16 +23,18 @@ use headroom_telemetry::availability::AvailabilityLog;
 use headroom_telemetry::counter::{CounterKind, WorkloadTag};
 use headroom_telemetry::ids::{DatacenterId, PoolId, ServerId};
 use headroom_telemetry::store::MetricStore;
-use headroom_telemetry::time::{WindowIndex, WINDOWS_PER_DAY};
+use headroom_telemetry::time::{SimTime, WindowIndex, WINDOWS_PER_DAY};
 use headroom_workload::events::EventScript;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::catalog::MicroserviceKind;
+use crate::columns::{ColumnarSnapshot, SnapshotColumns};
 use crate::error::ClusterError;
+use crate::hardware::HardwareGeneration;
 use crate::pool::LoadBalancer;
 use crate::routing::redistribute;
-use crate::service_model::ServiceModel;
+use crate::service_model::{LiteColumnsIn, LiteColumnsOut, LiteNoise, ServiceModel};
 use crate::topology::Fleet;
 
 /// Which counters the simulation stores.
@@ -56,6 +58,32 @@ pub enum RecordingPolicy {
     AvailabilityOnly,
 }
 
+/// The in-memory snapshot layout used by layout-generic drivers.
+///
+/// Both layouts are produced by the same window phases, share the same RNG
+/// stream, and carry bit-identical values (`repro colsim` gates this for
+/// every recording policy), so the switch is purely a data-layout knob:
+/// [`Columnar`] streams per-pool-contiguous columns (the hot path at fleet
+/// scale), [`Rows`] materialises the legacy [`SnapshotRow`] structs and is
+/// kept for A/B property tests and row-oriented observers.
+///
+/// Explicit calls pick their own layout regardless
+/// ([`Simulation::step_snapshot`] / [`Simulation::step_snapshot_partitioned`]
+/// are always rows, [`Simulation::step_columns_partitioned`] always
+/// columns); the config switch steers drivers that accept either, such as
+/// `OnlinePlanner::run`.
+///
+/// [`Columnar`]: SnapshotLayout::Columnar
+/// [`Rows`]: SnapshotLayout::Rows
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotLayout {
+    /// Struct-of-arrays column buffers, reused across windows.
+    #[default]
+    Columnar,
+    /// Array of [`SnapshotRow`] structs — the legacy layout.
+    Rows,
+}
+
 /// Simulation configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
@@ -65,15 +93,33 @@ pub struct SimConfig {
     pub recording: RecordingPolicy,
     /// Whether to fill the availability log.
     pub track_availability: bool,
+    /// The snapshot layout used by layout-generic drivers.
+    pub layout: SnapshotLayout,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { seed: 0, recording: RecordingPolicy::Workload, track_availability: true }
+        SimConfig {
+            seed: 0,
+            recording: RecordingPolicy::Workload,
+            track_availability: true,
+            layout: SnapshotLayout::default(),
+        }
     }
 }
 
 /// Per-server state visible to observers for one window.
+///
+/// The six metric fields are the streaming subset of the paper's Fig. 2
+/// counter set: workload (RPS), the two QoS-side signals (CPU, p95
+/// latency), and the three secondary resources the multi-resource planner
+/// fits (disk queue, paging rate, network throughput) — in that order.
+/// Every metric is `0.0` when the server is offline, and *all six* are
+/// `0.0` except RPS under [`RecordingPolicy::AvailabilityOnly`] (the RPS
+/// field always carries the routed share, so availability studies still
+/// see demand). On the other cheap recording paths the three secondary
+/// resources are noise-free means — no extra RNG draws, so the recorded
+/// CPU/latency streams match the pre-multi-resource simulator exactly.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SnapshotRow {
     /// Server identity.
@@ -84,18 +130,23 @@ pub struct SnapshotRow {
     pub datacenter: DatacenterId,
     /// Whether the server served traffic this window.
     pub online: bool,
-    /// Requests per second routed to it (0 when offline).
+    /// Requests per second routed to it (0 when offline; carried under
+    /// every recording policy).
     pub rps: f64,
-    /// CPU percent (0 when offline).
+    /// CPU percent (0 when offline or under
+    /// [`RecordingPolicy::AvailabilityOnly`]).
     pub cpu_pct: f64,
-    /// p95 latency in ms (0 when offline).
+    /// p95 latency in ms (0 when offline or under
+    /// [`RecordingPolicy::AvailabilityOnly`]).
     pub latency_p95_ms: f64,
     /// Disk queue length (0 when offline or under
     /// [`RecordingPolicy::AvailabilityOnly`]).
     pub disk_queue: f64,
-    /// Memory paging rate, pages/sec (0 when offline).
+    /// Memory paging rate, pages/sec (0 when offline or under
+    /// [`RecordingPolicy::AvailabilityOnly`]).
     pub memory_pages_per_sec: f64,
-    /// Network throughput, Mbps both directions (0 when offline).
+    /// Network throughput, Mbps both directions (0 when offline or under
+    /// [`RecordingPolicy::AvailabilityOnly`]).
     pub network_mbps: f64,
 }
 
@@ -196,6 +247,12 @@ pub struct Simulation {
     /// Pool indices grouped by service, each sorted by datacenter index.
     service_groups: Vec<(MicroserviceKind, Vec<usize>)>,
     snapshot: Vec<SnapshotRow>,
+    /// Columnar window buffers (the struct-of-arrays sibling of
+    /// `snapshot`), filled by the columnar step and reused every window.
+    columns: SnapshotColumns,
+    /// Static per-row hardware generation column (parallel to `columns`),
+    /// built lazily on the first columnar step.
+    hw_col: Vec<HardwareGeneration>,
     pool_slices: Vec<PoolSlice>,
     /// Stateful failure tracking: server id → first window it is repaired.
     failed_until: HashMap<u32, u64>,
@@ -211,6 +268,13 @@ pub struct Simulation {
     group_weights: Vec<f64>,
     online_flags: Vec<bool>,
     shares: Vec<f64>,
+    /// Per-pool pre-drawn lite-noise columns (CPU / p95 / avg draws, in
+    /// server order) plus the avg-latency output lane — columnar-step
+    /// scratch, reused across pools and windows.
+    noise_cpu: Vec<f64>,
+    noise_p95: Vec<f64>,
+    noise_avg: Vec<f64>,
+    lat_avg_col: Vec<f64>,
 }
 
 impl Simulation {
@@ -257,6 +321,8 @@ impl Simulation {
             lb: LoadBalancer::default(),
             service_groups,
             snapshot: Vec::new(),
+            columns: SnapshotColumns::new(),
+            hw_col: Vec::new(),
             pool_slices: Vec::new(),
             failed_until: HashMap::new(),
             pool_weight,
@@ -266,7 +332,17 @@ impl Simulation {
             group_weights: Vec::new(),
             online_flags: Vec::new(),
             shares: Vec::new(),
+            noise_cpu: Vec::new(),
+            noise_p95: Vec::new(),
+            noise_avg: Vec::new(),
+            lat_avg_col: Vec::new(),
         }
+    }
+
+    /// The configuration in effect (including the snapshot layout switch
+    /// layout-generic drivers consult).
+    pub fn config(&self) -> &SimConfig {
+        &self.config
     }
 
     /// The fleet being simulated.
@@ -381,19 +457,41 @@ impl Simulation {
         }
     }
 
+    /// Simulates exactly one window and returns its snapshot as
+    /// per-pool-contiguous columns — the struct-of-arrays sibling of
+    /// [`Simulation::step_snapshot_partitioned`], and the hot path at fleet
+    /// scale: response-model kernels run element-wise over column slices,
+    /// the column buffers are reused window over window (no steady-state
+    /// allocation), and sharded observers aggregate each pool's counters
+    /// from contiguous memory.
+    ///
+    /// Values, stored counters, availability log, and RNG stream are
+    /// *bit-identical* to the row path under every recording policy
+    /// (`repro colsim` gates this); only the in-memory layout differs.
+    pub fn step_columns_partitioned(&mut self) -> ColumnarSnapshot<'_> {
+        self.step_cols();
+        ColumnarSnapshot {
+            window: WindowIndex(self.next_window.0 - 1),
+            columns: &self.columns,
+            pools: &self.pool_slices,
+        }
+    }
+
     /// Consumes the simulation, returning the fleet, metric store and
     /// availability log.
     pub fn into_parts(self) -> (Fleet, MetricStore, AvailabilityLog) {
         (self.fleet, self.store, self.availability)
     }
 
-    fn step(&mut self) {
+    /// Advances the window clock, applies scheduled interventions and model
+    /// swaps, and fills the per-pool demand scratch — the phases shared by
+    /// both snapshot layouts, byte for byte (one implementation, so the RNG
+    /// stream cannot diverge between them).
+    fn begin_window(&mut self) -> (WindowIndex, SimTime, f64) {
         let w = self.next_window;
         self.next_window = WindowIndex(w.0 + 1);
         let t = w.midpoint();
         let utc_hour = t.hour_of_day();
-        self.snapshot.clear();
-        self.pool_slices.clear();
 
         // Apply interventions scheduled for this window.
         if let Some(resizes) = self.interventions.remove(&w.0) {
@@ -416,7 +514,7 @@ impl Simulation {
         }
 
         // Demand per pool, grouped by service for failover rerouting.
-        // Everything below runs on reusable field buffers: a warmed window
+        // Everything here runs on reusable field buffers: a warmed window
         // touches no allocator.
         self.pool_demand.clear();
         self.pool_demand.resize(self.fleet.pools().len(), 0.0);
@@ -439,6 +537,121 @@ impl Simulation {
                 self.pool_demand[pi] = self.group_demands[k];
             }
         }
+        (w, t, utc_hour)
+    }
+
+    /// One pool's per-window header: identity, local hour, size, loss
+    /// status, and network shape.
+    fn pool_header(
+        &self,
+        pi: usize,
+        t: SimTime,
+        utc_hour: f64,
+    ) -> (PoolId, DatacenterId, f64, usize, bool, f64) {
+        let pool = &self.fleet.pools()[pi];
+        (
+            pool.id,
+            pool.datacenter,
+            pool.local_hour(utc_hour),
+            pool.size(),
+            self.events.datacenter_lost(pool.datacenter, t),
+            pool.net_scale,
+        )
+    }
+
+    /// Decides online status per server of pool `pi` into `online_flags`.
+    /// Failures are tracked statefully: one hash draw per server-window,
+    /// with the repair interval carried in `failed_until`. Shared verbatim
+    /// by both snapshot layouts.
+    fn fill_online_flags(
+        &mut self,
+        pi: usize,
+        pool_size: usize,
+        w: WindowIndex,
+        local_hour: f64,
+        dc_lost: bool,
+    ) {
+        self.online_flags.clear();
+        let pool = &self.fleet.pools()[pi];
+        for (idx, server) in pool.servers.iter().enumerate() {
+            let maint = pool.maintenance.is_offline(idx, pool_size, w, local_hour);
+            let failed = match pool.failures {
+                Some(f) => {
+                    let key = server.id.0;
+                    let down =
+                        self.failed_until.get(&key).map(|&until| w.0 < until).unwrap_or(false);
+                    if down {
+                        true
+                    } else if f.fails_at(key as u64, w) {
+                        self.failed_until.insert(key, w.0 + f.repair_windows);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                None => false,
+            };
+            self.online_flags.push(server.is_active() && !maint && !failed && !dc_lost);
+        }
+    }
+
+    /// Evaluates one online server under [`RecordingPolicy::Full`]: the
+    /// complete counter row, recorded into the store, returning the
+    /// snapshot metric tuple `(cpu, lat_avg, lat_p95, disk_queue, pages,
+    /// mbps)`. Shared by both snapshot layouts (the Full path is the
+    /// heavyweight archival path; it is not columnarized).
+    fn eval_full(
+        &mut self,
+        pi: usize,
+        server_id: ServerId,
+        generation: HardwareGeneration,
+        windows_online: u64,
+        rps: f64,
+        w: WindowIndex,
+    ) -> (f64, f64, f64, f64, f64, f64) {
+        let m = {
+            let pool = &self.fleet.pools()[pi];
+            pool.model.window_metrics(
+                rps,
+                generation,
+                w,
+                windows_online,
+                server_id.0 as u64 % 97,
+                pool.net_scale,
+                &mut self.rng,
+            )
+        };
+        self.store.record(server_id, CounterKind::CpuPercent, w, m.cpu_pct);
+        self.store.record(server_id, CounterKind::RequestsPerSec, w, rps);
+        self.store.record(server_id, CounterKind::LatencyAvgMs, w, m.latency_avg_ms);
+        self.store.record(server_id, CounterKind::LatencyP95Ms, w, m.latency_p95_ms);
+        self.store.record(server_id, CounterKind::DiskReadBytesPerSec, w, m.disk_read_bytes);
+        self.store.record(server_id, CounterKind::DiskWriteBytesPerSec, w, m.disk_write_bytes);
+        self.store.record(server_id, CounterKind::DiskQueueLength, w, m.disk_queue);
+        self.store.record(server_id, CounterKind::MemoryPagesPerSec, w, m.memory_pages_per_sec);
+        self.store.record(server_id, CounterKind::NetworkBytesPerSec, w, m.network_bytes);
+        self.store.record(server_id, CounterKind::NetworkPacketsPerSec, w, m.network_pkts);
+        self.store.record(server_id, CounterKind::ErrorsPerSec, w, m.errors_per_sec);
+        self.store.record(server_id, CounterKind::MemoryResidentMb, w, m.memory_resident_mb);
+        for (ti, (&t_rps, &t_cpu)) in m.table_rps.iter().zip(&m.table_cpu).enumerate() {
+            let tag = WorkloadTag::Workload(ti as u8);
+            self.store.record_tagged(server_id, CounterKind::RequestsPerSec, tag, w, t_rps);
+            self.store.record_tagged(server_id, CounterKind::CpuPercent, tag, w, t_cpu);
+        }
+        (
+            m.cpu_pct,
+            m.latency_avg_ms,
+            m.latency_p95_ms,
+            m.disk_queue,
+            m.memory_pages_per_sec,
+            m.network_bytes * 8.0 / 1e6,
+        )
+    }
+
+    fn step(&mut self) {
+        let (w, t, utc_hour) = self.begin_window();
+        self.snapshot.clear();
+        self.pool_slices.clear();
 
         // Simulate each pool.
         let track_availability = self.config.track_availability;
@@ -446,48 +659,10 @@ impl Simulation {
         for pi in 0..self.fleet.pools().len() {
             let slice_start = self.snapshot.len();
             let demand = self.pool_demand[pi];
-            let (pool_id, dc, local_hour, pool_size, dc_lost, net_scale) = {
-                let pool = &self.fleet.pools()[pi];
-                (
-                    pool.id,
-                    pool.datacenter,
-                    pool.local_hour(utc_hour),
-                    pool.size(),
-                    self.events.datacenter_lost(pool.datacenter, t),
-                    pool.net_scale,
-                )
-            };
+            let (pool_id, dc, local_hour, pool_size, dc_lost, net_scale) =
+                self.pool_header(pi, t, utc_hour);
 
-            // Decide online status per server. Failures are tracked
-            // statefully: one hash draw per server-window, with the repair
-            // interval carried in `failed_until`.
-            self.online_flags.clear();
-            {
-                let pool = &self.fleet.pools()[pi];
-                for (idx, server) in pool.servers.iter().enumerate() {
-                    let maint = pool.maintenance.is_offline(idx, pool_size, w, local_hour);
-                    let failed = match pool.failures {
-                        Some(f) => {
-                            let key = server.id.0;
-                            let down = self
-                                .failed_until
-                                .get(&key)
-                                .map(|&until| w.0 < until)
-                                .unwrap_or(false);
-                            if down {
-                                true
-                            } else if f.fails_at(key as u64, w) {
-                                self.failed_until.insert(key, w.0 + f.repair_windows);
-                                true
-                            } else {
-                                false
-                            }
-                        }
-                        None => false,
-                    };
-                    self.online_flags.push(server.is_active() && !maint && !failed && !dc_lost);
-                }
-            }
+            self.fill_online_flags(pi, pool_size, w, local_hour, dc_lost);
             let online_count = self.online_flags.iter().filter(|&&o| o).count();
             let lb = self.lb;
             lb.distribute_into(&mut self.shares, demand, online_count, &mut self.rng);
@@ -528,102 +703,7 @@ impl Simulation {
                 next_share += 1;
                 let (cpu, lat_avg, lat_p95, disk_queue, mem_pages, net_mbps) = match recording {
                     RecordingPolicy::Full => {
-                        let m = {
-                            let pool = &self.fleet.pools()[pi];
-                            pool.model.window_metrics(
-                                rps,
-                                generation,
-                                w,
-                                windows_online,
-                                server_id.0 as u64 % 97,
-                                pool.net_scale,
-                                &mut self.rng,
-                            )
-                        };
-                        self.store.record(server_id, CounterKind::CpuPercent, w, m.cpu_pct);
-                        self.store.record(server_id, CounterKind::RequestsPerSec, w, rps);
-                        self.store.record(
-                            server_id,
-                            CounterKind::LatencyAvgMs,
-                            w,
-                            m.latency_avg_ms,
-                        );
-                        self.store.record(
-                            server_id,
-                            CounterKind::LatencyP95Ms,
-                            w,
-                            m.latency_p95_ms,
-                        );
-                        self.store.record(
-                            server_id,
-                            CounterKind::DiskReadBytesPerSec,
-                            w,
-                            m.disk_read_bytes,
-                        );
-                        self.store.record(
-                            server_id,
-                            CounterKind::DiskWriteBytesPerSec,
-                            w,
-                            m.disk_write_bytes,
-                        );
-                        self.store.record(server_id, CounterKind::DiskQueueLength, w, m.disk_queue);
-                        self.store.record(
-                            server_id,
-                            CounterKind::MemoryPagesPerSec,
-                            w,
-                            m.memory_pages_per_sec,
-                        );
-                        self.store.record(
-                            server_id,
-                            CounterKind::NetworkBytesPerSec,
-                            w,
-                            m.network_bytes,
-                        );
-                        self.store.record(
-                            server_id,
-                            CounterKind::NetworkPacketsPerSec,
-                            w,
-                            m.network_pkts,
-                        );
-                        self.store.record(
-                            server_id,
-                            CounterKind::ErrorsPerSec,
-                            w,
-                            m.errors_per_sec,
-                        );
-                        self.store.record(
-                            server_id,
-                            CounterKind::MemoryResidentMb,
-                            w,
-                            m.memory_resident_mb,
-                        );
-                        for (ti, (&t_rps, &t_cpu)) in
-                            m.table_rps.iter().zip(&m.table_cpu).enumerate()
-                        {
-                            let tag = WorkloadTag::Workload(ti as u8);
-                            self.store.record_tagged(
-                                server_id,
-                                CounterKind::RequestsPerSec,
-                                tag,
-                                w,
-                                t_rps,
-                            );
-                            self.store.record_tagged(
-                                server_id,
-                                CounterKind::CpuPercent,
-                                tag,
-                                w,
-                                t_cpu,
-                            );
-                        }
-                        (
-                            m.cpu_pct,
-                            m.latency_avg_ms,
-                            m.latency_p95_ms,
-                            m.disk_queue,
-                            m.memory_pages_per_sec,
-                            m.network_bytes * 8.0 / 1e6,
-                        )
+                        self.eval_full(pi, server_id, generation, windows_online, rps, w)
                     }
                     RecordingPolicy::Workload => {
                         let (cpu, lat_avg, lat_p95, dq, pg, nm) = {
@@ -686,6 +766,228 @@ impl Simulation {
                 start: slice_start,
                 len: self.snapshot.len() - slice_start,
             });
+        }
+    }
+
+    /// Sizes the column buffers and (once) builds the static identity and
+    /// hardware columns. Row layout is static for a fleet — every server
+    /// appears every window, online or not — so after the first columnar
+    /// step this only clears the bitmask.
+    fn ensure_columns(&mut self) {
+        let n = self.fleet.server_count();
+        self.columns.resize(n);
+        if self.hw_col.len() != n {
+            self.hw_col.clear();
+            let mut i = 0usize;
+            for pool in self.fleet.pools() {
+                for s in &pool.servers {
+                    self.columns.server[i] = s.id;
+                    self.columns.pool[i] = pool.id;
+                    self.columns.datacenter[i] = pool.datacenter;
+                    self.hw_col.push(s.generation);
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Ticks every server of pool `pi` per its online flag — the
+    /// per-server age bookkeeping of the lite recording paths, where no
+    /// metric reads `windows_online` and the ticks can run up front. The
+    /// `Full` path must NOT use this: it reads `windows_online` (the leak
+    /// model) *before* ticking, per server, in row-path order.
+    fn tick_pool_servers(&mut self, pi: usize, pool_size: usize) {
+        if let Some(pool) = self.fleet.pools_mut().get_mut(pi) {
+            for idx in 0..pool_size {
+                if self.online_flags[idx] {
+                    pool.servers[idx].tick_online();
+                } else {
+                    pool.servers[idx].tick_offline();
+                }
+            }
+        }
+    }
+
+    /// The columnar window step: identical phases, identical RNG stream,
+    /// and bit-identical values to [`Simulation::step`], but metrics are
+    /// written straight into per-pool-contiguous column buffers and the
+    /// cheap recording paths evaluate the response-model kernels
+    /// element-wise over column slices instead of per-server row structs.
+    ///
+    /// Noise is inherently sequential (one gaussian stream shared with the
+    /// row path), so each pool runs a short sequential noise pass first;
+    /// everything after it is branch-light columnar arithmetic.
+    fn step_cols(&mut self) {
+        let (w, t, utc_hour) = self.begin_window();
+        self.pool_slices.clear();
+        self.ensure_columns();
+
+        let track_availability = self.config.track_availability;
+        let recording = self.config.recording;
+        let mut base = 0usize;
+        for pi in 0..self.fleet.pools().len() {
+            let demand = self.pool_demand[pi];
+            let (pool_id, _dc, local_hour, pool_size, dc_lost, net_scale) =
+                self.pool_header(pi, t, utc_hour);
+
+            self.fill_online_flags(pi, pool_size, w, local_hour, dc_lost);
+            let online_count = self.online_flags.iter().filter(|&&o| o).count();
+            let lb = self.lb;
+            lb.distribute_into(&mut self.shares, demand, online_count, &mut self.rng);
+
+            // Identity phase: availability, online bits, workload column.
+            let mut next_share = 0usize;
+            for idx in 0..pool_size {
+                let online = self.online_flags[idx];
+                if track_availability {
+                    let server_id = self.fleet.pools()[pi].servers[idx].id;
+                    self.availability.record(server_id, w, online);
+                }
+                self.columns.set_online(base + idx, online);
+                self.columns.rps[base + idx] = if online {
+                    let r = self.shares.get(next_share).copied().unwrap_or(0.0);
+                    next_share += 1;
+                    r
+                } else {
+                    0.0
+                };
+            }
+
+            match recording {
+                RecordingPolicy::Full => {
+                    // The archival path stays scalar (its per-server metrics
+                    // and tagged series do not columnarize), evaluated in
+                    // exactly the row path's order — including the
+                    // before-tick `windows_online` read the leak model needs.
+                    for idx in 0..pool_size {
+                        let online = self.online_flags[idx];
+                        let (server_id, generation, windows_online) = {
+                            let s = &self.fleet.pools()[pi].servers[idx];
+                            (s.id, s.generation, s.windows_online)
+                        };
+                        let i = base + idx;
+                        if !online {
+                            if let Some(pool) = self.fleet.pools_mut().get_mut(pi) {
+                                pool.servers[idx].tick_offline();
+                            }
+                            self.columns.cpu_pct[i] = 0.0;
+                            self.columns.latency_p95_ms[i] = 0.0;
+                            self.columns.disk_queue[i] = 0.0;
+                            self.columns.memory_pages_per_sec[i] = 0.0;
+                            self.columns.network_mbps[i] = 0.0;
+                            continue;
+                        }
+                        let rps = self.columns.rps[i];
+                        let (cpu, _lat_avg, lat_p95, dq, pg, nm) =
+                            self.eval_full(pi, server_id, generation, windows_online, rps, w);
+                        if let Some(pool) = self.fleet.pools_mut().get_mut(pi) {
+                            pool.servers[idx].tick_online();
+                        }
+                        self.columns.cpu_pct[i] = cpu;
+                        self.columns.latency_p95_ms[i] = lat_p95;
+                        self.columns.disk_queue[i] = dq;
+                        self.columns.memory_pages_per_sec[i] = pg;
+                        self.columns.network_mbps[i] = nm;
+                    }
+                }
+                RecordingPolicy::Workload | RecordingPolicy::SnapshotOnly => {
+                    // Lite metrics never read `windows_online`, so server
+                    // ticks can run up front.
+                    self.tick_pool_servers(pi, pool_size);
+                    // Sequential noise pass: the exact gaussian draws (and
+                    // order) of the row path's per-server lite calls.
+                    self.noise_cpu.clear();
+                    self.noise_cpu.resize(pool_size, 0.0);
+                    self.noise_p95.clear();
+                    self.noise_p95.resize(pool_size, 0.0);
+                    self.noise_avg.clear();
+                    self.noise_avg.resize(pool_size, 0.0);
+                    for idx in 0..pool_size {
+                        if self.online_flags[idx] {
+                            let n = LiteNoise::draw(&mut self.rng);
+                            self.noise_cpu[idx] = n.cpu;
+                            self.noise_p95[idx] = n.p95;
+                            self.noise_avg[idx] = n.avg;
+                        }
+                    }
+                    // Columnar kernels over the pool's slice.
+                    self.lat_avg_col.clear();
+                    self.lat_avg_col.resize(pool_size, 0.0);
+                    let range = base..base + pool_size;
+                    let model = &self.fleet.pools()[pi].model;
+                    model.lite_columns(
+                        LiteColumnsIn {
+                            rps: &self.columns.rps[range.clone()],
+                            hw: &self.hw_col[range.clone()],
+                            noise_cpu: &self.noise_cpu,
+                            noise_p95: &self.noise_p95,
+                            noise_avg: &self.noise_avg,
+                        },
+                        LiteColumnsOut {
+                            cpu: &mut self.columns.cpu_pct[range.clone()],
+                            latency_avg: &mut self.lat_avg_col,
+                            latency_p95: &mut self.columns.latency_p95_ms[range.clone()],
+                        },
+                    );
+                    model.resource_mean_columns(
+                        &self.columns.rps[range.clone()],
+                        net_scale,
+                        &mut self.columns.disk_queue[range.clone()],
+                        &mut self.columns.memory_pages_per_sec[range.clone()],
+                        &mut self.columns.network_mbps[range],
+                    );
+                    // The kernels wrote every lane (offline lanes computed
+                    // on rps = 0); restore the offline zero contract.
+                    self.columns.zero_offline(base, pool_size);
+
+                    if recording == RecordingPolicy::Workload {
+                        for idx in 0..pool_size {
+                            if !self.online_flags[idx] {
+                                continue;
+                            }
+                            let i = base + idx;
+                            let server_id = self.columns.server[i];
+                            self.store.record(
+                                server_id,
+                                CounterKind::CpuPercent,
+                                w,
+                                self.columns.cpu_pct[i],
+                            );
+                            self.store.record(
+                                server_id,
+                                CounterKind::RequestsPerSec,
+                                w,
+                                self.columns.rps[i],
+                            );
+                            self.store.record(
+                                server_id,
+                                CounterKind::LatencyAvgMs,
+                                w,
+                                self.lat_avg_col[idx],
+                            );
+                            self.store.record(
+                                server_id,
+                                CounterKind::LatencyP95Ms,
+                                w,
+                                self.columns.latency_p95_ms[i],
+                            );
+                        }
+                    }
+                }
+                RecordingPolicy::AvailabilityOnly => {
+                    self.tick_pool_servers(pi, pool_size);
+                    for i in base..base + pool_size {
+                        self.columns.cpu_pct[i] = 0.0;
+                        self.columns.latency_p95_ms[i] = 0.0;
+                        self.columns.disk_queue[i] = 0.0;
+                        self.columns.memory_pages_per_sec[i] = 0.0;
+                        self.columns.network_mbps[i] = 0.0;
+                    }
+                }
+            }
+
+            self.pool_slices.push(PoolSlice { pool: pool_id, start: base, len: pool_size });
+            base += pool_size;
         }
     }
 }
@@ -941,6 +1243,98 @@ mod tests {
             rows
         };
         assert_eq!(mk(true), mk(false), "partitioning changes nothing but the view");
+    }
+
+    /// Drives one simulation stepping rows and a twin stepping columns and
+    /// asserts byte-identical rows, stores, and availability per window.
+    fn assert_columnar_identity(recording: RecordingPolicy, windows: u64) {
+        let fleet = || {
+            let spec = MicroserviceKind::B
+                .spec()
+                .with_practice(crate::maintenance::AvailabilityPractice::Moderate);
+            FleetBuilder::new(21)
+                .datacenters(2)
+                .deploy_with_spec(&spec, 8, spec.peak_rps_per_server)
+                .unwrap()
+                .deploy_service(MicroserviceKind::D, 5)
+                .unwrap()
+                .build()
+        };
+        let config = SimConfig { seed: 9, recording, ..SimConfig::default() };
+        let mut rows_sim = Simulation::new(fleet(), EventScript::empty(), config);
+        let mut cols_sim = Simulation::new(fleet(), EventScript::empty(), config);
+        let mut cols_rows = Vec::new();
+        for i in 0..windows {
+            let row_snap = rows_sim.step_snapshot_partitioned();
+            let expect_rows = row_snap.rows.to_vec();
+            let expect_slices = row_snap.pools.to_vec();
+            let col_snap = cols_sim.step_columns_partitioned();
+            assert_eq!(col_snap.pools, &expect_slices[..], "partition diverged at window {i}");
+            col_snap.columns.to_rows(&mut cols_rows);
+            assert_eq!(cols_rows, expect_rows, "{recording:?} rows diverged at window {i}");
+        }
+        // Recorded state converges too: counters and availability.
+        assert_eq!(rows_sim.store().sample_count(), cols_sim.store().sample_count());
+        let pool = rows_sim.fleet().pools()[0].id;
+        let range = WindowRange::new(WindowIndex(0), WindowIndex(windows));
+        for counter in [CounterKind::CpuPercent, CounterKind::LatencyAvgMs] {
+            assert_eq!(
+                rows_sim.store().pool_mean_series(pool, counter, range),
+                cols_sim.store().pool_mean_series(pool, counter, range),
+                "{recording:?} stored {counter} series diverged"
+            );
+        }
+        assert_eq!(
+            rows_sim.availability().fleet_mean_availability(),
+            cols_sim.availability().fleet_mean_availability()
+        );
+    }
+
+    #[test]
+    fn columnar_step_is_bit_identical_workload() {
+        assert_columnar_identity(RecordingPolicy::Workload, 40);
+    }
+
+    #[test]
+    fn columnar_step_is_bit_identical_full() {
+        assert_columnar_identity(RecordingPolicy::Full, 12);
+    }
+
+    #[test]
+    fn columnar_step_is_bit_identical_snapshot_only() {
+        assert_columnar_identity(RecordingPolicy::SnapshotOnly, 40);
+    }
+
+    #[test]
+    fn columnar_step_is_bit_identical_availability_only() {
+        assert_columnar_identity(RecordingPolicy::AvailabilityOnly, 40);
+    }
+
+    #[test]
+    fn layout_switch_defaults_to_columnar() {
+        assert_eq!(SimConfig::default().layout, SnapshotLayout::Columnar);
+        let sim = Simulation::new(small_fleet(1), EventScript::empty(), SimConfig::default());
+        assert_eq!(sim.config().layout, SnapshotLayout::Columnar);
+    }
+
+    #[test]
+    fn interleaved_layouts_share_one_stream() {
+        // Alternating row and columnar steps on one simulation advances one
+        // underlying stream: a pure-row twin sees the same rows at the same
+        // windows, whichever layout produced them.
+        let mut mixed = Simulation::new(small_fleet(6), EventScript::empty(), SimConfig::default());
+        let mut pure = Simulation::new(small_fleet(6), EventScript::empty(), SimConfig::default());
+        let mut buf = Vec::new();
+        for i in 0..20u64 {
+            let expect = pure.step_snapshot().rows.to_vec();
+            let got = if i % 2 == 0 {
+                mixed.step_columns_partitioned().columns.to_rows(&mut buf);
+                buf.clone()
+            } else {
+                mixed.step_snapshot().rows.to_vec()
+            };
+            assert_eq!(got, expect, "window {i}");
+        }
     }
 
     #[test]

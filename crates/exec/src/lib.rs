@@ -63,6 +63,29 @@ use std::thread::JoinHandle;
 
 pub mod alloc_track;
 
+/// The canonical chunk length for fanning `len` items across `threads`
+/// computing threads: one contiguous chunk per thread, the remainder
+/// spread by ceiling division.
+///
+/// Chunk geometry is *the* determinism anchor of the sweep engine — a
+/// chunk boundary decides which worker's sequential loop evaluates a pool,
+/// never what it computes — and it is also the scaling knob at fleet
+/// scale: chunks must grow with `len / threads` (coarse chunks keep each
+/// worker streaming one long contiguous run of shards per window) rather
+/// than being fixed-size, which at tens of thousands of pools would mean
+/// hundreds of hand-offs per window and a mailbox wake per hand-off. This
+/// function is the single source of that geometry; a unit test pins it.
+///
+/// Guarantees, for any `len > 0`:
+///
+/// - `chunk_len(len, threads) >= 1` (threads `0` is treated as `1`);
+/// - the chunk count `len.div_ceil(chunk_len)` equals `min(threads, len)`
+///   — never more chunks than threads, no idle chunk slots;
+/// - geometry depends only on `(len, threads)` — never on scheduling.
+pub fn chunk_len(len: usize, threads: usize) -> usize {
+    len.div_ceil(threads.max(1)).max(1)
+}
+
 /// One parked worker's hand-off slot.
 #[derive(Default)]
 struct Slot {
@@ -412,6 +435,37 @@ where
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn chunk_geometry_scales_with_len_over_threads() {
+        // One chunk per computing thread, remainder ceiling-spread.
+        assert_eq!(chunk_len(4096, 4), 1024);
+        assert_eq!(chunk_len(16384, 4), 4096);
+        assert_eq!(chunk_len(81, 4), 21);
+        assert_eq!(chunk_len(6, 4), 2);
+        // Degenerate widths clamp sanely.
+        assert_eq!(chunk_len(10, 0), 10);
+        assert_eq!(chunk_len(10, 1), 10);
+        assert_eq!(chunk_len(3, 8), 1);
+        // The invariant the sweep engine leans on: the chunk count never
+        // exceeds the fan-out width (so growing the fleet grows chunk size,
+        // never the number of per-window hand-offs), covers every item, and
+        // hits the width exactly when the width divides the fleet.
+        for len in [1usize, 2, 5, 7, 81, 512, 4096, 16384] {
+            for threads in [1usize, 2, 3, 4, 8] {
+                let cl = chunk_len(len, threads);
+                let chunks = len.div_ceil(cl);
+                assert!(
+                    (1..=threads.min(len)).contains(&chunks),
+                    "chunks {chunks} at len {len} x threads {threads}"
+                );
+                assert!(cl * chunks >= len, "chunks cover the fleet");
+                if threads > 0 && len % threads == 0 {
+                    assert_eq!(chunks, threads.min(len), "even split uses the full width");
+                }
+            }
+        }
+    }
 
     #[test]
     fn runs_every_chunk_exactly_once() {

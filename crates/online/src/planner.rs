@@ -30,7 +30,10 @@
 
 use std::collections::BTreeMap;
 
-use headroom_cluster::sim::{PartitionedSnapshot, Simulation, SnapshotRow, WindowSnapshot};
+use headroom_cluster::columns::{ColumnarSnapshot, SnapshotColumns};
+use headroom_cluster::sim::{
+    PartitionedSnapshot, Simulation, SnapshotLayout, SnapshotRow, WindowSnapshot,
+};
 use headroom_core::sizing::{PoolSizing, SizingPlanner};
 use headroom_core::slo::QosRequirement;
 use headroom_telemetry::counter::Resource;
@@ -39,7 +42,7 @@ use headroom_telemetry::time::WindowIndex;
 
 use crate::drift::DriftConfig;
 use crate::exhaustion::{ExhaustionProjection, HeadroomBand};
-use crate::sweep::SweepEngine;
+use crate::sweep::{AssessmentView, SweepEngine};
 
 /// How the sweep engine executes its per-window fan-out.
 ///
@@ -164,6 +167,65 @@ impl PoolWindowAggregate {
         }
         if n == 0 {
             return None;
+        }
+        let nf = n as f64;
+        Some(PoolWindowAggregate {
+            window,
+            rps_per_server: rps / nf,
+            cpu_pct: cpu / nf,
+            latency_p95_ms: lat / nf,
+            disk_queue: dq / nf,
+            memory_pages_per_sec: pg / nf,
+            network_mbps: nm / nf,
+            active_servers: n,
+        })
+    }
+
+    /// Aggregates one pool's rows from a columnar snapshot's `start..start
+    /// + len` slice — the struct-of-arrays counterpart of
+    /// [`PoolWindowAggregate::from_rows`], and bit-identical to it.
+    ///
+    /// Each counter is summed *unconditionally* over its contiguous column
+    /// slice: the columnar offline contract (offline lanes carry exactly
+    /// `+0.0`) makes the extra terms bit-exact no-ops on the non-negative
+    /// partial sums, so the loop needs no per-row branch, streams dense
+    /// memory, and auto-vectorizes. The serving count is a masked popcount.
+    /// `None` when no server served this window.
+    pub fn from_columns(
+        window: WindowIndex,
+        cols: &SnapshotColumns,
+        start: usize,
+        len: usize,
+    ) -> Option<PoolWindowAggregate> {
+        let n = cols.online_count(start, len);
+        if n == 0 {
+            return None;
+        }
+        // One fused pass over the six column slices: each accumulator still
+        // adds its column's values in index order (bit-identical to summing
+        // the column alone, and to the row loop), but small pools pay the
+        // loop overhead once instead of six times. Equal slice lengths let
+        // the bounds checks vanish.
+        let range = start..start + len;
+        let (rps_c, cpu_c, lat_c) = (
+            &cols.rps()[range.clone()],
+            &cols.cpu_pct()[range.clone()],
+            &cols.latency_p95_ms()[range.clone()],
+        );
+        let (dq_c, pg_c, nm_c) = (
+            &cols.disk_queue()[range.clone()],
+            &cols.memory_pages_per_sec()[range.clone()],
+            &cols.network_mbps()[range],
+        );
+        let (mut rps, mut cpu, mut lat) = (0.0f64, 0.0f64, 0.0f64);
+        let (mut dq, mut pg, mut nm) = (0.0f64, 0.0f64, 0.0f64);
+        for i in 0..len {
+            rps += rps_c[i];
+            cpu += cpu_c[i];
+            lat += lat_c[i];
+            dq += dq_c[i];
+            pg += pg_c[i];
+            nm += nm_c[i];
         }
         let nf = n as f64;
         Some(PoolWindowAggregate {
@@ -389,8 +451,15 @@ impl OnlinePlanner {
         self.engine.observe_partitioned(snap);
     }
 
-    /// The latest per-pool assessments.
-    pub fn assessments(&self) -> &BTreeMap<PoolId, PoolAssessment> {
+    /// Consumes one columnar snapshot — the struct-of-arrays hot path:
+    /// workers aggregate each pool's counters from contiguous column
+    /// slices. Bit-identical to the row paths for the same window data.
+    pub fn observe_columns(&mut self, snap: &ColumnarSnapshot<'_>) {
+        self.engine.observe_columns(snap);
+    }
+
+    /// The latest per-pool assessments (a borrowed, pool-ordered view).
+    pub fn assessments(&self) -> AssessmentView<'_> {
         self.engine.assessments()
     }
 
@@ -399,13 +468,30 @@ impl OnlinePlanner {
         self.engine.drain_recommendations()
     }
 
+    /// Steps `sim` one window and ingests the snapshot in the layout the
+    /// simulation is configured for — columnar on the default hot path,
+    /// rows when `SnapshotLayout::Rows` keeps the legacy layout alive for
+    /// A/B runs. Planner outputs are bit-identical either way.
+    fn observe_sim_window(&mut self, sim: &mut Simulation) {
+        match sim.config().layout {
+            SnapshotLayout::Columnar => {
+                let snap = sim.step_columns_partitioned();
+                self.engine.observe_columns(&snap);
+            }
+            SnapshotLayout::Rows => {
+                let snap = sim.step_snapshot_partitioned();
+                self.engine.observe_partitioned(&snap);
+            }
+        }
+    }
+
     /// Drives `sim` for `windows` windows, observing every snapshot
-    /// (open loop: recommendations accumulate but are not applied).
+    /// (open loop: recommendations accumulate but are not applied). The
+    /// snapshot layout follows `sim`'s [`SnapshotLayout`] switch.
     pub fn run(&mut self, sim: &mut Simulation, windows: u64) -> Vec<ResizeRecommendation> {
         let mut all = Vec::new();
         for _ in 0..windows {
-            let snap = sim.step_snapshot_partitioned();
-            self.engine.observe_partitioned(&snap);
+            self.observe_sim_window(sim);
             all.extend(self.engine.drain_recommendations());
         }
         all
@@ -423,8 +509,7 @@ impl OnlinePlanner {
     ) -> Vec<ResizeRecommendation> {
         let mut applied = Vec::new();
         for _ in 0..windows {
-            let snap = sim.step_snapshot_partitioned();
-            self.engine.observe_partitioned(&snap);
+            self.observe_sim_window(sim);
             let next = sim.current_window();
             for mut rec in self.engine.drain_recommendations() {
                 let physical = sim.fleet().pool(rec.pool).map(|p| p.size()).unwrap_or(0);
@@ -502,6 +587,41 @@ mod tests {
                 network_mbps: net(rps),
             })
             .collect()
+    }
+
+    #[test]
+    fn from_columns_matches_from_rows_bitwise() {
+        // Mixed online/offline rows across bitmask word boundaries: the
+        // branch-free columnar aggregation must reproduce the row loop bit
+        // for bit (offline lanes carry +0.0, so unconditional sums are
+        // exact), and agree on the serving count.
+        let rows: Vec<SnapshotRow> = (0..70u32)
+            .map(|i| {
+                let online = i % 5 != 2;
+                let v = if online { 100.0 + i as f64 * 3.7 } else { 0.0 };
+                SnapshotRow {
+                    server: ServerId(i),
+                    pool: PoolId(0),
+                    datacenter: DatacenterId(0),
+                    online,
+                    rps: v,
+                    cpu_pct: if online { 0.028 * v + 1.37 } else { 0.0 },
+                    latency_p95_ms: if online { 30.0 + 0.01 * v } else { 0.0 },
+                    disk_queue: if online { 1.0 } else { 0.0 },
+                    memory_pages_per_sec: if online { 4_000.0 } else { 0.0 },
+                    network_mbps: if online { 0.32 * v } else { 0.0 },
+                }
+            })
+            .collect();
+        let cols = headroom_cluster::columns::SnapshotColumns::from_rows(&rows);
+        for (start, len) in [(0usize, 70usize), (0, 64), (63, 7), (10, 50), (69, 1), (3, 0)] {
+            let from_rows =
+                PoolWindowAggregate::from_rows(WindowIndex(4), &rows[start..start + len]);
+            let from_cols = PoolWindowAggregate::from_columns(WindowIndex(4), &cols, start, len);
+            assert_eq!(from_rows, from_cols, "range {start}+{len}");
+        }
+        // An all-offline range is an empty window in both layouts.
+        assert_eq!(PoolWindowAggregate::from_columns(WindowIndex(4), &cols, 2, 1), None);
     }
 
     #[test]

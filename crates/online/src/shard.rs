@@ -9,11 +9,13 @@
 //! merge of their outputs (see [`crate::sweep::SweepEngine`]).
 //!
 //! Relative to the original monolithic `OnlinePlanner` loop, the per-window
-//! sizing path here is O(log W) instead of O(W log W):
+//! sizing path re-derives nothing from scratch:
 //!
-//! - the windowed p99 total-workload peak comes from an
-//!   [`OrderStatsMultiset`] (O(log W) insert/evict/select, bit-identical to
-//!   the sort-based percentile it replaces);
+//! - the windowed p99 total-workload peak comes from a [`SortedWindow`] —
+//!   one sorted contiguous column per pool, eviction by streaming
+//!   `memmove`, percentile by plain indexing, bit-identical to the
+//!   sort-based percentile (and to the treap it replaced, whose per-window
+//!   pointer walks dominated fleet-scale ingestion);
 //! - the maximum serving allocation comes from a [`MonotonicMaxDeque`]
 //!   (O(1) amortized);
 //! - both fits and the P² quantile were already O(1).
@@ -22,7 +24,7 @@ use headroom_core::sizing::PoolSizing;
 use headroom_core::slo::QosRequirement;
 use headroom_stats::quantile_stream::P2Quantile;
 use headroom_stats::{
-    FitArray, MonotonicMaxDeque, OrderStatsMultiset, StreamingLinReg, StreamingQuadFit,
+    FitArray, MonotonicMaxDeque, SortedWindow, StreamingLinReg, StreamingQuadFit,
 };
 use headroom_telemetry::counter::Resource;
 use headroom_telemetry::ids::PoolId;
@@ -56,10 +58,20 @@ pub struct PoolShard {
     drift: DriftDetector,
     projector: ExhaustionProjector,
     drift_events: usize,
-    /// Windowed total-RPS multiset: the p99 peak in O(log W).
-    totals: OrderStatsMultiset,
+    /// Windowed total-RPS multiset, kept as one sorted contiguous column:
+    /// eviction is a streaming `memmove` and the p99 peak is plain indexing.
+    /// (Replaced the pointer-linked treap: at fleet scale the treap's
+    /// per-window tree walks were ~half the whole ingestion cost and scaled
+    /// superlinearly with pool count — see `headroom_stats::sorted_window`.)
+    totals: SortedWindow,
     /// Windowed serving-allocation maximum in O(1).
     alloc: MonotonicMaxDeque<usize>,
+    /// The most recent full assessment, written in place by whichever
+    /// worker replanned this pool. Keeping it here (rather than merging
+    /// per-pool copies into a fleet-level map every window) means the
+    /// fleet's assessment state *is* the shard array — reading it is a
+    /// borrow, and the per-window merge moves only recommendations.
+    last_assessment: Option<PoolAssessment>,
     /// Target of the last *emitted* recommendation.
     last_target: Option<usize>,
     /// Dwell-time hysteresis: a changed target and how many consecutive
@@ -83,8 +95,9 @@ impl PoolShard {
             drift: DriftDetector::new(config.drift),
             projector: ExhaustionProjector::new(),
             drift_events: 0,
-            totals: OrderStatsMultiset::new(),
+            totals: SortedWindow::with_capacity(config.window_capacity),
             alloc: MonotonicMaxDeque::new(),
+            last_assessment: None,
             last_target: None,
             dwell: None,
             urgent: false,
@@ -108,8 +121,18 @@ impl PoolShard {
         self.urgent
     }
 
-    /// Consumes one window's pool aggregate: O(log W) for the order
-    /// statistics, O(1) for everything else.
+    /// The most recent assessment [`replan`] derived for this pool, if any.
+    /// Survives until the next successful replan (a drift reset clears the
+    /// fits but the last fleet-visible assessment stays current until
+    /// re-derived, exactly as a merged fleet map would).
+    ///
+    /// [`replan`]: PoolShard::replan
+    pub fn assessment(&self) -> Option<&PoolAssessment> {
+        self.last_assessment.as_ref()
+    }
+
+    /// Consumes one window's pool aggregate: one streaming `memmove` of the
+    /// sorted totals column, O(1) for everything else.
     pub fn observe(&mut self, agg: PoolWindowAggregate) {
         if let Some(evicted) = self.window.push(agg) {
             for r in Resource::ALL {
@@ -250,25 +273,27 @@ impl PoolShard {
         })
     }
 
-    /// Re-derives this pool's assessment and decides whether a resize
-    /// recommendation is due, applying the deadband and (when configured)
-    /// the dwell-time hysteresis policy.
+    /// Re-derives this pool's assessment (stored in place, readable via
+    /// [`assessment`]) and decides whether a resize recommendation is due,
+    /// applying the deadband and (when configured) the dwell-time
+    /// hysteresis policy.
     ///
-    /// Returns `(None, None)` while the shard has fewer than
-    /// `min_fit_windows` observations or the fits are not yet solvable.
+    /// Leaves the stored assessment untouched and returns `None` while the
+    /// shard has fewer than `min_fit_windows` observations or the fits are
+    /// not yet solvable.
+    ///
+    /// [`assessment`]: PoolShard::assessment
     pub fn replan(
         &mut self,
         pool: PoolId,
         window: WindowIndex,
         qos: &QosRequirement,
         config: &OnlinePlannerConfig,
-    ) -> (Option<PoolAssessment>, Option<ResizeRecommendation>) {
+    ) -> Option<ResizeRecommendation> {
         if self.window.len() < config.min_fit_windows {
-            return (None, None);
+            return None;
         }
-        let Some(mut assessment) = self.assess(window, qos) else {
-            return (None, None);
-        };
+        let mut assessment = self.assess(window, qos)?;
         assessment.sizing.pool = pool;
         self.urgent = assessment.band.needs_capacity();
 
@@ -320,6 +345,7 @@ impl PoolShard {
             // within the deadband): the tentative change was a flap.
             self.dwell = None;
         }
-        (Some(assessment), recommendation)
+        self.last_assessment = Some(assessment);
+        recommendation
     }
 }

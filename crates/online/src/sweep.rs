@@ -32,7 +32,10 @@
 //! the engine has no serialization point beyond the final merge.
 
 use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Index;
 
+use headroom_cluster::columns::{ColumnarSnapshot, SnapshotColumns};
 use headroom_cluster::sim::{PartitionedSnapshot, SnapshotRow, WindowSnapshot};
 use headroom_core::slo::QosRequirement;
 use headroom_exec::WorkerPool;
@@ -45,18 +48,35 @@ use crate::planner::{
 use crate::shard::PoolShard;
 
 /// Per-pool input of one sweep: either a pre-computed aggregate or a
-/// `(start, len)` range of the window's snapshot rows (aggregated inside
-/// the owning worker). Range-based rather than slice-based so the engine's
-/// reusable input buffer carries no borrow of the snapshot.
+/// `(start, len)` range of the window's snapshot (rows or columns,
+/// aggregated inside the owning worker against [`WindowData`]).
+/// Range-based rather than slice-based so the engine's reusable input
+/// buffer carries no borrow of the snapshot.
 #[derive(Debug, Clone, Copy)]
 enum PoolInput {
     Aggregate(PoolWindowAggregate),
     Rows { start: usize, len: usize },
 }
 
-/// One chunk's per-pool output: the pool, its fresh assessment (if any),
-/// and its due recommendation (if any).
-type ChunkItem = (PoolId, Option<PoolAssessment>, Option<ResizeRecommendation>);
+/// The window's backing snapshot storage, shared read-only with every
+/// worker. Whichever layout backs the ranges, the per-pool aggregates are
+/// bit-identical (columnar aggregation sums each counter column in the
+/// same order the row loop would).
+#[derive(Debug, Clone, Copy)]
+enum WindowData<'a> {
+    /// Inputs are pre-aggregated; there is nothing to index.
+    None,
+    /// Legacy row structs.
+    Rows(&'a [SnapshotRow]),
+    /// Struct-of-arrays columns — workers stream contiguous memory.
+    Columns(&'a SnapshotColumns),
+}
+
+/// One chunk's output: the recommendations its pools emitted, in pool
+/// order. Assessments are *not* merged — each worker writes its pools'
+/// assessments in place inside the [`PoolShard`]s (see [`AssessmentView`]),
+/// so the only fleet-level per-window copy is the (rare) recommendation.
+type ChunkItem = ResizeRecommendation;
 
 /// The parallel shard-and-merge planner core.
 ///
@@ -113,9 +133,10 @@ pub struct SweepEngine {
     default_qos: QosRequirement,
     qos: BTreeMap<PoolId, QosRequirement>,
     /// One shard per pool, sorted by pool id — the chunked fan-out and the
-    /// in-order merge both lean on this ordering.
+    /// in-order merge both lean on this ordering. Each shard also carries
+    /// its own latest assessment, so this array *is* the fleet state;
+    /// [`SweepEngine::assessments`] borrows it instead of copying.
     shards: Vec<(PoolId, PoolShard)>,
-    assessments: BTreeMap<PoolId, PoolAssessment>,
     pending: Vec<ResizeRecommendation>,
     windows_seen: u64,
     /// Reusable per-window input index (cleared, never dropped).
@@ -138,7 +159,6 @@ impl Clone for SweepEngine {
             default_qos: self.default_qos,
             qos: self.qos.clone(),
             shards: self.shards.clone(),
-            assessments: self.assessments.clone(),
             pending: self.pending.clone(),
             windows_seen: self.windows_seen,
             input_buf: Vec::new(),
@@ -159,7 +179,6 @@ impl SweepEngine {
             default_qos,
             qos: BTreeMap::new(),
             shards: Vec::new(),
-            assessments: BTreeMap::new(),
             pending: Vec::new(),
             windows_seen: 0,
             input_buf: Vec::new(),
@@ -217,9 +236,11 @@ impl SweepEngine {
         self.workers.spawned_workers()
     }
 
-    /// The latest per-pool assessments.
-    pub fn assessments(&self) -> &BTreeMap<PoolId, PoolAssessment> {
-        &self.assessments
+    /// The latest per-pool assessments — a borrowed, ordered view over the
+    /// shard array (assessments live inside their shards; nothing is
+    /// copied to read them).
+    pub fn assessments(&self) -> AssessmentView<'_> {
+        AssessmentView { shards: &self.shards }
     }
 
     /// Takes the recommendations queued since the last drain.
@@ -234,13 +255,13 @@ impl SweepEngine {
         let mut inputs = std::mem::take(&mut self.input_buf);
         inputs.clear();
         inputs.extend(aggregates.iter().map(|&(pool, agg)| (pool, PoolInput::Aggregate(agg))));
-        self.sweep(snap.window, &[], &inputs);
+        self.sweep(snap.window, WindowData::None, &inputs);
         self.input_buf = inputs;
     }
 
     /// Consumes one pool-partitioned fleet snapshot: row aggregation happens
     /// inside each worker, so ingestion has no serialization point. This is
-    /// the allocation-free steady-state path.
+    /// the allocation-free steady-state path of the legacy row layout.
     pub fn observe_partitioned(&mut self, snap: &PartitionedSnapshot<'_>) {
         let mut inputs = std::mem::take(&mut self.input_buf);
         inputs.clear();
@@ -254,7 +275,25 @@ impl SweepEngine {
         // unique (one slice per pool), so the result is deterministic and no
         // merge buffer is allocated.
         inputs.sort_unstable_by_key(|&(pool, _)| pool);
-        self.sweep(snap.window, snap.rows, &inputs);
+        self.sweep(snap.window, WindowData::Rows(snap.rows), &inputs);
+        self.input_buf = inputs;
+    }
+
+    /// Consumes one columnar fleet snapshot — the struct-of-arrays hot
+    /// path: each worker aggregates its pools' counters from contiguous
+    /// column slices (dense streaming reads, no per-row branch), and the
+    /// resulting aggregates are bit-identical to the row paths'. Equally
+    /// allocation-free in the steady state.
+    pub fn observe_columns(&mut self, snap: &ColumnarSnapshot<'_>) {
+        let mut inputs = std::mem::take(&mut self.input_buf);
+        inputs.clear();
+        inputs.extend(
+            snap.pools
+                .iter()
+                .map(|slice| (slice.pool, PoolInput::Rows { start: slice.start, len: slice.len })),
+        );
+        inputs.sort_unstable_by_key(|&(pool, _)| pool);
+        self.sweep(snap.window, WindowData::Columns(snap.columns), &inputs);
         self.input_buf = inputs;
     }
 
@@ -268,12 +307,12 @@ impl SweepEngine {
         inputs.clear();
         inputs.extend(aggregates.iter().map(|&(pool, agg)| (pool, PoolInput::Aggregate(agg))));
         inputs.sort_unstable_by_key(|&(pool, _)| pool);
-        self.sweep(window, &[], &inputs);
+        self.sweep(window, WindowData::None, &inputs);
         self.input_buf = inputs;
     }
 
     /// One window of fleet work: fan shard chunks out, merge in pool order.
-    fn sweep(&mut self, window: WindowIndex, rows: &[SnapshotRow], inputs: &[(PoolId, PoolInput)]) {
+    fn sweep(&mut self, window: WindowIndex, data: WindowData<'_>, inputs: &[(PoolId, PoolInput)]) {
         self.windows_seen += 1;
         for &(pool, _) in inputs {
             if let Err(at) = self.shards.binary_search_by_key(&pool, |&(p, _)| p) {
@@ -285,7 +324,11 @@ impl SweepEngine {
         }
         let replan = self.windows_seen.is_multiple_of(self.config.replan_every);
         let threads = self.effective_threads().max(1);
-        let chunk_len = self.shards.len().div_ceil(threads);
+        // One contiguous chunk per thread (the canonical geometry — see
+        // `headroom_exec::chunk_len`): chunk size grows with pools/threads,
+        // so a 16384-pool fleet still hands each worker exactly one long
+        // streaming run per window.
+        let chunk_len = headroom_exec::chunk_len(self.shards.len(), threads);
         let chunks = self.shards.len().div_ceil(chunk_len);
         if self.chunk_outs.len() < chunks {
             self.chunk_outs.resize_with(chunks, Vec::new);
@@ -304,7 +347,7 @@ impl SweepEngine {
             // (a replan-gated hint of 0 under-sized it exactly when an
             // urgent recommendation arrived between ticks).
             out.reserve(shards.len());
-            sweep_chunk(shards, inputs, rows, window, replan, config, qos, default_qos, out);
+            sweep_chunk(shards, inputs, data, window, replan, config, qos, default_qos, out);
         };
         if chunks <= 1 {
             run(0, &mut self.shards, &mut self.chunk_outs[0]);
@@ -327,29 +370,31 @@ impl SweepEngine {
 
         // Chunks are contiguous runs of the pool-sorted shard list, so
         // draining the chunk buffers in index order *is* the deterministic
-        // merge (and keeps their capacity for the next window).
+        // merge (and keeps their capacity for the next window). Assessments
+        // were written into their shards by the workers; only the (rare)
+        // recommendations cross the merge.
         for out in &mut self.chunk_outs[..chunks] {
-            for (pool, assessment, recommendation) in out.drain(..) {
-                if let Some(a) = assessment {
-                    self.assessments.insert(pool, a);
-                }
-                if let Some(r) = recommendation {
-                    self.pending.push(r);
-                }
-            }
+            self.pending.append(out);
         }
     }
 }
 
-/// Processes one contiguous chunk of shards for one window, appending
-/// outputs to `out` in pool order. Pure function of the chunk's own state
-/// plus shared read-only context — the unit over which the engine
+/// Processes one contiguous chunk of shards for one window, appending the
+/// pools' due recommendations to `out` in pool order (assessments are
+/// written in place inside the shards). Pure function of the chunk's own
+/// state plus shared read-only context — the unit over which the engine
 /// parallelizes. Allocation-free once `out` has capacity.
+///
+/// Both the chunk's shards and the window's inputs are sorted by pool id,
+/// so pairing them is a linear merge: one `partition_point` to find the
+/// chunk's first input, then an O(1)-amortized cursor — no per-pool binary
+/// search re-walking the input index from the root (which at 16k pools was
+/// ~14 scattered probes per pool per window).
 #[allow(clippy::too_many_arguments)]
 fn sweep_chunk(
     shards: &mut [(PoolId, PoolShard)],
     inputs: &[(PoolId, PoolInput)],
-    rows: &[SnapshotRow],
+    data: WindowData<'_>,
     window: WindowIndex,
     replan: bool,
     config: &OnlinePlannerConfig,
@@ -357,24 +402,111 @@ fn sweep_chunk(
     default_qos: QosRequirement,
     out: &mut Vec<ChunkItem>,
 ) {
+    let Some(first_pool) = shards.first().map(|&(p, _)| p) else {
+        return;
+    };
+    let mut cursor = inputs.partition_point(|&(p, _)| p < first_pool);
     for (pool, shard) in shards.iter_mut() {
-        let aggregate =
-            inputs.binary_search_by_key(pool, |&(p, _)| p).ok().and_then(|i| match inputs[i].1 {
+        while cursor < inputs.len() && inputs[cursor].0 < *pool {
+            cursor += 1;
+        }
+        let aggregate = if cursor < inputs.len() && inputs[cursor].0 == *pool {
+            match inputs[cursor].1 {
                 PoolInput::Aggregate(agg) => Some(agg),
-                PoolInput::Rows { start, len } => {
-                    PoolWindowAggregate::from_rows(window, &rows[start..start + len])
-                }
-            });
+                PoolInput::Rows { start, len } => match data {
+                    WindowData::Rows(rows) => {
+                        PoolWindowAggregate::from_rows(window, &rows[start..start + len])
+                    }
+                    WindowData::Columns(cols) => {
+                        PoolWindowAggregate::from_columns(window, cols, start, len)
+                    }
+                    WindowData::None => None,
+                },
+            }
+        } else {
+            None
+        };
         if let Some(agg) = aggregate {
             shard.observe(agg);
         }
         if replan || shard.urgent() {
             let pool_qos = qos.get(pool).copied().unwrap_or(default_qos);
-            let (assessment, recommendation) = shard.replan(*pool, window, &pool_qos, config);
-            if assessment.is_some() || recommendation.is_some() {
-                out.push((*pool, assessment, recommendation));
+            if let Some(recommendation) = shard.replan(*pool, window, &pool_qos, config) {
+                out.push(recommendation);
             }
         }
+    }
+}
+
+/// A borrowed, pool-ordered view of the fleet's latest assessments.
+///
+/// Assessments live *inside* their [`PoolShard`]s: the worker that replans
+/// a pool writes the result in place, right next to the state it just
+/// touched, so the per-window merge copies nothing and reading the fleet
+/// state allocates nothing. This view adapts the shard array into the
+/// map-shaped read API callers expect — ordered iteration, lookup,
+/// indexing, equality — and [`AssessmentView::to_map`] snapshots it into an
+/// owned `BTreeMap` when a caller needs to keep it across further sweeps.
+#[derive(Clone, Copy)]
+pub struct AssessmentView<'a> {
+    shards: &'a [(PoolId, PoolShard)],
+}
+
+impl<'a> AssessmentView<'a> {
+    /// `(pool, assessment)` pairs in ascending pool order, pools without an
+    /// assessment yet (still warming) skipped.
+    pub fn iter(&self) -> impl Iterator<Item = (&'a PoolId, &'a PoolAssessment)> + 'a {
+        self.shards.iter().filter_map(|(p, s)| s.assessment().map(|a| (p, a)))
+    }
+
+    /// Assessments in ascending pool order.
+    pub fn values(&self) -> impl Iterator<Item = &'a PoolAssessment> + 'a {
+        self.iter().map(|(_, a)| a)
+    }
+
+    /// Pools assessed so far (walks the shard array).
+    pub fn len(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// True when no pool has been assessed yet.
+    pub fn is_empty(&self) -> bool {
+        self.iter().next().is_none()
+    }
+
+    /// The assessment of one pool, if derived yet.
+    pub fn get(&self, pool: PoolId) -> Option<&'a PoolAssessment> {
+        let i = self.shards.binary_search_by_key(&pool, |&(p, _)| p).ok()?;
+        self.shards[i].1.assessment()
+    }
+
+    /// An owned snapshot of the current assessments.
+    pub fn to_map(&self) -> BTreeMap<PoolId, PoolAssessment> {
+        self.iter().map(|(p, a)| (*p, a.clone())).collect()
+    }
+}
+
+impl Index<&PoolId> for AssessmentView<'_> {
+    type Output = PoolAssessment;
+
+    /// # Panics
+    ///
+    /// Panics when the pool has no assessment (mirroring `BTreeMap`
+    /// indexing).
+    fn index(&self, pool: &PoolId) -> &PoolAssessment {
+        self.get(*pool).unwrap_or_else(|| panic!("no assessment for {pool:?}"))
+    }
+}
+
+impl PartialEq for AssessmentView<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.iter().eq(other.iter())
+    }
+}
+
+impl fmt::Debug for AssessmentView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
     }
 }
 
@@ -443,14 +575,14 @@ mod tests {
     #[test]
     fn thread_count_does_not_change_results() {
         let mut sequential = drive(1, 7, 90);
-        let expected_assessments = sequential.assessments().clone();
+        let expected_assessments = sequential.assessments().to_map();
         let expected_recs = sequential.drain_recommendations();
         assert!(!expected_assessments.is_empty(), "the sweep planned pools");
         for threads in [2, 3, 5, 8] {
             let mut sharded = drive(threads, 7, 90);
             assert_eq!(
-                &expected_assessments,
-                sharded.assessments(),
+                expected_assessments,
+                sharded.assessments().to_map(),
                 "assessments differ at {threads} threads"
             );
             assert_eq!(
@@ -555,6 +687,60 @@ mod tests {
         }
         assert_eq!(part.assessments(), flat.assessments());
         assert_eq!(part.drain_recommendations(), flat.drain_recommendations());
+    }
+
+    #[test]
+    fn columnar_and_row_ingestion_agree() {
+        // The same windows fed as rows and as columns (at different thread
+        // counts) must produce identical planner state — the engine-level
+        // half of the colsim bit-identity contract.
+        let config = OnlinePlannerConfig {
+            window_capacity: 120,
+            min_fit_windows: 30,
+            threads: 2,
+            ..OnlinePlannerConfig::default()
+        };
+        let qos = QosRequirement::latency(32.5).with_cpu_ceiling(90.0);
+        let mut by_rows = SweepEngine::new(config, qos);
+        let mut by_cols = SweepEngine::new(OnlinePlannerConfig { threads: 3, ..config }, qos);
+        for w in 0..90u64 {
+            let rps = 250.0 + 2.0 * w as f64;
+            let mut rows = rows_for(0, rps, 6);
+            rows.extend(rows_for(1, rps * 0.8, 9));
+            // A partially offline pool exercises the popcount path.
+            rows.extend(rows_for(2, rps * 1.1, 5));
+            for r in rows.iter_mut().skip(17) {
+                *r = SnapshotRow {
+                    online: false,
+                    rps: 0.0,
+                    cpu_pct: 0.0,
+                    latency_p95_ms: 0.0,
+                    disk_queue: 0.0,
+                    memory_pages_per_sec: 0.0,
+                    network_mbps: 0.0,
+                    ..*r
+                };
+            }
+            let slices = vec![
+                headroom_cluster::sim::PoolSlice { pool: PoolId(0), start: 0, len: 6 },
+                headroom_cluster::sim::PoolSlice { pool: PoolId(1), start: 6, len: 9 },
+                headroom_cluster::sim::PoolSlice { pool: PoolId(2), start: 15, len: 5 },
+            ];
+            let cols = SnapshotColumns::from_rows(&rows);
+            by_rows.observe_partitioned(&PartitionedSnapshot {
+                window: WindowIndex(w),
+                rows: &rows,
+                pools: &slices,
+            });
+            by_cols.observe_columns(&ColumnarSnapshot {
+                window: WindowIndex(w),
+                columns: &cols,
+                pools: &slices,
+            });
+        }
+        assert!(!by_rows.assessments().is_empty(), "pools were planned");
+        assert_eq!(by_rows.assessments(), by_cols.assessments());
+        assert_eq!(by_rows.drain_recommendations(), by_cols.drain_recommendations());
     }
 
     /// An undersized pool under a ramping load, planned on a coarse replan

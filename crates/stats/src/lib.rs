@@ -12,9 +12,11 @@
 //!   planners revising their model every measurement window;
 //! - [`quadfit`] — the quadratic counterpart with O(1) insert/evict and
 //!   shard merge;
-//! - [`order_stats`], [`monotonic`] — O(log n) incremental order statistics
-//!   and O(1) sliding-window maxima, the structures behind the streaming
-//!   planner's per-window sizing path;
+//! - [`order_stats`], [`sorted_window`], [`monotonic`] — incremental order
+//!   statistics (pointer-linked treap and cache-friendly sorted column, both
+//!   bit-identical to sort-based percentiles) and O(1) sliding-window
+//!   maxima, the structures behind the streaming planner's per-window
+//!   sizing path;
 //! - [`combine`] — the canonical shard-and-combine trait those streaming
 //!   accumulators implement;
 //! - [`fit_array`] — fixed-size per-resource arrays of accumulators (the
@@ -65,6 +67,7 @@ pub mod polyfit;
 pub mod quadfit;
 pub mod quantile_stream;
 pub mod ransac;
+pub mod sorted_window;
 pub mod streaming;
 pub mod summary;
 
@@ -76,5 +79,6 @@ pub use monotonic::MonotonicMaxDeque;
 pub use order_stats::OrderStatsMultiset;
 pub use polyfit::Polynomial;
 pub use quadfit::StreamingQuadFit;
+pub use sorted_window::SortedWindow;
 pub use streaming::StreamingLinReg;
 pub use summary::Summary;

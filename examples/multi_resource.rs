@@ -43,7 +43,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sim = Simulation::new(
         fleet,
         EventScript::empty(),
-        SimConfig { seed: 7, recording: RecordingPolicy::SnapshotOnly, track_availability: false },
+        SimConfig {
+            seed: 7,
+            recording: RecordingPolicy::SnapshotOnly,
+            track_availability: false,
+            ..SimConfig::default()
+        },
     );
 
     // A tight disk-queue guardrail: pool 1's queue (≈0.02 per RPS) crosses
