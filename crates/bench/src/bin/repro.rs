@@ -12,7 +12,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use headroom_bench::experiments::{self, ALL};
+use headroom_bench::experiments::{self, is_known_id, ALL};
 use headroom_bench::Scale;
 
 /// Counting allocator: lets `repro sweep` measure (and gate on) the
@@ -74,6 +74,17 @@ fn main() -> ExitCode {
         targets = ALL.iter().map(|e| e.id.to_string()).collect();
     }
     if targets.is_empty() {
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+
+    // Reject unknown experiments up front with the listing, instead of
+    // running half the batch before tripping on a typo.
+    let unknown: Vec<&String> = targets.iter().filter(|t| !is_known_id(t)).collect();
+    if !unknown.is_empty() {
+        for id in unknown {
+            eprintln!("unknown experiment: {id}");
+        }
         print_usage();
         return ExitCode::FAILURE;
     }

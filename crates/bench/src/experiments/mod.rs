@@ -21,6 +21,7 @@
 //! | [`sweep`] | sharded sweep engine vs sequential planner at 81-pool scale |
 //! | [`multi_resource`] | binding-constraint discovery on a mixed-resource fleet |
 //! | [`colsim`] | columnar↔row snapshot-pipeline bit-identity gate |
+//! | [`service`] | planner-as-a-service checkpoint/replay/reconcile gate |
 
 pub mod ablate;
 pub mod colsim;
@@ -37,6 +38,7 @@ pub mod multi_resource;
 pub mod online;
 pub mod pool_b;
 pub mod pool_d;
+pub mod service;
 pub mod sweep;
 pub mod table1;
 pub mod table4;
@@ -60,7 +62,7 @@ pub struct ExperimentInfo {
 }
 
 /// Every experiment, in paper order.
-pub const ALL: [ExperimentInfo; 19] = [
+pub const ALL: [ExperimentInfo; 20] = [
     ExperimentInfo { id: "table1", title: "Micro-service catalog", paper_ref: "Table I" },
     ExperimentInfo { id: "fig2", title: "Resource counters vs workload", paper_ref: "Fig. 2" },
     ExperimentInfo { id: "fig3", title: "Per-server CPU scatter (pool I)", paper_ref: "Fig. 3" },
@@ -112,7 +114,47 @@ pub const ALL: [ExperimentInfo; 19] = [
         title: "Columnar snapshot pipeline identity gate",
         paper_ref: "headroom-cluster",
     },
+    ExperimentInfo {
+        id: "service",
+        title: "Planner-as-a-service checkpoint/replay/reconcile gate",
+        paper_ref: "headroom-service",
+    },
 ];
+
+/// Whether `id` names a runnable experiment (any [`run_by_id`] arm,
+/// including figure aliases like `fig8` for `table2`).
+pub fn is_known_id(id: &str) -> bool {
+    matches!(
+        id,
+        "table1"
+            | "fig2"
+            | "fig3"
+            | "tree"
+            | "fig4"
+            | "fig5"
+            | "fig6"
+            | "fig7"
+            | "table2"
+            | "fig8"
+            | "fig9"
+            | "table3"
+            | "fig10"
+            | "fig11"
+            | "table4"
+            | "fig12"
+            | "fig13"
+            | "fig14"
+            | "fig15"
+            | "fig16"
+            | "global"
+            | "ablate"
+            | "online"
+            | "sweep"
+            | "multi_resource"
+            | "colsim"
+            | "service"
+    )
+}
 
 /// Runs one experiment by id, printing its report and writing CSVs when
 /// `out_dir` is given. Returns the rendered report.
@@ -208,6 +250,10 @@ pub fn run_by_id(
             let r = colsim::run(scale)?;
             (r.to_string(), r.tables())
         }
+        "service" => {
+            let r = service::run(scale)?;
+            (r.to_string(), r.tables())
+        }
         other => return Err(format!("unknown experiment id: {other}").into()),
     };
     if let Some(dir) = out_dir {
@@ -234,5 +280,14 @@ mod tests {
     #[test]
     fn unknown_id_errors() {
         assert!(run_by_id("nope", &Scale::quick(), None).is_err());
+    }
+
+    #[test]
+    fn every_listed_id_is_known() {
+        for e in &ALL {
+            assert!(is_known_id(e.id), "{} listed but not runnable", e.id);
+        }
+        assert!(is_known_id("fig8") && is_known_id("fig15"), "aliases are known");
+        assert!(!is_known_id("nope"));
     }
 }

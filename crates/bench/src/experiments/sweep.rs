@@ -51,6 +51,7 @@ use headroom_core::slo::QosRequirement;
 use headroom_exec::alloc_track;
 use headroom_online::planner::{OnlinePlannerConfig, SweepExec};
 use headroom_online::sweep::SweepEngine;
+use headroom_service::checkpoint;
 use headroom_telemetry::time::WindowIndex;
 
 use crate::csv::CsvTable;
@@ -104,6 +105,19 @@ pub struct ScalingCell {
     pub per_window_ns: u64,
 }
 
+/// Checkpoint cost at one fleet size: the serialized size of a warmed
+/// engine's full-state checkpoint (`headroom_service::checkpoint`) and the
+/// fastest-of-`GRID_REPEATS` restore latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointCell {
+    /// Pools in the synthetic fleet.
+    pub pools: u32,
+    /// Checkpoint size, bytes.
+    pub bytes: usize,
+    /// Fastest observed `checkpoint::load` latency, nanoseconds.
+    pub restore_ns: u64,
+}
+
 /// The experiment report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport {
@@ -119,6 +133,9 @@ pub struct SweepReport {
     pub rows: Vec<SweepSeedRow>,
     /// Spawn-amortization grid: fleet size × thread count.
     pub scaling: Vec<ScalingCell>,
+    /// Checkpoint size and restore latency at the identity (81) and
+    /// fleet (4096) shapes.
+    pub checkpoint: Vec<CheckpointCell>,
     /// Heap allocations counted over the steady-state measurement windows
     /// of the row path (must be 0 when `alloc_tracking`).
     pub steady_state_allocs: u64,
@@ -291,6 +308,37 @@ fn measure_cell(
     ScalingCell { pools, threads, exec, path, per_window_ns }
 }
 
+/// Fleet sizes the checkpoint cost is measured at: the paper-shaped
+/// identity fleet and the largest always-measured grid shape.
+pub const CHECKPOINT_POOLS: [u32; 2] = [81, 4096];
+
+/// Measures checkpoint size and restore latency of a warmed engine at the
+/// [`CHECKPOINT_POOLS`] shapes, on the same synthetic fixture and planner
+/// config as the scaling grid so the numbers describe the same engines.
+fn measure_checkpoints() -> Vec<CheckpointCell> {
+    CHECKPOINT_POOLS
+        .iter()
+        .map(|&pools| {
+            let snapshots = synthetic_snapshots(pools, 3, GRID_WARM_WINDOWS);
+            let config = OnlinePlannerConfig {
+                window_capacity: 48,
+                min_fit_windows: 24,
+                ..OnlinePlannerConfig::default()
+            };
+            let engine = warmed_engine(&snapshots, config);
+            let bytes = checkpoint::save(&engine);
+            let mut restore_ns = u64::MAX;
+            for _ in 0..GRID_REPEATS {
+                let t = Instant::now();
+                let restored = checkpoint::load(&bytes).expect("own checkpoint loads");
+                restore_ns = restore_ns.min(t.elapsed().as_nanos() as u64);
+                drop(restored);
+            }
+            CheckpointCell { pools, bytes: bytes.len(), restore_ns }
+        })
+        .collect()
+}
+
 /// Measures the scaling grid: persistent workers at every fleet size ×
 /// thread count × snapshot layout, plus the legacy scoped shape at
 /// `threads > 1` so the removed spawn cost stays visible (and tracked) per
@@ -367,6 +415,7 @@ pub fn run(scale: &Scale) -> Result<SweepReport, Box<dyn Error>> {
     .map_err(|_| "sweep seed worker panicked")?;
 
     let scaling = measure_scaling();
+    let checkpoint = measure_checkpoints();
     let alloc_tracking = alloc_track::is_tracking();
     // Both layouts measured on the one shared fixture (crate::alloc_fixture)
     // so the two counts always describe the same workload.
@@ -379,6 +428,7 @@ pub fn run(scale: &Scale) -> Result<SweepReport, Box<dyn Error>> {
         threads: SHARDED_THREADS,
         rows,
         scaling,
+        checkpoint,
         steady_state_allocs,
         columnar_steady_state_allocs,
         alloc_tracking,
@@ -448,6 +498,17 @@ impl SweepReport {
                     })
                     .collect(),
             },
+            CsvTable {
+                name: "sweep_checkpoint".into(),
+                headers: vec!["pools".into(), "bytes".into(), "restore_ns".into()],
+                rows: self
+                    .checkpoint
+                    .iter()
+                    .map(|c| {
+                        vec![c.pools.to_string(), c.bytes.to_string(), c.restore_ns.to_string()]
+                    })
+                    .collect(),
+            },
         ]
     }
 
@@ -496,6 +557,17 @@ impl SweepReport {
             self.speedup_vs_baseline_4096().unwrap_or(0.0)
         ));
         s.push_str("  },\n");
+        s.push_str("  \"checkpoint\": [\n");
+        for (i, c) in self.checkpoint.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"pools\": {}, \"bytes\": {}, \"restore_ns\": {}}}{}\n",
+                c.pools,
+                c.bytes,
+                c.restore_ns,
+                if i + 1 < self.checkpoint.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
         s.push_str("  \"per_window_ns\": [\n");
         for (i, c) in self.scaling.iter().enumerate() {
             s.push_str(&format!(
@@ -587,6 +659,15 @@ impl fmt::Display for SweepReport {
             let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
             writeln!(f, "{}", render_table(&header_refs, &grid_rows))?;
         }
+        for c in &self.checkpoint {
+            writeln!(
+                f,
+                "checkpoint at {} pools: {:.1} KiB, restore {:.1}µs",
+                c.pools,
+                c.bytes as f64 / 1024.0,
+                c.restore_ns as f64 / 1e3
+            )?;
+        }
         if let Some(speedup) = self.speedup_vs_baseline_4096() {
             writeln!(
                 f,
@@ -645,6 +726,13 @@ mod tests {
         }
         assert!(json.contains("\"pools\": 4096"), "grid serialized: {json}");
         assert!(json.contains("\"path\": \"columns\""), "layout field serialized");
+        assert_eq!(r.checkpoint.len(), 2, "checkpoint cost at 81 and 4096 pools");
+        assert!(
+            r.checkpoint.iter().all(|c| c.bytes > 0 && c.restore_ns > 0),
+            "checkpoint cells are real measurements: {r}"
+        );
+        assert!(json.contains("\"checkpoint\": ["), "checkpoint array serialized: {json}");
+        assert!(json.contains("\"restore_ns\""), "restore latency serialized");
         assert!(json.contains("\"columnar_steady_state_allocations\": 0"), "colsim fields");
         assert!(json.contains("\"steady_state_allocations\": 0"), "alloc count serialized");
     }

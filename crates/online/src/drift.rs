@@ -17,6 +17,7 @@
 //!   checked only when the short window has enough workload spread for its
 //!   slope to be trustworthy, so flat overnight traffic cannot false-fire.
 
+use headroom_stats::persist::{Persist, PersistError, Reader, Writer};
 use headroom_stats::LinearFit;
 
 use crate::estimators::WindowedLinReg;
@@ -155,6 +156,37 @@ impl DriftDetector {
     /// Resets the recent sub-window (after the caller handled a drift).
     pub fn reset(&mut self) {
         self.short.clear();
+    }
+}
+
+impl Persist for DriftConfig {
+    fn persist(&self, w: &mut Writer) {
+        w.put_usize(self.short_window);
+        w.put_usize(self.min_reference);
+        w.put_f64(self.slope_tolerance);
+        w.put_f64(self.level_tolerance);
+        w.put_f64(self.min_spread_fraction);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(DriftConfig {
+            short_window: r.take_usize()?,
+            min_reference: r.take_usize()?,
+            slope_tolerance: r.take_f64()?,
+            level_tolerance: r.take_f64()?,
+            min_spread_fraction: r.take_f64()?,
+        })
+    }
+}
+
+impl Persist for DriftDetector {
+    fn persist(&self, w: &mut Writer) {
+        self.config.persist(w);
+        self.short.persist(w);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(DriftDetector { config: DriftConfig::restore(r)?, short: WindowedLinReg::restore(r)? })
     }
 }
 

@@ -12,6 +12,7 @@
 //!   the other shard-combinable accumulators (see
 //!   [`headroom_stats::Combine`]).
 
+use headroom_stats::persist::{Persist, PersistError, Reader, Writer};
 use headroom_stats::{LinearFit, StatsError, StreamingLinReg};
 
 use crate::ring::RingWindow;
@@ -87,6 +88,17 @@ impl WindowedLinReg {
     pub fn clear(&mut self) {
         self.window.clear();
         self.reg.clear();
+    }
+}
+
+impl Persist for WindowedLinReg {
+    fn persist(&self, w: &mut Writer) {
+        self.window.persist(w);
+        self.reg.persist(w);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(WindowedLinReg { window: RingWindow::restore(r)?, reg: StreamingLinReg::restore(r)? })
     }
 }
 

@@ -8,6 +8,7 @@
 //! ([`headroom_stats::StreamingLinReg`] over day index), and the projection
 //! intersects that trend with the pool's supportable peak.
 
+use headroom_stats::persist::{Persist, PersistError, Reader, Writer};
 use headroom_stats::StreamingLinReg;
 use headroom_telemetry::time::WindowIndex;
 
@@ -196,6 +197,71 @@ impl ExhaustionProjector {
     /// demand).
     pub fn reset(&mut self) {
         *self = ExhaustionProjector::new();
+    }
+}
+
+impl Persist for HeadroomBand {
+    fn persist(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            HeadroomBand::Exhausted => 0,
+            HeadroomBand::Critical => 1,
+            HeadroomBand::Tight => 2,
+            HeadroomBand::Adequate => 3,
+            HeadroomBand::Ample => 4,
+        });
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(match r.take_u8()? {
+            0 => HeadroomBand::Exhausted,
+            1 => HeadroomBand::Critical,
+            2 => HeadroomBand::Tight,
+            3 => HeadroomBand::Adequate,
+            4 => HeadroomBand::Ample,
+            _ => return Err(PersistError::Invalid("unknown HeadroomBand tag")),
+        })
+    }
+}
+
+impl Persist for ExhaustionProjection {
+    fn persist(&self, w: &mut Writer) {
+        self.band.persist(w);
+        w.put_f64(self.peak_rps);
+        w.put_f64(self.supportable_rps);
+        self.daily_growth_rps.persist(w);
+        self.days_to_exhaustion.persist(w);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(ExhaustionProjection {
+            band: HeadroomBand::restore(r)?,
+            peak_rps: r.take_f64()?,
+            supportable_rps: r.take_f64()?,
+            daily_growth_rps: Option::restore(r)?,
+            days_to_exhaustion: Option::restore(r)?,
+        })
+    }
+}
+
+impl Persist for ExhaustionProjector {
+    fn persist(&self, w: &mut Writer) {
+        self.current_day.persist(w);
+        w.put_f64(self.running_peak);
+        self.trend.persist(w);
+        w.put_usize(self.completed_days);
+        self.last_committed_day.persist(w);
+        w.put_f64(self.last_day_peak);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(ExhaustionProjector {
+            current_day: Option::restore(r)?,
+            running_peak: r.take_f64()?,
+            trend: StreamingLinReg::restore(r)?,
+            completed_days: r.take_usize()?,
+            last_committed_day: Option::restore(r)?,
+            last_day_peak: r.take_f64()?,
+        })
     }
 }
 

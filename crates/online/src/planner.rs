@@ -36,6 +36,7 @@ use headroom_cluster::sim::{
 };
 use headroom_core::sizing::{PoolSizing, SizingPlanner};
 use headroom_core::slo::QosRequirement;
+use headroom_stats::persist::{Persist, PersistError, Reader, Writer};
 use headroom_telemetry::counter::Resource;
 use headroom_telemetry::ids::PoolId;
 use headroom_telemetry::time::WindowIndex;
@@ -367,6 +368,221 @@ pub struct PoolAssessment {
     pub drift_events: usize,
     /// Whether the latency SLO was reachable on the fitted curve.
     pub slo_reachable: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint encodings. Foreign vocabulary types (`PoolId`, `WindowIndex`,
+// `PoolSizing`, `QosRequirement`, `Resource`) have all-public fields, so they
+// are written field-wise inline here rather than growing the telemetry/core
+// crates a persistence dependency.
+// ---------------------------------------------------------------------------
+
+pub(crate) fn persist_pool_id(p: &PoolId, w: &mut Writer) {
+    w.put_u32(p.0);
+}
+
+pub(crate) fn restore_pool_id(r: &mut Reader<'_>) -> Result<PoolId, PersistError> {
+    Ok(PoolId(r.take_u32()?))
+}
+
+pub(crate) fn persist_window_index(v: &WindowIndex, w: &mut Writer) {
+    w.put_u64(v.0);
+}
+
+pub(crate) fn restore_window_index(r: &mut Reader<'_>) -> Result<WindowIndex, PersistError> {
+    Ok(WindowIndex(r.take_u64()?))
+}
+
+pub(crate) fn persist_qos(q: &QosRequirement, w: &mut Writer) {
+    w.put_f64(q.latency_p95_ms);
+    w.put_f64(q.cpu_ceiling_pct);
+    w.put_f64(q.min_availability);
+    w.put_f64(q.disk_queue_limit);
+    w.put_f64(q.memory_pages_limit);
+    w.put_f64(q.network_mbps_limit);
+}
+
+pub(crate) fn restore_qos(r: &mut Reader<'_>) -> Result<QosRequirement, PersistError> {
+    Ok(QosRequirement {
+        latency_p95_ms: r.take_f64()?,
+        cpu_ceiling_pct: r.take_f64()?,
+        min_availability: r.take_f64()?,
+        disk_queue_limit: r.take_f64()?,
+        memory_pages_limit: r.take_f64()?,
+        network_mbps_limit: r.take_f64()?,
+    })
+}
+
+impl Persist for SweepExec {
+    fn persist(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            SweepExec::Persistent => 0,
+            SweepExec::Scoped => 1,
+        });
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(match r.take_u8()? {
+            0 => SweepExec::Persistent,
+            1 => SweepExec::Scoped,
+            _ => return Err(PersistError::Invalid("unknown SweepExec tag")),
+        })
+    }
+}
+
+impl Persist for OnlinePlannerConfig {
+    fn persist(&self, w: &mut Writer) {
+        w.put_usize(self.window_capacity);
+        w.put_usize(self.min_fit_windows);
+        w.put_u64(self.replan_every);
+        w.put_usize(self.deadband_servers);
+        w.put_u64(self.dwell_windows);
+        w.put_usize(self.threads);
+        self.exec.persist(w);
+        self.drift.persist(w);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(OnlinePlannerConfig {
+            window_capacity: r.take_usize()?,
+            min_fit_windows: r.take_usize()?,
+            replan_every: r.take_u64()?,
+            deadband_servers: r.take_usize()?,
+            dwell_windows: r.take_u64()?,
+            threads: r.take_usize()?,
+            exec: SweepExec::restore(r)?,
+            drift: DriftConfig::restore(r)?,
+        })
+    }
+}
+
+impl Persist for PoolWindowAggregate {
+    fn persist(&self, w: &mut Writer) {
+        persist_window_index(&self.window, w);
+        w.put_f64(self.rps_per_server);
+        w.put_f64(self.cpu_pct);
+        w.put_f64(self.latency_p95_ms);
+        w.put_f64(self.disk_queue);
+        w.put_f64(self.memory_pages_per_sec);
+        w.put_f64(self.network_mbps);
+        w.put_usize(self.active_servers);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(PoolWindowAggregate {
+            window: restore_window_index(r)?,
+            rps_per_server: r.take_f64()?,
+            cpu_pct: r.take_f64()?,
+            latency_p95_ms: r.take_f64()?,
+            disk_queue: r.take_f64()?,
+            memory_pages_per_sec: r.take_f64()?,
+            network_mbps: r.take_f64()?,
+            active_servers: r.take_usize()?,
+        })
+    }
+}
+
+impl Persist for BindingConstraint {
+    fn persist(&self, w: &mut Writer) {
+        match self {
+            BindingConstraint::Latency => w.put_u8(0),
+            BindingConstraint::Resource(res) => {
+                w.put_u8(1);
+                w.put_u8(res.index() as u8);
+            }
+        }
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        match r.take_u8()? {
+            0 => Ok(BindingConstraint::Latency),
+            1 => {
+                let idx = r.take_u8()? as usize;
+                let res = *Resource::ALL
+                    .get(idx)
+                    .ok_or(PersistError::Invalid("unknown Resource index"))?;
+                Ok(BindingConstraint::Resource(res))
+            }
+            _ => Err(PersistError::Invalid("unknown BindingConstraint tag")),
+        }
+    }
+}
+
+impl Persist for ResizeAction {
+    fn persist(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            ResizeAction::Shrink => 0,
+            ResizeAction::Grow => 1,
+        });
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(match r.take_u8()? {
+            0 => ResizeAction::Shrink,
+            1 => ResizeAction::Grow,
+            _ => return Err(PersistError::Invalid("unknown ResizeAction tag")),
+        })
+    }
+}
+
+impl Persist for ResizeRecommendation {
+    fn persist(&self, w: &mut Writer) {
+        persist_pool_id(&self.pool, w);
+        persist_window_index(&self.window, w);
+        w.put_usize(self.from_servers);
+        w.put_usize(self.to_servers);
+        self.action.persist(w);
+        self.band.persist(w);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(ResizeRecommendation {
+            pool: restore_pool_id(r)?,
+            window: restore_window_index(r)?,
+            from_servers: r.take_usize()?,
+            to_servers: r.take_usize()?,
+            action: ResizeAction::restore(r)?,
+            band: HeadroomBand::restore(r)?,
+        })
+    }
+}
+
+impl Persist for PoolAssessment {
+    fn persist(&self, w: &mut Writer) {
+        persist_pool_id(&self.sizing.pool, w);
+        w.put_usize(self.sizing.current_servers);
+        w.put_usize(self.sizing.min_servers);
+        w.put_f64(self.sizing.peak_total_rps);
+        persist_window_index(&self.window, w);
+        self.band.persist(w);
+        self.binding.persist(w);
+        self.projection.persist(w);
+        w.put_f64(self.cpu_r_squared);
+        w.put_f64(self.latency_r_squared);
+        self.latency_p95_stream_ms.persist(w);
+        w.put_usize(self.drift_events);
+        w.put_bool(self.slo_reachable);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(PoolAssessment {
+            sizing: PoolSizing {
+                pool: restore_pool_id(r)?,
+                current_servers: r.take_usize()?,
+                min_servers: r.take_usize()?,
+                peak_total_rps: r.take_f64()?,
+            },
+            window: restore_window_index(r)?,
+            band: HeadroomBand::restore(r)?,
+            binding: BindingConstraint::restore(r)?,
+            projection: ExhaustionProjection::restore(r)?,
+            cpu_r_squared: r.take_f64()?,
+            latency_r_squared: r.take_f64()?,
+            latency_p95_stream_ms: Option::restore(r)?,
+            drift_events: r.take_usize()?,
+            slo_reachable: r.take_bool()?,
+        })
+    }
 }
 
 /// The streaming incremental capacity planner.

@@ -6,6 +6,8 @@
 
 use std::collections::VecDeque;
 
+use headroom_stats::persist::{Persist, PersistError, Reader, Writer};
+
 /// A FIFO window holding at most `capacity` elements.
 ///
 /// # Example
@@ -82,6 +84,35 @@ impl<T> RingWindow<T> {
     /// Drops all elements, keeping the capacity.
     pub fn clear(&mut self) {
         self.items.clear();
+    }
+}
+
+impl<T: Persist> Persist for RingWindow<T> {
+    fn persist(&self, w: &mut Writer) {
+        w.put_usize(self.capacity);
+        w.put_usize(self.items.len());
+        for item in &self.items {
+            item.persist(w);
+        }
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let capacity = r.take_usize()?;
+        if capacity == 0 {
+            return Err(PersistError::Invalid("ring window capacity must be positive"));
+        }
+        let len = r.take_usize()?;
+        if len > capacity {
+            return Err(PersistError::Invalid("ring window holds more than its capacity"));
+        }
+        if len > r.remaining() {
+            return Err(PersistError::Invalid("ring window length exceeds remaining stream"));
+        }
+        let mut items = VecDeque::with_capacity(capacity);
+        for _ in 0..len {
+            items.push_back(T::restore(r)?);
+        }
+        Ok(RingWindow { items, capacity })
     }
 }
 

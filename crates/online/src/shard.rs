@@ -22,6 +22,7 @@
 
 use headroom_core::sizing::PoolSizing;
 use headroom_core::slo::QosRequirement;
+use headroom_stats::persist::{Persist, PersistError, Reader, Writer};
 use headroom_stats::quantile_stream::P2Quantile;
 use headroom_stats::{
     FitArray, MonotonicMaxDeque, SortedWindow, StreamingLinReg, StreamingQuadFit,
@@ -347,5 +348,41 @@ impl PoolShard {
         }
         self.last_assessment = Some(assessment);
         recommendation
+    }
+}
+
+impl Persist for PoolShard {
+    fn persist(&self, w: &mut Writer) {
+        self.window.persist(w);
+        self.resources.persist(w);
+        self.latency.persist(w);
+        self.latency_stream.persist(w);
+        self.drift.persist(w);
+        self.projector.persist(w);
+        w.put_usize(self.drift_events);
+        self.totals.persist(w);
+        self.alloc.persist(w);
+        self.last_assessment.persist(w);
+        self.last_target.persist(w);
+        self.dwell.persist(w);
+        w.put_bool(self.urgent);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(PoolShard {
+            window: RingWindow::restore(r)?,
+            resources: FitArray::restore(r)?,
+            latency: StreamingQuadFit::restore(r)?,
+            latency_stream: P2Quantile::restore(r)?,
+            drift: DriftDetector::restore(r)?,
+            projector: ExhaustionProjector::restore(r)?,
+            drift_events: r.take_usize()?,
+            totals: SortedWindow::restore(r)?,
+            alloc: MonotonicMaxDeque::restore(r)?,
+            last_assessment: Option::restore(r)?,
+            last_target: Option::restore(r)?,
+            dwell: Option::restore(r)?,
+            urgent: r.take_bool()?,
+        })
     }
 }

@@ -39,11 +39,13 @@ use headroom_cluster::columns::{ColumnarSnapshot, SnapshotColumns};
 use headroom_cluster::sim::{PartitionedSnapshot, SnapshotRow, WindowSnapshot};
 use headroom_core::slo::QosRequirement;
 use headroom_exec::WorkerPool;
+use headroom_stats::persist::{Persist, PersistError, Reader, Writer};
 use headroom_telemetry::ids::PoolId;
 use headroom_telemetry::time::WindowIndex;
 
 use crate::planner::{
-    OnlinePlannerConfig, PoolAssessment, PoolWindowAggregate, ResizeRecommendation, SweepExec,
+    persist_pool_id, persist_qos, restore_pool_id, restore_qos, OnlinePlannerConfig,
+    PoolAssessment, PoolWindowAggregate, ResizeRecommendation, SweepExec,
 };
 use crate::shard::PoolShard;
 
@@ -198,6 +200,16 @@ impl SweepEngine {
     /// bit-identical before, across, and after the change.
     pub fn set_threads(&mut self, threads: usize) -> &mut Self {
         self.config.threads = threads;
+        self
+    }
+
+    /// Changes the execution mode mid-run. Like [`set_threads`], purely an
+    /// execution knob — a restored checkpoint can be driven in either mode
+    /// and the outputs stay bit-identical.
+    ///
+    /// [`set_threads`]: SweepEngine::set_threads
+    pub fn set_exec(&mut self, exec: SweepExec) -> &mut Self {
+        self.config.exec = exec;
         self
     }
 
@@ -376,6 +388,71 @@ impl SweepEngine {
         for out in &mut self.chunk_outs[..chunks] {
             self.pending.append(out);
         }
+    }
+}
+
+impl Persist for SweepEngine {
+    /// Persists the planner's *logical* state — config, QoS table, shards,
+    /// pending recommendations, window cursor. Execution state (scratch
+    /// buffers, the worker pool) is never written: like
+    /// [`SweepEngine::clone`], a restored engine rebuilds threads and
+    /// caches lazily on its first sweep, which is exactly why a checkpoint
+    /// taken under one `(threads, exec)` setting restores bit-identically
+    /// under any other.
+    fn persist(&self, w: &mut Writer) {
+        self.config.persist(w);
+        persist_qos(&self.default_qos, w);
+        w.put_usize(self.qos.len());
+        for (pool, qos) in &self.qos {
+            persist_pool_id(pool, w);
+            persist_qos(qos, w);
+        }
+        w.put_usize(self.shards.len());
+        for (pool, shard) in &self.shards {
+            persist_pool_id(pool, w);
+            shard.persist(w);
+        }
+        self.pending.persist(w);
+        w.put_u64(self.windows_seen);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let config = OnlinePlannerConfig::restore(r)?;
+        let default_qos = restore_qos(r)?;
+        let qos_len = r.take_usize()?;
+        if qos_len > r.remaining() {
+            return Err(PersistError::Invalid("qos table length exceeds remaining stream"));
+        }
+        let mut qos = BTreeMap::new();
+        for _ in 0..qos_len {
+            let pool = restore_pool_id(r)?;
+            qos.insert(pool, restore_qos(r)?);
+        }
+        let shard_len = r.take_usize()?;
+        if shard_len > r.remaining() {
+            return Err(PersistError::Invalid("shard list length exceeds remaining stream"));
+        }
+        let mut shards: Vec<(PoolId, PoolShard)> = Vec::with_capacity(shard_len);
+        for _ in 0..shard_len {
+            let pool = restore_pool_id(r)?;
+            if let Some(&(last, _)) = shards.last() {
+                if last >= pool {
+                    return Err(PersistError::Invalid("shard list not sorted by pool id"));
+                }
+            }
+            shards.push((pool, PoolShard::restore(r)?));
+        }
+        Ok(SweepEngine {
+            config,
+            default_qos,
+            qos,
+            shards,
+            pending: Vec::restore(r)?,
+            windows_seen: r.take_u64()?,
+            input_buf: Vec::new(),
+            chunk_outs: Vec::new(),
+            workers: WorkerPool::new(),
+        })
     }
 }
 

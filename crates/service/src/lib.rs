@@ -1,0 +1,99 @@
+//! # headroom-service — the planner as a long-running control plane
+//!
+//! `headroom_online` answers *what should the fleet look like*; this crate
+//! answers *how does that answer survive contact with operations*. A planner
+//! that sizes a global fleet is itself a service: it crashes, it gets
+//! redeployed mid-stream, its recommendations race against the actuation
+//! machinery, and an auditor will eventually ask why pool 1731 shrank at
+//! 03:40. Three small, independently testable pieces cover that surface:
+//!
+//! - [`checkpoint`] — versioned, checksummed binary snapshots of the full
+//!   [`headroom_online::SweepEngine`] state (rings, streaming moments, P²
+//!   markers, drift/dwell/deadband state, window cursor). A planner killed
+//!   and restored from its last checkpoint resumes **mid-stream** and emits
+//!   byte-identical recommendations thereafter — no re-warming of
+//!   `min_fit_windows`, no thrown-away history.
+//! - [`event_log`] — an append-only log of observations in and
+//!   recommendations/assessments out, as sequenced self-describing
+//!   envelopes. Replaying the observation events through a fresh engine
+//!   re-derives the planner's outputs bit-identically, so the log alone is
+//!   a complete audit trail *and* a disaster-recovery path.
+//! - [`reconcile`] — the loop that converges the fleet's *actual*
+//!   allocation to the planner's *recommended* allocation: idempotent,
+//!   monotonic-version apply semantics, bounded retries, and a per-pool
+//!   `Converged / Converging / Diverged` state machine, exercised against
+//!   the simulator's real actuation latency (a scheduled resize takes
+//!   effect only when its window is simulated).
+//!
+//! Determinism is the load-bearing property throughout: because the sweep
+//! engine is bit-identical across thread counts and execution modes, a
+//! checkpoint taken under `threads = 8, SweepExec::Persistent` restores
+//! correctly under `threads = 1, SweepExec::Scoped` — the checkpoint holds
+//! logical state only, never execution state.
+//!
+//! # Quickstart: kill, restore, resume
+//!
+//! ```
+//! use headroom_core::slo::QosRequirement;
+//! use headroom_online::planner::{OnlinePlannerConfig, PoolWindowAggregate};
+//! use headroom_online::sweep::SweepEngine;
+//! use headroom_service::checkpoint;
+//! use headroom_telemetry::ids::PoolId;
+//! use headroom_telemetry::time::WindowIndex;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = OnlinePlannerConfig { min_fit_windows: 8, ..Default::default() };
+//! let qos = QosRequirement::latency(32.5).with_cpu_ceiling(90.0);
+//! let mut live = SweepEngine::new(config, qos);
+//!
+//! let agg = |w: u64| {
+//!     let rps = 200.0 + 150.0 * ((w as f64 / 40.0).sin().abs());
+//!     PoolWindowAggregate {
+//!         window: WindowIndex(w),
+//!         rps_per_server: rps,
+//!         cpu_pct: 0.028 * rps + 1.37,
+//!         latency_p95_ms: 4.028e-5 * rps * rps - 0.031 * rps + 36.68,
+//!         disk_queue: 1.0,
+//!         memory_pages_per_sec: 4000.0,
+//!         network_mbps: 0.32 * rps,
+//!         active_servers: 9,
+//!     }
+//! };
+//! for w in 0..40 {
+//!     live.observe_aggregates(WindowIndex(w), &[(PoolId(0), agg(w))]);
+//! }
+//! live.drain_recommendations();
+//!
+//! // Crash here. The checkpoint is all that survives.
+//! let bytes = checkpoint::save(&live);
+//! let mut restored = checkpoint::load(&bytes)?;
+//!
+//! // Both engines see the same remaining stream...
+//! for w in 40..80 {
+//!     live.observe_aggregates(WindowIndex(w), &[(PoolId(0), agg(w))]);
+//!     restored.observe_aggregates(WindowIndex(w), &[(PoolId(0), agg(w))]);
+//! }
+//! // ...and emit byte-identical recommendations: no warm-up was lost.
+//! assert_eq!(live.drain_recommendations(), restored.drain_recommendations());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod event_log;
+pub mod reconcile;
+
+pub use checkpoint::{load, save, CheckpointError, CHECKPOINT_VERSION};
+pub use event_log::{
+    replay, EventEnvelope, EventLog, EventPayload, ReplayOutcome, EVENT_LOG_VERSION,
+};
+pub use reconcile::{
+    ActuationError, Actuator, PoolState, PoolStatus, Reconciler, ReconcilerConfig, SimActuator,
+    TargetError, TickReport,
+};
+
+#[cfg(test)]
+pub(crate) mod testutil;

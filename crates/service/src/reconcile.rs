@@ -1,0 +1,595 @@
+//! The reconciliation loop: converging the fleet's *actual* allocation to
+//! the planner's *recommended* allocation.
+//!
+//! Recommendations are declarative ("pool 3 should serve with 7 servers"),
+//! but actuation is an operation against real machinery: it can be slow (a
+//! drain takes time), it can fail transiently (the intervention system is
+//! itself a service), and it can race a newer recommendation for the same
+//! pool. The [`Reconciler`] absorbs all three:
+//!
+//! - **Monotonic versions** — every desired target carries a version (the
+//!   recommendation's window index, when fed from the planner). A stale
+//!   version is rejected outright; re-offering the *current* version with
+//!   the same target is an idempotent no-op, so at-least-once delivery of
+//!   recommendations is safe.
+//! - **Level-triggered ticks** — each [`Reconciler::tick`] compares every
+//!   pool's observed allocation to its desired target and (re-)issues the
+//!   apply only where they differ. Applies are idempotent on the actuator
+//!   side, so re-issuing while an earlier apply is still taking effect is
+//!   harmless — the loop converges on *state*, not on edges.
+//! - **Bounded retries** — consecutive apply failures beyond the configured
+//!   budget park the pool in [`PoolState::Diverged`], where it stays (and
+//!   stays visible) until an operator or a new version moves it; one
+//!   success resets the failure count.
+//!
+//! [`SimActuator`] adapts a `headroom_cluster` [`Simulation`] as the
+//! actuation target, with the simulator's real latency semantics: a
+//! scheduled resize takes effect only when its window is simulated, so the
+//! loop genuinely waits out actuation latency rather than assuming applies
+//! are instantaneous.
+
+use std::collections::BTreeMap;
+
+use headroom_cluster::sim::Simulation;
+use headroom_online::planner::ResizeRecommendation;
+use headroom_telemetry::ids::PoolId;
+
+/// An apply that could not be issued.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActuationError(pub String);
+
+impl std::fmt::Display for ActuationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "actuation failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for ActuationError {}
+
+/// The fleet-side interface the reconciler drives.
+///
+/// `apply` must be idempotent: the reconciler is level-triggered and will
+/// re-issue an apply every tick until the observed allocation matches the
+/// target.
+pub trait Actuator {
+    /// Requests that `pool` serve with `target` active servers.
+    ///
+    /// # Errors
+    ///
+    /// [`ActuationError`] when the request could not be issued (unknown
+    /// pool, invalid size, transient actuation-system failure). Issuance is
+    /// not convergence: a successful apply may still take time to be
+    /// observable via [`Actuator::actual`].
+    fn apply(&mut self, pool: PoolId, target: usize) -> Result<(), ActuationError>;
+
+    /// The pool's currently observed active-server count, or `None` for a
+    /// pool the actuator does not know.
+    fn actual(&self, pool: PoolId) -> Option<usize>;
+}
+
+/// Where one pool stands relative to its desired target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolState {
+    /// Observed allocation equals the desired target.
+    Converged,
+    /// An apply is in flight or pending; the loop is still working.
+    Converging,
+    /// The retry budget is exhausted (or the pool is unknown to the
+    /// actuator); operator attention or a new version is needed.
+    Diverged,
+}
+
+impl std::fmt::Display for PoolState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PoolState::Converged => "converged",
+            PoolState::Converging => "converging",
+            PoolState::Diverged => "diverged",
+        })
+    }
+}
+
+/// Why [`Reconciler::set_desired`] rejected a target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetError {
+    /// The offered version is older than the one already held.
+    Stale {
+        /// Version currently held for the pool.
+        current: u64,
+        /// The (older) version offered.
+        offered: u64,
+    },
+    /// The offered version equals the held one but names a *different*
+    /// target — two writers disagree about the same version, which
+    /// idempotency cannot paper over.
+    Conflict {
+        /// The version both writers used.
+        version: u64,
+        /// Target currently held.
+        current: usize,
+        /// The conflicting target offered.
+        offered: usize,
+    },
+}
+
+impl std::fmt::Display for TargetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TargetError::Stale { current, offered } => {
+                write!(f, "stale target version {offered} (current {current})")
+            }
+            TargetError::Conflict { version, current, offered } => {
+                write!(f, "conflicting targets {current} vs {offered} at version {version}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TargetError {}
+
+/// One pool's reconciliation status, as reported by [`Reconciler::status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStatus {
+    /// Version of the desired target.
+    pub version: u64,
+    /// Desired active-server count.
+    pub target: usize,
+    /// Last observed active-server count (`None` before the first tick).
+    pub actual: Option<usize>,
+    /// Consecutive apply failures since the last success.
+    pub failures: u32,
+    /// The state machine's verdict.
+    pub state: PoolState,
+}
+
+/// Reconciler tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconcilerConfig {
+    /// Consecutive apply failures tolerated per pool before it is parked in
+    /// [`PoolState::Diverged`] (default 3).
+    pub max_retries: u32,
+}
+
+impl Default for ReconcilerConfig {
+    fn default() -> Self {
+        ReconcilerConfig { max_retries: 3 }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Desired {
+    version: u64,
+    target: usize,
+    actual: Option<usize>,
+    failures: u32,
+    state: PoolState,
+}
+
+/// What one [`Reconciler::tick`] did and saw.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TickReport {
+    /// Applies issued this tick.
+    pub applies: usize,
+    /// Applies that failed this tick.
+    pub failures: usize,
+    /// Pools converged after this tick.
+    pub converged: usize,
+    /// Pools still converging after this tick.
+    pub converging: usize,
+    /// Pools diverged after this tick.
+    pub diverged: usize,
+}
+
+/// The control loop. Holds the desired allocation per pool and, on each
+/// [`Reconciler::tick`], nudges an [`Actuator`] toward it.
+#[derive(Debug, Clone, Default)]
+pub struct Reconciler {
+    config: ReconcilerConfig,
+    pools: BTreeMap<PoolId, Desired>,
+}
+
+impl Reconciler {
+    /// A reconciler with the given tuning.
+    pub fn new(config: ReconcilerConfig) -> Self {
+        Reconciler { config, pools: BTreeMap::new() }
+    }
+
+    /// Sets one pool's desired target under a monotonic version.
+    ///
+    /// A higher version always wins and resets the pool's failure budget
+    /// and state. Re-offering the current version with the current target
+    /// is an idempotent no-op.
+    ///
+    /// # Errors
+    ///
+    /// - [`TargetError::Stale`] when `version` is older than the held one
+    ///   (the offer is dropped; the newer target stands).
+    /// - [`TargetError::Conflict`] when `version` equals the held one but
+    ///   `target` differs.
+    pub fn set_desired(
+        &mut self,
+        pool: PoolId,
+        version: u64,
+        target: usize,
+    ) -> Result<(), TargetError> {
+        if let Some(held) = self.pools.get_mut(&pool) {
+            if version < held.version {
+                return Err(TargetError::Stale { current: held.version, offered: version });
+            }
+            if version == held.version {
+                if target != held.target {
+                    return Err(TargetError::Conflict {
+                        version,
+                        current: held.target,
+                        offered: target,
+                    });
+                }
+                return Ok(());
+            }
+            held.version = version;
+            held.target = target;
+            held.failures = 0;
+            held.state = PoolState::Converging;
+            return Ok(());
+        }
+        self.pools.insert(
+            pool,
+            Desired { version, target, actual: None, failures: 0, state: PoolState::Converging },
+        );
+        Ok(())
+    }
+
+    /// Feeds planner recommendations, versioned by their window index (the
+    /// planner emits at most one recommendation per pool per window, and
+    /// windows are monotonic, so the window index is a ready-made version).
+    /// Stale and idempotent-duplicate offers are dropped silently — the log
+    /// may be replayed at-least-once. Returns how many offers were
+    /// accepted as *new* targets.
+    pub fn ingest(&mut self, recommendations: &[ResizeRecommendation]) -> usize {
+        let mut accepted = 0;
+        for rec in recommendations {
+            let held = self.pools.get(&rec.pool).map(|d| (d.version, d.target));
+            if self.set_desired(rec.pool, rec.window.0, rec.to_servers).is_ok()
+                && held != Some((rec.window.0, rec.to_servers))
+            {
+                accepted += 1;
+            }
+        }
+        accepted
+    }
+
+    /// One pass of the loop: observe every pool, issue applies where the
+    /// observed allocation differs from the desired target, and update the
+    /// per-pool state machine.
+    pub fn tick(&mut self, actuator: &mut dyn Actuator) -> TickReport {
+        let mut report = TickReport::default();
+        for (&pool, desired) in self.pools.iter_mut() {
+            desired.actual = actuator.actual(pool);
+            match (desired.state, desired.actual) {
+                (PoolState::Diverged, _) => {}
+                (_, None) => desired.state = PoolState::Diverged,
+                (_, Some(actual)) if actual == desired.target => {
+                    desired.failures = 0;
+                    desired.state = PoolState::Converged;
+                }
+                (_, Some(_)) => {
+                    desired.state = PoolState::Converging;
+                    report.applies += 1;
+                    match actuator.apply(pool, desired.target) {
+                        Ok(()) => desired.failures = 0,
+                        Err(_) => {
+                            report.failures += 1;
+                            desired.failures += 1;
+                            if desired.failures > self.config.max_retries {
+                                desired.state = PoolState::Diverged;
+                            }
+                        }
+                    }
+                }
+            }
+            match desired.state {
+                PoolState::Converged => report.converged += 1,
+                PoolState::Converging => report.converging += 1,
+                PoolState::Diverged => report.diverged += 1,
+            }
+        }
+        report
+    }
+
+    /// One pool's status, or `None` if no target was ever set for it.
+    pub fn status(&self, pool: PoolId) -> Option<PoolStatus> {
+        self.pools.get(&pool).map(|d| PoolStatus {
+            version: d.version,
+            target: d.target,
+            actual: d.actual,
+            failures: d.failures,
+            state: d.state,
+        })
+    }
+
+    /// Every managed pool's state, in pool order.
+    pub fn states(&self) -> impl Iterator<Item = (PoolId, PoolState)> + '_ {
+        self.pools.iter().map(|(&p, d)| (p, d.state))
+    }
+
+    /// Number of pools under management.
+    pub fn len(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// Whether no pool is under management.
+    pub fn is_empty(&self) -> bool {
+        self.pools.is_empty()
+    }
+
+    /// Whether every managed pool is [`PoolState::Converged`].
+    pub fn converged(&self) -> bool {
+        !self.pools.is_empty() && self.pools.values().all(|d| d.state == PoolState::Converged)
+    }
+}
+
+/// Adapts a [`Simulation`] as the reconciler's actuation target.
+///
+/// `apply` schedules the resize at the simulator's *next* window, so it
+/// takes effect only after the simulation advances — real actuation
+/// latency, not an instantaneous poke. Drive the loop as
+/// `reconciler.tick(&mut SimActuator::new(sim))`, then `sim.run_windows(1)`,
+/// and repeat.
+#[derive(Debug)]
+pub struct SimActuator<'a> {
+    sim: &'a mut Simulation,
+}
+
+impl<'a> SimActuator<'a> {
+    /// Wraps the simulation.
+    pub fn new(sim: &'a mut Simulation) -> Self {
+        SimActuator { sim }
+    }
+}
+
+impl Actuator for SimActuator<'_> {
+    fn apply(&mut self, pool: PoolId, target: usize) -> Result<(), ActuationError> {
+        let window = self.sim.current_window();
+        self.sim.schedule_resize(pool, window, target).map_err(|e| ActuationError(e.to_string()))
+    }
+
+    fn actual(&self, pool: PoolId) -> Option<usize> {
+        self.sim.fleet().pool(pool).map(|p| p.active_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use headroom_cluster::scenario::FleetScenario;
+    use headroom_online::planner::{ResizeAction, ResizeRecommendation};
+    use headroom_online::HeadroomBand;
+    use headroom_telemetry::time::WindowIndex;
+
+    /// An in-memory fleet whose applies land after `latency` ticks and fail
+    /// deterministically wherever the caller scripted them to.
+    struct FlakyActuator {
+        actuals: BTreeMap<PoolId, usize>,
+        /// (pool, target, remaining-latency) applies in flight.
+        in_flight: Vec<(PoolId, usize, u32)>,
+        latency: u32,
+        /// Numbers of applies (1-based, global) that fail.
+        fail_on: Vec<u32>,
+        applies_seen: u32,
+    }
+
+    impl FlakyActuator {
+        fn new(pools: &[(u32, usize)], latency: u32, fail_on: Vec<u32>) -> Self {
+            FlakyActuator {
+                actuals: pools.iter().map(|&(p, n)| (PoolId(p), n)).collect(),
+                in_flight: Vec::new(),
+                latency,
+                fail_on,
+                applies_seen: 0,
+            }
+        }
+
+        /// Advances time one step: in-flight applies age, due ones land.
+        fn step(&mut self) {
+            for entry in &mut self.in_flight {
+                entry.2 = entry.2.saturating_sub(1);
+            }
+            let mut landed = Vec::new();
+            self.in_flight.retain(|&(pool, target, left)| {
+                if left == 0 {
+                    landed.push((pool, target));
+                    false
+                } else {
+                    true
+                }
+            });
+            for (pool, target) in landed {
+                self.actuals.insert(pool, target);
+            }
+        }
+    }
+
+    impl Actuator for FlakyActuator {
+        fn apply(&mut self, pool: PoolId, target: usize) -> Result<(), ActuationError> {
+            self.applies_seen += 1;
+            if self.fail_on.contains(&self.applies_seen) {
+                return Err(ActuationError("injected failure".into()));
+            }
+            if !self.actuals.contains_key(&pool) {
+                return Err(ActuationError(format!("unknown pool {pool:?}")));
+            }
+            self.in_flight.push((pool, target, self.latency));
+            Ok(())
+        }
+
+        fn actual(&self, pool: PoolId) -> Option<usize> {
+            self.actuals.get(&pool).copied()
+        }
+    }
+
+    fn rec(pool: u32, window: u64, from: usize, to: usize) -> ResizeRecommendation {
+        ResizeRecommendation {
+            pool: PoolId(pool),
+            window: WindowIndex(window),
+            from_servers: from,
+            to_servers: to,
+            action: if to < from { ResizeAction::Shrink } else { ResizeAction::Grow },
+            band: HeadroomBand::Ample,
+        }
+    }
+
+    #[test]
+    fn converges_through_actuation_latency() {
+        let mut actuator = FlakyActuator::new(&[(0, 10), (1, 8)], 2, vec![]);
+        let mut rc = Reconciler::new(ReconcilerConfig::default());
+        rc.set_desired(PoolId(0), 1, 7).unwrap();
+        rc.set_desired(PoolId(1), 1, 9).unwrap();
+
+        let mut ticks = 0;
+        while !rc.converged() {
+            rc.tick(&mut actuator);
+            actuator.step();
+            ticks += 1;
+            assert!(ticks < 20, "no convergence after {ticks} ticks");
+        }
+        // Latency 2 means at least three ticks: issue, wait, observe.
+        assert!(ticks >= 3);
+        assert_eq!(actuator.actual(PoolId(0)), Some(7));
+        assert_eq!(actuator.actual(PoolId(1)), Some(9));
+        let report = rc.tick(&mut actuator);
+        assert_eq!(report, TickReport { converged: 2, ..TickReport::default() });
+    }
+
+    #[test]
+    fn transient_failures_retry_to_convergence() {
+        // First two applies fail; the loop retries within budget.
+        let mut actuator = FlakyActuator::new(&[(0, 10)], 0, vec![1, 2]);
+        let mut rc = Reconciler::new(ReconcilerConfig { max_retries: 3 });
+        rc.set_desired(PoolId(0), 1, 6).unwrap();
+        for _ in 0..5 {
+            rc.tick(&mut actuator);
+            actuator.step();
+        }
+        assert!(rc.converged());
+        let status = rc.status(PoolId(0)).unwrap();
+        assert_eq!(status.failures, 0);
+        assert_eq!(status.actual, Some(6));
+    }
+
+    #[test]
+    fn persistent_failures_bound_out_to_diverged() {
+        let mut actuator = FlakyActuator::new(&[(0, 10)], 0, (1..=100).collect());
+        let mut rc = Reconciler::new(ReconcilerConfig { max_retries: 2 });
+        rc.set_desired(PoolId(0), 1, 6).unwrap();
+        for _ in 0..10 {
+            rc.tick(&mut actuator);
+            actuator.step();
+        }
+        let status = rc.status(PoolId(0)).unwrap();
+        assert_eq!(status.state, PoolState::Diverged);
+        // Exactly max_retries + 1 applies were attempted, then the pool
+        // was parked — a diverged pool stops consuming the actuator.
+        assert_eq!(actuator.applies_seen, 3);
+        // A newer version un-parks it.
+        rc.set_desired(PoolId(0), 2, 6).unwrap();
+        assert_eq!(rc.status(PoolId(0)).unwrap().state, PoolState::Converging);
+    }
+
+    #[test]
+    fn unknown_pool_diverges() {
+        let mut actuator = FlakyActuator::new(&[(0, 10)], 0, vec![]);
+        let mut rc = Reconciler::new(ReconcilerConfig::default());
+        rc.set_desired(PoolId(9), 1, 4).unwrap();
+        rc.tick(&mut actuator);
+        assert_eq!(rc.status(PoolId(9)).unwrap().state, PoolState::Diverged);
+    }
+
+    #[test]
+    fn versions_are_monotonic_and_idempotent() {
+        let mut rc = Reconciler::new(ReconcilerConfig::default());
+        rc.set_desired(PoolId(0), 5, 8).unwrap();
+        // Idempotent re-offer: same version, same target.
+        rc.set_desired(PoolId(0), 5, 8).unwrap();
+        // Stale: older version.
+        assert_eq!(
+            rc.set_desired(PoolId(0), 4, 12),
+            Err(TargetError::Stale { current: 5, offered: 4 })
+        );
+        // Conflict: same version, different target.
+        assert_eq!(
+            rc.set_desired(PoolId(0), 5, 12),
+            Err(TargetError::Conflict { version: 5, current: 8, offered: 12 })
+        );
+        // Newer version wins.
+        rc.set_desired(PoolId(0), 6, 12).unwrap();
+        assert_eq!(rc.status(PoolId(0)).unwrap().target, 12);
+    }
+
+    #[test]
+    fn ingest_versions_by_window_and_drops_duplicates() {
+        let mut rc = Reconciler::new(ReconcilerConfig::default());
+        let first = [rec(0, 10, 10, 7), rec(1, 10, 8, 9)];
+        assert_eq!(rc.ingest(&first), 2);
+        // At-least-once redelivery of the same batch: no new targets.
+        assert_eq!(rc.ingest(&first), 0);
+        // An older logged batch is stale, silently.
+        assert_eq!(rc.ingest(&[rec(0, 4, 10, 11)]), 0);
+        assert_eq!(rc.status(PoolId(0)).unwrap().target, 7);
+        // A newer window supersedes.
+        assert_eq!(rc.ingest(&[rec(0, 11, 7, 6)]), 1);
+        assert_eq!(rc.status(PoolId(0)).unwrap().target, 6);
+        assert_eq!(rc.status(PoolId(0)).unwrap().version, 11);
+    }
+
+    /// The end-to-end loop against the real simulator: applies take effect
+    /// only when the scheduled window is simulated (true actuation
+    /// latency), and the loop converges every pool.
+    #[test]
+    fn converges_against_the_simulator() {
+        let mut sim = FleetScenario::small(7).into_simulation();
+        sim.run_windows(3);
+        // Shrink every pool by one server, versioned by the current window.
+        let version = sim.current_window().0;
+        let targets: Vec<(PoolId, usize)> =
+            sim.fleet().pools().iter().map(|p| (p.id, p.active_count() - 1)).collect();
+        let mut rc = Reconciler::new(ReconcilerConfig::default());
+        for &(pool, target) in &targets {
+            rc.set_desired(pool, version, target).unwrap();
+        }
+
+        let mut ticks = 0;
+        while !rc.converged() {
+            rc.tick(&mut SimActuator::new(&mut sim));
+            sim.run_windows(1);
+            ticks += 1;
+            assert!(ticks < 10, "no convergence after {ticks} ticks");
+        }
+        for &(pool, target) in &targets {
+            assert_eq!(sim.fleet().pool(pool).unwrap().active_count(), target);
+        }
+        // Steady state: converged, no further applies issued.
+        let report = rc.tick(&mut SimActuator::new(&mut sim));
+        assert_eq!(report.applies, 0);
+        assert_eq!(report.converged, targets.len());
+    }
+
+    /// A target the simulator rejects (zero servers) burns the retry
+    /// budget and parks as Diverged, without disturbing other pools.
+    #[test]
+    fn simulator_rejection_diverges_only_the_bad_pool() {
+        let mut sim = FleetScenario::small(7).into_simulation();
+        let pools = sim.fleet().pools();
+        let good = pools[0].id;
+        let good_target = pools[0].active_count() - 1;
+        let bad = pools[1].id;
+        let mut rc = Reconciler::new(ReconcilerConfig { max_retries: 1 });
+        rc.set_desired(good, 1, good_target).unwrap();
+        rc.set_desired(bad, 1, 0).unwrap();
+        for _ in 0..4 {
+            rc.tick(&mut SimActuator::new(&mut sim));
+            sim.run_windows(1);
+        }
+        assert_eq!(rc.status(good).unwrap().state, PoolState::Converged);
+        assert_eq!(rc.status(bad).unwrap().state, PoolState::Diverged);
+    }
+}

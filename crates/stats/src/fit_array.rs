@@ -32,6 +32,7 @@
 use std::ops::{Index, IndexMut};
 
 use crate::combine::Combine;
+use crate::persist::{Persist, PersistError, Reader, Writer};
 
 /// A fixed-size array of `N` independent accumulators of type `F`.
 ///
@@ -99,6 +100,22 @@ impl<F: Combine, const N: usize> Combine for FitArray<F, N> {
         for (a, b) in self.fits.iter_mut().zip(other.fits.iter()) {
             a.combine(b);
         }
+    }
+}
+
+impl<F: Persist + Default, const N: usize> Persist for FitArray<F, N> {
+    fn persist(&self, w: &mut Writer) {
+        for f in &self.fits {
+            f.persist(w);
+        }
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let mut out = FitArray::new();
+        for f in &mut out.fits {
+            *f = F::restore(r)?;
+        }
+        Ok(out)
     }
 }
 

@@ -21,6 +21,8 @@
 //!   accumulators implement;
 //! - [`fit_array`] — fixed-size per-resource arrays of accumulators (the
 //!   multi-resource fit vector), combining element-wise;
+//! - [`persist`] — bit-exact binary checkpointing for the streaming
+//!   accumulators, so a restarted planner resumes mid-stream;
 //! - [`polyfit`] — least-squares polynomial fitting (the quadratic latency
 //!   models of §II-B);
 //! - [`ransac`] — RANSAC robust regression (the paper fits latency curves with
@@ -63,6 +65,7 @@ pub mod matrix;
 pub mod monotonic;
 pub mod order_stats;
 pub mod percentile;
+pub mod persist;
 pub mod polyfit;
 pub mod quadfit;
 pub mod quantile_stream;
@@ -77,6 +80,7 @@ pub use fit_array::FitArray;
 pub use linreg::LinearFit;
 pub use monotonic::MonotonicMaxDeque;
 pub use order_stats::OrderStatsMultiset;
+pub use persist::{Persist, PersistError, Reader, Writer};
 pub use polyfit::Polynomial;
 pub use quadfit::StreamingQuadFit;
 pub use sorted_window::SortedWindow;

@@ -25,6 +25,8 @@
 
 use std::collections::VecDeque;
 
+use crate::persist::{Persist, PersistError, Reader, Writer};
+
 /// Monotonic (non-increasing) deque reporting the maximum of a FIFO window.
 ///
 /// The caller owns the window and drives this structure alongside it:
@@ -92,6 +94,27 @@ impl<T: PartialOrd + Copy> MonotonicMaxDeque<T> {
     /// Drops all retained values.
     pub fn clear(&mut self) {
         self.deque.clear();
+    }
+}
+
+impl<T: Persist> Persist for MonotonicMaxDeque<T> {
+    fn persist(&self, w: &mut Writer) {
+        w.put_usize(self.deque.len());
+        for v in &self.deque {
+            v.persist(w);
+        }
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let len = r.take_usize()?;
+        if len > r.remaining() {
+            return Err(PersistError::Invalid("deque length exceeds remaining stream"));
+        }
+        let mut deque = VecDeque::with_capacity(len);
+        for _ in 0..len {
+            deque.push_back(T::restore(r)?);
+        }
+        Ok(MonotonicMaxDeque { deque })
     }
 }
 

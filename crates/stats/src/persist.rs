@@ -1,0 +1,438 @@
+//! Bit-exact binary persistence for streaming-planner state.
+//!
+//! A planner that restarts must resume *exactly* where it stopped: the
+//! restored accumulators have to reproduce every subsequent decision bit
+//! for bit, or the kill-and-restore identity gate (`repro service`) cannot
+//! hold. That rules out any text round-trip — `f64` values are stored as
+//! their raw IEEE-754 bit patterns ([`f64::to_bits`]), never formatted —
+//! and any platform-dependent width — `usize` travels as `u64`.
+//!
+//! The codec is deliberately tiny and hand-rolled (the workspace vendors no
+//! serialization framework): a [`Writer`] appends little-endian fields to a
+//! byte buffer, a [`Reader`] consumes them, and the [`Persist`] trait pairs
+//! the two per type. Because most planner state types keep their fields
+//! private (their invariants are real), each type implements [`Persist`]
+//! in its own module, next to the invariants the encoding must respect;
+//! this module provides the primitives and the generic container impls.
+//!
+//! # Example
+//!
+//! ```
+//! use headroom_stats::persist::{Persist, Reader, Writer};
+//! use headroom_stats::StreamingLinReg;
+//!
+//! let mut reg = StreamingLinReg::new();
+//! reg.push(100.0, 4.2);
+//! reg.push(200.0, 7.0);
+//!
+//! let mut w = Writer::new();
+//! reg.persist(&mut w);
+//! let bytes = w.into_bytes();
+//!
+//! let restored = StreamingLinReg::restore(&mut Reader::new(&bytes)).unwrap();
+//! assert_eq!(restored, reg);
+//! ```
+
+use std::fmt;
+
+/// Why a restore failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersistError {
+    /// The byte stream ended before the field it should contain.
+    UnexpectedEof {
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A decoded value violates the target type's invariants.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::UnexpectedEof { needed, remaining } => {
+                write!(f, "unexpected end of state: needed {needed} bytes, {remaining} remain")
+            }
+            PersistError::Invalid(what) => write!(f, "invalid persisted state: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Append-only encoder over a growable byte buffer.
+///
+/// All integers are little-endian; floats are raw IEEE-754 bit patterns.
+#[derive(Debug, Clone, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The encoded bytes so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64` (platform-independent width).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends a `bool` as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Appends an `f64` as its raw IEEE-754 bit pattern — the value restored
+    /// is bit-identical, including signed zeros and NaN payloads.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+}
+
+/// Consuming decoder over a byte slice.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { buf: bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        if self.remaining() < n {
+            return Err(PersistError::UnexpectedEof { needed: n, remaining: self.remaining() });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Consumes one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::UnexpectedEof`] when the stream is exhausted.
+    pub fn take_u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Consumes a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::UnexpectedEof`] when the stream is exhausted.
+    pub fn take_u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Consumes a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::UnexpectedEof`] when the stream is exhausted.
+    pub fn take_u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Consumes a `usize` stored as `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::UnexpectedEof`] on exhaustion;
+    /// [`PersistError::Invalid`] when the value exceeds this platform's
+    /// `usize`.
+    pub fn take_usize(&mut self) -> Result<usize, PersistError> {
+        usize::try_from(self.take_u64()?)
+            .map_err(|_| PersistError::Invalid("usize value exceeds platform width"))
+    }
+
+    /// Consumes a `bool` stored as one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::UnexpectedEof`] on exhaustion;
+    /// [`PersistError::Invalid`] on a byte that is neither 0 nor 1.
+    pub fn take_bool(&mut self) -> Result<bool, PersistError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(PersistError::Invalid("bool byte is neither 0 nor 1")),
+        }
+    }
+
+    /// Consumes an `f64` stored as its raw bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::UnexpectedEof`] when the stream is exhausted.
+    pub fn take_f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+}
+
+/// Bit-exact binary round-trip for one type.
+///
+/// The contract: `restore(persist(x)) == x` *bit for bit* — a restored
+/// value must behave identically to the original on every future input.
+/// Implementations on types with private fields live in the type's own
+/// module, next to the invariants they must preserve.
+pub trait Persist: Sized {
+    /// Appends this value's complete state to `w`.
+    fn persist(&self, w: &mut Writer);
+
+    /// Reconstructs a value from `r`.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError`] on a truncated stream or invariant-violating data.
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError>;
+}
+
+impl Persist for u32 {
+    fn persist(&self, w: &mut Writer) {
+        w.put_u32(*self);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        r.take_u32()
+    }
+}
+
+impl Persist for u64 {
+    fn persist(&self, w: &mut Writer) {
+        w.put_u64(*self);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        r.take_u64()
+    }
+}
+
+impl Persist for usize {
+    fn persist(&self, w: &mut Writer) {
+        w.put_usize(*self);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        r.take_usize()
+    }
+}
+
+impl Persist for bool {
+    fn persist(&self, w: &mut Writer) {
+        w.put_bool(*self);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        r.take_bool()
+    }
+}
+
+impl Persist for f64 {
+    fn persist(&self, w: &mut Writer) {
+        w.put_f64(*self);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        r.take_f64()
+    }
+}
+
+impl<T: Persist> Persist for Option<T> {
+    fn persist(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.persist(w);
+            }
+        }
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        match r.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::restore(r)?)),
+            _ => Err(PersistError::Invalid("Option tag is neither 0 nor 1")),
+        }
+    }
+}
+
+impl<T: Persist> Persist for Vec<T> {
+    fn persist(&self, w: &mut Writer) {
+        w.put_usize(self.len());
+        for v in self {
+            v.persist(w);
+        }
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let len = r.take_usize()?;
+        // Every element costs at least one byte, so a hostile length cannot
+        // force an allocation larger than the stream backing it.
+        if len > r.remaining() {
+            return Err(PersistError::Invalid("sequence length exceeds remaining stream"));
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::restore(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Persist, B: Persist> Persist for (A, B) {
+    fn persist(&self, w: &mut Writer) {
+        self.0.persist(w);
+        self.1.persist(w);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok((A::restore(r)?, B::restore(r)?))
+    }
+}
+
+/// FNV-1a 64-bit hash — the checkpoint container's corruption check.
+///
+/// Not cryptographic; it guards against truncation and bit rot, not
+/// adversaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Persist + PartialEq + std::fmt::Debug>(v: T) {
+        let mut w = Writer::new();
+        v.persist(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(T::restore(&mut r).unwrap(), v);
+        assert!(r.is_empty(), "restore consumed everything");
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u32);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(usize::MAX);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(1.5f64);
+    }
+
+    #[test]
+    fn f64_is_bit_exact() {
+        for v in [0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY, f64::NAN, 1e-308, f64::MAX] {
+            let mut w = Writer::new();
+            v.persist(&mut w);
+            let restored = f64::restore(&mut Reader::new(w.bytes())).unwrap();
+            assert_eq!(restored.to_bits(), v.to_bits(), "{v} lost bits");
+        }
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(Option::<f64>::None);
+        roundtrip(Some(2.5f64));
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<f64>::new());
+        roundtrip((7usize, 3.25f64));
+        roundtrip(vec![(1.0f64, 2.0f64), (3.0, 4.0)]);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let mut w = Writer::new();
+        w.put_u64(42);
+        let bytes = &w.bytes()[..5];
+        let err = u64::restore(&mut Reader::new(bytes)).unwrap_err();
+        assert_eq!(err, PersistError::UnexpectedEof { needed: 8, remaining: 5 });
+    }
+
+    #[test]
+    fn invalid_tags_error() {
+        let err = bool::restore(&mut Reader::new(&[7])).unwrap_err();
+        assert!(matches!(err, PersistError::Invalid(_)));
+        let err = Option::<u32>::restore(&mut Reader::new(&[9])).unwrap_err();
+        assert!(matches!(err, PersistError::Invalid(_)));
+    }
+
+    #[test]
+    fn hostile_vec_length_rejected() {
+        let mut w = Writer::new();
+        w.put_usize(usize::MAX / 2);
+        let err = Vec::<u64>::restore(&mut Reader::new(w.bytes())).unwrap_err();
+        assert!(matches!(err, PersistError::Invalid(_)));
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn display_formats() {
+        let eof = PersistError::UnexpectedEof { needed: 8, remaining: 2 };
+        assert!(eof.to_string().contains("needed 8"));
+        assert!(PersistError::Invalid("x").to_string().contains("x"));
+    }
+}

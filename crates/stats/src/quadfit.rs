@@ -11,6 +11,7 @@
 //! [`remove`]: StreamingQuadFit::remove
 //! [`merge`]: StreamingQuadFit::merge
 
+use crate::persist::{Persist, PersistError, Reader, Writer};
 use crate::polyfit::Polynomial;
 use crate::StatsError;
 
@@ -194,6 +195,41 @@ impl StreamingQuadFit {
         let ss_tot = self.sy2 - self.sy * self.sy / n;
         let r_squared = if ss_tot < 1e-12 { 1.0 } else { (1.0 - ss_res / ss_tot).clamp(0.0, 1.0) };
         Ok((poly, r_squared))
+    }
+}
+
+impl Persist for StreamingQuadFit {
+    fn persist(&self, w: &mut Writer) {
+        w.put_usize(self.n);
+        w.put_f64(self.shift);
+        w.put_bool(self.shift_set);
+        for v in &self.su {
+            w.put_f64(*v);
+        }
+        w.put_f64(self.sy);
+        w.put_f64(self.sy2);
+        w.put_f64(self.suy);
+        w.put_f64(self.su2y);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let n = r.take_usize()?;
+        let shift = r.take_f64()?;
+        let shift_set = r.take_bool()?;
+        let mut su = [0.0f64; 4];
+        for v in &mut su {
+            *v = r.take_f64()?;
+        }
+        Ok(StreamingQuadFit {
+            n,
+            shift,
+            shift_set,
+            su,
+            sy: r.take_f64()?,
+            sy2: r.take_f64()?,
+            suy: r.take_f64()?,
+            su2y: r.take_f64()?,
+        })
     }
 }
 

@@ -6,6 +6,7 @@
 //! O(1) space, which is how the fleet-scale experiments (Figs. 12–13)
 //! summarise billions of 120-second windows.
 
+use crate::persist::{Persist, PersistError, Reader, Writer};
 use crate::StatsError;
 
 /// Streaming estimator for a single quantile using the P² algorithm.
@@ -161,6 +162,39 @@ impl P2Quantile {
             return Some(crate::percentile::percentile_of_sorted(&sorted, self.p * 100.0));
         }
         Some(self.heights[2])
+    }
+}
+
+impl Persist for P2Quantile {
+    fn persist(&self, w: &mut Writer) {
+        w.put_f64(self.p);
+        for a in [&self.heights, &self.positions, &self.desired, &self.increments] {
+            for v in a {
+                w.put_f64(*v);
+            }
+        }
+        w.put_usize(self.count);
+        self.warmup.persist(w);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let p = r.take_f64()?;
+        if !(p > 0.0 && p < 1.0) {
+            return Err(PersistError::Invalid("P2Quantile p outside (0, 1)"));
+        }
+        let mut arrays = [[0.0f64; 5]; 4];
+        for a in &mut arrays {
+            for v in a.iter_mut() {
+                *v = r.take_f64()?;
+            }
+        }
+        let [heights, positions, desired, increments] = arrays;
+        let count = r.take_usize()?;
+        let warmup = Vec::restore(r)?;
+        if warmup.len() > 5 {
+            return Err(PersistError::Invalid("P2Quantile warmup holds more than 5 values"));
+        }
+        Ok(P2Quantile { p, heights, positions, desired, increments, count, warmup })
     }
 }
 

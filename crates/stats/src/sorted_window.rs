@@ -45,6 +45,7 @@
 //! ```
 
 use crate::percentile::percentile_of_sorted;
+use crate::persist::{Persist, PersistError, Reader, Writer};
 use crate::StatsError;
 
 /// A sliding-window multiset over finite `f64` values, stored as one sorted
@@ -146,6 +147,24 @@ impl SortedWindow {
     /// Drops every value, keeping allocated capacity.
     pub fn clear(&mut self) {
         self.values.clear();
+    }
+}
+
+impl Persist for SortedWindow {
+    fn persist(&self, w: &mut Writer) {
+        self.values.persist(w);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        use std::cmp::Ordering::{Equal, Less};
+        let values: Vec<f64> = Vec::restore(r)?;
+        // partial_cmp: NaN is incomparable and must be rejected too — the
+        // window only ever stores finite values in ascending order.
+        let ascending = |p: &[f64]| matches!(p[0].partial_cmp(&p[1]), Some(Less | Equal));
+        if !values.windows(2).all(ascending) {
+            return Err(PersistError::Invalid("SortedWindow values not ascending"));
+        }
+        Ok(SortedWindow { values })
     }
 }
 

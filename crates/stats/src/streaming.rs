@@ -33,6 +33,7 @@
 //! ```
 
 use crate::linreg::LinearFit;
+use crate::persist::{Persist, PersistError, Reader, Writer};
 use crate::StatsError;
 
 /// Running simple linear regression with O(1) insert and remove.
@@ -208,6 +209,28 @@ impl StreamingLinReg {
     /// The slope of the current fit, when defined.
     pub fn slope(&self) -> Option<f64> {
         self.fit().ok().map(|f| f.slope)
+    }
+}
+
+impl Persist for StreamingLinReg {
+    fn persist(&self, w: &mut Writer) {
+        w.put_usize(self.n);
+        w.put_f64(self.mean_x);
+        w.put_f64(self.mean_y);
+        w.put_f64(self.sxx);
+        w.put_f64(self.sxy);
+        w.put_f64(self.syy);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(StreamingLinReg {
+            n: r.take_usize()?,
+            mean_x: r.take_f64()?,
+            mean_y: r.take_f64()?,
+            sxx: r.take_f64()?,
+            sxy: r.take_f64()?,
+            syy: r.take_f64()?,
+        })
     }
 }
 

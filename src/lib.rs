@@ -18,6 +18,9 @@
 //!   detection, exhaustion projection, and the window-by-window
 //!   [`online::planner::OnlinePlanner`] control loop.
 //! - [`baselines`] — Erlang-C, reactive autoscaler and static-peak planners.
+//! - [`service`] — the planner as a long-running service: checkpoint/restore,
+//!   append-only event log with bit-identical replay, and the reconciliation
+//!   loop that converges the fleet to the planner's recommendations.
 //!
 //! # Quickstart
 //!
@@ -41,6 +44,7 @@ pub use headroom_baselines as baselines;
 pub use headroom_cluster as cluster;
 pub use headroom_core as core;
 pub use headroom_online as online;
+pub use headroom_service as service;
 pub use headroom_stats as stats;
 pub use headroom_telemetry as telemetry;
 pub use headroom_workload as workload;
