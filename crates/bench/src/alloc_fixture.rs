@@ -49,6 +49,10 @@ pub fn warmed(threads: usize, columnar: bool) -> (Simulation, SweepEngine) {
         min_fit_windows: 32,
         replan_every: REPLAN_EVERY,
         threads,
+        // The fixture fleet is tiny (3 pools), so the small-fleet fan-out
+        // clamp would pin it sequential; force one-pool chunks so the
+        // multi-thread variants actually measure the parallel path.
+        min_pool_chunk: 1,
         ..OnlinePlannerConfig::default()
     };
     let mut engine = SweepEngine::new(config, QosRequirement::latency(50.0).with_cpu_ceiling(90.0));

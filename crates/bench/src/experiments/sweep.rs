@@ -10,7 +10,11 @@
 //!    1/2/4 threads × both snapshot layouts, persistent worker pool with
 //!    scoped contrast cells) measures per-window cost: the spawn
 //!    amortization, where `threads > 1` crosses below sequential, and the
-//!    columnar-vs-row trajectory at fleet scale;
+//!    columnar-vs-row trajectory at fleet scale. Full-scale release runs
+//!    extend the grid with a 65536-pool row and the million-pool stretch
+//!    window, and a regression guard fails the experiment when 16384-pool
+//!    per-pool cost exceeds [`PER_POOL_RATIO_CEILING`]× the 512-pool
+//!    figure;
 //! 3. **zero steady-state allocation** — a warmed, non-replan window
 //!    through `step_snapshot_partitioned` → `SweepEngine::sweep` must not
 //!    touch the heap, and neither must the columnar twin
@@ -44,6 +48,7 @@ use std::error::Error;
 use std::fmt;
 use std::time::{Duration, Instant};
 
+use headroom_cluster::columns::ColumnarSnapshot;
 use headroom_cluster::scenario::FleetScenario;
 use headroom_cluster::sim::{PartitionedSnapshot, RecordingPolicy};
 use headroom_core::report::render_table;
@@ -118,6 +123,19 @@ pub struct CheckpointCell {
     pub restore_ns: u64,
 }
 
+/// The million-pool stretch measurement: steady-state window cost of the
+/// slot-major store at 2^20 pools, one server per pool, columnar path,
+/// single thread. Measured only at full scale (release, not `--quick`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MillionPoolCell {
+    /// Pools in the stretch fleet (2^20).
+    pub pools: u32,
+    /// Servers per pool (1 — the window cost is per-pool dominated).
+    pub servers_per_pool: u32,
+    /// Fastest-of-repeats mean per-window cost, nanoseconds.
+    pub per_window_ns: u64,
+}
+
 /// The experiment report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport {
@@ -134,8 +152,10 @@ pub struct SweepReport {
     /// Spawn-amortization grid: fleet size × thread count.
     pub scaling: Vec<ScalingCell>,
     /// Checkpoint size and restore latency at the identity (81) and
-    /// fleet (4096) shapes.
+    /// fleet (4096) shapes — plus 16384 at full scale.
     pub checkpoint: Vec<CheckpointCell>,
+    /// The million-pool window measurement, when run at full scale.
+    pub million_pool: Option<MillionPoolCell>,
     /// Heap allocations counted over the steady-state measurement windows
     /// of the row path (must be 0 when `alloc_tracking`).
     pub steady_state_allocs: u64,
@@ -158,6 +178,22 @@ pub struct SweepReport {
 /// the noisiest observed runs (single samples right after heavy load)
 /// still measured ≥2×, so the ≥1.5× bar clears under either methodology.
 pub const BASELINE_PR4_4096X1_NS: u64 = 5_252_105;
+
+/// PR 6's checked-in checkpoint size at 4096 pools — the per-shard-buffer
+/// encoding the slot-major plane store's checkpoint is compared against.
+pub const CHECKPOINT_BASELINE_PR6_BYTES_4096: usize = 23_847_105;
+
+/// Ceiling on the 16384-pool per-pool window cost relative to the
+/// 512-pool figure. The slot-major store's contract is near-flat per-pool
+/// cost past cache capacity; a regression re-introducing per-shard pointer
+/// chasing trips this guard and fails the experiment. PR 6 measured ~2.4×
+/// here; the plane store lands at ~1.3× on the 1-core dev host (the
+/// residual is DRAM-latency tax from the ~8 access streams a pool's
+/// observe still interleaves — the pass-structured-kernels roadmap item
+/// targets ~1.15×). The ceiling sits between: far below the pre-store
+/// 2.4×, with margin over the measured 1.27–1.34× spread so the guard
+/// never flakes on host noise.
+pub const PER_POOL_RATIO_CEILING: f64 = 1.5;
 
 impl SweepReport {
     /// Whether every seed matched bit-for-bit.
@@ -238,6 +274,12 @@ fn run_seed(seed: u64, fraction: f64, windows: u64) -> SweepSeedRow {
 /// pipeline: the ROADMAP's 100k-server shapes need per-pool cost to stay
 /// flat well past cache capacity, so the grid must keep measuring it.
 pub const SCALING_POOLS: [u32; 5] = [8, 81, 512, 4096, 16384];
+/// The extended grid row, measured only at full scale (release `repro`
+/// without `--quick`): single-thread persistent cells at both layouts,
+/// one order past the always-measured 16384.
+pub const EXTENDED_POOLS: u32 = 65_536;
+/// The million-pool stretch fleet: 2^20 pools, one server each.
+pub const MILLION_POOLS: u32 = 1_048_576;
 /// Fan-out widths of the scaling grid.
 pub const SCALING_THREADS: [usize; 3] = [1, 2, 4];
 /// Snapshot layouts of the scaling grid: the columnar hot path and the
@@ -311,12 +353,19 @@ fn measure_cell(
 /// Fleet sizes the checkpoint cost is measured at: the paper-shaped
 /// identity fleet and the largest always-measured grid shape.
 pub const CHECKPOINT_POOLS: [u32; 2] = [81, 4096];
+/// The extended checkpoint shape, measured only at full scale.
+pub const EXTENDED_CHECKPOINT_POOLS: u32 = 16_384;
 
 /// Measures checkpoint size and restore latency of a warmed engine at the
-/// [`CHECKPOINT_POOLS`] shapes, on the same synthetic fixture and planner
-/// config as the scaling grid so the numbers describe the same engines.
-fn measure_checkpoints() -> Vec<CheckpointCell> {
-    CHECKPOINT_POOLS
+/// [`CHECKPOINT_POOLS`] shapes (plus [`EXTENDED_CHECKPOINT_POOLS`] at full
+/// scale), on the same synthetic fixture and planner config as the scaling
+/// grid so the numbers describe the same engines.
+fn measure_checkpoints(full: bool) -> Vec<CheckpointCell> {
+    let mut shapes: Vec<u32> = CHECKPOINT_POOLS.to_vec();
+    if full {
+        shapes.push(EXTENDED_CHECKPOINT_POOLS);
+    }
+    shapes
         .iter()
         .map(|&pools| {
             let snapshots = synthetic_snapshots(pools, 3, GRID_WARM_WINDOWS);
@@ -347,8 +396,11 @@ fn measure_checkpoints() -> Vec<CheckpointCell> {
 /// Deliberately *not* scaled by `--quick`: the grid is the checked-in
 /// `BENCH_sweep.json` artifact, and cross-PR comparability requires every
 /// run to measure the same fleet sizes. It is sized to stay in low seconds
-/// per cell even at 16384 pools.
-fn measure_scaling() -> Vec<ScalingCell> {
+/// per cell even at 16384 pools. `full` (release `repro` without
+/// `--quick`) additionally measures the [`EXTENDED_POOLS`] row:
+/// single-thread persistent cells at both layouts, recorded in the
+/// artifact but outside the cross-thread grid.
+fn measure_scaling(full: bool) -> Vec<ScalingCell> {
     // Debug builds (the `cargo test` path) skip the 16384-pool row — it
     // costs ~45 s unoptimized and proves nothing the 4096-pool row does
     // not. The checked-in artifact is always produced by the release
@@ -382,7 +434,73 @@ fn measure_scaling() -> Vec<ScalingCell> {
             }
         }
     }
+    if full {
+        let snapshots = synthetic_snapshots(EXTENDED_POOLS, 3, GRID_WARM_WINDOWS);
+        let columns = synthetic_columns(&snapshots);
+        for &path in &SCALING_PATHS {
+            cells.push(measure_cell(
+                &snapshots,
+                &columns,
+                EXTENDED_POOLS,
+                1,
+                SweepExec::Persistent,
+                path,
+            ));
+        }
+    }
     cells
+}
+
+/// Recorded windows of the million-pool fixture; the drive cycles them.
+const MILLION_RECORDED_WINDOWS: u64 = 12;
+/// Warm-up windows at the million-pool shape (fills the 24-slot window and
+/// the fits; replans have happened).
+const MILLION_WARM_WINDOWS: u64 = 36;
+/// Measured windows per repeat at the million-pool shape.
+const MILLION_MEASURE_WINDOWS: u64 = 8;
+/// Timing repeats at the million-pool shape (each repeat is seconds, so
+/// fewer than [`GRID_REPEATS`]).
+const MILLION_REPEATS: u32 = 2;
+
+/// Measures the million-pool stretch window: 2^20 pools × 1 server,
+/// columnar ingestion, single thread, a shorter 24-slot window so the
+/// fixture stays in memory. Full scale only — the fixture alone is ~2 GiB
+/// and a debug-build window takes minutes.
+fn measure_million(full: bool) -> Option<MillionPoolCell> {
+    if !full {
+        return None;
+    }
+    let snapshots = synthetic_snapshots(MILLION_POOLS, 1, MILLION_RECORDED_WINDOWS);
+    let columns = synthetic_columns(&snapshots);
+    drop(snapshots);
+    let config = OnlinePlannerConfig {
+        window_capacity: 24,
+        min_fit_windows: 12,
+        ..OnlinePlannerConfig::default()
+    };
+    let mut engine = SweepEngine::new(config, QosRequirement::latency(50.0).with_cpu_ceiling(90.0));
+    let mut next_window = 0u64;
+    let mut drive = |engine: &mut SweepEngine, windows: u64| {
+        for _ in 0..windows {
+            let (cols, slices) = &columns[(next_window % MILLION_RECORDED_WINDOWS) as usize];
+            engine.observe_columns(&ColumnarSnapshot {
+                window: WindowIndex(next_window),
+                columns: cols,
+                pools: slices,
+            });
+            engine.drain_recommendations();
+            next_window += 1;
+        }
+    };
+    drive(&mut engine, MILLION_WARM_WINDOWS);
+    let mut per_window_ns = u64::MAX;
+    for _ in 0..MILLION_REPEATS {
+        let t = Instant::now();
+        drive(&mut engine, MILLION_MEASURE_WINDOWS);
+        per_window_ns =
+            per_window_ns.min((t.elapsed().as_nanos() / MILLION_MEASURE_WINDOWS as u128) as u64);
+    }
+    Some(MillionPoolCell { pools: MILLION_POOLS, servers_per_pool: 1, per_window_ns })
 }
 
 /// Runs the sequential-vs-sharded identity comparison over three seeds in
@@ -414,8 +532,13 @@ pub fn run(scale: &Scale) -> Result<SweepReport, Box<dyn Error>> {
     })
     .map_err(|_| "sweep seed worker panicked")?;
 
-    let scaling = measure_scaling();
-    let checkpoint = measure_checkpoints();
+    // Extended rows (65536 pools, the million-pool window) are release +
+    // full-scale only: they exist for the checked-in artifact, and a debug
+    // or --quick run would spend minutes proving nothing new.
+    let full = !cfg!(debug_assertions) && !scale.is_quick();
+    let scaling = measure_scaling(full);
+    let checkpoint = measure_checkpoints(full);
+    let million_pool = measure_million(full);
     let alloc_tracking = alloc_track::is_tracking();
     // Both layouts measured on the one shared fixture (crate::alloc_fixture)
     // so the two counts always describe the same workload.
@@ -429,12 +552,30 @@ pub fn run(scale: &Scale) -> Result<SweepReport, Box<dyn Error>> {
         rows,
         scaling,
         checkpoint,
+        million_pool,
         steady_state_allocs,
         columnar_steady_state_allocs,
         alloc_tracking,
     };
     if !report.all_identical() {
         return Err(format!("sharded sweep diverged from the sequential planner:\n{report}").into());
+    }
+    // Scaling-regression guard: per-pool cost must stay near-flat from 512
+    // to 16384 pools — the slot-major store's contract. Only enforceable
+    // when the 16384 row was measured (release builds).
+    if let (Some(small), Some(large)) = (
+        report.cell(512, 1, "persistent", "columns"),
+        report.cell(16384, 1, "persistent", "columns"),
+    ) {
+        let small_pp = small as f64 / 512.0;
+        let large_pp = large as f64 / 16384.0;
+        if large_pp > PER_POOL_RATIO_CEILING * small_pp {
+            return Err(format!(
+                "per-pool scaling regression: {large_pp:.0} ns/pool at 16384 pools exceeds \
+                 {PER_POOL_RATIO_CEILING}x the 512-pool figure ({small_pp:.0} ns/pool):\n{report}"
+            )
+            .into());
+        }
     }
     if alloc_tracking && steady_state_allocs + columnar_steady_state_allocs > 0 {
         return Err(format!(
@@ -557,6 +698,16 @@ impl SweepReport {
             self.speedup_vs_baseline_4096().unwrap_or(0.0)
         ));
         s.push_str("  },\n");
+        if let Some(m) = &self.million_pool {
+            s.push_str(&format!(
+                "  \"million_pool\": {{\"pools\": {}, \"servers_per_pool\": {}, \
+                 \"per_window_ns\": {}}},\n",
+                m.pools, m.servers_per_pool, m.per_window_ns
+            ));
+        }
+        s.push_str(&format!(
+            "  \"checkpoint_baseline_pr6_bytes_4096\": {CHECKPOINT_BASELINE_PR6_BYTES_4096},\n"
+        ));
         s.push_str("  \"checkpoint\": [\n");
         for (i, c) in self.checkpoint.iter().enumerate() {
             s.push_str(&format!(
@@ -659,10 +810,50 @@ impl fmt::Display for SweepReport {
             let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
             writeln!(f, "{}", render_table(&header_refs, &grid_rows))?;
         }
-        for c in &self.checkpoint {
+        if let (Some(small), Some(large)) = (
+            self.cell(512, 1, "persistent", "columns"),
+            self.cell(16384, 1, "persistent", "columns"),
+        ) {
             writeln!(
                 f,
-                "checkpoint at {} pools: {:.1} KiB, restore {:.1}µs",
+                "per-pool window cost: {:.0} ns at 512 pools, {:.0} ns at 16384 pools \
+                 ({:.2}x; guard ceiling {PER_POOL_RATIO_CEILING}x)",
+                small as f64 / 512.0,
+                large as f64 / 16384.0,
+                (large as f64 / 16384.0) / (small as f64 / 512.0)
+            )?;
+        }
+        if let Some(ext) = self.cell(EXTENDED_POOLS, 1, "persistent", "columns") {
+            writeln!(
+                f,
+                "extended row at {EXTENDED_POOLS} pools (columns, 1 thread): {:.1}ms/window \
+                 ({:.0} ns/pool)",
+                ext as f64 / 1e6,
+                ext as f64 / EXTENDED_POOLS as f64
+            )?;
+        }
+        if let Some(m) = &self.million_pool {
+            writeln!(
+                f,
+                "million-pool window ({} pools x {} server, columns, 1 thread): {:.1}ms/window",
+                m.pools,
+                m.servers_per_pool,
+                m.per_window_ns as f64 / 1e6
+            )?;
+        }
+        for c in &self.checkpoint {
+            let baseline = if c.pools == 4096 {
+                format!(
+                    " (plane store vs PR 6's {:.1} MiB: {:.2}x)",
+                    CHECKPOINT_BASELINE_PR6_BYTES_4096 as f64 / (1024.0 * 1024.0),
+                    c.bytes as f64 / CHECKPOINT_BASELINE_PR6_BYTES_4096 as f64
+                )
+            } else {
+                String::new()
+            };
+            writeln!(
+                f,
+                "checkpoint at {} pools: {:.1} KiB, restore {:.1}µs{baseline}",
                 c.pools,
                 c.bytes as f64 / 1024.0,
                 c.restore_ns as f64 / 1e3
@@ -733,6 +924,15 @@ mod tests {
         );
         assert!(json.contains("\"checkpoint\": ["), "checkpoint array serialized: {json}");
         assert!(json.contains("\"restore_ns\""), "restore latency serialized");
+        assert!(
+            json.contains("\"checkpoint_baseline_pr6_bytes_4096\""),
+            "checkpoint baseline serialized: {json}"
+        );
+        assert!(r.million_pool.is_none(), "quick runs skip the million-pool stretch window");
+        assert!(
+            r.scaling.iter().all(|c| c.pools != EXTENDED_POOLS),
+            "quick runs skip the 65536-pool extended row"
+        );
         assert!(json.contains("\"columnar_steady_state_allocations\": 0"), "colsim fields");
         assert!(json.contains("\"steady_state_allocations\": 0"), "alloc count serialized");
     }

@@ -47,6 +47,13 @@ impl Scale {
     pub fn observe_windows(&self) -> u64 {
         (self.observe_days * 720.0).round() as u64
     }
+
+    /// Whether this is the `--quick` smoke shape (or smaller). Extended
+    /// grid rows — 65536 pools, the million-pool window — only pay off for
+    /// the checked-in artifact, so quick runs and tests skip them.
+    pub fn is_quick(&self) -> bool {
+        self.pool_servers <= Scale::quick().pool_servers
+    }
 }
 
 impl Default for Scale {
@@ -66,6 +73,8 @@ mod tests {
         assert!(q.fleet_fraction < p.fleet_fraction);
         assert!(q.pool_servers < p.pool_servers);
         assert!(q.observe_days <= p.observe_days);
+        assert!(q.is_quick());
+        assert!(!p.is_quick());
     }
 
     #[test]

@@ -18,9 +18,7 @@
 //!   slope to be trustworthy, so flat overnight traffic cannot false-fire.
 
 use headroom_stats::persist::{Persist, PersistError, Reader, Writer};
-use headroom_stats::LinearFit;
-
-use crate::estimators::WindowedLinReg;
+use headroom_stats::{LinearFit, StreamingLinReg};
 
 /// Drift-detector tuning.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,23 +82,32 @@ impl DriftEvent {
 
 /// Streaming change-point detector over an (x, y) response relationship.
 ///
-/// Feed every observation with [`observe`]; compare against the established
-/// fit with [`check`]. The detector holds only the short sub-window — the
-/// long-window reference is whatever fit the caller maintains (typically a
-/// [`headroom_stats::StreamingLinReg`] over the full sliding window).
+/// The detector holds only the short sub-window's *accumulator* — the ring
+/// of raw (x, y) pairs that backs it lives with the caller (in the planner,
+/// the drift sub-window plane of [`crate::store::ShardStore`]). Feed every
+/// observation with [`observe`], handing over whichever pair the caller's
+/// ring evicted to make room; compare against the established fit with
+/// [`check`]. The long-window reference is whatever fit the caller
+/// maintains (typically a [`StreamingLinReg`] over the full sliding
+/// window).
 ///
 /// [`observe`]: DriftDetector::observe
 /// [`check`]: DriftDetector::check
 #[derive(Debug, Clone, PartialEq)]
 pub struct DriftDetector {
     config: DriftConfig,
-    short: WindowedLinReg,
+    /// Saturating ring-fill counter: pushes seen before the caller's ring
+    /// first wrapped. Counts *every* push — including non-finite pairs the
+    /// accumulator ignores — exactly as the old in-detector ring's
+    /// `is_full()` did, so corrupt telemetry cannot stall the fill gate.
+    filled: usize,
+    short: StreamingLinReg,
 }
 
 impl DriftDetector {
     /// A detector with the given tuning.
     pub fn new(config: DriftConfig) -> Self {
-        DriftDetector { short: WindowedLinReg::new(config.short_window.max(2)), config }
+        DriftDetector { config, filled: 0, short: StreamingLinReg::new() }
     }
 
     /// The tuning in effect.
@@ -109,7 +116,16 @@ impl DriftDetector {
     }
 
     /// Feeds one observation into the recent sub-window.
-    pub fn observe(&mut self, x: f64, y: f64) {
+    ///
+    /// `evicted` is the pair the caller's ring (of capacity
+    /// `short_window.max(2)`) displaced to admit this one — `None` while
+    /// the ring is still filling.
+    pub fn observe(&mut self, x: f64, y: f64, evicted: Option<(f64, f64)>) {
+        if let Some((ox, oy)) = evicted {
+            self.short.remove(ox, oy);
+        } else {
+            self.filled += 1;
+        }
         self.short.push(x, y);
     }
 
@@ -119,14 +135,14 @@ impl DriftDetector {
     /// The short window must be full and the reference seasoned
     /// (`min_reference`); otherwise no verdict is reached.
     pub fn check(&self, reference: &LinearFit, reference_n: usize) -> Option<DriftEvent> {
-        if !self.short.is_full() || reference_n < self.config.min_reference {
+        if self.filled < self.config.short_window.max(2) || reference_n < self.config.min_reference
+        {
             return None;
         }
-        let acc = self.short.accumulator();
         // Level: mean observed response vs the reference's prediction at the
         // same mean workload.
-        let expected = reference.predict(acc.mean_x());
-        let observed = acc.mean_y();
+        let expected = reference.predict(self.short.mean_x());
+        let observed = self.short.mean_y();
         if expected.abs() > 1e-9 {
             let dev = (observed - expected).abs() / expected.abs();
             if dev > self.config.level_tolerance {
@@ -137,8 +153,8 @@ impl DriftDetector {
         // overnight traffic has stddev(x) ≪ mean(x): its fitted slope is
         // noise amplified, so it is not compared.
         if let Ok(short_fit) = self.short.fit() {
-            let spread_floor = self.config.min_spread_fraction * acc.mean_x().abs();
-            let spread_ok = acc.variance_x().sqrt() >= spread_floor;
+            let spread_floor = self.config.min_spread_fraction * self.short.mean_x().abs();
+            let spread_ok = self.short.variance_x().sqrt() >= spread_floor;
             if spread_ok && reference.slope.abs() > 1e-9 {
                 let dev = (short_fit.slope - reference.slope).abs() / reference.slope.abs();
                 if dev > self.config.slope_tolerance {
@@ -153,9 +169,11 @@ impl DriftDetector {
         None
     }
 
-    /// Resets the recent sub-window (after the caller handled a drift).
+    /// Resets the recent sub-window (after the caller handled a drift; the
+    /// caller clears its backing ring in the same breath).
     pub fn reset(&mut self) {
         self.short.clear();
+        self.filled = 0;
     }
 }
 
@@ -182,42 +200,65 @@ impl Persist for DriftConfig {
 impl Persist for DriftDetector {
     fn persist(&self, w: &mut Writer) {
         self.config.persist(w);
+        w.put_usize(self.filled);
         self.short.persist(w);
     }
 
     fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
-        Ok(DriftDetector { config: DriftConfig::restore(r)?, short: WindowedLinReg::restore(r)? })
+        Ok(DriftDetector {
+            config: DriftConfig::restore(r)?,
+            filled: r.take_usize()?,
+            short: StreamingLinReg::restore(r)?,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use std::collections::VecDeque;
+
     use super::*;
 
     fn reference() -> LinearFit {
         LinearFit { slope: 0.028, intercept: 1.37, r_squared: 0.98, n: 720 }
     }
 
-    fn feed(det: &mut DriftDetector, slope: f64, intercept: f64, jitter: f64, n: usize) {
+    /// Plays the caller's role: keeps the backing ring the detector's
+    /// accumulator now expects evictions from (in production this ring is a
+    /// store plane lane).
+    fn feed(
+        det: &mut DriftDetector,
+        ring: &mut VecDeque<(f64, f64)>,
+        slope: f64,
+        intercept: f64,
+        jitter: f64,
+        n: usize,
+    ) {
+        let cap = det.config().short_window.max(2);
         for i in 0..n {
             let x = 200.0 + (i % 60) as f64 * 5.0;
             let noise = (((i * 31) % 13) as f64 - 6.0) * jitter;
-            det.observe(x, slope * x + intercept + noise);
+            let y = slope * x + intercept + noise;
+            let evicted = if ring.len() == cap { ring.pop_front() } else { None };
+            ring.push_back((x, y));
+            det.observe(x, y, evicted);
         }
     }
 
     #[test]
     fn stationary_noise_does_not_fire() {
         let mut det = DriftDetector::new(DriftConfig::default());
-        feed(&mut det, 0.028, 1.37, 0.02, 400);
+        let mut ring = VecDeque::new();
+        feed(&mut det, &mut ring, 0.028, 1.37, 0.02, 400);
         assert_eq!(det.check(&reference(), 720), None);
     }
 
     #[test]
     fn level_shift_fires() {
         let mut det = DriftDetector::new(DriftConfig::default());
+        let mut ring = VecDeque::new();
         // A release doubles per-request CPU: the level jumps well past 20%.
-        feed(&mut det, 0.056, 1.37, 0.02, 120);
+        feed(&mut det, &mut ring, 0.056, 1.37, 0.02, 120);
         let event = det.check(&reference(), 720).expect("drift detected");
         assert_eq!(event.kind, DriftKind::Level);
         assert!(event.relative_deviation() > 0.2);
@@ -226,12 +267,13 @@ mod tests {
     #[test]
     fn slope_change_with_compensating_intercept_fires() {
         let mut det = DriftDetector::new(DriftConfig::default());
+        let mut ring = VecDeque::new();
         // Slope rises 60% but the intercept drops so the *mean* level stays
         // put — only the slope check can catch this.
         let slope = 0.028 * 1.6;
         let mean_x = 200.0 + 29.5 * 5.0; // matches feed()'s x pattern
         let intercept = (0.028 * mean_x + 1.37) - slope * mean_x;
-        feed(&mut det, slope, intercept, 0.02, 120);
+        feed(&mut det, &mut ring, slope, intercept, 0.02, 120);
         let event = det.check(&reference(), 720).expect("drift detected");
         assert_eq!(event.kind, DriftKind::Slope);
     }
@@ -239,19 +281,22 @@ mod tests {
     #[test]
     fn no_verdict_before_windows_fill() {
         let mut det = DriftDetector::new(DriftConfig::default());
-        feed(&mut det, 0.1, 0.0, 0.0, 30); // far off, but window not full
+        let mut ring = VecDeque::new();
+        feed(&mut det, &mut ring, 0.1, 0.0, 0.0, 30); // far off, but window not full
         assert_eq!(det.check(&reference(), 720), None);
         // Full window but unseasoned reference.
-        feed(&mut det, 0.1, 0.0, 0.0, 90);
+        feed(&mut det, &mut ring, 0.1, 0.0, 0.0, 90);
         assert_eq!(det.check(&reference(), 10), None);
     }
 
     #[test]
     fn reset_clears_the_window() {
         let mut det = DriftDetector::new(DriftConfig::default());
-        feed(&mut det, 0.056, 1.37, 0.0, 120);
+        let mut ring = VecDeque::new();
+        feed(&mut det, &mut ring, 0.056, 1.37, 0.0, 120);
         assert!(det.check(&reference(), 720).is_some());
         det.reset();
+        ring.clear(); // the caller clears its ring alongside reset()
         assert_eq!(det.check(&reference(), 720), None);
     }
 }

@@ -16,13 +16,19 @@
 //!   release or hardware swap shifts the response profile;
 //! - [`exhaustion`] — headroom banding (ample → exhausted) and streaming
 //!   days-to-exhaustion projection;
-//! - [`shard`] — [`shard::PoolShard`], one pool's complete planner state
-//!   machine: one workload→utilization fit per resource (CPU, disk queue,
-//!   paging, network — the multi-resource fit vector) plus the latency
-//!   quadratic, with the windowed p99 peak held in an order-statistics
-//!   multiset (O(log W) per window instead of an O(W log W) sort) and the
-//!   allocation maximum in a monotonic deque; each assessment reports the
-//!   discovered [`planner::BindingConstraint`];
+//! - [`shard`] — [`shard::PoolShard`], one pool's planner state machine:
+//!   one workload→utilization fit per resource (CPU, disk queue, paging,
+//!   network — the multi-resource fit vector) plus the latency quadratic;
+//!   each assessment reports the discovered
+//!   [`planner::BindingConstraint`]. The shard holds only *scalar* state —
+//!   its windowed buffers live in the store and reach it through a
+//!   [`store::ShardLane`];
+//! - [`store`] — [`store::ShardStore`], the slot-major shard-state store:
+//!   every pool's aggregate ring, sorted totals column, allocation
+//!   max-deque, and drift sub-window hoisted into engine-owned planes
+//!   (struct-of-arrays over the fleet), so a steady-state window *streams*
+//!   shard state instead of taking a dependent cache miss per heap buffer
+//!   per pool;
 //! - [`sweep`] — [`sweep::SweepEngine`], the shard-and-merge fleet core:
 //!   pools fan out across a *persistent* worker pool (`headroom_exec`,
 //!   workers spawned once and parked between windows; per-window scoped
@@ -79,7 +85,10 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and allowed in exactly one place: the raw
+// store view in `store` that hands disjoint plane lanes to sweep workers
+// (see the safety contract there).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod drift;
@@ -88,6 +97,7 @@ pub mod exhaustion;
 pub mod planner;
 pub mod ring;
 pub mod shard;
+pub mod store;
 pub mod sweep;
 
 pub use drift::{DriftConfig, DriftDetector, DriftEvent, DriftKind};
@@ -98,4 +108,5 @@ pub use planner::{
     ResizeAction, ResizeRecommendation, SweepExec,
 };
 pub use shard::PoolShard;
+pub use store::{LaneView, OwnedLane, ShardLane, ShardStore, StoreView};
 pub use sweep::SweepEngine;

@@ -87,6 +87,12 @@ pub struct OnlinePlannerConfig {
     /// How the fan-out executes (persistent worker pool vs per-window
     /// scoped threads). Results are bit-identical for every setting.
     pub exec: SweepExec,
+    /// Minimum pools per worker before another worker is engaged: the
+    /// effective fan-out is `min(threads, ceil(pools / min_pool_chunk))`
+    /// (default 64). Stops a small fleet from paying cross-thread hand-off
+    /// per window for a handful of pools each — purely an execution knob,
+    /// results are bit-identical for every setting.
+    pub min_pool_chunk: usize,
     /// Drift-detector tuning.
     pub drift: DriftConfig,
 }
@@ -101,6 +107,7 @@ impl Default for OnlinePlannerConfig {
             dwell_windows: 0,
             threads: 1,
             exec: SweepExec::default(),
+            min_pool_chunk: 64,
             drift: DriftConfig::default(),
         }
     }
@@ -440,6 +447,7 @@ impl Persist for OnlinePlannerConfig {
         w.put_usize(self.threads);
         self.exec.persist(w);
         self.drift.persist(w);
+        w.put_usize(self.min_pool_chunk);
     }
 
     fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
@@ -452,6 +460,7 @@ impl Persist for OnlinePlannerConfig {
             threads: r.take_usize()?,
             exec: SweepExec::restore(r)?,
             drift: DriftConfig::restore(r)?,
+            min_pool_chunk: r.take_usize()?,
         })
     }
 }

@@ -1,32 +1,39 @@
 //! The per-pool planner state machine.
 //!
 //! [`PoolShard`] is the unit of the shard-and-merge planner core: it owns
-//! *everything* the planner knows about one pool — the sliding aggregate
-//! window, one response fit per resource plus the latency quadratic, the
-//! streaming latency quantile, drift detection, exhaustion projection, and
-//! the recommendation hysteresis state. Because a shard never reads another pool's state, any number of
-//! shards can be driven concurrently and the fleet view is a deterministic
-//! merge of their outputs (see [`crate::sweep::SweepEngine`]).
+//! the *scalar* planner state of one pool — one response fit per resource
+//! plus the latency quadratic, the streaming latency quantile, drift
+//! detection, exhaustion projection, and the recommendation hysteresis
+//! state. The pool's *windowed* state (aggregate ring, sorted totals
+//! column, allocation max-deque, drift sub-window) lives in the
+//! engine-owned [`crate::store::ShardStore`] planes and is reached through
+//! the [`ShardLane`] passed into [`observe`]/[`replan`] — the slot-major
+//! layout that lets a fleet sweep stream shard state instead of
+//! pointer-chasing 3–4 heap buffers per pool (see `crate::store`).
+//!
+//! Because a shard (and its lane) never reads another pool's state, any
+//! number of shards can be driven concurrently and the fleet view is a
+//! deterministic merge of their outputs (see [`crate::sweep::SweepEngine`]).
 //!
 //! Relative to the original monolithic `OnlinePlanner` loop, the per-window
 //! sizing path re-derives nothing from scratch:
 //!
-//! - the windowed p99 total-workload peak comes from a [`SortedWindow`] —
-//!   one sorted contiguous column per pool, eviction by streaming
-//!   `memmove`, percentile by plain indexing, bit-identical to the
-//!   sort-based percentile (and to the treap it replaced, whose per-window
-//!   pointer walks dominated fleet-scale ingestion);
-//! - the maximum serving allocation comes from a [`MonotonicMaxDeque`]
-//!   (O(1) amortized);
+//! - the windowed p99 total-workload peak comes from the lane's sorted
+//!   totals column — eviction by streaming `memmove`, percentile by plain
+//!   indexing, bit-identical to the sort-based percentile (and to the treap
+//!   it replaced);
+//! - the maximum serving allocation comes from the lane's monotonic
+//!   max-deque (O(1) amortized);
 //! - both fits and the P² quantile were already O(1).
+//!
+//! [`observe`]: PoolShard::observe
+//! [`replan`]: PoolShard::replan
 
 use headroom_core::sizing::PoolSizing;
 use headroom_core::slo::QosRequirement;
 use headroom_stats::persist::{Persist, PersistError, Reader, Writer};
 use headroom_stats::quantile_stream::P2Quantile;
-use headroom_stats::{
-    FitArray, MonotonicMaxDeque, SortedWindow, StreamingLinReg, StreamingQuadFit,
-};
+use headroom_stats::{FitArray, StreamingLinReg, StreamingQuadFit};
 use headroom_telemetry::counter::Resource;
 use headroom_telemetry::ids::PoolId;
 use headroom_telemetry::time::WindowIndex;
@@ -37,19 +44,20 @@ use crate::planner::{
     BindingConstraint, OnlinePlannerConfig, PoolAssessment, PoolWindowAggregate, ResizeAction,
     ResizeRecommendation,
 };
-use crate::ring::RingWindow;
+use crate::store::ShardLane;
 
-/// One pool's complete streaming-planner state.
+/// One pool's streaming-planner scalar state.
 ///
 /// Feed one [`PoolWindowAggregate`] per window with [`observe`]; derive the
-/// sizing decision (and any due recommendation) with [`replan`]. All state
-/// is pool-local, so shards compose across threads without locks.
+/// sizing decision (and any due recommendation) with [`replan`]. Both take
+/// the pool's [`ShardLane`] — its windowed buffers in the engine's plane
+/// store. All state is pool-local, so shards compose across threads
+/// without locks.
 ///
 /// [`observe`]: PoolShard::observe
 /// [`replan`]: PoolShard::replan
 #[derive(Debug, Clone)]
 pub struct PoolShard {
-    window: RingWindow<PoolWindowAggregate>,
     /// One workload→utilization line per [`Resource`] (CPU, disk queue,
     /// paging, network), indexed by [`Resource::index`]. A fixed-size
     /// inline array: updating every resource costs no allocation.
@@ -59,14 +67,6 @@ pub struct PoolShard {
     drift: DriftDetector,
     projector: ExhaustionProjector,
     drift_events: usize,
-    /// Windowed total-RPS multiset, kept as one sorted contiguous column:
-    /// eviction is a streaming `memmove` and the p99 peak is plain indexing.
-    /// (Replaced the pointer-linked treap: at fleet scale the treap's
-    /// per-window tree walks were ~half the whole ingestion cost and scaled
-    /// superlinearly with pool count — see `headroom_stats::sorted_window`.)
-    totals: SortedWindow,
-    /// Windowed serving-allocation maximum in O(1).
-    alloc: MonotonicMaxDeque<usize>,
     /// The most recent full assessment, written in place by whichever
     /// worker replanned this pool. Keeping it here (rather than merging
     /// per-pool copies into a fleet-level map every window) means the
@@ -88,26 +88,19 @@ pub struct PoolShard {
 impl PoolShard {
     /// A fresh shard tuned by `config`.
     pub fn new(config: &OnlinePlannerConfig) -> Self {
+        let _ = config;
         PoolShard {
-            window: RingWindow::new(config.window_capacity),
             resources: FitArray::new(),
             latency: StreamingQuadFit::new(),
             latency_stream: P2Quantile::new(0.95).expect("0.95 is a valid quantile"),
             drift: DriftDetector::new(config.drift),
             projector: ExhaustionProjector::new(),
             drift_events: 0,
-            totals: SortedWindow::with_capacity(config.window_capacity),
-            alloc: MonotonicMaxDeque::new(),
             last_assessment: None,
             last_target: None,
             dwell: None,
             urgent: false,
         }
-    }
-
-    /// Aggregate windows currently held.
-    pub fn observed_windows(&self) -> usize {
-        self.window.len()
     }
 
     /// Drift resets this pool has experienced.
@@ -133,17 +126,20 @@ impl PoolShard {
     }
 
     /// Consumes one window's pool aggregate: one streaming `memmove` of the
-    /// sorted totals column, O(1) for everything else.
-    pub fn observe(&mut self, agg: PoolWindowAggregate) {
-        if let Some(evicted) = self.window.push(agg) {
+    /// lane's sorted totals column, O(1) for everything else.
+    pub fn observe(&mut self, agg: PoolWindowAggregate, lane: &mut impl ShardLane) {
+        if let Some(evicted) = lane.agg_push(&agg) {
             for r in Resource::ALL {
                 self.resources[r.index()].remove(evicted.rps_per_server, evicted.utilization(r));
             }
             self.latency.remove(evicted.rps_per_server, evicted.latency_p95_ms);
             // total_rps() is a pure function of the evicted row, so the
-            // removal hits the exact value inserted when it arrived.
-            self.totals.remove(evicted.total_rps());
-            self.alloc.evict(evicted.active_servers);
+            // removal hits the exact value inserted when it arrived; the
+            // arriving total rides the same pass over the sorted segment.
+            lane.totals_replace(evicted.total_rps(), agg.total_rps());
+            lane.alloc_evict(evicted.active_servers);
+        } else {
+            lane.totals_insert(agg.total_rps());
         }
         for r in Resource::ALL {
             self.resources[r.index()].push(agg.rps_per_server, agg.utilization(r));
@@ -151,23 +147,22 @@ impl PoolShard {
         self.latency.push(agg.rps_per_server, agg.latency_p95_ms);
         self.latency_stream.observe(agg.latency_p95_ms);
         self.projector.observe(agg.window, agg.total_rps());
-        self.totals.insert(agg.total_rps());
-        self.alloc.push(agg.active_servers);
+        lane.alloc_push(agg.active_servers);
 
         // Change-point handling: the drift detector compares its short
-        // sub-window against the established long fit and, on a hit,
-        // invalidates everything the fits learned before the shift.
-        self.drift.observe(agg.rps_per_server, agg.cpu_pct);
+        // sub-window (ring-buffered in the lane) against the established
+        // long fit and, on a hit, invalidates everything the fits learned
+        // before the shift.
+        let evicted_pair = lane.drift_push(agg.rps_per_server, agg.cpu_pct);
+        self.drift.observe(agg.rps_per_server, agg.cpu_pct, evicted_pair);
         let cpu = &self.resources[Resource::Cpu.index()];
         if let Ok(reference) = cpu.fit() {
             if self.drift.check(&reference, cpu.len()).is_some() {
-                self.window.clear();
+                lane.clear();
                 self.resources.clear();
                 self.latency.clear();
                 self.latency_stream = P2Quantile::new(0.95).expect("valid quantile");
                 self.drift.reset();
-                self.totals.clear();
-                self.alloc.clear();
                 // A half-counted dwell from the old regime must not let the
                 // first post-drift target skip the hysteresis wait.
                 self.dwell = None;
@@ -184,12 +179,17 @@ impl PoolShard {
     /// The batch optimizer's sizing formula over the current window
     /// (except that the answer is not clamped to the current allocation —
     /// see the Grow comment below).
-    fn assess(&self, window: WindowIndex, qos: &QosRequirement) -> Option<PoolAssessment> {
+    fn assess(
+        &self,
+        window: WindowIndex,
+        qos: &QosRequirement,
+        lane: &impl ShardLane,
+    ) -> Option<PoolAssessment> {
         let cpu_fit = self.resources[Resource::Cpu.index()].fit().ok()?;
         let (lat_poly, lat_r2) = self.latency.fit().ok()?;
 
-        let current_servers = self.alloc.max()?.max(1);
-        let peak_total = self.totals.percentile(99.0).ok()?;
+        let current_servers = lane.alloc_max()?.max(1);
+        let peak_total = lane.totals_percentile(99.0)?;
 
         // Per-server workload at the QoS limit — and *which* constraint
         // binds there. As in the batch CapacityForecaster::max_rps_per_server,
@@ -280,7 +280,7 @@ impl PoolShard {
     /// hysteresis policy.
     ///
     /// Leaves the stored assessment untouched and returns `None` while the
-    /// shard has fewer than `min_fit_windows` observations or the fits are
+    /// lane has fewer than `min_fit_windows` observations or the fits are
     /// not yet solvable.
     ///
     /// [`assessment`]: PoolShard::assessment
@@ -290,11 +290,12 @@ impl PoolShard {
         window: WindowIndex,
         qos: &QosRequirement,
         config: &OnlinePlannerConfig,
+        lane: &impl ShardLane,
     ) -> Option<ResizeRecommendation> {
-        if self.window.len() < config.min_fit_windows {
+        if lane.agg_len() < config.min_fit_windows {
             return None;
         }
-        let mut assessment = self.assess(window, qos)?;
+        let mut assessment = self.assess(window, qos, lane)?;
         assessment.sizing.pool = pool;
         self.urgent = assessment.band.needs_capacity();
 
@@ -352,16 +353,16 @@ impl PoolShard {
 }
 
 impl Persist for PoolShard {
+    /// Scalar state only — the pool's windowed buffers are serialized by
+    /// the engine from its [`crate::store::ShardStore`] lane, interleaved
+    /// right after each shard.
     fn persist(&self, w: &mut Writer) {
-        self.window.persist(w);
         self.resources.persist(w);
         self.latency.persist(w);
         self.latency_stream.persist(w);
         self.drift.persist(w);
         self.projector.persist(w);
         w.put_usize(self.drift_events);
-        self.totals.persist(w);
-        self.alloc.persist(w);
         self.last_assessment.persist(w);
         self.last_target.persist(w);
         self.dwell.persist(w);
@@ -370,15 +371,12 @@ impl Persist for PoolShard {
 
     fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
         Ok(PoolShard {
-            window: RingWindow::restore(r)?,
             resources: FitArray::restore(r)?,
             latency: StreamingQuadFit::restore(r)?,
             latency_stream: P2Quantile::restore(r)?,
             drift: DriftDetector::restore(r)?,
             projector: ExhaustionProjector::restore(r)?,
             drift_events: r.take_usize()?,
-            totals: SortedWindow::restore(r)?,
-            alloc: MonotonicMaxDeque::restore(r)?,
             last_assessment: Option::restore(r)?,
             last_target: Option::restore(r)?,
             dwell: Option::restore(r)?,

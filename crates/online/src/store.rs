@@ -1,0 +1,823 @@
+//! The slot-major shard-state store.
+//!
+//! [`crate::shard::PoolShard`] used to own four small heap side buffers —
+//! the aggregate ring, the sorted totals window, the drift sub-window, and
+//! the allocation max-deque. At fleet scale that layout is the bottleneck:
+//! a steady-state sweep touches 3–4 scattered heap objects per pool per
+//! window, and BENCH_sweep.json showed the 16384-pool per-pool cost at ~2×
+//! the 512-pool figure from those dependent cache/TLB misses alone.
+//!
+//! [`ShardStore`] hoists all four buffers into engine-owned planes
+//! ([`headroom_stats::plane`]): the aggregate ring and drift sub-window as
+//! slot-major [`RingPlane`]s (all pools' slot-k entries contiguous — the
+//! lockstep steady state streams them), the totals window and allocation
+//! deque as lane-major segments. A pool's *lane* is its position in the
+//! engine's pool-sorted shard list; pool arrivals rebuild the planes under
+//! an old→new lane mapping ([`ShardStore::remap`]), and steady-state
+//! windows never allocate.
+//!
+//! Shards reach their lane through the [`ShardLane`] trait, which has two
+//! backends:
+//!
+//! - [`LaneView`] — a raw, lane-disjoint view into the shared store. The
+//!   sweep engine hands each worker chunk a contiguous lane range of the
+//!   same [`StoreView`]; thread-affinity falls out of the chunk geometry
+//!   (a pool's planes are always touched by the worker that owns its
+//!   chunk). This is the only `unsafe` in the crate, scoped to the [`view`]
+//!   module and justified the same way `headroom_exec`'s chunk hand-off
+//!   is: chunk lane ranges are pairwise disjoint and the dispatch outlives
+//!   the borrow.
+//! - [`OwnedLane`] — the original per-pool heap buffers, kept as the
+//!   *reference* backend: property tests drive both backends through the
+//!   identical generic shard code and assert bit-identical results.
+//!
+//! Both backends implement the exact semantics of the structures they
+//! replaced (FIFO ring, [`headroom_stats::SortedWindow`],
+//! [`headroom_stats::MonotonicMaxDeque`]), so swapping the storage layout
+//! changes no planner output — the engine's bit-identity contract over
+//! threads, exec modes, and checkpoint round-trips is preserved.
+
+use headroom_stats::persist::{PersistError, Reader, Writer};
+use headroom_stats::plane::{DequePlane, RingCursors, RingPlane, SortedPlane};
+use headroom_stats::{MonotonicMaxDeque, SortedWindow};
+use headroom_telemetry::time::WindowIndex;
+
+use crate::planner::PoolWindowAggregate;
+use crate::ring::RingWindow;
+
+/// One pool's window-state buffers, however they are stored.
+///
+/// [`crate::shard::PoolShard`] is generic over this trait: the production
+/// path passes a [`LaneView`] into the shared [`ShardStore`], tests can
+/// pass an [`OwnedLane`]. Implementations must agree bit-for-bit — the
+/// store proptests pin them against each other.
+pub trait ShardLane {
+    /// Aggregate windows currently held.
+    fn agg_len(&self) -> usize;
+
+    /// Pushes one window aggregate into the ring, returning the evicted
+    /// aggregate when the ring was full. The evicted value's `window` field
+    /// is not meaningful (the plane backend does not store it); callers
+    /// only read the counter fields.
+    fn agg_push(&mut self, agg: &PoolWindowAggregate) -> Option<PoolWindowAggregate>;
+
+    /// Adds one value to the sorted totals window (non-finite ignored).
+    fn totals_insert(&mut self, v: f64);
+
+    /// Removes one occurrence of `v` from the totals window.
+    fn totals_remove(&mut self, v: f64) -> bool;
+
+    /// Replaces `old` with `new` in the totals window: exactly
+    /// [`totals_remove`]`(old)` then [`totals_insert`]`(new)`, which
+    /// backends fuse into one pass over the sorted segment — the
+    /// steady-state shape, where every arriving window also evicts one.
+    ///
+    /// [`totals_remove`]: ShardLane::totals_remove
+    /// [`totals_insert`]: ShardLane::totals_insert
+    fn totals_replace(&mut self, old: f64, new: f64) -> bool {
+        let removed = self.totals_remove(old);
+        self.totals_insert(new);
+        removed
+    }
+
+    /// The `p`-th percentile of the totals window, `None` when empty or
+    /// `p` is outside `0..=100`.
+    fn totals_percentile(&self, p: f64) -> Option<f64>;
+
+    /// Feeds the allocation entering the window into the max-deque.
+    fn alloc_push(&mut self, servers: usize);
+
+    /// Feeds the allocation leaving the window.
+    fn alloc_evict(&mut self, servers: usize);
+
+    /// The maximum allocation over the window.
+    fn alloc_max(&self) -> Option<usize>;
+
+    /// Pushes one (x, y) pair into the drift sub-window ring, returning the
+    /// evicted pair when it was full.
+    fn drift_push(&mut self, x: f64, y: f64) -> Option<(f64, f64)>;
+
+    /// Empties every buffer (the drift-reset path).
+    fn clear(&mut self);
+}
+
+/// Aggregate counters stored per (slot, lane) cell of the fused aggregate
+/// plane. `window` is deliberately not stored: an evicted aggregate's window
+/// index is never read, so the plane store drops it (and checkpoints shrink
+/// by one u64 per held window).
+const AGG_FIELDS: usize = 7;
+
+/// (x, y) pair width of the fused drift plane.
+const DRIFT_FIELDS: usize = 2;
+
+/// Expands an old-lane → new-lane mapping to the sub-lane mapping of a
+/// plane that packs `fields` values per lane.
+fn expand_mapping(mapping: &[usize], fields: usize) -> Vec<usize> {
+    mapping.iter().flat_map(|&new| (0..fields).map(move |k| new * fields + k)).collect()
+}
+
+/// The engine-owned slot-major store backing every pool's side buffers.
+///
+/// Lane `l` is the pool at position `l` of the engine's pool-sorted shard
+/// list. See the module docs for the layout.
+#[derive(Debug, Clone)]
+pub struct ShardStore {
+    window_cap: usize,
+    drift_cap: usize,
+    /// Shared cursors for the fused aggregate plane (one set per lane; the
+    /// cursor arithmetic is paid once per push).
+    agg: RingCursors,
+    /// One [`RingPlane`] with [`AGG_FIELDS`] sub-lanes per pool lane, so a
+    /// pool's seven counters for one slot — rps_per_server, cpu_pct,
+    /// latency_p95_ms, disk_queue, memory_pages_per_sec, network_mbps,
+    /// active_servers (as f64) — sit in 56 contiguous bytes. Seven separate
+    /// planes cost seven cache lines and seven prefetch streams per pool
+    /// per window; the fused layout costs one of each.
+    agg_plane: RingPlane,
+    totals: SortedPlane,
+    alloc: DequePlane,
+    drift: RingCursors,
+    /// Fused (x, y) drift plane, [`DRIFT_FIELDS`] sub-lanes per pool lane.
+    drift_plane: RingPlane,
+}
+
+impl ShardStore {
+    /// An empty store (no lanes yet) for rings of `window_cap` aggregates
+    /// and drift sub-windows of `drift_cap` pairs.
+    pub fn new(window_cap: usize, drift_cap: usize) -> Self {
+        ShardStore::with_lanes(window_cap, drift_cap, 0)
+    }
+
+    /// A store with `lanes` empty lanes.
+    pub fn with_lanes(window_cap: usize, drift_cap: usize, lanes: usize) -> Self {
+        let window_cap = window_cap.max(1);
+        let drift_cap = drift_cap.max(2);
+        ShardStore {
+            window_cap,
+            drift_cap,
+            agg: RingCursors::new(window_cap, lanes),
+            agg_plane: RingPlane::new(window_cap, lanes * AGG_FIELDS),
+            totals: SortedPlane::new(window_cap, lanes),
+            alloc: DequePlane::new(window_cap, lanes),
+            drift: RingCursors::new(drift_cap, lanes),
+            drift_plane: RingPlane::new(drift_cap, lanes * DRIFT_FIELDS),
+        }
+    }
+
+    /// Lanes currently held.
+    pub fn lanes(&self) -> usize {
+        self.agg.lanes()
+    }
+
+    /// Aggregate-ring capacity per lane.
+    pub fn window_cap(&self) -> usize {
+        self.window_cap
+    }
+
+    /// Rebuilds every plane under an old-lane → new-lane `mapping`
+    /// (`mapping[old] = new`, strictly increasing); lanes nothing maps to
+    /// start empty. Called on pool arrival — the one path that allocates.
+    pub fn remap(&mut self, mapping: &[usize], new_lanes: usize) {
+        self.agg = self.agg.remap(mapping, new_lanes);
+        self.agg_plane =
+            self.agg_plane.remap(&expand_mapping(mapping, AGG_FIELDS), new_lanes * AGG_FIELDS);
+        self.totals = self.totals.remap(mapping, new_lanes);
+        self.alloc = self.alloc.remap(mapping, new_lanes);
+        self.drift = self.drift.remap(mapping, new_lanes);
+        self.drift_plane = self
+            .drift_plane
+            .remap(&expand_mapping(mapping, DRIFT_FIELDS), new_lanes * DRIFT_FIELDS);
+    }
+
+    /// Serializes one lane's buffers in canonical logical order (rings
+    /// oldest→newest with the physical start normalized away), so the bytes
+    /// are a pure function of logical state — the checkpoint determinism
+    /// contract.
+    pub fn persist_lane(&self, lane: usize, w: &mut Writer) {
+        let n = self.agg.len(lane);
+        w.put_u32(n as u32);
+        for i in 0..n {
+            let slot = self.agg.slot_of(lane, i);
+            for k in 0..AGG_FIELDS {
+                w.put_f64(self.agg_plane.get(slot, lane * AGG_FIELDS + k));
+            }
+        }
+        let t = self.totals.len(lane);
+        w.put_u32(t as u32);
+        for &v in self.totals.as_slice(lane) {
+            w.put_f64(v);
+        }
+        let a = self.alloc.len(lane);
+        w.put_u32(a as u32);
+        for i in 0..a {
+            w.put_u64(self.alloc.get(lane, i));
+        }
+        let d = self.drift.len(lane);
+        w.put_u32(d as u32);
+        for i in 0..d {
+            let slot = self.drift.slot_of(lane, i);
+            w.put_f64(self.drift_plane.get(slot, lane * DRIFT_FIELDS));
+            w.put_f64(self.drift_plane.get(slot, lane * DRIFT_FIELDS + 1));
+        }
+    }
+
+    /// Restores one lane from [`persist_lane`] bytes, validating every
+    /// structural invariant (lengths within capacity, totals ascending and
+    /// finite, deque non-increasing) before accepting.
+    ///
+    /// [`persist_lane`]: ShardStore::persist_lane
+    pub fn restore_lane(&mut self, lane: usize, r: &mut Reader<'_>) -> Result<(), PersistError> {
+        let n = r.take_u32()? as usize;
+        if n > self.window_cap {
+            return Err(PersistError::Invalid("aggregate ring length exceeds capacity"));
+        }
+        for i in 0..n {
+            for k in 0..AGG_FIELDS {
+                self.agg_plane.set(i, lane * AGG_FIELDS + k, r.take_f64()?);
+            }
+        }
+        if !self.agg.restore_lane(lane, n) {
+            return Err(PersistError::Invalid("aggregate ring length exceeds capacity"));
+        }
+
+        let t = r.take_u32()? as usize;
+        if t > self.window_cap {
+            return Err(PersistError::Invalid("totals window length exceeds capacity"));
+        }
+        let mut totals = Vec::with_capacity(t);
+        for _ in 0..t {
+            totals.push(r.take_f64()?);
+        }
+        if !self.totals.restore_lane(lane, &totals) {
+            return Err(PersistError::Invalid("totals window values not finite ascending"));
+        }
+
+        let a = r.take_u32()? as usize;
+        if a > self.window_cap {
+            return Err(PersistError::Invalid("allocation deque length exceeds capacity"));
+        }
+        let mut alloc = Vec::with_capacity(a);
+        for _ in 0..a {
+            alloc.push(r.take_u64()?);
+        }
+        if !self.alloc.restore_lane(lane, &alloc) {
+            return Err(PersistError::Invalid("allocation deque not non-increasing"));
+        }
+
+        let d = r.take_u32()? as usize;
+        if d > self.drift_cap {
+            return Err(PersistError::Invalid("drift sub-window length exceeds capacity"));
+        }
+        for i in 0..d {
+            self.drift_plane.set(i, lane * DRIFT_FIELDS, r.take_f64()?);
+            self.drift_plane.set(i, lane * DRIFT_FIELDS + 1, r.take_f64()?);
+        }
+        if !self.drift.restore_lane(lane, d) {
+            return Err(PersistError::Invalid("drift sub-window length exceeds capacity"));
+        }
+        Ok(())
+    }
+
+    /// A raw lane-addressed view over every plane. See [`StoreView`] for
+    /// the aliasing contract.
+    pub fn view(&mut self) -> StoreView {
+        StoreView::new(self)
+    }
+}
+
+/// The original per-pool heap buffers as a [`ShardLane`] backend.
+///
+/// This is the *reference* implementation the plane store is pinned
+/// against: the store proptests drive a sequential engine of `OwnedLane`s
+/// and a parallel [`StoreView`] engine through identical inputs and assert
+/// bit-identical outputs. It is not used on the production path.
+#[derive(Debug, Clone)]
+pub struct OwnedLane {
+    window: RingWindow<PoolWindowAggregate>,
+    totals: SortedWindow,
+    alloc: MonotonicMaxDeque<usize>,
+    drift: RingWindow<(f64, f64)>,
+}
+
+impl OwnedLane {
+    /// Empty buffers with the same capacities a [`ShardStore`] lane has.
+    pub fn new(window_cap: usize, drift_cap: usize) -> Self {
+        OwnedLane {
+            window: RingWindow::new(window_cap.max(1)),
+            totals: SortedWindow::with_capacity(window_cap),
+            alloc: MonotonicMaxDeque::new(),
+            drift: RingWindow::new(drift_cap.max(2)),
+        }
+    }
+}
+
+impl ShardLane for OwnedLane {
+    fn agg_len(&self) -> usize {
+        self.window.len()
+    }
+
+    fn agg_push(&mut self, agg: &PoolWindowAggregate) -> Option<PoolWindowAggregate> {
+        self.window.push(*agg)
+    }
+
+    fn totals_insert(&mut self, v: f64) {
+        self.totals.insert(v);
+    }
+
+    fn totals_remove(&mut self, v: f64) -> bool {
+        self.totals.remove(v)
+    }
+
+    fn totals_percentile(&self, p: f64) -> Option<f64> {
+        self.totals.percentile(p).ok()
+    }
+
+    fn alloc_push(&mut self, servers: usize) {
+        self.alloc.push(servers);
+    }
+
+    fn alloc_evict(&mut self, servers: usize) {
+        self.alloc.evict(servers);
+    }
+
+    fn alloc_max(&self) -> Option<usize> {
+        self.alloc.max()
+    }
+
+    fn drift_push(&mut self, x: f64, y: f64) -> Option<(f64, f64)> {
+        self.drift.push((x, y))
+    }
+
+    fn clear(&mut self) {
+        self.window.clear();
+        self.totals.clear();
+        self.alloc.clear();
+        self.drift.clear();
+    }
+}
+
+pub use view::{LaneView, StoreView};
+
+/// The one `unsafe` corner of the crate: raw, `Copy`, `Send + Sync`
+/// pointers into a [`ShardStore`], so worker chunks can drive disjoint
+/// lane ranges of the shared planes without splitting borrows per plane.
+#[allow(unsafe_code)]
+mod view {
+    use super::*;
+
+    /// Raw pointers into every plane of one [`ShardStore`].
+    ///
+    /// # Safety contract
+    ///
+    /// This follows the same discipline as `headroom_exec`'s chunk
+    /// hand-off (its `SendPtr`): the view is created from `&mut ShardStore`
+    /// immediately before a sweep's fan-out and used only inside it.
+    /// Soundness rests on three invariants the sweep engine upholds:
+    ///
+    /// - **disjoint lanes**: chunk `i` touches exactly the lanes
+    ///   `[i * chunk_len, min((i + 1) * chunk_len, lanes))` — the same
+    ///   pairwise-disjoint geometry `headroom_exec::chunk_len` gives the
+    ///   shard slices, so no two threads ever touch the same lane;
+    /// - **no concurrent safe access**: the engine does not read or write
+    ///   the store through its safe API while any view is live;
+    /// - **stable storage**: the planes are not resized between view
+    ///   creation and last use (remap happens strictly before the fan-out).
+    #[derive(Debug, Clone, Copy)]
+    pub struct StoreView {
+        lanes: usize,
+        window_cap: usize,
+        drift_cap: usize,
+        agg_start: *mut u32,
+        agg_len: *mut u32,
+        agg: *mut f64,
+        totals_len: *mut u32,
+        totals: *mut f64,
+        alloc_head: *mut u32,
+        alloc_len: *mut u32,
+        alloc: *mut u64,
+        drift_start: *mut u32,
+        drift_len: *mut u32,
+        drift: *mut f64,
+    }
+
+    // SAFETY: the view is a bag of raw pointers; all dereferences happen
+    // through LaneView under the lane-disjointness contract above, which
+    // makes cross-thread use race-free.
+    unsafe impl Send for StoreView {}
+    // SAFETY: as above — `&StoreView` only hands out lane-scoped access.
+    unsafe impl Sync for StoreView {}
+
+    impl StoreView {
+        pub(super) fn new(store: &mut ShardStore) -> StoreView {
+            StoreView {
+                lanes: store.lanes(),
+                window_cap: store.window_cap,
+                drift_cap: store.drift_cap,
+                agg_start: store.agg.starts_mut().as_mut_ptr(),
+                agg_len: store.agg.lens_mut().as_mut_ptr(),
+                agg: store.agg_plane.data_mut().as_mut_ptr(),
+                totals_len: store.totals.lens_mut().as_mut_ptr(),
+                totals: store.totals.data_mut().as_mut_ptr(),
+                alloc_head: store.alloc.heads_mut().as_mut_ptr(),
+                alloc_len: store.alloc.lens_mut().as_mut_ptr(),
+                alloc: store.alloc.data_mut().as_mut_ptr(),
+                drift_start: store.drift.starts_mut().as_mut_ptr(),
+                drift_len: store.drift.lens_mut().as_mut_ptr(),
+                drift: store.drift_plane.data_mut().as_mut_ptr(),
+            }
+        }
+
+        /// The [`ShardLane`] for one lane. The caller must uphold the
+        /// lane-disjointness contract: at most one live `LaneView` per lane
+        /// across all threads.
+        pub fn lane(&self, lane: usize) -> LaneView {
+            debug_assert!(lane < self.lanes, "lane {lane} out of {} lanes", self.lanes);
+            LaneView { v: *self, lane }
+        }
+    }
+
+    /// One lane of a [`StoreView`] — the production [`ShardLane`] backend.
+    /// All plane kernels run through the same `headroom_stats::plane`
+    /// segment functions the safe methods use.
+    #[derive(Debug)]
+    pub struct LaneView {
+        v: StoreView,
+        lane: usize,
+    }
+
+    impl LaneView {
+        /// The lane's contiguous totals segment plus its length cursor.
+        ///
+        /// SAFETY (callers): lane-disjointness makes this the only live
+        /// reference to either.
+        unsafe fn totals_seg(&mut self) -> (&mut [f64], &mut u32) {
+            // SAFETY: per the view contract the lane segment
+            // [lane*cap, (lane+1)*cap) and the lane's cursor are accessed
+            // by exactly this LaneView.
+            unsafe {
+                let seg = std::slice::from_raw_parts_mut(
+                    self.v.totals.add(self.lane * self.v.window_cap),
+                    self.v.window_cap,
+                );
+                (seg, &mut *self.v.totals_len.add(self.lane))
+            }
+        }
+
+        /// The lane's contiguous deque segment plus its cursors.
+        ///
+        /// SAFETY (callers): lane-disjointness, as [`Self::totals_seg`].
+        unsafe fn alloc_seg(&mut self) -> (&mut [u64], &mut u32, &mut u32) {
+            // SAFETY: as totals_seg.
+            unsafe {
+                let seg = std::slice::from_raw_parts_mut(
+                    self.v.alloc.add(self.lane * self.v.window_cap),
+                    self.v.window_cap,
+                );
+                (seg, &mut *self.v.alloc_head.add(self.lane), &mut *self.v.alloc_len.add(self.lane))
+            }
+        }
+    }
+
+    impl ShardLane for LaneView {
+        fn agg_len(&self) -> usize {
+            // SAFETY: lane-disjoint read of this lane's cursor.
+            unsafe { *self.v.agg_len.add(self.lane) as usize }
+        }
+
+        fn agg_push(&mut self, agg: &PoolWindowAggregate) -> Option<PoolWindowAggregate> {
+            let lanes = self.v.lanes;
+            let cap = self.v.window_cap as u32;
+            // SAFETY: all accesses are to this lane's cursor entries and to
+            // plane elements (slot, lane) — disjoint across lanes. The
+            // evicted slot equals the write slot when full, so the reads
+            // happen before the writes.
+            unsafe {
+                let start = &mut *self.v.agg_start.add(self.lane);
+                let len = &mut *self.v.agg_len.add(self.lane);
+                let (slot, evicting) = if *len == cap {
+                    (*start as usize, true)
+                } else {
+                    (((*start + *len) % cap) as usize, false)
+                };
+                let cell = self.v.agg.add((slot * lanes + self.lane) * AGG_FIELDS);
+                let evicted = evicting.then(|| PoolWindowAggregate {
+                    window: WindowIndex(0),
+                    rps_per_server: *cell,
+                    cpu_pct: *cell.add(1),
+                    latency_p95_ms: *cell.add(2),
+                    disk_queue: *cell.add(3),
+                    memory_pages_per_sec: *cell.add(4),
+                    network_mbps: *cell.add(5),
+                    active_servers: *cell.add(6) as usize,
+                });
+                *cell = agg.rps_per_server;
+                *cell.add(1) = agg.cpu_pct;
+                *cell.add(2) = agg.latency_p95_ms;
+                *cell.add(3) = agg.disk_queue;
+                *cell.add(4) = agg.memory_pages_per_sec;
+                *cell.add(5) = agg.network_mbps;
+                *cell.add(6) = agg.active_servers as f64;
+                if evicting {
+                    *start = (*start + 1) % cap;
+                } else {
+                    *len += 1;
+                }
+                evicted
+            }
+        }
+
+        fn totals_insert(&mut self, v: f64) {
+            // SAFETY: lane-disjoint segment access.
+            let (seg, len) = unsafe { self.totals_seg() };
+            headroom_stats::plane::sorted_seg_insert(seg, len, v);
+        }
+
+        fn totals_remove(&mut self, v: f64) -> bool {
+            // SAFETY: lane-disjoint segment access.
+            let (seg, len) = unsafe { self.totals_seg() };
+            headroom_stats::plane::sorted_seg_remove(seg, len, v)
+        }
+
+        fn totals_replace(&mut self, old: f64, new: f64) -> bool {
+            // SAFETY: lane-disjoint segment access.
+            let (seg, len) = unsafe { self.totals_seg() };
+            headroom_stats::plane::sorted_seg_replace(seg, len, old, new)
+        }
+
+        fn totals_percentile(&self, p: f64) -> Option<f64> {
+            // SAFETY: lane-disjoint shared read of this lane's segment.
+            unsafe {
+                let len = *self.v.totals_len.add(self.lane);
+                let seg = std::slice::from_raw_parts(
+                    self.v.totals.add(self.lane * self.v.window_cap),
+                    self.v.window_cap,
+                );
+                headroom_stats::plane::sorted_seg_percentile(seg, len, p)
+            }
+        }
+
+        fn alloc_push(&mut self, servers: usize) {
+            // SAFETY: lane-disjoint segment access.
+            let (seg, head, len) = unsafe { self.alloc_seg() };
+            headroom_stats::plane::deque_seg_push(seg, head, len, servers as u64);
+        }
+
+        fn alloc_evict(&mut self, servers: usize) {
+            // SAFETY: lane-disjoint segment access.
+            let (seg, head, len) = unsafe { self.alloc_seg() };
+            headroom_stats::plane::deque_seg_evict(seg, head, len, servers as u64);
+        }
+
+        fn alloc_max(&self) -> Option<usize> {
+            // SAFETY: lane-disjoint shared read of this lane's segment.
+            unsafe {
+                let head = *self.v.alloc_head.add(self.lane);
+                let len = *self.v.alloc_len.add(self.lane);
+                let seg = std::slice::from_raw_parts(
+                    self.v.alloc.add(self.lane * self.v.window_cap),
+                    self.v.window_cap,
+                );
+                headroom_stats::plane::deque_seg_max(seg, head, len).map(|v| v as usize)
+            }
+        }
+
+        fn drift_push(&mut self, x: f64, y: f64) -> Option<(f64, f64)> {
+            let lanes = self.v.lanes;
+            let cap = self.v.drift_cap as u32;
+            // SAFETY: as agg_push, over the drift cursors and planes.
+            unsafe {
+                let start = &mut *self.v.drift_start.add(self.lane);
+                let len = &mut *self.v.drift_len.add(self.lane);
+                let (slot, evicting) = if *len == cap {
+                    (*start as usize, true)
+                } else {
+                    (((*start + *len) % cap) as usize, false)
+                };
+                let cell = self.v.drift.add((slot * lanes + self.lane) * DRIFT_FIELDS);
+                let evicted = evicting.then(|| (*cell, *cell.add(1)));
+                *cell = x;
+                *cell.add(1) = y;
+                if evicting {
+                    *start = (*start + 1) % cap;
+                } else {
+                    *len += 1;
+                }
+                evicted
+            }
+        }
+
+        fn clear(&mut self) {
+            // SAFETY: lane-disjoint cursor writes; plane data beyond a
+            // lane's length is never read, so cursors are all that clears.
+            unsafe {
+                *self.v.agg_start.add(self.lane) = 0;
+                *self.v.agg_len.add(self.lane) = 0;
+                *self.v.totals_len.add(self.lane) = 0;
+                *self.v.alloc_head.add(self.lane) = 0;
+                *self.v.alloc_len.add(self.lane) = 0;
+                *self.v.drift_start.add(self.lane) = 0;
+                *self.v.drift_len.add(self.lane) = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use headroom_stats::persist::{Reader, Writer};
+
+    fn agg(w: u64, rps: f64, servers: usize) -> PoolWindowAggregate {
+        PoolWindowAggregate {
+            window: WindowIndex(w),
+            rps_per_server: rps,
+            cpu_pct: 0.028 * rps + 1.37,
+            latency_p95_ms: 4.028e-5 * rps * rps - 0.031 * rps + 36.68,
+            disk_queue: 1.0,
+            memory_pages_per_sec: 4000.0,
+            network_mbps: 0.32 * rps,
+            active_servers: servers,
+        }
+    }
+
+    /// Drives one lane of each backend through the exact op sequence
+    /// `PoolShard::observe` issues and asserts every returned value agrees.
+    fn drive_both(lane: &mut impl ShardLane, reference: &mut OwnedLane, windows: u64) {
+        for w in 0..windows {
+            let a = agg(w, 200.0 + (w % 37) as f64 * 9.0, 4 + (w % 3) as usize);
+            let ev_a = lane.agg_push(&a);
+            let ev_b = reference.agg_push(&a);
+            // Compare everything but the window index, which the plane
+            // backend does not store.
+            assert_eq!(ev_a.map(|e| e.rps_per_server), ev_b.map(|e| e.rps_per_server));
+            assert_eq!(ev_a.map(|e| e.active_servers), ev_b.map(|e| e.active_servers));
+            if let (Some(ea), Some(eb)) = (ev_a, ev_b) {
+                assert_eq!(
+                    lane.totals_remove(ea.total_rps()),
+                    reference.totals_remove(eb.total_rps())
+                );
+                lane.alloc_evict(ea.active_servers);
+                reference.alloc_evict(eb.active_servers);
+            }
+            lane.totals_insert(a.total_rps());
+            reference.totals_insert(a.total_rps());
+            lane.alloc_push(a.active_servers);
+            reference.alloc_push(a.active_servers);
+            assert_eq!(
+                lane.drift_push(a.rps_per_server, a.cpu_pct),
+                reference.drift_push(a.rps_per_server, a.cpu_pct)
+            );
+            assert_eq!(lane.agg_len(), reference.agg_len());
+            assert_eq!(lane.alloc_max(), reference.alloc_max());
+            for p in [50.0, 99.0] {
+                assert_eq!(lane.totals_percentile(p), reference.totals_percentile(p));
+            }
+        }
+    }
+
+    #[test]
+    fn lane_view_matches_owned_lane() {
+        let mut store = ShardStore::with_lanes(12, 5, 3);
+        let view = store.view();
+        for l in 0..3 {
+            let mut lane = view.lane(l);
+            let mut reference = OwnedLane::new(12, 5);
+            drive_both(&mut lane, &mut reference, 40 + l as u64 * 7);
+        }
+    }
+
+    #[test]
+    fn clear_resets_one_lane_only() {
+        let mut store = ShardStore::with_lanes(8, 4, 2);
+        let view = store.view();
+        for l in 0..2 {
+            let mut lane = view.lane(l);
+            let mut reference = OwnedLane::new(8, 4);
+            drive_both(&mut lane, &mut reference, 20);
+        }
+        view.lane(0).clear();
+        assert_eq!(view.lane(0).agg_len(), 0);
+        assert_eq!(view.lane(0).alloc_max(), None);
+        assert_eq!(view.lane(0).totals_percentile(50.0), None);
+        assert_eq!(view.lane(1).agg_len(), 8, "clearing lane 0 leaves lane 1");
+        // A cleared lane accepts a fresh stream identically to a fresh one.
+        let mut reference = OwnedLane::new(8, 4);
+        drive_both(&mut view.lane(0), &mut reference, 25);
+    }
+
+    #[test]
+    fn persist_lane_roundtrips_and_normalizes() {
+        // Drive a lane far enough to rotate both rings, so the physical
+        // start is nonzero; the persisted form must normalize it away.
+        let mut store = ShardStore::with_lanes(6, 3, 2);
+        {
+            let view = store.view();
+            let mut lane = view.lane(1);
+            let mut reference = OwnedLane::new(6, 3);
+            drive_both(&mut lane, &mut reference, 23);
+        }
+        let mut w = Writer::new();
+        store.persist_lane(1, &mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = ShardStore::with_lanes(6, 3, 2);
+        let mut r = Reader::new(&bytes);
+        restored.restore_lane(1, &mut r).expect("clean lane restores");
+        assert!(r.is_empty());
+
+        // The restored lane re-serializes to the same bytes (normalized
+        // physical layout) and behaves identically under further pushes.
+        let mut w2 = Writer::new();
+        restored.persist_lane(1, &mut w2);
+        assert_eq!(bytes, w2.into_bytes(), "persisted form is canonical");
+        let (va, vb) = (store.view(), restored.view());
+        let (mut a, mut b) = (va.lane(1), vb.lane(1));
+        for w in 0..9u64 {
+            let x = agg(w, 311.0 + w as f64, 5);
+            let (ea, eb) = (a.agg_push(&x), b.agg_push(&x));
+            assert_eq!(ea.map(|e| e.rps_per_server), eb.map(|e| e.rps_per_server));
+            assert_eq!(a.drift_push(1.0 + w as f64, 2.0), b.drift_push(1.0 + w as f64, 2.0));
+        }
+        assert_eq!(a.alloc_max(), b.alloc_max());
+    }
+
+    #[test]
+    fn restore_lane_rejects_corrupt_payloads() {
+        let mut store = ShardStore::with_lanes(4, 2, 1);
+        let corrupt = |bytes: &[u8]| {
+            let mut fresh = ShardStore::with_lanes(4, 2, 1);
+            let mut r = Reader::new(bytes);
+            fresh.restore_lane(0, &mut r).unwrap_err()
+        };
+        // Over-capacity aggregate ring.
+        let mut w = Writer::new();
+        w.put_u32(5);
+        corrupt(&w.into_bytes());
+        // Descending totals.
+        let mut w = Writer::new();
+        w.put_u32(0);
+        w.put_u32(2);
+        w.put_f64(2.0);
+        w.put_f64(1.0);
+        corrupt(&w.into_bytes());
+        // Increasing alloc deque violates the monotonic invariant.
+        let mut w = Writer::new();
+        w.put_u32(0);
+        w.put_u32(0);
+        w.put_u32(2);
+        w.put_u64(1);
+        w.put_u64(9);
+        corrupt(&w.into_bytes());
+        // Over-capacity drift sub-window.
+        let mut w = Writer::new();
+        w.put_u32(0);
+        w.put_u32(0);
+        w.put_u32(0);
+        w.put_u32(3);
+        corrupt(&w.into_bytes());
+        // And a clean empty lane restores fine.
+        let mut w = Writer::new();
+        for _ in 0..4 {
+            w.put_u32(0);
+        }
+        let clean = w.into_bytes();
+        let mut r = Reader::new(&clean);
+        store.restore_lane(0, &mut r).expect("empty lane restores");
+    }
+
+    #[test]
+    fn remap_carries_lane_state() {
+        let mut store = ShardStore::with_lanes(6, 3, 2);
+        {
+            let view = store.view();
+            for l in 0..2 {
+                let mut lane = view.lane(l);
+                let mut reference = OwnedLane::new(6, 3);
+                drive_both(&mut lane, &mut reference, 15 + l as u64);
+            }
+        }
+        let before: Vec<Vec<u8>> = (0..2)
+            .map(|lane| {
+                let mut w = Writer::new();
+                store.persist_lane(lane, &mut w);
+                w.into_bytes()
+            })
+            .collect();
+
+        // Two pools arrive, interleaving: old lanes 0, 1 → new lanes 1, 2.
+        store.remap(&[1, 2], 4);
+        assert_eq!(store.lanes(), 4);
+        for (old, new) in [(0usize, 1usize), (1, 2)] {
+            let mut after = Writer::new();
+            store.persist_lane(new, &mut after);
+            assert_eq!(
+                before[old],
+                after.into_bytes(),
+                "lane {old} state survives remap to lane {new}"
+            );
+        }
+        for fresh in [0usize, 3] {
+            assert_eq!(store.view().lane(fresh).agg_len(), 0);
+        }
+    }
+}

@@ -1,29 +1,42 @@
 //! The parallel sweep engine: shard fan-out, deterministic merge.
 //!
 //! [`SweepEngine`] is the fleet-level half of the shard-and-merge planner
-//! core. It owns one [`PoolShard`] per pool (kept sorted by pool id), and
-//! each window it *sweeps* the fleet: pools are partitioned into contiguous
-//! chunks, the chunks are fanned out across a long-lived
-//! [`headroom_exec::WorkerPool`], and each worker aggregates its pools'
-//! snapshot rows, updates its shards, and (on replan windows, or every
-//! window for pools urgently short of capacity) re-derives sizing
-//! decisions. The per-chunk outputs are then merged in pool order.
+//! core. It owns one [`PoolShard`] per pool (kept sorted by pool id) plus
+//! the fleet's [`ShardStore`] — the slot-major planes holding every pool's
+//! windowed buffers — and each window it *sweeps* the fleet: pools are
+//! partitioned into contiguous chunks, the chunks are fanned out across a
+//! long-lived [`headroom_exec::WorkerPool`], and each worker aggregates its
+//! pools' snapshot rows, updates its shards through their store lanes, and
+//! (on replan windows, or every window for pools urgently short of
+//! capacity) re-derives sizing decisions. The per-chunk outputs are then
+//! merged in pool order.
+//!
+//! Chunks are contiguous runs of the pool-sorted shard list, so each worker
+//! owns a contiguous *lane range* of every store plane: a pool's planes are
+//! touched by exactly one worker per window (thread-affine ownership) and
+//! the per-plane traffic is a streaming pass over a dense slice. The
+//! effective fan-out is clamped to `min(threads, ceil(pools /
+//! min_pool_chunk))`, so a small fleet never pays hand-off overhead to
+//! workers that would each receive a handful of pools.
 //!
 //! **Determinism is a hard invariant, not an aspiration.** A shard's update
-//! touches only its own state, every floating-point operation happens
-//! inside exactly one shard regardless of how pools are chunked, chunk
-//! boundaries are a pure function of `(pool count, threads)`, and the merge
-//! reads the per-chunk output buffers in chunk order — so the engine's
-//! assessments and recommendations are *bit-identical* for any thread
-//! count, any [`SweepExec`] mode, and any scheduling, including thread
-//! counts changed mid-run via [`SweepEngine::set_threads`]. Property tests
-//! pin this.
+//! touches only its own state (scalar state in the shard, windowed state in
+//! its store lane), every floating-point operation happens inside exactly
+//! one shard regardless of how pools are chunked, chunk boundaries are a
+//! pure function of `(pool count, threads)`, and the merge reads the
+//! per-chunk output buffers in chunk order — so the engine's assessments
+//! and recommendations are *bit-identical* for any thread count, any
+//! [`SweepExec`] mode, and any scheduling, including thread counts changed
+//! mid-run via [`SweepEngine::set_threads`]. The sequential path drives the
+//! very same lane-view kernels as the parallel one. Property tests pin
+//! this.
 //!
 //! **The steady-state window path is allocation-free.** The input index,
-//! the per-worker output buffers, and the worker hand-off (see
-//! `headroom_exec`) all reuse their storage window over window; a warmed
-//! engine consuming partitioned snapshots allocates nothing on non-replan
-//! windows (asserted by a counting-allocator test in `crates/bench`).
+//! the per-worker output buffers, the store planes, and the worker hand-off
+//! (see `headroom_exec`) all reuse their storage window over window; a
+//! warmed engine consuming partitioned snapshots allocates nothing on
+//! non-replan windows (asserted by a counting-allocator test in
+//! `crates/bench`).
 //!
 //! Ingestion is partition-friendly: feed
 //! [`headroom_cluster::sim::PartitionedSnapshot`]s (from
@@ -48,6 +61,7 @@ use crate::planner::{
     PoolAssessment, PoolWindowAggregate, ResizeRecommendation, SweepExec,
 };
 use crate::shard::PoolShard;
+use crate::store::{ShardStore, StoreView};
 
 /// Per-pool input of one sweep: either a pre-computed aggregate or a
 /// `(start, len)` range of the window's snapshot (rows or columns,
@@ -103,6 +117,7 @@ type ChunkItem = ResizeRecommendation;
 ///     window_capacity: 48,
 ///     min_fit_windows: 12,
 ///     threads: 2,
+///     min_pool_chunk: 1, // a 2-pool demo fleet still fans out
 ///     ..OnlinePlannerConfig::default()
 /// };
 /// let qos = QosRequirement::latency(32.5).with_cpu_ceiling(90.0);
@@ -139,6 +154,10 @@ pub struct SweepEngine {
     /// its own latest assessment, so this array *is* the fleet state;
     /// [`SweepEngine::assessments`] borrows it instead of copying.
     shards: Vec<(PoolId, PoolShard)>,
+    /// The fleet's windowed shard state, slot-major: lane *i* of every
+    /// plane belongs to `shards[i]`. Kept in lockstep with `shards` — a
+    /// pool arrival remaps the lanes to match the new sorted order.
+    store: ShardStore,
     pending: Vec<ResizeRecommendation>,
     windows_seen: u64,
     /// Reusable per-window input index (cleared, never dropped).
@@ -161,6 +180,7 @@ impl Clone for SweepEngine {
             default_qos: self.default_qos,
             qos: self.qos.clone(),
             shards: self.shards.clone(),
+            store: self.store.clone(),
             pending: self.pending.clone(),
             windows_seen: self.windows_seen,
             input_buf: Vec::new(),
@@ -177,6 +197,7 @@ impl SweepEngine {
     /// [`set_qos`]: SweepEngine::set_qos
     pub fn new(config: OnlinePlannerConfig, default_qos: QosRequirement) -> Self {
         SweepEngine {
+            store: ShardStore::new(config.window_capacity, config.drift.short_window.max(2)),
             config,
             default_qos,
             qos: BTreeMap::new(),
@@ -234,7 +255,9 @@ impl SweepEngine {
     }
 
     /// The fan-out width in effect: `config.threads`, with `0` resolving to
-    /// the machine's available parallelism.
+    /// the machine's available parallelism. The per-window sweep further
+    /// clamps this to `ceil(pools / min_pool_chunk)` so a small fleet is
+    /// never oversubscribed.
     pub fn effective_threads(&self) -> usize {
         match self.config.threads {
             0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
@@ -267,6 +290,7 @@ impl SweepEngine {
         let mut inputs = std::mem::take(&mut self.input_buf);
         inputs.clear();
         inputs.extend(aggregates.iter().map(|&(pool, agg)| (pool, PoolInput::Aggregate(agg))));
+        inputs.sort_unstable_by_key(|&(pool, _)| pool);
         self.sweep(snap.window, WindowData::None, &inputs);
         self.input_buf = inputs;
     }
@@ -323,19 +347,54 @@ impl SweepEngine {
         self.input_buf = inputs;
     }
 
+    /// Registers pools seen for the first time: rebuilds the sorted shard
+    /// list in one linear merge and remaps the store so every surviving
+    /// lane follows its pool to its new position. O(pools + arrivals) — a
+    /// burst of arrivals costs one merge, not one `Vec::insert` each — and
+    /// a window without arrivals does nothing beyond the lookups the sweep
+    /// needed anyway.
+    fn admit_new_pools(&mut self, inputs: &[(PoolId, PoolInput)]) {
+        let mut missing: Vec<PoolId> = Vec::new();
+        for &(pool, _) in inputs {
+            if self.shards.binary_search_by_key(&pool, |&(p, _)| p).is_err() {
+                missing.push(pool);
+            }
+        }
+        if missing.is_empty() {
+            return;
+        }
+        missing.sort_unstable();
+        missing.dedup();
+        let old = std::mem::take(&mut self.shards);
+        let mut mapping = Vec::with_capacity(old.len());
+        self.shards.reserve(old.len() + missing.len());
+        let mut arrivals = missing.iter().peekable();
+        for (pool, shard) in old {
+            while let Some(&p) = arrivals.next_if(|&&p| p < pool) {
+                self.shards.push((p, PoolShard::new(&self.config)));
+            }
+            mapping.push(self.shards.len());
+            self.shards.push((pool, shard));
+        }
+        for &p in arrivals {
+            self.shards.push((p, PoolShard::new(&self.config)));
+        }
+        self.store.remap(&mapping, self.shards.len());
+    }
+
     /// One window of fleet work: fan shard chunks out, merge in pool order.
     fn sweep(&mut self, window: WindowIndex, data: WindowData<'_>, inputs: &[(PoolId, PoolInput)]) {
         self.windows_seen += 1;
-        for &(pool, _) in inputs {
-            if let Err(at) = self.shards.binary_search_by_key(&pool, |&(p, _)| p) {
-                self.shards.insert(at, (pool, PoolShard::new(&self.config)));
-            }
-        }
+        self.admit_new_pools(inputs);
         if self.shards.is_empty() {
             return;
         }
         let replan = self.windows_seen.is_multiple_of(self.config.replan_every);
-        let threads = self.effective_threads().max(1);
+        // Clamp the fan-out so every worker gets at least `min_pool_chunk`
+        // pools: an 8-pool fleet at threads=4 runs on the calling thread
+        // alone instead of paying three hand-offs for two pools each.
+        let min_chunk = self.config.min_pool_chunk.max(1);
+        let threads = self.effective_threads().min(self.shards.len().div_ceil(min_chunk)).max(1);
         // One contiguous chunk per thread (the canonical geometry — see
         // `headroom_exec::chunk_len`): chunk size grows with pools/threads,
         // so a 16384-pool fleet still hands each worker exactly one long
@@ -347,11 +406,17 @@ impl SweepEngine {
         }
 
         // Split the borrows: workers mutate shards and their own output
-        // buffer, share the rest.
+        // buffer, share the rest. The store is handed out as a raw view;
+        // chunk `i` touches exactly lanes `[i*chunk_len, (i+1)*chunk_len)`
+        // — the same pairwise-disjoint ranges the shard slices split into —
+        // which is precisely the view's safety contract (see
+        // `crate::store`). The view borrows nothing, so the sequential path
+        // below drives the identical kernels.
+        let view = self.store.view();
         let config = &self.config;
         let qos = &self.qos;
         let default_qos = self.default_qos;
-        let run = |_chunk: usize, shards: &mut [(PoolId, PoolShard)], out: &mut Vec<ChunkItem>| {
+        let run = |chunk: usize, shards: &mut [(PoolId, PoolShard)], out: &mut Vec<ChunkItem>| {
             out.clear();
             // Every pool can emit on *any* window — replan windows re-derive
             // every sizing, and urgent pools bypass the cadence — so the
@@ -359,7 +424,19 @@ impl SweepEngine {
             // (a replan-gated hint of 0 under-sized it exactly when an
             // urgent recommendation arrived between ticks).
             out.reserve(shards.len());
-            sweep_chunk(shards, inputs, data, window, replan, config, qos, default_qos, out);
+            sweep_chunk(
+                shards,
+                chunk * chunk_len,
+                view,
+                inputs,
+                data,
+                window,
+                replan,
+                config,
+                qos,
+                default_qos,
+                out,
+            );
         };
         if chunks <= 1 {
             run(0, &mut self.shards, &mut self.chunk_outs[0]);
@@ -392,13 +469,16 @@ impl SweepEngine {
 }
 
 impl Persist for SweepEngine {
-    /// Persists the planner's *logical* state — config, QoS table, shards,
-    /// pending recommendations, window cursor. Execution state (scratch
-    /// buffers, the worker pool) is never written: like
-    /// [`SweepEngine::clone`], a restored engine rebuilds threads and
-    /// caches lazily on its first sweep, which is exactly why a checkpoint
-    /// taken under one `(threads, exec)` setting restores bit-identically
-    /// under any other.
+    /// Persists the planner's *logical* state — config, QoS table, shards
+    /// with their store lanes, pending recommendations, window cursor. Each
+    /// shard's scalar state is immediately followed by its lane's windowed
+    /// state, serialized in normalized (rotation-free) form — so the bytes
+    /// are a pure function of logical state, regardless of where the ring
+    /// cursors physically sit. Execution state (scratch buffers, the worker
+    /// pool) is never written: like [`SweepEngine::clone`], a restored
+    /// engine rebuilds threads and caches lazily on its first sweep, which
+    /// is exactly why a checkpoint taken under one `(threads, exec)`
+    /// setting restores bit-identically under any other.
     fn persist(&self, w: &mut Writer) {
         self.config.persist(w);
         persist_qos(&self.default_qos, w);
@@ -408,9 +488,10 @@ impl Persist for SweepEngine {
             persist_qos(qos, w);
         }
         w.put_usize(self.shards.len());
-        for (pool, shard) in &self.shards {
+        for (lane, (pool, shard)) in self.shards.iter().enumerate() {
             persist_pool_id(pool, w);
             shard.persist(w);
+            self.store.persist_lane(lane, w);
         }
         self.pending.persist(w);
         w.put_u64(self.windows_seen);
@@ -432,8 +513,13 @@ impl Persist for SweepEngine {
         if shard_len > r.remaining() {
             return Err(PersistError::Invalid("shard list length exceeds remaining stream"));
         }
+        let mut store = ShardStore::with_lanes(
+            config.window_capacity,
+            config.drift.short_window.max(2),
+            shard_len,
+        );
         let mut shards: Vec<(PoolId, PoolShard)> = Vec::with_capacity(shard_len);
-        for _ in 0..shard_len {
+        for lane in 0..shard_len {
             let pool = restore_pool_id(r)?;
             if let Some(&(last, _)) = shards.last() {
                 if last >= pool {
@@ -441,12 +527,14 @@ impl Persist for SweepEngine {
                 }
             }
             shards.push((pool, PoolShard::restore(r)?));
+            store.restore_lane(lane, r)?;
         }
         Ok(SweepEngine {
             config,
             default_qos,
             qos,
             shards,
+            store,
             pending: Vec::restore(r)?,
             windows_seen: r.take_u64()?,
             input_buf: Vec::new(),
@@ -458,9 +546,12 @@ impl Persist for SweepEngine {
 
 /// Processes one contiguous chunk of shards for one window, appending the
 /// pools' due recommendations to `out` in pool order (assessments are
-/// written in place inside the shards). Pure function of the chunk's own
-/// state plus shared read-only context — the unit over which the engine
-/// parallelizes. Allocation-free once `out` has capacity.
+/// written in place inside the shards). `lane_base` is the chunk's first
+/// lane in the store — shard `i` of the chunk owns lane `lane_base + i` of
+/// the `view`, a range disjoint from every other chunk's by the same
+/// geometry that made the shard slices disjoint. Pure function of the
+/// chunk's own state plus shared read-only context — the unit over which
+/// the engine parallelizes. Allocation-free once `out` has capacity.
 ///
 /// Both the chunk's shards and the window's inputs are sorted by pool id,
 /// so pairing them is a linear merge: one `partition_point` to find the
@@ -470,6 +561,8 @@ impl Persist for SweepEngine {
 #[allow(clippy::too_many_arguments)]
 fn sweep_chunk(
     shards: &mut [(PoolId, PoolShard)],
+    lane_base: usize,
+    view: StoreView,
     inputs: &[(PoolId, PoolInput)],
     data: WindowData<'_>,
     window: WindowIndex,
@@ -483,7 +576,8 @@ fn sweep_chunk(
         return;
     };
     let mut cursor = inputs.partition_point(|&(p, _)| p < first_pool);
-    for (pool, shard) in shards.iter_mut() {
+    for (i, (pool, shard)) in shards.iter_mut().enumerate() {
+        let mut lane = view.lane(lane_base + i);
         while cursor < inputs.len() && inputs[cursor].0 < *pool {
             cursor += 1;
         }
@@ -504,11 +598,11 @@ fn sweep_chunk(
             None
         };
         if let Some(agg) = aggregate {
-            shard.observe(agg);
+            shard.observe(agg, &mut lane);
         }
         if replan || shard.urgent() {
             let pool_qos = qos.get(pool).copied().unwrap_or(default_qos);
-            if let Some(recommendation) = shard.replan(*pool, window, &pool_qos, config) {
+            if let Some(recommendation) = shard.replan(*pool, window, &pool_qos, config, &lane) {
                 out.push(recommendation);
             }
         }
@@ -644,6 +738,7 @@ mod tests {
             window_capacity: 120,
             min_fit_windows: 30,
             threads,
+            min_pool_chunk: 1,
             ..OnlinePlannerConfig::default()
         };
         drive_with(config, pools, windows)
@@ -677,6 +772,7 @@ mod tests {
                 window_capacity: 120,
                 min_fit_windows: 30,
                 threads: 3,
+                min_pool_chunk: 1,
                 exec: SweepExec::Persistent,
                 ..OnlinePlannerConfig::default()
             },
@@ -688,6 +784,7 @@ mod tests {
                 window_capacity: 120,
                 min_fit_windows: 30,
                 threads: 3,
+                min_pool_chunk: 1,
                 exec: SweepExec::Scoped,
                 ..OnlinePlannerConfig::default()
             },
@@ -720,12 +817,34 @@ mod tests {
     }
 
     #[test]
+    fn small_fleets_are_not_oversubscribed() {
+        // With the default `min_pool_chunk` (64), an 8-pool fleet at
+        // threads=4 collapses to one chunk on the calling thread — no
+        // hand-off overhead — while producing bit-identical results to a
+        // forced fan-out.
+        let config = OnlinePlannerConfig {
+            window_capacity: 120,
+            min_fit_windows: 30,
+            threads: 4,
+            ..OnlinePlannerConfig::default()
+        };
+        assert_eq!(config.min_pool_chunk, 64, "default clamp in effect");
+        let mut clamped = drive_with(config, 8, 90);
+        assert_eq!(clamped.live_workers(), 0, "small fleet stays on the calling thread");
+        let mut wide = drive_with(OnlinePlannerConfig { min_pool_chunk: 1, ..config }, 8, 90);
+        assert!(wide.live_workers() > 0, "min_pool_chunk=1 restores the old fan-out");
+        assert_eq!(clamped.assessments(), wide.assessments());
+        assert_eq!(clamped.drain_recommendations(), wide.drain_recommendations());
+    }
+
+    #[test]
     fn mid_run_thread_change_does_not_change_results() {
         let mut fixed = drive(1, 7, 90);
         let config = OnlinePlannerConfig {
             window_capacity: 120,
             min_fit_windows: 30,
             threads: 3,
+            min_pool_chunk: 1,
             ..OnlinePlannerConfig::default()
         };
         let mut changed =
@@ -740,11 +859,71 @@ mod tests {
     }
 
     #[test]
+    fn late_arriving_pool_does_not_perturb_existing_pools() {
+        // Pool 3 first reports at window 40 and lands *between* existing
+        // pools in the sorted order, forcing a store remap. The veterans'
+        // state must be bit-identical to a run where pool 3 never existed
+        // (shard state is pool-local; the remap moves lanes, not contents).
+        let config = OnlinePlannerConfig {
+            window_capacity: 120,
+            min_fit_windows: 30,
+            threads: 2,
+            min_pool_chunk: 1,
+            ..OnlinePlannerConfig::default()
+        };
+        let qos = QosRequirement::latency(32.5).with_cpu_ceiling(90.0);
+        let mut without = SweepEngine::new(config, qos);
+        let mut with = SweepEngine::new(config, qos);
+        for w in 0..90u64 {
+            let veterans = [0u32, 2, 4];
+            let feed = |engine: &mut SweepEngine, include_late: bool| {
+                let mut rows = Vec::new();
+                let mut slices = Vec::new();
+                let mut pools: Vec<u32> = veterans.to_vec();
+                if include_late && w >= 40 {
+                    pools.insert(2, 3); // keep ascending order: 0, 2, 3, 4
+                }
+                for p in pools {
+                    let rps = 200.0
+                        + 150.0
+                            * (((w + 20 * p as u64) as f64 / 80.0) * std::f64::consts::PI)
+                                .sin()
+                                .abs();
+                    let start = rows.len();
+                    rows.extend(rows_for(p, rps, 8 + p % 3));
+                    slices.push(headroom_cluster::sim::PoolSlice {
+                        pool: PoolId(p),
+                        start,
+                        len: rows.len() - start,
+                    });
+                }
+                let snap =
+                    PartitionedSnapshot { window: WindowIndex(w), rows: &rows, pools: &slices };
+                engine.observe_partitioned(&snap);
+            };
+            feed(&mut without, false);
+            feed(&mut with, true);
+        }
+        for p in [0u32, 2, 4] {
+            assert_eq!(
+                without.assessments().get(PoolId(p)),
+                with.assessments().get(PoolId(p)),
+                "pool {p} perturbed by the arrival"
+            );
+        }
+        assert!(with.assessments().get(PoolId(3)).is_some(), "the late pool was planned");
+        let with_recs: Vec<_> =
+            with.drain_recommendations().into_iter().filter(|r| r.pool != PoolId(3)).collect();
+        assert_eq!(without.drain_recommendations(), with_recs);
+    }
+
+    #[test]
     fn partitioned_and_flat_ingestion_agree() {
         let config = OnlinePlannerConfig {
             window_capacity: 120,
             min_fit_windows: 30,
             threads: 2,
+            min_pool_chunk: 1,
             ..OnlinePlannerConfig::default()
         };
         let qos = QosRequirement::latency(32.5).with_cpu_ceiling(90.0);
@@ -775,6 +954,7 @@ mod tests {
             window_capacity: 120,
             min_fit_windows: 30,
             threads: 2,
+            min_pool_chunk: 1,
             ..OnlinePlannerConfig::default()
         };
         let qos = QosRequirement::latency(32.5).with_cpu_ceiling(90.0);

@@ -95,14 +95,22 @@ proptest! {
         noise_scale in 0.0f64..0.05,
         seed in 0u64..1_000,
     ) {
-        let mut det = DriftDetector::new(DriftConfig::default());
+        let config = DriftConfig::default();
+        let mut det = DriftDetector::new(config);
+        // The detector's backing ring lives with the caller (a store plane
+        // lane in production): this test plays that role.
+        let mut ring = std::collections::VecDeque::new();
+        let cap = config.short_window.max(2);
         let reference_n = 720;
         let reference = LinearFit { slope, intercept, r_squared: 0.98, n: reference_n };
         for i in 0..400usize {
             let x = 150.0 + ((i as u64).wrapping_mul(seed + 7) % 90) as f64 * 4.0;
             let noise = ((((i as u64) * 2_654_435_761 + seed) % 1_000) as f64 / 500.0 - 1.0)
                 * noise_scale * (slope * x + intercept);
-            det.observe(x, slope * x + intercept + noise);
+            let y = slope * x + intercept + noise;
+            let evicted = if ring.len() == cap { ring.pop_front() } else { None };
+            ring.push_back((x, y));
+            det.observe(x, y, evicted);
             prop_assert!(
                 det.check(&reference, reference_n).is_none(),
                 "false drift at window {} (noise scale {})", i, noise_scale
@@ -118,13 +126,18 @@ proptest! {
     ) {
         let config = DriftConfig::default();
         let mut det = DriftDetector::new(config);
+        let mut ring = std::collections::VecDeque::new();
+        let cap = config.short_window.max(2);
         let reference_n = 720;
         let reference = LinearFit { slope, intercept: 1.0, r_squared: 0.98, n: reference_n };
         // Fill the short window entirely with post-change observations.
         let mut fired = false;
         for i in 0..(config.short_window * 2) {
             let x = 150.0 + ((i as u64).wrapping_mul(seed + 13) % 90) as f64 * 4.0;
-            det.observe(x, slope * factor * x + 1.0);
+            let y = slope * factor * x + 1.0;
+            let evicted = if ring.len() == cap { ring.pop_front() } else { None };
+            ring.push_back((x, y));
+            det.observe(x, y, evicted);
             if det.check(&reference, reference_n).is_some() {
                 fired = true;
                 break;
@@ -297,6 +310,184 @@ mod sharding {
             feed(&mut changed, &pool_sizes, switch_at, 70, phase);
             prop_assert_eq!(fixed.assessments(), changed.assessments());
             prop_assert_eq!(fixed.drain_recommendations(), changed.drain_recommendations());
+        }
+    }
+}
+
+/// Satellite coverage for the slot-major store's edge semantics: pools that
+/// skip replan windows, drift-reset mid-run, or go offline for stretches.
+/// The oracle is a *per-shard reference engine* — the same `PoolShard`
+/// state machine driven sequentially over [`OwnedLane`]s (one privately
+/// owned set of heap buffers per pool, the pre-store representation) — and
+/// the property is full structural equality against the plane-backed
+/// `SweepEngine` at every thread count × exec mode.
+mod store_semantics {
+    use headroom_core::slo::QosRequirement;
+    use headroom_online::drift::DriftConfig;
+    use headroom_online::planner::{
+        OnlinePlannerConfig, PoolWindowAggregate, ResizeRecommendation, SweepExec,
+    };
+    use headroom_online::store::OwnedLane;
+    use headroom_online::{PoolShard, SweepEngine};
+    use headroom_telemetry::ids::PoolId;
+    use headroom_telemetry::time::WindowIndex;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    /// Aggressive tuning so the short run exercises every edge: tiny fit
+    /// warm-up, a hair-trigger drift detector, and a coarse replan cadence
+    /// (so pools *skip* replan windows between ticks).
+    fn config_with(replan_every: u64, dwell: u64) -> OnlinePlannerConfig {
+        OnlinePlannerConfig {
+            window_capacity: 16,
+            min_fit_windows: 6,
+            replan_every,
+            dwell_windows: dwell,
+            min_pool_chunk: 1,
+            drift: DriftConfig {
+                short_window: 6,
+                min_reference: 8,
+                slope_tolerance: 0.30,
+                level_tolerance: 0.05,
+                min_spread_fraction: 0.0,
+            },
+            ..OnlinePlannerConfig::default()
+        }
+    }
+
+    /// One pool's synthetic aggregate; after `shifted`, the response
+    /// profile jumps (a simulated release) hard enough to trip the
+    /// hair-trigger drift config within one short window.
+    fn agg_for(w: u64, p: u32, shifted: bool) -> PoolWindowAggregate {
+        let rps = 200.0 + ((w * (3 + p as u64)) % 50) as f64 * 7.0;
+        let factor = if shifted { 2.4 } else { 1.0 };
+        PoolWindowAggregate {
+            window: WindowIndex(w),
+            rps_per_server: rps,
+            cpu_pct: (0.028 * rps + 1.37) * factor,
+            latency_p95_ms: 4.028e-5 * rps * rps - 0.031 * rps + 36.68,
+            disk_queue: 1.0,
+            memory_pages_per_sec: 4_000.0,
+            network_mbps: 0.32 * rps,
+            active_servers: 5 + (p % 3) as usize,
+        }
+    }
+
+    /// Whether pool `p` reports this window. Pool 0 never goes offline (so
+    /// the drift assertion below is deterministic); other pools drop out
+    /// ~30% of windows in pool-dependent runs.
+    fn online(w: u64, p: u32, seed: u64) -> bool {
+        p == 0 || (w.wrapping_mul(2_654_435_761).wrapping_add((p as u64) * 97 + seed) % 10) >= 3
+    }
+
+    /// The oracle: `PoolShard`s over `OwnedLane`s, driven sequentially with
+    /// exactly the sweep's pairing and cadence rules.
+    struct Reference {
+        config: OnlinePlannerConfig,
+        qos: QosRequirement,
+        shards: Vec<(PoolId, PoolShard, OwnedLane)>,
+        windows_seen: u64,
+        recs: Vec<ResizeRecommendation>,
+    }
+
+    impl Reference {
+        fn new(config: OnlinePlannerConfig, qos: QosRequirement) -> Self {
+            Reference { config, qos, shards: Vec::new(), windows_seen: 0, recs: Vec::new() }
+        }
+
+        fn observe(&mut self, window: WindowIndex, aggs: &[(PoolId, PoolWindowAggregate)]) {
+            self.windows_seen += 1;
+            for &(pool, _) in aggs {
+                if let Err(at) = self.shards.binary_search_by_key(&pool, |t| t.0) {
+                    let lane = OwnedLane::new(
+                        self.config.window_capacity,
+                        self.config.drift.short_window.max(2),
+                    );
+                    self.shards.insert(at, (pool, PoolShard::new(&self.config), lane));
+                }
+            }
+            let replan = self.windows_seen.is_multiple_of(self.config.replan_every);
+            for (pool, shard, lane) in self.shards.iter_mut() {
+                if let Some(&(_, agg)) = aggs.iter().find(|(p, _)| p == pool) {
+                    shard.observe(agg, lane);
+                }
+                if replan || shard.urgent() {
+                    if let Some(rec) = shard.replan(*pool, window, &self.qos, &self.config, lane) {
+                        self.recs.push(rec);
+                    }
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// For any mix of offline stretches, skipped replan windows, and
+        /// drift resets, the slot-major store is bit-identical to the
+        /// per-shard reference at threads 1–8 × both exec modes.
+        #[test]
+        fn store_matches_per_shard_reference(
+            pools in 2u32..8,
+            replan_every in 1u64..4,
+            dwell in 0u64..3,
+            shift_at in 20u64..40,
+            seed in 0u64..1_000,
+        ) {
+            let config = config_with(replan_every, dwell);
+            let qos = QosRequirement::latency(32.5).with_cpu_ceiling(90.0);
+            let windows = 64u64;
+
+            let mut reference = Reference::new(config, qos);
+            let mut engines: Vec<SweepEngine> = [1usize, 2, 5, 8]
+                .iter()
+                .flat_map(|&threads| {
+                    [SweepExec::Persistent, SweepExec::Scoped].map(|exec| {
+                        SweepEngine::new(
+                            OnlinePlannerConfig { threads, exec, ..config },
+                            qos,
+                        )
+                    })
+                })
+                .collect();
+
+            for w in 0..windows {
+                let aggs: Vec<(PoolId, PoolWindowAggregate)> = (0..pools)
+                    .filter(|&p| online(w, p, seed))
+                    .map(|p| (PoolId(p), agg_for(w, p, w >= shift_at)))
+                    .collect();
+                reference.observe(WindowIndex(w), &aggs);
+                for engine in &mut engines {
+                    engine.observe_aggregates(WindowIndex(w), &aggs);
+                }
+            }
+
+            let expected: BTreeMap<_, _> = reference
+                .shards
+                .iter()
+                .filter_map(|(p, s, _)| s.assessment().map(|a| (*p, a.clone())))
+                .collect();
+            prop_assert!(!expected.is_empty(), "pools were planned");
+            // The always-online pool crossed the injected release: the run
+            // actually contains a drift reset, not just quiet windows.
+            prop_assert!(
+                expected[&PoolId(0)].drift_events >= 1,
+                "the injected shift at window {shift_at} never tripped drift"
+            );
+            for engine in &mut engines {
+                let (threads, exec) =
+                    (engine.config().threads, engine.config().exec);
+                prop_assert_eq!(
+                    &expected,
+                    &engine.assessments().to_map(),
+                    "assessments diverged at threads={} exec={:?}", threads, exec
+                );
+                prop_assert_eq!(
+                    &reference.recs,
+                    &engine.drain_recommendations(),
+                    "recommendations diverged at threads={} exec={:?}", threads, exec
+                );
+            }
         }
     }
 }

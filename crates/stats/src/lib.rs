@@ -17,6 +17,10 @@
 //!   bit-identical to sort-based percentiles) and O(1) sliding-window
 //!   maxima, the structures behind the streaming planner's per-window
 //!   sizing path;
+//! - [`plane`] — the struct-of-arrays counterparts of those windows: one
+//!   flat allocation holding *every* pool's ring/sorted-window/max-deque,
+//!   indexed by lane, so a fleet-wide sweep streams its state instead of
+//!   pointer-chasing one heap buffer per pool;
 //! - [`combine`] — the canonical shard-and-combine trait those streaming
 //!   accumulators implement;
 //! - [`fit_array`] — fixed-size per-resource arrays of accumulators (the
@@ -66,6 +70,7 @@ pub mod monotonic;
 pub mod order_stats;
 pub mod percentile;
 pub mod persist;
+pub mod plane;
 pub mod polyfit;
 pub mod quadfit;
 pub mod quantile_stream;
@@ -81,6 +86,7 @@ pub use linreg::LinearFit;
 pub use monotonic::MonotonicMaxDeque;
 pub use order_stats::OrderStatsMultiset;
 pub use persist::{Persist, PersistError, Reader, Writer};
+pub use plane::{DequePlane, RingCursors, RingPlane, SortedPlane};
 pub use polyfit::Polynomial;
 pub use quadfit::StreamingQuadFit;
 pub use sorted_window::SortedWindow;

@@ -1,0 +1,742 @@
+//! Engine-owned state planes: many sliding windows, one allocation.
+//!
+//! The streaming planner keeps four small side buffers *per pool* —
+//! aggregate ring, sorted totals window, drift sub-window, allocation
+//! max-deque. Owned individually (a `VecDeque`/`Vec` per pool) each is a
+//! separate heap object, so a fleet sweep pays a dependent cache/TLB miss
+//! per pool per buffer per window: at 16k pools the planner spent ~2× the
+//! 512-pool per-pool cost purely on pointer-chasing its own state.
+//!
+//! A *plane* is the struct-of-arrays counterpart: one flat allocation
+//! holding every pool's buffer, indexed by `lane` (the pool's position in
+//! the engine's sorted shard list). Two layouts are used:
+//!
+//! - **slot-major** ([`RingPlane`] + [`RingCursors`]): element `(slot,
+//!   lane)` lives at `slot * lanes + lane`, so in the lockstep steady state
+//!   (every pool pushes into the same ring slot each window) consecutive
+//!   lanes hit consecutive addresses — the sweep *streams* the plane;
+//! - **lane-major** ([`SortedPlane`], [`DequePlane`]): each lane owns the
+//!   contiguous segment `[lane * cap, (lane + 1) * cap)`, the right shape
+//!   for structures whose per-window work is a `memmove` within one lane
+//!   (sorted insert/evict) or a head/tail walk (monotonic deque).
+//!
+//! The per-lane operations are exposed both as methods and as free
+//! `*_seg_*` functions over raw `(segment, cursor)` pairs, so a caller that
+//! partitions lanes across threads can drive disjoint lanes through the
+//! exact same code path the single-threaded methods use — semantics (and
+//! results) are bit-identical by construction to the per-pool structures
+//! they replace ([`crate::sorted_window::SortedWindow`],
+//! [`crate::monotonic::MonotonicMaxDeque`], a FIFO ring), which the unit
+//! tests pin differentially.
+//!
+//! Lane count changes only when pools arrive: [`RingPlane::remap`] and
+//! friends rebuild the planes under an old-lane → new-lane mapping (a
+//! growth-window allocation; steady-state windows never reallocate).
+
+use crate::percentile::percentile_of_sorted;
+
+/// Shared ring-buffer geometry for a family of [`RingPlane`]s: per-lane
+/// `start`/`len` cursors over a common capacity.
+///
+/// Several planes that advance in lockstep (e.g. the seven aggregate
+/// counter planes) share one `RingCursors`, so the cursor arithmetic is
+/// paid once per push, not once per plane.
+///
+/// Push protocol (see [`push_slot`]): when the lane is full, the evicted
+/// entry occupies exactly the slot the new entry will overwrite — the
+/// caller must *read* the evicted values before *writing* the new ones,
+/// then [`advance`].
+///
+/// [`push_slot`]: RingCursors::push_slot
+/// [`advance`]: RingCursors::advance
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingCursors {
+    cap: u32,
+    start: Vec<u32>,
+    len: Vec<u32>,
+}
+
+impl RingCursors {
+    /// Cursors for `lanes` empty rings of `cap` slots each.
+    pub fn new(cap: usize, lanes: usize) -> Self {
+        let cap = u32::try_from(cap.max(1)).expect("ring capacity fits u32");
+        RingCursors { cap, start: vec![0; lanes], len: vec![0; lanes] }
+    }
+
+    /// Slots per lane.
+    pub fn cap(&self) -> usize {
+        self.cap as usize
+    }
+
+    /// Lanes tracked.
+    pub fn lanes(&self) -> usize {
+        self.len.len()
+    }
+
+    /// Entries currently held in `lane`.
+    pub fn len(&self, lane: usize) -> usize {
+        self.len[lane] as usize
+    }
+
+    /// True when `lane` holds nothing.
+    pub fn is_empty(&self, lane: usize) -> bool {
+        self.len[lane] == 0
+    }
+
+    /// The physical slot the next push into `lane` writes, and whether that
+    /// write evicts (the lane is full and the slot still holds the oldest
+    /// entry). Read evicted values from the slot *before* overwriting, then
+    /// call [`advance`].
+    ///
+    /// [`advance`]: RingCursors::advance
+    pub fn push_slot(&self, lane: usize) -> (usize, bool) {
+        let (start, len) = (self.start[lane], self.len[lane]);
+        if len == self.cap {
+            (start as usize, true)
+        } else {
+            (((start + len) % self.cap) as usize, false)
+        }
+    }
+
+    /// Commits the push [`push_slot`] prepared.
+    ///
+    /// [`push_slot`]: RingCursors::push_slot
+    pub fn advance(&mut self, lane: usize) {
+        if self.len[lane] == self.cap {
+            self.start[lane] = (self.start[lane] + 1) % self.cap;
+        } else {
+            self.len[lane] += 1;
+        }
+    }
+
+    /// The physical slot of the `i`-th oldest entry in `lane`.
+    pub fn slot_of(&self, lane: usize, i: usize) -> usize {
+        debug_assert!(i < self.len(lane));
+        (self.start[lane] as usize + i) % self.cap as usize
+    }
+
+    /// Empties `lane`.
+    pub fn clear_lane(&mut self, lane: usize) {
+        self.start[lane] = 0;
+        self.len[lane] = 0;
+    }
+
+    /// Marks `lane` as holding `len` entries starting at physical slot 0 —
+    /// the restore hook: the caller has just written `len` entries into
+    /// slots `0..len` of every plane sharing these cursors. Returns false
+    /// (and leaves the lane empty) when `len` exceeds the capacity.
+    pub fn restore_lane(&mut self, lane: usize, len: usize) -> bool {
+        self.clear_lane(lane);
+        if len > self.cap as usize {
+            return false;
+        }
+        self.len[lane] = len as u32;
+        true
+    }
+
+    /// Rebuilds the cursors under an old-lane → new-lane `mapping`; lanes
+    /// of the new geometry that nothing maps to start empty.
+    pub fn remap(&self, mapping: &[usize], new_lanes: usize) -> RingCursors {
+        let mut out = RingCursors::new(self.cap as usize, new_lanes);
+        for (old, &new) in mapping.iter().enumerate() {
+            out.start[new] = self.start[old];
+            out.len[new] = self.len[old];
+        }
+        out
+    }
+
+    /// Per-lane start slots (raw view hook).
+    pub fn starts_mut(&mut self) -> &mut [u32] {
+        &mut self.start
+    }
+
+    /// Per-lane lengths (raw view hook).
+    pub fn lens_mut(&mut self) -> &mut [u32] {
+        &mut self.len
+    }
+}
+
+/// One slot-major `f64` plane: element `(slot, lane)` at `slot * lanes +
+/// lane`. Cursor state lives in a (possibly shared) [`RingCursors`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingPlane {
+    /// Slots per lane — held explicitly (not derived from `data.len() /
+    /// lanes`), so a plane created with zero lanes still remaps to its
+    /// intended geometry when the first pools arrive.
+    cap: usize,
+    lanes: usize,
+    data: Vec<f64>,
+}
+
+impl RingPlane {
+    /// A zeroed plane of `cap` slots × `lanes` lanes.
+    pub fn new(cap: usize, lanes: usize) -> Self {
+        let cap = cap.max(1);
+        RingPlane { cap, lanes, data: vec![0.0; cap * lanes] }
+    }
+
+    /// Lanes per slot.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Reads element `(slot, lane)`.
+    pub fn get(&self, slot: usize, lane: usize) -> f64 {
+        self.data[slot * self.lanes + lane]
+    }
+
+    /// Writes element `(slot, lane)`.
+    pub fn set(&mut self, slot: usize, lane: usize, v: f64) {
+        self.data[slot * self.lanes + lane] = v;
+    }
+
+    /// Rebuilds the plane under an old-lane → new-lane `mapping` (all slots
+    /// copied; stale slots beyond a lane's length are never read).
+    pub fn remap(&self, mapping: &[usize], new_lanes: usize) -> RingPlane {
+        let cap = self.cap;
+        let mut out = RingPlane::new(cap, new_lanes);
+        for slot in 0..cap {
+            let (old_row, new_row) = (slot * self.lanes, slot * new_lanes);
+            for (old, &new) in mapping.iter().enumerate() {
+                out.data[new_row + new] = self.data[old_row + old];
+            }
+        }
+        out
+    }
+
+    /// The backing storage (raw view hook).
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+}
+
+/// Inserts `v` into the sorted prefix `seg[..*len]` (ascending, duplicates
+/// kept). Non-finite values are ignored — exactly
+/// [`crate::sorted_window::SortedWindow::insert`].
+pub fn sorted_seg_insert(seg: &mut [f64], len: &mut u32, v: f64) {
+    if !v.is_finite() {
+        return;
+    }
+    let n = *len as usize;
+    debug_assert!(n < seg.len(), "sorted lane overflow: window outgrew its plane");
+    if n >= seg.len() {
+        return;
+    }
+    let at = seg[..n].partition_point(|&x| x < v);
+    seg.copy_within(at..n, at + 1);
+    seg[at] = v;
+    *len = (n + 1) as u32;
+}
+
+/// Removes one occurrence of `v` from the sorted prefix `seg[..*len]`.
+/// Returns whether a value was removed — exactly
+/// [`crate::sorted_window::SortedWindow::remove`].
+pub fn sorted_seg_remove(seg: &mut [f64], len: &mut u32, v: f64) -> bool {
+    if !v.is_finite() {
+        return false;
+    }
+    let n = *len as usize;
+    let at = seg[..n].partition_point(|&x| x < v);
+    if at < n && seg[at] == v {
+        seg.copy_within(at + 1..n, at);
+        *len = (n - 1) as u32;
+        true
+    } else {
+        false
+    }
+}
+
+/// Replaces one occurrence of `old` with `new` in the sorted prefix:
+/// exactly [`sorted_seg_remove`]`(old)` followed by
+/// [`sorted_seg_insert`]`(new)`, fused so the elements between the two
+/// positions move once instead of the whole tail moving twice — the
+/// steady-state shape of a full sliding window, where every arrival also
+/// evicts. Returns whether `old` was removed.
+pub fn sorted_seg_replace(seg: &mut [f64], len: &mut u32, old: f64, new: f64) -> bool {
+    if !new.is_finite() {
+        return sorted_seg_remove(seg, len, old);
+    }
+    if !old.is_finite() {
+        sorted_seg_insert(seg, len, new);
+        return false;
+    }
+    let n = *len as usize;
+    let at_r = seg[..n].partition_point(|&x| x < old);
+    if !(at_r < n && seg[at_r] == old) {
+        sorted_seg_insert(seg, len, new);
+        return false;
+    }
+    let at_i = seg[..n].partition_point(|&x| x < new);
+    if at_i <= at_r {
+        seg.copy_within(at_i..at_r, at_i + 1);
+        seg[at_i] = new;
+    } else {
+        // `old` sits below every element ≥ `new`, so its removal shifts
+        // the insertion point down by one.
+        seg.copy_within(at_r + 1..at_i, at_r);
+        seg[at_i - 1] = new;
+    }
+    true
+}
+
+/// The `p`-th percentile of the sorted prefix `seg[..len]` — the same NIST
+/// R-7 arithmetic as [`crate::sorted_window::SortedWindow::percentile`],
+/// `None` on an empty prefix or `p` outside `0..=100`.
+pub fn sorted_seg_percentile(seg: &[f64], len: u32, p: f64) -> Option<f64> {
+    let n = len as usize;
+    if n == 0 || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
+    Some(percentile_of_sorted(&seg[..n], p))
+}
+
+/// Lane-major sorted sliding windows: lane `l` owns the ascending prefix
+/// `data[l * cap ..][..len[l]]`. Per-lane semantics are exactly
+/// [`crate::sorted_window::SortedWindow`] with a capacity bound (the
+/// planner's totals window never outgrows its aggregate ring).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortedPlane {
+    cap: usize,
+    len: Vec<u32>,
+    data: Vec<f64>,
+}
+
+impl SortedPlane {
+    /// `lanes` empty windows of at most `cap` values each.
+    pub fn new(cap: usize, lanes: usize) -> Self {
+        let cap = cap.max(1);
+        SortedPlane { cap, len: vec![0; lanes], data: vec![0.0; cap * lanes] }
+    }
+
+    /// Values per lane at most.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Values held in `lane`.
+    pub fn len(&self, lane: usize) -> usize {
+        self.len[lane] as usize
+    }
+
+    /// The held values of `lane`, ascending.
+    pub fn as_slice(&self, lane: usize) -> &[f64] {
+        &self.data[lane * self.cap..][..self.len[lane] as usize]
+    }
+
+    /// Adds one value to `lane` ([`sorted_seg_insert`]).
+    pub fn insert(&mut self, lane: usize, v: f64) {
+        let seg = &mut self.data[lane * self.cap..][..self.cap];
+        sorted_seg_insert(seg, &mut self.len[lane], v);
+    }
+
+    /// Removes one occurrence of `v` from `lane` ([`sorted_seg_remove`]).
+    pub fn remove(&mut self, lane: usize, v: f64) -> bool {
+        let seg = &mut self.data[lane * self.cap..][..self.cap];
+        sorted_seg_remove(seg, &mut self.len[lane], v)
+    }
+
+    /// Replaces `old` with `new` in `lane` ([`sorted_seg_replace`]).
+    pub fn replace(&mut self, lane: usize, old: f64, new: f64) -> bool {
+        let seg = &mut self.data[lane * self.cap..][..self.cap];
+        sorted_seg_replace(seg, &mut self.len[lane], old, new)
+    }
+
+    /// The `p`-th percentile of `lane` ([`sorted_seg_percentile`]).
+    pub fn percentile(&self, lane: usize, p: f64) -> Option<f64> {
+        sorted_seg_percentile(&self.data[lane * self.cap..][..self.cap], self.len[lane], p)
+    }
+
+    /// Empties `lane`.
+    pub fn clear_lane(&mut self, lane: usize) {
+        self.len[lane] = 0;
+    }
+
+    /// Restores `lane` to exactly `values` (must be ascending, finite, and
+    /// within capacity — returns false and leaves the lane empty
+    /// otherwise). The validation mirrors
+    /// [`crate::sorted_window::SortedWindow`]'s restore.
+    pub fn restore_lane(&mut self, lane: usize, values: &[f64]) -> bool {
+        use std::cmp::Ordering::{Equal, Less};
+        self.clear_lane(lane);
+        if values.len() > self.cap
+            || values.iter().any(|v| !v.is_finite())
+            || !values.windows(2).all(|p| matches!(p[0].partial_cmp(&p[1]), Some(Less | Equal)))
+        {
+            return false;
+        }
+        self.data[lane * self.cap..][..values.len()].copy_from_slice(values);
+        self.len[lane] = values.len() as u32;
+        true
+    }
+
+    /// Rebuilds the plane under an old-lane → new-lane `mapping`.
+    pub fn remap(&self, mapping: &[usize], new_lanes: usize) -> SortedPlane {
+        let mut out = SortedPlane::new(self.cap, new_lanes);
+        for (old, &new) in mapping.iter().enumerate() {
+            out.len[new] = self.len[old];
+            out.data[new * self.cap..][..self.cap]
+                .copy_from_slice(&self.data[old * self.cap..][..self.cap]);
+        }
+        out
+    }
+
+    /// The backing storage (raw view hook).
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Per-lane lengths (raw view hook).
+    pub fn lens_mut(&mut self) -> &mut [u32] {
+        &mut self.len
+    }
+}
+
+/// Feeds the value entering a lane's FIFO window into its monotonic
+/// max-deque ring segment (`seg.len()` is the ring capacity) — exactly
+/// [`crate::monotonic::MonotonicMaxDeque::push`]: strictly smaller tail
+/// entries are discarded, equals kept.
+pub fn deque_seg_push(seg: &mut [u64], head: &mut u32, len: &mut u32, v: u64) {
+    let cap = seg.len() as u32;
+    while *len > 0 && seg[((*head + *len - 1) % cap) as usize] < v {
+        *len -= 1;
+    }
+    debug_assert!(*len < cap, "deque lane overflow: window outgrew its plane");
+    if *len < cap {
+        seg[((*head + *len) % cap) as usize] = v;
+        *len += 1;
+    }
+}
+
+/// Feeds the value leaving a lane's FIFO window — exactly
+/// [`crate::monotonic::MonotonicMaxDeque::evict`]: pops the front iff it
+/// equals `v`.
+pub fn deque_seg_evict(seg: &mut [u64], head: &mut u32, len: &mut u32, v: u64) {
+    let cap = seg.len() as u32;
+    if *len > 0 && seg[*head as usize] == v {
+        *head = (*head + 1) % cap;
+        *len -= 1;
+    }
+}
+
+/// The window maximum of a deque lane — its front entry.
+pub fn deque_seg_max(seg: &[u64], head: u32, len: u32) -> Option<u64> {
+    (len > 0).then(|| seg[head as usize])
+}
+
+/// Lane-major monotonic max-deques over `u64` values: lane `l` owns the
+/// ring segment `data[l * cap .. (l + 1) * cap]` with its own `head`/`len`.
+/// Per-lane semantics are exactly
+/// [`crate::monotonic::MonotonicMaxDeque`] driven by a FIFO window of at
+/// most `cap` values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DequePlane {
+    cap: usize,
+    head: Vec<u32>,
+    len: Vec<u32>,
+    data: Vec<u64>,
+}
+
+impl DequePlane {
+    /// `lanes` empty deques tracking windows of at most `cap` values.
+    pub fn new(cap: usize, lanes: usize) -> Self {
+        let cap = cap.max(1);
+        DequePlane { cap, head: vec![0; lanes], len: vec![0; lanes], data: vec![0; cap * lanes] }
+    }
+
+    /// Values retained in `lane` (≤ the window length, often far fewer).
+    pub fn len(&self, lane: usize) -> usize {
+        self.len[lane] as usize
+    }
+
+    /// The `i`-th retained value of `lane`, front (maximum) first.
+    pub fn get(&self, lane: usize, i: usize) -> u64 {
+        debug_assert!(i < self.len(lane));
+        self.data[lane * self.cap + (self.head[lane] as usize + i) % self.cap]
+    }
+
+    /// Feeds the value entering `lane`'s window ([`deque_seg_push`]).
+    pub fn push(&mut self, lane: usize, v: u64) {
+        let seg = &mut self.data[lane * self.cap..][..self.cap];
+        deque_seg_push(seg, &mut self.head[lane], &mut self.len[lane], v);
+    }
+
+    /// Feeds the value leaving `lane`'s window ([`deque_seg_evict`]).
+    pub fn evict(&mut self, lane: usize, v: u64) {
+        let seg = &mut self.data[lane * self.cap..][..self.cap];
+        deque_seg_evict(seg, &mut self.head[lane], &mut self.len[lane], v);
+    }
+
+    /// The maximum of `lane`'s window ([`deque_seg_max`]).
+    pub fn max(&self, lane: usize) -> Option<u64> {
+        deque_seg_max(&self.data[lane * self.cap..][..self.cap], self.head[lane], self.len[lane])
+    }
+
+    /// Empties `lane`.
+    pub fn clear_lane(&mut self, lane: usize) {
+        self.head[lane] = 0;
+        self.len[lane] = 0;
+    }
+
+    /// Restores `lane` to exactly `values`, front first (must be
+    /// non-increasing — the monotonic invariant — and within capacity;
+    /// returns false and leaves the lane empty otherwise).
+    pub fn restore_lane(&mut self, lane: usize, values: &[u64]) -> bool {
+        self.clear_lane(lane);
+        if values.len() > self.cap || values.windows(2).any(|p| p[1] > p[0]) {
+            return false;
+        }
+        self.data[lane * self.cap..][..values.len()].copy_from_slice(values);
+        self.len[lane] = values.len() as u32;
+        true
+    }
+
+    /// Rebuilds the plane under an old-lane → new-lane `mapping`.
+    pub fn remap(&self, mapping: &[usize], new_lanes: usize) -> DequePlane {
+        let mut out = DequePlane::new(self.cap, new_lanes);
+        for (old, &new) in mapping.iter().enumerate() {
+            out.head[new] = self.head[old];
+            out.len[new] = self.len[old];
+            out.data[new * self.cap..][..self.cap]
+                .copy_from_slice(&self.data[old * self.cap..][..self.cap]);
+        }
+        out
+    }
+
+    /// The backing storage (raw view hook).
+    pub fn data_mut(&mut self) -> &mut [u64] {
+        &mut self.data
+    }
+
+    /// Per-lane heads (raw view hook).
+    pub fn heads_mut(&mut self) -> &mut [u32] {
+        &mut self.head
+    }
+
+    /// Per-lane lengths (raw view hook).
+    pub fn lens_mut(&mut self) -> &mut [u32] {
+        &mut self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monotonic::MonotonicMaxDeque;
+    use crate::sorted_window::SortedWindow;
+    use std::collections::VecDeque;
+
+    fn lcg(x: &mut u64) -> f64 {
+        *x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+        (*x >> 11) as f64 / (1u64 << 53) as f64 * 1e4
+    }
+
+    #[test]
+    fn ring_cursors_match_fifo_ring() {
+        // Two lanes pushed at different rates, differentially against a
+        // VecDeque-backed FIFO ring of the same capacity.
+        let cap = 7;
+        let mut cursors = RingCursors::new(cap, 2);
+        let mut plane = RingPlane::new(cap, 2);
+        let mut reference: [VecDeque<f64>; 2] = [VecDeque::new(), VecDeque::new()];
+        let mut x = 9u64;
+        for step in 0..200 {
+            for (lane, fifo) in reference.iter_mut().enumerate() {
+                if (step + lane) % (lane + 1) != 0 {
+                    continue; // lanes advance on their own cadence
+                }
+                let v = lcg(&mut x);
+                let (slot, evicting) = cursors.push_slot(lane);
+                let evicted = evicting.then(|| plane.get(slot, lane));
+                plane.set(slot, lane, v);
+                cursors.advance(lane);
+
+                let expect_evicted = if fifo.len() == cap { fifo.pop_front() } else { None };
+                fifo.push_back(v);
+                assert_eq!(evicted, expect_evicted, "lane {lane} step {step}");
+                assert_eq!(cursors.len(lane), fifo.len());
+                for (i, &want) in fifo.iter().enumerate() {
+                    assert_eq!(plane.get(cursors.slot_of(lane, i), lane), want);
+                }
+            }
+        }
+        cursors.clear_lane(0);
+        assert!(cursors.is_empty(0));
+        assert_eq!(cursors.len(1), cap, "clearing one lane leaves the other");
+    }
+
+    #[test]
+    fn sorted_plane_matches_sorted_window() {
+        let cap = 33;
+        let lanes = 3;
+        let mut plane = SortedPlane::new(cap, lanes);
+        let mut reference: Vec<SortedWindow> = (0..lanes).map(|_| SortedWindow::new()).collect();
+        let mut windows: Vec<VecDeque<f64>> = vec![VecDeque::new(); lanes];
+        let mut x = 3u64;
+        for step in 0..600 {
+            let lane = step % lanes;
+            let v = lcg(&mut x);
+            if windows[lane].len() == cap {
+                let evicted = windows[lane].pop_front().unwrap();
+                assert_eq!(plane.remove(lane, evicted), reference[lane].remove(evicted));
+            }
+            windows[lane].push_back(v);
+            plane.insert(lane, v);
+            reference[lane].insert(v);
+            assert_eq!(plane.as_slice(lane), reference[lane].as_sorted_slice());
+            for p in [0.0, 50.0, 99.0, 100.0] {
+                assert_eq!(plane.percentile(lane, p), reference[lane].percentile(p).ok());
+            }
+        }
+        assert_eq!(plane.percentile(0, 101.0), None);
+        assert!(!plane.remove(1, f64::NAN), "non-finite remove is a no-op");
+        let before = plane.len(2);
+        plane.insert(2, f64::INFINITY);
+        assert_eq!(plane.len(2), before, "non-finite insert is ignored");
+    }
+
+    #[test]
+    fn sorted_replace_matches_remove_then_insert() {
+        // The fused replace against the two-step reference, over values
+        // drawn from a small set so duplicates (and missing removals) are
+        // common, across fill levels.
+        let cap = 16;
+        let mut fused = SortedPlane::new(cap, 1);
+        let mut twostep = SortedPlane::new(cap, 1);
+        let mut x = 31u64;
+        let draw = |x: &mut u64| (lcg(x) as u64 % 7) as f64;
+        for step in 0..500usize {
+            let new = draw(&mut x);
+            // Steady-state occupancy wanders below capacity; a full lane
+            // always replaces a present value (as the ring eviction
+            // guarantees in production), a non-full lane sometimes grows
+            // and sometimes replaces a possibly-absent value.
+            let full = fused.len(0) == cap;
+            if !full && step % 5 == 0 {
+                fused.insert(0, new);
+                twostep.insert(0, new);
+                continue;
+            }
+            let old = if full {
+                fused.as_slice(0)[step % cap] // present by construction
+            } else {
+                draw(&mut x) // duplicates common, may be absent
+            };
+            let a = fused.replace(0, old, new);
+            let b = twostep.remove(0, old);
+            twostep.insert(0, new);
+            assert_eq!(a, b, "step {step}: removed flag diverged");
+            assert_eq!(fused.as_slice(0), twostep.as_slice(0), "step {step}");
+        }
+        // Non-finite arms fall back to the single-op semantics.
+        let len = fused.len(0);
+        assert_eq!(
+            fused.replace(0, f64::NAN, f64::INFINITY),
+            false,
+            "nothing removed, nothing inserted"
+        );
+        assert_eq!(fused.len(0), len);
+    }
+
+    #[test]
+    fn deque_plane_matches_monotonic_deque() {
+        let cap = 23;
+        let mut plane = DequePlane::new(cap, 2);
+        let mut reference: [MonotonicMaxDeque<u64>; 2] =
+            [MonotonicMaxDeque::new(), MonotonicMaxDeque::new()];
+        let mut windows: [VecDeque<u64>; 2] = [VecDeque::new(), VecDeque::new()];
+        for step in 0..500u64 {
+            for lane in 0..2 {
+                let v = (step * 37 + 11 * lane as u64) % 97;
+                if windows[lane].len() == cap {
+                    let evicted = windows[lane].pop_front().unwrap();
+                    plane.evict(lane, evicted);
+                    reference[lane].evict(evicted);
+                }
+                windows[lane].push_back(v);
+                plane.push(lane, v);
+                reference[lane].push(v);
+                assert_eq!(plane.max(lane), reference[lane].max(), "lane {lane} step {step}");
+                assert_eq!(plane.len(lane), reference[lane].len());
+            }
+        }
+        plane.clear_lane(0);
+        assert_eq!(plane.max(0), None);
+        assert!(plane.max(1).is_some(), "clearing one lane leaves the other");
+    }
+
+    #[test]
+    fn remap_preserves_lane_state_and_opens_new_lanes() {
+        let cap = 5;
+        let mut cursors = RingCursors::new(cap, 2);
+        let mut ring = RingPlane::new(cap, 2);
+        let mut sorted = SortedPlane::new(cap, 2);
+        let mut deque = DequePlane::new(cap, 2);
+        for i in 0..8u64 {
+            // Wrap lane 1 past capacity so remap must carry a rotated ring.
+            for lane in [1, usize::from(i % 2 == 0)] {
+                let v = (i * 13 + lane as u64 * 7) % 29;
+                let (slot, evicting) = cursors.push_slot(lane);
+                if evicting {
+                    let old = ring.get(slot, lane);
+                    sorted.remove(lane, old);
+                    deque.evict(lane, old as u64);
+                }
+                ring.set(slot, lane, v as f64);
+                cursors.advance(lane);
+                sorted.insert(lane, v as f64);
+                deque.push(lane, v);
+            }
+        }
+        let held: Vec<Vec<f64>> = (0..2)
+            .map(|lane| {
+                (0..cursors.len(lane)).map(|i| ring.get(cursors.slot_of(lane, i), lane)).collect()
+            })
+            .collect();
+
+        // Old lane 0 → new lane 1, old lane 1 → new lane 3; lanes 0/2 fresh.
+        let mapping = [1usize, 3];
+        let cursors2 = cursors.remap(&mapping, 4);
+        let ring2 = ring.remap(&mapping, 4);
+        let sorted2 = sorted.remap(&mapping, 4);
+        let deque2 = deque.remap(&mapping, 4);
+        for (old, &new) in mapping.iter().enumerate() {
+            assert_eq!(cursors2.len(new), cursors.len(old));
+            let got: Vec<f64> =
+                (0..cursors2.len(new)).map(|i| ring2.get(cursors2.slot_of(new, i), new)).collect();
+            assert_eq!(got, held[old], "ring content survives remap");
+            assert_eq!(sorted2.as_slice(new), sorted.as_slice(old));
+            assert_eq!(deque2.max(new), deque.max(old));
+        }
+        for fresh in [0usize, 2] {
+            assert!(cursors2.is_empty(fresh));
+            assert_eq!(sorted2.len(fresh), 0);
+            assert_eq!(deque2.max(fresh), None);
+        }
+    }
+
+    #[test]
+    fn restore_lane_validates() {
+        let mut cursors = RingCursors::new(4, 1);
+        assert!(cursors.restore_lane(0, 4));
+        assert_eq!(cursors.len(0), 4);
+        assert_eq!(cursors.slot_of(0, 0), 0, "restored lanes start at slot 0");
+        assert!(!cursors.restore_lane(0, 5), "over-capacity length rejected");
+        assert!(cursors.is_empty(0));
+
+        let mut sorted = SortedPlane::new(4, 1);
+        assert!(sorted.restore_lane(0, &[1.0, 2.0, 2.0, 7.5]));
+        assert_eq!(sorted.percentile(0, 100.0), Some(7.5));
+        assert!(!sorted.restore_lane(0, &[2.0, 1.0]), "descending rejected");
+        assert!(!sorted.restore_lane(0, &[1.0, f64::NAN]), "non-finite rejected");
+        assert!(!sorted.restore_lane(0, &[1.0; 5]), "over-capacity rejected");
+        assert_eq!(sorted.len(0), 0);
+
+        let mut deque = DequePlane::new(4, 1);
+        assert!(deque.restore_lane(0, &[9, 9, 3]));
+        assert_eq!(deque.max(0), Some(9));
+        assert_eq!((0..3).map(|i| deque.get(0, i)).collect::<Vec<_>>(), vec![9, 9, 3]);
+        assert!(!deque.restore_lane(0, &[3, 9]), "increasing run rejected");
+        assert!(!deque.restore_lane(0, &[1; 5]), "over-capacity rejected");
+        assert_eq!(deque.len(0), 0);
+    }
+}
