@@ -16,7 +16,13 @@
 //!    shape lost outright. `fleet_scaling_columns/*` runs the
 //!    struct-of-arrays ingestion over the same recorded workload up to
 //!    16384 pools — the hot path of the columnar snapshot pipeline.
-//! 3. **sublinear replan cost** — `p99_peak/*` isolates the windowed-peak
+//! 3. **ingestion-only cost** — `sweep_ingestion/*` re-runs the columnar
+//!    cells with replanning disabled (`replan_every = u64::MAX`), so the
+//!    rows isolate the pass-structured observe kernels (aggregate →
+//!    ring/totals/alloc/drift planes → scalar estimators) from the sizing
+//!    re-derivation, the same isolation split `bench_sim` applies to the
+//!    simulator kernels.
+//! 4. **sublinear replan cost** — `p99_peak/*` isolates the windowed-peak
 //!    query three ways: the treap multiset (O(log W) operations, pointer
 //!    walks), the sorted contiguous column the shard uses now (O(W) moved
 //!    bytes, one streaming memmove, O(1) percentile), and the sort-based
@@ -182,6 +188,49 @@ fn bench_fleet_scaling_columns(c: &mut Criterion) {
     group.finish();
 }
 
+/// Ingestion-only isolation: the same columnar cells as
+/// `fleet_scaling_columns`, but with replanning disabled
+/// (`replan_every = u64::MAX`, so `windows_seen` never hits a replan tick
+/// and no pool turns urgent on an empty assessment). What remains is
+/// exactly the plane-at-a-time observe passes — aggregate build, agg-ring
+/// push + eviction, totals replace/insert, alloc deque, drift ring, and
+/// the scalar estimator pass — mirroring `bench_sim`'s kernel-isolation
+/// group on the simulator side.
+fn bench_ingestion_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_ingestion");
+    for pools in [512u32, 4096] {
+        let snapshots = synthetic_snapshots(pools, 3, 72);
+        let columns = synthetic_columns(&snapshots);
+        for threads in [1usize, 4] {
+            let config = OnlinePlannerConfig {
+                window_capacity: 48,
+                min_fit_windows: 24,
+                replan_every: u64::MAX,
+                threads,
+                ..OnlinePlannerConfig::default()
+            };
+            let mut engine = warmed_engine_columns(&columns, config);
+            let mut next = columns.len() as u64;
+            let mut cursor = 0usize;
+            group.bench_function(BenchmarkId::new(format!("pools={pools}"), threads), |b| {
+                b.iter(|| {
+                    let (cols, slices) = &columns[cursor];
+                    let snap = ColumnarSnapshot {
+                        window: WindowIndex(next),
+                        columns: cols,
+                        pools: slices,
+                    };
+                    engine.observe_columns(black_box(&snap));
+                    next += 1;
+                    cursor = (cursor + 1) % columns.len();
+                    engine.drain_recommendations().len()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 /// One synthetic total-workload stream, long enough for the largest window.
 fn workload_stream(n: usize) -> Vec<f64> {
     let mut x = 9u64;
@@ -250,6 +299,7 @@ criterion_group!(
     bench_thread_scaling,
     bench_fleet_scaling,
     bench_fleet_scaling_columns,
+    bench_ingestion_only,
     bench_order_statistics
 );
 criterion_main!(benches);

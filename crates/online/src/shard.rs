@@ -176,6 +176,57 @@ impl PoolShard {
         }
     }
 
+    /// The scalar half of [`observe`] — pass 5 of the pass-structured
+    /// window: fit removes for the evicted aggregate, fit pushes for the
+    /// arriving one, latency-stream/projector updates, and the drift
+    /// check, with `lane.clear()` on a drift hit exactly as the fused
+    /// path. The windowed halves (ring/totals/deque/drift pushes) must
+    /// already have run for this window, with `evicted`/`drift_evicted`
+    /// being what they returned (see `crate::store::StoreView`'s pass
+    /// entry points).
+    ///
+    /// Every floating-point operation on shard state happens in the same
+    /// per-structure order the fused [`observe`] issues, and all state is
+    /// pool-local — so pass-structured windows are bit-identical to fused
+    /// ones, which the engine proptests pin against the [`observe`]-driven
+    /// `OwnedLane` reference.
+    ///
+    /// [`observe`]: PoolShard::observe
+    pub fn observe_scalar(
+        &mut self,
+        agg: &PoolWindowAggregate,
+        evicted: Option<&PoolWindowAggregate>,
+        drift_evicted: Option<(f64, f64)>,
+        lane: &mut impl ShardLane,
+    ) {
+        if let Some(evicted) = evicted {
+            for r in Resource::ALL {
+                self.resources[r.index()].remove(evicted.rps_per_server, evicted.utilization(r));
+            }
+            self.latency.remove(evicted.rps_per_server, evicted.latency_p95_ms);
+        }
+        for r in Resource::ALL {
+            self.resources[r.index()].push(agg.rps_per_server, agg.utilization(r));
+        }
+        self.latency.push(agg.rps_per_server, agg.latency_p95_ms);
+        self.latency_stream.observe(agg.latency_p95_ms);
+        self.projector.observe(agg.window, agg.total_rps());
+        self.drift.observe(agg.rps_per_server, agg.cpu_pct, drift_evicted);
+        let cpu = &self.resources[Resource::Cpu.index()];
+        if let Ok(reference) = cpu.fit() {
+            if self.drift.check(&reference, cpu.len()).is_some() {
+                lane.clear();
+                self.resources.clear();
+                self.latency.clear();
+                self.latency_stream = P2Quantile::new(0.95).expect("valid quantile");
+                self.drift.reset();
+                self.dwell = None;
+                self.urgent = false;
+                self.drift_events += 1;
+            }
+        }
+    }
+
     /// The batch optimizer's sizing formula over the current window
     /// (except that the answer is not clamped to the current allocation —
     /// see the Grow comment below).

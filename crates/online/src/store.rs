@@ -356,6 +356,88 @@ impl ShardLane for OwnedLane {
     }
 }
 
+/// Reusable per-chunk scratch for the pass-structured window: the inputs
+/// and evictions one pass produces and a later pass consumes, packed as
+/// dense flag + value arrays indexed by lane *within the pass range*.
+///
+/// Owned by the sweep engine's per-chunk output slot and resized once to
+/// the pass-tile width — steady-state windows reuse the storage and
+/// allocate nothing (the counting-allocator gate covers this path).
+#[derive(Debug, Clone, Default)]
+pub struct PassScratch {
+    /// Lanes of the range that have an input this window.
+    present: Vec<bool>,
+    /// The arriving aggregate per present lane.
+    aggs: Vec<PoolWindowAggregate>,
+    /// Physical ring slot each present lane's aggregate push writes.
+    slots: Vec<u32>,
+    /// Whether that push evicted the lane's oldest aggregate.
+    evicting: Vec<bool>,
+    /// The evicted aggregate per evicting lane (`window` not meaningful,
+    /// as with [`ShardLane::agg_push`]).
+    evicted: Vec<PoolWindowAggregate>,
+    /// Drift-ring analogues of `slots`/`evicting`/`evicted`.
+    drift_slots: Vec<u32>,
+    drift_evicting: Vec<bool>,
+    drift_evicted: Vec<(f64, f64)>,
+}
+
+/// An all-zero aggregate used to back scratch slots whose flag is unset.
+const ZERO_AGG: PoolWindowAggregate = PoolWindowAggregate {
+    window: WindowIndex(0),
+    rps_per_server: 0.0,
+    cpu_pct: 0.0,
+    latency_p95_ms: 0.0,
+    disk_queue: 0.0,
+    memory_pages_per_sec: 0.0,
+    network_mbps: 0.0,
+    active_servers: 0,
+};
+
+impl PassScratch {
+    /// Empties the scratch and sizes every array for a range of `lanes`.
+    /// Allocation-free once capacity is established.
+    pub fn reset(&mut self, lanes: usize) {
+        self.present.clear();
+        self.present.resize(lanes, false);
+        self.aggs.resize(lanes, ZERO_AGG);
+        self.slots.resize(lanes, 0);
+        self.evicting.clear();
+        self.evicting.resize(lanes, false);
+        self.evicted.resize(lanes, ZERO_AGG);
+        self.drift_slots.resize(lanes, 0);
+        self.drift_evicting.clear();
+        self.drift_evicting.resize(lanes, false);
+        self.drift_evicted.resize(lanes, (0.0, 0.0));
+    }
+
+    /// Lanes covered by the current range.
+    pub fn lanes(&self) -> usize {
+        self.present.len()
+    }
+
+    /// Records range lane `i`'s arriving aggregate (pass 0).
+    pub fn set_input(&mut self, i: usize, agg: PoolWindowAggregate) {
+        self.present[i] = true;
+        self.aggs[i] = agg;
+    }
+
+    /// Range lane `i`'s arriving aggregate, if it has one this window.
+    pub fn input(&self, i: usize) -> Option<&PoolWindowAggregate> {
+        self.present[i].then(|| &self.aggs[i])
+    }
+
+    /// The aggregate lane `i`'s ring push evicted, if any (pass 1 output).
+    pub fn evicted(&self, i: usize) -> Option<&PoolWindowAggregate> {
+        self.evicting[i].then(|| &self.evicted[i])
+    }
+
+    /// The pair lane `i`'s drift push evicted, if any (pass 4 output).
+    pub fn drift_evicted(&self, i: usize) -> Option<(f64, f64)> {
+        self.drift_evicting[i].then(|| self.drift_evicted[i])
+    }
+}
+
 pub use view::{LaneView, StoreView};
 
 /// The one `unsafe` corner of the crate: raw, `Copy`, `Send + Sync`
@@ -433,6 +515,172 @@ mod view {
         pub fn lane(&self, lane: usize) -> LaneView {
             debug_assert!(lane < self.lanes, "lane {lane} out of {} lanes", self.lanes);
             LaneView { v: *self, lane }
+        }
+
+        /// Pass 1 of the pass-structured window: one aggregate-ring push
+        /// per present lane of `[first_lane, first_lane + scratch.lanes())`,
+        /// evicted aggregates recorded in the scratch. Per-lane semantics
+        /// are exactly [`ShardLane::agg_push`]; the batched shape runs the
+        /// cursor kernel over the range's contiguous cursor slices and then
+        /// streams the cell exchange (in the lockstep steady state every
+        /// present lane writes the same slot row, so consecutive lanes hit
+        /// consecutive cells).
+        ///
+        /// The caller must own the lane range exclusively, exactly as with
+        /// [`StoreView::lane`].
+        pub fn pass_agg_push(&self, first_lane: usize, scratch: &mut PassScratch) {
+            let n = scratch.lanes();
+            debug_assert!(first_lane + n <= self.lanes, "pass range exceeds store lanes");
+            let lanes = self.lanes;
+            // SAFETY: lane-disjointness puts the range's cursor words and
+            // every touched (slot, lane) cell under this caller's exclusive
+            // ownership; evicted cells are read before being overwritten.
+            unsafe {
+                let starts = std::slice::from_raw_parts_mut(self.agg_start.add(first_lane), n);
+                let lens = std::slice::from_raw_parts_mut(self.agg_len.add(first_lane), n);
+                headroom_stats::plane::ring_push_slots(
+                    self.window_cap as u32,
+                    starts,
+                    lens,
+                    &scratch.present,
+                    &mut scratch.slots,
+                    &mut scratch.evicting,
+                );
+                for i in 0..n {
+                    if !scratch.present[i] {
+                        continue;
+                    }
+                    let lane = first_lane + i;
+                    let cell =
+                        self.agg.add((scratch.slots[i] as usize * lanes + lane) * AGG_FIELDS);
+                    if scratch.evicting[i] {
+                        scratch.evicted[i] = PoolWindowAggregate {
+                            window: WindowIndex(0),
+                            rps_per_server: *cell,
+                            cpu_pct: *cell.add(1),
+                            latency_p95_ms: *cell.add(2),
+                            disk_queue: *cell.add(3),
+                            memory_pages_per_sec: *cell.add(4),
+                            network_mbps: *cell.add(5),
+                            active_servers: *cell.add(6) as usize,
+                        };
+                    }
+                    let a = &scratch.aggs[i];
+                    *cell = a.rps_per_server;
+                    *cell.add(1) = a.cpu_pct;
+                    *cell.add(2) = a.latency_p95_ms;
+                    *cell.add(3) = a.disk_queue;
+                    *cell.add(4) = a.memory_pages_per_sec;
+                    *cell.add(5) = a.network_mbps;
+                    *cell.add(6) = a.active_servers as f64;
+                }
+            }
+        }
+
+        /// Pass 2: totals replace/insert across every present lane's sorted
+        /// segment — [`ShardLane::totals_replace`] when pass 1 evicted,
+        /// [`ShardLane::totals_insert`] otherwise, per lane. One streaming
+        /// walk over the lane-major totals plane.
+        pub fn pass_totals(&self, first_lane: usize, scratch: &PassScratch) {
+            for i in 0..scratch.lanes() {
+                if !scratch.present[i] {
+                    continue;
+                }
+                let lane = first_lane + i;
+                // SAFETY: lane-disjoint segment access, as
+                // `LaneView::totals_seg`.
+                unsafe {
+                    let seg = std::slice::from_raw_parts_mut(
+                        self.totals.add(lane * self.window_cap),
+                        self.window_cap,
+                    );
+                    let len = &mut *self.totals_len.add(lane);
+                    let new = scratch.aggs[i].total_rps();
+                    if scratch.evicting[i] {
+                        headroom_stats::plane::sorted_seg_replace(
+                            seg,
+                            len,
+                            scratch.evicted[i].total_rps(),
+                            new,
+                        );
+                    } else {
+                        headroom_stats::plane::sorted_seg_insert(seg, len, new);
+                    }
+                }
+            }
+        }
+
+        /// Pass 3: allocation deque evict (when pass 1 evicted) then push,
+        /// per present lane — the same evict-before-push order the fused
+        /// observe issues. One streaming walk over the deque plane.
+        pub fn pass_alloc(&self, first_lane: usize, scratch: &PassScratch) {
+            for i in 0..scratch.lanes() {
+                if !scratch.present[i] {
+                    continue;
+                }
+                let lane = first_lane + i;
+                // SAFETY: lane-disjoint segment access, as
+                // `LaneView::alloc_seg`.
+                unsafe {
+                    let seg = std::slice::from_raw_parts_mut(
+                        self.alloc.add(lane * self.window_cap),
+                        self.window_cap,
+                    );
+                    let head = &mut *self.alloc_head.add(lane);
+                    let len = &mut *self.alloc_len.add(lane);
+                    if scratch.evicting[i] {
+                        headroom_stats::plane::deque_seg_evict(
+                            seg,
+                            head,
+                            len,
+                            scratch.evicted[i].active_servers as u64,
+                        );
+                    }
+                    headroom_stats::plane::deque_seg_push(
+                        seg,
+                        head,
+                        len,
+                        scratch.aggs[i].active_servers as u64,
+                    );
+                }
+            }
+        }
+
+        /// Pass 4: drift sub-window push per present lane, evicted pairs
+        /// recorded in the scratch — [`ShardLane::drift_push`] batched the
+        /// same way [`StoreView::pass_agg_push`] batches the aggregate
+        /// ring.
+        pub fn pass_drift_push(&self, first_lane: usize, scratch: &mut PassScratch) {
+            let n = scratch.lanes();
+            debug_assert!(first_lane + n <= self.lanes, "pass range exceeds store lanes");
+            let lanes = self.lanes;
+            // SAFETY: as pass_agg_push, over the drift cursors and plane.
+            unsafe {
+                let starts = std::slice::from_raw_parts_mut(self.drift_start.add(first_lane), n);
+                let lens = std::slice::from_raw_parts_mut(self.drift_len.add(first_lane), n);
+                headroom_stats::plane::ring_push_slots(
+                    self.drift_cap as u32,
+                    starts,
+                    lens,
+                    &scratch.present,
+                    &mut scratch.drift_slots,
+                    &mut scratch.drift_evicting,
+                );
+                for i in 0..n {
+                    if !scratch.present[i] {
+                        continue;
+                    }
+                    let lane = first_lane + i;
+                    let cell = self
+                        .drift
+                        .add((scratch.drift_slots[i] as usize * lanes + lane) * DRIFT_FIELDS);
+                    if scratch.drift_evicting[i] {
+                        scratch.drift_evicted[i] = (*cell, *cell.add(1));
+                    }
+                    *cell = scratch.aggs[i].rps_per_server;
+                    *cell.add(1) = scratch.aggs[i].cpu_pct;
+                }
+            }
         }
     }
 
@@ -703,6 +951,67 @@ mod tests {
         // A cleared lane accepts a fresh stream identically to a fresh one.
         let mut reference = OwnedLane::new(8, 4);
         drive_both(&mut view.lane(0), &mut reference, 25);
+    }
+
+    #[test]
+    fn pass_kernels_match_per_lane_ops() {
+        // The plane-at-a-time passes against the per-lane ShardLane calls
+        // (issued in the fused observe order), over lanes that skip windows
+        // on their own cadence so fill levels and evictions diverge.
+        let lanes = 5;
+        let mut by_passes = ShardStore::with_lanes(6, 3, lanes);
+        let mut by_lane = ShardStore::with_lanes(6, 3, lanes);
+        let mut scratch = PassScratch::default();
+        for w in 0..40u64 {
+            let pv = by_passes.view();
+            let lv = by_lane.view();
+            scratch.reset(lanes);
+            for l in 0..lanes {
+                if !(w as usize + l).is_multiple_of(l + 1) {
+                    continue; // lanes observe on their own cadence
+                }
+                scratch.set_input(l, agg(w, 180.0 + (w % 23) as f64 * 7.0 + l as f64, 3 + l % 4));
+            }
+            pv.pass_agg_push(0, &mut scratch);
+            pv.pass_totals(0, &scratch);
+            pv.pass_alloc(0, &scratch);
+            pv.pass_drift_push(0, &mut scratch);
+            for l in 0..lanes {
+                let Some(&a) = scratch.input(l) else { continue };
+                let mut lane = lv.lane(l);
+                let evicted = lane.agg_push(&a);
+                if let Some(e) = &evicted {
+                    lane.totals_replace(e.total_rps(), a.total_rps());
+                    lane.alloc_evict(e.active_servers);
+                } else {
+                    lane.totals_insert(a.total_rps());
+                }
+                lane.alloc_push(a.active_servers);
+                let pair = lane.drift_push(a.rps_per_server, a.cpu_pct);
+                assert_eq!(
+                    scratch.evicted(l).map(|e| (e.rps_per_server, e.active_servers)),
+                    evicted.as_ref().map(|e| (e.rps_per_server, e.active_servers)),
+                    "lane {l} window {w}: evicted aggregate diverged"
+                );
+                assert_eq!(
+                    scratch.drift_evicted(l),
+                    pair,
+                    "lane {l} window {w}: evicted drift pair diverged"
+                );
+            }
+            // A mid-run clear (the drift-reset path) must leave both sides
+            // identical too.
+            if w == 25 {
+                by_passes.view().lane(2).clear();
+                by_lane.view().lane(2).clear();
+            }
+        }
+        for l in 0..lanes {
+            let (mut wa, mut wb) = (Writer::new(), Writer::new());
+            by_passes.persist_lane(l, &mut wa);
+            by_lane.persist_lane(l, &mut wb);
+            assert_eq!(wa.into_bytes(), wb.into_bytes(), "lane {l} state diverged");
+        }
     }
 
     #[test]

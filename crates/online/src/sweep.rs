@@ -47,6 +47,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::Index;
+use std::time::Instant;
 
 use headroom_cluster::columns::{ColumnarSnapshot, SnapshotColumns};
 use headroom_cluster::sim::{PartitionedSnapshot, SnapshotRow, WindowSnapshot};
@@ -61,7 +62,7 @@ use crate::planner::{
     PoolAssessment, PoolWindowAggregate, ResizeRecommendation, SweepExec,
 };
 use crate::shard::PoolShard;
-use crate::store::{ShardStore, StoreView};
+use crate::store::{PassScratch, ShardStore, StoreView};
 
 /// Per-pool input of one sweep: either a pre-computed aggregate or a
 /// `(start, len)` range of the window's snapshot (rows or columns,
@@ -88,11 +89,37 @@ enum WindowData<'a> {
     Columns(&'a SnapshotColumns),
 }
 
-/// One chunk's output: the recommendations its pools emitted, in pool
-/// order. Assessments are *not* merged — each worker writes its pools'
-/// assessments in place inside the [`PoolShard`]s (see [`AssessmentView`]),
-/// so the only fleet-level per-window copy is the (rare) recommendation.
-type ChunkItem = ResizeRecommendation;
+/// Passes of the pass-structured window, in execution order: per-pool
+/// aggregate computation (pass 0), the four windowed-plane passes, the
+/// scalar shard pass, and replanning. Indexes into the per-pass timing
+/// array [`SweepEngine::pass_ns`] returns; [`PASS_NAMES`] labels them.
+pub const PASS_COUNT: usize = 7;
+
+/// Human-readable labels for the [`PASS_COUNT`] passes, index-aligned with
+/// [`SweepEngine::pass_ns`].
+pub const PASS_NAMES: [&str; PASS_COUNT] =
+    ["aggregate", "agg_ring", "totals", "alloc", "drift_ring", "scalar", "replan"];
+
+/// Lanes per pass tile: passes 0–5 run over sub-ranges of this width so the
+/// inter-pass scratch stays cache-resident while each pass within a tile
+/// still walks its plane contiguously. Purely an execution knob — per-lane
+/// work is independent of tile boundaries, so results are bit-identical for
+/// any width.
+const PASS_TILE: usize = 512;
+
+/// One chunk's per-window working state: the recommendations its pools
+/// emitted (in pool order), the inter-pass scratch, and the count of pools
+/// that gained their *first* assessment this window (summed into the
+/// engine's O(1) assessed-pool counter at merge). Assessments themselves
+/// are *not* merged — each worker writes its pools' assessments in place
+/// inside the [`PoolShard`]s (see [`AssessmentView`]), so the only
+/// fleet-level per-window copy is the (rare) recommendation.
+#[derive(Debug, Default)]
+struct ChunkState {
+    out: Vec<ResizeRecommendation>,
+    scratch: PassScratch,
+    newly_assessed: usize,
+}
 
 /// The parallel shard-and-merge planner core.
 ///
@@ -160,11 +187,24 @@ pub struct SweepEngine {
     store: ShardStore,
     pending: Vec<ResizeRecommendation>,
     windows_seen: u64,
+    /// Pools whose shard currently holds an assessment. An assessment is
+    /// written once and only ever overwritten (never cleared — see
+    /// [`PoolShard::assessment`]), so this is a monotonic count maintained
+    /// at merge time, making [`AssessmentView::len`] O(1).
+    assessed: usize,
     /// Reusable per-window input index (cleared, never dropped).
     input_buf: Vec<(PoolId, PoolInput)>,
-    /// Reusable per-chunk output buffers, indexed by chunk; reading them in
-    /// index order *is* the deterministic merge.
-    chunk_outs: Vec<Vec<ChunkItem>>,
+    /// Reusable per-chunk working state, indexed by chunk; reading the
+    /// output buffers in index order *is* the deterministic merge.
+    chunk_outs: Vec<ChunkState>,
+    /// Accumulated per-pass nanoseconds (see [`PASS_NAMES`]), populated on
+    /// single-chunk windows when [`enable_pass_timing`] was called.
+    /// Execution telemetry only — never part of the planner's logical
+    /// state.
+    ///
+    /// [`enable_pass_timing`]: SweepEngine::enable_pass_timing
+    pass_ns: [u64; PASS_COUNT],
+    time_passes: bool,
     /// Long-lived workers (persistent mode). Execution state only — never
     /// part of the planner's logical state.
     workers: WorkerPool,
@@ -183,8 +223,11 @@ impl Clone for SweepEngine {
             store: self.store.clone(),
             pending: self.pending.clone(),
             windows_seen: self.windows_seen,
+            assessed: self.assessed,
             input_buf: Vec::new(),
             chunk_outs: Vec::new(),
+            pass_ns: [0; PASS_COUNT],
+            time_passes: false,
             workers: WorkerPool::new(),
         }
     }
@@ -204,8 +247,11 @@ impl SweepEngine {
             shards: Vec::new(),
             pending: Vec::new(),
             windows_seen: 0,
+            assessed: 0,
             input_buf: Vec::new(),
             chunk_outs: Vec::new(),
+            pass_ns: [0; PASS_COUNT],
+            time_passes: false,
             workers: WorkerPool::new(),
         }
     }
@@ -275,7 +321,27 @@ impl SweepEngine {
     /// shard array (assessments live inside their shards; nothing is
     /// copied to read them).
     pub fn assessments(&self) -> AssessmentView<'_> {
-        AssessmentView { shards: &self.shards }
+        AssessmentView { shards: &self.shards, assessed: self.assessed }
+    }
+
+    /// Starts recording per-pass wall time (and zeroes any prior counts).
+    /// Only single-chunk windows are timed — at more than one chunk the
+    /// passes run concurrently across workers and a per-pass wall-clock sum
+    /// would be meaningless — so measure at `threads: 1`. Timing costs a
+    /// few `Instant` reads per tile and allocates nothing.
+    pub fn enable_pass_timing(&mut self) -> &mut Self {
+        self.time_passes = true;
+        self.pass_ns = [0; PASS_COUNT];
+        self
+    }
+
+    /// Accumulated nanoseconds per pass since [`enable_pass_timing`],
+    /// index-aligned with [`PASS_NAMES`]. All zero unless timing is enabled
+    /// and single-chunk windows ran.
+    ///
+    /// [`enable_pass_timing`]: SweepEngine::enable_pass_timing
+    pub fn pass_ns(&self) -> [u64; PASS_COUNT] {
+        self.pass_ns
     }
 
     /// Takes the recommendations queued since the last drain.
@@ -354,9 +420,19 @@ impl SweepEngine {
     /// a window without arrivals does nothing beyond the lookups the sweep
     /// needed anyway.
     fn admit_new_pools(&mut self, inputs: &[(PoolId, PoolInput)]) {
+        // Arrival detection is a linear merge over the two pool-sorted
+        // lists, not a binary search per input: per-input probes gather
+        // ~log n cold cache lines each from the ~1 KiB shard elements,
+        // which at fleet scale costs more per window than a whole observe
+        // pass, while the cursor walk below is one constant-stride read
+        // the prefetcher covers.
         let mut missing: Vec<PoolId> = Vec::new();
+        let mut cursor = 0usize;
         for &(pool, _) in inputs {
-            if self.shards.binary_search_by_key(&pool, |&(p, _)| p).is_err() {
+            while cursor < self.shards.len() && self.shards[cursor].0 < pool {
+                cursor += 1;
+            }
+            if !(cursor < self.shards.len() && self.shards[cursor].0 == pool) {
                 missing.push(pool);
             }
         }
@@ -402,7 +478,7 @@ impl SweepEngine {
         let chunk_len = headroom_exec::chunk_len(self.shards.len(), threads);
         let chunks = self.shards.len().div_ceil(chunk_len);
         if self.chunk_outs.len() < chunks {
-            self.chunk_outs.resize_with(chunks, Vec::new);
+            self.chunk_outs.resize_with(chunks, ChunkState::default);
         }
 
         // Split the borrows: workers mutate shards and their own output
@@ -416,14 +492,7 @@ impl SweepEngine {
         let config = &self.config;
         let qos = &self.qos;
         let default_qos = self.default_qos;
-        let run = |chunk: usize, shards: &mut [(PoolId, PoolShard)], out: &mut Vec<ChunkItem>| {
-            out.clear();
-            // Every pool can emit on *any* window — replan windows re-derive
-            // every sizing, and urgent pools bypass the cadence — so the
-            // buffer must hold the whole chunk even on non-replan windows
-            // (a replan-gated hint of 0 under-sized it exactly when an
-            // urgent recommendation arrived between ticks).
-            out.reserve(shards.len());
+        let run = |chunk: usize, shards: &mut [(PoolId, PoolShard)], state: &mut ChunkState| {
             sweep_chunk(
                 shards,
                 chunk * chunk_len,
@@ -435,11 +504,30 @@ impl SweepEngine {
                 config,
                 qos,
                 default_qos,
-                out,
+                state,
+                None,
             );
         };
         if chunks <= 1 {
-            run(0, &mut self.shards, &mut self.chunk_outs[0]);
+            // The single-chunk path runs on the calling thread, where
+            // per-pass wall time is well-defined; hand it the timing array
+            // when enabled (the closure above is shared across workers and
+            // always passes None).
+            let timer = self.time_passes.then_some(&mut self.pass_ns);
+            sweep_chunk(
+                &mut self.shards,
+                0,
+                view,
+                inputs,
+                data,
+                window,
+                replan,
+                config,
+                qos,
+                default_qos,
+                &mut self.chunk_outs[0],
+                timer,
+            );
         } else {
             match self.config.exec {
                 SweepExec::Persistent => self.workers.run_chunks(
@@ -461,9 +549,10 @@ impl SweepEngine {
         // draining the chunk buffers in index order *is* the deterministic
         // merge (and keeps their capacity for the next window). Assessments
         // were written into their shards by the workers; only the (rare)
-        // recommendations cross the merge.
-        for out in &mut self.chunk_outs[..chunks] {
-            self.pending.append(out);
+        // recommendations and the first-assessment counts cross the merge.
+        for state in &mut self.chunk_outs[..chunks] {
+            self.pending.append(&mut state.out);
+            self.assessed += state.newly_assessed;
         }
     }
 }
@@ -529,6 +618,9 @@ impl Persist for SweepEngine {
             shards.push((pool, PoolShard::restore(r)?));
             store.restore_lane(lane, r)?;
         }
+        // Derived, not serialized: recount so checkpoints from before the
+        // counter existed restore correctly too.
+        let assessed = shards.iter().filter(|(_, s)| s.assessment().is_some()).count();
         Ok(SweepEngine {
             config,
             default_qos,
@@ -537,21 +629,38 @@ impl Persist for SweepEngine {
             store,
             pending: Vec::restore(r)?,
             windows_seen: r.take_u64()?,
+            assessed,
             input_buf: Vec::new(),
             chunk_outs: Vec::new(),
+            pass_ns: [0; PASS_COUNT],
+            time_passes: false,
             workers: WorkerPool::new(),
         })
     }
 }
 
 /// Processes one contiguous chunk of shards for one window, appending the
-/// pools' due recommendations to `out` in pool order (assessments are
-/// written in place inside the shards). `lane_base` is the chunk's first
-/// lane in the store — shard `i` of the chunk owns lane `lane_base + i` of
-/// the `view`, a range disjoint from every other chunk's by the same
-/// geometry that made the shard slices disjoint. Pure function of the
-/// chunk's own state plus shared read-only context — the unit over which
-/// the engine parallelizes. Allocation-free once `out` has capacity.
+/// pools' due recommendations to `state.out` in pool order (assessments
+/// are written in place inside the shards). `lane_base` is the chunk's
+/// first lane in the store — shard `i` of the chunk owns lane
+/// `lane_base + i` of the `view`, a range disjoint from every other
+/// chunk's by the same geometry that made the shard slices disjoint. Pure
+/// function of the chunk's own state plus shared read-only context — the
+/// unit over which the engine parallelizes. Allocation-free once the chunk
+/// state has capacity.
+///
+/// The window runs **plane-at-a-time**, not pool-at-a-time: over each
+/// [`PASS_TILE`]-lane tile, pass 0 computes every pool's aggregate into
+/// the scratch, passes 1–4 push each windowed plane across the whole tile
+/// (aggregate ring, sorted totals, alloc deque, drift ring — see
+/// [`StoreView`]'s pass entry points), and pass 5 applies the scalar shard
+/// updates ([`PoolShard::observe_scalar`]); replanning (pass 6) then runs
+/// over the whole chunk. Each pass walks one or two contiguous streams
+/// instead of the ~8 the fused per-pool observe interleaved. Because every
+/// operation touches only pool-local state and per-structure per-lane
+/// order is preserved, the output is bit-identical to the fused
+/// [`PoolShard::observe`] order — pinned by the `OwnedLane` reference
+/// proptests.
 ///
 /// Both the chunk's shards and the window's inputs are sorted by pool id,
 /// so pairing them is a linear merge: one `partition_point` to find the
@@ -570,19 +679,38 @@ fn sweep_chunk(
     config: &OnlinePlannerConfig,
     qos: &BTreeMap<PoolId, QosRequirement>,
     default_qos: QosRequirement,
-    out: &mut Vec<ChunkItem>,
+    state: &mut ChunkState,
+    mut timer: Option<&mut [u64; PASS_COUNT]>,
 ) {
+    state.out.clear();
+    state.newly_assessed = 0;
     let Some(first_pool) = shards.first().map(|&(p, _)| p) else {
         return;
     };
+    // Every pool can emit on *any* window — replan windows re-derive every
+    // sizing, and urgent pools bypass the cadence — so the buffer must
+    // hold the whole chunk even on non-replan windows (a replan-gated hint
+    // of 0 under-sized it exactly when an urgent recommendation arrived
+    // between ticks).
+    state.out.reserve(shards.len());
     let mut cursor = inputs.partition_point(|&(p, _)| p < first_pool);
-    for (i, (pool, shard)) in shards.iter_mut().enumerate() {
-        let mut lane = view.lane(lane_base + i);
-        while cursor < inputs.len() && inputs[cursor].0 < *pool {
-            cursor += 1;
-        }
-        let aggregate = if cursor < inputs.len() && inputs[cursor].0 == *pool {
-            match inputs[cursor].1 {
+    let scratch = &mut state.scratch;
+    let mut tile_start = 0;
+    while tile_start < shards.len() {
+        let tile_end = (tile_start + PASS_TILE).min(shards.len());
+        let tile = &mut shards[tile_start..tile_end];
+        let first_lane = lane_base + tile_start;
+        let mut mark = timer.is_some().then(Instant::now);
+        // Pass 0: pair the tile's pools with their inputs and aggregate.
+        scratch.reset(tile.len());
+        for (i, (pool, _)) in tile.iter().enumerate() {
+            while cursor < inputs.len() && inputs[cursor].0 < *pool {
+                cursor += 1;
+            }
+            if !(cursor < inputs.len() && inputs[cursor].0 == *pool) {
+                continue;
+            }
+            let aggregate = match inputs[cursor].1 {
                 PoolInput::Aggregate(agg) => Some(agg),
                 PoolInput::Rows { start, len } => match data {
                     WindowData::Rows(rows) => {
@@ -593,19 +721,69 @@ fn sweep_chunk(
                     }
                     WindowData::None => None,
                 },
+            };
+            if let Some(agg) = aggregate {
+                scratch.set_input(i, agg);
             }
-        } else {
-            None
-        };
-        if let Some(agg) = aggregate {
-            shard.observe(agg, &mut lane);
         }
-        if replan || shard.urgent() {
+        lap(&mut timer, &mut mark, 0);
+        // Passes 1–4: each windowed plane across the whole tile.
+        view.pass_agg_push(first_lane, scratch);
+        lap(&mut timer, &mut mark, 1);
+        view.pass_totals(first_lane, scratch);
+        lap(&mut timer, &mut mark, 2);
+        view.pass_alloc(first_lane, scratch);
+        lap(&mut timer, &mut mark, 3);
+        view.pass_drift_push(first_lane, scratch);
+        lap(&mut timer, &mut mark, 4);
+        // Passes 5 (scalar shard updates: fits, latency stream, projector,
+        // drift check with the lane clear on a drift hit) and 6
+        // (replanning) run fused, per pool, in one walk over the tile's
+        // shards. The shard array is the fattest stream of the window
+        // (~0.9 KiB per pool), so at fleet scale a second separate replan
+        // walk would re-read the whole tile from beyond L2; fusing halves
+        // that traffic while the tile's lane segments are also still
+        // cache-resident from passes 2–4. The per-pool order is exactly
+        // the fused reference's (observe, then replan if due), and
+        // replanning reads only its own pool's state, so where the pass
+        // boundary falls is an execution detail (the tile-boundary and
+        // reference proptests pin this). Timing still attributes the two
+        // halves separately — under the diagnostic timer `lap` reads the
+        // clock per pool; untimed windows pay nothing.
+        for (i, (pool, shard)) in tile.iter_mut().enumerate() {
+            if let Some(&agg) = scratch.input(i) {
+                let mut lane = view.lane(first_lane + i);
+                shard.observe_scalar(&agg, scratch.evicted(i), scratch.drift_evicted(i), &mut lane);
+            }
+            lap(&mut timer, &mut mark, 5);
+            if !(replan || shard.urgent()) {
+                continue;
+            }
+            let lane = view.lane(first_lane + i);
             let pool_qos = qos.get(pool).copied().unwrap_or(default_qos);
+            let had_assessment = shard.assessment().is_some();
             if let Some(recommendation) = shard.replan(*pool, window, &pool_qos, config, &lane) {
-                out.push(recommendation);
+                state.out.push(recommendation);
             }
+            // Assessments are monotonic (written once, never cleared), so
+            // the None→Some transitions counted here sum to the fleet
+            // total.
+            if !had_assessment && shard.assessment().is_some() {
+                state.newly_assessed += 1;
+            }
+            lap(&mut timer, &mut mark, 6);
         }
+        tile_start = tile_end;
+    }
+}
+
+/// Accumulates the time since `mark` into `timer[pass]` and restarts the
+/// mark. No clock reads when timing is disabled.
+fn lap(timer: &mut Option<&mut [u64; PASS_COUNT]>, mark: &mut Option<Instant>, pass: usize) {
+    if let (Some(timer), Some(started)) = (timer.as_deref_mut(), *mark) {
+        let now = Instant::now();
+        timer[pass] += now.duration_since(started).as_nanos() as u64;
+        *mark = Some(now);
     }
 }
 
@@ -621,6 +799,9 @@ fn sweep_chunk(
 #[derive(Clone, Copy)]
 pub struct AssessmentView<'a> {
     shards: &'a [(PoolId, PoolShard)],
+    /// Engine-maintained assessed-pool count, so [`AssessmentView::len`]
+    /// is O(1) instead of a filter-count over the shard array.
+    assessed: usize,
 }
 
 impl<'a> AssessmentView<'a> {
@@ -635,14 +816,15 @@ impl<'a> AssessmentView<'a> {
         self.iter().map(|(_, a)| a)
     }
 
-    /// Pools assessed so far (walks the shard array).
+    /// Pools assessed so far — O(1), read from the engine's counter.
     pub fn len(&self) -> usize {
-        self.iter().count()
+        debug_assert_eq!(self.assessed, self.iter().count(), "assessed-pool counter drifted");
+        self.assessed
     }
 
-    /// True when no pool has been assessed yet.
+    /// True when no pool has been assessed yet — O(1).
     pub fn is_empty(&self) -> bool {
-        self.iter().next().is_none()
+        self.len() == 0
     }
 
     /// The assessment of one pool, if derived yet.
@@ -998,6 +1180,96 @@ mod tests {
         assert!(!by_rows.assessments().is_empty(), "pools were planned");
         assert_eq!(by_rows.assessments(), by_cols.assessments());
         assert_eq!(by_rows.drain_recommendations(), by_cols.drain_recommendations());
+    }
+
+    /// The O(1) assessed-pool counter must agree with a recount through
+    /// arrivals, checkpoint round-trips, and clones. (`len()` itself
+    /// debug-asserts against `iter().count()`, so every call in the test
+    /// suite cross-checks the counter.)
+    #[test]
+    fn assessed_count_survives_restore_and_arrivals() {
+        let mut engine = drive(2, 5, 90);
+        assert_eq!(engine.assessments().len(), 5, "all warmed pools assessed");
+        // Two late pools arrive: unassessed shards must not move the count.
+        drive_more(&mut engine, 7, 90, 92);
+        assert_eq!(engine.assessments().len(), 5, "unwarmed arrivals not counted");
+        assert!(!engine.assessments().is_empty());
+        let mut w = Writer::new();
+        engine.persist(&mut w);
+        let bytes = w.into_bytes();
+        let restored = SweepEngine::restore(&mut Reader::new(&bytes)).expect("clean restore");
+        assert_eq!(restored.assessments().len(), 5, "restore recounts");
+        assert_eq!(engine.clone().assessments().len(), 5, "clone carries the counter");
+        drive_more(&mut engine, 7, 92, 182);
+        assert_eq!(engine.assessments().len(), 7, "arrivals counted once warmed");
+    }
+
+    /// Pass timing is pure execution telemetry: it accumulates on
+    /// single-chunk windows, stays zero on multi-chunk ones, and never
+    /// changes planner output.
+    #[test]
+    fn pass_timing_records_single_chunk_windows_only() {
+        let config = OnlinePlannerConfig {
+            window_capacity: 48,
+            min_fit_windows: 12,
+            threads: 1,
+            min_pool_chunk: 1,
+            ..OnlinePlannerConfig::default()
+        };
+        let qos = QosRequirement::latency(32.5).with_cpu_ceiling(90.0);
+        let mut timed = SweepEngine::new(config, qos);
+        timed.enable_pass_timing();
+        drive_more(&mut timed, 3, 0, 40);
+        let ns = timed.pass_ns();
+        assert!(ns.iter().sum::<u64>() > 0, "single-chunk windows were timed");
+        assert!(ns[PASS_COUNT - 1] > 0, "the replan pass registered");
+        let mut untimed = SweepEngine::new(config, qos);
+        drive_more(&mut untimed, 3, 0, 40);
+        assert_eq!(timed.assessments(), untimed.assessments());
+        assert_eq!(timed.drain_recommendations(), untimed.drain_recommendations());
+        let mut wide = SweepEngine::new(OnlinePlannerConfig { threads: 3, ..config }, qos);
+        wide.enable_pass_timing();
+        drive_more(&mut wide, 3, 0, 40);
+        assert_eq!(wide.pass_ns(), [0; PASS_COUNT], "multi-chunk windows are untimed");
+    }
+
+    /// A fleet wide enough that one chunk spans several [`PASS_TILE`]
+    /// tiles: tile boundaries are an execution detail and must not change
+    /// results (the narrower-chunk run crosses them at different lanes).
+    #[test]
+    fn tile_boundaries_do_not_change_results() {
+        let pools = 2 * PASS_TILE + 173; // threads=1: three tiles, one partial
+        let agg_for = |w: u64, p: usize| {
+            let rps = 210.0 + (((w * 31 + p as u64 * 17) % 83) as f64) * 3.0;
+            PoolWindowAggregate {
+                window: WindowIndex(w),
+                rps_per_server: rps,
+                cpu_pct: 0.028 * rps + 1.37,
+                latency_p95_ms: 4.028e-5 * rps * rps - 0.031 * rps + 36.68,
+                disk_queue: 1.0,
+                memory_pages_per_sec: 4_000.0,
+                network_mbps: 0.32 * rps,
+                active_servers: 5 + p % 4,
+            }
+        };
+        let config = OnlinePlannerConfig {
+            window_capacity: 8,
+            min_fit_windows: 4,
+            threads: 1,
+            min_pool_chunk: 1,
+            ..OnlinePlannerConfig::default()
+        };
+        let qos = QosRequirement::latency(32.5).with_cpu_ceiling(90.0);
+        let mut one_chunk = SweepEngine::new(config, qos);
+        let mut sharded = SweepEngine::new(OnlinePlannerConfig { threads: 4, ..config }, qos);
+        for w in 0..12u64 {
+            let aggs: Vec<_> = (0..pools).map(|p| (PoolId(p as u32), agg_for(w, p))).collect();
+            one_chunk.observe_aggregates(WindowIndex(w), &aggs);
+            sharded.observe_aggregates(WindowIndex(w), &aggs);
+        }
+        assert_eq!(one_chunk.assessments().len(), pools, "every pool planned");
+        assert_eq!(one_chunk.assessments(), sharded.assessments());
+        assert_eq!(one_chunk.drain_recommendations(), sharded.drain_recommendations());
     }
 
     /// An undersized pool under a ramping load, planned on a coarse replan

@@ -489,5 +489,88 @@ mod store_semantics {
                 );
             }
         }
+
+        /// The pass-structured sweep (plane-at-a-time kernels) against the
+        /// fused-order `OwnedLane` reference, with the remaining lifecycle
+        /// edges layered on top of drift resets and offline stretches: a
+        /// mid-range pool id first reporting mid-run (forcing a store lane
+        /// remap between windows) and a mid-run `set_threads` (changing
+        /// chunk — and therefore pass-tile — boundaries). Bit-identity must
+        /// hold at threads 1–8 × both exec modes.
+        #[test]
+        fn pass_structure_survives_remap_and_thread_changes(
+            pools in 3u32..8,
+            arrival_at in 8u64..30,
+            replan_every in 1u64..4,
+            switch_at in 10u64..50,
+            new_threads in 1usize..9,
+            shift_at in 20u64..40,
+            seed in 0u64..1_000,
+        ) {
+            let config = config_with(replan_every, 0);
+            let qos = QosRequirement::latency(32.5).with_cpu_ceiling(90.0);
+            let windows = 64u64;
+            // A mid-range id: the arrival lands *between* existing lanes,
+            // so the remap actually moves state (never pool 0 — the drift
+            // assertion below needs it online from window 0).
+            let late = pools / 2;
+
+            let mut reference = Reference::new(config, qos);
+            let mut engines: Vec<SweepEngine> = [1usize, 3, 8]
+                .iter()
+                .flat_map(|&threads| {
+                    [SweepExec::Persistent, SweepExec::Scoped].map(|exec| {
+                        SweepEngine::new(
+                            OnlinePlannerConfig { threads, exec, ..config },
+                            qos,
+                        )
+                    })
+                })
+                .collect();
+
+            for w in 0..windows {
+                let aggs: Vec<(PoolId, PoolWindowAggregate)> = (0..pools)
+                    .filter(|&p| {
+                        if p == late { w >= arrival_at } else { online(w, p, seed) }
+                    })
+                    .map(|p| (PoolId(p), agg_for(w, p, w >= shift_at)))
+                    .collect();
+                reference.observe(WindowIndex(w), &aggs);
+                for engine in &mut engines {
+                    if w == switch_at {
+                        engine.set_threads(new_threads);
+                    }
+                    engine.observe_aggregates(WindowIndex(w), &aggs);
+                }
+            }
+
+            let expected: BTreeMap<_, _> = reference
+                .shards
+                .iter()
+                .filter_map(|(p, s, _)| s.assessment().map(|a| (*p, a.clone())))
+                .collect();
+            prop_assert!(
+                expected[&PoolId(0)].drift_events >= 1,
+                "the injected shift at window {shift_at} never tripped drift"
+            );
+            prop_assert!(
+                expected.contains_key(&PoolId(late)),
+                "the late pool was never planned after its lane remap"
+            );
+            for engine in &mut engines {
+                let (threads, exec) =
+                    (engine.config().threads, engine.config().exec);
+                prop_assert_eq!(
+                    &expected,
+                    &engine.assessments().to_map(),
+                    "assessments diverged at threads={} exec={:?}", threads, exec
+                );
+                prop_assert_eq!(
+                    &reference.recs,
+                    &engine.drain_recommendations(),
+                    "recommendations diverged at threads={} exec={:?}", threads, exec
+                );
+            }
+        }
     }
 }

@@ -210,6 +210,51 @@ impl RingPlane {
     }
 }
 
+/// Prepares and commits one ring push for every flagged lane of a
+/// contiguous cursor range — the batched counterpart of
+/// [`RingCursors::push_slot`] + [`RingCursors::advance`], for
+/// plane-at-a-time pass kernels that update a whole lane range per window
+/// instead of interleaving cursor math with other structures pool by pool.
+///
+/// All slices cover the same lane range (`starts[i]`/`lens[i]` are lane
+/// `i`'s cursors). For each lane with `present[i]`, writes the physical
+/// slot the push lands in to `slots[i]`, whether that slot still holds the
+/// evicted oldest entry to `evicting[i]`, and advances the cursors. The
+/// caller must read evicted cell values from `slots[i]` *before*
+/// overwriting them — same protocol as `push_slot`, which this matches
+/// bit-for-bit per lane. Lanes without `present[i]` are untouched (their
+/// `slots`/`evicting` entries are left stale; callers gate on `present`).
+pub fn ring_push_slots(
+    cap: u32,
+    starts: &mut [u32],
+    lens: &mut [u32],
+    present: &[bool],
+    slots: &mut [u32],
+    evicting: &mut [bool],
+) {
+    debug_assert!(
+        starts.len() == present.len()
+            && lens.len() == present.len()
+            && slots.len() == present.len()
+            && evicting.len() == present.len()
+    );
+    for i in 0..present.len() {
+        if !present[i] {
+            continue;
+        }
+        let (start, len) = (starts[i], lens[i]);
+        if len == cap {
+            slots[i] = start;
+            evicting[i] = true;
+            starts[i] = (start + 1) % cap;
+        } else {
+            slots[i] = (start + len) % cap;
+            evicting[i] = false;
+            lens[i] = len + 1;
+        }
+    }
+}
+
 /// Inserts `v` into the sorted prefix `seg[..*len]` (ascending, duplicates
 /// kept). Non-finite values are ignored — exactly
 /// [`crate::sorted_window::SortedWindow::insert`].
@@ -565,6 +610,44 @@ mod tests {
     }
 
     #[test]
+    fn ring_push_slots_matches_per_lane_protocol() {
+        // The batched kernel against push_slot + advance, over lanes that
+        // skip windows on their own cadence so fill levels diverge and some
+        // lanes wrap while others are still filling.
+        let cap = 5;
+        let lanes = 6;
+        let mut batched = RingCursors::new(cap, lanes);
+        let mut reference = RingCursors::new(cap, lanes);
+        let mut slots = vec![0u32; lanes];
+        let mut evicting = vec![false; lanes];
+        for step in 0..40usize {
+            let present: Vec<bool> = (0..lanes).map(|l| (step + l) % (l + 1) == 0).collect();
+            {
+                let mut starts = std::mem::take(&mut batched.start);
+                ring_push_slots(
+                    cap as u32,
+                    &mut starts,
+                    batched.lens_mut(),
+                    &present,
+                    &mut slots,
+                    &mut evicting,
+                );
+                batched.start = starts;
+            }
+            for (lane, &p) in present.iter().enumerate() {
+                if !p {
+                    continue;
+                }
+                let (slot, evict) = reference.push_slot(lane);
+                reference.advance(lane);
+                assert_eq!(slots[lane] as usize, slot, "lane {lane} step {step}");
+                assert_eq!(evicting[lane], evict, "lane {lane} step {step}");
+            }
+            assert_eq!(batched, reference, "cursor state diverged at step {step}");
+        }
+    }
+
+    #[test]
     fn sorted_plane_matches_sorted_window() {
         let cap = 33;
         let lanes = 3;
@@ -629,11 +712,7 @@ mod tests {
         }
         // Non-finite arms fall back to the single-op semantics.
         let len = fused.len(0);
-        assert_eq!(
-            fused.replace(0, f64::NAN, f64::INFINITY),
-            false,
-            "nothing removed, nothing inserted"
-        );
+        assert!(!fused.replace(0, f64::NAN, f64::INFINITY), "nothing removed, nothing inserted");
         assert_eq!(fused.len(0), len);
     }
 
