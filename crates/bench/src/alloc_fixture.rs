@@ -9,13 +9,16 @@
 //! drift; this module is the single definition of that workload.
 
 use headroom_cluster::catalog::MicroserviceKind;
+use headroom_cluster::maintenance::AvailabilityPractice;
 use headroom_cluster::sim::{RecordingPolicy, SimConfig, Simulation};
 use headroom_cluster::topology::FleetBuilder;
 use headroom_core::slo::QosRequirement;
 use headroom_exec::alloc_track;
 use headroom_online::planner::OnlinePlannerConfig;
 use headroom_online::sweep::SweepEngine;
-use headroom_workload::events::EventScript;
+use headroom_telemetry::ids::DatacenterId;
+use headroom_telemetry::time::SimTime;
+use headroom_workload::events::{EventEffect, EventScript, ScheduledEvent};
 
 /// Windows per replan in the fixture; measured windows dodge the cadence.
 pub const REPLAN_EVERY: u64 = 16;
@@ -30,20 +33,56 @@ pub const MEASURED_WINDOWS: u64 = 10;
 /// (3 DCs × service B × 12 servers, no failures/incidents, SnapshotOnly,
 /// replan every 16 windows), driven through the requested snapshot layout.
 pub fn warmed(threads: usize, columnar: bool) -> (Simulation, SweepEngine) {
-    let fleet = FleetBuilder::new(11)
-        .datacenters(3)
-        .without_failures()
-        .without_incidents()
-        .deploy_service(MicroserviceKind::B, 12)
-        .expect("catalog service deploys")
-        .build();
+    warmed_with(threads, columnar, false)
+}
+
+/// The scenario-active twin of [`warmed`]: the same pipeline with a
+/// `DatacenterLoss` *and* a global demand multiplier active across every
+/// warmed and measured window, so the event-evaluation and loss-
+/// redistribution paths are on the measured steady state. The fleet is
+/// deployed with extra headroom (demand at 55% of the catalog peak) so
+/// the survivors stay non-urgent under the rerouted load — a nonzero
+/// count is then an allocation-contract violation, not urgency replans.
+pub fn warmed_scenario(threads: usize, columnar: bool) -> (Simulation, SweepEngine) {
+    warmed_with(threads, columnar, true)
+}
+
+fn warmed_with(threads: usize, columnar: bool, scenario: bool) -> (Simulation, SweepEngine) {
+    let mut builder = FleetBuilder::new(11).datacenters(3).without_failures().without_incidents();
+    builder = if scenario {
+        let spec = MicroserviceKind::B.spec().with_practice(AvailabilityPractice::WellManaged);
+        builder
+            .deploy_with_spec(&spec, 12, spec.peak_rps_per_server * 0.55)
+            .expect("catalog service deploys")
+    } else {
+        builder.deploy_service(MicroserviceKind::B, 12).expect("catalog service deploys")
+    };
+    let fleet = builder.build();
+    let events = if scenario {
+        // Active from window 0 through far past the measured span.
+        let forever = 30 * 86_400;
+        EventScript::new(vec![
+            ScheduledEvent::new(
+                SimTime::ZERO,
+                forever,
+                EventEffect::DatacenterLoss { datacenter: DatacenterId(2) },
+            ),
+            ScheduledEvent::new(
+                SimTime::ZERO,
+                forever,
+                EventEffect::GlobalDemandMultiplier { factor: 1.1 },
+            ),
+        ])
+    } else {
+        EventScript::empty()
+    };
     let sim_config = SimConfig {
         seed: 11,
         recording: RecordingPolicy::SnapshotOnly,
         track_availability: false,
         ..SimConfig::default()
     };
-    let mut sim = Simulation::new(fleet, EventScript::empty(), sim_config);
+    let mut sim = Simulation::new(fleet, events, sim_config);
     let config = OnlinePlannerConfig {
         window_capacity: 64,
         min_fit_windows: 32,
@@ -81,7 +120,16 @@ pub fn warmed(threads: usize, columnar: bool) -> (Simulation, SweepEngine) {
 /// replans every window, which would make a nonzero count a fixture bug,
 /// not an allocation-contract violation).
 pub fn measure_steady_state_allocs(threads: usize, columnar: bool) -> u64 {
-    let (mut sim, mut engine) = warmed(threads, columnar);
+    measure(warmed(threads, columnar), columnar)
+}
+
+/// [`measure_steady_state_allocs`] on the scenario-active fixture: the
+/// same contract while a `DatacenterLoss` + global surge are live.
+pub fn measure_steady_state_allocs_scenario(threads: usize, columnar: bool) -> u64 {
+    measure(warmed_scenario(threads, columnar), columnar)
+}
+
+fn measure((mut sim, mut engine): (Simulation, SweepEngine), columnar: bool) -> u64 {
     assert!(
         engine.windows_seen().is_multiple_of(REPLAN_EVERY),
         "alloc fixture: warm-up must end on a replan tick"

@@ -22,6 +22,7 @@
 //! | [`multi_resource`] | binding-constraint discovery on a mixed-resource fleet |
 //! | [`colsim`] | columnar↔row snapshot-pipeline bit-identity gate |
 //! | [`service`] | planner-as-a-service checkpoint/replay/reconcile gate |
+//! | [`scenarios`] | adversarial-scenario scoring gate (flash crowd, failover, hypergrowth, …) |
 
 pub mod ablate;
 pub mod colsim;
@@ -38,6 +39,7 @@ pub mod multi_resource;
 pub mod online;
 pub mod pool_b;
 pub mod pool_d;
+pub mod scenarios;
 pub mod service;
 pub mod sweep;
 pub mod table1;
@@ -62,7 +64,7 @@ pub struct ExperimentInfo {
 }
 
 /// Every experiment, in paper order.
-pub const ALL: [ExperimentInfo; 20] = [
+pub const ALL: [ExperimentInfo; 21] = [
     ExperimentInfo { id: "table1", title: "Micro-service catalog", paper_ref: "Table I" },
     ExperimentInfo { id: "fig2", title: "Resource counters vs workload", paper_ref: "Fig. 2" },
     ExperimentInfo { id: "fig3", title: "Per-server CPU scatter (pool I)", paper_ref: "Fig. 3" },
@@ -119,6 +121,11 @@ pub const ALL: [ExperimentInfo; 20] = [
         title: "Planner-as-a-service checkpoint/replay/reconcile gate",
         paper_ref: "headroom-service",
     },
+    ExperimentInfo {
+        id: "scenarios",
+        title: "Adversarial-scenario scoring gate",
+        paper_ref: "Sec. II-B1",
+    },
 ];
 
 /// Whether `id` names a runnable experiment (any [`run_by_id`] arm,
@@ -153,6 +160,7 @@ pub fn is_known_id(id: &str) -> bool {
             | "multi_resource"
             | "colsim"
             | "service"
+            | "scenarios"
     )
 }
 
@@ -253,6 +261,19 @@ pub fn run_by_id(
         "service" => {
             let r = service::run(scale)?;
             (r.to_string(), r.tables())
+        }
+        "scenarios" => {
+            let r = scenarios::run(scale)?;
+            // Merge the per-scenario scorecards into the checked-in
+            // BENCH_sweep.json artifact (run after `sweep`, which rewrites
+            // the file; the splice is idempotent and order-independent
+            // within the file).
+            let json_path = out_dir
+                .map(|d| d.join("BENCH_sweep.json"))
+                .unwrap_or_else(|| Path::new("BENCH_sweep.json").to_path_buf());
+            let existing = std::fs::read_to_string(&json_path).ok();
+            std::fs::write(&json_path, scenarios::merge_into_sweep_json(existing.as_deref(), &r))?;
+            (format!("{r}[merged into {}]\n", json_path.display()), r.tables())
         }
         other => return Err(format!("unknown experiment id: {other}").into()),
     };

@@ -15,7 +15,10 @@
 //!    post-warm-up recommendation burst is in the compared remainder —
 //!    a restore that lost history would emit it late), and one past
 //!    warm-up with dwell hysteresis active (so pending dwell state rides
-//!    in the checkpoint);
+//!    in the checkpoint). One further cell kills the planner *during an
+//!    active `DatacenterLoss`* (the adversarial regional-failover
+//!    scenario on the small fixture fleet) — restores must resume
+//!    byte-identically mid-emergency too;
 //! 2. **log replay** — replaying the reference run's event log through a
 //!    fresh engine re-derives its recommendations and final checkpoint
 //!    bytes exactly;
@@ -44,6 +47,7 @@ use headroom_service::reconcile::{
 use headroom_stats::persist::{Persist, Writer};
 use headroom_telemetry::ids::PoolId;
 use headroom_telemetry::time::WindowIndex;
+use headroom_workload::scenarios;
 
 use crate::csv::CsvTable;
 use crate::Scale;
@@ -85,6 +89,14 @@ pub struct ServiceReport {
     pub replay_identical: bool,
     /// Events in the replayed log.
     pub replay_events: usize,
+    /// Scenario driven for the scenario-active kill cell.
+    pub scenario_kill_name: &'static str,
+    /// Window the scenario-active checkpoint was taken (inside the loss).
+    pub scenario_kill_window: u64,
+    /// Scenario-active restore cells matching the reference byte-for-byte.
+    pub scenario_kill_cells_identical: usize,
+    /// Scenario-active restore cells checked.
+    pub scenario_kill_cells_total: usize,
     /// Pools the reconciler managed.
     pub reconcile_pools: usize,
     /// Ticks the reconciler needed to converge every pool.
@@ -99,6 +111,7 @@ impl ServiceReport {
     /// Whether every contract held.
     pub fn all_pass(&self) -> bool {
         self.policies.iter().all(|p| p.cells_identical == p.cells_total)
+            && self.scenario_kill_cells_identical == self.scenario_kill_cells_total
             && self.replay_identical
             && self.reconcile_converged
     }
@@ -217,6 +230,67 @@ fn check_cell(
     engine.set_threads(reference.config.threads);
     engine.set_exec(reference.config.exec);
     identical && checkpoint::save(&engine) == reference.final_checkpoint
+}
+
+/// The scenario-active kill cell: drives the adversarial regional-failover
+/// scenario on the small fixture fleet, checkpoints *while the
+/// `DatacenterLoss` is active* (30 windows into the 60-window loss), and
+/// sweeps the restore grid over the remainder. Returns
+/// `(kill_window, cells_identical, cells_total)`.
+fn scenario_kill_gate(scale: &Scale) -> (u64, usize, usize) {
+    let sc = scenarios::regional_failover(
+        scale.seed,
+        crate::experiments::scenarios::FIXTURE_DATACENTERS,
+    );
+    let onset = sc.onset_window().0;
+    // The generated loss lasts 2 h = 60 windows; kill mid-loss and keep
+    // driving for an hour past the recovery.
+    let kill_at = onset + 30;
+    let windows = onset + 120;
+
+    let mut sim = FleetScenario::small(scale.seed)
+        .with_scenario(&sc)
+        .with_recording(RecordingPolicy::SnapshotOnly)
+        .into_simulation();
+    let config = OnlinePlannerConfig {
+        window_capacity: 240,
+        min_fit_windows: 120,
+        dwell_windows: 2,
+        ..OnlinePlannerConfig::default()
+    };
+    let mut engine = engine_for(sim.fleet(), config);
+    let mut reference = ReferenceRun {
+        stream: Vec::with_capacity(windows as usize),
+        checkpoints: Vec::new(),
+        recs: Vec::with_capacity(windows as usize),
+        final_checkpoint: Vec::new(),
+        log: EventLog::new(),
+        config,
+    };
+    for w in 0..windows {
+        if w == kill_at {
+            reference.checkpoints.push((w, checkpoint::save(&engine)));
+        }
+        let snap = sim.step_snapshot();
+        let aggregates = PoolWindowAggregate::from_snapshot(&snap);
+        engine.observe_aggregates(WindowIndex(w), &aggregates);
+        reference.recs.push(rec_bytes(&engine.drain_recommendations()));
+        reference.stream.push(aggregates);
+    }
+    reference.final_checkpoint = checkpoint::save(&engine);
+
+    let (kill_at, bytes) = reference.checkpoints[0].clone();
+    let mut cells_identical = 0;
+    let mut cells_total = 0;
+    for threads in RESTORE_THREADS {
+        for exec in [SweepExec::Persistent, SweepExec::Scoped] {
+            cells_total += 1;
+            if check_cell(&reference, kill_at, &bytes, threads, exec) {
+                cells_identical += 1;
+            }
+        }
+    }
+    (kill_at, cells_identical, cells_total)
 }
 
 /// Wraps the simulator actuator, deterministically failing the first
@@ -361,6 +435,10 @@ pub fn run(scale: &Scale) -> Result<ServiceReport, Box<dyn Error>> {
         });
     }
 
+    // The scenario-active kill cell: restore mid-DatacenterLoss.
+    let (scenario_kill_window, scenario_kill_cells_identical, scenario_kill_cells_total) =
+        scenario_kill_gate(scale);
+
     // Contract 3: reconciliation under injected failures.
     let (reconcile_pools, reconcile_ticks, reconcile_injected_failures, reconcile_converged) =
         reconcile_gate(scale);
@@ -371,6 +449,10 @@ pub fn run(scale: &Scale) -> Result<ServiceReport, Box<dyn Error>> {
         policies,
         replay_identical,
         replay_events,
+        scenario_kill_name: "regional_failover",
+        scenario_kill_window,
+        scenario_kill_cells_identical,
+        scenario_kill_cells_total,
         reconcile_pools,
         reconcile_ticks,
         reconcile_injected_failures,
@@ -455,6 +537,19 @@ impl fmt::Display for ServiceReport {
         )?;
         writeln!(
             f,
+            "scenario-active kill ({}, window {}): {}/{} restore cells identical{}",
+            self.scenario_kill_name,
+            self.scenario_kill_window,
+            self.scenario_kill_cells_identical,
+            self.scenario_kill_cells_total,
+            if self.scenario_kill_cells_identical == self.scenario_kill_cells_total {
+                ""
+            } else {
+                "  DIVERGED"
+            }
+        )?;
+        writeln!(
+            f,
             "reconciler: {} pools converged in {} ticks through {} injected apply failures: {}",
             self.reconcile_pools,
             self.reconcile_ticks,
@@ -489,6 +584,14 @@ mod tests {
             assert!(p.checkpoint_bytes > 0);
         }
         assert!(r.replay_events > 0);
+        assert_eq!(
+            r.scenario_kill_cells_total, 16,
+            "scenario-active kill: threads 1-8 x both exec modes"
+        );
+        assert_eq!(
+            r.scenario_kill_cells_identical, r.scenario_kill_cells_total,
+            "mid-DatacenterLoss restore diverged: {r}"
+        );
         assert!(r.reconcile_injected_failures > 0, "failures were actually injected");
         assert!(r.reconcile_ticks >= 3, "failures + actuation latency cost ticks");
     }

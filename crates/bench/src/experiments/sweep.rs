@@ -154,7 +154,7 @@ pub struct PassBreakdownCell {
     /// Fan-out width (always 1 — multi-chunk windows are untimed).
     pub threads: usize,
     /// Per-window nanoseconds per pass, indexed like [`PASS_NAMES`]. The
-    /// fastest-of-[`GRID_REPEATS`] repeat's whole array is recorded — one
+    /// fastest-of-`GRID_REPEATS` repeat's whole array is recorded — one
     /// repeat's passes stay mutually consistent, whereas per-pass minima
     /// across repeats would fabricate a window no run produced.
     pub per_window_pass_ns: [u64; PASS_COUNT],

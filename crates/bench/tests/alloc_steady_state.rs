@@ -16,7 +16,9 @@
 //! harness runs tests concurrently, and a process-global allocation
 //! counter only means something when nothing else is allocating.
 
-use headroom_bench::alloc_fixture::{measure_steady_state_allocs, MEASURED_WINDOWS};
+use headroom_bench::alloc_fixture::{
+    measure_steady_state_allocs, measure_steady_state_allocs_scenario, MEASURED_WINDOWS,
+};
 use headroom_exec::alloc_track::{is_tracking, CountingAllocator};
 
 #[global_allocator]
@@ -32,6 +34,27 @@ fn steady_state_window_allocates_nothing() {
             assert_eq!(
                 delta, 0,
                 "a warmed non-replan window must not allocate \
+                 (threads={threads}, layout={layout}: {delta} allocations over \
+                 {MEASURED_WINDOWS} windows)"
+            );
+        }
+    }
+}
+
+/// The same contract with an adversarial scenario live: a `DatacenterLoss`
+/// plus a global demand surge are active across every measured window, so
+/// the event-evaluation and loss-redistribution paths must also be
+/// allocation-free once warm.
+#[test]
+fn scenario_active_steady_state_window_allocates_nothing() {
+    assert!(is_tracking(), "the counting allocator is installed");
+    for columnar in [false, true] {
+        for threads in [1usize, 2, 4] {
+            let delta = measure_steady_state_allocs_scenario(threads, columnar);
+            let layout = if columnar { "columns" } else { "rows" };
+            assert_eq!(
+                delta, 0,
+                "a warmed scenario-active non-replan window must not allocate \
                  (threads={threads}, layout={layout}: {delta} allocations over \
                  {MEASURED_WINDOWS} windows)"
             );

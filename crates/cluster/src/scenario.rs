@@ -3,12 +3,14 @@
 use headroom_telemetry::availability::AvailabilityLog;
 use headroom_telemetry::ids::PoolId;
 use headroom_telemetry::store::MetricStore;
-use headroom_telemetry::time::WindowRange;
+use headroom_telemetry::time::{WindowIndex, WindowRange};
 use headroom_workload::events::EventScript;
+use headroom_workload::scenarios::{ModelSwapSpec, Scenario};
 
 use crate::catalog::MicroserviceKind;
 use crate::error::ClusterError;
-use crate::sim::{RecordingPolicy, SimConfig, Simulation};
+use crate::service_model::ServiceModel;
+use crate::sim::{RecordingPolicy, SimConfig, Simulation, SnapshotLayout};
 use crate::topology::{Fleet, FleetBuilder};
 
 /// A ready-to-run fleet + event script + simulation configuration.
@@ -30,6 +32,7 @@ pub struct FleetScenario {
     events: EventScript,
     config: SimConfig,
     name: &'static str,
+    model_swaps: Vec<ModelSwapSpec>,
 }
 
 impl FleetScenario {
@@ -55,6 +58,7 @@ impl FleetScenario {
             events: EventScript::empty(),
             config: SimConfig { seed, ..SimConfig::default() },
             name: "small",
+            model_swaps: Vec::new(),
         }
     }
 
@@ -74,6 +78,7 @@ impl FleetScenario {
             events: EventScript::empty(),
             config: SimConfig { seed, ..SimConfig::default() },
             name: "paper-scale",
+            model_swaps: Vec::new(),
         }
     }
 
@@ -99,12 +104,29 @@ impl FleetScenario {
             events: EventScript::empty(),
             config: SimConfig { seed, ..SimConfig::default() },
             name: "single-service",
+            model_swaps: Vec::new(),
         }
     }
 
     /// Attaches an event script (surges, datacenter losses).
     pub fn with_events(mut self, events: EventScript) -> Self {
         self.events = events;
+        self
+    }
+
+    /// Attaches an adversarial [`Scenario`]: its event script replaces any
+    /// previous one, and its model swaps are scheduled fleet-wide (every
+    /// pool's response model gets the swap's CPU scaling at the swap
+    /// window) when the scenario is turned into a [`Simulation`].
+    pub fn with_scenario(mut self, scenario: &Scenario) -> Self {
+        self.events = scenario.script().clone();
+        self.model_swaps = scenario.model_swaps().to_vec();
+        self
+    }
+
+    /// Overrides the snapshot layout.
+    pub fn with_layout(mut self, layout: SnapshotLayout) -> Self {
+        self.config.layout = layout;
         self
     }
 
@@ -125,9 +147,22 @@ impl FleetScenario {
     }
 
     /// Converts into a [`Simulation`] for custom driving (interventions,
-    /// observers).
+    /// observers). Scenario model swaps are pre-scheduled on every pool.
     pub fn into_simulation(self) -> Simulation {
-        Simulation::new(self.fleet, self.events, self.config)
+        let swaps: Vec<(PoolId, WindowIndex, ServiceModel)> = self
+            .model_swaps
+            .iter()
+            .flat_map(|swap| {
+                self.fleet.pools().iter().map(move |p| {
+                    (p.id, swap.window, p.model.clone().with_cpu_per_rps_scaled(swap.cpu_scale))
+                })
+            })
+            .collect();
+        let mut sim = Simulation::new(self.fleet, self.events, self.config);
+        for (pool, window, model) in swaps {
+            sim.schedule_model_swap(pool, window, model).expect("pool came from this fleet");
+        }
+        sim
     }
 
     /// Runs for `days` simulated days and returns the outcome.

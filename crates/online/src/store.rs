@@ -23,7 +23,7 @@
 //!   sweep engine hands each worker chunk a contiguous lane range of the
 //!   same [`StoreView`]; thread-affinity falls out of the chunk geometry
 //!   (a pool's planes are always touched by the worker that owns its
-//!   chunk). This is the only `unsafe` in the crate, scoped to the [`view`]
+//!   chunk). This is the only `unsafe` in the crate, scoped to the `view`
 //!   module and justified the same way `headroom_exec`'s chunk hand-off
 //!   is: chunk lane ranges are pairwise disjoint and the dispatch outlives
 //!   the borrow.

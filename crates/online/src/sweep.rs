@@ -837,6 +837,19 @@ impl<'a> AssessmentView<'a> {
     pub fn to_map(&self) -> BTreeMap<PoolId, PoolAssessment> {
         self.iter().map(|(p, a)| (*p, a.clone())).collect()
     }
+
+    /// Pools whose latest assessment is urgently short of capacity
+    /// (exhausted/critical band) — the scorer's detection signal for
+    /// demand-side scenarios.
+    pub fn urgent_count(&self) -> usize {
+        self.values().filter(|a| a.band.needs_capacity()).count()
+    }
+
+    /// Total drift resets across all assessed pools — the scorer's
+    /// detection signal for response-profile (model-swap) scenarios.
+    pub fn drift_event_total(&self) -> usize {
+        self.values().map(|a| a.drift_events).sum()
+    }
 }
 
 impl Index<&PoolId> for AssessmentView<'_> {

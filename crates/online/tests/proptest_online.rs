@@ -574,3 +574,104 @@ mod store_semantics {
         }
     }
 }
+
+/// The byte-identity invariant must survive *event-driven* fleets: for any
+/// adversarial catalog scenario, any fan-out width, either exec mode, and
+/// either snapshot layout, the closed planning loop (recommendations
+/// applied back to the simulator every window) is structurally identical —
+/// assessments and the full recommendation stream — to the sequential
+/// row-layout reference.
+mod scenario_identity {
+    use std::collections::BTreeMap;
+
+    use headroom_cluster::scenario::FleetScenario;
+    use headroom_cluster::sim::RecordingPolicy;
+    use headroom_core::slo::QosRequirement;
+    use headroom_online::planner::{OnlinePlannerConfig, ResizeRecommendation, SweepExec};
+    use headroom_online::sweep::SweepEngine;
+    use headroom_telemetry::ids::PoolId;
+    use headroom_workload::scenarios::{self, Scenario};
+    use proptest::prelude::*;
+
+    const DATACENTERS: u16 = 3;
+
+    /// One closed-loop drive; returns the engine and every window's
+    /// drained recommendations.
+    fn drive(
+        sc: &Scenario,
+        seed: u64,
+        threads: usize,
+        exec: SweepExec,
+        columnar: bool,
+        windows: u64,
+    ) -> (SweepEngine, Vec<Vec<ResizeRecommendation>>) {
+        let mut sim = FleetScenario::small(seed)
+            .with_scenario(sc)
+            .with_recording(RecordingPolicy::SnapshotOnly)
+            .into_simulation();
+        let config = OnlinePlannerConfig {
+            window_capacity: 240,
+            min_fit_windows: 120,
+            dwell_windows: 2,
+            // Small fleet: force one-pool chunks so multi-thread cells
+            // actually exercise the parallel path.
+            min_pool_chunk: 1,
+            threads,
+            exec,
+            ..OnlinePlannerConfig::default()
+        };
+        let mut engine =
+            SweepEngine::new(config, QosRequirement::latency(50.0).with_cpu_ceiling(90.0));
+        for pool in sim.fleet().pools() {
+            engine.set_qos(
+                pool.id,
+                QosRequirement::latency(pool.service.spec().latency_slo_ms).with_cpu_ceiling(90.0),
+            );
+        }
+        let physical: BTreeMap<PoolId, usize> =
+            sim.fleet().pools().iter().map(|p| (p.id, p.size())).collect();
+        let mut all = Vec::with_capacity(windows as usize);
+        for _ in 0..windows {
+            if columnar {
+                let snap = sim.step_columns_partitioned();
+                engine.observe_columns(&snap);
+            } else {
+                let snap = sim.step_snapshot_partitioned();
+                engine.observe_partitioned(&snap);
+            }
+            let recs = engine.drain_recommendations();
+            let next = sim.current_window();
+            for rec in &recs {
+                let target = rec.to_servers.clamp(1, physical[&rec.pool]);
+                let _ = sim.schedule_resize(rec.pool, next, target);
+            }
+            all.push(recs);
+        }
+        (engine, all)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        #[test]
+        fn planner_is_identical_under_any_scenario(
+            which in 0usize..6,
+            seed in any::<u64>(),
+            threads in 2usize..9,
+            exec_scoped in any::<bool>(),
+            columnar in any::<bool>(),
+        ) {
+            let sc = scenarios::catalog(seed, DATACENTERS).swap_remove(which);
+            // Cap a little past onset so every drive covers event-active
+            // windows without paying for a full hypergrowth week per case.
+            let windows = sc.windows().min(sc.onset_window().0 + 240);
+            let exec = if exec_scoped { SweepExec::Scoped } else { SweepExec::Persistent };
+            let (reference, ref_recs) =
+                drive(&sc, seed, 1, SweepExec::Persistent, false, windows);
+            let (cell, cell_recs) = drive(&sc, seed, threads, exec, columnar, windows);
+            prop_assert!(!reference.assessments().is_empty(), "pools were planned");
+            prop_assert_eq!(reference.assessments(), cell.assessments());
+            prop_assert_eq!(ref_recs, cell_recs);
+        }
+    }
+}

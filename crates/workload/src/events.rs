@@ -38,6 +38,34 @@ pub enum EventEffect {
     },
 }
 
+impl EventEffect {
+    /// The demand multiplier this effect applies, if any (`None` for a
+    /// datacenter loss). Lets downstream code inspect effects without a
+    /// `match` on the `#[non_exhaustive]` enum.
+    pub fn factor(&self) -> Option<f64> {
+        match *self {
+            EventEffect::DemandMultiplier { factor, .. }
+            | EventEffect::GlobalDemandMultiplier { factor } => Some(factor),
+            EventEffect::DatacenterLoss { .. } => None,
+        }
+    }
+
+    /// The datacenter this effect targets, if any (`None` for global
+    /// effects).
+    pub fn datacenter(&self) -> Option<DatacenterId> {
+        match *self {
+            EventEffect::DemandMultiplier { datacenter, .. }
+            | EventEffect::DatacenterLoss { datacenter } => Some(datacenter),
+            EventEffect::GlobalDemandMultiplier { .. } => None,
+        }
+    }
+
+    /// Whether this effect takes a datacenter offline.
+    pub fn is_loss(&self) -> bool {
+        matches!(self, EventEffect::DatacenterLoss { .. })
+    }
+}
+
 /// An effect active during `[start, start + duration)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScheduledEvent {
@@ -78,6 +106,39 @@ impl ScheduledEvent {
 /// )]);
 /// assert!(script.datacenter_lost(DatacenterId(2), SimTime::from_days(2.51)));
 /// assert!(!script.datacenter_lost(DatacenterId(2), SimTime::from_days(2.7)));
+/// ```
+///
+/// Scripts compose into scenarios: distinct effects stack multiplicatively,
+/// so a regional failover *during* a global surge is just two events. The
+/// [`EventEffect`] accessors let a validator inspect the result without
+/// matching on the `#[non_exhaustive]` enum:
+///
+/// ```
+/// use headroom_telemetry::ids::DatacenterId;
+/// use headroom_telemetry::time::SimTime;
+/// use headroom_workload::events::{EventEffect, EventScript, ScheduledEvent};
+///
+/// let noon = SimTime::from_days(1.5);
+/// let script: EventScript = [
+///     // A viral 3x global spike...
+///     ScheduledEvent::new(noon, 4 * 3600, EventEffect::GlobalDemandMultiplier { factor: 3.0 }),
+///     // ...and DC 0 fails an hour into it.
+///     ScheduledEvent::new(
+///         SimTime(noon.seconds() + 3600),
+///         2 * 3600,
+///         EventEffect::DatacenterLoss { datacenter: DatacenterId(0) },
+///     ),
+/// ]
+/// .into_iter()
+/// .collect();
+///
+/// let mid = SimTime(noon.seconds() + 2 * 3600);
+/// assert_eq!(script.demand_factor(DatacenterId(1), mid), 3.0);
+/// assert!(script.datacenter_lost(DatacenterId(0), mid));
+/// // Accessor-based inspection, no exhaustive match needed:
+/// assert_eq!(script.events()[0].effect.factor(), Some(3.0));
+/// assert_eq!(script.events()[1].effect.datacenter(), Some(DatacenterId(0)));
+/// assert!(script.events()[1].effect.is_loss());
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct EventScript {

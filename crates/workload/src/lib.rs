@@ -14,6 +14,10 @@
 //! - [`resource_profile`] — per-request resource intensity shapes (disk-,
 //!   memory-, network-heavy) so scenarios exist where a resource other than
 //!   CPU binds first (§II-A1's limiting resource);
+//! - [`scenarios`] — deterministic adversarial scenarios (flash crowds,
+//!   regional failovers, hypergrowth, batch arrivals, flap storms, mid-run
+//!   model swaps) composed from [`events`] primitives and scored by the
+//!   bench harness;
 //! - [`trace`] — recorded workload traces;
 //! - [`synthetic`] — replayable synthetic workloads fit to a production
 //!   trace, with an equivalence check (methodology step 3);
@@ -42,6 +46,7 @@ pub mod diurnal;
 pub mod events;
 pub mod mix;
 pub mod resource_profile;
+pub mod scenarios;
 pub mod stepped;
 pub mod synthetic;
 pub mod trace;
@@ -50,5 +55,6 @@ pub use diurnal::DiurnalCurve;
 pub use events::{EventEffect, EventScript, ScheduledEvent};
 pub use mix::RequestMix;
 pub use resource_profile::ResourceProfile;
+pub use scenarios::{GrowthCurve, ModelSwapSpec, Scenario};
 pub use synthetic::SyntheticWorkload;
 pub use trace::WorkloadTrace;

@@ -1,0 +1,545 @@
+//! Adversarial scenario generators — the regimes the paper's fleets only
+//! met by accident.
+//!
+//! §II-B1's *natural experiments* (a 127% single-datacenter surge, a pool
+//! at 4× normal volume) are exactly the situations a capacity planner is
+//! bought for and exactly the ones a well-behaved diurnal fleet never
+//! rehearses. This module turns them — plus the hard regimes named by the
+//! related work (superlinear hypergrowth, correlated batch arrivals) —
+//! into *deterministic, seeded* [`Scenario`] values composed from
+//! [`EventScript`] primitives, so a scoring harness can replay each one
+//! through the closed planning loop and gate CI on the outcome.
+//!
+//! The catalog ([`catalog`]):
+//!
+//! | Scenario | Shape | Planner stressor |
+//! |---|---|---|
+//! | [`flash_crowd`] | 10× global demand ramp in minutes, 2 h hold | detection delay, SLO damage |
+//! | [`regional_failover`] | one DC lost for 2 h, traffic onto survivors | urgent-band latency |
+//! | [`hypergrowth`] | superlinear (quadratic) daily demand growth | days-to-exhaustion accuracy |
+//! | [`batch_arrivals`] | correlated 30-min burst every 6 h | flap suppression, re-detection |
+//! | [`flap_storm`] | demand oscillating across a sizing boundary | recommendation thrash |
+//! | [`model_swap_drift`] | fleet-wide response-profile change mid-run | drift detection |
+//!
+//! Every generator is a pure function of `(seed, datacenters)`: the same
+//! inputs always produce the same script (a property test pins this), and
+//! seeds only move parameters inside ranges that keep each scenario's
+//! character — a flash crowd is always ~10×, only its onset hour and exact
+//! peak shift.
+//!
+//! # Example
+//!
+//! ```
+//! use headroom_workload::scenarios;
+//!
+//! // A deterministic regional failover on a 3-datacenter fleet.
+//! let scenario = scenarios::regional_failover(7, 3);
+//! assert_eq!(scenario.name(), "regional_failover");
+//! scenario.validate(3).expect("well-formed for a 3-DC fleet");
+//! assert!(scenario.onset_window().0 >= 720, "onset after a warm-up day");
+//!
+//! // The whole catalog is seed-deterministic.
+//! assert_eq!(scenarios::catalog(7, 3), scenarios::catalog(7, 3));
+//! ```
+
+use headroom_telemetry::ids::DatacenterId;
+use headroom_telemetry::time::{SimTime, WindowIndex, WINDOWS_PER_DAY, WINDOW_SECONDS};
+
+use crate::events::{EventEffect, EventScript, ScheduledEvent};
+
+/// A fleet-wide response-profile change a scenario schedules — the shape
+/// of a software release or hardware refresh, for the drift study. The
+/// simulator applies it by swapping every pool's [`ServiceModel`] for one
+/// with its CPU-per-request cost scaled by `cpu_scale` from `window` on.
+///
+/// Lives here (not in the cluster crate) so scenario definitions stay
+/// pure workload-side data; the simulator owns the actual model surgery.
+///
+/// [`ServiceModel`]: https://docs.rs/headroom-cluster
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelSwapSpec {
+    /// Window the new response profile takes effect.
+    pub window: WindowIndex,
+    /// Factor on CPU percent per request (e.g. `1.6` = a release that makes
+    /// every request 60% dearer). Must be positive and finite.
+    pub cpu_scale: f64,
+}
+
+/// Analytic demand-growth ground truth: day `d` runs at
+/// `1 + linear_per_day·d + quad_per_day2·d²` times base demand (day 0 of
+/// the growth phase is the onset day). Quadratic-in-time user growth is the
+/// canonical *superlinear* hypergrowth curve — its day-over-day increment
+/// itself grows, which is what breaks linear trend extrapolation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrowthCurve {
+    /// Linear growth per day of the demand factor.
+    pub linear_per_day: f64,
+    /// Quadratic growth per day² of the demand factor.
+    pub quad_per_day2: f64,
+}
+
+impl GrowthCurve {
+    /// The demand factor `d` days after growth onset.
+    pub fn factor(&self, days_after_onset: f64) -> f64 {
+        1.0 + self.linear_per_day * days_after_onset
+            + self.quad_per_day2 * days_after_onset * days_after_onset
+    }
+}
+
+/// One adversarial scenario: a named, deterministic [`EventScript`] plus
+/// the metadata a scorer needs — when the event begins, how long to run,
+/// any scheduled model swaps, and (for growth scenarios) the analytic
+/// demand curve serving as days-to-exhaustion ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    name: &'static str,
+    script: EventScript,
+    onset: SimTime,
+    windows: u64,
+    model_swaps: Vec<ModelSwapSpec>,
+    growth: Option<GrowthCurve>,
+}
+
+impl Scenario {
+    /// Scenario name (stable; keys thresholds and artifacts).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The scripted events.
+    pub fn script(&self) -> &EventScript {
+        &self.script
+    }
+
+    /// When the adversarial condition begins (detection delay is measured
+    /// from here).
+    pub fn onset(&self) -> SimTime {
+        self.onset
+    }
+
+    /// The onset as a window index.
+    pub fn onset_window(&self) -> WindowIndex {
+        self.onset.window()
+    }
+
+    /// Recommended run length in windows (onset plus enough aftermath for
+    /// the scorer's metrics to settle).
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Scheduled fleet-wide response-profile changes.
+    pub fn model_swaps(&self) -> &[ModelSwapSpec] {
+        &self.model_swaps
+    }
+
+    /// The analytic growth curve, when this scenario's demand grows by
+    /// design (ground truth for days-to-exhaustion scoring).
+    pub fn growth(&self) -> Option<GrowthCurve> {
+        self.growth
+    }
+
+    /// Checks the scenario is well-formed for a fleet of `datacenters`
+    /// datacenters: every multiplier positive and finite, every referenced
+    /// datacenter exists, no two *conflicting* effects overlap in time
+    /// (two global multipliers, two multipliers on the same DC, or two
+    /// losses of the same DC), every model swap positive/finite, and the
+    /// run long enough to contain the onset.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violation found.
+    pub fn validate(&self, datacenters: u16) -> Result<(), String> {
+        let events = self.script.events();
+        for e in events {
+            if e.duration_secs == 0 {
+                return Err(format!("{}: zero-duration event at {:?}", self.name, e.start));
+            }
+            if let Some(f) = e.effect.factor() {
+                if !(f > 0.0 && f.is_finite()) {
+                    return Err(format!("{}: non-positive multiplier {f}", self.name));
+                }
+            }
+            if let Some(dc) = e.effect.datacenter() {
+                if dc.0 >= datacenters {
+                    return Err(format!(
+                        "{}: event references {dc:?} but the fleet has {datacenters} datacenters",
+                        self.name
+                    ));
+                }
+            }
+        }
+        for (i, a) in events.iter().enumerate() {
+            for b in &events[i + 1..] {
+                if conflicting(a, b) {
+                    return Err(format!(
+                        "{}: conflicting effects overlap ({:?} and {:?})",
+                        self.name, a, b
+                    ));
+                }
+            }
+        }
+        for swap in &self.model_swaps {
+            if !(swap.cpu_scale > 0.0 && swap.cpu_scale.is_finite()) {
+                return Err(format!("{}: non-positive model-swap scale", self.name));
+            }
+        }
+        if self.windows <= self.onset_window().0 {
+            return Err(format!("{}: run ends before the onset window", self.name));
+        }
+        Ok(())
+    }
+}
+
+/// Whether two events carry the same kind of effect on the same target
+/// *and* overlap in time — the ill-formedness [`Scenario::validate`]
+/// rejects (stacking the same knob twice makes the intended factor
+/// ambiguous; distinct knobs compose multiplicatively by design).
+fn conflicting(a: &ScheduledEvent, b: &ScheduledEvent) -> bool {
+    let overlap = a.start.seconds() < b.start.seconds() + b.duration_secs
+        && b.start.seconds() < a.start.seconds() + a.duration_secs;
+    if !overlap {
+        return false;
+    }
+    match (a.effect, b.effect) {
+        (
+            EventEffect::GlobalDemandMultiplier { .. },
+            EventEffect::GlobalDemandMultiplier { .. },
+        ) => true,
+        (
+            EventEffect::DemandMultiplier { datacenter: x, .. },
+            EventEffect::DemandMultiplier { datacenter: y, .. },
+        ) => x == y,
+        (
+            EventEffect::DatacenterLoss { datacenter: x },
+            EventEffect::DatacenterLoss { datacenter: y },
+        ) => x == y,
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded parameter derivation. SplitMix64 is the standard statelessly
+// seedable mixer: one multiply-xor-shift chain per draw, fully
+// deterministic, no RNG object to thread through the generators.
+// ---------------------------------------------------------------------------
+
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic draw in `[lo, hi)` (uniform over the mixed bits).
+fn draw(seed: u64, salt: u64, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * ((mix(seed, salt) >> 11) as f64 / (1u64 << 53) as f64)
+}
+
+/// Onset inside day 1 (after a full warm-up day, jittered by seed so the
+/// diurnal phase at onset varies across seeds): window 720 + [0, 240).
+fn jittered_onset(seed: u64, salt: u64) -> SimTime {
+    let jitter = mix(seed, salt) % 240;
+    SimTime((WINDOWS_PER_DAY + jitter) * WINDOW_SECONDS)
+}
+
+// ---------------------------------------------------------------------------
+// The generators.
+// ---------------------------------------------------------------------------
+
+/// A flash crowd: global demand ramps to ~10× within minutes (eight
+/// 2-minute steps), holds the peak for two hours, then vanishes. The
+/// paper-scale analogue of a viral event — the planner cannot add physical
+/// servers fast enough, so the score is about *how quickly it says so*.
+pub fn flash_crowd(seed: u64, _datacenters: u16) -> Scenario {
+    let onset = jittered_onset(seed, 1);
+    let peak = draw(seed, 2, 9.0, 11.0);
+    let ramp_steps = 8u64;
+    let step_secs = WINDOW_SECONDS; // one window per ramp step
+    let mut events = Vec::new();
+    for s in 0..ramp_steps {
+        // Geometric ramp from ~1.33× to the full peak: factor = peak^((s+1)/8).
+        let factor = peak.powf((s + 1) as f64 / ramp_steps as f64);
+        events.push(ScheduledEvent::new(
+            SimTime(onset.seconds() + s * step_secs),
+            step_secs,
+            EventEffect::GlobalDemandMultiplier { factor },
+        ));
+    }
+    events.push(ScheduledEvent::new(
+        SimTime(onset.seconds() + ramp_steps * step_secs),
+        2 * 3600,
+        EventEffect::GlobalDemandMultiplier { factor: peak },
+    ));
+    Scenario {
+        name: "flash_crowd",
+        script: EventScript::new(events),
+        onset,
+        windows: onset.window().0 + 360, // 12h of aftermath
+        model_swaps: Vec::new(),
+        growth: None,
+    }
+}
+
+/// A regional failover: one datacenter (seed-chosen) goes dark for two
+/// hours and the router pushes its traffic onto the survivors — the
+/// paper's Figs. 4–5 natural experiment, on demand.
+pub fn regional_failover(seed: u64, datacenters: u16) -> Scenario {
+    let dc = DatacenterId((mix(seed, 3) % datacenters.max(1) as u64) as u16);
+    let onset = jittered_onset(seed, 4);
+    let script = EventScript::new(vec![ScheduledEvent::new(
+        onset,
+        2 * 3600,
+        EventEffect::DatacenterLoss { datacenter: dc },
+    )]);
+    Scenario {
+        name: "regional_failover",
+        script,
+        onset,
+        windows: onset.window().0 + 360,
+        model_swaps: Vec::new(),
+        growth: None,
+    }
+}
+
+/// Days of superlinear growth the hypergrowth scenario scripts.
+pub const HYPERGROWTH_DAYS: u64 = 8;
+
+/// Hypergrowth: demand grows *superlinearly* — day `d` after onset runs at
+/// `1 + a·d + b·d²` (a ≈ 0.05/day, b ≈ 0.02/day², seed-jittered), applied
+/// as whole-day global multiplier steps. The curve is the checked-in
+/// analytic ground truth the planner's days-to-exhaustion projection is
+/// scored against; its rate is chosen so a fixture deployed at catalog
+/// headroom has several days of estimable runway before exhaustion.
+pub fn hypergrowth(seed: u64, _datacenters: u16) -> Scenario {
+    let a = draw(seed, 5, 0.04, 0.06);
+    let b = draw(seed, 6, 0.015, 0.025);
+    let growth = GrowthCurve { linear_per_day: a, quad_per_day2: b };
+    let onset = SimTime::from_days(1.0); // whole-day steps need day alignment
+    let events = (1..HYPERGROWTH_DAYS)
+        .map(|d| {
+            ScheduledEvent::new(
+                SimTime(onset.seconds() + d * 86_400),
+                86_400,
+                EventEffect::GlobalDemandMultiplier { factor: growth.factor(d as f64) },
+            )
+        })
+        .collect();
+    Scenario {
+        name: "hypergrowth",
+        script: EventScript::new(events),
+        onset,
+        windows: (1 + HYPERGROWTH_DAYS) * WINDOWS_PER_DAY,
+        model_swaps: Vec::new(),
+        growth: Some(growth),
+    }
+}
+
+/// Correlated batch arrivals: a ~2.5× global burst of 30 minutes every six
+/// hours for two days — the batch-arrivals regime where load appears in
+/// synchronized waves across every region at once, rather than as smooth
+/// diurnal drift.
+pub fn batch_arrivals(seed: u64, _datacenters: u16) -> Scenario {
+    let onset = jittered_onset(seed, 7);
+    let factor = draw(seed, 8, 2.2, 2.8);
+    let burst_secs = 30 * 60;
+    let period_secs = 6 * 3600;
+    let events = (0..8u64)
+        .map(|i| {
+            ScheduledEvent::new(
+                SimTime(onset.seconds() + i * period_secs),
+                burst_secs,
+                EventEffect::GlobalDemandMultiplier { factor },
+            )
+        })
+        .collect();
+    Scenario {
+        name: "batch_arrivals",
+        script: EventScript::new(events),
+        onset,
+        windows: onset.window().0 + 8 * (period_secs / WINDOW_SECONDS) + 120,
+        model_swaps: Vec::new(),
+        growth: None,
+    }
+}
+
+/// A flap storm: a ~1.5× global pulse of two hours every twelve hours for
+/// three days. The off-period is longer than a sizing-window history, so
+/// each pulse's peak decays out of the planner's windowed p99 before the
+/// next one lands — demand oscillates across the sizing boundary and a
+/// planner without dwell hysteresis thrashes between grow and shrink.
+pub fn flap_storm(seed: u64, _datacenters: u16) -> Scenario {
+    let onset = jittered_onset(seed, 9);
+    let factor = draw(seed, 10, 1.4, 1.6);
+    let pulse_secs = 2 * 3600;
+    let period_secs = 12 * 3600;
+    let pulses = 6u64;
+    let events = (0..pulses)
+        .map(|i| {
+            ScheduledEvent::new(
+                SimTime(onset.seconds() + i * period_secs),
+                pulse_secs,
+                EventEffect::GlobalDemandMultiplier { factor },
+            )
+        })
+        .collect();
+    Scenario {
+        name: "flap_storm",
+        script: EventScript::new(events),
+        onset,
+        windows: onset.window().0 + pulses * (period_secs / WINDOW_SECONDS) + 120,
+        model_swaps: Vec::new(),
+        growth: None,
+    }
+}
+
+/// A mid-run release: every pool's response profile degrades (CPU per
+/// request scaled ~1.5–2×) at a seed-jittered window past warm-up, with
+/// demand untouched — invisible in the workload stream, so only the drift
+/// detector can catch it. The pending drift study's scenario.
+pub fn model_swap_drift(seed: u64, _datacenters: u16) -> Scenario {
+    let onset = jittered_onset(seed, 11);
+    let scale = draw(seed, 12, 1.5, 2.0);
+    Scenario {
+        name: "model_swap_drift",
+        script: EventScript::empty(),
+        onset,
+        windows: onset.window().0 + 360,
+        model_swaps: vec![ModelSwapSpec { window: onset.window(), cpu_scale: scale }],
+        growth: None,
+    }
+}
+
+/// A neutral no-event scenario of `windows` windows — the control run
+/// adversarial scores are measured against (a closed planning loop has
+/// its own baseline urgency and SLO behaviour on a diurnal fleet; scores
+/// report the *excess* the scenario causes).
+pub fn baseline(windows: u64) -> Scenario {
+    Scenario {
+        name: "baseline",
+        script: EventScript::empty(),
+        onset: SimTime::ZERO,
+        windows,
+        model_swaps: Vec::new(),
+        growth: None,
+    }
+}
+
+/// The full scenario catalog for a fleet of `datacenters` datacenters, in
+/// scoring order. Deterministic per `(seed, datacenters)`.
+pub fn catalog(seed: u64, datacenters: u16) -> Vec<Scenario> {
+    vec![
+        flash_crowd(seed, datacenters),
+        regional_failover(seed, datacenters),
+        hypergrowth(seed, datacenters),
+        batch_arrivals(seed, datacenters),
+        flap_storm(seed, datacenters),
+        model_swap_drift(seed, datacenters),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_deterministic_and_valid() {
+        for seed in [0u64, 1, 42, 9999] {
+            let a = catalog(seed, 3);
+            let b = catalog(seed, 3);
+            assert_eq!(a, b, "seed {seed} not deterministic");
+            assert_eq!(a.len(), 6);
+            for s in &a {
+                s.validate(3).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_stable() {
+        let names: Vec<&str> = catalog(1, 3).iter().map(Scenario::name).collect();
+        assert_eq!(
+            names,
+            [
+                "flash_crowd",
+                "regional_failover",
+                "hypergrowth",
+                "batch_arrivals",
+                "flap_storm",
+                "model_swap_drift"
+            ]
+        );
+    }
+
+    #[test]
+    fn seeds_move_parameters() {
+        let a = regional_failover(1, 9);
+        let b = regional_failover(2, 9);
+        // Either the DC or the onset differs for almost every seed pair;
+        // these two are checked-in known-different.
+        assert!(a != b, "seeds 1 and 2 produced identical failovers");
+    }
+
+    #[test]
+    fn flash_crowd_ramp_is_monotone_to_peak() {
+        let s = flash_crowd(5, 3);
+        let dc = DatacenterId(0);
+        let mut last = 1.0;
+        for w in 0..9u64 {
+            let t = SimTime(s.onset().seconds() + w * WINDOW_SECONDS);
+            let f = s.script().demand_factor(dc, t);
+            assert!(f >= last, "ramp not monotone at step {w}: {f} < {last}");
+            last = f;
+        }
+        assert!(last >= 9.0, "peak reached ~10x, got {last}");
+        // Still held an hour in; gone after three hours.
+        assert!(s.script().demand_factor(dc, SimTime(s.onset().seconds() + 3600)) >= 9.0);
+        assert_eq!(s.script().demand_factor(dc, SimTime(s.onset().seconds() + 4 * 3600)), 1.0);
+    }
+
+    #[test]
+    fn hypergrowth_matches_its_curve() {
+        let s = hypergrowth(3, 3);
+        let g = s.growth().expect("growth scenario");
+        let dc = DatacenterId(1);
+        for d in 1..HYPERGROWTH_DAYS {
+            let mid = SimTime(s.onset().seconds() + d * 86_400 + 43_200);
+            let f = s.script().demand_factor(dc, mid);
+            assert!((f - g.factor(d as f64)).abs() < 1e-12, "day {d}: {f}");
+        }
+        // Superlinear: day-over-day increments grow.
+        let d1 = g.factor(1.0) - g.factor(0.0);
+        let d5 = g.factor(5.0) - g.factor(4.0);
+        assert!(d5 > d1 * 1.5, "growth must be superlinear: {d1} vs {d5}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_scripts() {
+        let mut s = regional_failover(1, 3);
+        // Unknown datacenter.
+        assert!(
+            s.validate(1).is_err() || s.script().events()[0].effect.datacenter().unwrap().0 == 0
+        );
+        // Conflicting overlap: stack a second loss of the same DC.
+        let dc = s.script().events()[0].effect.datacenter().unwrap();
+        let start = s.script().events()[0].start;
+        s.script.push(ScheduledEvent::new(
+            SimTime(start.seconds() + 60),
+            600,
+            EventEffect::DatacenterLoss { datacenter: dc },
+        ));
+        assert!(s.validate(9).is_err(), "overlapping same-DC losses must be rejected");
+    }
+
+    #[test]
+    fn model_swap_scenario_carries_the_swap() {
+        let s = model_swap_drift(8, 3);
+        assert!(s.script().events().is_empty(), "drift is invisible in demand");
+        assert_eq!(s.model_swaps().len(), 1);
+        let swap = s.model_swaps()[0];
+        assert_eq!(swap.window, s.onset_window());
+        assert!(swap.cpu_scale >= 1.5 && swap.cpu_scale <= 2.0);
+        s.validate(3).unwrap();
+    }
+}

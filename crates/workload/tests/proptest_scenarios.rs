@@ -1,0 +1,61 @@
+//! Property tests for the adversarial scenario generators: deterministic
+//! per seed, always well-formed, seed-sensitive, and analytic-curve sane
+//! for arbitrary seeds and fleet shapes.
+
+use headroom_telemetry::time::WINDOWS_PER_DAY;
+use headroom_workload::scenarios::{self, HYPERGROWTH_DAYS};
+use proptest::prelude::*;
+
+proptest! {
+    /// Generators are pure functions of `(seed, datacenters)`: calling the
+    /// catalog twice yields structurally identical scenarios.
+    #[test]
+    fn catalog_is_deterministic_per_seed(seed in any::<u64>(), dcs in 1u16..10) {
+        prop_assert_eq!(scenarios::catalog(seed, dcs), scenarios::catalog(seed, dcs));
+    }
+
+    /// Every generated scenario is well-formed against the fleet it was
+    /// generated for: no overlapping conflicting effects, positive finite
+    /// multipliers, in-bounds datacenter references — and its onset leaves
+    /// at least one full warm-up day before the adversarial condition.
+    #[test]
+    fn catalog_always_validates(seed in any::<u64>(), dcs in 1u16..10) {
+        for sc in scenarios::catalog(seed, dcs) {
+            prop_assert_eq!(sc.validate(dcs), Ok(()), "{} invalid", sc.name());
+            prop_assert!(sc.onset_window().0 >= WINDOWS_PER_DAY, "{} onsets too early", sc.name());
+            prop_assert!(sc.windows() > sc.onset_window().0, "{} ends before onset", sc.name());
+        }
+    }
+
+    /// Datacenter references are actually bounds-checked: a DC-targeting
+    /// scenario validated against an empty fleet is rejected.
+    #[test]
+    fn validate_bounds_datacenter_references(seed in any::<u64>(), dcs in 1u16..10) {
+        let sc = scenarios::regional_failover(seed, dcs);
+        prop_assert!(sc.validate(0).is_err());
+    }
+
+    /// Different seeds move the generated parameters (onset jitter and
+    /// magnitude draws), so fleets are not silently scored on one fixture.
+    #[test]
+    fn seeds_decorrelate_the_catalog(seed1 in any::<u64>(), seed2 in any::<u64>(), dcs in 1u16..10) {
+        prop_assume!(seed1 != seed2);
+        prop_assert_ne!(scenarios::catalog(seed1, dcs), scenarios::catalog(seed2, dcs));
+    }
+
+    /// The hypergrowth analytic curve is genuinely superlinear for every
+    /// seed: day-over-day increments strictly increase, and the curve
+    /// starts at exactly 1× on day zero.
+    #[test]
+    fn hypergrowth_curve_is_superlinear(seed in any::<u64>(), dcs in 1u16..10) {
+        let sc = scenarios::hypergrowth(seed, dcs);
+        let g = sc.growth().expect("hypergrowth carries its curve");
+        prop_assert!((g.factor(0.0) - 1.0).abs() < 1e-12);
+        let mut last_step = 0.0;
+        for d in 1..=HYPERGROWTH_DAYS {
+            let step = g.factor(d as f64) - g.factor(d as f64 - 1.0);
+            prop_assert!(step > last_step, "increment shrank on day {d}");
+            last_step = step;
+        }
+    }
+}
