@@ -7,8 +7,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use headroom_cluster::catalog::MicroserviceKind;
 use headroom_cluster::scenario::FleetScenario;
-use headroom_cluster::sim::{RecordingPolicy, SimConfig, Simulation};
+use headroom_cluster::sim::{RecordingPolicy, SimConfig, Simulation, SnapshotLayout};
 use headroom_cluster::topology::{Fleet, FleetBuilder};
+use headroom_core::slo::QosRequirement;
+use headroom_online::planner::OnlinePlannerConfig;
+use headroom_online::sweep::SweepEngine;
 use std::hint::black_box;
 
 fn fleet(pool_servers: usize) -> Fleet {
@@ -80,6 +83,60 @@ fn bench_sim_step_layouts(c: &mut Criterion) {
     group.finish();
 }
 
+/// The fused window: simulator generation *and* sweep ingestion per
+/// window, in all three layouts, with replanning disabled so the rows
+/// isolate generation + observe passes. `rows` and `columns` materialise a
+/// fleet-wide snapshot between the two halves; `streamed` runs the sim
+/// kernels tile-at-a-time inside the sweep's pass loop over
+/// `PassScratch`-resident buffers, so the metric columns never round-trip
+/// DRAM. All three are bit-identical in planner effect (`repro colsim`);
+/// the delta is pure data-motion cost.
+fn bench_sim_window_fused(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_window_fused");
+    group.sample_size(20);
+    for layout in [SnapshotLayout::Rows, SnapshotLayout::Columnar, SnapshotLayout::Streamed] {
+        let name = match layout {
+            SnapshotLayout::Rows => "rows",
+            SnapshotLayout::Columnar => "columns",
+            SnapshotLayout::Streamed => "streamed",
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &layout, |b, &layout| {
+            let mut sim = FleetScenario::paper_scale(7, 0.05)
+                .with_recording(RecordingPolicy::SnapshotOnly)
+                .into_simulation();
+            let config = OnlinePlannerConfig {
+                window_capacity: 48,
+                min_fit_windows: 24,
+                replan_every: u64::MAX,
+                ..OnlinePlannerConfig::default()
+            };
+            let mut engine =
+                SweepEngine::new(config, QosRequirement::latency(50.0).with_cpu_ceiling(90.0));
+            let window = |sim: &mut Simulation, engine: &mut SweepEngine| match layout {
+                SnapshotLayout::Streamed => {
+                    let win = sim.step_streamed();
+                    engine.observe_streamed(&win);
+                }
+                SnapshotLayout::Columnar => {
+                    let snap = sim.step_columns_partitioned();
+                    engine.observe_columns(&snap);
+                }
+                SnapshotLayout::Rows => {
+                    let snap = sim.step_snapshot_partitioned();
+                    engine.observe_partitioned(&snap);
+                }
+            };
+            // Warm the reusable buffers out of the measurement.
+            window(&mut sim, &mut engine);
+            b.iter(|| {
+                window(&mut sim, &mut engine);
+                black_box(engine.windows_seen())
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_store_queries(c: &mut Criterion) {
     let mut sim = Simulation::new(fleet(50), Default::default(), SimConfig::default());
     sim.run_days(1.0);
@@ -97,5 +154,11 @@ fn bench_store_queries(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sim_day, bench_sim_step_layouts, bench_store_queries);
+criterion_group!(
+    benches,
+    bench_sim_day,
+    bench_sim_step_layouts,
+    bench_sim_window_fused,
+    bench_store_queries
+);
 criterion_main!(benches);

@@ -15,7 +15,10 @@
 //!    `threads > 1` crossover moves down to small fleets where the scoped
 //!    shape lost outright. `fleet_scaling_columns/*` runs the
 //!    struct-of-arrays ingestion over the same recorded workload up to
-//!    16384 pools — the hot path of the columnar snapshot pipeline.
+//!    16384 pools — the materialised hot path of the columnar snapshot
+//!    pipeline — and `fleet_scaling_streamed/*` runs the tile-fused
+//!    streamed pipeline over the same workload, generating each tile's
+//!    metric columns inside the sweep instead of replaying them from DRAM.
 //! 3. **ingestion-only cost** — `sweep_ingestion/*` re-runs the columnar
 //!    cells with replanning disabled (`replan_every = u64::MAX`), so the
 //!    rows isolate the pass-structured observe kernels (aggregate →
@@ -32,7 +35,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use headroom_bench::synthetic::{
-    synthetic_columns, synthetic_snapshots, warmed_engine, warmed_engine_columns, RecordedWindow,
+    synthetic_columns, synthetic_snapshots, synthetic_streamed, warmed_engine,
+    warmed_engine_columns, warmed_engine_streamed, RecordedWindow,
 };
 use headroom_cluster::columns::ColumnarSnapshot;
 use headroom_cluster::scenario::FleetScenario;
@@ -188,6 +192,44 @@ fn bench_fleet_scaling_columns(c: &mut Criterion) {
     group.finish();
 }
 
+/// The tile-fused streamed pipeline over the same synthetic workload as
+/// `fleet_scaling_columns`: each window's metric columns are *generated*
+/// by the sim kernels inside the sweep's 512-lane tile passes
+/// (`PassScratch`-resident, never materialised fleet-wide) instead of
+/// replayed from DRAM. Bit-identical planner effect to the columns cells
+/// (`repro colsim`); the delta is the fused generation cost minus the
+/// avoided metric-column traffic.
+fn bench_fleet_scaling_streamed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_scaling_streamed");
+    for pools in [81u32, 4096, 16384] {
+        let snapshots = synthetic_snapshots(pools, 3, 72);
+        let columns = synthetic_columns(&snapshots);
+        let streamed = synthetic_streamed(&columns);
+        drop(columns);
+        for threads in [1usize, 4] {
+            let config = OnlinePlannerConfig {
+                window_capacity: 48,
+                min_fit_windows: 24,
+                threads,
+                ..OnlinePlannerConfig::default()
+            };
+            let mut engine = warmed_engine_streamed(&streamed, config);
+            let mut next = streamed.len() as u64;
+            let mut cursor = 0usize;
+            group.bench_function(BenchmarkId::new(format!("pools={pools}"), threads), |b| {
+                b.iter(|| {
+                    let win = streamed.window(cursor, WindowIndex(next));
+                    engine.observe_streamed(black_box(&win));
+                    next += 1;
+                    cursor = (cursor + 1) % streamed.len();
+                    engine.drain_recommendations().len()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 /// Ingestion-only isolation: the same columnar cells as
 /// `fleet_scaling_columns`, but with replanning disabled
 /// (`replan_every = u64::MAX`, so `windows_seen` never hits a replan tick
@@ -299,6 +341,7 @@ criterion_group!(
     bench_thread_scaling,
     bench_fleet_scaling,
     bench_fleet_scaling_columns,
+    bench_fleet_scaling_streamed,
     bench_ingestion_only,
     bench_order_statistics
 );

@@ -2,15 +2,15 @@
 //!
 //! Three gates measure the same contract — a warmed, non-replan window of
 //! the full simulator→ingestion pipeline performs zero heap allocations —
-//! on the row layout (`repro sweep`), the columnar layout (`repro
-//! colsim`), and both across thread counts (the `alloc_steady_state`
-//! integration test). They must all drive the *same* workload, or a
-//! layout-specific allocation regression could hide behind a fixture
-//! drift; this module is the single definition of that workload.
+//! on the row layout (`repro sweep`), the columnar and streamed layouts
+//! (`repro colsim`), and all three across thread counts (the
+//! `alloc_steady_state` integration test). They must all drive the *same*
+//! workload, or a layout-specific allocation regression could hide behind
+//! a fixture drift; this module is the single definition of that workload.
 
 use headroom_cluster::catalog::MicroserviceKind;
 use headroom_cluster::maintenance::AvailabilityPractice;
-use headroom_cluster::sim::{RecordingPolicy, SimConfig, Simulation};
+use headroom_cluster::sim::{RecordingPolicy, SimConfig, Simulation, SnapshotLayout};
 use headroom_cluster::topology::FleetBuilder;
 use headroom_core::slo::QosRequirement;
 use headroom_exec::alloc_track;
@@ -32,8 +32,8 @@ pub const MEASURED_WINDOWS: u64 = 10;
 /// One warmed simulator + engine pair on the canonical fixture fleet
 /// (3 DCs × service B × 12 servers, no failures/incidents, SnapshotOnly,
 /// replan every 16 windows), driven through the requested snapshot layout.
-pub fn warmed(threads: usize, columnar: bool) -> (Simulation, SweepEngine) {
-    warmed_with(threads, columnar, false)
+pub fn warmed(threads: usize, layout: SnapshotLayout) -> (Simulation, SweepEngine) {
+    warmed_with(threads, layout, false)
 }
 
 /// The scenario-active twin of [`warmed`]: the same pipeline with a
@@ -43,11 +43,33 @@ pub fn warmed(threads: usize, columnar: bool) -> (Simulation, SweepEngine) {
 /// deployed with extra headroom (demand at 55% of the catalog peak) so
 /// the survivors stay non-urgent under the rerouted load — a nonzero
 /// count is then an allocation-contract violation, not urgency replans.
-pub fn warmed_scenario(threads: usize, columnar: bool) -> (Simulation, SweepEngine) {
-    warmed_with(threads, columnar, true)
+pub fn warmed_scenario(threads: usize, layout: SnapshotLayout) -> (Simulation, SweepEngine) {
+    warmed_with(threads, layout, true)
 }
 
-fn warmed_with(threads: usize, columnar: bool, scenario: bool) -> (Simulation, SweepEngine) {
+/// Drives one window of the pipeline through the requested layout.
+fn observe_window(sim: &mut Simulation, engine: &mut SweepEngine, layout: SnapshotLayout) {
+    match layout {
+        SnapshotLayout::Streamed => {
+            let win = sim.step_streamed();
+            engine.observe_streamed(&win);
+        }
+        SnapshotLayout::Columnar => {
+            let snap = sim.step_columns_partitioned();
+            engine.observe_columns(&snap);
+        }
+        SnapshotLayout::Rows => {
+            let snap = sim.step_snapshot_partitioned();
+            engine.observe_partitioned(&snap);
+        }
+    }
+}
+
+fn warmed_with(
+    threads: usize,
+    layout: SnapshotLayout,
+    scenario: bool,
+) -> (Simulation, SweepEngine) {
     let mut builder = FleetBuilder::new(11).datacenters(3).without_failures().without_incidents();
     builder = if scenario {
         let spec = MicroserviceKind::B.spec().with_practice(AvailabilityPractice::WellManaged);
@@ -96,13 +118,7 @@ fn warmed_with(threads: usize, columnar: bool, scenario: bool) -> (Simulation, S
     };
     let mut engine = SweepEngine::new(config, QosRequirement::latency(50.0).with_cpu_ceiling(90.0));
     for _ in 0..WARM_WINDOWS {
-        if columnar {
-            let snap = sim.step_columns_partitioned();
-            engine.observe_columns(&snap);
-        } else {
-            let snap = sim.step_snapshot_partitioned();
-            engine.observe_partitioned(&snap);
-        }
+        observe_window(&mut sim, &mut engine, layout);
     }
     engine.drain_recommendations();
     (sim, engine)
@@ -119,17 +135,17 @@ fn warmed_with(threads: usize, columnar: bool, scenario: bool) -> (Simulation, S
 /// replan tick, or the fleet unplanned/urgent (an urgent pool legitimately
 /// replans every window, which would make a nonzero count a fixture bug,
 /// not an allocation-contract violation).
-pub fn measure_steady_state_allocs(threads: usize, columnar: bool) -> u64 {
-    measure(warmed(threads, columnar), columnar)
+pub fn measure_steady_state_allocs(threads: usize, layout: SnapshotLayout) -> u64 {
+    measure(warmed(threads, layout), layout)
 }
 
 /// [`measure_steady_state_allocs`] on the scenario-active fixture: the
 /// same contract while a `DatacenterLoss` + global surge are live.
-pub fn measure_steady_state_allocs_scenario(threads: usize, columnar: bool) -> u64 {
-    measure(warmed_scenario(threads, columnar), columnar)
+pub fn measure_steady_state_allocs_scenario(threads: usize, layout: SnapshotLayout) -> u64 {
+    measure(warmed_scenario(threads, layout), layout)
 }
 
-fn measure((mut sim, mut engine): (Simulation, SweepEngine), columnar: bool) -> u64 {
+fn measure((mut sim, mut engine): (Simulation, SweepEngine), layout: SnapshotLayout) -> u64 {
     assert!(
         engine.windows_seen().is_multiple_of(REPLAN_EVERY),
         "alloc fixture: warm-up must end on a replan tick"
@@ -141,13 +157,7 @@ fn measure((mut sim, mut engine): (Simulation, SweepEngine), columnar: bool) -> 
     );
     let before = alloc_track::allocations();
     for _ in 0..MEASURED_WINDOWS {
-        if columnar {
-            let snap = sim.step_columns_partitioned();
-            engine.observe_columns(&snap);
-        } else {
-            let snap = sim.step_snapshot_partitioned();
-            engine.observe_partitioned(&snap);
-        }
+        observe_window(&mut sim, &mut engine, layout);
     }
     alloc_track::allocations() - before
 }

@@ -4,10 +4,12 @@
 //! Not a paper artifact: `repro colsim` is the acceptance gate of the
 //! struct-of-arrays snapshot pipeline. The columnar data path
 //! (`Simulation::step_columns_partitioned` →
-//! `SweepEngine::observe_columns`) must be a pure *layout* change — same
-//! RNG stream, same stored counters, same planner decisions, byte for
-//! byte. Three contracts are checked, and any violation fails the
-//! experiment (and CI):
+//! `SweepEngine::observe_columns`) and the streamed data path
+//! (`Simulation::step_streamed` → `SweepEngine::observe_streamed`, which
+//! generates metric columns tile-at-a-time inside the sweep) must both be
+//! pure *layout* changes — same RNG stream, same stored counters, same
+//! planner decisions, byte for byte. Three contracts are checked, and any
+//! violation fails the experiment (and CI):
 //!
 //! 1. **simulator identity** — for every [`RecordingPolicy`], a row-stepped
 //!    simulation and a columnar-stepped twin produce bit-identical
@@ -15,14 +17,13 @@
 //!    same pool partition, the same metric store contents, and the same
 //!    availability log;
 //! 2. **planner identity** — driving the paper-shaped fleet end to end,
-//!    the columnar pipeline yields assessments and recommendations
-//!    bit-identical to the legacy row pipeline at *every* fan-out width
-//!    1–8 and in both [`SweepExec`] modes;
-//! 3. **zero steady-state allocation** — a warmed, non-replan columnar
-//!    window (`step_columns_partitioned` → `observe_columns`) must not
-//!    touch the heap, exactly like the row path. Counted (and enforced)
-//!    when the `repro` binary's counting allocator is installed; inert
-//!    under plain `cargo test`.
+//!    the columnar *and* streamed pipelines each yield assessments and
+//!    recommendations bit-identical to the legacy row pipeline at *every*
+//!    fan-out width 1–8 and in both [`SweepExec`] modes;
+//! 3. **zero steady-state allocation** — a warmed, non-replan columnar or
+//!    streamed window must not touch the heap, exactly like the row path.
+//!    Counted (and enforced) when the `repro` binary's counting allocator
+//!    is installed; inert under plain `cargo test`.
 //!
 //! The report also times the bare simulator step (no planner) in both
 //! layouts, so per-window regressions can be attributed to the simulator
@@ -33,7 +34,7 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use headroom_cluster::scenario::FleetScenario;
-use headroom_cluster::sim::RecordingPolicy;
+use headroom_cluster::sim::{RecordingPolicy, SnapshotLayout};
 use headroom_core::report::render_table;
 use headroom_core::slo::QosRequirement;
 use headroom_exec::alloc_track;
@@ -47,6 +48,10 @@ use crate::Scale;
 
 /// Fan-out widths the planner-identity grid sweeps.
 pub const IDENTITY_THREADS: [usize; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
+
+/// Snapshot layouts checked against the sequential row-path reference.
+pub const IDENTITY_PATHS: [(SnapshotLayout, &str); 2] =
+    [(SnapshotLayout::Columnar, "columns"), (SnapshotLayout::Streamed, "streamed")];
 
 /// One recording policy's simulator-identity verdict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,9 +70,11 @@ pub struct PolicyRow {
 /// One planner-identity grid cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineCell {
-    /// Fan-out width of the columnar engine.
+    /// Snapshot layout of the checked engine (`columns` or `streamed`).
+    pub path: &'static str,
+    /// Fan-out width of the checked engine.
     pub threads: usize,
-    /// Execution mode of the columnar engine.
+    /// Execution mode of the checked engine.
     pub exec: &'static str,
     /// Whether assessments and recommendations matched the sequential
     /// row-path reference bit-for-bit.
@@ -91,9 +98,17 @@ pub struct ColsimReport {
     pub sim_step_rows: Duration,
     /// Mean bare simulator step, columnar layout.
     pub sim_step_cols: Duration,
+    /// Mean bare streamed step prefix (demand sampling + noise draws; the
+    /// kernels themselves run inside the sweep, so this is *not*
+    /// comparable to the materialised step costs — the sweep experiment's
+    /// `sim_kernel` pass carries the rest).
+    pub sim_step_streamed: Duration,
     /// Heap allocations over 10 warmed non-replan columnar windows (must
     /// be 0 when `alloc_tracking`).
     pub steady_state_allocs: u64,
+    /// Heap allocations over 10 warmed non-replan streamed windows (must
+    /// be 0 when `alloc_tracking`).
+    pub streamed_steady_state_allocs: u64,
     /// Whether the counting allocator was installed.
     pub alloc_tracking: bool,
 }
@@ -166,7 +181,7 @@ fn engine_for(
 /// Drives the paper fleet end to end and returns the planner's outputs
 /// (assessments snapshotted to an owned map) plus the mean bare step cost.
 fn drive_engine(
-    columnar: bool,
+    layout: SnapshotLayout,
     threads: usize,
     exec: SweepExec,
     windows: u64,
@@ -193,16 +208,25 @@ fn drive_engine(
     let mut recs = Vec::new();
     let mut stepping = Duration::ZERO;
     for _ in 0..windows {
-        if columnar {
-            let t = Instant::now();
-            let snap = sim.step_columns_partitioned();
-            stepping += t.elapsed();
-            engine.observe_columns(&snap);
-        } else {
-            let t = Instant::now();
-            let snap = sim.step_snapshot_partitioned();
-            stepping += t.elapsed();
-            engine.observe_partitioned(&snap);
+        match layout {
+            SnapshotLayout::Streamed => {
+                let t = Instant::now();
+                let win = sim.step_streamed();
+                stepping += t.elapsed();
+                engine.observe_streamed(&win);
+            }
+            SnapshotLayout::Columnar => {
+                let t = Instant::now();
+                let snap = sim.step_columns_partitioned();
+                stepping += t.elapsed();
+                engine.observe_columns(&snap);
+            }
+            SnapshotLayout::Rows => {
+                let t = Instant::now();
+                let snap = sim.step_snapshot_partitioned();
+                stepping += t.elapsed();
+                engine.observe_partitioned(&snap);
+            }
         }
         recs.extend(engine.drain_recommendations());
     }
@@ -234,31 +258,44 @@ pub fn run(scale: &Scale) -> Result<ColsimReport, Box<dyn Error>> {
         check_policy(RecordingPolicy::AvailabilityOnly, "availability_only", policy_windows, scale),
     ];
 
-    // Contract 2: planner identity. Reference: sequential row pipeline.
+    // Contract 2: planner identity. Reference: sequential row pipeline;
+    // checked: the columnar and streamed pipelines across the full grid.
     let (ref_assessments, ref_recs, sim_step_rows) =
-        drive_engine(false, 1, SweepExec::Persistent, windows, scale);
+        drive_engine(SnapshotLayout::Rows, 1, SweepExec::Persistent, windows, scale);
     let mut engine_cells = Vec::new();
     let mut sim_step_cols = Duration::ZERO;
-    for &threads in &IDENTITY_THREADS {
-        for (exec, exec_name) in
-            [(SweepExec::Persistent, "persistent"), (SweepExec::Scoped, "scoped")]
-        {
-            let (assessments, recs, step) = drive_engine(true, threads, exec, windows, scale);
-            if threads == 1 && exec == SweepExec::Persistent {
-                sim_step_cols = step;
+    let mut sim_step_streamed = Duration::ZERO;
+    for (layout, path) in IDENTITY_PATHS {
+        for &threads in &IDENTITY_THREADS {
+            for (exec, exec_name) in
+                [(SweepExec::Persistent, "persistent"), (SweepExec::Scoped, "scoped")]
+            {
+                let (assessments, recs, step) = drive_engine(layout, threads, exec, windows, scale);
+                if threads == 1 && exec == SweepExec::Persistent {
+                    match layout {
+                        SnapshotLayout::Columnar => sim_step_cols = step,
+                        SnapshotLayout::Streamed => sim_step_streamed = step,
+                        SnapshotLayout::Rows => {}
+                    }
+                }
+                engine_cells.push(EngineCell {
+                    path,
+                    threads,
+                    exec: exec_name,
+                    identical: assessments == ref_assessments && recs == ref_recs,
+                });
             }
-            engine_cells.push(EngineCell {
-                threads,
-                exec: exec_name,
-                identical: assessments == ref_assessments && recs == ref_recs,
-            });
         }
     }
 
-    // Contract 3: columnar zero-allocation steady state, on the shared
-    // fixture (crate::alloc_fixture) the row-path gate also measures.
+    // Contract 3: columnar and streamed zero-allocation steady state, on
+    // the shared fixture (crate::alloc_fixture) the row-path gate also
+    // measures.
     let alloc_tracking = alloc_track::is_tracking();
-    let steady_state_allocs = crate::alloc_fixture::measure_steady_state_allocs(2, true);
+    let steady_state_allocs =
+        crate::alloc_fixture::measure_steady_state_allocs(2, SnapshotLayout::Columnar);
+    let streamed_steady_state_allocs =
+        crate::alloc_fixture::measure_steady_state_allocs(2, SnapshotLayout::Streamed);
 
     let report = ColsimReport {
         pools,
@@ -268,16 +305,21 @@ pub fn run(scale: &Scale) -> Result<ColsimReport, Box<dyn Error>> {
         engine_cells,
         sim_step_rows,
         sim_step_cols,
+        sim_step_streamed,
         steady_state_allocs,
+        streamed_steady_state_allocs,
         alloc_tracking,
     };
     if !report.all_identical() {
-        return Err(format!("columnar pipeline diverged from the row pipeline:\n{report}").into());
-    }
-    if alloc_tracking && steady_state_allocs > 0 {
         return Err(format!(
-            "columnar steady-state window path allocated {steady_state_allocs} times — \
-             the zero-allocation contract is broken:\n{report}"
+            "columnar/streamed pipeline diverged from the row pipeline:\n{report}"
+        )
+        .into());
+    }
+    if alloc_tracking && (steady_state_allocs > 0 || streamed_steady_state_allocs > 0) {
+        return Err(format!(
+            "steady-state window path allocated (columns {steady_state_allocs}, streamed \
+             {streamed_steady_state_allocs}) — the zero-allocation contract is broken:\n{report}"
         )
         .into());
     }
@@ -311,12 +353,17 @@ impl ColsimReport {
             },
             CsvTable {
                 name: "colsim_engines".into(),
-                headers: vec!["threads".into(), "exec".into(), "identical".into()],
+                headers: vec!["path".into(), "threads".into(), "exec".into(), "identical".into()],
                 rows: self
                     .engine_cells
                     .iter()
                     .map(|c| {
-                        vec![c.threads.to_string(), c.exec.to_string(), c.identical.to_string()]
+                        vec![
+                            c.path.to_string(),
+                            c.threads.to_string(),
+                            c.exec.to_string(),
+                            c.identical.to_string(),
+                        ]
                     })
                     .collect(),
             },
@@ -352,23 +399,26 @@ impl fmt::Display for ColsimReport {
             .engine_cells
             .iter()
             .filter(|c| !c.identical)
-            .map(|c| format!("{}x{}", c.threads, c.exec))
+            .map(|c| format!("{}x{}x{}", c.path, c.threads, c.exec))
             .collect();
         writeln!(
             f,
-            "planner identity over threads 1-8 x {{persistent, scoped}} ({} cells): {}",
+            "planner identity over {{columns, streamed}} x threads 1-8 x {{persistent, scoped}} \
+             ({} cells): {}",
             self.engine_cells.len(),
             if bad.is_empty() { "all identical".to_string() } else { format!("DIVERGED: {bad:?}") }
         )?;
         writeln!(
             f,
-            "bare simulator step: rows {:?}/window, columns {:?}/window",
-            self.sim_step_rows, self.sim_step_cols
+            "bare simulator step: rows {:?}/window, columns {:?}/window, streamed prefix \
+             {:?}/window (kernels run inside the sweep)",
+            self.sim_step_rows, self.sim_step_cols, self.sim_step_streamed
         )?;
         writeln!(
             f,
-            "columnar steady-state allocations/10 windows: {}{}",
+            "steady-state allocations/10 windows: columns {}, streamed {}{}",
             self.steady_state_allocs,
+            self.streamed_steady_state_allocs,
             if self.alloc_tracking {
                 " (counted — must be 0)"
             } else {
@@ -389,8 +439,16 @@ mod tests {
         assert_eq!(r.pools, 81, "paper-shaped fleet");
         assert!(r.all_identical(), "columnar != rows: {r}");
         assert_eq!(r.policies.len(), 4, "every recording policy checked");
-        assert_eq!(r.engine_cells.len(), 16, "threads 1-8 x both exec modes");
+        assert_eq!(r.engine_cells.len(), 32, "both paths x threads 1-8 x both exec modes");
+        for path in ["columns", "streamed"] {
+            assert_eq!(
+                r.engine_cells.iter().filter(|c| c.path == path).count(),
+                16,
+                "full grid for the {path} path"
+            );
+        }
         assert!(r.sim_step_rows > Duration::ZERO && r.sim_step_cols > Duration::ZERO);
+        assert!(r.sim_step_streamed > Duration::ZERO, "streamed prefix timed");
         assert!(!r.alloc_tracking, "plain cargo test has no counting allocator");
     }
 }

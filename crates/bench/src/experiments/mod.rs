@@ -20,7 +20,7 @@
 //! | [`online`] | streaming planner vs batch pipeline (headroom-online) |
 //! | [`sweep`] | sharded sweep engine vs sequential planner at 81-pool scale |
 //! | [`multi_resource`] | binding-constraint discovery on a mixed-resource fleet |
-//! | [`colsim`] | columnar↔row snapshot-pipeline bit-identity gate |
+//! | [`colsim`] | columnar/streamed↔row snapshot-pipeline bit-identity gate |
 //! | [`service`] | planner-as-a-service checkpoint/replay/reconcile gate |
 //! | [`scenarios`] | adversarial-scenario scoring gate (flash crowd, failover, hypergrowth, …) |
 
@@ -113,7 +113,7 @@ pub const ALL: [ExperimentInfo; 21] = [
     },
     ExperimentInfo {
         id: "colsim",
-        title: "Columnar snapshot pipeline identity gate",
+        title: "Columnar + streamed snapshot pipeline identity gate",
         paper_ref: "headroom-cluster",
     },
     ExperimentInfo {
@@ -243,11 +243,18 @@ pub fn run_by_id(
         "sweep" => {
             let r = sweep::run(scale)?;
             // The perf-trajectory artifact, checked in per PR: scaling grid
-            // + steady-state allocation count, machine-readable.
+            // + steady-state allocation count, machine-readable. A
+            // previously merged scenarios block is re-spliced into the
+            // fresh artifact, so `repro sweep` and `repro scenarios` can
+            // run in either order without dropping each other's blocks.
             let json_path = out_dir
                 .map(|d| d.join("BENCH_sweep.json"))
                 .unwrap_or_else(|| Path::new("BENCH_sweep.json").to_path_buf());
-            std::fs::write(&json_path, r.to_json())?;
+            let existing = std::fs::read_to_string(&json_path).ok();
+            std::fs::write(
+                &json_path,
+                scenarios::preserve_scenarios_block(existing.as_deref(), &r.to_json()),
+            )?;
             (format!("{r}[wrote {}]\n", json_path.display()), r.tables())
         }
         "multi_resource" => {

@@ -44,7 +44,7 @@ use std::error::Error;
 use std::fmt;
 
 use headroom_cluster::scenario::FleetScenario;
-use headroom_cluster::sim::RecordingPolicy;
+use headroom_cluster::sim::{RecordingPolicy, SnapshotLayout};
 use headroom_core::report::render_table;
 use headroom_core::slo::QosRequirement;
 use headroom_exec::alloc_track;
@@ -293,6 +293,45 @@ pub fn merge_into_sweep_json(existing: Option<&str>, report: &ScenariosReport) -
         }
     }
     format!("{{\n  \"experiment\": \"scenarios\",\n{block}\n}}\n")
+}
+
+/// The sweep arm's mirror of [`merge_into_sweep_json`]: re-splices the
+/// `"scenarios"` block of a previously written artifact into a freshly
+/// rendered sweep JSON, so `repro sweep` and `repro scenarios` compose in
+/// either order — neither run drops the other's block. Returns `fresh`
+/// unchanged when the old artifact is missing or holds no block.
+pub fn preserve_scenarios_block(existing: Option<&str>, fresh: &str) -> String {
+    let Some(block) = existing.and_then(extract_scenarios_block) else {
+        return fresh.to_string();
+    };
+    match fresh.strip_prefix("{\n") {
+        Some(rest) => format!("{{\n{block},\n{rest}"),
+        None => fresh.to_string(),
+    }
+}
+
+/// The `"scenarios"` block of a previously written artifact — the exact
+/// line shapes [`ScenariosReport::scenarios_block`] emits, trailing comma
+/// stripped — or `None` when `text` holds no block.
+fn extract_scenarios_block(text: &str) -> Option<String> {
+    let mut lines: Vec<&str> = Vec::new();
+    let mut capturing = false;
+    for line in text.lines() {
+        if !capturing && line == "  \"scenarios\": [" {
+            capturing = true;
+        }
+        if capturing {
+            if line == "  ]," {
+                lines.push("  ]");
+                return Some(lines.join("\n"));
+            }
+            lines.push(line);
+            if line == "  ]" {
+                return Some(lines.join("\n"));
+            }
+        }
+    }
+    None
 }
 
 /// Removes a previously spliced `"scenarios"` block (the exact line shapes
@@ -678,8 +717,10 @@ pub fn run(scale: &Scale) -> Result<ScenariosReport, Box<dyn Error>> {
     }
 
     let alloc_tracking = alloc_track::is_tracking();
-    let steady_allocs_rows = crate::alloc_fixture::measure_steady_state_allocs_scenario(2, false);
-    let steady_allocs_cols = crate::alloc_fixture::measure_steady_state_allocs_scenario(2, true);
+    let steady_allocs_rows =
+        crate::alloc_fixture::measure_steady_state_allocs_scenario(2, SnapshotLayout::Rows);
+    let steady_allocs_cols =
+        crate::alloc_fixture::measure_steady_state_allocs_scenario(2, SnapshotLayout::Columnar);
 
     let report = ScenariosReport {
         pools,
@@ -916,5 +957,53 @@ mod tests {
         // Unrecognisable existing content falls back to standalone.
         let fallback = merge_into_sweep_json(Some("not json"), &report);
         assert!(fallback.starts_with("{\n  \"experiment\": \"scenarios\",\n"));
+    }
+
+    /// `repro sweep` then `repro scenarios` must converge to the same
+    /// artifact as `repro scenarios` then `repro sweep` — neither order
+    /// drops the other experiment's block.
+    #[test]
+    fn sweep_and_scenarios_writes_are_order_independent() {
+        let report = ScenariosReport {
+            pools: 6,
+            servers: 120,
+            dwell_windows: 2,
+            scores: vec![ScenarioScore {
+                name: "flash_crowd",
+                windows: 1000,
+                onset_window: 720,
+                detection_delay: Some(3),
+                slo_excess: 10,
+                flaps: 1,
+                recommendations: 5,
+                days_err: None,
+                cells_identical: 5,
+                cells_total: 5,
+            }],
+            breaches: Vec::new(),
+            steady_allocs_rows: 0,
+            steady_allocs_cols: 0,
+            alloc_tracking: false,
+        };
+        let fresh_sweep = "{\n  \"experiment\": \"sweep\",\n  \"grid\": []\n}\n";
+
+        // Order A: sweep writes first, scenarios merges into it.
+        let a = merge_into_sweep_json(Some(&preserve_scenarios_block(None, fresh_sweep)), &report);
+        // Order B: scenarios writes first (standalone), sweep re-splices
+        // the block into its fresh artifact.
+        let standalone = merge_into_sweep_json(None, &report);
+        let b = preserve_scenarios_block(Some(&standalone), fresh_sweep);
+
+        assert_eq!(a, b, "artifact must not depend on experiment order");
+        assert!(b.contains("\"experiment\": \"sweep\""));
+        assert_eq!(b.matches("\"scenarios\": [").count(), 1);
+        assert!(b.contains("\"name\": \"flash_crowd\""));
+
+        // Sweep rewrites are idempotent against an already merged file.
+        let rewritten = preserve_scenarios_block(Some(&b), fresh_sweep);
+        assert_eq!(rewritten, b, "idempotent re-splice");
+
+        // And a sweep rewrite without any prior artifact is a plain write.
+        assert_eq!(preserve_scenarios_block(None, fresh_sweep), fresh_sweep);
     }
 }

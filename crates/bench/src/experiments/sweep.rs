@@ -54,7 +54,7 @@ use std::time::{Duration, Instant};
 
 use headroom_cluster::columns::ColumnarSnapshot;
 use headroom_cluster::scenario::FleetScenario;
-use headroom_cluster::sim::{PartitionedSnapshot, RecordingPolicy};
+use headroom_cluster::sim::{PartitionedSnapshot, RecordingPolicy, SnapshotLayout};
 use headroom_core::report::render_table;
 use headroom_core::slo::QosRequirement;
 use headroom_exec::alloc_track;
@@ -65,8 +65,9 @@ use headroom_telemetry::time::WindowIndex;
 
 use crate::csv::CsvTable;
 use crate::synthetic::{
-    synthetic_columns, synthetic_snapshots, warmed_engine, warmed_engine_columns, RecordedColumns,
-    RecordedWindow,
+    synthetic_columns, synthetic_snapshots, synthetic_streamed, warmed_engine,
+    warmed_engine_columns, warmed_engine_streamed, RecordedColumns, RecordedWindow,
+    StreamedFixture,
 };
 use crate::Scale;
 
@@ -131,16 +132,27 @@ pub struct CheckpointCell {
 }
 
 /// The million-pool stretch measurement: steady-state window cost of the
-/// slot-major store at 2^20 pools, one server per pool, columnar path,
-/// single thread. Measured only at full scale (release, not `--quick`).
+/// slot-major store at 2^20 pools, one server per pool, single thread —
+/// the materialised columnar path (comparable with the checked-in
+/// trajectory) and its streamed tile-fused twin, whose per-pass breakdown
+/// carries the `sim_kernel` pass the fused pipeline adds. Measured only at
+/// full scale (release, not `--quick`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MillionPoolCell {
     /// Pools in the stretch fleet (2^20).
     pub pools: u32,
     /// Servers per pool (1 — the window cost is per-pool dominated).
     pub servers_per_pool: u32,
-    /// Fastest-of-repeats mean per-window cost, nanoseconds.
+    /// Fastest-of-repeats mean per-window cost, nanoseconds (columns).
     pub per_window_ns: u64,
+    /// Fastest-of-repeats mean per-window cost of the streamed path:
+    /// kernel generation fused into the tile passes, metric columns never
+    /// materialised.
+    pub streamed_per_window_ns: u64,
+    /// Per-pass breakdown of the streamed window (a separate timed run —
+    /// the untimed repeats above carry no clock reads), indexed like
+    /// [`PASS_NAMES`].
+    pub streamed_pass_ns: [u64; PASS_COUNT],
 }
 
 /// Per-pass timing at one breakdown shape: the per-window nanoseconds each
@@ -153,6 +165,10 @@ pub struct PassBreakdownCell {
     pub pools: u32,
     /// Fan-out width (always 1 — multi-chunk windows are untimed).
     pub threads: usize,
+    /// Ingestion path timed: `"columns"` (materialised; the `sim_kernel`
+    /// pass is structurally zero) or `"streamed"` (tile-fused kernel
+    /// generation, `sim_kernel` broken out).
+    pub path: &'static str,
     /// Per-window nanoseconds per pass, indexed like [`PASS_NAMES`]. The
     /// fastest-of-`GRID_REPEATS` repeat's whole array is recorded — one
     /// repeat's passes stay mutually consistent, whereas per-pass minima
@@ -192,6 +208,13 @@ pub struct SweepReport {
     /// Whether the counting allocator was installed (true under `repro`,
     /// false under plain `cargo test`, where the count is meaningless).
     pub alloc_tracking: bool,
+    /// Logical cores of the host the artifact was measured on.
+    pub host_cores: usize,
+    /// Build profile the numbers were taken under (`release` / `debug`).
+    pub build: &'static str,
+    /// Run scale (`full` / `quick`) — quick and debug runs skip the
+    /// extended rows, so the artifact records which kind produced it.
+    pub run_scale: &'static str,
 }
 
 /// PR 4's checked-in per-window figure at 4096 pools, threads 1 (row
@@ -311,9 +334,10 @@ pub const EXTENDED_POOLS: u32 = 65_536;
 pub const MILLION_POOLS: u32 = 1_048_576;
 /// Fan-out widths of the scaling grid.
 pub const SCALING_THREADS: [usize; 3] = [1, 2, 4];
-/// Snapshot layouts of the scaling grid: the columnar hot path and the
-/// legacy row layout it is A/B'd against.
-pub const SCALING_PATHS: [&str; 2] = ["columns", "rows"];
+/// Ingestion paths of the scaling grid: the materialised columnar path,
+/// the legacy row layout it is A/B'd against, and the streamed tile-fused
+/// path (kernel generation inside the sweep — the closed-loop default).
+pub const SCALING_PATHS: [&str; 3] = ["columns", "rows", "streamed"];
 
 const GRID_WARM_WINDOWS: u64 = 72;
 const GRID_MEASURE_WINDOWS: u64 = 24;
@@ -354,6 +378,7 @@ fn measure_windows(pools: u32) -> u64 {
 fn measure_cell(
     snapshots: &[RecordedWindow],
     columns: &[RecordedColumns],
+    streamed: &StreamedFixture,
     pools: u32,
     threads: usize,
     exec: SweepExec,
@@ -366,11 +391,10 @@ fn measure_cell(
         exec,
         ..OnlinePlannerConfig::default()
     };
-    let columnar = path == "columns";
-    let mut engine = if columnar {
-        warmed_engine_columns(columns, config)
-    } else {
-        warmed_engine(snapshots, config)
+    let mut engine = match path {
+        "columns" => warmed_engine_columns(columns, config),
+        "streamed" => warmed_engine_streamed(streamed, config),
+        _ => warmed_engine(snapshots, config),
     };
     let mut next_window = GRID_WARM_WINDOWS;
     let mut per_window_ns = u64::MAX;
@@ -380,16 +404,26 @@ fn measure_cell(
         for _ in 0..windows {
             let window = WindowIndex(next_window);
             let recorded = (next_window % GRID_WARM_WINDOWS) as usize;
-            if columnar {
-                let (cols, slices) = &columns[recorded];
-                engine.observe_columns(&headroom_cluster::columns::ColumnarSnapshot {
-                    window,
-                    columns: cols,
-                    pools: slices,
-                });
-            } else {
-                let (rows, slices) = &snapshots[recorded];
-                engine.observe_partitioned(&PartitionedSnapshot { window, rows, pools: slices });
+            match path {
+                "columns" => {
+                    let (cols, slices) = &columns[recorded];
+                    engine.observe_columns(&headroom_cluster::columns::ColumnarSnapshot {
+                        window,
+                        columns: cols,
+                        pools: slices,
+                    });
+                }
+                "streamed" => {
+                    engine.observe_streamed(&streamed.window(recorded, window));
+                }
+                _ => {
+                    let (rows, slices) = &snapshots[recorded];
+                    engine.observe_partitioned(&PartitionedSnapshot {
+                        window,
+                        rows,
+                        pools: slices,
+                    });
+                }
             }
             engine.drain_recommendations();
             next_window += 1;
@@ -464,11 +498,13 @@ fn measure_scaling(full: bool) -> Vec<ScalingCell> {
     for &pools in measured {
         let snapshots = synthetic_snapshots(pools, 3, GRID_WARM_WINDOWS);
         let columns = synthetic_columns(&snapshots);
+        let streamed = synthetic_streamed(&columns);
         for &path in &SCALING_PATHS {
             for &threads in &SCALING_THREADS {
                 cells.push(measure_cell(
                     &snapshots,
                     &columns,
+                    &streamed,
                     pools,
                     threads,
                     SweepExec::Persistent,
@@ -478,6 +514,7 @@ fn measure_scaling(full: bool) -> Vec<ScalingCell> {
                     cells.push(measure_cell(
                         &snapshots,
                         &columns,
+                        &streamed,
                         pools,
                         threads,
                         SweepExec::Scoped,
@@ -490,10 +527,12 @@ fn measure_scaling(full: bool) -> Vec<ScalingCell> {
     if full {
         let snapshots = synthetic_snapshots(EXTENDED_POOLS, 3, GRID_WARM_WINDOWS);
         let columns = synthetic_columns(&snapshots);
+        let streamed = synthetic_streamed(&columns);
         for &path in &SCALING_PATHS {
             cells.push(measure_cell(
                 &snapshots,
                 &columns,
+                &streamed,
                 EXTENDED_POOLS,
                 1,
                 SweepExec::Persistent,
@@ -511,26 +550,33 @@ fn measure_scaling(full: bool) -> Vec<ScalingCell> {
 /// scaling grid's economy; the checked-in artifact carries all three.
 pub const BREAKDOWN_POOLS: [u32; 3] = [4096, 512, 16384];
 
-/// Measures the per-pass window-cost breakdown: single-thread columnar
-/// cells at the [`BREAKDOWN_POOLS`] shapes with
-/// [`SweepEngine::enable_pass_timing`] on, same fixture and planner config
-/// as the scaling grid so the pass sums line up with the grid's
-/// single-thread cells (modulo the timer's own `Instant` reads).
+/// Measures the per-pass window-cost breakdown: single-thread cells at the
+/// [`BREAKDOWN_POOLS`] shapes with [`SweepEngine::enable_pass_timing`] on
+/// — the materialised columnar path and its streamed tile-fused twin —
+/// same fixture and planner config as the scaling grid so the pass sums
+/// line up with the grid's single-thread cells (modulo the timer's own
+/// `Instant` reads).
 fn measure_pass_breakdown() -> Vec<PassBreakdownCell> {
     let measured: &[u32] =
         if cfg!(debug_assertions) { &BREAKDOWN_POOLS[..1] } else { &BREAKDOWN_POOLS };
-    measured
-        .iter()
-        .map(|&pools| {
-            let snapshots = synthetic_snapshots(pools, 3, GRID_WARM_WINDOWS);
-            let columns = synthetic_columns(&snapshots);
-            let config = OnlinePlannerConfig {
-                window_capacity: 48,
-                min_fit_windows: 24,
-                threads: 1,
-                ..OnlinePlannerConfig::default()
+    let mut cells = Vec::new();
+    for &pools in measured {
+        let snapshots = synthetic_snapshots(pools, 3, GRID_WARM_WINDOWS);
+        let columns = synthetic_columns(&snapshots);
+        let streamed = synthetic_streamed(&columns);
+        let config = OnlinePlannerConfig {
+            window_capacity: 48,
+            min_fit_windows: 24,
+            threads: 1,
+            ..OnlinePlannerConfig::default()
+        };
+        for path in ["columns", "streamed"] {
+            let columnar = path == "columns";
+            let mut engine = if columnar {
+                warmed_engine_columns(&columns, config)
+            } else {
+                warmed_engine_streamed(&streamed, config)
             };
-            let mut engine = warmed_engine_columns(&columns, config);
             let mut next_window = GRID_WARM_WINDOWS;
             let mut best_total = u64::MAX;
             let mut best = [0u64; PASS_COUNT];
@@ -538,12 +584,18 @@ fn measure_pass_breakdown() -> Vec<PassBreakdownCell> {
             for _ in 0..GRID_REPEATS {
                 engine.enable_pass_timing();
                 for _ in 0..windows {
-                    let (cols, slices) = &columns[(next_window % GRID_WARM_WINDOWS) as usize];
-                    engine.observe_columns(&ColumnarSnapshot {
-                        window: WindowIndex(next_window),
-                        columns: cols,
-                        pools: slices,
-                    });
+                    let recorded = (next_window % GRID_WARM_WINDOWS) as usize;
+                    let window = WindowIndex(next_window);
+                    if columnar {
+                        let (cols, slices) = &columns[recorded];
+                        engine.observe_columns(&ColumnarSnapshot {
+                            window,
+                            columns: cols,
+                            pools: slices,
+                        });
+                    } else {
+                        engine.observe_streamed(&streamed.window(recorded, window));
+                    }
                     engine.drain_recommendations();
                     next_window += 1;
                 }
@@ -557,26 +609,36 @@ fn measure_pass_breakdown() -> Vec<PassBreakdownCell> {
                     best = pass_ns;
                 }
             }
-            PassBreakdownCell { pools, threads: 1, per_window_pass_ns: best }
-        })
-        .collect()
+            cells.push(PassBreakdownCell { pools, threads: 1, path, per_window_pass_ns: best });
+        }
+    }
+    cells
 }
 
 /// Recorded windows of the million-pool fixture; the drive cycles them.
 const MILLION_RECORDED_WINDOWS: u64 = 12;
-/// Warm-up windows at the million-pool shape (fills the 24-slot window and
-/// the fits; replans have happened).
-const MILLION_WARM_WINDOWS: u64 = 36;
+/// Warm-up windows at the million-pool shape. Must exceed every ring
+/// capacity — the 24-slot aggregate window *and* the 90-slot drift
+/// sub-window — so each slot-major plane is fully first-touched before
+/// timing starts; at 16 B × 2^20 lanes per drift slot, a cold slot costs
+/// ~16 MiB of page faults per window, which is measurement noise, not
+/// window cost. 120 also fills the fits and has replans behind it.
+const MILLION_WARM_WINDOWS: u64 = 120;
 /// Measured windows per repeat at the million-pool shape.
 const MILLION_MEASURE_WINDOWS: u64 = 8;
 /// Timing repeats at the million-pool shape (each repeat is seconds, so
-/// fewer than [`GRID_REPEATS`]).
-const MILLION_REPEATS: u32 = 2;
+/// fewer than [`GRID_REPEATS`]). Four repeats spread the min over ~20 s
+/// per path, so a transient host-contention burst cannot inflate the
+/// recorded trajectory figure the way it could with two.
+const MILLION_REPEATS: u32 = 4;
 
 /// Measures the million-pool stretch window: 2^20 pools × 1 server,
-/// columnar ingestion, single thread, a shorter 24-slot window so the
-/// fixture stays in memory. Full scale only — the fixture alone is ~2 GiB
-/// and a debug-build window takes minutes.
+/// single thread, a shorter 24-slot window so the fixture stays in memory
+/// — first the materialised columnar path (the checked-in trajectory),
+/// then the streamed tile-fused twin on the same workload stream, with a
+/// final timed run recording the streamed per-pass breakdown (`sim_kernel`
+/// broken out). Full scale only — the fixture alone is ~2 GiB and a
+/// debug-build window takes minutes.
 fn measure_million(full: bool) -> Option<MillionPoolCell> {
     if !full {
         return None;
@@ -611,7 +673,45 @@ fn measure_million(full: bool) -> Option<MillionPoolCell> {
         per_window_ns =
             per_window_ns.min((t.elapsed().as_nanos() / MILLION_MEASURE_WINDOWS as u128) as u64);
     }
-    Some(MillionPoolCell { pools: MILLION_POOLS, servers_per_pool: 1, per_window_ns })
+    drop(engine);
+    // The streamed twin: same workload stream (the fixture copies each
+    // window's RPS column, online bitmask, and partition), metric columns
+    // generated tile-at-a-time inside the sweep instead of replayed.
+    let streamed = synthetic_streamed(&columns);
+    drop(columns);
+    let mut engine = SweepEngine::new(config, QosRequirement::latency(50.0).with_cpu_ceiling(90.0));
+    let mut next_window = 0u64;
+    let mut drive = |engine: &mut SweepEngine, windows: u64| {
+        for _ in 0..windows {
+            let recorded = (next_window % MILLION_RECORDED_WINDOWS) as usize;
+            engine.observe_streamed(&streamed.window(recorded, WindowIndex(next_window)));
+            engine.drain_recommendations();
+            next_window += 1;
+        }
+    };
+    drive(&mut engine, MILLION_WARM_WINDOWS);
+    let mut streamed_per_window_ns = u64::MAX;
+    for _ in 0..MILLION_REPEATS {
+        let t = Instant::now();
+        drive(&mut engine, MILLION_MEASURE_WINDOWS);
+        streamed_per_window_ns = streamed_per_window_ns
+            .min((t.elapsed().as_nanos() / MILLION_MEASURE_WINDOWS as u128) as u64);
+    }
+    // Pass attribution from one further timed span; the untimed repeats
+    // above stay free of the timer's per-pool clock reads.
+    engine.enable_pass_timing();
+    drive(&mut engine, MILLION_MEASURE_WINDOWS);
+    let mut streamed_pass_ns = engine.pass_ns();
+    for ns in &mut streamed_pass_ns {
+        *ns /= MILLION_MEASURE_WINDOWS;
+    }
+    Some(MillionPoolCell {
+        pools: MILLION_POOLS,
+        servers_per_pool: 1,
+        per_window_ns,
+        streamed_per_window_ns,
+        streamed_pass_ns,
+    })
 }
 
 /// Runs the sequential-vs-sharded identity comparison over three seeds in
@@ -653,9 +753,13 @@ pub fn run(scale: &Scale) -> Result<SweepReport, Box<dyn Error>> {
     let pass_breakdown = measure_pass_breakdown();
     let alloc_tracking = alloc_track::is_tracking();
     // Both layouts measured on the one shared fixture (crate::alloc_fixture)
-    // so the two counts always describe the same workload.
-    let steady_state_allocs = crate::alloc_fixture::measure_steady_state_allocs(2, false);
-    let columnar_steady_state_allocs = crate::alloc_fixture::measure_steady_state_allocs(2, true);
+    // so the two counts always describe the same workload. The streamed
+    // layout's count lives in the colsim gate alongside the other streamed
+    // identity contracts.
+    let steady_state_allocs =
+        crate::alloc_fixture::measure_steady_state_allocs(2, SnapshotLayout::Rows);
+    let columnar_steady_state_allocs =
+        crate::alloc_fixture::measure_steady_state_allocs(2, SnapshotLayout::Columnar);
     let report = SweepReport {
         pools,
         servers,
@@ -669,25 +773,31 @@ pub fn run(scale: &Scale) -> Result<SweepReport, Box<dyn Error>> {
         steady_state_allocs,
         columnar_steady_state_allocs,
         alloc_tracking,
+        host_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        build: if cfg!(debug_assertions) { "debug" } else { "release" },
+        run_scale: if scale.is_quick() { "quick" } else { "full" },
     };
     if !report.all_identical() {
         return Err(format!("sharded sweep diverged from the sequential planner:\n{report}").into());
     }
     // Scaling-regression guard: per-pool cost must stay near-flat from 512
-    // to 16384 pools — the slot-major store's contract. Only enforceable
-    // when the 16384 row was measured (release builds).
-    if let (Some(small), Some(large)) = (
-        report.cell(512, 1, "persistent", "columns"),
-        report.cell(16384, 1, "persistent", "columns"),
-    ) {
-        let small_pp = small as f64 / 512.0;
-        let large_pp = large as f64 / 16384.0;
-        if large_pp > PER_POOL_RATIO_CEILING * small_pp {
-            return Err(format!(
-                "per-pool scaling regression: {large_pp:.0} ns/pool at 16384 pools exceeds \
-                 {PER_POOL_RATIO_CEILING}x the 512-pool figure ({small_pp:.0} ns/pool):\n{report}"
-            )
-            .into());
+    // to 16384 pools — the slot-major store's contract, enforced on the
+    // materialised columnar path and the streamed tile-fused path alike.
+    // Only enforceable when the 16384 row was measured (release builds).
+    for path in ["columns", "streamed"] {
+        if let (Some(small), Some(large)) =
+            (report.cell(512, 1, "persistent", path), report.cell(16384, 1, "persistent", path))
+        {
+            let small_pp = small as f64 / 512.0;
+            let large_pp = large as f64 / 16384.0;
+            if large_pp > PER_POOL_RATIO_CEILING * small_pp {
+                return Err(format!(
+                    "per-pool scaling regression ({path} path): {large_pp:.0} ns/pool at 16384 \
+                     pools exceeds {PER_POOL_RATIO_CEILING}x the 512-pool figure ({small_pp:.0} \
+                     ns/pool):\n{report}"
+                )
+                .into());
+            }
         }
     }
     if alloc_tracking && steady_state_allocs + columnar_steady_state_allocs > 0 {
@@ -757,6 +867,7 @@ impl SweepReport {
                 headers: vec![
                     "pools".into(),
                     "threads".into(),
+                    "path".into(),
                     "pass".into(),
                     "per_window_ns".into(),
                 ],
@@ -768,6 +879,7 @@ impl SweepReport {
                             vec![
                                 c.pools.to_string(),
                                 c.threads.to_string(),
+                                c.path.to_string(),
                                 (*name).to_string(),
                                 ns.to_string(),
                             ]
@@ -816,6 +928,12 @@ impl SweepReport {
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n");
         s.push_str("  \"experiment\": \"sweep\",\n");
+        // Host context: grid numbers are only comparable across artifacts
+        // measured under the same profile and scale on similar hardware.
+        s.push_str(&format!(
+            "  \"host\": {{\"cores\": {}, \"build\": \"{}\", \"scale\": \"{}\"}},\n",
+            self.host_cores, self.build, self.run_scale
+        ));
         s.push_str(&format!("  \"identity_pools\": {},\n", self.pools));
         s.push_str(&format!("  \"identity_threads\": {},\n", self.threads));
         s.push_str(&format!("  \"identical\": {},\n", self.all_identical()));
@@ -837,9 +955,17 @@ impl SweepReport {
         if let Some(m) = &self.million_pool {
             s.push_str(&format!(
                 "  \"million_pool\": {{\"pools\": {}, \"servers_per_pool\": {}, \
-                 \"per_window_ns\": {}}},\n",
-                m.pools, m.servers_per_pool, m.per_window_ns
+                 \"per_window_ns\": {}, \"streamed_per_window_ns\": {}, \
+                 \"streamed_pass_ns\": {{",
+                m.pools, m.servers_per_pool, m.per_window_ns, m.streamed_per_window_ns
             ));
+            for (j, (name, ns)) in PASS_NAMES.iter().zip(m.streamed_pass_ns).enumerate() {
+                s.push_str(&format!(
+                    "\"{name}\": {ns}{}",
+                    if j + 1 < PASS_COUNT { ", " } else { "" }
+                ));
+            }
+            s.push_str("}},\n");
         }
         s.push_str(&format!(
             "  \"checkpoint_baseline_pr6_bytes_4096\": {CHECKPOINT_BASELINE_PR6_BYTES_4096},\n"
@@ -858,8 +984,9 @@ impl SweepReport {
         s.push_str("  \"pass_ns_breakdown\": [\n");
         for (i, c) in self.pass_breakdown.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"pools\": {}, \"threads\": {}, \"per_window_pass_ns\": {{",
-                c.pools, c.threads
+                "    {{\"pools\": {}, \"threads\": {}, \"path\": \"{}\", \
+                 \"per_window_pass_ns\": {{",
+                c.pools, c.threads, c.path
             ));
             for (j, (name, ns)) in PASS_NAMES.iter().zip(c.per_window_pass_ns).enumerate() {
                 s.push_str(&format!(
@@ -992,8 +1119,9 @@ impl fmt::Display for SweepReport {
                 .collect();
             writeln!(
                 f,
-                "pass breakdown at {} pools (columns, {} thread): {}",
+                "pass breakdown at {} pools ({}, {} thread): {}",
                 c.pools,
+                c.path,
                 c.threads,
                 parts.join(", ")
             )?;
@@ -1010,11 +1138,20 @@ impl fmt::Display for SweepReport {
         if let Some(m) = &self.million_pool {
             writeln!(
                 f,
-                "million-pool window ({} pools x {} server, columns, 1 thread): {:.1}ms/window",
+                "million-pool window ({} pools x {} server, 1 thread): columns \
+                 {:.1}ms/window, streamed {:.1}ms/window ({:.2}x)",
                 m.pools,
                 m.servers_per_pool,
-                m.per_window_ns as f64 / 1e6
+                m.per_window_ns as f64 / 1e6,
+                m.streamed_per_window_ns as f64 / 1e6,
+                m.per_window_ns as f64 / m.streamed_per_window_ns.max(1) as f64
             )?;
+            let parts: Vec<String> = PASS_NAMES
+                .iter()
+                .zip(m.streamed_pass_ns)
+                .map(|(name, ns)| format!("{name} {:.1}ms", ns as f64 / 1e6))
+                .collect();
+            writeln!(f, "million-pool streamed pass breakdown: {}", parts.join(", "))?;
         }
         for c in &self.checkpoint {
             let baseline = if c.pools == 4096 {
@@ -1068,8 +1205,9 @@ mod tests {
         for c in measure_pass_breakdown() {
             let total: u64 = c.per_window_pass_ns.iter().sum();
             println!(
-                "pools={} total={}ns ({:.0} ns/pool)",
+                "pools={} path={} total={}ns ({:.0} ns/pool)",
                 c.pools,
+                c.path,
                 total,
                 total as f64 / c.pools as f64
             );
@@ -1115,6 +1253,7 @@ mod tests {
         }
         assert!(json.contains("\"pools\": 4096"), "grid serialized: {json}");
         assert!(json.contains("\"path\": \"columns\""), "layout field serialized");
+        assert!(json.contains("\"path\": \"streamed\""), "streamed path measured: {json}");
         assert_eq!(r.checkpoint.len(), 2, "checkpoint cost at 81 and 4096 pools");
         assert!(
             r.checkpoint.iter().all(|c| c.bytes > 0 && c.restore_ns > 0),
@@ -1127,8 +1266,9 @@ mod tests {
             "checkpoint baseline serialized: {json}"
         );
         // The per-pass breakdown mirrors the grid's debug economy: 4096
-        // only under `cargo test`, both shapes in the release artifact.
-        let breakdown_shapes = if cfg!(debug_assertions) { 1 } else { BREAKDOWN_POOLS.len() };
+        // only under `cargo test`, every shape in the release artifact —
+        // each shape timed on both the columnar and the streamed path.
+        let breakdown_shapes = 2 * if cfg!(debug_assertions) { 1 } else { BREAKDOWN_POOLS.len() };
         assert_eq!(r.pass_breakdown.len(), breakdown_shapes, "pass breakdown measured: {r}");
         for c in &r.pass_breakdown {
             assert_eq!(c.threads, 1, "breakdown cells are single-thread (timed) windows");
@@ -1136,9 +1276,15 @@ mod tests {
                 c.per_window_pass_ns.iter().sum::<u64>() > 0,
                 "pass timings are real measurements: {r}"
             );
-            let aggregate = c.per_window_pass_ns[0];
-            let scalar = c.per_window_pass_ns[5];
+            let sim_kernel = c.per_window_pass_ns[0];
+            let aggregate = c.per_window_pass_ns[1];
+            let scalar = c.per_window_pass_ns[6];
             assert!(aggregate > 0 && scalar > 0, "hot passes timed nonzero: {r}");
+            if c.path == "streamed" {
+                assert!(sim_kernel > 0, "streamed cells break out the sim_kernel pass: {r}");
+            } else {
+                assert_eq!(sim_kernel, 0, "materialised cells run no sim kernels: {r}");
+            }
         }
         assert!(json.contains("\"pass_ns_breakdown\": ["), "pass breakdown serialized: {json}");
         assert!(json.contains("\"aggregate\":"), "pass names keyed in JSON: {json}");
@@ -1149,5 +1295,14 @@ mod tests {
         );
         assert!(json.contains("\"columnar_steady_state_allocations\": 0"), "colsim fields");
         assert!(json.contains("\"steady_state_allocations\": 0"), "alloc count serialized");
+        let build = if cfg!(debug_assertions) { "debug" } else { "release" };
+        assert!(
+            json.contains(&format!(
+                "\"host\": {{\"cores\": {}, \"build\": \"{build}\"",
+                r.host_cores
+            )),
+            "host context serialized: {json}"
+        );
+        assert!(r.host_cores >= 1, "host core count probed");
     }
 }

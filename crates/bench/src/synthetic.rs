@@ -8,13 +8,22 @@
 //! the synthetic response curves cannot silently desynchronize the
 //! checked-in `BENCH_sweep.json` from the Criterion numbers.
 
+use headroom_cluster::catalog::MicroserviceKind;
 use headroom_cluster::columns::{ColumnarSnapshot, SnapshotColumns};
-use headroom_cluster::sim::{PartitionedSnapshot, PoolSlice, SnapshotRow};
+use headroom_cluster::hardware::HardwareGeneration;
+use headroom_cluster::maintenance::MaintenancePlan;
+use headroom_cluster::pool::Pool;
+use headroom_cluster::server::Server;
+use headroom_cluster::sim::{
+    KernelCache, PartitionedSnapshot, PoolSlice, SnapshotRow, StreamedKernels, StreamedSource,
+    StreamedWindow,
+};
 use headroom_core::slo::QosRequirement;
 use headroom_online::planner::OnlinePlannerConfig;
 use headroom_online::sweep::SweepEngine;
 use headroom_telemetry::ids::{DatacenterId, PoolId, ServerId};
 use headroom_telemetry::time::WindowIndex;
+use headroom_workload::DiurnalCurve;
 
 /// One recorded window: the owned rows plus their pool partition.
 pub type RecordedWindow = (Vec<SnapshotRow>, Vec<PoolSlice>);
@@ -95,6 +104,133 @@ pub fn warmed_engine_columns(
             columns: cols,
             pools,
         });
+    }
+    engine.drain_recommendations();
+    engine
+}
+
+/// The recorded windows of a streamed-ingestion measurement: the same
+/// workload stream as the materialised fixtures (each window's RPS column,
+/// online bitmask, and pool partition are copied verbatim from the
+/// [`RecordedColumns`] it is built from), plus the replay side of the
+/// kernel inputs — per-pool response models (the paper's pool-B curves,
+/// matching the synthetic row formulas), per-server hardware generations,
+/// and per-window noise columns. Metric columns are *not* replayed: the
+/// engine's streamed path generates them tile-at-a-time from these inputs,
+/// which is exactly the work the fixture exists to measure.
+///
+/// The noise columns are zero-filled but per-window-allocated: the kernel
+/// outputs stay the smooth response curves (so engine behaviour mirrors
+/// the materialised cells), while each window still streams distinct
+/// fleet-length noise memory — the same traffic shape the live pipeline's
+/// freshly written noise columns have.
+pub struct StreamedFixture {
+    cache: KernelCache,
+    hw: Vec<HardwareGeneration>,
+    windows: Vec<StreamedRecord>,
+}
+
+/// One recorded streamed window: workload columns + partition + noise.
+struct StreamedRecord {
+    columns: SnapshotColumns,
+    slices: Vec<PoolSlice>,
+    noise_cpu: Vec<f64>,
+    noise_p95: Vec<f64>,
+    noise_avg: Vec<f64>,
+}
+
+impl StreamedFixture {
+    /// Recorded windows available for cycling.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// True when no window was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The streamed view of recorded window `recorded`, presented as
+    /// window `window` — the replay twin of `Simulation::step_streamed`.
+    pub fn window(&self, recorded: usize, window: WindowIndex) -> StreamedWindow<'_> {
+        let r = &self.windows[recorded];
+        StreamedWindow {
+            window,
+            pools: &r.slices,
+            source: StreamedSource::Kernels(StreamedKernels::from_parts(
+                &r.columns,
+                &self.hw,
+                &r.noise_cpu,
+                &r.noise_p95,
+                &r.noise_avg,
+                &self.cache,
+            )),
+        }
+    }
+}
+
+/// Builds the streamed twin of a [`RecordedColumns`] fixture: same
+/// workload stream and pool partition, kernel inputs instead of metric
+/// columns (see [`StreamedFixture`]). Deterministic, like the fixtures it
+/// mirrors.
+pub fn synthetic_streamed(columns: &[RecordedColumns]) -> StreamedFixture {
+    let (_, slices) = &columns[0];
+    let spec = MicroserviceKind::B.spec();
+    let lanes = slices.iter().map(|s| s.len).sum::<usize>();
+    let mut hw = Vec::with_capacity(lanes);
+    let pools: Vec<Pool> = slices
+        .iter()
+        .map(|slice| {
+            let servers: Vec<Server> = (0..slice.len)
+                .map(|s| {
+                    hw.push(spec.generation_for(s, slice.len));
+                    Server::new(
+                        ServerId(slice.pool.0 * 10_000 + s as u32),
+                        spec.generation_for(s, slice.len),
+                    )
+                })
+                .collect();
+            Pool {
+                id: slice.pool,
+                datacenter: DatacenterId((slice.pool.0 % 9) as u16),
+                service: spec.kind,
+                model: spec.model.clone(),
+                servers,
+                demand: DiurnalCurve::new(1.0),
+                maintenance: MaintenancePlan::new(spec.practice, slice.pool.0 as u64),
+                failures: None,
+                net_scale: 1.0,
+                local_hour_offset: 0.0,
+            }
+        })
+        .collect();
+    let windows = columns
+        .iter()
+        .map(|(cols, slices)| StreamedRecord {
+            columns: cols.clone(),
+            slices: slices.clone(),
+            noise_cpu: vec![0.0; lanes],
+            noise_p95: vec![0.0; lanes],
+            noise_avg: vec![0.0; lanes],
+        })
+        .collect();
+    // Every pool carries the same spec-B model, so the cache collapses
+    // to one entry — the kernels read it from L1 while only the dense
+    // index + net_scale columns stream, exactly as a real fleet (a
+    // handful of service specs over any number of pools) behaves.
+    let cache = KernelCache::build(&pools);
+    StreamedFixture { cache, hw, windows }
+}
+
+/// [`warmed_engine`] fed through the streamed ingestion path — the
+/// tile-fused pipeline's steady-state measurement twin.
+pub fn warmed_engine_streamed(
+    fixture: &StreamedFixture,
+    config: OnlinePlannerConfig,
+) -> SweepEngine {
+    let mut engine = SweepEngine::new(config, QosRequirement::latency(50.0).with_cpu_ceiling(90.0));
+    for i in 0..fixture.len() {
+        engine.observe_streamed(&fixture.window(i, WindowIndex(i as u64)));
     }
     engine.drain_recommendations();
     engine

@@ -4,13 +4,15 @@
 //! (demand sampling, load balancing, per-server model evaluation, snapshot
 //! assembly) followed by `SweepEngine::sweep` (shard fan-out, estimator
 //! updates, deterministic merge) — reuses its buffers once warmed, and so
-//! does its columnar sibling (`step_columns_partitioned` →
-//! `observe_columns`). This test installs a counting global allocator and
-//! asserts that a warmed, non-replan window performs **zero** heap
-//! allocations in both layouts, sequentially and through the persistent
-//! worker pool. The workload is the shared fixture in
-//! `headroom_bench::alloc_fixture`, the same one the `repro sweep` and
-//! `repro colsim` CI gates measure.
+//! do its columnar sibling (`step_columns_partitioned` →
+//! `observe_columns`) and the streamed pipeline (`step_streamed` →
+//! `observe_streamed`, which generates metric columns tile-at-a-time
+//! inside the sweep from `PassScratch`-resident buffers). This test
+//! installs a counting global allocator and asserts that a warmed,
+//! non-replan window performs **zero** heap allocations in all three
+//! layouts, sequentially and through the persistent worker pool. The
+//! workload is the shared fixture in `headroom_bench::alloc_fixture`, the
+//! same one the `repro sweep` and `repro colsim` CI gates measure.
 //!
 //! Kept as its own integration-test binary on purpose: the default test
 //! harness runs tests concurrently, and a process-global allocation
@@ -19,22 +21,25 @@
 use headroom_bench::alloc_fixture::{
     measure_steady_state_allocs, measure_steady_state_allocs_scenario, MEASURED_WINDOWS,
 };
+use headroom_cluster::sim::SnapshotLayout;
 use headroom_exec::alloc_track::{is_tracking, CountingAllocator};
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
 
+const LAYOUTS: [SnapshotLayout; 3] =
+    [SnapshotLayout::Rows, SnapshotLayout::Columnar, SnapshotLayout::Streamed];
+
 #[test]
 fn steady_state_window_allocates_nothing() {
     assert!(is_tracking(), "the counting allocator is installed");
-    for columnar in [false, true] {
+    for layout in LAYOUTS {
         for threads in [1usize, 2, 4] {
-            let delta = measure_steady_state_allocs(threads, columnar);
-            let layout = if columnar { "columns" } else { "rows" };
+            let delta = measure_steady_state_allocs(threads, layout);
             assert_eq!(
                 delta, 0,
                 "a warmed non-replan window must not allocate \
-                 (threads={threads}, layout={layout}: {delta} allocations over \
+                 (threads={threads}, layout={layout:?}: {delta} allocations over \
                  {MEASURED_WINDOWS} windows)"
             );
         }
@@ -48,14 +53,13 @@ fn steady_state_window_allocates_nothing() {
 #[test]
 fn scenario_active_steady_state_window_allocates_nothing() {
     assert!(is_tracking(), "the counting allocator is installed");
-    for columnar in [false, true] {
+    for layout in LAYOUTS {
         for threads in [1usize, 2, 4] {
-            let delta = measure_steady_state_allocs_scenario(threads, columnar);
-            let layout = if columnar { "columns" } else { "rows" };
+            let delta = measure_steady_state_allocs_scenario(threads, layout);
             assert_eq!(
                 delta, 0,
                 "a warmed scenario-active non-replan window must not allocate \
-                 (threads={threads}, layout={layout}: {delta} allocations over \
+                 (threads={threads}, layout={layout:?}: {delta} allocations over \
                  {MEASURED_WINDOWS} windows)"
             );
         }

@@ -242,6 +242,58 @@ impl ServiceModel {
         self
     }
 
+    /// Whether every parameter of `self` and `other` is bit-for-bit
+    /// identical — stricter than `==` (which calls `-0.0` and `0.0` equal
+    /// even though an expression over them can round differently). This is
+    /// the deduplication predicate of the streamed kernel cache: two pools
+    /// may share one cached model only when evaluating either model is
+    /// guaranteed to produce the same bits.
+    pub fn bits_eq(&self, other: &ServiceModel) -> bool {
+        let scalars = [
+            (self.cpu_per_rps, other.cpu_per_rps),
+            (self.cpu_base, other.cpu_base),
+            (self.cpu_noise_rel, other.cpu_noise_rel),
+            (self.latency_floor_ms, other.latency_floor_ms),
+            (self.latency_noise_ms, other.latency_noise_ms),
+            (self.queue_capacity_rps, other.queue_capacity_rps),
+            (self.queue_scale_ms, other.queue_scale_ms),
+            (self.paging_base, other.paging_base),
+            (self.paging_noise_rel, other.paging_noise_rel),
+            (self.paging_per_rps, other.paging_per_rps),
+            (self.page_bytes, other.page_bytes),
+            (self.disk_queue_base, other.disk_queue_base),
+            (self.disk_queue_per_rps, other.disk_queue_per_rps),
+            (self.net_bytes_per_req, other.net_bytes_per_req),
+            (self.net_pkts_per_req, other.net_pkts_per_req),
+            (self.error_rate, other.error_rate),
+            (self.memory_resident_mb, other.memory_resident_mb),
+            (self.leak_mb_per_window, other.leak_mb_per_window),
+        ];
+        scalars.iter().all(|&(a, b)| a.to_bits() == b.to_bits())
+            && self
+                .latency_coeffs
+                .iter()
+                .zip(&other.latency_coeffs)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+            && self.tables.len() == other.tables.len()
+            && self.tables.iter().zip(&other.tables).all(|(a, b)| {
+                a.share.to_bits() == b.share.to_bits()
+                    && a.cpu_per_rps.to_bits() == b.cpu_per_rps.to_bits()
+                    && a.share_jitter.to_bits() == b.share_jitter.to_bits()
+            })
+            && match (&self.log_upload, &other.log_upload) {
+                (None, None) => true,
+                (Some(a), Some(b)) => {
+                    a.period_windows == b.period_windows
+                        && a.duration_windows == b.duration_windows
+                        && a.cpu_pct.to_bits() == b.cpu_pct.to_bits()
+                        && a.disk_write_bytes_per_sec.to_bits()
+                            == b.disk_write_bytes_per_sec.to_bits()
+                }
+                _ => false,
+            }
+    }
+
     /// Noise-free mean CPU percent at `rps` per server on `hw`.
     pub fn cpu_mean(&self, rps: f64, hw: HardwareGeneration) -> f64 {
         let work = if self.tables.is_empty() {

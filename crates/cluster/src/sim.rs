@@ -32,7 +32,7 @@ use crate::catalog::MicroserviceKind;
 use crate::columns::{ColumnarSnapshot, SnapshotColumns};
 use crate::error::ClusterError;
 use crate::hardware::HardwareGeneration;
-use crate::pool::LoadBalancer;
+use crate::pool::{LoadBalancer, Pool};
 use crate::routing::redistribute;
 use crate::service_model::{LiteColumnsIn, LiteColumnsOut, LiteNoise, ServiceModel};
 use crate::topology::Fleet;
@@ -60,25 +60,33 @@ pub enum RecordingPolicy {
 
 /// The in-memory snapshot layout used by layout-generic drivers.
 ///
-/// Both layouts are produced by the same window phases, share the same RNG
+/// All layouts are produced by the same window phases, share the same RNG
 /// stream, and carry bit-identical values (`repro colsim` gates this for
 /// every recording policy), so the switch is purely a data-layout knob:
-/// [`Columnar`] streams per-pool-contiguous columns (the hot path at fleet
-/// scale), [`Rows`] materialises the legacy [`SnapshotRow`] structs and is
-/// kept for A/B property tests and row-oriented observers.
+/// [`Streamed`] defers the metric kernels to the consumer's tile passes
+/// (the default hot path — fleet columns never round-trip DRAM),
+/// [`Columnar`] materialises per-pool-contiguous columns, and [`Rows`]
+/// materialises the legacy [`SnapshotRow`] structs; the two materialised
+/// layouts are kept for A/B property tests and row-oriented observers.
 ///
 /// Explicit calls pick their own layout regardless
 /// ([`Simulation::step_snapshot`] / [`Simulation::step_snapshot_partitioned`]
 /// are always rows, [`Simulation::step_columns_partitioned`] always
-/// columns); the config switch steers drivers that accept either, such as
-/// `OnlinePlanner::run`.
+/// columns, [`Simulation::step_streamed`] always streams); the config
+/// switch steers drivers that accept any, such as `OnlinePlanner::run`.
 ///
+/// [`Streamed`]: SnapshotLayout::Streamed
 /// [`Columnar`]: SnapshotLayout::Columnar
 /// [`Rows`]: SnapshotLayout::Rows
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SnapshotLayout {
-    /// Struct-of-arrays column buffers, reused across windows.
+    /// Metric generation fused into the consumer: the simulator runs only
+    /// the sequential prefix (demand, routing, online flags, noise) and
+    /// hands out kernel inputs; the observer evaluates the response-model
+    /// kernels tile-at-a-time via [`StreamedKernels::step_tile_columns`].
     #[default]
+    Streamed,
+    /// Struct-of-arrays column buffers, reused across windows.
     Columnar,
     /// Array of [`SnapshotRow`] structs — the legacy layout.
     Rows,
@@ -202,6 +210,255 @@ impl<'a> PartitionedSnapshot<'a> {
     }
 }
 
+/// One window handed out by [`Simulation::step_streamed`]: the pool
+/// partition plus either kernel inputs (the streaming hot path) or
+/// already-materialised columns (the recording policies whose sequential
+/// store writes cannot be deferred).
+///
+/// The streamed pipeline's contract is bit-identity with the materialised
+/// paths: the sequential prefix draws the exact RNG stream of
+/// [`Simulation::step_columns_partitioned`], and
+/// [`StreamedKernels::step_tile_columns`] evaluates the exact element-wise
+/// kernels the materialised step would, so whatever the consumer computes
+/// from a streamed window equals what it would have computed from the
+/// columns — without the fleet-sized column round-trip through DRAM.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamedWindow<'a> {
+    /// The window just simulated.
+    pub window: WindowIndex,
+    /// One entry per pool, delimiting its lanes; identical geometry to the
+    /// materialised layouts' partition. Slice `i` belongs to fleet pool
+    /// index `i` (the order pools were deployed), which is how
+    /// [`StreamedKernels::step_tile_columns`] finds a slice's model.
+    pub pools: &'a [PoolSlice],
+    /// Where this window's metrics live (or how to compute them).
+    pub source: StreamedSource<'a>,
+}
+
+/// The backing of a [`StreamedWindow`].
+#[derive(Debug, Clone, Copy)]
+pub enum StreamedSource<'a> {
+    /// Metrics are already materialised in column buffers.
+    /// [`RecordingPolicy::Full`] and [`RecordingPolicy::Workload`] land
+    /// here: their per-server store writes interleave with metric
+    /// evaluation and cannot move into a consumer's parallel tiles (and
+    /// [`RecordingPolicy::AvailabilityOnly`], whose "metrics" are zeros,
+    /// costs nothing to materialise). Trivially bit-identical.
+    Columns(&'a SnapshotColumns),
+    /// Kernel inputs only — [`RecordingPolicy::SnapshotOnly`], the
+    /// fleet-scale policy: the consumer evaluates the response-model
+    /// kernels per tile while the slice is cache-resident.
+    Kernels(StreamedKernels<'a>),
+}
+
+/// The kernel inputs of one streamed window: workload and noise columns,
+/// the online bitmask, hardware generations, and per-pool response models.
+/// `Copy` + `Sync` — workers share it read-only across a parallel sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamedKernels<'a> {
+    /// RPS column + online bitmask (+ identity columns); the six metric
+    /// columns are stale and deliberately unreachable through this view.
+    columns: &'a SnapshotColumns,
+    hw: &'a [HardwareGeneration],
+    noise_cpu: &'a [f64],
+    noise_p95: &'a [f64],
+    noise_avg: &'a [f64],
+    /// Deduplicated per-pool response models — entry `i` models partition
+    /// slice `i`.
+    cache: &'a KernelCache,
+}
+
+/// Deduplicated per-pool kernel parameters for the streamed path: one
+/// [`ServiceModel`] per *distinct* model, a dense pool-index → model map,
+/// and a dense per-pool `net_scale` column. Fleets deploy a handful of
+/// service specs across up to millions of pools, so the per-tile kernel
+/// evaluation reads a few cache-resident models through 12 bytes per pool
+/// (index + scale) instead of streaming the full fleet-length [`Pool`]
+/// array (hundreds of bytes per pool, of which the kernels use ~150)
+/// through DRAM every window.
+///
+/// Deduplication compares models **bit for bit**
+/// ([`ServiceModel::bits_eq`]), so evaluating a shared model is guaranteed
+/// to produce exactly the bytes the pool's own model would have — the
+/// cache cannot perturb the streamed path's bit-identity contract.
+/// Building is `O(pools × distinct models)`; a pathological fleet where
+/// every pool's model differs degrades the build to quadratic but keeps
+/// lookups exact (and such a fleet gains nothing from any cache).
+#[derive(Debug, Clone, Default)]
+pub struct KernelCache {
+    models: Vec<ServiceModel>,
+    index: Vec<u32>,
+    net_scales: Vec<f64>,
+}
+
+impl KernelCache {
+    /// Builds a cache over `pools` (deployment order — lane `i` answers
+    /// for partition slice `i`, matching [`StreamedWindow::pools`]).
+    pub fn build(pools: &[Pool]) -> KernelCache {
+        let mut cache = KernelCache::default();
+        cache.rebuild(pools);
+        cache
+    }
+
+    /// Rebuilds in place, reusing the allocations of a previous build
+    /// where possible. Call after anything that can change a pool's model
+    /// or network shape (a scheduled model swap); per-window state —
+    /// demand, online servers, resizes — never touches the cache.
+    pub fn rebuild(&mut self, pools: &[Pool]) {
+        self.models.clear();
+        self.index.clear();
+        self.net_scales.clear();
+        self.index.reserve(pools.len());
+        self.net_scales.reserve(pools.len());
+        for pool in pools {
+            let found = self.models.iter().position(|m| m.bits_eq(&pool.model));
+            let mi = found.unwrap_or_else(|| {
+                self.models.push(pool.model.clone());
+                self.models.len() - 1
+            });
+            self.index.push(u32::try_from(mi).expect("model count fits u32"));
+            self.net_scales.push(pool.net_scale);
+        }
+    }
+
+    /// Pools covered by the cache.
+    pub fn pools(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Distinct models after deduplication.
+    pub fn distinct(&self) -> usize {
+        self.models.len()
+    }
+
+    fn entry(&self, pool_index: usize) -> (&ServiceModel, f64) {
+        (&self.models[self.index[pool_index] as usize], self.net_scales[pool_index])
+    }
+}
+
+/// Caller-provided output slices for one pool's
+/// [`StreamedKernels::step_tile_columns`] evaluation, each exactly the
+/// pool's slice length. On return they hold what the materialised columnar
+/// step would have written for those lanes (offline lanes `+0.0`).
+#[derive(Debug)]
+pub struct StreamedTileOut<'a> {
+    /// CPU percent per lane.
+    pub cpu: &'a mut [f64],
+    /// Average latency per lane, ms (scratch — the materialised column
+    /// path never stores it either under `SnapshotOnly`).
+    pub latency_avg: &'a mut [f64],
+    /// p95 latency per lane, ms.
+    pub latency_p95: &'a mut [f64],
+    /// Disk queue length per lane.
+    pub disk_queue: &'a mut [f64],
+    /// Memory paging rate per lane, pages/sec.
+    pub memory_pages_per_sec: &'a mut [f64],
+    /// Network throughput per lane, Mbps.
+    pub network_mbps: &'a mut [f64],
+}
+
+impl<'a> StreamedKernels<'a> {
+    /// Assembles a streamed-kernel view from recorded parts — the replay
+    /// entry point for harnesses that drive the streamed ingestion path
+    /// over pre-recorded windows (workload + online + noise) without a
+    /// live simulation. `columns` needs only its RPS column and online
+    /// bitmask filled (offline lanes `0.0`); the metric columns are never
+    /// read. `cache` ([`KernelCache::build`] over the fleet's pools) must
+    /// cover partition slice `i` of the window at entry `i`, and `hw` plus
+    /// the three noise slices are fleet-length, lane-aligned with the
+    /// columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `hw` or a noise slice is shorter than the RPS column.
+    pub fn from_parts(
+        columns: &'a SnapshotColumns,
+        hw: &'a [HardwareGeneration],
+        noise_cpu: &'a [f64],
+        noise_p95: &'a [f64],
+        noise_avg: &'a [f64],
+        cache: &'a KernelCache,
+    ) -> StreamedKernels<'a> {
+        let lanes = columns.rps().len();
+        assert!(
+            hw.len() >= lanes
+                && noise_cpu.len() >= lanes
+                && noise_p95.len() >= lanes
+                && noise_avg.len() >= lanes,
+            "streamed kernel inputs must cover every lane"
+        );
+        StreamedKernels { columns, hw, noise_cpu, noise_p95, noise_avg, cache }
+    }
+
+    /// The fleet-length RPS column (offline lanes `0.0`).
+    pub fn rps(&self) -> &'a [f64] {
+        self.columns.rps()
+    }
+
+    /// Serving-server count over lanes `start..start + len` — the masked
+    /// popcount the materialised columnar aggregation uses.
+    pub fn online_count(&self, start: usize, len: usize) -> usize {
+        self.columns.online_count(start, len)
+    }
+
+    /// Evaluates the response-model kernels for pool `pool_index`'s lanes
+    /// `start..start + len` into `out` — the per-tile half of the fused
+    /// pipeline: `lite_columns` (CPU/latency from workload + pre-drawn
+    /// noise), `resource_mean_columns` (disk/paging/network means), then
+    /// the offline zero contract, exactly as the materialised columnar
+    /// step applies them. Bit-identical to the column slice
+    /// [`Simulation::step_columns_partitioned`] would have produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the lane range exceeds the fleet or an `out` slice's
+    /// length differs from `len`.
+    pub fn step_tile_columns(
+        &self,
+        pool_index: usize,
+        start: usize,
+        len: usize,
+        out: StreamedTileOut<'_>,
+    ) {
+        let range = start..start + len;
+        let (model, net_scale) = self.cache.entry(pool_index);
+        model.lite_columns(
+            LiteColumnsIn {
+                rps: &self.columns.rps[range.clone()],
+                hw: &self.hw[range.clone()],
+                noise_cpu: &self.noise_cpu[range.clone()],
+                noise_p95: &self.noise_p95[range.clone()],
+                noise_avg: &self.noise_avg[range.clone()],
+            },
+            LiteColumnsOut {
+                cpu: out.cpu,
+                latency_avg: out.latency_avg,
+                latency_p95: out.latency_p95,
+            },
+        );
+        model.resource_mean_columns(
+            &self.columns.rps[range],
+            net_scale,
+            out.disk_queue,
+            out.memory_pages_per_sec,
+            out.network_mbps,
+        );
+        // The kernels wrote every lane (offline lanes computed on rps = 0);
+        // restore the offline zero contract in the tile buffers.
+        for k in 0..len {
+            let i = start + k;
+            if self.columns.online[i / 64] >> (i % 64) & 1 == 0 {
+                out.cpu[k] = 0.0;
+                out.latency_avg[k] = 0.0;
+                out.latency_p95[k] = 0.0;
+                out.disk_queue[k] = 0.0;
+                out.memory_pages_per_sec[k] = 0.0;
+                out.network_mbps[k] = 0.0;
+            }
+        }
+    }
+}
+
 /// The fleet simulator.
 ///
 /// # Example
@@ -275,6 +532,19 @@ pub struct Simulation {
     noise_p95: Vec<f64>,
     noise_avg: Vec<f64>,
     lat_avg_col: Vec<f64>,
+    /// Fleet-length lite-noise columns for the streamed step (the per-pool
+    /// `noise_*` scratch above only outlives one pool; a streamed window
+    /// hands the whole fleet's draws to the consumer's tile passes).
+    /// Offline lanes carry `0.0`. Reused across windows.
+    stream_noise_cpu: Vec<f64>,
+    stream_noise_p95: Vec<f64>,
+    stream_noise_avg: Vec<f64>,
+    /// Deduplicated per-pool kernel parameters for the streamed step,
+    /// rebuilt lazily after a model swap lands (the only mid-run mutation
+    /// that can move a pool's response curves — topology and `net_scale`
+    /// are fixed at construction).
+    kernel_cache: KernelCache,
+    kernel_cache_dirty: bool,
 }
 
 impl Simulation {
@@ -336,6 +606,11 @@ impl Simulation {
             noise_p95: Vec::new(),
             noise_avg: Vec::new(),
             lat_avg_col: Vec::new(),
+            stream_noise_cpu: Vec::new(),
+            stream_noise_p95: Vec::new(),
+            stream_noise_avg: Vec::new(),
+            kernel_cache: KernelCache::default(),
+            kernel_cache_dirty: true,
         }
     }
 
@@ -477,6 +752,57 @@ impl Simulation {
         }
     }
 
+    /// Simulates exactly one window and returns it *streamed*: the
+    /// sequential prefix (demand, routing, online flags, ticks, and the
+    /// noise draws — everything that shares the row path's RNG stream)
+    /// runs here, while the element-wise metric kernels are deferred to
+    /// the consumer via [`StreamedKernels::step_tile_columns`], evaluated
+    /// tile-at-a-time inside the consumer's own passes where the slice is
+    /// still cache-resident. The fleet's metric columns never round-trip
+    /// DRAM — the structural win of the fused closed-loop pipeline.
+    ///
+    /// Only [`RecordingPolicy::SnapshotOnly`] — the fleet-scale policy —
+    /// actually defers the kernels. The other policies' windows interleave
+    /// sequential store writes (or zero metrics) with evaluation, so they
+    /// fall back to the materialised columnar step and hand out
+    /// [`StreamedSource::Columns`]; consumers observe identical values
+    /// either way, just later bytes. RNG stream, recorded counters, and
+    /// computed metrics are bit-identical to both materialised layouts
+    /// under every policy (`repro colsim` gates this).
+    pub fn step_streamed(&mut self) -> StreamedWindow<'_> {
+        match self.config.recording {
+            RecordingPolicy::SnapshotOnly => {
+                self.step_streamed_prefix();
+                // Rebuild after the prefix so a model swap landing this
+                // window is already applied to the fleet it reads.
+                if self.kernel_cache_dirty {
+                    self.kernel_cache.rebuild(self.fleet.pools());
+                    self.kernel_cache_dirty = false;
+                }
+                StreamedWindow {
+                    window: WindowIndex(self.next_window.0 - 1),
+                    pools: &self.pool_slices,
+                    source: StreamedSource::Kernels(StreamedKernels {
+                        columns: &self.columns,
+                        hw: &self.hw_col,
+                        noise_cpu: &self.stream_noise_cpu,
+                        noise_p95: &self.stream_noise_p95,
+                        noise_avg: &self.stream_noise_avg,
+                        cache: &self.kernel_cache,
+                    }),
+                }
+            }
+            _ => {
+                self.step_cols();
+                StreamedWindow {
+                    window: WindowIndex(self.next_window.0 - 1),
+                    pools: &self.pool_slices,
+                    source: StreamedSource::Columns(&self.columns),
+                }
+            }
+        }
+    }
+
     /// Consumes the simulation, returning the fleet, metric store and
     /// availability log.
     pub fn into_parts(self) -> (Fleet, MetricStore, AvailabilityLog) {
@@ -509,6 +835,7 @@ impl Simulation {
             for (pool_id, model) in swaps {
                 if let Some(pool) = self.fleet.pool_mut(pool_id) {
                     pool.model = model;
+                    self.kernel_cache_dirty = true;
                 }
             }
         }
@@ -990,6 +1317,70 @@ impl Simulation {
             base += pool_size;
         }
     }
+
+    /// The sequential prefix of a streamed `SnapshotOnly` window: exactly
+    /// [`Simulation::step_cols`]'s phases *up to* the metric kernels —
+    /// demand, routing, online flags, availability, RPS fill, server
+    /// ticks, and the per-server noise draws (the complete RNG
+    /// consumption of a window, in the row path's order, so the stream
+    /// stays bit-identical) — writing the noise into fleet-length columns
+    /// instead of per-pool scratch. The metric columns are *not* touched;
+    /// the consumer evaluates the kernels per tile from the RPS, noise,
+    /// hardware, and online-mask columns this leaves behind.
+    fn step_streamed_prefix(&mut self) {
+        let (w, t, utc_hour) = self.begin_window();
+        self.pool_slices.clear();
+        self.ensure_columns();
+        let n = self.fleet.server_count();
+        // No clear before resize: every lane is written in the loop below.
+        self.stream_noise_cpu.resize(n, 0.0);
+        self.stream_noise_p95.resize(n, 0.0);
+        self.stream_noise_avg.resize(n, 0.0);
+
+        let track_availability = self.config.track_availability;
+        let mut base = 0usize;
+        for pi in 0..self.fleet.pools().len() {
+            let demand = self.pool_demand[pi];
+            let (pool_id, _dc, local_hour, pool_size, dc_lost, _net_scale) =
+                self.pool_header(pi, t, utc_hour);
+
+            self.fill_online_flags(pi, pool_size, w, local_hour, dc_lost);
+            let online_count = self.online_flags.iter().filter(|&&o| o).count();
+            let lb = self.lb;
+            lb.distribute_into(&mut self.shares, demand, online_count, &mut self.rng);
+
+            // Identity + noise in one walk: the noise draws still happen
+            // in server order after the pool's routing draw, so the
+            // gaussian stream matches the materialised paths exactly.
+            let mut next_share = 0usize;
+            for idx in 0..pool_size {
+                let online = self.online_flags[idx];
+                if track_availability {
+                    let server_id = self.fleet.pools()[pi].servers[idx].id;
+                    self.availability.record(server_id, w, online);
+                }
+                let i = base + idx;
+                self.columns.set_online(i, online);
+                if online {
+                    self.columns.rps[i] = self.shares.get(next_share).copied().unwrap_or(0.0);
+                    next_share += 1;
+                    let noise = LiteNoise::draw(&mut self.rng);
+                    self.stream_noise_cpu[i] = noise.cpu;
+                    self.stream_noise_p95[i] = noise.p95;
+                    self.stream_noise_avg[i] = noise.avg;
+                } else {
+                    self.columns.rps[i] = 0.0;
+                    self.stream_noise_cpu[i] = 0.0;
+                    self.stream_noise_p95[i] = 0.0;
+                    self.stream_noise_avg[i] = 0.0;
+                }
+            }
+            self.tick_pool_servers(pi, pool_size);
+
+            self.pool_slices.push(PoolSlice { pool: pool_id, start: base, len: pool_size });
+            base += pool_size;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1311,10 +1702,157 @@ mod tests {
     }
 
     #[test]
-    fn layout_switch_defaults_to_columnar() {
-        assert_eq!(SimConfig::default().layout, SnapshotLayout::Columnar);
+    fn layout_switch_defaults_to_streamed() {
+        assert_eq!(SimConfig::default().layout, SnapshotLayout::Streamed);
         let sim = Simulation::new(small_fleet(1), EventScript::empty(), SimConfig::default());
-        assert_eq!(sim.config().layout, SnapshotLayout::Columnar);
+        assert_eq!(sim.config().layout, SnapshotLayout::Streamed);
+    }
+
+    /// Drives a streamed twin against a materialised-columns twin: the
+    /// streamed prefix + per-pool `step_tile_columns` must reproduce the
+    /// materialised column values, partition, RNG stream, and availability
+    /// log bit for bit.
+    #[test]
+    fn streamed_step_matches_materialized_columns_snapshot_only() {
+        let fleet = || {
+            let spec = MicroserviceKind::B
+                .spec()
+                .with_practice(crate::maintenance::AvailabilityPractice::Moderate);
+            FleetBuilder::new(21)
+                .datacenters(2)
+                .deploy_with_spec(&spec, 8, spec.peak_rps_per_server)
+                .unwrap()
+                .deploy_service(MicroserviceKind::D, 5)
+                .unwrap()
+                .build()
+        };
+        let config =
+            SimConfig { seed: 9, recording: RecordingPolicy::SnapshotOnly, ..SimConfig::default() };
+        let mut cols_sim = Simulation::new(fleet(), EventScript::empty(), config);
+        let mut streamed_sim = Simulation::new(fleet(), EventScript::empty(), config);
+        // A mid-run release: the streamed path's kernel cache must pick up
+        // the swapped model the same window the materialised path does.
+        let release = MicroserviceKind::B.spec().model.with_cpu_per_rps_scaled(1.3);
+        let target = cols_sim.fleet().pools()[0].id;
+        cols_sim.schedule_model_swap(target, WindowIndex(20), release.clone()).unwrap();
+        streamed_sim.schedule_model_swap(target, WindowIndex(20), release).unwrap();
+        let (mut cpu, mut lat_avg, mut lat_p95) = (Vec::new(), Vec::new(), Vec::new());
+        let (mut dq, mut pg, mut nm) = (Vec::new(), Vec::new(), Vec::new());
+        for i in 0..40u64 {
+            let col_snap = cols_sim.step_columns_partitioned();
+            let expect_slices = col_snap.pools.to_vec();
+            let expect_cols = col_snap.columns.clone();
+            let win = streamed_sim.step_streamed();
+            assert_eq!(win.pools, &expect_slices[..], "partition diverged at window {i}");
+            let StreamedSource::Kernels(kernels) = win.source else {
+                panic!("SnapshotOnly must stream kernels");
+            };
+            for (pi, slice) in win.pools.iter().enumerate() {
+                let (start, len) = (slice.start, slice.len);
+                assert_eq!(
+                    &kernels.rps()[start..start + len],
+                    &expect_cols.rps()[start..start + len],
+                    "rps diverged at window {i} pool {pi}"
+                );
+                assert_eq!(
+                    kernels.online_count(start, len),
+                    expect_cols.online_count(start, len),
+                    "online mask diverged at window {i} pool {pi}"
+                );
+                for buf in [&mut cpu, &mut lat_avg, &mut lat_p95, &mut dq, &mut pg, &mut nm] {
+                    buf.clear();
+                    buf.resize(len, f64::NAN);
+                }
+                kernels.step_tile_columns(
+                    pi,
+                    start,
+                    len,
+                    StreamedTileOut {
+                        cpu: &mut cpu,
+                        latency_avg: &mut lat_avg,
+                        latency_p95: &mut lat_p95,
+                        disk_queue: &mut dq,
+                        memory_pages_per_sec: &mut pg,
+                        network_mbps: &mut nm,
+                    },
+                );
+                assert_eq!(cpu, &expect_cols.cpu_pct()[start..start + len], "cpu w{i} p{pi}");
+                assert_eq!(
+                    lat_p95,
+                    &expect_cols.latency_p95_ms()[start..start + len],
+                    "p95 w{i} p{pi}"
+                );
+                assert_eq!(dq, &expect_cols.disk_queue()[start..start + len], "disk w{i} p{pi}");
+                assert_eq!(
+                    pg,
+                    &expect_cols.memory_pages_per_sec()[start..start + len],
+                    "pages w{i} p{pi}"
+                );
+                assert_eq!(nm, &expect_cols.network_mbps()[start..start + len], "net w{i} p{pi}");
+            }
+        }
+        // The RNG streams stayed in lockstep: further materialised windows
+        // on both twins still agree.
+        let mut back = Vec::new();
+        let expect = cols_sim.step_columns_partitioned().columns.clone();
+        streamed_sim.step_columns_partitioned().columns.to_rows(&mut back);
+        assert_eq!(SnapshotColumns::from_rows(&back), expect, "streams diverged after streaming");
+        assert_eq!(
+            cols_sim.availability().fleet_mean_availability(),
+            streamed_sim.availability().fleet_mean_availability()
+        );
+    }
+
+    /// The non-streaming recording policies fall back to materialised
+    /// columns under `step_streamed`, with identical values and stores.
+    /// The kernel cache must collapse a fleet deployed from a handful of
+    /// specs to that many entries, index every pool, and pick up a model
+    /// mutation on rebuild.
+    #[test]
+    fn kernel_cache_dedups_by_exact_parameters() {
+        let mut fleet = FleetBuilder::new(3)
+            .datacenters(3)
+            .deploy_service(MicroserviceKind::B, 6)
+            .unwrap()
+            .deploy_service(MicroserviceKind::D, 6)
+            .unwrap()
+            .build();
+        let pools = fleet.pools().len();
+        let mut cache = KernelCache::build(fleet.pools());
+        assert_eq!(cache.pools(), pools);
+        // Two service specs: the per-datacenter `net_scale` variation
+        // lives in the dense scale column, not the deduplicated models.
+        assert_eq!(cache.distinct(), 2, "one model per deployed spec");
+        // A release on one pool splits its entry off on rebuild.
+        fleet.pools_mut()[0].model = MicroserviceKind::B.spec().model.with_cpu_per_rps_scaled(1.5);
+        cache.rebuild(fleet.pools());
+        assert_eq!(cache.pools(), pools);
+        assert_eq!(cache.distinct(), 3, "swapped model gets its own entry");
+    }
+
+    #[test]
+    fn streamed_step_falls_back_for_recording_policies() {
+        for recording in
+            [RecordingPolicy::Workload, RecordingPolicy::Full, RecordingPolicy::AvailabilityOnly]
+        {
+            let config = SimConfig { seed: 5, recording, ..SimConfig::default() };
+            let mut cols_sim = Simulation::new(small_fleet(3), EventScript::empty(), config);
+            let mut streamed_sim = Simulation::new(small_fleet(3), EventScript::empty(), config);
+            for i in 0..12u64 {
+                let col_snap = cols_sim.step_columns_partitioned();
+                let expect_cols = col_snap.columns.clone();
+                let win = streamed_sim.step_streamed();
+                let StreamedSource::Columns(cols) = win.source else {
+                    panic!("{recording:?} must fall back to materialised columns");
+                };
+                assert_eq!(*cols, expect_cols, "{recording:?} columns diverged at window {i}");
+            }
+            assert_eq!(
+                cols_sim.store().sample_count(),
+                streamed_sim.store().sample_count(),
+                "{recording:?} stores diverged"
+            );
+        }
     }
 
     #[test]

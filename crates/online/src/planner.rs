@@ -683,6 +683,14 @@ impl OnlinePlanner {
         self.engine.observe_columns(snap);
     }
 
+    /// Consumes one streamed window — the tile-fused hot path: workers
+    /// *generate* each pool's metric columns into tile-resident scratch
+    /// and aggregate them while still in cache, so the fleet's columns
+    /// never round-trip DRAM. Bit-identical to the materialised paths.
+    pub fn observe_streamed(&mut self, win: &headroom_cluster::sim::StreamedWindow<'_>) {
+        self.engine.observe_streamed(win);
+    }
+
     /// The latest per-pool assessments (a borrowed, pool-ordered view).
     pub fn assessments(&self) -> AssessmentView<'_> {
         self.engine.assessments()
@@ -694,11 +702,16 @@ impl OnlinePlanner {
     }
 
     /// Steps `sim` one window and ingests the snapshot in the layout the
-    /// simulation is configured for — columnar on the default hot path,
-    /// rows when `SnapshotLayout::Rows` keeps the legacy layout alive for
-    /// A/B runs. Planner outputs are bit-identical either way.
+    /// simulation is configured for — streamed (tile-fused kernel
+    /// generation inside the sweep) on the default hot path, materialised
+    /// columns or rows when the A/B layouts are selected. Planner outputs
+    /// are bit-identical across all three.
     fn observe_sim_window(&mut self, sim: &mut Simulation) {
         match sim.config().layout {
+            SnapshotLayout::Streamed => {
+                let win = sim.step_streamed();
+                self.engine.observe_streamed(&win);
+            }
             SnapshotLayout::Columnar => {
                 let snap = sim.step_columns_partitioned();
                 self.engine.observe_columns(&snap);

@@ -33,7 +33,7 @@ use headroom_core::sizing::PoolSizing;
 use headroom_core::slo::QosRequirement;
 use headroom_stats::persist::{Persist, PersistError, Reader, Writer};
 use headroom_stats::quantile_stream::P2Quantile;
-use headroom_stats::{FitArray, StreamingLinReg, StreamingQuadFit};
+use headroom_stats::{FitArray, LinearFit, StreamingLinReg, StreamingQuadFit};
 use headroom_telemetry::counter::Resource;
 use headroom_telemetry::ids::PoolId;
 use headroom_telemetry::time::WindowIndex;
@@ -83,6 +83,15 @@ pub struct PoolShard {
     /// just on the `replan_every` cadence — running out of capacity must
     /// not wait out a coarse replan interval.
     urgent: bool,
+    /// The CPU fit derived by this window's drift check, reused by
+    /// [`assess`] so the default `replan_every: 1` cadence does not solve
+    /// the same normal equations twice per pool per window. Purely a
+    /// cache: `None` whenever the fit is unsolvable (or after a restore),
+    /// and [`assess`] recomputes on `None` — so it never changes a
+    /// decision, is not persisted, and checkpoint bytes are unchanged.
+    ///
+    /// [`assess`]: PoolShard::assess
+    cpu_fit: Option<LinearFit>,
 }
 
 impl PoolShard {
@@ -100,6 +109,7 @@ impl PoolShard {
             last_target: None,
             dwell: None,
             urgent: false,
+            cpu_fit: None,
         }
     }
 
@@ -155,14 +165,16 @@ impl PoolShard {
         // before the shift.
         let evicted_pair = lane.drift_push(agg.rps_per_server, agg.cpu_pct);
         self.drift.observe(agg.rps_per_server, agg.cpu_pct, evicted_pair);
-        let cpu = &self.resources[Resource::Cpu.index()];
-        if let Ok(reference) = cpu.fit() {
-            if self.drift.check(&reference, cpu.len()).is_some() {
+        let cpu_len = self.resources[Resource::Cpu.index()].len();
+        self.cpu_fit = self.resources[Resource::Cpu.index()].fit().ok();
+        if let Some(reference) = self.cpu_fit {
+            if self.drift.check(&reference, cpu_len).is_some() {
                 lane.clear();
                 self.resources.clear();
                 self.latency.clear();
                 self.latency_stream = P2Quantile::new(0.95).expect("valid quantile");
                 self.drift.reset();
+                self.cpu_fit = None;
                 // A half-counted dwell from the old regime must not let the
                 // first post-drift target skip the hysteresis wait.
                 self.dwell = None;
@@ -212,14 +224,16 @@ impl PoolShard {
         self.latency_stream.observe(agg.latency_p95_ms);
         self.projector.observe(agg.window, agg.total_rps());
         self.drift.observe(agg.rps_per_server, agg.cpu_pct, drift_evicted);
-        let cpu = &self.resources[Resource::Cpu.index()];
-        if let Ok(reference) = cpu.fit() {
-            if self.drift.check(&reference, cpu.len()).is_some() {
+        let cpu_len = self.resources[Resource::Cpu.index()].len();
+        self.cpu_fit = self.resources[Resource::Cpu.index()].fit().ok();
+        if let Some(reference) = self.cpu_fit {
+            if self.drift.check(&reference, cpu_len).is_some() {
                 lane.clear();
                 self.resources.clear();
                 self.latency.clear();
                 self.latency_stream = P2Quantile::new(0.95).expect("valid quantile");
                 self.drift.reset();
+                self.cpu_fit = None;
                 self.dwell = None;
                 self.urgent = false;
                 self.drift_events += 1;
@@ -236,8 +250,16 @@ impl PoolShard {
         qos: &QosRequirement,
         lane: &impl ShardLane,
     ) -> Option<PoolAssessment> {
-        let cpu_fit = self.resources[Resource::Cpu.index()].fit().ok()?;
-        let (lat_poly, lat_r2) = self.latency.fit().ok()?;
+        // The drift check in this window's observe already solved the CPU
+        // normal equations; reuse that fit. `None` (restore, or an
+        // unsolvable fit) falls back to recomputing — identical outcome
+        // either way, since no observation lands between observe and
+        // assess.
+        let cpu_fit = match self.cpu_fit {
+            Some(fit) => fit,
+            None => self.resources[Resource::Cpu.index()].fit().ok()?,
+        };
+        let (lat_quad, lat_r2) = self.latency.fit_quadratic().ok()?;
 
         let current_servers = lane.alloc_max()?.max(1);
         let peak_total = lane.totals_percentile(99.0)?;
@@ -251,7 +273,7 @@ impl PoolShard {
         // response actually correlates with workload (positive slope): a
         // workload-flat counter — Fig. 2's "vertical patterns" — can never
         // be satisfied by adding servers, so it never binds.
-        let rps_latency = lat_poly.solve_quadratic(qos.latency_p95_ms).ok();
+        let rps_latency = lat_quad.solve(qos.latency_p95_ms).ok();
         let rps_cpu = cpu_fit.solve_for_x(qos.cpu_ceiling_pct).ok();
         let (rps_at_slo, binding) = match (rps_latency, rps_cpu) {
             (Some(lat), Some(cpu)) => {
@@ -432,6 +454,9 @@ impl Persist for PoolShard {
             last_target: Option::restore(r)?,
             dwell: Option::restore(r)?,
             urgent: r.take_bool()?,
+            // Not persisted: a restored shard recomputes its CPU fit on
+            // the next observe (or assess falls back to a fresh solve).
+            cpu_fit: None,
         })
     }
 }

@@ -380,6 +380,17 @@ pub struct PassScratch {
     drift_slots: Vec<u32>,
     drift_evicting: Vec<bool>,
     drift_evicted: Vec<(f64, f64)>,
+    /// Streamed-tile kernel outputs: one pool's metric columns, evaluated
+    /// by the sim-kernel pass and consumed by the aggregate pass while
+    /// still cache-resident — the whole point of the streamed pipeline.
+    /// Sized to the largest pool seen (never shrunk), untouched by
+    /// [`PassScratch::reset`].
+    kernel_cpu: Vec<f64>,
+    kernel_lat_avg: Vec<f64>,
+    kernel_lat_p95: Vec<f64>,
+    kernel_disk: Vec<f64>,
+    kernel_pages: Vec<f64>,
+    kernel_net: Vec<f64>,
 }
 
 /// An all-zero aggregate used to back scratch slots whose flag is unset.
@@ -435,6 +446,32 @@ impl PassScratch {
     /// The pair lane `i`'s drift push evicted, if any (pass 4 output).
     pub fn drift_evicted(&self, i: usize) -> Option<(f64, f64)> {
         self.drift_evicting[i].then(|| self.drift_evicted[i])
+    }
+
+    /// The streamed-tile kernel output buffers, each sized to `len` lanes
+    /// (one pool's slice), in `(cpu, latency_avg, latency_p95, disk_queue,
+    /// memory_pages_per_sec, network_mbps)` order. Contents are
+    /// uninitialised leftovers — the kernel pass writes every lane.
+    /// Allocation-free once the largest pool has established capacity.
+    #[allow(clippy::type_complexity)]
+    pub fn kernel_columns(
+        &mut self,
+        len: usize,
+    ) -> (&mut [f64], &mut [f64], &mut [f64], &mut [f64], &mut [f64], &mut [f64]) {
+        self.kernel_cpu.resize(len.max(self.kernel_cpu.len()), 0.0);
+        self.kernel_lat_avg.resize(len.max(self.kernel_lat_avg.len()), 0.0);
+        self.kernel_lat_p95.resize(len.max(self.kernel_lat_p95.len()), 0.0);
+        self.kernel_disk.resize(len.max(self.kernel_disk.len()), 0.0);
+        self.kernel_pages.resize(len.max(self.kernel_pages.len()), 0.0);
+        self.kernel_net.resize(len.max(self.kernel_net.len()), 0.0);
+        (
+            &mut self.kernel_cpu[..len],
+            &mut self.kernel_lat_avg[..len],
+            &mut self.kernel_lat_p95[..len],
+            &mut self.kernel_disk[..len],
+            &mut self.kernel_pages[..len],
+            &mut self.kernel_net[..len],
+        )
     }
 }
 

@@ -50,7 +50,10 @@ use std::ops::Index;
 use std::time::Instant;
 
 use headroom_cluster::columns::{ColumnarSnapshot, SnapshotColumns};
-use headroom_cluster::sim::{PartitionedSnapshot, SnapshotRow, WindowSnapshot};
+use headroom_cluster::sim::{
+    PartitionedSnapshot, SnapshotRow, StreamedKernels, StreamedSource, StreamedTileOut,
+    StreamedWindow, WindowSnapshot,
+};
 use headroom_core::slo::QosRequirement;
 use headroom_exec::WorkerPool;
 use headroom_stats::persist::{Persist, PersistError, Reader, Writer};
@@ -72,7 +75,19 @@ use crate::store::{PassScratch, ShardStore, StoreView};
 #[derive(Debug, Clone, Copy)]
 enum PoolInput {
     Aggregate(PoolWindowAggregate),
-    Rows { start: usize, len: usize },
+    Rows {
+        start: usize,
+        len: usize,
+    },
+    /// A streamed slice: the metric columns do not exist yet — the worker
+    /// evaluates the sim kernels for the slice into its pass scratch and
+    /// aggregates from there. `pool_index` is the fleet partition index
+    /// (slice order), which locates the pool's response model.
+    Streamed {
+        start: usize,
+        len: usize,
+        pool_index: usize,
+    },
 }
 
 /// The window's backing snapshot storage, shared read-only with every
@@ -87,18 +102,24 @@ enum WindowData<'a> {
     Rows(&'a [SnapshotRow]),
     /// Struct-of-arrays columns — workers stream contiguous memory.
     Columns(&'a SnapshotColumns),
+    /// Streamed kernel inputs — workers *generate* each pool's metric
+    /// columns into tile-resident scratch (the sim-kernel pass) and
+    /// aggregate them while still in cache; the fleet's metric columns
+    /// are never materialised.
+    Streamed(StreamedKernels<'a>),
 }
 
-/// Passes of the pass-structured window, in execution order: per-pool
-/// aggregate computation (pass 0), the four windowed-plane passes, the
+/// Passes of the pass-structured window, in execution order: streamed
+/// sim-kernel evaluation (pass 0, zero for materialised inputs), per-pool
+/// aggregate computation (pass 1), the four windowed-plane passes, the
 /// scalar shard pass, and replanning. Indexes into the per-pass timing
 /// array [`SweepEngine::pass_ns`] returns; [`PASS_NAMES`] labels them.
-pub const PASS_COUNT: usize = 7;
+pub const PASS_COUNT: usize = 8;
 
 /// Human-readable labels for the [`PASS_COUNT`] passes, index-aligned with
 /// [`SweepEngine::pass_ns`].
 pub const PASS_NAMES: [&str; PASS_COUNT] =
-    ["aggregate", "agg_ring", "totals", "alloc", "drift_ring", "scalar", "replan"];
+    ["sim_kernel", "aggregate", "agg_ring", "totals", "alloc", "drift_ring", "scalar", "replan"];
 
 /// Lanes per pass tile: passes 0–5 run over sub-ranges of this width so the
 /// inter-pass scratch stays cache-resident while each pass within a tile
@@ -396,6 +417,39 @@ impl SweepEngine {
         );
         inputs.sort_unstable_by_key(|&(pool, _)| pool);
         self.sweep(snap.window, WindowData::Columns(snap.columns), &inputs);
+        self.input_buf = inputs;
+    }
+
+    /// Consumes one streamed window (from `Simulation::step_streamed`) —
+    /// the fused closed-loop hot path: for kernel-backed windows each
+    /// worker *generates* its pools' metric columns into tile-resident
+    /// scratch and aggregates them in the same tile pass, so the fleet's
+    /// columns never round-trip DRAM between simulator and planner.
+    /// Materialised fallbacks (recording policies whose store writes are
+    /// inherently sequential) take the columnar path unchanged. Planner
+    /// outputs are bit-identical to both materialised layouts either way.
+    pub fn observe_streamed(&mut self, win: &StreamedWindow<'_>) {
+        let mut inputs = std::mem::take(&mut self.input_buf);
+        inputs.clear();
+        match win.source {
+            StreamedSource::Columns(cols) => {
+                inputs.extend(win.pools.iter().map(|slice| {
+                    (slice.pool, PoolInput::Rows { start: slice.start, len: slice.len })
+                }));
+                inputs.sort_unstable_by_key(|&(pool, _)| pool);
+                self.sweep(win.window, WindowData::Columns(cols), &inputs);
+            }
+            StreamedSource::Kernels(kernels) => {
+                inputs.extend(win.pools.iter().enumerate().map(|(pool_index, slice)| {
+                    (
+                        slice.pool,
+                        PoolInput::Streamed { start: slice.start, len: slice.len, pool_index },
+                    )
+                }));
+                inputs.sort_unstable_by_key(|&(pool, _)| pool);
+                self.sweep(win.window, WindowData::Streamed(kernels), &inputs);
+            }
+        }
         self.input_buf = inputs;
     }
 
@@ -701,7 +755,13 @@ fn sweep_chunk(
         let tile = &mut shards[tile_start..tile_end];
         let first_lane = lane_base + tile_start;
         let mut mark = timer.is_some().then(Instant::now);
-        // Pass 0: pair the tile's pools with their inputs and aggregate.
+        // Passes 0–1: pair the tile's pools with their inputs and build
+        // each aggregate. For streamed inputs, pass 0 first *generates*
+        // the pool's metric columns into the kernel scratch (the sim
+        // kernels the simulator deferred), and pass 1 aggregates them
+        // while the slice is still in L1/L2 — the fused pipeline's whole
+        // point. For materialised inputs pass 0 is empty and all time
+        // accrues to the aggregate pass, as before.
         scratch.reset(tile.len());
         for (i, (pool, _)) in tile.iter().enumerate() {
             while cursor < inputs.len() && inputs[cursor].0 < *pool {
@@ -719,31 +779,61 @@ fn sweep_chunk(
                     WindowData::Columns(cols) => {
                         PoolWindowAggregate::from_columns(window, cols, start, len)
                     }
-                    WindowData::None => None,
+                    WindowData::None | WindowData::Streamed(_) => None,
+                },
+                PoolInput::Streamed { start, len, pool_index } => match data {
+                    WindowData::Streamed(kernels) => {
+                        // Serving count first: a fully offline pool yields
+                        // no aggregate (matching `from_columns`), so the
+                        // kernels need not run at all.
+                        let n = kernels.online_count(start, len);
+                        if n == 0 {
+                            None
+                        } else {
+                            let (cpu, lat_avg, lat_p95, dq, pg, nm) = scratch.kernel_columns(len);
+                            kernels.step_tile_columns(
+                                pool_index,
+                                start,
+                                len,
+                                StreamedTileOut {
+                                    cpu,
+                                    latency_avg: lat_avg,
+                                    latency_p95: lat_p95,
+                                    disk_queue: dq,
+                                    memory_pages_per_sec: pg,
+                                    network_mbps: nm,
+                                },
+                            );
+                            lap(&mut timer, &mut mark, 0);
+                            let rps = &kernels.rps()[start..start + len];
+                            Some(aggregate_from_tile(window, n, rps, cpu, lat_p95, dq, pg, nm))
+                        }
+                    }
+                    _ => None,
                 },
             };
             if let Some(agg) = aggregate {
                 scratch.set_input(i, agg);
             }
+            lap(&mut timer, &mut mark, 1);
         }
-        lap(&mut timer, &mut mark, 0);
-        // Passes 1–4: each windowed plane across the whole tile.
+        // Passes 2–5: each windowed plane across the whole tile.
         view.pass_agg_push(first_lane, scratch);
-        lap(&mut timer, &mut mark, 1);
-        view.pass_totals(first_lane, scratch);
         lap(&mut timer, &mut mark, 2);
-        view.pass_alloc(first_lane, scratch);
+        view.pass_totals(first_lane, scratch);
         lap(&mut timer, &mut mark, 3);
-        view.pass_drift_push(first_lane, scratch);
+        view.pass_alloc(first_lane, scratch);
         lap(&mut timer, &mut mark, 4);
-        // Passes 5 (scalar shard updates: fits, latency stream, projector,
-        // drift check with the lane clear on a drift hit) and 6
+        view.pass_drift_push(first_lane, scratch);
+        lap(&mut timer, &mut mark, 5);
+        // Passes 6 (scalar shard updates: fits, latency stream, projector,
+        // drift check with the lane clear on a drift hit) and 7
         // (replanning) run fused, per pool, in one walk over the tile's
         // shards. The shard array is the fattest stream of the window
         // (~0.9 KiB per pool), so at fleet scale a second separate replan
         // walk would re-read the whole tile from beyond L2; fusing halves
         // that traffic while the tile's lane segments are also still
-        // cache-resident from passes 2–4. The per-pool order is exactly
+        // cache-resident from passes 3–5. The per-pool order is exactly
         // the fused reference's (observe, then replan if due), and
         // replanning reads only its own pool's state, so where the pass
         // boundary falls is an execution detail (the tile-boundary and
@@ -755,7 +845,7 @@ fn sweep_chunk(
                 let mut lane = view.lane(first_lane + i);
                 shard.observe_scalar(&agg, scratch.evicted(i), scratch.drift_evicted(i), &mut lane);
             }
-            lap(&mut timer, &mut mark, 5);
+            lap(&mut timer, &mut mark, 6);
             if !(replan || shard.urgent()) {
                 continue;
             }
@@ -771,9 +861,52 @@ fn sweep_chunk(
             if !had_assessment && shard.assessment().is_some() {
                 state.newly_assessed += 1;
             }
-            lap(&mut timer, &mut mark, 6);
+            lap(&mut timer, &mut mark, 7);
         }
         tile_start = tile_end;
+    }
+}
+
+/// Aggregates one pool's freshly generated tile columns — the streamed
+/// counterpart of [`PoolWindowAggregate::from_columns`], and bit-identical
+/// to it: the same fused six-accumulator loop, each counter summed
+/// unconditionally in index order (the kernel zeroes offline lanes to
+/// `+0.0`, the same offline contract the materialised columns carry), with
+/// the serving count `n` computed up front by the caller.
+#[allow(clippy::too_many_arguments)]
+fn aggregate_from_tile(
+    window: WindowIndex,
+    n: usize,
+    rps_c: &[f64],
+    cpu_c: &[f64],
+    lat_c: &[f64],
+    dq_c: &[f64],
+    pg_c: &[f64],
+    nm_c: &[f64],
+) -> PoolWindowAggregate {
+    let len = rps_c.len();
+    let (cpu_c, lat_c) = (&cpu_c[..len], &lat_c[..len]);
+    let (dq_c, pg_c, nm_c) = (&dq_c[..len], &pg_c[..len], &nm_c[..len]);
+    let (mut rps, mut cpu, mut lat) = (0.0f64, 0.0f64, 0.0f64);
+    let (mut dq, mut pg, mut nm) = (0.0f64, 0.0f64, 0.0f64);
+    for i in 0..len {
+        rps += rps_c[i];
+        cpu += cpu_c[i];
+        lat += lat_c[i];
+        dq += dq_c[i];
+        pg += pg_c[i];
+        nm += nm_c[i];
+    }
+    let nf = n as f64;
+    PoolWindowAggregate {
+        window,
+        rps_per_server: rps / nf,
+        cpu_pct: cpu / nf,
+        latency_p95_ms: lat / nf,
+        disk_queue: dq / nf,
+        memory_pages_per_sec: pg / nf,
+        network_mbps: nm / nf,
+        active_servers: n,
     }
 }
 
@@ -1193,6 +1326,52 @@ mod tests {
         assert!(!by_rows.assessments().is_empty(), "pools were planned");
         assert_eq!(by_rows.assessments(), by_cols.assessments());
         assert_eq!(by_rows.drain_recommendations(), by_cols.drain_recommendations());
+    }
+
+    #[test]
+    fn streamed_and_columnar_ingestion_agree() {
+        // Twin simulations stepped in lockstep: one materialises columns,
+        // the other hands the engine deferred kernels via the streamed
+        // path. The engines (at different thread counts) must land in
+        // identical planner state — the engine-level half of the streamed
+        // bit-identity contract. SnapshotOnly is the policy that actually
+        // defers kernels; the other policies fall back to materialised
+        // columns inside `step_streamed` and are covered by the colsim
+        // repro gate.
+        use headroom_cluster::catalog::MicroserviceKind;
+        use headroom_cluster::scenario::FleetScenario;
+        use headroom_cluster::sim::{RecordingPolicy, SnapshotLayout};
+        let sim_with = |layout| {
+            FleetScenario::single_service(MicroserviceKind::B, 2, 7, 23)
+                .with_layout(layout)
+                .with_recording(RecordingPolicy::SnapshotOnly)
+                .into_simulation()
+        };
+        let config = OnlinePlannerConfig {
+            window_capacity: 120,
+            min_fit_windows: 30,
+            threads: 2,
+            min_pool_chunk: 1,
+            ..OnlinePlannerConfig::default()
+        };
+        let qos = QosRequirement::latency(32.5).with_cpu_ceiling(90.0);
+        let mut by_cols = SweepEngine::new(config, qos);
+        let mut by_stream = SweepEngine::new(OnlinePlannerConfig { threads: 3, ..config }, qos);
+        let mut cols_sim = sim_with(SnapshotLayout::Columnar);
+        let mut stream_sim = sim_with(SnapshotLayout::Streamed);
+        for _ in 0..140u64 {
+            let snap = cols_sim.step_columns_partitioned();
+            by_cols.observe_columns(&snap);
+            let win = stream_sim.step_streamed();
+            assert!(
+                matches!(win.source, StreamedSource::Kernels(_)),
+                "SnapshotOnly streams kernels"
+            );
+            by_stream.observe_streamed(&win);
+        }
+        assert!(!by_cols.assessments().is_empty(), "pools were planned");
+        assert_eq!(by_cols.assessments(), by_stream.assessments());
+        assert_eq!(by_cols.drain_recommendations(), by_stream.drain_recommendations());
     }
 
     /// The O(1) assessed-pool counter must agree with a recount through

@@ -577,15 +577,16 @@ mod store_semantics {
 
 /// The byte-identity invariant must survive *event-driven* fleets: for any
 /// adversarial catalog scenario, any fan-out width, either exec mode, and
-/// either snapshot layout, the closed planning loop (recommendations
-/// applied back to the simulator every window) is structurally identical —
+/// any snapshot layout (rows, materialised columns, or the streamed
+/// tile-fused pipeline), the closed planning loop (recommendations applied
+/// back to the simulator every window) is structurally identical —
 /// assessments and the full recommendation stream — to the sequential
 /// row-layout reference.
 mod scenario_identity {
     use std::collections::BTreeMap;
 
     use headroom_cluster::scenario::FleetScenario;
-    use headroom_cluster::sim::RecordingPolicy;
+    use headroom_cluster::sim::{RecordingPolicy, SnapshotLayout};
     use headroom_core::slo::QosRequirement;
     use headroom_online::planner::{OnlinePlannerConfig, ResizeRecommendation, SweepExec};
     use headroom_online::sweep::SweepEngine;
@@ -602,7 +603,7 @@ mod scenario_identity {
         seed: u64,
         threads: usize,
         exec: SweepExec,
-        columnar: bool,
+        layout: SnapshotLayout,
         windows: u64,
     ) -> (SweepEngine, Vec<Vec<ResizeRecommendation>>) {
         let mut sim = FleetScenario::small(seed)
@@ -632,12 +633,19 @@ mod scenario_identity {
             sim.fleet().pools().iter().map(|p| (p.id, p.size())).collect();
         let mut all = Vec::with_capacity(windows as usize);
         for _ in 0..windows {
-            if columnar {
-                let snap = sim.step_columns_partitioned();
-                engine.observe_columns(&snap);
-            } else {
-                let snap = sim.step_snapshot_partitioned();
-                engine.observe_partitioned(&snap);
+            match layout {
+                SnapshotLayout::Streamed => {
+                    let win = sim.step_streamed();
+                    engine.observe_streamed(&win);
+                }
+                SnapshotLayout::Columnar => {
+                    let snap = sim.step_columns_partitioned();
+                    engine.observe_columns(&snap);
+                }
+                SnapshotLayout::Rows => {
+                    let snap = sim.step_snapshot_partitioned();
+                    engine.observe_partitioned(&snap);
+                }
             }
             let recs = engine.drain_recommendations();
             let next = sim.current_window();
@@ -659,19 +667,140 @@ mod scenario_identity {
             seed in any::<u64>(),
             threads in 2usize..9,
             exec_scoped in any::<bool>(),
-            columnar in any::<bool>(),
+            layout_pick in 0usize..3,
         ) {
             let sc = scenarios::catalog(seed, DATACENTERS).swap_remove(which);
             // Cap a little past onset so every drive covers event-active
             // windows without paying for a full hypergrowth week per case.
             let windows = sc.windows().min(sc.onset_window().0 + 240);
             let exec = if exec_scoped { SweepExec::Scoped } else { SweepExec::Persistent };
+            let layout = [SnapshotLayout::Rows, SnapshotLayout::Columnar, SnapshotLayout::Streamed]
+                [layout_pick];
             let (reference, ref_recs) =
-                drive(&sc, seed, 1, SweepExec::Persistent, false, windows);
-            let (cell, cell_recs) = drive(&sc, seed, threads, exec, columnar, windows);
+                drive(&sc, seed, 1, SweepExec::Persistent, SnapshotLayout::Rows, windows);
+            let (cell, cell_recs) = drive(&sc, seed, threads, exec, layout, windows);
             prop_assert!(!reference.assessments().is_empty(), "pools were planned");
             prop_assert_eq!(reference.assessments(), cell.assessments());
             prop_assert_eq!(ref_recs, cell_recs);
+        }
+    }
+}
+
+/// The streamed pipeline's full-surface identity contract: for *every*
+/// recording policy, any fan-out width 1–8, and either exec mode, a closed
+/// planning loop driven through the streamed layout is indistinguishable
+/// from its materialised-columns and row-layout twins — the per-window
+/// recommendation stream matches structurally, and the engines' final
+/// checkpoints serialize to the *same bytes* (so not just the decisions
+/// but the whole persisted planner state — fits, rings, drift counters,
+/// window cursor — is bit-identical).
+mod streamed_layout_identity {
+    use std::collections::BTreeMap;
+
+    use headroom_cluster::scenario::FleetScenario;
+    use headroom_cluster::sim::{RecordingPolicy, SnapshotLayout};
+    use headroom_core::slo::QosRequirement;
+    use headroom_online::planner::{OnlinePlannerConfig, ResizeRecommendation, SweepExec};
+    use headroom_online::sweep::SweepEngine;
+    use headroom_stats::persist::{Persist, Writer};
+    use headroom_telemetry::ids::PoolId;
+    use proptest::prelude::*;
+
+    const POLICIES: [RecordingPolicy; 4] = [
+        RecordingPolicy::SnapshotOnly,
+        RecordingPolicy::Workload,
+        RecordingPolicy::Full,
+        RecordingPolicy::AvailabilityOnly,
+    ];
+
+    const LAYOUTS: [SnapshotLayout; 3] =
+        [SnapshotLayout::Rows, SnapshotLayout::Columnar, SnapshotLayout::Streamed];
+
+    /// The engine's persisted state, as the service layer would write it.
+    fn checkpoint(engine: &SweepEngine) -> Vec<u8> {
+        let mut w = Writer::new();
+        engine.persist(&mut w);
+        w.into_bytes()
+    }
+
+    /// One closed-loop drive through `layout`; returns whether the engine
+    /// assessed any pool, the final checkpoint bytes, and every window's
+    /// drained recommendations.
+    fn drive(
+        policy: RecordingPolicy,
+        layout: SnapshotLayout,
+        seed: u64,
+        threads: usize,
+        exec: SweepExec,
+        windows: u64,
+    ) -> (bool, Vec<u8>, Vec<Vec<ResizeRecommendation>>) {
+        let mut sim = FleetScenario::small(seed).with_recording(policy).into_simulation();
+        let config = OnlinePlannerConfig {
+            window_capacity: 120,
+            min_fit_windows: 60,
+            // Small fleet: force one-pool chunks so multi-thread cells
+            // actually exercise the parallel path (and its tile splits).
+            min_pool_chunk: 1,
+            threads,
+            exec,
+            ..OnlinePlannerConfig::default()
+        };
+        let mut engine =
+            SweepEngine::new(config, QosRequirement::latency(50.0).with_cpu_ceiling(90.0));
+        let physical: BTreeMap<PoolId, usize> =
+            sim.fleet().pools().iter().map(|p| (p.id, p.size())).collect();
+        let mut all = Vec::with_capacity(windows as usize);
+        for _ in 0..windows {
+            match layout {
+                SnapshotLayout::Streamed => {
+                    let win = sim.step_streamed();
+                    engine.observe_streamed(&win);
+                }
+                SnapshotLayout::Columnar => {
+                    let snap = sim.step_columns_partitioned();
+                    engine.observe_columns(&snap);
+                }
+                SnapshotLayout::Rows => {
+                    let snap = sim.step_snapshot_partitioned();
+                    engine.observe_partitioned(&snap);
+                }
+            }
+            let recs = engine.drain_recommendations();
+            let next = sim.current_window();
+            for rec in &recs {
+                let target = rec.to_servers.clamp(1, physical[&rec.pool]);
+                let _ = sim.schedule_resize(rec.pool, next, target);
+            }
+            all.push(recs);
+        }
+        (!engine.assessments().is_empty(), checkpoint(&engine), all)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Streamed == columns == rows — recommendations and checkpoint
+        /// bytes — for every recording policy × threads 1–8 × exec mode.
+        /// The three drives share one `(threads, exec)` config, so the
+        /// serialized configs coincide and any byte difference is real
+        /// planner-state divergence.
+        #[test]
+        fn streamed_pipeline_is_bit_identical(
+            policy_pick in 0usize..4,
+            seed in any::<u64>(),
+            threads in 1usize..9,
+            exec_scoped in any::<bool>(),
+        ) {
+            let policy = POLICIES[policy_pick];
+            let exec = if exec_scoped { SweepExec::Scoped } else { SweepExec::Persistent };
+            let windows = 150u64;
+            let [(rows_planned, rows_ckpt, rows_recs), (_, cols_ckpt, cols_recs), (_, str_ckpt, str_recs)] =
+                LAYOUTS.map(|layout| drive(policy, layout, seed, threads, exec, windows));
+            prop_assert!(rows_planned, "the drive never assessed a pool — the fixture went inert");
+            prop_assert_eq!(&rows_recs, &cols_recs, "columns diverged from rows");
+            prop_assert_eq!(&rows_recs, &str_recs, "streamed diverged from rows");
+            prop_assert_eq!(&rows_ckpt, &cols_ckpt, "columnar checkpoint bytes diverged");
+            prop_assert_eq!(&rows_ckpt, &str_ckpt, "streamed checkpoint bytes diverged");
         }
     }
 }

@@ -6,7 +6,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"HRCP"
-//! 4       4     format version, u32 LE (currently 2)
+//! 4       4     format version, u32 LE (currently 3)
 //! 8       8     FNV-1a 64 checksum of the payload, u64 LE
 //! 16      8     payload length in bytes, u64 LE
 //! 24      n     payload: SweepEngine::persist
@@ -29,9 +29,10 @@ use headroom_stats::persist::{fnv1a64, Persist, PersistError, Reader, Writer};
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"HRCP";
 
 /// Current checkpoint format version. Bumped whenever the payload encoding
-/// changes shape; [`load`] refuses versions it does not know rather than
-/// guessing.
-pub const CHECKPOINT_VERSION: u32 = 2;
+/// changes shape (v3: `StreamingLinReg` moved from centered moments to
+/// shift-pinned power sums, changing its persisted fields); [`load`]
+/// refuses versions it does not know rather than guessing.
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// Bytes of frame before the payload: magic + version + checksum + length.
 const HEADER_LEN: usize = 4 + 4 + 8 + 8;

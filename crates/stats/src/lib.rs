@@ -87,7 +87,7 @@ pub use monotonic::MonotonicMaxDeque;
 pub use order_stats::OrderStatsMultiset;
 pub use persist::{Persist, PersistError, Reader, Writer};
 pub use plane::{DequePlane, RingCursors, RingPlane, SortedPlane};
-pub use polyfit::Polynomial;
+pub use polyfit::{Polynomial, Quadratic};
 pub use quadfit::StreamingQuadFit;
 pub use sorted_window::SortedWindow;
 pub use streaming::StreamingLinReg;

@@ -107,6 +107,42 @@ impl Polynomial {
         if self.degree() != 2 {
             return Err(StatsError::InvalidParameter("solve_quadratic requires degree 2"));
         }
+        Quadratic { coeffs: [self.coeffs[0], self.coeffs[1], self.coeffs[2]] }.solve(y)
+    }
+}
+
+/// A degree-2 polynomial with inline coefficients — the allocation-free
+/// counterpart of a quadratic [`Polynomial`] for per-pool hot paths (the
+/// online planner inverts one latency curve per pool per replan; a
+/// heap-backed coefficient vector there is a malloc per pool per window
+/// at fleet scale).
+///
+/// Evaluation and root-solving follow the exact operation order of the
+/// [`Polynomial`] equivalents, so the two representations are
+/// bit-interchangeable: `Polynomial::solve_quadratic` delegates here.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quadratic {
+    /// Ascending-power coefficients `[c0, c1, c2]`.
+    pub coeffs: [f64; 3],
+}
+
+impl Quadratic {
+    /// Evaluates by Horner's rule (the identical fold to
+    /// [`Polynomial::eval`] on a 3-coefficient polynomial).
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Solves `eval(x) = y` on the increasing branch, i.e. returns the
+    /// largest real root of `c2·x² + c1·x + (c0 − y) = 0` — see
+    /// [`Polynomial::solve_quadratic`], which delegates here.
+    ///
+    /// # Errors
+    ///
+    /// - [`StatsError::InvalidParameter`] when the target is unreachable
+    ///   (negative discriminant).
+    /// - [`StatsError::Singular`] when both leading coefficients vanish.
+    pub fn solve(&self, y: f64) -> Result<f64, StatsError> {
         let a = self.coeffs[2];
         let b = self.coeffs[1];
         let c = self.coeffs[0] - y;

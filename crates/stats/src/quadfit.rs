@@ -12,7 +12,7 @@
 //! [`merge`]: StreamingQuadFit::merge
 
 use crate::persist::{Persist, PersistError, Reader, Writer};
-use crate::polyfit::Polynomial;
+use crate::polyfit::{Polynomial, Quadratic};
 use crate::StatsError;
 
 /// Incremental degree-2 least squares over a stream with removal support.
@@ -142,12 +142,33 @@ impl StreamingQuadFit {
     /// The current quadratic fit (ascending coefficients, in original x),
     /// plus its R².
     ///
+    /// A convenience wrapper around [`fit_quadratic`] for callers that
+    /// want a [`Polynomial`]; hot per-pool paths should call
+    /// [`fit_quadratic`] directly — same coefficients, no coefficient
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// As [`fit_quadratic`].
+    ///
+    /// [`fit_quadratic`]: StreamingQuadFit::fit_quadratic
+    pub fn fit(&self) -> Result<(Polynomial, f64), StatsError> {
+        let (quad, r_squared) = self.fit_quadratic()?;
+        Ok((Polynomial::new(quad.coeffs.to_vec()), r_squared))
+    }
+
+    /// The current quadratic fit as an inline-coefficient [`Quadratic`],
+    /// plus its R² — the allocation-free form of [`fit`], bit-identical
+    /// coefficients.
+    ///
     /// # Errors
     ///
     /// - [`StatsError::InsufficientData`] with fewer than 3 observations.
     /// - [`StatsError::Singular`] when the x values do not span a quadratic
     ///   (e.g. fewer than 3 distinct values).
-    pub fn fit(&self) -> Result<(Polynomial, f64), StatsError> {
+    ///
+    /// [`fit`]: StreamingQuadFit::fit
+    pub fn fit_quadratic(&self) -> Result<(Quadratic, f64), StatsError> {
         if self.n < 3 {
             return Err(StatsError::InsufficientData { needed: 3, got: self.n });
         }
@@ -188,13 +209,13 @@ impl StreamingQuadFit {
         }
         // Expand a0 + a1·(x−c) + a2·(x−c)² into ascending powers of x.
         let c = self.shift;
-        let coeffs = vec![a[0] - a[1] * c + a[2] * c * c, a[1] - 2.0 * a[2] * c, a[2]];
-        let poly = Polynomial::new(coeffs);
+        let quad =
+            Quadratic { coeffs: [a[0] - a[1] * c + a[2] * c * c, a[1] - 2.0 * a[2] * c, a[2]] };
         // R² from the closed forms: SS_res = Σy² − aᵀXᵀy, SS_tot = Σy² − (Σy)²/n.
         let ss_res = (self.sy2 - (a[0] * self.sy + a[1] * self.suy + a[2] * self.su2y)).max(0.0);
         let ss_tot = self.sy2 - self.sy * self.sy / n;
         let r_squared = if ss_tot < 1e-12 { 1.0 } else { (1.0 - ss_res / ss_tot).clamp(0.0, 1.0) };
-        Ok((poly, r_squared))
+        Ok((quad, r_squared))
     }
 }
 

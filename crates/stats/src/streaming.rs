@@ -3,13 +3,21 @@
 //! The batch planner refits [`crate::linreg::LinearFit`] from scratch over a
 //! full observation range — O(n) per refit. A live planner revising its fit
 //! every 120-second window cannot afford that: [`StreamingLinReg`] maintains
-//! the same fit with O(1) `push`/`remove` updates, using Welford-style
-//! centered moments so the result matches the batch fit to floating-point
-//! accuracy even when the data is far from the origin.
+//! the same fit with O(1) `push`/`remove` updates. Like
+//! [`crate::quadfit::StreamingQuadFit`], it accumulates raw power sums in a
+//! basis shifted by the first observation (`u = x − shift`), which keeps the
+//! normal equations well-conditioned far from the origin *and* makes
+//! `push`/`remove` pure add/subtract — no divisions. That matters because
+//! these two calls are the planner's per-window hot path: every pool
+//! updates four resource lanes plus the drift sub-window every window, and
+//! the Welford mean updates this replaced cost two serially dependent
+//! divisions per call. The divisions now happen once, at [`fit`] time.
 //!
 //! `remove` exists so a caller holding a ring buffer can maintain a sliding
 //! window: push the incoming pair, remove the evicted one, and the fit now
 //! covers exactly the window contents.
+//!
+//! [`fit`]: StreamingLinReg::fit
 //!
 //! # Example
 //!
@@ -38,24 +46,27 @@ use crate::StatsError;
 
 /// Running simple linear regression with O(1) insert and remove.
 ///
-/// Maintains centered second moments (`Σ(x−x̄)²`, `Σ(x−x̄)(y−ȳ)`,
-/// `Σ(y−ȳ)²`) via Welford update/downdate formulas, so [`fit`] is O(1) and
-/// numerically agrees with the two-pass batch [`LinearFit::fit`].
+/// Maintains `Σu`, `Σu²`, `Σy`, `Σy²`, `Σuy` with `u = x − shift` (the
+/// shift is pinned to the first observation), so [`fit`] is O(1) and
+/// numerically agrees with the two-pass batch [`LinearFit::fit`], while
+/// `push`/`remove` are division-free add/subtract updates.
 ///
 /// Non-finite observations are ignored on `push` (mirroring the telemetry
 /// pipeline's treatment of corrupt windows); `remove` must only be called
 /// with pairs previously pushed — removing arbitrary values silently
-/// corrupts the moments.
+/// corrupts the sums.
 ///
 /// [`fit`]: StreamingLinReg::fit
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct StreamingLinReg {
     n: usize,
-    mean_x: f64,
-    mean_y: f64,
-    sxx: f64,
-    sxy: f64,
-    syy: f64,
+    shift: f64,
+    shift_set: bool,
+    su: f64,
+    su2: f64,
+    sy: f64,
+    sy2: f64,
+    suy: f64,
 }
 
 impl StreamingLinReg {
@@ -76,12 +87,20 @@ impl StreamingLinReg {
 
     /// Mean of the accumulated x values (0 when empty).
     pub fn mean_x(&self) -> f64 {
-        self.mean_x
+        if self.n == 0 {
+            0.0
+        } else {
+            self.shift + self.su / self.n as f64
+        }
     }
 
     /// Mean of the accumulated y values (0 when empty).
     pub fn mean_y(&self) -> f64 {
-        self.mean_y
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sy / self.n as f64
+        }
     }
 
     /// Population variance of the accumulated x values (0 when empty).
@@ -89,7 +108,8 @@ impl StreamingLinReg {
         if self.n == 0 {
             0.0
         } else {
-            (self.sxx / self.n as f64).max(0.0)
+            let nf = self.n as f64;
+            ((self.su2 - self.su * self.su / nf) / nf).max(0.0)
         }
     }
 
@@ -98,7 +118,8 @@ impl StreamingLinReg {
         if self.n == 0 {
             0.0
         } else {
-            (self.syy / self.n as f64).max(0.0)
+            let nf = self.n as f64;
+            ((self.sy2 - self.sy * self.sy / nf) / nf).max(0.0)
         }
     }
 
@@ -107,17 +128,17 @@ impl StreamingLinReg {
         if !x.is_finite() || !y.is_finite() {
             return;
         }
+        if !self.shift_set {
+            self.shift = x;
+            self.shift_set = true;
+        }
+        let u = x - self.shift;
         self.n += 1;
-        let nf = self.n as f64;
-        let dx = x - self.mean_x;
-        let dy = y - self.mean_y;
-        self.mean_x += dx / nf;
-        self.mean_y += dy / nf;
-        // Note: uses the *old* delta on one side and the new mean on the
-        // other — the standard Welford cross-moment update.
-        self.sxx += dx * (x - self.mean_x);
-        self.syy += dy * (y - self.mean_y);
-        self.sxy += dx * (y - self.mean_y);
+        self.su += u;
+        self.su2 += u * u;
+        self.sy += y;
+        self.sy2 += y * y;
+        self.suy += u * y;
     }
 
     /// Removes one previously pushed observation (sliding-window eviction).
@@ -134,27 +155,25 @@ impl StreamingLinReg {
             return;
         }
         assert!(self.n > 0, "remove from empty StreamingLinReg");
-        if self.n == 1 {
-            *self = StreamingLinReg::new();
-            return;
-        }
-        let nf = (self.n - 1) as f64;
-        // Inverse of the Welford update: recover the means the accumulator
-        // had before this pair was pushed, then subtract its contribution.
-        let mean_x_prev = (self.mean_x * self.n as f64 - x) / nf;
-        let mean_y_prev = (self.mean_y * self.n as f64 - y) / nf;
-        let dx = x - mean_x_prev;
-        let dy = y - mean_y_prev;
-        self.sxx = (self.sxx - dx * (x - self.mean_x)).max(0.0);
-        self.syy = (self.syy - dy * (y - self.mean_y)).max(0.0);
-        self.sxy -= dx * (y - self.mean_y);
-        self.mean_x = mean_x_prev;
-        self.mean_y = mean_y_prev;
+        let u = x - self.shift;
         self.n -= 1;
+        self.su -= u;
+        self.su2 -= u * u;
+        self.sy -= y;
+        self.sy2 -= y * y;
+        self.suy -= u * y;
+        if self.n == 0 {
+            // Fresh start: the next push re-pins the shift.
+            *self = StreamingLinReg::new();
+        }
     }
 
-    /// Folds another accumulator into this one (parallel merge, Chan et
-    /// al.'s pairwise formula).
+    /// Folds another accumulator into this one (shard-and-combine).
+    ///
+    /// The two accumulators may have pinned different shifts: the other's
+    /// power sums are re-based onto this shift with the binomial expansion
+    /// of `Σ(u′ + δ)ᵏ`, so the merged accumulator represents exactly the
+    /// concatenated observation streams.
     pub fn merge(&mut self, other: &StreamingLinReg) {
         if other.n == 0 {
             return;
@@ -163,17 +182,15 @@ impl StreamingLinReg {
             *self = *other;
             return;
         }
-        let n1 = self.n as f64;
-        let n2 = other.n as f64;
-        let n = n1 + n2;
-        let dx = other.mean_x - self.mean_x;
-        let dy = other.mean_y - self.mean_y;
-        self.sxx += other.sxx + dx * dx * n1 * n2 / n;
-        self.syy += other.syy + dy * dy * n1 * n2 / n;
-        self.sxy += other.sxy + dx * dy * n1 * n2 / n;
-        self.mean_x += dx * n2 / n;
-        self.mean_y += dy * n2 / n;
+        // other's u′ = x − other.shift; in this basis u = u′ + δ.
+        let d = other.shift - self.shift;
+        let nf = other.n as f64;
         self.n += other.n;
+        self.su += other.su + nf * d;
+        self.su2 += other.su2 + 2.0 * d * other.su + nf * d * d;
+        self.sy += other.sy;
+        self.sy2 += other.sy2;
+        self.suy += other.suy + d * other.sy;
     }
 
     /// Discards all accumulated observations.
@@ -191,17 +208,24 @@ impl StreamingLinReg {
         if self.n < 2 {
             return Err(StatsError::InsufficientData { needed: 2, got: self.n });
         }
-        if self.sxx < 1e-12 {
+        let inv_n = 1.0 / self.n as f64;
+        // Centered moments recovered from the shifted power sums; the
+        // shift keeps the cancellation benign far from the origin.
+        let sxx = self.su2 - self.su * self.su * inv_n;
+        if sxx < 1e-12 {
             return Err(StatsError::Singular);
         }
-        let slope = self.sxy / self.sxx;
-        let intercept = self.mean_y - slope * self.mean_x;
-        let r_squared = if self.syy < 1e-12 {
+        let sxy = self.suy - self.su * self.sy * inv_n;
+        let slope = sxy / sxx;
+        let intercept = self.sy * inv_n - slope * (self.shift + self.su * inv_n);
+        let syy = self.sy2 - self.sy * self.sy * inv_n;
+        let r_squared = if syy < 1e-12 {
             1.0
         } else {
-            // SS_res = Syy − Sxy²/Sxx, the closed form of the batch loop.
-            let ss_res = (self.syy - self.sxy * self.sxy / self.sxx).max(0.0);
-            (1.0 - ss_res / self.syy).max(0.0)
+            // SS_res = Syy − Sxy²/Sxx = Syy − slope·Sxy, the closed form
+            // of the batch loop.
+            let ss_res = (syy - slope * sxy).max(0.0);
+            (1.0 - ss_res / syy).max(0.0)
         };
         Ok(LinearFit { slope, intercept, r_squared, n: self.n })
     }
@@ -215,21 +239,25 @@ impl StreamingLinReg {
 impl Persist for StreamingLinReg {
     fn persist(&self, w: &mut Writer) {
         w.put_usize(self.n);
-        w.put_f64(self.mean_x);
-        w.put_f64(self.mean_y);
-        w.put_f64(self.sxx);
-        w.put_f64(self.sxy);
-        w.put_f64(self.syy);
+        w.put_f64(self.shift);
+        w.put_bool(self.shift_set);
+        w.put_f64(self.su);
+        w.put_f64(self.su2);
+        w.put_f64(self.sy);
+        w.put_f64(self.sy2);
+        w.put_f64(self.suy);
     }
 
     fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
         Ok(StreamingLinReg {
             n: r.take_usize()?,
-            mean_x: r.take_f64()?,
-            mean_y: r.take_f64()?,
-            sxx: r.take_f64()?,
-            sxy: r.take_f64()?,
-            syy: r.take_f64()?,
+            shift: r.take_f64()?,
+            shift_set: r.take_bool()?,
+            su: r.take_f64()?,
+            su2: r.take_f64()?,
+            sy: r.take_f64()?,
+            sy2: r.take_f64()?,
+            suy: r.take_f64()?,
         })
     }
 }
@@ -366,8 +394,9 @@ mod tests {
 
     #[test]
     fn far_from_origin_stays_accurate() {
-        // Large common offset: naive raw-moment accumulation would lose
-        // most significant digits here; centered moments must not.
+        // Large common offset: power sums about the origin would lose
+        // most significant digits here; the first-observation shift keeps
+        // the accumulated sums small and conditioned.
         let xs: Vec<f64> = (0..200).map(|i| 1.0e9 + i as f64).collect();
         let ys: Vec<f64> = xs.iter().map(|x| 3.0 * (x - 1.0e9) + 7.0).collect();
         let mut reg = StreamingLinReg::new();
